@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A2 (ablation) — weight prefetch / double buffering: isolate the value
+ * of overlapping the next layer's weight DMA with the current layer's
+ * compute. O2 compiles without cross-layer prefetch; O3 with CMEM
+ * forced off adds only the prefetch pipeline — the delta is the
+ * overlap win, uncontaminated by pinning.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("A2",
+                  "Weight prefetch ablation (O3 minus pinning vs O2)");
+
+    const ChipConfig chip = Tpu_v4i();
+    TablePrinter table({"App", "No prefetch ms", "Prefetch ms",
+                        "Speedup", "HBM busy % (no)",
+                        "HBM busy % (with)"});
+    std::vector<double> speedups;
+    for (const auto& app : ProductionApps()) {
+        auto no_prefetch = bench::Run(app.graph, chip,
+                                      app.typical_batch, DType::kBf16,
+                                      /*opt=*/2);
+        auto with_prefetch =
+            bench::Run(app.graph, chip, app.typical_batch,
+                       DType::kBf16, /*opt=*/3, 1, /*cmem=*/0);
+        const double speedup = no_prefetch.result.latency_s /
+                               with_prefetch.result.latency_s;
+        speedups.push_back(speedup);
+        table.AddRow({
+            app.name,
+            StrFormat("%.2f", no_prefetch.result.latency_s * 1e3),
+            StrFormat("%.2f", with_prefetch.result.latency_s * 1e3),
+            StrFormat("%.2fx", speedup),
+            StrFormat("%.0f", 100.0 * no_prefetch.result
+                                          .engine(Engine::kHbm)
+                                          .utilization),
+            StrFormat("%.0f", 100.0 * with_prefetch.result
+                                          .engine(Engine::kHbm)
+                                          .utilization),
+        });
+    }
+    table.AddRow({"GEOMEAN", "", "",
+                  StrFormat("%.2fx", GeoMean(speedups)), "", ""});
+    table.Print("A2: prefetch-only gains at typical batch");
+
+    std::printf("\nShape to check: weight-heavy apps (MLPs, BERTs) gain "
+                "the most — their DMA\nserializes behind compute without "
+                "prefetch; conv/recurrent apps gain less.\nThis overlap "
+                "is the software half of why CMEM's *latency* benefit "
+                "in E8 looks\nmodest: prefetch already hides most "
+                "streaming.\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A8 (ablation) — CMEM allocation policy: the default planner ranks
+ * candidates by HBM bytes saved per CMEM byte; compare against naive
+ * largest-first and program-order policies at a constrained budget
+ * (32 MiB, where the choice matters most).
+ */
+#include "bench/bench_util.h"
+
+#include <map>
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("A8", "CMEM allocation policy ablation (32 MiB)");
+
+    const ChipConfig chip = Tpu_v4i();
+    const int64_t budget = 32 * kMiB;
+    const CmemPolicy policies[] = {
+        CmemPolicy::kByBandwidthSaved,
+        CmemPolicy::kBySize,
+        CmemPolicy::kByProgramOrder,
+    };
+
+    TablePrinter table({"App", "Policy", "Latency ms",
+                        "HBM MiB/batch", "Pinned W MiB",
+                        "Staged act MiB"});
+    std::map<CmemPolicy, std::vector<double>> hbm_totals;
+    for (const auto& app : ProductionApps()) {
+        for (CmemPolicy policy : policies) {
+            CompileOptions opts;
+            opts.batch = app.typical_batch;
+            opts.cmem_override_bytes = budget;
+            opts.cmem_policy = policy;
+            auto prog = Compile(app.graph, chip, opts).value();
+            auto run = Simulate(prog, chip).value();
+            const double hbm_mib =
+                static_cast<double>(run.engine(Engine::kHbm).bytes) /
+                (1 << 20);
+            hbm_totals[policy].push_back(hbm_mib + 1.0);
+            table.AddRow({
+                app.name,
+                CmemPolicyName(policy),
+                StrFormat("%.2f", run.latency_s * 1e3),
+                StrFormat("%.0f", hbm_mib),
+                StrFormat("%.1f",
+                          static_cast<double>(
+                              prog.memory.weight_bytes_cmem) /
+                              (1 << 20)),
+                StrFormat("%.1f",
+                          static_cast<double>(
+                              prog.memory.activation_bytes_cmem) /
+                              (1 << 20)),
+            });
+        }
+    }
+    table.Print("A8: per-app behavior by allocation policy");
+
+    std::printf("\nGeomean HBM traffic (MiB+1) per batch:\n");
+    for (CmemPolicy policy : policies) {
+        std::printf("  %-16s %.1f\n", CmemPolicyName(policy),
+                    GeoMean(hbm_totals[policy]));
+    }
+    std::printf("\nShape to check: bandwidth-saved allocation moves the "
+                "least HBM traffic at\nthe same budget; largest-first "
+                "wastes capacity on embedding tables that are\nbarely "
+                "touched, and program-order pins whatever came first — "
+                "the design\nchoice the planner encodes.\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A9 (extension/ablation) — depthwise convolutions on a systolic
+ * array: MobileNet-class edge models execute their depthwise layers as
+ * blocked-diagonal matmuls, wasting ~(channels)x of the array. Compare
+ * a MobileNet-style model against a dense CNN of similar accuracy
+ * class, per chip — the workload-evolution pressure (Lesson 9) from
+ * the *efficient-models* direction.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("A9", "Depthwise convolutions vs the systolic array");
+
+    Graph mobilenet = BuildMobileNetish("MobileNet");
+    Graph resnet = BuildResNet50();
+    auto cost_m =
+        mobilenet.Cost(1, DType::kBf16, DType::kBf16).value();
+    auto cost_r = resnet.Cost(1, DType::kBf16, DType::kBf16).value();
+    std::printf("MobileNet: %.2f GFLOPs/sample, %s weights | "
+                "ResNet-50: %.2f GFLOPs, %s\n",
+                cost_m.total_flops / 1e9,
+                HumanBytes(static_cast<double>(
+                    cost_m.weight_bytes)).c_str(),
+                cost_r.total_flops / 1e9,
+                HumanBytes(static_cast<double>(
+                    cost_r.weight_bytes)).c_str());
+
+    TablePrinter table({"Model", "Chip", "Latency ms", "inf/s",
+                        "MXU util %", "GFLOPs/sample"});
+    for (const auto& chip : {Tpu_v4i(), GpuT4()}) {
+        const DType dtype = chip.name == "T4" ? DType::kInt8
+                                              : DType::kBf16;
+        const std::pair<const char*, Graph*> models[] = {
+            {"MobileNet", &mobilenet}, {"ResNet-50", &resnet}};
+        for (const auto& entry : models) {
+            auto run = bench::Run(*entry.second, chip, 16, dtype);
+            table.AddRow({
+                entry.first,
+                chip.name,
+                StrFormat("%.2f", run.result.latency_s * 1e3),
+                StrFormat("%.0f", 16.0 / run.result.latency_s),
+                StrFormat("%.1f", 100.0 * run.result.mxu_utilization),
+                StrFormat("%.2f", (entry.first[0] == 'M'
+                                       ? cost_m.total_flops
+                                       : cost_r.total_flops) / 1e9),
+            });
+        }
+    }
+    table.Print("A9: depthwise-separable vs dense CNN (batch 16)");
+
+    std::printf("\nShape to check: MobileNet needs ~14x fewer FLOPs than "
+                "ResNet-50 but recovers\nonly a fraction of that as "
+                "speedup on the MXUs — its depthwise layers run\nat "
+                "~1/channels array utilization. The op mix the edge "
+                "world optimized for\nis exactly wrong for a systolic "
+                "datacenter chip (Lesson 9's other face).\n");
+    return 0;
+}

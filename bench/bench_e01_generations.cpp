@@ -1,0 +1,48 @@
+/**
+ * @file
+ * E1 — Table 1: key characteristics of the TPU generations (TPUv1, v2,
+ * v3, v4i, v4) plus the NVIDIA T4-class baseline.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E1", "Key characteristics of the TPU generations");
+
+    TablePrinter table({"Chip", "Year", "Node", "Die mm^2", "MHz",
+                        "bf16 TFLOPS", "int8 TOPS", "On-chip MiB",
+                        "DRAM", "GB/s", "ICI", "TDP W", "Idle W",
+                        "Cooling"});
+    for (const auto& chip : ChipCatalog()) {
+        const double bf16 = chip.PeakFlops(DType::kBf16) / 1e12;
+        const double int8 = chip.PeakFlops(DType::kInt8) / 1e12;
+        table.AddRow({
+            chip.name,
+            StrFormat("%d", chip.year),
+            StrFormat("%d nm", chip.tech_nm),
+            StrFormat("< %.0f", chip.die_mm2),
+            StrFormat("%.0f", chip.clock_hz / 1e6),
+            bf16 > 0 ? StrFormat("%.1f", bf16) : std::string("--"),
+            int8 > 0 ? StrFormat("%.1f", int8) : std::string("--"),
+            StrFormat("%.0f", static_cast<double>(chip.OnChipBytes()) /
+                                  (1 << 20)),
+            HumanBytes(static_cast<double>(chip.dram_bytes), 0),
+            StrFormat("%.0f", chip.dram_bw_Bps / 1e9),
+            chip.ici_links > 0
+                ? StrFormat("%d x %.0f GB/s", chip.ici_links,
+                            chip.ici_bw_Bps_per_link / 1e9)
+                : std::string("--"),
+            StrFormat("%.0f", chip.tdp_w),
+            StrFormat("%.0f", chip.idle_w),
+            CoolingName(chip.cooling),
+        });
+    }
+    table.Print("E1 / Table 1: TPU generations and the T4 baseline");
+
+    std::printf("\nLesson anchors: TPUv4i holds 1 TensorCore (not 2), adds "
+                "128 MiB CMEM,\nstays at 175 W for air cooling (Lesson 5), "
+                "and keeps bf16+int8 (Lessons 4/6).\n");
+    return 0;
+}

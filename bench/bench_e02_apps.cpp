@@ -1,0 +1,39 @@
+/**
+ * @file
+ * E2 — Table 2: the eight production inference applications: layer
+ * counts, weight footprints, per-sample FLOPs, operational intensity,
+ * production batch and latency SLO, and share of the inference fleet.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E2", "Production inference application suite");
+
+    TablePrinter table({"App", "Domain", "Layers", "Weights",
+                        "GFLOPs/sample", "FLOPs/w-byte", "Batch",
+                        "SLO ms", "Fleet %"});
+    for (const auto& app : ProductionApps()) {
+        auto c1 = app.graph.Cost(1, DType::kBf16, DType::kBf16).value();
+        table.AddRow({
+            app.name,
+            AppDomainName(app.domain),
+            StrFormat("%d", app.graph.num_layers()),
+            HumanBytes(static_cast<double>(c1.weight_bytes)),
+            StrFormat("%.2f", c1.total_flops / 1e9),
+            StrFormat("%.0f", c1.ops_per_weight_byte),
+            StrFormat("%lld",
+                      static_cast<long long>(app.typical_batch)),
+            StrFormat("%.0f", app.slo_ms),
+            StrFormat("%.0f", 100.0 * app.fleet_share),
+        });
+    }
+    table.Print("E2 / Table 2: app characteristics (batch 1, bf16)");
+
+    std::printf("\nShape to check: MLPs carry the biggest weights at the "
+                "lowest intensity;\nCNNs the reverse; RNNs sit in between; "
+                "BERTs are large AND intense.\n");
+    return 0;
+}

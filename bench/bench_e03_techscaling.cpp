@@ -1,0 +1,48 @@
+/**
+ * @file
+ * E3 — Lesson 1 figure: logic, SRAM, wires and DRAM improve unequally
+ * across the nodes the TPUs were built in (45 -> 28 -> 16 -> 7 nm).
+ */
+#include "bench/bench_util.h"
+
+#include "src/arch/tech.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E3",
+                  "Unequal technology scaling across process nodes");
+
+    TablePrinter table({"Node", "Year", "Logic dens", "SRAM dens",
+                        "Logic pJ/MAC16", "SRAM pJ/B", "DRAM pJ/B",
+                        "Wire delay", "DRAM BW"});
+    for (const auto& node : TechLadder()) {
+        table.AddRow({
+            StrFormat("%d nm", node.nm),
+            StrFormat("%d", node.year),
+            StrFormat("%.1fx", node.logic_density),
+            StrFormat("%.1fx", node.sram_density),
+            StrFormat("%.2f", MacEnergyPj(node, 16)),
+            StrFormat("%.1f", SramEnergyPjPerByte(node)),
+            StrFormat("%.0f", DramEnergyPjPerByte(node)),
+            StrFormat("%.2fx", node.wire_delay),
+            StrFormat("%.0fx", node.dram_bw),
+        });
+    }
+    table.Print("E3: relative scaling vs 45 nm (density up, energy down)");
+
+    // The divergence the lesson is about: cumulative gap between logic
+    // and SRAM density at each step.
+    const auto& ladder = TechLadder();
+    std::printf("\nDivergence (logic density / SRAM density):\n");
+    for (const auto& node : ladder) {
+        std::printf("  %2d nm: %.1fx\n", node.nm,
+                    node.logic_density / node.sram_density);
+    }
+    std::printf("\nConsequence: compute got ~10x denser from 28->7 nm but "
+                "SRAM only ~2.5x,\nso TPUv4i spends die area on 128 MiB "
+                "CMEM rather than more MXUs, and\nwire-dominated designs "
+                "stop scaling with frequency (Lesson 1).\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * E5 — the roofline figure: TPUv3 and TPUv4i rooflines with the eight
+ * production apps plotted at their model operational intensity
+ * (FLOPs per byte of weights + activations touched, the paper's x-axis)
+ * and their achieved (simulated) performance. For TPUv4i the table also
+ * reports the *effective* intensity against HBM after CMEM pinning —
+ * the mechanism that slides low-intensity apps up the roof.
+ */
+#include "bench/bench_util.h"
+
+namespace {
+
+void
+PlotChip(const t4i::ChipConfig& chip)
+{
+    using namespace t4i;
+    Roofline roof = BuildRoofline(chip, DType::kBf16);
+    std::vector<RooflinePoint> points;
+    TablePrinter table({"App", "Raw FLOPs/HBM-B", "Eff FLOPs/HBM-B",
+                        "Achieved TFLOPS", "Roof @raw-I", "% of roof",
+                        "Regime"});
+    for (const auto& app : ProductionApps()) {
+        auto run = bench::Run(app.graph, chip, app.typical_batch);
+        // Placement intensity: FLOPs per byte of HBM traffic the app
+        // would move *without* CMEM — the paper's x-axis. CMEM then
+        // lifts achieved points above this roof.
+        auto raw = bench::Run(app.graph, chip, app.typical_batch,
+                              DType::kBf16, 3, 1, /*cmem=*/0);
+        const double raw_hbm = static_cast<double>(
+            raw.result.engine(Engine::kHbm).bytes);
+        const double model_intensity =
+            raw_hbm > 0 ? 2.0 * raw.result.total_macs / raw_hbm : 1e6;
+        const double hbm = static_cast<double>(
+            run.result.engine(Engine::kHbm).bytes);
+        const double eff_intensity =
+            hbm > 0 ? 2.0 * run.result.total_macs / hbm : 1e6;
+        points.push_back(
+            {app.name, model_intensity, run.result.achieved_flops});
+        const double roof_here = roof.Attainable(model_intensity);
+        table.AddRow({
+            app.name,
+            StrFormat("%.1f", model_intensity),
+            eff_intensity < 1e6 ? StrFormat("%.0f", eff_intensity)
+                                : std::string(">1e6"),
+            StrFormat("%.2f", run.result.achieved_flops / 1e12),
+            StrFormat("%.2f", roof_here / 1e12),
+            StrFormat("%.0f%%",
+                      100.0 * run.result.achieved_flops / roof_here),
+            run.result.achieved_flops > roof_here * 1.001
+                ? "CMEM-lifted"
+                : (model_intensity < roof.ridge_ops_per_byte
+                       ? "memory"
+                       : "compute"),
+        });
+    }
+    std::printf("\n%s\n", RenderRoofline(roof, points).c_str());
+    table.Print(StrFormat("E5: %s roofline placement (typical batch)",
+                          chip.name.c_str()));
+}
+
+}  // namespace
+
+int
+main()
+{
+    t4i::bench::Banner("E5",
+                       "Rooflines of TPUv3 and TPUv4i with the 8 apps");
+    PlotChip(t4i::Tpu_v3());
+    PlotChip(t4i::Tpu_v4i());
+    std::printf("\nShape to check: the MLPs sit left of the ridge (memory "
+                "regime) on both chips;\nCNNs and BERTs sit past it. On "
+                "TPUv4i the CMEM lifts the *effective*\nFLOPs-per-HBM-byte "
+                "of pinned apps by orders of magnitude (compare columns\n"
+                "2 and 3), which is how a chip with 2/3 of TPUv3's HBM "
+                "bandwidth still\nmatches or beats it per chip. The gap "
+                "between achieved and roof on the\ncompute side is the "
+                "systolic fill/drain cost of small per-pass row counts\n"
+                "(worst for the recurrent apps).\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * E8 — CMEM capacity sensitivity: per-app speedup vs a CMEM-less TPUv4i
+ * as the on-chip common memory sweeps 0 -> 256 MiB. The paper sized
+ * CMEM at 128 MiB; the knee of this curve is why.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E8", "Performance sensitivity to CMEM capacity");
+
+    const ChipConfig chip = Tpu_v4i();
+    const std::vector<int64_t> sizes_mib = {0, 16, 32, 64, 96, 128,
+                                            192, 256};
+
+    std::vector<std::string> header = {"App"};
+    for (int64_t m : sizes_mib) {
+        header.push_back(StrFormat("%lld MiB",
+                                   static_cast<long long>(m)));
+    }
+    TablePrinter table(header);
+    TablePrinter traffic(header);
+
+    std::vector<std::vector<double>> speedups(
+        sizes_mib.size());  // per size, across apps
+    std::vector<std::vector<double>> traffic_cut(sizes_mib.size());
+
+    for (const auto& app : ProductionApps()) {
+        std::vector<std::string> row = {app.name};
+        std::vector<std::string> trow = {app.name};
+        double base = 0.0;
+        for (size_t i = 0; i < sizes_mib.size(); ++i) {
+            auto run = bench::Run(app.graph, chip, app.typical_batch,
+                                  DType::kBf16, 3, 1,
+                                  sizes_mib[i] * kMiB);
+            const double hbm = static_cast<double>(
+                run.result.engine(Engine::kHbm).bytes);
+            if (i == 0) base = run.result.latency_s;
+            const double speedup = base / run.result.latency_s;
+            speedups[i].push_back(speedup);
+            traffic_cut[i].push_back(hbm / (1 << 20));
+            row.push_back(StrFormat("%.2fx", speedup));
+            trow.push_back(StrFormat("%.0f", hbm / (1 << 20)));
+        }
+        table.AddRow(row);
+        traffic.AddRow(trow);
+    }
+    std::vector<std::string> geo = {"GEOMEAN"};
+    std::vector<std::string> tgeo = {"TOTAL"};
+    for (size_t i = 0; i < sizes_mib.size(); ++i) {
+        geo.push_back(StrFormat("%.2fx", GeoMean(speedups[i])));
+        double total = 0.0;
+        for (double mib : traffic_cut[i]) total += mib;
+        tgeo.push_back(StrFormat("%.0f", total));
+    }
+    table.AddRow(geo);
+    traffic.AddRow(tgeo);
+    table.Print("E8a: speedup vs CMEM=0 at typical batch (bf16, O3)");
+    traffic.Print("E8b: HBM traffic per batch (MiB) vs CMEM capacity");
+
+    std::printf("\nShape to check: latency gains are modest-but-real for "
+                "the bandwidth-sensitive\napps (MLPs, CNNs) and taper "
+                "past ~128 MiB; the HBM *traffic* curve is the\nsizing "
+                "driver — it collapses by multiples until each app's hot "
+                "set (weights +\nspilled activations) fits, buying "
+                "multi-tenant and model-growth headroom on a\nchip with "
+                "2/3 of TPUv3's bandwidth. Both views flatten beyond "
+                "128 MiB,\njustifying the paper's choice.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * E12 — Lessons 3 and 5: performance per CapEx vs performance per TCO
+ * across the chip catalog, and the cost of liquid vs air cooling.
+ * The paper's point is the *ranking* can invert once 3 years of power
+ * and cooling are paid.
+ */
+#include "bench/bench_util.h"
+
+#include "src/tco/tco.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E12", "Perf/CapEx vs perf/TCO across the catalog");
+
+    TcoParams params;
+    TablePrinter table({"Chip", "Die $", "Mem $", "Cooling $",
+                        "CapEx $", "3yr OpEx $", "TCO $",
+                        "Peak TFLOPS", "GFLOPS/$ CapEx",
+                        "GFLOPS/$ TCO"});
+
+    struct Entry {
+        std::string name;
+        double per_capex;
+        double per_tco;
+    };
+    std::vector<Entry> entries;
+
+    for (const auto& chip : ChipCatalog()) {
+        auto tco = ComputeTco(chip, params).value();
+        const double peak =
+            std::max(chip.PeakFlops(DType::kBf16),
+                     chip.PeakFlops(DType::kInt8));
+        const double per_capex = peak / 1e9 / tco.capex_usd;
+        const double per_tco = peak / 1e9 / tco.tco_usd;
+        entries.push_back({chip.name, per_capex, per_tco});
+        table.AddRow({
+            chip.name,
+            StrFormat("%.0f", tco.die_cost_usd),
+            StrFormat("%.0f", tco.memory_cost_usd),
+            StrFormat("%.0f", tco.cooling_capex_usd),
+            StrFormat("%.0f", tco.capex_usd),
+            StrFormat("%.0f", tco.opex_usd),
+            StrFormat("%.0f", tco.tco_usd),
+            StrFormat("%.1f", peak / 1e12),
+            StrFormat("%.2f", per_capex),
+            StrFormat("%.2f", per_tco),
+        });
+    }
+    table.Print("E12a: cost breakdown and efficiency, per chip");
+
+    auto rank = [&entries](bool by_tco) {
+        std::vector<Entry> sorted = entries;
+        std::sort(sorted.begin(), sorted.end(),
+                  [by_tco](const Entry& a, const Entry& b) {
+                      return (by_tco ? a.per_tco : a.per_capex) >
+                             (by_tco ? b.per_tco : b.per_capex);
+                  });
+        std::string out;
+        for (size_t i = 0; i < sorted.size(); ++i) {
+            if (i > 0) out += " > ";
+            out += sorted[i].name;
+        }
+        return out;
+    };
+    std::printf("\nRanking by perf/CapEx: %s\n", rank(false).c_str());
+    std::printf("Ranking by perf/TCO:   %s\n", rank(true).c_str());
+
+    // Lesson 5 sidebar: what liquid cooling costs TPUv3 vs an air-cooled
+    // variant of itself.
+    ChipConfig v3_air = Tpu_v3();
+    v3_air.cooling = Cooling::kAir;
+    auto t_liquid = ComputeTco(Tpu_v3(), params).value();
+    auto t_air = ComputeTco(v3_air, params).value();
+    std::printf("\nE12b (Lesson 5): TPUv3 liquid-cooling premium: "
+                "$%.0f capex (+%.0f%% TCO);\nTPUv4i avoided it by "
+                "designing to a 175 W air-cooled envelope.\n",
+                t_liquid.cooling_capex_usd,
+                100.0 * (t_liquid.tco_usd - t_air.tco_usd) /
+                    t_air.tco_usd);
+    std::printf("\nShape to check: ranking by TCO punishes hot chips "
+                "(TPUv3) relative to their\nCapEx ranking; TPUv4i leads "
+                "perf/TCO among the TPUs (Lesson 3).\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * E13 — Lessons 4 and 6: what int8 quantization costs in fidelity
+ * (versus bf16, which deploys trained models unchanged) and what bf16
+ * costs in performance (versus int8 on the same chip).
+ */
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace t4i;
+
+/** Generates activation-like data for a domain. */
+Tensor
+DomainData(AppDomain domain, Rng& rng, int64_t rows, int64_t cols)
+{
+    Tensor t(Shape({rows, cols}));
+    switch (domain) {
+      case AppDomain::kMlp:
+        // Embedding outputs: mostly small, rare large spikes.
+        for (int64_t i = 0; i < t.NumElements(); ++i) {
+            const double mag =
+                std::exp(rng.NextGaussian() * 2.0 - 1.0);
+            t[i] = static_cast<float>(rng.NextBool(0.5) ? mag : -mag);
+        }
+        break;
+      case AppDomain::kCnn:
+        // Post-ReLU conv activations: half-normal.
+        for (int64_t i = 0; i < t.NumElements(); ++i) {
+            t[i] = static_cast<float>(
+                std::fabs(rng.NextGaussian()));
+        }
+        break;
+      case AppDomain::kRnn:
+        // Gated LSTM state: bounded (-1, 1).
+        for (int64_t i = 0; i < t.NumElements(); ++i) {
+            t[i] = static_cast<float>(std::tanh(rng.NextGaussian()));
+        }
+        break;
+      case AppDomain::kBert:
+        // Attention logits: heavy-tailed.
+        for (int64_t i = 0; i < t.NumElements(); ++i) {
+            t[i] = static_cast<float>(rng.NextGaussian() *
+                                      std::exp(rng.NextGaussian()));
+        }
+        break;
+    }
+    return t;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::Banner("E13",
+                  "int8 vs bf16: fidelity cost and performance cost");
+
+    // E13a: matmul output SQNR per domain (reference: fp32).
+    Rng rng(20210614);
+    TablePrinter fidelity({"Domain", "bf16 SQNR dB",
+                           "int8/tensor SQNR dB",
+                           "int8/channel SQNR dB", "bf16 advantage"});
+    for (AppDomain domain : {AppDomain::kMlp, AppDomain::kCnn,
+                             AppDomain::kRnn, AppDomain::kBert}) {
+        Tensor act = DomainData(domain, rng, 64, 256);
+        Tensor w(Shape({256, 64}));
+        w.FillGaussian(rng, 0.05f);
+
+        auto exact = Matmul(act, w, MatmulPrecision::kFp32).value();
+        auto bf = Matmul(act, w, MatmulPrecision::kBf16).value();
+        auto i8 = Matmul(act, w, MatmulPrecision::kInt8).value();
+
+        // Per-channel weights: quantize weight rows independently, then
+        // run the fp32 matmul on the fake-quantized operands.
+        Tensor wq(Shape({256, 64}),
+                  FakeQuantInt8PerChannel(w.data(), 256, 64,
+                                          QuantScheme::kSymmetric));
+        Tensor aq(act.shape(),
+                  FakeQuantInt8(act.data(), QuantScheme::kSymmetric));
+        auto i8pc = Matmul(aq, wq, MatmulPrecision::kFp32).value();
+
+        const double s_bf =
+            ComputeError(exact.data(), bf.data()).value().sqnr_db;
+        const double s_i8 =
+            ComputeError(exact.data(), i8.data()).value().sqnr_db;
+        const double s_pc =
+            ComputeError(exact.data(), i8pc.data()).value().sqnr_db;
+        fidelity.AddRow({
+            AppDomainName(domain),
+            StrFormat("%.1f", s_bf),
+            StrFormat("%.1f", s_i8),
+            StrFormat("%.1f", s_pc),
+            StrFormat("%+.1f dB", s_bf - std::max(s_i8, s_pc)),
+        });
+    }
+    fidelity.Print("E13a: matmul fidelity by activation distribution");
+
+    // E13b: end-to-end model fidelity via the functional executor
+    // (scaled-down graphs of each architecture class; the full graph —
+    // embeddings, attention, recurrence — runs on real tensors).
+    TablePrinter e2e({"Model class", "bf16 SQNR dB", "int8 SQNR dB",
+                      "bf16 advantage"});
+    struct E2eCase {
+        const char* label;
+        Graph graph;
+    };
+    std::vector<E2eCase> e2e_cases;
+    // Towers end wide (not at 1 logit) so the error statistic has
+    // enough output values to be meaningful at small batch.
+    e2e_cases.push_back(
+        {"MLP (embed+tower)",
+         BuildMlp("m", 2000, 16, 8, 128, {64, 32})});
+    e2e_cases.push_back({"CNN (conv stack)", BuildSmallCnn("c")});
+    e2e_cases.push_back(
+        {"RNN (LSTM stack)",
+         BuildLstmStack("r", 1000, 64, 2, 64, 8)});
+    e2e_cases.push_back(
+        {"BERT (encoder)", BuildBert("b", 2, 64, 2, 128, 8, 500)});
+    e2e_cases.push_back(
+        {"Decoder (KV cache)",
+         BuildDecoderLm("lm", 2, 64, 2, 128, 16, 4, 500)});
+    for (auto& c : e2e_cases) {
+        auto bf = PrecisionLoss(c.graph, MatmulPrecision::kBf16, 4,
+                                77).value();
+        auto i8 = PrecisionLoss(c.graph, MatmulPrecision::kInt8, 4,
+                                77).value();
+        e2e.AddRow({
+            c.label,
+            StrFormat("%.1f", bf.sqnr_db),
+            StrFormat("%.1f", i8.sqnr_db),
+            StrFormat("%+.1f dB", bf.sqnr_db - i8.sqnr_db),
+        });
+    }
+    e2e.Print("E13b: end-to-end output fidelity (functional executor, "
+              "small-scale graphs)");
+
+    // E13c: the performance price of bf16 vs int8 on TPUv4i.
+    const ChipConfig chip = Tpu_v4i();
+    TablePrinter perf({"App", "bf16 ms", "int8 ms", "int8 speedup"});
+    std::vector<double> speedups;
+    for (const auto& app : ProductionApps()) {
+        const double bf =
+            bench::Run(app.graph, chip, app.typical_batch,
+                       DType::kBf16).result.latency_s * 1e3;
+        const double i8 =
+            bench::Run(app.graph, chip, app.typical_batch,
+                       DType::kInt8).result.latency_s * 1e3;
+        speedups.push_back(bf / i8);
+        perf.AddRow({app.name, StrFormat("%.2f", bf),
+                     StrFormat("%.2f", i8),
+                     StrFormat("%.2fx", bf / i8)});
+    }
+    perf.AddRow({"GEOMEAN", "", "",
+                 StrFormat("%.2fx", GeoMean(speedups))});
+    perf.Print("E13c: bf16 vs int8 latency on TPUv4i");
+
+    std::printf("\nShape to check: bf16 keeps 15-25 dB more SQNR on "
+                "heavy-tailed (BERT/MLP)\ndistributions — the accuracy "
+                "cliff that forced quantization engineering on\nTPUv1 — "
+                "while int8's speed advantage on TPUv4i is modest. That "
+                "trade is\nLesson 6: supporting bf16 removes the "
+                "deployment detour (Lesson 4).\n");
+    return 0;
+}

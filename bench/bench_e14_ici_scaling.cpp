@@ -1,0 +1,89 @@
+/**
+ * @file
+ * E14 — Lesson 8's mitigation: ICI scaling. Growing models (the 2021
+ * zoo) are sharded across 1, 2 and 4 TPUv4i chips of one board-level
+ * ICI domain; speedup saturates as all-gathers take over.
+ */
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E14", "Multi-chip ICI scaling of the grown models");
+
+    const ChipConfig chip = Tpu_v4i();
+    TablePrinter table({"Model (year)", "Chips", "Latency ms",
+                        "Speedup", "ICI busy %", "MXU busy %"});
+
+    struct Case {
+        std::string label;
+        Graph graph;
+        int64_t batch;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"BERT1 (2017)",
+                     BuildApp("BERT1").value().graph, 16});
+    auto grown = AppsOfYear(2021);
+    cases.push_back({"BERT1 (2021)", std::move(grown[7].graph), 16});
+    cases.push_back({"RNN0 (2021)", std::move(grown[4].graph), 16});
+
+    for (auto& c : cases) {
+        double base = 0.0;
+        for (int chips : {1, 2, 4}) {
+            auto run = bench::Run(c.graph, chip, c.batch,
+                                  DType::kBf16, 3, chips);
+            if (chips == 1) base = run.result.latency_s;
+            table.AddRow({
+                c.label,
+                StrFormat("%d", chips),
+                StrFormat("%.2f", run.result.latency_s * 1e3),
+                StrFormat("%.2fx", base / run.result.latency_s),
+                StrFormat("%.0f",
+                          100.0 * run.result.engine(Engine::kIci)
+                              .utilization),
+                StrFormat("%.0f",
+                          100.0 * run.result.engine(Engine::kMxu)
+                              .utilization),
+            });
+        }
+    }
+    table.Print("E14: weight-sharded execution across an ICI domain");
+
+    // Topology sidebar: the same 4-chip domain wired as a ring vs
+    // fully connected, on the collective-heaviest model.
+    TablePrinter topo({"Topology", "Latency ms", "ICI busy %",
+                       "Bisection GB/s", "Diameter"});
+    auto grown2 = AppsOfYear(2021);
+    for (IciTopology t : {IciTopology::kRing,
+                          IciTopology::kFullyConnected}) {
+        CompileOptions opts;
+        opts.batch = 16;
+        opts.num_chips = 4;
+        opts.ici_topology = t;
+        auto prog = Compile(grown2[7].graph, chip, opts).value();
+        auto run = Simulate(prog, chip).value();
+        auto domain = MakeDomain(chip, 4, t).value();
+        topo.AddRow({
+            IciTopologyName(t),
+            StrFormat("%.2f", run.latency_s * 1e3),
+            StrFormat("%.0f",
+                      100.0 * run.engine(Engine::kIci).utilization),
+            StrFormat("%.0f",
+                      domain.BisectionBandwidth().value() / 1e9),
+            StrFormat("%d", domain.Diameter()),
+        });
+    }
+    topo.Print("E14b: 4-chip domain wiring for BERT1 (2021)");
+    std::printf("\nWith 2 links per chip, the ring wins bandwidth-bound "
+                "all-gathers (full links\nto each neighbor) even though "
+                "fully-connected has the better diameter —\nthe reason "
+                "TPU fabrics are rings/tori, not crossbars.\n");
+
+    std::printf("\nShape to check: the grown models gain clearly from 2 "
+                "and 4 chips (weights\nand matmuls shard) but sublinearly "
+                "— ICI all-gathers and the unsharded\nrecurrence steps "
+                "bound the speedup. TPUv4i boards carry 4 chips for "
+                "exactly\nthis headroom (Lesson 8).\n");
+    return 0;
+}

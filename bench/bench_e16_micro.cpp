@@ -1,0 +1,146 @@
+/**
+ * @file
+ * E16 — google-benchmark microbenchmarks of the simulator itself:
+ * compile throughput, simulation throughput, and the timing-model hot
+ * path. Not a paper figure; keeps the tooling honest about its own
+ * cost.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace t4i;
+
+void
+BM_CompileBert0(benchmark::State& state)
+{
+    auto app = BuildApp("BERT0").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 16;
+    for (auto _ : state) {
+        auto p = Compile(app.graph, chip, opts);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_CompileBert0);
+
+void
+BM_SimulateBert0(benchmark::State& state)
+{
+    auto app = BuildApp("BERT0").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 16;
+    auto p = Compile(app.graph, chip, opts).value();
+    int64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = Simulate(p, chip);
+        benchmark::DoNotOptimize(r);
+        instrs += static_cast<int64_t>(p.instrs.size());
+    }
+    state.SetItemsProcessed(instrs);
+}
+BENCHMARK(BM_SimulateBert0);
+
+void
+BM_SimulateRnn0(benchmark::State& state)
+{
+    // The instruction-heavy program (sequential LSTM steps).
+    auto app = BuildApp("RNN0").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 16;
+    auto p = Compile(app.graph, chip, opts).value();
+    int64_t instrs = 0;
+    for (auto _ : state) {
+        auto r = Simulate(p, chip);
+        benchmark::DoNotOptimize(r);
+        instrs += static_cast<int64_t>(p.instrs.size());
+    }
+    state.SetItemsProcessed(instrs);
+}
+BENCHMARK(BM_SimulateRnn0);
+
+void
+BM_MxuCycles(benchmark::State& state)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Instr instr;
+    instr.engine = Engine::kMxu;
+    instr.dtype = DType::kBf16;
+    instr.rows = 2048;
+    instr.k_tiles = 6;
+    instr.n_tiles = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(MxuCycles(chip, instr));
+    }
+}
+BENCHMARK(BM_MxuCycles);
+
+void
+BM_ServingSim(benchmark::State& state)
+{
+    TenantConfig t;
+    t.name = "x";
+    t.latency_s = [](int64_t b) {
+        return 1e-3 + 1e-4 * static_cast<double>(b);
+    };
+    t.max_batch = 32;
+    t.slo_s = 0.01;
+    t.arrival_rate = 1000.0;
+    for (auto _ : state) {
+        auto r = RunServing({t}, 1.0, 7);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ServingSim);
+
+void
+BM_QuantizeRoundTrip(benchmark::State& state)
+{
+    Rng rng(5);
+    std::vector<float> data(static_cast<size_t>(state.range(0)));
+    for (auto& x : data) {
+        x = static_cast<float>(rng.NextGaussian());
+    }
+    for (auto _ : state) {
+        auto out = FakeQuantInt8(data, QuantScheme::kSymmetric);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QuantizeRoundTrip)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_PipelinedSim(benchmark::State& state)
+{
+    auto app = BuildApp("CNN0").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 8;
+    auto p = Compile(app.graph, chip, opts).value();
+    for (auto _ : state) {
+        auto r = SimulatePipelined(p, chip, 8);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_PipelinedSim);
+
+void
+BM_FunctionalExecutor(benchmark::State& state)
+{
+    // Tiny BERT on real tensors: the semantic path's cost.
+    Graph g = BuildBert("b", 1, 64, 2, 128, 8, 500);
+    for (auto _ : state) {
+        auto r = PrecisionLoss(g, MatmulPrecision::kBf16, 1, 3);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FunctionalExecutor);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches (E1..E16). Each bench binary
+ * regenerates one table/figure of the paper; these helpers provide the
+ * common compile-and-simulate plumbing so the benches stay declarative.
+ */
+#ifndef T4I_BENCH_BENCH_UTIL_H
+#define T4I_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "src/tpu4sim.h"
+
+namespace t4i {
+namespace bench {
+
+/** A compiled-and-simulated run. */
+struct RunOutcome {
+    Program program;
+    SimResult result;
+};
+
+/** Compiles and simulates, aborting on error (benches use known-good
+ *  combinations; failures are bugs). */
+inline RunOutcome
+Run(const Graph& graph, const ChipConfig& chip, int64_t batch,
+    DType dtype = DType::kBf16, int opt_level = 3, int num_chips = 1,
+    int64_t cmem_override = -1)
+{
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = dtype;
+    opts.opt_level = opt_level;
+    opts.num_chips = num_chips;
+    opts.cmem_override_bytes = cmem_override;
+    auto p = Compile(graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    auto r = Simulate(p.value(), chip);
+    T4I_CHECK(r.ok(), r.status().ToString().c_str());
+    return {std::move(p).ConsumeValue(),
+            std::move(r).ConsumeValue()};
+}
+
+/** Preferred dtype of a chip: bf16 when available, else int8. */
+inline DType
+NativeDtype(const ChipConfig& chip)
+{
+    return chip.supports_bf16 ? DType::kBf16 : DType::kInt8;
+}
+
+/** Builds a latency table over a power-of-two batch ladder. */
+inline LatencyTable
+ProfileLatency(const Graph& graph, const ChipConfig& chip, DType dtype,
+               int64_t max_batch = 256)
+{
+    LatencyTable table;
+    for (int64_t b = 1; b <= max_batch; b *= 2) {
+        table.AddPoint(b, Run(graph, chip, b, dtype).result.latency_s);
+    }
+    return table;
+}
+
+/** Throughput (samples/s) at the largest batch meeting the SLO;
+ *  zero when even batch 1 misses. */
+inline double
+ThroughputUnderSlo(const LatencyTable& table, double slo_s)
+{
+    const int64_t batch = table.MaxBatchUnderSlo(slo_s);
+    return batch > 0 ? table.ThroughputAt(batch) : 0.0;
+}
+
+/** Prints the standard bench banner. */
+inline void
+Banner(const std::string& id, const std::string& title)
+{
+    std::printf("==============================================================="
+                "=\n%s  %s\n(tpu4sim reproduction; see EXPERIMENTS.md "
+                "for the paper-vs-model comparison)\n"
+                "==============================================================="
+                "=\n",
+                id.c_str(), title.c_str());
+}
+
+}  // namespace bench
+}  // namespace t4i
+
+#endif  // T4I_BENCH_BENCH_UTIL_H

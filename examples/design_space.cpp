@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Architectural what-if: re-balance TPUv4i's die between MXUs and CMEM.
+ *
+ * The paper describes choosing 4 MXUs + 128 MiB CMEM under a ~400 mm^2
+ * / 175 W envelope. This example sweeps alternative splits (more
+ * matrix units vs more on-chip memory) at a constant die budget and
+ * scores each variant on the production suite — the kind of study the
+ * simulator exists for.
+ *
+ * Usage: design_space [batch_multiplier]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tpu4sim.h"
+
+namespace {
+
+/** Rough area model: one 128x128 MXU ~ 12 mm^2 and CMEM ~ 0.45 mm^2
+ *  per MiB at 7 nm — calibrated so the shipped config (4 MXUs, 128
+ *  MiB) fills the budget. */
+constexpr double kMxuMm2 = 12.0;
+constexpr double kCmemMm2PerMib = 0.45;
+constexpr double kBudgetMm2 = 4 * kMxuMm2 + 128 * kCmemMm2PerMib;
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace t4i;
+    const double batch_mult = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+    TablePrinter table({"MXUs", "CMEM MiB", "Area mm^2",
+                        "Geomean speedup", "Worst app", "Best app"});
+
+    struct Variant {
+        int mxus;
+        int64_t cmem_mib;
+    };
+    std::vector<Variant> variants;
+    for (int mxus : {2, 3, 4, 5, 6}) {
+        const double left = kBudgetMm2 - mxus * kMxuMm2;
+        if (left < 0) continue;
+        variants.push_back(
+            {mxus, static_cast<int64_t>(left / kCmemMm2PerMib)});
+    }
+
+    // Baseline: the shipped TPUv4i.
+    std::vector<double> baseline;
+    auto apps = ProductionApps();
+    for (const auto& app : apps) {
+        CompileOptions opts;
+        opts.batch = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   static_cast<double>(app.typical_batch) *
+                   batch_mult));
+        auto prog = Compile(app.graph, Tpu_v4i(), opts).value();
+        baseline.push_back(
+            Simulate(prog, Tpu_v4i()).value().latency_s);
+    }
+
+    for (const auto& v : variants) {
+        ChipConfig chip = Tpu_v4i();
+        chip.mxu.count = v.mxus;
+        chip.cmem_bytes = v.cmem_mib * kMiB;
+        std::vector<double> speedups;
+        std::string worst;
+        std::string best;
+        double worst_v = 1e9;
+        double best_v = 0.0;
+        for (size_t i = 0; i < apps.size(); ++i) {
+            CompileOptions opts;
+            opts.batch = std::max<int64_t>(
+                1, static_cast<int64_t>(
+                       static_cast<double>(apps[i].typical_batch) *
+                       batch_mult));
+            auto prog = Compile(apps[i].graph, chip, opts).value();
+            const double lat =
+                Simulate(prog, chip).value().latency_s;
+            const double speedup = baseline[i] / lat;
+            speedups.push_back(speedup);
+            if (speedup < worst_v) {
+                worst_v = speedup;
+                worst = apps[i].name;
+            }
+            if (speedup > best_v) {
+                best_v = speedup;
+                best = apps[i].name;
+            }
+        }
+        table.AddRow({
+            StrFormat("%d", v.mxus),
+            StrFormat("%lld", static_cast<long long>(v.cmem_mib)),
+            StrFormat("%.0f", v.mxus * kMxuMm2 +
+                                  static_cast<double>(v.cmem_mib) *
+                                      kCmemMm2PerMib),
+            StrFormat("%.3fx", GeoMean(speedups)),
+            StrFormat("%s %.2fx", worst.c_str(), worst_v),
+            StrFormat("%s %.2fx", best.c_str(), best_v),
+        });
+    }
+    table.Print("Compute/memory die split at a fixed area budget "
+                "(vs shipped TPUv4i)");
+    std::printf("\nFewer MXUs clearly starve the suite. Above 4 MXUs "
+                "this simulator still shows\ngains because its weight "
+                "prefetch hides HBM well at production batches —\nbut "
+                "the shipped design also had to fit a 175 W air-cooled "
+                "envelope and SRAM\nyield limits that this pure-area "
+                "model ignores, and E8/E11 show where the\nCMEM "
+                "capacity is actually spent: traffic headroom and "
+                "multi-tenant isolation\nrather than single-stream "
+                "latency (Lesson 1's trade in miniature).\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Exports a simulated schedule as Chrome-trace JSON.
+ *
+ * Usage: dump_trace [app-name] [batch] [output.json]
+ * Open the file at chrome://tracing or https://ui.perfetto.dev to see
+ * the per-engine timeline (weight prefetch under compute, spill
+ * traffic, ICI all-gathers).
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/trace.h"
+#include "src/tpu4sim.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace t4i;
+    const std::string app_name = argc > 1 ? argv[1] : "BERT0";
+    const int64_t batch = argc > 2 ? std::atoll(argv[2]) : 16;
+    const std::string path =
+        argc > 3 ? argv[3] : ("trace_" + app_name + ".json");
+
+    auto app = BuildApp(app_name);
+    if (!app.ok()) {
+        std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+        return 1;
+    }
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = batch;
+    auto prog = Compile(app.value().graph, chip, opts);
+    if (!prog.ok()) {
+        std::fprintf(stderr, "%s\n", prog.status().ToString().c_str());
+        return 1;
+    }
+    std::vector<ScheduleEntry> schedule;
+    auto result = SimulateWithSchedule(prog.value(), chip, &schedule);
+    if (!result.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     result.status().ToString().c_str());
+        return 1;
+    }
+    auto status = WriteChromeTrace(prog.value(), schedule, path);
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+    }
+    std::printf("wrote %zu events to %s (latency %s)\n",
+                schedule.size(), path.c_str(),
+                HumanSeconds(result.value().latency_s).c_str());
+    std::printf("open in chrome://tracing or ui.perfetto.dev\n");
+    return 0;
+}

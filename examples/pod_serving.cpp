@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A serving cell under diurnal traffic: N TPUv4i devices behind one
+ * batcher, load swinging sinusoidally between trough and peak over a
+ * (scaled) day. Shows the provisioning dilemma inside Lesson 3: the
+ * cell must be sized for the peak, but the TCO meter runs all day.
+ *
+ * Usage: pod_serving [devices] [peak_qps]
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tpu4sim.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace t4i;
+    const int devices = argc > 1 ? std::atoi(argv[1]) : 4;
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp("BERT0").value();
+
+    // Profile the device.
+    LatencyTable table;
+    for (int64_t b = 1; b <= 64; b *= 2) {
+        CompileOptions opts;
+        opts.batch = b;
+        auto prog = Compile(app.graph, chip, opts).value();
+        table.AddPoint(b, Simulate(prog, chip).value().latency_s);
+    }
+    const double slo_s = app.slo_ms * 1e-3;
+    const int64_t slo_batch = table.MaxBatchUnderSlo(slo_s);
+    const double per_device = table.ThroughputAt(slo_batch);
+    const double peak_qps =
+        argc > 2 ? std::atof(argv[2])
+                 : 0.8 * per_device * static_cast<double>(devices);
+
+    std::printf("%d x %s serving %s | per-device capacity %.0f inf/s "
+                "@SLO %.0f ms | peak load %.0f inf/s\n\n",
+                devices, chip.name.c_str(), app.name.c_str(),
+                per_device, app.slo_ms, peak_qps);
+
+    // One simulated "day" compressed into 60 s: load swings between
+    // 25% and 100% of peak.
+    const double day_s = 60.0;
+    TenantConfig tenant;
+    tenant.name = app.name;
+    tenant.latency_s = [&table](int64_t b) { return table.Eval(b); };
+    tenant.max_batch = std::max<int64_t>(slo_batch, 1);
+    tenant.slo_s = slo_s;
+    tenant.arrival_rate = peak_qps;
+    tenant.peak_rate_multiplier = 1.0;
+    tenant.rate_multiplier = [day_s](double t) {
+        return 0.625 - 0.375 * std::cos(2.0 * M_PI * t / day_s);
+    };
+
+    TablePrinter table_out({"Devices", "p50 ms", "p99 ms",
+                            "SLO miss %", "Served inf/s",
+                            "Mean device busy %",
+                            "Provisioned W / served-k-inf/s"});
+    for (int n : {devices / 2 > 0 ? devices / 2 : 1, devices,
+                  devices * 2}) {
+        auto result = RunServingCell({tenant}, n, day_s, 2024).value();
+        const auto& t = result.tenants[0];
+        table_out.AddRow({
+            StrFormat("%d", n),
+            StrFormat("%.2f", t.p50_latency_s * 1e3),
+            StrFormat("%.2f", t.p99_latency_s * 1e3),
+            StrFormat("%.1f", 100.0 * t.slo_miss_fraction),
+            StrFormat("%.0f", t.throughput_rps),
+            StrFormat("%.0f", 100.0 * result.device_busy_fraction),
+            StrFormat("%.1f", static_cast<double>(n) * chip.tdp_w /
+                                  (t.throughput_rps / 1e3)),
+        });
+    }
+    table_out.Print("Diurnal day on the cell (load 25%..100% of peak)");
+    std::printf("\nUnder-provisioning blows the p99 at the daily peak; "
+                "over-provisioning wastes\nwatts per served inference "
+                "across the trough. The middle row is the sizing\na "
+                "capacity planner actually picks — then pays the TCO "
+                "of idle troughs\n(Lesson 3).\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: compile one production app for TPUv4i, simulate it, and
+ * print the latency/utilization/power picture the library is built
+ * around.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [app-name] [batch]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tpu4sim.h"
+
+int
+main(int argc, char** argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "BERT0";
+    const int64_t batch = argc > 2 ? std::atoll(argv[2]) : 16;
+
+    // 1. Pick a production app from the zoo.
+    auto app = t4i::BuildApp(app_name);
+    if (!app.ok()) {
+        std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+        std::fprintf(stderr, "apps: MLP0 MLP1 CNN0 CNN1 RNN0 RNN1 "
+                             "BERT0 BERT1\n");
+        return 1;
+    }
+    std::printf("%s", app.value().graph.ToString().c_str());
+
+    auto cost = app.value().graph.Cost(batch, t4i::DType::kBf16,
+                                       t4i::DType::kBf16);
+    std::printf("\nmodel: %.2f GFLOPs/batch, weights %s, "
+                "%.1f FLOPs/weight-byte\n",
+                cost.value().total_flops / 1e9,
+                t4i::HumanBytes(static_cast<double>(
+                    cost.value().weight_bytes)).c_str(),
+                cost.value().ops_per_weight_byte);
+
+    // 2. Compile for TPUv4i.
+    const t4i::ChipConfig chip = t4i::Tpu_v4i();
+    t4i::CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = t4i::DType::kBf16;
+    auto program = t4i::Compile(app.value().graph, chip, opts);
+    if (!program.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     program.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("\n%s\n", program.value().Summary().c_str());
+
+    // 3. Simulate.
+    auto result = t4i::Simulate(program.value(), chip);
+    if (!result.ok()) {
+        std::fprintf(stderr, "simulate: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("\n%s", result.value().Summary().c_str());
+
+    // 4. Power.
+    auto power = t4i::EstimatePower(program.value(), result.value(), chip);
+    if (power.ok()) {
+        std::printf("\npower: %.1f W avg (TDP %.0f W), %.2f mJ/inference, "
+                    "throttle x%.2f\n",
+                    power.value().avg_power_w, chip.tdp_w,
+                    power.value().total_energy_j * 1e3 /
+                        static_cast<double>(batch),
+                    power.value().throttle);
+    }
+
+    // 5. Does it meet the app's SLO?
+    const double lat_ms = result.value().latency_s * 1e3;
+    std::printf("\nSLO %.1f ms, latency at batch %lld: %.2f ms -> %s\n",
+                app.value().slo_ms, static_cast<long long>(batch),
+                lat_ms, lat_ms <= app.value().slo_ms ? "MEETS" : "MISSES");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Serving under a latency SLO (Lesson 10 in action).
+ *
+ * Profiles CNN0 on TPUv4i, then drives Poisson traffic at increasing
+ * load and reports p50/p99 latency, batch sizes the dynamic batcher
+ * forms, and SLO compliance — the curve an SRE would look at to pick
+ * the operating point of a serving cell.
+ *
+ * Usage: serving_slo [app-name] [qps...]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tpu4sim.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace t4i;
+    const std::string app_name = argc > 1 ? argv[1] : "CNN0";
+
+    auto app = BuildApp(app_name);
+    if (!app.ok()) {
+        std::fprintf(stderr, "%s\n", app.status().ToString().c_str());
+        return 1;
+    }
+    const ChipConfig chip = Tpu_v4i();
+    const double slo_s = app.value().slo_ms * 1e-3;
+
+    // 1. Profile device latency over a batch ladder.
+    LatencyTable profile;
+    for (int64_t b = 1; b <= 256; b *= 2) {
+        CompileOptions opts;
+        opts.batch = b;
+        auto prog = Compile(app.value().graph, chip, opts);
+        if (!prog.ok()) break;
+        auto r = Simulate(prog.value(), chip).value();
+        profile.AddPoint(b, r.latency_s);
+    }
+    const int64_t slo_batch = profile.MaxBatchUnderSlo(slo_s);
+    const double capacity =
+        slo_batch > 0 ? profile.ThroughputAt(slo_batch) : 0.0;
+    std::printf("%s on %s: SLO %.1f ms -> max batch %lld, capacity "
+                "%.0f inf/s\n\n",
+                app.value().name.c_str(), chip.name.c_str(),
+                app.value().slo_ms, static_cast<long long>(slo_batch),
+                capacity);
+    if (slo_batch == 0) return 1;
+
+    // 2. Sweep offered load.
+    std::vector<double> loads;
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i) {
+            loads.push_back(std::atof(argv[i]));
+        }
+    } else {
+        for (double frac : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+            loads.push_back(frac * capacity);
+        }
+    }
+
+    TablePrinter table({"Offered QPS", "Load %", "p50 ms", "p99 ms",
+                        "Mean batch", "SLO miss %", "Device busy %"});
+    for (double qps : loads) {
+        TenantConfig tenant;
+        tenant.name = app.value().name;
+        tenant.latency_s = [&profile](int64_t b) {
+            return profile.Eval(b);
+        };
+        tenant.max_batch = slo_batch;
+        tenant.slo_s = slo_s;
+        tenant.arrival_rate = qps;
+        auto result = RunServing({tenant}, 20.0, 7).value();
+        const auto& t = result.tenants[0];
+        table.AddRow({
+            StrFormat("%.0f", qps),
+            StrFormat("%.0f", 100.0 * qps / capacity),
+            StrFormat("%.2f", t.p50_latency_s * 1e3),
+            StrFormat("%.2f", t.p99_latency_s * 1e3),
+            StrFormat("%.1f", t.mean_batch),
+            StrFormat("%.1f", 100.0 * t.slo_miss_fraction),
+            StrFormat("%.0f", 100.0 * result.device_busy_fraction),
+        });
+    }
+    table.Print("Serving " + app.value().name + " under its SLO");
+    std::printf("\nNote how the batcher grows batches with load, keeping "
+                "throughput scaling\nuntil queueing blows the p99 near "
+                "saturation — latency, not batch size,\nis the limit "
+                "(Lesson 10).\n");
+    return 0;
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * t4sim — command-line driver for the whole library.
+ *
+ * Subcommands:
+ *   t4sim_cli list
+ *       catalog of chips and workloads
+ *   t4sim_cli run --app BERT0 --chip TPUv4i --batch 16 [options]
+ *       compile + simulate + report (optionally profile/trace/power)
+ *   t4sim_cli exec --app CNN1 --batch 2
+ *       run the functional executor and report bf16/int8 end-to-end
+ *       output fidelity vs fp32 (Lesson 6 on your own model)
+ *
+ * Run options:
+ *   --app NAME | --model resnet50|mobilenet|bert-large|ssd|dlrm|decoder
+ *   --chip NAME            (default TPUv4i)
+ *   --chip-file FILE       (custom chip config; see src/arch/chip_io.h)
+ *   --batch N              (default 16)
+ *   --dtype bf16|int8|fp32 (default bf16)
+ *   --opt 0..3             (default 3)
+ *   --chips N              (default 1)
+ *   --topology ring|full   (default ring)
+ *   --cmem MIB             (override CMEM capacity)
+ *   --profile              (per-layer breakdown)
+ *   --power                (energy report)
+ *   --trace FILE           (Chrome trace JSON)
+ *   --stats                (machine-readable key/value dump)
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "src/sim/profile.h"
+#include "src/sim/trace.h"
+#include "src/tpu4sim.h"
+
+namespace {
+
+using namespace t4i;
+
+/** Tiny flag parser: --key value and boolean --key. */
+class Args {
+  public:
+    Args(int argc, char** argv)
+    {
+        for (int i = 0; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) continue;
+            arg = arg.substr(2);
+            if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+                values_[arg] = argv[i + 1];
+                ++i;
+            } else {
+                values_[arg] = "";
+            }
+        }
+    }
+
+    bool Has(const std::string& key) const
+    {
+        return values_.count(key) > 0;
+    }
+
+    std::string
+    Get(const std::string& key, const std::string& fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    int64_t
+    GetInt(const std::string& key, int64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atoll(it->second.c_str());
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+int
+CmdList()
+{
+    TablePrinter chips({"Chip", "Year", "Peak TFLOPS", "Memory",
+                        "TDP W"});
+    for (const auto& chip : ChipCatalog()) {
+        chips.AddRow({
+            chip.name,
+            StrFormat("%d", chip.year),
+            StrFormat("%.1f",
+                      std::max(chip.PeakFlops(DType::kBf16),
+                               chip.PeakFlops(DType::kInt8)) / 1e12),
+            HumanBytes(static_cast<double>(chip.dram_bytes), 0),
+            StrFormat("%.0f", chip.tdp_w),
+        });
+    }
+    chips.Print("Chips");
+
+    TablePrinter apps({"App", "Domain", "Weights", "SLO ms"});
+    for (const auto& app : ProductionApps()) {
+        auto c = app.graph.Cost(1, DType::kBf16, DType::kBf16).value();
+        apps.AddRow({
+            app.name,
+            AppDomainName(app.domain),
+            HumanBytes(static_cast<double>(c.weight_bytes)),
+            StrFormat("%.0f", app.slo_ms),
+        });
+    }
+    apps.Print("Production apps (also: --model "
+               "resnet50|mobilenet|bert-large|ssd|dlrm|decoder)");
+    return 0;
+}
+
+StatusOr<Graph>
+ResolveModel(const Args& args)
+{
+    if (args.Has("app")) {
+        auto app = BuildApp(args.Get("app", ""));
+        T4I_RETURN_IF_ERROR(app.status());
+        return app.value().graph;
+    }
+    const std::string model = args.Get("model", "");
+    if (model == "resnet50") return BuildResNet50();
+    if (model == "mobilenet") return BuildMobileNetish("MobileNet");
+    if (model == "bert-large") return BuildBertLarge();
+    if (model == "ssd") return BuildSsdDetector("SSD");
+    if (model == "dlrm") {
+        return BuildDlrm("DLRM", 8, 1'000'000, 64, 16, 13);
+    }
+    if (model == "decoder") {
+        return BuildDecoderLm("DecoderLM", 24, 1024, 16, 4096, 512, 32,
+                              50000);
+    }
+    return Status::InvalidArgument(
+        "pass --app NAME (see `list`) or --model "
+        "resnet50|mobilenet|bert-large|ssd|dlrm|decoder");
+}
+
+int
+CmdExec(const Args& args)
+{
+    auto graph = ResolveModel(args);
+    if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+    }
+    const int64_t batch = args.GetInt("batch", 2);
+    TablePrinter table({"Precision", "SQNR dB", "max |err|",
+                        "RMS err"});
+    for (auto precision : {MatmulPrecision::kBf16,
+                           MatmulPrecision::kInt8}) {
+        auto loss = PrecisionLoss(graph.value(), precision, batch,
+                                  args.GetInt("seed", 7));
+        if (!loss.ok()) {
+            std::fprintf(stderr, "exec: %s\n",
+                         loss.status().ToString().c_str());
+            return 1;
+        }
+        table.AddRow({
+            precision == MatmulPrecision::kBf16 ? "bf16" : "int8",
+            StrFormat("%.1f", loss.value().sqnr_db),
+            StrFormat("%.4g", loss.value().max_abs_error),
+            StrFormat("%.4g", loss.value().rms_error),
+        });
+    }
+    table.Print("End-to-end output fidelity vs fp32 (functional "
+                "executor)");
+    return 0;
+}
+
+int
+CmdRun(const Args& args)
+{
+    auto graph = ResolveModel(args);
+    if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+    }
+    StatusOr<ChipConfig> chip =
+        args.Has("chip-file")
+            ? LoadChipFile(args.Get("chip-file", ""))
+            : ChipByName(args.Get("chip", "TPUv4i"));
+    if (!chip.ok()) {
+        std::fprintf(stderr, "%s\n", chip.status().ToString().c_str());
+        return 1;
+    }
+
+    CompileOptions opts;
+    opts.batch = args.GetInt("batch", 16);
+    opts.opt_level = static_cast<int>(args.GetInt("opt", 3));
+    opts.num_chips = static_cast<int>(args.GetInt("chips", 1));
+    const std::string dtype = args.Get("dtype", "bf16");
+    if (dtype == "int8") {
+        opts.dtype = DType::kInt8;
+    } else if (dtype == "fp32") {
+        opts.dtype = DType::kFp32;
+    } else if (dtype == "bf16") {
+        opts.dtype = DType::kBf16;
+    } else {
+        std::fprintf(stderr, "unknown dtype '%s'\n", dtype.c_str());
+        return 1;
+    }
+    if (args.Get("topology", "ring") == "full") {
+        opts.ici_topology = IciTopology::kFullyConnected;
+    }
+    if (args.Has("cmem")) {
+        opts.cmem_override_bytes = args.GetInt("cmem", 128) * kMiB;
+    }
+
+    auto prog = Compile(graph.value(), chip.value(), opts);
+    if (!prog.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     prog.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("%s\n", prog.value().Summary().c_str());
+
+    std::vector<ScheduleEntry> schedule;
+    auto result =
+        SimulateWithSchedule(prog.value(), chip.value(), &schedule);
+    if (!result.ok()) {
+        std::fprintf(stderr, "simulate: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("\n%s", result.value().Summary().c_str());
+
+    if (args.Has("power")) {
+        auto power =
+            EstimatePower(prog.value(), result.value(), chip.value());
+        if (power.ok()) {
+            const auto& p = power.value();
+            std::printf("\npower: %.1f W avg | MXU %.1f%% VPU %.1f%% "
+                        "SRAM %.1f%% DRAM %.1f%% link %.1f%% static "
+                        "%.1f%% | throttle x%.2f\n",
+                        p.avg_power_w,
+                        100.0 * p.mxu_energy_j / p.total_energy_j,
+                        100.0 * p.vpu_energy_j / p.total_energy_j,
+                        100.0 * p.sram_energy_j / p.total_energy_j,
+                        100.0 * p.dram_energy_j / p.total_energy_j,
+                        100.0 * p.link_energy_j / p.total_energy_j,
+                        100.0 * p.static_energy_j / p.total_energy_j,
+                        p.throttle);
+        }
+    }
+    if (args.Has("profile")) {
+        auto profiles = ProfileByLayer(prog.value(), schedule);
+        if (profiles.ok()) {
+            std::printf("\n%s",
+                        RenderProfile(profiles.value()).c_str());
+        }
+    }
+    if (args.Has("stats")) {
+        std::printf("\n%s", result.value().DumpStats().c_str());
+    }
+    if (args.Has("trace")) {
+        const std::string path = args.Get("trace", "trace.json");
+        auto status =
+            WriteChromeTrace(prog.value(), schedule, path);
+        std::printf("\ntrace: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s list | run --app NAME [options]\n"
+                     "see the file header for all options\n",
+                     argv[0]);
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    Args args(argc - 2, argv + 2);
+    if (cmd == "list") return CmdList();
+    if (cmd == "run") return CmdRun(args);
+    if (cmd == "exec") return CmdExec(args);
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * TCO what-if explorer (Lesson 3).
+ *
+ * Recomputes the perf/CapEx and perf/TCO rankings of the chip catalog
+ * under user-supplied economic assumptions, showing how electricity
+ * price and service life move the answer.
+ *
+ * Usage: tco_explorer [usd_per_kwh] [service_years]
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/tpu4sim.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace t4i;
+    TcoParams params;
+    if (argc > 1) params.electricity_usd_per_kwh = std::atof(argv[1]);
+    if (argc > 2) params.service_years = std::atof(argv[2]);
+
+    std::printf("Assumptions: $%.3f/kWh, %.1f-year service life, PUE "
+                "%.2f air / %.2f liquid\n",
+                params.electricity_usd_per_kwh, params.service_years,
+                params.pue_air, params.pue_liquid);
+
+    struct Row {
+        std::string name;
+        double capex;
+        double tco;
+        double peak;
+    };
+    std::vector<Row> rows;
+    for (const auto& chip : ChipCatalog()) {
+        auto tco = ComputeTco(chip, params).value();
+        rows.push_back({chip.name, tco.capex_usd, tco.tco_usd,
+                        std::max(chip.PeakFlops(DType::kBf16),
+                                 chip.PeakFlops(DType::kInt8))});
+    }
+
+    TablePrinter table({"Chip", "CapEx $", "TCO $", "OpEx share %",
+                        "GFLOPS/$ CapEx", "GFLOPS/$ TCO",
+                        "TCO rank", "CapEx rank"});
+    auto rank_of = [&rows](const std::string& name, bool by_tco) {
+        std::vector<Row> sorted = rows;
+        std::sort(sorted.begin(), sorted.end(),
+                  [by_tco](const Row& a, const Row& b) {
+                      const double ea = a.peak / (by_tco ? a.tco
+                                                         : a.capex);
+                      const double eb = b.peak / (by_tco ? b.tco
+                                                         : b.capex);
+                      return ea > eb;
+                  });
+        for (size_t i = 0; i < sorted.size(); ++i) {
+            if (sorted[i].name == name) return static_cast<int>(i + 1);
+        }
+        return 0;
+    };
+    for (const auto& r : rows) {
+        table.AddRow({
+            r.name,
+            StrFormat("%.0f", r.capex),
+            StrFormat("%.0f", r.tco),
+            StrFormat("%.0f", 100.0 * (r.tco - r.capex) / r.tco),
+            StrFormat("%.2f", r.peak / 1e9 / r.capex),
+            StrFormat("%.2f", r.peak / 1e9 / r.tco),
+            StrFormat("#%d", rank_of(r.name, true)),
+            StrFormat("#%d", rank_of(r.name, false)),
+        });
+    }
+    table.Print("Chip economics under these assumptions");
+    std::printf("\nTry: tco_explorer 0.20 5   (expensive power, long "
+                "life) — watch the hot,\nliquid-cooled chips sink in "
+                "the TCO ranking while nothing changes in\nCapEx terms "
+                "(Lesson 3).\n");
+    return 0;
+}

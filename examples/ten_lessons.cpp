@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The ten lessons, each demonstrated with one number from the library.
+ * A guided tour of the whole reproduction in ~a minute of runtime:
+ * every lesson prints the mechanism it names and the measurement that
+ * backs it.
+ */
+#include <cstdio>
+
+#include "src/arch/tech.h"
+#include "src/tpu4sim.h"
+#include "src/vliw/isa.h"
+
+namespace {
+
+using namespace t4i;
+
+double
+LatencyOf(const Graph& graph, const ChipConfig& chip, int64_t batch,
+          DType dtype = DType::kBf16, int opt = 3,
+          int64_t cmem_override = -1)
+{
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = dtype;
+    opts.opt_level = opt;
+    opts.cmem_override_bytes = cmem_override;
+    auto prog = Compile(graph, chip, opts);
+    T4I_CHECK(prog.ok(), prog.status().ToString().c_str());
+    auto result = Simulate(prog.value(), chip);
+    T4I_CHECK(result.ok(), result.status().ToString().c_str());
+    return result.value().latency_s;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("Ten Lessons From Three Generations Shaped Google's "
+                "TPUv4i\n— each lesson, one measurement from tpu4sim —"
+                "\n\n");
+
+    // 1. Logic, wires, SRAM & DRAM improve unequally.
+    {
+        const TechNode n16 = TechNodeOf(16).value();
+        const TechNode n7 = TechNodeOf(7).value();
+        std::printf(
+            "1. Unequal scaling: 16->7 nm multiplied logic density by "
+            "%.1fx but SRAM\n   by only %.1fx — die area went to "
+            "128 MiB of CMEM, not more MXUs.\n\n",
+            n7.logic_density / n16.logic_density,
+            n7.sram_density / n16.sram_density);
+    }
+
+    // 2. Compiler compatibility trumps binary compatibility.
+    {
+        auto status = CheckBinaryCompatible(BundleFormatOf("TPUv3"),
+                                            BundleFormatOf("TPUv4i"));
+        auto app = BuildApp("BERT0").value();
+        const double o0 = LatencyOf(app.graph, Tpu_v4i(), 16,
+                                    DType::kBf16, 0);
+        const double o3 = LatencyOf(app.graph, Tpu_v4i(), 16,
+                                    DType::kBf16, 3);
+        std::printf("2. Compiler > binary: TPUv3 binaries %s on "
+                    "TPUv4i; recompiling BERT0 with\n   the full pass "
+                    "pipeline is %.2fx faster than the baseline "
+                    "lowering.\n\n",
+                    status.ok() ? "run" : "do NOT run", o0 / o3);
+    }
+
+    // 3. Design for perf/TCO, not perf/CapEx.
+    {
+        TcoParams params;
+        auto v3 = ComputeTco(Tpu_v3(), params).value();
+        auto v4i = ComputeTco(Tpu_v4i(), params).value();
+        std::printf("3. TCO, not CapEx: 3 years of power and cooling "
+                    "add %.0f%% to TPUv3's price\n   but only %.0f%% "
+                    "to air-cooled TPUv4i's.\n\n",
+                    100.0 * v3.opex_usd / v3.capex_usd,
+                    100.0 * v4i.opex_usd / v4i.capex_usd);
+    }
+
+    // 4. Backwards ML compatibility.
+    {
+        auto app = BuildApp("CNN1").value();
+        CompileOptions opts;
+        opts.batch = 8;
+        opts.dtype = DType::kBf16;
+        const bool v1 = Compile(app.graph, Tpu_v1(), opts).ok();
+        const bool v4i = Compile(app.graph, Tpu_v4i(), opts).ok();
+        std::printf("4. Backwards ML compatibility: the fp32-trained "
+                    "model deploys unchanged on\n   TPUv4i (%s) but "
+                    "not on int8-only TPUv1 (%s) — no retraining "
+                    "detour.\n\n",
+                    v4i ? "ok" : "fails", v1 ? "ok" : "fails");
+    }
+
+    // 5. Inference DSAs need air cooling.
+    {
+        ChipConfig hot = Tpu_v4i();
+        hot.tdp_w = 65.0;  // what a passively-cooled slot would allow
+        auto app = BuildApp("CNN0").value();
+        CompileOptions opts;
+        opts.batch = 64;
+        auto prog = Compile(app.graph, Tpu_v4i(), opts).value();
+        auto r = Simulate(prog, Tpu_v4i()).value();
+        auto p = EstimatePower(prog, r, hot).value();
+        std::printf("5. Air cooling: TPUv4i was sized to 175 W so "
+                    "air racks hold it at full speed;\n   squeezed "
+                    "into a 65 W envelope the same load would throttle "
+                    "to %.0f%% speed,\n   and TPUv3's 450 W took the "
+                    "liquid-cooling route instead.\n\n",
+                    100.0 * p.throttle);
+    }
+
+    // 6. Some inference apps need floating point.
+    {
+        Rng rng(99);
+        std::vector<float> logits(4096);
+        for (auto& x : logits) {
+            x = static_cast<float>(rng.NextGaussian() *
+                                   std::exp(rng.NextGaussian()));
+        }
+        std::vector<float> bf(logits.size());
+        for (size_t i = 0; i < logits.size(); ++i) {
+            bf[i] = Bf16Round(logits[i]);
+        }
+        auto int8 = FakeQuantInt8(logits, QuantScheme::kSymmetric);
+        std::printf("6. Floating point matters: on heavy-tailed "
+                    "attention logits bf16 keeps %.0f dB\n   SQNR vs "
+                    "%.0f dB for int8 — the accuracy cliff that cost "
+                    "TPUv1 deployments.\n\n",
+                    ComputeError(logits, bf).value().sqnr_db,
+                    ComputeError(logits, int8).value().sqnr_db);
+    }
+
+    // 7. Production inference needs multi-tenancy.
+    {
+        auto app = BuildApp("CNN1").value();
+        LatencyTable table;
+        for (int64_t b = 1; b <= 32; b *= 2) {
+            table.AddPoint(b, LatencyOf(app.graph, Tpu_v4i(), b));
+        }
+        TenantConfig a;
+        a.name = "a";
+        a.latency_s = [&table](int64_t b) { return table.Eval(b); };
+        a.max_batch = 8;
+        a.slo_s = 5e-3;
+        a.arrival_rate = 2000.0;
+        TenantConfig b = a;
+        b.name = "b";
+        std::vector<TenantConfig> swap = {a, b};
+        for (auto& t : swap) t.switch_penalty_s = 0.7e-3;
+        auto part = RunServing({a, b}, 5.0, 21).value();
+        auto swapped = RunServing(swap, 5.0, 21).value();
+        std::printf("7. Multi-tenancy: two co-tenants with partitioned "
+                    "CMEM hold p99 at %.1f ms;\n   swapping weights on "
+                    "every switch blows it to %.1f ms.\n\n",
+                    1e3 * part.tenants[0].p99_latency_s,
+                    1e3 * swapped.tenants[0].p99_latency_s);
+    }
+
+    // 8. DNNs grow ~1.5x/year.
+    {
+        double w2017 = 0.0;
+        double w2021 = 0.0;
+        for (const auto& app : AppsOfYear(2017)) {
+            w2017 += static_cast<double>(
+                app.graph.Cost(1, DType::kBf16, DType::kBf16)
+                    .value().weight_bytes);
+        }
+        for (const auto& app : AppsOfYear(2021)) {
+            w2021 += static_cast<double>(
+                app.graph.Cost(1, DType::kBf16, DType::kBf16)
+                    .value().weight_bytes);
+        }
+        std::printf("8. Growth: the production suite's weights grew "
+                    "%.1fx from 2017 to 2021 —\n   the headroom the "
+                    "4-chip ICI domains exist for.\n\n",
+                    w2021 / w2017);
+    }
+
+    // 9. Workloads evolve with ML breakthroughs.
+    {
+        const auto history = FleetMixHistory();
+        std::printf("9. Evolution: BERT went from %.0f%% of inference "
+                    "cycles in %d to %.0f%% in %d —\n   fixed-function "
+                    "hardware built for the 2016 mix strands its "
+                    "silicon.\n\n",
+                    100.0 * history.front().bert_share,
+                    history.front().year,
+                    100.0 * history.back().bert_share,
+                    history.back().year);
+    }
+
+    // 10. The market limits latency, not batch size.
+    {
+        auto app = BuildApp("BERT0").value();
+        LatencyTable table;
+        for (int64_t b = 1; b <= 256; b *= 2) {
+            table.AddPoint(b, LatencyOf(app.graph, Tpu_v4i(), b));
+        }
+        const int64_t best =
+            table.MaxBatchUnderSlo(app.slo_ms * 1e-3);
+        std::printf("10. Latency limits, not batch: BERT0 can batch "
+                    "%lld-deep inside its %.0f ms SLO,\n    turning "
+                    "%.0f inf/s at batch 1 into %.0f inf/s — batch was "
+                    "never the enemy.\n",
+                    static_cast<long long>(best), app.slo_ms,
+                    table.ThroughputAt(1), table.ThroughputAt(best));
+    }
+    return 0;
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Catalog values follow the paper's Table 1 and public spec sheets.
+ * Where the paper gives a bound ("< 400 mm^2") we use the bound.
+ */
+#include "src/arch/catalog.h"
+
+namespace t4i {
+
+ChipConfig
+Tpu_v1()
+{
+    ChipConfig c;
+    c.name = "TPUv1";
+    c.year = 2015;
+    c.tech_nm = 28;
+    c.die_mm2 = 330.0;
+    c.clock_hz = 700e6;
+    c.num_cores = 1;
+    // One 256x256 int8 systolic array; no bf16 datapath.
+    c.mxu = {256, 256, 1, 1.0};
+    c.supports_bf16 = false;
+    c.supports_int8 = true;
+    c.vpu_lanes = 256;  // the fixed-function activation pipeline
+    c.vpu_ops_per_lane = 1.0;
+    c.flexible_vpu = false;
+    c.vmem_bytes = 28 * kMiB;  // 24 MiB unified buffer + 4 MiB accumulators
+    c.cmem_bytes = 0;
+    c.dram_bytes = 8 * kGiB;   // DDR3
+    c.dram_bw_Bps = 34e9;
+    c.dram_latency_s = 80e-9;
+    c.ici_links = 0;
+    c.pcie_bw_Bps = 14e9;      // PCIe gen3 x16 effective
+    c.dma_engines = 2;
+    c.tdp_w = 75.0;
+    c.idle_w = 28.0;
+    c.cooling = Cooling::kAir;
+    return c;
+}
+
+ChipConfig
+Tpu_v2()
+{
+    ChipConfig c;
+    c.name = "TPUv2";
+    c.year = 2017;
+    c.tech_nm = 16;
+    c.die_mm2 = 625.0;
+    c.clock_hz = 700e6;
+    c.num_cores = 2;
+    c.mxu = {128, 128, 1, 1.0};  // one MXU per core
+    c.supports_bf16 = true;
+    c.supports_int8 = false;
+    c.vpu_lanes = 128 * 8;
+    c.vmem_bytes = 32 * kMiB;
+    c.cmem_bytes = 0;
+    c.dram_bytes = 16 * kGiB;    // HBM
+    c.dram_bw_Bps = 700e9;
+    c.dram_latency_s = 350e-9;
+    c.ici_links = 4;
+    c.ici_bw_Bps_per_link = 62e9;   // 496 Gb/s
+    c.pcie_bw_Bps = 14e9;
+    c.dma_engines = 4;
+    c.tdp_w = 280.0;
+    c.idle_w = 82.0;
+    c.cooling = Cooling::kAir;
+    return c;
+}
+
+ChipConfig
+Tpu_v3()
+{
+    ChipConfig c;
+    c.name = "TPUv3";
+    c.year = 2018;
+    c.tech_nm = 16;
+    c.die_mm2 = 700.0;
+    c.clock_hz = 940e6;
+    c.num_cores = 2;
+    c.mxu = {128, 128, 2, 1.0};  // two MXUs per core
+    c.supports_bf16 = true;
+    c.supports_int8 = false;
+    c.vpu_lanes = 128 * 8;
+    c.vmem_bytes = 32 * kMiB;
+    c.cmem_bytes = 0;
+    c.dram_bytes = 32 * kGiB;
+    c.dram_bw_Bps = 900e9;
+    c.dram_latency_s = 350e-9;
+    c.ici_links = 4;
+    c.ici_bw_Bps_per_link = 82e9;   // 656 Gb/s
+    c.pcie_bw_Bps = 14e9;
+    c.dma_engines = 4;
+    c.tdp_w = 450.0;
+    c.idle_w = 175.0;
+    c.cooling = Cooling::kLiquid;
+    return c;
+}
+
+ChipConfig
+Tpu_v4i()
+{
+    ChipConfig c;
+    c.name = "TPUv4i";
+    c.year = 2020;
+    c.tech_nm = 7;
+    c.die_mm2 = 400.0;
+    c.clock_hz = 1.05e9;
+    c.num_cores = 1;
+    c.mxu = {128, 128, 4, 1.0};  // four MXUs, one TensorCore
+    c.supports_bf16 = true;
+    c.supports_int8 = true;
+    c.vpu_lanes = 128 * 8;
+    c.vmem_bytes = 16 * kMiB;
+    c.cmem_bytes = 128 * kMiB;   // the CMEM (Lesson 1 / E8)
+    c.cmem_bw_Bps = 3.0e12;      // wide on-chip port
+    c.dram_bytes = 8 * kGiB;
+    c.dram_bw_Bps = 614e9;       // HBM2 @ 614 GB/s
+    c.dram_latency_s = 350e-9;
+    c.ici_links = 2;
+    c.ici_bw_Bps_per_link = 50e9;
+    c.pcie_bw_Bps = 14e9;
+    c.dma_engines = 8;
+    c.tdp_w = 175.0;
+    c.idle_w = 55.0;
+    c.cooling = Cooling::kAir;   // Lesson 5
+    return c;
+}
+
+ChipConfig
+Tpu_v4()
+{
+    ChipConfig c = Tpu_v4i();
+    c.name = "TPUv4";
+    c.year = 2020;
+    c.num_cores = 2;             // two TensorCores -> 2x peak
+    c.vmem_bytes = 32 * kMiB;
+    c.cmem_bytes = 128 * kMiB;
+    c.dram_bytes = 32 * kGiB;
+    c.dram_bw_Bps = 1200e9;
+    c.ici_links = 6;
+    c.ici_bw_Bps_per_link = 50e9;
+    c.tdp_w = 300.0;
+    c.idle_w = 90.0;
+    c.cooling = Cooling::kLiquid;
+    return c;
+}
+
+ChipConfig
+GpuT4()
+{
+    ChipConfig c;
+    c.name = "T4";
+    c.year = 2018;
+    c.tech_nm = 16;              // TSMC 12FFN, a 16 nm derivative
+    c.die_mm2 = 545.0;
+    c.clock_hz = 1.35e9;         // sustained boost
+    c.num_cores = 1;
+    // Model the 320 tensor cores as an aggregate 64x64x4 MAC pool with
+    // fp16 peak ~65 TFLOPS at sustained clocks; int8 runs at 2x.
+    c.mxu = {64, 64, 6, 2.0};
+    // Every SM has its own scheduler; descriptor issue is not the
+    // GPU's bottleneck.
+    c.mxu.issue_cycles = 8;
+    c.supports_bf16 = true;      // stands in for fp16 tensor-core mode
+    c.supports_int8 = true;
+    // 70 W cannot sustain boost clocks, and SIMT scheduling reaches a
+    // fraction of tensor-core peak on inference kernels; MLPerf v0.7
+    // submissions put sustained T4 throughput well under half of spec
+    // peak on these model classes.
+    c.sustained_compute_fraction = 0.37;
+    c.vpu_lanes = 2560;          // CUDA cores
+    c.vpu_ops_per_lane = 2.0;
+    c.vmem_bytes = 6 * kMiB;     // L2
+    c.cmem_bytes = 0;
+    c.dram_bytes = 16 * kGiB;    // GDDR6
+    c.dram_bw_Bps = 320e9;
+    c.dram_latency_s = 250e-9;
+    c.ici_links = 0;
+    c.pcie_bw_Bps = 14e9;
+    c.dma_engines = 4;
+    c.tdp_w = 70.0;
+    c.idle_w = 17.0;
+    c.cooling = Cooling::kAir;
+    return c;
+}
+
+std::vector<ChipConfig>
+ChipCatalog()
+{
+    return {Tpu_v1(), Tpu_v2(), Tpu_v3(), Tpu_v4i(), Tpu_v4(), GpuT4()};
+}
+
+StatusOr<ChipConfig>
+ChipByName(const std::string& name)
+{
+    for (auto& chip : ChipCatalog()) {
+        if (chip.name == name) return chip;
+    }
+    return Status::NotFound("unknown chip '" + name + "'");
+}
+
+}  // namespace t4i

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The chip catalog: configurations reproducing the paper's Table 1 row
+ * for each TPU generation, plus the NVIDIA T4-class baseline the paper
+ * compares against. Published spec-sheet numbers; see E1.
+ */
+#ifndef T4I_ARCH_CATALOG_H
+#define T4I_ARCH_CATALOG_H
+
+#include <vector>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** TPUv1 (2015): 28 nm, int8-only, 92 TOPS, DDR3. */
+ChipConfig Tpu_v1();
+
+/** TPUv2 (2017): 16 nm, bf16, 46 TFLOPS, HBM, liquid? no — air, training. */
+ChipConfig Tpu_v2();
+
+/** TPUv3 (2018): 16 nm, bf16, 123 TFLOPS, liquid cooled, training. */
+ChipConfig Tpu_v3();
+
+/** TPUv4i (2020): 7 nm, bf16+int8, 138 TFLOPS, 128 MiB CMEM, air. */
+ChipConfig Tpu_v4i();
+
+/** TPUv4 (2020): 7 nm training sibling, 275 TFLOPS, liquid. */
+ChipConfig Tpu_v4();
+
+/** NVIDIA T4-class inference GPU baseline (2018): 12->16 nm bucket. */
+ChipConfig GpuT4();
+
+/** All catalog chips in generation order (v1, v2, v3, v4i, v4, T4). */
+std::vector<ChipConfig> ChipCatalog();
+
+/** Looks a chip up by name. */
+StatusOr<ChipConfig> ChipByName(const std::string& name);
+
+}  // namespace t4i
+
+#endif  // T4I_ARCH_CATALOG_H

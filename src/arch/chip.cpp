@@ -1,0 +1,56 @@
+#include "src/arch/chip.h"
+
+namespace t4i {
+
+const char*
+CoolingName(Cooling cooling)
+{
+    switch (cooling) {
+      case Cooling::kAir: return "air";
+      case Cooling::kLiquid: return "liquid";
+    }
+    return "?";
+}
+
+double
+ChipConfig::PeakMacsPerCycle(DType dtype) const
+{
+    const double per_mxu =
+        static_cast<double>(mxu.rows) * static_cast<double>(mxu.cols);
+    double macs = per_mxu * mxu.count * num_cores;
+    switch (dtype) {
+      case DType::kInt8:
+        if (!supports_int8) return 0.0;
+        return macs * mxu.int8_rate;
+      case DType::kBf16:
+        if (!supports_bf16) return 0.0;
+        return macs;
+      case DType::kFp32:
+        // fp32 matmul runs at a quarter rate through the bf16 MXU
+        // (pass-splitting), the standard technique.
+        return supports_bf16 ? macs / 4.0 : 0.0;
+    }
+    return 0.0;
+}
+
+double
+ChipConfig::PeakFlops(DType dtype) const
+{
+    return 2.0 * PeakMacsPerCycle(dtype) * clock_hz;
+}
+
+double
+ChipConfig::PeakVectorFlops() const
+{
+    return static_cast<double>(vpu_lanes) * vpu_ops_per_lane * clock_hz *
+           num_cores;
+}
+
+double
+ChipConfig::RidgeOpsPerByte(DType dtype) const
+{
+    if (dram_bw_Bps <= 0.0) return 0.0;
+    return PeakFlops(dtype) / dram_bw_Bps;
+}
+
+}  // namespace t4i

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Chip configuration: the quantities from the paper's Table 1 that the
+ * simulator, power model and TCO model consume. One struct describes any
+ * of TPUv1/v2/v3/v4i/v4 or the T4-class GPU baseline; the simulator is
+ * config-driven so all chips share one methodology.
+ */
+#ifndef T4I_ARCH_CHIP_H
+#define T4I_ARCH_CHIP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/graph/layer.h"
+
+namespace t4i {
+
+/** Cooling technology (Lesson 5: inference DSAs need air cooling). */
+enum class Cooling { kAir, kLiquid };
+
+const char* CoolingName(Cooling cooling);
+
+/** One matrix-multiply unit: a weight-stationary systolic array. */
+struct MxuConfig {
+    int rows = 128;
+    int cols = 128;
+    int count = 1;          ///< MXUs per core
+    /** Relative int8 throughput vs bf16 (TPUv1 is int8-only). */
+    double int8_rate = 1.0;
+    /**
+     * Cycles the (single, per-core) sequencer needs to issue one
+     * systolic-pass descriptor — address generation plus the VLIW
+     * matmul push. With many small arrays the descriptor stream
+     * becomes the bottleneck, which is the counterweight that makes
+     * 128x128 the sweet spot (ablation A1).
+     */
+    int issue_cycles = 64;
+};
+
+/** Full chip description. */
+struct ChipConfig {
+    std::string name;
+    int year = 2020;            ///< first deployment
+    int tech_nm = 7;            ///< process node
+    double die_mm2 = 400.0;
+    double clock_hz = 1.05e9;
+    int num_cores = 1;          ///< TensorCores
+
+    MxuConfig mxu;
+
+    /** Vector unit width: fp32-equivalent lanes per core (ALUs). */
+    int vpu_lanes = 128 * 8;
+    /** Vector ops per lane per cycle (dual-issue etc.). */
+    double vpu_ops_per_lane = 2.0;
+
+    /**
+     * Fraction of peak compute throughput the chip sustains on real
+     * kernels. The TPUs are modeled structurally (systolic fill, DMA
+     * overlap), so they keep 1.0; the GPU baseline carries the
+     * combination of thermal clock capping at its TDP and SIMT/tensor-
+     * core scheduling losses that published MLPerf results show it
+     * pays relative to spec-sheet peak.
+     */
+    double sustained_compute_fraction = 1.0;
+
+    // On-chip memories (per chip).
+    int64_t vmem_bytes = 16 * kMiB;   ///< vector-unit scratchpad
+    int64_t cmem_bytes = 0;           ///< common memory (TPUv4i: 128 MiB)
+    double cmem_bw_Bps = 0.0;         ///< CMEM sustained bandwidth
+
+    // Off-chip memory.
+    int64_t dram_bytes = 8 * kGiB;
+    double dram_bw_Bps = 614e9;
+    double dram_latency_s = 400e-9;
+
+    // Interconnect.
+    int ici_links = 0;
+    double ici_bw_Bps_per_link = 0.0; ///< per direction
+    double pcie_bw_Bps = 16e9;
+
+    // DMA engines shared by the memory system.
+    int dma_engines = 4;
+
+    // Power.
+    double tdp_w = 175.0;
+    double idle_w = 55.0;
+    Cooling cooling = Cooling::kAir;
+
+    // Datapath support (Lessons 4/6).
+    bool supports_bf16 = true;
+    bool supports_int8 = true;
+
+    /**
+     * Whether the vector unit is a programmable VPU (TPUv2 onward) or a
+     * fixed-function activation pipeline (TPUv1: ReLU/sigmoid/tanh at
+     * line rate, but post-2017 primitives like softmax, layernorm and
+     * GELU fall off a cliff). Lesson 9's mechanism.
+     */
+    bool flexible_vpu = true;
+
+    /** Peak MACs/cycle across the chip for the given dtype. */
+    double PeakMacsPerCycle(DType dtype) const;
+
+    /** Peak FLOP/s (2 * MACs) for the given dtype. */
+    double PeakFlops(DType dtype) const;
+
+    /** Peak vector FLOP/s across the chip. */
+    double PeakVectorFlops() const;
+
+    /** Total on-chip memory (VMEM + CMEM). */
+    int64_t OnChipBytes() const { return vmem_bytes + cmem_bytes; }
+
+    /**
+     * Roofline ridge point in FLOPs/byte against DRAM bandwidth for the
+     * given dtype: intensity below this is memory bound.
+     */
+    double RidgeOpsPerByte(DType dtype) const;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_ARCH_CHIP_H

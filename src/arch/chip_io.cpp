@@ -1,0 +1,276 @@
+#include "src/arch/chip_io.h"
+
+#include <cstdio>
+#include <functional>
+#include <map>
+
+#include "src/arch/catalog.h"
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace {
+
+std::string
+Trim(const std::string& raw)
+{
+    size_t first = raw.find_first_not_of(" \t\r");
+    size_t last = raw.find_last_not_of(" \t\r");
+    if (first == std::string::npos) return "";
+    return raw.substr(first, last - first + 1);
+}
+
+/** Field table: name -> (setter from string, getter to string). */
+struct Field {
+    std::function<Status(ChipConfig*, const std::string&)> set;
+    std::function<std::string(const ChipConfig&)> get;
+};
+
+StatusOr<double>
+ParseDouble(const std::string& key, const std::string& value)
+{
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad number for " + key + ": '" +
+                                       value + "'");
+    }
+    return v;
+}
+
+Field
+DoubleField(double ChipConfig::* member)
+{
+    return Field{
+        [member](ChipConfig* chip, const std::string& value) {
+            auto v = ParseDouble("field", value);
+            T4I_RETURN_IF_ERROR(v.status());
+            chip->*member = v.value();
+            return Status::Ok();
+        },
+        [member](const ChipConfig& chip) {
+            return StrFormat("%.9g", chip.*member);
+        }};
+}
+
+Field
+IntField(int ChipConfig::* member)
+{
+    return Field{
+        [member](ChipConfig* chip, const std::string& value) {
+            auto v = ParseDouble("field", value);
+            T4I_RETURN_IF_ERROR(v.status());
+            chip->*member = static_cast<int>(v.value());
+            return Status::Ok();
+        },
+        [member](const ChipConfig& chip) {
+            return StrFormat("%d", chip.*member);
+        }};
+}
+
+Field
+Int64Field(int64_t ChipConfig::* member)
+{
+    return Field{
+        [member](ChipConfig* chip, const std::string& value) {
+            auto v = ParseDouble("field", value);
+            T4I_RETURN_IF_ERROR(v.status());
+            chip->*member = static_cast<int64_t>(v.value());
+            return Status::Ok();
+        },
+        [member](const ChipConfig& chip) {
+            return StrFormat("%lld",
+                             static_cast<long long>(chip.*member));
+        }};
+}
+
+Field
+BoolField(bool ChipConfig::* member)
+{
+    return Field{
+        [member](ChipConfig* chip, const std::string& value) {
+            if (value != "true" && value != "false") {
+                return Status::InvalidArgument(
+                    "expected true/false, got '" + value + "'");
+            }
+            chip->*member = value == "true";
+            return Status::Ok();
+        },
+        [member](const ChipConfig& chip) {
+            return std::string(chip.*member ? "true" : "false");
+        }};
+}
+
+const std::map<std::string, Field>&
+FieldTable()
+{
+    static const auto* table = new std::map<std::string, Field>{
+        {"name",
+         {[](ChipConfig* chip, const std::string& value) {
+              chip->name = value;
+              return Status::Ok();
+          },
+          [](const ChipConfig& chip) { return chip.name; }}},
+        {"year", IntField(&ChipConfig::year)},
+        {"tech_nm", IntField(&ChipConfig::tech_nm)},
+        {"die_mm2", DoubleField(&ChipConfig::die_mm2)},
+        {"clock_hz", DoubleField(&ChipConfig::clock_hz)},
+        {"num_cores", IntField(&ChipConfig::num_cores)},
+        {"mxu_rows",
+         {[](ChipConfig* chip, const std::string& value) {
+              auto v = ParseDouble("mxu_rows", value);
+              T4I_RETURN_IF_ERROR(v.status());
+              chip->mxu.rows = static_cast<int>(v.value());
+              chip->mxu.cols = static_cast<int>(v.value());
+              return Status::Ok();
+          },
+          [](const ChipConfig& chip) {
+              return StrFormat("%d", chip.mxu.rows);
+          }}},
+        {"mxu_count",
+         {[](ChipConfig* chip, const std::string& value) {
+              auto v = ParseDouble("mxu_count", value);
+              T4I_RETURN_IF_ERROR(v.status());
+              chip->mxu.count = static_cast<int>(v.value());
+              return Status::Ok();
+          },
+          [](const ChipConfig& chip) {
+              return StrFormat("%d", chip.mxu.count);
+          }}},
+        {"mxu_int8_rate",
+         {[](ChipConfig* chip, const std::string& value) {
+              auto v = ParseDouble("mxu_int8_rate", value);
+              T4I_RETURN_IF_ERROR(v.status());
+              chip->mxu.int8_rate = v.value();
+              return Status::Ok();
+          },
+          [](const ChipConfig& chip) {
+              return StrFormat("%.9g", chip.mxu.int8_rate);
+          }}},
+        {"vpu_lanes", IntField(&ChipConfig::vpu_lanes)},
+        {"vpu_ops_per_lane",
+         DoubleField(&ChipConfig::vpu_ops_per_lane)},
+        {"sustained_compute_fraction",
+         DoubleField(&ChipConfig::sustained_compute_fraction)},
+        {"vmem_bytes", Int64Field(&ChipConfig::vmem_bytes)},
+        {"cmem_bytes", Int64Field(&ChipConfig::cmem_bytes)},
+        {"cmem_bw_Bps", DoubleField(&ChipConfig::cmem_bw_Bps)},
+        {"dram_bytes", Int64Field(&ChipConfig::dram_bytes)},
+        {"dram_bw_Bps", DoubleField(&ChipConfig::dram_bw_Bps)},
+        {"dram_latency_s", DoubleField(&ChipConfig::dram_latency_s)},
+        {"ici_links", IntField(&ChipConfig::ici_links)},
+        {"ici_bw_Bps_per_link",
+         DoubleField(&ChipConfig::ici_bw_Bps_per_link)},
+        {"pcie_bw_Bps", DoubleField(&ChipConfig::pcie_bw_Bps)},
+        {"dma_engines", IntField(&ChipConfig::dma_engines)},
+        {"tdp_w", DoubleField(&ChipConfig::tdp_w)},
+        {"idle_w", DoubleField(&ChipConfig::idle_w)},
+        {"cooling",
+         {[](ChipConfig* chip, const std::string& value) {
+              if (value == "air") {
+                  chip->cooling = Cooling::kAir;
+              } else if (value == "liquid") {
+                  chip->cooling = Cooling::kLiquid;
+              } else {
+                  return Status::InvalidArgument(
+                      "cooling must be air|liquid");
+              }
+              return Status::Ok();
+          },
+          [](const ChipConfig& chip) {
+              return std::string(CoolingName(chip.cooling));
+          }}},
+        {"supports_bf16", BoolField(&ChipConfig::supports_bf16)},
+        {"supports_int8", BoolField(&ChipConfig::supports_int8)},
+        {"flexible_vpu", BoolField(&ChipConfig::flexible_vpu)},
+    };
+    return *table;
+}
+
+}  // namespace
+
+std::string
+ChipToText(const ChipConfig& chip)
+{
+    std::string out =
+        "# tpu4sim chip configuration (key = value; omitted keys keep "
+        "TPUv4i defaults)\n";
+    for (const auto& [key, field] : FieldTable()) {
+        out += key + " = " + field.get(chip) + "\n";
+    }
+    return out;
+}
+
+StatusOr<ChipConfig>
+ChipFromText(const std::string& text)
+{
+    ChipConfig chip = Tpu_v4i();
+    chip.name = "custom";
+
+    size_t pos = 0;
+    int line_no = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        std::string line = Trim(text.substr(pos, eol - pos));
+        pos = eol + 1;
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos) {
+            return Status::InvalidArgument(StrFormat(
+                "line %d: expected 'key = value'", line_no));
+        }
+        const std::string key = Trim(line.substr(0, eq));
+        const std::string value = Trim(line.substr(eq + 1));
+        auto it = FieldTable().find(key);
+        if (it == FieldTable().end()) {
+            return Status::InvalidArgument(StrFormat(
+                "line %d: unknown key '%s'", line_no, key.c_str()));
+        }
+        Status status = it->second.set(&chip, value);
+        if (!status.ok()) {
+            return Status::InvalidArgument(StrFormat(
+                "line %d (%s): %s", line_no, key.c_str(),
+                status.message().c_str()));
+        }
+    }
+    if (chip.clock_hz <= 0 || chip.mxu.rows <= 0 ||
+        chip.num_cores <= 0 || chip.dram_bw_Bps <= 0) {
+        return Status::InvalidArgument(
+            "config produces a non-functional chip");
+    }
+    return chip;
+}
+
+StatusOr<ChipConfig>
+LoadChipFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        return Status::NotFound("cannot open " + path);
+    }
+    std::string text;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+        text.append(buffer, n);
+    }
+    std::fclose(f);
+    return ChipFromText(text);
+}
+
+Status
+SaveChipFile(const ChipConfig& chip, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::InvalidArgument("cannot open " + path);
+    }
+    const std::string text = ChipToText(chip);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return Status::Ok();
+}
+
+}  // namespace t4i

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text serialization of chip configurations, so users can define and
+ * evaluate their own design points without recompiling (the
+ * `t4sim_cli run --chip-file` path and the design-space scripts).
+ *
+ * Format: one `key = value` per line, `#` comments, unknown keys are
+ * errors (catching typos beats silently ignoring them). All keys are
+ * optional; omitted fields keep the TPUv4i defaults, so a file can be
+ * a small delta ("like TPUv4i but 256 MiB CMEM").
+ */
+#ifndef T4I_ARCH_CHIP_IO_H
+#define T4I_ARCH_CHIP_IO_H
+
+#include <string>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Serializes a chip config to the key=value text format. */
+std::string ChipToText(const ChipConfig& chip);
+
+/** Parses a config from text; unknown keys or bad values fail. */
+StatusOr<ChipConfig> ChipFromText(const std::string& text);
+
+/** Reads and parses a config file. */
+StatusOr<ChipConfig> LoadChipFile(const std::string& path);
+
+/** Writes a config file. */
+Status SaveChipFile(const ChipConfig& chip, const std::string& path);
+
+}  // namespace t4i
+
+#endif  // T4I_ARCH_CHIP_IO_H

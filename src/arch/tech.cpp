@@ -1,0 +1,66 @@
+#include "src/arch/tech.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const std::vector<TechNode>&
+TechLadder()
+{
+    // Unequal scaling (Lesson 1). Per full node step, roughly:
+    //   logic density  ~1.8-2.0x      logic energy  ~0.55-0.65x
+    //   SRAM density   ~1.4-1.6x      SRAM energy   ~0.7-0.8x
+    //   wire delay/mm  ~0.95x (nearly flat; worsens vs gates)
+    //   DRAM BW        tracks DDR3 -> DDR4 -> HBM -> HBM2(E) steps
+    static const std::vector<TechNode> kLadder = {
+        //  nm  year logicD sramD logicE sramE  wire  dramBW
+        {45, 2008, 1.00, 1.00, 1.000, 1.000, 1.00, 1.0},
+        {28, 2012, 2.10, 1.55, 0.600, 0.780, 0.95, 2.0},
+        {16, 2016, 4.40, 2.40, 0.340, 0.600, 0.90, 20.0},
+        {7, 2019, 10.80, 3.80, 0.190, 0.460, 0.86, 27.0},
+        {5, 2021, 14.80, 4.30, 0.150, 0.420, 0.84, 36.0},
+    };
+    return kLadder;
+}
+
+StatusOr<TechNode>
+TechNodeOf(int nm)
+{
+    for (const auto& node : TechLadder()) {
+        if (node.nm == nm) return node;
+    }
+    return Status::NotFound(StrFormat("no tech node for %d nm", nm));
+}
+
+double
+MacEnergyPj(const TechNode& node, int operand_bits)
+{
+    // ~2.5 pJ for a 16-bit multiply-add at 45 nm; multiplier energy
+    // grows ~quadratically with operand width, the adder linearly. Use a
+    // blended superlinear exponent of 1.7.
+    const double base_16bit = 2.5;
+    const double width_scale =
+        std::pow(static_cast<double>(operand_bits) / 16.0, 1.7);
+    return base_16bit * width_scale * node.logic_energy;
+}
+
+double
+SramEnergyPjPerByte(const TechNode& node)
+{
+    // ~10 pJ/byte for a large (MB-class) SRAM at 45 nm.
+    return 10.0 * node.sram_energy;
+}
+
+double
+DramEnergyPjPerByte(const TechNode& node)
+{
+    // DDR3-era ~160 pJ/B falling to ~60 pJ/B for HBM2 in the 7 nm era.
+    if (node.nm >= 45) return 160.0;
+    if (node.nm >= 28) return 130.0;
+    if (node.nm >= 16) return 80.0;
+    return 60.0;
+}
+
+}  // namespace t4i

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Technology-node model (Lesson 1: logic, wires, SRAM and DRAM improve
+ * unequally).
+ *
+ * Values are relative to the 45 nm node and follow the publicly reported
+ * trend the paper summarizes: logic density/energy improves close to the
+ * classic rate each generation, SRAM density improves noticeably slower,
+ * wire delay per mm barely improves (it *worsens* relative to gate
+ * delay), and DRAM/HBM bandwidth grows on its own curve. The E3 bench
+ * prints this table; the power model consumes the energy columns.
+ */
+#ifndef T4I_ARCH_TECH_H
+#define T4I_ARCH_TECH_H
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Relative characteristics of one process node (45 nm == 1.0). */
+struct TechNode {
+    int nm = 45;
+    int year = 2008;
+    double logic_density = 1.0;  ///< transistors per mm^2, relative
+    double sram_density = 1.0;   ///< SRAM bits per mm^2, relative
+    double logic_energy = 1.0;   ///< energy per logic op, relative (lower=better)
+    double sram_energy = 1.0;    ///< energy per SRAM access, relative
+    double wire_delay = 1.0;     ///< delay per mm at matched width, relative
+    double dram_bw = 1.0;        ///< commodity DRAM/HBM GB/s per device, rel.
+};
+
+/** The node ladder used by the TPU generations: 45/28/16/7 nm (+5 nm). */
+const std::vector<TechNode>& TechLadder();
+
+/** Looks up a node by feature size. */
+StatusOr<TechNode> TechNodeOf(int nm);
+
+/**
+ * Energy per MAC in picojoules at a node, for a given operand width in
+ * bits. Calibrated so that a 16-bit MAC at 45 nm costs ~2.5 pJ (Horowitz
+ * ISSCC'14 style numbers) and scales with `logic_energy` and operand
+ * width.
+ */
+double MacEnergyPj(const TechNode& node, int operand_bits);
+
+/** Energy per byte of SRAM access (pJ/B) at a node. */
+double SramEnergyPjPerByte(const TechNode& node);
+
+/** Energy per byte of DRAM/HBM access (pJ/B) at a node's era. */
+double DramEnergyPjPerByte(const TechNode& node);
+
+}  // namespace t4i
+
+#endif  // T4I_ARCH_TECH_H

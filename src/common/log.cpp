@@ -1,0 +1,67 @@
+#include "src/common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace t4i {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char*
+LevelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kSilent: return "SILENT";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void
+LogMessage(LogLevel level, const char* fmt, ...)
+{
+    if (level < g_level) return;
+    std::fprintf(stderr, "[%s] ", LevelTag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+const char*
+StatusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "?";
+}
+
+std::string
+Status::ToString() const
+{
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+}
+
+}  // namespace t4i

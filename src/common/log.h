@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal leveled logging. Mirrors gem5's inform()/warn() intent: these are
+ * status messages for the user and never stop the simulation.
+ */
+#ifndef T4I_COMMON_LOG_H
+#define T4I_COMMON_LOG_H
+
+#include <string>
+
+namespace t4i {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kSilent };
+
+/** Sets the global threshold; messages below it are dropped. */
+void SetLogLevel(LogLevel level);
+
+/** Current global threshold. */
+LogLevel GetLogLevel();
+
+/** Emits a message at @p level (printf-style). */
+void LogMessage(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace t4i
+
+#define T4I_LOG_DEBUG(...) ::t4i::LogMessage(::t4i::LogLevel::kDebug, __VA_ARGS__)
+#define T4I_LOG_INFO(...)  ::t4i::LogMessage(::t4i::LogLevel::kInfo, __VA_ARGS__)
+#define T4I_LOG_WARN(...)  ::t4i::LogMessage(::t4i::LogLevel::kWarn, __VA_ARGS__)
+#define T4I_LOG_ERROR(...) ::t4i::LogMessage(::t4i::LogLevel::kError, __VA_ARGS__)
+
+#endif  // T4I_COMMON_LOG_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic parts of the simulator (request arrivals, synthetic
+ * tensors) draw from an explicitly-seeded Rng so every experiment is
+ * reproducible bit-for-bit. The engine is SplitMix64-seeded xoshiro256**,
+ * implemented locally so results do not depend on the standard library's
+ * unspecified distributions.
+ */
+#ifndef T4I_COMMON_RNG_H
+#define T4I_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace t4i {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng {
+  public:
+    /** Seeds the generator; the same seed always yields the same stream. */
+    explicit Rng(uint64_t seed = 0x74707534ULL) { Reseed(seed); }
+
+    /** Re-seeds in place. */
+    void
+    Reseed(uint64_t seed)
+    {
+        // SplitMix64 expands the seed into four non-zero words.
+        uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    NextU64()
+    {
+        const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = Rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    NextDouble()
+    {
+        return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    uint64_t
+    NextBounded(uint64_t bound)
+    {
+        // Lemire-style rejection-free-enough bound; bias is < 2^-53 here
+        // because we go through the 53-bit double path.
+        return static_cast<uint64_t>(NextDouble() *
+                                     static_cast<double>(bound));
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    NextUniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * NextDouble();
+    }
+
+    /** Standard normal via Box-Muller. */
+    double
+    NextGaussian()
+    {
+        double u1 = NextDouble();
+        double u2 = NextDouble();
+        if (u1 < 1e-300) u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Exponential with rate @p lambda (mean 1/lambda). */
+    double
+    NextExponential(double lambda)
+    {
+        double u = NextDouble();
+        if (u < 1e-300) u = 1e-300;
+        return -std::log(u) / lambda;
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool NextBool(double p) { return NextDouble() < p; }
+
+  private:
+    static uint64_t
+    Rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+}  // namespace t4i
+
+#endif  // T4I_COMMON_RNG_H

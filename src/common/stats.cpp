@@ -1,0 +1,127 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace t4i {
+
+void
+RunningStat::Add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::Variance() const
+{
+    if (count_ < 2) return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::StdDev() const
+{
+    return std::sqrt(Variance());
+}
+
+void
+PercentileTracker::Add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+}
+
+double
+PercentileTracker::Percentile(double q) const
+{
+    T4I_CHECK(q >= 0.0 && q <= 100.0, "percentile out of range");
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    const double rank =
+        q / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+PercentileTracker::Mean() const
+{
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(static_cast<size_t>(buckets), 0)
+{
+    T4I_CHECK(buckets > 0 && hi > lo, "bad histogram bounds");
+}
+
+void
+Histogram::Add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<size_t>((x - lo_) / width_);
+        if (idx >= counts_.size()) idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::BucketLow(int i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string
+Histogram::ToString() const
+{
+    std::string out;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        out += StrFormat("[%.3g,%.3g):%lld ", BucketLow(static_cast<int>(i)),
+                         BucketLow(static_cast<int>(i)) + width_,
+                         static_cast<long long>(counts_[i]));
+    }
+    return out;
+}
+
+double
+GeoMean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        T4I_CHECK(v > 0.0, "GeoMean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace t4i

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Statistics accumulators used by the simulator and the serving model:
+ * running mean/min/max/stddev, exact percentile estimation over retained
+ * samples, and fixed-bucket histograms.
+ */
+#ifndef T4I_COMMON_STATS_H
+#define T4I_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t4i {
+
+/** Running scalar summary (Welford variance). */
+class RunningStat {
+  public:
+    /** Adds one observation. */
+    void Add(double x);
+
+    int64_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    double sum() const { return sum_; }
+
+    /** Sample variance; zero for fewer than two observations. */
+    double Variance() const;
+    double StdDev() const;
+
+  private:
+    int64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Percentile estimator that retains all samples. Serving experiments need
+ * accurate tails (p99/p99.9) at modest sample counts, so exact estimation
+ * beats streaming sketches here.
+ */
+class PercentileTracker {
+  public:
+    void Add(double x);
+
+    int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+    /**
+     * Returns the q-th percentile via linear interpolation.
+     * @param q in [0, 100]. Returns 0 when empty.
+     */
+    double Percentile(double q) const;
+
+    double Mean() const;
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** Fixed-width-bucket histogram over [lo, hi) with out-of-range tails. */
+class Histogram {
+  public:
+    Histogram(double lo, double hi, int buckets);
+
+    void Add(double x);
+
+    int buckets() const { return static_cast<int>(counts_.size()); }
+    int64_t bucket_count(int i) const { return counts_[static_cast<size_t>(i)]; }
+    int64_t underflow() const { return underflow_; }
+    int64_t overflow() const { return overflow_; }
+    int64_t total() const { return total_; }
+
+    /** Lower edge of bucket @p i. */
+    double BucketLow(int i) const;
+
+    /** One-line rendering, for debugging. */
+    std::string ToString() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<int64_t> counts_;
+    int64_t underflow_ = 0;
+    int64_t overflow_ = 0;
+    int64_t total_ = 0;
+};
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+double GeoMean(const std::vector<double>& values);
+
+}  // namespace t4i
+
+#endif  // T4I_COMMON_STATS_H

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Lightweight error-handling primitives used across module boundaries.
+ *
+ * The library does not throw exceptions across public interfaces; fallible
+ * operations return Status (or StatusOr<T>) in the spirit of the Google
+ * style guide. Internal invariant violations use T4I_CHECK, which aborts
+ * (gem5 "panic" semantics: a simulator bug, never a user error).
+ */
+#ifndef T4I_COMMON_STATUS_H
+#define T4I_COMMON_STATUS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace t4i {
+
+/** Error categories, loosely mirroring absl::StatusCode. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kResourceExhausted,
+    kUnimplemented,
+    kInternal,
+};
+
+/** Human-readable name of a status code. */
+const char* StatusCodeName(StatusCode code);
+
+/**
+ * Result of a fallible operation: a code plus a message.
+ *
+ * Statuses are cheap to move and copy; the common (Ok) case carries no
+ * allocation.
+ */
+class Status {
+  public:
+    /** Constructs an Ok status. */
+    Status() = default;
+
+    /** Constructs a status with a code and explanatory message. */
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message)) {}
+
+    static Status Ok() { return Status(); }
+    static Status InvalidArgument(std::string msg)
+    {
+        return Status(StatusCode::kInvalidArgument, std::move(msg));
+    }
+    static Status NotFound(std::string msg)
+    {
+        return Status(StatusCode::kNotFound, std::move(msg));
+    }
+    static Status OutOfRange(std::string msg)
+    {
+        return Status(StatusCode::kOutOfRange, std::move(msg));
+    }
+    static Status FailedPrecondition(std::string msg)
+    {
+        return Status(StatusCode::kFailedPrecondition, std::move(msg));
+    }
+    static Status ResourceExhausted(std::string msg)
+    {
+        return Status(StatusCode::kResourceExhausted, std::move(msg));
+    }
+    static Status Unimplemented(std::string msg)
+    {
+        return Status(StatusCode::kUnimplemented, std::move(msg));
+    }
+    static Status Internal(std::string msg)
+    {
+        return Status(StatusCode::kInternal, std::move(msg));
+    }
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    /** Formats the status as "CODE: message" (or "OK"). */
+    std::string ToString() const;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Either a value or an error Status. A minimal stand-in for
+ * absl::StatusOr<T> / std::expected<T, Status>.
+ */
+template <typename T>
+class StatusOr {
+  public:
+    /** Implicit from a value (the success path). */
+    StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT
+    /** Implicit from a non-Ok status (the failure path). */
+    StatusOr(Status status) : payload_(std::move(status))  // NOLINT
+    {
+        // A StatusOr constructed from a Status must carry an error.
+        if (std::get<Status>(payload_).ok()) {
+            std::fprintf(stderr, "StatusOr constructed from Ok status\n");
+            std::abort();
+        }
+    }
+
+    bool ok() const { return std::holds_alternative<T>(payload_); }
+
+    /** Status of the operation; Ok when a value is present. */
+    Status status() const
+    {
+        return ok() ? Status::Ok() : std::get<Status>(payload_);
+    }
+
+    /** Value access; aborts if no value is held (simulator bug). */
+    const T&
+    value() const
+    {
+        if (!ok()) {
+            std::fprintf(stderr, "StatusOr::value on error: %s\n",
+                         std::get<Status>(payload_).ToString().c_str());
+            std::abort();
+        }
+        return std::get<T>(payload_);
+    }
+
+    T&
+    value()
+    {
+        if (!ok()) {
+            std::fprintf(stderr, "StatusOr::value on error: %s\n",
+                         std::get<Status>(payload_).ToString().c_str());
+            std::abort();
+        }
+        return std::get<T>(payload_);
+    }
+
+    /** Moves the value out. */
+    T
+    ConsumeValue() &&
+    {
+        return std::move(value());
+    }
+
+  private:
+    std::variant<Status, T> payload_;
+};
+
+}  // namespace t4i
+
+/** Propagates a non-Ok status to the caller. */
+#define T4I_RETURN_IF_ERROR(expr)                        \
+    do {                                                 \
+        ::t4i::Status t4i_status_ = (expr);              \
+        if (!t4i_status_.ok()) return t4i_status_;       \
+    } while (0)
+
+/**
+ * Aborts with a message when an invariant does not hold. This marks
+ * simulator bugs (panic semantics), never user-input errors.
+ */
+#define T4I_CHECK(cond, msg)                                              \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::fprintf(stderr, "T4I_CHECK failed at %s:%d: %s (%s)\n",  \
+                         __FILE__, __LINE__, #cond, msg);                 \
+            std::abort();                                                 \
+        }                                                                 \
+    } while (0)
+
+#endif  // T4I_COMMON_STATUS_H

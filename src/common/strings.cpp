@@ -1,0 +1,81 @@
+#include "src/common/strings.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace t4i {
+
+std::string
+StrFormat(const char* fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int size = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (size > 0) {
+        out.resize(static_cast<size_t>(size));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+StrJoin(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+HumanCount(double value, int precision)
+{
+    static const struct { double threshold; const char* suffix; } kScales[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"}, {1e3, "k"},
+    };
+    double mag = std::fabs(value);
+    for (const auto& s : kScales) {
+        if (mag >= s.threshold) {
+            return StrFormat("%.*f %s", precision, value / s.threshold,
+                             s.suffix);
+        }
+    }
+    return StrFormat("%.*f", precision, value);
+}
+
+std::string
+HumanBytes(double bytes, int precision)
+{
+    static const struct { double threshold; const char* suffix; } kScales[] = {
+        {1ull << 40, "TiB"}, {1ull << 30, "GiB"},
+        {1ull << 20, "MiB"}, {1ull << 10, "KiB"},
+    };
+    double mag = std::fabs(bytes);
+    for (const auto& s : kScales) {
+        if (mag >= s.threshold) {
+            return StrFormat("%.*f %s", precision, bytes / s.threshold,
+                             s.suffix);
+        }
+    }
+    return StrFormat("%.*f B", precision, bytes);
+}
+
+std::string
+HumanSeconds(double seconds, int precision)
+{
+    double mag = std::fabs(seconds);
+    if (mag >= 1.0) return StrFormat("%.*f s", precision, seconds);
+    if (mag >= 1e-3) return StrFormat("%.*f ms", precision, seconds * 1e3);
+    if (mag >= 1e-6) return StrFormat("%.*f us", precision, seconds * 1e6);
+    return StrFormat("%.*f ns", precision, seconds * 1e9);
+}
+
+}  // namespace t4i

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string formatting helpers shared across the library.
+ */
+#ifndef T4I_COMMON_STRINGS_H
+#define T4I_COMMON_STRINGS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t4i {
+
+/** printf-style formatting into a std::string. */
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Joins the elements of @p parts with @p sep. */
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/**
+ * Formats a value with engineering suffixes (1.25 G, 640 M, ...).
+ * Used by tables so large numbers stay readable.
+ */
+std::string HumanCount(double value, int precision = 2);
+
+/** Formats a byte count with binary suffixes (KiB/MiB/GiB). */
+std::string HumanBytes(double bytes, int precision = 1);
+
+/** Formats seconds with an appropriate unit (ns/us/ms/s). */
+std::string HumanSeconds(double seconds, int precision = 2);
+
+}  // namespace t4i
+
+#endif  // T4I_COMMON_STRINGS_H

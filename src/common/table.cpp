@@ -1,0 +1,84 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    T4I_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::AddRow(std::vector<std::string> row)
+{
+    T4I_CHECK(row.size() == header_.size(), "row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::Render() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+            if (c + 1 < row.size()) line += "  ";
+        }
+        // Trim trailing padding.
+        while (!line.empty() && line.back() == ' ') line.pop_back();
+        line += '\n';
+        return line;
+    };
+
+    std::string out = render_row(header_);
+    size_t rule_len = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        rule_len += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(rule_len, '-');
+    out += '\n';
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+std::string
+TablePrinter::RenderCsv() const
+{
+    auto render_row = [](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c > 0) line += ',';
+            line += row[c];
+        }
+        line += '\n';
+        return line;
+    };
+    std::string out = render_row(header_);
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+void
+TablePrinter::Print(const std::string& caption) const
+{
+    std::printf("\n== %s ==\n%s", caption.c_str(), Render().c_str());
+    std::fflush(stdout);
+}
+
+}  // namespace t4i

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width console tables and CSV emission.
+ *
+ * Every bench binary regenerates one paper table/figure; TablePrinter is
+ * the single rendering path so all outputs share one format and can be
+ * diffed run-to-run.
+ */
+#ifndef T4I_COMMON_TABLE_H
+#define T4I_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace t4i {
+
+/** Accumulates rows of strings and renders an aligned ASCII table. */
+class TablePrinter {
+  public:
+    /** Creates a table whose first row is the header. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Appends one row; must match the header arity. */
+    void AddRow(std::vector<std::string> row);
+
+    /** Renders the aligned table (header, rule, rows). */
+    std::string Render() const;
+
+    /** Renders as comma-separated values (no alignment padding). */
+    std::string RenderCsv() const;
+
+    /** Convenience: render to stdout with a caption line. */
+    void Print(const std::string& caption) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_COMMON_TABLE_H

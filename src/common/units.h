@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit helpers. All simulator-facing quantities use SI base units
+ * (bytes, seconds, hertz, watts, joules) held in double or int64_t; these
+ * constants make call sites read like the spec sheets they come from.
+ */
+#ifndef T4I_COMMON_UNITS_H
+#define T4I_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace t4i {
+
+// Binary capacities.
+inline constexpr int64_t kKiB = 1024;
+inline constexpr int64_t kMiB = 1024 * kKiB;
+inline constexpr int64_t kGiB = 1024 * kMiB;
+
+// Decimal rates (bandwidth, FLOPS): spec sheets use powers of ten.
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+// Frequencies.
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+// Times.
+inline constexpr double kMillisecond = 1e-3;
+inline constexpr double kMicrosecond = 1e-6;
+inline constexpr double kNanosecond = 1e-9;
+
+/** Ceiling division for non-negative integers. */
+constexpr int64_t
+CeilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Rounds @p a up to the next multiple of @p b. */
+constexpr int64_t
+RoundUp(int64_t a, int64_t b)
+{
+    return CeilDiv(a, b) * b;
+}
+
+}  // namespace t4i
+
+#endif  // T4I_COMMON_UNITS_H

@@ -1,0 +1,1018 @@
+#include "src/compiler/compiler.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/common/units.h"
+#include "src/ici/collectives.h"
+
+namespace t4i {
+namespace {
+
+/** Weight-stream chunk target: small enough to pipeline, large enough to
+ *  amortize DMA setup. */
+constexpr int64_t kWeightChunkBytes = 2 * kMiB;
+constexpr int kMaxWeightChunks = 8;
+
+/** Random-gather bandwidth derating vs streaming. */
+constexpr double kHbmGatherEfficiency = 0.35;
+constexpr double kCmemGatherEfficiency = 0.8;
+
+class Emitter {
+  public:
+    Emitter(const Graph& graph, const ChipConfig& chip,
+            const CompileOptions& opts, CmemPlan pins, IciDomain domain)
+        : g_(graph), chip_(chip), opts_(opts), pins_(std::move(pins)),
+          domain_(domain)
+    {
+        prog_.model_name = g_.name();
+        prog_.chip_name = chip_.name;
+        prog_.batch = opts_.batch;
+        prog_.dtype = opts_.dtype;
+        prog_.opt_level = opts_.opt_level;
+        prog_.num_chips = opts_.num_chips;
+        tail_.assign(static_cast<size_t>(g_.num_layers()), -1);
+        spilled_.assign(static_cast<size_t>(g_.num_layers()), false);
+        // Half of VMEM for live activations, half for staging.
+        vmem_budget_ = chip_.vmem_bytes / 2;
+    }
+
+    Status Run();
+
+    Program Take() { return std::move(prog_); }
+
+  private:
+    int64_t ActBytes(int64_t elements) const
+    {
+        return elements * DTypeBytes(opts_.dtype);
+    }
+
+    int
+    Add(Instr instr)
+    {
+        instr.id = static_cast<int>(prog_.instrs.size());
+        prog_.instrs.push_back(std::move(instr));
+        return prog_.instrs.back().id;
+    }
+
+    /** Appends dep if valid, deduplicating. */
+    static void
+    AddDep(std::vector<int>* deps, int id)
+    {
+        if (id < 0) return;
+        if (std::find(deps->begin(), deps->end(), id) != deps->end()) {
+            return;
+        }
+        deps->push_back(id);
+    }
+
+    /**
+     * Collects compute dependencies on the layer's producers, emitting
+     * the memory reads (HBM and/or CMEM, per the planner's split) for
+     * spilled inputs.
+     */
+    std::vector<int>
+    InputDeps(const Layer& layer)
+    {
+        std::vector<int> deps;
+        for (int in : layer.inputs) {
+            const int producer_tail = tail_[static_cast<size_t>(in)];
+            if (!spilled_[static_cast<size_t>(in)]) {
+                AddDep(&deps, producer_tail);
+                continue;
+            }
+            const Layer& producer = g_.layer(in);
+            const int64_t bytes = ActBytes(
+                opts_.batch * FeatureElements(producer.out_shape));
+            const double f =
+                pins_.act_fraction[static_cast<size_t>(in)];
+            const auto cmem_bytes =
+                static_cast<int64_t>(f * static_cast<double>(bytes));
+            const int64_t hbm_bytes = bytes - cmem_bytes;
+            for (auto [engine, part] :
+                 {std::pair{Engine::kHbm, hbm_bytes},
+                  std::pair{Engine::kCmem, cmem_bytes}}) {
+                if (part <= 0) continue;
+                Instr dma;
+                dma.engine = engine;
+                dma.kind = InstrKind::kDmaIn;
+                dma.dtype = opts_.dtype;
+                dma.layer_id = layer.id;
+                dma.label = layer.name + ".act_in";
+                dma.bytes = part;
+                AddDep(&dma.deps, producer_tail);
+                AddDep(&deps, Add(dma));
+            }
+        }
+        return deps;
+    }
+
+    /**
+     * Emits the weight-load instructions for a layer with
+     * @p weight_bytes of parameters. Returns per-chunk dependency ids
+     * that the corresponding compute chunks must wait for; `chunks` is
+     * the chunk count used (1 below O3).
+     */
+    std::vector<int>
+    EmitWeightLoad(const Layer& layer, int64_t weight_bytes, int* chunks)
+    {
+        const double pin =
+            pins_.weight_fraction[static_cast<size_t>(layer.id)];
+        const auto pinned =
+            static_cast<int64_t>(pin * static_cast<double>(weight_bytes));
+        const int64_t streamed = weight_bytes - pinned;
+
+        prog_.memory.weight_bytes_total += weight_bytes;
+        prog_.memory.weight_bytes_cmem += pinned;
+        prog_.memory.weight_bytes_hbm += streamed;
+
+        // Pinned weights are read from CMEM during compute. The read is
+        // recorded for bandwidth/energy accounting but does not gate the
+        // MXU: CMEM feeds the array in lockstep.
+        if (pinned > 0) {
+            Instr cm;
+            cm.engine = Engine::kCmem;
+            cm.kind = InstrKind::kDmaIn;
+            cm.dtype = opts_.dtype;
+            cm.layer_id = layer.id;
+            cm.label = layer.name + ".w_cmem";
+            cm.bytes = pinned;
+            AddDep(&cm.deps, prev_tail_);
+            Add(cm);
+        }
+
+        std::vector<int> chunk_deps;
+        if (streamed <= 0) {
+            *chunks = 1;
+            return chunk_deps;  // nothing gates compute
+        }
+
+        int n_chunks = 1;
+        if (opts_.opt_level >= 3) {
+            n_chunks = static_cast<int>(std::clamp<int64_t>(
+                CeilDiv(streamed, kWeightChunkBytes), 1,
+                kMaxWeightChunks));
+        }
+        *chunks = n_chunks;
+        const int64_t per_chunk = CeilDiv(streamed, n_chunks);
+        int64_t left = streamed;
+        for (int i = 0; i < n_chunks; ++i) {
+            Instr dma;
+            dma.engine = Engine::kHbm;
+            dma.kind = InstrKind::kDmaIn;
+            dma.dtype = opts_.dtype;
+            dma.layer_id = layer.id;
+            dma.label = layer.name + StrFormat(".w%d", i);
+            dma.bytes = std::min(per_chunk, left);
+            left -= dma.bytes;
+            if (opts_.opt_level < 3) {
+                // No cross-layer prefetch: the load waits for the
+                // previous layer to finish.
+                AddDep(&dma.deps, prev_tail_);
+            }
+            chunk_deps.push_back(Add(dma));
+        }
+        return chunk_deps;
+    }
+
+    /** Emits one MXU macro-op. */
+    int
+    EmitMxu(const Layer& layer, const std::string& suffix, int64_t rows,
+            int64_t k_dim, int64_t n_dim, std::vector<int> deps)
+    {
+        Instr mm;
+        mm.engine = Engine::kMxu;
+        mm.kind = InstrKind::kMatmulTile;
+        mm.dtype = opts_.dtype;
+        mm.layer_id = layer.id;
+        mm.label = layer.name + suffix;
+        mm.rows = rows;
+        mm.k_tiles = CeilDiv(k_dim, chip_.mxu.rows);
+        mm.n_tiles = CeilDiv(n_dim, chip_.mxu.cols);
+        mm.macs = static_cast<double>(rows) *
+                  static_cast<double>(k_dim) * static_cast<double>(n_dim);
+        mm.deps = std::move(deps);
+        return Add(mm);
+    }
+
+    /** Emits one VPU macro-op. */
+    int
+    EmitVpu(const Layer& layer, const std::string& suffix,
+            int64_t elements, double flops_per_element,
+            std::vector<int> deps, bool complex_vector = false)
+    {
+        Instr op;
+        op.engine = Engine::kVpu;
+        op.kind = InstrKind::kVectorOp;
+        op.dtype = opts_.dtype;
+        op.layer_id = layer.id;
+        op.label = layer.name + suffix;
+        op.elements = std::max<int64_t>(elements, 1);
+        op.flops_per_element = flops_per_element;
+        op.complex_vector = complex_vector;
+        op.deps = std::move(deps);
+        return Add(op);
+    }
+
+    /**
+     * Post-compute bookkeeping: all-gather when sharded, spill decision,
+     * tail/in_hbm update. @p compute_tail is the id of the last compute
+     * instruction of this layer; @p sharded says whether the layer's
+     * outputs were split across chips.
+     */
+    void
+    FinishLayer(const Layer& layer, int compute_tail, bool sharded)
+    {
+        const int64_t out_bytes =
+            ActBytes(opts_.batch * FeatureElements(layer.out_shape));
+        int tail = compute_tail;
+
+        if (sharded && opts_.num_chips > 1) {
+            // All-gather the sharded outputs. The collectives model
+            // costs the schedule on the domain's topology; the result
+            // is expressed as equivalent bytes on the simulator's
+            // aggregate ICI engine.
+            auto cost = CostCollective(Collective::kAllGather,
+                                       out_bytes, domain_);
+            T4I_CHECK(cost.ok(), cost.status().ToString().c_str());
+            const double aggregate_bw =
+                static_cast<double>(chip_.ici_links) *
+                chip_.ici_bw_Bps_per_link;
+            Instr ici;
+            ici.engine = Engine::kIci;
+            ici.kind = InstrKind::kIciTransfer;
+            ici.dtype = opts_.dtype;
+            ici.layer_id = layer.id;
+            ici.label = layer.name + ".allgather";
+            ici.bytes = std::max<int64_t>(
+                static_cast<int64_t>(cost.value().time_s *
+                                     aggregate_bw), 1);
+            AddDep(&ici.deps, tail);
+            tail = Add(ici);
+        }
+
+        const bool spill =
+            opts_.opt_level < 1 || out_bytes > vmem_budget_;
+        if (spill) {
+            // The planner may have staged part (or all) of this output
+            // in CMEM; the rest goes to HBM. Writes chain so the tail
+            // covers both.
+            const double f =
+                pins_.act_fraction[static_cast<size_t>(layer.id)];
+            const auto cmem_bytes = static_cast<int64_t>(
+                f * static_cast<double>(out_bytes));
+            const int64_t hbm_bytes = out_bytes - cmem_bytes;
+            for (auto [engine, part] :
+                 {std::pair{Engine::kHbm, hbm_bytes},
+                  std::pair{Engine::kCmem, cmem_bytes}}) {
+                if (part <= 0) continue;
+                Instr dma;
+                dma.engine = engine;
+                dma.kind = InstrKind::kDmaOut;
+                dma.dtype = opts_.dtype;
+                dma.layer_id = layer.id;
+                dma.label = layer.name + ".act_out";
+                dma.bytes = part;
+                AddDep(&dma.deps, tail);
+                tail = Add(dma);
+            }
+            prog_.memory.activation_bytes_hbm += hbm_bytes;
+            prog_.memory.activation_bytes_cmem += cmem_bytes;
+        } else {
+            prog_.memory.peak_vmem_bytes =
+                std::max(prog_.memory.peak_vmem_bytes, out_bytes);
+        }
+        tail_[static_cast<size_t>(layer.id)] = tail;
+        spilled_[static_cast<size_t>(layer.id)] = spill;
+        prev_tail_ = tail;
+    }
+
+    /** True when pointwise layers are fused into their neighbors. */
+    bool FusionEnabled() const { return opts_.opt_level >= 2; }
+
+    // Per-kind emission -----------------------------------------------
+
+    Status EmitInput(const Layer& layer);
+    Status EmitDense(const Layer& layer);
+    Status EmitConv(const Layer& layer);
+    Status EmitDepthwiseConv(const Layer& layer);
+    Status EmitPool(const Layer& layer, bool global);
+    Status EmitLstm(const Layer& layer);
+    Status EmitAttention(const Layer& layer);
+    Status EmitFeedForward(const Layer& layer);
+    Status EmitPointwise(const Layer& layer);
+    Status EmitEmbedding(const Layer& layer);
+    Status EmitConcat(const Layer& layer);
+    Status EmitDecoderBlock(const Layer& layer);
+    Status EmitFlatten(const Layer& layer);
+    Status EmitHostOut(const Layer& layer);
+
+    /** Weight bytes of this layer at the compile dtype (per chip). */
+    StatusOr<int64_t> ShardedWeightBytes(const Layer& layer) const;
+
+    Program prog_;
+    const Graph& g_;
+    const ChipConfig& chip_;
+    CompileOptions opts_;
+    CmemPlan pins_;
+    IciDomain domain_;
+    std::vector<int> tail_;
+    std::vector<bool> spilled_;
+    int prev_tail_ = -1;
+    int64_t vmem_budget_ = 0;
+};
+
+StatusOr<int64_t>
+Emitter::ShardedWeightBytes(const Layer& layer) const
+{
+    auto cost = ComputeLayerCost(layer, g_.InputShapeOf(layer.id),
+                                 opts_.batch, opts_.dtype, opts_.dtype);
+    T4I_RETURN_IF_ERROR(cost.status());
+    return cost.value().weight_bytes / opts_.num_chips;
+}
+
+Status
+Emitter::EmitInput(const Layer& layer)
+{
+    if (!opts_.include_host_transfers) {
+        tail_[static_cast<size_t>(layer.id)] = -1;
+        spilled_[static_cast<size_t>(layer.id)] = false;
+        return Status::Ok();
+    }
+    Instr host;
+    host.engine = Engine::kPcieIn;
+    host.kind = InstrKind::kHostTransfer;
+    host.dtype = opts_.dtype;
+    host.layer_id = layer.id;
+    host.label = layer.name + ".h2d";
+    // The host runtime ships inputs pre-converted to the device dtype
+    // (images as int8/bf16, ids packed), as production serving does.
+    host.bytes = opts_.batch * FeatureElements(layer.out_shape) *
+                 DTypeBytes(opts_.dtype);
+    tail_[static_cast<size_t>(layer.id)] = Add(host);
+    spilled_[static_cast<size_t>(layer.id)] = false;
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitDense(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    const int64_t rows =
+        opts_.batch * (FeatureElements(in_shape) / p.in_features);
+    const int64_t n_per_chip = CeilDiv(p.out_features, opts_.num_chips);
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+
+    // Split the output columns across weight chunks so compute chunk i
+    // only waits for DMA chunk i (double buffering).
+    const int64_t n_chunk = CeilDiv(n_per_chip, chunks);
+    int last = -1;
+    for (int i = 0; i < chunks; ++i) {
+        const int64_t n_dim =
+            std::min<int64_t>(n_chunk, n_per_chip - i * n_chunk);
+        if (n_dim <= 0) break;
+        std::vector<int> deps = act_deps;
+        if (i < static_cast<int>(w_deps.size())) {
+            AddDep(&deps, w_deps[static_cast<size_t>(i)]);
+        }
+        AddDep(&deps, last);  // MXU runs chunks in order anyway
+        last = EmitMxu(layer, chunks > 1 ? StrFormat(".mm%d", i) : ".mm",
+                       rows, p.in_features, n_dim, std::move(deps));
+    }
+    // Bias + activation epilogue (bias always applies).
+    last = EmitVpu(layer, ".epilogue", rows * n_per_chip, 2.0, {last},
+                   layer.params.activation == Activation::kGelu);
+    FinishLayer(layer, last, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitConv(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    const int64_t cin = in_shape[2];
+    const int64_t oh = layer.out_shape[0];
+    const int64_t ow = layer.out_shape[1];
+    const int64_t rows = opts_.batch * oh * ow;
+    const int64_t k_dim = p.kernel_h * p.kernel_w * cin;
+    const int64_t n_per_chip = CeilDiv(p.out_channels, opts_.num_chips);
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+
+    const int64_t n_chunk = CeilDiv(n_per_chip, chunks);
+    int last = -1;
+    for (int i = 0; i < chunks; ++i) {
+        const int64_t n_dim =
+            std::min<int64_t>(n_chunk, n_per_chip - i * n_chunk);
+        if (n_dim <= 0) break;
+        std::vector<int> deps = act_deps;
+        if (i < static_cast<int>(w_deps.size())) {
+            AddDep(&deps, w_deps[static_cast<size_t>(i)]);
+        }
+        AddDep(&deps, last);
+        last = EmitMxu(layer, chunks > 1 ? StrFormat(".mm%d", i) : ".mm",
+                       rows, k_dim, n_dim, std::move(deps));
+    }
+    last = EmitVpu(layer, ".epilogue", rows * n_per_chip, 2.0, {last});
+    FinishLayer(layer, last, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitDepthwiseConv(const Layer& layer)
+{
+    // Depthwise convolution maps badly onto a systolic array: each
+    // output channel contracts only its own KxK window, so the MXU
+    // executes it as a blocked-diagonal matmul (k = K*K*C against
+    // n = C) whose utilization is ~1/C of a dense conv. The macs field
+    // records the *useful* work; the descriptor records the padded
+    // passes actually occupying the array — the gap is exactly the
+    // MobileNet-on-TPU inefficiency practitioners report.
+    const auto& p = layer.params;
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    const int64_t c = in_shape[2];
+    const int64_t oh = layer.out_shape[0];
+    const int64_t ow = layer.out_shape[1];
+    const int64_t rows = opts_.batch * oh * ow;
+    const int64_t c_per_chip = CeilDiv(c, opts_.num_chips);
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+    std::vector<int> deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+    for (int w : w_deps) AddDep(&deps, w);
+
+    Instr mm;
+    mm.engine = Engine::kMxu;
+    mm.kind = InstrKind::kMatmulTile;
+    mm.dtype = opts_.dtype;
+    mm.layer_id = layer.id;
+    mm.label = layer.name + ".dw";
+    mm.rows = rows;
+    mm.k_tiles = CeilDiv(p.kernel_h * p.kernel_w * c_per_chip,
+                         chip_.mxu.rows);
+    mm.n_tiles = CeilDiv(c_per_chip, chip_.mxu.cols);
+    mm.macs = static_cast<double>(rows) *
+              static_cast<double>(p.kernel_h * p.kernel_w) *
+              static_cast<double>(c_per_chip);
+    mm.deps = std::move(deps);
+    int last = Add(mm);
+    last = EmitVpu(layer, ".epilogue", rows * c_per_chip, 2.0, {last});
+    FinishLayer(layer, last, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitPool(const Layer& layer, bool global)
+{
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    std::vector<int> deps = InputDeps(layer);
+    const int64_t in_elems = opts_.batch * FeatureElements(in_shape);
+    const double flops =
+        global ? 1.0
+               : static_cast<double>(layer.params.kernel_h *
+                                     layer.params.kernel_w);
+    int last = EmitVpu(layer, ".pool", in_elems, flops, std::move(deps));
+    FinishLayer(layer, last, /*sharded=*/false);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitLstm(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    const int64_t in_dim = in_shape[1];
+    const int64_t gates_per_chip =
+        CeilDiv(4 * p.hidden_dim, opts_.num_chips);
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+
+    // The recurrence serializes steps; each step is one fused
+    // [x_t, h_{t-1}] x W matmul plus pointwise gate math.
+    int last = -1;
+    for (int64_t t = 0; t < p.seq_len; ++t) {
+        std::vector<int> deps = act_deps;
+        for (int w : w_deps) AddDep(&deps, w);
+        AddDep(&deps, last);
+        int mm = EmitMxu(layer, StrFormat(".t%lld",
+                                          static_cast<long long>(t)),
+                         opts_.batch, in_dim + p.hidden_dim,
+                         gates_per_chip, std::move(deps));
+        last = EmitVpu(layer,
+                       StrFormat(".gates%lld", static_cast<long long>(t)),
+                       opts_.batch * p.hidden_dim, 10.0, {mm});
+    }
+    FinishLayer(layer, last, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitAttention(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const int64_t seq = g_.InputShapeOf(layer.id)[0];
+    const int64_t d = p.d_model;
+    const int64_t heads = std::max<int64_t>(p.num_heads, 1);
+    const int64_t dh = std::max<int64_t>(d / heads, 1);
+    const int64_t rows_t = opts_.batch * seq;
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+    std::vector<int> deps = act_deps;
+    for (int w : w_deps) AddDep(&deps, w);
+
+    // QKV projection (columns sharded across chips).
+    int qkv = EmitMxu(layer, ".qkv", rows_t, d,
+                      CeilDiv(3 * d, opts_.num_chips), deps);
+    // Scores: per-head [seq x dh] x [dh x seq] (heads sharded).
+    const int64_t heads_per_chip = CeilDiv(heads, opts_.num_chips);
+    int scores = EmitMxu(layer, ".scores",
+                         opts_.batch * heads_per_chip * seq, dh, seq,
+                         {qkv});
+    int softmax = EmitVpu(layer, ".softmax",
+                          opts_.batch * heads_per_chip * seq * seq, 5.0,
+                          {scores}, /*complex_vector=*/true);
+    // Weighted values.
+    int av = EmitMxu(layer, ".av", opts_.batch * heads_per_chip * seq,
+                     seq, dh, {softmax});
+    // Output projection.
+    int proj = EmitMxu(layer, ".proj", rows_t, d,
+                       CeilDiv(d, opts_.num_chips), {av});
+    FinishLayer(layer, proj, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitFeedForward(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const int64_t seq = g_.InputShapeOf(layer.id)[0];
+    const int64_t rows = opts_.batch * seq;
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+    std::vector<int> deps = act_deps;
+    for (int w : w_deps) AddDep(&deps, w);
+
+    int mm1 = EmitMxu(layer, ".mm1", rows, p.d_model,
+                      CeilDiv(p.d_ff, opts_.num_chips), deps);
+    int act = EmitVpu(layer, ".gelu",
+                      rows * CeilDiv(p.d_ff, opts_.num_chips), 8.0,
+                      {mm1}, /*complex_vector=*/true);
+    int mm2 = EmitMxu(layer, ".mm2", rows,
+                      CeilDiv(p.d_ff, opts_.num_chips), p.d_model, {act});
+    FinishLayer(layer, mm2, /*sharded=*/true);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitPointwise(const Layer& layer)
+{
+    // LayerNorm / Softmax / Elementwise. With fusion these consume the
+    // producer stream; otherwise they round-trip through memory like any
+    // other layer (that difference is most of O2's win).
+    const auto in_shape = g_.InputShapeOf(layer.id);
+    const int64_t elems = opts_.batch * FeatureElements(in_shape);
+
+    double flops = 1.0;
+    switch (layer.kind) {
+      case LayerKind::kLayerNorm: flops = 8.0; break;
+      case LayerKind::kSoftmax: flops = 5.0; break;
+      case LayerKind::kElementwise:
+        flops = layer.params.flops_per_element;
+        break;
+      default: break;
+    }
+
+    const bool complex_vec = layer.kind == LayerKind::kLayerNorm ||
+                             layer.kind == LayerKind::kSoftmax ||
+                             layer.params.activation == Activation::kGelu;
+    if (FusionEnabled()) {
+        std::vector<int> deps;
+        for (int in : layer.inputs) {
+            AddDep(&deps, tail_[static_cast<size_t>(in)]);
+        }
+        int last = flops > 0.0
+                       ? EmitVpu(layer, ".fused", elems, flops, deps,
+                                 complex_vec)
+                       : (deps.empty() ? -1 : deps.front());
+        // Fused ops inherit the producer's residency.
+        tail_[static_cast<size_t>(layer.id)] =
+            last >= 0 ? last : tail_[static_cast<size_t>(
+                                   layer.inputs[0])];
+        spilled_[static_cast<size_t>(layer.id)] =
+            spilled_[static_cast<size_t>(layer.inputs[0])];
+        pins_.act_fraction[static_cast<size_t>(layer.id)] =
+            pins_.act_fraction[static_cast<size_t>(layer.inputs[0])];
+        prev_tail_ = tail_[static_cast<size_t>(layer.id)];
+        return Status::Ok();
+    }
+
+    std::vector<int> deps = InputDeps(layer);
+    int last = EmitVpu(layer, ".pw", elems, std::max(flops, 0.5),
+                       std::move(deps), complex_vec);
+    FinishLayer(layer, last, /*sharded=*/false);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitEmbedding(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const double pin =
+        pins_.weight_fraction[static_cast<size_t>(layer.id)];
+    const int64_t gathered_bytes =
+        opts_.batch * p.lookups_per_sample * p.embed_dim *
+        DTypeBytes(opts_.dtype) / opts_.num_chips;
+    const auto cmem_bytes = static_cast<int64_t>(
+        pin * static_cast<double>(gathered_bytes));
+    const int64_t hbm_bytes = gathered_bytes - cmem_bytes;
+
+    // The table itself counts as (pinnable) weights.
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+    prog_.memory.weight_bytes_total += wb.value();
+    const auto pinned_table = static_cast<int64_t>(
+        pin * static_cast<double>(wb.value()));
+    prog_.memory.weight_bytes_cmem += pinned_table;
+    prog_.memory.weight_bytes_hbm += wb.value() - pinned_table;
+
+    std::vector<int> deps = InputDeps(layer);
+    std::vector<int> parts;
+    if (hbm_bytes > 0) {
+        Instr gather;
+        gather.engine = Engine::kHbm;
+        gather.kind = InstrKind::kGather;
+        gather.dtype = opts_.dtype;
+        gather.layer_id = layer.id;
+        gather.label = layer.name + ".gather_hbm";
+        gather.bytes = hbm_bytes;
+        gather.bw_efficiency = kHbmGatherEfficiency;
+        gather.deps = deps;
+        parts.push_back(Add(gather));
+    }
+    if (cmem_bytes > 0) {
+        Instr gather;
+        gather.engine = Engine::kCmem;
+        gather.kind = InstrKind::kGather;
+        gather.dtype = opts_.dtype;
+        gather.layer_id = layer.id;
+        gather.label = layer.name + ".gather_cmem";
+        gather.bytes = cmem_bytes;
+        gather.bw_efficiency = kCmemGatherEfficiency;
+        gather.deps = deps;
+        parts.push_back(Add(gather));
+    }
+    // Join + index arithmetic on the VPU.
+    int last = EmitVpu(layer, ".combine",
+                       opts_.batch * p.lookups_per_sample, 1.0,
+                       std::move(parts));
+    FinishLayer(layer, last, /*sharded=*/opts_.num_chips > 1);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitFlatten(const Layer& layer)
+{
+    // Pure relabeling: forward the producer's tail and residency.
+    const int in = layer.inputs[0];
+    tail_[static_cast<size_t>(layer.id)] = tail_[static_cast<size_t>(in)];
+    spilled_[static_cast<size_t>(layer.id)] =
+        spilled_[static_cast<size_t>(in)];
+    pins_.act_fraction[static_cast<size_t>(layer.id)] =
+        pins_.act_fraction[static_cast<size_t>(in)];
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitHostOut(const Layer& layer)
+{
+    if (!opts_.include_host_transfers) return Status::Ok();
+    Instr host;
+    host.engine = Engine::kPcie;
+    host.kind = InstrKind::kHostTransfer;
+    host.dtype = opts_.dtype;
+    host.layer_id = layer.id;
+    host.label = layer.name + ".d2h";
+    host.bytes = std::max<int64_t>(
+        opts_.batch * FeatureElements(layer.out_shape) * 4, 1);
+    AddDep(&host.deps, tail_[static_cast<size_t>(layer.id)]);
+    const int id = Add(host);
+    tail_[static_cast<size_t>(layer.id)] = id;
+    prev_tail_ = id;
+    return Status::Ok();
+}
+
+
+Status
+Emitter::EmitConcat(const Layer& layer)
+{
+    // Gathers every input into one contiguous buffer on the VPU's
+    // copy path; inputs may live in different memories.
+    std::vector<int> deps = InputDeps(layer);
+    const int64_t elems =
+        opts_.batch * FeatureElements(layer.out_shape);
+    int last = EmitVpu(layer, ".concat", elems, 1.0, std::move(deps));
+    FinishLayer(layer, last, /*sharded=*/false);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitDecoderBlock(const Layer& layer)
+{
+    const auto& p = layer.params;
+    const int64_t d = p.d_model;
+    const int64_t heads = std::max<int64_t>(p.num_heads, 1);
+    const int64_t chips = opts_.num_chips;
+    const int64_t mxu_dim = chip_.mxu.rows;
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+    std::vector<int> act_deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+
+    // Projections + FFN share rows (= batch single-token queries), so
+    // their systolic passes aggregate into one macro-op per step. The
+    // attention matvecs over the growing KV cache form a second; the
+    // cache itself streams from HBM each step (it cannot fit VMEM at
+    // production contexts) — that stream is what makes small-batch
+    // decode memory-bound.
+    const int64_t proj_passes =
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(3 * d, chips), mxu_dim) +
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(d, chips), mxu_dim) +
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(p.d_ff, chips), mxu_dim) +
+        CeilDiv(p.d_ff, mxu_dim) * CeilDiv(CeilDiv(d, chips), mxu_dim);
+    const double proj_macs =
+        static_cast<double>(opts_.batch) *
+        (4.0 * static_cast<double>(d) * static_cast<double>(d) +
+         2.0 * static_cast<double>(d) * static_cast<double>(p.d_ff)) /
+        static_cast<double>(chips);
+
+    int last = -1;
+    for (int64_t t = 0; t < p.seq_len; ++t) {
+        const int64_t ctx = p.kv_len + t + 1;
+        // KV cache stream for this step (heads sharded across chips).
+        Instr kv;
+        kv.engine = Engine::kHbm;
+        kv.kind = InstrKind::kDmaIn;
+        kv.dtype = opts_.dtype;
+        kv.layer_id = layer.id;
+        kv.label = layer.name +
+                   StrFormat(".kv%lld", static_cast<long long>(t));
+        kv.bytes = std::max<int64_t>(
+            opts_.batch * ctx * 2 * d * DTypeBytes(opts_.dtype) /
+                chips, 1);
+        kv.bw_efficiency = 0.7;
+        AddDep(&kv.deps, last);
+        const int kv_id = Add(kv);
+
+        // Projections + FFN.
+        std::vector<int> deps = act_deps;
+        for (int w : w_deps) AddDep(&deps, w);
+        AddDep(&deps, last);
+        Instr proj;
+        proj.engine = Engine::kMxu;
+        proj.kind = InstrKind::kMatmulTile;
+        proj.dtype = opts_.dtype;
+        proj.layer_id = layer.id;
+        proj.label = layer.name +
+                     StrFormat(".proj%lld", static_cast<long long>(t));
+        proj.rows = opts_.batch;
+        proj.k_tiles = proj_passes;
+        proj.n_tiles = 1;
+        proj.macs = proj_macs;
+        proj.deps = std::move(deps);
+        const int proj_id = Add(proj);
+
+        // Attention matvecs over the cache.
+        Instr attn;
+        attn.engine = Engine::kMxu;
+        attn.kind = InstrKind::kMatmulTile;
+        attn.dtype = opts_.dtype;
+        attn.layer_id = layer.id;
+        attn.label = layer.name +
+                     StrFormat(".attn%lld", static_cast<long long>(t));
+        attn.rows = opts_.batch * CeilDiv(heads, chips);
+        attn.k_tiles = 2 * CeilDiv(ctx, mxu_dim);
+        attn.n_tiles = 1;
+        attn.macs = static_cast<double>(opts_.batch) * 2.0 *
+                    static_cast<double>(d) *
+                    static_cast<double>(ctx) /
+                    static_cast<double>(chips);
+        AddDep(&attn.deps, proj_id);
+        AddDep(&attn.deps, kv_id);
+        const int attn_id = Add(attn);
+
+        // Softmax + residual/norm glue.
+        last = EmitVpu(layer,
+                       StrFormat(".sm%lld", static_cast<long long>(t)),
+                       opts_.batch * (CeilDiv(heads, chips) * ctx + d),
+                       4.0, {attn_id}, /*complex_vector=*/true);
+
+        // Tensor-parallel decode all-reduces the activations each
+        // step (two per block in Megatron-style sharding; folded into
+        // one equivalent transfer).
+        if (chips > 1) {
+            auto cost = CostCollective(
+                Collective::kAllReduce,
+                2 * opts_.batch * d * DTypeBytes(opts_.dtype),
+                domain_);
+            T4I_CHECK(cost.ok(), cost.status().ToString().c_str());
+            const double aggregate_bw =
+                static_cast<double>(chip_.ici_links) *
+                chip_.ici_bw_Bps_per_link;
+            Instr ici;
+            ici.engine = Engine::kIci;
+            ici.kind = InstrKind::kIciTransfer;
+            ici.dtype = opts_.dtype;
+            ici.layer_id = layer.id;
+            ici.label = layer.name + StrFormat(
+                ".ar%lld", static_cast<long long>(t));
+            ici.bytes = std::max<int64_t>(
+                static_cast<int64_t>(cost.value().time_s *
+                                     aggregate_bw), 1);
+            AddDep(&ici.deps, last);
+            last = Add(ici);
+        }
+    }
+    // Already reduced per step; no block-level all-gather needed.
+    FinishLayer(layer, last, /*sharded=*/false);
+    return Status::Ok();
+}
+
+Status
+Emitter::Run()
+{
+    for (const auto& layer : g_.layers()) {
+        Status status;
+        switch (layer.kind) {
+          case LayerKind::kInput:
+            status = EmitInput(layer);
+            break;
+          case LayerKind::kDense:
+            status = EmitDense(layer);
+            break;
+          case LayerKind::kConv2d:
+            status = EmitConv(layer);
+            break;
+          case LayerKind::kDepthwiseConv2d:
+            status = EmitDepthwiseConv(layer);
+            break;
+          case LayerKind::kMaxPool:
+            status = EmitPool(layer, /*global=*/false);
+            break;
+          case LayerKind::kGlobalPool:
+            status = EmitPool(layer, /*global=*/true);
+            break;
+          case LayerKind::kLstm:
+            status = EmitLstm(layer);
+            break;
+          case LayerKind::kAttention:
+            status = EmitAttention(layer);
+            break;
+          case LayerKind::kFeedForward:
+            status = EmitFeedForward(layer);
+            break;
+          case LayerKind::kLayerNorm:
+          case LayerKind::kSoftmax:
+          case LayerKind::kElementwise:
+            status = EmitPointwise(layer);
+            break;
+          case LayerKind::kEmbedding:
+            status = EmitEmbedding(layer);
+            break;
+          case LayerKind::kFlatten:
+            status = EmitFlatten(layer);
+            break;
+          case LayerKind::kConcat:
+            status = EmitConcat(layer);
+            break;
+          case LayerKind::kDecoderBlock:
+            status = EmitDecoderBlock(layer);
+            break;
+        }
+        T4I_RETURN_IF_ERROR(status);
+    }
+    // Ship the final layer's result to the host.
+    return EmitHostOut(g_.layer(g_.num_layers() - 1));
+}
+
+}  // namespace
+
+StatusOr<Program>
+Compile(const Graph& graph, const ChipConfig& chip,
+        const CompileOptions& options)
+{
+    if (!graph.finalized()) {
+        return Status::FailedPrecondition("graph '" + graph.name() +
+                                          "' not finalized");
+    }
+    if (options.batch < 1) {
+        return Status::InvalidArgument("batch must be >= 1");
+    }
+    if (options.opt_level < 0 || options.opt_level > 3) {
+        return Status::InvalidArgument("opt_level must be in [0,3]");
+    }
+    // Lesson 6: dtype support is a hard compatibility gate.
+    if (options.dtype == DType::kInt8 && !chip.supports_int8) {
+        return Status::FailedPrecondition(
+            chip.name + " has no int8 datapath");
+    }
+    if ((options.dtype == DType::kBf16 || options.dtype == DType::kFp32) &&
+        !chip.supports_bf16) {
+        return Status::FailedPrecondition(
+            chip.name + " has no floating-point datapath; the model must "
+                        "be quantized first (Lesson 6)");
+    }
+    if (options.num_chips < 1) {
+        return Status::InvalidArgument("num_chips must be >= 1");
+    }
+    if (options.num_chips > 1 && chip.ici_links == 0) {
+        return Status::FailedPrecondition(
+            chip.name + " has no ICI links for multi-chip execution");
+    }
+
+    int64_t cmem = options.cmem_override_bytes >= 0
+                       ? options.cmem_override_bytes
+                       : chip.cmem_bytes;
+    if (options.opt_level < 3) cmem = 0;  // pinning is an O3 feature
+
+    // CMEM is allocated jointly across pinned weights and spilled
+    // activations; the VMEM spill threshold must match the emitter's.
+    auto pins = PlanCmem(graph, options.batch, options.dtype,
+                         options.dtype, cmem, chip.vmem_bytes / 2,
+                         options.cmem_policy);
+    T4I_RETURN_IF_ERROR(pins.status());
+
+    // Capacity check: streamed weights plus the activation high-water
+    // mark must fit DRAM. Activations are transient, so the live set is
+    // the largest single layer boundary, not the sum over the model.
+    auto cost = graph.Cost(options.batch, options.dtype, options.dtype);
+    T4I_RETURN_IF_ERROR(cost.status());
+    int64_t max_live_act = 0;
+    for (const auto& layer : graph.layers()) {
+        if (layer.kind == LayerKind::kInput) continue;
+        auto lc = ComputeLayerCost(layer, graph.InputShapeOf(layer.id),
+                                   options.batch, options.dtype,
+                                   options.dtype);
+        T4I_RETURN_IF_ERROR(lc.status());
+        max_live_act = std::max(
+            max_live_act, lc.value().in_bytes + lc.value().out_bytes);
+    }
+    const int64_t dram_need =
+        (cost.value().weight_bytes -
+         pins.value().pinned_weight_bytes) / options.num_chips +
+        2 * max_live_act / options.num_chips;
+    if (dram_need > chip.dram_bytes) {
+        return Status::ResourceExhausted(StrFormat(
+            "%s: working set %.1f GiB exceeds %.1f GiB of device memory",
+            graph.name().c_str(),
+            static_cast<double>(dram_need) / (1ull << 30),
+            static_cast<double>(chip.dram_bytes) / (1ull << 30)));
+    }
+
+    IciDomain domain;  // meaningful only when num_chips > 1
+    if (options.num_chips > 1) {
+        auto made = MakeDomain(chip, options.num_chips,
+                               options.ici_topology);
+        T4I_RETURN_IF_ERROR(made.status());
+        domain = made.value();
+    }
+    Emitter emitter(graph, chip, options,
+                    std::move(pins).ConsumeValue(), domain);
+    T4I_RETURN_IF_ERROR(emitter.Run());
+    Program prog = emitter.Take();
+    T4I_RETURN_IF_ERROR(prog.Validate());
+    return prog;
+}
+
+}  // namespace t4i

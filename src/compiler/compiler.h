@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The XLA-lite compiler: lowers a model Graph to a device Program for a
+ * specific chip, batch size and dtype.
+ *
+ * Lesson 2 — compiler compatibility trumps binary compatibility — is
+ * modeled with an optimization-level ladder that mirrors the mechanisms
+ * real XLA releases delivered over ~20 months on unchanged hardware:
+ *
+ *   O0  baseline lowering: every intermediate spills to HBM, weights
+ *       stream per inference, no cross-layer overlap;
+ *   O1  + activations stay in VMEM when they fit;
+ *   O2  + operator fusion: pointwise/normalization ops consume their
+ *       producer's stream, eliminating round trips entirely;
+ *   O3  + CMEM weight pinning and chunked weight prefetch, overlapping
+ *       the next layer's DMA with the current layer's compute.
+ *
+ * Experiment E9 sweeps this ladder; everything else uses O3.
+ */
+#ifndef T4I_COMPILER_COMPILER_H
+#define T4I_COMPILER_COMPILER_H
+
+#include "src/arch/chip.h"
+#include "src/compiler/memory_planner.h"
+#include "src/compiler/program.h"
+#include "src/graph/graph.h"
+#include "src/ici/topology.h"
+
+namespace t4i {
+
+/** Compilation knobs. */
+struct CompileOptions {
+    int64_t batch = 1;
+    DType dtype = DType::kBf16;      ///< weights & activations
+    int opt_level = 3;               ///< 0..3, see file comment
+    int num_chips = 1;               ///< weight-sharded data layout + ICI
+    /** Wiring of the ICI domain when num_chips > 1. */
+    IciTopology ici_topology = IciTopology::kRing;
+    bool include_host_transfers = true;  ///< PCIe in/out instructions
+    /** Overrides the chip's CMEM size when >= 0 (for the E8 sweep). */
+    int64_t cmem_override_bytes = -1;
+    /** CMEM allocation policy (ablation A8). */
+    CmemPolicy cmem_policy = CmemPolicy::kByBandwidthSaved;
+};
+
+/**
+ * Compiles @p graph for @p chip. Fails when the chip lacks the requested
+ * dtype (e.g. bf16 on TPUv1 — exactly the paper's Lesson 6 scenario) or
+ * the model's working set exceeds device memory.
+ */
+StatusOr<Program> Compile(const Graph& graph, const ChipConfig& chip,
+                          const CompileOptions& options);
+
+}  // namespace t4i
+
+#endif  // T4I_COMPILER_COMPILER_H

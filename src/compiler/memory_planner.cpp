@@ -1,0 +1,174 @@
+#include "src/compiler/memory_planner.h"
+
+#include <algorithm>
+
+namespace t4i {
+namespace {
+
+/** One pinnable item: a layer's weights or its spilled activations. */
+struct Candidate {
+    int layer_id;
+    bool is_weight;
+    int64_t bytes;
+    /** HBM bytes saved per inference per CMEM byte allocated. */
+    double score;
+};
+
+/** HBM-traffic-saved score of a layer's weights (per byte). */
+double
+WeightReuseScore(const Layer& layer, int64_t batch, DType weight_dtype,
+                 int64_t weight_bytes)
+{
+    if (layer.kind == LayerKind::kEmbedding) {
+        // Only the gathered rows would have moved from HBM.
+        const double gathered = static_cast<double>(
+            batch * layer.params.lookups_per_sample *
+            layer.params.embed_dim * DTypeBytes(weight_dtype));
+        return std::min(1.0, gathered /
+                                 static_cast<double>(weight_bytes));
+    }
+    return 1.0;  // streamed once per inference
+}
+
+std::vector<Candidate>
+CollectCandidates(const Graph& graph, int64_t batch, DType weight_dtype,
+                  DType act_dtype, int64_t vmem_budget, bool with_acts,
+                  int64_t* total_weight_bytes)
+{
+    std::vector<Candidate> candidates;
+    for (const auto& layer : graph.layers()) {
+        if (layer.kind == LayerKind::kInput) continue;
+        auto cost = ComputeLayerCost(layer, graph.InputShapeOf(layer.id),
+                                     batch, weight_dtype, act_dtype);
+        T4I_CHECK(cost.ok(), cost.status().ToString().c_str());
+        if (cost.value().weight_bytes > 0) {
+            *total_weight_bytes += cost.value().weight_bytes;
+            candidates.push_back(
+                {layer.id, /*is_weight=*/true,
+                 cost.value().weight_bytes,
+                 WeightReuseScore(layer, batch, weight_dtype,
+                                  cost.value().weight_bytes)});
+        }
+        // Flatten/fused layers do not materialize outputs; the emitter
+        // skips their spill, so skip them here too.
+        const bool materializes = layer.kind != LayerKind::kFlatten;
+        if (with_acts && materializes &&
+            cost.value().out_bytes > vmem_budget) {
+            // Staged in CMEM, a spilled output avoids the HBM write
+            // and the consumer's read: 2 bytes of HBM per byte.
+            candidates.push_back({layer.id, /*is_weight=*/false,
+                                  cost.value().out_bytes, 2.0});
+        }
+    }
+    return candidates;
+}
+
+void
+AllocateGreedy(std::vector<Candidate> candidates, int64_t budget,
+               CmemPolicy policy,
+               std::vector<double>* weight_fraction,
+               std::vector<double>* act_fraction,
+               int64_t* pinned_weight_bytes, int64_t* staged_act_bytes)
+{
+    switch (policy) {
+      case CmemPolicy::kByBandwidthSaved:
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const Candidate& a, const Candidate& b) {
+                             if (a.score != b.score) {
+                                 return a.score > b.score;
+                             }
+                             // Tie-break: smaller items first so more
+                             // layers benefit fully.
+                             return a.bytes < b.bytes;
+                         });
+        break;
+      case CmemPolicy::kBySize:
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [](const Candidate& a, const Candidate& b) {
+                             return a.bytes > b.bytes;
+                         });
+        break;
+      case CmemPolicy::kByProgramOrder:
+        break;  // candidates are already collected in layer order
+    }
+    int64_t remaining = budget;
+    for (const auto& c : candidates) {
+        if (remaining <= 0) break;
+        const int64_t take = std::min(remaining, c.bytes);
+        const double fraction =
+            static_cast<double>(take) / static_cast<double>(c.bytes);
+        if (c.is_weight) {
+            (*weight_fraction)[static_cast<size_t>(c.layer_id)] =
+                fraction;
+            *pinned_weight_bytes += take;
+        } else {
+            (*act_fraction)[static_cast<size_t>(c.layer_id)] = fraction;
+            *staged_act_bytes += take;
+        }
+        remaining -= take;
+    }
+}
+
+}  // namespace
+
+StatusOr<PinPlan>
+PlanWeightPinning(const Graph& graph, int64_t batch, DType weight_dtype,
+                  DType act_dtype, int64_t cmem_budget)
+{
+    if (!graph.finalized()) {
+        return Status::FailedPrecondition("graph not finalized");
+    }
+    PinPlan plan;
+    plan.fraction.assign(static_cast<size_t>(graph.num_layers()), 0.0);
+    std::vector<double> act_unused(
+        static_cast<size_t>(graph.num_layers()), 0.0);
+    int64_t act_bytes_unused = 0;
+    auto candidates = CollectCandidates(
+        graph, batch, weight_dtype, act_dtype, /*vmem_budget=*/0,
+        /*with_acts=*/false, &plan.total_weight_bytes);
+    if (cmem_budget > 0) {
+        AllocateGreedy(std::move(candidates), cmem_budget,
+                       CmemPolicy::kByBandwidthSaved, &plan.fraction,
+                       &act_unused, &plan.pinned_bytes,
+                       &act_bytes_unused);
+    }
+    return plan;
+}
+
+const char*
+CmemPolicyName(CmemPolicy policy)
+{
+    switch (policy) {
+      case CmemPolicy::kByBandwidthSaved: return "bandwidth-saved";
+      case CmemPolicy::kBySize: return "largest-first";
+      case CmemPolicy::kByProgramOrder: return "program-order";
+    }
+    return "?";
+}
+
+StatusOr<CmemPlan>
+PlanCmem(const Graph& graph, int64_t batch, DType weight_dtype,
+         DType act_dtype, int64_t cmem_budget, int64_t vmem_budget,
+         CmemPolicy policy)
+{
+    if (!graph.finalized()) {
+        return Status::FailedPrecondition("graph not finalized");
+    }
+    CmemPlan plan;
+    plan.weight_fraction.assign(
+        static_cast<size_t>(graph.num_layers()), 0.0);
+    plan.act_fraction.assign(static_cast<size_t>(graph.num_layers()),
+                             0.0);
+    auto candidates = CollectCandidates(
+        graph, batch, weight_dtype, act_dtype, vmem_budget,
+        /*with_acts=*/true, &plan.total_weight_bytes);
+    if (cmem_budget > 0) {
+        AllocateGreedy(std::move(candidates), cmem_budget, policy,
+                       &plan.weight_fraction, &plan.act_fraction,
+                       &plan.pinned_weight_bytes,
+                       &plan.staged_act_bytes);
+    }
+    return plan;
+}
+
+}  // namespace t4i

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CMEM weight-pinning planner.
+ *
+ * TPUv4i's 128 MiB CMEM exists because SRAM stopped scaling with logic
+ * (Lesson 1) while HBM bandwidth became the limiter for low-intensity
+ * layers. The planner decides which parameter tensors live permanently in
+ * CMEM (pinned at model-load time, so inference reads them at CMEM
+ * bandwidth) and which stream from HBM on every inference.
+ *
+ * Policy: greedy by bandwidth-boundedness — layers with the fewest FLOPs
+ * per weight byte (embedding tables, wide dense layers) are pinned first,
+ * since their HBM reads are the hardest to hide behind compute. The
+ * marginal layer may be pinned fractionally, which is what gives the
+ * smooth CMEM-sweep curve in E8.
+ */
+#ifndef T4I_COMPILER_MEMORY_PLANNER_H
+#define T4I_COMPILER_MEMORY_PLANNER_H
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+
+namespace t4i {
+
+/** Per-layer pinning decision: fraction of weight bytes resident in CMEM. */
+struct PinPlan {
+    /** fraction[layer_id] in [0,1]; 0 for weightless layers. */
+    std::vector<double> fraction;
+    int64_t pinned_bytes = 0;
+    int64_t total_weight_bytes = 0;
+};
+
+/**
+ * Plans weight pinning for @p graph at the given batch/dtype into a CMEM
+ * of @p cmem_budget bytes. A zero budget returns an all-zero plan.
+ */
+StatusOr<PinPlan> PlanWeightPinning(const Graph& graph, int64_t batch,
+                                    DType weight_dtype, DType act_dtype,
+                                    int64_t cmem_budget);
+
+/**
+ * Full CMEM allocation: weights AND spilled activations compete for the
+ * same capacity. A spilled activation byte staged in CMEM saves two HBM
+ * crossings (the write and the read-back), so activation candidates
+ * outrank streamed weights; embedding tables, touched only sparsely,
+ * rank last. The marginal candidate is split fractionally.
+ */
+/** Allocation policies for the CMEM planner (ablation A8). */
+enum class CmemPolicy {
+    kByBandwidthSaved,  ///< default: HBM bytes saved per CMEM byte
+    kBySize,            ///< biggest tensors first (naive)
+    kByProgramOrder,    ///< first-come-first-pinned (naive)
+};
+
+const char* CmemPolicyName(CmemPolicy policy);
+
+struct CmemPlan {
+    /** Weight bytes fraction resident in CMEM, per layer id. */
+    std::vector<double> weight_fraction;
+    /** Spilled-activation bytes fraction staged in CMEM, per layer id. */
+    std::vector<double> act_fraction;
+    int64_t pinned_weight_bytes = 0;
+    int64_t staged_act_bytes = 0;
+    int64_t total_weight_bytes = 0;
+};
+
+/**
+ * Plans the CMEM allocation. @p vmem_budget decides which activations
+ * spill at all (outputs larger than it leave the vector memory).
+ */
+StatusOr<CmemPlan> PlanCmem(const Graph& graph, int64_t batch,
+                            DType weight_dtype, DType act_dtype,
+                            int64_t cmem_budget, int64_t vmem_budget,
+                            CmemPolicy policy =
+                                CmemPolicy::kByBandwidthSaved);
+
+}  // namespace t4i
+
+#endif  // T4I_COMPILER_MEMORY_PLANNER_H

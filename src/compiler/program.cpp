@@ -1,0 +1,120 @@
+#include "src/compiler/program.h"
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const char*
+EngineName(Engine engine)
+{
+    switch (engine) {
+      case Engine::kMxu: return "MXU";
+      case Engine::kVpu: return "VPU";
+      case Engine::kHbm: return "HBM";
+      case Engine::kCmem: return "CMEM";
+      case Engine::kIci: return "ICI";
+      case Engine::kPcie: return "PCIe";
+      case Engine::kPcieIn: return "PCIeIn";
+      case Engine::kEngineCount: break;
+    }
+    return "?";
+}
+
+const char*
+InstrKindName(InstrKind kind)
+{
+    switch (kind) {
+      case InstrKind::kMatmulTile: return "matmul";
+      case InstrKind::kVectorOp: return "vector";
+      case InstrKind::kDmaIn: return "dma_in";
+      case InstrKind::kDmaOut: return "dma_out";
+      case InstrKind::kGather: return "gather";
+      case InstrKind::kIciTransfer: return "ici";
+      case InstrKind::kHostTransfer: return "host";
+    }
+    return "?";
+}
+
+double
+Program::TotalMacs() const
+{
+    double total = 0.0;
+    for (const auto& i : instrs) total += i.macs;
+    return total;
+}
+
+int64_t
+Program::HbmBytes() const
+{
+    int64_t total = 0;
+    for (const auto& i : instrs) {
+        if (i.engine == Engine::kHbm) total += i.bytes;
+    }
+    return total;
+}
+
+Status
+Program::Validate() const
+{
+    for (size_t idx = 0; idx < instrs.size(); ++idx) {
+        const Instr& instr = instrs[idx];
+        if (instr.id != static_cast<int>(idx)) {
+            return Status::Internal(StrFormat(
+                "instruction %zu has id %d", idx, instr.id));
+        }
+        for (int dep : instr.deps) {
+            if (dep < 0 || dep >= instr.id) {
+                return Status::Internal(StrFormat(
+                    "instruction %d depends on %d (must be earlier)",
+                    instr.id, dep));
+            }
+        }
+        switch (instr.engine) {
+          case Engine::kMxu:
+            if (instr.rows <= 0 || instr.k_tiles <= 0 ||
+                instr.n_tiles <= 0) {
+                return Status::Internal(StrFormat(
+                    "MXU instruction %d has empty descriptor", instr.id));
+            }
+            break;
+          case Engine::kVpu:
+            if (instr.elements <= 0) {
+                return Status::Internal(StrFormat(
+                    "VPU instruction %d has no elements", instr.id));
+            }
+            break;
+          default:
+            if (instr.bytes <= 0) {
+                return Status::Internal(StrFormat(
+                    "transfer instruction %d has no bytes", instr.id));
+            }
+            break;
+        }
+    }
+    return Status::Ok();
+}
+
+std::string
+Program::Summary() const
+{
+    int64_t counts[static_cast<int>(Engine::kEngineCount)] = {};
+    for (const auto& i : instrs) ++counts[static_cast<int>(i.engine)];
+    return StrFormat(
+        "%s on %s (batch %lld, %s, O%d, %d chip%s): %zu instrs "
+        "[MXU %lld, VPU %lld, HBM %lld, CMEM %lld, ICI %lld, PCIe %lld], "
+        "%.2f GMACs, weights %.1f MiB (%.1f MiB pinned)",
+        model_name.c_str(), chip_name.c_str(),
+        static_cast<long long>(batch), DTypeName(dtype), opt_level,
+        num_chips, num_chips == 1 ? "" : "s", instrs.size(),
+        static_cast<long long>(counts[0]),
+        static_cast<long long>(counts[1]),
+        static_cast<long long>(counts[2]),
+        static_cast<long long>(counts[3]),
+        static_cast<long long>(counts[4]),
+        static_cast<long long>(counts[5] + counts[6]),
+        TotalMacs() / 1e9,
+        static_cast<double>(memory.weight_bytes_total) / (1 << 20),
+        static_cast<double>(memory.weight_bytes_cmem) / (1 << 20));
+}
+
+}  // namespace t4i

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The device program: what the XLA-lite compiler emits and the simulator
+ * executes.
+ *
+ * Instructions are tile-granular macro-ops. Each carries the *work
+ * descriptor* (rows/tiles for the MXU, elements for the VPU, bytes for
+ * DMA); the simulator derives cycle counts from the descriptor plus the
+ * chip configuration, so one program can be timed on any chip it was
+ * compiled for. Dependencies form a DAG; engines execute their queues in
+ * program order (the hardware's in-order queues), and overlap across
+ * engines is what the compiler's scheduling choices control.
+ */
+#ifndef T4I_COMPILER_PROGRAM_H
+#define T4I_COMPILER_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/layer.h"
+
+namespace t4i {
+
+/** Execution engines (simulator resources). */
+enum class Engine {
+    kMxu,    ///< the matrix units (modeled as one pooled resource)
+    kVpu,    ///< the vector unit
+    kHbm,    ///< HBM/DRAM channel (DMA transfers serialize here)
+    kCmem,   ///< CMEM port (on-chip staging transfers)
+    kIci,    ///< inter-chip interconnect
+    kPcie,   ///< host link, device-to-host direction
+    kPcieIn, ///< host link, host-to-device direction (PCIe is full
+             ///< duplex, so inputs never queue behind outputs)
+    kEngineCount,
+};
+
+const char* EngineName(Engine engine);
+
+/** Instruction kinds (mostly informational; engine + descriptor drive
+ *  timing). */
+enum class InstrKind {
+    kMatmulTile,   ///< systolic-array passes
+    kVectorOp,     ///< pointwise/reduction work on the VPU
+    kDmaIn,        ///< memory -> on-chip
+    kDmaOut,       ///< on-chip -> memory
+    kGather,       ///< random-access embedding gather
+    kIciTransfer,  ///< chip-to-chip transfer
+    kHostTransfer, ///< PCIe transfer
+};
+
+const char* InstrKindName(InstrKind kind);
+
+/** One macro instruction. */
+struct Instr {
+    int id = -1;
+    Engine engine = Engine::kMxu;
+    InstrKind kind = InstrKind::kMatmulTile;
+    DType dtype = DType::kBf16;
+    /** Producing layer id (for per-layer stats) and display label. */
+    int layer_id = -1;
+    std::string label;
+
+    // --- MXU descriptor -------------------------------------------------
+    /** Activation rows streamed through the array per (k,n) tile pair. */
+    int64_t rows = 0;
+    /** Number of contraction-dimension tiles. */
+    int64_t k_tiles = 0;
+    /** Number of output-column tiles. */
+    int64_t n_tiles = 0;
+    /** MACs this instruction performs (for FLOP/energy accounting). */
+    double macs = 0.0;
+
+    // --- VPU descriptor -------------------------------------------------
+    int64_t elements = 0;
+    double flops_per_element = 1.0;
+    /** Transcendental-heavy vector work (softmax/layernorm/GELU) that a
+     *  fixed-function activation pipeline cannot run at line rate. */
+    bool complex_vector = false;
+
+    // --- DMA / ICI / PCIe descriptor -------------------------------------
+    int64_t bytes = 0;
+    /** Effective-bandwidth derating (random gathers < streaming). */
+    double bw_efficiency = 1.0;
+
+    /** Instruction ids that must complete before this one starts. */
+    std::vector<int> deps;
+};
+
+/** Compile-time summary the planner records for reporting. */
+struct MemoryPlan {
+    int64_t weight_bytes_total = 0;
+    int64_t weight_bytes_cmem = 0;    ///< pinned (no per-step HBM traffic)
+    int64_t weight_bytes_hbm = 0;     ///< streamed per inference
+    int64_t activation_bytes_hbm = 0; ///< activations spilled to HBM
+    int64_t activation_bytes_cmem = 0; ///< activations staged in CMEM
+    int64_t peak_vmem_bytes = 0;
+};
+
+/** A compiled device program for one (model, chip, options) triple. */
+struct Program {
+    std::string model_name;
+    std::string chip_name;
+    int64_t batch = 1;
+    DType dtype = DType::kBf16;
+    int opt_level = 3;
+    int num_chips = 1;
+
+    std::vector<Instr> instrs;
+    MemoryPlan memory;
+
+    /** Total MACs across instructions (one chip's share). */
+    double TotalMacs() const;
+    /** Total bytes queued on the HBM engine. */
+    int64_t HbmBytes() const;
+
+    /** Validates the dependence DAG (ids in range, acyclic by
+     *  construction: deps must reference earlier ids). */
+    Status Validate() const;
+
+    /** Short human-readable summary. */
+    std::string Summary() const;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_COMPILER_PROGRAM_H

@@ -1,0 +1,64 @@
+#include "src/fleet/deployment.h"
+
+#include "src/tensor/executor.h"
+
+namespace t4i {
+
+Graph
+DomainProxyGraph(AppDomain domain)
+{
+    // Small enough to execute functionally in milliseconds, structured
+    // enough to carry the domain's activation statistics.
+    switch (domain) {
+      case AppDomain::kMlp:
+        return BuildMlp("proxy_mlp", 2000, 16, 8, 128, {64, 32});
+      case AppDomain::kCnn:
+        return BuildSmallCnn("proxy_cnn");
+      case AppDomain::kRnn:
+        return BuildLstmStack("proxy_rnn", 1000, 64, 2, 64, 8);
+      case AppDomain::kBert:
+        return BuildBert("proxy_bert", 2, 64, 2, 128, 8, 500);
+    }
+    return BuildSmallCnn("proxy");
+}
+
+StatusOr<DeploymentPlan>
+PlanDeployment(const App& app, const ChipConfig& chip,
+               const DeploymentParams& params)
+{
+    DeploymentPlan plan;
+    plan.app_name = app.name;
+    plan.chip_name = chip.name;
+    plan.days = params.compile_hours / 24.0 + params.validation_days +
+                params.canary_days;
+
+    if (chip.supports_bf16) {
+        // Lesson 4's happy path: the trained checkpoint ships as-is.
+        plan.deployed_dtype = DType::kBf16;
+        return plan;
+    }
+    if (!chip.supports_int8) {
+        return Status::FailedPrecondition(
+            chip.name + " supports no inference dtype");
+    }
+
+    // int8-only: the quantization detour. Measure PTQ fidelity on the
+    // class proxy with the functional executor.
+    plan.deployed_dtype = DType::kInt8;
+    plan.needs_ptq = true;
+    plan.days += params.ptq_calibration_days;
+
+    Graph proxy = DomainProxyGraph(app.domain);
+    auto loss = PrecisionLoss(proxy, MatmulPrecision::kInt8,
+                              /*batch=*/4, /*seed=*/20150512);
+    T4I_RETURN_IF_ERROR(loss.status());
+    plan.measured_sqnr_db = loss.value().sqnr_db;
+
+    if (plan.measured_sqnr_db < params.required_sqnr_db) {
+        plan.needs_qat = true;
+        plan.days += params.qat_retraining_days;
+    }
+    return plan;
+}
+
+}  // namespace t4i

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deployment-velocity model (Lesson 4: backwards ML compatibility
+ * helps deploy DNNs quickly).
+ *
+ * Shipping a newly trained model to production takes compile +
+ * validation + canary time on any chip. On an int8-only chip it also
+ * takes post-training quantization (calibration data collection, scale
+ * search, accuracy sign-off) — and when PTQ cannot hold accuracy on
+ * the model's activation statistics, quantization-aware retraining.
+ * The decision is driven by a *measured* mechanism, not a coin flip:
+ * the functional executor quantizes a class-representative proxy of
+ * the app end-to-end and compares the int8 output SQNR against the
+ * accuracy bar.
+ */
+#ifndef T4I_FLEET_DEPLOYMENT_H
+#define T4I_FLEET_DEPLOYMENT_H
+
+#include <string>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/models/zoo.h"
+
+namespace t4i {
+
+/** Engineering-time assumptions (calendar days unless noted). */
+struct DeploymentParams {
+    double compile_hours = 4.0;        ///< XLA compile + perf triage
+    double validation_days = 2.0;      ///< offline quality eval
+    double canary_days = 3.0;          ///< staged production rollout
+    double ptq_calibration_days = 5.0; ///< data capture + scale search
+    double qat_retraining_days = 21.0; ///< quantization-aware retrain
+    /** End-to-end int8 SQNR (dB) below which PTQ fails sign-off. */
+    double required_sqnr_db = 33.0;
+};
+
+/** The deployment path for one app on one chip. */
+struct DeploymentPlan {
+    std::string app_name;
+    std::string chip_name;
+    DType deployed_dtype = DType::kBf16;
+    bool needs_ptq = false;
+    bool needs_qat = false;
+    /** Measured int8 end-to-end SQNR of the class proxy (dB);
+     *  meaningful when needs_ptq. */
+    double measured_sqnr_db = 0.0;
+    /** Total calendar days from trained checkpoint to full rollout. */
+    double days = 0.0;
+};
+
+/**
+ * Plans the deployment of @p app on @p chip. Fails only when the chip
+ * cannot run the model under any supported dtype.
+ */
+StatusOr<DeploymentPlan> PlanDeployment(const App& app,
+                                        const ChipConfig& chip,
+                                        const DeploymentParams& params);
+
+/**
+ * The small class-representative proxy graph used for the PTQ fidelity
+ * measurement (exposed for tests and the A10 bench).
+ */
+Graph DomainProxyGraph(AppDomain domain);
+
+}  // namespace t4i
+
+#endif  // T4I_FLEET_DEPLOYMENT_H

@@ -1,0 +1,117 @@
+#include "src/fleet/planner.h"
+
+#include <cmath>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/serving/latency_table.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+/** Per-chip SLO-constrained capacity of @p app on @p chip (inf/s),
+ *  or 0 when infeasible. */
+StatusOr<double>
+CapacityUnderSlo(const App& app, const ChipConfig& chip, DType dtype)
+{
+    LatencyTable table;
+    for (int64_t batch = 1; batch <= 256; batch *= 2) {
+        CompileOptions opts;
+        opts.batch = batch;
+        opts.dtype = dtype;
+        auto prog = Compile(app.graph, chip, opts);
+        if (!prog.ok()) {
+            // Capacity limits can stop the ladder early; what we have
+            // so far still defines the feasible range.
+            if (table.empty()) return prog.status();
+            break;
+        }
+        auto result = Simulate(prog.value(), chip);
+        T4I_RETURN_IF_ERROR(result.status());
+        table.AddPoint(batch, result.value().latency_s);
+    }
+    const double slo_s = app.slo_ms * 1e-3;
+    const int64_t batch = table.MaxBatchUnderSlo(slo_s);
+    if (batch <= 0) return 0.0;
+    return table.ThroughputAt(batch);
+}
+
+}  // namespace
+
+StatusOr<FleetPlan>
+PlanFleet(const std::vector<AppDemand>& demands, const ChipConfig& chip,
+          const FleetParams& params)
+{
+    if (demands.empty()) {
+        return Status::InvalidArgument("no traffic to plan for");
+    }
+    if (params.utilization_headroom <= 0.0 ||
+        params.utilization_headroom > 1.0) {
+        return Status::InvalidArgument("headroom must be in (0, 1]");
+    }
+    const DType dtype = chip.supports_bf16 && params.preferred_dtype !=
+                                                  DType::kInt8
+                            ? params.preferred_dtype
+                            : DType::kInt8;
+
+    FleetPlan plan;
+    plan.chip_name = chip.name;
+    auto tco = ComputeTco(chip, params.tco);
+    T4I_RETURN_IF_ERROR(tco.status());
+
+    for (const auto& demand : demands) {
+        if (demand.qps <= 0.0) {
+            return Status::InvalidArgument("non-positive qps for " +
+                                           demand.app.name);
+        }
+        AppFleet entry;
+        entry.app_name = demand.app.name;
+        entry.qps = demand.qps;
+        auto capacity = CapacityUnderSlo(demand.app, chip, dtype);
+        T4I_RETURN_IF_ERROR(capacity.status());
+        entry.capacity_per_chip =
+            capacity.value() * params.utilization_headroom;
+        if (entry.capacity_per_chip <= 0.0) {
+            entry.infeasible = true;
+            plan.feasible = false;
+        } else {
+            entry.chips = static_cast<int64_t>(
+                std::ceil(demand.qps / entry.capacity_per_chip));
+            plan.total_chips += entry.chips;
+            plan.capex_usd +=
+                static_cast<double>(entry.chips) * tco.value().capex_usd;
+            plan.tco_usd +=
+                static_cast<double>(entry.chips) * tco.value().tco_usd;
+            plan.fleet_power_w +=
+                static_cast<double>(entry.chips) * chip.tdp_w;
+        }
+        plan.apps.push_back(std::move(entry));
+    }
+    return plan;
+}
+
+StatusOr<std::vector<AppDemand>>
+ReferenceTraffic(int64_t baseline_chips)
+{
+    if (baseline_chips < 1) {
+        return Status::InvalidArgument("need at least one chip");
+    }
+    const ChipConfig v4i = Tpu_v4i();
+    std::vector<AppDemand> demands;
+    for (auto& app : ProductionApps()) {
+        auto capacity = CapacityUnderSlo(app, v4i, DType::kBf16);
+        T4I_RETURN_IF_ERROR(capacity.status());
+        // The app owns `fleet_share` of the baseline fleet's cycles,
+        // served at 60% utilization.
+        const double chips =
+            app.fleet_share * static_cast<double>(baseline_chips);
+        AppDemand demand;
+        demand.qps = 0.6 * capacity.value() * chips;
+        demand.app = std::move(app);
+        demands.push_back(std::move(demand));
+    }
+    return demands;
+}
+
+}  // namespace t4i

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fleet capacity planner: how many accelerators (and how many dollars)
+ * does it take to serve a given traffic mix within every app's SLO?
+ *
+ * This is the level at which Lesson 3 actually operates: nobody buys
+ * one chip — the fleet bill is chips x TCO, and chips per app is set
+ * by throughput *under the latency SLO* (Lesson 10), derated for tail
+ * headroom. The planner profiles each app on the chip, sizes the
+ * per-app sub-fleet, and prices it with the TCO model.
+ */
+#ifndef T4I_FLEET_PLANNER_H
+#define T4I_FLEET_PLANNER_H
+
+#include <string>
+#include <vector>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/models/zoo.h"
+#include "src/tco/tco.h"
+
+namespace t4i {
+
+/** Traffic target for one application. */
+struct AppDemand {
+    App app;
+    double qps = 0.0;  ///< inferences per second to serve
+};
+
+/** Planner knobs. */
+struct FleetParams {
+    /** Fraction of a chip's SLO-batch throughput usable in steady
+     *  state (headroom for tails, maintenance, load imbalance). */
+    double utilization_headroom = 0.6;
+    /** dtype used for serving (bf16 unless the chip lacks it). */
+    DType preferred_dtype = DType::kBf16;
+    TcoParams tco;
+};
+
+/** Sizing of one app's sub-fleet. */
+struct AppFleet {
+    std::string app_name;
+    double qps = 0.0;
+    /** Per-chip serving capacity under the SLO, after headroom. */
+    double capacity_per_chip = 0.0;
+    int64_t chips = 0;
+    /** True if the app cannot meet its SLO on this chip at any batch. */
+    bool infeasible = false;
+};
+
+/** Whole-fleet plan. */
+struct FleetPlan {
+    std::string chip_name;
+    std::vector<AppFleet> apps;
+    int64_t total_chips = 0;
+    double capex_usd = 0.0;
+    double tco_usd = 0.0;
+    double fleet_power_w = 0.0;   ///< TDP sum (provisioned power)
+    bool feasible = true;
+};
+
+/**
+ * Plans a fleet of @p chip serving @p demands. Apps whose SLO the chip
+ * cannot meet at any batch are marked infeasible (and the plan
+ * overall).
+ */
+StatusOr<FleetPlan> PlanFleet(const std::vector<AppDemand>& demands,
+                              const ChipConfig& chip,
+                              const FleetParams& params);
+
+/**
+ * A reference traffic mix: the QPS each production app receives when a
+ * baseline fleet of @p baseline_chips TPUv4i is split by fleet_share.
+ */
+StatusOr<std::vector<AppDemand>> ReferenceTraffic(
+    int64_t baseline_chips);
+
+}  // namespace t4i
+
+#endif  // T4I_FLEET_PLANNER_H

@@ -1,0 +1,174 @@
+#include "src/graph/graph.h"
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+int
+Graph::AddInput(const std::string& name, std::vector<int64_t> shape)
+{
+    Layer layer;
+    layer.id = static_cast<int>(layers_.size());
+    layer.kind = LayerKind::kInput;
+    layer.name = name;
+    layer.out_shape = std::move(shape);
+    layers_.push_back(std::move(layer));
+    finalized_ = false;
+    return layers_.back().id;
+}
+
+int
+Graph::AddLayer(LayerKind kind, const std::string& name,
+                std::vector<int> inputs, LayerParams params)
+{
+    Layer layer;
+    layer.id = static_cast<int>(layers_.size());
+    layer.kind = kind;
+    layer.name = name;
+    layer.inputs = std::move(inputs);
+    layer.params = params;
+    layers_.push_back(std::move(layer));
+    finalized_ = false;
+    return layers_.back().id;
+}
+
+const Layer&
+Graph::layer(int id) const
+{
+    T4I_CHECK(id >= 0 && id < num_layers(), "layer id out of range");
+    return layers_[static_cast<size_t>(id)];
+}
+
+std::vector<int64_t>
+Graph::InputShapeOf(int id) const
+{
+    const Layer& l = layer(id);
+    if (l.inputs.empty()) return {};
+    return layer(l.inputs[0]).out_shape;
+}
+
+Status
+Graph::Finalize()
+{
+    for (auto& l : layers_) {
+        if (l.kind == LayerKind::kInput) {
+            if (!l.inputs.empty()) {
+                return Status::InvalidArgument(
+                    "input layer '" + l.name + "' must have no producers");
+            }
+            if (l.out_shape.empty()) {
+                return Status::InvalidArgument(
+                    "input layer '" + l.name + "' needs a shape");
+            }
+            continue;
+        }
+        if (l.inputs.empty()) {
+            return Status::InvalidArgument(
+                "layer '" + l.name + "' has no inputs");
+        }
+        for (int in : l.inputs) {
+            if (in < 0 || in >= l.id) {
+                return Status::InvalidArgument(StrFormat(
+                    "layer '%s' references id %d (must be a prior layer)",
+                    l.name.c_str(), in));
+            }
+        }
+        const auto& first = layers_[static_cast<size_t>(l.inputs[0])];
+        if (l.kind == LayerKind::kConcat) {
+            // Concat accepts heterogeneous inputs; the output is the
+            // flattened sum of all of them.
+            int64_t total = 0;
+            for (int in : l.inputs) {
+                total += FeatureElements(
+                    layers_[static_cast<size_t>(in)].out_shape);
+            }
+            l.out_shape = {total};
+            continue;
+        }
+        // Other multi-input layers must agree on shape (residual adds).
+        for (size_t i = 1; i < l.inputs.size(); ++i) {
+            const auto& other =
+                layers_[static_cast<size_t>(l.inputs[i])];
+            if (other.out_shape != first.out_shape) {
+                return Status::InvalidArgument(
+                    "layer '" + l.name + "' has mismatched input shapes");
+            }
+        }
+        auto shape = InferShape(l, first.out_shape);
+        T4I_RETURN_IF_ERROR(shape.status());
+        l.out_shape = std::move(shape).ConsumeValue();
+    }
+    finalized_ = true;
+    return Status::Ok();
+}
+
+StatusOr<ModelCost>
+Graph::Cost(int64_t batch, DType weight_dtype, DType act_dtype) const
+{
+    if (!finalized_) {
+        return Status::FailedPrecondition("graph not finalized");
+    }
+    ModelCost total;
+    for (const auto& l : layers_) {
+        if (l.kind == LayerKind::kInput) continue;
+        auto c = ComputeLayerCost(l, InputShapeOf(l.id), batch,
+                                  weight_dtype, act_dtype);
+        T4I_RETURN_IF_ERROR(c.status());
+        total.total_flops += c.value().flops;
+        total.weight_bytes += c.value().weight_bytes;
+        total.activation_bytes += c.value().in_bytes + c.value().out_bytes;
+    }
+    const double denom = static_cast<double>(total.weight_bytes) +
+                         static_cast<double>(total.activation_bytes);
+    total.ops_per_byte = denom > 0 ? total.total_flops / denom : 0.0;
+    total.ops_per_weight_byte =
+        total.weight_bytes > 0
+            ? total.total_flops / static_cast<double>(total.weight_bytes)
+            : 0.0;
+    return total;
+}
+
+std::string
+Graph::ToString() const
+{
+    std::string out = "Graph '" + name_ + "':\n";
+    for (const auto& l : layers_) {
+        std::vector<std::string> shape_parts;
+        for (int64_t d : l.out_shape) {
+            shape_parts.push_back(
+                StrFormat("%lld", static_cast<long long>(d)));
+        }
+        out += StrFormat("  #%d %-12s %-24s -> [%s]\n", l.id,
+                         LayerKindName(l.kind), l.name.c_str(),
+                         StrJoin(shape_parts, ", ").c_str());
+    }
+    return out;
+}
+
+std::string
+Graph::ToDot() const
+{
+    std::string out = "digraph \"" + name_ + "\" {\n"
+                      "  rankdir=TB;\n  node [shape=box, "
+                      "fontname=\"monospace\"];\n";
+    for (const auto& l : layers_) {
+        std::vector<std::string> shape_parts;
+        for (int64_t d : l.out_shape) {
+            shape_parts.push_back(
+                StrFormat("%lld", static_cast<long long>(d)));
+        }
+        out += StrFormat("  n%d [label=\"%s\\n%s [%s]\"%s];\n", l.id,
+                         l.name.c_str(), LayerKindName(l.kind),
+                         StrJoin(shape_parts, ",").c_str(),
+                         l.kind == LayerKind::kInput
+                             ? ", style=filled, fillcolor=lightgrey"
+                             : "");
+        for (int in : l.inputs) {
+            out += StrFormat("  n%d -> n%d;\n", in, l.id);
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+}  // namespace t4i

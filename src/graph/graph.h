@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model graph: a DAG of Layers with builder, validation, shape inference
+ * and whole-model cost accounting (weights, FLOPs, ops/byte).
+ */
+#ifndef T4I_GRAPH_GRAPH_H
+#define T4I_GRAPH_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/layer.h"
+
+namespace t4i {
+
+/** Whole-model static summary at a batch size and dtype pair. */
+struct ModelCost {
+    double total_flops = 0.0;       ///< per batch
+    int64_t weight_bytes = 0;
+    int64_t activation_bytes = 0;   ///< sum of inter-layer traffic
+    /** FLOPs per byte of (weights + activations) — operational
+     *  intensity if nothing is cached on chip. */
+    double ops_per_byte = 0.0;
+    /** FLOPs per weight byte — intensity when activations stay on chip,
+     *  the regime the paper's rooflines use. */
+    double ops_per_weight_byte = 0.0;
+};
+
+/** A DAG of layers. Layer 0..k are in insertion order; ids are indices. */
+class Graph {
+  public:
+    explicit Graph(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    /** Adds an input layer with the given per-sample feature shape. */
+    int AddInput(const std::string& name, std::vector<int64_t> shape);
+
+    /** Adds a layer fed by @p inputs; returns its id. */
+    int AddLayer(LayerKind kind, const std::string& name,
+                 std::vector<int> inputs, LayerParams params);
+
+    int num_layers() const { return static_cast<int>(layers_.size()); }
+    const Layer& layer(int id) const;
+    const std::vector<Layer>& layers() const { return layers_; }
+
+    /**
+     * Validates the DAG (edges point backward, arities match) and runs
+     * shape inference, filling every layer's out_shape.
+     */
+    Status Finalize();
+
+    bool finalized() const { return finalized_; }
+
+    /**
+     * Whole-model cost at a given batch/dtype. Graph must be finalized.
+     */
+    StatusOr<ModelCost> Cost(int64_t batch, DType weight_dtype,
+                             DType act_dtype) const;
+
+    /** Per-layer input shape (first input's out_shape; empty for inputs). */
+    std::vector<int64_t> InputShapeOf(int id) const;
+
+    /** Multi-line human-readable description. */
+    std::string ToString() const;
+
+    /** Graphviz DOT rendering of the DAG (nodes labeled kind+shape). */
+    std::string ToDot() const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+    bool finalized_ = false;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_GRAPH_GRAPH_H

@@ -1,0 +1,357 @@
+#include "src/graph/layer.h"
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const char*
+DTypeName(DType t)
+{
+    switch (t) {
+      case DType::kInt8: return "int8";
+      case DType::kBf16: return "bf16";
+      case DType::kFp32: return "fp32";
+    }
+    return "?";
+}
+
+const char*
+LayerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::kInput: return "Input";
+      case LayerKind::kDense: return "Dense";
+      case LayerKind::kConv2d: return "Conv2d";
+      case LayerKind::kDepthwiseConv2d: return "DwConv2d";
+      case LayerKind::kMaxPool: return "MaxPool";
+      case LayerKind::kGlobalPool: return "GlobalPool";
+      case LayerKind::kLstm: return "LSTM";
+      case LayerKind::kAttention: return "Attention";
+      case LayerKind::kFeedForward: return "FeedForward";
+      case LayerKind::kLayerNorm: return "LayerNorm";
+      case LayerKind::kSoftmax: return "Softmax";
+      case LayerKind::kEmbedding: return "Embedding";
+      case LayerKind::kElementwise: return "Elementwise";
+      case LayerKind::kFlatten: return "Flatten";
+      case LayerKind::kConcat: return "Concat";
+      case LayerKind::kDecoderBlock: return "DecoderBlock";
+    }
+    return "?";
+}
+
+int64_t
+FeatureElements(const std::vector<int64_t>& shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+}
+
+StatusOr<std::vector<int64_t>>
+InferShape(const Layer& layer, const std::vector<int64_t>& in_shape)
+{
+    const LayerParams& p = layer.params;
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        return layer.out_shape.empty()
+                   ? StatusOr<std::vector<int64_t>>(Status::InvalidArgument(
+                         "Input layer needs an explicit shape"))
+                   : StatusOr<std::vector<int64_t>>(layer.out_shape);
+
+      case LayerKind::kDense: {
+        if (in_shape.empty() || in_shape.back() != p.in_features) {
+            return Status::InvalidArgument(StrFormat(
+                "Dense '%s': input last dim %lld != in_features %lld",
+                layer.name.c_str(),
+                in_shape.empty()
+                    ? -1LL
+                    : static_cast<long long>(in_shape.back()),
+                static_cast<long long>(p.in_features)));
+        }
+        std::vector<int64_t> out = in_shape;
+        out.back() = p.out_features;
+        return out;
+      }
+
+      case LayerKind::kConv2d: {
+        if (in_shape.size() != 3) {
+            return Status::InvalidArgument(
+                "Conv2d expects per-sample [H, W, C] input");
+        }
+        const int64_t h = in_shape[0];
+        const int64_t w = in_shape[1];
+        const int64_t oh = (h + 2 * p.pad - p.kernel_h) / p.stride + 1;
+        const int64_t ow = (w + 2 * p.pad - p.kernel_w) / p.stride + 1;
+        if (oh <= 0 || ow <= 0) {
+            return Status::InvalidArgument("Conv2d output is empty");
+        }
+        return std::vector<int64_t>{oh, ow, p.out_channels};
+      }
+
+      case LayerKind::kDepthwiseConv2d: {
+        if (in_shape.size() != 3) {
+            return Status::InvalidArgument(
+                "DwConv2d expects per-sample [H, W, C] input");
+        }
+        const int64_t oh =
+            (in_shape[0] + 2 * p.pad - p.kernel_h) / p.stride + 1;
+        const int64_t ow =
+            (in_shape[1] + 2 * p.pad - p.kernel_w) / p.stride + 1;
+        if (oh <= 0 || ow <= 0) {
+            return Status::InvalidArgument("DwConv2d output is empty");
+        }
+        return std::vector<int64_t>{oh, ow, in_shape[2]};
+      }
+
+      case LayerKind::kMaxPool: {
+        if (in_shape.size() != 3) {
+            return Status::InvalidArgument(
+                "MaxPool expects per-sample [H, W, C] input");
+        }
+        const int64_t oh = (in_shape[0] - p.kernel_h) / p.stride + 1;
+        const int64_t ow = (in_shape[1] - p.kernel_w) / p.stride + 1;
+        if (oh <= 0 || ow <= 0) {
+            return Status::InvalidArgument("MaxPool output is empty");
+        }
+        return std::vector<int64_t>{oh, ow, in_shape[2]};
+      }
+
+      case LayerKind::kGlobalPool: {
+        if (in_shape.size() != 3) {
+            return Status::InvalidArgument(
+                "GlobalPool expects per-sample [H, W, C] input");
+        }
+        return std::vector<int64_t>{in_shape[2]};
+      }
+
+      case LayerKind::kLstm: {
+        // Input [seq, features] -> output [seq, hidden].
+        if (in_shape.size() != 2 || in_shape[0] != p.seq_len) {
+            return Status::InvalidArgument(
+                "LSTM expects per-sample [seq_len, features] input");
+        }
+        return std::vector<int64_t>{p.seq_len, p.hidden_dim};
+      }
+
+      case LayerKind::kAttention: {
+        if (in_shape.size() != 2 || in_shape[1] != p.d_model) {
+            return Status::InvalidArgument(
+                "Attention expects per-sample [seq, d_model] input");
+        }
+        return in_shape;
+      }
+
+      case LayerKind::kFeedForward: {
+        if (in_shape.size() != 2 || in_shape[1] != p.d_model) {
+            return Status::InvalidArgument(
+                "FeedForward expects per-sample [seq, d_model] input");
+        }
+        return in_shape;
+      }
+
+      case LayerKind::kLayerNorm:
+      case LayerKind::kSoftmax:
+      case LayerKind::kElementwise:
+        return in_shape;
+
+      case LayerKind::kEmbedding:
+        // Output: one embed_dim vector per lookup.
+        return std::vector<int64_t>{p.lookups_per_sample, p.embed_dim};
+
+      case LayerKind::kFlatten:
+        return std::vector<int64_t>{FeatureElements(in_shape)};
+
+      case LayerKind::kConcat:
+        // Per-input contribution; Graph::Finalize sums over all
+        // inputs to produce the true output shape.
+        return std::vector<int64_t>{FeatureElements(in_shape)};
+
+      case LayerKind::kDecoderBlock: {
+        if (in_shape.size() != 2 || in_shape[0] != p.seq_len ||
+            in_shape[1] != p.d_model) {
+            return Status::InvalidArgument(
+                "DecoderBlock expects per-sample [seq_len, d_model] "
+                "input");
+        }
+        return in_shape;
+      }
+    }
+    return Status::Internal("unhandled layer kind");
+}
+
+StatusOr<LayerCost>
+ComputeLayerCost(const Layer& layer, const std::vector<int64_t>& in_shape,
+                 int64_t batch, DType weight_dtype, DType act_dtype)
+{
+    auto out_shape = InferShape(layer, in_shape);
+    T4I_RETURN_IF_ERROR(out_shape.status());
+
+    const LayerParams& p = layer.params;
+    const double b = static_cast<double>(batch);
+    const int64_t wb = DTypeBytes(weight_dtype);
+    const int64_t ab = DTypeBytes(act_dtype);
+    const int64_t in_elems = FeatureElements(in_shape);
+    const int64_t out_elems = FeatureElements(out_shape.value());
+
+    LayerCost cost;
+    cost.in_bytes = batch * in_elems * ab;
+    cost.out_bytes = batch * out_elems * ab;
+
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        cost.in_bytes = 0;
+        break;
+
+      case LayerKind::kDense: {
+        // Rows = batch times any leading per-sample dims (e.g. sequence).
+        const int64_t rows =
+            batch * (in_elems / p.in_features);
+        cost.flops = 2.0 * static_cast<double>(rows) *
+                     static_cast<double>(p.in_features) *
+                     static_cast<double>(p.out_features);
+        cost.weight_bytes =
+            (p.in_features * p.out_features + p.out_features) * wb;
+        break;
+      }
+
+      case LayerKind::kConv2d: {
+        const auto& os = out_shape.value();
+        const int64_t cin = in_shape[2];
+        const double macs = b * static_cast<double>(os[0]) *
+                            static_cast<double>(os[1]) *
+                            static_cast<double>(p.out_channels) *
+                            static_cast<double>(p.kernel_h) *
+                            static_cast<double>(p.kernel_w) *
+                            static_cast<double>(cin);
+        cost.flops = 2.0 * macs;
+        cost.weight_bytes =
+            (p.kernel_h * p.kernel_w * cin * p.out_channels +
+             p.out_channels) * wb;
+        break;
+      }
+
+      case LayerKind::kDepthwiseConv2d: {
+        const auto& os = out_shape.value();
+        const double macs = b * static_cast<double>(os[0]) *
+                            static_cast<double>(os[1]) *
+                            static_cast<double>(in_shape[2]) *
+                            static_cast<double>(p.kernel_h) *
+                            static_cast<double>(p.kernel_w);
+        cost.flops = 2.0 * macs;
+        cost.weight_bytes =
+            (p.kernel_h * p.kernel_w * in_shape[2] + in_shape[2]) * wb;
+        break;
+      }
+
+      case LayerKind::kMaxPool:
+        cost.flops = b * static_cast<double>(out_elems) *
+                     static_cast<double>(p.kernel_h * p.kernel_w);
+        break;
+
+      case LayerKind::kGlobalPool:
+        cost.flops = b * static_cast<double>(in_elems);
+        break;
+
+      case LayerKind::kLstm: {
+        const int64_t in_dim = in_shape[1];
+        // Four gates, two matmuls per step plus pointwise gate math.
+        const double macs_per_step =
+            static_cast<double>(4 * p.hidden_dim) *
+            static_cast<double>(in_dim + p.hidden_dim);
+        cost.flops = b * static_cast<double>(p.seq_len) *
+                         (2.0 * macs_per_step +
+                          10.0 * static_cast<double>(p.hidden_dim));
+        cost.weight_bytes =
+            (4 * p.hidden_dim * (in_dim + p.hidden_dim) +
+             4 * p.hidden_dim) * wb;
+        break;
+      }
+
+      case LayerKind::kAttention: {
+        const double s = static_cast<double>(in_shape[0]);
+        const double d = static_cast<double>(p.d_model);
+        // QKV projections + output projection: 4 * d*d per token.
+        const double proj_macs = b * s * 4.0 * d * d;
+        // Scores and weighted sum: 2 * s^2 * d per batch element.
+        const double attn_macs = b * 2.0 * s * s * d;
+        cost.flops = 2.0 * (proj_macs + attn_macs);
+        cost.weight_bytes = (4 * p.d_model * p.d_model + 4 * p.d_model) * wb;
+        break;
+      }
+
+      case LayerKind::kFeedForward: {
+        const double s = static_cast<double>(in_shape[0]);
+        const double macs = b * s * 2.0 *
+                            static_cast<double>(p.d_model) *
+                            static_cast<double>(p.d_ff);
+        cost.flops = 2.0 * macs;
+        cost.weight_bytes =
+            (2 * p.d_model * p.d_ff + p.d_model + p.d_ff) * wb;
+        break;
+      }
+
+      case LayerKind::kLayerNorm:
+        cost.flops = b * 8.0 * static_cast<double>(in_elems);
+        break;
+
+      case LayerKind::kSoftmax:
+        cost.flops = b * 5.0 * static_cast<double>(in_elems);
+        break;
+
+      case LayerKind::kEmbedding:
+        // Lookups are pure memory traffic; weights are the table.
+        cost.flops = 0.0;
+        cost.weight_bytes = p.vocab * p.embed_dim * wb;
+        cost.in_bytes = batch * p.lookups_per_sample *
+                        static_cast<int64_t>(sizeof(int32_t));
+        break;
+
+      case LayerKind::kElementwise:
+        cost.flops = b * p.flops_per_element *
+                     static_cast<double>(out_elems);
+        cost.in_bytes = batch * in_elems * ab * p.arity;
+        break;
+
+      case LayerKind::kFlatten:
+        // Pure relabeling of the layout; no compute, no extra traffic.
+        cost.flops = 0.0;
+        cost.in_bytes = 0;
+        cost.out_bytes = 0;
+        break;
+
+      case LayerKind::kConcat: {
+        // A gather/copy of every input into one buffer. If the graph
+        // has been finalized, the true (summed) output shape is on the
+        // layer; otherwise fall back to the single-input view.
+        const int64_t elems =
+            layer.out_shape.empty() ? in_elems
+                                    : FeatureElements(layer.out_shape);
+        cost.flops = b * static_cast<double>(elems);
+        cost.in_bytes = batch * elems * ab;
+        cost.out_bytes = batch * elems * ab;
+        break;
+      }
+
+      case LayerKind::kDecoderBlock: {
+        // seq_len sequential single-token steps. Each step: QKV +
+        // output projections (4 d^2), attention over the growing
+        // kv_len + t cache (2 d (kv+t)), and the FFN (2 d d_ff).
+        const double t_steps = static_cast<double>(p.seq_len);
+        const double d = static_cast<double>(p.d_model);
+        const double proj_macs = t_steps * 4.0 * d * d;
+        const double avg_ctx =
+            static_cast<double>(p.kv_len) + (t_steps - 1.0) / 2.0;
+        const double attn_macs = t_steps * 2.0 * d * avg_ctx;
+        const double ffn_macs =
+            t_steps * 2.0 * d * static_cast<double>(p.d_ff);
+        cost.flops = b * 2.0 * (proj_macs + attn_macs + ffn_macs);
+        cost.weight_bytes =
+            (4 * p.d_model * p.d_model +
+             2 * p.d_model * p.d_ff + 4 * p.d_model + p.d_ff) * wb;
+        break;
+      }
+    }
+    return cost;
+}
+
+}  // namespace t4i

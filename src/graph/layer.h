@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Layer definitions for the model IR.
+ *
+ * A Layer is a coarse-grained operator carrying its per-sample parameters
+ * (feature dimensions, kernel sizes, sequence lengths). Batch size is NOT
+ * part of the IR: inference batch is chosen at compile/serving time
+ * (Lesson 10 — the app picks the largest batch that meets its latency
+ * SLO), so all cost queries take the batch as an argument.
+ *
+ * Data type is also bound late: the same model can be compiled for bf16 or
+ * int8 execution (Lessons 4 & 6).
+ */
+#ifndef T4I_GRAPH_LAYER_H
+#define T4I_GRAPH_LAYER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Element types supported by the datapaths. */
+enum class DType { kInt8 = 1, kBf16 = 2, kFp32 = 4 };
+
+/** Bytes per element of a DType. */
+inline int64_t
+DTypeBytes(DType t)
+{
+    return static_cast<int64_t>(t);
+}
+
+const char* DTypeName(DType t);
+
+/** Operator kinds understood by the compiler. */
+enum class LayerKind {
+    kInput,       ///< graph input; carries the per-sample feature shape
+    kDense,       ///< fully connected: [B, in] x [in, out] + bias + act
+    kConv2d,      ///< 2-D convolution, NHWC
+    kDepthwiseConv2d, ///< depthwise 2-D convolution (one filter per
+                  ///< channel; MobileNet-era op that maps poorly onto
+                  ///< systolic arrays — Lesson 9's evolution pressure)
+    kMaxPool,     ///< max pooling
+    kGlobalPool,  ///< global average pooling [B,H,W,C] -> [B,C]
+    kLstm,        ///< multi-step LSTM layer (runs seq_len cell steps)
+    kAttention,   ///< multi-head self-attention block (QKV + output proj)
+    kFeedForward, ///< transformer FFN (two dense layers, GELU)
+    kLayerNorm,   ///< row-wise layer normalization
+    kSoftmax,     ///< row-wise softmax
+    kEmbedding,   ///< table lookup: gathers rows of a [vocab, dim] table
+    kElementwise, ///< pointwise op (ReLU/add/residual), possibly 2 inputs
+    kFlatten,     ///< reshapes the per-sample features to 1-D (zero cost)
+    kConcat,      ///< concatenates flattened inputs (DLRM interaction,
+                  ///< detector heads); inputs may differ in shape
+    kDecoderBlock,///< autoregressive transformer block: seq_len
+                  ///< *sequential* decode steps of self-attention over
+                  ///< a kv_len-token cache plus an FFN (post-2020 LLM
+                  ///< serving — the growth direction of Lesson 9)
+};
+
+const char* LayerKindName(LayerKind kind);
+
+/** Activation applied at the end of a Dense/Conv layer. */
+enum class Activation { kNone, kRelu, kGelu, kTanh, kSigmoid };
+
+/** Parameters; only the fields relevant to `kind` are meaningful. */
+struct LayerParams {
+    // kDense
+    int64_t in_features = 0;
+    int64_t out_features = 0;
+
+    // kConv2d / kMaxPool
+    int64_t kernel_h = 0;
+    int64_t kernel_w = 0;
+    int64_t stride = 1;
+    int64_t pad = 0;
+    int64_t out_channels = 0;
+
+    // kLstm
+    int64_t seq_len = 0;
+    int64_t hidden_dim = 0;
+
+    // kAttention / kFeedForward / kDecoderBlock
+    int64_t d_model = 0;
+    int64_t num_heads = 0;
+    int64_t d_ff = 0;
+    /** kDecoderBlock: tokens already in the KV cache (prompt length). */
+    int64_t kv_len = 0;
+
+    // kEmbedding
+    int64_t vocab = 0;
+    int64_t embed_dim = 0;
+    int64_t lookups_per_sample = 0;
+
+    // kElementwise
+    int64_t arity = 1;
+    double flops_per_element = 1.0;
+
+    Activation activation = Activation::kNone;
+};
+
+/** One node of the model graph. */
+struct Layer {
+    int id = -1;
+    LayerKind kind = LayerKind::kInput;
+    std::string name;
+    std::vector<int> inputs;       ///< producer layer ids
+    LayerParams params;
+    /** Per-sample output feature shape (no batch dim), filled by
+     *  shape inference. */
+    std::vector<int64_t> out_shape;
+};
+
+/** Product of a feature shape (elements per sample). */
+int64_t FeatureElements(const std::vector<int64_t>& shape);
+
+/**
+ * Static cost of one layer at a given batch and weight dtype.
+ * FLOPs count multiply and add separately (2 * MACs), matching how the
+ * paper quotes peak TFLOPS.
+ */
+struct LayerCost {
+    double flops = 0.0;          ///< per-batch total
+    int64_t weight_bytes = 0;    ///< parameter bytes at the weight dtype
+    int64_t in_bytes = 0;        ///< activation bytes read (batch, act dtype)
+    int64_t out_bytes = 0;       ///< activation bytes written
+};
+
+/**
+ * Computes the static cost of @p layer.
+ * @param in_shape per-sample input feature shape (from the producer)
+ * @param batch inference batch size
+ * @param weight_dtype dtype of parameters
+ * @param act_dtype dtype of activations
+ */
+StatusOr<LayerCost> ComputeLayerCost(const Layer& layer,
+                                     const std::vector<int64_t>& in_shape,
+                                     int64_t batch, DType weight_dtype,
+                                     DType act_dtype);
+
+/**
+ * Shape inference for one layer given its (first) input's per-sample
+ * shape. Returns the per-sample output shape.
+ */
+StatusOr<std::vector<int64_t>> InferShape(
+    const Layer& layer, const std::vector<int64_t>& in_shape);
+
+}  // namespace t4i
+
+#endif  // T4I_GRAPH_LAYER_H

@@ -1,0 +1,85 @@
+#include "src/ici/collectives.h"
+
+#include <algorithm>
+
+namespace t4i {
+
+const char*
+CollectiveName(Collective collective)
+{
+    switch (collective) {
+      case Collective::kAllGather: return "all-gather";
+      case Collective::kReduceScatter: return "reduce-scatter";
+      case Collective::kAllReduce: return "all-reduce";
+      case Collective::kBroadcast: return "broadcast";
+    }
+    return "?";
+}
+
+StatusOr<CollectiveCost>
+CostCollective(Collective collective, int64_t total_bytes,
+               const IciDomain& domain)
+{
+    if (total_bytes < 0) {
+        return Status::InvalidArgument("negative payload");
+    }
+    auto bw = domain.PerNeighborBandwidth();
+    T4I_RETURN_IF_ERROR(bw.status());
+    const double n = domain.num_chips;
+    const double shard =
+        static_cast<double>(total_bytes) / n;
+
+    CollectiveCost cost;
+    switch (domain.topology) {
+      case IciTopology::kRing:
+      case IciTopology::kTorus2D: {
+        // Bandwidth-optimal ring schedule (a torus runs it per ring
+        // dimension; same wire volume, fewer steps per dimension —
+        // modeled as a ring with the torus's per-neighbor bandwidth).
+        switch (collective) {
+          case Collective::kAllGather:
+          case Collective::kReduceScatter:
+            cost.steps = domain.num_chips - 1;
+            cost.bytes_on_wire = shard * (n - 1.0);
+            break;
+          case Collective::kAllReduce:
+            cost.steps = 2 * (domain.num_chips - 1);
+            cost.bytes_on_wire = 2.0 * shard * (n - 1.0);
+            break;
+          case Collective::kBroadcast:
+            cost.steps = domain.num_chips - 1;
+            cost.bytes_on_wire = static_cast<double>(total_bytes);
+            break;
+        }
+        break;
+      }
+      case IciTopology::kFullyConnected: {
+        // Direct exchange: every chip sends its shard to each peer
+        // over its time-shared links in one logical step.
+        switch (collective) {
+          case Collective::kAllGather:
+          case Collective::kReduceScatter:
+            cost.steps = 1;
+            cost.bytes_on_wire = shard * (n - 1.0);
+            break;
+          case Collective::kAllReduce:
+            cost.steps = 2;
+            cost.bytes_on_wire = 2.0 * shard * (n - 1.0);
+            break;
+          case Collective::kBroadcast:
+            cost.steps = 1;
+            cost.bytes_on_wire = static_cast<double>(total_bytes);
+            break;
+        }
+        break;
+      }
+    }
+    // Per-neighbor bandwidth carries the wire bytes; each step pays a
+    // hop latency. Fully-connected broadcasts fan out over shared
+    // links, so they see the aggregated neighbor rate too.
+    cost.time_s = cost.bytes_on_wire / bw.value() +
+                  cost.steps * domain.hop_latency_s;
+    return cost;
+}
+
+}  // namespace t4i

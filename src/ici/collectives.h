@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Collective-communication cost models over an ICI domain.
+ *
+ * Sharded inference needs all-gathers at layer boundaries (and
+ * all-reduces for tensor-parallel matmuls). Costs follow the standard
+ * alpha-beta analysis of bandwidth-optimal algorithms:
+ *
+ *   ring all-gather of B total bytes over N chips:
+ *     (N-1) steps, each moving B/N per chip at the per-neighbor rate;
+ *   reduce-scatter: the same wire cost (payloads shrink as they merge);
+ *   all-reduce: reduce-scatter + all-gather = 2(N-1)/N * B;
+ *   fully-connected: one step, each chip sends its shard to all peers
+ *     in parallel across its (time-shared) links.
+ *
+ * The model returns the *time* a collective occupies the interconnect,
+ * which the compiler converts to an equivalent-bytes descriptor for the
+ * simulator's single ICI engine queue.
+ */
+#ifndef T4I_ICI_COLLECTIVES_H
+#define T4I_ICI_COLLECTIVES_H
+
+#include "src/ici/topology.h"
+
+namespace t4i {
+
+/** Collective operations used by sharded inference. */
+enum class Collective {
+    kAllGather,      ///< every chip ends with all N shards
+    kReduceScatter,  ///< every chip ends with 1/N of the reduced data
+    kAllReduce,      ///< every chip ends with all of the reduced data
+    kBroadcast,      ///< one chip's data reaches all others
+};
+
+const char* CollectiveName(Collective collective);
+
+/** Cost of one collective invocation. */
+struct CollectiveCost {
+    double time_s = 0.0;      ///< interconnect occupancy
+    double bytes_on_wire = 0; ///< per-chip bytes actually transmitted
+    int steps = 0;            ///< algorithm steps (latency terms)
+};
+
+/**
+ * Costs a collective moving @p total_bytes of payload (the full,
+ * unsharded tensor size) over @p domain.
+ */
+StatusOr<CollectiveCost> CostCollective(Collective collective,
+                                        int64_t total_bytes,
+                                        const IciDomain& domain);
+
+}  // namespace t4i
+
+#endif  // T4I_ICI_COLLECTIVES_H

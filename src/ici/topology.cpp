@@ -1,0 +1,122 @@
+#include "src/ici/topology.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const char*
+IciTopologyName(IciTopology topology)
+{
+    switch (topology) {
+      case IciTopology::kRing: return "ring";
+      case IciTopology::kFullyConnected: return "fully-connected";
+      case IciTopology::kTorus2D: return "2D-torus";
+    }
+    return "?";
+}
+
+StatusOr<double>
+IciDomain::PerNeighborBandwidth() const
+{
+    if (num_chips < 2) {
+        return Status::InvalidArgument("domain needs >= 2 chips");
+    }
+    int neighbors = 0;
+    switch (topology) {
+      case IciTopology::kRing:
+        neighbors = num_chips == 2 ? 1 : 2;
+        break;
+      case IciTopology::kFullyConnected:
+        neighbors = num_chips - 1;
+        break;
+      case IciTopology::kTorus2D:
+        neighbors = 4;
+        break;
+    }
+    if (neighbors > links_per_chip &&
+        topology == IciTopology::kFullyConnected) {
+        // Links are time-multiplexed across neighbors.
+        return link_bw_Bps * links_per_chip / neighbors;
+    }
+    if (neighbors > links_per_chip) {
+        return Status::InvalidArgument(StrFormat(
+            "%s topology needs %d links/chip but only %d available",
+            IciTopologyName(topology), neighbors, links_per_chip));
+    }
+    // Spare links double up on the existing neighbors.
+    const double share =
+        static_cast<double>(links_per_chip) / neighbors;
+    return link_bw_Bps * share;
+}
+
+StatusOr<double>
+IciDomain::BisectionBandwidth() const
+{
+    auto per_neighbor = PerNeighborBandwidth();
+    T4I_RETURN_IF_ERROR(per_neighbor.status());
+    switch (topology) {
+      case IciTopology::kRing:
+        // Cutting a ring severs two links.
+        return 2.0 * per_neighbor.value();
+      case IciTopology::kFullyConnected: {
+        const int half = num_chips / 2;
+        return per_neighbor.value() *
+               static_cast<double>(half * (num_chips - half));
+      }
+      case IciTopology::kTorus2D: {
+        const int side = static_cast<int>(std::lround(
+            std::sqrt(static_cast<double>(num_chips))));
+        return 2.0 * side * per_neighbor.value();
+      }
+    }
+    return Status::Internal("unhandled topology");
+}
+
+int
+IciDomain::Diameter() const
+{
+    switch (topology) {
+      case IciTopology::kRing:
+        return num_chips / 2;
+      case IciTopology::kFullyConnected:
+        return 1;
+      case IciTopology::kTorus2D: {
+        const int side = static_cast<int>(std::lround(
+            std::sqrt(static_cast<double>(num_chips))));
+        return side;  // side/2 per dimension, two dimensions
+      }
+    }
+    return 1;
+}
+
+std::string
+IciDomain::ToString() const
+{
+    return StrFormat("%d-chip %s, %.0f GB/s/link x %d links/chip",
+                     num_chips, IciTopologyName(topology),
+                     link_bw_Bps / 1e9, links_per_chip);
+}
+
+StatusOr<IciDomain>
+MakeDomain(const ChipConfig& chip, int num_chips, IciTopology topology)
+{
+    if (chip.ici_links == 0) {
+        return Status::FailedPrecondition(chip.name +
+                                          " has no ICI links");
+    }
+    if (num_chips < 2) {
+        return Status::InvalidArgument("domain needs >= 2 chips");
+    }
+    IciDomain domain;
+    domain.num_chips = num_chips;
+    domain.topology = topology;
+    domain.link_bw_Bps = chip.ici_bw_Bps_per_link;
+    domain.links_per_chip = chip.ici_links;
+    // Validate the wiring is realizable.
+    T4I_RETURN_IF_ERROR(domain.PerNeighborBandwidth().status());
+    return domain;
+}
+
+}  // namespace t4i

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Inter-chip interconnect (ICI) domain topologies.
+ *
+ * TPUv2/v3 build 2-D torus supercomputers; TPUv4i deliberately scales
+ * the idea *down* to a 4-chip board domain (Lesson 8: enough headroom
+ * for ~2 years of 1.5x/year model growth without paying for a
+ * training-class fabric). This module describes the wiring options the
+ * collectives model (collectives.h) costs out.
+ */
+#ifndef T4I_ICI_TOPOLOGY_H
+#define T4I_ICI_TOPOLOGY_H
+
+#include <string>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** How the chips of one ICI domain are wired. */
+enum class IciTopology {
+    kRing,            ///< each chip links to two neighbors
+    kFullyConnected,  ///< every chip pair has a direct link
+    kTorus2D,         ///< 2-D torus (meaningful for >= 9 chips)
+};
+
+const char* IciTopologyName(IciTopology topology);
+
+/** One ICI domain: chips of one board (or a small pod). */
+struct IciDomain {
+    int num_chips = 4;
+    IciTopology topology = IciTopology::kRing;
+    /** Per-link per-direction bandwidth (from the chip config). */
+    double link_bw_Bps = 50e9;
+    /** Physical links each chip exposes. */
+    int links_per_chip = 2;
+    /** Per-hop latency (serialization + switch traversal). */
+    double hop_latency_s = 1e-6;
+
+    /**
+     * Links each chip can actually devote to one neighbor given the
+     * wiring. A ring splits the chip's links over 2 neighbors; a
+     * fully-connected domain over (num_chips - 1).
+     */
+    StatusOr<double> PerNeighborBandwidth() const;
+
+    /** Bisection bandwidth of the domain (per direction). */
+    StatusOr<double> BisectionBandwidth() const;
+
+    /** Network diameter in hops. */
+    int Diameter() const;
+
+    std::string ToString() const;
+};
+
+/** Builds a domain from a chip's ICI capabilities. */
+StatusOr<IciDomain> MakeDomain(const ChipConfig& chip, int num_chips,
+                               IciTopology topology);
+
+}  // namespace t4i
+
+#endif  // T4I_ICI_TOPOLOGY_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * BERT-style transformer encoders (the paper's BERT0/BERT1 and the
+ * MLPerf BERT-large workload).
+ *
+ * BERT arrived between TPUv3 and TPUv4i and reshaped the fleet mix
+ * (Lesson 9); it is also the workload whose 1.5x/year growth pressure
+ * (Lesson 8) drove TPUv4i's 4-chip ICI domains.
+ */
+#include "src/models/zoo.h"
+
+namespace t4i {
+
+Graph
+BuildBert(const std::string& name, int layers, int64_t d_model,
+          int64_t num_heads, int64_t d_ff, int64_t seq_len, int64_t vocab)
+{
+    Graph g(name);
+    int ids = g.AddInput("tokens", {seq_len});
+
+    LayerParams embed;
+    embed.vocab = vocab;
+    embed.embed_dim = d_model;
+    embed.lookups_per_sample = seq_len;
+    int x = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    for (int i = 0; i < layers; ++i) {
+        const std::string tag = "enc" + std::to_string(i);
+
+        LayerParams attn;
+        attn.seq_len = seq_len;
+        attn.d_model = d_model;
+        attn.num_heads = num_heads;
+        int a = g.AddLayer(LayerKind::kAttention, tag + ".attn", {x}, attn);
+
+        LayerParams add;
+        add.arity = 2;
+        int r1 = g.AddLayer(LayerKind::kElementwise, tag + ".res1", {a, x},
+                            add);
+        int n1 = g.AddLayer(LayerKind::kLayerNorm, tag + ".ln1", {r1},
+                            LayerParams{});
+
+        LayerParams ffn;
+        ffn.d_model = d_model;
+        ffn.d_ff = d_ff;
+        ffn.activation = Activation::kGelu;
+        int f = g.AddLayer(LayerKind::kFeedForward, tag + ".ffn", {n1},
+                           ffn);
+
+        int r2 = g.AddLayer(LayerKind::kElementwise, tag + ".res2",
+                            {f, n1}, add);
+        x = g.AddLayer(LayerKind::kLayerNorm, tag + ".ln2", {r2},
+                       LayerParams{});
+    }
+
+    // Task head (classification over the pooled representation).
+    LayerParams head;
+    head.in_features = d_model;
+    head.out_features = d_model;
+    head.activation = Activation::kTanh;
+    int pooled = g.AddLayer(LayerKind::kDense, "pooler", {x}, head);
+    LayerParams cls;
+    cls.in_features = d_model;
+    cls.out_features = 2;
+    g.AddLayer(LayerKind::kDense, "cls", {pooled}, cls);
+
+    T4I_CHECK(g.Finalize().ok(), "BERT graph failed to finalize");
+    return g;
+}
+
+Graph
+BuildBertLarge()
+{
+    return BuildBert("BERT-large", 24, 1024, 16, 4096, 384, 30522);
+}
+
+}  // namespace t4i

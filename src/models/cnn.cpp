@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Convolutional models: the paper's CNN0/CNN1 stand-ins and MLPerf-style
+ * ResNet-50. CNNs are the compute-bound end of the zoo — hundreds of
+ * FLOPs per weight byte — so they ride the roofline's flat top and gain
+ * the most from the MXUs.
+ */
+#include "src/models/zoo.h"
+
+namespace t4i {
+namespace {
+
+/** Adds conv + ReLU; returns the new layer id. */
+int
+AddConv(Graph& g, const std::string& name, int input, int64_t kernel,
+        int64_t stride, int64_t pad, int64_t out_channels,
+        Activation act = Activation::kRelu)
+{
+    LayerParams p;
+    p.kernel_h = kernel;
+    p.kernel_w = kernel;
+    p.stride = stride;
+    p.pad = pad;
+    p.out_channels = out_channels;
+    p.activation = act;
+    return g.AddLayer(LayerKind::kConv2d, name, {input}, p);
+}
+
+/** Adds a residual bottleneck block (1x1 -> 3x3 -> 1x1 + skip add). */
+int
+AddBottleneck(Graph& g, const std::string& name, int input,
+              int64_t in_channels, int64_t bottleneck, int64_t stride)
+{
+    const int64_t out_channels = bottleneck * 4;
+    int a = AddConv(g, name + ".a", input, 1, 1, 0, bottleneck);
+    int b = AddConv(g, name + ".b", a, 3, stride, 1, bottleneck);
+    int c = AddConv(g, name + ".c", b, 1, 1, 0, out_channels,
+                    Activation::kNone);
+    int skip = input;
+    if (stride != 1 || in_channels != out_channels) {
+        skip = AddConv(g, name + ".proj", input, 1, stride, 0,
+                       out_channels, Activation::kNone);
+    }
+    LayerParams add;
+    add.arity = 2;
+    add.flops_per_element = 1.0;
+    add.activation = Activation::kRelu;
+    return g.AddLayer(LayerKind::kElementwise, name + ".add", {c, skip},
+                      add);
+}
+
+Graph
+BuildResNetImpl(const std::string& name,
+                const std::vector<int>& blocks_per_stage,
+                int64_t base_channels, int64_t classes)
+{
+    Graph g(name);
+    int x = g.AddInput("image", {224, 224, 3});
+    x = AddConv(g, "stem", x, 7, 2, 3, base_channels);
+
+    LayerParams pool;
+    pool.kernel_h = 3;
+    pool.kernel_w = 3;
+    pool.stride = 2;
+    x = g.AddLayer(LayerKind::kMaxPool, "pool0", {x}, pool);
+
+    int64_t in_channels = base_channels;
+    for (size_t stage = 0; stage < blocks_per_stage.size(); ++stage) {
+        const int64_t bottleneck = base_channels << stage;
+        for (int blk = 0; blk < blocks_per_stage[stage]; ++blk) {
+            const int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+            x = AddBottleneck(
+                g, "s" + std::to_string(stage) + "b" + std::to_string(blk),
+                x, in_channels, bottleneck, stride);
+            in_channels = bottleneck * 4;
+        }
+    }
+
+    x = g.AddLayer(LayerKind::kGlobalPool, "gap", {x}, LayerParams{});
+    LayerParams fc;
+    fc.in_features = in_channels;
+    fc.out_features = classes;
+    g.AddLayer(LayerKind::kDense, "logits", {x}, fc);
+
+    T4I_CHECK(g.Finalize().ok(), "ResNet graph failed to finalize");
+    return g;
+}
+
+}  // namespace
+
+Graph
+BuildResNetish(const std::string& name, int blocks_per_stage,
+               int64_t base_channels)
+{
+    return BuildResNetImpl(
+        name,
+        {blocks_per_stage, blocks_per_stage, blocks_per_stage,
+         blocks_per_stage},
+        base_channels, 1000);
+}
+
+Graph
+BuildResNet50()
+{
+    // The canonical [3, 4, 6, 3] bottleneck arrangement.
+    return BuildResNetImpl("ResNet50", {3, 4, 6, 3}, 64, 1000);
+}
+
+Graph
+BuildSmallCnn(const std::string& name)
+{
+    // An inception-flavored detector backbone: aggressive early
+    // downsampling, mixed 1x1/3x3 stages, small classifier.
+    Graph g(name);
+    int x = g.AddInput("image", {224, 224, 3});
+    x = AddConv(g, "stem0", x, 3, 2, 1, 32);
+    x = AddConv(g, "stem1", x, 3, 1, 1, 48);
+
+    LayerParams pool;
+    pool.kernel_h = 3;
+    pool.kernel_w = 3;
+    pool.stride = 2;
+    x = g.AddLayer(LayerKind::kMaxPool, "pool0", {x}, pool);
+
+    const struct { int64_t squeeze; int64_t expand; } kStages[] = {
+        {64, 192}, {96, 288}, {128, 384}, {192, 576},
+    };
+    for (size_t s = 0; s < std::size(kStages); ++s) {
+        const std::string tag = "mix" + std::to_string(s);
+        x = AddConv(g, tag + ".squeeze", x, 1, 1, 0, kStages[s].squeeze);
+        x = AddConv(g, tag + ".expand", x, 3, 1, 1, kStages[s].expand);
+        if (s + 1 < std::size(kStages)) {
+            LayerParams dp;
+            dp.kernel_h = 3;
+            dp.kernel_w = 3;
+            dp.stride = 2;
+            x = g.AddLayer(LayerKind::kMaxPool, tag + ".pool", {x}, dp);
+        }
+    }
+
+    x = g.AddLayer(LayerKind::kGlobalPool, "gap", {x}, LayerParams{});
+    LayerParams fc;
+    fc.in_features = 576;
+    fc.out_features = 1000;
+    g.AddLayer(LayerKind::kDense, "logits", {x}, fc);
+
+    T4I_CHECK(g.Finalize().ok(), "SmallCnn graph failed to finalize");
+    return g;
+}
+
+}  // namespace t4i

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Post-paper / extension workloads:
+ *
+ *  - BuildDecoderLm: an autoregressive transformer decoder (the LLM
+ *    serving shape that arrived right after TPUv4i shipped — Lesson 9's
+ *    "workloads keep evolving" carried one step further);
+ *  - BuildDlrm: a DLRM-style recommender with multiple embedding tables
+ *    and a feature-interaction stage (MLPerf's recommendation model);
+ *  - BuildSsdDetector: an SSD-style single-shot detector with multi-
+ *    scale heads (MLPerf's object-detection model).
+ */
+#include "src/models/zoo.h"
+
+namespace t4i {
+
+Graph
+BuildDecoderLm(const std::string& name, int layers, int64_t d_model,
+               int64_t num_heads, int64_t d_ff, int64_t prompt_len,
+               int64_t gen_tokens, int64_t vocab)
+{
+    Graph g(name);
+    int ids = g.AddInput("tokens", {gen_tokens});
+
+    LayerParams embed;
+    embed.vocab = vocab;
+    embed.embed_dim = d_model;
+    embed.lookups_per_sample = gen_tokens;
+    int x = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    for (int i = 0; i < layers; ++i) {
+        LayerParams block;
+        block.seq_len = gen_tokens;
+        block.kv_len = prompt_len;
+        block.d_model = d_model;
+        block.num_heads = num_heads;
+        block.d_ff = d_ff;
+        x = g.AddLayer(LayerKind::kDecoderBlock,
+                       "dec" + std::to_string(i), {x}, block);
+    }
+
+    // Per-token LM head onto a sampled vocabulary shard.
+    LayerParams head;
+    head.in_features = d_model;
+    head.out_features = vocab / 8;
+    g.AddLayer(LayerKind::kDense, "lm_head", {x}, head);
+
+    T4I_CHECK(g.Finalize().ok(), "decoder graph failed to finalize");
+    return g;
+}
+
+Graph
+BuildDlrm(const std::string& name, int num_tables, int64_t rows_per_table,
+          int64_t embed_dim, int64_t lookups_per_table,
+          int64_t dense_features)
+{
+    Graph g(name);
+
+    // Sparse side: several embedding tables gathered independently.
+    std::vector<int> gathered;
+    for (int t = 0; t < num_tables; ++t) {
+        int ids = g.AddInput("ids" + std::to_string(t),
+                             {lookups_per_table});
+        LayerParams embed;
+        embed.vocab = rows_per_table;
+        embed.embed_dim = embed_dim;
+        embed.lookups_per_sample = lookups_per_table;
+        gathered.push_back(g.AddLayer(LayerKind::kEmbedding,
+                                      "table" + std::to_string(t),
+                                      {ids}, embed));
+    }
+
+    // Dense side: bottom MLP on the continuous features.
+    int dense_in = g.AddInput("dense", {dense_features});
+    LayerParams b0;
+    b0.in_features = dense_features;
+    b0.out_features = 512;
+    b0.activation = Activation::kRelu;
+    int bottom = g.AddLayer(LayerKind::kDense, "bot0", {dense_in}, b0);
+    LayerParams b1;
+    b1.in_features = 512;
+    b1.out_features = embed_dim;
+    b1.activation = Activation::kRelu;
+    bottom = g.AddLayer(LayerKind::kDense, "bot1", {bottom}, b1);
+
+    // Feature interaction: concatenate everything (pairwise dot
+    // products are modeled by the concat + first top layer).
+    std::vector<int> concat_inputs = gathered;
+    concat_inputs.push_back(bottom);
+    int interact = g.AddLayer(LayerKind::kConcat, "interact",
+                              concat_inputs, LayerParams{});
+
+    const int64_t interact_width =
+        num_tables * lookups_per_table * embed_dim + embed_dim;
+    LayerParams t0;
+    t0.in_features = interact_width;
+    t0.out_features = 1024;
+    t0.activation = Activation::kRelu;
+    int top = g.AddLayer(LayerKind::kDense, "top0", {interact}, t0);
+    LayerParams t1;
+    t1.in_features = 1024;
+    t1.out_features = 256;
+    t1.activation = Activation::kRelu;
+    top = g.AddLayer(LayerKind::kDense, "top1", {top}, t1);
+    LayerParams t2;
+    t2.in_features = 256;
+    t2.out_features = 1;
+    g.AddLayer(LayerKind::kDense, "ctr", {top}, t2);
+
+    T4I_CHECK(g.Finalize().ok(), "DLRM graph failed to finalize");
+    return g;
+}
+
+Graph
+BuildSsdDetector(const std::string& name)
+{
+    // ResNet-34-ish backbone trunk + extra downsampling features +
+    // class/box conv heads at three scales, concatenated for the host.
+    Graph g(name);
+    int x = g.AddInput("image", {300, 300, 3});
+
+    auto conv = [&g](const std::string& n, int input, int64_t k,
+                     int64_t stride, int64_t pad, int64_t out) {
+        LayerParams p;
+        p.kernel_h = k;
+        p.kernel_w = k;
+        p.stride = stride;
+        p.pad = pad;
+        p.out_channels = out;
+        p.activation = Activation::kRelu;
+        return g.AddLayer(LayerKind::kConv2d, n, {input}, p);
+    };
+
+    x = conv("stem", x, 7, 2, 3, 64);
+    LayerParams pool;
+    pool.kernel_h = 3;
+    pool.kernel_w = 3;
+    pool.stride = 2;
+    x = g.AddLayer(LayerKind::kMaxPool, "pool0", {x}, pool);
+
+    // Backbone stages (plain 3x3 pairs, ResNet-34 flavor).
+    const int64_t stage_channels[] = {64, 128, 256};
+    for (size_t s = 0; s < std::size(stage_channels); ++s) {
+        const int64_t c = stage_channels[s];
+        const std::string tag = "s" + std::to_string(s);
+        x = conv(tag + ".a", x, 3, s == 0 ? 1 : 2, 1, c);
+        x = conv(tag + ".b", x, 3, 1, 1, c);
+        x = conv(tag + ".c", x, 3, 1, 1, c);
+    }
+    int feat38 = x;  // ~38x38x256 scale
+
+    int feat19 = conv("extra0", feat38, 3, 2, 1, 512);
+    int feat10 = conv("extra1", feat19, 3, 2, 1, 512);
+
+    // Per-scale class + box heads (4 anchors, 81 classes, 4 coords).
+    std::vector<int> heads;
+    int scale_idx = 0;
+    for (int feat : {feat38, feat19, feat10}) {
+        const std::string tag = "head" + std::to_string(scale_idx++);
+        heads.push_back(conv(tag + ".cls", feat, 3, 1, 1, 4 * 81));
+        heads.push_back(conv(tag + ".box", feat, 3, 1, 1, 4 * 4));
+    }
+    g.AddLayer(LayerKind::kConcat, "detections", heads, LayerParams{});
+
+    T4I_CHECK(g.Finalize().ok(), "SSD graph failed to finalize");
+    return g;
+}
+
+Graph
+BuildMobileNetish(const std::string& name)
+{
+    Graph g(name);
+    int x = g.AddInput("image", {224, 224, 3});
+
+    auto conv = [&g](const std::string& n, int input, int64_t k,
+                     int64_t stride, int64_t pad, int64_t out) {
+        LayerParams p;
+        p.kernel_h = k;
+        p.kernel_w = k;
+        p.stride = stride;
+        p.pad = pad;
+        p.out_channels = out;
+        p.activation = Activation::kRelu;
+        return g.AddLayer(LayerKind::kConv2d, n, {input}, p);
+    };
+    auto dwsep = [&](const std::string& n, int input, int64_t stride,
+                     int64_t out) {
+        LayerParams dw;
+        dw.kernel_h = 3;
+        dw.kernel_w = 3;
+        dw.stride = stride;
+        dw.pad = 1;
+        dw.activation = Activation::kRelu;
+        int d = g.AddLayer(LayerKind::kDepthwiseConv2d, n + ".dw",
+                           {input}, dw);
+        return conv(n + ".pw", d, 1, 1, 0, out);
+    };
+
+    x = conv("stem", x, 3, 2, 1, 32);
+    const struct { int64_t stride; int64_t out; } kBlocks[] = {
+        {1, 64},  {2, 128}, {1, 128}, {2, 256},
+        {1, 256}, {2, 512}, {1, 512}, {1, 512},
+        {2, 1024}, {1, 1024},
+    };
+    for (size_t i = 0; i < std::size(kBlocks); ++i) {
+        x = dwsep("b" + std::to_string(i), x, kBlocks[i].stride,
+                  kBlocks[i].out);
+    }
+    x = g.AddLayer(LayerKind::kGlobalPool, "gap", {x}, LayerParams{});
+    LayerParams fc;
+    fc.in_features = 1024;
+    fc.out_features = 1000;
+    g.AddLayer(LayerKind::kDense, "logits", {x}, fc);
+
+    T4I_CHECK(g.Finalize().ok(), "MobileNet graph failed to finalize");
+    return g;
+}
+
+}  // namespace t4i

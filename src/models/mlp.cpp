@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Recommendation/ranking-style MLPs (the paper's MLP0/MLP1).
+ *
+ * Production MLPs at Google are dominated by large embedding tables feeding
+ * a modest dense tower: enormous weight footprint, very low operational
+ * intensity, tight latency SLOs. That memory-bound shape (a few FLOPs per
+ * weight byte) is exactly what makes HBM bandwidth the limiter for them in
+ * the paper's rooflines.
+ */
+#include "src/models/zoo.h"
+
+namespace t4i {
+
+Graph
+BuildMlp(const std::string& name, int64_t embed_vocab, int64_t embed_dim,
+         int64_t lookups, int64_t tower_in,
+         const std::vector<int64_t>& tower_widths)
+{
+    T4I_CHECK(lookups * embed_dim == tower_in,
+              "MLP tower input must equal lookups * embed_dim");
+
+    Graph g(name);
+    int ids = g.AddInput("ids", {lookups});
+
+    LayerParams embed;
+    embed.vocab = embed_vocab;
+    embed.embed_dim = embed_dim;
+    embed.lookups_per_sample = lookups;
+    int prev = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    prev = g.AddLayer(LayerKind::kFlatten, "concat", {prev}, LayerParams{});
+
+    int64_t in_features = tower_in;
+    for (size_t i = 0; i < tower_widths.size(); ++i) {
+        LayerParams dense;
+        dense.in_features = in_features;
+        dense.out_features = tower_widths[i];
+        dense.activation = (i + 1 == tower_widths.size())
+                               ? Activation::kNone
+                               : Activation::kRelu;
+        prev = g.AddLayer(LayerKind::kDense, "fc" + std::to_string(i),
+                          {prev}, dense);
+        in_features = tower_widths[i];
+    }
+    T4I_CHECK(g.Finalize().ok(), "MLP graph failed to finalize");
+    return g;
+}
+
+}  // namespace t4i

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Stacked-LSTM sequence models (the paper's RNN0/RNN1 stand-ins).
+ *
+ * Production RNNs (translation, speech) run long dependent chains of
+ * small matmuls: moderate weight footprint, low per-step parallelism,
+ * latency dominated by sequence length. They sit between the MLPs and
+ * CNNs on the roofline and were the reason TPUv1's 92 TOPS often went
+ * unused — a motivating data point for the paper's Lessons 9 and 10.
+ */
+#include "src/models/zoo.h"
+
+namespace t4i {
+
+Graph
+BuildLstmStack(const std::string& name, int64_t vocab, int64_t embed_dim,
+               int layers, int64_t hidden, int64_t seq_len)
+{
+    Graph g(name);
+    int ids = g.AddInput("tokens", {seq_len});
+
+    LayerParams embed;
+    embed.vocab = vocab;
+    embed.embed_dim = embed_dim;
+    embed.lookups_per_sample = seq_len;
+    int x = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    for (int i = 0; i < layers; ++i) {
+        LayerParams lstm;
+        lstm.seq_len = seq_len;
+        lstm.hidden_dim = hidden;
+        x = g.AddLayer(LayerKind::kLstm, "lstm" + std::to_string(i), {x},
+                       lstm);
+    }
+
+    // Per-step output projection onto a sampled-softmax head
+    // (decoder-style: one logit set per step). Dense applies to the last
+    // dim of [seq, hidden], so rows = batch * seq.
+    LayerParams proj;
+    proj.in_features = hidden;
+    proj.out_features = vocab / 8;  // sampled softmax head
+    g.AddLayer(LayerKind::kDense, "proj", {x}, proj);
+
+    T4I_CHECK(g.Finalize().ok(), "LSTM graph failed to finalize");
+    return g;
+}
+
+}  // namespace t4i

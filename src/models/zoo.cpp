@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The eight production apps, the year-scaled suite (Lesson 8) and the
+ * fleet-mix history (Lesson 9).
+ *
+ * Shapes are synthetic stand-ins chosen so that each app's weight
+ * footprint, FLOPs and operational intensity land in the band the TPU
+ * papers report for its domain (see DESIGN.md "Substitutions"):
+ *   MLPs  — 100s of MiB of embeddings, ops/byte O(10)
+ *   CNNs  — 10s of MiB of weights, ops/byte O(100-1000)
+ *   RNNs  — 10s-100 MiB, long dependent chains
+ *   BERTs — 100s of MiB, high intensity at long sequence lengths
+ */
+#include "src/models/zoo.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const char*
+AppDomainName(AppDomain domain)
+{
+    switch (domain) {
+      case AppDomain::kMlp: return "MLP";
+      case AppDomain::kCnn: return "CNN";
+      case AppDomain::kRnn: return "RNN";
+      case AppDomain::kBert: return "BERT";
+    }
+    return "?";
+}
+
+namespace {
+
+App
+MakeApp(std::string name, AppDomain domain, Graph graph, double slo_ms,
+        int64_t typical_batch, double fleet_share)
+{
+    App app{std::move(name), domain, std::move(graph), slo_ms,
+            typical_batch, fleet_share};
+    return app;
+}
+
+/** Builds the suite with capacity multiplier `scale` (1.0 = 2017). */
+std::vector<App>
+BuildSuite(double scale)
+{
+    // `scale` multiplies total weight bytes. Table/row-count dimensions
+    // carry weights linearly, so they scale by `scale`; hidden widths
+    // carry weights quadratically, so they scale by sqrt(scale).
+    auto s = [scale](int64_t v) {
+        return static_cast<int64_t>(std::llround(
+            static_cast<double>(v) * scale));
+    };
+    const double wscale = std::sqrt(scale);
+    // Width dimensions must stay multiples of 64 for the graphs to
+    // compose cleanly.
+    auto s64 = [wscale](int64_t v) {
+        const auto x = static_cast<int64_t>(std::llround(
+            static_cast<double>(v) * wscale));
+        return std::max<int64_t>(64, (x / 64) * 64);
+    };
+
+    std::vector<App> apps;
+
+    // MLP0: large ranking model. ~50M embedding rows at dim 64 would be
+    // fleet-scale; we keep 4M x 96 (~768 MiB bf16) plus a 4-layer tower.
+    apps.push_back(MakeApp(
+        "MLP0", AppDomain::kMlp,
+        BuildMlp("MLP0", s(4'000'000), 96, 80, 80 * 96,
+                 {s64(2048), s64(1024), s64(512), 1}),
+        7.0, 128, 0.25));
+
+    // MLP1: smaller ranking model with a deeper tower.
+    apps.push_back(MakeApp(
+        "MLP1", AppDomain::kMlp,
+        BuildMlp("MLP1", s(1'000'000), 64, 32, 32 * 64,
+                 {s64(1024), s64(1024), s64(512), s64(256), 1}),
+        7.0, 128, 0.10));
+
+    // CNN0: deep residual network (ResNet-50-class at scale 1).
+    apps.push_back(MakeApp(
+        "CNN0", AppDomain::kCnn,
+        BuildResNetish("CNN0", std::max<int>(2, static_cast<int>(
+                                  std::llround(3 * scale))),
+                       64),
+        10.0, 16, 0.06));
+
+    // CNN1: small detector backbone.
+    apps.push_back(MakeApp("CNN1", AppDomain::kCnn,
+                           BuildSmallCnn("CNN1"), 5.0, 8, 0.06));
+
+    // RNN0: speech-style 5-layer LSTM stack.
+    apps.push_back(MakeApp(
+        "RNN0", AppDomain::kRnn,
+        BuildLstmStack("RNN0", 32'000, s64(512), 5, s64(1024), 80),
+        100.0, 16, 0.15));
+
+    // RNN1: translation-style 2-layer wide LSTM.
+    apps.push_back(MakeApp(
+        "RNN1", AppDomain::kRnn,
+        BuildLstmStack("RNN1", 32'000, s64(1024), 2, s64(1536), 96),
+        50.0, 16, 0.10));
+
+    // BERT0: BERT-base-class encoder.
+    apps.push_back(MakeApp(
+        "BERT0", AppDomain::kBert,
+        BuildBert("BERT0", 12, s64(768), 12, s64(3072), 128, 30'522),
+        15.0, 32, 0.18));
+
+    // BERT1: BERT-large-class encoder at shorter sequence length.
+    apps.push_back(MakeApp(
+        "BERT1", AppDomain::kBert,
+        BuildBert("BERT1", 24, s64(1024), 16, s64(4096), 192, 30'522),
+        30.0, 16, 0.10));
+
+    return apps;
+}
+
+}  // namespace
+
+std::vector<App>
+ProductionApps()
+{
+    return BuildSuite(1.0);
+}
+
+std::vector<std::string>
+ProductionAppNames()
+{
+    return {"MLP0", "MLP1", "CNN0", "CNN1",
+            "RNN0", "RNN1", "BERT0", "BERT1"};
+}
+
+StatusOr<App>
+BuildApp(const std::string& name)
+{
+    for (auto& app : ProductionApps()) {
+        if (app.name == name) return std::move(app);
+    }
+    return Status::NotFound("unknown app '" + name + "'");
+}
+
+std::vector<App>
+AppsOfYear(int year)
+{
+    // Lesson 8: capacities grow ~1.5x per year; 2017 is the reference.
+    const double scale = std::pow(1.5, year - 2017);
+    return BuildSuite(scale);
+}
+
+std::vector<FleetMix>
+FleetMixHistory()
+{
+    // 2016 numbers follow the TPUv1 paper's published mix
+    // (61% MLP / 29% LSTM / 5% CNN / 5% other, folded into MLP);
+    // later years shift toward CNN and then BERT.
+    return {
+        {2016, 0.66, 0.05, 0.29, 0.00},
+        {2017, 0.61, 0.08, 0.29, 0.02},
+        {2018, 0.52, 0.12, 0.26, 0.10},
+        {2019, 0.42, 0.13, 0.22, 0.23},
+        {2020, 0.35, 0.12, 0.25, 0.28},
+    };
+}
+
+}  // namespace t4i

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The workload zoo.
+ *
+ * The TPUv4i paper evaluates on eight production inference applications —
+ * two each of MLP, CNN, RNN and BERT — characterized by their layer mix,
+ * weight footprint, operational intensity and latency SLO (the real
+ * models are confidential; these are parameterized synthetic stand-ins
+ * matching the published shapes; see DESIGN.md "Substitutions").
+ *
+ * The zoo also provides:
+ *  - MLPerf-style ResNet-50 and BERT for experiment E10,
+ *  - a year-parameterized "grown" suite for Lesson 8 (DNNs grow
+ *    ~1.5x/year, E4/E14),
+ *  - the historical 2016-era app mix for Lesson 9 (E15).
+ */
+#ifndef T4I_MODELS_ZOO_H
+#define T4I_MODELS_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace t4i {
+
+/** Workload domains, following the paper's taxonomy. */
+enum class AppDomain { kMlp, kCnn, kRnn, kBert };
+
+const char* AppDomainName(AppDomain domain);
+
+/** A production inference application: model + serving contract. */
+struct App {
+    std::string name;
+    AppDomain domain = AppDomain::kMlp;
+    Graph graph{"unnamed"};
+    /** 99th-percentile latency SLO the app must meet (Lesson 10). */
+    double slo_ms = 10.0;
+    /** Batch size the production deployment converged on. */
+    int64_t typical_batch = 8;
+    /** Fraction of the serving fleet's cycles (for mix experiments). */
+    double fleet_share = 0.0;
+};
+
+/** Builds one of the eight production apps by name (MLP0, ..., BERT1). */
+StatusOr<App> BuildApp(const std::string& name);
+
+/** All eight production apps in paper order. */
+std::vector<App> ProductionApps();
+
+/** Names of the eight production apps in paper order. */
+std::vector<std::string> ProductionAppNames();
+
+// --- Individual model builders (finalized graphs) -----------------------
+
+/** Recommendation-style MLP: wide embedding + dense tower. */
+Graph BuildMlp(const std::string& name, int64_t embed_vocab,
+               int64_t embed_dim, int64_t lookups, int64_t tower_in,
+               const std::vector<int64_t>& tower_widths);
+
+/** ResNet-style CNN with `stages` of residual blocks on 224x224 input. */
+Graph BuildResNetish(const std::string& name, int blocks_per_stage,
+                     int64_t base_channels);
+
+/** Small inception-flavored CNN used for CNN1. */
+Graph BuildSmallCnn(const std::string& name);
+
+/** Stacked-LSTM sequence model with an input embedding. */
+Graph BuildLstmStack(const std::string& name, int64_t vocab,
+                     int64_t embed_dim, int layers, int64_t hidden,
+                     int64_t seq_len);
+
+/** BERT-style transformer encoder. */
+Graph BuildBert(const std::string& name, int layers, int64_t d_model,
+                int64_t num_heads, int64_t d_ff, int64_t seq_len,
+                int64_t vocab);
+
+/** MLPerf-style ResNet-50 (the v0.7 image classification workload). */
+Graph BuildResNet50();
+
+/** MLPerf-style BERT-large, sequence length 384. */
+Graph BuildBertLarge();
+
+// --- Extension workloads (post-paper growth directions) -----------------
+
+/**
+ * Autoregressive transformer decoder LM: generates @p gen_tokens one at
+ * a time against a @p prompt_len-token KV cache. The LLM-serving shape
+ * that arrived right after TPUv4i shipped.
+ */
+Graph BuildDecoderLm(const std::string& name, int layers,
+                     int64_t d_model, int64_t num_heads, int64_t d_ff,
+                     int64_t prompt_len, int64_t gen_tokens,
+                     int64_t vocab);
+
+/** DLRM-style recommender: multiple embedding tables + interaction +
+ *  top MLP (MLPerf recommendation). */
+Graph BuildDlrm(const std::string& name, int num_tables,
+                int64_t rows_per_table, int64_t embed_dim,
+                int64_t lookups_per_table, int64_t dense_features);
+
+/** SSD-style single-shot detector with multi-scale heads (MLPerf
+ *  object detection). */
+Graph BuildSsdDetector(const std::string& name);
+
+/**
+ * MobileNet-style edge CNN: depthwise-separable blocks. Exists to show
+ * the systolic array's weakness on depthwise convolutions (ablation
+ * A9) — the kind of workload-evolution pressure Lesson 9 warns about.
+ */
+Graph BuildMobileNetish(const std::string& name);
+
+// --- Lesson 8 / Lesson 9 suites -----------------------------------------
+
+/**
+ * The zoo "as of `year`": model capacities scaled by 1.5x per year from
+ * the 2017 baseline (Lesson 8). year in [2016, 2022].
+ */
+std::vector<App> AppsOfYear(int year);
+
+/**
+ * Fleet mix snapshots (Lesson 9): share of inference cycles per domain.
+ * Reconstructed trajectory: 2016 is MLP/LSTM-heavy (TPUv1 paper's 61%
+ * MLP / 29% LSTM / 5% CNN), 2020 adds BERT at the expense of MLP/LSTM.
+ */
+struct FleetMix {
+    int year;
+    double mlp_share;
+    double cnn_share;
+    double rnn_share;
+    double bert_share;
+};
+
+std::vector<FleetMix> FleetMixHistory();
+
+}  // namespace t4i
+
+#endif  // T4I_MODELS_ZOO_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Software bfloat16 (Lesson 6: some inference apps need floating point).
+ *
+ * TPUv2 onward compute in bfloat16: the top 16 bits of an IEEE-754 binary32
+ * value (1 sign, 8 exponent, 7 mantissa bits). The wide exponent keeps
+ * fp32-trained models deployable without retraining (Lesson 4, backwards ML
+ * compatibility); the narrow mantissa is what the numerics experiments
+ * (E13) quantify. Conversion uses round-to-nearest-even, matching hardware.
+ */
+#ifndef T4I_NUMERICS_BFLOAT16_H
+#define T4I_NUMERICS_BFLOAT16_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace t4i {
+
+/** 16-bit brain floating point value. Storage-only; compute is via float. */
+class BFloat16 {
+  public:
+    BFloat16() = default;
+
+    /** Converts from float with round-to-nearest-even. */
+    explicit BFloat16(float f) : bits_(RoundFromFloat(f)) {}
+
+    /** Reinterprets raw bits. */
+    static BFloat16
+    FromBits(uint16_t bits)
+    {
+        BFloat16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    /** Widens back to float (exact; bf16 values are a subset of fp32). */
+    float
+    ToFloat() const
+    {
+        uint32_t wide = static_cast<uint32_t>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &wide, sizeof(f));
+        return f;
+    }
+
+    uint16_t bits() const { return bits_; }
+
+    friend bool
+    operator==(BFloat16 a, BFloat16 b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+  private:
+    static uint16_t
+    RoundFromFloat(float f)
+    {
+        uint32_t x;
+        std::memcpy(&x, &f, sizeof(x));
+        // NaN must stay NaN: set a mantissa bit so truncation cannot turn
+        // it into infinity.
+        if ((x & 0x7fffffffu) > 0x7f800000u) {
+            return static_cast<uint16_t>((x >> 16) | 0x0040u);
+        }
+        // Round to nearest even on the bit below the cut.
+        uint32_t lsb = (x >> 16) & 1u;
+        uint32_t rounding_bias = 0x7fffu + lsb;
+        return static_cast<uint16_t>((x + rounding_bias) >> 16);
+    }
+
+    uint16_t bits_ = 0;
+};
+
+/** Convenience: float -> bf16 -> float round trip (the MXU input path). */
+inline float
+Bf16Round(float f)
+{
+    return BFloat16(f).ToFloat();
+}
+
+}  // namespace t4i
+
+#endif  // T4I_NUMERICS_BFLOAT16_H

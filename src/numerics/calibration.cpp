@@ -1,0 +1,121 @@
+#include "src/numerics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t4i {
+namespace {
+
+/** |x| percentile of the samples (q in [0,100]). */
+double
+AbsPercentile(std::vector<float> magnitudes, double q)
+{
+    std::sort(magnitudes.begin(), magnitudes.end());
+    const double rank =
+        q / 100.0 * static_cast<double>(magnitudes.size() - 1);
+    const auto lo = static_cast<size_t>(std::floor(rank));
+    const auto hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return magnitudes[lo] * (1.0 - frac) + magnitudes[hi] * frac;
+}
+
+QuantParams
+ParamsForClip(double clip)
+{
+    QuantParams p;
+    p.scale = std::max(clip, 1e-30) / 127.0;
+    p.zero_point = 0;
+    return p;
+}
+
+/** Mean squared error of fake-quantizing @p data with clip bound. */
+double
+MseForClip(const std::vector<float>& data, double clip)
+{
+    const QuantParams p = ParamsForClip(clip);
+    double sum = 0.0;
+    for (float x : data) {
+        double q = std::nearbyint(static_cast<double>(x) / p.scale);
+        q = std::clamp(q, -128.0, 127.0);
+        const double back = q * p.scale;
+        const double e = back - static_cast<double>(x);
+        sum += e * e;
+    }
+    return sum / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+const char*
+CalibrationMethodName(CalibrationMethod method)
+{
+    switch (method) {
+      case CalibrationMethod::kMinMax: return "min/max";
+      case CalibrationMethod::kPercentile999: return "p99.9";
+      case CalibrationMethod::kPercentile99: return "p99";
+      case CalibrationMethod::kMseOptimal: return "MSE-optimal";
+    }
+    return "?";
+}
+
+StatusOr<QuantParams>
+Calibrate(const std::vector<float>& samples, CalibrationMethod method)
+{
+    if (samples.empty()) {
+        return Status::InvalidArgument("no calibration samples");
+    }
+    std::vector<float> magnitudes(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        magnitudes[i] = std::fabs(samples[i]);
+    }
+    const double max_abs =
+        *std::max_element(magnitudes.begin(), magnitudes.end());
+
+    switch (method) {
+      case CalibrationMethod::kMinMax:
+        return ParamsForClip(max_abs);
+
+      case CalibrationMethod::kPercentile999:
+        return ParamsForClip(AbsPercentile(magnitudes, 99.9));
+
+      case CalibrationMethod::kPercentile99:
+        return ParamsForClip(AbsPercentile(magnitudes, 99.0));
+
+      case CalibrationMethod::kMseOptimal: {
+        // Golden-ratio-free simple grid: 64 clip candidates spanning
+        // p90..max on a log scale.
+        const double lo =
+            std::max(AbsPercentile(magnitudes, 90.0), 1e-30);
+        const double hi = std::max(max_abs, lo * (1.0 + 1e-9));
+        double best_clip = hi;
+        double best_mse = MseForClip(samples, hi);
+        for (int i = 0; i < 64; ++i) {
+            const double t = static_cast<double>(i) / 63.0;
+            const double clip =
+                lo * std::pow(hi / lo, t);
+            const double mse = MseForClip(samples, clip);
+            if (mse < best_mse) {
+                best_mse = mse;
+                best_clip = clip;
+            }
+        }
+        return ParamsForClip(best_clip);
+      }
+    }
+    return Status::Internal("unhandled calibration method");
+}
+
+StatusOr<ErrorMetrics>
+CalibratedQuantError(const std::vector<float>& samples,
+                     const std::vector<float>& data,
+                     CalibrationMethod method)
+{
+    auto params = Calibrate(samples, method);
+    T4I_RETURN_IF_ERROR(params.status());
+    auto round_trip =
+        DequantizeInt8(QuantizeInt8(data, params.value()),
+                       params.value());
+    return ComputeError(data, round_trip);
+}
+
+}  // namespace t4i

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Post-training quantization calibration (the engineering work Lesson 6
+ * says int8-only hardware forces on every model).
+ *
+ * Deploying an fp32-trained model on TPUv1 meant choosing int8 scales
+ * from sample activations. How those scales are chosen matters a lot on
+ * heavy-tailed data: naive min/max lets one outlier blow up the scale,
+ * percentile clipping trades saturation for resolution, and MSE-optimal
+ * clipping searches for the best trade. This module implements the
+ * standard methods so the numerics experiments can quantify exactly how
+ * much engineering effort buys — and how far it still falls short of
+ * just having bf16 (Lesson 6's punchline).
+ */
+#ifndef T4I_NUMERICS_CALIBRATION_H
+#define T4I_NUMERICS_CALIBRATION_H
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/numerics/quantize.h"
+
+namespace t4i {
+
+/** Scale-selection strategies for post-training quantization. */
+enum class CalibrationMethod {
+    kMinMax,        ///< full observed range (outlier-sensitive)
+    kPercentile999, ///< clip to the 99.9th percentile of |x|
+    kPercentile99,  ///< clip to the 99th percentile of |x|
+    kMseOptimal,    ///< grid-search the clip that minimizes MSE
+};
+
+const char* CalibrationMethodName(CalibrationMethod method);
+
+/**
+ * Chooses symmetric int8 parameters for @p samples using @p method.
+ * Fails on empty input.
+ */
+StatusOr<QuantParams> Calibrate(const std::vector<float>& samples,
+                                CalibrationMethod method);
+
+/**
+ * Convenience: calibrate on @p samples, then fake-quantize @p data with
+ * the chosen parameters and report the error vs the original.
+ */
+StatusOr<ErrorMetrics> CalibratedQuantError(
+    const std::vector<float>& samples, const std::vector<float>& data,
+    CalibrationMethod method);
+
+}  // namespace t4i
+
+#endif  // T4I_NUMERICS_CALIBRATION_H

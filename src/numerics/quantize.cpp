@@ -1,0 +1,135 @@
+#include "src/numerics/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t4i {
+namespace {
+
+constexpr int32_t kQMin = -128;
+constexpr int32_t kQMax = 127;
+
+int8_t
+QuantizeOne(float x, const QuantParams& p)
+{
+    double q = std::nearbyint(static_cast<double>(x) / p.scale) +
+               p.zero_point;
+    q = std::clamp(q, static_cast<double>(kQMin),
+                   static_cast<double>(kQMax));
+    return static_cast<int8_t>(q);
+}
+
+}  // namespace
+
+QuantParams
+ChooseQuantParams(const std::vector<float>& data, QuantScheme scheme)
+{
+    QuantParams p;
+    if (data.empty()) return p;
+    float lo = data[0];
+    float hi = data[0];
+    for (float x : data) {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    if (scheme == QuantScheme::kSymmetric) {
+        double bound = std::max(std::fabs(lo), std::fabs(hi));
+        if (bound == 0.0) bound = 1.0;
+        p.scale = bound / 127.0;
+        p.zero_point = 0;
+    } else {
+        // Range must include zero so that zero is exactly representable.
+        double rlo = std::min<double>(lo, 0.0);
+        double rhi = std::max<double>(hi, 0.0);
+        if (rhi == rlo) rhi = rlo + 1.0;
+        p.scale = (rhi - rlo) / 255.0;
+        double zp = kQMin - rlo / p.scale;
+        p.zero_point = static_cast<int32_t>(std::nearbyint(
+            std::clamp(zp, static_cast<double>(kQMin),
+                       static_cast<double>(kQMax))));
+    }
+    return p;
+}
+
+std::vector<int8_t>
+QuantizeInt8(const std::vector<float>& data, const QuantParams& params)
+{
+    std::vector<int8_t> out(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+        out[i] = QuantizeOne(data[i], params);
+    }
+    return out;
+}
+
+std::vector<float>
+DequantizeInt8(const std::vector<int8_t>& data, const QuantParams& params)
+{
+    std::vector<float> out(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+        out[i] = static_cast<float>(
+            params.scale * (static_cast<int32_t>(data[i]) -
+                            params.zero_point));
+    }
+    return out;
+}
+
+std::vector<float>
+FakeQuantInt8(const std::vector<float>& data, QuantScheme scheme)
+{
+    QuantParams p = ChooseQuantParams(data, scheme);
+    return DequantizeInt8(QuantizeInt8(data, p), p);
+}
+
+std::vector<float>
+FakeQuantInt8PerChannel(const std::vector<float>& data, int64_t rows,
+                        int64_t cols, QuantScheme scheme)
+{
+    T4I_CHECK(static_cast<int64_t>(data.size()) == rows * cols,
+              "shape mismatch");
+    std::vector<float> out(data.size());
+    std::vector<float> row(static_cast<size_t>(cols));
+    for (int64_t r = 0; r < rows; ++r) {
+        const float* src = data.data() + r * cols;
+        std::copy(src, src + cols, row.begin());
+        std::vector<float> fq = FakeQuantInt8(row, scheme);
+        std::copy(fq.begin(), fq.end(), out.begin() + r * cols);
+    }
+    return out;
+}
+
+StatusOr<ErrorMetrics>
+ComputeError(const std::vector<float>& reference,
+             const std::vector<float>& approx)
+{
+    if (reference.size() != approx.size()) {
+        return Status::InvalidArgument("size mismatch in ComputeError");
+    }
+    if (reference.empty()) {
+        return Status::InvalidArgument("empty inputs to ComputeError");
+    }
+    ErrorMetrics m;
+    double sum_abs = 0.0;
+    double sum_sq = 0.0;
+    double signal_sq = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        double e = static_cast<double>(reference[i]) - approx[i];
+        sum_abs += std::fabs(e);
+        sum_sq += e * e;
+        signal_sq +=
+            static_cast<double>(reference[i]) * reference[i];
+        m.max_abs_error = std::max(m.max_abs_error, std::fabs(e));
+    }
+    const double n = static_cast<double>(reference.size());
+    m.mean_abs_error = sum_abs / n;
+    m.rms_error = std::sqrt(sum_sq / n);
+    if (sum_sq == 0.0) {
+        m.sqnr_db = 120.0;  // conventionally "exact" on our scale
+    } else if (signal_sq == 0.0) {
+        m.sqnr_db = 0.0;
+    } else {
+        m.sqnr_db = 10.0 * std::log10(signal_sq / sum_sq);
+    }
+    return m;
+}
+
+}  // namespace t4i

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Int8 post-training quantization (Lessons 4 & 6).
+ *
+ * TPUv1 was int8-only; deploying an fp32-trained model on it required a
+ * quantization step that cost engineering time and sometimes accuracy.
+ * TPUv4i keeps int8 (2x MXU rate) but also offers bf16 so that models can
+ * ship unchanged. This module implements the int8 path — symmetric and
+ * asymmetric affine quantization with per-tensor or per-channel scales —
+ * so experiment E13 can measure exactly the error the paper's Lesson 6
+ * warns about, alongside bf16's.
+ */
+#ifndef T4I_NUMERICS_QUANTIZE_H
+#define T4I_NUMERICS_QUANTIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Affine quantization parameters: real = scale * (q - zero_point). */
+struct QuantParams {
+    double scale = 1.0;
+    int32_t zero_point = 0;
+};
+
+/** How scales are derived from data. */
+enum class QuantScheme {
+    kSymmetric,   ///< zero_point = 0; range = [-max|x|, +max|x|].
+    kAsymmetric,  ///< full affine; range = [min x, max x].
+};
+
+/** Chooses quantization parameters for the given data. */
+QuantParams ChooseQuantParams(const std::vector<float>& data,
+                              QuantScheme scheme);
+
+/** Quantizes to int8 with saturation. */
+std::vector<int8_t> QuantizeInt8(const std::vector<float>& data,
+                                 const QuantParams& params);
+
+/** Dequantizes back to float. */
+std::vector<float> DequantizeInt8(const std::vector<int8_t>& data,
+                                  const QuantParams& params);
+
+/** Round trip: quantize then dequantize (models the int8 datapath). */
+std::vector<float> FakeQuantInt8(const std::vector<float>& data,
+                                 QuantScheme scheme);
+
+/** Per-output-channel fake quantization for a [rows x cols] weight matrix,
+ *  scales chosen per row. This is the standard per-channel weight scheme. */
+std::vector<float> FakeQuantInt8PerChannel(const std::vector<float>& data,
+                                           int64_t rows, int64_t cols,
+                                           QuantScheme scheme);
+
+/** Error metrics between a reference and an approximation. */
+struct ErrorMetrics {
+    double max_abs_error = 0.0;
+    double mean_abs_error = 0.0;
+    double rms_error = 0.0;
+    /** Signal-to-quantization-noise ratio in dB (higher is better). */
+    double sqnr_db = 0.0;
+};
+
+/** Computes error metrics; inputs must have equal size. */
+StatusOr<ErrorMetrics> ComputeError(const std::vector<float>& reference,
+                                    const std::vector<float>& approx);
+
+}  // namespace t4i
+
+#endif  // T4I_NUMERICS_QUANTIZE_H

@@ -1,0 +1,93 @@
+#include "src/power/power.h"
+
+#include <algorithm>
+
+#include "src/arch/tech.h"
+
+namespace t4i {
+namespace {
+
+int
+OperandBits(DType dtype)
+{
+    return static_cast<int>(DTypeBytes(dtype)) * 8;
+}
+
+}  // namespace
+
+StatusOr<PowerReport>
+EstimatePower(const Program& program, const SimResult& result,
+              const ChipConfig& chip)
+{
+    auto node = TechNodeOf(chip.tech_nm);
+    T4I_RETURN_IF_ERROR(node.status());
+    const TechNode& tech = node.value();
+
+    PowerReport report;
+    const double pj = 1e-12;
+
+    // Matrix units: per-MAC energy at the operand width.
+    report.mxu_energy_j = result.total_macs *
+                          MacEnergyPj(tech, OperandBits(program.dtype)) *
+                          pj;
+
+    // Vector unit: fp32-ish lanes, ~2x the energy of a 16-bit MAC per op.
+    report.vpu_energy_j =
+        result.vpu_flops * 2.0 * MacEnergyPj(tech, 32) * pj / 2.0;
+
+    // SRAM traffic: the MXU reads each operand from VMEM once per use;
+    // approximate on-chip traffic as 2 bytes per MAC (weight reuse in
+    // the array means activations dominate) plus explicit CMEM bytes.
+    const double vmem_bytes =
+        result.total_macs * 2.0 *
+        static_cast<double>(DTypeBytes(program.dtype)) /
+        static_cast<double>(chip.mxu.rows);
+    const double cmem_bytes = static_cast<double>(
+        result.engine(Engine::kCmem).bytes);
+    report.sram_energy_j =
+        (vmem_bytes + cmem_bytes) * SramEnergyPjPerByte(tech) * pj;
+
+    report.dram_energy_j =
+        static_cast<double>(result.engine(Engine::kHbm).bytes) *
+        DramEnergyPjPerByte(tech) * pj;
+
+    // Links: ~10 pJ/bit for ICI-class SerDes, ~15 pJ/bit for PCIe.
+    report.link_energy_j =
+        (static_cast<double>(result.engine(Engine::kIci).bytes) * 8.0 *
+             10.0 +
+         (static_cast<double>(result.engine(Engine::kPcie).bytes) +
+          static_cast<double>(
+              result.engine(Engine::kPcieIn).bytes)) * 8.0 *
+             15.0) * pj;
+
+    report.static_energy_j = chip.idle_w * result.latency_s;
+
+    report.total_energy_j =
+        report.mxu_energy_j + report.vpu_energy_j + report.sram_energy_j +
+        report.dram_energy_j + report.link_energy_j +
+        report.static_energy_j;
+
+    report.avg_power_w = result.latency_s > 0.0
+                             ? report.total_energy_j / result.latency_s
+                             : 0.0;
+
+    // DVFS throttle: dynamic power scales ~linearly with clock at fixed
+    // voltage; stretch time until sustained power fits under TDP.
+    const double dynamic_w = report.avg_power_w - chip.idle_w;
+    const double budget_w = chip.tdp_w - chip.idle_w;
+    if (dynamic_w > budget_w && budget_w > 0.0) {
+        report.throttle = budget_w / dynamic_w;
+    }
+    report.throttled_latency_s = result.latency_s / report.throttle;
+    report.throttled_power_w =
+        std::min(report.avg_power_w, chip.tdp_w);
+    return report;
+}
+
+double
+PerfPerTdp(const SimResult& result, const ChipConfig& chip)
+{
+    return chip.tdp_w > 0.0 ? result.achieved_flops / chip.tdp_w : 0.0;
+}
+
+}  // namespace t4i

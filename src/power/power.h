@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Power and energy model.
+ *
+ * Bottom-up activity-based estimate: MAC count x per-MAC energy at the
+ * chip's node and operand width, plus SRAM/DRAM traffic energy, plus
+ * constant static power, all from the tech model (src/arch/tech.h).
+ * A TDP cap applies DVFS-style throttling: if sustained power would
+ * exceed TDP, the clock is scaled down until it fits (Lesson 5 — TPUv4i
+ * was sized at 175 W so an air-cooled rack holds it; chips that blow
+ * their TDP must throttle, which is how the model expresses the
+ * air-cooling ceiling).
+ */
+#ifndef T4I_POWER_POWER_H
+#define T4I_POWER_POWER_H
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+
+/** Energy/power breakdown for one simulated run. */
+struct PowerReport {
+    double mxu_energy_j = 0.0;
+    double vpu_energy_j = 0.0;
+    double sram_energy_j = 0.0;   ///< VMEM + CMEM traffic
+    double dram_energy_j = 0.0;   ///< HBM traffic
+    double link_energy_j = 0.0;   ///< ICI + PCIe traffic
+    double static_energy_j = 0.0;
+    double total_energy_j = 0.0;
+
+    /** Average power over the run before any throttling. */
+    double avg_power_w = 0.0;
+    /** Clock multiplier needed to fit under TDP (1.0 = no throttle). */
+    double throttle = 1.0;
+    /** Run latency after throttling. */
+    double throttled_latency_s = 0.0;
+    /** Average power after throttling (== min(avg, TDP)). */
+    double throttled_power_w = 0.0;
+};
+
+/**
+ * Estimates power for @p result of running @p program on @p chip.
+ */
+StatusOr<PowerReport> EstimatePower(const Program& program,
+                                    const SimResult& result,
+                                    const ChipConfig& chip);
+
+/**
+ * Performance per watt in FLOPS/W using TDP as the denominator, the
+ * paper's preferred metric for cross-chip comparison ("perf/TDP").
+ */
+double PerfPerTdp(const SimResult& result, const ChipConfig& chip);
+
+}  // namespace t4i
+
+#endif  // T4I_POWER_POWER_H

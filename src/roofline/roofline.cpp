@@ -1,0 +1,83 @@
+#include "src/roofline/roofline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+double
+Roofline::Attainable(double ops_per_byte) const
+{
+    return std::min(peak_flops, mem_bw_Bps * ops_per_byte);
+}
+
+Roofline
+BuildRoofline(const ChipConfig& chip, DType dtype)
+{
+    Roofline roof;
+    roof.chip_name = chip.name;
+    roof.dtype = dtype;
+    roof.peak_flops = chip.PeakFlops(dtype);
+    roof.mem_bw_Bps = chip.dram_bw_Bps;
+    roof.ridge_ops_per_byte =
+        roof.mem_bw_Bps > 0.0 ? roof.peak_flops / roof.mem_bw_Bps : 0.0;
+    return roof;
+}
+
+std::string
+RenderRoofline(const Roofline& roof,
+               const std::vector<RooflinePoint>& points)
+{
+    // Log-log grid: x = ops/byte in [0.5, 2048], y = GFLOPS.
+    constexpr int kCols = 64;
+    constexpr int kRows = 18;
+    const double x_lo = std::log2(0.5);
+    const double x_hi = std::log2(2048.0);
+    const double y_hi = std::log2(roof.peak_flops * 2.0);
+    const double y_lo = y_hi - 12.0;  // 12 octaves of range
+
+    std::vector<std::string> grid(
+        kRows, std::string(static_cast<size_t>(kCols), ' '));
+    auto plot = [&](double ops_per_byte, double flops, char mark) {
+        const double x = std::log2(std::max(ops_per_byte, 0.51));
+        const double y = std::log2(std::max(flops, 1.0));
+        int col = static_cast<int>((x - x_lo) / (x_hi - x_lo) *
+                                   (kCols - 1));
+        int row = static_cast<int>((y_hi - y) / (y_hi - y_lo) *
+                                   (kRows - 1));
+        col = std::clamp(col, 0, kCols - 1);
+        row = std::clamp(row, 0, kRows - 1);
+        grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = mark;
+    };
+
+    // The roof itself.
+    for (int c = 0; c < kCols; ++c) {
+        const double x = x_lo + (x_hi - x_lo) * c / (kCols - 1);
+        plot(std::pow(2.0, x), roof.Attainable(std::pow(2.0, x)), '-');
+    }
+    for (const auto& p : points) {
+        plot(p.ops_per_byte, p.achieved_flops, '*');
+    }
+
+    std::string out = StrFormat(
+        "%s %s roofline: peak %.1f TFLOPS, %.0f GB/s, ridge %.0f FLOPs/B\n",
+        roof.chip_name.c_str(), DTypeName(roof.dtype),
+        roof.peak_flops / 1e12, roof.mem_bw_Bps / 1e9,
+        roof.ridge_ops_per_byte);
+    for (const auto& row : grid) out += "|" + row + "\n";
+    out += "+";
+    out.append(kCols, '-');
+    out += "> FLOPs/byte (log2, 0.5 .. 2048)\n";
+    for (const auto& p : points) {
+        out += StrFormat("  * %-8s intensity %7.1f FLOPs/B  achieved "
+                         "%7.2f TFLOPS  (roof %7.2f)\n",
+                         p.label.c_str(), p.ops_per_byte,
+                         p.achieved_flops / 1e12,
+                         roof.Attainable(p.ops_per_byte) / 1e12);
+    }
+    return out;
+}
+
+}  // namespace t4i

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Roofline helpers (the analytic frame the paper uses to compare
+ * generations). Attainable performance at an operational intensity is
+ * min(peak compute, bandwidth x intensity); the simulator's achieved
+ * points must sit on or below this roof — a property the test suite
+ * asserts.
+ */
+#ifndef T4I_ROOFLINE_ROOFLINE_H
+#define T4I_ROOFLINE_ROOFLINE_H
+
+#include <string>
+#include <vector>
+
+#include "src/arch/chip.h"
+
+namespace t4i {
+
+/** One roofline curve for a chip/dtype pair. */
+struct Roofline {
+    std::string chip_name;
+    DType dtype = DType::kBf16;
+    double peak_flops = 0.0;
+    double mem_bw_Bps = 0.0;
+    /** Intensity where the roof flattens (FLOPs/byte). */
+    double ridge_ops_per_byte = 0.0;
+
+    /** Attainable FLOP/s at the given operational intensity. */
+    double Attainable(double ops_per_byte) const;
+};
+
+/** Builds the HBM roofline of a chip. */
+Roofline BuildRoofline(const ChipConfig& chip, DType dtype);
+
+/** A measured application point to plot against the roof. */
+struct RooflinePoint {
+    std::string label;
+    double ops_per_byte = 0.0;    ///< operational intensity
+    double achieved_flops = 0.0;  ///< from the simulator
+};
+
+/**
+ * Renders an ASCII log-log roofline chart with points, for the E5 bench.
+ */
+std::string RenderRoofline(const Roofline& roof,
+                           const std::vector<RooflinePoint>& points);
+
+}  // namespace t4i
+
+#endif  // T4I_ROOFLINE_ROOFLINE_H

@@ -1,0 +1,63 @@
+#include "src/serving/latency_table.h"
+
+#include <algorithm>
+
+namespace t4i {
+
+void
+LatencyTable::AddPoint(int64_t batch, double latency_s)
+{
+    T4I_CHECK(batch > 0 && latency_s > 0.0, "bad latency point");
+    T4I_CHECK(points_.empty() || batch > points_.back().batch,
+              "batches must be added in increasing order");
+    points_.push_back({batch, latency_s});
+}
+
+double
+LatencyTable::Eval(int64_t batch) const
+{
+    T4I_CHECK(!points_.empty(), "empty latency table");
+    if (batch <= points_.front().batch) return points_.front().latency_s;
+    if (batch >= points_.back().batch) return points_.back().latency_s;
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (batch <= points_[i].batch) {
+            const auto& lo = points_[i - 1];
+            const auto& hi = points_[i];
+            const double t =
+                static_cast<double>(batch - lo.batch) /
+                static_cast<double>(hi.batch - lo.batch);
+            return lo.latency_s + t * (hi.latency_s - lo.latency_s);
+        }
+    }
+    return points_.back().latency_s;
+}
+
+int64_t
+LatencyTable::MaxBatchUnderSlo(double slo_s) const
+{
+    T4I_CHECK(!points_.empty(), "empty latency table");
+    if (Eval(1) > slo_s) return 0;
+    int64_t best = 1;
+    // Binary search over the integer batch range.
+    int64_t lo = 1;
+    int64_t hi = max_batch();
+    while (lo <= hi) {
+        const int64_t mid = lo + (hi - lo) / 2;
+        if (Eval(mid) <= slo_s) {
+            best = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return best;
+}
+
+double
+LatencyTable::ThroughputAt(int64_t batch) const
+{
+    const double lat = Eval(batch);
+    return lat > 0.0 ? static_cast<double>(batch) / lat : 0.0;
+}
+
+}  // namespace t4i

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Batch -> latency lookup built from simulator runs.
+ *
+ * The serving simulator needs the device latency at arbitrary batch
+ * sizes; profiling every batch is wasteful, so we simulate a ladder of
+ * batch sizes (powers of two) and interpolate linearly in between —
+ * device latency is piecewise-linear in batch to good approximation
+ * because both the streamed rows and the DMA bytes scale linearly.
+ */
+#ifndef T4I_SERVING_LATENCY_TABLE_H
+#define T4I_SERVING_LATENCY_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Piecewise-linear latency(batch) model. */
+class LatencyTable {
+  public:
+    /** Adds a profiled (batch, latency) point; batches must be added in
+     *  increasing order. */
+    void AddPoint(int64_t batch, double latency_s);
+
+    bool empty() const { return points_.empty(); }
+    int64_t max_batch() const
+    {
+        return points_.empty() ? 0 : points_.back().batch;
+    }
+
+    /** Interpolated latency at @p batch (clamped to the profiled
+     *  range). */
+    double Eval(int64_t batch) const;
+
+    /**
+     * Largest profiled-range batch whose latency fits under
+     * @p slo_s; returns 0 if even batch 1 misses.
+     */
+    int64_t MaxBatchUnderSlo(double slo_s) const;
+
+    /** Throughput (samples/s) at a batch. */
+    double ThroughputAt(int64_t batch) const;
+
+  private:
+    struct Point {
+        int64_t batch;
+        double latency_s;
+    };
+    std::vector<Point> points_;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_SERVING_LATENCY_TABLE_H

@@ -1,0 +1,263 @@
+#include "src/serving/server.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace t4i {
+namespace {
+
+struct Request {
+    double arrival_s;
+};
+
+struct TenantState {
+    std::deque<Request> queue;
+    double next_arrival_s = 0.0;
+    PercentileTracker latencies;
+    RunningStat batches;
+    int64_t completed = 0;
+    int64_t slo_misses = 0;
+};
+
+struct DeviceState {
+    double device_free_s = 0.0;
+    double host_free_s = 0.0;
+    double busy_s = 0.0;
+    double host_busy_s = 0.0;
+    int last_tenant = -1;
+};
+
+}  // namespace
+
+StatusOr<ServingResult>
+RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
+               double duration_s, uint64_t seed)
+{
+    if (tenants.empty()) {
+        return Status::InvalidArgument("no tenants");
+    }
+    if (duration_s <= 0.0) {
+        return Status::InvalidArgument("duration must be positive");
+    }
+    if (num_devices < 1) {
+        return Status::InvalidArgument("need at least one device");
+    }
+    for (const auto& t : tenants) {
+        if (!t.latency_s || t.max_batch < 1 || t.arrival_rate <= 0.0) {
+            return Status::InvalidArgument("bad tenant config: " + t.name);
+        }
+    }
+
+    Rng rng(seed);
+    // Draws the next arrival after `t` — homogeneous Poisson, or
+    // thinned non-homogeneous Poisson when a rate_multiplier is set.
+    auto next_arrival = [&rng](const TenantConfig& cfg, double t) {
+        if (!cfg.rate_multiplier) {
+            return t + rng.NextExponential(cfg.arrival_rate);
+        }
+        const double peak =
+            cfg.arrival_rate * std::max(cfg.peak_rate_multiplier, 1e-9);
+        for (int guard = 0; guard < 100000; ++guard) {
+            t += rng.NextExponential(peak);
+            const double accept =
+                cfg.arrival_rate * cfg.rate_multiplier(t) / peak;
+            if (rng.NextBool(std::clamp(accept, 0.0, 1.0))) return t;
+        }
+        return t;  // pathological multiplier; degrade gracefully
+    };
+
+    std::vector<TenantState> state(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        state[i].next_arrival_s = next_arrival(tenants[i], 0.0);
+    }
+    std::vector<DeviceState> devices(static_cast<size_t>(num_devices));
+
+    double now = 0.0;
+    double switch_overhead = 0.0;
+    size_t rr_cursor = 0;  // round-robin fairness within a priority
+
+    while (true) {
+        // Deliver all arrivals up to `now`.
+        bool any_pending_arrivals = false;
+        for (size_t i = 0; i < tenants.size(); ++i) {
+            while (state[i].next_arrival_s <= now &&
+                   state[i].next_arrival_s < duration_s) {
+                state[i].queue.push_back({state[i].next_arrival_s});
+                state[i].next_arrival_s = next_arrival(
+                    tenants[i], state[i].next_arrival_s);
+            }
+            if (state[i].next_arrival_s < duration_s) {
+                any_pending_arrivals = true;
+            }
+        }
+
+        // A tenant is dispatchable when its batch is full, its oldest
+        // request has waited out the batching patience, or no more
+        // arrivals are coming.
+        auto dispatchable = [&](size_t i) {
+            if (state[i].queue.empty()) return false;
+            if (tenants[i].batch_wait_s <= 0.0) return true;
+            if (static_cast<int64_t>(state[i].queue.size()) >=
+                tenants[i].max_batch) {
+                return true;
+            }
+            if (state[i].next_arrival_s >= duration_s) return true;
+            return now - state[i].queue.front().arrival_s >=
+                   tenants[i].batch_wait_s;
+        };
+
+        // Pick the highest-priority dispatchable tenant; round-robin
+        // within the winning priority level.
+        int best_priority = 0;
+        bool found = false;
+        for (size_t i = 0; i < tenants.size(); ++i) {
+            if (!dispatchable(i)) continue;
+            if (!found || tenants[i].priority > best_priority) {
+                best_priority = tenants[i].priority;
+                found = true;
+            }
+        }
+        int chosen = -1;
+        if (found) {
+            for (size_t k = 0; k < tenants.size(); ++k) {
+                const size_t idx = (rr_cursor + k) % tenants.size();
+                if (dispatchable(idx) &&
+                    tenants[idx].priority == best_priority) {
+                    chosen = static_cast<int>(idx);
+                    break;
+                }
+            }
+        }
+
+        if (chosen < 0) {
+            // Advance to the next event: an arrival or a batching
+            // deadline expiring.
+            double next = 1e300;
+            bool have_event = false;
+            for (size_t i = 0; i < tenants.size(); ++i) {
+                if (state[i].next_arrival_s < duration_s) {
+                    next = std::min(next, state[i].next_arrival_s);
+                    have_event = true;
+                }
+                if (!state[i].queue.empty()) {
+                    next = std::min(
+                        next, state[i].queue.front().arrival_s +
+                                  tenants[i].batch_wait_s);
+                    have_event = true;
+                }
+            }
+            if (!have_event && !any_pending_arrivals) break;
+            if (!have_event) break;
+            now = std::max(now + 1e-12, next);
+            continue;
+        }
+        rr_cursor = static_cast<size_t>(chosen) + 1;
+
+        TenantState& ts = state[static_cast<size_t>(chosen)];
+        const TenantConfig& cfg = tenants[static_cast<size_t>(chosen)];
+
+        // Dispatch to the earliest-free device.
+        DeviceState* device = &devices[0];
+        for (auto& d : devices) {
+            if (d.device_free_s < device->device_free_s) device = &d;
+        }
+
+        const auto batch = static_cast<int64_t>(std::min<size_t>(
+            ts.queue.size(), static_cast<size_t>(cfg.max_batch)));
+
+        // Two-stage pipeline: the host prepares this batch (possibly
+        // while the device still runs the previous one), then the
+        // device executes.
+        const double host_start = std::max(now, device->host_free_s);
+        const double host_done = host_start + cfg.host_overhead_s;
+        device->host_free_s = host_done;
+        device->host_busy_s += cfg.host_overhead_s;
+
+        double device_start =
+            std::max(host_done, device->device_free_s);
+        if (device->last_tenant != chosen &&
+            cfg.switch_penalty_s > 0.0) {
+            switch_overhead += cfg.switch_penalty_s;
+            device_start += cfg.switch_penalty_s;
+        }
+        device->last_tenant = chosen;
+
+        const double exec = cfg.latency_s(batch);
+        const double finish = device_start + exec;
+        device->busy_s += finish - std::max(now, device->device_free_s);
+        device->device_free_s = finish;
+
+        for (int64_t j = 0; j < batch; ++j) {
+            const Request req = ts.queue.front();
+            ts.queue.pop_front();
+            const double latency = finish - req.arrival_s;
+            ts.latencies.Add(latency);
+            ++ts.completed;
+            if (latency > cfg.slo_s) ++ts.slo_misses;
+        }
+        ts.batches.Add(static_cast<double>(batch));
+
+        // Advance to the next batch-formation point: the host stage
+        // leads the device by the host overhead so the two-stage
+        // pipeline stays full (with zero host overhead this reduces to
+        // "wait until a device frees").
+        double max_host = 0.0;
+        for (const auto& t : tenants) {
+            max_host = std::max(max_host, t.host_overhead_s);
+        }
+        double candidate = 1e300;
+        for (const auto& d : devices) {
+            candidate = std::min(
+                candidate,
+                std::max(d.host_free_s, d.device_free_s - max_host));
+        }
+        now = std::max(now, candidate);
+    }
+
+    ServingResult result;
+    double last_finish = duration_s;
+    double busy_sum = 0.0;
+    double host_sum = 0.0;
+    for (const auto& d : devices) {
+        last_finish = std::max(last_finish, d.device_free_s);
+        busy_sum += d.busy_s;
+        host_sum += d.host_busy_s;
+    }
+    result.duration_s = last_finish;
+    result.device_busy_fraction =
+        busy_sum / (result.duration_s * num_devices);
+    result.host_busy_fraction =
+        host_sum / (result.duration_s * num_devices);
+    result.switch_overhead_fraction =
+        switch_overhead / (result.duration_s * num_devices);
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        TenantStats s;
+        s.name = tenants[i].name;
+        s.completed = state[i].completed;
+        s.mean_latency_s = state[i].latencies.Mean();
+        s.p50_latency_s = state[i].latencies.Percentile(50.0);
+        s.p99_latency_s = state[i].latencies.Percentile(99.0);
+        s.slo_miss_fraction =
+            state[i].completed > 0
+                ? static_cast<double>(state[i].slo_misses) /
+                      static_cast<double>(state[i].completed)
+                : 0.0;
+        s.throughput_rps =
+            static_cast<double>(state[i].completed) / result.duration_s;
+        s.mean_batch = state[i].batches.mean();
+        result.tenants.push_back(std::move(s));
+    }
+    return result;
+}
+
+StatusOr<ServingResult>
+RunServing(const std::vector<TenantConfig>& tenants, double duration_s,
+           uint64_t seed)
+{
+    return RunServingCell(tenants, 1, duration_s, seed);
+}
+
+}  // namespace t4i

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event serving simulator.
+ *
+ * Models an accelerator cell — one or more identical devices behind a
+ * load balancer — serving one or more tenants (Lesson 7: production
+ * inference normally needs multi-tenancy; Lesson 10: the market limits
+ * latency, not batch size). Requests arrive Poisson per tenant; a
+ * dynamic batcher coalesces whatever is queued (up to the tenant's max
+ * batch) whenever a device frees up.
+ *
+ * Realism knobs:
+ *  - host stage: each batch passes through a per-device host pipeline
+ *    (input assembly, PCIe queueing) that overlaps the device's
+ *    previous batch — a two-stage pipeline, so tiny models can become
+ *    host-bound;
+ *  - priorities: higher-priority tenants are always drained first
+ *    (interactive vs batch traffic), round-robin within a priority;
+ *  - tenant-switch penalty: re-staging weights when CMEM is not
+ *    partitioned (per device).
+ */
+#ifndef T4I_SERVING_SERVER_H
+#define T4I_SERVING_SERVER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** One tenant's serving contract. */
+struct TenantConfig {
+    std::string name;
+    /** Device latency as a function of batch size. */
+    std::function<double(int64_t)> latency_s;
+    int64_t max_batch = 64;
+    double slo_s = 0.010;
+    /** Mean request arrival rate (requests/s, Poisson). */
+    double arrival_rate = 100.0;
+    /**
+     * Optional time-varying load: the instantaneous rate is
+     * arrival_rate * rate_multiplier(t). Used for diurnal traffic
+     * (fleets are provisioned for the peak but billed for the mean —
+     * part of Lesson 3's TCO story). Must be bounded by
+     * peak_rate_multiplier.
+     */
+    std::function<double(double)> rate_multiplier;
+    double peak_rate_multiplier = 1.0;
+    /** Paid when a device switches to this tenant from another. */
+    double switch_penalty_s = 0.0;
+    /**
+     * Dynamic-batching patience: a partially-filled batch may wait up
+     * to this long (measured from its oldest request's arrival) for
+     * more requests before dispatching. Zero dispatches immediately.
+     */
+    double batch_wait_s = 0.0;
+    /** Host-side per-batch work (overlaps the device pipeline). */
+    double host_overhead_s = 0.0;
+    /** Higher drains first; ties round-robin. */
+    int priority = 0;
+};
+
+/** Per-tenant results. */
+struct TenantStats {
+    std::string name;
+    int64_t completed = 0;
+    double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double slo_miss_fraction = 0.0;
+    double throughput_rps = 0.0;
+    double mean_batch = 0.0;
+};
+
+/** Whole-run results. */
+struct ServingResult {
+    std::vector<TenantStats> tenants;
+    double device_busy_fraction = 0.0;   ///< mean across devices
+    double switch_overhead_fraction = 0.0;
+    double host_busy_fraction = 0.0;
+    double duration_s = 0.0;
+};
+
+/**
+ * Runs the serving simulation for @p duration_s of simulated arrivals
+ * (queues drain afterwards). Deterministic for a given @p seed.
+ */
+StatusOr<ServingResult> RunServing(const std::vector<TenantConfig>& tenants,
+                                   double duration_s, uint64_t seed);
+
+/** Same, with @p num_devices identical devices behind the batcher. */
+StatusOr<ServingResult> RunServingCell(
+    const std::vector<TenantConfig>& tenants, int num_devices,
+    double duration_s, uint64_t seed);
+
+}  // namespace t4i
+
+#endif  // T4I_SERVING_SERVER_H

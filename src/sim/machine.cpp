@@ -1,0 +1,195 @@
+#include "src/sim/machine.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/sim/timing.h"
+
+namespace t4i {
+
+std::string
+SimResult::Summary() const
+{
+    std::string out = StrFormat(
+        "latency %s, %.2f GMACs, achieved %.2f TFLOPS (%.1f%% MXU), "
+        "steady-state %.1f inf/s\n",
+        HumanSeconds(latency_s).c_str(), total_macs / 1e9,
+        achieved_flops / 1e12, 100.0 * mxu_utilization, steady_state_ips);
+    for (size_t e = 0; e < engines.size(); ++e) {
+        if (engines[e].instructions == 0) continue;
+        out += StrFormat("  %-5s busy %s (%.1f%%), %lld instrs",
+                         EngineName(static_cast<Engine>(e)),
+                         HumanSeconds(engines[e].busy_s).c_str(),
+                         100.0 * engines[e].utilization,
+                         static_cast<long long>(
+                             engines[e].instructions));
+        if (engines[e].bytes > 0) {
+            out += ", " + HumanBytes(
+                static_cast<double>(engines[e].bytes));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+SimResult::DumpStats() const
+{
+    std::string out;
+    out += StrFormat("sim.latency_seconds %.9e\n", latency_s);
+    out += StrFormat("sim.cycles %.0f\n", cycles);
+    out += StrFormat("sim.total_macs %.0f\n", total_macs);
+    out += StrFormat("sim.vpu_flops %.0f\n", vpu_flops);
+    out += StrFormat("sim.achieved_flops %.6e\n", achieved_flops);
+    out += StrFormat("sim.mxu_utilization %.6f\n", mxu_utilization);
+    out += StrFormat("sim.steady_state_ips %.3f\n", steady_state_ips);
+    for (size_t e = 0; e < engines.size(); ++e) {
+        const char* name = EngineName(static_cast<Engine>(e));
+        out += StrFormat("engine.%s.busy_seconds %.9e\n", name,
+                         engines[e].busy_s);
+        out += StrFormat("engine.%s.instructions %lld\n", name,
+                         static_cast<long long>(
+                             engines[e].instructions));
+        out += StrFormat("engine.%s.bytes %lld\n", name,
+                         static_cast<long long>(engines[e].bytes));
+        out += StrFormat("engine.%s.utilization %.6f\n", name,
+                         engines[e].utilization);
+    }
+    return out;
+}
+
+StatusOr<SimResult>
+SimulateWithSchedule(const Program& program, const ChipConfig& chip,
+                     std::vector<ScheduleEntry>* schedule)
+{
+    if (program.chip_name != chip.name) {
+        return Status::InvalidArgument(
+            "program compiled for " + program.chip_name +
+            " cannot run on " + chip.name);
+    }
+    T4I_RETURN_IF_ERROR(program.Validate());
+
+    const size_t n = program.instrs.size();
+    std::vector<double> finish(n, 0.0);
+    std::array<double, static_cast<size_t>(Engine::kEngineCount)>
+        engine_free{};
+
+    SimResult result;
+
+    for (size_t i = 0; i < n; ++i) {
+        const Instr& instr = program.instrs[i];
+        const auto e = static_cast<size_t>(instr.engine);
+
+        double ready = engine_free[e];
+        for (int dep : instr.deps) {
+            ready = std::max(ready, finish[static_cast<size_t>(dep)]);
+        }
+        const double dur = InstrDuration(chip, instr);
+        const double end = ready + dur;
+        finish[i] = end;
+        engine_free[e] = end;
+
+        EngineStats& stats = result.engines[e];
+        stats.busy_s += dur;
+        stats.instructions += 1;
+        stats.bytes += instr.bytes;
+
+        if (instr.engine == Engine::kMxu) {
+            result.total_macs += instr.macs;
+        } else if (instr.engine == Engine::kVpu) {
+            result.vpu_flops +=
+                static_cast<double>(instr.elements) *
+                instr.flops_per_element;
+        }
+
+        if (schedule != nullptr) {
+            schedule->push_back({instr.id, end - dur, end});
+        }
+    }
+
+    for (double f : finish) {
+        result.latency_s = std::max(result.latency_s, f);
+    }
+    result.cycles = result.latency_s * chip.clock_hz;
+
+    double max_busy = 0.0;
+    for (auto& stats : result.engines) {
+        if (result.latency_s > 0.0) {
+            stats.utilization = stats.busy_s / result.latency_s;
+        }
+        max_busy = std::max(max_busy, stats.busy_s);
+    }
+
+    result.achieved_flops =
+        result.latency_s > 0.0
+            ? 2.0 * result.total_macs / result.latency_s
+            : 0.0;
+    const double peak = chip.PeakFlops(program.dtype);
+    result.mxu_utilization =
+        peak > 0.0 ? result.achieved_flops / peak : 0.0;
+    result.steady_state_ips =
+        max_busy > 0.0 ? static_cast<double>(program.batch) / max_busy
+                       : 0.0;
+    return result;
+}
+
+StatusOr<SimResult>
+Simulate(const Program& program, const ChipConfig& chip)
+{
+    return SimulateWithSchedule(program, chip, nullptr);
+}
+
+StatusOr<PipelineResult>
+SimulatePipelined(const Program& program, const ChipConfig& chip,
+                  int iterations)
+{
+    if (program.chip_name != chip.name) {
+        return Status::InvalidArgument(
+            "program compiled for " + program.chip_name +
+            " cannot run on " + chip.name);
+    }
+    if (iterations < 1) {
+        return Status::InvalidArgument("need at least one iteration");
+    }
+    T4I_RETURN_IF_ERROR(program.Validate());
+
+    const size_t n = program.instrs.size();
+    std::vector<double> finish(n, 0.0);
+    std::array<double, static_cast<size_t>(Engine::kEngineCount)>
+        engine_free{};
+
+    PipelineResult result;
+    result.iterations = iterations;
+    double first_iter_finish = 0.0;
+    for (int iter = 0; iter < iterations; ++iter) {
+        double iter_finish = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const Instr& instr = program.instrs[i];
+            const auto e = static_cast<size_t>(instr.engine);
+            double ready = engine_free[e];
+            for (int dep : instr.deps) {
+                ready = std::max(
+                    ready, finish[static_cast<size_t>(dep)]);
+            }
+            const double end = ready + InstrDuration(chip, instr);
+            finish[i] = end;
+            engine_free[e] = end;
+            iter_finish = std::max(iter_finish, end);
+        }
+        if (iter == 0) first_iter_finish = iter_finish;
+        result.total_s = std::max(result.total_s, iter_finish);
+    }
+    result.first_latency_s = first_iter_finish;
+    if (iterations > 1 && result.total_s > first_iter_finish) {
+        result.steady_ips =
+            static_cast<double>(program.batch) *
+            static_cast<double>(iterations - 1) /
+            (result.total_s - first_iter_finish);
+    } else {
+        result.steady_ips = static_cast<double>(program.batch) /
+                            result.total_s;
+    }
+    return result;
+}
+
+}  // namespace t4i

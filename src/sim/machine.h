@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The machine simulator: executes a compiled Program on a ChipConfig and
+ * reports timing, utilization and activity counters.
+ *
+ * Execution model: every engine (MXU pool, VPU, HBM channel, CMEM port,
+ * ICI, PCIe) is an in-order queue, like the hardware's DMA descriptor
+ * rings and the TensorCore's in-order issue. An instruction starts when
+ * it reaches its engine's head AND all its dependencies have finished.
+ * Because dependencies always point backwards in program order and
+ * queues are in-order, a single forward pass computes the exact schedule
+ * — no event heap needed — while still resolving all cross-engine
+ * overlap and head-of-line blocking.
+ */
+#ifndef T4I_SIM_MACHINE_H
+#define T4I_SIM_MACHINE_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+
+namespace t4i {
+
+/** Activity and timing of one engine over a run. */
+struct EngineStats {
+    double busy_s = 0.0;
+    int64_t instructions = 0;
+    int64_t bytes = 0;       ///< transfer engines only
+    double utilization = 0.0;
+};
+
+/** Result of simulating one program execution. */
+struct SimResult {
+    /** End-to-end latency of one inference (batch) in seconds. */
+    double latency_s = 0.0;
+    /** Same, in core clock cycles. */
+    double cycles = 0.0;
+
+    std::array<EngineStats, static_cast<size_t>(Engine::kEngineCount)>
+        engines;
+
+    double total_macs = 0.0;
+    double vpu_flops = 0.0;
+
+    /** Achieved matrix FLOP/s over the run (2*macs / latency). */
+    double achieved_flops = 0.0;
+    /** Achieved / peak at the program's dtype. */
+    double mxu_utilization = 0.0;
+
+    /**
+     * Steady-state throughput in inferences/s when batches run
+     * back-to-back: the bottleneck engine limits the pipeline
+     * (batch / max engine busy time).
+     */
+    double steady_state_ips = 0.0;
+
+    /** Convenience accessor. */
+    const EngineStats& engine(Engine e) const
+    {
+        return engines[static_cast<size_t>(e)];
+    }
+
+    std::string Summary() const;
+
+    /**
+     * gem5-style machine-readable stats dump: one `key value` pair per
+     * line, stable key names, suitable for grep/awk pipelines.
+     */
+    std::string DumpStats() const;
+};
+
+/**
+ * Simulates @p program on @p chip. The chip must match the one the
+ * program was compiled for (checked by name).
+ */
+StatusOr<SimResult> Simulate(const Program& program,
+                             const ChipConfig& chip);
+
+/** Per-instruction schedule entry (for tests and trace dumps). */
+struct ScheduleEntry {
+    int instr_id;
+    double start_s;
+    double finish_s;
+};
+
+/** Simulates and also returns the full schedule. */
+StatusOr<SimResult> SimulateWithSchedule(
+    const Program& program, const ChipConfig& chip,
+    std::vector<ScheduleEntry>* schedule);
+
+/** Throughput picture of a back-to-back pipelined run. */
+struct PipelineResult {
+    int iterations = 0;
+    double total_s = 0.0;        ///< makespan of all iterations
+    double first_latency_s = 0.0;
+    /** Inferences/s in steady state (excluding pipeline fill). */
+    double steady_ips = 0.0;
+};
+
+/**
+ * Simulates @p iterations of the program issued back-to-back — engine
+ * queues stay warm across iterations, so later iterations overlap
+ * earlier ones wherever the engines allow. This is the ground-truth
+ * version of SimResult::steady_state_ips (which is the analytic
+ * bottleneck-engine bound).
+ */
+StatusOr<PipelineResult> SimulatePipelined(const Program& program,
+                                           const ChipConfig& chip,
+                                           int iterations);
+
+}  // namespace t4i
+
+#endif  // T4I_SIM_MACHINE_H

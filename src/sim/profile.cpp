@@ -1,0 +1,99 @@
+#include "src/sim/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace t4i {
+
+StatusOr<std::vector<LayerProfile>>
+ProfileByLayer(const Program& program,
+               const std::vector<ScheduleEntry>& schedule)
+{
+    if (schedule.size() != program.instrs.size()) {
+        return Status::InvalidArgument(
+            "schedule does not match program");
+    }
+
+    struct Span {
+        double first = 1e300;
+        double last = 0.0;
+    };
+    std::map<int, LayerProfile> by_layer;
+    std::map<int, Span> spans;
+
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        LayerProfile& p = by_layer[instr.layer_id];
+        p.layer_id = instr.layer_id;
+        if (p.name.empty()) {
+            // The label is "<layer>.<suffix>"; strip the suffix.
+            const size_t dot = instr.label.rfind('.');
+            p.name = dot == std::string::npos
+                         ? instr.label
+                         : instr.label.substr(0, dot);
+        }
+        const double dur = entry.finish_s - entry.start_s;
+        switch (instr.engine) {
+          case Engine::kMxu: p.mxu_s += dur; break;
+          case Engine::kVpu: p.vpu_s += dur; break;
+          case Engine::kHbm:
+          case Engine::kCmem: p.mem_s += dur; break;
+          case Engine::kIci:
+          case Engine::kPcie:
+          case Engine::kPcieIn: p.link_s += dur; break;
+          case Engine::kEngineCount: break;
+        }
+        p.macs += instr.macs;
+        p.bytes += instr.bytes;
+        p.instructions += 1;
+        Span& span = spans[instr.layer_id];
+        span.first = std::min(span.first, entry.start_s);
+        span.last = std::max(span.last, entry.finish_s);
+    }
+
+    std::vector<LayerProfile> out;
+    out.reserve(by_layer.size());
+    for (auto& [id, profile] : by_layer) {
+        profile.span_s = spans[id].last - spans[id].first;
+        out.push_back(std::move(profile));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const LayerProfile& a, const LayerProfile& b) {
+                  return a.mxu_s + a.vpu_s + a.mem_s >
+                         b.mxu_s + b.vpu_s + b.mem_s;
+              });
+    return out;
+}
+
+std::string
+RenderProfile(const std::vector<LayerProfile>& profiles, size_t top_n)
+{
+    TablePrinter table({"Layer", "Span", "MXU", "VPU", "Mem", "Link",
+                        "GMACs", "Bytes", "Instrs"});
+    for (size_t i = 0; i < profiles.size() && i < top_n; ++i) {
+        const auto& p = profiles[i];
+        table.AddRow({
+            p.name,
+            HumanSeconds(p.span_s),
+            HumanSeconds(p.mxu_s),
+            HumanSeconds(p.vpu_s),
+            HumanSeconds(p.mem_s),
+            HumanSeconds(p.link_s),
+            StrFormat("%.2f", p.macs / 1e9),
+            HumanBytes(static_cast<double>(p.bytes)),
+            StrFormat("%lld", static_cast<long long>(p.instructions)),
+        });
+    }
+    std::string out = table.Render();
+    if (profiles.size() > top_n) {
+        out += StrFormat("... and %zu more layers\n",
+                         profiles.size() - top_n);
+    }
+    return out;
+}
+
+}  // namespace t4i

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-layer profiling of a simulated schedule: where did the time, the
+ * FLOPs and the bytes go? This is the report performance engineers
+ * read first — it attributes each engine's busy time back to the model
+ * layer that issued the work.
+ */
+#ifndef T4I_SIM_PROFILE_H
+#define T4I_SIM_PROFILE_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+
+/** Aggregated activity of one model layer. */
+struct LayerProfile {
+    int layer_id = -1;
+    /** Layer name (derived from instruction labels). */
+    std::string name;
+    /** Wall-clock span: first start to last finish of its instrs. */
+    double span_s = 0.0;
+    /** Busy seconds per engine (overlapping engines both count). */
+    double mxu_s = 0.0;
+    double vpu_s = 0.0;
+    double mem_s = 0.0;   ///< HBM + CMEM
+    double link_s = 0.0;  ///< ICI + PCIe
+    double macs = 0.0;
+    int64_t bytes = 0;
+    int64_t instructions = 0;
+};
+
+/**
+ * Aggregates the schedule per layer, sorted by descending MXU+VPU+mem
+ * busy time. @p schedule must come from SimulateWithSchedule on
+ * @p program.
+ */
+StatusOr<std::vector<LayerProfile>> ProfileByLayer(
+    const Program& program, const std::vector<ScheduleEntry>& schedule);
+
+/** Renders the top-N rows as an aligned table. */
+std::string RenderProfile(const std::vector<LayerProfile>& profiles,
+                          size_t top_n = 16);
+
+}  // namespace t4i
+
+#endif  // T4I_SIM_PROFILE_H

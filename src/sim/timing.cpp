@@ -1,0 +1,105 @@
+#include "src/sim/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace t4i {
+
+double
+MxuRateFactor(const ChipConfig& chip, DType dtype)
+{
+    switch (dtype) {
+      case DType::kInt8:
+        return chip.supports_int8 ? chip.mxu.int8_rate : 0.0;
+      case DType::kBf16:
+        return chip.supports_bf16 ? 1.0 : 0.0;
+      case DType::kFp32:
+        // fp32 runs through the bf16 array with 4-pass splitting.
+        return chip.supports_bf16 ? 0.25 : 0.0;
+    }
+    return 0.0;
+}
+
+double
+MxuCycles(const ChipConfig& chip, const Instr& instr)
+{
+    const double rate = MxuRateFactor(chip, instr.dtype);
+    T4I_CHECK(rate > 0.0, "dtype unsupported on this chip");
+    const int arrays = chip.mxu.count * chip.num_cores;
+    const double passes =
+        static_cast<double>(instr.k_tiles * instr.n_tiles);
+    // Work divides across the arrays; the ceil models the remainder
+    // imbalance of the last wave of passes.
+    const double passes_per_array =
+        std::ceil(passes / static_cast<double>(arrays));
+    // One pass: stream `rows` activations at `rate` rows/cycle, plus
+    // fill+drain of the array depth.
+    const double fill = 2.0 * static_cast<double>(chip.mxu.rows);
+    const double cycles_per_pass =
+        static_cast<double>(instr.rows) / rate + fill;
+    // The sequencer issues one pass descriptor at a time; with enough
+    // arrays the descriptor stream, not the arrays, limits throughput.
+    const double issue_cycles =
+        passes * static_cast<double>(chip.mxu.issue_cycles) /
+        static_cast<double>(chip.num_cores);
+    return std::max(passes_per_array * cycles_per_pass, issue_cycles) /
+           chip.sustained_compute_fraction;
+}
+
+double
+VpuCycles(const ChipConfig& chip, const Instr& instr)
+{
+    const double lanes = static_cast<double>(chip.vpu_lanes) *
+                         chip.vpu_ops_per_lane *
+                         static_cast<double>(chip.num_cores);
+    T4I_CHECK(lanes > 0.0, "chip has no vector capability");
+    double work = static_cast<double>(instr.elements) *
+                  std::max(instr.flops_per_element, 1.0);
+    // A fixed-function activation pipeline (TPUv1) runs post-2017
+    // transcendental primitives (softmax/layernorm/GELU) far off its
+    // line rate; a programmable VPU does not care (Lesson 9).
+    if (instr.complex_vector && !chip.flexible_vpu) work *= 16.0;
+    // Issue overhead per macro-op.
+    return work / lanes / chip.sustained_compute_fraction + 32.0;
+}
+
+double
+InstrDuration(const ChipConfig& chip, const Instr& instr)
+{
+    switch (instr.engine) {
+      case Engine::kMxu:
+        return MxuCycles(chip, instr) / chip.clock_hz;
+      case Engine::kVpu:
+        return VpuCycles(chip, instr) / chip.clock_hz;
+      case Engine::kHbm: {
+        const double bw = chip.dram_bw_Bps * instr.bw_efficiency;
+        return static_cast<double>(instr.bytes) / bw +
+               chip.dram_latency_s;
+      }
+      case Engine::kCmem: {
+        T4I_CHECK(chip.cmem_bw_Bps > 0.0,
+                  "CMEM instruction on a chip without CMEM");
+        const double bw = chip.cmem_bw_Bps * instr.bw_efficiency;
+        return static_cast<double>(instr.bytes) / bw + 20e-9;
+      }
+      case Engine::kIci: {
+        const double bw = static_cast<double>(chip.ici_links) *
+                          chip.ici_bw_Bps_per_link;
+        T4I_CHECK(bw > 0.0, "ICI instruction on a chip without links");
+        return static_cast<double>(instr.bytes) / bw + 1e-6;
+      }
+      case Engine::kPcie:
+      case Engine::kPcieIn:
+        return static_cast<double>(instr.bytes) / chip.pcie_bw_Bps +
+               2e-6;
+      case Engine::kEngineCount:
+        break;
+    }
+    T4I_CHECK(false, "bad engine");
+    return 0.0;
+}
+
+}  // namespace t4i

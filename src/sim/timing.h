@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Per-instruction timing model: converts a work descriptor plus a chip
+ * configuration into a duration in seconds.
+ *
+ * The MXU model is a weight-stationary systolic array: each (k,n) weight
+ * tile requires streaming the activation rows through the array, paying a
+ * fill+drain overhead of two array depths per pass. Small row counts
+ * therefore achieve low utilization — the mechanism behind the paper's
+ * small-batch/latency discussion (Lesson 10) and the RNNs' low MXU
+ * efficiency.
+ */
+#ifndef T4I_SIM_TIMING_H
+#define T4I_SIM_TIMING_H
+
+#include "src/arch/chip.h"
+#include "src/compiler/program.h"
+
+namespace t4i {
+
+/** Streaming-rate multiplier of the MXU for a dtype (bf16 == 1). */
+double MxuRateFactor(const ChipConfig& chip, DType dtype);
+
+/** Cycles an MXU instruction occupies the (pooled) matrix units. */
+double MxuCycles(const ChipConfig& chip, const Instr& instr);
+
+/** Cycles a VPU instruction occupies the vector unit. */
+double VpuCycles(const ChipConfig& chip, const Instr& instr);
+
+/** Duration of any instruction in seconds on @p chip. */
+double InstrDuration(const ChipConfig& chip, const Instr& instr);
+
+}  // namespace t4i
+
+#endif  // T4I_SIM_TIMING_H

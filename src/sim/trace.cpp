@@ -1,0 +1,78 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace {
+
+/** Escapes the few characters instruction labels could contain. */
+std::string
+JsonEscape(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+}  // namespace
+
+StatusOr<std::string>
+RenderChromeTrace(const Program& program,
+                  const std::vector<ScheduleEntry>& schedule)
+{
+    if (schedule.size() != program.instrs.size()) {
+        return Status::InvalidArgument(
+            "schedule does not match program");
+    }
+    std::string out = "[\n";
+    // Track-name metadata per engine.
+    for (int e = 0; e < static_cast<int>(Engine::kEngineCount); ++e) {
+        out += StrFormat(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            "\"tid\":%d,\"args\":{\"name\":\"%s\"}},\n",
+            e, EngineName(static_cast<Engine>(e)));
+    }
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        out += StrFormat(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,"
+            "\"args\":{\"id\":%d,\"layer\":%d}},\n",
+            JsonEscape(instr.label).c_str(), InstrKindName(instr.kind),
+            entry.start_s * 1e6,
+            (entry.finish_s - entry.start_s) * 1e6,
+            static_cast<int>(instr.engine), instr.id, instr.layer_id);
+    }
+    // Trailing comma is legal in the Chrome trace format, but keep the
+    // JSON strict: swap the final ",\n" for "\n".
+    if (out.size() >= 2 && out[out.size() - 2] == ',') {
+        out.erase(out.size() - 2, 1);
+    }
+    out += "]\n";
+    return out;
+}
+
+Status
+WriteChromeTrace(const Program& program,
+                 const std::vector<ScheduleEntry>& schedule,
+                 const std::string& path)
+{
+    auto rendered = RenderChromeTrace(program, schedule);
+    T4I_RETURN_IF_ERROR(rendered.status());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::InvalidArgument("cannot open " + path);
+    }
+    std::fwrite(rendered.value().data(), 1, rendered.value().size(), f);
+    std::fclose(f);
+    return Status::Ok();
+}
+
+}  // namespace t4i

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chrome-trace export of a simulated schedule.
+ *
+ * Writes the `chrome://tracing` / Perfetto JSON event format: one track
+ * per engine, one complete ('X') event per instruction. Loading the
+ * file in a trace viewer shows the overlap structure the compiler
+ * created — weight prefetch sliding under MXU work, ICI all-gathers
+ * serializing sharded layers, and so on.
+ */
+#ifndef T4I_SIM_TRACE_H
+#define T4I_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+
+/**
+ * Renders the schedule as Chrome-trace JSON. Timestamps are in
+ * microseconds, as the format expects.
+ */
+StatusOr<std::string> RenderChromeTrace(
+    const Program& program, const std::vector<ScheduleEntry>& schedule);
+
+/** Renders and writes to @p path. */
+Status WriteChromeTrace(const Program& program,
+                        const std::vector<ScheduleEntry>& schedule,
+                        const std::string& path);
+
+}  // namespace t4i
+
+#endif  // T4I_SIM_TRACE_H

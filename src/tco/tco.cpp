@@ -1,0 +1,71 @@
+#include "src/tco/tco.h"
+
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+double
+GoodDiesPerWafer(double die_mm2, const TcoParams& params)
+{
+    const double r = params.wafer_diameter_mm / 2.0;
+    // Standard dies-per-wafer approximation with edge loss.
+    const double gross =
+        M_PI * r * r / die_mm2 -
+        M_PI * params.wafer_diameter_mm / std::sqrt(2.0 * die_mm2);
+    // Murphy yield.
+    const double a = die_mm2 * params.defect_density_per_mm2;
+    const double murphy = std::pow((1.0 - std::exp(-a)) / a, 2.0);
+    return std::max(gross, 1.0) * murphy;
+}
+
+StatusOr<TcoReport>
+ComputeTco(const ChipConfig& chip, const TcoParams& params)
+{
+    double wafer_cost = 0.0;
+    if (chip.tech_nm >= 28) {
+        wafer_cost = params.wafer_cost_usd_28nm;
+    } else if (chip.tech_nm >= 12) {
+        wafer_cost = params.wafer_cost_usd_16nm;
+    } else {
+        wafer_cost = params.wafer_cost_usd_7nm;
+    }
+
+    TcoReport report;
+    const double good_dies = GoodDiesPerWafer(chip.die_mm2, params);
+    if (good_dies <= 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("die of %.0f mm^2 yields no good dies",
+                      chip.die_mm2));
+    }
+    report.die_cost_usd =
+        wafer_cost / good_dies * params.package_test_multiplier;
+
+    // HBM-class memory if bandwidth says so, DDR otherwise.
+    const double gib =
+        static_cast<double>(chip.dram_bytes) / (1ull << 30);
+    const bool hbm = chip.dram_bw_Bps > 100e9;
+    report.memory_cost_usd =
+        gib * (hbm ? params.hbm_usd_per_gib : params.ddr_usd_per_gib);
+
+    report.board_cost_usd = params.board_usd;
+    if (chip.cooling == Cooling::kLiquid) {
+        report.cooling_capex_usd =
+            params.liquid_capex_usd_per_w * chip.tdp_w;
+    }
+    report.capex_usd = report.die_cost_usd + report.memory_cost_usd +
+                       report.board_cost_usd + report.cooling_capex_usd;
+
+    const double pue = chip.cooling == Cooling::kLiquid
+                           ? params.pue_liquid
+                           : params.pue_air;
+    const double avg_w = chip.tdp_w * params.avg_power_fraction_of_tdp;
+    report.energy_kwh = avg_w * pue * params.service_years * 365.0 *
+                        24.0 / 1000.0;
+    report.opex_usd = report.energy_kwh * params.electricity_usd_per_kwh;
+    report.tco_usd = report.capex_usd + report.opex_usd;
+    return report;
+}
+
+}  // namespace t4i

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Total-cost-of-ownership model (Lesson 3: design for perf/TCO, not
+ * perf/CapEx).
+ *
+ * CapEx: die cost from wafer price, die area and a Murphy yield model,
+ * plus memory (HBM/DDR), packaging/test and board amortization.
+ * OpEx: electricity for the chip at a utilization-weighted power draw,
+ * multiplied by the datacenter PUE, over the service life; liquid
+ * cooling adds capex per watt and reduces PUE (Lesson 5's trade).
+ *
+ * The paper's point is a *ranking* one: a bigger, hotter chip can win
+ * perf/CapEx yet lose perf/TCO once 3 years of power and cooling are
+ * paid. The parameters below are public-ballpark numbers; E12 prints
+ * the resulting ranking both ways.
+ */
+#ifndef T4I_TCO_TCO_H
+#define T4I_TCO_TCO_H
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Economic assumptions (defaults are public-ballpark 2020 values). */
+struct TcoParams {
+    double wafer_cost_usd_28nm = 3000.0;
+    double wafer_cost_usd_16nm = 6000.0;
+    double wafer_cost_usd_7nm = 9500.0;
+    double wafer_diameter_mm = 300.0;
+    /** Defects per mm^2 for the Murphy yield model. */
+    double defect_density_per_mm2 = 0.001;
+    /** Packaging/test multiplier on good-die cost. */
+    double package_test_multiplier = 1.6;
+    /** HBM cost per GiB (GDDR/DDR scaled by the bandwidth class). */
+    double hbm_usd_per_gib = 20.0;
+    double ddr_usd_per_gib = 5.0;
+    /** Board, host share, NIC amortized per accelerator. */
+    double board_usd = 1500.0;
+    /** Electricity, US industrial average. */
+    double electricity_usd_per_kwh = 0.07;
+    /** Power usage effectiveness of the datacenter. */
+    double pue_air = 1.10;
+    double pue_liquid = 1.07;
+    /** Liquid-cooling loop capex per watt of TDP (Lesson 5). */
+    double liquid_capex_usd_per_w = 2.0;
+    /** Service life over which opex accrues. */
+    double service_years = 3.0;
+    /** Average utilization-weighted power as a fraction of TDP. */
+    double avg_power_fraction_of_tdp = 0.6;
+};
+
+/** Cost breakdown for one deployed accelerator. */
+struct TcoReport {
+    double die_cost_usd = 0.0;
+    double memory_cost_usd = 0.0;
+    double board_cost_usd = 0.0;
+    double cooling_capex_usd = 0.0;
+    double capex_usd = 0.0;
+    double energy_kwh = 0.0;
+    double opex_usd = 0.0;
+    double tco_usd = 0.0;
+};
+
+/** Good dies per wafer after Murphy yield at the given area. */
+double GoodDiesPerWafer(double die_mm2, const TcoParams& params);
+
+/** Computes the TCO breakdown for a chip. */
+StatusOr<TcoReport> ComputeTco(const ChipConfig& chip,
+                               const TcoParams& params);
+
+}  // namespace t4i
+
+#endif  // T4I_TCO_TCO_H

@@ -1,0 +1,553 @@
+#include "src/tensor/executor.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+#include "src/numerics/bfloat16.h"
+#include "src/numerics/quantize.h"
+
+namespace t4i {
+namespace {
+
+/** Mixes layer id + tag + user seed into an RNG stream. */
+uint64_t
+WeightStream(uint64_t seed, int layer_id, int tag)
+{
+    uint64_t h = seed;
+    h ^= 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(layer_id) * 31;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= static_cast<uint64_t>(tag) * 0x2545f4914f6cdd1dULL;
+    return h;
+}
+
+/** Deterministic fan-in-scaled Gaussian weight matrix. */
+Tensor
+MakeWeight(uint64_t seed, int layer_id, int tag, int64_t rows,
+           int64_t cols)
+{
+    Rng rng(WeightStream(seed, layer_id, tag));
+    Tensor w(Shape({rows, cols}));
+    w.FillGaussian(rng, 1.0f / std::sqrt(static_cast<float>(rows)));
+    return w;
+}
+
+/** One deterministic embedding row (no table materialization). */
+void
+EmbeddingRow(uint64_t seed, int layer_id, int64_t index, int64_t dim,
+             float* out)
+{
+    Rng rng(WeightStream(seed, layer_id, 1000) ^
+            (static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ULL + 1));
+    for (int64_t i = 0; i < dim; ++i) {
+        out[i] = static_cast<float>(rng.NextGaussian());
+    }
+}
+
+/** Applies the dtype contract to a buffer (weights or activations). */
+void
+ApplyPrecisionInPlace(std::vector<float>* data,
+                      MatmulPrecision precision)
+{
+    switch (precision) {
+      case MatmulPrecision::kFp32:
+        return;
+      case MatmulPrecision::kBf16:
+        for (auto& x : *data) x = Bf16Round(x);
+        return;
+      case MatmulPrecision::kInt8: {
+        *data = FakeQuantInt8(*data, QuantScheme::kSymmetric);
+        return;
+      }
+    }
+}
+
+Tensor
+ApplyActivation(Tensor x, Activation act)
+{
+    switch (act) {
+      case Activation::kNone: return x;
+      case Activation::kRelu: return Relu(x);
+      case Activation::kGelu: return Gelu(x);
+      case Activation::kTanh: return Tanh(x);
+      case Activation::kSigmoid: return Sigmoid(x);
+    }
+    return x;
+}
+
+/** Reshapes [batch, dims...] to rank-2 [batch*lead, last]. */
+Tensor
+FoldToRows(const Tensor& x, int64_t last)
+{
+    const int64_t rows = x.NumElements() / last;
+    return Tensor(Shape({rows, last}), x.data());
+}
+
+class Executor {
+  public:
+    Executor(const Graph& graph, const std::vector<Tensor>& inputs,
+             const ExecOptions& options)
+        : g_(graph), inputs_(inputs), opts_(options)
+    {
+    }
+
+    StatusOr<ExecResult> Run();
+
+  private:
+    const Tensor& in(const Layer& layer, size_t idx = 0)
+    {
+        return result_.outputs[static_cast<size_t>(
+            layer.inputs[idx])];
+    }
+
+    /** Dense helper usable by several kinds. */
+    StatusOr<Tensor>
+    DenseOp(const Layer& layer, const Tensor& x, int tag, int64_t in_f,
+            int64_t out_f, Activation act)
+    {
+        Tensor w = MakeWeight(opts_.weight_seed, layer.id, tag, in_f,
+                              out_f);
+        auto y = Matmul(FoldToRows(x, in_f), w, opts_.precision);
+        T4I_RETURN_IF_ERROR(y.status());
+        return ApplyActivation(std::move(y).ConsumeValue(), act);
+    }
+
+    StatusOr<Tensor> ExecLayer(const Layer& layer);
+
+    const Graph& g_;
+    const std::vector<Tensor>& inputs_;
+    ExecOptions opts_;
+    ExecResult result_;
+};
+
+StatusOr<Tensor>
+Executor::ExecLayer(const Layer& layer)
+{
+    const LayerParams& p = layer.params;
+    switch (layer.kind) {
+      case LayerKind::kInput:
+        return Status::Internal("inputs handled by Run()");
+
+      case LayerKind::kDense: {
+        auto y = DenseOp(layer, in(layer), 0, p.in_features,
+                         p.out_features, p.activation);
+        T4I_RETURN_IF_ERROR(y.status());
+        return y;
+      }
+
+      case LayerKind::kConv2d: {
+        // Fold batch into N; kernel from the deterministic stream.
+        const Tensor& x = in(layer);
+        const auto& shape = x.shape();
+        if (shape.rank() != 4) {
+            return Status::InvalidArgument(
+                "Conv2d executor expects [batch, H, W, C]");
+        }
+        const int64_t cin = shape.dim(3);
+        Rng rng(WeightStream(opts_.weight_seed, layer.id, 0));
+        Tensor kernel(
+            Shape({p.kernel_h, p.kernel_w, cin, p.out_channels}));
+        kernel.FillGaussian(
+            rng, 1.0f / std::sqrt(static_cast<float>(
+                     p.kernel_h * p.kernel_w * cin)));
+        auto y = Conv2d(x, kernel, static_cast<int>(p.stride),
+                        static_cast<int>(p.pad), opts_.precision);
+        T4I_RETURN_IF_ERROR(y.status());
+        return ApplyActivation(std::move(y).ConsumeValue(),
+                               p.activation);
+      }
+
+      case LayerKind::kDepthwiseConv2d: {
+        // Per-channel 2-D convolution with a deterministic filter.
+        const Tensor& x = in(layer);
+        const int64_t batch = x.shape().dim(0);
+        const int64_t h = x.shape().dim(1);
+        const int64_t w = x.shape().dim(2);
+        const int64_t c = x.shape().dim(3);
+        Rng rng(WeightStream(opts_.weight_seed, layer.id, 0));
+        Tensor out;
+        for (int64_t ch = 0; ch < c; ++ch) {
+            Tensor slice(Shape({batch, h, w, 1}));
+            for (int64_t i = 0; i < batch * h * w; ++i) {
+                slice[i] = x[i * c + ch];
+            }
+            Tensor kernel(Shape({p.kernel_h, p.kernel_w, 1, 1}));
+            kernel.FillGaussian(
+                rng, 1.0f / std::sqrt(static_cast<float>(
+                         p.kernel_h * p.kernel_w)));
+            auto y = Conv2d(slice, kernel, static_cast<int>(p.stride),
+                            static_cast<int>(p.pad), opts_.precision);
+            T4I_RETURN_IF_ERROR(y.status());
+            if (ch == 0) {
+                const auto& ys = y.value().shape();
+                out = Tensor(Shape({batch, ys.dim(1), ys.dim(2), c}));
+            }
+            const int64_t spatial =
+                y.value().NumElements();  // batch*oh*ow
+            for (int64_t i = 0; i < spatial; ++i) {
+                out[i * c + ch] = y.value()[i];
+            }
+        }
+        return ApplyActivation(std::move(out), p.activation);
+      }
+
+      case LayerKind::kMaxPool:
+        return MaxPool2d(in(layer), static_cast<int>(p.kernel_h),
+                         static_cast<int>(p.stride));
+
+      case LayerKind::kGlobalPool:
+        return GlobalAvgPool(in(layer));
+
+      case LayerKind::kLstm: {
+        // Input [batch, seq, in_dim] -> output [batch, seq, hidden].
+        const Tensor& x = in(layer);
+        const int64_t batch = x.shape().dim(0);
+        const int64_t seq = x.shape().dim(1);
+        const int64_t in_dim = x.shape().dim(2);
+        Tensor w_ih = MakeWeight(opts_.weight_seed, layer.id, 0,
+                                 in_dim, 4 * p.hidden_dim);
+        Tensor w_hh = MakeWeight(opts_.weight_seed, layer.id, 1,
+                                 p.hidden_dim, 4 * p.hidden_dim);
+        Tensor bias(Shape({4 * p.hidden_dim}));
+        LstmState state{Tensor(Shape({batch, p.hidden_dim})),
+                        Tensor(Shape({batch, p.hidden_dim}))};
+        Tensor out(Shape({batch, seq, p.hidden_dim}));
+        for (int64_t t = 0; t < seq; ++t) {
+            Tensor xt(Shape({batch, in_dim}));
+            for (int64_t b = 0; b < batch; ++b) {
+                for (int64_t f = 0; f < in_dim; ++f) {
+                    xt.At2(b, f) = x[(b * seq + t) * in_dim + f];
+                }
+            }
+            auto next = LstmCell(xt, state, w_ih, w_hh, bias,
+                                 opts_.precision);
+            T4I_RETURN_IF_ERROR(next.status());
+            state = std::move(next).ConsumeValue();
+            for (int64_t b = 0; b < batch; ++b) {
+                for (int64_t u = 0; u < p.hidden_dim; ++u) {
+                    out[(b * seq + t) * p.hidden_dim + u] =
+                        state.h[b * p.hidden_dim + u];
+                }
+            }
+        }
+        return out;
+      }
+
+      case LayerKind::kAttention: {
+        // Single-head semantics per batch element (the perf model
+        // accounts heads; functionally one head is representative).
+        const Tensor& x = in(layer);
+        const int64_t batch = x.shape().dim(0);
+        const int64_t seq = x.shape().dim(1);
+        const int64_t d = p.d_model;
+        Tensor wq = MakeWeight(opts_.weight_seed, layer.id, 0, d, d);
+        Tensor wk = MakeWeight(opts_.weight_seed, layer.id, 1, d, d);
+        Tensor wv = MakeWeight(opts_.weight_seed, layer.id, 2, d, d);
+        Tensor wo = MakeWeight(opts_.weight_seed, layer.id, 3, d, d);
+        Tensor out(x.shape());
+        for (int64_t b = 0; b < batch; ++b) {
+            Tensor xi(Shape({seq, d}));
+            std::copy(x.data().begin() + b * seq * d,
+                      x.data().begin() + (b + 1) * seq * d,
+                      xi.data().begin());
+            auto q = Matmul(xi, wq, opts_.precision);
+            T4I_RETURN_IF_ERROR(q.status());
+            auto k = Matmul(xi, wk, opts_.precision);
+            T4I_RETURN_IF_ERROR(k.status());
+            auto v = Matmul(xi, wv, opts_.precision);
+            T4I_RETURN_IF_ERROR(v.status());
+            auto attn = Attention(q.value(), k.value(), v.value(),
+                                  opts_.precision);
+            T4I_RETURN_IF_ERROR(attn.status());
+            auto proj = Matmul(attn.value(), wo, opts_.precision);
+            T4I_RETURN_IF_ERROR(proj.status());
+            std::copy(proj.value().data().begin(),
+                      proj.value().data().end(),
+                      out.data().begin() + b * seq * d);
+        }
+        return out;
+      }
+
+      case LayerKind::kFeedForward: {
+        auto h = DenseOp(layer, in(layer), 0, p.d_model, p.d_ff,
+                         Activation::kGelu);
+        T4I_RETURN_IF_ERROR(h.status());
+        auto y = DenseOp(layer, h.value(), 1, p.d_ff, p.d_model,
+                         Activation::kNone);
+        T4I_RETURN_IF_ERROR(y.status());
+        return y;
+      }
+
+      case LayerKind::kLayerNorm: {
+        const Tensor& x = in(layer);
+        const int64_t last = x.shape().dim(x.shape().rank() - 1);
+        return LayerNorm(FoldToRows(x, last));
+      }
+
+      case LayerKind::kSoftmax: {
+        const Tensor& x = in(layer);
+        const int64_t last = x.shape().dim(x.shape().rank() - 1);
+        return Softmax(FoldToRows(x, last));
+      }
+
+      case LayerKind::kElementwise: {
+        Tensor acc = in(layer, 0);
+        for (size_t i = 1; i < layer.inputs.size(); ++i) {
+            // Residual adds require matching element counts; shapes
+            // may differ in fold only.
+            const Tensor& other = in(layer, i);
+            if (other.NumElements() != acc.NumElements()) {
+                return Status::InvalidArgument(
+                    "elementwise operand size mismatch");
+            }
+            for (int64_t j = 0; j < acc.NumElements(); ++j) {
+                acc[j] += other[j];
+            }
+        }
+        return ApplyActivation(std::move(acc), p.activation);
+      }
+
+      case LayerKind::kEmbedding: {
+        const Tensor& ids = in(layer);
+        const int64_t batch = ids.shape().dim(0);
+        const int64_t lookups = p.lookups_per_sample;
+        Tensor out(Shape({batch, lookups, p.embed_dim}));
+        std::vector<float> row(static_cast<size_t>(p.embed_dim));
+        for (int64_t b = 0; b < batch; ++b) {
+            for (int64_t l = 0; l < lookups; ++l) {
+                auto index = static_cast<int64_t>(
+                    std::fabs(ids[b * lookups + l]));
+                index %= std::max<int64_t>(p.vocab, 1);
+                EmbeddingRow(opts_.weight_seed, layer.id, index,
+                             p.embed_dim, row.data());
+                ApplyPrecisionInPlace(&row, opts_.precision);
+                std::copy(row.begin(), row.end(),
+                          out.data().begin() +
+                              (b * lookups + l) * p.embed_dim);
+            }
+        }
+        return out;
+      }
+
+      case LayerKind::kFlatten: {
+        const Tensor& x = in(layer);
+        const int64_t batch = x.shape().dim(0);
+        return Tensor(Shape({batch, x.NumElements() / batch}),
+                      x.data());
+      }
+
+      case LayerKind::kConcat: {
+        const int64_t batch = in(layer).shape().dim(0);
+        int64_t total = 0;
+        for (size_t i = 0; i < layer.inputs.size(); ++i) {
+            total += in(layer, i).NumElements() / batch;
+        }
+        Tensor out(Shape({batch, total}));
+        for (int64_t b = 0; b < batch; ++b) {
+            int64_t offset = 0;
+            for (size_t i = 0; i < layer.inputs.size(); ++i) {
+                const Tensor& x = in(layer, i);
+                const int64_t per = x.NumElements() / batch;
+                std::copy(x.data().begin() + b * per,
+                          x.data().begin() + (b + 1) * per,
+                          out.data().begin() + b * total + offset);
+                offset += per;
+            }
+        }
+        return out;
+      }
+
+      case LayerKind::kDecoderBlock: {
+        // Sequential single-token steps with a deterministic KV
+        // "prompt cache" and causal attention over generated tokens.
+        const Tensor& x = in(layer);
+        const int64_t batch = x.shape().dim(0);
+        const int64_t seq = x.shape().dim(1);
+        const int64_t d = p.d_model;
+        Tensor wq = MakeWeight(opts_.weight_seed, layer.id, 0, d, d);
+        Tensor wk = MakeWeight(opts_.weight_seed, layer.id, 1, d, d);
+        Tensor wv = MakeWeight(opts_.weight_seed, layer.id, 2, d, d);
+        Tensor wo = MakeWeight(opts_.weight_seed, layer.id, 3, d, d);
+        Tensor w1 = MakeWeight(opts_.weight_seed, layer.id, 4, d,
+                               p.d_ff);
+        Tensor w2 = MakeWeight(opts_.weight_seed, layer.id, 5, p.d_ff,
+                               d);
+        // Deterministic prompt KV rows shared across the batch.
+        const int64_t kv = p.kv_len;
+        Tensor prompt_k(Shape({kv, d}));
+        Tensor prompt_v(Shape({kv, d}));
+        for (int64_t r = 0; r < kv; ++r) {
+            EmbeddingRow(opts_.weight_seed, layer.id, r, d,
+                         prompt_k.data().data() + r * d);
+            EmbeddingRow(opts_.weight_seed, layer.id, r + kv, d,
+                         prompt_v.data().data() + r * d);
+        }
+
+        Tensor out(x.shape());
+        for (int64_t b = 0; b < batch; ++b) {
+            Tensor keys(Shape({kv + seq, d}));
+            Tensor vals(Shape({kv + seq, d}));
+            std::copy(prompt_k.data().begin(), prompt_k.data().end(),
+                      keys.data().begin());
+            std::copy(prompt_v.data().begin(), prompt_v.data().end(),
+                      vals.data().begin());
+            for (int64_t t = 0; t < seq; ++t) {
+                Tensor xt(Shape({1, d}));
+                std::copy(x.data().begin() + (b * seq + t) * d,
+                          x.data().begin() + (b * seq + t + 1) * d,
+                          xt.data().begin());
+                auto q = Matmul(xt, wq, opts_.precision);
+                T4I_RETURN_IF_ERROR(q.status());
+                auto k = Matmul(xt, wk, opts_.precision);
+                T4I_RETURN_IF_ERROR(k.status());
+                auto v = Matmul(xt, wv, opts_.precision);
+                T4I_RETURN_IF_ERROR(v.status());
+                std::copy(k.value().data().begin(),
+                          k.value().data().end(),
+                          keys.data().begin() + (kv + t) * d);
+                std::copy(v.value().data().begin(),
+                          v.value().data().end(),
+                          vals.data().begin() + (kv + t) * d);
+                // Causal view: prompt + generated-so-far.
+                Tensor kview(Shape({kv + t + 1, d}),
+                             std::vector<float>(
+                                 keys.data().begin(),
+                                 keys.data().begin() +
+                                     (kv + t + 1) * d));
+                Tensor vview(Shape({kv + t + 1, d}),
+                             std::vector<float>(
+                                 vals.data().begin(),
+                                 vals.data().begin() +
+                                     (kv + t + 1) * d));
+                auto attn = Attention(q.value(), kview, vview,
+                                      opts_.precision);
+                T4I_RETURN_IF_ERROR(attn.status());
+                auto proj = Matmul(attn.value(), wo, opts_.precision);
+                T4I_RETURN_IF_ERROR(proj.status());
+                auto h = Matmul(proj.value(), w1, opts_.precision);
+                T4I_RETURN_IF_ERROR(h.status());
+                Tensor g = Gelu(h.value());
+                auto y = Matmul(g, w2, opts_.precision);
+                T4I_RETURN_IF_ERROR(y.status());
+                // Residual.
+                for (int64_t f = 0; f < d; ++f) {
+                    out[(b * seq + t) * d + f] =
+                        xt[f] + y.value()[f];
+                }
+            }
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unhandled layer kind in executor");
+}
+
+StatusOr<ExecResult>
+Executor::Run()
+{
+    if (!g_.finalized()) {
+        return Status::FailedPrecondition("graph not finalized");
+    }
+    result_.outputs.resize(static_cast<size_t>(g_.num_layers()));
+    size_t next_input = 0;
+    for (const auto& layer : g_.layers()) {
+        if (layer.kind == LayerKind::kInput) {
+            if (next_input >= inputs_.size()) {
+                return Status::InvalidArgument(
+                    "not enough input tensors");
+            }
+            const Tensor& provided = inputs_[next_input++];
+            const int64_t expected =
+                opts_.batch * FeatureElements(layer.out_shape);
+            if (provided.NumElements() != expected) {
+                return Status::InvalidArgument(StrFormat(
+                    "input '%s': got %lld elements, want %lld",
+                    layer.name.c_str(),
+                    static_cast<long long>(provided.NumElements()),
+                    static_cast<long long>(expected)));
+            }
+            result_.outputs[static_cast<size_t>(layer.id)] = provided;
+            continue;
+        }
+        auto out = ExecLayer(layer);
+        T4I_RETURN_IF_ERROR(out.status());
+        // Canonicalize to [batch, <per-sample out_shape>] so every
+        // consumer sees the logical structure regardless of how the
+        // producing op folded dimensions internally.
+        std::vector<int64_t> dims = {opts_.batch};
+        for (int64_t d : layer.out_shape) dims.push_back(d);
+        Tensor produced = std::move(out).ConsumeValue();
+        Shape canonical(dims);
+        if (produced.NumElements() != canonical.NumElements()) {
+            return Status::Internal(StrFormat(
+                "layer '%s' produced %lld elements, expected %lld",
+                layer.name.c_str(),
+                static_cast<long long>(produced.NumElements()),
+                static_cast<long long>(canonical.NumElements())));
+        }
+        result_.outputs[static_cast<size_t>(layer.id)] =
+            Tensor(canonical, std::move(produced.data()));
+    }
+    if (next_input != inputs_.size()) {
+        return Status::InvalidArgument("too many input tensors");
+    }
+    return std::move(result_);
+}
+
+}  // namespace
+
+StatusOr<ExecResult>
+Execute(const Graph& graph, const std::vector<Tensor>& inputs,
+        const ExecOptions& options)
+{
+    Executor executor(graph, inputs, options);
+    return executor.Run();
+}
+
+StatusOr<ErrorMetrics>
+PrecisionLoss(const Graph& graph, MatmulPrecision precision,
+              int64_t batch, uint64_t seed)
+{
+    // Build deterministic inputs for every kInput layer. Inputs that
+    // feed embeddings carry index-like values; the rest stay Gaussian.
+    std::vector<bool> feeds_embedding(
+        static_cast<size_t>(graph.num_layers()), false);
+    for (const auto& layer : graph.layers()) {
+        if (layer.kind != LayerKind::kEmbedding) continue;
+        for (int in_id : layer.inputs) {
+            feeds_embedding[static_cast<size_t>(in_id)] = true;
+        }
+    }
+    std::vector<Tensor> inputs;
+    Rng rng(seed);
+    for (const auto& layer : graph.layers()) {
+        if (layer.kind != LayerKind::kInput) continue;
+        std::vector<int64_t> dims = {batch};
+        for (int64_t d : layer.out_shape) dims.push_back(d);
+        Tensor x{Shape(dims)};
+        x.FillGaussian(rng, 1.0f);
+        if (feeds_embedding[static_cast<size_t>(layer.id)]) {
+            for (int64_t i = 0; i < x.NumElements(); ++i) {
+                x[i] = std::fabs(x[i]) * 10000.0f;  // index-like
+            }
+        }
+        inputs.push_back(std::move(x));
+    }
+
+    ExecOptions ref;
+    ref.precision = MatmulPrecision::kFp32;
+    ref.batch = batch;
+    ref.weight_seed = seed;
+    auto exact = Execute(graph, inputs, ref);
+    T4I_RETURN_IF_ERROR(exact.status());
+
+    ExecOptions approx = ref;
+    approx.precision = precision;
+    auto lossy = Execute(graph, inputs, approx);
+    T4I_RETURN_IF_ERROR(lossy.status());
+
+    return ComputeError(exact.value().final_output().data(),
+                        lossy.value().final_output().data());
+}
+
+}  // namespace t4i

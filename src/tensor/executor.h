@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Functional graph executor: runs a model Graph on real tensors using
+ * the reference operators, under a chosen numeric precision.
+ *
+ * This is the semantic counterpart of the performance simulator. It
+ * exists for two jobs:
+ *  1. numerics at model scale — execute the same graph in fp32, bf16
+ *     and int8 and measure end-to-end output divergence (Lesson 6 at
+ *     the level users feel it, not per-op);
+ *  2. validating the IR — every layer kind has executable semantics,
+ *     so shape inference and graph construction are checked against
+ *     real data, not just metadata.
+ *
+ * Weights are materialized deterministically from the layer id and a
+ * user seed (Gaussian, fan-in scaled), so two executions of the same
+ * graph agree bit-for-bit and precision is the only variable.
+ */
+#ifndef T4I_TENSOR_EXECUTOR_H
+#define T4I_TENSOR_EXECUTOR_H
+
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+#include "src/numerics/quantize.h"
+#include "src/tensor/ops.h"
+
+namespace t4i {
+
+/** Execution-time numeric contract. */
+struct ExecOptions {
+    MatmulPrecision precision = MatmulPrecision::kFp32;
+    /** Seed for the deterministic weight materialization. */
+    uint64_t weight_seed = 1;
+    /** Batch size: inputs and outputs carry a leading batch dim. */
+    int64_t batch = 1;
+};
+
+/** Result: output tensor of every layer (indexed by layer id). */
+struct ExecResult {
+    std::vector<Tensor> outputs;
+
+    const Tensor& of(int layer_id) const
+    {
+        return outputs[static_cast<size_t>(layer_id)];
+    }
+
+    /** The graph's final layer output. */
+    const Tensor& final_output() const { return outputs.back(); }
+};
+
+/**
+ * Executes @p graph on @p inputs (one tensor per kInput layer, in
+ * input-layer order; each shaped [batch, <per-sample dims>]).
+ * Embedding inputs are index tensors whose values are truncated to
+ * [0, vocab).
+ */
+StatusOr<ExecResult> Execute(const Graph& graph,
+                             const std::vector<Tensor>& inputs,
+                             const ExecOptions& options);
+
+/**
+ * Convenience for numerics studies: executes @p graph on random
+ * Gaussian inputs (seeded) under fp32 and under @p precision, and
+ * returns the error of the final output vs the fp32 reference.
+ */
+StatusOr<ErrorMetrics> PrecisionLoss(const Graph& graph,
+                                     MatmulPrecision precision,
+                                     int64_t batch, uint64_t seed);
+
+}  // namespace t4i
+
+#endif  // T4I_TENSOR_EXECUTOR_H

@@ -1,0 +1,382 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/numerics/bfloat16.h"
+#include "src/numerics/quantize.h"
+
+namespace t4i {
+namespace {
+
+/** Applies the precision contract to operand storage before compute. */
+std::vector<float>
+ApplyPrecision(const std::vector<float>& data, MatmulPrecision precision)
+{
+    switch (precision) {
+      case MatmulPrecision::kFp32:
+        return data;
+      case MatmulPrecision::kBf16: {
+        std::vector<float> out(data.size());
+        for (size_t i = 0; i < data.size(); ++i) {
+            out[i] = Bf16Round(data[i]);
+        }
+        return out;
+      }
+      case MatmulPrecision::kInt8:
+        return FakeQuantInt8(data, QuantScheme::kSymmetric);
+    }
+    return data;
+}
+
+Tensor
+ElementwiseUnary(const Tensor& x, float (*fn)(float))
+{
+    Tensor out(x.shape());
+    for (int64_t i = 0; i < x.NumElements(); ++i) out[i] = fn(x[i]);
+    return out;
+}
+
+}  // namespace
+
+StatusOr<Tensor>
+Matmul(const Tensor& a, const Tensor& b, MatmulPrecision precision)
+{
+    if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+        return Status::InvalidArgument("Matmul requires rank-2 operands");
+    }
+    const int64_t m = a.shape().dim(0);
+    const int64_t k = a.shape().dim(1);
+    const int64_t n = b.shape().dim(1);
+    if (b.shape().dim(0) != k) {
+        return Status::InvalidArgument(
+            "Matmul inner dimensions do not match: " +
+            a.shape().ToString() + " x " + b.shape().ToString());
+    }
+
+    std::vector<float> lhs = ApplyPrecision(a.data(), precision);
+    std::vector<float> rhs = ApplyPrecision(b.data(), precision);
+
+    Tensor c(Shape({m, n}));
+    // fp32 accumulation in all modes: the MXU accumulates in fp32.
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (int64_t p = 0; p < k; ++p) {
+                acc += lhs[static_cast<size_t>(i * k + p)] *
+                       rhs[static_cast<size_t>(p * n + j)];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    return c;
+}
+
+StatusOr<Tensor>
+BiasAdd(const Tensor& x, const Tensor& bias)
+{
+    if (x.shape().rank() != 2 || bias.shape().rank() != 1 ||
+        bias.shape().dim(0) != x.shape().dim(1)) {
+        return Status::InvalidArgument("BiasAdd shape mismatch");
+    }
+    Tensor out(x.shape());
+    const int64_t rows = x.shape().dim(0);
+    const int64_t cols = x.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+            out[r * cols + c] = x[r * cols + c] + bias[c];
+        }
+    }
+    return out;
+}
+
+Tensor
+Relu(const Tensor& x)
+{
+    return ElementwiseUnary(x, +[](float v) { return std::max(v, 0.0f); });
+}
+
+Tensor
+Tanh(const Tensor& x)
+{
+    return ElementwiseUnary(x, +[](float v) { return std::tanh(v); });
+}
+
+Tensor
+Sigmoid(const Tensor& x)
+{
+    return ElementwiseUnary(
+        x, +[](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor
+Gelu(const Tensor& x)
+{
+    return ElementwiseUnary(x, +[](float v) {
+        const float kC = 0.7978845608028654f;  // sqrt(2/pi)
+        return 0.5f * v *
+               (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+    });
+}
+
+StatusOr<Tensor>
+Softmax(const Tensor& x)
+{
+    if (x.shape().rank() != 2) {
+        return Status::InvalidArgument("Softmax requires rank-2 input");
+    }
+    Tensor out(x.shape());
+    const int64_t rows = x.shape().dim(0);
+    const int64_t cols = x.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+        float max_v = x[r * cols];
+        for (int64_t c = 1; c < cols; ++c) {
+            max_v = std::max(max_v, x[r * cols + c]);
+        }
+        float sum = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+            float e = std::exp(x[r * cols + c] - max_v);
+            out[r * cols + c] = e;
+            sum += e;
+        }
+        for (int64_t c = 0; c < cols; ++c) out[r * cols + c] /= sum;
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+LayerNorm(const Tensor& x)
+{
+    if (x.shape().rank() != 2) {
+        return Status::InvalidArgument("LayerNorm requires rank-2 input");
+    }
+    constexpr float kEps = 1e-5f;
+    Tensor out(x.shape());
+    const int64_t rows = x.shape().dim(0);
+    const int64_t cols = x.shape().dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+        float mean = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) mean += x[r * cols + c];
+        mean /= static_cast<float>(cols);
+        float var = 0.0f;
+        for (int64_t c = 0; c < cols; ++c) {
+            float d = x[r * cols + c] - mean;
+            var += d * d;
+        }
+        var /= static_cast<float>(cols);
+        const float inv = 1.0f / std::sqrt(var + kEps);
+        for (int64_t c = 0; c < cols; ++c) {
+            out[r * cols + c] = (x[r * cols + c] - mean) * inv;
+        }
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+Conv2d(const Tensor& input, const Tensor& kernel, int stride, int pad,
+       MatmulPrecision precision)
+{
+    if (input.shape().rank() != 4 || kernel.shape().rank() != 4) {
+        return Status::InvalidArgument("Conv2d requires rank-4 operands");
+    }
+    if (stride < 1 || pad < 0) {
+        return Status::InvalidArgument("Conv2d bad stride/pad");
+    }
+    const int64_t n = input.shape().dim(0);
+    const int64_t h = input.shape().dim(1);
+    const int64_t w = input.shape().dim(2);
+    const int64_t cin = input.shape().dim(3);
+    const int64_t kh = kernel.shape().dim(0);
+    const int64_t kw = kernel.shape().dim(1);
+    if (kernel.shape().dim(2) != cin) {
+        return Status::InvalidArgument("Conv2d channel mismatch");
+    }
+    const int64_t cout = kernel.shape().dim(3);
+    const int64_t oh = (h + 2 * pad - kh) / stride + 1;
+    const int64_t ow = (w + 2 * pad - kw) / stride + 1;
+    if (oh <= 0 || ow <= 0) {
+        return Status::InvalidArgument("Conv2d output is empty");
+    }
+
+    std::vector<float> act = ApplyPrecision(input.data(), precision);
+    std::vector<float> wt = ApplyPrecision(kernel.data(), precision);
+
+    Tensor out(Shape({n, oh, ow, cout}));
+    auto in_at = [&](int64_t b, int64_t y, int64_t x2,
+                     int64_t c) -> float {
+        if (y < 0 || y >= h || x2 < 0 || x2 >= w) return 0.0f;
+        return act[static_cast<size_t>(((b * h + y) * w + x2) * cin + c)];
+    };
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                for (int64_t oc = 0; oc < cout; ++oc) {
+                    float acc = 0.0f;
+                    for (int64_t ky = 0; ky < kh; ++ky) {
+                        for (int64_t kx = 0; kx < kw; ++kx) {
+                            for (int64_t ic = 0; ic < cin; ++ic) {
+                                acc += in_at(b, oy * stride + ky - pad,
+                                             ox * stride + kx - pad, ic) *
+                                       wt[static_cast<size_t>(
+                                           ((ky * kw + kx) * cin + ic) *
+                                               cout +
+                                           oc)];
+                            }
+                        }
+                    }
+                    out[((b * oh + oy) * ow + ox) * cout + oc] = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+MaxPool2d(const Tensor& input, int window, int stride)
+{
+    if (input.shape().rank() != 4) {
+        return Status::InvalidArgument("MaxPool2d requires rank-4 input");
+    }
+    const int64_t n = input.shape().dim(0);
+    const int64_t h = input.shape().dim(1);
+    const int64_t w = input.shape().dim(2);
+    const int64_t c = input.shape().dim(3);
+    const int64_t oh = (h - window) / stride + 1;
+    const int64_t ow = (w - window) / stride + 1;
+    if (oh <= 0 || ow <= 0) {
+        return Status::InvalidArgument("MaxPool2d output is empty");
+    }
+    Tensor out(Shape({n, oh, ow, c}));
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+            for (int64_t ox = 0; ox < ow; ++ox) {
+                for (int64_t ch = 0; ch < c; ++ch) {
+                    float best = -3.4e38f;
+                    for (int64_t ky = 0; ky < window; ++ky) {
+                        for (int64_t kx = 0; kx < window; ++kx) {
+                            const int64_t y = oy * stride + ky;
+                            const int64_t x = ox * stride + kx;
+                            best = std::max(
+                                best,
+                                input[((b * h + y) * w + x) * c + ch]);
+                        }
+                    }
+                    out[((b * oh + oy) * ow + ox) * c + ch] = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+StatusOr<Tensor>
+GlobalAvgPool(const Tensor& input)
+{
+    if (input.shape().rank() != 4) {
+        return Status::InvalidArgument(
+            "GlobalAvgPool requires rank-4 input");
+    }
+    const int64_t n = input.shape().dim(0);
+    const int64_t h = input.shape().dim(1);
+    const int64_t w = input.shape().dim(2);
+    const int64_t c = input.shape().dim(3);
+    Tensor out(Shape({n, c}));
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            float sum = 0.0f;
+            for (int64_t y = 0; y < h; ++y) {
+                for (int64_t x = 0; x < w; ++x) {
+                    sum += input[((b * h + y) * w + x) * c + ch];
+                }
+            }
+            out[b * c + ch] = sum / static_cast<float>(h * w);
+        }
+    }
+    return out;
+}
+
+StatusOr<LstmState>
+LstmCell(const Tensor& x, const LstmState& state, const Tensor& w_ih,
+         const Tensor& w_hh, const Tensor& bias,
+         MatmulPrecision precision)
+{
+    const int64_t batch = x.shape().dim(0);
+    if (w_ih.shape().rank() != 2 || w_hh.shape().rank() != 2) {
+        return Status::InvalidArgument("LstmCell weights must be rank 2");
+    }
+    const int64_t hidden = w_hh.shape().dim(0);
+    if (w_ih.shape().dim(1) != 4 * hidden ||
+        w_hh.shape().dim(1) != 4 * hidden ||
+        bias.shape().dim(0) != 4 * hidden) {
+        return Status::InvalidArgument("LstmCell gate width mismatch");
+    }
+
+    auto xi = Matmul(x, w_ih, precision);
+    T4I_RETURN_IF_ERROR(xi.status());
+    auto hh = Matmul(state.h, w_hh, precision);
+    T4I_RETURN_IF_ERROR(hh.status());
+
+    LstmState next{Tensor(Shape({batch, hidden})),
+                   Tensor(Shape({batch, hidden}))};
+    for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t u = 0; u < hidden; ++u) {
+            auto gate = [&](int64_t g) {
+                const int64_t col = g * hidden + u;
+                return xi.value()[b * 4 * hidden + col] +
+                       hh.value()[b * 4 * hidden + col] + bias[col];
+            };
+            const float i = 1.0f / (1.0f + std::exp(-gate(0)));
+            const float f = 1.0f / (1.0f + std::exp(-gate(1)));
+            const float g = std::tanh(gate(2));
+            const float o = 1.0f / (1.0f + std::exp(-gate(3)));
+            const float c = f * state.c[b * hidden + u] + i * g;
+            next.c[b * hidden + u] = c;
+            next.h[b * hidden + u] = o * std::tanh(c);
+        }
+    }
+    return next;
+}
+
+StatusOr<Tensor>
+Attention(const Tensor& q, const Tensor& k, const Tensor& v,
+          MatmulPrecision precision)
+{
+    if (q.shape().rank() != 2 || k.shape().rank() != 2 ||
+        v.shape().rank() != 2) {
+        return Status::InvalidArgument("Attention requires rank-2 q/k/v");
+    }
+    const int64_t dim = q.shape().dim(1);
+    if (k.shape().dim(1) != dim || k.shape().dim(0) != v.shape().dim(0)) {
+        return Status::InvalidArgument("Attention shape mismatch");
+    }
+    // scores = q * k^T / sqrt(dim)
+    Tensor kt(Shape({k.shape().dim(1), k.shape().dim(0)}));
+    for (int64_t r = 0; r < k.shape().dim(0); ++r) {
+        for (int64_t c = 0; c < k.shape().dim(1); ++c) {
+            kt.At2(c, r) = k.At2(r, c);
+        }
+    }
+    auto scores = Matmul(q, kt, precision);
+    T4I_RETURN_IF_ERROR(scores.status());
+    const float inv = 1.0f / std::sqrt(static_cast<float>(dim));
+    for (int64_t i = 0; i < scores.value().NumElements(); ++i) {
+        scores.value()[i] *= inv;
+    }
+    auto probs = Softmax(scores.value());
+    T4I_RETURN_IF_ERROR(probs.status());
+    return Matmul(probs.value(), v, precision);
+}
+
+StatusOr<Tensor>
+Add(const Tensor& a, const Tensor& b)
+{
+    if (!(a.shape() == b.shape())) {
+        return Status::InvalidArgument("Add shape mismatch");
+    }
+    Tensor out(a.shape());
+    for (int64_t i = 0; i < a.NumElements(); ++i) out[i] = a[i] + b[i];
+    return out;
+}
+
+}  // namespace t4i

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Reference operator implementations (the functional oracle).
+ *
+ * Each operator has an fp32 version and, where the datapath differs, a
+ * precision-emulating version (bf16 inputs with fp32 accumulation, the MXU
+ * contract; int8 fake-quantized inputs, the TPUv1 contract). These power
+ * experiment E13 and the compiler-correctness tests.
+ */
+#ifndef T4I_TENSOR_OPS_H
+#define T4I_TENSOR_OPS_H
+
+#include "src/common/status.h"
+#include "src/tensor/tensor.h"
+
+namespace t4i {
+
+/** Matmul precision modes matching the hardware datapaths. */
+enum class MatmulPrecision {
+    kFp32,        ///< exact fp32 reference
+    kBf16,        ///< bf16 inputs, fp32 accumulate (TPUv2+ MXU)
+    kInt8,        ///< per-tensor fake-quantized int8 inputs (TPUv1 path)
+};
+
+/** C[M,N] = A[M,K] * B[K,N]. */
+StatusOr<Tensor> Matmul(const Tensor& a, const Tensor& b,
+                        MatmulPrecision precision = MatmulPrecision::kFp32);
+
+/** Adds a length-N bias vector to each row of a [M,N] tensor. */
+StatusOr<Tensor> BiasAdd(const Tensor& x, const Tensor& bias);
+
+/** Elementwise max(x, 0). */
+Tensor Relu(const Tensor& x);
+
+/** Elementwise tanh. */
+Tensor Tanh(const Tensor& x);
+
+/** Elementwise logistic sigmoid. */
+Tensor Sigmoid(const Tensor& x);
+
+/** GELU (tanh approximation), used by BERT-style models. */
+Tensor Gelu(const Tensor& x);
+
+/** Row-wise softmax over the last dimension of a rank-2 tensor. */
+StatusOr<Tensor> Softmax(const Tensor& x);
+
+/** Row-wise layer normalization (eps 1e-5) of a rank-2 tensor. */
+StatusOr<Tensor> LayerNorm(const Tensor& x);
+
+/**
+ * 2-D convolution, NHWC activations and HWIO weights, "SAME"-style
+ * explicit padding, unit dilation.
+ *
+ * @param input  [N, H, W, Cin]
+ * @param kernel [KH, KW, Cin, Cout]
+ */
+StatusOr<Tensor> Conv2d(const Tensor& input, const Tensor& kernel,
+                        int stride, int pad,
+                        MatmulPrecision precision = MatmulPrecision::kFp32);
+
+/** Max pooling, NHWC, square window. */
+StatusOr<Tensor> MaxPool2d(const Tensor& input, int window, int stride);
+
+/** Global average pooling: [N,H,W,C] -> [N,C]. */
+StatusOr<Tensor> GlobalAvgPool(const Tensor& input);
+
+/** One LSTM cell step state bundle. */
+struct LstmState {
+    Tensor h;  ///< hidden state [batch, hidden]
+    Tensor c;  ///< cell state   [batch, hidden]
+};
+
+/**
+ * Single LSTM cell step.
+ *
+ * @param x        input [batch, input_dim]
+ * @param state    previous state
+ * @param w_ih     [input_dim, 4*hidden] (i, f, g, o gate order)
+ * @param w_hh     [hidden, 4*hidden]
+ * @param bias     [4*hidden]
+ */
+StatusOr<LstmState> LstmCell(const Tensor& x, const LstmState& state,
+                             const Tensor& w_ih, const Tensor& w_hh,
+                             const Tensor& bias,
+                             MatmulPrecision precision =
+                                 MatmulPrecision::kFp32);
+
+/**
+ * Single-head scaled dot-product attention over rank-2 [seq, dim]
+ * q/k/v tensors (one batch element, one head).
+ */
+StatusOr<Tensor> Attention(const Tensor& q, const Tensor& k,
+                           const Tensor& v,
+                           MatmulPrecision precision =
+                               MatmulPrecision::kFp32);
+
+/** Elementwise sum of equal-shaped tensors (residual connections). */
+StatusOr<Tensor> Add(const Tensor& a, const Tensor& b);
+
+}  // namespace t4i
+
+#endif  // T4I_TENSOR_OPS_H

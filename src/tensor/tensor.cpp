@@ -1,0 +1,69 @@
+#include "src/tensor/tensor.h"
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+int64_t
+Shape::NumElements() const
+{
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+}
+
+std::string
+Shape::ToString() const
+{
+    std::vector<std::string> parts;
+    parts.reserve(dims_.size());
+    for (int64_t d : dims_) {
+        parts.push_back(StrFormat("%lld", static_cast<long long>(d)));
+    }
+    return "[" + StrJoin(parts, ", ") + "]";
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(shape_.NumElements()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    T4I_CHECK(static_cast<int64_t>(data_.size()) == shape_.NumElements(),
+              "tensor data size does not match shape");
+}
+
+float
+Tensor::At2(int64_t r, int64_t c) const
+{
+    T4I_CHECK(shape_.rank() == 2, "At2 requires rank-2 tensor");
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+}
+
+float&
+Tensor::At2(int64_t r, int64_t c)
+{
+    T4I_CHECK(shape_.rank() == 2, "At2 requires rank-2 tensor");
+    return data_[static_cast<size_t>(r * shape_.dim(1) + c)];
+}
+
+void
+Tensor::FillUniform(Rng& rng, float lo, float hi)
+{
+    for (auto& x : data_) {
+        x = static_cast<float>(rng.NextUniform(lo, hi));
+    }
+}
+
+void
+Tensor::FillGaussian(Rng& rng, float stddev)
+{
+    for (auto& x : data_) {
+        x = static_cast<float>(rng.NextGaussian() * stddev);
+    }
+}
+
+}  // namespace t4i

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dense fp32 tensor used as the functional/numerics reference.
+ *
+ * The cycle-level simulator never moves real data; it reasons about shapes
+ * and bytes. This tensor exists so that (a) the reference operators give a
+ * numerics oracle for the bf16/int8 experiments (E13), and (b) compiler
+ * tests can check that tiling/fusion transformations preserve semantics.
+ */
+#ifndef T4I_TENSOR_TENSOR_H
+#define T4I_TENSOR_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Tensor shape: a small vector of dimensions, row-major layout. */
+class Shape {
+  public:
+    Shape() = default;
+    Shape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+    explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+    int rank() const { return static_cast<int>(dims_.size()); }
+    int64_t dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+    const std::vector<int64_t>& dims() const { return dims_; }
+
+    /** Total element count (1 for rank-0). */
+    int64_t NumElements() const;
+
+    /** "[2, 128, 768]" style rendering. */
+    std::string ToString() const;
+
+    friend bool
+    operator==(const Shape& a, const Shape& b)
+    {
+        return a.dims_ == b.dims_;
+    }
+
+  private:
+    std::vector<int64_t> dims_;
+};
+
+/** Dense row-major fp32 tensor. */
+class Tensor {
+  public:
+    Tensor() = default;
+
+    /** Allocates a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Wraps existing data; size must match the shape. */
+    Tensor(Shape shape, std::vector<float> data);
+
+    const Shape& shape() const { return shape_; }
+    int64_t NumElements() const { return shape_.NumElements(); }
+
+    const std::vector<float>& data() const { return data_; }
+    std::vector<float>& data() { return data_; }
+
+    float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+    float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+
+    /** 2-D accessor (row-major); tensor must be rank 2. */
+    float At2(int64_t r, int64_t c) const;
+    float& At2(int64_t r, int64_t c);
+
+    /** Fills with uniform values in [lo, hi) from @p rng. */
+    void FillUniform(Rng& rng, float lo, float hi);
+
+    /** Fills with zero-mean Gaussian of the given stddev. */
+    void FillGaussian(Rng& rng, float stddev);
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_TENSOR_TENSOR_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Umbrella header: the full tpu4sim public API.
+ *
+ * Typical flow:
+ *   1. build or pick a model        (src/models, src/graph)
+ *   2. pick a chip                  (src/arch)
+ *   3. compile                      (src/compiler)
+ *   4. simulate                     (src/sim)
+ *   5. analyze: power, roofline,    (src/power, src/roofline,
+ *      serving, TCO                  src/serving, src/tco)
+ */
+#ifndef T4I_TPU4SIM_H
+#define T4I_TPU4SIM_H
+
+#include "src/arch/catalog.h"
+#include "src/arch/chip.h"
+#include "src/arch/chip_io.h"
+#include "src/arch/tech.h"
+#include "src/common/log.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/compiler/compiler.h"
+#include "src/fleet/deployment.h"
+#include "src/fleet/planner.h"
+#include "src/compiler/memory_planner.h"
+#include "src/compiler/program.h"
+#include "src/graph/graph.h"
+#include "src/graph/layer.h"
+#include "src/ici/collectives.h"
+#include "src/ici/topology.h"
+#include "src/models/zoo.h"
+#include "src/numerics/bfloat16.h"
+#include "src/numerics/calibration.h"
+#include "src/numerics/quantize.h"
+#include "src/power/power.h"
+#include "src/roofline/roofline.h"
+#include "src/serving/latency_table.h"
+#include "src/serving/server.h"
+#include "src/sim/machine.h"
+#include "src/sim/profile.h"
+#include "src/sim/timing.h"
+#include "src/sim/trace.h"
+#include "src/tco/tco.h"
+#include "src/tensor/executor.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/vliw/bundle.h"
+#include "src/vliw/isa.h"
+
+#endif  // T4I_TPU4SIM_H

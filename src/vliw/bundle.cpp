@@ -1,0 +1,118 @@
+#include "src/vliw/bundle.h"
+
+#include <algorithm>
+
+#include "src/common/units.h"
+
+namespace t4i {
+
+MicroOpCounts
+CountMicroOps(const Program& program, int mxu_dim, int vpu_lanes)
+{
+    MicroOpCounts counts;
+    for (const auto& instr : program.instrs) {
+        switch (instr.engine) {
+          case Engine::kMxu: {
+            // One push per systolic pass, one pop per result tile,
+            // plus scalar address updates for both.
+            const int64_t passes = instr.k_tiles * instr.n_tiles;
+            const int64_t row_waves =
+                CeilDiv(std::max<int64_t>(instr.rows, 1), mxu_dim);
+            counts.matrix_push += passes * row_waves;
+            counts.matrix_pop += instr.n_tiles * row_waves;
+            counts.scalar += 2 * passes;
+            break;
+          }
+          case Engine::kVpu: {
+            const int64_t chunks = CeilDiv(
+                std::max<int64_t>(instr.elements, 1), vpu_lanes);
+            // Multi-op pointwise bodies issue one vector micro-op per
+            // "flop" pass over the chunk.
+            const auto body = static_cast<int64_t>(
+                std::max(instr.flops_per_element, 1.0));
+            counts.vector += chunks * body;
+            counts.scalar += chunks;
+            break;
+          }
+          case Engine::kHbm:
+          case Engine::kCmem:
+          case Engine::kIci:
+          case Engine::kPcie:
+          case Engine::kPcieIn: {
+            // One descriptor per 512 B stripe, batched 8 per memory
+            // micro-op by the DMA engines.
+            const int64_t descriptors =
+                CeilDiv(std::max<int64_t>(instr.bytes, 1), 512 * 8);
+            counts.memory += descriptors;
+            counts.scalar += descriptors;
+            break;
+          }
+          case Engine::kEngineCount:
+            break;
+        }
+        // Sync flag set/wait around every macro-op.
+        counts.misc += 2;
+    }
+    return counts;
+}
+
+StatusOr<BundleStats>
+PackBundles(const Program& program, const BundleFormat& format,
+            int mxu_dim, int vpu_lanes)
+{
+    if (format.bundle_bits == 0) {
+        return Status::InvalidArgument(
+            format.generation + " is not a VLIW machine");
+    }
+    if (mxu_dim <= 0 || vpu_lanes <= 0) {
+        return Status::InvalidArgument("bad machine dimensions");
+    }
+
+    BundleStats stats;
+    stats.micro_ops = CountMicroOps(program, mxu_dim, vpu_lanes);
+
+    struct Demand {
+        SlotKind kind;
+        int64_t ops;
+        int slots;
+    };
+    const Demand demands[] = {
+        {SlotKind::kScalar, stats.micro_ops.scalar,
+         format.scalar_slots},
+        {SlotKind::kVector, stats.micro_ops.vector,
+         format.vector_slots},
+        {SlotKind::kMatrixPush, stats.micro_ops.matrix_push,
+         format.matrix_push_slots},
+        {SlotKind::kMatrixPop, stats.micro_ops.matrix_pop,
+         format.matrix_pop_slots},
+        {SlotKind::kMemory, stats.micro_ops.memory,
+         format.memory_slots},
+        {SlotKind::kMisc, stats.micro_ops.misc, format.misc_slots},
+    };
+
+    for (const auto& d : demands) {
+        if (d.ops > 0 && d.slots == 0) {
+            return Status::FailedPrecondition(
+                std::string(SlotKindName(d.kind)) +
+                " micro-ops cannot be encoded on " +
+                format.generation +
+                " (no slots of that class; the op must run elsewhere)");
+        }
+        const int64_t needed =
+            d.slots > 0 ? CeilDiv(d.ops, d.slots) : 0;
+        if (needed > stats.bundles) {
+            stats.bundles = needed;
+            stats.limiting_slot = d.kind;
+        }
+    }
+    if (stats.bundles == 0) stats.bundles = 1;
+
+    const double issued_slots =
+        static_cast<double>(stats.bundles) * format.TotalSlots();
+    stats.slot_occupancy =
+        static_cast<double>(stats.micro_ops.Total()) / issued_slots;
+    stats.code_bytes = stats.bundles * format.bundle_bits / 8;
+    return stats;
+}
+
+}  // namespace t4i

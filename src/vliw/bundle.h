@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The bundle packer: lowers a compiled Program's macro-instructions to
+ * VLIW bundle counts for a generation's format, giving the control-path
+ * view the cycle simulator abstracts away.
+ *
+ * Each macro-op expands into micro-ops: an MXU instruction needs one
+ * matrix-push slot per systolic pass plus scalar address arithmetic; a
+ * VPU op needs one vector slot per lane-wide chunk; DMA needs a memory
+ * slot per descriptor. The packer greedily fills bundles subject to the
+ * per-slot-class limits, reporting bundle count and slot occupancy —
+ * the numbers behind the "sequencer issue bandwidth" term in the
+ * timing model and the i-cache pressure discussion in E9b.
+ */
+#ifndef T4I_VLIW_BUNDLE_H
+#define T4I_VLIW_BUNDLE_H
+
+#include "src/compiler/program.h"
+#include "src/vliw/isa.h"
+
+namespace t4i {
+
+/** Micro-op demand of one program, by slot class. */
+struct MicroOpCounts {
+    int64_t scalar = 0;
+    int64_t vector = 0;
+    int64_t matrix_push = 0;
+    int64_t matrix_pop = 0;
+    int64_t memory = 0;
+    int64_t misc = 0;
+
+    int64_t Total() const
+    {
+        return scalar + vector + matrix_push + matrix_pop + memory +
+               misc;
+    }
+};
+
+/** Result of packing a program into bundles. */
+struct BundleStats {
+    MicroOpCounts micro_ops;
+    int64_t bundles = 0;
+    /** Fraction of issued slots actually used (packing efficiency). */
+    double slot_occupancy = 0.0;
+    /** Which slot class forced the bundle count (the issue limiter). */
+    SlotKind limiting_slot = SlotKind::kScalar;
+    /** Encoded program size in bytes at this generation's width. */
+    int64_t code_bytes = 0;
+};
+
+/**
+ * Derives the micro-op demand of @p program for a machine with
+ * @p mxu_dim-deep arrays and @p vpu_lanes vector lanes.
+ */
+MicroOpCounts CountMicroOps(const Program& program, int mxu_dim,
+                            int vpu_lanes);
+
+/**
+ * Packs @p program into bundles of @p format. The packer is slot-class
+ * bound: bundles = max over classes of ceil(demand / slots).
+ */
+StatusOr<BundleStats> PackBundles(const Program& program,
+                                  const BundleFormat& format,
+                                  int mxu_dim, int vpu_lanes);
+
+}  // namespace t4i
+
+#endif  // T4I_VLIW_BUNDLE_H

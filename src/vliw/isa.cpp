@@ -1,0 +1,120 @@
+#include "src/vliw/isa.h"
+
+#include "src/common/strings.h"
+
+namespace t4i {
+
+const char*
+SlotKindName(SlotKind kind)
+{
+    switch (kind) {
+      case SlotKind::kScalar: return "scalar";
+      case SlotKind::kVector: return "vector";
+      case SlotKind::kMatrixPush: return "mxu-push";
+      case SlotKind::kMatrixPop: return "mxu-pop";
+      case SlotKind::kMemory: return "memory";
+      case SlotKind::kMisc: return "misc";
+    }
+    return "?";
+}
+
+int
+BundleFormat::SlotsOf(SlotKind kind) const
+{
+    switch (kind) {
+      case SlotKind::kScalar: return scalar_slots;
+      case SlotKind::kVector: return vector_slots;
+      case SlotKind::kMatrixPush: return matrix_push_slots;
+      case SlotKind::kMatrixPop: return matrix_pop_slots;
+      case SlotKind::kMemory: return memory_slots;
+      case SlotKind::kMisc: return misc_slots;
+    }
+    return 0;
+}
+
+int
+BundleFormat::TotalSlots() const
+{
+    return scalar_slots + vector_slots + matrix_push_slots +
+           matrix_pop_slots + memory_slots + misc_slots;
+}
+
+BundleFormat
+BundleFormatOf(const std::string& chip_name)
+{
+    // Slot mixes track each generation's datapath: TPUv1's CISC-ish
+    // controller is modeled as a minimal bundle; v2 introduced the
+    // VLIW core; v3 doubled the MXUs (more push/pop slots); v4i's
+    // wider memory system added DMA slots and again changed the
+    // encoding width. Values are representative, not die-verified —
+    // what matters for Lesson 2 is that they DIFFER.
+    BundleFormat f;
+    f.generation = chip_name;
+    if (chip_name == "TPUv1") {
+        f.scalar_slots = 1;
+        f.vector_slots = 0;
+        f.matrix_push_slots = 1;
+        f.matrix_pop_slots = 1;
+        f.memory_slots = 1;
+        f.misc_slots = 1;
+        f.bundle_bits = 128;
+    } else if (chip_name == "TPUv2") {
+        f.scalar_slots = 2;
+        f.vector_slots = 2;
+        f.matrix_push_slots = 1;
+        f.matrix_pop_slots = 1;
+        f.memory_slots = 1;
+        f.misc_slots = 1;
+        f.bundle_bits = 256;
+    } else if (chip_name == "TPUv3") {
+        f.scalar_slots = 2;
+        f.vector_slots = 2;
+        f.matrix_push_slots = 2;
+        f.matrix_pop_slots = 2;
+        f.memory_slots = 1;
+        f.misc_slots = 1;
+        f.bundle_bits = 288;
+    } else if (chip_name == "TPUv4i" || chip_name == "TPUv4") {
+        f.scalar_slots = 2;
+        f.vector_slots = 4;
+        f.matrix_push_slots = 4;
+        f.matrix_pop_slots = 4;
+        f.memory_slots = 2;
+        f.misc_slots = 2;
+        f.bundle_bits = 384;
+    } else {
+        // Non-VLIW baseline (the GPU): one "slot" per kind as a
+        // stand-in; the compatibility story does not apply.
+        f.bundle_bits = 0;
+    }
+    return f;
+}
+
+Status
+CheckBinaryCompatible(const BundleFormat& built_for,
+                      const BundleFormat& running_on)
+{
+    if (built_for.bundle_bits != running_on.bundle_bits) {
+        return Status::FailedPrecondition(StrFormat(
+            "bundle width %d bits (built for %s) != %d bits (%s): "
+            "binaries do not survive TPU generations — recompile from "
+            "the XLA graph (Lesson 2)",
+            built_for.bundle_bits, built_for.generation.c_str(),
+            running_on.bundle_bits, running_on.generation.c_str()));
+    }
+    for (SlotKind kind :
+         {SlotKind::kScalar, SlotKind::kVector, SlotKind::kMatrixPush,
+          SlotKind::kMatrixPop, SlotKind::kMemory, SlotKind::kMisc}) {
+        if (built_for.SlotsOf(kind) != running_on.SlotsOf(kind)) {
+            return Status::FailedPrecondition(StrFormat(
+                "%s slot count differs (%d vs %d) between %s and %s",
+                SlotKindName(kind), built_for.SlotsOf(kind),
+                running_on.SlotsOf(kind),
+                built_for.generation.c_str(),
+                running_on.generation.c_str()));
+        }
+    }
+    return Status::Ok();
+}
+
+}  // namespace t4i

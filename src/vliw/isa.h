@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The VLIW instruction-set layer (Lesson 2's subject).
+ *
+ * The TensorCore's scalar core is a VLIW machine: every cycle it issues
+ * one *bundle* whose slots drive the scalar ALUs, the vector unit, the
+ * matrix push/pop ports and the memory system. Each TPU generation
+ * changed the bundle format (slot counts, widths, encodings), so
+ * binaries are NOT portable across generations — only programs
+ * recompiled from XLA's graph survive. This module defines per-
+ * generation bundle formats and a checker that demonstrates exactly
+ * that incompatibility, plus the encoder the bundle packer
+ * (bundle.h) targets.
+ */
+#ifndef T4I_VLIW_ISA_H
+#define T4I_VLIW_ISA_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** Slot classes a bundle can carry. */
+enum class SlotKind {
+    kScalar,   ///< address/loop arithmetic
+    kVector,   ///< VPU lane operation
+    kMatrixPush,  ///< feed activations into an MXU
+    kMatrixPop,   ///< drain accumulators
+    kMemory,   ///< DMA descriptor / VMEM access
+    kMisc,     ///< sync flags, branches
+};
+
+const char* SlotKindName(SlotKind kind);
+
+/** A bundle format: how many slots of each class one bundle carries. */
+struct BundleFormat {
+    std::string generation;
+    int scalar_slots = 2;
+    int vector_slots = 2;
+    int matrix_push_slots = 1;
+    int matrix_pop_slots = 1;
+    int memory_slots = 1;
+    int misc_slots = 1;
+    /** Encoded bundle width in bits (changes every generation). */
+    int bundle_bits = 256;
+
+    int SlotsOf(SlotKind kind) const;
+    int TotalSlots() const;
+};
+
+/** Bundle format of each TPU generation (the ISA compatibility axis). */
+BundleFormat BundleFormatOf(const std::string& chip_name);
+
+/**
+ * Binary compatibility check: a program encoded for @p built_for can
+ * execute on @p running_on only if the formats match exactly. Returns
+ * Ok or FailedPrecondition with an explanation — the paper's argument
+ * for shipping the compiler, not binaries.
+ */
+Status CheckBinaryCompatible(const BundleFormat& built_for,
+                             const BundleFormat& running_on);
+
+}  // namespace t4i
+
+#endif  // T4I_VLIW_ISA_H

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for chip configs (Table 1 values) and the technology model
+ * (Lesson 1: unequal scaling).
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/arch/tech.h"
+
+namespace t4i {
+namespace {
+
+TEST(Catalog, ContainsAllGenerations)
+{
+    auto chips = ChipCatalog();
+    ASSERT_EQ(chips.size(), 6u);
+    EXPECT_EQ(chips[0].name, "TPUv1");
+    EXPECT_EQ(chips[3].name, "TPUv4i");
+    EXPECT_TRUE(ChipByName("T4").ok());
+    EXPECT_FALSE(ChipByName("TPUv9").ok());
+}
+
+TEST(Catalog, Tpu1PeakMatchesPaper)
+{
+    // 256x256 MACs at 700 MHz: 92.2 TOPS int8, no floating point.
+    ChipConfig v1 = Tpu_v1();
+    EXPECT_NEAR(v1.PeakFlops(DType::kInt8) / 1e12, 92.2, 1.0);
+    EXPECT_EQ(v1.PeakFlops(DType::kBf16), 0.0);
+    EXPECT_EQ(v1.cooling, Cooling::kAir);
+}
+
+TEST(Catalog, Tpu2PeakMatchesPaper)
+{
+    // 2 cores x 1 MXU at 700 MHz: ~45.9 bf16 TFLOPS.
+    EXPECT_NEAR(Tpu_v2().PeakFlops(DType::kBf16) / 1e12, 45.9, 1.0);
+}
+
+TEST(Catalog, Tpu3PeakMatchesPaper)
+{
+    // 2 cores x 2 MXUs at 940 MHz: ~123 bf16 TFLOPS, liquid cooled.
+    ChipConfig v3 = Tpu_v3();
+    EXPECT_NEAR(v3.PeakFlops(DType::kBf16) / 1e12, 123.2, 2.0);
+    EXPECT_EQ(v3.cooling, Cooling::kLiquid);
+}
+
+TEST(Catalog, Tpu4iPeakMatchesPaper)
+{
+    // 4 MXUs at 1.05 GHz: ~137.6 bf16 TFLOPS, 128 MiB CMEM, air, 175 W.
+    ChipConfig v4i = Tpu_v4i();
+    EXPECT_NEAR(v4i.PeakFlops(DType::kBf16) / 1e12, 137.6, 2.0);
+    EXPECT_EQ(v4i.cmem_bytes, 128ll * 1024 * 1024);
+    EXPECT_EQ(v4i.cooling, Cooling::kAir);
+    EXPECT_DOUBLE_EQ(v4i.tdp_w, 175.0);
+    EXPECT_TRUE(v4i.supports_int8);
+    EXPECT_TRUE(v4i.supports_bf16);
+}
+
+TEST(Catalog, Tpu4DoublesTpu4iCompute)
+{
+    EXPECT_NEAR(Tpu_v4().PeakFlops(DType::kBf16) /
+                    Tpu_v4i().PeakFlops(DType::kBf16),
+                2.0, 0.01);
+}
+
+TEST(Catalog, T4PeakRoughlyMatchesSpec)
+{
+    // ~65 TFLOPS fp16 tensor, 2x int8, 70 W.
+    ChipConfig t4 = GpuT4();
+    EXPECT_NEAR(t4.PeakFlops(DType::kBf16) / 1e12, 65.0, 8.0);
+    EXPECT_NEAR(t4.PeakFlops(DType::kInt8) /
+                    t4.PeakFlops(DType::kBf16),
+                2.0, 0.01);
+    EXPECT_DOUBLE_EQ(t4.tdp_w, 70.0);
+}
+
+TEST(Catalog, Fp32RunsAtQuarterRate)
+{
+    ChipConfig v4i = Tpu_v4i();
+    EXPECT_NEAR(v4i.PeakFlops(DType::kFp32) /
+                    v4i.PeakFlops(DType::kBf16),
+                0.25, 1e-9);
+}
+
+TEST(Catalog, RidgePointsOrdering)
+{
+    // TPUv4i's ridge (FLOPs/byte where compute and bandwidth balance)
+    // sits far right of TPUv1's int8 ridge ratio-wise to its era.
+    ChipConfig v4i = Tpu_v4i();
+    EXPECT_NEAR(v4i.RidgeOpsPerByte(DType::kBf16),
+                v4i.PeakFlops(DType::kBf16) / v4i.dram_bw_Bps, 1e-6);
+    EXPECT_GT(v4i.RidgeOpsPerByte(DType::kBf16), 100.0);
+    EXPECT_LT(v4i.RidgeOpsPerByte(DType::kBf16), 400.0);
+}
+
+TEST(Catalog, PerfPerWattImprovesAcrossGenerations)
+{
+    // Peak FLOPS per TDP watt must improve v2 -> v3 -> v4i (Lesson 1/3).
+    const double v2 = Tpu_v2().PeakFlops(DType::kBf16) / Tpu_v2().tdp_w;
+    const double v3 = Tpu_v3().PeakFlops(DType::kBf16) / Tpu_v3().tdp_w;
+    const double v4i =
+        Tpu_v4i().PeakFlops(DType::kBf16) / Tpu_v4i().tdp_w;
+    EXPECT_GT(v3, v2);
+    EXPECT_GT(v4i, v3);
+    EXPECT_GT(v4i / v3, 2.0);  // the paper's headline ~2.3x perf/W gain
+}
+
+TEST(Catalog, VectorPeaksArePositive)
+{
+    for (const auto& chip : ChipCatalog()) {
+        EXPECT_GT(chip.PeakVectorFlops(), 0.0) << chip.name;
+    }
+}
+
+// --- Tech ladder (Lesson 1) ----------------------------------------------------
+
+TEST(Tech, LadderCoversTpuNodes)
+{
+    EXPECT_TRUE(TechNodeOf(28).ok());
+    EXPECT_TRUE(TechNodeOf(16).ok());
+    EXPECT_TRUE(TechNodeOf(7).ok());
+    EXPECT_FALSE(TechNodeOf(3).ok());
+}
+
+TEST(Tech, LogicScalesFasterThanSramFasterThanWire)
+{
+    // The core of Lesson 1: per node step, logic density improves the
+    // most, SRAM less, wires barely at all.
+    const auto& ladder = TechLadder();
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        const double logic_step =
+            ladder[i].logic_density / ladder[i - 1].logic_density;
+        const double sram_step =
+            ladder[i].sram_density / ladder[i - 1].sram_density;
+        const double wire_step =
+            ladder[i - 1].wire_delay / ladder[i].wire_delay;
+        EXPECT_GT(logic_step, sram_step) << ladder[i].nm;
+        EXPECT_GT(sram_step, wire_step) << ladder[i].nm;
+        EXPECT_GT(wire_step, 0.9) << ladder[i].nm;  // wires ~flat
+    }
+}
+
+TEST(Tech, EnergyImprovesMonotonically)
+{
+    const auto& ladder = TechLadder();
+    for (size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_LT(ladder[i].logic_energy, ladder[i - 1].logic_energy);
+        EXPECT_LT(ladder[i].sram_energy, ladder[i - 1].sram_energy);
+        EXPECT_GE(DramEnergyPjPerByte(ladder[i - 1]),
+                  DramEnergyPjPerByte(ladder[i]));
+    }
+}
+
+TEST(Tech, MacEnergyOrderingByWidth)
+{
+    const TechNode node = TechNodeOf(7).value();
+    const double e8 = MacEnergyPj(node, 8);
+    const double e16 = MacEnergyPj(node, 16);
+    const double e32 = MacEnergyPj(node, 32);
+    EXPECT_LT(e8, e16);
+    EXPECT_LT(e16, e32);
+    // Superlinear: 32-bit costs more than 2x 16-bit.
+    EXPECT_GT(e32, 2.0 * e16);
+}
+
+TEST(Tech, MacEnergyCheaperOnNewerNodes)
+{
+    const double old_node =
+        MacEnergyPj(TechNodeOf(28).value(), 16);
+    const double new_node = MacEnergyPj(TechNodeOf(7).value(), 16);
+    EXPECT_LT(new_node, old_node / 2.0);
+}
+
+TEST(Tech, SramEnergyTracksNode)
+{
+    EXPECT_LT(SramEnergyPjPerByte(TechNodeOf(7).value()),
+              SramEnergyPjPerByte(TechNodeOf(28).value()));
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for post-training quantization calibration (Lesson 6's
+ * engineering tax, quantified).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/numerics/calibration.h"
+
+namespace t4i {
+namespace {
+
+/** Gaussian data with a few large outliers mixed in. */
+std::vector<float>
+OutlierData(uint64_t seed, size_t n, double outlier_fraction,
+            double outlier_scale)
+{
+    Rng rng(seed);
+    std::vector<float> data(n);
+    for (auto& x : data) {
+        x = static_cast<float>(rng.NextGaussian());
+        if (rng.NextBool(outlier_fraction)) {
+            x *= static_cast<float>(outlier_scale);
+        }
+    }
+    return data;
+}
+
+TEST(Calibration, RejectsEmptySamples)
+{
+    EXPECT_FALSE(Calibrate({}, CalibrationMethod::kMinMax).ok());
+}
+
+TEST(Calibration, MinMaxCoversFullRange)
+{
+    auto p = Calibrate({-4.0f, 1.0f, 2.0f},
+                       CalibrationMethod::kMinMax).value();
+    EXPECT_NEAR(p.scale, 4.0 / 127.0, 1e-9);
+    EXPECT_EQ(p.zero_point, 0);
+}
+
+TEST(Calibration, PercentileClipsOutliers)
+{
+    auto data = OutlierData(7, 100000, 0.001, 1000.0);
+    auto minmax =
+        Calibrate(data, CalibrationMethod::kMinMax).value();
+    auto p99 =
+        Calibrate(data, CalibrationMethod::kPercentile99).value();
+    EXPECT_LT(p99.scale, minmax.scale / 10.0);
+}
+
+TEST(Calibration, PercentileBeatsMinMaxOnBulkValues)
+{
+    // With rare huge outliers, min/max wastes almost the whole int8
+    // range on them, crushing the resolution of the bulk values that
+    // actually carry the model's information. Percentile clipping
+    // sacrifices the outliers to keep the bulk accurate. Measure the
+    // error on the non-outlier subset only.
+    Rng rng(11);
+    std::vector<float> data;
+    std::vector<bool> is_outlier;
+    for (int i = 0; i < 50000; ++i) {
+        float x = static_cast<float>(rng.NextGaussian());
+        const bool outlier = rng.NextBool(0.001);
+        if (outlier) x *= 500.0f;
+        data.push_back(x);
+        is_outlier.push_back(outlier);
+    }
+    auto bulk_mae = [&](CalibrationMethod method) {
+        auto params = Calibrate(data, method).value();
+        auto rt = DequantizeInt8(QuantizeInt8(data, params), params);
+        double sum = 0.0;
+        int64_t n = 0;
+        for (size_t i = 0; i < data.size(); ++i) {
+            if (is_outlier[i]) continue;
+            sum += std::fabs(rt[i] - data[i]);
+            ++n;
+        }
+        return sum / static_cast<double>(n);
+    };
+    EXPECT_LT(bulk_mae(CalibrationMethod::kPercentile999),
+              bulk_mae(CalibrationMethod::kMinMax) / 5.0);
+}
+
+TEST(Calibration, MseOptimalAtLeastAsGoodAsHeuristics)
+{
+    for (uint64_t seed : {3u, 5u, 9u}) {
+        auto data = OutlierData(seed, 20000, 0.002, 200.0);
+        const double mse_opt =
+            CalibratedQuantError(data, data,
+                                 CalibrationMethod::kMseOptimal)
+                .value().rms_error;
+        for (auto m : {CalibrationMethod::kMinMax,
+                       CalibrationMethod::kPercentile999,
+                       CalibrationMethod::kPercentile99}) {
+            const double other =
+                CalibratedQuantError(data, data, m).value().rms_error;
+            EXPECT_LE(mse_opt, other * 1.05)
+                << CalibrationMethodName(m) << " seed " << seed;
+        }
+    }
+}
+
+TEST(Calibration, CleanGaussianNeedsNoClipping)
+{
+    // Without outliers, min/max is already close to optimal: methods
+    // should be within a couple of dB of each other.
+    Rng rng(21);
+    std::vector<float> data(20000);
+    for (auto& x : data) {
+        x = static_cast<float>(rng.NextGaussian());
+    }
+    const double minmax = CalibratedQuantError(
+        data, data, CalibrationMethod::kMinMax).value().sqnr_db;
+    const double mse = CalibratedQuantError(
+        data, data, CalibrationMethod::kMseOptimal).value().sqnr_db;
+    EXPECT_LT(mse - minmax, 12.0);
+    EXPECT_GE(mse + 1e-9, minmax - 1.0);
+}
+
+TEST(Calibration, HoldoutGeneralizes)
+{
+    // Calibrate on one sample set, evaluate on another draw of the
+    // same distribution: SQNR should be close to the in-sample value.
+    auto calib = OutlierData(31, 20000, 0.001, 300.0);
+    auto eval = OutlierData(32, 20000, 0.001, 300.0);
+    const double in_sample = CalibratedQuantError(
+        calib, calib, CalibrationMethod::kPercentile999)
+        .value().sqnr_db;
+    const double held_out = CalibratedQuantError(
+        calib, eval, CalibrationMethod::kPercentile999)
+        .value().sqnr_db;
+    EXPECT_NEAR(held_out, in_sample, 3.0);
+}
+
+TEST(Calibration, MethodNames)
+{
+    EXPECT_STREQ(CalibrationMethodName(CalibrationMethod::kMinMax),
+                 "min/max");
+    EXPECT_STREQ(
+        CalibrationMethodName(CalibrationMethod::kMseOptimal),
+        "MSE-optimal");
+}
+
+}  // namespace
+}  // namespace t4i

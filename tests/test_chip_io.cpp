@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the chip-config text format.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/arch/catalog.h"
+#include "src/arch/chip_io.h"
+
+namespace t4i {
+namespace {
+
+TEST(ChipIo, RoundTripsEveryCatalogChip)
+{
+    for (const auto& chip : ChipCatalog()) {
+        auto parsed = ChipFromText(ChipToText(chip));
+        ASSERT_TRUE(parsed.ok())
+            << chip.name << ": " << parsed.status().ToString();
+        const ChipConfig& c = parsed.value();
+        EXPECT_EQ(c.name, chip.name);
+        EXPECT_EQ(c.tech_nm, chip.tech_nm);
+        EXPECT_DOUBLE_EQ(c.clock_hz, chip.clock_hz);
+        EXPECT_EQ(c.mxu.rows, chip.mxu.rows);
+        EXPECT_EQ(c.mxu.count, chip.mxu.count);
+        EXPECT_DOUBLE_EQ(c.mxu.int8_rate, chip.mxu.int8_rate);
+        EXPECT_EQ(c.cmem_bytes, chip.cmem_bytes);
+        EXPECT_DOUBLE_EQ(c.dram_bw_Bps, chip.dram_bw_Bps);
+        EXPECT_DOUBLE_EQ(c.tdp_w, chip.tdp_w);
+        EXPECT_EQ(c.cooling, chip.cooling);
+        EXPECT_EQ(c.supports_bf16, chip.supports_bf16);
+        EXPECT_EQ(c.flexible_vpu, chip.flexible_vpu);
+        EXPECT_DOUBLE_EQ(c.PeakFlops(DType::kBf16),
+                         chip.PeakFlops(DType::kBf16));
+    }
+}
+
+TEST(ChipIo, DeltaFileKeepsTpu4iDefaults)
+{
+    auto chip = ChipFromText("# bigger CMEM variant\n"
+                             "name = v4i-256\n"
+                             "cmem_bytes = 268435456\n").value();
+    EXPECT_EQ(chip.name, "v4i-256");
+    EXPECT_EQ(chip.cmem_bytes, 268435456LL);
+    // Everything else is TPUv4i.
+    EXPECT_DOUBLE_EQ(chip.tdp_w, 175.0);
+    EXPECT_EQ(chip.mxu.count, 4);
+}
+
+TEST(ChipIo, RejectsUnknownKey)
+{
+    auto result = ChipFromText("frobnication = 9\n");
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.status().message().find("unknown key"),
+              std::string::npos);
+}
+
+TEST(ChipIo, RejectsBadValues)
+{
+    EXPECT_FALSE(ChipFromText("tdp_w = warm\n").ok());
+    EXPECT_FALSE(ChipFromText("cooling = cryo\n").ok());
+    EXPECT_FALSE(ChipFromText("supports_int8 = yes\n").ok());
+    EXPECT_FALSE(ChipFromText("tdp_w\n").ok());
+    EXPECT_FALSE(ChipFromText("clock_hz = 0\n").ok());
+}
+
+TEST(ChipIo, CommentsAndBlanksIgnored)
+{
+    auto chip = ChipFromText("\n  # comment\n\n  year = 2025 \n").value();
+    EXPECT_EQ(chip.year, 2025);
+}
+
+TEST(ChipIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/t4i_chip_io_test.cfg";
+    ASSERT_TRUE(SaveChipFile(Tpu_v3(), path).ok());
+    auto loaded = LoadChipFile(path);
+    ASSERT_TRUE(loaded.ok());
+    EXPECT_EQ(loaded.value().name, "TPUv3");
+    EXPECT_DOUBLE_EQ(loaded.value().dram_bw_Bps, 900e9);
+    std::remove(path.c_str());
+    EXPECT_FALSE(LoadChipFile(path).ok());
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for src/common: status, strings, stats, rng, table, units.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace t4i {
+namespace {
+
+// --- Status ---------------------------------------------------------------
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    Status s = Status::InvalidArgument("bad thing");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s.message(), "bad thing");
+    EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(Status, AllConstructorsProduceMatchingCodes)
+{
+    EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+    EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+    EXPECT_EQ(Status::FailedPrecondition("x").code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(Status::ResourceExhausted("x").code(),
+              StatusCode::kResourceExhausted);
+    EXPECT_EQ(Status::Unimplemented("x").code(),
+              StatusCode::kUnimplemented);
+    EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    StatusOr<int> v = 42;
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError)
+{
+    StatusOr<int> v = Status::NotFound("gone");
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ConsumeValueMoves)
+{
+    StatusOr<std::string> v = std::string("payload");
+    std::string out = std::move(v).ConsumeValue();
+    EXPECT_EQ(out, "payload");
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(Strings, StrFormatBasics)
+{
+    EXPECT_EQ(StrFormat("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+    EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Strings, StrJoin)
+{
+    EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(StrJoin({}, ","), "");
+    EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(Strings, HumanCount)
+{
+    EXPECT_EQ(HumanCount(1.5e12), "1.50 T");
+    EXPECT_EQ(HumanCount(2e9), "2.00 G");
+    EXPECT_EQ(HumanCount(3.25e6), "3.25 M");
+    EXPECT_EQ(HumanCount(999.0), "999.00");
+}
+
+TEST(Strings, HumanBytes)
+{
+    EXPECT_EQ(HumanBytes(1024.0), "1.0 KiB");
+    EXPECT_EQ(HumanBytes(128.0 * (1 << 20)), "128.0 MiB");
+    EXPECT_EQ(HumanBytes(8.0 * (1ull << 30)), "8.0 GiB");
+    EXPECT_EQ(HumanBytes(12.0), "12.0 B");
+}
+
+TEST(Strings, HumanSeconds)
+{
+    EXPECT_EQ(HumanSeconds(2.0), "2.00 s");
+    EXPECT_EQ(HumanSeconds(3.5e-3), "3.50 ms");
+    EXPECT_EQ(HumanSeconds(7.2e-6), "7.20 us");
+    EXPECT_EQ(HumanSeconds(30e-9), "30.00 ns");
+}
+
+// --- Units -----------------------------------------------------------------
+
+TEST(Units, CeilDiv)
+{
+    EXPECT_EQ(CeilDiv(0, 4), 0);
+    EXPECT_EQ(CeilDiv(1, 4), 1);
+    EXPECT_EQ(CeilDiv(4, 4), 1);
+    EXPECT_EQ(CeilDiv(5, 4), 2);
+    EXPECT_EQ(CeilDiv(128, 128), 1);
+    EXPECT_EQ(CeilDiv(129, 128), 2);
+}
+
+TEST(Units, RoundUp)
+{
+    EXPECT_EQ(RoundUp(0, 8), 0);
+    EXPECT_EQ(RoundUp(1, 8), 8);
+    EXPECT_EQ(RoundUp(8, 8), 8);
+    EXPECT_EQ(RoundUp(9, 8), 16);
+}
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(kMiB, 1024 * 1024);
+    EXPECT_EQ(kGiB, 1024 * kMiB);
+    EXPECT_DOUBLE_EQ(kGHz, 1e9);
+}
+
+// --- RunningStat ------------------------------------------------------------
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) s.Add(x);
+    EXPECT_EQ(s.count(), 5);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStat, VarianceMatchesDirectFormula)
+{
+    RunningStat s;
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : xs) s.Add(x);
+    // Direct two-pass sample variance.
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(s.Variance(), var, 1e-12);
+    EXPECT_NEAR(s.StdDev(), std::sqrt(var), 1e-12);
+}
+
+// --- PercentileTracker --------------------------------------------------------
+
+TEST(PercentileTracker, ExactPercentiles)
+{
+    PercentileTracker t;
+    for (int i = 1; i <= 100; ++i) t.Add(static_cast<double>(i));
+    EXPECT_NEAR(t.Percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(t.Percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(t.Percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(t.Percentile(99), 99.01, 1e-9);
+    EXPECT_NEAR(t.Mean(), 50.5, 1e-9);
+}
+
+TEST(PercentileTracker, InterleavedAddAndQuery)
+{
+    PercentileTracker t;
+    t.Add(10.0);
+    EXPECT_DOUBLE_EQ(t.Percentile(50), 10.0);
+    t.Add(20.0);
+    EXPECT_DOUBLE_EQ(t.Percentile(50), 15.0);
+    t.Add(0.0);
+    EXPECT_DOUBLE_EQ(t.Percentile(50), 10.0);
+}
+
+TEST(PercentileTracker, EmptyReturnsZero)
+{
+    PercentileTracker t;
+    EXPECT_DOUBLE_EQ(t.Percentile(99), 0.0);
+    EXPECT_DOUBLE_EQ(t.Mean(), 0.0);
+}
+
+// --- Histogram ----------------------------------------------------------------
+
+TEST(Histogram, BucketsAndTails)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.Add(-1.0);   // underflow
+    h.Add(0.0);    // bucket 0
+    h.Add(1.9);    // bucket 0
+    h.Add(2.0);    // bucket 1
+    h.Add(9.99);   // bucket 4
+    h.Add(10.0);   // overflow
+    EXPECT_EQ(h.underflow(), 1);
+    EXPECT_EQ(h.overflow(), 1);
+    EXPECT_EQ(h.bucket_count(0), 2);
+    EXPECT_EQ(h.bucket_count(1), 1);
+    EXPECT_EQ(h.bucket_count(4), 1);
+    EXPECT_EQ(h.total(), 6);
+    EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+}
+
+// --- GeoMean -------------------------------------------------------------------
+
+TEST(GeoMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(GeoMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(GeoMean({4.0}), 4.0);
+    EXPECT_NEAR(GeoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(GeoMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+// --- Rng -------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.NextU64(), b.NextU64());
+    }
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.NextU64() == b.NextU64()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double x = rng.NextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanConverges)
+{
+    Rng rng(11);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i) s.Add(rng.NextUniform(2.0, 4.0));
+    EXPECT_NEAR(s.mean(), 3.0, 0.02);
+    EXPECT_GE(s.min(), 2.0);
+    EXPECT_LT(s.max(), 4.0);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng rng(13);
+    RunningStat s;
+    const double lambda = 50.0;
+    for (int i = 0; i < 50000; ++i) s.Add(rng.NextExponential(lambda));
+    EXPECT_NEAR(s.mean(), 1.0 / lambda, 0.001);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i) s.Add(rng.NextGaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.StdDev(), 1.0, 0.02);
+}
+
+TEST(Rng, BoundedStaysInBound)
+{
+    Rng rng(19);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = rng.NextBounded(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng rng(23);
+    uint64_t first = rng.NextU64();
+    rng.NextU64();
+    rng.Reseed(23);
+    EXPECT_EQ(rng.NextU64(), first);
+}
+
+// --- TablePrinter -------------------------------------------------------------
+
+TEST(TablePrinter, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.AddRow({"x", "1"});
+    t.AddRow({"longer", "22"});
+    std::string out = t.Render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, RendersCsv)
+{
+    TablePrinter t({"a", "b"});
+    t.AddRow({"1", "2"});
+    EXPECT_EQ(t.RenderCsv(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the XLA-lite compiler: lowering correctness, the dtype
+ * compatibility gates (Lesson 6), the optimization ladder (Lesson 2),
+ * sharding, and program validation.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+
+namespace t4i {
+namespace {
+
+Program
+MustCompile(const Graph& g, const ChipConfig& chip, CompileOptions opts)
+{
+    auto p = Compile(g, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    return std::move(p).ConsumeValue();
+}
+
+CompileOptions
+Opts(int64_t batch, int opt_level = 3)
+{
+    CompileOptions o;
+    o.batch = batch;
+    o.opt_level = opt_level;
+    return o;
+}
+
+TEST(Compiler, CompilesAllProductionAppsOnTpu4i)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const auto& app : ProductionApps()) {
+        auto p = Compile(app.graph, chip, Opts(app.typical_batch));
+        EXPECT_TRUE(p.ok()) << app.name << ": "
+                            << p.status().ToString();
+        if (p.ok()) {
+            EXPECT_TRUE(p.value().Validate().ok()) << app.name;
+            EXPECT_GT(p.value().instrs.size(), 0u) << app.name;
+            EXPECT_GT(p.value().TotalMacs(), 0.0) << app.name;
+        }
+    }
+}
+
+TEST(Compiler, MacsMatchGraphCostForMatmulModels)
+{
+    // For a pure-dense model, instruction MACs must equal the analytic
+    // model cost (FLOPs / 2), modulo the VPU epilogue.
+    Graph g("d");
+    int in = g.AddInput("x", {512});
+    LayerParams p;
+    p.in_features = 512;
+    p.out_features = 384;
+    g.AddLayer(LayerKind::kDense, "fc", {in}, p);
+    ASSERT_TRUE(g.Finalize().ok());
+
+    const ChipConfig chip = Tpu_v4i();
+    Program prog = MustCompile(g, chip, Opts(32));
+    auto cost = g.Cost(32, DType::kBf16, DType::kBf16).value();
+    // Graph cost includes epilogue FLOPs; MACs are the matmul part.
+    EXPECT_NEAR(prog.TotalMacs(), 32.0 * 512.0 * 384.0, 1.0);
+    EXPECT_LE(2.0 * prog.TotalMacs(), cost.total_flops);
+}
+
+// --- Lesson 6: dtype gates --------------------------------------------------
+
+TEST(Compiler, Bf16OnTpu1FailsWithQuantizeHint)
+{
+    auto app = BuildApp("MLP1").value();
+    CompileOptions opts = Opts(8);
+    opts.dtype = DType::kBf16;
+    auto p = Compile(app.graph, Tpu_v1(), opts);
+    ASSERT_FALSE(p.ok());
+    EXPECT_EQ(p.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(p.status().message().find("quantized"),
+              std::string::npos);
+}
+
+TEST(Compiler, Int8OnTpu1Succeeds)
+{
+    auto app = BuildApp("MLP1").value();
+    CompileOptions opts = Opts(8);
+    opts.dtype = DType::kInt8;
+    EXPECT_TRUE(Compile(app.graph, Tpu_v1(), opts).ok());
+}
+
+TEST(Compiler, Int8OnTpu3Fails)
+{
+    auto app = BuildApp("CNN1").value();
+    CompileOptions opts = Opts(8);
+    opts.dtype = DType::kInt8;
+    EXPECT_FALSE(Compile(app.graph, Tpu_v3(), opts).ok());
+}
+
+TEST(Compiler, BothDtypesWorkOnTpu4i)
+{
+    auto app = BuildApp("CNN1").value();
+    for (DType dt : {DType::kInt8, DType::kBf16}) {
+        CompileOptions opts = Opts(8);
+        opts.dtype = dt;
+        EXPECT_TRUE(Compile(app.graph, Tpu_v4i(), opts).ok());
+    }
+}
+
+// --- Option validation --------------------------------------------------------
+
+TEST(Compiler, RejectsBadOptions)
+{
+    auto app = BuildApp("CNN1").value();
+    const ChipConfig chip = Tpu_v4i();
+    EXPECT_FALSE(Compile(app.graph, chip, Opts(0)).ok());
+    EXPECT_FALSE(Compile(app.graph, chip, Opts(8, 4)).ok());
+    EXPECT_FALSE(Compile(app.graph, chip, Opts(8, -1)).ok());
+    CompileOptions chips0 = Opts(8);
+    chips0.num_chips = 0;
+    EXPECT_FALSE(Compile(app.graph, chip, chips0).ok());
+}
+
+TEST(Compiler, RejectsUnfinalizedGraph)
+{
+    Graph g("raw");
+    g.AddInput("x", {8});
+    EXPECT_FALSE(Compile(g, Tpu_v4i(), Opts(1)).ok());
+}
+
+TEST(Compiler, MultiChipNeedsIci)
+{
+    auto app = BuildApp("BERT0").value();
+    CompileOptions opts = Opts(8);
+    opts.num_chips = 2;
+    EXPECT_FALSE(Compile(app.graph, Tpu_v1(), opts).ok());  // no links
+    EXPECT_TRUE(Compile(app.graph, Tpu_v4i(), opts).ok());
+}
+
+TEST(Compiler, OversizedModelIsRejected)
+{
+    // A model whose streamed weights exceed device DRAM must fail.
+    Graph g("huge");
+    int in = g.AddInput("x", {32768});
+    LayerParams p;
+    p.in_features = 32768;
+    p.out_features = 200000;
+    g.AddLayer(LayerKind::kDense, "fc", {in}, p);
+    ASSERT_TRUE(g.Finalize().ok());
+    auto result = Compile(g, Tpu_v4i(), Opts(1));
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Lesson 2: the optimization ladder ------------------------------------------
+
+TEST(Compiler, HbmTrafficDropsUpTheLadder)
+{
+    auto app = BuildApp("CNN0").value();
+    const ChipConfig chip = Tpu_v4i();
+    int64_t prev = -1;
+    for (int level = 0; level <= 3; ++level) {
+        Program p = MustCompile(app.graph, chip, Opts(16, level));
+        const int64_t traffic = p.HbmBytes();
+        if (prev >= 0) {
+            EXPECT_LE(traffic, prev) << "O" << level;
+        }
+        prev = traffic;
+    }
+}
+
+TEST(Compiler, O0SpillsEverything)
+{
+    auto app = BuildApp("BERT0").value();
+    Program p0 = MustCompile(app.graph, Tpu_v4i(), Opts(4, 0));
+    Program p1 = MustCompile(app.graph, Tpu_v4i(), Opts(4, 1));
+    EXPECT_GT(p0.memory.activation_bytes_hbm,
+              p1.memory.activation_bytes_hbm);
+}
+
+TEST(Compiler, FusionRemovesPointwiseRoundTrips)
+{
+    auto app = BuildApp("BERT0").value();
+    Program p1 = MustCompile(app.graph, Tpu_v4i(), Opts(4, 1));
+    Program p2 = MustCompile(app.graph, Tpu_v4i(), Opts(4, 2));
+    EXPECT_LE(p2.memory.activation_bytes_hbm,
+              p1.memory.activation_bytes_hbm);
+    EXPECT_LE(p2.instrs.size(), p1.instrs.size());
+}
+
+TEST(Compiler, CmemUseOnlyAtO3)
+{
+    // CNN0's CMEM goes to activation staging (each staged byte saves a
+    // write and a read-back of HBM, outranking weight pinning).
+    auto app = BuildApp("CNN0").value();
+    Program p2 = MustCompile(app.graph, Tpu_v4i(), Opts(16, 2));
+    Program p3 = MustCompile(app.graph, Tpu_v4i(), Opts(16, 3));
+    EXPECT_EQ(p2.memory.weight_bytes_cmem, 0);
+    EXPECT_EQ(p2.memory.activation_bytes_cmem, 0);
+    EXPECT_GT(p3.memory.weight_bytes_cmem +
+                  p3.memory.activation_bytes_cmem,
+              0);
+
+    // BERT0's activations fit VMEM at batch 4, so its CMEM goes to
+    // weight pinning.
+    auto bert = BuildApp("BERT0").value();
+    Program pb = MustCompile(bert.graph, Tpu_v4i(), Opts(4, 3));
+    EXPECT_GT(pb.memory.weight_bytes_cmem, 0);
+}
+
+TEST(Compiler, O3ChunksLargeWeightLoads)
+{
+    // A dense layer much bigger than the chunk target must be split
+    // into multiple HBM loads at O3 when it cannot be pinned.
+    Graph g("big_dense");
+    int in = g.AddInput("x", {4096});
+    LayerParams p;
+    p.in_features = 4096;
+    p.out_features = 8192;  // 64 MiB of bf16 weights
+    g.AddLayer(LayerKind::kDense, "fc", {in}, p);
+    ASSERT_TRUE(g.Finalize().ok());
+
+    CompileOptions opts = Opts(8);
+    opts.cmem_override_bytes = 0;  // force streaming
+    Program prog = MustCompile(g, Tpu_v4i(), opts);
+    int hbm_weight_loads = 0;
+    for (const auto& i : prog.instrs) {
+        if (i.engine == Engine::kHbm &&
+            i.kind == InstrKind::kDmaIn &&
+            i.label.find(".w") != std::string::npos) {
+            ++hbm_weight_loads;
+        }
+    }
+    EXPECT_GT(hbm_weight_loads, 1);
+}
+
+// --- Memory plan bookkeeping ------------------------------------------------------
+
+TEST(Compiler, MemoryPlanIsConsistent)
+{
+    for (const char* name : {"MLP0", "CNN0", "RNN0", "BERT0"}) {
+        auto app = BuildApp(name).value();
+        Program p = MustCompile(app.graph, Tpu_v4i(), Opts(8));
+        EXPECT_EQ(p.memory.weight_bytes_total,
+                  p.memory.weight_bytes_cmem +
+                      p.memory.weight_bytes_hbm)
+            << name;
+        EXPECT_LE(p.memory.weight_bytes_cmem, Tpu_v4i().cmem_bytes)
+            << name;
+    }
+}
+
+TEST(Compiler, CmemOverrideShrinksPinning)
+{
+    auto app = BuildApp("BERT0").value();
+    CompileOptions small = Opts(8);
+    small.cmem_override_bytes = 8 * kMiB;
+    Program p_small = MustCompile(app.graph, Tpu_v4i(), small);
+    Program p_full = MustCompile(app.graph, Tpu_v4i(), Opts(8));
+    EXPECT_LE(p_small.memory.weight_bytes_cmem, 8 * kMiB);
+    EXPECT_GT(p_full.memory.weight_bytes_cmem,
+              p_small.memory.weight_bytes_cmem);
+}
+
+// --- Sharding ------------------------------------------------------------------
+
+TEST(Compiler, ShardingEmitsIciAndDividesWeights)
+{
+    auto app = BuildApp("BERT1").value();
+    Program p1 = MustCompile(app.graph, Tpu_v4i(), Opts(8));
+    CompileOptions opts = Opts(8);
+    opts.num_chips = 4;
+    Program p4 = MustCompile(app.graph, Tpu_v4i(), opts);
+
+    int ici_count = 0;
+    for (const auto& i : p4.instrs) {
+        if (i.engine == Engine::kIci) ++ici_count;
+    }
+    EXPECT_GT(ici_count, 0);
+    // Per-chip MACs shrink close to 1/4.
+    EXPECT_LT(p4.TotalMacs(), 0.35 * p1.TotalMacs());
+    EXPECT_LT(p4.memory.weight_bytes_total,
+              0.35 * p1.memory.weight_bytes_total);
+}
+
+TEST(Compiler, SingleChipHasNoIci)
+{
+    auto app = BuildApp("BERT0").value();
+    Program p = MustCompile(app.graph, Tpu_v4i(), Opts(8));
+    for (const auto& i : p.instrs) {
+        EXPECT_NE(i.engine, Engine::kIci);
+    }
+}
+
+// --- Host transfers ------------------------------------------------------------
+
+TEST(Compiler, HostTransfersBracketTheProgram)
+{
+    auto app = BuildApp("CNN1").value();
+    Program p = MustCompile(app.graph, Tpu_v4i(), Opts(4));
+    int pcie = 0;
+    for (const auto& i : p.instrs) {
+        if (i.engine == Engine::kPcie ||
+            i.engine == Engine::kPcieIn) {
+            ++pcie;
+        }
+    }
+    EXPECT_EQ(pcie, 2);  // h2d input + d2h output
+
+    CompileOptions no_host = Opts(4);
+    no_host.include_host_transfers = false;
+    Program p2 = MustCompile(app.graph, Tpu_v4i(), no_host);
+    for (const auto& i : p2.instrs) {
+        EXPECT_NE(i.engine, Engine::kPcie);
+        EXPECT_NE(i.engine, Engine::kPcieIn);
+    }
+}
+
+// --- Program validation ----------------------------------------------------------
+
+TEST(Program, ValidateCatchesBadDeps)
+{
+    Program p;
+    Instr a;
+    a.id = 0;
+    a.engine = Engine::kVpu;
+    a.elements = 10;
+    a.deps = {0};  // self-dependency
+    p.instrs.push_back(a);
+    EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(Program, ValidateCatchesEmptyDescriptors)
+{
+    Program p;
+    Instr a;
+    a.id = 0;
+    a.engine = Engine::kMxu;  // rows/k_tiles/n_tiles all zero
+    p.instrs.push_back(a);
+    EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(Program, SummaryMentionsModelAndChip)
+{
+    auto app = BuildApp("RNN1").value();
+    Program p = MustCompile(app.graph, Tpu_v4i(), Opts(16));
+    std::string s = p.Summary();
+    EXPECT_NE(s.find("RNN1"), std::string::npos);
+    EXPECT_NE(s.find("TPUv4i"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Edge-case sweep across small utilities and rarely-hit branches that
+ * the module-focused suites skip.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/common/strings.h"
+#include "src/common/table.h"
+#include "src/graph/graph.h"
+#include "src/ici/topology.h"
+#include "src/models/zoo.h"
+#include "src/numerics/quantize.h"
+#include "src/serving/latency_table.h"
+#include "src/tco/tco.h"
+
+namespace t4i {
+namespace {
+
+TEST(Edges, HumanFormattersHandleNegativesAndZero)
+{
+    EXPECT_EQ(HumanCount(0.0), "0.00");
+    EXPECT_EQ(HumanCount(-2.5e9), "-2.50 G");
+    EXPECT_EQ(HumanBytes(0.0), "0.0 B");
+    EXPECT_EQ(HumanBytes(-3.0 * (1 << 20)), "-3.0 MiB");
+    EXPECT_EQ(HumanSeconds(0.0), "0.00 ns");
+    EXPECT_EQ(HumanSeconds(-2.0), "-2.00 s");
+}
+
+TEST(Edges, StrFormatLongString)
+{
+    const std::string big(5000, 'x');
+    std::string out = StrFormat("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Edges, TableSingleColumnAndEmptyCells)
+{
+    TablePrinter t({"only"});
+    t.AddRow({""});
+    t.AddRow({"x"});
+    std::string out = t.Render();
+    EXPECT_NE(out.find("only"), std::string::npos);
+    EXPECT_EQ(t.RenderCsv(), "only\n\nx\n");
+}
+
+TEST(Edges, GraphToStringCoversNewKinds)
+{
+    Graph g = BuildDecoderLm("lm", 1, 64, 2, 128, 8, 2, 100);
+    std::string s = g.ToString();
+    EXPECT_NE(s.find("DecoderBlock"), std::string::npos);
+    Graph d = BuildDlrm("d", 2, 100, 8, 2, 4);
+    EXPECT_NE(d.ToString().find("Concat"), std::string::npos);
+}
+
+TEST(Edges, QuantizeEmptyAndSingleValue)
+{
+    QuantParams p = ChooseQuantParams({}, QuantScheme::kSymmetric);
+    EXPECT_EQ(p.scale, 1.0);
+    auto rt = FakeQuantInt8({42.0f}, QuantScheme::kSymmetric);
+    EXPECT_NEAR(rt[0], 42.0f, 42.0f / 127.0f);
+    auto asym = FakeQuantInt8({-5.0f}, QuantScheme::kAsymmetric);
+    EXPECT_NEAR(asym[0], -5.0f, 0.05f);
+}
+
+TEST(Edges, LatencyTableSinglePoint)
+{
+    LatencyTable t;
+    t.AddPoint(4, 2e-3);
+    EXPECT_EQ(t.Eval(1), 2e-3);
+    EXPECT_EQ(t.Eval(100), 2e-3);
+    EXPECT_EQ(t.MaxBatchUnderSlo(1e-3), 0);
+    EXPECT_EQ(t.MaxBatchUnderSlo(3e-3), 4);
+}
+
+TEST(Edges, IciTwoChipDomainsDegenerate)
+{
+    IciDomain d;
+    d.num_chips = 2;
+    d.topology = IciTopology::kRing;
+    d.link_bw_Bps = 10e9;
+    d.links_per_chip = 2;
+    EXPECT_EQ(d.Diameter(), 1);
+    EXPECT_DOUBLE_EQ(d.PerNeighborBandwidth().value(), 20e9);
+    EXPECT_FALSE(IciDomain{1}.PerNeighborBandwidth().ok());
+}
+
+TEST(Edges, TcoTinyDieStillCosts)
+{
+    TcoParams params;
+    EXPECT_GT(GoodDiesPerWafer(10.0, params), 3000.0);
+    ChipConfig chip = Tpu_v1();
+    chip.die_mm2 = 10.0;
+    auto r = ComputeTco(chip, params).value();
+    EXPECT_GT(r.die_cost_usd, 0.0);
+    EXPECT_LT(r.die_cost_usd, 10.0);
+}
+
+TEST(Edges, ZooAppsOfYearExtremes)
+{
+    // The earliest and latest supported years still build and
+    // finalize (widths clamp at the 64-multiple floor).
+    for (int year : {2016, 2022}) {
+        auto apps = AppsOfYear(year);
+        EXPECT_EQ(apps.size(), 8u);
+        for (const auto& app : apps) {
+            EXPECT_TRUE(app.graph.finalized())
+                << year << " " << app.name;
+        }
+    }
+}
+
+TEST(Edges, DTypeHelpers)
+{
+    EXPECT_EQ(DTypeBytes(DType::kInt8), 1);
+    EXPECT_EQ(DTypeBytes(DType::kBf16), 2);
+    EXPECT_EQ(DTypeBytes(DType::kFp32), 4);
+    EXPECT_STREQ(DTypeName(DType::kBf16), "bf16");
+}
+
+TEST(Edges, LayerKindNamesComplete)
+{
+    for (LayerKind kind :
+         {LayerKind::kInput, LayerKind::kDense, LayerKind::kConv2d,
+          LayerKind::kMaxPool, LayerKind::kGlobalPool, LayerKind::kLstm,
+          LayerKind::kAttention, LayerKind::kFeedForward,
+          LayerKind::kLayerNorm, LayerKind::kSoftmax,
+          LayerKind::kEmbedding, LayerKind::kElementwise,
+          LayerKind::kFlatten, LayerKind::kConcat,
+          LayerKind::kDecoderBlock}) {
+        EXPECT_STRNE(LayerKindName(kind), "?");
+    }
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Functional-executor fuzzing: random small graphs execute under all
+ * three precision contracts; outputs must be finite, deterministic,
+ * and ordered (fp32 exact, bf16 >= int8 fidelity on average), plus
+ * builder parameter sweeps for the zoo.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/models/zoo.h"
+#include "src/tensor/executor.h"
+
+namespace t4i {
+namespace {
+
+/** Small random graph executable by the functional executor. */
+Graph
+RandomExecGraph(Rng& rng)
+{
+    Graph g("exec_fuzz");
+    const int flavor = static_cast<int>(rng.NextBounded(4));
+    int x;
+    switch (flavor) {
+      case 0: {  // dense chain with residuals
+        int64_t f = 8 + static_cast<int64_t>(rng.NextBounded(4)) * 8;
+        x = g.AddInput("x", {f});
+        const int depth = 1 + static_cast<int>(rng.NextBounded(4));
+        for (int i = 0; i < depth; ++i) {
+            if (rng.NextBool(0.3)) {
+                LayerParams add;
+                add.arity = 2;
+                add.activation = Activation::kRelu;
+                x = g.AddLayer(LayerKind::kElementwise,
+                               "res" + std::to_string(i), {x, x}, add);
+            }
+            LayerParams p;
+            p.in_features = f;
+            f = 8 + static_cast<int64_t>(rng.NextBounded(4)) * 8;
+            p.out_features = f;
+            p.activation = rng.NextBool(0.5) ? Activation::kGelu
+                                             : Activation::kTanh;
+            x = g.AddLayer(LayerKind::kDense, "fc" + std::to_string(i),
+                           {x}, p);
+        }
+        break;
+      }
+      case 1: {  // tiny conv stack
+        int64_t h = 8 + static_cast<int64_t>(rng.NextBounded(2)) * 4;
+        x = g.AddInput("x", {h, h, 3});
+        const int depth = 1 + static_cast<int>(rng.NextBounded(3));
+        for (int i = 0; i < depth; ++i) {
+            LayerParams p;
+            p.kernel_h = 3;
+            p.kernel_w = 3;
+            p.stride = 1;
+            p.pad = 1;
+            p.out_channels =
+                4 + static_cast<int64_t>(rng.NextBounded(3)) * 4;
+            p.activation = Activation::kRelu;
+            x = g.AddLayer(LayerKind::kConv2d,
+                           "conv" + std::to_string(i), {x}, p);
+        }
+        x = g.AddLayer(LayerKind::kGlobalPool, "gap", {x},
+                       LayerParams{});
+        break;
+      }
+      case 2: {  // attention + ffn + norm
+        const int64_t seq =
+            4 + static_cast<int64_t>(rng.NextBounded(3)) * 4;
+        const int64_t d =
+            16 + static_cast<int64_t>(rng.NextBounded(3)) * 16;
+        x = g.AddInput("x", {seq, d});
+        LayerParams attn;
+        attn.seq_len = seq;
+        attn.d_model = d;
+        attn.num_heads = 2;
+        x = g.AddLayer(LayerKind::kAttention, "attn", {x}, attn);
+        x = g.AddLayer(LayerKind::kLayerNorm, "ln", {x},
+                       LayerParams{});
+        LayerParams ffn;
+        ffn.d_model = d;
+        ffn.d_ff = d * 2;
+        x = g.AddLayer(LayerKind::kFeedForward, "ffn", {x}, ffn);
+        x = g.AddLayer(LayerKind::kSoftmax, "sm", {x}, LayerParams{});
+        break;
+      }
+      default: {  // embedding -> lstm
+        const int64_t seq =
+            3 + static_cast<int64_t>(rng.NextBounded(4));
+        x = g.AddInput("ids", {seq});
+        LayerParams embed;
+        embed.vocab = 100 + static_cast<int64_t>(rng.NextBounded(400));
+        embed.embed_dim =
+            8 + static_cast<int64_t>(rng.NextBounded(3)) * 8;
+        embed.lookups_per_sample = seq;
+        x = g.AddLayer(LayerKind::kEmbedding, "embed", {x}, embed);
+        LayerParams lstm;
+        lstm.seq_len = seq;
+        lstm.hidden_dim =
+            8 + static_cast<int64_t>(rng.NextBounded(3)) * 8;
+        x = g.AddLayer(LayerKind::kLstm, "lstm", {x}, lstm);
+        break;
+      }
+    }
+    T4I_CHECK(g.Finalize().ok(), "exec fuzz graph must finalize");
+    return g;
+}
+
+class ExecFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecFuzz, AllPrecisionsFiniteAndOrdered)
+{
+    Rng rng(GetParam() * 7919);
+    Graph g = RandomExecGraph(rng);
+    const int64_t batch =
+        1 + static_cast<int64_t>(rng.NextBounded(3));
+
+    auto fp32 = PrecisionLoss(g, MatmulPrecision::kFp32, batch,
+                              GetParam());
+    ASSERT_TRUE(fp32.ok()) << fp32.status().ToString();
+    EXPECT_EQ(fp32.value().rms_error, 0.0);
+
+    auto bf16 = PrecisionLoss(g, MatmulPrecision::kBf16, batch,
+                              GetParam());
+    ASSERT_TRUE(bf16.ok());
+    auto int8 = PrecisionLoss(g, MatmulPrecision::kInt8, batch,
+                              GetParam());
+    ASSERT_TRUE(int8.ok());
+
+    EXPECT_TRUE(std::isfinite(bf16.value().rms_error));
+    EXPECT_TRUE(std::isfinite(int8.value().rms_error));
+    // bf16 must carry real fidelity on every graph; int8 may be fine
+    // or poor depending on the data, but never better than bf16 by a
+    // wide margin.
+    EXPECT_GT(bf16.value().sqnr_db, 20.0);
+    EXPECT_LT(int8.value().sqnr_db, bf16.value().sqnr_db + 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecFuzz,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// --- Builder parameter sweeps ----------------------------------------------
+
+class BertSweep
+    : public ::testing::TestWithParam<std::tuple<int, int64_t>> {};
+
+TEST_P(BertSweep, CostScalesWithDepthAndWidth)
+{
+    const auto [layers, d_model] = GetParam();
+    Graph g = BuildBert("b", layers, d_model, 8, d_model * 4, 32,
+                        1000);
+    EXPECT_TRUE(g.finalized());
+    auto c = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    // Parameter count ~ layers * 12 d^2 (+ embeddings).
+    const double expected_params =
+        static_cast<double>(layers) * 12.0 *
+            static_cast<double>(d_model) * static_cast<double>(d_model) +
+        1000.0 * static_cast<double>(d_model);
+    EXPECT_NEAR(static_cast<double>(c.weight_bytes) / 2.0,
+                expected_params, 0.25 * expected_params);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, BertSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values<int64_t>(64, 128, 256)));
+
+class ResNetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResNetSweep, DeeperMeansMoreFlops)
+{
+    const int blocks = GetParam();
+    Graph shallow = BuildResNetish("a", blocks, 32);
+    Graph deep = BuildResNetish("b", blocks + 2, 32);
+    auto cs = shallow.Cost(1, DType::kBf16, DType::kBf16).value();
+    auto cd = deep.Cost(1, DType::kBf16, DType::kBf16).value();
+    EXPECT_GT(cd.total_flops, cs.total_flops);
+    EXPECT_GT(cd.weight_bytes, cs.weight_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ResNetSweep,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace t4i

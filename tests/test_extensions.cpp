@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the extension workloads (decoder LM, DLRM, SSD) and the IR
+ * kinds backing them (kConcat, kDecoderBlock).
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/machine.h"
+#include "src/tensor/executor.h"
+
+namespace t4i {
+namespace {
+
+StatusOr<SimResult>
+RunOn(const Graph& graph, const ChipConfig& chip, int64_t batch,
+      int num_chips = 1)
+{
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.num_chips = num_chips;
+    auto p = Compile(graph, chip, opts);
+    T4I_RETURN_IF_ERROR(p.status());
+    return Simulate(p.value(), chip);
+}
+
+// --- kConcat ----------------------------------------------------------------
+
+TEST(Concat, SumsHeterogeneousInputs)
+{
+    Graph g("c");
+    int a = g.AddInput("a", {4, 8});
+    int b = g.AddInput("b", {5});
+    g.AddLayer(LayerKind::kConcat, "cat", {a, b}, LayerParams{});
+    ASSERT_TRUE(g.Finalize().ok());
+    EXPECT_EQ(g.layer(2).out_shape, std::vector<int64_t>({37}));
+}
+
+TEST(Concat, CompilesAndRuns)
+{
+    Graph g("c");
+    int a = g.AddInput("a", {64});
+    LayerParams d1;
+    d1.in_features = 64;
+    d1.out_features = 32;
+    int x = g.AddLayer(LayerKind::kDense, "fc", {a}, d1);
+    int cat = g.AddLayer(LayerKind::kConcat, "cat", {x, a},
+                         LayerParams{});
+    LayerParams d2;
+    d2.in_features = 96;
+    d2.out_features = 8;
+    g.AddLayer(LayerKind::kDense, "out", {cat}, d2);
+    ASSERT_TRUE(g.Finalize().ok());
+    auto r = RunOn(g, Tpu_v4i(), 4);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.value().latency_s, 0.0);
+}
+
+// --- kDecoderBlock ------------------------------------------------------------
+
+TEST(DecoderBlock, ShapeAndValidation)
+{
+    Layer l;
+    l.kind = LayerKind::kDecoderBlock;
+    l.params.seq_len = 16;
+    l.params.kv_len = 256;
+    l.params.d_model = 512;
+    l.params.num_heads = 8;
+    l.params.d_ff = 2048;
+    EXPECT_EQ(InferShape(l, {16, 512}).value(),
+              (std::vector<int64_t>{16, 512}));
+    EXPECT_FALSE(InferShape(l, {8, 512}).ok());
+    EXPECT_FALSE(InferShape(l, {16, 256}).ok());
+}
+
+TEST(DecoderBlock, CostGrowsWithContext)
+{
+    Layer l;
+    l.kind = LayerKind::kDecoderBlock;
+    l.params.seq_len = 16;
+    l.params.d_model = 512;
+    l.params.num_heads = 8;
+    l.params.d_ff = 2048;
+    l.params.kv_len = 128;
+    auto short_ctx = ComputeLayerCost(l, {16, 512}, 1, DType::kBf16,
+                                      DType::kBf16).value();
+    l.params.kv_len = 2048;
+    auto long_ctx = ComputeLayerCost(l, {16, 512}, 1, DType::kBf16,
+                                     DType::kBf16).value();
+    EXPECT_GT(long_ctx.flops, short_ctx.flops);
+    // Weights do not depend on context length.
+    EXPECT_EQ(long_ctx.weight_bytes, short_ctx.weight_bytes);
+}
+
+// --- Decoder LM ------------------------------------------------------------------
+
+TEST(DecoderLm, BuildsAndRuns)
+{
+    Graph g = BuildDecoderLm("lm", 4, 512, 8, 2048, 256, 8, 32000);
+    EXPECT_TRUE(g.finalized());
+    auto r = RunOn(g, Tpu_v4i(), 4);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.value().total_macs, 0.0);
+}
+
+TEST(DecoderLm, LatencyScalesWithGeneratedTokens)
+{
+    Graph g8 = BuildDecoderLm("lm8", 4, 512, 8, 2048, 256, 8, 32000);
+    Graph g32 = BuildDecoderLm("lm32", 4, 512, 8, 2048, 256, 32, 32000);
+    auto r8 = RunOn(g8, Tpu_v4i(), 4).value();
+    auto r32 = RunOn(g32, Tpu_v4i(), 4).value();
+    // Sequential decode: ~4x the tokens ~> 3-5x the latency.
+    const double ratio = r32.latency_s / r8.latency_s;
+    EXPECT_GT(ratio, 2.5);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(DecoderLm, SmallBatchDecodeIsMemoryOrFillBound)
+{
+    // Single-request decode cannot use the MXUs well — one token's
+    // matvecs and a KV stream (the LLM-serving pain point).
+    Graph g = BuildDecoderLm("lm", 8, 1024, 16, 4096, 512, 16, 32000);
+    auto r1 = RunOn(g, Tpu_v4i(), 1).value();
+    EXPECT_LT(r1.mxu_utilization, 0.05);
+    // Batching recovers efficiency.
+    auto r32 = RunOn(g, Tpu_v4i(), 32).value();
+    EXPECT_GT(r32.mxu_utilization, 3.0 * r1.mxu_utilization);
+}
+
+TEST(DecoderLm, ShardingHelpsButIciBinds)
+{
+    Graph g = BuildDecoderLm("lm", 8, 1024, 16, 4096, 512, 16, 32000);
+    auto r1 = RunOn(g, Tpu_v4i(), 8, 1).value();
+    auto r4 = RunOn(g, Tpu_v4i(), 8, 4).value();
+    const double speedup = r1.latency_s / r4.latency_s;
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 4.0);
+    EXPECT_GT(r4.engine(Engine::kIci).busy_s, 0.0);
+}
+
+// --- DLRM -----------------------------------------------------------------------
+
+TEST(Dlrm, BuildsWithExpectedFootprint)
+{
+    Graph g = BuildDlrm("dlrm", 8, 1'000'000, 64, 16, 13);
+    EXPECT_TRUE(g.finalized());
+    auto cost = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    // 8 tables x 1M x 64 x 2B = 1 GiB of embeddings dominate.
+    EXPECT_GT(cost.weight_bytes, 1'000'000'000LL);
+    EXPECT_LT(cost.ops_per_weight_byte, 1.0);
+}
+
+TEST(Dlrm, RunsAndIsGatherDominated)
+{
+    Graph g = BuildDlrm("dlrm", 4, 200'000, 64, 16, 13);
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 128;
+    auto prog = Compile(g, chip, opts).value();
+    auto r = Simulate(prog, chip).value();
+    EXPECT_LT(r.mxu_utilization, 0.3);
+    EXPECT_GT(r.latency_s, 0.0);
+}
+
+// --- SSD ------------------------------------------------------------------------
+
+TEST(Ssd, BuildsAndRuns)
+{
+    Graph g = BuildSsdDetector("ssd");
+    EXPECT_TRUE(g.finalized());
+    auto cost = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    // Conv-dominated: high intensity like the CNNs.
+    EXPECT_GT(cost.ops_per_weight_byte, 100.0);
+    auto r = RunOn(g, Tpu_v4i(), 8);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GT(r.value().mxu_utilization, 0.1);
+}
+
+TEST(Ssd, MultiScaleHeadsAllContribute)
+{
+    Graph g = BuildSsdDetector("ssd");
+    // The concat consumes six heads (3 scales x cls+box).
+    const Layer& cat = g.layer(g.num_layers() - 1);
+    EXPECT_EQ(cat.kind, LayerKind::kConcat);
+    EXPECT_EQ(cat.inputs.size(), 6u);
+}
+
+// --- Depthwise conv / MobileNet ---------------------------------------------
+
+TEST(Depthwise, ShapeAndCost)
+{
+    Layer l;
+    l.kind = LayerKind::kDepthwiseConv2d;
+    l.params.kernel_h = 3;
+    l.params.kernel_w = 3;
+    l.params.stride = 2;
+    l.params.pad = 1;
+    auto out = InferShape(l, {32, 32, 16}).value();
+    EXPECT_EQ(out, (std::vector<int64_t>{16, 16, 16}));
+    auto c = ComputeLayerCost(l, {32, 32, 16}, 2, DType::kBf16,
+                              DType::kBf16).value();
+    // 2 * N * OH * OW * C * K * K
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 2 * 16 * 16 * 16 * 9);
+    EXPECT_EQ(c.weight_bytes, (9 * 16 + 16) * 2);
+}
+
+TEST(Depthwise, SystolicUtilizationIsPoor)
+{
+    // The defining behavior: per-FLOP, depthwise runs far below a
+    // dense conv of the same shape on the MXUs.
+    Graph dw("dw");
+    int a = dw.AddInput("x", {56, 56, 256});
+    LayerParams p;
+    p.kernel_h = 3;
+    p.kernel_w = 3;
+    p.stride = 1;
+    p.pad = 1;
+    dw.AddLayer(LayerKind::kDepthwiseConv2d, "d", {a}, p);
+    ASSERT_TRUE(dw.Finalize().ok());
+
+    Graph dense("dense");
+    int b = dense.AddInput("x", {56, 56, 256});
+    LayerParams q = p;
+    q.out_channels = 256;
+    dense.AddLayer(LayerKind::kConv2d, "c", {b}, q);
+    ASSERT_TRUE(dense.Finalize().ok());
+
+    const ChipConfig chip = Tpu_v4i();
+    auto r_dw = RunOn(dw, chip, 8).value();
+    auto r_dense = RunOn(dense, chip, 8).value();
+    EXPECT_LT(r_dw.mxu_utilization,
+              r_dense.mxu_utilization / 8.0);
+}
+
+TEST(Depthwise, ExecutorMatchesPerChannelSemantics)
+{
+    // A 1x1 depthwise conv is a per-channel scalar multiply; check
+    // channels do not mix.
+    Graph g("dw1");
+    int in = g.AddInput("x", {2, 2, 3});
+    LayerParams p;
+    p.kernel_h = 1;
+    p.kernel_w = 1;
+    p.stride = 1;
+    p.pad = 0;
+    g.AddLayer(LayerKind::kDepthwiseConv2d, "dw", {in}, p);
+    ASSERT_TRUE(g.Finalize().ok());
+    ExecOptions opts;
+    opts.batch = 1;
+    Tensor x(Shape({1, 2, 2, 3}));
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        x[i] = static_cast<float>(i + 1);
+    }
+    auto r = Execute(g, {x}, opts).value();
+    const Tensor& y = r.final_output();
+    // Per channel c: y[..., c] = w_c * x[..., c] for one scalar w_c.
+    for (int64_t c = 0; c < 3; ++c) {
+        const float w0 = y[c] / x[c];
+        for (int64_t s = 1; s < 4; ++s) {
+            EXPECT_NEAR(y[s * 3 + c] / x[s * 3 + c], w0, 1e-5);
+        }
+    }
+}
+
+TEST(Depthwise, MobileNetBuildsAndRuns)
+{
+    Graph g = BuildMobileNetish("mn");
+    EXPECT_TRUE(g.finalized());
+    auto cost = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    // ~0.5-1.2 GFLOPs and a few MiB of weights, MobileNet-class.
+    EXPECT_GT(cost.total_flops / 1e9, 0.3);
+    EXPECT_LT(cost.total_flops / 1e9, 2.0);
+    auto r = RunOn(g, Tpu_v4i(), 8);
+    ASSERT_TRUE(r.ok());
+    // Depthwise layers drag whole-model MXU utilization down hard.
+    EXPECT_LT(r.value().mxu_utilization, 0.15);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the fleet capacity planner.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/fleet/deployment.h"
+#include "src/fleet/planner.h"
+
+namespace t4i {
+namespace {
+
+std::vector<AppDemand>
+SmallDemand(double qps)
+{
+    std::vector<AppDemand> demands;
+    AppDemand d;
+    d.app = BuildApp("CNN1").value();
+    d.qps = qps;
+    demands.push_back(std::move(d));
+    return demands;
+}
+
+TEST(Fleet, RejectsBadInput)
+{
+    FleetParams params;
+    EXPECT_FALSE(PlanFleet({}, Tpu_v4i(), params).ok());
+    EXPECT_FALSE(PlanFleet(SmallDemand(-5.0), Tpu_v4i(), params).ok());
+    FleetParams bad = params;
+    bad.utilization_headroom = 0.0;
+    EXPECT_FALSE(PlanFleet(SmallDemand(100.0), Tpu_v4i(), bad).ok());
+}
+
+TEST(Fleet, ChipsScaleWithTraffic)
+{
+    FleetParams params;
+    auto small = PlanFleet(SmallDemand(1000.0), Tpu_v4i(), params)
+                     .value();
+    auto big = PlanFleet(SmallDemand(100000.0), Tpu_v4i(), params)
+                   .value();
+    EXPECT_GE(small.total_chips, 1);
+    EXPECT_GT(big.total_chips, 5 * small.total_chips);
+    EXPECT_GT(big.tco_usd, big.capex_usd);
+    EXPECT_NEAR(static_cast<double>(big.total_chips),
+                100000.0 / big.apps[0].capacity_per_chip, 1.0);
+}
+
+TEST(Fleet, HeadroomInflatesTheFleet)
+{
+    FleetParams tight;
+    tight.utilization_headroom = 0.9;
+    FleetParams loose;
+    loose.utilization_headroom = 0.45;
+    auto t = PlanFleet(SmallDemand(50000.0), Tpu_v4i(), tight).value();
+    auto l = PlanFleet(SmallDemand(50000.0), Tpu_v4i(), loose).value();
+    EXPECT_GT(l.total_chips, t.total_chips);
+    EXPECT_NEAR(static_cast<double>(l.total_chips) / t.total_chips,
+                2.0, 0.3);
+}
+
+TEST(Fleet, InfeasibleSloIsFlagged)
+{
+    FleetParams params;
+    std::vector<AppDemand> demands = SmallDemand(100.0);
+    demands[0].app.slo_ms = 0.0001;  // nothing meets 100 ns
+    auto plan = PlanFleet(demands, Tpu_v4i(), params).value();
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_TRUE(plan.apps[0].infeasible);
+}
+
+TEST(Fleet, ReferenceTrafficCoversAllApps)
+{
+    auto demands = ReferenceTraffic(100).value();
+    EXPECT_EQ(demands.size(), 8u);
+    for (const auto& d : demands) {
+        EXPECT_GT(d.qps, 0.0) << d.app.name;
+    }
+}
+
+TEST(Fleet, Tpu4iFleetCheaperThanT4FleetForSameTraffic)
+{
+    // The lesson-3 punchline at fleet scale: serving the same traffic
+    // needs fewer TPUv4i chips than T4s, and costs less in TCO.
+    auto demands = ReferenceTraffic(50).value();
+    FleetParams params;
+    auto v4i = PlanFleet(demands, Tpu_v4i(), params).value();
+    auto t4 = PlanFleet(demands, GpuT4(), params).value();
+    ASSERT_TRUE(v4i.feasible);
+    ASSERT_TRUE(t4.feasible);
+    EXPECT_LT(v4i.total_chips, t4.total_chips);
+    EXPECT_LT(v4i.tco_usd, t4.tco_usd);
+}
+
+TEST(Fleet, ReferenceTrafficRoundTripsToBaselineFleetSize)
+{
+    // Planning the reference traffic back onto TPUv4i at the same
+    // utilization must land near the baseline chip count.
+    const int64_t baseline = 40;
+    auto demands = ReferenceTraffic(baseline).value();
+    FleetParams params;
+    params.utilization_headroom = 0.6;
+    auto plan = PlanFleet(demands, Tpu_v4i(), params).value();
+    EXPECT_NEAR(static_cast<double>(plan.total_chips),
+                static_cast<double>(baseline),
+                0.3 * static_cast<double>(baseline) + 8.0);
+}
+
+}  // namespace
+}  // namespace t4i
+
+namespace t4i {
+namespace {
+
+TEST(Deployment, Bf16ChipShipsDirect)
+{
+    DeploymentParams params;
+    auto app = BuildApp("BERT0").value();
+    auto plan = PlanDeployment(app, Tpu_v4i(), params).value();
+    EXPECT_FALSE(plan.needs_ptq);
+    EXPECT_FALSE(plan.needs_qat);
+    EXPECT_EQ(plan.deployed_dtype, DType::kBf16);
+    EXPECT_LT(plan.days, 7.0);
+}
+
+TEST(Deployment, Int8OnlyChipPaysTheDetour)
+{
+    DeploymentParams params;
+    auto mlp = BuildApp("MLP0").value();
+    auto bert = BuildApp("BERT0").value();
+    auto plan_mlp = PlanDeployment(mlp, Tpu_v1(), params).value();
+    auto plan_bert = PlanDeployment(bert, Tpu_v1(), params).value();
+    EXPECT_TRUE(plan_mlp.needs_ptq);
+    EXPECT_TRUE(plan_bert.needs_ptq);
+    // The attention proxy's fidelity misses the default bar.
+    EXPECT_TRUE(plan_bert.needs_qat);
+    EXPECT_GT(plan_bert.days, plan_mlp.days);
+    EXPECT_GT(plan_bert.days, 25.0);
+}
+
+TEST(Deployment, BarPositionControlsQat)
+{
+    auto app = BuildApp("RNN0").value();
+    DeploymentParams lenient;
+    lenient.required_sqnr_db = 10.0;
+    DeploymentParams strict;
+    strict.required_sqnr_db = 60.0;
+    auto easy = PlanDeployment(app, Tpu_v1(), lenient).value();
+    auto hard = PlanDeployment(app, Tpu_v1(), strict).value();
+    EXPECT_FALSE(easy.needs_qat);
+    EXPECT_TRUE(hard.needs_qat);
+    EXPECT_GT(hard.days, easy.days);
+}
+
+TEST(Deployment, ProxyGraphsCoverAllDomains)
+{
+    for (AppDomain domain : {AppDomain::kMlp, AppDomain::kCnn,
+                             AppDomain::kRnn, AppDomain::kBert}) {
+        Graph g = DomainProxyGraph(domain);
+        EXPECT_TRUE(g.finalized()) << AppDomainName(domain);
+    }
+}
+
+}  // namespace
+}  // namespace t4i

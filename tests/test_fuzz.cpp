@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Property-based fuzzing: random-but-valid model graphs are compiled
+ * for random chips/dtypes/options and simulated; the run must either
+ * fail cleanly at compile time or satisfy every simulator invariant.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/common/rng.h"
+#include "src/compiler/compiler.h"
+#include "src/roofline/roofline.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+/** Builds a random valid graph: a trunk of compatible layers with
+ *  occasional residual branches. */
+Graph
+RandomGraph(Rng& rng)
+{
+    Graph g("fuzz");
+    // A vector trunk ([features]), an image trunk ([H,W,C]), a
+    // sequence trunk ([S,D]) or an autoregressive decoder trunk.
+    const int flavor = static_cast<int>(rng.NextBounded(4));
+    int x;
+    int64_t features = 0;
+    int64_t h = 0;
+    int64_t c = 0;
+    int64_t seq = 0;
+    int64_t d = 0;
+
+    switch (flavor) {
+      case 0: {
+        features = 32 + static_cast<int64_t>(rng.NextBounded(16)) * 32;
+        x = g.AddInput("x", {features});
+        break;
+      }
+      case 1: {
+        h = 16 + static_cast<int64_t>(rng.NextBounded(4)) * 16;
+        c = 3 + static_cast<int64_t>(rng.NextBounded(13));
+        x = g.AddInput("x", {h, h, c});
+        break;
+      }
+      case 2: {
+        seq = 8 + static_cast<int64_t>(rng.NextBounded(8)) * 8;
+        d = 64 + static_cast<int64_t>(rng.NextBounded(8)) * 64;
+        x = g.AddInput("x", {seq, d});
+        break;
+      }
+      default: {
+        seq = 2 + static_cast<int64_t>(rng.NextBounded(6));
+        d = 128 + static_cast<int64_t>(rng.NextBounded(4)) * 128;
+        x = g.AddInput("x", {seq, d});
+        break;
+      }
+    }
+
+    const int depth = 1 + static_cast<int>(rng.NextBounded(6));
+    for (int i = 0; i < depth; ++i) {
+        const std::string tag = "l" + std::to_string(i);
+        if (flavor == 0) {
+            if (rng.NextBool(0.3)) {
+                LayerParams add;
+                add.arity = 2;
+                x = g.AddLayer(LayerKind::kElementwise, tag + ".res",
+                               {x, x}, add);
+            }
+            LayerParams p;
+            p.in_features = features;
+            features = 16 + static_cast<int64_t>(
+                                rng.NextBounded(32)) * 16;
+            p.out_features = features;
+            p.activation = rng.NextBool(0.5) ? Activation::kRelu
+                                             : Activation::kGelu;
+            x = g.AddLayer(LayerKind::kDense, tag, {x}, p);
+        } else if (flavor == 1) {
+            LayerParams p;
+            p.kernel_h = rng.NextBool(0.5) ? 3 : 1;
+            p.kernel_w = p.kernel_h;
+            p.stride = rng.NextBool(0.3) ? 2 : 1;
+            p.pad = p.kernel_h / 2;
+            c = 8 + static_cast<int64_t>(rng.NextBounded(8)) * 8;
+            p.out_channels = c;
+            x = g.AddLayer(LayerKind::kConv2d, tag, {x}, p);
+            // Track spatial size to keep pooling legal.
+            h = (h + 2 * p.pad - p.kernel_h) / p.stride + 1;
+            if (h >= 4 && rng.NextBool(0.25)) {
+                LayerParams pool;
+                pool.kernel_h = 2;
+                pool.kernel_w = 2;
+                pool.stride = 2;
+                x = g.AddLayer(LayerKind::kMaxPool, tag + ".pool",
+                               {x}, pool);
+                h = (h - 2) / 2 + 1;
+            }
+        } else if (flavor == 3) {
+            LayerParams block;
+            block.seq_len = seq;
+            block.kv_len = 64 + static_cast<int64_t>(
+                                    rng.NextBounded(8)) * 64;
+            block.d_model = d;
+            block.num_heads = 8;
+            block.d_ff = d * 4;
+            x = g.AddLayer(LayerKind::kDecoderBlock, tag + ".dec",
+                           {x}, block);
+        } else {
+            if (rng.NextBool(0.5)) {
+                LayerParams attn;
+                attn.seq_len = seq;
+                attn.d_model = d;
+                attn.num_heads = 8;
+                x = g.AddLayer(LayerKind::kAttention, tag + ".attn",
+                               {x}, attn);
+                x = g.AddLayer(LayerKind::kLayerNorm, tag + ".ln", {x},
+                               LayerParams{});
+            } else {
+                LayerParams lstm;
+                lstm.seq_len = seq;
+                lstm.hidden_dim = d;
+                x = g.AddLayer(LayerKind::kLstm, tag + ".lstm", {x},
+                               lstm);
+            }
+        }
+    }
+    T4I_CHECK(g.Finalize().ok(), "fuzz graph must finalize");
+    return g;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSweep, CompileSimulateInvariantsHold)
+{
+    Rng rng(GetParam());
+    Graph g = RandomGraph(rng);
+
+    auto chips = ChipCatalog();
+    const ChipConfig chip =
+        chips[rng.NextBounded(chips.size())];
+    CompileOptions opts;
+    opts.batch = 1 + static_cast<int64_t>(rng.NextBounded(64));
+    opts.opt_level = static_cast<int>(rng.NextBounded(4));
+    opts.dtype = rng.NextBool(0.5) ? DType::kBf16 : DType::kInt8;
+    if (rng.NextBool(0.2) && chip.ici_links > 0) {
+        opts.num_chips = 2 + static_cast<int>(rng.NextBounded(3));
+    }
+    opts.include_host_transfers = rng.NextBool(0.8);
+
+    auto prog = Compile(g, chip, opts);
+    if (!prog.ok()) {
+        // Clean rejection is a valid outcome (dtype gate, capacity,
+        // missing ICI); it must carry a real error code.
+        EXPECT_NE(prog.status().code(), StatusCode::kOk);
+        EXPECT_NE(prog.status().code(), StatusCode::kInternal)
+            << prog.status().ToString();
+        return;
+    }
+    ASSERT_TRUE(prog.value().Validate().ok());
+
+    std::vector<ScheduleEntry> schedule;
+    auto result =
+        SimulateWithSchedule(prog.value(), chip, &schedule);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const SimResult& r = result.value();
+
+    // Core invariants.
+    EXPECT_GT(r.latency_s, 0.0);
+    EXPECT_LE(r.achieved_flops,
+              chip.PeakFlops(opts.dtype) * (1.0 + 1e-9));
+    for (const auto& e : r.engines) {
+        EXPECT_LE(e.utilization, 1.0 + 1e-9);
+    }
+    // Causality in the schedule.
+    std::vector<double> finish(prog.value().instrs.size());
+    for (const auto& entry : schedule) {
+        finish[static_cast<size_t>(entry.instr_id)] = entry.finish_s;
+    }
+    for (const auto& entry : schedule) {
+        for (int dep :
+             prog.value().instrs[static_cast<size_t>(entry.instr_id)]
+                 .deps) {
+            EXPECT_GE(entry.start_s,
+                      finish[static_cast<size_t>(dep)] - 1e-12);
+        }
+    }
+    // The roofline bound against actual HBM traffic.
+    const double hbm =
+        static_cast<double>(r.engine(Engine::kHbm).bytes);
+    if (hbm > 0) {
+        Roofline roof = BuildRoofline(chip, opts.dtype);
+        const double intensity = 2.0 * r.total_macs / hbm;
+        EXPECT_LE(r.achieved_flops,
+                  roof.Attainable(intensity) * 1.001);
+    }
+    // Determinism.
+    auto again = Simulate(prog.value(), chip).value();
+    EXPECT_EQ(again.latency_s, r.latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<uint64_t>(1, 81));
+
+}  // namespace
+}  // namespace t4i

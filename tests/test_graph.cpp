@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Tests for the model IR: builder, validation, shape inference, cost
+ * accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.h"
+
+namespace t4i {
+namespace {
+
+LayerParams
+DenseParams(int64_t in, int64_t out)
+{
+    LayerParams p;
+    p.in_features = in;
+    p.out_features = out;
+    return p;
+}
+
+TEST(Graph, BuildAndFinalizeLinearChain)
+{
+    Graph g("toy");
+    int in = g.AddInput("x", {64});
+    int fc = g.AddLayer(LayerKind::kDense, "fc", {in},
+                        DenseParams(64, 32));
+    ASSERT_TRUE(g.Finalize().ok());
+    EXPECT_EQ(g.num_layers(), 2);
+    EXPECT_EQ(g.layer(fc).out_shape, std::vector<int64_t>({32}));
+    EXPECT_TRUE(g.finalized());
+}
+
+TEST(Graph, RejectsForwardReference)
+{
+    Graph g("bad");
+    g.AddInput("x", {8});
+    g.AddLayer(LayerKind::kDense, "fc", {5}, DenseParams(8, 8));
+    EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Graph, RejectsMissingInputs)
+{
+    Graph g("bad");
+    g.AddInput("x", {8});
+    g.AddLayer(LayerKind::kDense, "fc", {}, DenseParams(8, 8));
+    EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Graph, RejectsShapeMismatch)
+{
+    Graph g("bad");
+    int in = g.AddInput("x", {16});
+    g.AddLayer(LayerKind::kDense, "fc", {in}, DenseParams(64, 32));
+    EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Graph, RejectsMismatchedResidualInputs)
+{
+    Graph g("bad");
+    int in = g.AddInput("x", {16});
+    int a = g.AddLayer(LayerKind::kDense, "a", {in}, DenseParams(16, 16));
+    int b = g.AddLayer(LayerKind::kDense, "b", {in}, DenseParams(16, 8));
+    LayerParams add;
+    add.arity = 2;
+    g.AddLayer(LayerKind::kElementwise, "add", {a, b}, add);
+    EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Graph, InputNeedsShape)
+{
+    Graph g("bad");
+    g.AddInput("x", {});
+    EXPECT_FALSE(g.Finalize().ok());
+}
+
+TEST(Graph, CostRequiresFinalize)
+{
+    Graph g("toy");
+    int in = g.AddInput("x", {8});
+    g.AddLayer(LayerKind::kDense, "fc", {in}, DenseParams(8, 8));
+    EXPECT_FALSE(g.Cost(1, DType::kBf16, DType::kBf16).ok());
+}
+
+// --- Shape inference per kind ---------------------------------------------------
+
+TEST(InferShape, DenseKeepsLeadingDims)
+{
+    Layer l;
+    l.kind = LayerKind::kDense;
+    l.params = DenseParams(64, 32);
+    auto out = InferShape(l, {10, 64}).value();
+    EXPECT_EQ(out, std::vector<int64_t>({10, 32}));
+}
+
+TEST(InferShape, Conv2dGeometry)
+{
+    Layer l;
+    l.kind = LayerKind::kConv2d;
+    l.params.kernel_h = 3;
+    l.params.kernel_w = 3;
+    l.params.stride = 2;
+    l.params.pad = 1;
+    l.params.out_channels = 64;
+    auto out = InferShape(l, {224, 224, 3}).value();
+    EXPECT_EQ(out, std::vector<int64_t>({112, 112, 64}));
+}
+
+TEST(InferShape, MaxPoolGeometry)
+{
+    Layer l;
+    l.kind = LayerKind::kMaxPool;
+    l.params.kernel_h = 3;
+    l.params.kernel_w = 3;
+    l.params.stride = 2;
+    auto out = InferShape(l, {112, 112, 64}).value();
+    EXPECT_EQ(out, std::vector<int64_t>({55, 55, 64}));
+}
+
+TEST(InferShape, GlobalPoolDropsSpatial)
+{
+    Layer l;
+    l.kind = LayerKind::kGlobalPool;
+    auto out = InferShape(l, {7, 7, 2048}).value();
+    EXPECT_EQ(out, std::vector<int64_t>({2048}));
+}
+
+TEST(InferShape, LstmKeepsSeqChangesWidth)
+{
+    Layer l;
+    l.kind = LayerKind::kLstm;
+    l.params.seq_len = 80;
+    l.params.hidden_dim = 1024;
+    auto out = InferShape(l, {80, 512}).value();
+    EXPECT_EQ(out, std::vector<int64_t>({80, 1024}));
+}
+
+TEST(InferShape, AttentionAndFfnPreserveShape)
+{
+    Layer attn;
+    attn.kind = LayerKind::kAttention;
+    attn.params.d_model = 768;
+    EXPECT_EQ(InferShape(attn, {128, 768}).value(),
+              (std::vector<int64_t>{128, 768}));
+
+    Layer ffn;
+    ffn.kind = LayerKind::kFeedForward;
+    ffn.params.d_model = 768;
+    ffn.params.d_ff = 3072;
+    EXPECT_EQ(InferShape(ffn, {128, 768}).value(),
+              (std::vector<int64_t>{128, 768}));
+}
+
+TEST(InferShape, EmbeddingProducesLookupRows)
+{
+    Layer l;
+    l.kind = LayerKind::kEmbedding;
+    l.params.vocab = 1000;
+    l.params.embed_dim = 64;
+    l.params.lookups_per_sample = 8;
+    EXPECT_EQ(InferShape(l, {8}).value(),
+              (std::vector<int64_t>{8, 64}));
+}
+
+TEST(InferShape, FlattenCollapses)
+{
+    Layer l;
+    l.kind = LayerKind::kFlatten;
+    EXPECT_EQ(InferShape(l, {8, 64}).value(),
+              (std::vector<int64_t>{512}));
+}
+
+TEST(InferShape, RejectsWrongRanks)
+{
+    Layer conv;
+    conv.kind = LayerKind::kConv2d;
+    conv.params.kernel_h = 3;
+    conv.params.kernel_w = 3;
+    conv.params.out_channels = 8;
+    EXPECT_FALSE(InferShape(conv, {224, 224}).ok());
+
+    Layer lstm;
+    lstm.kind = LayerKind::kLstm;
+    lstm.params.seq_len = 10;
+    lstm.params.hidden_dim = 4;
+    EXPECT_FALSE(InferShape(lstm, {11, 4}).ok());
+}
+
+// --- Cost accounting ----------------------------------------------------------
+
+TEST(LayerCost, DenseFlopsAndWeights)
+{
+    Layer l;
+    l.kind = LayerKind::kDense;
+    l.params = DenseParams(64, 32);
+    auto c = ComputeLayerCost(l, {64}, 4, DType::kBf16,
+                              DType::kBf16).value();
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 4 * 64 * 32);
+    EXPECT_EQ(c.weight_bytes, (64 * 32 + 32) * 2);
+    EXPECT_EQ(c.in_bytes, 4 * 64 * 2);
+    EXPECT_EQ(c.out_bytes, 4 * 32 * 2);
+}
+
+TEST(LayerCost, DenseWithLeadingSequenceDim)
+{
+    Layer l;
+    l.kind = LayerKind::kDense;
+    l.params = DenseParams(64, 32);
+    auto c = ComputeLayerCost(l, {10, 64}, 4, DType::kBf16,
+                              DType::kBf16).value();
+    // rows = batch * seq = 40
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 40 * 64 * 32);
+}
+
+TEST(LayerCost, ConvFlops)
+{
+    Layer l;
+    l.kind = LayerKind::kConv2d;
+    l.params.kernel_h = 3;
+    l.params.kernel_w = 3;
+    l.params.stride = 1;
+    l.params.pad = 1;
+    l.params.out_channels = 16;
+    auto c = ComputeLayerCost(l, {8, 8, 4}, 2, DType::kBf16,
+                              DType::kBf16).value();
+    // 2 * N * OH * OW * Cout * KH * KW * Cin
+    EXPECT_DOUBLE_EQ(c.flops, 2.0 * 2 * 8 * 8 * 16 * 3 * 3 * 4);
+    EXPECT_EQ(c.weight_bytes, (3 * 3 * 4 * 16 + 16) * 2);
+}
+
+TEST(LayerCost, Int8WeightsHalveBf16)
+{
+    Layer l;
+    l.kind = LayerKind::kDense;
+    l.params = DenseParams(128, 128);
+    auto bf = ComputeLayerCost(l, {128}, 1, DType::kBf16,
+                               DType::kBf16).value();
+    auto i8 = ComputeLayerCost(l, {128}, 1, DType::kInt8,
+                               DType::kInt8).value();
+    EXPECT_EQ(bf.weight_bytes, 2 * i8.weight_bytes);
+    EXPECT_DOUBLE_EQ(bf.flops, i8.flops);
+}
+
+TEST(LayerCost, EmbeddingIsPureTraffic)
+{
+    Layer l;
+    l.kind = LayerKind::kEmbedding;
+    l.params.vocab = 1000;
+    l.params.embed_dim = 64;
+    l.params.lookups_per_sample = 8;
+    auto c = ComputeLayerCost(l, {8}, 4, DType::kBf16,
+                              DType::kBf16).value();
+    EXPECT_DOUBLE_EQ(c.flops, 0.0);
+    EXPECT_EQ(c.weight_bytes, 1000 * 64 * 2);
+    EXPECT_EQ(c.out_bytes, 4 * 8 * 64 * 2);
+}
+
+TEST(LayerCost, LstmQuadraticInWidth)
+{
+    Layer narrow;
+    narrow.kind = LayerKind::kLstm;
+    narrow.params.seq_len = 10;
+    narrow.params.hidden_dim = 128;
+    Layer wide = narrow;
+    wide.params.hidden_dim = 256;
+    auto cn = ComputeLayerCost(narrow, {10, 128}, 1, DType::kBf16,
+                               DType::kBf16).value();
+    auto cw = ComputeLayerCost(wide, {10, 128}, 1, DType::kBf16,
+                               DType::kBf16).value();
+    EXPECT_GT(cw.flops, 2.0 * cn.flops);
+    EXPECT_GT(cw.weight_bytes, cn.weight_bytes);
+}
+
+TEST(ModelCost, AggregatesAndIntensity)
+{
+    Graph g("toy");
+    int in = g.AddInput("x", {256});
+    int a = g.AddLayer(LayerKind::kDense, "a", {in},
+                       DenseParams(256, 256));
+    g.AddLayer(LayerKind::kDense, "b", {a}, DenseParams(256, 256));
+    ASSERT_TRUE(g.Finalize().ok());
+    auto c = g.Cost(8, DType::kBf16, DType::kBf16).value();
+    EXPECT_DOUBLE_EQ(c.total_flops, 2.0 * (2.0 * 8 * 256 * 256));
+    EXPECT_EQ(c.weight_bytes, 2 * (256 * 256 + 256) * 2);
+    EXPECT_GT(c.ops_per_byte, 0.0);
+    EXPECT_GT(c.ops_per_weight_byte, c.ops_per_byte);
+}
+
+TEST(ModelCost, IntensityGrowsWithBatch)
+{
+    Graph g("toy");
+    int in = g.AddInput("x", {256});
+    g.AddLayer(LayerKind::kDense, "a", {in}, DenseParams(256, 256));
+    ASSERT_TRUE(g.Finalize().ok());
+    auto c1 = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    auto c64 = g.Cost(64, DType::kBf16, DType::kBf16).value();
+    // Weight reuse across the batch raises FLOPs per weight byte.
+    EXPECT_GT(c64.ops_per_byte, c1.ops_per_byte);
+}
+
+TEST(Graph, ToStringListsLayers)
+{
+    Graph g("toy");
+    int in = g.AddInput("x", {4});
+    g.AddLayer(LayerKind::kDense, "fc", {in}, DenseParams(4, 2));
+    ASSERT_TRUE(g.Finalize().ok());
+    std::string s = g.ToString();
+    EXPECT_NE(s.find("Dense"), std::string::npos);
+    EXPECT_NE(s.find("fc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * End-to-end integration tests: the whole pipeline (zoo -> compile ->
+ * simulate -> power/serving) on every app and chip combination the
+ * benches use, checking the cross-cutting properties the paper reports.
+ */
+#include <gtest/gtest.h>
+
+#include "src/tpu4sim.h"
+
+namespace t4i {
+namespace {
+
+StatusOr<SimResult>
+RunOn(const Graph& graph, const ChipConfig& chip, int64_t batch,
+      DType dtype = DType::kBf16, int num_chips = 1)
+{
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = dtype;
+    opts.num_chips = num_chips;
+    auto p = Compile(graph, chip, opts);
+    T4I_RETURN_IF_ERROR(p.status());
+    return Simulate(p.value(), chip);
+}
+
+TEST(Integration, AllAppsMeetTheirSloOnTpu4iAtTypicalBatch)
+{
+    // The deployment requirement the chip was sized for (Lesson 10).
+    const ChipConfig chip = Tpu_v4i();
+    for (const auto& app : ProductionApps()) {
+        auto r = RunOn(app.graph, chip, app.typical_batch);
+        ASSERT_TRUE(r.ok()) << app.name;
+        EXPECT_LE(r.value().latency_s * 1e3, app.slo_ms)
+            << app.name << " missed its SLO";
+    }
+}
+
+TEST(Integration, Tpu4iCompetitiveWithTpu3EverywhereFasterOverall)
+{
+    // Per app TPUv4i must be at least competitive (TPUv3's higher HBM
+    // bandwidth can edge out spill-heavy CNNs by a few percent), and
+    // clearly faster in geomean — at 39% of the TDP.
+    const ChipConfig v3 = Tpu_v3();
+    const ChipConfig v4i = Tpu_v4i();
+    std::vector<double> speedups;
+    for (const auto& app : ProductionApps()) {
+        auto r3 = RunOn(app.graph, v3, app.typical_batch);
+        auto r4 = RunOn(app.graph, v4i, app.typical_batch);
+        ASSERT_TRUE(r3.ok() && r4.ok()) << app.name;
+        const double speedup =
+            r3.value().latency_s / r4.value().latency_s;
+        EXPECT_GT(speedup, 0.85) << app.name;
+        speedups.push_back(speedup);
+    }
+    EXPECT_GT(GeoMean(speedups), 1.0);
+}
+
+TEST(Integration, Tpu4iBeatsT4PerChip)
+{
+    // MLPerf-style comparison: TPUv4i's per-chip throughput exceeds a
+    // T4-class GPU on the big models (the paper's Table of MLPerf 0.7).
+    const ChipConfig t4 = GpuT4();
+    const ChipConfig v4i = Tpu_v4i();
+    Graph resnet = BuildResNet50();
+    auto g = RunOn(resnet, t4, 32);
+    auto t = RunOn(resnet, v4i, 32);
+    ASSERT_TRUE(g.ok() && t.ok());
+    EXPECT_GT(g.value().latency_s / t.value().latency_s, 1.2);
+}
+
+TEST(Integration, PowerStaysUnderTdpAcrossTheZoo)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const auto& app : ProductionApps()) {
+        CompileOptions opts;
+        opts.batch = app.typical_batch;
+        auto p = Compile(app.graph, chip, opts).value();
+        auto r = Simulate(p, chip).value();
+        auto power = EstimatePower(p, r, chip).value();
+        EXPECT_LE(power.avg_power_w, chip.tdp_w * 1.2) << app.name;
+        EXPECT_GE(power.avg_power_w, chip.idle_w) << app.name;
+    }
+}
+
+TEST(Integration, GrowthMakesSingleChipStruggleByLateYears)
+{
+    // Lesson 8: by 2021 the grown BERT1 either fails to fit/meet SLO on
+    // one chip or runs much slower than the 2017 version.
+    const ChipConfig chip = Tpu_v4i();
+    auto now = AppsOfYear(2017);
+    auto later = AppsOfYear(2021);
+    const App* bert_now = &now[7];
+    const App* bert_later = &later[7];
+    ASSERT_EQ(bert_now->name, "BERT1");
+
+    auto r_now = RunOn(bert_now->graph, chip, bert_now->typical_batch);
+    ASSERT_TRUE(r_now.ok());
+    auto r_later =
+        RunOn(bert_later->graph, chip, bert_later->typical_batch);
+    if (r_later.ok()) {
+        EXPECT_GT(r_later.value().latency_s,
+                  2.0 * r_now.value().latency_s);
+    }
+    // Four chips pull the grown model back down (the ICI case).
+    auto r_sharded = RunOn(bert_later->graph, chip,
+                           bert_later->typical_batch, DType::kBf16, 4);
+    if (r_later.ok() && r_sharded.ok()) {
+        EXPECT_LT(r_sharded.value().latency_s,
+                  r_later.value().latency_s);
+    }
+}
+
+TEST(Integration, ServingPipelineOnSimulatedLatencies)
+{
+    // Full stack: simulate a latency table for CNN1 on TPUv4i, then
+    // serve Poisson traffic against it and check the SLO holds at a
+    // sensible load.
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp("CNN1").value();
+    LatencyTable table;
+    for (int64_t batch : {1, 2, 4, 8, 16, 32}) {
+        auto r = RunOn(app.graph, chip, batch);
+        ASSERT_TRUE(r.ok());
+        table.AddPoint(batch, r.value().latency_s);
+    }
+    TenantConfig tenant;
+    tenant.name = app.name;
+    tenant.latency_s = [&table](int64_t b) { return table.Eval(b); };
+    tenant.max_batch = table.MaxBatchUnderSlo(app.slo_ms * 1e-3);
+    ASSERT_GT(tenant.max_batch, 0);
+    tenant.slo_s = app.slo_ms * 1e-3;
+    // Load at ~50% of the throughput the SLO-batch supports.
+    tenant.arrival_rate =
+        0.5 * table.ThroughputAt(tenant.max_batch);
+
+    auto result = RunServing({tenant}, 5.0, 99).value();
+    EXPECT_LT(result.tenants[0].slo_miss_fraction, 0.05);
+    EXPECT_GT(result.tenants[0].completed, 100);
+}
+
+TEST(Integration, Int8DeploysEverywhereBf16OnlyOnFpChips)
+{
+    // Lesson 4/6 as a compatibility matrix across the catalog.
+    auto app = BuildApp("CNN1").value();
+    struct Case {
+        const char* chip;
+        DType dtype;
+        bool expect_ok;
+    };
+    const Case cases[] = {
+        {"TPUv1", DType::kInt8, true},
+        {"TPUv1", DType::kBf16, false},
+        {"TPUv2", DType::kBf16, true},
+        {"TPUv2", DType::kInt8, false},
+        {"TPUv3", DType::kBf16, true},
+        {"TPUv4i", DType::kBf16, true},
+        {"TPUv4i", DType::kInt8, true},
+        {"T4", DType::kInt8, true},
+        {"T4", DType::kBf16, true},
+    };
+    for (const auto& c : cases) {
+        CompileOptions opts;
+        opts.batch = 8;
+        opts.dtype = c.dtype;
+        auto chip = ChipByName(c.chip).value();
+        EXPECT_EQ(Compile(app.graph, chip, opts).ok(), c.expect_ok)
+            << c.chip << " " << DTypeName(c.dtype);
+    }
+}
+
+TEST(Integration, QuantizationErrorJustifiesBf16)
+{
+    // Lesson 6 end-to-end: run the reference BERT-ish attention block
+    // in bf16 and int8 and verify bf16 keeps far more fidelity.
+    Rng rng(4242);
+    Tensor q(Shape({64, 64}));
+    Tensor k(Shape({64, 64}));
+    Tensor v(Shape({64, 64}));
+    // Heavy-tailed activations, as attention logits are in practice.
+    for (auto* t : {&q, &k, &v}) {
+        for (int64_t i = 0; i < t->NumElements(); ++i) {
+            (*t)[i] = static_cast<float>(rng.NextGaussian() *
+                                         std::exp(rng.NextGaussian()));
+        }
+    }
+    auto exact = Attention(q, k, v, MatmulPrecision::kFp32).value();
+    auto bf16 = Attention(q, k, v, MatmulPrecision::kBf16).value();
+    auto int8 = Attention(q, k, v, MatmulPrecision::kInt8).value();
+    const double bf_sqnr =
+        ComputeError(exact.data(), bf16.data()).value().sqnr_db;
+    const double i8_sqnr =
+        ComputeError(exact.data(), int8.data()).value().sqnr_db;
+    EXPECT_GT(bf_sqnr, i8_sqnr + 6.0);  // >= 1 bit better
+}
+
+TEST(Integration, EveryChipInCatalogSimulatesSomething)
+{
+    // No chip config is a dead entry: each one can compile and run at
+    // least one dtype of the small CNN.
+    auto app = BuildApp("CNN1").value();
+    for (const auto& chip : ChipCatalog()) {
+        bool ran = false;
+        for (DType dt : {DType::kInt8, DType::kBf16}) {
+            CompileOptions opts;
+            opts.batch = 4;
+            opts.dtype = dt;
+            auto p = Compile(app.graph, chip, opts);
+            if (!p.ok()) continue;
+            auto r = Simulate(p.value(), chip);
+            ASSERT_TRUE(r.ok()) << chip.name;
+            EXPECT_GT(r.value().latency_s, 0.0) << chip.name;
+            ran = true;
+        }
+        EXPECT_TRUE(ran) << chip.name;
+    }
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the CMEM weight-pinning planner.
+ */
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/compiler/memory_planner.h"
+#include "src/models/zoo.h"
+
+namespace t4i {
+namespace {
+
+Graph
+TwoDenseModel()
+{
+    Graph g("two_dense");
+    int in = g.AddInput("x", {1024});
+    LayerParams a;
+    a.in_features = 1024;
+    a.out_features = 1024;
+    int l1 = g.AddLayer(LayerKind::kDense, "fc0", {in}, a);
+    LayerParams b;
+    b.in_features = 1024;
+    b.out_features = 512;
+    g.AddLayer(LayerKind::kDense, "fc1", {l1}, b);
+    T4I_CHECK(g.Finalize().ok(), "finalize");
+    return g;
+}
+
+TEST(MemoryPlanner, ZeroBudgetPinsNothing)
+{
+    Graph g = TwoDenseModel();
+    auto plan = PlanWeightPinning(g, 8, DType::kBf16, DType::kBf16, 0)
+                    .value();
+    EXPECT_EQ(plan.pinned_bytes, 0);
+    EXPECT_GT(plan.total_weight_bytes, 0);
+    for (double f : plan.fraction) EXPECT_EQ(f, 0.0);
+}
+
+TEST(MemoryPlanner, LargeBudgetPinsEverything)
+{
+    Graph g = TwoDenseModel();
+    auto plan = PlanWeightPinning(g, 8, DType::kBf16, DType::kBf16,
+                                  1 * kGiB)
+                    .value();
+    EXPECT_EQ(plan.pinned_bytes, plan.total_weight_bytes);
+    EXPECT_EQ(plan.fraction[1], 1.0);
+    EXPECT_EQ(plan.fraction[2], 1.0);
+}
+
+TEST(MemoryPlanner, BoundaryLayerPinnedFractionally)
+{
+    Graph g = TwoDenseModel();
+    // fc0 weighs (1024*1024 + 1024) * 2 B ~ 2 MiB; give 1 MiB.
+    auto plan = PlanWeightPinning(g, 8, DType::kBf16, DType::kBf16,
+                                  1 * kMiB)
+                    .value();
+    EXPECT_EQ(plan.pinned_bytes, 1 * kMiB);
+    int fractional = 0;
+    for (double f : plan.fraction) {
+        if (f > 0.0 && f < 1.0) ++fractional;
+    }
+    EXPECT_EQ(fractional, 1);
+}
+
+TEST(MemoryPlanner, NeverExceedsBudget)
+{
+    Graph g = TwoDenseModel();
+    for (int64_t budget : {0L, 100'000L, 1'000'000L, 3'000'000L}) {
+        auto plan = PlanWeightPinning(g, 8, DType::kBf16, DType::kBf16,
+                                      budget)
+                        .value();
+        EXPECT_LE(plan.pinned_bytes, budget);
+    }
+}
+
+TEST(MemoryPlanner, RequiresFinalizedGraph)
+{
+    Graph g("raw");
+    g.AddInput("x", {8});
+    EXPECT_FALSE(
+        PlanWeightPinning(g, 1, DType::kBf16, DType::kBf16, kMiB).ok());
+}
+
+TEST(MemoryPlanner, StreamedWeightsBeatEmbeddingTables)
+{
+    // MLP0: the dense tower streams on every inference, the embedding
+    // table is touched sparsely. With a budget below the table size,
+    // the tower must be pinned fully before the table.
+    auto app = BuildApp("MLP0").value();
+    auto plan = PlanWeightPinning(app.graph, 128, DType::kBf16,
+                                  DType::kBf16, 64 * kMiB)
+                    .value();
+    int embed_id = -1;
+    double dense_min_fraction = 1.0;
+    for (const auto& layer : app.graph.layers()) {
+        if (layer.kind == LayerKind::kEmbedding) embed_id = layer.id;
+        if (layer.kind == LayerKind::kDense) {
+            dense_min_fraction = std::min(
+                dense_min_fraction,
+                plan.fraction[static_cast<size_t>(layer.id)]);
+        }
+    }
+    ASSERT_GE(embed_id, 0);
+    EXPECT_EQ(dense_min_fraction, 1.0);
+    EXPECT_LT(plan.fraction[static_cast<size_t>(embed_id)], 1.0);
+}
+
+class BudgetSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(BudgetSweep, PinnedBytesMonotoneInBudget)
+{
+    auto app = BuildApp("BERT0").value();
+    const int64_t budget = GetParam();
+    auto plan_lo = PlanWeightPinning(app.graph, 16, DType::kBf16,
+                                     DType::kBf16, budget)
+                       .value();
+    auto plan_hi = PlanWeightPinning(app.graph, 16, DType::kBf16,
+                                     DType::kBf16, budget + 8 * kMiB)
+                       .value();
+    EXPECT_GE(plan_hi.pinned_bytes, plan_lo.pinned_bytes);
+    EXPECT_LE(plan_lo.pinned_bytes, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(0, 8 * kMiB, 32 * kMiB,
+                                           64 * kMiB, 128 * kMiB,
+                                           256 * kMiB));
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the workload zoo: the eight production apps, the MLPerf
+ * models, the Lesson-8 growth suite, and the Lesson-9 fleet mixes.
+ */
+#include <gtest/gtest.h>
+
+#include "src/models/zoo.h"
+
+namespace t4i {
+namespace {
+
+TEST(Zoo, EightProductionAppsInPaperOrder)
+{
+    auto apps = ProductionApps();
+    ASSERT_EQ(apps.size(), 8u);
+    auto names = ProductionAppNames();
+    for (size_t i = 0; i < apps.size(); ++i) {
+        EXPECT_EQ(apps[i].name, names[i]);
+        EXPECT_TRUE(apps[i].graph.finalized()) << apps[i].name;
+        EXPECT_GT(apps[i].slo_ms, 0.0);
+        EXPECT_GE(apps[i].typical_batch, 1);
+    }
+}
+
+TEST(Zoo, BuildAppByName)
+{
+    EXPECT_TRUE(BuildApp("CNN0").ok());
+    EXPECT_TRUE(BuildApp("BERT1").ok());
+    EXPECT_FALSE(BuildApp("GPT3").ok());
+}
+
+TEST(Zoo, DomainsAreTwoOfEach)
+{
+    auto apps = ProductionApps();
+    int counts[4] = {};
+    for (const auto& app : apps) {
+        ++counts[static_cast<int>(app.domain)];
+    }
+    for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+TEST(Zoo, FleetSharesRoughlySumToOne)
+{
+    double sum = 0.0;
+    for (const auto& app : ProductionApps()) sum += app.fleet_share;
+    EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(Zoo, WeightFootprintsLandInDomainBands)
+{
+    // The published characterization: MLPs have the biggest footprints
+    // (embeddings), CNNs the smallest; everything is MiB-to-GiB scale.
+    for (const auto& app : ProductionApps()) {
+        auto cost =
+            app.graph.Cost(1, DType::kBf16, DType::kBf16).value();
+        const double mib =
+            static_cast<double>(cost.weight_bytes) / (1 << 20);
+        EXPECT_GT(mib, 4.0) << app.name;
+        EXPECT_LT(mib, 4096.0) << app.name;
+        if (app.domain == AppDomain::kCnn) {
+            EXPECT_LT(mib, 128.0) << app.name;
+        }
+        if (app.domain == AppDomain::kMlp) {
+            EXPECT_GT(mib, 128.0) << app.name;
+        }
+    }
+}
+
+TEST(Zoo, OperationalIntensityOrdering)
+{
+    // Per-sample (batch 1) FLOPs per weight byte: CNNs are the most
+    // compute-intense; MLPs the least. (At production batch sizes the
+    // batch dimension multiplies everyone's reuse equally.)
+    auto intensity = [](const char* name) {
+        auto app = BuildApp(name).value();
+        return app.graph.Cost(1, DType::kBf16, DType::kBf16)
+            .value()
+            .ops_per_weight_byte;
+    };
+    EXPECT_GT(intensity("CNN0"), intensity("BERT0"));
+    EXPECT_GT(intensity("BERT0"), intensity("RNN0"));
+    EXPECT_GT(intensity("RNN0"), intensity("MLP0"));
+}
+
+TEST(Zoo, ResNet50HasCanonicalScale)
+{
+    Graph g = BuildResNet50();
+    auto cost = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    // ~25.5M parameters and ~8.2 GFLOPs per 224x224 image (2*4.1 GMACs).
+    const double params =
+        static_cast<double>(cost.weight_bytes) / 2.0;
+    EXPECT_NEAR(params / 1e6, 25.5, 3.0);
+    EXPECT_NEAR(cost.total_flops / 1e9, 8.2, 1.5);
+}
+
+TEST(Zoo, BertLargeHasCanonicalScale)
+{
+    Graph g = BuildBertLarge();
+    auto cost = g.Cost(1, DType::kBf16, DType::kBf16).value();
+    const double params =
+        static_cast<double>(cost.weight_bytes) / 2.0;
+    // ~335M parameters.
+    EXPECT_NEAR(params / 1e6, 335.0, 40.0);
+}
+
+TEST(Zoo, GrowthSuiteFollowsLesson8)
+{
+    // Total weight bytes must grow ~1.5x per year (within slack from
+    // integer rounding of layer widths).
+    auto total_weights = [](int year) {
+        double sum = 0.0;
+        for (const auto& app : AppsOfYear(year)) {
+            sum += static_cast<double>(
+                app.graph.Cost(1, DType::kBf16, DType::kBf16)
+                    .value()
+                    .weight_bytes);
+        }
+        return sum;
+    };
+    const double w2017 = total_weights(2017);
+    const double w2019 = total_weights(2019);
+    const double w2020 = total_weights(2020);
+    EXPECT_GT(w2019 / w2017, 1.6);   // ~2.25 expected
+    EXPECT_LT(w2019 / w2017, 3.2);
+    EXPECT_GT(w2020 / w2019, 1.2);   // ~1.5 expected
+    EXPECT_LT(w2020 / w2019, 1.9);
+}
+
+TEST(Zoo, FleetMixSharesSumToOne)
+{
+    for (const auto& mix : FleetMixHistory()) {
+        const double sum = mix.mlp_share + mix.cnn_share +
+                           mix.rnn_share + mix.bert_share;
+        EXPECT_NEAR(sum, 1.0, 0.02) << mix.year;
+    }
+}
+
+TEST(Zoo, FleetMixShiftsTowardBert)
+{
+    auto history = FleetMixHistory();
+    ASSERT_GE(history.size(), 2u);
+    EXPECT_EQ(history.front().year, 2016);
+    EXPECT_DOUBLE_EQ(history.front().bert_share, 0.0);
+    EXPECT_GT(history.back().bert_share, 0.2);
+    EXPECT_LT(history.back().mlp_share, history.front().mlp_share);
+}
+
+TEST(Zoo, BuildersProduceFinalizedGraphs)
+{
+    EXPECT_TRUE(BuildResNet50().finalized());
+    EXPECT_TRUE(BuildBertLarge().finalized());
+    EXPECT_TRUE(BuildSmallCnn("c").finalized());
+    EXPECT_TRUE(
+        BuildLstmStack("l", 1000, 64, 2, 128, 16).finalized());
+    EXPECT_TRUE(BuildBert("b", 2, 128, 2, 512, 32, 1000).finalized());
+    EXPECT_TRUE(BuildMlp("m", 1000, 16, 4, 64, {32, 1}).finalized());
+}
+
+TEST(Zoo, AppDomainNames)
+{
+    EXPECT_STREQ(AppDomainName(AppDomain::kMlp), "MLP");
+    EXPECT_STREQ(AppDomainName(AppDomain::kBert), "BERT");
+}
+
+}  // namespace
+}  // namespace t4i

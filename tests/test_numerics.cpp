@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit and property tests for bf16 conversion and int8 quantization —
+ * the numerics behind Lessons 4 and 6.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/numerics/bfloat16.h"
+#include "src/numerics/quantize.h"
+
+namespace t4i {
+namespace {
+
+// --- BFloat16 ----------------------------------------------------------------
+
+TEST(BFloat16, ExactForRepresentableValues)
+{
+    // Values with <= 7 mantissa bits survive the round trip exactly.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.5f, 128.0f,
+                    0.015625f, 65536.0f}) {
+        EXPECT_EQ(Bf16Round(v), v) << v;
+    }
+}
+
+TEST(BFloat16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly between bf16(1.0) and the next value
+    // 1 + 2^-7; round-to-even picks 1.0 (even mantissa).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(Bf16Round(halfway), 1.0f);
+    // Slightly above the midpoint rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -8) * 1.001f;
+    EXPECT_EQ(Bf16Round(above), 1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(BFloat16, PreservesSign)
+{
+    EXPECT_LT(Bf16Round(-0.3f), 0.0f);
+    EXPECT_GT(Bf16Round(0.3f), 0.0f);
+}
+
+TEST(BFloat16, KeepsWideExponentRange)
+{
+    // The whole point of bf16 (vs fp16): fp32's exponent range survives.
+    EXPECT_FALSE(std::isinf(Bf16Round(1e38f)));
+    EXPECT_GT(Bf16Round(1e38f), 9e37f);
+    EXPECT_GT(Bf16Round(1e-38f), 0.0f);
+}
+
+TEST(BFloat16, NanStaysNan)
+{
+    EXPECT_TRUE(std::isnan(
+        Bf16Round(std::numeric_limits<float>::quiet_NaN())));
+}
+
+TEST(BFloat16, InfinityStaysInfinity)
+{
+    EXPECT_TRUE(std::isinf(
+        Bf16Round(std::numeric_limits<float>::infinity())));
+}
+
+TEST(BFloat16, RelativeErrorBounded)
+{
+    // Max relative error of RNE to 8-bit significand is 2^-8.
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = static_cast<float>(rng.NextUniform(-1e6, 1e6));
+        if (v == 0.0f) continue;
+        const float r = Bf16Round(v);
+        EXPECT_LE(std::fabs(r - v) / std::fabs(v), 1.0f / 256.0f) << v;
+    }
+}
+
+TEST(BFloat16, BitsRoundTrip)
+{
+    BFloat16 b(1.5f);
+    EXPECT_EQ(BFloat16::FromBits(b.bits()), b);
+    EXPECT_EQ(BFloat16::FromBits(b.bits()).ToFloat(), 1.5f);
+}
+
+// --- Quantization ----------------------------------------------------------------
+
+TEST(Quantize, SymmetricZeroPointIsZero)
+{
+    QuantParams p = ChooseQuantParams({-2.0f, 0.5f, 1.0f},
+                                      QuantScheme::kSymmetric);
+    EXPECT_EQ(p.zero_point, 0);
+    EXPECT_NEAR(p.scale, 2.0 / 127.0, 1e-9);
+}
+
+TEST(Quantize, AsymmetricCoversRange)
+{
+    std::vector<float> data = {0.0f, 10.0f};
+    QuantParams p = ChooseQuantParams(data, QuantScheme::kAsymmetric);
+    auto q = QuantizeInt8(data, p);
+    auto d = DequantizeInt8(q, p);
+    EXPECT_NEAR(d[0], 0.0f, 1e-6);   // zero must be exactly representable
+    EXPECT_NEAR(d[1], 10.0f, p.scale);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale)
+{
+    Rng rng(7);
+    std::vector<float> data(1000);
+    for (auto& x : data) {
+        x = static_cast<float>(rng.NextUniform(-3.0, 3.0));
+    }
+    QuantParams p = ChooseQuantParams(data, QuantScheme::kSymmetric);
+    auto rt = DequantizeInt8(QuantizeInt8(data, p), p);
+    for (size_t i = 0; i < data.size(); ++i) {
+        EXPECT_LE(std::fabs(rt[i] - data[i]), p.scale * 0.5 + 1e-6);
+    }
+}
+
+TEST(Quantize, SaturatesOutliers)
+{
+    QuantParams p{0.1, 0};
+    auto q = QuantizeInt8({100.0f, -100.0f}, p);
+    EXPECT_EQ(q[0], 127);
+    EXPECT_EQ(q[1], -128);
+}
+
+TEST(Quantize, ConstantDataHasZeroError)
+{
+    std::vector<float> data(10, 0.0f);
+    auto rt = FakeQuantInt8(data, QuantScheme::kSymmetric);
+    for (float v : rt) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Quantize, PerChannelNoWorseThanPerTensor)
+{
+    // Two rows with very different ranges: per-channel scales must give
+    // lower (or equal) RMS error than one shared scale.
+    Rng rng(13);
+    const int64_t rows = 2;
+    const int64_t cols = 256;
+    std::vector<float> data(static_cast<size_t>(rows * cols));
+    for (int64_t c = 0; c < cols; ++c) {
+        data[static_cast<size_t>(c)] =
+            static_cast<float>(rng.NextUniform(-100.0, 100.0));
+        data[static_cast<size_t>(cols + c)] =
+            static_cast<float>(rng.NextUniform(-0.1, 0.1));
+    }
+    auto per_tensor = FakeQuantInt8(data, QuantScheme::kSymmetric);
+    auto per_channel = FakeQuantInt8PerChannel(
+        data, rows, cols, QuantScheme::kSymmetric);
+    auto e_tensor = ComputeError(data, per_tensor).value();
+    auto e_channel = ComputeError(data, per_channel).value();
+    EXPECT_LT(e_channel.rms_error, e_tensor.rms_error);
+}
+
+TEST(ComputeError, RejectsMismatchedSizes)
+{
+    EXPECT_FALSE(ComputeError({1.0f}, {1.0f, 2.0f}).ok());
+    EXPECT_FALSE(ComputeError({}, {}).ok());
+}
+
+TEST(ComputeError, ExactMatchHasHighSqnr)
+{
+    std::vector<float> x = {1.0f, 2.0f, 3.0f};
+    auto e = ComputeError(x, x).value();
+    EXPECT_EQ(e.max_abs_error, 0.0);
+    EXPECT_EQ(e.rms_error, 0.0);
+    EXPECT_GE(e.sqnr_db, 100.0);
+}
+
+TEST(ComputeError, KnownValues)
+{
+    auto e = ComputeError({1.0f, -1.0f}, {1.5f, -1.5f}).value();
+    EXPECT_NEAR(e.max_abs_error, 0.5, 1e-9);
+    EXPECT_NEAR(e.mean_abs_error, 0.5, 1e-9);
+    EXPECT_NEAR(e.rms_error, 0.5, 1e-9);
+    // SQNR = 10*log10(2 / 0.5) = 10*log10(4) ~ 6.02 dB
+    EXPECT_NEAR(e.sqnr_db, 6.0206, 1e-3);
+}
+
+// --- Property sweep: bf16 beats int8 on wide-dynamic-range data (Lesson 6) ---
+
+class DynamicRangeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DynamicRangeSweep, Bf16SqnrExceedsInt8OnLogNormalData)
+{
+    const double sigma = GetParam();
+    Rng rng(101);
+    std::vector<float> data(4096);
+    for (auto& x : data) {
+        // Log-normal magnitudes: large dynamic range as sigma grows.
+        const double mag = std::exp(rng.NextGaussian() * sigma);
+        x = static_cast<float>(rng.NextBool(0.5) ? mag : -mag);
+    }
+    std::vector<float> bf(data.size());
+    for (size_t i = 0; i < data.size(); ++i) bf[i] = Bf16Round(data[i]);
+    auto int8 = FakeQuantInt8(data, QuantScheme::kSymmetric);
+
+    const double bf_sqnr = ComputeError(data, bf).value().sqnr_db;
+    const double i8_sqnr = ComputeError(data, int8).value().sqnr_db;
+
+    // bf16 has per-value exponents, so its SQNR is flat (~40 dB)
+    // regardless of dynamic range; int8's single scale collapses.
+    EXPECT_GT(bf_sqnr, 35.0);
+    if (sigma >= 1.0) {
+        EXPECT_GT(bf_sqnr, i8_sqnr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, DynamicRangeSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Reproduction guards: the paper's headline shapes, asserted as tests
+ * so a future change that silently breaks a result fails CI instead of
+ * shipping a wrong EXPERIMENTS.md. Bands are deliberately wide — they
+ * encode "who wins by roughly what factor", not exact values.
+ */
+#include <gtest/gtest.h>
+
+#include "src/tpu4sim.h"
+
+namespace t4i {
+namespace {
+
+double
+ThroughputOf(const App& app, const ChipConfig& chip, DType dtype)
+{
+    CompileOptions opts;
+    opts.batch = app.typical_batch;
+    opts.dtype = dtype;
+    auto prog = Compile(app.graph, chip, opts).value();
+    auto r = Simulate(prog, chip).value();
+    return static_cast<double>(app.typical_batch) / r.latency_s;
+}
+
+TEST(PaperClaims, Headline_PerfPerTdpVsTpu3)
+{
+    // The paper's headline: TPUv4i delivers ~2.3x TPUv3's perf/TDP.
+    std::vector<double> ratios;
+    for (const auto& app : ProductionApps()) {
+        const double v3 =
+            ThroughputOf(app, Tpu_v3(), DType::kBf16) / Tpu_v3().tdp_w;
+        const double v4i = ThroughputOf(app, Tpu_v4i(), DType::kBf16) /
+                           Tpu_v4i().tdp_w;
+        ratios.push_back(v4i / v3);
+    }
+    const double geomean = GeoMean(ratios);
+    EXPECT_GT(geomean, 2.0);
+    EXPECT_LT(geomean, 3.5);
+}
+
+TEST(PaperClaims, Headline_PerChipPerfVsT4)
+{
+    // TPUv4i clearly beats the T4 per chip (MLPerf-style comparison).
+    std::vector<double> ratios;
+    for (const auto& app : ProductionApps()) {
+        ratios.push_back(ThroughputOf(app, Tpu_v4i(), DType::kBf16) /
+                         ThroughputOf(app, GpuT4(), DType::kInt8));
+    }
+    const double geomean = GeoMean(ratios);
+    EXPECT_GT(geomean, 1.5);
+    EXPECT_LT(geomean, 3.5);
+}
+
+TEST(PaperClaims, Lesson1_UnequalScaling)
+{
+    const TechNode n28 = TechNodeOf(28).value();
+    const TechNode n7 = TechNodeOf(7).value();
+    const double logic = n7.logic_density / n28.logic_density;
+    const double sram = n7.sram_density / n28.sram_density;
+    EXPECT_GT(logic, 2.0 * sram);  // logic far outruns SRAM
+}
+
+TEST(PaperClaims, Lesson2_CompilerGainsBand)
+{
+    // ~20 months of compiler work: geomean well above 1.1x, some apps
+    // near 2x, none hurt.
+    std::vector<double> gains;
+    const ChipConfig chip = Tpu_v4i();
+    double best = 0.0;
+    for (const auto& app : ProductionApps()) {
+        CompileOptions o0;
+        o0.batch = app.typical_batch;
+        o0.opt_level = 0;
+        CompileOptions o3 = o0;
+        o3.opt_level = 3;
+        const double t0 =
+            Simulate(Compile(app.graph, chip, o0).value(), chip)
+                .value().latency_s;
+        const double t3 =
+            Simulate(Compile(app.graph, chip, o3).value(), chip)
+                .value().latency_s;
+        gains.push_back(t0 / t3);
+        best = std::max(best, t0 / t3);
+        EXPECT_GE(t0 / t3, 0.999) << app.name;
+    }
+    const double geomean = GeoMean(gains);
+    EXPECT_GT(geomean, 1.15);
+    EXPECT_LT(geomean, 1.8);
+    EXPECT_GT(best, 1.5);
+}
+
+TEST(PaperClaims, Lesson8_GrowthRateBand)
+{
+    auto weights_of = [](int year) {
+        double sum = 0.0;
+        for (const auto& app : AppsOfYear(year)) {
+            sum += static_cast<double>(
+                app.graph.Cost(1, DType::kBf16, DType::kBf16)
+                    .value().weight_bytes);
+        }
+        return sum;
+    };
+    const double rate =
+        std::pow(weights_of(2021) / weights_of(2016), 1.0 / 5.0);
+    EXPECT_GT(rate, 1.35);
+    EXPECT_LT(rate, 1.65);
+}
+
+TEST(PaperClaims, Lesson9_FixedFunctionStrands)
+{
+    // TPUv1's fleet-weighted throughput on the 2020 mix falls well
+    // below its 2016 self; TPUv4i holds most of its value.
+    auto fleet_ips = [](const ChipConfig& chip, DType dtype,
+                        const FleetMix& mix) {
+        std::map<AppDomain, double> ips;
+        for (const char* name : {"MLP0", "CNN0", "RNN0", "BERT0"}) {
+            auto app = BuildApp(name).value();
+            ips[app.domain] = ThroughputOf(app, chip, dtype);
+        }
+        double time = mix.mlp_share / ips[AppDomain::kMlp] +
+                      mix.cnn_share / ips[AppDomain::kCnn] +
+                      mix.rnn_share / ips[AppDomain::kRnn];
+        if (mix.bert_share > 0.0) {
+            time += mix.bert_share / ips[AppDomain::kBert];
+        }
+        return 1.0 / time;
+    };
+    auto history = FleetMixHistory();
+    const FleetMix& first = history.front();
+    const FleetMix& last = history.back();
+    const double v1_hold = fleet_ips(Tpu_v1(), DType::kInt8, last) /
+                           fleet_ips(Tpu_v1(), DType::kInt8, first);
+    const double v4i_hold =
+        fleet_ips(Tpu_v4i(), DType::kBf16, last) /
+        fleet_ips(Tpu_v4i(), DType::kBf16, first);
+    EXPECT_LT(v1_hold, 0.5);
+    EXPECT_GT(v4i_hold, 0.7);
+}
+
+TEST(PaperClaims, Lesson10_EveryAppBatchesInsideItsSlo)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const auto& app : ProductionApps()) {
+        LatencyTable table;
+        for (int64_t b = 1; b <= 64; b *= 2) {
+            CompileOptions opts;
+            opts.batch = b;
+            table.AddPoint(
+                b, Simulate(Compile(app.graph, chip, opts).value(),
+                            chip).value().latency_s);
+        }
+        EXPECT_GE(table.MaxBatchUnderSlo(app.slo_ms * 1e-3), 8)
+            << app.name;
+    }
+}
+
+TEST(PaperClaims, FleetEconomics_Tpu4iCheapestPerServedQuery)
+{
+    auto demands = ReferenceTraffic(20).value();
+    FleetParams params;
+    const double v4i =
+        PlanFleet(demands, Tpu_v4i(), params).value().tco_usd;
+    const double v3 =
+        PlanFleet(demands, Tpu_v3(), params).value().tco_usd;
+    const double t4 =
+        PlanFleet(demands, GpuT4(), params).value().tco_usd;
+    EXPECT_LT(v4i, v3);
+    EXPECT_LT(v4i, t4);
+    EXPECT_GT(v3 / v4i, 1.5);
+    EXPECT_GT(t4 / v4i, 2.5);
+}
+
+}  // namespace
+}  // namespace t4i

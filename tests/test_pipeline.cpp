@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the pipelined multi-batch simulation and the DOT export.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+Program
+CompileApp(const char* name, const ChipConfig& chip, int64_t batch)
+{
+    auto app = BuildApp(name).value();
+    CompileOptions opts;
+    opts.batch = batch;
+    auto p = Compile(app.graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    return std::move(p).ConsumeValue();
+}
+
+TEST(Pipelined, RejectsBadInput)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("CNN1", chip, 4);
+    EXPECT_FALSE(SimulatePipelined(p, Tpu_v3(), 4).ok());
+    EXPECT_FALSE(SimulatePipelined(p, chip, 0).ok());
+}
+
+TEST(Pipelined, OneIterationMatchesSingleRun)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("BERT0", chip, 8);
+    auto single = Simulate(p, chip).value();
+    auto pipe = SimulatePipelined(p, chip, 1).value();
+    EXPECT_NEAR(pipe.total_s, single.latency_s, 1e-12);
+    EXPECT_NEAR(pipe.first_latency_s, single.latency_s, 1e-12);
+}
+
+TEST(Pipelined, OverlapBeatsSerialExecution)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("CNN0", chip, 8);
+    auto single = Simulate(p, chip).value();
+    const int iters = 8;
+    auto pipe = SimulatePipelined(p, chip, iters).value();
+    // Pipelining must be no slower than serial and strictly overlap
+    // (memory-heavy programs have DMA to hide under compute).
+    EXPECT_LE(pipe.total_s, iters * single.latency_s + 1e-12);
+    EXPECT_LT(pipe.total_s, iters * single.latency_s * 0.999);
+    EXPECT_GE(pipe.first_latency_s, single.latency_s - 1e-12);
+}
+
+TEST(Pipelined, SteadyStateNearAnalyticBound)
+{
+    // The analytic steady_state_ips (batch / bottleneck-engine busy)
+    // is an upper bound the pipelined ground truth approaches.
+    const ChipConfig chip = Tpu_v4i();
+    for (const char* name : {"MLP0", "CNN0", "BERT0"}) {
+        Program p = CompileApp(name, chip, 16);
+        auto single = Simulate(p, chip).value();
+        auto pipe = SimulatePipelined(p, chip, 16).value();
+        EXPECT_LE(pipe.steady_ips,
+                  single.steady_state_ips * 1.01)
+            << name;
+        EXPECT_GT(pipe.steady_ips, 0.5 * single.steady_state_ips)
+            << name;
+    }
+}
+
+TEST(Pipelined, ThroughputExceedsReciprocalLatency)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("BERT0", chip, 16);
+    auto single = Simulate(p, chip).value();
+    auto pipe = SimulatePipelined(p, chip, 12).value();
+    EXPECT_GT(pipe.steady_ips,
+              static_cast<double>(p.batch) / single.latency_s * 0.999);
+}
+
+TEST(Dot, RendersNodesAndEdges)
+{
+    auto app = BuildApp("CNN1").value();
+    std::string dot = app.graph.ToDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("Conv2d"), std::string::npos);
+    // One node line per layer.
+    size_t nodes = 0;
+    size_t pos = 0;
+    while ((pos = dot.find("[label=", pos)) != std::string::npos) {
+        ++nodes;
+        ++pos;
+    }
+    EXPECT_EQ(nodes, static_cast<size_t>(app.graph.num_layers()));
+}
+
+}  // namespace
+}  // namespace t4i

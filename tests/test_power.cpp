@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the power/energy model and TDP throttling (Lesson 5).
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/power/power.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+struct AppRun {
+    Program program;
+    SimResult result;
+};
+
+AppRun
+RunApp(const std::string& name, const ChipConfig& chip, int64_t batch,
+       DType dtype = DType::kBf16)
+{
+    auto app = BuildApp(name).value();
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = dtype;
+    auto p = Compile(app.graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    auto r = Simulate(p.value(), chip);
+    T4I_CHECK(r.ok(), r.status().ToString().c_str());
+    return {std::move(p).ConsumeValue(), r.value()};
+}
+
+TEST(Power, ComponentsSumToTotal)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun run = RunApp("BERT0", chip, 16);
+    auto p = EstimatePower(run.program, run.result, chip).value();
+    EXPECT_NEAR(p.total_energy_j,
+                p.mxu_energy_j + p.vpu_energy_j + p.sram_energy_j +
+                    p.dram_energy_j + p.link_energy_j +
+                    p.static_energy_j,
+                1e-9);
+    EXPECT_GT(p.mxu_energy_j, 0.0);
+    EXPECT_GT(p.static_energy_j, 0.0);
+}
+
+TEST(Power, AveragePowerAboveIdleBelowSanity)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun run = RunApp("CNN0", chip, 16);
+    auto p = EstimatePower(run.program, run.result, chip).value();
+    EXPECT_GT(p.avg_power_w, chip.idle_w);
+    EXPECT_LT(p.avg_power_w, 2.0 * chip.tdp_w);
+}
+
+TEST(Power, NoThrottleWithinTdp)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun run = RunApp("RNN0", chip, 16);
+    auto p = EstimatePower(run.program, run.result, chip).value();
+    EXPECT_DOUBLE_EQ(p.throttle, 1.0);
+    EXPECT_DOUBLE_EQ(p.throttled_latency_s, run.result.latency_s);
+}
+
+TEST(Power, ThrottlesWhenTdpIsTiny)
+{
+    // The same workload on a copy of the chip with an artificially low
+    // TDP must stretch its runtime (the air-cooling ceiling in action).
+    ChipConfig chip = Tpu_v4i();
+    AppRun run = RunApp("CNN0", chip, 64);
+    ChipConfig hot = chip;
+    hot.tdp_w = chip.idle_w + 10.0;
+    auto p = EstimatePower(run.program, run.result, hot).value();
+    EXPECT_LT(p.throttle, 1.0);
+    EXPECT_GT(p.throttled_latency_s, run.result.latency_s);
+    EXPECT_LE(p.throttled_power_w, hot.tdp_w + 1e-9);
+}
+
+TEST(Power, Int8CheaperThanBf16PerInference)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun bf = RunApp("CNN1", chip, 16, DType::kBf16);
+    AppRun i8 = RunApp("CNN1", chip, 16, DType::kInt8);
+    auto pb = EstimatePower(bf.program, bf.result, chip).value();
+    auto pi = EstimatePower(i8.program, i8.result, chip).value();
+    // Narrower MACs and half the bytes moved.
+    EXPECT_LT(pi.mxu_energy_j, pb.mxu_energy_j);
+    EXPECT_LE(pi.total_energy_j, pb.total_energy_j);
+}
+
+TEST(Power, NewerNodeIsMoreEfficient)
+{
+    // Same logical work on TPUv3 (16 nm) vs TPUv4i (7 nm): dynamic
+    // energy per inference must drop generation over generation.
+    AppRun v3 = RunApp("BERT0", Tpu_v3(), 16);
+    AppRun v4i = RunApp("BERT0", Tpu_v4i(), 16);
+    auto p3 =
+        EstimatePower(v3.program, v3.result, Tpu_v3()).value();
+    auto p4 =
+        EstimatePower(v4i.program, v4i.result, Tpu_v4i()).value();
+    const double dyn3 = p3.total_energy_j - p3.static_energy_j;
+    const double dyn4 = p4.total_energy_j - p4.static_energy_j;
+    EXPECT_LT(dyn4, dyn3);
+}
+
+TEST(Power, PerfPerTdpMatchesDefinition)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun run = RunApp("CNN0", chip, 16);
+    EXPECT_DOUBLE_EQ(PerfPerTdp(run.result, chip),
+                     run.result.achieved_flops / chip.tdp_w);
+}
+
+TEST(Power, EnergyScalesWithBatch)
+{
+    const ChipConfig chip = Tpu_v4i();
+    AppRun small = RunApp("BERT0", chip, 4);
+    AppRun big = RunApp("BERT0", chip, 32);
+    auto ps = EstimatePower(small.program, small.result, chip).value();
+    auto pb = EstimatePower(big.program, big.result, chip).value();
+    EXPECT_GT(pb.total_energy_j, ps.total_energy_j);
+    // ...but energy *per sample* improves with batch (amortized static).
+    EXPECT_LT(pb.total_energy_j / 32.0, ps.total_energy_j / 4.0);
+}
+
+}  // namespace
+}  // namespace t4i

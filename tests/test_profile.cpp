@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the per-layer profiler.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/profile.h"
+
+namespace t4i {
+namespace {
+
+struct Profiled {
+    Program program;
+    std::vector<ScheduleEntry> schedule;
+    SimResult result;
+};
+
+Profiled
+Make(const char* app_name, int64_t batch)
+{
+    auto app = BuildApp(app_name).value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = batch;
+    auto prog = Compile(app.graph, chip, opts).value();
+    std::vector<ScheduleEntry> schedule;
+    auto result = SimulateWithSchedule(prog, chip, &schedule).value();
+    return {std::move(prog), std::move(schedule), result};
+}
+
+TEST(Profile, BusyTimesSumToEngineTotals)
+{
+    Profiled p = Make("CNN1", 8);
+    auto profiles = ProfileByLayer(p.program, p.schedule).value();
+    double mxu = 0.0;
+    double vpu = 0.0;
+    double mem = 0.0;
+    for (const auto& layer : profiles) {
+        mxu += layer.mxu_s;
+        vpu += layer.vpu_s;
+        mem += layer.mem_s;
+    }
+    EXPECT_NEAR(mxu, p.result.engine(Engine::kMxu).busy_s, 1e-9);
+    EXPECT_NEAR(vpu, p.result.engine(Engine::kVpu).busy_s, 1e-9);
+    EXPECT_NEAR(mem,
+                p.result.engine(Engine::kHbm).busy_s +
+                    p.result.engine(Engine::kCmem).busy_s,
+                1e-9);
+}
+
+TEST(Profile, MacsSumToProgramTotal)
+{
+    Profiled p = Make("BERT0", 8);
+    auto profiles = ProfileByLayer(p.program, p.schedule).value();
+    double macs = 0.0;
+    int64_t instrs = 0;
+    for (const auto& layer : profiles) {
+        macs += layer.macs;
+        instrs += layer.instructions;
+    }
+    EXPECT_NEAR(macs, p.program.TotalMacs(), 1.0);
+    EXPECT_EQ(instrs,
+              static_cast<int64_t>(p.program.instrs.size()));
+}
+
+TEST(Profile, SortedByBusyTime)
+{
+    Profiled p = Make("CNN0", 8);
+    auto profiles = ProfileByLayer(p.program, p.schedule).value();
+    for (size_t i = 1; i < profiles.size(); ++i) {
+        const double prev = profiles[i - 1].mxu_s +
+                            profiles[i - 1].vpu_s +
+                            profiles[i - 1].mem_s;
+        const double cur = profiles[i].mxu_s + profiles[i].vpu_s +
+                           profiles[i].mem_s;
+        EXPECT_GE(prev, cur - 1e-15);
+    }
+}
+
+TEST(Profile, SpansAreWithinRunLatency)
+{
+    Profiled p = Make("RNN1", 4);
+    auto profiles = ProfileByLayer(p.program, p.schedule).value();
+    for (const auto& layer : profiles) {
+        EXPECT_GE(layer.span_s, 0.0);
+        EXPECT_LE(layer.span_s, p.result.latency_s + 1e-12);
+    }
+}
+
+TEST(Profile, RejectsMismatchedSchedule)
+{
+    Profiled p = Make("CNN1", 2);
+    p.schedule.pop_back();
+    EXPECT_FALSE(ProfileByLayer(p.program, p.schedule).ok());
+}
+
+TEST(Profile, RenderShowsTopLayersAndTruncates)
+{
+    Profiled p = Make("BERT0", 8);
+    auto profiles = ProfileByLayer(p.program, p.schedule).value();
+    std::string table = RenderProfile(profiles, 4);
+    EXPECT_NE(table.find("GMACs"), std::string::npos);
+    EXPECT_NE(table.find("more layers"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t4i

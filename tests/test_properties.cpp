@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Systematic cross-product property suite: every (app x chip x dtype)
+ * combination that compiles must satisfy the full invariant set, and
+ * the cross-cutting monotonicity properties must hold for every app —
+ * not just the handful the targeted tests pick.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/power/power.h"
+#include "src/roofline/roofline.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+struct Combo {
+    std::string app;
+    std::string chip;
+    DType dtype;
+};
+
+std::vector<Combo>
+AllCombos()
+{
+    std::vector<Combo> combos;
+    for (const auto& app : ProductionAppNames()) {
+        for (const auto& chip : ChipCatalog()) {
+            for (DType dt : {DType::kInt8, DType::kBf16}) {
+                combos.push_back({app, chip.name, dt});
+            }
+        }
+    }
+    return combos;
+}
+
+std::string
+ComboName(const ::testing::TestParamInfo<Combo>& info)
+{
+    return info.param.app + "_" + info.param.chip + "_" +
+           DTypeName(info.param.dtype);
+}
+
+class ComboSweep : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(ComboSweep, FullInvariantSet)
+{
+    const Combo& combo = GetParam();
+    auto app = BuildApp(combo.app).value();
+    auto chip = ChipByName(combo.chip).value();
+    CompileOptions opts;
+    opts.batch = 8;
+    opts.dtype = combo.dtype;
+    auto prog = Compile(app.graph, chip, opts);
+    if (!prog.ok()) {
+        // Must be a clean, non-internal rejection (dtype gate or
+        // capacity — e.g. MLP0 does not fit TPUv1's DDR3 8 GiB).
+        EXPECT_NE(prog.status().code(), StatusCode::kInternal)
+            << prog.status().ToString();
+        return;
+    }
+    auto result = Simulate(prog.value(), chip);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const SimResult& r = result.value();
+
+    EXPECT_GT(r.latency_s, 0.0);
+    EXPECT_GT(r.total_macs, 0.0);
+    EXPECT_LE(r.mxu_utilization, 1.0 + 1e-9);
+    for (const auto& e : r.engines) {
+        EXPECT_LE(e.utilization, 1.0 + 1e-9);
+        EXPECT_GE(e.busy_s, 0.0);
+    }
+    // Roofline bound against actual traffic.
+    const double hbm =
+        static_cast<double>(r.engine(Engine::kHbm).bytes);
+    if (hbm > 0.0) {
+        Roofline roof = BuildRoofline(chip, combo.dtype);
+        EXPECT_LE(r.achieved_flops,
+                  roof.Attainable(2.0 * r.total_macs / hbm) * 1.001);
+    }
+    // Power model sanity everywhere.
+    auto power = EstimatePower(prog.value(), r, chip);
+    ASSERT_TRUE(power.ok());
+    EXPECT_GT(power.value().total_energy_j, 0.0);
+    EXPECT_GE(power.value().avg_power_w, chip.idle_w - 1e-9);
+    EXPECT_GT(power.value().throttle, 0.0);
+    EXPECT_LE(power.value().throttle, 1.0);
+    // Pipelined run never beats the analytic steady-state bound and
+    // never loses to fully serial execution.
+    auto pipe = SimulatePipelined(prog.value(), chip, 4).value();
+    EXPECT_LE(pipe.total_s, 4.0 * r.latency_s + 1e-12);
+    EXPECT_LE(pipe.steady_ips, r.steady_state_ips * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ComboSweep,
+                         ::testing::ValuesIn(AllCombos()), ComboName);
+
+// --- Per-app cross-cutting monotonicity -----------------------------------
+
+class PerApp : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PerApp, OptLadderMonotoneInBothDtypes)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp(GetParam()).value();
+    for (DType dt : {DType::kInt8, DType::kBf16}) {
+        double prev = 1e18;
+        for (int level = 0; level <= 3; ++level) {
+            CompileOptions opts;
+            opts.batch = app.typical_batch;
+            opts.dtype = dt;
+            opts.opt_level = level;
+            auto r = Simulate(
+                Compile(app.graph, chip, opts).value(), chip).value();
+            EXPECT_LE(r.latency_s, prev * 1.001)
+                << GetParam() << " O" << level << " "
+                << DTypeName(dt);
+            prev = r.latency_s;
+        }
+    }
+}
+
+TEST_P(PerApp, ShardingSpeedupWithinPhysicalBounds)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp(GetParam()).value();
+    CompileOptions one;
+    one.batch = app.typical_batch;
+    auto r1 = Simulate(Compile(app.graph, chip, one).value(), chip)
+                  .value();
+    for (int chips : {2, 4}) {
+        CompileOptions opts = one;
+        opts.num_chips = chips;
+        auto prog = Compile(app.graph, chip, opts);
+        ASSERT_TRUE(prog.ok()) << GetParam();
+        auto r = Simulate(prog.value(), chip).value();
+        const double speedup = r1.latency_s / r.latency_s;
+        // Sharding can be a net LOSS (channel-sharded convs all-gather
+        // big activation maps every layer — why nobody shards small
+        // CNNs), but never by more than the added ICI serialization,
+        // and never superlinear.
+        EXPECT_GT(speedup, 0.25) << GetParam() << " x" << chips;
+        EXPECT_LT(speedup, chips * 1.01) << GetParam() << " x"
+                                         << chips;
+    }
+}
+
+TEST_P(PerApp, CmemMonotoneLatencyImprovement)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp(GetParam()).value();
+    double prev = 1e18;
+    for (int64_t mib : {0, 32, 128}) {
+        CompileOptions opts;
+        opts.batch = app.typical_batch;
+        opts.cmem_override_bytes = mib * kMiB;
+        auto r = Simulate(Compile(app.graph, chip, opts).value(),
+                          chip).value();
+        EXPECT_LE(r.latency_s, prev * 1.001)
+            << GetParam() << " cmem " << mib;
+        prev = r.latency_s;
+    }
+}
+
+TEST_P(PerApp, EnergyPerSampleImprovesWithBatchOnV4i)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp(GetParam()).value();
+    auto energy_per_sample = [&](int64_t batch) {
+        CompileOptions opts;
+        opts.batch = batch;
+        auto prog = Compile(app.graph, chip, opts).value();
+        auto r = Simulate(prog, chip).value();
+        return EstimatePower(prog, r, chip).value().total_energy_j /
+               static_cast<double>(batch);
+    };
+    EXPECT_LT(energy_per_sample(32), energy_per_sample(1) * 1.001)
+        << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, PerApp,
+                         ::testing::Values("MLP0", "MLP1", "CNN0",
+                                           "CNN1", "RNN0", "RNN1",
+                                           "BERT0", "BERT1"));
+
+}  // namespace
+}  // namespace t4i

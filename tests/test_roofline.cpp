@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the roofline helpers and the invariant that the simulator
+ * never beats the analytic roof.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/roofline/roofline.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+TEST(Roofline, AttainableIsMinOfRoofAndSlope)
+{
+    Roofline roof = BuildRoofline(Tpu_v4i(), DType::kBf16);
+    EXPECT_DOUBLE_EQ(roof.Attainable(1e9), roof.peak_flops);
+    EXPECT_DOUBLE_EQ(roof.Attainable(1.0), roof.mem_bw_Bps);
+    EXPECT_DOUBLE_EQ(roof.Attainable(roof.ridge_ops_per_byte),
+                     roof.peak_flops);
+}
+
+TEST(Roofline, RidgeMatchesChipHelper)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Roofline roof = BuildRoofline(chip, DType::kBf16);
+    EXPECT_DOUBLE_EQ(roof.ridge_ops_per_byte,
+                     chip.RidgeOpsPerByte(DType::kBf16));
+}
+
+TEST(Roofline, Tpu4iRoofAboveTpu3)
+{
+    Roofline v3 = BuildRoofline(Tpu_v3(), DType::kBf16);
+    Roofline v4i = BuildRoofline(Tpu_v4i(), DType::kBf16);
+    EXPECT_GT(v4i.peak_flops, v3.peak_flops);
+}
+
+TEST(Roofline, SimulatorNeverBeatsTheRoof)
+{
+    // Fundamental model invariant tying E5 together: achieved FLOPS
+    // must sit on or below min(peak, bw * intensity), where intensity
+    // is computed from the HBM bytes the program actually moved.
+    const ChipConfig chip = Tpu_v4i();
+    Roofline roof = BuildRoofline(chip, DType::kBf16);
+    for (const auto& app : ProductionApps()) {
+        CompileOptions opts;
+        opts.batch = app.typical_batch;
+        auto prog = Compile(app.graph, chip, opts).value();
+        auto result = Simulate(prog, chip).value();
+        const double hbm_bytes = static_cast<double>(
+            result.engine(Engine::kHbm).bytes);
+        // Intensity vs HBM traffic. CMEM-pinned weights do not count,
+        // which only raises intensity — the bound stays valid.
+        const double intensity =
+            hbm_bytes > 0.0
+                ? 2.0 * result.total_macs / hbm_bytes
+                : 1e12;
+        EXPECT_LE(result.achieved_flops,
+                  roof.Attainable(intensity) * 1.001)
+            << app.name;
+        EXPECT_LE(result.achieved_flops, roof.peak_flops) << app.name;
+    }
+}
+
+TEST(Roofline, RenderContainsHeaderAndPoints)
+{
+    Roofline roof = BuildRoofline(Tpu_v4i(), DType::kBf16);
+    std::string chart = RenderRoofline(
+        roof, {{"CNN0", 300.0, 9e13}, {"MLP0", 20.0, 8e12}});
+    EXPECT_NE(chart.find("TPUv4i"), std::string::npos);
+    EXPECT_NE(chart.find("CNN0"), std::string::npos);
+    EXPECT_NE(chart.find("MLP0"), std::string::npos);
+    EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the serving simulator (Lessons 7 and 10) and the latency
+ * table.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/serving/latency_table.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+namespace {
+
+/** A simple affine device model: fixed cost + per-sample cost. */
+std::function<double(int64_t)>
+AffineLatency(double fixed_s, double per_sample_s)
+{
+    return [=](int64_t batch) {
+        return fixed_s + per_sample_s * static_cast<double>(batch);
+    };
+}
+
+TenantConfig
+Tenant(const std::string& name, double rate, double slo_s = 0.010)
+{
+    TenantConfig t;
+    t.name = name;
+    t.latency_s = AffineLatency(1e-3, 1e-4);
+    t.max_batch = 32;
+    t.slo_s = slo_s;
+    t.arrival_rate = rate;
+    return t;
+}
+
+// --- LatencyTable ---------------------------------------------------------------
+
+TEST(LatencyTable, InterpolatesBetweenPoints)
+{
+    LatencyTable t;
+    t.AddPoint(1, 1.0);
+    t.AddPoint(3, 3.0);
+    EXPECT_DOUBLE_EQ(t.Eval(2), 2.0);
+    EXPECT_DOUBLE_EQ(t.Eval(1), 1.0);
+    EXPECT_DOUBLE_EQ(t.Eval(3), 3.0);
+}
+
+TEST(LatencyTable, ClampsOutsideRange)
+{
+    LatencyTable t;
+    t.AddPoint(2, 5.0);
+    t.AddPoint(4, 9.0);
+    EXPECT_DOUBLE_EQ(t.Eval(1), 5.0);
+    EXPECT_DOUBLE_EQ(t.Eval(100), 9.0);
+    EXPECT_EQ(t.max_batch(), 4);
+}
+
+TEST(LatencyTable, MaxBatchUnderSlo)
+{
+    LatencyTable t;
+    t.AddPoint(1, 1.0);
+    t.AddPoint(100, 100.0);  // latency == batch
+    EXPECT_EQ(t.MaxBatchUnderSlo(50.0), 50);
+    EXPECT_EQ(t.MaxBatchUnderSlo(100.0), 100);
+    EXPECT_EQ(t.MaxBatchUnderSlo(0.5), 0);
+}
+
+TEST(LatencyTable, ThroughputAt)
+{
+    LatencyTable t;
+    t.AddPoint(1, 0.001);
+    t.AddPoint(10, 0.002);
+    EXPECT_NEAR(t.ThroughputAt(10), 5000.0, 1e-6);
+    EXPECT_GT(t.ThroughputAt(10), t.ThroughputAt(1));
+}
+
+class SloSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SloSweep, MaxBatchRespectsSloExactly)
+{
+    LatencyTable t;
+    // Convex-ish latency curve.
+    for (int64_t b : {1, 2, 4, 8, 16, 32, 64}) {
+        t.AddPoint(b, 0.5e-3 + 0.2e-3 * static_cast<double>(b));
+    }
+    const double slo = GetParam();
+    const int64_t best = t.MaxBatchUnderSlo(slo);
+    if (best > 0) {
+        EXPECT_LE(t.Eval(best), slo + 1e-12);
+    }
+    if (best < t.max_batch()) {
+        EXPECT_GT(t.Eval(best + 1), slo);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slos, SloSweep,
+                         ::testing::Values(0.4e-3, 1e-3, 2e-3, 5e-3,
+                                           10e-3, 20e-3));
+
+// --- RunServing --------------------------------------------------------------------
+
+TEST(Serving, RejectsBadConfig)
+{
+    EXPECT_FALSE(RunServing({}, 1.0, 1).ok());
+    TenantConfig t = Tenant("x", 10.0);
+    EXPECT_FALSE(RunServing({t}, -1.0, 1).ok());
+    t.latency_s = nullptr;
+    EXPECT_FALSE(RunServing({t}, 1.0, 1).ok());
+}
+
+TEST(Serving, DeterministicForSeed)
+{
+    auto a = RunServing({Tenant("x", 200.0)}, 5.0, 42).value();
+    auto b = RunServing({Tenant("x", 200.0)}, 5.0, 42).value();
+    EXPECT_EQ(a.tenants[0].completed, b.tenants[0].completed);
+    EXPECT_EQ(a.tenants[0].p99_latency_s, b.tenants[0].p99_latency_s);
+}
+
+TEST(Serving, CompletesAllArrivals)
+{
+    auto r = RunServing({Tenant("x", 300.0)}, 10.0, 7).value();
+    // ~3000 expected arrivals, all must complete (queue drains).
+    EXPECT_NEAR(static_cast<double>(r.tenants[0].completed), 3000.0,
+                300.0);
+    EXPECT_NEAR(r.tenants[0].throughput_rps, 300.0, 35.0);
+}
+
+TEST(Serving, LowLoadLatencyNearExecutionTime)
+{
+    // At 1 req/s vs ~1.1 ms service, queueing is negligible; mean
+    // latency approaches exec(1).
+    auto r = RunServing({Tenant("x", 1.0)}, 200.0, 11).value();
+    EXPECT_NEAR(r.tenants[0].mean_latency_s, 1.1e-3, 0.4e-3);
+    EXPECT_NEAR(r.tenants[0].mean_batch, 1.0, 0.1);
+}
+
+TEST(Serving, HighLoadGrowsBatchesNotJustLatency)
+{
+    // Lesson 10: under load the dynamic batcher grows the batch, so
+    // throughput scales while latency stays bounded by batch growth.
+    auto lo = RunServing({Tenant("x", 500.0)}, 20.0, 13).value();
+    auto hi = RunServing({Tenant("x", 5000.0)}, 20.0, 13).value();
+    EXPECT_GT(hi.tenants[0].mean_batch, 2.0 * lo.tenants[0].mean_batch);
+    EXPECT_GT(hi.tenants[0].throughput_rps,
+              5.0 * lo.tenants[0].throughput_rps);
+    EXPECT_GT(hi.tenants[0].p99_latency_s, lo.tenants[0].p99_latency_s);
+}
+
+TEST(Serving, PercentilesAreOrdered)
+{
+    auto r = RunServing({Tenant("x", 2000.0)}, 10.0, 17).value();
+    const auto& t = r.tenants[0];
+    EXPECT_LE(t.p50_latency_s, t.p99_latency_s);
+    EXPECT_GT(t.p50_latency_s, 0.0);
+}
+
+TEST(Serving, SloMissesDetected)
+{
+    // SLO below the minimum service time: every request misses.
+    TenantConfig t = Tenant("x", 100.0, /*slo_s=*/0.5e-3);
+    auto r = RunServing({t}, 5.0, 19).value();
+    EXPECT_DOUBLE_EQ(r.tenants[0].slo_miss_fraction, 1.0);
+    // Generous SLO: nearly everything meets it.
+    TenantConfig ok = Tenant("y", 100.0, /*slo_s=*/1.0);
+    auto r2 = RunServing({ok}, 5.0, 19).value();
+    EXPECT_LT(r2.tenants[0].slo_miss_fraction, 0.01);
+}
+
+TEST(Serving, DeviceUtilizationBounded)
+{
+    auto r = RunServing({Tenant("x", 3000.0)}, 10.0, 23).value();
+    EXPECT_GT(r.device_busy_fraction, 0.3);
+    EXPECT_LE(r.device_busy_fraction, 1.0 + 1e-9);
+}
+
+// --- Multi-tenancy (Lesson 7) -----------------------------------------------------
+
+TEST(Serving, TwoTenantsShareFairly)
+{
+    auto r = RunServing({Tenant("a", 400.0), Tenant("b", 400.0)}, 10.0,
+                        29)
+                 .value();
+    ASSERT_EQ(r.tenants.size(), 2u);
+    EXPECT_NEAR(r.tenants[0].throughput_rps,
+                r.tenants[1].throughput_rps, 60.0);
+}
+
+TEST(Serving, CoTenancyRaisesTailLatency)
+{
+    TenantConfig solo = Tenant("a", 400.0);
+    auto alone = RunServing({solo}, 10.0, 31).value();
+    auto shared =
+        RunServing({Tenant("a", 400.0), Tenant("b", 2000.0)}, 10.0, 31)
+            .value();
+    EXPECT_GT(shared.tenants[0].p99_latency_s,
+              alone.tenants[0].p99_latency_s);
+}
+
+TEST(Serving, SwitchPenaltyHurtsUnpartitionedTenants)
+{
+    // Lesson 7: without CMEM partitioning, switching tenants re-stages
+    // weights. The same two-tenant mix with a 1 ms switch penalty must
+    // show worse p99 and visible switch overhead.
+    std::vector<TenantConfig> partitioned = {Tenant("a", 400.0),
+                                             Tenant("b", 400.0)};
+    std::vector<TenantConfig> swapping = partitioned;
+    for (auto& t : swapping) t.switch_penalty_s = 1e-3;
+
+    auto part = RunServing(partitioned, 10.0, 37).value();
+    auto swap = RunServing(swapping, 10.0, 37).value();
+    EXPECT_GT(swap.switch_overhead_fraction, 0.01);
+    EXPECT_DOUBLE_EQ(part.switch_overhead_fraction, 0.0);
+    EXPECT_GT(swap.tenants[0].p99_latency_s,
+              part.tenants[0].p99_latency_s);
+}
+
+// --- Host pipeline, priorities, multi-device cells ---------------------------
+
+TEST(Serving, HostOverheadBoundsTinyModels)
+{
+    // Device exec 0.1 ms but host takes 1 ms per batch: throughput is
+    // host-bound near 1000 batches/s regardless of device speed.
+    TenantConfig t = Tenant("x", 5000.0, /*slo_s=*/1.0);
+    t.latency_s = AffineLatency(0.1e-3, 0.0);
+    t.host_overhead_s = 1e-3;
+    t.max_batch = 1;
+    auto r = RunServing({t}, 5.0, 3).value();
+    EXPECT_LT(r.tenants[0].throughput_rps, 1100.0);
+    EXPECT_GT(r.host_busy_fraction, 0.8);
+}
+
+TEST(Serving, HostPipelineOverlapsDevice)
+{
+    // Host and device stages of equal length pipeline: throughput is
+    // set by one stage, not their sum.
+    TenantConfig t = Tenant("x", 1500.0, /*slo_s=*/1.0);
+    t.latency_s = AffineLatency(1e-3, 0.0);
+    t.host_overhead_s = 1e-3;
+    t.max_batch = 1;
+    auto r = RunServing({t}, 5.0, 5).value();
+    // ~1000/s if pipelined; ~500/s if serialized.
+    EXPECT_GT(r.tenants[0].throughput_rps, 850.0);
+}
+
+TEST(Serving, PriorityProtectsInteractiveTenant)
+{
+    // A high-priority tenant co-located with a heavy batch tenant
+    // keeps a far better p99 than at equal priority.
+    auto make = [](int interactive_priority) {
+        TenantConfig fg = Tenant("fg", 300.0, /*slo_s=*/0.005);
+        fg.priority = interactive_priority;
+        TenantConfig bg = Tenant("bg", 4000.0, /*slo_s=*/1.0);
+        bg.latency_s = AffineLatency(2e-3, 1e-4);
+        return RunServing({fg, bg}, 10.0, 7).value();
+    };
+    auto equal = make(0);
+    auto prioritized = make(1);
+    EXPECT_LT(prioritized.tenants[0].p99_latency_s,
+              equal.tenants[0].p99_latency_s);
+    EXPECT_LE(prioritized.tenants[0].slo_miss_fraction,
+              equal.tenants[0].slo_miss_fraction);
+}
+
+TEST(Serving, TwoDevicesNearlyDoubleCapacity)
+{
+    TenantConfig t = Tenant("x", 1800.0, /*slo_s=*/1.0);
+    t.latency_s = AffineLatency(1e-3, 0.0);
+    t.max_batch = 1;
+    // One device saturates at ~1000/s; arrivals at 1800/s overload it.
+    auto one = RunServingCell({t}, 1, 10.0, 9).value();
+    auto two = RunServingCell({t}, 2, 10.0, 9).value();
+    EXPECT_GT(two.tenants[0].throughput_rps,
+              1.5 * one.tenants[0].throughput_rps);
+    EXPECT_LT(two.tenants[0].p99_latency_s,
+              one.tenants[0].p99_latency_s);
+}
+
+TEST(Serving, BatchPatienceGrowsBatches)
+{
+    // With patience, the batcher waits for co-arrivals: mean batch
+    // grows and per-request device work shrinks, at some latency cost.
+    TenantConfig eager = Tenant("x", 2000.0, /*slo_s=*/1.0);
+    eager.latency_s = AffineLatency(0.5e-3, 0.01e-3);
+    TenantConfig patient = eager;
+    patient.batch_wait_s = 5e-3;
+    auto r_eager = RunServing({eager}, 10.0, 51).value();
+    auto r_patient = RunServing({patient}, 10.0, 51).value();
+    EXPECT_GT(r_patient.tenants[0].mean_batch,
+              1.5 * r_eager.tenants[0].mean_batch);
+    EXPECT_GT(r_patient.tenants[0].p50_latency_s,
+              r_eager.tenants[0].p50_latency_s);
+    // Everything still completes.
+    EXPECT_NEAR(static_cast<double>(r_patient.tenants[0].completed),
+                static_cast<double>(r_eager.tenants[0].completed),
+                0.02 * static_cast<double>(
+                           r_eager.tenants[0].completed) + 5.0);
+}
+
+TEST(Serving, PatienceBoundedByDeadline)
+{
+    // At trickle load the patience deadline, not the batch target,
+    // releases batches: p50 ~ wait + exec.
+    TenantConfig t = Tenant("x", 20.0, /*slo_s=*/1.0);
+    t.latency_s = AffineLatency(1e-3, 0.0);
+    t.batch_wait_s = 20e-3;
+    auto r = RunServing({t}, 30.0, 53).value();
+    EXPECT_GT(r.tenants[0].p50_latency_s, 15e-3);
+    EXPECT_LT(r.tenants[0].p50_latency_s, 40e-3);
+}
+
+TEST(Serving, DiurnalRateModulatesArrivals)
+{
+    // A rate that is zero in the first half and full in the second
+    // must deliver (almost) all arrivals in the second half, visible
+    // as a completed-count close to half the constant-rate run.
+    TenantConfig flat = Tenant("x", 1000.0, /*slo_s=*/1.0);
+    TenantConfig half = flat;
+    half.peak_rate_multiplier = 1.0;
+    half.rate_multiplier = [](double t) {
+        return t < 5.0 ? 0.0 : 1.0;
+    };
+    auto r_flat = RunServing({flat}, 10.0, 33).value();
+    auto r_half = RunServing({half}, 10.0, 33).value();
+    EXPECT_NEAR(static_cast<double>(r_half.tenants[0].completed),
+                0.5 * static_cast<double>(r_flat.tenants[0].completed),
+                0.1 * static_cast<double>(r_flat.tenants[0].completed));
+}
+
+TEST(Serving, DiurnalPeakStressesTail)
+{
+    // Same mean load, but concentrated in bursts: the tail gets worse.
+    TenantConfig flat = Tenant("x", 1600.0, /*slo_s=*/1.0);
+    flat.latency_s = AffineLatency(1e-3, 0.0);
+    flat.max_batch = 2;
+    TenantConfig bursty = flat;
+    bursty.arrival_rate = 3200.0;  // x2 peak, x0.5 duty -> same mean
+    bursty.peak_rate_multiplier = 1.0;
+    bursty.rate_multiplier = [](double t) {
+        return std::fmod(t, 2.0) < 1.0 ? 1.0 : 0.0;
+    };
+    auto r_flat = RunServing({flat}, 20.0, 35).value();
+    auto r_bursty = RunServing({bursty}, 20.0, 35).value();
+    EXPECT_GT(r_bursty.tenants[0].p99_latency_s,
+              r_flat.tenants[0].p99_latency_s);
+}
+
+TEST(Serving, CellRejectsBadDeviceCount)
+{
+    TenantConfig t = Tenant("x", 10.0);
+    EXPECT_FALSE(RunServingCell({t}, 0, 1.0, 1).ok());
+}
+
+TEST(Serving, ManyTenantsDegradeGracefully)
+{
+    // p99 grows with tenant count but the system keeps completing work.
+    double prev_p99 = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        std::vector<TenantConfig> tenants;
+        for (int i = 0; i < n; ++i) {
+            tenants.push_back(
+                Tenant("t" + std::to_string(i), 200.0));
+            tenants.back().switch_penalty_s = 0.2e-3;
+        }
+        auto r = RunServing(tenants, 5.0, 41).value();
+        double p99 = 0.0;
+        for (const auto& t : r.tenants) {
+            EXPECT_GT(t.completed, 0) << n;
+            p99 = std::max(p99, t.p99_latency_s);
+        }
+        EXPECT_GE(p99, prev_p99 * 0.8) << n;
+        prev_p99 = p99;
+    }
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the machine simulator: schedule correctness (causality,
+ * in-order engines), roofline bounds, determinism, and the performance
+ * properties the paper's lessons rely on.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/machine.h"
+#include "src/sim/timing.h"
+
+namespace t4i {
+namespace {
+
+Program
+CompileApp(const std::string& name, const ChipConfig& chip,
+           int64_t batch, int opt_level = 3, DType dtype = DType::kBf16)
+{
+    auto app = BuildApp(name).value();
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.opt_level = opt_level;
+    opts.dtype = dtype;
+    auto p = Compile(app.graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    return std::move(p).ConsumeValue();
+}
+
+TEST(Sim, RejectsChipMismatch)
+{
+    Program p = CompileApp("CNN1", Tpu_v4i(), 4);
+    EXPECT_FALSE(Simulate(p, Tpu_v3()).ok());
+}
+
+TEST(Sim, DeterministicAcrossRuns)
+{
+    Program p = CompileApp("BERT0", Tpu_v4i(), 8);
+    auto a = Simulate(p, Tpu_v4i()).value();
+    auto b = Simulate(p, Tpu_v4i()).value();
+    EXPECT_EQ(a.latency_s, b.latency_s);
+    EXPECT_EQ(a.total_macs, b.total_macs);
+}
+
+TEST(Sim, ScheduleRespectsDependencies)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("CNN0", chip, 8);
+    std::vector<ScheduleEntry> schedule;
+    auto result = SimulateWithSchedule(p, chip, &schedule).value();
+    ASSERT_EQ(schedule.size(), p.instrs.size());
+
+    std::vector<double> finish(p.instrs.size());
+    for (const auto& entry : schedule) {
+        finish[static_cast<size_t>(entry.instr_id)] = entry.finish_s;
+    }
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            p.instrs[static_cast<size_t>(entry.instr_id)];
+        for (int dep : instr.deps) {
+            EXPECT_GE(entry.start_s,
+                      finish[static_cast<size_t>(dep)] - 1e-12)
+                << "instr " << entry.instr_id << " dep " << dep;
+        }
+        EXPECT_GE(entry.finish_s, entry.start_s);
+        EXPECT_LE(entry.finish_s, result.latency_s + 1e-12);
+    }
+}
+
+TEST(Sim, EnginesExecuteInOrderWithoutOverlap)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("BERT0", chip, 8);
+    std::vector<ScheduleEntry> schedule;
+    ASSERT_TRUE(SimulateWithSchedule(p, chip, &schedule).ok());
+
+    std::map<Engine, double> last_finish;
+    for (const auto& entry : schedule) {
+        const Engine e =
+            p.instrs[static_cast<size_t>(entry.instr_id)].engine;
+        auto it = last_finish.find(e);
+        if (it != last_finish.end()) {
+            EXPECT_GE(entry.start_s, it->second - 1e-12)
+                << EngineName(e);
+        }
+        last_finish[e] = entry.finish_s;
+    }
+}
+
+TEST(Sim, LatencyAtLeastEveryLowerBound)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const char* name : {"MLP0", "CNN0", "RNN0", "BERT0"}) {
+        Program p = CompileApp(name, chip, 16);
+        auto r = Simulate(p, chip).value();
+        // Compute bound: total MACs at peak rate.
+        const double compute_bound =
+            2.0 * r.total_macs / chip.PeakFlops(DType::kBf16);
+        // Bandwidth bound: HBM bytes at full bandwidth.
+        const double bw_bound =
+            static_cast<double>(r.engine(Engine::kHbm).bytes) /
+            chip.dram_bw_Bps;
+        EXPECT_GE(r.latency_s, compute_bound) << name;
+        EXPECT_GE(r.latency_s, bw_bound) << name;
+        // And not absurdly above the sum of all busy times.
+        double busy_sum = 0.0;
+        for (const auto& e : r.engines) busy_sum += e.busy_s;
+        EXPECT_LE(r.latency_s, busy_sum + 1e-9) << name;
+    }
+}
+
+TEST(Sim, UtilizationNeverExceedsOne)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("CNN0", chip, 32);
+    auto r = Simulate(p, chip).value();
+    for (const auto& e : r.engines) {
+        EXPECT_LE(e.utilization, 1.0 + 1e-9);
+        EXPECT_GE(e.utilization, 0.0);
+    }
+    EXPECT_LE(r.mxu_utilization, 1.0);
+}
+
+TEST(Sim, SteadyStateAtLeastReciprocalLatency)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileApp("BERT0", chip, 16);
+    auto r = Simulate(p, chip).value();
+    EXPECT_GE(r.steady_state_ips * r.latency_s,
+              static_cast<double>(p.batch) - 1e-6);
+}
+
+class BatchSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchSweep, LatencyMonotoneAndThroughputImproves)
+{
+    const ChipConfig chip = Tpu_v4i();
+    const char* name = GetParam();
+    double prev_latency = 0.0;
+    double prev_tput = 0.0;
+    for (int64_t batch : {1, 4, 16, 64}) {
+        Program p = CompileApp(name, chip, batch);
+        auto r = Simulate(p, chip).value();
+        EXPECT_GT(r.latency_s, prev_latency * 0.999)
+            << name << " batch " << batch;
+        // Throughput generally rises with batch; mild dips are allowed
+        // where a larger batch pushes activations past the VMEM
+        // threshold and per-sample spill traffic appears.
+        const double tput = static_cast<double>(batch) / r.latency_s;
+        EXPECT_GT(tput, prev_tput * 0.80)
+            << name << " batch " << batch;
+        prev_latency = r.latency_s;
+        prev_tput = tput;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, BatchSweep,
+                         ::testing::Values("MLP0", "MLP1", "CNN0",
+                                           "CNN1", "RNN0", "RNN1",
+                                           "BERT0", "BERT1"));
+
+TEST(Sim, OptimizationLadderNeverHurts)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const char* name : {"MLP0", "CNN0", "BERT0"}) {
+        double prev = 1e9;
+        for (int level = 0; level <= 3; ++level) {
+            Program p = CompileApp(name, chip, 16, level);
+            auto r = Simulate(p, chip).value();
+            EXPECT_LE(r.latency_s, prev * 1.001)
+                << name << " O" << level;
+            prev = r.latency_s;
+        }
+    }
+}
+
+TEST(Sim, O3BeatsO0Substantially)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p0 = CompileApp("BERT0", chip, 16, 0);
+    Program p3 = CompileApp("BERT0", chip, 16, 3);
+    auto r0 = Simulate(p0, chip).value();
+    auto r3 = Simulate(p3, chip).value();
+    EXPECT_GT(r0.latency_s / r3.latency_s, 1.1);
+}
+
+TEST(Sim, Int8NoSlowerThanBf16OnTpu4i)
+{
+    const ChipConfig chip = Tpu_v4i();
+    for (const char* name : {"MLP1", "CNN1"}) {
+        Program pb = CompileApp(name, chip, 16, 3, DType::kBf16);
+        Program pi = CompileApp(name, chip, 16, 3, DType::kInt8);
+        auto rb = Simulate(pb, chip).value();
+        auto ri = Simulate(pi, chip).value();
+        EXPECT_LE(ri.latency_s, rb.latency_s * 1.01) << name;
+    }
+}
+
+TEST(Sim, CnnIsComputeBoundMlpIsNot)
+{
+    // The roofline story behind E5: CNNs land compute-bound on TPUv4i,
+    // MLPs land memory/latency-bound. CMEM pinning partially rescues
+    // the MLPs (that is E8's point), so the clean contrast is with
+    // CMEM disabled.
+    const ChipConfig chip = Tpu_v4i();
+    auto app_cnn = BuildApp("CNN0").value();
+    auto app_mlp = BuildApp("MLP0").value();
+    CompileOptions opts;
+    opts.batch = 64;
+    opts.cmem_override_bytes = 0;
+    auto cnn = Simulate(Compile(app_cnn.graph, chip, opts).value(),
+                        chip).value();
+    auto mlp = Simulate(Compile(app_mlp.graph, chip, opts).value(),
+                        chip).value();
+    EXPECT_GT(cnn.mxu_utilization, 0.20);
+    EXPECT_GT(cnn.mxu_utilization, 1.3 * mlp.mxu_utilization);
+
+    // With the full 128 MiB CMEM, the MLP recovers (Lesson 1 / E8).
+    auto mlp_cmem =
+        Simulate(CompileApp("MLP0", chip, 64), chip).value();
+    EXPECT_GT(mlp_cmem.mxu_utilization, mlp.mxu_utilization);
+}
+
+TEST(Sim, MultiChipShardingSpeedsUpBigModels)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto app = BuildApp("BERT1").value();
+    CompileOptions one;
+    one.batch = 32;
+    CompileOptions four = one;
+    four.num_chips = 4;
+    auto r1 =
+        Simulate(Compile(app.graph, chip, one).value(), chip).value();
+    auto r4 =
+        Simulate(Compile(app.graph, chip, four).value(), chip).value();
+    const double speedup = r1.latency_s / r4.latency_s;
+    EXPECT_GT(speedup, 1.5);
+    EXPECT_LT(speedup, 4.0);  // sublinear: ICI all-gathers cost time
+}
+
+TEST(Sim, SummaryMentionsEngines)
+{
+    const ChipConfig chip = Tpu_v4i();
+    auto r = Simulate(CompileApp("CNN1", chip, 4), chip).value();
+    std::string s = r.Summary();
+    EXPECT_NE(s.find("MXU"), std::string::npos);
+    EXPECT_NE(s.find("latency"), std::string::npos);
+}
+
+// --- Cross-chip sanity: v4i vs older generations --------------------------------
+
+TEST(Sim, Tpu4iOutperformsTpu3PerWatt)
+{
+    // The headline: ~2x+ perf/TDP over TPUv3 on the production mix.
+    const ChipConfig v3 = Tpu_v3();
+    const ChipConfig v4i = Tpu_v4i();
+    double v3_sum = 0.0;
+    double v4i_sum = 0.0;
+    for (const char* name : {"CNN0", "BERT0", "RNN0"}) {
+        auto r3 = Simulate(CompileApp(name, v3, 16), v3).value();
+        auto r4 = Simulate(CompileApp(name, v4i, 16), v4i).value();
+        v3_sum += (1.0 / r3.latency_s) / v3.tdp_w;
+        v4i_sum += (1.0 / r4.latency_s) / v4i.tdp_w;
+    }
+    EXPECT_GT(v4i_sum / v3_sum, 1.5);
+}
+
+}  // namespace
+}  // namespace t4i

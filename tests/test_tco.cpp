@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the TCO model (Lesson 3: perf/TCO vs perf/CapEx).
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/tco/tco.h"
+
+namespace t4i {
+namespace {
+
+TEST(Tco, YieldDropsWithArea)
+{
+    TcoParams params;
+    const double small = GoodDiesPerWafer(100.0, params);
+    const double medium = GoodDiesPerWafer(400.0, params);
+    const double large = GoodDiesPerWafer(700.0, params);
+    EXPECT_GT(small, medium);
+    EXPECT_GT(medium, large);
+    // A 300 mm wafer holds roughly 600 good 100 mm^2 dies.
+    EXPECT_NEAR(small, 600.0, 120.0);
+}
+
+TEST(Tco, BreakdownIsConsistent)
+{
+    TcoParams params;
+    for (const auto& chip : ChipCatalog()) {
+        auto r = ComputeTco(chip, params).value();
+        EXPECT_GT(r.die_cost_usd, 0.0) << chip.name;
+        EXPECT_GT(r.memory_cost_usd, 0.0) << chip.name;
+        EXPECT_NEAR(r.capex_usd,
+                    r.die_cost_usd + r.memory_cost_usd +
+                        r.board_cost_usd + r.cooling_capex_usd,
+                    1e-6)
+            << chip.name;
+        EXPECT_NEAR(r.tco_usd, r.capex_usd + r.opex_usd, 1e-6)
+            << chip.name;
+        EXPECT_GT(r.opex_usd, 0.0) << chip.name;
+    }
+}
+
+TEST(Tco, LiquidCoolingAddsCapex)
+{
+    TcoParams params;
+    auto v3 = ComputeTco(Tpu_v3(), params).value();   // liquid
+    auto v4i = ComputeTco(Tpu_v4i(), params).value(); // air
+    EXPECT_GT(v3.cooling_capex_usd, 0.0);
+    EXPECT_DOUBLE_EQ(v4i.cooling_capex_usd, 0.0);
+}
+
+TEST(Tco, OpexTracksTdp)
+{
+    TcoParams params;
+    auto v1 = ComputeTco(Tpu_v1(), params).value();   // 75 W
+    auto v3 = ComputeTco(Tpu_v3(), params).value();   // 450 W
+    EXPECT_GT(v3.opex_usd, 4.0 * v1.opex_usd);
+}
+
+TEST(Tco, OpexIsMaterialShareOfTco)
+{
+    // Lesson 3 only matters because 3-year power is not negligible.
+    TcoParams params;
+    auto v3 = ComputeTco(Tpu_v3(), params).value();
+    EXPECT_GT(v3.opex_usd / v3.tco_usd, 0.10);
+}
+
+TEST(Tco, RankingInversionBetweenCapexAndTco)
+{
+    // The paper's point: chips can rank differently by perf/CapEx and
+    // perf/TCO. Construct the comparison TPUv3 vs TPUv4i with peak
+    // bf16 FLOPS as the "perf" numerator: TPUv4i must widen its lead
+    // once power is included.
+    TcoParams params;
+    const ChipConfig v3 = Tpu_v3();
+    const ChipConfig v4i = Tpu_v4i();
+    auto t3 = ComputeTco(v3, params).value();
+    auto t4 = ComputeTco(v4i, params).value();
+    const double perf3 = v3.PeakFlops(DType::kBf16);
+    const double perf4 = v4i.PeakFlops(DType::kBf16);
+    const double capex_ratio =
+        (perf4 / t4.capex_usd) / (perf3 / t3.capex_usd);
+    const double tco_ratio =
+        (perf4 / t4.tco_usd) / (perf3 / t3.tco_usd);
+    EXPECT_GT(tco_ratio, capex_ratio);
+    EXPECT_GT(tco_ratio, 1.0);
+}
+
+TEST(Tco, HugeDieIsRejected)
+{
+    ChipConfig chip = Tpu_v4i();
+    chip.die_mm2 = 1e9;
+    TcoParams params;
+    // Either rejected or effectively infinite cost; the model must not
+    // return a bargain.
+    auto r = ComputeTco(chip, params);
+    if (r.ok()) {
+        EXPECT_GT(r.value().die_cost_usd, 1e5);
+    }
+}
+
+TEST(Tco, ParamsFlowThrough)
+{
+    TcoParams cheap;
+    cheap.electricity_usd_per_kwh = 0.01;
+    TcoParams dear = cheap;
+    dear.electricity_usd_per_kwh = 0.20;
+    auto a = ComputeTco(Tpu_v4i(), cheap).value();
+    auto b = ComputeTco(Tpu_v4i(), dear).value();
+    EXPECT_NEAR(b.opex_usd / a.opex_usd, 20.0, 0.1);
+    EXPECT_DOUBLE_EQ(a.capex_usd, b.capex_usd);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the tensor substrate and reference operators (the functional
+ * oracle used by the numerics experiments).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/numerics/quantize.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+namespace t4i {
+namespace {
+
+Tensor
+MakeTensor(Shape shape, std::vector<float> data)
+{
+    return Tensor(std::move(shape), std::move(data));
+}
+
+// --- Shape / Tensor -----------------------------------------------------------
+
+TEST(Shape, NumElementsAndToString)
+{
+    Shape s({2, 3, 4});
+    EXPECT_EQ(s.rank(), 3);
+    EXPECT_EQ(s.NumElements(), 24);
+    EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+    EXPECT_EQ(Shape{}.NumElements(), 1);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape({4, 4}));
+    for (int64_t i = 0; i < t.NumElements(); ++i) {
+        EXPECT_EQ(t[i], 0.0f);
+    }
+}
+
+TEST(Tensor, At2RowMajor)
+{
+    Tensor t(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(t.At2(0, 0), 1.0f);
+    EXPECT_EQ(t.At2(0, 2), 3.0f);
+    EXPECT_EQ(t.At2(1, 0), 4.0f);
+    EXPECT_EQ(t.At2(1, 2), 6.0f);
+}
+
+TEST(Tensor, FillsAreDeterministic)
+{
+    Rng a(5);
+    Rng b(5);
+    Tensor x(Shape({100}));
+    Tensor y(Shape({100}));
+    x.FillGaussian(a, 2.0f);
+    y.FillGaussian(b, 2.0f);
+    for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+// --- Matmul ---------------------------------------------------------------------
+
+TEST(Matmul, HandComputed2x2)
+{
+    Tensor a = MakeTensor(Shape({2, 2}), {1, 2, 3, 4});
+    Tensor b = MakeTensor(Shape({2, 2}), {5, 6, 7, 8});
+    auto c = Matmul(a, b);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value().At2(0, 0), 19.0f);
+    EXPECT_EQ(c.value().At2(0, 1), 22.0f);
+    EXPECT_EQ(c.value().At2(1, 0), 43.0f);
+    EXPECT_EQ(c.value().At2(1, 1), 50.0f);
+}
+
+TEST(Matmul, IdentityIsNoOp)
+{
+    Tensor a = MakeTensor(Shape({2, 2}), {1.5f, -2.0f, 0.25f, 3.0f});
+    Tensor id = MakeTensor(Shape({2, 2}), {1, 0, 0, 1});
+    auto c = Matmul(a, id);
+    ASSERT_TRUE(c.ok());
+    for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(c.value()[i], a[i]);
+}
+
+TEST(Matmul, RejectsMismatchedInner)
+{
+    Tensor a(Shape({2, 3}));
+    Tensor b(Shape({4, 2}));
+    EXPECT_FALSE(Matmul(a, b).ok());
+}
+
+TEST(Matmul, RejectsNonRank2)
+{
+    Tensor a(Shape({2, 3, 4}));
+    Tensor b(Shape({4, 2}));
+    EXPECT_FALSE(Matmul(a, b).ok());
+}
+
+TEST(Matmul, PrecisionErrorOrdering)
+{
+    // fp32 is exact; bf16 loses mantissa; int8's single scale loses more
+    // on Gaussian data. SQNR must be ordered accordingly.
+    Rng rng(3);
+    Tensor a(Shape({32, 64}));
+    Tensor b(Shape({64, 32}));
+    a.FillGaussian(rng, 1.0f);
+    b.FillGaussian(rng, 1.0f);
+
+    auto exact = Matmul(a, b, MatmulPrecision::kFp32).value();
+    auto bf16 = Matmul(a, b, MatmulPrecision::kBf16).value();
+    auto int8 = Matmul(a, b, MatmulPrecision::kInt8).value();
+
+    auto e_bf = ComputeError(exact.data(), bf16.data()).value();
+    auto e_i8 = ComputeError(exact.data(), int8.data()).value();
+    EXPECT_GT(e_bf.sqnr_db, 30.0);
+    EXPECT_GT(e_i8.sqnr_db, 10.0);
+    EXPECT_GT(e_bf.sqnr_db, e_i8.sqnr_db);
+}
+
+// --- BiasAdd / elementwise ------------------------------------------------------
+
+TEST(BiasAdd, AddsPerColumn)
+{
+    Tensor x = MakeTensor(Shape({2, 3}), {0, 0, 0, 1, 1, 1});
+    Tensor bias = MakeTensor(Shape({3}), {10, 20, 30});
+    auto y = BiasAdd(x, bias);
+    ASSERT_TRUE(y.ok());
+    EXPECT_EQ(y.value().At2(0, 1), 20.0f);
+    EXPECT_EQ(y.value().At2(1, 2), 31.0f);
+}
+
+TEST(BiasAdd, RejectsBadShapes)
+{
+    EXPECT_FALSE(BiasAdd(Tensor(Shape({2, 3})),
+                         Tensor(Shape({2}))).ok());
+}
+
+TEST(Elementwise, ReluClampsNegatives)
+{
+    Tensor x = MakeTensor(Shape({4}), {-1.0f, 0.0f, 2.0f, -0.5f});
+    Tensor y = Relu(x);
+    EXPECT_EQ(y[0], 0.0f);
+    EXPECT_EQ(y[1], 0.0f);
+    EXPECT_EQ(y[2], 2.0f);
+    EXPECT_EQ(y[3], 0.0f);
+}
+
+TEST(Elementwise, SigmoidRangeAndMidpoint)
+{
+    Tensor x = MakeTensor(Shape({3}), {-100.0f, 0.0f, 100.0f});
+    Tensor y = Sigmoid(x);
+    EXPECT_NEAR(y[0], 0.0f, 1e-6);
+    EXPECT_NEAR(y[1], 0.5f, 1e-6);
+    EXPECT_NEAR(y[2], 1.0f, 1e-6);
+}
+
+TEST(Elementwise, GeluMatchesKnownPoints)
+{
+    Tensor x = MakeTensor(Shape({3}), {0.0f, 1.0f, -1.0f});
+    Tensor y = Gelu(x);
+    EXPECT_NEAR(y[0], 0.0f, 1e-6);
+    EXPECT_NEAR(y[1], 0.8412f, 1e-3);
+    EXPECT_NEAR(y[2], -0.1588f, 1e-3);
+}
+
+TEST(Elementwise, TanhOddFunction)
+{
+    Tensor x = MakeTensor(Shape({2}), {0.7f, -0.7f});
+    Tensor y = Tanh(x);
+    EXPECT_NEAR(y[0], -y[1], 1e-7);
+}
+
+TEST(Add, ElementwiseSum)
+{
+    Tensor a = MakeTensor(Shape({2}), {1, 2});
+    Tensor b = MakeTensor(Shape({2}), {10, 20});
+    auto c = Add(a, b);
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.value()[0], 11.0f);
+    EXPECT_EQ(c.value()[1], 22.0f);
+    EXPECT_FALSE(Add(a, Tensor(Shape({3}))).ok());
+}
+
+// --- Softmax / LayerNorm ----------------------------------------------------------
+
+TEST(Softmax, RowsSumToOne)
+{
+    Rng rng(9);
+    Tensor x(Shape({8, 16}));
+    x.FillGaussian(rng, 3.0f);
+    auto y = Softmax(x).value();
+    for (int64_t r = 0; r < 8; ++r) {
+        float sum = 0.0f;
+        for (int64_t c = 0; c < 16; ++c) sum += y.At2(r, c);
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(Softmax, StableForLargeLogits)
+{
+    Tensor x = MakeTensor(Shape({1, 2}), {1000.0f, 1000.0f});
+    auto y = Softmax(x).value();
+    EXPECT_NEAR(y[0], 0.5f, 1e-6);
+    EXPECT_FALSE(std::isnan(y[1]));
+}
+
+TEST(LayerNorm, NormalizesRows)
+{
+    Rng rng(21);
+    Tensor x(Shape({4, 256}));
+    x.FillUniform(rng, 5.0f, 9.0f);
+    auto y = LayerNorm(x).value();
+    for (int64_t r = 0; r < 4; ++r) {
+        float mean = 0.0f;
+        float var = 0.0f;
+        for (int64_t c = 0; c < 256; ++c) mean += y.At2(r, c);
+        mean /= 256.0f;
+        for (int64_t c = 0; c < 256; ++c) {
+            var += (y.At2(r, c) - mean) * (y.At2(r, c) - mean);
+        }
+        var /= 256.0f;
+        EXPECT_NEAR(mean, 0.0f, 1e-4);
+        EXPECT_NEAR(var, 1.0f, 1e-2);
+    }
+}
+
+// --- Conv / pooling ------------------------------------------------------------
+
+TEST(Conv2d, IdentityKernelPreservesInput)
+{
+    // 1x1 kernel with weight 1 on a single channel is identity.
+    Rng rng(33);
+    Tensor x(Shape({1, 5, 5, 1}));
+    x.FillGaussian(rng, 1.0f);
+    Tensor k = MakeTensor(Shape({1, 1, 1, 1}), {1.0f});
+    auto y = Conv2d(x, k, 1, 0).value();
+    ASSERT_TRUE(y.shape() == x.shape());
+    for (int64_t i = 0; i < x.NumElements(); ++i) {
+        EXPECT_NEAR(y[i], x[i], 1e-6);
+    }
+}
+
+TEST(Conv2d, SumKernelComputesNeighborhood)
+{
+    // All-ones input, 3x3 all-ones kernel, no pad: every output is 9.
+    Tensor x(Shape({1, 4, 4, 1}), std::vector<float>(16, 1.0f));
+    Tensor k(Shape({3, 3, 1, 1}), std::vector<float>(9, 1.0f));
+    auto y = Conv2d(x, k, 1, 0).value();
+    EXPECT_EQ(y.shape().dim(1), 2);
+    EXPECT_EQ(y.shape().dim(2), 2);
+    for (int64_t i = 0; i < y.NumElements(); ++i) {
+        EXPECT_NEAR(y[i], 9.0f, 1e-6);
+    }
+}
+
+TEST(Conv2d, PaddingKeepsSpatialSize)
+{
+    Tensor x(Shape({1, 4, 4, 2}));
+    Tensor k(Shape({3, 3, 2, 5}));
+    auto y = Conv2d(x, k, 1, 1).value();
+    EXPECT_EQ(y.shape().dim(1), 4);
+    EXPECT_EQ(y.shape().dim(2), 4);
+    EXPECT_EQ(y.shape().dim(3), 5);
+}
+
+TEST(Conv2d, StrideDownsamples)
+{
+    Tensor x(Shape({1, 8, 8, 1}));
+    Tensor k(Shape({2, 2, 1, 1}));
+    auto y = Conv2d(x, k, 2, 0).value();
+    EXPECT_EQ(y.shape().dim(1), 4);
+    EXPECT_EQ(y.shape().dim(2), 4);
+}
+
+TEST(Conv2d, RejectsChannelMismatch)
+{
+    EXPECT_FALSE(Conv2d(Tensor(Shape({1, 4, 4, 3})),
+                        Tensor(Shape({3, 3, 2, 8})), 1, 1).ok());
+}
+
+TEST(MaxPool2d, TakesWindowMax)
+{
+    Tensor x = MakeTensor(Shape({1, 2, 2, 1}), {1, 5, 3, 2});
+    auto y = MaxPool2d(x, 2, 2).value();
+    EXPECT_EQ(y.NumElements(), 1);
+    EXPECT_EQ(y[0], 5.0f);
+}
+
+TEST(GlobalAvgPool, AveragesSpatial)
+{
+    Tensor x = MakeTensor(Shape({1, 2, 2, 1}), {1, 2, 3, 6});
+    auto y = GlobalAvgPool(x).value();
+    EXPECT_EQ(y.shape().dim(1), 1);
+    EXPECT_NEAR(y[0], 3.0f, 1e-6);
+}
+
+// --- LSTM cell ------------------------------------------------------------------
+
+TEST(LstmCell, StateShapesAndBounds)
+{
+    const int64_t batch = 2;
+    const int64_t input = 8;
+    const int64_t hidden = 4;
+    Rng rng(55);
+    Tensor x(Shape({batch, input}));
+    x.FillGaussian(rng, 1.0f);
+    LstmState state{Tensor(Shape({batch, hidden})),
+                    Tensor(Shape({batch, hidden}))};
+    Tensor w_ih(Shape({input, 4 * hidden}));
+    Tensor w_hh(Shape({hidden, 4 * hidden}));
+    Tensor bias(Shape({4 * hidden}));
+    w_ih.FillGaussian(rng, 0.5f);
+    w_hh.FillGaussian(rng, 0.5f);
+
+    auto next = LstmCell(x, state, w_ih, w_hh, bias).value();
+    EXPECT_TRUE(next.h.shape() == Shape({batch, hidden}));
+    // h = o * tanh(c) is always in (-1, 1).
+    for (int64_t i = 0; i < next.h.NumElements(); ++i) {
+        EXPECT_LT(std::fabs(next.h[i]), 1.0f);
+    }
+}
+
+TEST(LstmCell, ZeroWeightsKeepZeroState)
+{
+    const int64_t batch = 1;
+    const int64_t hidden = 3;
+    Tensor x(Shape({batch, 2}), {1.0f, -1.0f});
+    LstmState state{Tensor(Shape({batch, hidden})),
+                    Tensor(Shape({batch, hidden}))};
+    Tensor w_ih(Shape({2, 4 * hidden}));
+    Tensor w_hh(Shape({hidden, 4 * hidden}));
+    Tensor bias(Shape({4 * hidden}));
+    auto next = LstmCell(x, state, w_ih, w_hh, bias).value();
+    // All gates sigmoid(0)=0.5, g=tanh(0)=0 -> c=0, h=0.
+    for (int64_t i = 0; i < next.h.NumElements(); ++i) {
+        EXPECT_NEAR(next.h[i], 0.0f, 1e-7);
+        EXPECT_NEAR(next.c[i], 0.0f, 1e-7);
+    }
+}
+
+TEST(LstmCell, RejectsBadGateWidth)
+{
+    Tensor x(Shape({1, 2}));
+    LstmState state{Tensor(Shape({1, 3})), Tensor(Shape({1, 3}))};
+    EXPECT_FALSE(LstmCell(x, state, Tensor(Shape({2, 11})),
+                          Tensor(Shape({3, 12})),
+                          Tensor(Shape({12}))).ok());
+}
+
+// --- Attention -----------------------------------------------------------------
+
+TEST(Attention, UniformScoresAverageValues)
+{
+    // q == 0 makes all scores equal, so output rows are the mean of v.
+    const int64_t seq = 4;
+    const int64_t dim = 8;
+    Tensor q(Shape({seq, dim}));
+    Rng rng(77);
+    Tensor k(Shape({seq, dim}));
+    Tensor v(Shape({seq, dim}));
+    k.FillGaussian(rng, 1.0f);
+    v.FillGaussian(rng, 1.0f);
+    auto out = Attention(q, k, v).value();
+    for (int64_t c = 0; c < dim; ++c) {
+        float mean = 0.0f;
+        for (int64_t r = 0; r < seq; ++r) mean += v.At2(r, c);
+        mean /= static_cast<float>(seq);
+        for (int64_t r = 0; r < seq; ++r) {
+            EXPECT_NEAR(out.At2(r, c), mean, 1e-5);
+        }
+    }
+}
+
+TEST(Attention, PeakedScoresSelectValue)
+{
+    // Strongly matching q/k rows make attention nearly one-hot.
+    const int64_t seq = 3;
+    const int64_t dim = 4;
+    Tensor q(Shape({seq, dim}));
+    Tensor k(Shape({seq, dim}));
+    Tensor v(Shape({seq, dim}));
+    for (int64_t i = 0; i < seq; ++i) {
+        q.At2(i, i) = 50.0f;
+        k.At2(i, i) = 50.0f;
+        v.At2(i, 0) = static_cast<float>(i + 1);
+    }
+    auto out = Attention(q, k, v).value();
+    for (int64_t i = 0; i < seq; ++i) {
+        EXPECT_NEAR(out.At2(i, 0), static_cast<float>(i + 1), 1e-3);
+    }
+}
+
+TEST(Attention, RejectsMismatchedKv)
+{
+    EXPECT_FALSE(Attention(Tensor(Shape({2, 4})), Tensor(Shape({3, 4})),
+                           Tensor(Shape({2, 4}))).ok());
+}
+
+// --- Property: matmul tiling equivalence (mirrors the compiler's tiling) -----
+
+class TilingParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TilingParam, BlockedMatmulMatchesDirect)
+{
+    const auto [m, k, n] = GetParam();
+    Rng rng(static_cast<uint64_t>(m * 10000 + k * 100 + n));
+    Tensor a(Shape({m, k}));
+    Tensor b(Shape({k, n}));
+    a.FillGaussian(rng, 1.0f);
+    b.FillGaussian(rng, 1.0f);
+    auto direct = Matmul(a, b).value();
+
+    // Blocked accumulation over k in tiles of 3 (deliberately not a
+    // divisor) must give the same result up to fp reassociation.
+    Tensor acc(Shape({m, n}));
+    for (int64_t k0 = 0; k0 < k; k0 += 3) {
+        const int64_t kw = std::min<int64_t>(3, k - k0);
+        Tensor at(Shape({m, kw}));
+        Tensor bt(Shape({kw, n}));
+        for (int64_t r = 0; r < m; ++r) {
+            for (int64_t c = 0; c < kw; ++c) {
+                at.At2(r, c) = a.At2(r, k0 + c);
+            }
+        }
+        for (int64_t r = 0; r < kw; ++r) {
+            for (int64_t c = 0; c < n; ++c) {
+                bt.At2(r, c) = b.At2(k0 + r, c);
+            }
+        }
+        auto part = Matmul(at, bt).value();
+        acc = Add(acc, part).value();
+    }
+    auto err = ComputeError(direct.data(), acc.data()).value();
+    EXPECT_LT(err.max_abs_error, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TilingParam,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 7, 3), std::make_tuple(8, 8, 8),
+                      std::make_tuple(16, 5, 2),
+                      std::make_tuple(3, 17, 9)));
+
+}  // namespace
+}  // namespace t4i

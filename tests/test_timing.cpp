@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the per-instruction timing model: systolic-array cycle
+ * counts, VPU throughput, transfer durations.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include <cmath>
+
+#include "src/sim/timing.h"
+
+namespace t4i {
+namespace {
+
+Instr
+MxuInstr(int64_t rows, int64_t k_tiles, int64_t n_tiles,
+         DType dtype = DType::kBf16)
+{
+    Instr i;
+    i.engine = Engine::kMxu;
+    i.kind = InstrKind::kMatmulTile;
+    i.dtype = dtype;
+    i.rows = rows;
+    i.k_tiles = k_tiles;
+    i.n_tiles = n_tiles;
+    return i;
+}
+
+Instr
+DmaInstr(Engine engine, int64_t bytes, double eff = 1.0)
+{
+    Instr i;
+    i.engine = engine;
+    i.kind = InstrKind::kDmaIn;
+    i.bytes = bytes;
+    i.bw_efficiency = eff;
+    return i;
+}
+
+TEST(Timing, RateFactors)
+{
+    EXPECT_DOUBLE_EQ(MxuRateFactor(Tpu_v4i(), DType::kBf16), 1.0);
+    EXPECT_DOUBLE_EQ(MxuRateFactor(Tpu_v4i(), DType::kFp32), 0.25);
+    EXPECT_DOUBLE_EQ(MxuRateFactor(Tpu_v1(), DType::kBf16), 0.0);
+    EXPECT_DOUBLE_EQ(MxuRateFactor(Tpu_v1(), DType::kInt8), 1.0);
+    EXPECT_DOUBLE_EQ(MxuRateFactor(Tpu_v3(), DType::kInt8), 0.0);
+    EXPECT_DOUBLE_EQ(MxuRateFactor(GpuT4(), DType::kInt8), 2.0);
+}
+
+TEST(Timing, MxuSinglePassFormula)
+{
+    // One (k,n) tile on TPUv4i: rows + 2*128 fill cycles, but the four
+    // arrays can't split a single pass, so ceil(1/4) = 1 wave.
+    const ChipConfig chip = Tpu_v4i();
+    const double cycles = MxuCycles(chip, MxuInstr(128, 1, 1));
+    EXPECT_DOUBLE_EQ(cycles, 128.0 + 256.0);
+}
+
+TEST(Timing, MxuPassesDivideAcrossArrays)
+{
+    const ChipConfig chip = Tpu_v4i();  // 4 arrays
+    const double one = MxuCycles(chip, MxuInstr(1024, 1, 1));
+    const double four = MxuCycles(chip, MxuInstr(1024, 2, 2));
+    EXPECT_DOUBLE_EQ(four, one);  // 4 passes over 4 arrays = 1 wave
+    const double five = MxuCycles(chip, MxuInstr(1024, 5, 1));
+    EXPECT_DOUBLE_EQ(five, 2.0 * one);  // 5 passes -> 2 waves
+}
+
+TEST(Timing, SmallBatchIsFillDominated)
+{
+    // Lesson 10 mechanism: at rows=8 the fill overhead dwarfs the work.
+    const ChipConfig chip = Tpu_v4i();
+    const double tiny = MxuCycles(chip, MxuInstr(8, 1, 1));
+    EXPECT_GT(tiny, 256.0);
+    // Efficiency = useful rows / total cycles.
+    EXPECT_LT(8.0 / tiny, 0.05);
+    const double big = MxuCycles(chip, MxuInstr(8192, 1, 1));
+    EXPECT_GT(8192.0 / big, 0.9);
+}
+
+TEST(Timing, Fp32QuadruplesStreamTime)
+{
+    const ChipConfig chip = Tpu_v4i();
+    const double bf16 = MxuCycles(chip, MxuInstr(4096, 1, 1));
+    const double fp32 =
+        MxuCycles(chip, MxuInstr(4096, 1, 1, DType::kFp32));
+    // Only the streaming part scales; fill is constant.
+    EXPECT_NEAR(fp32 - 256.0, 4.0 * (bf16 - 256.0), 1.0);
+}
+
+TEST(Timing, VpuCyclesScaleWithWork)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Instr op;
+    op.engine = Engine::kVpu;
+    op.elements = 1 << 20;
+    op.flops_per_element = 2.0;
+    const double cycles = VpuCycles(chip, op);
+    const double lanes = 128.0 * 8.0 * 2.0;  // lanes * ops/lane
+    EXPECT_NEAR(cycles, (1 << 21) / lanes + 32.0, 1.0);
+}
+
+TEST(Timing, HbmDurationIsBytesOverBandwidthPlusLatency)
+{
+    const ChipConfig chip = Tpu_v4i();
+    const double d = InstrDuration(chip, DmaInstr(Engine::kHbm,
+                                                  614'000'000));
+    EXPECT_NEAR(d, 1e-3 + chip.dram_latency_s, 1e-6);
+}
+
+TEST(Timing, GatherEfficiencyStretchesTransfers)
+{
+    const ChipConfig chip = Tpu_v4i();
+    const double fast =
+        InstrDuration(chip, DmaInstr(Engine::kHbm, 1 << 20, 1.0));
+    const double slow =
+        InstrDuration(chip, DmaInstr(Engine::kHbm, 1 << 20, 0.35));
+    EXPECT_GT(slow, 2.0 * fast - chip.dram_latency_s);
+}
+
+TEST(Timing, CmemIsFasterThanHbm)
+{
+    const ChipConfig chip = Tpu_v4i();
+    const double hbm =
+        InstrDuration(chip, DmaInstr(Engine::kHbm, 8 << 20));
+    const double cmem =
+        InstrDuration(chip, DmaInstr(Engine::kCmem, 8 << 20));
+    EXPECT_LT(cmem, hbm / 2.0);
+}
+
+TEST(Timing, IciAndPcieDurations)
+{
+    const ChipConfig chip = Tpu_v4i();  // 2 links x 50 GB/s
+    const double ici =
+        InstrDuration(chip, DmaInstr(Engine::kIci, 100'000'000));
+    EXPECT_NEAR(ici, 1e-3 + 1e-6, 1e-6);
+    const double pcie =
+        InstrDuration(chip, DmaInstr(Engine::kPcie, 14'000'000));
+    EXPECT_NEAR(pcie, 1e-3 + 2e-6, 1e-5);
+}
+
+TEST(Timing, IssueBandwidthFloorsManySmallArrays)
+{
+    // A hypothetical 64x 32x32 arrangement is limited by the
+    // sequencer's descriptor stream, not the arrays.
+    ChipConfig chip = Tpu_v4i();
+    chip.mxu.rows = 32;
+    chip.mxu.cols = 32;
+    chip.mxu.count = 64;
+    // 64 passes over 64 arrays: one wave of (rows + 64) cycles of
+    // compute, but 64 x 64 = 4096 cycles of descriptor issue.
+    const double cycles = MxuCycles(chip, MxuInstr(16, 8, 8));
+    EXPECT_DOUBLE_EQ(cycles, 64.0 * 64.0);
+}
+
+TEST(Timing, IssueNeverBindsOnShippedConfigs)
+{
+    // On the real chips the per-pass fill already exceeds the issue
+    // cost, so the floor must not change any timing.
+    for (const auto& chip :
+         {Tpu_v1(), Tpu_v2(), Tpu_v3(), Tpu_v4i(), Tpu_v4()}) {
+        const DType dt =
+            chip.supports_bf16 ? DType::kBf16 : DType::kInt8;
+        for (int64_t rows : {1, 16, 512}) {
+            Instr i = MxuInstr(rows, 4, 4, dt);
+            const int arrays = chip.mxu.count * chip.num_cores;
+            const double waves = std::ceil(
+                16.0 / static_cast<double>(arrays));
+            const double per_pass =
+                static_cast<double>(rows) /
+                    MxuRateFactor(chip, dt) +
+                2.0 * chip.mxu.rows;
+            EXPECT_DOUBLE_EQ(MxuCycles(chip, i), waves * per_pass)
+                << chip.name << " rows " << rows;
+        }
+    }
+}
+
+TEST(Timing, MoreArraysMakeTpu4FasterThanTpu4i)
+{
+    // Same instruction, twice the arrays (TPUv4 has 2 cores).
+    Instr big = MxuInstr(4096, 8, 8);
+    const double v4i_cycles = MxuCycles(Tpu_v4i(), big);
+    const double v4_cycles = MxuCycles(Tpu_v4(), big);
+    EXPECT_NEAR(v4_cycles, v4i_cycles / 2.0, v4i_cycles * 0.01);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the Chrome-trace exporter.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/trace.h"
+
+namespace t4i {
+namespace {
+
+struct Traced {
+    Program program;
+    std::vector<ScheduleEntry> schedule;
+};
+
+Traced
+MakeTraced()
+{
+    auto app = BuildApp("CNN1").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 4;
+    auto prog = Compile(app.graph, chip, opts).value();
+    std::vector<ScheduleEntry> schedule;
+    T4I_CHECK(SimulateWithSchedule(prog, chip, &schedule).ok(),
+              "simulate");
+    return {std::move(prog), std::move(schedule)};
+}
+
+TEST(Trace, RendersOneEventPerInstruction)
+{
+    Traced t = MakeTraced();
+    auto json = RenderChromeTrace(t.program, t.schedule).value();
+    size_t events = 0;
+    size_t pos = 0;
+    while ((pos = json.find("\"ph\":\"X\"", pos)) !=
+           std::string::npos) {
+        ++events;
+        ++pos;
+    }
+    EXPECT_EQ(events, t.program.instrs.size());
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(Trace, ContainsEngineTrackNames)
+{
+    Traced t = MakeTraced();
+    auto json = RenderChromeTrace(t.program, t.schedule).value();
+    EXPECT_NE(json.find("\"MXU\""), std::string::npos);
+    EXPECT_NE(json.find("\"HBM\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Trace, RejectsMismatchedSchedule)
+{
+    Traced t = MakeTraced();
+    t.schedule.pop_back();
+    EXPECT_FALSE(RenderChromeTrace(t.program, t.schedule).ok());
+}
+
+TEST(Trace, DurationsAreNonNegativeMicroseconds)
+{
+    Traced t = MakeTraced();
+    auto json = RenderChromeTrace(t.program, t.schedule).value();
+    EXPECT_EQ(json.find("\"dur\":-"), std::string::npos);
+}
+
+TEST(Trace, WritesFile)
+{
+    Traced t = MakeTraced();
+    const std::string path = "/tmp/t4i_trace_test.json";
+    ASSERT_TRUE(WriteChromeTrace(t.program, t.schedule, path).ok());
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    EXPECT_GT(std::ftell(f), 1000);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace t4i

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the VLIW ISA layer: bundle formats, binary (in)compatibility
+ * across generations (Lesson 2), and the bundle packer.
+ */
+#include <gtest/gtest.h>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/vliw/bundle.h"
+#include "src/vliw/isa.h"
+
+namespace t4i {
+namespace {
+
+Program
+CompileFor(const char* app, const ChipConfig& chip, int64_t batch,
+           DType dtype = DType::kBf16)
+{
+    auto a = BuildApp(app).value();
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.dtype = dtype;
+    auto p = Compile(a.graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    return std::move(p).ConsumeValue();
+}
+
+// --- Formats -------------------------------------------------------------
+
+TEST(Isa, EveryGenerationHasADistinctFormat)
+{
+    const char* gens[] = {"TPUv1", "TPUv2", "TPUv3", "TPUv4i"};
+    for (size_t i = 0; i < std::size(gens); ++i) {
+        for (size_t j = 0; j < std::size(gens); ++j) {
+            auto a = BundleFormatOf(gens[i]);
+            auto b = BundleFormatOf(gens[j]);
+            if (i == j) {
+                EXPECT_TRUE(CheckBinaryCompatible(a, b).ok());
+            } else {
+                EXPECT_FALSE(CheckBinaryCompatible(a, b).ok())
+                    << gens[i] << " vs " << gens[j];
+            }
+        }
+    }
+}
+
+TEST(Isa, Tpu4AndTpu4iShareTheCoreIsa)
+{
+    // The paper: TPUv4i and TPUv4 share a TensorCore design point.
+    EXPECT_TRUE(CheckBinaryCompatible(BundleFormatOf("TPUv4i"),
+                                      BundleFormatOf("TPUv4")).ok());
+}
+
+TEST(Isa, IncompatibilityMessageTeachesLesson2)
+{
+    auto status = CheckBinaryCompatible(BundleFormatOf("TPUv2"),
+                                        BundleFormatOf("TPUv3"));
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("recompile"), std::string::npos);
+}
+
+TEST(Isa, SlotAccountingConsistent)
+{
+    BundleFormat f = BundleFormatOf("TPUv4i");
+    int total = 0;
+    for (SlotKind k :
+         {SlotKind::kScalar, SlotKind::kVector, SlotKind::kMatrixPush,
+          SlotKind::kMatrixPop, SlotKind::kMemory, SlotKind::kMisc}) {
+        total += f.SlotsOf(k);
+    }
+    EXPECT_EQ(total, f.TotalSlots());
+    EXPECT_GT(f.bundle_bits, BundleFormatOf("TPUv2").bundle_bits);
+}
+
+// --- Packer ---------------------------------------------------------------
+
+TEST(Bundle, MicroOpsScaleWithWork)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program small = CompileFor("CNN1", chip, 1);
+    Program big = CompileFor("CNN1", chip, 32);
+    auto c_small = CountMicroOps(small, chip.mxu.rows, chip.vpu_lanes);
+    auto c_big = CountMicroOps(big, chip.mxu.rows, chip.vpu_lanes);
+    EXPECT_GT(c_big.matrix_push, 4 * c_small.matrix_push);
+    EXPECT_GT(c_big.vector, c_small.vector);
+}
+
+TEST(Bundle, PackRespectsSlotLimits)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileFor("BERT0", chip, 8);
+    BundleFormat f = BundleFormatOf("TPUv4i");
+    auto stats = PackBundles(p, f, chip.mxu.rows, chip.vpu_lanes)
+                     .value();
+    // The limiting class alone must need >= the reported bundles.
+    EXPECT_GE(stats.bundles, 1);
+    EXPECT_GT(stats.slot_occupancy, 0.0);
+    EXPECT_LE(stats.slot_occupancy, 1.0);
+    EXPECT_EQ(stats.code_bytes,
+              stats.bundles * f.bundle_bits / 8);
+}
+
+TEST(Bundle, WiderFormatNeedsFewerBundles)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileFor("CNN0", chip, 8);
+    auto v2 = PackBundles(p, BundleFormatOf("TPUv2"), chip.mxu.rows,
+                          chip.vpu_lanes).value();
+    auto v4i = PackBundles(p, BundleFormatOf("TPUv4i"), chip.mxu.rows,
+                           chip.vpu_lanes).value();
+    EXPECT_LT(v4i.bundles, v2.bundles);
+}
+
+TEST(Bundle, Tpu1CannotEncodeVectorPrograms)
+{
+    // TPUv1's format has no vector slots; a program with VPU work is
+    // not encodable — the fixed-function-pipeline limit, ISA edition.
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileFor("BERT0", chip, 8);
+    auto packed = PackBundles(p, BundleFormatOf("TPUv1"),
+                              chip.mxu.rows, chip.vpu_lanes);
+    EXPECT_FALSE(packed.ok());
+    EXPECT_EQ(packed.status().code(),
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(Bundle, RejectsNonVliwTarget)
+{
+    const ChipConfig chip = Tpu_v4i();
+    Program p = CompileFor("CNN1", chip, 1);
+    EXPECT_FALSE(PackBundles(p, BundleFormatOf("T4"), chip.mxu.rows,
+                             chip.vpu_lanes).ok());
+}
+
+TEST(Bundle, RnnProgramsAreScalarOrMiscHeavy)
+{
+    // Recurrent programs issue many small macro-ops; their packing
+    // efficiency is lower than a conv program's.
+    const ChipConfig chip = Tpu_v4i();
+    Program rnn = CompileFor("RNN0", chip, 16);
+    Program cnn = CompileFor("CNN0", chip, 16);
+    BundleFormat f = BundleFormatOf("TPUv4i");
+    auto s_rnn =
+        PackBundles(rnn, f, chip.mxu.rows, chip.vpu_lanes).value();
+    auto s_cnn =
+        PackBundles(cnn, f, chip.mxu.rows, chip.vpu_lanes).value();
+    EXPECT_LT(s_rnn.slot_occupancy, s_cnn.slot_occupancy * 1.5);
+    EXPECT_GT(s_rnn.micro_ops.misc, 0);
+}
+
+}  // namespace
+}  // namespace t4i

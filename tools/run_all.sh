@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates everything: build, tests, all experiment benches, all
+# examples. Outputs land in test_output.txt / bench_output.txt at the
+# repository root (the canonical artifacts EXPERIMENTS.md refers to).
+set -u
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Examples (smoke):"
+./build/examples/quickstart BERT0 16 | tail -3
+./build/examples/ten_lessons | head -8
