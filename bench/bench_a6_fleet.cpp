@@ -44,6 +44,11 @@ main()
         for (const auto& a : plan.value().apps) {
             if (a.infeasible) ++infeasible;
         }
+        bench::Metric("a6.fleet_chips",
+                      static_cast<double>(plan.value().total_chips),
+                      {{"chip", chip.name}});
+        bench::Metric("a6.fleet_tco_usd", plan.value().tco_usd,
+                      {{"chip", chip.name}});
         table.AddRow({
             chip.name,
             StrFormat("%lld", static_cast<long long>(

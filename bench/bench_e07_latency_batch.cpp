@@ -40,6 +40,11 @@ main()
         const double tput_slo =
             max_batch > 0 ? profile.ThroughputAt(max_batch) : 0.0;
         const double tput_1 = profile.ThroughputAt(1);
+        bench::Metric("e7.max_batch_under_slo",
+                      static_cast<double>(max_batch),
+                      {{"app", app.name}});
+        bench::Metric("e7.throughput_at_slo", tput_slo,
+                      {{"app", app.name}});
         slo_table.AddRow({
             app.name,
             StrFormat("%.0f", app.slo_ms),

@@ -68,6 +68,10 @@ RunModel(const std::string& name, const Graph& graph, double p99_s,
             profile, std::max<int64_t>(slo_batch, 1), p99_s);
         offline.push_back(best_offline);
         server.push_back(qps);
+        const obs::Labels labels = {{"chip", t.chip.name},
+                                    {"model", name}};
+        bench::Metric("e10.offline_ips", best_offline, labels);
+        bench::Metric("e10.server_qps", qps, labels);
         table->AddRow({
             name,
             t.chip.name + std::string("/") + DTypeName(t.dtype),

@@ -36,6 +36,10 @@ main()
         const double per_capex = peak / 1e9 / tco.capex_usd;
         const double per_tco = peak / 1e9 / tco.tco_usd;
         entries.push_back({chip.name, per_capex, per_tco});
+        bench::Metric("e12.gflops_per_capex_usd", per_capex,
+                      {{"chip", chip.name}});
+        bench::Metric("e12.gflops_per_tco_usd", per_tco,
+                      {{"chip", chip.name}});
         table.AddRow({
             chip.name,
             StrFormat("%.0f", tco.die_cost_usd),

@@ -143,4 +143,18 @@ BENCHMARK(BM_FunctionalExecutor);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark owns the
+// iteration loop here, so the bench emits its BENCH_JSON summary line
+// itself after the benchmarks run.
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    std::printf("BENCH_JSON %s\n",
+                t4i::obs::MetricsToBenchJsonLine(
+                    "E16", t4i::obs::MetricsRegistry::Global())
+                    .c_str());
+    return 0;
+}

@@ -8,12 +8,38 @@
 #define T4I_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
 #include "src/tpu4sim.h"
 
 namespace t4i {
 namespace bench {
+
+namespace internal {
+
+inline std::string&
+BenchId()
+{
+    static std::string id;
+    return id;
+}
+
+/** atexit hook: one `BENCH_JSON {...}` line with every metric the
+ *  bench recorded, for tools/run_all.sh to collect. */
+inline void
+EmitBenchJson()
+{
+    std::printf("BENCH_JSON %s\n",
+                obs::MetricsToBenchJsonLine(
+                    BenchId(), obs::MetricsRegistry::Global())
+                    .c_str());
+    std::fflush(stdout);
+}
+
+}  // namespace internal
 
 /** A compiled-and-simulated run. */
 struct RunOutcome {
@@ -38,8 +64,18 @@ Run(const Graph& graph, const ChipConfig& chip, int64_t batch,
     T4I_CHECK(p.ok(), p.status().ToString().c_str());
     auto r = Simulate(p.value(), chip);
     T4I_CHECK(r.ok(), r.status().ToString().c_str());
+    RecordSimMetrics(r.value());
     return {std::move(p).ConsumeValue(),
             std::move(r).ConsumeValue()};
+}
+
+/** Records a bench-specific result value (a gauge) so it lands in the
+ *  bench's BENCH_JSON summary line. */
+inline void
+Metric(const std::string& name, double value,
+       const obs::Labels& labels = {})
+{
+    obs::MetricsRegistry::Global().GetGauge(name, labels)->Set(value);
 }
 
 /** Preferred dtype of a chip: bf16 when available, else int8. */
@@ -70,10 +106,15 @@ ThroughputUnderSlo(const LatencyTable& table, double slo_s)
     return batch > 0 ? table.ThroughputAt(batch) : 0.0;
 }
 
-/** Prints the standard bench banner. */
+/** Prints the standard bench banner and arranges for a single
+ *  machine-readable `BENCH_JSON {...}` summary line at exit. */
 inline void
 Banner(const std::string& id, const std::string& title)
 {
+    if (internal::BenchId().empty()) {
+        internal::BenchId() = id;
+        std::atexit(internal::EmitBenchJson);
+    }
     std::printf("==============================================================="
                 "=\n%s  %s\n(tpu4sim reproduction; see EXPERIMENTS.md "
                 "for the paper-vs-model comparison)\n"

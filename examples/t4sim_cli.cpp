@@ -23,15 +23,23 @@
  *   --cmem MIB             (override CMEM capacity)
  *   --profile              (per-layer breakdown)
  *   --power                (energy report)
- *   --trace FILE           (Chrome trace JSON)
+ *   --trace FILE           (Chrome trace JSON, device schedule only)
  *   --stats                (machine-readable key/value dump)
+ *   --metrics-json=FILE    (metrics registry snapshot as JSON: per-
+ *                           engine utilization, per-tenant latency
+ *                           percentiles, SLO misses, compiler pass
+ *                           times — runs a short serving sim too)
+ *   --trace-out=FILE       (enriched Chrome trace: device schedule,
+ *                           counter tracks, serving flow events)
  */
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
+#include "src/obs/export.h"
 #include "src/sim/profile.h"
 #include "src/sim/trace.h"
 #include "src/tpu4sim.h"
@@ -49,6 +57,11 @@ class Args {
             std::string arg = argv[i];
             if (arg.rfind("--", 0) != 0) continue;
             arg = arg.substr(2);
+            const size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+                continue;
+            }
             if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
                 values_[arg] = argv[i + 1];
                 ++i;
@@ -115,29 +128,39 @@ CmdList()
     return 0;
 }
 
-StatusOr<Graph>
+/** A model plus the serving contract the telemetry path needs. */
+struct ResolvedModel {
+    Graph graph;
+    std::string name;
+    double slo_ms = 10.0;
+};
+
+StatusOr<ResolvedModel>
 ResolveModel(const Args& args)
 {
     if (args.Has("app")) {
         auto app = BuildApp(args.Get("app", ""));
         T4I_RETURN_IF_ERROR(app.status());
-        return app.value().graph;
+        return ResolvedModel{std::move(app.value().graph),
+                             app.value().name, app.value().slo_ms};
     }
     const std::string model = args.Get("model", "");
-    if (model == "resnet50") return BuildResNet50();
-    if (model == "mobilenet") return BuildMobileNetish("MobileNet");
-    if (model == "bert-large") return BuildBertLarge();
-    if (model == "ssd") return BuildSsdDetector("SSD");
-    if (model == "dlrm") {
-        return BuildDlrm("DLRM", 8, 1'000'000, 64, 16, 13);
-    }
-    if (model == "decoder") {
-        return BuildDecoderLm("DecoderLM", 24, 1024, 16, 4096, 512, 32,
-                              50000);
-    }
-    return Status::InvalidArgument(
+    StatusOr<Graph> graph = Status::InvalidArgument(
         "pass --app NAME (see `list`) or --model "
         "resnet50|mobilenet|bert-large|ssd|dlrm|decoder");
+    if (model == "resnet50") graph = BuildResNet50();
+    if (model == "mobilenet") graph = BuildMobileNetish("MobileNet");
+    if (model == "bert-large") graph = BuildBertLarge();
+    if (model == "ssd") graph = BuildSsdDetector("SSD");
+    if (model == "dlrm") {
+        graph = BuildDlrm("DLRM", 8, 1'000'000, 64, 16, 13);
+    }
+    if (model == "decoder") {
+        graph = BuildDecoderLm("DecoderLM", 24, 1024, 16, 4096, 512,
+                               32, 50000);
+    }
+    T4I_RETURN_IF_ERROR(graph.status());
+    return ResolvedModel{std::move(graph.value()), model, 10.0};
 }
 
 int
@@ -153,7 +176,7 @@ CmdExec(const Args& args)
                         "RMS err"});
     for (auto precision : {MatmulPrecision::kBf16,
                            MatmulPrecision::kInt8}) {
-        auto loss = PrecisionLoss(graph.value(), precision, batch,
+        auto loss = PrecisionLoss(graph.value().graph, precision, batch,
                                   args.GetInt("seed", 7));
         if (!loss.ok()) {
             std::fprintf(stderr, "exec: %s\n",
@@ -211,7 +234,7 @@ CmdRun(const Args& args)
         opts.cmem_override_bytes = args.GetInt("cmem", 128) * kMiB;
     }
 
-    auto prog = Compile(graph.value(), chip.value(), opts);
+    auto prog = Compile(graph.value().graph, chip.value(), opts);
     if (!prog.ok()) {
         std::fprintf(stderr, "compile: %s\n",
                      prog.status().ToString().c_str());
@@ -264,6 +287,91 @@ CmdRun(const Args& args)
         std::printf("\ntrace: %s\n",
                     status.ok() ? path.c_str()
                                 : status.ToString().c_str());
+    }
+
+    if (args.Has("metrics-json") || args.Has("trace-out")) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+        RecordSimMetrics(result.value(), &reg);
+
+        obs::TraceBuilder builder;
+        auto appended =
+            AppendScheduleTrace(prog.value(), schedule, &builder, 1);
+        if (!appended.ok()) {
+            std::fprintf(stderr, "trace-out: %s\n",
+                         appended.ToString().c_str());
+        }
+
+        // Short serving run so the snapshot carries per-tenant
+        // latency percentiles and SLO misses, not just device
+        // utilization: profile a batch ladder, pick the largest batch
+        // under the SLO, and offer 70% of that capacity.
+        LatencyTable table;
+        for (int64_t batch = 1; batch <= 64; batch *= 2) {
+            CompileOptions ladder = opts;
+            ladder.batch = batch;
+            auto ladder_prog =
+                Compile(graph.value().graph, chip.value(), ladder);
+            if (!ladder_prog.ok()) break;
+            auto ladder_result =
+                Simulate(ladder_prog.value(), chip.value());
+            if (!ladder_result.ok()) break;
+            table.AddPoint(batch, ladder_result.value().latency_s);
+        }
+        if (!table.empty()) {
+            const double slo_s = graph.value().slo_ms * 1e-3;
+            int64_t slo_batch = table.MaxBatchUnderSlo(slo_s);
+            if (slo_batch <= 0) slo_batch = 1;
+            TenantConfig tenant;
+            tenant.name = graph.value().name;
+            tenant.latency_s = [table](int64_t batch) {
+                return table.Eval(batch);
+            };
+            tenant.max_batch = slo_batch;
+            tenant.slo_s = slo_s;
+            tenant.arrival_rate =
+                std::max(1.0, 0.7 * table.ThroughputAt(slo_batch));
+            ServingTelemetry telemetry;
+            telemetry.registry = &reg;
+            telemetry.trace = &builder;
+            telemetry.trace_pid = 2;
+            auto serving =
+                RunServingCell({tenant}, 1, 2.0, 42, telemetry);
+            if (serving.ok() && !serving.value().tenants.empty()) {
+                const auto& tstats = serving.value().tenants[0];
+                std::printf("\nserving (2 s, SLO batch %lld): "
+                            "p50 %.2f ms p95 %.2f ms p99 %.2f ms | "
+                            "%lld done, %lld SLO misses\n",
+                            static_cast<long long>(slo_batch),
+                            tstats.p50_latency_s * 1e3,
+                            tstats.p95_latency_s * 1e3,
+                            tstats.p99_latency_s * 1e3,
+                            static_cast<long long>(tstats.completed),
+                            static_cast<long long>(tstats.slo_misses));
+            } else if (!serving.ok()) {
+                std::fprintf(stderr, "serving: %s\n",
+                             serving.status().ToString().c_str());
+            }
+        }
+
+        if (args.Has("metrics-json")) {
+            const std::string path =
+                args.Get("metrics-json", "metrics.json");
+            auto status = obs::WriteMetricsJson(reg, path);
+            std::printf("metrics-json: %s\n",
+                        status.ok() ? path.c_str()
+                                    : status.ToString().c_str());
+            if (!status.ok()) return 1;
+        }
+        if (args.Has("trace-out")) {
+            const std::string path =
+                args.Get("trace-out", "trace_enriched.json");
+            auto status = obs::WriteTextFile(builder.Render(), path);
+            std::printf("trace-out: %s (%lld events)\n",
+                        status.ok() ? path.c_str()
+                                    : status.ToString().c_str(),
+                        static_cast<long long>(builder.event_count()));
+            if (!status.ok()) return 1;
+        }
     }
     return 0;
 }

@@ -5,6 +5,7 @@
 #include "src/common/strings.h"
 #include "src/common/units.h"
 #include "src/ici/collectives.h"
+#include "src/obs/registry.h"
 
 namespace t4i {
 namespace {
@@ -961,6 +962,10 @@ Compile(const Graph& graph, const ChipConfig& chip,
             chip.name + " has no ICI links for multi-chip execution");
     }
 
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::ScopedTimer total_timer(
+        reg.GetHistogram("compiler.pass.total.seconds"));
+
     int64_t cmem = options.cmem_override_bytes >= 0
                        ? options.cmem_override_bytes
                        : chip.cmem_bytes;
@@ -968,10 +973,27 @@ Compile(const Graph& graph, const ChipConfig& chip,
 
     // CMEM is allocated jointly across pinned weights and spilled
     // activations; the VMEM spill threshold must match the emitter's.
+    obs::ScopedTimer plan_timer(
+        reg.GetHistogram("compiler.pass.plan_cmem.seconds"));
     auto pins = PlanCmem(graph, options.batch, options.dtype,
                          options.dtype, cmem, chip.vmem_bytes / 2,
                          options.cmem_policy);
+    plan_timer.Stop();
     T4I_RETURN_IF_ERROR(pins.status());
+
+    // CMEM planner hit rate: how much of the model's weight traffic
+    // the planner managed to keep on-chip.
+    if (pins.value().total_weight_bytes > 0) {
+        reg.GetGauge("compiler.cmem.pinned_weight_fraction")
+            ->Set(static_cast<double>(
+                      pins.value().pinned_weight_bytes) /
+                  static_cast<double>(
+                      pins.value().total_weight_bytes));
+    }
+    reg.GetGauge("compiler.cmem.pinned_weight_bytes")
+        ->Set(static_cast<double>(pins.value().pinned_weight_bytes));
+    reg.GetGauge("compiler.cmem.staged_act_bytes")
+        ->Set(static_cast<double>(pins.value().staged_act_bytes));
 
     // Capacity check: streamed weights plus the activation high-water
     // mark must fit DRAM. Activations are transient, so the live set is
@@ -1009,9 +1031,42 @@ Compile(const Graph& graph, const ChipConfig& chip,
     }
     Emitter emitter(graph, chip, options,
                     std::move(pins).ConsumeValue(), domain);
+    obs::ScopedTimer emit_timer(
+        reg.GetHistogram("compiler.pass.emit.seconds"));
     T4I_RETURN_IF_ERROR(emitter.Run());
     Program prog = emitter.Take();
+    emit_timer.Stop();
     T4I_RETURN_IF_ERROR(prog.Validate());
+
+    // Emission decision counts: fusion take rate and how finely the
+    // weight streams were chunked for prefetch (both are what the
+    // opt-level ladder actually changes).
+    reg.GetCounter("compiler.compiles")->Increment();
+    reg.GetCounter("compiler.layers_total")
+        ->Increment(graph.num_layers());
+    reg.GetCounter("compiler.instrs_emitted")
+        ->Increment(static_cast<int64_t>(prog.instrs.size()));
+    int64_t fused = 0;
+    if (options.opt_level >= 2) {
+        for (const auto& layer : graph.layers()) {
+            if (layer.kind == LayerKind::kLayerNorm ||
+                layer.kind == LayerKind::kSoftmax ||
+                layer.kind == LayerKind::kElementwise) {
+                ++fused;
+            }
+        }
+    }
+    reg.GetCounter("compiler.layers_fused")->Increment(fused);
+    int64_t weight_chunks = 0;
+    for (const auto& instr : prog.instrs) {
+        if (instr.engine == Engine::kHbm &&
+            instr.kind == InstrKind::kDmaIn &&
+            instr.label.find(".w") != std::string::npos) {
+            ++weight_chunks;
+        }
+    }
+    reg.GetCounter("compiler.weight_stream_chunks")
+        ->Increment(weight_chunks);
     return prog;
 }
 

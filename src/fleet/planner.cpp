@@ -4,6 +4,7 @@
 
 #include "src/arch/catalog.h"
 #include "src/compiler/compiler.h"
+#include "src/obs/registry.h"
 #include "src/serving/latency_table.h"
 #include "src/sim/machine.h"
 
@@ -88,6 +89,25 @@ PlanFleet(const std::vector<AppDemand>& demands, const ChipConfig& chip,
         }
         plan.apps.push_back(std::move(entry));
     }
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetCounter("fleet.plans")->Increment();
+    for (const auto& entry : plan.apps) {
+        const obs::Labels labels = {{"app", entry.app_name}};
+        if (entry.infeasible) {
+            reg.GetCounter("fleet.infeasible_apps")->Increment();
+            continue;
+        }
+        reg.GetGauge("fleet.chips", labels)
+            ->Set(static_cast<double>(entry.chips));
+        reg.GetGauge("fleet.capacity_per_chip", labels)
+            ->Set(entry.capacity_per_chip);
+    }
+    reg.GetGauge("fleet.total_chips")
+        ->Set(static_cast<double>(plan.total_chips));
+    reg.GetGauge("fleet.tco_usd")->Set(plan.tco_usd);
+    reg.GetGauge("fleet.capex_usd")->Set(plan.capex_usd);
+    reg.GetGauge("fleet.power_w")->Set(plan.fleet_power_w);
     return plan;
 }
 

@@ -1,0 +1,202 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/common/strings.h"
+#include "src/obs/json.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** `{"k":"v",...}` for the JSON document form. */
+std::string
+LabelsToJsonObject(const Labels& labels)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += JsonQuote(labels[i].first) + ":" +
+               JsonQuote(labels[i].second);
+    }
+    out += "}";
+    return out;
+}
+
+/** `name{k=v,...}` for compact single-line keys. */
+std::string
+FlatKey(const MetricsRegistry::Entry& entry)
+{
+    if (entry.labels.empty()) return entry.name;
+    std::string out = entry.name + "{";
+    for (size_t i = 0; i < entry.labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += entry.labels[i].first + "=" + entry.labels[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+/** Formats a double compactly but losslessly enough for metrics. */
+std::string
+Num(double v)
+{
+    std::string s = StrFormat("%.9g", v);
+    // %g can emit "inf"/"nan"; JSON has no literal for those.
+    if (s.find_first_not_of("+-.0123456789eE") != std::string::npos) {
+        return "0";
+    }
+    return s;
+}
+
+std::string
+HistogramJsonBody(const HistogramMetric& h)
+{
+    return StrFormat(
+        "\"count\":%lld,\"mean\":%s,\"min\":%s,\"max\":%s,"
+        "\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s",
+        static_cast<long long>(h.count()), Num(h.mean()).c_str(),
+        Num(h.min()).c_str(), Num(h.max()).c_str(),
+        Num(h.sum()).c_str(), Num(h.Percentile(50.0)).c_str(),
+        Num(h.Percentile(95.0)).c_str(),
+        Num(h.Percentile(99.0)).c_str());
+}
+
+}  // namespace
+
+std::string
+MetricsToJson(const MetricsRegistry& registry)
+{
+    const auto entries = registry.Snapshot();
+    std::string counters;
+    std::string gauges;
+    std::string histograms;
+    for (const auto& entry : entries) {
+        const std::string head =
+            "    {\"name\":" + JsonQuote(entry.name) +
+            ",\"labels\":" + LabelsToJsonObject(entry.labels) + ",";
+        switch (entry.type) {
+          case MetricType::kCounter:
+            if (!counters.empty()) counters += ",\n";
+            counters += head + StrFormat(
+                "\"value\":%lld}",
+                static_cast<long long>(entry.counter->value()));
+            break;
+          case MetricType::kGauge:
+            if (!gauges.empty()) gauges += ",\n";
+            gauges += head +
+                      "\"value\":" + Num(entry.gauge->value()) + "}";
+            break;
+          case MetricType::kHistogram:
+            if (!histograms.empty()) histograms += ",\n";
+            histograms +=
+                head + HistogramJsonBody(*entry.histogram) + "}";
+            break;
+        }
+    }
+    std::string out = "{\n  \"version\": 1,\n";
+    out += "  \"counters\": [\n" + counters + "\n  ],\n";
+    out += "  \"gauges\": [\n" + gauges + "\n  ],\n";
+    out += "  \"histograms\": [\n" + histograms + "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+MetricsToCsv(const MetricsRegistry& registry)
+{
+    std::string out =
+        "type,name,labels,value,count,mean,min,max,p50,p95,p99\n";
+    for (const auto& entry : registry.Snapshot()) {
+        std::vector<std::string> label_parts;
+        for (const auto& [k, v] : entry.labels) {
+            label_parts.push_back(k + "=" + v);
+        }
+        const std::string labels = StrJoin(label_parts, ";");
+        switch (entry.type) {
+          case MetricType::kCounter:
+            out += StrFormat("counter,%s,%s,%lld,,,,,,,\n",
+                             entry.name.c_str(), labels.c_str(),
+                             static_cast<long long>(
+                                 entry.counter->value()));
+            break;
+          case MetricType::kGauge:
+            out += StrFormat("gauge,%s,%s,%s,,,,,,,\n",
+                             entry.name.c_str(), labels.c_str(),
+                             Num(entry.gauge->value()).c_str());
+            break;
+          case MetricType::kHistogram: {
+            const HistogramMetric& h = *entry.histogram;
+            out += StrFormat(
+                "histogram,%s,%s,,%lld,%s,%s,%s,%s,%s,%s\n",
+                entry.name.c_str(), labels.c_str(),
+                static_cast<long long>(h.count()),
+                Num(h.mean()).c_str(), Num(h.min()).c_str(),
+                Num(h.max()).c_str(),
+                Num(h.Percentile(50.0)).c_str(),
+                Num(h.Percentile(95.0)).c_str(),
+                Num(h.Percentile(99.0)).c_str());
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsToBenchJsonLine(const std::string& bench_id,
+                       const MetricsRegistry& registry)
+{
+    std::string counters;
+    std::string gauges;
+    std::string histograms;
+    for (const auto& entry : registry.Snapshot()) {
+        const std::string key = JsonQuote(FlatKey(entry)) + ":";
+        switch (entry.type) {
+          case MetricType::kCounter:
+            if (!counters.empty()) counters += ",";
+            counters += key + StrFormat(
+                "%lld",
+                static_cast<long long>(entry.counter->value()));
+            break;
+          case MetricType::kGauge:
+            if (!gauges.empty()) gauges += ",";
+            gauges += key + Num(entry.gauge->value());
+            break;
+          case MetricType::kHistogram:
+            if (!histograms.empty()) histograms += ",";
+            histograms +=
+                key + "{" + HistogramJsonBody(*entry.histogram) + "}";
+            break;
+        }
+    }
+    return "{\"bench\":" + JsonQuote(bench_id) +
+           ",\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+           "},\"histograms\":{" + histograms + "}}";
+}
+
+Status
+WriteTextFile(const std::string& content, const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::InvalidArgument("cannot open " + path);
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return Status::Ok();
+}
+
+Status
+WriteMetricsJson(const MetricsRegistry& registry, const std::string& path)
+{
+    return WriteTextFile(MetricsToJson(registry), path);
+}
+
+Status
+WriteMetricsCsv(const MetricsRegistry& registry, const std::string& path)
+{
+    return WriteTextFile(MetricsToCsv(registry), path);
+}
+
+}  // namespace obs
+}  // namespace t4i

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine-readable exporters for the metrics registry.
+ *
+ * Three formats, all derived from the same Snapshot():
+ *   - JSON document: `{"version":1,"counters":[...],"gauges":[...],
+ *     "histograms":[...]}` — the `--metrics-json` output the CI schema
+ *     check diffs;
+ *   - CSV: one row per instrument, for spreadsheets / pandas;
+ *   - BENCH_JSON line: a single-line JSON object every bench prints so
+ *     tools/run_all.sh can collect perf trajectories across PRs.
+ */
+#ifndef T4I_OBS_EXPORT_H
+#define T4I_OBS_EXPORT_H
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+
+namespace t4i {
+namespace obs {
+
+/** Renders the registry as a pretty-printed JSON document. */
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+/**
+ * Renders the registry as CSV with header
+ * `type,name,labels,value,count,mean,min,max,p50,p95,p99`.
+ * Labels are `k=v` pairs joined with ';'.
+ */
+std::string MetricsToCsv(const MetricsRegistry& registry);
+
+/**
+ * Renders a single-line JSON object
+ * `{"bench":ID,"counters":{...},"gauges":{...},"histograms":{...}}`
+ * where labeled instruments key as `name{k=v,...}`.
+ */
+std::string MetricsToBenchJsonLine(const std::string& bench_id,
+                                   const MetricsRegistry& registry);
+
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path);
+Status WriteMetricsCsv(const MetricsRegistry& registry,
+                       const std::string& path);
+
+/** Writes @p content to @p path (shared by all file exporters). */
+Status WriteTextFile(const std::string& content, const std::string& path);
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_EXPORT_H

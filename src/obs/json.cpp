@@ -1,0 +1,248 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(const std::string& text) : text_(text) {}
+
+    StatusOr<JsonValue>
+    Parse()
+    {
+        JsonValue value;
+        T4I_RETURN_IF_ERROR(ParseValue(&value));
+        SkipWhitespace();
+        if (pos_ != text_.size()) {
+            return Error("trailing characters after document");
+        }
+        return value;
+    }
+
+  private:
+    Status
+    Error(const std::string& what) const
+    {
+        return Status::InvalidArgument(StrFormat(
+            "json: %s at offset %zu", what.c_str(), pos_));
+    }
+
+    void
+    SkipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    Consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    ParseValue(JsonValue* out)
+    {
+        SkipWhitespace();
+        if (pos_ >= text_.size()) return Error("unexpected end");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return ParseObject(out);
+          case '[': return ParseArray(out);
+          case '"':
+            out->type = JsonValue::Type::kString;
+            return ParseString(&out->string_value);
+          case 't':
+          case 'f': return ParseKeyword(out);
+          case 'n': return ParseKeyword(out);
+          default: return ParseNumber(out);
+        }
+    }
+
+    Status
+    ParseKeyword(JsonValue* out)
+    {
+        auto match = [this](const char* kw) {
+            const size_t len = std::string(kw).size();
+            if (text_.compare(pos_, len, kw) != 0) return false;
+            pos_ += len;
+            return true;
+        };
+        if (match("true")) {
+            out->type = JsonValue::Type::kBool;
+            out->bool_value = true;
+            return Status::Ok();
+        }
+        if (match("false")) {
+            out->type = JsonValue::Type::kBool;
+            out->bool_value = false;
+            return Status::Ok();
+        }
+        if (match("null")) {
+            out->type = JsonValue::Type::kNull;
+            return Status::Ok();
+        }
+        return Error("unknown keyword");
+    }
+
+    Status
+    ParseNumber(JsonValue* out)
+    {
+        const char* begin = text_.c_str() + pos_;
+        char* end = nullptr;
+        const double v = std::strtod(begin, &end);
+        if (end == begin) return Error("invalid number");
+        pos_ += static_cast<size_t>(end - begin);
+        out->type = JsonValue::Type::kNumber;
+        out->number_value = v;
+        return Status::Ok();
+    }
+
+    Status
+    ParseString(std::string* out)
+    {
+        if (!Consume('"')) return Error("expected '\"'");
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return Status::Ok();
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size()) break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    return Error("truncated \\u escape");
+                }
+                int code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                        return Error("bad \\u escape");
+                    }
+                    code = code * 16 +
+                           (std::isdigit(static_cast<unsigned char>(h))
+                                ? h - '0'
+                                : (std::tolower(h) - 'a' + 10));
+                }
+                // ASCII decodes exactly; anything else becomes '?'
+                // (exporters only emit ASCII).
+                out->push_back(code < 0x80 ? static_cast<char>(code)
+                                           : '?');
+                break;
+              }
+              default: return Error("bad escape");
+            }
+        }
+        return Error("unterminated string");
+    }
+
+    Status
+    ParseArray(JsonValue* out)
+    {
+        Consume('[');
+        out->type = JsonValue::Type::kArray;
+        SkipWhitespace();
+        if (Consume(']')) return Status::Ok();
+        while (true) {
+            JsonValue element;
+            T4I_RETURN_IF_ERROR(ParseValue(&element));
+            out->array.push_back(std::move(element));
+            SkipWhitespace();
+            if (Consume(']')) return Status::Ok();
+            if (!Consume(',')) return Error("expected ',' or ']'");
+        }
+    }
+
+    Status
+    ParseObject(JsonValue* out)
+    {
+        Consume('{');
+        out->type = JsonValue::Type::kObject;
+        SkipWhitespace();
+        if (Consume('}')) return Status::Ok();
+        while (true) {
+            SkipWhitespace();
+            std::string key;
+            T4I_RETURN_IF_ERROR(ParseString(&key));
+            SkipWhitespace();
+            if (!Consume(':')) return Error("expected ':'");
+            JsonValue value;
+            T4I_RETURN_IF_ERROR(ParseValue(&value));
+            out->object.emplace_back(std::move(key), std::move(value));
+            SkipWhitespace();
+            if (Consume('}')) return Status::Ok();
+            if (!Consume(',')) return Error("expected ',' or '}'");
+        }
+    }
+
+    const std::string& text_;
+    size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue*
+JsonValue::Find(const std::string& key) const
+{
+    for (const auto& [k, v] : object) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+StatusOr<JsonValue>
+ParseJson(const std::string& text)
+{
+    return Parser(text).Parse();
+}
+
+std::string
+JsonQuote(const std::string& raw)
+{
+    std::string out = "\"";
+    for (char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += StrFormat("\\u%04x", c);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON document parser.
+ *
+ * Exists so the repo can *validate* its own machine-readable exports
+ * (metrics JSON, Chrome traces, BENCH_JSON lines) without an external
+ * dependency: the round-trip tests parse what the exporters emit and
+ * assert structure. Covers the full JSON grammar the exporters use;
+ * \uXXXX escapes are accepted but decoded only for ASCII code points.
+ */
+#ifndef T4I_OBS_JSON_H
+#define T4I_OBS_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+namespace obs {
+
+/** One parsed JSON value (a small DOM). */
+struct JsonValue {
+    enum class Type {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type = Type::kNull;
+    bool bool_value = false;
+    double number_value = 0.0;
+    std::string string_value;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered members (duplicates preserved for checking). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool is_null() const { return type == Type::kNull; }
+    bool is_bool() const { return type == Type::kBool; }
+    bool is_number() const { return type == Type::kNumber; }
+    bool is_string() const { return type == Type::kString; }
+    bool is_array() const { return type == Type::kArray; }
+    bool is_object() const { return type == Type::kObject; }
+
+    /** First member named @p key, or nullptr. Object values only. */
+    const JsonValue* Find(const std::string& key) const;
+};
+
+/**
+ * Parses @p text as one JSON document. Fails on syntax errors and on
+ * trailing non-whitespace.
+ */
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/** Quotes + escapes @p raw as a JSON string literal (with quotes). */
+std::string JsonQuote(const std::string& raw);
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_JSON_H

@@ -1,0 +1,200 @@
+#include "src/obs/registry.h"
+
+#include <algorithm>
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** Canonical map key: name, then sorted labels, '\x1f'-separated. */
+std::string
+InstrumentKey(const std::string& name, const Labels& labels)
+{
+    std::string key = name;
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [k, v] : sorted) {
+        key += '\x1f';
+        key += k;
+        key += '=';
+        key += v;
+    }
+    return key;
+}
+
+}  // namespace
+
+void
+HistogramMetric::Observe(double x)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    percentiles_.Add(x);
+    stat_.Add(x);
+}
+
+int64_t
+HistogramMetric::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_.count();
+}
+
+double
+HistogramMetric::mean() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_.mean();
+}
+
+double
+HistogramMetric::min() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_.min();
+}
+
+double
+HistogramMetric::max() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_.max();
+}
+
+double
+HistogramMetric::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stat_.sum();
+}
+
+double
+HistogramMetric::Percentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return percentiles_.Percentile(q);
+}
+
+const char*
+MetricTypeName(MetricType type)
+{
+    switch (type) {
+      case MetricType::kCounter: return "counter";
+      case MetricType::kGauge: return "gauge";
+      case MetricType::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+MetricsRegistry::Instrument*
+MetricsRegistry::FindOrCreate(const std::string& name,
+                              const Labels& labels, MetricType type)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [type_it, inserted] = name_types_.emplace(name, type);
+    if (!inserted && type_it->second != type) return nullptr;
+
+    const std::string key = InstrumentKey(name, labels);
+    auto it = instruments_.find(key);
+    if (it == instruments_.end()) {
+        Instrument instr;
+        instr.name = name;
+        instr.labels = labels;
+        std::sort(instr.labels.begin(), instr.labels.end());
+        instr.type = type;
+        switch (type) {
+          case MetricType::kCounter:
+            instr.counter = std::make_unique<Counter>();
+            break;
+          case MetricType::kGauge:
+            instr.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricType::kHistogram:
+            instr.histogram = std::make_unique<HistogramMetric>();
+            break;
+        }
+        it = instruments_.emplace(key, std::move(instr)).first;
+    }
+    return &it->second;
+}
+
+Counter*
+MetricsRegistry::GetCounter(const std::string& name, const Labels& labels)
+{
+    Instrument* instr = FindOrCreate(name, labels, MetricType::kCounter);
+    return instr != nullptr ? instr->counter.get() : nullptr;
+}
+
+Gauge*
+MetricsRegistry::GetGauge(const std::string& name, const Labels& labels)
+{
+    Instrument* instr = FindOrCreate(name, labels, MetricType::kGauge);
+    return instr != nullptr ? instr->gauge.get() : nullptr;
+}
+
+HistogramMetric*
+MetricsRegistry::GetHistogram(const std::string& name,
+                              const Labels& labels)
+{
+    Instrument* instr =
+        FindOrCreate(name, labels, MetricType::kHistogram);
+    return instr != nullptr ? instr->histogram.get() : nullptr;
+}
+
+std::vector<MetricsRegistry::Entry>
+MetricsRegistry::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Entry> entries;
+    entries.reserve(instruments_.size());
+    // instruments_ is keyed by name + sorted labels, so iteration order
+    // is already the stable export order.
+    for (const auto& [key, instr] : instruments_) {
+        Entry e;
+        e.name = instr.name;
+        e.labels = instr.labels;
+        e.type = instr.type;
+        e.counter = instr.counter.get();
+        e.gauge = instr.gauge.get();
+        e.histogram = instr.histogram.get();
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return instruments_.size();
+}
+
+void
+MetricsRegistry::Clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    instruments_.clear();
+    name_types_.clear();
+}
+
+MetricsRegistry&
+MetricsRegistry::Global()
+{
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+double
+ScopedTimer::Stop()
+{
+    if (stopped_) return 0.0;
+    stopped_ = true;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (histogram_ != nullptr) histogram_->Observe(elapsed);
+    return elapsed;
+}
+
+}  // namespace obs
+}  // namespace t4i

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Process-wide metrics registry: the observability substrate every layer
+ * (compiler, cycle simulator, serving simulator, fleet planner) records
+ * into, and the exporters read from.
+ *
+ * Three instrument kinds, prometheus-style:
+ *   - Counter: monotonically increasing int64 (thread-safe, lock-free);
+ *   - Gauge: last-written double ("utilization of the most recent run");
+ *   - HistogramMetric: distribution summary built on the exact
+ *     percentile machinery from src/common/stats.h, because serving
+ *     SLO analysis needs trustworthy tails (p95/p99) at modest counts.
+ *
+ * Instruments are identified by (name, labels). Labels distinguish
+ * instances of the same metric — `serving.latency_seconds{tenant=BERT0}`
+ * vs `{tenant=WSM1}` — and a name is bound to one instrument type for
+ * its lifetime (a Get* call with the wrong type returns nullptr).
+ * Pointers returned by Get* stay valid until Clear().
+ */
+#ifndef T4I_OBS_REGISTRY_H
+#define T4I_OBS_REGISTRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace t4i {
+namespace obs {
+
+/** Label set: (key, value) pairs; order-insensitive (sorted on use). */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Monotonically increasing counter; increments are lock-free. */
+class Counter {
+  public:
+    void Increment(int64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<int64_t> value_{0};
+};
+
+/** Last-written value (e.g. utilization of the most recent run). */
+class Gauge {
+  public:
+    void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Distribution summary: exact percentiles (all samples retained) plus a
+ * running mean/min/max. Thread-safe.
+ */
+class HistogramMetric {
+  public:
+    void Observe(double x);
+
+    int64_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+    /** Exact q-th percentile (q in [0,100]); 0 when empty. */
+    double Percentile(double q) const;
+
+  private:
+    mutable std::mutex mu_;
+    PercentileTracker percentiles_;
+    RunningStat stat_;
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+/** Registry of named, labeled instruments. */
+class MetricsRegistry {
+  public:
+    /**
+     * Finds or creates the counter (name, labels). Returns nullptr when
+     * @p name is already registered as a different instrument type.
+     */
+    Counter* GetCounter(const std::string& name,
+                        const Labels& labels = {});
+    Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+    HistogramMetric* GetHistogram(const std::string& name,
+                                  const Labels& labels = {});
+
+    /** One instrument as seen by exporters. */
+    struct Entry {
+        std::string name;
+        Labels labels;  ///< sorted by key
+        MetricType type = MetricType::kCounter;
+        const Counter* counter = nullptr;
+        const Gauge* gauge = nullptr;
+        const HistogramMetric* histogram = nullptr;
+    };
+
+    /** Stable-ordered (name, labels) listing of every instrument. */
+    std::vector<Entry> Snapshot() const;
+
+    size_t size() const;
+
+    /** Drops every instrument (invalidates outstanding pointers). */
+    void Clear();
+
+    /** The process-wide registry library instrumentation records into. */
+    static MetricsRegistry& Global();
+
+  private:
+    struct Instrument {
+        std::string name;
+        Labels labels;
+        MetricType type;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    Instrument* FindOrCreate(const std::string& name,
+                             const Labels& labels, MetricType type);
+
+    mutable std::mutex mu_;
+    /** Keyed by name + unit-separator + sorted labels. */
+    std::map<std::string, Instrument> instruments_;
+    /** Enforces one type per metric name across label sets. */
+    std::map<std::string, MetricType> name_types_;
+};
+
+/**
+ * RAII wall-clock timer: observes the elapsed seconds into a histogram
+ * on destruction (or explicit Stop()). Null histogram = no-op, so call
+ * sites need no conditionals.
+ */
+class ScopedTimer {
+  public:
+    explicit ScopedTimer(HistogramMetric* histogram)
+        : histogram_(histogram),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    /** Records now; further Stop()/destruction is a no-op. Returns the
+     *  elapsed seconds. */
+    double Stop();
+
+    ~ScopedTimer() { Stop(); }
+
+  private:
+    HistogramMetric* histogram_;
+    std::chrono::steady_clock::time_point start_;
+    bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_REGISTRY_H

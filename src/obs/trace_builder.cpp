@@ -1,0 +1,128 @@
+#include "src/obs/trace_builder.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/obs/json.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+double
+ClampTs(double ts_us)
+{
+    return std::max(ts_us, 0.0);
+}
+
+}  // namespace
+
+void
+TraceBuilder::SetProcessName(int pid, const std::string& name)
+{
+    events_.push_back(StrFormat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"name\":%s}}",
+        pid, JsonQuote(name).c_str()));
+}
+
+void
+TraceBuilder::SetThreadName(int pid, int tid, const std::string& name)
+{
+    events_.push_back(StrFormat(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"name\":%s}}",
+        pid, tid, JsonQuote(name).c_str()));
+}
+
+void
+TraceBuilder::AddComplete(int pid, int tid, const std::string& name,
+                          const std::string& category, double ts_us,
+                          double dur_us, const std::string& args_json)
+{
+    std::string event = StrFormat(
+        "{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":%d,\"tid\":%d",
+        JsonQuote(name).c_str(), JsonQuote(category).c_str(),
+        ClampTs(ts_us), std::max(dur_us, 0.0), pid, tid);
+    if (!args_json.empty()) {
+        event += ",\"args\":" + args_json;
+    }
+    event += "}";
+    events_.push_back(std::move(event));
+}
+
+void
+TraceBuilder::AddCounter(int pid, const std::string& name, double ts_us,
+                         double value)
+{
+    events_.push_back(StrFormat(
+        "{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
+        "\"args\":{\"value\":%.6g}}",
+        JsonQuote(name).c_str(), ClampTs(ts_us), pid, value));
+}
+
+void
+TraceBuilder::AddInstant(int pid, int tid, const std::string& name,
+                         double ts_us)
+{
+    events_.push_back(StrFormat(
+        "{\"name\":%s,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+        "\"pid\":%d,\"tid\":%d}",
+        JsonQuote(name).c_str(), ClampTs(ts_us), pid, tid));
+}
+
+void
+TraceBuilder::AddFlow(char phase, int pid, int tid,
+                      const std::string& name, uint64_t flow_id,
+                      double ts_us)
+{
+    std::string event = StrFormat(
+        "{\"name\":%s,\"cat\":\"flow\",\"ph\":\"%c\",\"id\":%llu,"
+        "\"ts\":%.3f,\"pid\":%d,\"tid\":%d",
+        JsonQuote(name).c_str(), phase,
+        static_cast<unsigned long long>(flow_id), ClampTs(ts_us), pid,
+        tid);
+    // Binding point: terminate on the enclosing slice, the usual
+    // convention for "this work finished here".
+    if (phase == 'f') event += ",\"bp\":\"e\"";
+    event += "}";
+    events_.push_back(std::move(event));
+}
+
+void
+TraceBuilder::AddFlowStart(int pid, int tid, const std::string& name,
+                           uint64_t flow_id, double ts_us)
+{
+    AddFlow('s', pid, tid, name, flow_id, ts_us);
+}
+
+void
+TraceBuilder::AddFlowStep(int pid, int tid, const std::string& name,
+                          uint64_t flow_id, double ts_us)
+{
+    AddFlow('t', pid, tid, name, flow_id, ts_us);
+}
+
+void
+TraceBuilder::AddFlowEnd(int pid, int tid, const std::string& name,
+                         uint64_t flow_id, double ts_us)
+{
+    AddFlow('f', pid, tid, name, flow_id, ts_us);
+}
+
+std::string
+TraceBuilder::Render() const
+{
+    std::string out = "[\n";
+    for (size_t i = 0; i < events_.size(); ++i) {
+        out += events_[i];
+        if (i + 1 < events_.size()) out += ",";
+        out += "\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

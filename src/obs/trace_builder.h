@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Generic Chrome-trace (Perfetto) event builder.
+ *
+ * The legacy exporter in src/sim/trace.h only emits complete ('X')
+ * events. Production-style observability needs more of the format:
+ *   - counter tracks ('C') — queue depth, CMEM occupancy, achieved HBM
+ *     bandwidth as time series under the timeline;
+ *   - flow events ('s'/'t'/'f') — arrows linking one request's journey
+ *     across tracks (arrival -> batch formation -> device completion);
+ *   - instant events ('i') and process/thread metadata ('M').
+ *
+ * The builder is deliberately dumb: callers append events (timestamps
+ * in microseconds, as the format expects; negatives clamp to zero) and
+ * Render() serializes a strict-JSON array that chrome://tracing and
+ * ui.perfetto.dev both load. It knows nothing about Programs or
+ * serving cells, so every layer can target it without dependency
+ * cycles.
+ */
+#ifndef T4I_OBS_TRACE_BUILDER_H
+#define T4I_OBS_TRACE_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace t4i {
+namespace obs {
+
+class TraceBuilder {
+  public:
+    /** Names the process / thread tracks (metadata events). */
+    void SetProcessName(int pid, const std::string& name);
+    void SetThreadName(int pid, int tid, const std::string& name);
+
+    /**
+     * Complete ('X') event. @p args_json, when non-empty, must be a
+     * JSON object literal (e.g. `{"batch":4}`) spliced in verbatim.
+     */
+    void AddComplete(int pid, int tid, const std::string& name,
+                     const std::string& category, double ts_us,
+                     double dur_us, const std::string& args_json = "");
+
+    /** Counter ('C') sample: one point of the series @p name. */
+    void AddCounter(int pid, const std::string& name, double ts_us,
+                    double value);
+
+    /** Instant ('i') event, thread-scoped. */
+    void AddInstant(int pid, int tid, const std::string& name,
+                    double ts_us);
+
+    /**
+     * Flow events: one arrow per @p flow_id from Start through any
+     * Steps to End. Name/category must match across the three phases
+     * (the viewers key on them).
+     */
+    void AddFlowStart(int pid, int tid, const std::string& name,
+                      uint64_t flow_id, double ts_us);
+    void AddFlowStep(int pid, int tid, const std::string& name,
+                     uint64_t flow_id, double ts_us);
+    void AddFlowEnd(int pid, int tid, const std::string& name,
+                    uint64_t flow_id, double ts_us);
+
+    size_t event_count() const { return events_.size(); }
+
+    /** Serializes all events as a strict JSON array. */
+    std::string Render() const;
+
+  private:
+    void AddFlow(char phase, int pid, int tid, const std::string& name,
+                 uint64_t flow_id, double ts_us);
+
+    std::vector<std::string> events_;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_TRACE_BUILDER_H

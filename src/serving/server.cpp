@@ -5,12 +5,17 @@
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/common/strings.h"
 
 namespace t4i {
 namespace {
 
+constexpr double kUsPerSecond = 1e6;
+
 struct Request {
     double arrival_s;
+    /** Telemetry flow id (arrival -> batch -> completion); -1 = none. */
+    int64_t flow_id = -1;
 };
 
 struct TenantState {
@@ -20,6 +25,15 @@ struct TenantState {
     RunningStat batches;
     int64_t completed = 0;
     int64_t slo_misses = 0;
+    int64_t max_queue_depth = 0;
+
+    // Telemetry plumbing (null when no sink is configured).
+    obs::HistogramMetric* latency_hist = nullptr;
+    obs::HistogramMetric* batch_hist = nullptr;
+    obs::Counter* completed_counter = nullptr;
+    obs::Counter* slo_miss_counter = nullptr;
+    int64_t flows_started = 0;
+    int64_t last_emitted_depth = -1;
 };
 
 struct DeviceState {
@@ -34,7 +48,8 @@ struct DeviceState {
 
 StatusOr<ServingResult>
 RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
-               double duration_s, uint64_t seed)
+               double duration_s, uint64_t seed,
+               const ServingTelemetry& telemetry)
 {
     if (tenants.empty()) {
         return Status::InvalidArgument("no tenants");
@@ -75,8 +90,53 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
     }
     std::vector<DeviceState> devices(static_cast<size_t>(num_devices));
 
+    // Telemetry setup: per-tenant instruments and named trace tracks.
+    // Device batches render on tids [0, num_devices); each tenant's
+    // arrival/queue activity on tid num_devices + tenant index.
+    obs::TraceBuilder* trace = telemetry.trace;
+    const int pid = telemetry.trace_pid;
+    auto queue_tid = [&](size_t i) {
+        return num_devices + static_cast<int>(i);
+    };
+    if (trace != nullptr) {
+        trace->SetProcessName(pid, "serving cell");
+        for (int d = 0; d < num_devices; ++d) {
+            trace->SetThreadName(pid, d, StrFormat("device %d", d));
+        }
+        for (size_t i = 0; i < tenants.size(); ++i) {
+            trace->SetThreadName(pid, queue_tid(i),
+                                 "queue: " + tenants[i].name);
+        }
+    }
+    if (telemetry.registry != nullptr) {
+        for (size_t i = 0; i < tenants.size(); ++i) {
+            const obs::Labels labels = {{"tenant", tenants[i].name}};
+            state[i].latency_hist = telemetry.registry->GetHistogram(
+                "serving.latency_seconds", labels);
+            state[i].batch_hist = telemetry.registry->GetHistogram(
+                "serving.batch_size", labels);
+            state[i].completed_counter = telemetry.registry->GetCounter(
+                "serving.completed", labels);
+            state[i].slo_miss_counter = telemetry.registry->GetCounter(
+                "serving.slo_miss", labels);
+        }
+    }
+    auto emit_queue_depth = [&](size_t i, double t) {
+        TenantState& ts = state[i];
+        const auto depth = static_cast<int64_t>(ts.queue.size());
+        ts.max_queue_depth = std::max(ts.max_queue_depth, depth);
+        if (trace != nullptr && depth != ts.last_emitted_depth) {
+            trace->AddCounter(pid,
+                              "queue depth: " + tenants[i].name,
+                              t * kUsPerSecond,
+                              static_cast<double>(depth));
+            ts.last_emitted_depth = depth;
+        }
+    };
+
     double now = 0.0;
     double switch_overhead = 0.0;
+    uint64_t next_flow_id = 1;
     size_t rr_cursor = 0;  // round-robin fairness within a priority
 
     while (true) {
@@ -85,10 +145,25 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         for (size_t i = 0; i < tenants.size(); ++i) {
             while (state[i].next_arrival_s <= now &&
                    state[i].next_arrival_s < duration_s) {
-                state[i].queue.push_back({state[i].next_arrival_s});
+                Request req{state[i].next_arrival_s, -1};
+                if (trace != nullptr &&
+                    state[i].flows_started <
+                        telemetry.max_flows_per_tenant) {
+                    req.flow_id =
+                        static_cast<int64_t>(next_flow_id++);
+                    ++state[i].flows_started;
+                    trace->AddInstant(pid, queue_tid(i), "arrive",
+                                      req.arrival_s * kUsPerSecond);
+                    trace->AddFlowStart(
+                        pid, queue_tid(i), "request",
+                        static_cast<uint64_t>(req.flow_id),
+                        req.arrival_s * kUsPerSecond);
+                }
+                state[i].queue.push_back(req);
                 state[i].next_arrival_s = next_arrival(
                     tenants[i], state[i].next_arrival_s);
             }
+            emit_queue_depth(i, now);
             if (state[i].next_arrival_s < duration_s) {
                 any_pending_arrivals = true;
             }
@@ -190,6 +265,16 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         device->busy_s += finish - std::max(now, device->device_free_s);
         device->device_free_s = finish;
 
+        const int device_tid =
+            static_cast<int>(device - devices.data());
+        if (trace != nullptr) {
+            trace->AddComplete(
+                pid, device_tid, cfg.name, "batch",
+                device_start * kUsPerSecond, exec * kUsPerSecond,
+                StrFormat("{\"batch\":%lld}",
+                          static_cast<long long>(batch)));
+        }
+
         for (int64_t j = 0; j < batch; ++j) {
             const Request req = ts.queue.front();
             ts.queue.pop_front();
@@ -197,8 +282,30 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             ts.latencies.Add(latency);
             ++ts.completed;
             if (latency > cfg.slo_s) ++ts.slo_misses;
+            if (ts.latency_hist != nullptr) {
+                ts.latency_hist->Observe(latency);
+                ts.completed_counter->Increment();
+                if (latency > cfg.slo_s) {
+                    ts.slo_miss_counter->Increment();
+                }
+            }
+            if (trace != nullptr && req.flow_id >= 0) {
+                // arrival (queue track) -> batch start (device track)
+                // -> completion, all one arrow in the viewer.
+                trace->AddFlowStep(
+                    pid, device_tid, "request",
+                    static_cast<uint64_t>(req.flow_id),
+                    device_start * kUsPerSecond);
+                trace->AddFlowEnd(pid, device_tid, "request",
+                                  static_cast<uint64_t>(req.flow_id),
+                                  finish * kUsPerSecond);
+            }
         }
         ts.batches.Add(static_cast<double>(batch));
+        if (ts.batch_hist != nullptr) {
+            ts.batch_hist->Observe(static_cast<double>(batch));
+        }
+        emit_queue_depth(static_cast<size_t>(chosen), now);
 
         // Advance to the next batch-formation point: the host stage
         // leads the device by the host overhead so the two-stage
@@ -239,7 +346,9 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         s.completed = state[i].completed;
         s.mean_latency_s = state[i].latencies.Mean();
         s.p50_latency_s = state[i].latencies.Percentile(50.0);
+        s.p95_latency_s = state[i].latencies.Percentile(95.0);
         s.p99_latency_s = state[i].latencies.Percentile(99.0);
+        s.slo_misses = state[i].slo_misses;
         s.slo_miss_fraction =
             state[i].completed > 0
                 ? static_cast<double>(state[i].slo_misses) /
@@ -248,9 +357,39 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         s.throughput_rps =
             static_cast<double>(state[i].completed) / result.duration_s;
         s.mean_batch = state[i].batches.mean();
+        s.max_queue_depth = state[i].max_queue_depth;
         result.tenants.push_back(std::move(s));
     }
+
+    if (telemetry.registry != nullptr) {
+        obs::MetricsRegistry& reg = *telemetry.registry;
+        reg.GetGauge("serving.device_busy_fraction")
+            ->Set(result.device_busy_fraction);
+        reg.GetGauge("serving.host_busy_fraction")
+            ->Set(result.host_busy_fraction);
+        reg.GetGauge("serving.switch_overhead_fraction")
+            ->Set(result.switch_overhead_fraction);
+        reg.GetGauge("serving.duration_seconds")
+            ->Set(result.duration_s);
+        for (const auto& tenant : result.tenants) {
+            const obs::Labels labels = {{"tenant", tenant.name}};
+            reg.GetGauge("serving.slo_miss_fraction", labels)
+                ->Set(tenant.slo_miss_fraction);
+            reg.GetGauge("serving.throughput_rps", labels)
+                ->Set(tenant.throughput_rps);
+            reg.GetGauge("serving.max_queue_depth", labels)
+                ->Set(static_cast<double>(tenant.max_queue_depth));
+        }
+    }
     return result;
+}
+
+StatusOr<ServingResult>
+RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
+               double duration_s, uint64_t seed)
+{
+    return RunServingCell(tenants, num_devices, duration_s, seed,
+                          ServingTelemetry{});
 }
 
 StatusOr<ServingResult>

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
 
 namespace t4i {
 
@@ -69,10 +71,13 @@ struct TenantStats {
     int64_t completed = 0;
     double mean_latency_s = 0.0;
     double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
     double p99_latency_s = 0.0;
+    int64_t slo_misses = 0;
     double slo_miss_fraction = 0.0;
     double throughput_rps = 0.0;
     double mean_batch = 0.0;
+    int64_t max_queue_depth = 0;
 };
 
 /** Whole-run results. */
@@ -82,6 +87,29 @@ struct ServingResult {
     double switch_overhead_fraction = 0.0;
     double host_busy_fraction = 0.0;
     double duration_s = 0.0;
+};
+
+/**
+ * Optional observability hooks for a serving run. Either sink may be
+ * null; with both null the run is exactly the untelemetered one.
+ */
+struct ServingTelemetry {
+    /**
+     * Per-tenant instruments, labeled `{tenant=NAME}`: latency and
+     * batch-size histograms, completed/SLO-miss counters, queue-depth
+     * high-water gauge, plus cell-level device/host busy gauges.
+     */
+    obs::MetricsRegistry* registry = nullptr;
+    /**
+     * Timeline export: batch 'X' events per device track, per-tenant
+     * queue-depth counter tracks, and flow events following a request
+     * from arrival -> batch execution -> completion.
+     */
+    obs::TraceBuilder* trace = nullptr;
+    /** Process id the serving tracks render under. */
+    int trace_pid = 2;
+    /** Requests (per tenant) that get arrival->completion flows. */
+    int64_t max_flows_per_tenant = 64;
 };
 
 /**
@@ -95,6 +123,12 @@ StatusOr<ServingResult> RunServing(const std::vector<TenantConfig>& tenants,
 StatusOr<ServingResult> RunServingCell(
     const std::vector<TenantConfig>& tenants, int num_devices,
     double duration_s, uint64_t seed);
+
+/** Same, recording telemetry into @p telemetry's sinks as it runs. */
+StatusOr<ServingResult> RunServingCell(
+    const std::vector<TenantConfig>& tenants, int num_devices,
+    double duration_s, uint64_t seed,
+    const ServingTelemetry& telemetry);
 
 }  // namespace t4i
 

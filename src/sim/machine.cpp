@@ -54,8 +54,51 @@ SimResult::DumpStats() const
                          static_cast<long long>(engines[e].bytes));
         out += StrFormat("engine.%s.utilization %.6f\n", name,
                          engines[e].utilization);
+        out += StrFormat("engine.%s.dep_stall_seconds %.9e\n", name,
+                         engines[e].dep_stall_s);
+        out += StrFormat("engine.%s.queue_stall_seconds %.9e\n", name,
+                         engines[e].queue_stall_s);
+        out += StrFormat("engine.%s.dep_stalls %lld\n", name,
+                         static_cast<long long>(engines[e].dep_stalls));
+        out += StrFormat("engine.%s.queue_stalls %lld\n", name,
+                         static_cast<long long>(
+                             engines[e].queue_stalls));
     }
     return out;
+}
+
+void
+RecordSimMetrics(const SimResult& result, obs::MetricsRegistry* registry)
+{
+    obs::MetricsRegistry& reg =
+        registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+    reg.GetCounter("sim.runs")->Increment();
+    reg.GetGauge("sim.latency_seconds")->Set(result.latency_s);
+    reg.GetGauge("sim.mxu_utilization")->Set(result.mxu_utilization);
+    reg.GetGauge("sim.achieved_flops")->Set(result.achieved_flops);
+    reg.GetGauge("sim.steady_state_ips")->Set(result.steady_state_ips);
+    for (size_t e = 0; e < result.engines.size(); ++e) {
+        const EngineStats& stats = result.engines[e];
+        if (stats.instructions == 0) continue;
+        const obs::Labels labels = {
+            {"engine", EngineName(static_cast<Engine>(e))}};
+        reg.GetGauge("sim.engine.utilization", labels)
+            ->Set(stats.utilization);
+        reg.GetGauge("sim.engine.busy_seconds", labels)
+            ->Set(stats.busy_s);
+        reg.GetGauge("sim.engine.dep_stall_seconds", labels)
+            ->Set(stats.dep_stall_s);
+        reg.GetGauge("sim.engine.queue_stall_seconds", labels)
+            ->Set(stats.queue_stall_s);
+        reg.GetCounter("sim.engine.instructions", labels)
+            ->Increment(stats.instructions);
+        reg.GetCounter("sim.engine.bytes", labels)
+            ->Increment(stats.bytes);
+        reg.GetCounter("sim.engine.dep_stalls", labels)
+            ->Increment(stats.dep_stalls);
+        reg.GetCounter("sim.engine.queue_stalls", labels)
+            ->Increment(stats.queue_stalls);
+    }
 }
 
 StatusOr<SimResult>
@@ -80,16 +123,29 @@ SimulateWithSchedule(const Program& program, const ChipConfig& chip,
         const Instr& instr = program.instrs[i];
         const auto e = static_cast<size_t>(instr.engine);
 
-        double ready = engine_free[e];
+        double dep_ready = 0.0;
         for (int dep : instr.deps) {
-            ready = std::max(ready, finish[static_cast<size_t>(dep)]);
+            dep_ready =
+                std::max(dep_ready, finish[static_cast<size_t>(dep)]);
         }
+        const double ready = std::max(engine_free[e], dep_ready);
         const double dur = InstrDuration(chip, instr);
         const double end = ready + dur;
         finish[i] = end;
-        engine_free[e] = end;
 
         EngineStats& stats = result.engines[e];
+        // Stall attribution: the engine either sat idle waiting for a
+        // cross-engine dependency, or the instruction sat ready behind
+        // the engine's in-order queue.
+        if (dep_ready > engine_free[e]) {
+            stats.dep_stall_s += dep_ready - engine_free[e];
+            ++stats.dep_stalls;
+        } else if (engine_free[e] > dep_ready) {
+            stats.queue_stall_s += engine_free[e] - dep_ready;
+            ++stats.queue_stalls;
+        }
+        engine_free[e] = end;
+
         stats.busy_s += dur;
         stats.instructions += 1;
         stats.bytes += instr.bytes;

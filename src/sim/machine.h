@@ -22,6 +22,7 @@
 #include "src/arch/chip.h"
 #include "src/common/status.h"
 #include "src/compiler/program.h"
+#include "src/obs/registry.h"
 
 namespace t4i {
 
@@ -31,6 +32,15 @@ struct EngineStats {
     int64_t instructions = 0;
     int64_t bytes = 0;       ///< transfer engines only
     double utilization = 0.0;
+
+    // Stall attribution: when an instruction reached the head of this
+    // engine's queue, what was it waiting for?
+    /** Seconds the engine sat idle waiting on cross-engine deps. */
+    double dep_stall_s = 0.0;
+    /** Seconds instructions waited ready behind a busy engine. */
+    double queue_stall_s = 0.0;
+    int64_t dep_stalls = 0;    ///< instructions delayed by deps
+    int64_t queue_stalls = 0;  ///< instructions delayed by the engine
 };
 
 /** Result of simulating one program execution. */
@@ -79,6 +89,16 @@ struct SimResult {
  */
 StatusOr<SimResult> Simulate(const Program& program,
                              const ChipConfig& chip);
+
+/**
+ * Records @p result into @p registry (Global() by default): run-level
+ * gauges (`sim.latency_seconds`, `sim.mxu_utilization`, ...) plus
+ * per-engine gauges and counters labeled `{engine=NAME}` — including
+ * the stall-reason split above. Engines that saw no instructions are
+ * skipped so the export stays dense.
+ */
+void RecordSimMetrics(const SimResult& result,
+                      obs::MetricsRegistry* registry = nullptr);
 
 /** Per-instruction schedule entry (for tests and trace dumps). */
 struct ScheduleEntry {

@@ -1,6 +1,8 @@
 #include "src/sim/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "src/common/strings.h"
 
@@ -65,6 +67,216 @@ WriteChromeTrace(const Program& program,
                  const std::string& path)
 {
     auto rendered = RenderChromeTrace(program, schedule);
+    T4I_RETURN_IF_ERROR(rendered.status());
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        return Status::InvalidArgument("cannot open " + path);
+    }
+    std::fwrite(rendered.value().data(), 1, rendered.value().size(), f);
+    std::fclose(f);
+    return Status::Ok();
+}
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+/** Buckets for the achieved-bandwidth counter tracks. */
+constexpr int kBandwidthBuckets = 64;
+
+/**
+ * Emits an achieved-bandwidth counter track for one transfer engine:
+ * each instruction's bytes are spread uniformly over its active
+ * interval, accumulated into fixed time buckets.
+ */
+void
+EmitBandwidthTrack(const Program& program,
+                   const std::vector<ScheduleEntry>& schedule,
+                   Engine engine, const std::string& track_name,
+                   double makespan_s, obs::TraceBuilder* builder,
+                   int pid)
+{
+    if (makespan_s <= 0.0) return;
+    std::vector<double> bucket_bytes(kBandwidthBuckets, 0.0);
+    const double bucket_s = makespan_s / kBandwidthBuckets;
+    bool any = false;
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        if (instr.engine != engine || instr.bytes <= 0) continue;
+        any = true;
+        const double span = entry.finish_s - entry.start_s;
+        const int lo = std::min(
+            kBandwidthBuckets - 1,
+            static_cast<int>(entry.start_s / bucket_s));
+        const int hi = std::min(
+            kBandwidthBuckets - 1,
+            static_cast<int>(entry.finish_s / bucket_s));
+        if (span <= 0.0) {
+            bucket_bytes[static_cast<size_t>(lo)] +=
+                static_cast<double>(instr.bytes);
+            continue;
+        }
+        for (int b = lo; b <= hi; ++b) {
+            const double overlap =
+                std::min(entry.finish_s, (b + 1) * bucket_s) -
+                std::max(entry.start_s, b * bucket_s);
+            if (overlap <= 0.0) continue;
+            bucket_bytes[static_cast<size_t>(b)] +=
+                static_cast<double>(instr.bytes) * overlap / span;
+        }
+    }
+    if (!any) return;
+    for (int b = 0; b < kBandwidthBuckets; ++b) {
+        builder->AddCounter(
+            pid, track_name, b * bucket_s * kUsPerSecond,
+            bucket_bytes[static_cast<size_t>(b)] / bucket_s / 1e9);
+    }
+    builder->AddCounter(pid, track_name, makespan_s * kUsPerSecond,
+                        0.0);
+}
+
+/**
+ * Emits a ready-queue-depth counter track for one engine: an
+ * instruction is "queued" from the moment its dependencies finished
+ * until its engine issued it.
+ */
+void
+EmitQueueDepthTrack(const Program& program,
+                    const std::vector<ScheduleEntry>& schedule,
+                    const std::vector<double>& finish_by_id,
+                    Engine engine, const std::string& track_name,
+                    obs::TraceBuilder* builder, int pid)
+{
+    // (+1 at ready, -1 at issue) deltas, time-sorted.
+    std::vector<std::pair<double, int>> deltas;
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        if (instr.engine != engine) continue;
+        double ready = 0.0;
+        for (int dep : instr.deps) {
+            ready = std::max(ready,
+                             finish_by_id[static_cast<size_t>(dep)]);
+        }
+        ready = std::min(ready, entry.start_s);
+        if (entry.start_s - ready < 1e-12) continue;  // never queued
+        deltas.emplace_back(ready, +1);
+        deltas.emplace_back(entry.start_s, -1);
+    }
+    if (deltas.empty()) return;
+    std::sort(deltas.begin(), deltas.end());
+    builder->AddCounter(pid, track_name, 0.0, 0.0);
+    int depth = 0;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+        depth += deltas[i].second;
+        // Coalesce identical timestamps into one sample.
+        if (i + 1 < deltas.size() &&
+            deltas[i + 1].first == deltas[i].first) {
+            continue;
+        }
+        builder->AddCounter(pid, track_name,
+                            deltas[i].first * kUsPerSecond, depth);
+    }
+}
+
+}  // namespace
+
+Status
+AppendScheduleTrace(const Program& program,
+                    const std::vector<ScheduleEntry>& schedule,
+                    obs::TraceBuilder* builder, int pid,
+                    int max_flow_events)
+{
+    if (schedule.size() != program.instrs.size()) {
+        return Status::InvalidArgument(
+            "schedule does not match program");
+    }
+    builder->SetProcessName(pid, "device: " + program.chip_name + " (" +
+                                     program.model_name + ")");
+    for (int e = 0; e < static_cast<int>(Engine::kEngineCount); ++e) {
+        builder->SetThreadName(pid, e,
+                               EngineName(static_cast<Engine>(e)));
+    }
+
+    std::vector<double> finish_by_id(program.instrs.size(), 0.0);
+    double makespan_s = 0.0;
+    for (const auto& entry : schedule) {
+        finish_by_id[static_cast<size_t>(entry.instr_id)] =
+            entry.finish_s;
+        makespan_s = std::max(makespan_s, entry.finish_s);
+    }
+
+    // Timeline: one complete event per instruction.
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        builder->AddComplete(
+            pid, static_cast<int>(instr.engine), instr.label,
+            InstrKindName(instr.kind), entry.start_s * kUsPerSecond,
+            (entry.finish_s - entry.start_s) * kUsPerSecond,
+            StrFormat("{\"id\":%d,\"layer\":%d}", instr.id,
+                      instr.layer_id));
+    }
+
+    // Flow events: cross-engine dependency arrows (producer finish ->
+    // consumer start). Capped; the first edges cover the interesting
+    // prefetch/compute overlap at the program head.
+    int flow_events = 0;
+    uint64_t flow_id = 1;
+    for (const auto& entry : schedule) {
+        if (flow_events + 2 > max_flow_events) break;
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        for (int dep : instr.deps) {
+            if (flow_events + 2 > max_flow_events) break;
+            const Instr& producer =
+                program.instrs[static_cast<size_t>(dep)];
+            if (producer.engine == instr.engine) continue;
+            builder->AddFlowStart(
+                pid, static_cast<int>(producer.engine), "dep", flow_id,
+                finish_by_id[static_cast<size_t>(dep)] * kUsPerSecond);
+            builder->AddFlowEnd(pid, static_cast<int>(instr.engine),
+                                "dep", flow_id,
+                                entry.start_s * kUsPerSecond);
+            ++flow_id;
+            flow_events += 2;
+        }
+    }
+
+    // Counter tracks.
+    EmitQueueDepthTrack(program, schedule, finish_by_id, Engine::kMxu,
+                        "MXU ready-queue depth", builder, pid);
+    EmitQueueDepthTrack(program, schedule, finish_by_id, Engine::kHbm,
+                        "HBM ready-queue depth", builder, pid);
+    EmitBandwidthTrack(program, schedule, Engine::kHbm, "HBM GB/s",
+                       makespan_s, builder, pid);
+    EmitBandwidthTrack(program, schedule, Engine::kCmem, "CMEM GB/s",
+                       makespan_s, builder, pid);
+    const double pinned_mib =
+        static_cast<double>(program.memory.weight_bytes_cmem) /
+        (1024.0 * 1024.0);
+    builder->AddCounter(pid, "CMEM pinned MiB", 0.0, pinned_mib);
+    builder->AddCounter(pid, "CMEM pinned MiB",
+                        makespan_s * kUsPerSecond, pinned_mib);
+    return Status::Ok();
+}
+
+StatusOr<std::string>
+RenderEnrichedChromeTrace(const Program& program,
+                          const std::vector<ScheduleEntry>& schedule)
+{
+    obs::TraceBuilder builder;
+    T4I_RETURN_IF_ERROR(
+        AppendScheduleTrace(program, schedule, &builder));
+    return builder.Render();
+}
+
+Status
+WriteEnrichedChromeTrace(const Program& program,
+                         const std::vector<ScheduleEntry>& schedule,
+                         const std::string& path)
+{
+    auto rendered = RenderEnrichedChromeTrace(program, schedule);
     T4I_RETURN_IF_ERROR(rendered.status());
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {

@@ -16,6 +16,7 @@
 
 #include "src/common/status.h"
 #include "src/compiler/program.h"
+#include "src/obs/trace_builder.h"
 #include "src/sim/machine.h"
 
 namespace t4i {
@@ -31,6 +32,32 @@ StatusOr<std::string> RenderChromeTrace(
 Status WriteChromeTrace(const Program& program,
                         const std::vector<ScheduleEntry>& schedule,
                         const std::string& path);
+
+/**
+ * Appends the *enriched* trace of a simulated schedule to @p builder
+ * under process id @p pid: the per-engine 'X' timeline plus
+ *   - counter tracks: ready-queue depth for the MXU and HBM engines,
+ *     achieved HBM/CMEM bandwidth (GB/s, bucketed), and the CMEM
+ *     pinned-weight occupancy (MiB);
+ *   - flow events: arrows from each cross-engine dependency (producer
+ *     finish -> consumer start), capped at @p max_flow_events so huge
+ *     programs stay loadable.
+ * Callers can merge several sources (e.g. the serving simulator) into
+ * the same builder under different pids before rendering.
+ */
+Status AppendScheduleTrace(const Program& program,
+                           const std::vector<ScheduleEntry>& schedule,
+                           obs::TraceBuilder* builder, int pid = 1,
+                           int max_flow_events = 200);
+
+/** Renders the enriched trace (convenience over AppendScheduleTrace). */
+StatusOr<std::string> RenderEnrichedChromeTrace(
+    const Program& program, const std::vector<ScheduleEntry>& schedule);
+
+/** Renders the enriched trace and writes it to @p path. */
+Status WriteEnrichedChromeTrace(
+    const Program& program, const std::vector<ScheduleEntry>& schedule,
+    const std::string& path);
 
 }  // namespace t4i
 

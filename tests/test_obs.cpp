@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Tests for the observability subsystem: metrics registry, JSON
+ * parser, exporters, trace builder, and the serving/sim telemetry
+ * integration.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "src/arch/catalog.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
+#include "src/serving/server.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace {
+
+TEST(Registry, CounterGaugeHistogramBasics)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* c = reg.GetCounter("reqs");
+    ASSERT_NE(c, nullptr);
+    c->Increment();
+    c->Increment(4);
+    EXPECT_EQ(c->value(), 5);
+
+    obs::Gauge* g = reg.GetGauge("util");
+    ASSERT_NE(g, nullptr);
+    g->Set(0.25);
+    g->Set(0.75);
+    EXPECT_DOUBLE_EQ(g->value(), 0.75);
+
+    obs::HistogramMetric* h = reg.GetHistogram("lat");
+    ASSERT_NE(h, nullptr);
+    h->Observe(1.0);
+    h->Observe(3.0);
+    EXPECT_EQ(h->count(), 2);
+    EXPECT_DOUBLE_EQ(h->mean(), 2.0);
+    EXPECT_DOUBLE_EQ(h->min(), 1.0);
+    EXPECT_DOUBLE_EQ(h->max(), 3.0);
+    EXPECT_DOUBLE_EQ(h->sum(), 4.0);
+    EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Registry, LabeledInstancesAreDistinctAndStable)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* a = reg.GetCounter("done", {{"tenant", "BERT0"}});
+    obs::Counter* b = reg.GetCounter("done", {{"tenant", "WSM1"}});
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    a->Increment(7);
+    EXPECT_EQ(b->value(), 0);
+
+    // Same (name, labels) -> same instrument; label order must not
+    // matter.
+    EXPECT_EQ(reg.GetCounter("done", {{"tenant", "BERT0"}}), a);
+    obs::Counter* x =
+        reg.GetCounter("multi", {{"a", "1"}, {"b", "2"}});
+    obs::Counter* y =
+        reg.GetCounter("multi", {{"b", "2"}, {"a", "1"}});
+    EXPECT_EQ(x, y);
+}
+
+TEST(Registry, NameBoundToOneType)
+{
+    obs::MetricsRegistry reg;
+    ASSERT_NE(reg.GetCounter("thing"), nullptr);
+    EXPECT_EQ(reg.GetGauge("thing"), nullptr);
+    EXPECT_EQ(reg.GetHistogram("thing"), nullptr);
+    // Even under a different label set the name keeps its type.
+    EXPECT_EQ(reg.GetGauge("thing", {{"k", "v"}}), nullptr);
+    EXPECT_NE(reg.GetCounter("thing", {{"k", "v"}}), nullptr);
+}
+
+TEST(Registry, PercentilesMatchStatsOracle)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h = reg.GetHistogram("lat");
+    PercentileTracker oracle;
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.NextUniform(0.0, 10.0);
+        h->Observe(x);
+        oracle.Add(x);
+    }
+    for (double q : {50.0, 90.0, 95.0, 99.0}) {
+        EXPECT_DOUBLE_EQ(h->Percentile(q), oracle.Percentile(q));
+    }
+}
+
+TEST(Registry, ThreadSafeUnderConcurrentUse)
+{
+    obs::MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.GetCounter("shared")->Increment();
+                reg.GetHistogram("h")->Observe(static_cast<double>(i));
+                reg.GetGauge("g", {{"t", std::to_string(t)}})
+                    ->Set(static_cast<double>(i));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(reg.GetCounter("shared")->value(), kThreads * kIters);
+    EXPECT_EQ(reg.GetHistogram("h")->count(), kThreads * kIters);
+    EXPECT_EQ(reg.size(), 2u + kThreads);
+}
+
+TEST(Registry, ScopedTimerObservesOnce)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h = reg.GetHistogram("t");
+    {
+        obs::ScopedTimer timer(h);
+        const double elapsed = timer.Stop();
+        EXPECT_GE(elapsed, 0.0);
+    }  // destructor must not double-record after Stop()
+    EXPECT_EQ(h->count(), 1);
+    { obs::ScopedTimer noop(nullptr); }  // null histogram is a no-op
+}
+
+TEST(Json, ParsesDocumentsAndRejectsGarbage)
+{
+    auto doc = obs::ParseJson(
+        R"({"a":[1,2.5,-3e2],"b":"x\n\"y\"","c":{"d":true,"e":null}})");
+    ASSERT_TRUE(doc.ok());
+    const obs::JsonValue& v = doc.value();
+    ASSERT_TRUE(v.is_object());
+    ASSERT_NE(v.Find("a"), nullptr);
+    ASSERT_EQ(v.Find("a")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.Find("a")->array[1].number_value, 2.5);
+    EXPECT_DOUBLE_EQ(v.Find("a")->array[2].number_value, -300.0);
+    EXPECT_EQ(v.Find("b")->string_value, "x\n\"y\"");
+    EXPECT_TRUE(v.Find("c")->Find("d")->bool_value);
+    EXPECT_TRUE(v.Find("c")->Find("e")->is_null());
+
+    EXPECT_FALSE(obs::ParseJson("{\"a\":1} trailing").ok());
+    EXPECT_FALSE(obs::ParseJson("{\"a\":}").ok());
+    EXPECT_FALSE(obs::ParseJson("[1,2,").ok());
+    EXPECT_FALSE(obs::ParseJson("").ok());
+}
+
+TEST(Export, EmptyRegistryStillParses)
+{
+    obs::MetricsRegistry reg;
+    auto doc = obs::ParseJson(obs::MetricsToJson(reg));
+    ASSERT_TRUE(doc.ok());
+    ASSERT_NE(doc.value().Find("version"), nullptr);
+    EXPECT_TRUE(doc.value().Find("counters")->array.empty());
+    EXPECT_TRUE(doc.value().Find("gauges")->array.empty());
+    EXPECT_TRUE(doc.value().Find("histograms")->array.empty());
+}
+
+TEST(Export, JsonRoundTripsValuesAndLabels)
+{
+    obs::MetricsRegistry reg;
+    reg.GetCounter("done", {{"tenant", "BERT0"}})->Increment(11);
+    reg.GetGauge("util")->Set(0.625);
+    obs::HistogramMetric* h = reg.GetHistogram("lat");
+    for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+
+    auto doc = obs::ParseJson(obs::MetricsToJson(reg));
+    ASSERT_TRUE(doc.ok());
+    const auto& counters = doc.value().Find("counters")->array;
+    ASSERT_EQ(counters.size(), 1u);
+    EXPECT_EQ(counters[0].Find("name")->string_value, "done");
+    EXPECT_EQ(counters[0].Find("labels")->Find("tenant")->string_value,
+              "BERT0");
+    EXPECT_DOUBLE_EQ(counters[0].Find("value")->number_value, 11.0);
+    const auto& gauges = doc.value().Find("gauges")->array;
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(gauges[0].Find("value")->number_value, 0.625);
+    const auto& hists = doc.value().Find("histograms")->array;
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_DOUBLE_EQ(hists[0].Find("count")->number_value, 100.0);
+    EXPECT_DOUBLE_EQ(hists[0].Find("p50")->number_value,
+                     h->Percentile(50.0));
+    EXPECT_DOUBLE_EQ(hists[0].Find("p99")->number_value,
+                     h->Percentile(99.0));
+}
+
+TEST(Export, CsvAndBenchLineFormats)
+{
+    obs::MetricsRegistry reg;
+    reg.GetCounter("c", {{"k", "v"}})->Increment(3);
+    reg.GetGauge("g")->Set(1.5);
+
+    const std::string csv = obs::MetricsToCsv(reg);
+    EXPECT_EQ(csv.rfind("type,name,labels,value,count,mean,min,max,"
+                        "p50,p95,p99",
+                        0),
+              0u);
+    EXPECT_NE(csv.find("counter,c,k=v,3"), std::string::npos);
+
+    const std::string line = obs::MetricsToBenchJsonLine("E7", reg);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    auto doc = obs::ParseJson(line);
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc.value().Find("bench")->string_value, "E7");
+    EXPECT_DOUBLE_EQ(
+        doc.value().Find("counters")->Find("c{k=v}")->number_value,
+        3.0);
+    EXPECT_DOUBLE_EQ(doc.value().Find("gauges")->Find("g")->number_value,
+                     1.5);
+}
+
+TEST(TraceBuilder, RendersStrictJsonWithAllPhases)
+{
+    obs::TraceBuilder builder;
+    builder.SetProcessName(1, "device");
+    builder.SetThreadName(1, 0, "MXU");
+    builder.AddComplete(1, 0, "mm", "compute", 10.0, 5.0,
+                        "{\"id\":1}");
+    builder.AddCounter(1, "depth", 10.0, 3.0);
+    builder.AddCounter(1, "depth", -5.0, 0.0);  // clamps to ts 0
+    builder.AddInstant(1, 0, "arrive", 12.0);
+    builder.AddFlowStart(1, 0, "req", 42, 10.0);
+    builder.AddFlowStep(1, 0, "req", 42, 12.0);
+    builder.AddFlowEnd(1, 0, "req", 42, 15.0);
+    EXPECT_EQ(builder.event_count(), 9u);
+
+    auto doc = obs::ParseJson(builder.Render());
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(doc.value().is_array());
+    ASSERT_EQ(doc.value().array.size(), 9u);
+    int flow_end_bp = 0;
+    for (const auto& event : doc.value().array) {
+        const obs::JsonValue* ph = event.Find("ph");
+        ASSERT_NE(ph, nullptr);
+        const obs::JsonValue* ts = event.Find("ts");
+        if (ts != nullptr) EXPECT_GE(ts->number_value, 0.0);
+        if (ph->string_value == "f") {
+            ASSERT_NE(event.Find("bp"), nullptr);
+            EXPECT_EQ(event.Find("bp")->string_value, "e");
+            ++flow_end_bp;
+        }
+    }
+    EXPECT_EQ(flow_end_bp, 1);
+}
+
+TEST(Telemetry, SimMetricsCarryPerEngineUtilization)
+{
+    auto app = BuildApp("CNN0").value();
+    const ChipConfig chip = Tpu_v4i();
+    CompileOptions opts;
+    opts.batch = 4;
+    auto prog = Compile(app.graph, chip, opts).value();
+    auto result = Simulate(prog, chip).value();
+
+    obs::MetricsRegistry reg;
+    RecordSimMetrics(result, &reg);
+    EXPECT_EQ(reg.GetCounter("sim.runs")->value(), 1);
+    EXPECT_DOUBLE_EQ(reg.GetGauge("sim.latency_seconds")->value(),
+                     result.latency_s);
+    obs::Gauge* mxu =
+        reg.GetGauge("sim.engine.utilization", {{"engine", "MXU"}});
+    ASSERT_NE(mxu, nullptr);
+    EXPECT_GT(mxu->value(), 0.0);
+    EXPECT_LE(mxu->value(), 1.0);
+    // Dependency stalls are true engine-idle time, so they are
+    // bounded by it; queue stalls overlap busy time (an instruction
+    // waits behind a busy engine) so they are only sign-checked.
+    const auto& mxu_stats =
+        result.engines[static_cast<int>(Engine::kMxu)];
+    EXPECT_LE(mxu_stats.dep_stall_s,
+              result.latency_s - mxu_stats.busy_s + 1e-9);
+    EXPECT_GE(mxu_stats.queue_stall_s, 0.0);
+}
+
+TEST(Telemetry, ServingRunRecordsHistogramsAndFlows)
+{
+    TenantConfig tenant;
+    tenant.name = "T";
+    tenant.latency_s = [](int64_t batch) {
+        return 0.001 + 0.0001 * static_cast<double>(batch);
+    };
+    tenant.max_batch = 8;
+    tenant.slo_s = 0.004;
+    tenant.arrival_rate = 500.0;
+
+    obs::MetricsRegistry reg;
+    obs::TraceBuilder trace;
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.trace = &trace;
+    auto result = RunServingCell({tenant}, 2, 5.0, 7, telemetry);
+    ASSERT_TRUE(result.ok());
+    const TenantStats& stats = result.value().tenants[0];
+    ASSERT_GT(stats.completed, 0);
+
+    obs::HistogramMetric* lat =
+        reg.GetHistogram("serving.latency_seconds", {{"tenant", "T"}});
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->count(), stats.completed);
+    EXPECT_DOUBLE_EQ(lat->Percentile(50.0), stats.p50_latency_s);
+    EXPECT_DOUBLE_EQ(lat->Percentile(95.0), stats.p95_latency_s);
+    EXPECT_DOUBLE_EQ(lat->Percentile(99.0), stats.p99_latency_s);
+    EXPECT_EQ(
+        reg.GetCounter("serving.completed", {{"tenant", "T"}})->value(),
+        stats.completed);
+    EXPECT_EQ(
+        reg.GetCounter("serving.slo_miss", {{"tenant", "T"}})->value(),
+        stats.slo_misses);
+    EXPECT_GE(stats.max_queue_depth, 1);
+
+    // The trace must parse and carry queue-depth counters and at
+    // least one complete request flow.
+    auto doc = obs::ParseJson(trace.Render());
+    ASSERT_TRUE(doc.ok());
+    int counters = 0;
+    int flow_starts = 0;
+    int flow_ends = 0;
+    for (const auto& event : doc.value().array) {
+        const std::string& ph = event.Find("ph")->string_value;
+        if (ph == "C") ++counters;
+        if (ph == "s") ++flow_starts;
+        if (ph == "f") ++flow_ends;
+    }
+    EXPECT_GT(counters, 0);
+    EXPECT_GT(flow_starts, 0);
+    EXPECT_GT(flow_ends, 0);
+    EXPECT_LE(flow_starts, 64);  // honors max_flows_per_tenant
+
+    // Identical run without telemetry: results must be unchanged.
+    auto plain = RunServingCell({tenant}, 2, 5.0, 7);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.value().tenants[0].completed, stats.completed);
+    EXPECT_DOUBLE_EQ(plain.value().tenants[0].p99_latency_s,
+                     stats.p99_latency_s);
+}
+
+}  // namespace
+}  // namespace t4i

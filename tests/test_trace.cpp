@@ -5,10 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "src/arch/catalog.h"
 #include "src/compiler/compiler.h"
 #include "src/models/zoo.h"
+#include "src/obs/json.h"
+#include "src/obs/trace_builder.h"
 #include "src/sim/trace.h"
 
 namespace t4i {
@@ -83,6 +88,112 @@ TEST(Trace, WritesFile)
     EXPECT_GT(std::ftell(f), 1000);
     std::fclose(f);
     std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Round-trip validation: parse what the exporters emit and check the
+// Chrome-trace invariants that the viewers rely on.
+// ---------------------------------------------------------------------
+
+/** (pid, tid) pairs that have a thread_name metadata event. */
+std::set<std::pair<double, double>>
+NamedTracks(const obs::JsonValue& events)
+{
+    std::set<std::pair<double, double>> tracks;
+    for (const auto& event : events.array) {
+        if (event.Find("name") != nullptr &&
+            event.Find("name")->string_value == "thread_name") {
+            tracks.insert({event.Find("pid")->number_value,
+                           event.Find("tid")->number_value});
+        }
+    }
+    return tracks;
+}
+
+void
+CheckTraceInvariants(const obs::JsonValue& doc)
+{
+    ASSERT_TRUE(doc.is_array());
+    const auto named = NamedTracks(doc);
+    // Per-track 'X' starts, in emission order, to check monotonicity.
+    std::map<std::pair<double, double>, double> last_start;
+    for (const auto& event : doc.array) {
+        const obs::JsonValue* ph = event.Find("ph");
+        ASSERT_NE(ph, nullptr);
+        const obs::JsonValue* ts = event.Find("ts");
+        if (ph->string_value != "M") {
+            ASSERT_NE(ts, nullptr);
+            EXPECT_GE(ts->number_value, 0.0);
+        }
+        if (ph->string_value != "X") continue;
+        EXPECT_GE(event.Find("dur")->number_value, 0.0);
+        const std::pair<double, double> track = {
+            event.Find("pid")->number_value,
+            event.Find("tid")->number_value};
+        // Every slice lands on a named track...
+        EXPECT_TRUE(named.count(track) == 1)
+            << "X event on unnamed track pid="
+            << track.first << " tid=" << track.second;
+        // ...and per-track starts never go backwards (the scheduler
+        // issues in order and the serving devices run batches
+        // back-to-back).
+        auto it = last_start.find(track);
+        if (it != last_start.end()) {
+            EXPECT_GE(ts->number_value, it->second);
+        }
+        last_start[track] = ts->number_value;
+    }
+}
+
+TEST(Trace, LegacyExportRoundTripsThroughParser)
+{
+    Traced t = MakeTraced();
+    auto json = RenderChromeTrace(t.program, t.schedule).value();
+    auto doc = obs::ParseJson(json);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    CheckTraceInvariants(doc.value());
+}
+
+TEST(Trace, EnrichedExportRoundTripsWithCountersAndFlows)
+{
+    Traced t = MakeTraced();
+    obs::TraceBuilder builder;
+    ASSERT_TRUE(
+        AppendScheduleTrace(t.program, t.schedule, &builder).ok());
+    auto doc = obs::ParseJson(builder.Render());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    CheckTraceInvariants(doc.value());
+
+    int x_events = 0;
+    int counter_samples = 0;
+    int flow_starts = 0;
+    int flow_ends = 0;
+    std::set<std::string> counter_names;
+    for (const auto& event : doc.value().array) {
+        const std::string& ph = event.Find("ph")->string_value;
+        if (ph == "X") ++x_events;
+        if (ph == "C") {
+            ++counter_samples;
+            counter_names.insert(event.Find("name")->string_value);
+        }
+        if (ph == "s") ++flow_starts;
+        if (ph == "f") ++flow_ends;
+    }
+    // One slice per instruction, same as the legacy exporter.
+    EXPECT_EQ(x_events,
+              static_cast<int>(t.program.instrs.size()));
+    EXPECT_GT(counter_samples, 0);
+    // The CMEM-occupancy track is always present; bandwidth tracks
+    // only exist for engines that moved bytes (CNN1's weights all fit
+    // in CMEM, so it streams over CMEM rather than HBM), and queue
+    // depth only when instructions actually queued.
+    EXPECT_EQ(counter_names.count("CMEM pinned MiB"), 1u);
+    EXPECT_TRUE(counter_names.count("HBM GB/s") == 1 ||
+                counter_names.count("CMEM GB/s") == 1);
+    // Flow arrows are paired and bounded by the cap.
+    EXPECT_GT(flow_starts, 0);
+    EXPECT_EQ(flow_starts, flow_ends);
+    EXPECT_LE(flow_starts + flow_ends, 200);
 }
 
 }  // namespace

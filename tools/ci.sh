@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification (configure, build, ctest) plus
+# an observability smoke check — run one CLI invocation with
+# --metrics-json and make sure every metric name the repo promises
+# (tools/metrics_schema.txt) actually appears in the emitted JSON.
+set -u -o pipefail
+cd "$(dirname "$0")/.."
+
+# --- tier 1: build + tests -------------------------------------------
+if ! cmake -B build -S .; then
+    cmake -B build -S . -G Ninja || exit 1
+fi
+cmake --build build -j "$(nproc)" || exit 1
+ctest --test-dir build -j "$(nproc)" --output-on-failure || exit 1
+
+# --- observability smoke ---------------------------------------------
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+metrics="$workdir/metrics.json"
+trace="$workdir/trace.json"
+
+./build/examples/t4sim_cli run --app BERT0 --batch 16 \
+    "--metrics-json=$metrics" "--trace-out=$trace" || exit 1
+[ -s "$metrics" ] || { echo "CI: $metrics missing or empty"; exit 1; }
+[ -s "$trace" ] || { echo "CI: $trace missing or empty"; exit 1; }
+
+# Names present in the emitted snapshot, one per line.
+grep -o '"name":"[^"]*"' "$metrics" | sed 's/"name":"//;s/"$//' \
+    | sort -u > "$workdir/emitted.txt"
+
+missing=0
+while IFS= read -r key; do
+    case "$key" in ''|'#'*) continue ;; esac
+    if ! grep -qxF "$key" "$workdir/emitted.txt"; then
+        echo "CI: metric '$key' promised by tools/metrics_schema.txt" \
+             "but absent from $metrics"
+        missing=1
+    fi
+done < tools/metrics_schema.txt
+if [ "$missing" -ne 0 ]; then
+    echo "CI: emitted metric names were:"
+    sed 's/^/  /' "$workdir/emitted.txt"
+    exit 1
+fi
+
+# The enriched trace must carry at least one counter track and one
+# flow event (acceptance criteria for the observability subsystem).
+grep -q '"ph":"C"' "$trace" || { echo "CI: no counter track in trace"; exit 1; }
+grep -q '"ph":"s"' "$trace" || { echo "CI: no flow event in trace"; exit 1; }
+
+echo "CI: ok (tests green, metrics schema satisfied, trace enriched)"

@@ -1,17 +1,45 @@
 #!/usr/bin/env bash
 # Regenerates everything: build, tests, all experiment benches, all
 # examples. Outputs land in test_output.txt / bench_output.txt at the
-# repository root (the canonical artifacts EXPERIMENTS.md refers to).
-set -u
+# repository root (the canonical artifacts EXPERIMENTS.md refers to),
+# plus bench_output.json: the BENCH_JSON summary line every bench
+# emits, collected into one JSON array for downstream tooling.
+#
+# Exit status is non-zero if the configure, build, any test, or any
+# bench fails.
+set -u -o pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+fail=0
 
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+# Use whatever generator the build tree already has (or the platform
+# default); fall back to Ninja only for a fresh configure that fails.
+if ! cmake -B build -S .; then
+    cmake -B build -S . -G Ninja || exit 1
+fi
+cmake --build build -j "$(nproc)" || exit 1
+
+ctest --test-dir build -j "$(nproc)" --output-on-failure 2>&1 \
+    | tee test_output.txt || fail=1
+
+(
+    rc=0
+    for b in build/bench/*; do
+        [ -x "$b" ] || continue
+        "$b" || { echo "BENCH FAILED: $b"; rc=1; }
+    done
+    exit $rc
+) 2>&1 | tee bench_output.txt || fail=1
+
+# Collect the one-line machine-readable summaries into a JSON array.
+sed -n 's/^BENCH_JSON //p' bench_output.txt \
+    | awk 'BEGIN { print "[" } NR > 1 { print "," } { print }
+           END { print "]" }' > bench_output.json
+echo "wrote bench_output.json ($(grep -c '^BENCH_JSON ' bench_output.txt || true) benches)"
 
 echo
 echo "Examples (smoke):"
-./build/examples/quickstart BERT0 16 | tail -3
-./build/examples/ten_lessons | head -8
+./build/examples/quickstart BERT0 16 | tail -3 || fail=1
+./build/examples/ten_lessons | head -8 || fail=1
+
+exit $fail
