@@ -31,6 +31,19 @@
  *                           times — runs a short serving sim too)
  *   --trace-out=FILE       (enriched Chrome trace: device schedule,
  *                           counter tracks, serving flow events)
+ *
+ * Reliability options (shape the serving phase of --metrics-json /
+ * --trace-out runs; see docs/RELIABILITY.md):
+ *   --devices N            (serving-cell size, default 1)
+ *   --fault-mtbf S         (random failures: mean time between, s)
+ *   --fault-mttr S         (mean time to repair, s; required w/ mtbf)
+ *   --fail-at S            (script device 0 failing at S seconds)
+ *   --repair-at S          (repair time for --fail-at; omit = never)
+ *   --fault-p P            (transient batch failure probability)
+ *   --fault-seed N         (fault stream seed, default 0x6661756c74)
+ *   --deadline-ms MS       (per-request deadline; expired = dropped)
+ *   --max-queue N          (per-tenant queue bound; beyond = shed)
+ *   --hedge                (hedged dispatch on straggler batches)
  */
 #include <algorithm>
 #include <cstdio>
@@ -89,6 +102,14 @@ class Args {
         auto it = values_.find(key);
         return it == values_.end() ? fallback
                                    : std::atoll(it->second.c_str());
+    }
+
+    double
+    GetDouble(const std::string& key, double fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback
+                                   : std::atof(it->second.c_str());
     }
 
   private:
@@ -289,7 +310,14 @@ CmdRun(const Args& args)
                                 : status.ToString().c_str());
     }
 
-    if (args.Has("metrics-json") || args.Has("trace-out")) {
+    const bool serving_requested =
+        args.Has("devices") || args.Has("deadline-ms") ||
+        args.Has("max-queue") || args.Has("fault-mtbf") ||
+        args.Has("fault-mttr") || args.Has("fault-p") ||
+        args.Has("fault-seed") || args.Has("fail-at") ||
+        args.Has("repair-at") || args.Has("hedge");
+    if (args.Has("metrics-json") || args.Has("trace-out") ||
+        serving_requested) {
         obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
         RecordSimMetrics(result.value(), &reg);
 
@@ -328,28 +356,72 @@ CmdRun(const Args& args)
             };
             tenant.max_batch = slo_batch;
             tenant.slo_s = slo_s;
+            const int num_devices =
+                static_cast<int>(args.GetInt("devices", 1));
             tenant.arrival_rate =
-                std::max(1.0, 0.7 * table.ThroughputAt(slo_batch));
+                std::max(1.0, 0.7 * table.ThroughputAt(slo_batch) *
+                                  std::max(num_devices, 1));
+            tenant.deadline_s =
+                args.GetDouble("deadline-ms", 0.0) * 1e-3;
+            tenant.max_queue = args.GetInt("max-queue", 0);
+
+            ReliabilityConfig reliability;
+            reliability.faults.mtbf_s =
+                args.GetDouble("fault-mtbf", 0.0);
+            reliability.faults.mttr_s =
+                args.GetDouble("fault-mttr", 0.0);
+            reliability.faults.transient_failure_prob =
+                args.GetDouble("fault-p", 0.0);
+            if (args.Has("fault-seed")) {
+                reliability.faults.seed = static_cast<uint64_t>(
+                    args.GetInt("fault-seed", 0));
+            }
+            if (args.Has("fail-at")) {
+                ScriptedFault fault;
+                fault.device = 0;
+                fault.fail_at_s = args.GetDouble("fail-at", 0.0);
+                fault.repair_at_s =
+                    args.GetDouble("repair-at", -1.0);
+                reliability.faults.scripted.push_back(fault);
+            }
+            reliability.hedge = args.Has("hedge");
+
             ServingTelemetry telemetry;
             telemetry.registry = &reg;
             telemetry.trace = &builder;
             telemetry.trace_pid = 2;
-            auto serving =
-                RunServingCell({tenant}, 1, 2.0, 42, telemetry);
+            auto serving = RunServingCell({tenant}, num_devices, 2.0,
+                                          42, telemetry, reliability);
             if (serving.ok() && !serving.value().tenants.empty()) {
-                const auto& tstats = serving.value().tenants[0];
-                std::printf("\nserving (2 s, SLO batch %lld): "
-                            "p50 %.2f ms p95 %.2f ms p99 %.2f ms | "
-                            "%lld done, %lld SLO misses\n",
+                const auto& sr = serving.value();
+                const auto& tstats = sr.tenants[0];
+                std::printf("\nserving (2 s, %d device%s, SLO batch "
+                            "%lld): p50 %.2f ms p95 %.2f ms p99 %.2f "
+                            "ms | %lld done, %lld SLO misses\n",
+                            num_devices, num_devices == 1 ? "" : "s",
                             static_cast<long long>(slo_batch),
                             tstats.p50_latency_s * 1e3,
                             tstats.p95_latency_s * 1e3,
                             tstats.p99_latency_s * 1e3,
                             static_cast<long long>(tstats.completed),
                             static_cast<long long>(tstats.slo_misses));
+                if (reliability.faults.enabled() ||
+                    reliability.hedge || tenant.max_queue > 0 ||
+                    tenant.deadline_s > 0.0) {
+                    std::printf(
+                        "reliability: availability %.4f | goodput "
+                        "%.0f rps | %lld dropped, %lld shed, %lld "
+                        "retries, %lld hedge wins\n",
+                        sr.availability, tstats.goodput_rps,
+                        static_cast<long long>(tstats.dropped),
+                        static_cast<long long>(tstats.shed),
+                        static_cast<long long>(tstats.retried),
+                        static_cast<long long>(tstats.hedge_wins));
+                }
             } else if (!serving.ok()) {
                 std::fprintf(stderr, "serving: %s\n",
                              serving.status().ToString().c_str());
+                return 1;
             }
         }
 

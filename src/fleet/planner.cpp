@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/arch/catalog.h"
+#include "src/common/strings.h"
 #include "src/compiler/compiler.h"
 #include "src/obs/registry.h"
 #include "src/serving/latency_table.h"
@@ -109,6 +110,103 @@ PlanFleet(const std::vector<AppDemand>& demands, const ChipConfig& chip,
     reg.GetGauge("fleet.capex_usd")->Set(plan.capex_usd);
     reg.GetGauge("fleet.power_w")->Set(plan.fleet_power_w);
     return plan;
+}
+
+double
+CellAvailability(int64_t needed, int64_t total, double availability)
+{
+    if (needed <= 0) return 1.0;
+    if (total < needed) return 0.0;
+    if (availability >= 1.0) return 1.0;
+    if (availability <= 0.0) return 0.0;
+    // P(X >= needed), X ~ Binomial(total, a) == P(down <= total-needed).
+    const double log_a = std::log(availability);
+    const double log_q = std::log(1.0 - availability);
+    const double n = static_cast<double>(total);
+    double prob = 0.0;
+    const int64_t max_down = total - needed;
+    for (int64_t j = 0; j <= max_down; ++j) {
+        const double jd = static_cast<double>(j);
+        const double log_choose = std::lgamma(n + 1.0) -
+                                  std::lgamma(jd + 1.0) -
+                                  std::lgamma(n - jd + 1.0);
+        prob += std::exp(log_choose + (n - jd) * log_a + jd * log_q);
+    }
+    return std::min(prob, 1.0);
+}
+
+int64_t
+NPlusKSpares(int64_t n, double availability, double target,
+             int64_t max_spares)
+{
+    for (int64_t k = 0; k <= max_spares; ++k) {
+        if (CellAvailability(n, n + k, availability) >= target) {
+            return k;
+        }
+    }
+    return max_spares + 1;
+}
+
+StatusOr<RedundancyPlan>
+PlanRedundancy(const FleetPlan& plan, const ChipConfig& chip,
+               const FaultPlan& faults, const RedundancyParams& params)
+{
+    if (params.target_availability <= 0.0 ||
+        params.target_availability >= 1.0) {
+        return Status::InvalidArgument(
+            "target availability must be in (0, 1)");
+    }
+    if (params.max_spares < 0) {
+        return Status::InvalidArgument("max_spares must be >= 0");
+    }
+    auto tco = ComputeTco(chip, params.tco);
+    T4I_RETURN_IF_ERROR(tco.status());
+
+    RedundancyPlan redundancy;
+    redundancy.chip_availability = SteadyStateAvailability(faults);
+    double base_tco = 0.0;
+    for (const auto& app : plan.apps) {
+        if (app.infeasible || app.chips < 1) continue;
+        AppRedundancy entry;
+        entry.app_name = app.app_name;
+        entry.base_chips = app.chips;
+        entry.availability_no_spares = CellAvailability(
+            app.chips, app.chips, redundancy.chip_availability);
+        const int64_t k = NPlusKSpares(
+            app.chips, redundancy.chip_availability,
+            params.target_availability, params.max_spares);
+        if (k > params.max_spares) {
+            return Status::ResourceExhausted(StrFormat(
+                "app %s cannot reach %.4f availability within %lld "
+                "spares",
+                app.app_name.c_str(), params.target_availability,
+                static_cast<long long>(params.max_spares)));
+        }
+        entry.spare_chips = k;
+        entry.availability_with_spares = CellAvailability(
+            app.chips, app.chips + k, redundancy.chip_availability);
+        redundancy.total_spares += k;
+        redundancy.spare_capex_usd +=
+            static_cast<double>(k) * tco.value().capex_usd;
+        redundancy.spare_tco_usd +=
+            static_cast<double>(k) * tco.value().tco_usd;
+        base_tco +=
+            static_cast<double>(app.chips) * tco.value().tco_usd;
+        redundancy.apps.push_back(std::move(entry));
+    }
+    redundancy.tco_overhead_fraction =
+        base_tco > 0.0 ? redundancy.spare_tco_usd / base_tco : 0.0;
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("fleet.chip_availability")
+        ->Set(redundancy.chip_availability);
+    reg.GetGauge("fleet.spare_chips")
+        ->Set(static_cast<double>(redundancy.total_spares));
+    reg.GetGauge("fleet.redundancy_tco_usd")
+        ->Set(redundancy.spare_tco_usd);
+    reg.GetGauge("fleet.redundancy_overhead_fraction")
+        ->Set(redundancy.tco_overhead_fraction);
+    return redundancy;
 }
 
 StatusOr<std::vector<AppDemand>>

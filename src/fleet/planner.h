@@ -18,6 +18,7 @@
 #include "src/arch/chip.h"
 #include "src/common/status.h"
 #include "src/models/zoo.h"
+#include "src/serving/faults.h"
 #include "src/tco/tco.h"
 
 namespace t4i {
@@ -75,6 +76,72 @@ StatusOr<FleetPlan> PlanFleet(const std::vector<AppDemand>& demands,
  */
 StatusOr<std::vector<AppDemand>> ReferenceTraffic(
     int64_t baseline_chips);
+
+// --- N+k spare provisioning ------------------------------------------
+//
+// A fleet sized exactly for demand loses its SLO the moment one device
+// dies; production fleets carry k spares per sub-fleet so the cell
+// still holds p99 through single/double (or worse) device loss. The
+// spare count follows from the FaultPlan's steady-state availability:
+// with each chip up with probability a, k is the smallest spare count
+// such that P(at most k of N+k chips are down) meets the target.
+
+/** Redundancy sizing knobs. */
+struct RedundancyParams {
+    /** Probability the sub-fleet retains >= N usable chips. */
+    double target_availability = 0.999;
+    /** Safety bound on the spare search. */
+    int64_t max_spares = 256;
+    TcoParams tco;
+};
+
+/** Redundancy sizing of one app's sub-fleet. */
+struct AppRedundancy {
+    std::string app_name;
+    int64_t base_chips = 0;   ///< demand-sized fleet (N)
+    int64_t spare_chips = 0;  ///< provisioned spares (k)
+    /** P(all N of N chips up) — what you get with zero spares. */
+    double availability_no_spares = 0.0;
+    /** P(>= N of N+k chips up) — with the provisioned spares. */
+    double availability_with_spares = 0.0;
+};
+
+/** Whole-fleet redundancy plan: the price of availability. */
+struct RedundancyPlan {
+    double chip_availability = 1.0;  ///< steady-state, per chip
+    std::vector<AppRedundancy> apps;
+    int64_t total_spares = 0;
+    double spare_capex_usd = 0.0;
+    double spare_tco_usd = 0.0;
+    /** Spare TCO as a fraction of the demand-sized fleet's TCO. */
+    double tco_overhead_fraction = 0.0;
+};
+
+/**
+ * P(at least @p needed of @p total chips are up) when each chip is
+ * independently up with probability @p availability. Exact binomial
+ * tail, evaluated in log space so 10k-chip fleets don't overflow.
+ */
+double CellAvailability(int64_t needed, int64_t total,
+                        double availability);
+
+/**
+ * Smallest spare count k such that an N+k sub-fleet keeps >= @p n
+ * chips up with probability >= @p target. Returns max_spares + 1 when
+ * even that many spares cannot reach the target.
+ */
+int64_t NPlusKSpares(int64_t n, double availability, double target,
+                     int64_t max_spares = 256);
+
+/**
+ * Sizes N+k spares for every feasible app in @p plan under the
+ * failure process of @p faults, and prices the redundancy with the
+ * TCO model of @p chip. Infeasible apps are skipped.
+ */
+StatusOr<RedundancyPlan> PlanRedundancy(const FleetPlan& plan,
+                                        const ChipConfig& chip,
+                                        const FaultPlan& faults,
+                                        const RedundancyParams& params);
 
 }  // namespace t4i
 

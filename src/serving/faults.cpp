@@ -1,0 +1,198 @@
+#include "src/serving/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Sorts by start and merges overlapping/adjacent down intervals. */
+std::vector<DownInterval>
+MergeIntervals(std::vector<DownInterval> intervals)
+{
+    std::sort(intervals.begin(), intervals.end(),
+              [](const DownInterval& a, const DownInterval& b) {
+                  return a.start_s < b.start_s;
+              });
+    std::vector<DownInterval> merged;
+    for (const auto& iv : intervals) {
+        if (!merged.empty() && iv.start_s <= merged.back().end_s) {
+            merged.back().end_s = std::max(merged.back().end_s, iv.end_s);
+        } else {
+            merged.push_back(iv);
+        }
+    }
+    return merged;
+}
+
+}  // namespace
+
+bool
+FaultTimeline::IsDown(int device, double t) const
+{
+    for (const auto& iv : down_[static_cast<size_t>(device)]) {
+        if (t < iv.start_s) return false;
+        if (t < iv.end_s) return true;
+    }
+    return false;
+}
+
+double
+FaultTimeline::NextUp(int device, double t) const
+{
+    for (const auto& iv : down_[static_cast<size_t>(device)]) {
+        if (t < iv.start_s) return t;
+        if (t < iv.end_s) return iv.end_s;  // +inf when never repaired
+    }
+    return t;
+}
+
+double
+FaultTimeline::NextFailure(int device, double t) const
+{
+    for (const auto& iv : down_[static_cast<size_t>(device)]) {
+        if (t < iv.start_s) return iv.start_s;
+        if (t < iv.end_s) return t;  // already down
+    }
+    return kInf;
+}
+
+double
+FaultTimeline::SpeedFactor(int device, double t) const
+{
+    for (const auto& s : slow_[static_cast<size_t>(device)]) {
+        if (t >= s.start_s && t < s.end_s) return s.speed_factor;
+    }
+    return 1.0;
+}
+
+double
+FaultTimeline::UpFraction(int device, double until_s) const
+{
+    if (until_s <= 0.0) return 1.0;
+    double down_time = 0.0;
+    for (const auto& iv : down_[static_cast<size_t>(device)]) {
+        if (iv.start_s >= until_s) break;
+        down_time += std::min(iv.end_s, until_s) - iv.start_s;
+    }
+    return 1.0 - down_time / until_s;
+}
+
+double
+FaultTimeline::Availability(double until_s) const
+{
+    if (down_.empty()) return 1.0;
+    double sum = 0.0;
+    for (int d = 0; d < num_devices(); ++d) {
+        sum += UpFraction(d, until_s);
+    }
+    return sum / static_cast<double>(down_.size());
+}
+
+StatusOr<FaultTimeline>
+BuildFaultTimeline(const FaultPlan& plan, int num_devices,
+                   double horizon_s)
+{
+    if (num_devices < 1) {
+        return Status::InvalidArgument("fault plan needs >= 1 device");
+    }
+    if (horizon_s <= 0.0) {
+        return Status::InvalidArgument("fault horizon must be positive");
+    }
+    if (plan.mtbf_s < 0.0 || plan.mttr_s < 0.0) {
+        return Status::InvalidArgument("MTBF/MTTR must be >= 0");
+    }
+    if (plan.mtbf_s > 0.0 && plan.mttr_s <= 0.0) {
+        return Status::InvalidArgument(
+            "MTBF failure process needs a positive MTTR");
+    }
+    if (plan.transient_failure_prob < 0.0 ||
+        plan.transient_failure_prob > 1.0) {
+        return Status::InvalidArgument(
+            "transient failure probability must be in [0, 1]");
+    }
+    for (const auto& f : plan.scripted) {
+        if (f.device < 0 || f.device >= num_devices) {
+            return Status::InvalidArgument(StrFormat(
+                "scripted fault device %d outside [0, %d)", f.device,
+                num_devices));
+        }
+        if (f.fail_at_s < 0.0) {
+            return Status::InvalidArgument(
+                "scripted fail time must be >= 0");
+        }
+        if (f.repair_at_s >= 0.0 && f.repair_at_s <= f.fail_at_s) {
+            return Status::InvalidArgument(
+                "scripted repair must come after the failure");
+        }
+    }
+    for (const auto& s : plan.slowdowns) {
+        if (s.device < 0 || s.device >= num_devices) {
+            return Status::InvalidArgument(StrFormat(
+                "slowdown device %d outside [0, %d)", s.device,
+                num_devices));
+        }
+        if (s.start_s < 0.0 || s.end_s <= s.start_s) {
+            return Status::InvalidArgument("bad slowdown interval");
+        }
+        if (s.speed_factor <= 0.0 || s.speed_factor > 1.0) {
+            return Status::InvalidArgument(
+                "slowdown speed factor must be in (0, 1]");
+        }
+    }
+
+    FaultTimeline timeline;
+    timeline.down_.resize(static_cast<size_t>(num_devices));
+    timeline.slow_.resize(static_cast<size_t>(num_devices));
+
+    std::vector<std::vector<DownInterval>> raw(
+        static_cast<size_t>(num_devices));
+    for (const auto& f : plan.scripted) {
+        raw[static_cast<size_t>(f.device)].push_back(
+            {f.fail_at_s, f.repair_at_s < 0.0 ? kInf : f.repair_at_s});
+    }
+    if (plan.mtbf_s > 0.0) {
+        // One independent renewal process per device, each on its own
+        // substream so adding a device never perturbs the others.
+        for (int d = 0; d < num_devices; ++d) {
+            Rng rng(plan.seed + 0x9e3779b97f4a7c15ULL *
+                                    static_cast<uint64_t>(d + 1));
+            double t = rng.NextExponential(1.0 / plan.mtbf_s);
+            while (t < horizon_s) {
+                const double repair =
+                    t + rng.NextExponential(1.0 / plan.mttr_s);
+                raw[static_cast<size_t>(d)].push_back({t, repair});
+                t = repair + rng.NextExponential(1.0 / plan.mtbf_s);
+            }
+        }
+    }
+    for (int d = 0; d < num_devices; ++d) {
+        timeline.down_[static_cast<size_t>(d)] =
+            MergeIntervals(std::move(raw[static_cast<size_t>(d)]));
+    }
+    for (const auto& s : plan.slowdowns) {
+        timeline.slow_[static_cast<size_t>(s.device)].push_back(s);
+    }
+    for (auto& per_device : timeline.slow_) {
+        std::sort(per_device.begin(), per_device.end(),
+                  [](const SlowdownEvent& a, const SlowdownEvent& b) {
+                      return a.start_s < b.start_s;
+                  });
+    }
+    return timeline;
+}
+
+double
+SteadyStateAvailability(const FaultPlan& plan)
+{
+    if (plan.mtbf_s <= 0.0) return 1.0;
+    return plan.mtbf_s / (plan.mtbf_s + plan.mttr_s);
+}
+
+}  // namespace t4i

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving simulator.
+ *
+ * TPUv4i is a deployed product: the fleet keeps serving while devices
+ * fail, get repaired, and run slow (the TPU v4 paper routes traffic
+ * around failed hardware; the v2..Ironwood retrospective makes
+ * resilience a first-class design axis). A FaultPlan describes what
+ * goes wrong in a cell — scripted fail/repair events, random
+ * MTBF/MTTR failure processes, transient batch errors, and straggler
+ * slowdowns — and BuildFaultTimeline expands it into a per-device
+ * schedule of down/slow intervals that the serving loop (and the
+ * fleet planner's availability math) consults. Everything is seeded:
+ * the same plan always replays the same failures.
+ */
+#ifndef T4I_SERVING_FAULTS_H
+#define T4I_SERVING_FAULTS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace t4i {
+
+/** One scripted device failure (deterministic fail/repair times). */
+struct ScriptedFault {
+    int device = 0;
+    double fail_at_s = 0.0;
+    /** Repair instant; negative means the device never comes back. */
+    double repair_at_s = -1.0;
+};
+
+/** A device running below full speed for a while (straggler). */
+struct SlowdownEvent {
+    int device = 0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    /** Fraction of full speed in (0, 1]; batch exec time divides by it. */
+    double speed_factor = 0.5;
+};
+
+/**
+ * Everything that can go wrong in one serving run. Default-constructed
+ * plans inject nothing (the simulator behaves exactly as without a
+ * fault layer).
+ */
+struct FaultPlan {
+    /** Mean time between failures per device (s); 0 disables the
+     *  random failure process. Up/down times are exponential draws. */
+    double mtbf_s = 0.0;
+    /** Mean time to repair (s); required > 0 when mtbf_s > 0. */
+    double mttr_s = 0.0;
+    /** Probability a dispatched batch fails and must be re-executed. */
+    double transient_failure_prob = 0.0;
+    std::vector<ScriptedFault> scripted;
+    std::vector<SlowdownEvent> slowdowns;
+    /** Seeds the failure process and transient draws; independent of
+     *  the serving simulator's arrival seed. */
+    uint64_t seed = 0x6661756c74ULL;  // "fault"
+
+    /** True when any fault source is configured. */
+    bool enabled() const
+    {
+        return mtbf_s > 0.0 || transient_failure_prob > 0.0 ||
+               !scripted.empty() || !slowdowns.empty();
+    }
+};
+
+/** Closed-open interval during which a device cannot run batches. */
+struct DownInterval {
+    double start_s = 0.0;
+    /** Infinity when the device is never repaired. */
+    double end_s = 0.0;
+};
+
+/**
+ * Expanded per-device fault schedule over [0, horizon_s): sorted,
+ * disjoint down intervals (scripted events merged with MTBF/MTTR
+ * draws) plus sorted slowdown windows.
+ */
+class FaultTimeline {
+  public:
+    /** True when @p device is down at time @p t. */
+    bool IsDown(int device, double t) const;
+
+    /**
+     * Earliest time >= @p t the device is up; +infinity when it is
+     * down forever from @p t on.
+     */
+    double NextUp(int device, double t) const;
+
+    /**
+     * Start of the first down interval at or after @p t (the device is
+     * up at @p t); +infinity when no further failure is scheduled.
+     */
+    double NextFailure(int device, double t) const;
+
+    /** Speed factor in effect at @p t (1.0 outside slowdowns). */
+    double SpeedFactor(int device, double t) const;
+
+    /** Fraction of [0, until_s) the device is up. */
+    double UpFraction(int device, double until_s) const;
+
+    /** Mean UpFraction across devices — the cell availability gauge. */
+    double Availability(double until_s) const;
+
+    int num_devices() const
+    {
+        return static_cast<int>(down_.size());
+    }
+    const std::vector<DownInterval>& down(int device) const
+    {
+        return down_[static_cast<size_t>(device)];
+    }
+    const std::vector<SlowdownEvent>& slowdowns(int device) const
+    {
+        return slow_[static_cast<size_t>(device)];
+    }
+
+  private:
+    friend StatusOr<FaultTimeline> BuildFaultTimeline(const FaultPlan&,
+                                                      int, double);
+    std::vector<std::vector<DownInterval>> down_;
+    std::vector<std::vector<SlowdownEvent>> slow_;
+};
+
+/**
+ * Validates @p plan and expands it for a @p num_devices cell. Random
+ * failures are drawn out to @p horizon_s (pick a horizon comfortably
+ * past the expected drain time); scripted events apply regardless of
+ * horizon. Deterministic in plan.seed.
+ */
+StatusOr<FaultTimeline> BuildFaultTimeline(const FaultPlan& plan,
+                                           int num_devices,
+                                           double horizon_s);
+
+/**
+ * Long-run fraction of time a device is up under the plan's MTBF/MTTR
+ * process: mtbf / (mtbf + mttr), or 1.0 when the random process is
+ * disabled. Scripted events and slowdowns do not contribute (they are
+ * finite incidents, not a steady-state process).
+ */
+double SteadyStateAvailability(const FaultPlan& plan);
+
+}  // namespace t4i
+
+#endif  // T4I_SERVING_FAULTS_H

@@ -1,7 +1,9 @@
 #include "src/serving/server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
+#include <limits>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -11,19 +13,32 @@ namespace t4i {
 namespace {
 
 constexpr double kUsPerSecond = 1e6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 struct Request {
     double arrival_s;
     /** Telemetry flow id (arrival -> batch -> completion); -1 = none. */
     int64_t flow_id = -1;
+    /** Retry backoff gate: not dispatchable before this time. */
+    double not_before_s = 0.0;
+    /** Failed executions so far (bounded by max_retries). */
+    int attempts = 0;
 };
 
 struct TenantState {
     std::deque<Request> queue;
     double next_arrival_s = 0.0;
     PercentileTracker latencies;
+    /** Observed device times of winning batches; the hedge baseline. */
+    PercentileTracker device_times;
     RunningStat batches;
+    int64_t arrived = 0;
     int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;
+    int64_t retried = 0;
+    int64_t hedges = 0;
+    int64_t hedge_wins = 0;
     int64_t slo_misses = 0;
     int64_t max_queue_depth = 0;
 
@@ -32,6 +47,10 @@ struct TenantState {
     obs::HistogramMetric* batch_hist = nullptr;
     obs::Counter* completed_counter = nullptr;
     obs::Counter* slo_miss_counter = nullptr;
+    obs::Counter* retry_counter = nullptr;
+    obs::Counter* shed_counter = nullptr;
+    obs::Counter* drop_counter = nullptr;
+    obs::Counter* hedge_win_counter = nullptr;
     int64_t flows_started = 0;
     int64_t last_emitted_depth = -1;
 };
@@ -44,27 +63,87 @@ struct DeviceState {
     int last_tenant = -1;
 };
 
+Status
+ValidateServingInputs(const std::vector<TenantConfig>& tenants,
+                      int num_devices, double duration_s,
+                      const ReliabilityConfig& reliability)
+{
+    if (tenants.empty()) {
+        return Status::InvalidArgument("no tenants");
+    }
+    if (num_devices < 1) {
+        return Status::InvalidArgument(StrFormat(
+            "num_devices must be >= 1, got %d", num_devices));
+    }
+    if (duration_s <= 0.0) {
+        return Status::InvalidArgument("duration must be positive");
+    }
+    for (const auto& t : tenants) {
+        if (!t.latency_s) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "' has no latency model");
+        }
+        if (t.max_batch < 1) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': max_batch must be >= 1");
+        }
+        if (t.arrival_rate <= 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': arrival_rate must be positive");
+        }
+        if (t.slo_s < 0.0 || t.deadline_s < 0.0 || t.batch_wait_s < 0.0 ||
+            t.host_overhead_s < 0.0 || t.switch_penalty_s < 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': durations must be >= 0");
+        }
+        if (t.max_queue < 0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': max_queue must be >= 0");
+        }
+        if (t.max_retries < 0 || t.retry_backoff_s < 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': retry policy must be >= 0");
+        }
+    }
+    if (reliability.hedge_quantile <= 0.0 ||
+        reliability.hedge_quantile >= 1.0) {
+        return Status::InvalidArgument(
+            "hedge_quantile must be in (0, 1)");
+    }
+    if (reliability.max_cell_queue < 0) {
+        return Status::InvalidArgument("max_cell_queue must be >= 0");
+    }
+    return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<ServingResult>
 RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                double duration_s, uint64_t seed,
-               const ServingTelemetry& telemetry)
+               const ServingTelemetry& telemetry,
+               const ReliabilityConfig& reliability)
 {
-    if (tenants.empty()) {
-        return Status::InvalidArgument("no tenants");
-    }
-    if (duration_s <= 0.0) {
-        return Status::InvalidArgument("duration must be positive");
-    }
-    if (num_devices < 1) {
-        return Status::InvalidArgument("need at least one device");
-    }
-    for (const auto& t : tenants) {
-        if (!t.latency_s || t.max_batch < 1 || t.arrival_rate <= 0.0) {
-            return Status::InvalidArgument("bad tenant config: " + t.name);
+    T4I_RETURN_IF_ERROR(ValidateServingInputs(tenants, num_devices,
+                                              duration_s, reliability));
+
+    // Expand the fault plan out past any plausible drain time; random
+    // failures beyond the horizon simply stop occurring.
+    const FaultPlan& plan = reliability.faults;
+    double horizon_s =
+        duration_s * 4.0 + 10.0 * (plan.mtbf_s + plan.mttr_s) + 1.0;
+    for (const auto& f : plan.scripted) {
+        if (f.repair_at_s > 0.0) {
+            horizon_s = std::max(horizon_s, f.repair_at_s + duration_s);
         }
     }
+    auto timeline_or = BuildFaultTimeline(plan, num_devices, horizon_s);
+    T4I_RETURN_IF_ERROR(timeline_or.status());
+    const FaultTimeline& timeline = timeline_or.value();
+    const bool faults_active = plan.enabled();
+    // Transient batch errors draw from their own stream so injecting
+    // faults never perturbs the arrival process.
+    Rng fault_rng(plan.seed ^ 0x7472616e73ULL);
 
     Rng rng(seed);
     // Draws the next arrival after `t` — homogeneous Poisson, or
@@ -107,18 +186,51 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             trace->SetThreadName(pid, queue_tid(i),
                                  "queue: " + tenants[i].name);
         }
+        if (faults_active) {
+            // Fault instants on the device tracks (capped per device
+            // so high failure rates cannot bloat the trace).
+            for (int d = 0; d < num_devices; ++d) {
+                int emitted = 0;
+                for (const auto& iv : timeline.down(d)) {
+                    if (emitted >= 256) break;
+                    trace->AddInstant(pid, d, "fault: down",
+                                      iv.start_s * kUsPerSecond);
+                    if (iv.end_s < kInf) {
+                        trace->AddInstant(pid, d, "fault: up",
+                                          iv.end_s * kUsPerSecond);
+                    }
+                    ++emitted;
+                }
+                for (const auto& s : timeline.slowdowns(d)) {
+                    trace->AddInstant(pid, d, "fault: slow",
+                                      s.start_s * kUsPerSecond);
+                    trace->AddInstant(pid, d, "fault: normal",
+                                      s.end_s * kUsPerSecond);
+                }
+            }
+        }
     }
     if (telemetry.registry != nullptr) {
         for (size_t i = 0; i < tenants.size(); ++i) {
             const obs::Labels labels = {{"tenant", tenants[i].name}};
-            state[i].latency_hist = telemetry.registry->GetHistogram(
-                "serving.latency_seconds", labels);
-            state[i].batch_hist = telemetry.registry->GetHistogram(
-                "serving.batch_size", labels);
-            state[i].completed_counter = telemetry.registry->GetCounter(
-                "serving.completed", labels);
-            state[i].slo_miss_counter = telemetry.registry->GetCounter(
-                "serving.slo_miss", labels);
+            TenantState& ts = state[i];
+            obs::MetricsRegistry& reg = *telemetry.registry;
+            ts.latency_hist =
+                reg.GetHistogram("serving.latency_seconds", labels);
+            ts.batch_hist =
+                reg.GetHistogram("serving.batch_size", labels);
+            ts.completed_counter =
+                reg.GetCounter("serving.completed", labels);
+            ts.slo_miss_counter =
+                reg.GetCounter("serving.slo_miss", labels);
+            // Reliability counters exist (at zero) even in fault-free
+            // runs so exports and the CI schema stay stable.
+            ts.retry_counter = reg.GetCounter("serving.retries", labels);
+            ts.shed_counter = reg.GetCounter("serving.shed", labels);
+            ts.drop_counter =
+                reg.GetCounter("serving.deadline_drops", labels);
+            ts.hedge_win_counter =
+                reg.GetCounter("serving.hedge_wins", labels);
         }
     }
     auto emit_queue_depth = [&](size_t i, double t) {
@@ -133,6 +245,13 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             ts.last_emitted_depth = depth;
         }
     };
+    auto total_queued = [&]() {
+        int64_t total = 0;
+        for (const auto& ts : state) {
+            total += static_cast<int64_t>(ts.queue.size());
+        }
+        return total;
+    };
 
     double now = 0.0;
     double switch_overhead = 0.0;
@@ -143,37 +262,109 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         // Deliver all arrivals up to `now`.
         bool any_pending_arrivals = false;
         for (size_t i = 0; i < tenants.size(); ++i) {
-            while (state[i].next_arrival_s <= now &&
-                   state[i].next_arrival_s < duration_s) {
-                Request req{state[i].next_arrival_s, -1};
-                if (trace != nullptr &&
-                    state[i].flows_started <
-                        telemetry.max_flows_per_tenant) {
-                    req.flow_id =
-                        static_cast<int64_t>(next_flow_id++);
-                    ++state[i].flows_started;
-                    trace->AddInstant(pid, queue_tid(i), "arrive",
-                                      req.arrival_s * kUsPerSecond);
-                    trace->AddFlowStart(
-                        pid, queue_tid(i), "request",
-                        static_cast<uint64_t>(req.flow_id),
-                        req.arrival_s * kUsPerSecond);
+            const TenantConfig& cfg = tenants[i];
+            TenantState& ts = state[i];
+            while (ts.next_arrival_s <= now &&
+                   ts.next_arrival_s < duration_s) {
+                Request req{ts.next_arrival_s, -1};
+                ++ts.arrived;
+                // Admission control: per-tenant bound first, then the
+                // cell-wide cap (evict lowest-priority backlog first).
+                bool accepted = true;
+                if (cfg.max_queue > 0 &&
+                    static_cast<int64_t>(ts.queue.size()) >=
+                        cfg.max_queue) {
+                    accepted = false;
+                } else if (reliability.max_cell_queue > 0 &&
+                           total_queued() >=
+                               reliability.max_cell_queue) {
+                    // Find the lowest-priority tenant with a backlog
+                    // (largest queue breaks ties).
+                    size_t victim = i;
+                    bool have_victim = false;
+                    for (size_t j = 0; j < tenants.size(); ++j) {
+                        if (state[j].queue.empty()) continue;
+                        if (!have_victim ||
+                            tenants[j].priority <
+                                tenants[victim].priority ||
+                            (tenants[j].priority ==
+                                 tenants[victim].priority &&
+                             state[j].queue.size() >
+                                 state[victim].queue.size())) {
+                            victim = j;
+                            have_victim = true;
+                        }
+                    }
+                    if (have_victim &&
+                        tenants[victim].priority < cfg.priority) {
+                        state[victim].queue.pop_back();
+                        ++state[victim].shed;
+                        if (state[victim].shed_counter != nullptr) {
+                            state[victim].shed_counter->Increment();
+                        }
+                        emit_queue_depth(victim, now);
+                    } else {
+                        accepted = false;
+                    }
                 }
-                state[i].queue.push_back(req);
-                state[i].next_arrival_s = next_arrival(
-                    tenants[i], state[i].next_arrival_s);
+                if (accepted) {
+                    if (trace != nullptr &&
+                        ts.flows_started <
+                            telemetry.max_flows_per_tenant) {
+                        req.flow_id =
+                            static_cast<int64_t>(next_flow_id++);
+                        ++ts.flows_started;
+                        trace->AddInstant(pid, queue_tid(i), "arrive",
+                                          req.arrival_s * kUsPerSecond);
+                        trace->AddFlowStart(
+                            pid, queue_tid(i), "request",
+                            static_cast<uint64_t>(req.flow_id),
+                            req.arrival_s * kUsPerSecond);
+                    }
+                    ts.queue.push_back(req);
+                } else {
+                    ++ts.shed;
+                    if (ts.shed_counter != nullptr) {
+                        ts.shed_counter->Increment();
+                    }
+                    if (trace != nullptr) {
+                        trace->AddInstant(pid, queue_tid(i), "shed",
+                                          req.arrival_s * kUsPerSecond);
+                    }
+                }
+                ts.next_arrival_s =
+                    next_arrival(cfg, ts.next_arrival_s);
+            }
+            // Deadline sweep: queued requests older than the deadline
+            // are dropped (distinct from SLO misses, which complete).
+            if (cfg.deadline_s > 0.0) {
+                while (!ts.queue.empty() &&
+                       ts.queue.front().arrival_s + cfg.deadline_s <=
+                           now) {
+                    ts.queue.pop_front();
+                    ++ts.dropped;
+                    if (ts.drop_counter != nullptr) {
+                        ts.drop_counter->Increment();
+                    }
+                    if (trace != nullptr) {
+                        trace->AddInstant(pid, queue_tid(i),
+                                          "deadline drop",
+                                          now * kUsPerSecond);
+                    }
+                }
             }
             emit_queue_depth(i, now);
-            if (state[i].next_arrival_s < duration_s) {
+            if (ts.next_arrival_s < duration_s) {
                 any_pending_arrivals = true;
             }
         }
 
         // A tenant is dispatchable when its batch is full, its oldest
         // request has waited out the batching patience, or no more
-        // arrivals are coming.
+        // arrivals are coming. Retry backoff gates the queue head.
         auto dispatchable = [&](size_t i) {
             if (state[i].queue.empty()) return false;
+            if (state[i].queue.front().not_before_s > now) return false;
             if (tenants[i].batch_wait_s <= 0.0) return true;
             if (static_cast<int64_t>(state[i].queue.size()) >=
                 tenants[i].max_batch) {
@@ -208,8 +399,9 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         }
 
         if (chosen < 0) {
-            // Advance to the next event: an arrival or a batching
-            // deadline expiring.
+            // Advance to the next event: an arrival, a batching
+            // deadline expiring, a retry backoff elapsing, or a
+            // request deadline expiring.
             double next = 1e300;
             bool have_event = false;
             for (size_t i = 0; i < tenants.size(); ++i) {
@@ -218,9 +410,21 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     have_event = true;
                 }
                 if (!state[i].queue.empty()) {
+                    const Request& front = state[i].queue.front();
+                    // A retry backoff gates dispatch, so the patience
+                    // event cannot fire before it (clamping keeps the
+                    // loop advancing instead of re-visiting a stale
+                    // patience instant forever).
                     next = std::min(
-                        next, state[i].queue.front().arrival_s +
-                                  tenants[i].batch_wait_s);
+                        next,
+                        std::max(front.arrival_s +
+                                     tenants[i].batch_wait_s,
+                                 front.not_before_s));
+                    if (tenants[i].deadline_s > 0.0) {
+                        next = std::min(next,
+                                        front.arrival_s +
+                                            tenants[i].deadline_s);
+                    }
                     have_event = true;
                 }
             }
@@ -234,14 +438,64 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         TenantState& ts = state[static_cast<size_t>(chosen)];
         const TenantConfig& cfg = tenants[static_cast<size_t>(chosen)];
 
-        // Dispatch to the earliest-free device.
-        DeviceState* device = &devices[0];
-        for (auto& d : devices) {
-            if (d.device_free_s < device->device_free_s) device = &d;
+        // Dead cell: every device is permanently down from here on —
+        // drop the backlog (and, next iterations, future arrivals) so
+        // the loop terminates instead of queueing forever.
+        if (faults_active) {
+            double earliest_up = kInf;
+            for (int d = 0; d < num_devices; ++d) {
+                earliest_up = std::min(
+                    earliest_up,
+                    timeline.NextUp(
+                        d, std::max(now, devices[static_cast<size_t>(d)]
+                                             .device_free_s)));
+            }
+            if (earliest_up == kInf) {
+                for (size_t i = 0; i < tenants.size(); ++i) {
+                    TenantState& dead = state[i];
+                    while (!dead.queue.empty()) {
+                        dead.queue.pop_front();
+                        ++dead.dropped;
+                        if (dead.drop_counter != nullptr) {
+                            dead.drop_counter->Increment();
+                        }
+                    }
+                    emit_queue_depth(i, now);
+                }
+                continue;
+            }
         }
+
+        // Dispatch to the earliest-usable device (earliest-free when
+        // no faults are configured — bit-identical to the fault-free
+        // simulator).
+        int dev_index = 0;
+        {
+            double best_key = kInf;
+            for (int d = 0; d < num_devices; ++d) {
+                double key =
+                    devices[static_cast<size_t>(d)].device_free_s;
+                if (faults_active) {
+                    key = timeline.NextUp(d, std::max(key, now));
+                }
+                if (key < best_key) {
+                    best_key = key;
+                    dev_index = d;
+                }
+            }
+        }
+        DeviceState* device = &devices[static_cast<size_t>(dev_index)];
 
         const auto batch = static_cast<int64_t>(std::min<size_t>(
             ts.queue.size(), static_cast<size_t>(cfg.max_batch)));
+        // Pull the batch's requests out now; they either complete or
+        // are re-enqueued / dropped on failure.
+        std::vector<Request> in_flight;
+        in_flight.reserve(static_cast<size_t>(batch));
+        for (int64_t j = 0; j < batch; ++j) {
+            in_flight.push_back(ts.queue.front());
+            ts.queue.pop_front();
+        }
 
         // Two-stage pipeline: the host prepares this batch (possibly
         // while the device still runs the previous one), then the
@@ -253,6 +507,9 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
 
         double device_start =
             std::max(host_done, device->device_free_s);
+        if (faults_active) {
+            device_start = timeline.NextUp(dev_index, device_start);
+        }
         if (device->last_tenant != chosen &&
             cfg.switch_penalty_s > 0.0) {
             switch_overhead += cfg.switch_penalty_s;
@@ -260,45 +517,197 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         }
         device->last_tenant = chosen;
 
-        const double exec = cfg.latency_s(batch);
-        const double finish = device_start + exec;
+        const double nominal_exec = cfg.latency_s(batch);
+        double exec = nominal_exec;
+        if (faults_active) {
+            exec /= timeline.SpeedFactor(dev_index, device_start);
+        }
+        double finish = device_start + exec;
+        bool primary_aborted = false;
+        if (faults_active) {
+            const double next_fail =
+                timeline.NextFailure(dev_index, device_start);
+            if (next_fail < finish) {
+                // Device died mid-batch: the work is lost at the
+                // failure instant.
+                primary_aborted = true;
+                finish = next_fail;
+            }
+        }
         device->busy_s += finish - std::max(now, device->device_free_s);
         device->device_free_s = finish;
 
-        const int device_tid =
-            static_cast<int>(device - devices.data());
-        if (trace != nullptr) {
-            trace->AddComplete(
-                pid, device_tid, cfg.name, "batch",
-                device_start * kUsPerSecond, exec * kUsPerSecond,
-                StrFormat("{\"batch\":%lld}",
-                          static_cast<long long>(batch)));
-        }
-
-        for (int64_t j = 0; j < batch; ++j) {
-            const Request req = ts.queue.front();
-            ts.queue.pop_front();
-            const double latency = finish - req.arrival_s;
-            ts.latencies.Add(latency);
-            ++ts.completed;
-            if (latency > cfg.slo_s) ++ts.slo_misses;
-            if (ts.latency_hist != nullptr) {
-                ts.latency_hist->Observe(latency);
-                ts.completed_counter->Increment();
-                if (latency > cfg.slo_s) {
-                    ts.slo_miss_counter->Increment();
+        // Hedged dispatch: if this copy is projected to run longer
+        // than the hedge quantile of observed batch times (straggler)
+        // or its device died mid-batch, re-issue on a second device
+        // after the quantile-sized delay. The losing copy's work is
+        // wasted but counted as busy — the real cost of hedging.
+        bool hedged = false;
+        bool hedge_aborted = false;
+        int hedge_dev = -1;
+        double hedge_start = kInf;
+        double hedge_finish = kInf;
+        if (reliability.hedge && num_devices > 1 &&
+            ts.device_times.count() >= 16) {
+            // Straggler = slow *relative to this batch's nominal time*
+            // (an absolute-time quantile would flag every full-size
+            // batch and hedge the cell into overload). The hedge
+            // launches once the primary has overstayed the quantile
+            // slowdown for its batch.
+            const double threshold =
+                nominal_exec * ts.device_times.Percentile(
+                                   100.0 * reliability.hedge_quantile);
+            if (primary_aborted || exec > threshold) {
+                const double hedge_issue = device_start + threshold;
+                double best_key = kInf;
+                for (int d = 0; d < num_devices; ++d) {
+                    if (d == dev_index) continue;
+                    const double key = timeline.NextUp(
+                        d, std::max(devices[static_cast<size_t>(d)]
+                                        .device_free_s,
+                                    hedge_issue));
+                    if (key < best_key) {
+                        best_key = key;
+                        hedge_dev = d;
+                    }
+                }
+                if (hedge_dev >= 0 && best_key < kInf) {
+                    hedged = true;
+                    ++ts.hedges;
+                    DeviceState& hd =
+                        devices[static_cast<size_t>(hedge_dev)];
+                    hedge_start = best_key;
+                    const double hedge_exec =
+                        nominal_exec /
+                        timeline.SpeedFactor(hedge_dev, hedge_start);
+                    hedge_finish = hedge_start + hedge_exec;
+                    const double hedge_fail =
+                        timeline.NextFailure(hedge_dev, hedge_start);
+                    if (hedge_fail < hedge_finish) {
+                        hedge_aborted = true;
+                        hedge_finish = hedge_fail;
+                    }
+                    hd.busy_s += hedge_finish - hedge_start;
+                    hd.device_free_s = hedge_finish;
+                    hd.last_tenant = chosen;
                 }
             }
-            if (trace != nullptr && req.flow_id >= 0) {
-                // arrival (queue track) -> batch start (device track)
-                // -> completion, all one arrow in the viewer.
-                trace->AddFlowStep(
-                    pid, device_tid, "request",
-                    static_cast<uint64_t>(req.flow_id),
-                    device_start * kUsPerSecond);
-                trace->AddFlowEnd(pid, device_tid, "request",
-                                  static_cast<uint64_t>(req.flow_id),
-                                  finish * kUsPerSecond);
+        }
+
+        // Outcome: each copy that ran to completion may still fail
+        // transiently; the earliest surviving copy wins the batch.
+        auto copy_survives = [&](bool aborted) {
+            if (aborted) return false;
+            if (plan.transient_failure_prob > 0.0) {
+                return !fault_rng.NextBool(plan.transient_failure_prob);
+            }
+            return true;
+        };
+        const bool primary_ok = copy_survives(primary_aborted);
+        const bool hedge_ok = hedged && copy_survives(hedge_aborted);
+        double completion = kInf;
+        bool success = false;
+        bool hedge_won = false;
+        int win_dev = dev_index;
+        double win_start = device_start;
+        if (primary_ok) {
+            completion = finish;
+            success = true;
+        }
+        if (hedge_ok && hedge_finish < completion) {
+            completion = hedge_finish;
+            success = true;
+            hedge_won = true;
+            win_dev = hedge_dev;
+            win_start = hedge_start;
+        }
+        if (hedge_won) {
+            ++ts.hedge_wins;
+            if (ts.hedge_win_counter != nullptr) {
+                ts.hedge_win_counter->Increment();
+            }
+        }
+
+        if (trace != nullptr) {
+            trace->AddComplete(
+                pid, dev_index, cfg.name, "batch",
+                device_start * kUsPerSecond,
+                (finish - device_start) * kUsPerSecond,
+                StrFormat("{\"batch\":%lld,\"outcome\":\"%s\"}",
+                          static_cast<long long>(batch),
+                          primary_ok ? "ok" : "failed"));
+            if (hedged) {
+                trace->AddComplete(
+                    pid, hedge_dev, cfg.name + " (hedge)", "batch",
+                    hedge_start * kUsPerSecond,
+                    (hedge_finish - hedge_start) * kUsPerSecond,
+                    StrFormat("{\"batch\":%lld,\"win\":%d}",
+                              static_cast<long long>(batch),
+                              hedge_won ? 1 : 0));
+            }
+        }
+
+        if (success) {
+            if (reliability.hedge && nominal_exec > 0.0) {
+                ts.device_times.Add((completion - win_start) /
+                                    nominal_exec);
+            }
+            for (const Request& req : in_flight) {
+                const double latency = completion - req.arrival_s;
+                ts.latencies.Add(latency);
+                ++ts.completed;
+                if (latency > cfg.slo_s) ++ts.slo_misses;
+                if (ts.latency_hist != nullptr) {
+                    ts.latency_hist->Observe(latency);
+                    ts.completed_counter->Increment();
+                    if (latency > cfg.slo_s) {
+                        ts.slo_miss_counter->Increment();
+                    }
+                }
+                if (trace != nullptr && req.flow_id >= 0) {
+                    // arrival (queue track) -> batch start (device
+                    // track) -> completion, all one arrow.
+                    trace->AddFlowStep(
+                        pid, win_dev, "request",
+                        static_cast<uint64_t>(req.flow_id),
+                        win_start * kUsPerSecond);
+                    trace->AddFlowEnd(
+                        pid, win_dev, "request",
+                        static_cast<uint64_t>(req.flow_id),
+                        completion * kUsPerSecond);
+                }
+            }
+        } else {
+            // Batch failed on every copy: bounded retry with
+            // exponential backoff, preserving arrival order at the
+            // queue head; requests out of retries are dropped.
+            ++ts.retried;
+            if (ts.retry_counter != nullptr) {
+                ts.retry_counter->Increment();
+            }
+            const double fail_known =
+                hedged ? std::max(finish, hedge_finish) : finish;
+            if (trace != nullptr) {
+                trace->AddInstant(pid, dev_index, "batch failed",
+                                  fail_known * kUsPerSecond);
+            }
+            for (auto it = in_flight.rbegin(); it != in_flight.rend();
+                 ++it) {
+                Request req = *it;
+                if (req.attempts >= cfg.max_retries) {
+                    ++ts.dropped;
+                    if (ts.drop_counter != nullptr) {
+                        ts.drop_counter->Increment();
+                    }
+                    continue;
+                }
+                const int shift = std::min(req.attempts, 20);
+                req.not_before_s =
+                    fail_known +
+                    cfg.retry_backoff_s *
+                        static_cast<double>(int64_t{1} << shift);
+                ++req.attempts;
+                ts.queue.push_front(req);
             }
         }
         ts.batches.Add(static_cast<double>(batch));
@@ -316,12 +725,20 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             max_host = std::max(max_host, t.host_overhead_s);
         }
         double candidate = 1e300;
-        for (const auto& d : devices) {
-            candidate = std::min(
-                candidate,
-                std::max(d.host_free_s, d.device_free_s - max_host));
+        for (size_t d = 0; d < devices.size(); ++d) {
+            double usable = std::max(devices[d].host_free_s,
+                                     devices[d].device_free_s - max_host);
+            if (faults_active) {
+                // A down device's stale free-time must not defeat the
+                // backpressure throttle (it would dispatch degenerate
+                // batches the instant they arrive); wait for the next
+                // instant the device can actually take work.
+                usable =
+                    timeline.NextUp(static_cast<int>(d), usable);
+            }
+            candidate = std::min(candidate, usable);
         }
-        now = std::max(now, candidate);
+        if (candidate < 1e300) now = std::max(now, candidate);
     }
 
     ServingResult result;
@@ -340,10 +757,18 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
         host_sum / (result.duration_s * num_devices);
     result.switch_overhead_fraction =
         switch_overhead / (result.duration_s * num_devices);
+    result.availability =
+        faults_active ? timeline.Availability(result.duration_s) : 1.0;
     for (size_t i = 0; i < tenants.size(); ++i) {
         TenantStats s;
         s.name = tenants[i].name;
+        s.arrived = state[i].arrived;
         s.completed = state[i].completed;
+        s.dropped = state[i].dropped;
+        s.shed = state[i].shed;
+        s.retried = state[i].retried;
+        s.hedges = state[i].hedges;
+        s.hedge_wins = state[i].hedge_wins;
         s.mean_latency_s = state[i].latencies.Mean();
         s.p50_latency_s = state[i].latencies.Percentile(50.0);
         s.p95_latency_s = state[i].latencies.Percentile(95.0);
@@ -356,6 +781,10 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 : 0.0;
         s.throughput_rps =
             static_cast<double>(state[i].completed) / result.duration_s;
+        s.goodput_rps =
+            static_cast<double>(state[i].completed -
+                                state[i].slo_misses) /
+            result.duration_s;
         s.mean_batch = state[i].batches.mean();
         s.max_queue_depth = state[i].max_queue_depth;
         result.tenants.push_back(std::move(s));
@@ -371,17 +800,29 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             ->Set(result.switch_overhead_fraction);
         reg.GetGauge("serving.duration_seconds")
             ->Set(result.duration_s);
+        reg.GetGauge("serving.availability")->Set(result.availability);
         for (const auto& tenant : result.tenants) {
             const obs::Labels labels = {{"tenant", tenant.name}};
             reg.GetGauge("serving.slo_miss_fraction", labels)
                 ->Set(tenant.slo_miss_fraction);
             reg.GetGauge("serving.throughput_rps", labels)
                 ->Set(tenant.throughput_rps);
+            reg.GetGauge("serving.goodput_rps", labels)
+                ->Set(tenant.goodput_rps);
             reg.GetGauge("serving.max_queue_depth", labels)
                 ->Set(static_cast<double>(tenant.max_queue_depth));
         }
     }
     return result;
+}
+
+StatusOr<ServingResult>
+RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
+               double duration_s, uint64_t seed,
+               const ServingTelemetry& telemetry)
+{
+    return RunServingCell(tenants, num_devices, duration_s, seed,
+                          telemetry, ReliabilityConfig{});
 }
 
 StatusOr<ServingResult>

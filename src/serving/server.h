@@ -18,6 +18,16 @@
  *    (interactive vs batch traffic), round-robin within a priority;
  *  - tenant-switch penalty: re-staging weights when CMEM is not
  *    partitioned (per device).
+ *
+ * Reliability layer (production availability, not peak FLOPS): a
+ * seeded FaultPlan injects device failures, stragglers, and transient
+ * batch errors; per-request deadlines drop stale work; failed batches
+ * retry with exponential backoff up to a bound; hedged dispatch
+ * re-issues slow batches on a second device; and admission control
+ * sheds load (per-tenant queue bounds, lowest-priority-first under a
+ * cell-wide cap) so queues stay bounded when devices die. With a
+ * default ReliabilityConfig the simulator is bit-identical to the
+ * fault-free one.
  */
 #ifndef T4I_SERVING_SERVER_H
 #define T4I_SERVING_SERVER_H
@@ -30,6 +40,7 @@
 #include "src/common/status.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace_builder.h"
+#include "src/serving/faults.h"
 
 namespace t4i {
 
@@ -63,19 +74,48 @@ struct TenantConfig {
     double host_overhead_s = 0.0;
     /** Higher drains first; ties round-robin. */
     int priority = 0;
+    /**
+     * Per-request deadline, distinct from the SLO: a request still
+     * queued this long after arrival is dropped (and counted), where
+     * an SLO miss merely completes late. Zero means no deadline.
+     */
+    double deadline_s = 0.0;
+    /** Admission control: arrivals beyond this queue depth are shed.
+     *  Zero means unbounded. */
+    int64_t max_queue = 0;
+    /** Failed batches re-execute at most this many times before their
+     *  requests are dropped. */
+    int max_retries = 3;
+    /** Backoff before a failed batch's requests become dispatchable
+     *  again; doubles per attempt (exponential backoff). */
+    double retry_backoff_s = 1e-3;
 };
 
-/** Per-tenant results. */
+/**
+ * Per-tenant results. Request accounting is conservative:
+ * arrived == completed + dropped + shed always holds at drain.
+ */
 struct TenantStats {
     std::string name;
-    int64_t completed = 0;
+    int64_t arrived = 0;     ///< requests that reached the cell
+    int64_t completed = 0;   ///< served (possibly past the SLO)
+    int64_t dropped = 0;     ///< deadline expiry / retries exhausted
+    int64_t shed = 0;        ///< rejected by admission control
+    int64_t retried = 0;     ///< batch re-executions (faults)
+    int64_t hedges = 0;      ///< hedged batch dispatches issued
+    int64_t hedge_wins = 0;  ///< hedges that beat the primary copy
     double mean_latency_s = 0.0;
     double p50_latency_s = 0.0;
     double p95_latency_s = 0.0;
     double p99_latency_s = 0.0;
     int64_t slo_misses = 0;
+    /** Of completed requests only; dropped/shed are counted above. */
     double slo_miss_fraction = 0.0;
+    /** Completed requests per second (includes SLO-missing ones). */
     double throughput_rps = 0.0;
+    /** Requests completed *within* the SLO per second — the honest
+     *  number once drops and sheds exist. */
+    double goodput_rps = 0.0;
     double mean_batch = 0.0;
     int64_t max_queue_depth = 0;
 };
@@ -87,6 +127,35 @@ struct ServingResult {
     double switch_overhead_fraction = 0.0;
     double host_busy_fraction = 0.0;
     double duration_s = 0.0;
+    /** Mean fraction of device-seconds up over the run (1.0 without
+     *  injected faults). */
+    double availability = 1.0;
+};
+
+/**
+ * Cell-level reliability policy. The default-constructed config (no
+ * faults, no hedging, unbounded cell queue) reproduces the fault-free
+ * simulator bit for bit.
+ */
+struct ReliabilityConfig {
+    FaultPlan faults;
+    /**
+     * Hedged dispatch: when a batch's projected device time exceeds
+     * the hedge_quantile of this tenant's observed batch times (a
+     * straggler), re-issue it on a second device after that
+     * quantile-sized delay; the first copy to finish wins and the
+     * loser's work is wasted (counted as busy). Needs >= 2 devices
+     * and a short warmup of observed batches.
+     */
+    bool hedge = false;
+    double hedge_quantile = 0.95;
+    /**
+     * Cell-wide queue cap: when total queued requests reach this
+     * bound, an arrival evicts the newest queued request of the
+     * lowest-priority backlogged tenant (or is itself shed when it
+     * has the lowest priority). Zero means unbounded.
+     */
+    int64_t max_cell_queue = 0;
 };
 
 /**
@@ -129,6 +198,17 @@ StatusOr<ServingResult> RunServingCell(
     const std::vector<TenantConfig>& tenants, int num_devices,
     double duration_s, uint64_t seed,
     const ServingTelemetry& telemetry);
+
+/**
+ * Same, with fault injection and reliability policy. Fault instants
+ * land on the trace timeline and the registry gains retry/shed/drop/
+ * hedge counters plus a `serving.availability` gauge.
+ */
+StatusOr<ServingResult> RunServingCell(
+    const std::vector<TenantConfig>& tenants, int num_devices,
+    double duration_s, uint64_t seed,
+    const ServingTelemetry& telemetry,
+    const ReliabilityConfig& reliability);
 
 }  // namespace t4i
 

@@ -39,6 +39,7 @@
 #include "src/numerics/quantize.h"
 #include "src/power/power.h"
 #include "src/roofline/roofline.h"
+#include "src/serving/faults.h"
 #include "src/serving/latency_table.h"
 #include "src/serving/server.h"
 #include "src/sim/machine.h"

@@ -4,6 +4,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/arch/catalog.h"
 #include "src/fleet/deployment.h"
 #include "src/fleet/planner.h"
@@ -159,6 +161,93 @@ TEST(Deployment, ProxyGraphsCoverAllDomains)
         Graph g = DomainProxyGraph(domain);
         EXPECT_TRUE(g.finalized()) << AppDomainName(domain);
     }
+}
+
+// --- N+k redundancy --------------------------------------------------------
+
+TEST(Redundancy, CellAvailabilityBasics)
+{
+    // Degenerate cases.
+    EXPECT_DOUBLE_EQ(CellAvailability(0, 0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(CellAvailability(4, 3, 0.99), 0.0);
+    EXPECT_DOUBLE_EQ(CellAvailability(4, 4, 1.0), 1.0);
+    // No spares: the cell needs every chip up simultaneously.
+    EXPECT_NEAR(CellAvailability(4, 4, 0.9), std::pow(0.9, 4), 1e-12);
+    // One spare strictly helps; more spares keep helping.
+    EXPECT_GT(CellAvailability(4, 5, 0.9), CellAvailability(4, 4, 0.9));
+    EXPECT_GT(CellAvailability(4, 6, 0.9), CellAvailability(4, 5, 0.9));
+    // Exact binomial check for N=2, k=1, a=0.9:
+    // P(>=2 of 3 up) = 3*0.81*0.1 + 0.729 = 0.972.
+    EXPECT_NEAR(CellAvailability(2, 3, 0.9), 0.972, 1e-12);
+}
+
+TEST(Redundancy, NPlusKSparesMonotone)
+{
+    // Worse chips need more spares; a bigger cell never needs fewer
+    // spares than a smaller one at the same availability.
+    const int64_t k_good = NPlusKSpares(64, 0.999, 0.999);
+    const int64_t k_bad = NPlusKSpares(64, 0.95, 0.999);
+    EXPECT_GE(k_bad, k_good);
+    EXPECT_GE(NPlusKSpares(1024, 0.99, 0.999),
+              NPlusKSpares(64, 0.99, 0.999));
+    // ...but sublinearly: 16x the chips needs far less than 16x k.
+    EXPECT_LT(NPlusKSpares(1024, 0.99, 0.999),
+              16 * NPlusKSpares(64, 0.99, 0.999));
+    // Perfect chips need no spares.
+    EXPECT_EQ(NPlusKSpares(64, 1.0, 0.999), 0);
+    // An unreachable target reports max_spares + 1.
+    EXPECT_EQ(NPlusKSpares(4, 0.5, 0.999999, 2), 3);
+}
+
+TEST(Redundancy, PlanRedundancyPricesSpares)
+{
+    FleetParams params;
+    auto plan = PlanFleet(SmallDemand(20000.0), Tpu_v4i(), params)
+                    .value();
+    ASSERT_TRUE(plan.feasible);
+    ASSERT_GT(plan.total_chips, 1);
+
+    FaultPlan faults;
+    faults.mtbf_s = 99.0;
+    faults.mttr_s = 1.0;  // 99% chip availability
+    RedundancyParams rparams;
+    rparams.target_availability = 0.999;
+    auto redundancy =
+        PlanRedundancy(plan, Tpu_v4i(), faults, rparams).value();
+    EXPECT_NEAR(redundancy.chip_availability, 0.99, 1e-12);
+    ASSERT_EQ(redundancy.apps.size(), 1u);
+    const auto& app = redundancy.apps[0];
+    EXPECT_GT(app.spare_chips, 0);
+    EXPECT_LT(app.availability_no_spares, 0.999);
+    EXPECT_GE(app.availability_with_spares, 0.999);
+    // Spares cost real money, but far less than the base fleet.
+    EXPECT_GT(redundancy.spare_tco_usd, 0.0);
+    EXPECT_GT(redundancy.tco_overhead_fraction, 0.0);
+    EXPECT_LT(redundancy.tco_overhead_fraction, 1.0);
+}
+
+TEST(Redundancy, PlanRedundancyValidatesInput)
+{
+    FleetParams params;
+    auto plan =
+        PlanFleet(SmallDemand(1000.0), Tpu_v4i(), params).value();
+    FaultPlan faults;
+    RedundancyParams bad;
+    bad.target_availability = 1.5;
+    EXPECT_FALSE(PlanRedundancy(plan, Tpu_v4i(), faults, bad).ok());
+    bad.target_availability = 0.0;
+    EXPECT_FALSE(PlanRedundancy(plan, Tpu_v4i(), faults, bad).ok());
+
+    // A target no spare count can reach is ResourceExhausted, not a
+    // silent under-provision.
+    FaultPlan flaky;
+    flaky.mtbf_s = 1.0;
+    flaky.mttr_s = 9.0;  // 10% chip availability
+    RedundancyParams tight;
+    tight.target_availability = 0.999999;
+    tight.max_spares = 1;
+    auto r = PlanRedundancy(plan, Tpu_v4i(), flaky, tight);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
 }
 
 }  // namespace

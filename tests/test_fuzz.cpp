@@ -10,6 +10,7 @@
 #include "src/common/rng.h"
 #include "src/compiler/compiler.h"
 #include "src/roofline/roofline.h"
+#include "src/serving/server.h"
 #include "src/sim/machine.h"
 
 namespace t4i {
@@ -200,6 +201,118 @@ TEST_P(FuzzSweep, CompileSimulateInvariantsHold)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Range<uint64_t>(1, 81));
+
+/** Draws a random-but-valid fault plan: scripted failures (some
+ *  permanent), MTBF/MTTR processes, transient errors, slowdowns. */
+FaultPlan
+RandomFaultPlan(Rng& rng, int num_devices, double duration_s)
+{
+    FaultPlan plan;
+    plan.seed = rng.NextU64();
+    if (rng.NextBool(0.5)) {
+        plan.mtbf_s = 0.2 + 5.0 * rng.NextDouble();
+        plan.mttr_s = 0.05 + 1.0 * rng.NextDouble();
+    }
+    if (rng.NextBool(0.4)) {
+        plan.transient_failure_prob = rng.NextDouble();
+    }
+    const int scripted = static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < scripted; ++i) {
+        ScriptedFault f;
+        f.device = static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(num_devices)));
+        f.fail_at_s = duration_s * rng.NextDouble();
+        f.repair_at_s = rng.NextBool(0.3)
+                            ? -1.0
+                            : f.fail_at_s +
+                                  0.01 + duration_s * rng.NextDouble();
+        plan.scripted.push_back(f);
+    }
+    const int slow = static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < slow; ++i) {
+        SlowdownEvent s;
+        s.device = static_cast<int>(
+            rng.NextBounded(static_cast<uint64_t>(num_devices)));
+        s.start_s = duration_s * rng.NextDouble();
+        s.end_s = s.start_s + 0.01 + duration_s * rng.NextDouble();
+        s.speed_factor = 0.05 + 0.95 * rng.NextDouble();
+        plan.slowdowns.push_back(s);
+    }
+    return plan;
+}
+
+class FaultFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultFuzz, RandomFaultPlansNeverBreakConservation)
+{
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+    const int num_devices = 1 + static_cast<int>(rng.NextBounded(4));
+    const double duration_s = 1.0 + 2.0 * rng.NextDouble();
+
+    std::vector<TenantConfig> tenants;
+    const int n_tenants = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < n_tenants; ++i) {
+        TenantConfig t;
+        t.name = "t" + std::to_string(i);
+        const double fixed = 1e-4 + 5e-3 * rng.NextDouble();
+        const double per_sample = 1e-5 + 2e-4 * rng.NextDouble();
+        t.latency_s = [fixed, per_sample](int64_t b) {
+            return fixed + per_sample * static_cast<double>(b);
+        };
+        t.max_batch = 1 + static_cast<int64_t>(rng.NextBounded(32));
+        t.slo_s = 0.002 + 0.02 * rng.NextDouble();
+        t.arrival_rate = 50.0 + 1500.0 * rng.NextDouble();
+        t.priority = static_cast<int>(rng.NextBounded(3));
+        if (rng.NextBool(0.5)) t.deadline_s = 0.01 + 0.2 * rng.NextDouble();
+        if (rng.NextBool(0.5)) {
+            t.max_queue = 4 + static_cast<int64_t>(rng.NextBounded(128));
+        }
+        t.max_retries = static_cast<int>(rng.NextBounded(5));
+        t.batch_wait_s = rng.NextBool(0.3) ? 1e-3 : 0.0;
+        tenants.push_back(std::move(t));
+    }
+
+    ReliabilityConfig rel;
+    rel.faults = RandomFaultPlan(rng, num_devices, duration_s);
+    rel.hedge = rng.NextBool(0.3);
+    if (rng.NextBool(0.3)) {
+        rel.max_cell_queue =
+            8 + static_cast<int64_t>(rng.NextBounded(256));
+    }
+
+    // The run must terminate (no deadlock), succeed, and account for
+    // every request; availability is a fraction.
+    auto result = RunServingCell(tenants, num_devices, duration_s,
+                                 GetParam(), ServingTelemetry{}, rel);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const ServingResult& r = result.value();
+    EXPECT_GE(r.availability, 0.0);
+    EXPECT_LE(r.availability, 1.0);
+    EXPECT_GE(r.duration_s, duration_s);
+    int64_t arrived = 0;
+    for (const auto& t : r.tenants) {
+        EXPECT_EQ(t.arrived, t.completed + t.dropped + t.shed)
+            << t.name;
+        EXPECT_GE(t.p99_latency_s, 0.0);
+        arrived += t.arrived;
+    }
+    EXPECT_GT(arrived, 0);
+
+    // Replaying the identical scenario is bit-identical.
+    auto replay = RunServingCell(tenants, num_devices, duration_s,
+                                 GetParam(), ServingTelemetry{}, rel)
+                      .value();
+    for (size_t i = 0; i < r.tenants.size(); ++i) {
+        EXPECT_EQ(r.tenants[i].completed, replay.tenants[i].completed);
+        EXPECT_EQ(r.tenants[i].dropped, replay.tenants[i].dropped);
+        EXPECT_EQ(r.tenants[i].shed, replay.tenants[i].shed);
+        EXPECT_EQ(r.tenants[i].p99_latency_s,
+                  replay.tenants[i].p99_latency_s);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<uint64_t>(1, 61));
 
 }  // namespace
 }  // namespace t4i

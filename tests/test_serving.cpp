@@ -373,5 +373,407 @@ TEST(Serving, ManyTenantsDegradeGracefully)
     }
 }
 
+// --- Fault injection and reliability ---------------------------------------
+
+/** arrived must equal completed + dropped + shed once the cell drains. */
+void
+ExpectConservation(const ServingResult& r)
+{
+    for (const auto& t : r.tenants) {
+        EXPECT_EQ(t.arrived, t.completed + t.dropped + t.shed)
+            << t.name << ": arrived " << t.arrived << " completed "
+            << t.completed << " dropped " << t.dropped << " shed "
+            << t.shed;
+    }
+}
+
+TEST(Faults, ValidatesPlan)
+{
+    FaultPlan bad_device;
+    bad_device.scripted.push_back(ScriptedFault{7, 1.0, 2.0});
+    EXPECT_EQ(BuildFaultTimeline(bad_device, 4, 10.0).status().code(),
+              StatusCode::kInvalidArgument);
+
+    FaultPlan negative_fail;
+    negative_fail.scripted.push_back(ScriptedFault{0, -1.0, 2.0});
+    EXPECT_FALSE(BuildFaultTimeline(negative_fail, 4, 10.0).ok());
+
+    FaultPlan repair_before_fail;
+    repair_before_fail.scripted.push_back(ScriptedFault{0, 5.0, 2.0});
+    EXPECT_FALSE(BuildFaultTimeline(repair_before_fail, 4, 10.0).ok());
+
+    FaultPlan bad_speed;
+    bad_speed.slowdowns.push_back(SlowdownEvent{0, 1.0, 2.0, 0.0});
+    EXPECT_FALSE(BuildFaultTimeline(bad_speed, 4, 10.0).ok());
+
+    FaultPlan bad_prob;
+    bad_prob.transient_failure_prob = 1.5;
+    EXPECT_FALSE(BuildFaultTimeline(bad_prob, 4, 10.0).ok());
+
+    FaultPlan mtbf_without_mttr;
+    mtbf_without_mttr.mtbf_s = 10.0;
+    EXPECT_FALSE(BuildFaultTimeline(mtbf_without_mttr, 4, 10.0).ok());
+}
+
+TEST(Faults, ScriptedTimelineQueries)
+{
+    FaultPlan plan;
+    plan.scripted.push_back(ScriptedFault{0, 2.0, 5.0});
+    plan.scripted.push_back(ScriptedFault{1, 3.0, -1.0});  // never fixed
+    auto timeline = BuildFaultTimeline(plan, 2, 10.0).value();
+
+    EXPECT_FALSE(timeline.IsDown(0, 1.9));
+    EXPECT_TRUE(timeline.IsDown(0, 2.0));
+    EXPECT_TRUE(timeline.IsDown(0, 4.9));
+    EXPECT_FALSE(timeline.IsDown(0, 5.0));
+    EXPECT_DOUBLE_EQ(timeline.NextUp(0, 3.0), 5.0);
+    EXPECT_DOUBLE_EQ(timeline.NextUp(0, 6.0), 6.0);
+    EXPECT_DOUBLE_EQ(timeline.NextFailure(0, 0.0), 2.0);
+    EXPECT_TRUE(std::isinf(timeline.NextFailure(0, 6.0)));
+
+    EXPECT_TRUE(timeline.IsDown(1, 100.0));
+    EXPECT_TRUE(std::isinf(timeline.NextUp(1, 4.0)));
+
+    // Device 0 is down 3 of 10 seconds, device 1 down 7 of 10.
+    EXPECT_NEAR(timeline.UpFraction(0, 10.0), 0.7, 1e-12);
+    EXPECT_NEAR(timeline.UpFraction(1, 10.0), 0.3, 1e-12);
+    EXPECT_NEAR(timeline.Availability(10.0), 0.5, 1e-12);
+}
+
+TEST(Faults, DeterministicAcrossRebuilds)
+{
+    FaultPlan plan;
+    plan.mtbf_s = 5.0;
+    plan.mttr_s = 1.0;
+    plan.seed = 123;
+    auto a = BuildFaultTimeline(plan, 4, 100.0).value();
+    auto b = BuildFaultTimeline(plan, 4, 100.0).value();
+    for (int d = 0; d < 4; ++d) {
+        ASSERT_EQ(a.down(d).size(), b.down(d).size());
+        for (size_t i = 0; i < a.down(d).size(); ++i) {
+            EXPECT_EQ(a.down(d)[i].start_s, b.down(d)[i].start_s);
+            EXPECT_EQ(a.down(d)[i].end_s, b.down(d)[i].end_s);
+        }
+    }
+    // A different seed draws a different failure history.
+    plan.seed = 124;
+    auto c = BuildFaultTimeline(plan, 4, 100.0).value();
+    bool differs = false;
+    for (int d = 0; d < 4 && !differs; ++d) {
+        if (a.down(d).size() != c.down(d).size()) {
+            differs = true;
+        } else if (!a.down(d).empty() &&
+                   a.down(d)[0].start_s != c.down(d)[0].start_s) {
+            differs = true;
+        }
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Faults, SteadyStateAvailabilityMatchesMtbfMttr)
+{
+    FaultPlan plan;
+    EXPECT_DOUBLE_EQ(SteadyStateAvailability(plan), 1.0);
+    plan.mtbf_s = 9.0;
+    plan.mttr_s = 1.0;
+    EXPECT_DOUBLE_EQ(SteadyStateAvailability(plan), 0.9);
+}
+
+TEST(Reliability, ValidationRejectsEachBadField)
+{
+    const TenantConfig good = Tenant("x", 100.0);
+    {
+        auto r = RunServingCell({good}, 0, 1.0, 1);
+        EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+    {
+        auto r = RunServingCell({good}, 2, -1.0, 1);
+        EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    }
+    {
+        TenantConfig t = good;
+        t.arrival_rate = -5.0;
+        EXPECT_EQ(RunServingCell({t}, 2, 1.0, 1).status().code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        TenantConfig t = good;
+        t.max_batch = 0;
+        EXPECT_EQ(RunServingCell({t}, 2, 1.0, 1).status().code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        TenantConfig t = good;
+        t.deadline_s = -0.1;
+        EXPECT_EQ(RunServingCell({t}, 2, 1.0, 1).status().code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        TenantConfig t = good;
+        t.max_queue = -1;
+        EXPECT_EQ(RunServingCell({t}, 2, 1.0, 1).status().code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        TenantConfig t = good;
+        t.max_retries = -1;
+        EXPECT_EQ(RunServingCell({t}, 2, 1.0, 1).status().code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        ReliabilityConfig rel;
+        rel.hedge_quantile = 1.5;
+        EXPECT_EQ(RunServingCell({good}, 2, 1.0, 1, ServingTelemetry{},
+                                 rel)
+                      .status()
+                      .code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        ReliabilityConfig rel;
+        rel.max_cell_queue = -1;
+        EXPECT_EQ(RunServingCell({good}, 2, 1.0, 1, ServingTelemetry{},
+                                 rel)
+                      .status()
+                      .code(),
+                  StatusCode::kInvalidArgument);
+    }
+    {
+        ReliabilityConfig rel;
+        rel.faults.scripted.push_back(ScriptedFault{5, 1.0, 2.0});
+        EXPECT_EQ(RunServingCell({good}, 2, 1.0, 1, ServingTelemetry{},
+                                 rel)
+                      .status()
+                      .code(),
+                  StatusCode::kInvalidArgument);
+    }
+}
+
+TEST(Reliability, DefaultConfigBitIdenticalToBaseline)
+{
+    // Regression guard: the reliability layer must be invisible when
+    // nothing is configured — not approximately, bit-for-bit.
+    std::vector<TenantConfig> tenants = {Tenant("a", 900.0),
+                                         Tenant("b", 400.0, 0.005)};
+    tenants[0].batch_wait_s = 2e-3;
+    tenants[1].priority = 1;
+    auto base = RunServingCell(tenants, 2, 5.0, 42).value();
+    auto with_layer = RunServingCell(tenants, 2, 5.0, 42,
+                                     ServingTelemetry{},
+                                     ReliabilityConfig{})
+                          .value();
+    ASSERT_EQ(base.tenants.size(), with_layer.tenants.size());
+    for (size_t i = 0; i < base.tenants.size(); ++i) {
+        const TenantStats& x = base.tenants[i];
+        const TenantStats& y = with_layer.tenants[i];
+        EXPECT_EQ(x.arrived, y.arrived);
+        EXPECT_EQ(x.completed, y.completed);
+        EXPECT_EQ(x.slo_misses, y.slo_misses);
+        EXPECT_EQ(x.dropped, y.dropped);
+        EXPECT_EQ(x.shed, y.shed);
+        EXPECT_EQ(x.retried, y.retried);
+        EXPECT_EQ(x.mean_latency_s, y.mean_latency_s);
+        EXPECT_EQ(x.p50_latency_s, y.p50_latency_s);
+        EXPECT_EQ(x.p99_latency_s, y.p99_latency_s);
+        EXPECT_EQ(x.mean_batch, y.mean_batch);
+        EXPECT_EQ(x.throughput_rps, y.throughput_rps);
+        EXPECT_EQ(x.max_queue_depth, y.max_queue_depth);
+    }
+    EXPECT_EQ(base.duration_s, with_layer.duration_s);
+    EXPECT_EQ(base.device_busy_fraction,
+              with_layer.device_busy_fraction);
+    EXPECT_EQ(base.host_busy_fraction, with_layer.host_busy_fraction);
+    EXPECT_EQ(with_layer.availability, 1.0);
+}
+
+TEST(Reliability, DeterministicReplayWithFaults)
+{
+    TenantConfig t = Tenant("x", 800.0);
+    t.deadline_s = 0.1;
+    t.max_queue = 64;
+    ReliabilityConfig rel;
+    rel.faults.mtbf_s = 2.0;
+    rel.faults.mttr_s = 0.5;
+    rel.faults.transient_failure_prob = 0.05;
+    auto a = RunServingCell({t}, 3, 5.0, 42, ServingTelemetry{}, rel)
+                 .value();
+    auto b = RunServingCell({t}, 3, 5.0, 42, ServingTelemetry{}, rel)
+                 .value();
+    EXPECT_EQ(a.tenants[0].completed, b.tenants[0].completed);
+    EXPECT_EQ(a.tenants[0].dropped, b.tenants[0].dropped);
+    EXPECT_EQ(a.tenants[0].shed, b.tenants[0].shed);
+    EXPECT_EQ(a.tenants[0].retried, b.tenants[0].retried);
+    EXPECT_EQ(a.tenants[0].p99_latency_s, b.tenants[0].p99_latency_s);
+    EXPECT_EQ(a.availability, b.availability);
+}
+
+TEST(Reliability, ScriptedSingleDeviceLossDrill)
+{
+    // The acceptance drill: one of four devices dies mid-run and is
+    // repaired; the cell keeps serving and the books balance.
+    TenantConfig t = Tenant("x", 2000.0);
+    t.deadline_s = 0.1;
+    t.max_queue = 512;
+    ReliabilityConfig rel;
+    rel.faults.scripted.push_back(ScriptedFault{0, 2.0, 5.0});
+    auto healthy =
+        RunServingCell({t}, 4, 10.0, 42).value();
+    auto degraded =
+        RunServingCell({t}, 4, 10.0, 42, ServingTelemetry{}, rel)
+            .value();
+    ExpectConservation(degraded);
+    EXPECT_EQ(degraded.tenants[0].arrived, healthy.tenants[0].arrived);
+    EXPECT_GT(degraded.tenants[0].completed, 0);
+    // 3 of 4 devices at this load keep up: nothing is lost, but the
+    // tail pays for the lost capacity.
+    EXPECT_GE(degraded.tenants[0].p99_latency_s,
+              healthy.tenants[0].p99_latency_s);
+    // 1 of 4 devices down 3 of 10 seconds -> 92.5% availability.
+    EXPECT_NEAR(degraded.availability, 0.925, 0.02);
+    EXPECT_EQ(healthy.availability, 1.0);
+}
+
+TEST(Reliability, TransientFailuresRetryAndComplete)
+{
+    TenantConfig t = Tenant("x", 500.0);
+    t.max_retries = 8;
+    ReliabilityConfig rel;
+    rel.faults.transient_failure_prob = 0.2;
+    auto r = RunServingCell({t}, 2, 5.0, 42, ServingTelemetry{}, rel)
+                 .value();
+    ExpectConservation(r);
+    EXPECT_GT(r.tenants[0].retried, 0);
+    // With 8 retries at p=0.2, effectively everything completes.
+    EXPECT_EQ(r.tenants[0].dropped, 0);
+    EXPECT_EQ(r.tenants[0].completed, r.tenants[0].arrived);
+}
+
+TEST(Reliability, RetriesAreBoundedUnderTotalFailure)
+{
+    // Every batch fails: bounded retries must drop the work and
+    // terminate rather than spin forever.
+    TenantConfig t = Tenant("x", 200.0);
+    t.max_retries = 2;
+    ReliabilityConfig rel;
+    rel.faults.transient_failure_prob = 1.0;
+    auto r = RunServingCell({t}, 2, 2.0, 42, ServingTelemetry{}, rel)
+                 .value();
+    ExpectConservation(r);
+    EXPECT_EQ(r.tenants[0].completed, 0);
+    EXPECT_EQ(r.tenants[0].dropped, r.tenants[0].arrived);
+    EXPECT_GT(r.tenants[0].retried, 0);
+}
+
+TEST(Reliability, DeadlineDropsDistinctFromSloMisses)
+{
+    // One slow device, overloaded: without a deadline requests wait
+    // out the backlog (SLO misses); with one they are dropped instead.
+    TenantConfig t = Tenant("x", 3000.0);
+    t.latency_s = AffineLatency(5e-3, 2e-4);
+    t.max_batch = 8;
+    auto no_deadline = RunServingCell({t}, 1, 2.0, 42).value();
+    EXPECT_EQ(no_deadline.tenants[0].dropped, 0);
+    EXPECT_GT(no_deadline.tenants[0].slo_misses, 0);
+
+    t.deadline_s = 0.05;
+    auto with_deadline = RunServingCell({t}, 1, 2.0, 42,
+                                        ServingTelemetry{},
+                                        ReliabilityConfig{})
+                             .value();
+    ExpectConservation(with_deadline);
+    EXPECT_GT(with_deadline.tenants[0].dropped, 0);
+    // Whatever does complete waited at most ~deadline + service time.
+    EXPECT_LT(with_deadline.tenants[0].p99_latency_s,
+              no_deadline.tenants[0].p99_latency_s);
+}
+
+TEST(Reliability, BoundedQueueShedsOverload)
+{
+    TenantConfig t = Tenant("x", 5000.0);
+    t.latency_s = AffineLatency(5e-3, 2e-4);
+    t.max_batch = 8;
+    t.max_queue = 32;
+    auto r = RunServingCell({t}, 1, 2.0, 42).value();
+    ExpectConservation(r);
+    EXPECT_GT(r.tenants[0].shed, 0);
+    EXPECT_LE(r.tenants[0].max_queue_depth, 32);
+}
+
+TEST(Reliability, CellQueueShedsLowestPriorityFirst)
+{
+    // Saturated cell with a shared queue bound: the batch tenant's
+    // backlog is evicted to admit interactive traffic, not vice versa.
+    TenantConfig interactive = Tenant("interactive", 2500.0);
+    interactive.priority = 2;
+    TenantConfig batch = Tenant("batch", 2500.0);
+    batch.priority = 0;
+    for (auto* t : {&interactive, &batch}) {
+        t->latency_s = AffineLatency(5e-3, 2e-4);
+        t->max_batch = 8;
+    }
+    ReliabilityConfig rel;
+    rel.max_cell_queue = 64;
+    auto r = RunServingCell({interactive, batch}, 1, 2.0, 42,
+                            ServingTelemetry{}, rel)
+                 .value();
+    ExpectConservation(r);
+    EXPECT_GT(r.tenants[1].shed, 0);
+    EXPECT_GT(r.tenants[1].shed, r.tenants[0].shed);
+}
+
+TEST(Reliability, HedgingBeatsStraggler)
+{
+    // Device 0 runs at 5% speed for most of the run; hedged dispatch
+    // re-issues its stragglers on a healthy device.
+    TenantConfig t = Tenant("x", 1000.0);
+    ReliabilityConfig slow;
+    slow.faults.slowdowns.push_back(SlowdownEvent{0, 0.5, 5.0, 0.05});
+    auto unhedged =
+        RunServingCell({t}, 2, 5.0, 42, ServingTelemetry{}, slow)
+            .value();
+    ReliabilityConfig hedge = slow;
+    hedge.hedge = true;
+    hedge.hedge_quantile = 0.9;
+    auto hedged =
+        RunServingCell({t}, 2, 5.0, 42, ServingTelemetry{}, hedge)
+            .value();
+    ExpectConservation(hedged);
+    EXPECT_GT(hedged.tenants[0].hedges, 0);
+    EXPECT_GT(hedged.tenants[0].hedge_wins, 0);
+    EXPECT_LT(hedged.tenants[0].p99_latency_s,
+              unhedged.tenants[0].p99_latency_s);
+}
+
+TEST(Reliability, DeadCellTerminatesAndAccountsForEverything)
+{
+    // All devices fail permanently mid-run: the loop must terminate
+    // and every request must be accounted for.
+    TenantConfig t = Tenant("x", 500.0);
+    ReliabilityConfig rel;
+    rel.faults.scripted.push_back(ScriptedFault{0, 1.0, -1.0});
+    rel.faults.scripted.push_back(ScriptedFault{1, 1.0, -1.0});
+    auto r = RunServingCell({t}, 2, 5.0, 42, ServingTelemetry{}, rel)
+                 .value();
+    ExpectConservation(r);
+    EXPECT_GT(r.tenants[0].completed, 0);
+    EXPECT_GT(r.tenants[0].dropped, 0);
+    EXPECT_LT(r.availability, 0.5);
+}
+
+TEST(Reliability, GoodputExcludesSloMisses)
+{
+    TenantConfig t = Tenant("x", 3000.0);
+    t.latency_s = AffineLatency(5e-3, 2e-4);
+    t.max_batch = 8;
+    auto r = RunServingCell({t}, 1, 2.0, 42).value();
+    EXPECT_GT(r.tenants[0].slo_misses, 0);
+    EXPECT_LT(r.tenants[0].goodput_rps, r.tenants[0].throughput_rps);
+    const double expected =
+        static_cast<double>(r.tenants[0].completed -
+                            r.tenants[0].slo_misses) /
+        r.duration_s;
+    EXPECT_NEAR(r.tenants[0].goodput_rps, expected, 1e-9);
+}
+
 }  // namespace
 }  // namespace t4i

@@ -48,4 +48,31 @@ fi
 grep -q '"ph":"C"' "$trace" || { echo "CI: no counter track in trace"; exit 1; }
 grep -q '"ph":"s"' "$trace" || { echo "CI: no flow event in trace"; exit 1; }
 
-echo "CI: ok (tests green, metrics schema satisfied, trace enriched)"
+# --- fault-injection smoke -------------------------------------------
+# Scripted single-device failure in a 4-device cell plus transient
+# batch errors: the run must report degraded availability, non-zero
+# retries, and fault instants on the trace.
+fmetrics="$workdir/fault_metrics.json"
+ftrace="$workdir/fault_trace.json"
+./build/examples/t4sim_cli run --app BERT0 --batch 16 --devices 4 \
+    --fail-at 0.5 --repair-at 1.2 --fault-p 0.02 \
+    "--metrics-json=$fmetrics" "--trace-out=$ftrace" || exit 1
+
+avail="$(grep -o '"name":"serving.availability","labels":{},"value":[0-9.eE+-]*' \
+    "$fmetrics" | sed 's/.*"value"://')"
+case "$avail" in
+    '') echo "CI: serving.availability gauge missing under faults"; exit 1 ;;
+    1|1.0) echo "CI: availability still 1.0 despite scripted failure"; exit 1 ;;
+esac
+
+retries="$(grep -o '"name":"serving.retries"[^}]*},"value":[0-9]*' \
+    "$fmetrics" | sed 's/.*"value"://')"
+if [ -z "$retries" ] || [ "$retries" -eq 0 ]; then
+    echo "CI: serving.retries counter missing or zero under transient faults"
+    exit 1
+fi
+
+grep -q '"fault: down"' "$ftrace" || { echo "CI: no fault instant in trace"; exit 1; }
+
+echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
+     "fault smoke: availability $avail, $retries retries)"
