@@ -10,6 +10,11 @@
  *   t4sim_cli exec --app CNN1 --batch 2
  *       run the functional executor and report bf16/int8 end-to-end
  *       output fidelity vs fp32 (Lesson 6 on your own model)
+ *   t4sim_cli profile --app BERT0 --chip TPUv4i --batch 16
+ *       per-op roofline from the modeled performance counters:
+ *       achieved vs ceiling FLOP/s, operational intensity, stall
+ *       breakdown per HLO op, plus the counter-file register dump
+ *       (accepts run options below plus --sample-us / --top N)
  *
  * Run options:
  *   --app NAME | --model resnet50|mobilenet|bert-large|ssd|dlrm|decoder
@@ -26,11 +31,14 @@
  *   --trace FILE           (Chrome trace JSON, device schedule only)
  *   --stats                (machine-readable key/value dump)
  *   --metrics-json=FILE    (metrics registry snapshot as JSON: per-
- *                           engine utilization, per-tenant latency
+ *                           engine utilization, sampled sim.counter.*
+ *                           time series, per-tenant latency
  *                           percentiles, SLO misses, compiler pass
  *                           times — runs a short serving sim too)
  *   --trace-out=FILE       (enriched Chrome trace: device schedule,
- *                           counter tracks, serving flow events)
+ *                           perf-counter tracks, serving flow events)
+ *   --sample-us=N          (perf-counter sampling interval in us;
+ *                           default auto, ~64 windows per run)
  *
  * Reliability options (shape the serving phase of --metrics-json /
  * --trace-out runs; see docs/RELIABILITY.md):
@@ -216,6 +224,144 @@ CmdExec(const Args& args)
     return 0;
 }
 
+/** Shared by run/profile: compile options from the common flags. */
+bool
+ParseCompileOptions(const Args& args, CompileOptions* opts)
+{
+    opts->batch = args.GetInt("batch", 16);
+    opts->opt_level = static_cast<int>(args.GetInt("opt", 3));
+    opts->num_chips = static_cast<int>(args.GetInt("chips", 1));
+    const std::string dtype = args.Get("dtype", "bf16");
+    if (dtype == "int8") {
+        opts->dtype = DType::kInt8;
+    } else if (dtype == "fp32") {
+        opts->dtype = DType::kFp32;
+    } else if (dtype == "bf16") {
+        opts->dtype = DType::kBf16;
+    } else {
+        std::fprintf(stderr, "unknown dtype '%s'\n", dtype.c_str());
+        return false;
+    }
+    if (args.Get("topology", "ring") == "full") {
+        opts->ici_topology = IciTopology::kFullyConnected;
+    }
+    if (args.Has("cmem")) {
+        opts->cmem_override_bytes = args.GetInt("cmem", 128) * kMiB;
+    }
+    return true;
+}
+
+/**
+ * Engine-group shares of the device's busy cycles, from the counter
+ * file — feeds ServingTelemetry::batch_attribution so the serving sim
+ * can split each batch's device time into mxu/vpu/memory/link.
+ */
+std::vector<AttributionShare>
+AttributionFromCounters(const PerfCounterFile& file)
+{
+    auto cyc = [&](Engine e) {
+        return file.busy_cycles[static_cast<size_t>(e)];
+    };
+    const double mxu = cyc(Engine::kMxu);
+    const double vpu = cyc(Engine::kVpu);
+    const double mem = cyc(Engine::kHbm) + cyc(Engine::kCmem);
+    const double link = cyc(Engine::kIci) + cyc(Engine::kPcie) +
+                        cyc(Engine::kPcieIn);
+    const double total = mxu + vpu + mem + link;
+    if (total <= 0.0) return {};
+    return {{"mxu", mxu / total},
+            {"vpu", vpu / total},
+            {"memory", mem / total},
+            {"link", link / total}};
+}
+
+int
+CmdProfile(const Args& args)
+{
+    auto graph = ResolveModel(args);
+    if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+    }
+    StatusOr<ChipConfig> chip =
+        args.Has("chip-file")
+            ? LoadChipFile(args.Get("chip-file", ""))
+            : ChipByName(args.Get("chip", "TPUv4i"));
+    if (!chip.ok()) {
+        std::fprintf(stderr, "%s\n", chip.status().ToString().c_str());
+        return 1;
+    }
+    CompileOptions opts;
+    if (!ParseCompileOptions(args, &opts)) return 1;
+
+    auto prog = Compile(graph.value().graph, chip.value(), opts);
+    if (!prog.ok()) {
+        std::fprintf(stderr, "compile: %s\n",
+                     prog.status().ToString().c_str());
+        return 1;
+    }
+    std::vector<ScheduleEntry> schedule;
+    auto result =
+        SimulateWithSchedule(prog.value(), chip.value(), &schedule);
+    if (!result.ok()) {
+        std::fprintf(stderr, "simulate: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+    }
+
+    auto counters = CollectPerfCounters(
+        prog.value(), chip.value(), schedule,
+        args.GetDouble("sample-us", 0.0) * 1e-6);
+    if (!counters.ok()) {
+        std::fprintf(stderr, "counters: %s\n",
+                     counters.status().ToString().c_str());
+        return 1;
+    }
+    auto ops = ProfileByOp(prog.value(), chip.value(), schedule);
+    if (!ops.ok()) {
+        std::fprintf(stderr, "profile: %s\n",
+                     ops.status().ToString().c_str());
+        return 1;
+    }
+    std::printf("%s", RenderOpRoofline(
+                          ops.value(), counters.value(),
+                          static_cast<size_t>(args.GetInt("top", 24)))
+                          .c_str());
+    std::printf("\n%s", counters.value().Summary().c_str());
+
+    if (args.Has("metrics-json")) {
+        obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+        RecordSimMetrics(result.value(), &reg);
+        RecordCounterMetrics(counters.value(), &reg);
+        const std::string path =
+            args.Get("metrics-json", "metrics.json");
+        auto status = obs::WriteMetricsJson(reg, path);
+        std::printf("\nmetrics-json: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 1;
+    }
+    if (args.Has("trace-out")) {
+        obs::TraceBuilder builder;
+        auto appended =
+            AppendScheduleTrace(prog.value(), schedule, &builder, 1);
+        if (appended.ok()) {
+            appended =
+                AppendCounterTracks(counters.value(), &builder, 1);
+        }
+        const std::string path =
+            args.Get("trace-out", "trace_profile.json");
+        auto status = appended.ok()
+                          ? obs::WriteTextFile(builder.Render(), path)
+                          : appended;
+        std::printf("\ntrace-out: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 1;
+    }
+    return 0;
+}
+
 int
 CmdRun(const Args& args)
 {
@@ -234,26 +380,7 @@ CmdRun(const Args& args)
     }
 
     CompileOptions opts;
-    opts.batch = args.GetInt("batch", 16);
-    opts.opt_level = static_cast<int>(args.GetInt("opt", 3));
-    opts.num_chips = static_cast<int>(args.GetInt("chips", 1));
-    const std::string dtype = args.Get("dtype", "bf16");
-    if (dtype == "int8") {
-        opts.dtype = DType::kInt8;
-    } else if (dtype == "fp32") {
-        opts.dtype = DType::kFp32;
-    } else if (dtype == "bf16") {
-        opts.dtype = DType::kBf16;
-    } else {
-        std::fprintf(stderr, "unknown dtype '%s'\n", dtype.c_str());
-        return 1;
-    }
-    if (args.Get("topology", "ring") == "full") {
-        opts.ici_topology = IciTopology::kFullyConnected;
-    }
-    if (args.Has("cmem")) {
-        opts.cmem_override_bytes = args.GetInt("cmem", 128) * kMiB;
-    }
+    if (!ParseCompileOptions(args, &opts)) return 1;
 
     auto prog = Compile(graph.value().graph, chip.value(), opts);
     if (!prog.ok()) {
@@ -329,6 +456,28 @@ CmdRun(const Args& args)
                          appended.ToString().c_str());
         }
 
+        // Modeled performance counters: aggregate registers plus the
+        // sampled time series land in the registry, the busy%/flit
+        // curves on the trace, and the engine-group shares feed the
+        // serving sim's per-batch attribution below.
+        std::vector<AttributionShare> attribution;
+        auto counters = CollectPerfCounters(
+            prog.value(), chip.value(), schedule,
+            args.GetDouble("sample-us", 0.0) * 1e-6);
+        if (counters.ok()) {
+            RecordCounterMetrics(counters.value(), &reg);
+            auto tracks =
+                AppendCounterTracks(counters.value(), &builder, 1);
+            if (!tracks.ok()) {
+                std::fprintf(stderr, "counter tracks: %s\n",
+                             tracks.ToString().c_str());
+            }
+            attribution = AttributionFromCounters(counters.value());
+        } else {
+            std::fprintf(stderr, "counters: %s\n",
+                         counters.status().ToString().c_str());
+        }
+
         // Short serving run so the snapshot carries per-tenant
         // latency percentiles and SLO misses, not just device
         // utilization: profile a batch ladder, pick the largest batch
@@ -390,6 +539,7 @@ CmdRun(const Args& args)
             telemetry.registry = &reg;
             telemetry.trace = &builder;
             telemetry.trace_pid = 2;
+            telemetry.batch_attribution = attribution;
             auto serving = RunServingCell({tenant}, num_devices, 2.0,
                                           42, telemetry, reliability);
             if (serving.ok() && !serving.value().tenants.empty()) {
@@ -455,7 +605,8 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: %s list | run --app NAME [options]\n"
+                     "usage: %s list | run --app NAME [options] | "
+                     "profile --app NAME [options]\n"
                      "see the file header for all options\n",
                      argv[0]);
         return 1;
@@ -465,6 +616,7 @@ main(int argc, char** argv)
     if (cmd == "list") return CmdList();
     if (cmd == "run") return CmdRun(args);
     if (cmd == "exec") return CmdExec(args);
+    if (cmd == "profile") return CmdProfile(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;
 }

@@ -1,6 +1,7 @@
 #include "src/compiler/compiler.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/common/strings.h"
 #include "src/common/units.h"
@@ -48,10 +49,36 @@ class Emitter {
         return elements * DTypeBytes(opts_.dtype);
     }
 
+    /**
+     * Canonical op name: the instruction label with any trailing chunk
+     * or timestep index stripped, so "enc0.w3" and "enc0.w5" join the
+     * same logical op "enc0.w" while "enc0.qkv" stays itself.
+     */
+    static std::string
+    CanonicalOpName(const std::string& label)
+    {
+        size_t end = label.size();
+        while (end > 0 &&
+               label[end - 1] >= '0' && label[end - 1] <= '9') {
+            --end;
+        }
+        // A label that is *all* digits (or empty) keeps its spelling.
+        if (end == 0 || label[end - 1] == '.') return label;
+        return label.substr(0, end);
+    }
+
     int
     Add(Instr instr)
     {
         instr.id = static_cast<int>(prog_.instrs.size());
+        const std::string op_name = CanonicalOpName(instr.label);
+        auto [it, inserted] = op_ids_.try_emplace(
+            op_name, static_cast<int>(prog_.hlo_ops.size()));
+        if (inserted) {
+            prog_.hlo_ops.push_back(
+                {it->second, instr.layer_id, op_name});
+        }
+        instr.hlo_op_id = it->second;
         prog_.instrs.push_back(std::move(instr));
         return prog_.instrs.back().id;
     }
@@ -312,6 +339,8 @@ class Emitter {
     StatusOr<int64_t> ShardedWeightBytes(const Layer& layer) const;
 
     Program prog_;
+    /** Canonical op name -> Program::hlo_ops index. */
+    std::map<std::string, int> op_ids_;
     const Graph& g_;
     const ChipConfig& chip_;
     CompileOptions opts_;

@@ -69,6 +69,14 @@ Program::Validate() const
                     instr.id, dep));
             }
         }
+        // -1 (unattributed) is legal: hand-built programs need not
+        // maintain an op table.
+        if (instr.hlo_op_id < -1 ||
+            instr.hlo_op_id >= static_cast<int>(hlo_ops.size())) {
+            return Status::Internal(StrFormat(
+                "instruction %d references hlo op %d of %zu", instr.id,
+                instr.hlo_op_id, hlo_ops.size()));
+        }
         switch (instr.engine) {
           case Engine::kMxu:
             if (instr.rows <= 0 || instr.k_tiles <= 0 ||

@@ -51,6 +51,21 @@ enum class InstrKind {
 
 const char* InstrKindName(InstrKind kind);
 
+/**
+ * One logical compiler op (HLO-level). The compiler may emit several
+ * machine instructions for one op — weight-stream chunks, per-timestep
+ * matmuls of a recurrence — and the profiler joins counter deltas back
+ * to ops through the `Instr::hlo_op_id` stamp, so "where did the cycles
+ * go" is answered at the granularity engineers reason about.
+ */
+struct HloOp {
+    int id = -1;
+    /** Owning model layer. */
+    int layer_id = -1;
+    /** Canonical name, e.g. "encoder0.qkv" (chunk indices stripped). */
+    std::string name;
+};
+
 /** One macro instruction. */
 struct Instr {
     int id = -1;
@@ -59,6 +74,8 @@ struct Instr {
     DType dtype = DType::kBf16;
     /** Producing layer id (for per-layer stats) and display label. */
     int layer_id = -1;
+    /** Index into Program::hlo_ops (-1 on hand-built programs). */
+    int hlo_op_id = -1;
     std::string label;
 
     // --- MXU descriptor -------------------------------------------------
@@ -107,6 +124,8 @@ struct Program {
     int num_chips = 1;
 
     std::vector<Instr> instrs;
+    /** Logical-op table the instructions' hlo_op_id indexes into. */
+    std::vector<HloOp> hlo_ops;
     MemoryPlan memory;
 
     /** Total MACs across instructions (one chip's share). */

@@ -51,6 +51,8 @@ struct TenantState {
     obs::Counter* shed_counter = nullptr;
     obs::Counter* drop_counter = nullptr;
     obs::Counter* hedge_win_counter = nullptr;
+    /** Aligned with ServingTelemetry::batch_attribution. */
+    std::vector<obs::HistogramMetric*> attribution_hists;
     int64_t flows_started = 0;
     int64_t last_emitted_depth = -1;
 };
@@ -231,6 +233,13 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 reg.GetCounter("serving.deadline_drops", labels);
             ts.hedge_win_counter =
                 reg.GetCounter("serving.hedge_wins", labels);
+            for (const AttributionShare& share :
+                 telemetry.batch_attribution) {
+                ts.attribution_hists.push_back(reg.GetHistogram(
+                    "serving.attribution.seconds",
+                    {{"tenant", tenants[i].name},
+                     {"component", share.component}}));
+            }
         }
     }
     auto emit_queue_depth = [&](size_t i, double t) {
@@ -652,6 +661,14 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 ts.device_times.Add((completion - win_start) /
                                     nominal_exec);
             }
+            // Split the winning copy's device time across the
+            // attribution components so tenants can read a p95 of
+            // "time spent in MXU" rather than just a p95 latency.
+            for (size_t a = 0; a < ts.attribution_hists.size(); ++a) {
+                ts.attribution_hists[a]->Observe(
+                    (completion - win_start) *
+                    telemetry.batch_attribution[a].fraction);
+            }
             for (const Request& req : in_flight) {
                 const double latency = completion - req.arrival_s;
                 ts.latencies.Add(latency);
@@ -805,6 +822,13 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             const obs::Labels labels = {{"tenant", tenant.name}};
             reg.GetGauge("serving.slo_miss_fraction", labels)
                 ->Set(tenant.slo_miss_fraction);
+            if (telemetry.slo_error_budget > 0.0) {
+                // Burn rate > 1 means the tenant is spending its error
+                // budget faster than it accrues (SRE convention).
+                reg.GetGauge("serving.slo_burn_rate", labels)
+                    ->Set(tenant.slo_miss_fraction /
+                          telemetry.slo_error_budget);
+            }
             reg.GetGauge("serving.throughput_rps", labels)
                 ->Set(tenant.throughput_rps);
             reg.GetGauge("serving.goodput_rps", labels)

@@ -159,6 +159,16 @@ struct ReliabilityConfig {
 };
 
 /**
+ * One component's share of a batch's device time — e.g. {"mxu", 0.62}
+ * derived from the per-op counter profile of the tenant's compiled
+ * program (src/sim/perfcounters.h).
+ */
+struct AttributionShare {
+    std::string component;
+    double fraction = 0.0;
+};
+
+/**
  * Optional observability hooks for a serving run. Either sink may be
  * null; with both null the run is exactly the untelemetered one.
  */
@@ -179,6 +189,21 @@ struct ServingTelemetry {
     int trace_pid = 2;
     /** Requests (per tenant) that get arrival->completion flows. */
     int64_t max_flows_per_tenant = 64;
+    /**
+     * Per-batch attribution: when non-empty, every completed batch's
+     * winning device time is split across these components and
+     * observed into `serving.attribution.seconds{tenant=,component=}`
+     * histograms — tenants get p95 *attribution* (where their tail
+     * latency is spent), not just a p95 number.
+     */
+    std::vector<AttributionShare> batch_attribution;
+    /**
+     * SLO error budget: the run-end burn-rate gauge
+     * `serving.slo_burn_rate{tenant=}` is slo_miss_fraction divided by
+     * this budget (SRE convention: >1 means the budget is burning
+     * faster than it accrues).
+     */
+    double slo_error_budget = 0.01;
 };
 
 /**

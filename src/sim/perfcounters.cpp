@@ -1,0 +1,472 @@
+#include "src/sim/perfcounters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/common/table.h"
+
+namespace t4i {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+/** Default number of windows when no interval is requested. */
+constexpr size_t kAutoWindows = 64;
+/** Hard cap on windows so a tiny interval cannot blow up memory. */
+constexpr size_t kMaxWindows = 16384;
+
+/** Per-instruction stall attribution, replaying the in-order engine
+ *  queues exactly the way machine.cpp scheduled them. */
+struct InstrStalls {
+    std::vector<double> dep_s;
+    std::vector<double> queue_s;
+};
+
+StatusOr<InstrStalls>
+ReplayStalls(const Program& program,
+             const std::vector<ScheduleEntry>& entries)
+{
+    const size_t n = program.instrs.size();
+    if (entries.size() != n) {
+        return Status::InvalidArgument("schedule does not match program");
+    }
+    std::vector<double> finish(n, 0.0);
+    for (const auto& e : entries) {
+        if (e.instr_id < 0 || static_cast<size_t>(e.instr_id) >= n) {
+            return Status::InvalidArgument("schedule entry out of range");
+        }
+        finish[static_cast<size_t>(e.instr_id)] = e.finish_s;
+    }
+    InstrStalls stalls;
+    stalls.dep_s.assign(n, 0.0);
+    stalls.queue_s.assign(n, 0.0);
+    std::array<double, kNumEngines> engine_free{};
+    for (size_t i = 0; i < n; ++i) {
+        const Instr& instr = program.instrs[i];
+        const auto e = static_cast<size_t>(instr.engine);
+        double dep_ready = 0.0;
+        for (int dep : instr.deps) {
+            dep_ready =
+                std::max(dep_ready, finish[static_cast<size_t>(dep)]);
+        }
+        if (dep_ready > engine_free[e]) {
+            stalls.dep_s[i] = dep_ready - engine_free[e];
+        } else if (engine_free[e] > dep_ready) {
+            stalls.queue_s[i] = engine_free[e] - dep_ready;
+        }
+        engine_free[e] = finish[i];
+    }
+    return stalls;
+}
+
+int64_t
+IciFlits(const Instr& instr)
+{
+    if (instr.engine != Engine::kIci) return 0;
+    return (instr.bytes + kIciFlitBytes - 1) / kIciFlitBytes;
+}
+
+}  // namespace
+
+double
+PerfCounterFile::SampledBusyCycles(Engine engine) const
+{
+    double total = 0.0;
+    for (const auto& s : samples) {
+        total += s.busy_cycles[static_cast<size_t>(engine)];
+    }
+    return total;
+}
+
+double
+PerfCounterFile::SampledBytes(Engine engine) const
+{
+    double total = 0.0;
+    for (const auto& s : samples) {
+        total += s.bytes[static_cast<size_t>(engine)];
+    }
+    return total;
+}
+
+std::string
+PerfCounterFile::Summary() const
+{
+    std::string out = StrFormat(
+        "perf counters: %zu samples at %s intervals over %s\n",
+        samples.size(),
+        HumanSeconds(sample_interval_s).c_str(),
+        HumanSeconds(duration_s).c_str());
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        if (issue_count[e] == 0) continue;
+        const char* name = EngineName(static_cast<Engine>(e));
+        out += StrFormat(
+            "  %-6s busy %s cyc, stall %s dep / %s queue, "
+            "%lld issues",
+            name, HumanCount(busy_cycles[e]).c_str(),
+            HumanCount(dep_stall_cycles[e]).c_str(),
+            HumanCount(queue_stall_cycles[e]).c_str(),
+            static_cast<long long>(issue_count[e]));
+        if (bytes[e] > 0) {
+            out += ", " + HumanBytes(static_cast<double>(bytes[e]));
+        }
+        out += '\n';
+    }
+    for (size_t k = 0; k < kNumInstrKinds; ++k) {
+        if (kind_count[k] == 0) continue;
+        out += StrFormat("  class %-7s %lld\n",
+                         InstrKindName(static_cast<InstrKind>(k)),
+                         static_cast<long long>(kind_count[k]));
+    }
+    if (ici_flits > 0) {
+        out += StrFormat("  ICI flits %lld\n",
+                         static_cast<long long>(ici_flits));
+    }
+    return out;
+}
+
+StatusOr<PerfCounterFile>
+CollectPerfCounters(const Program& program, const ChipConfig& chip,
+                    const std::vector<ScheduleEntry>& schedule,
+                    double sample_interval_s)
+{
+    auto stalls = ReplayStalls(program, schedule);
+    T4I_RETURN_IF_ERROR(stalls.status());
+
+    PerfCounterFile file;
+    file.clock_hz = chip.clock_hz;
+    for (const auto& entry : schedule) {
+        file.duration_s = std::max(file.duration_s, entry.finish_s);
+    }
+
+    double dt = sample_interval_s;
+    if (dt <= 0.0) {
+        dt = file.duration_s > 0.0
+                 ? file.duration_s / static_cast<double>(kAutoWindows)
+                 : 1e-6;
+    }
+    const size_t windows = file.duration_s > 0.0
+        ? static_cast<size_t>(std::ceil(file.duration_s / dt))
+        : 1;
+    if (windows > kMaxWindows) {
+        return Status::InvalidArgument(StrFormat(
+            "sampling interval %s yields %zu windows (max %zu)",
+            HumanSeconds(dt).c_str(), windows, kMaxWindows));
+    }
+    file.sample_interval_s = dt;
+    file.samples.resize(windows);
+    for (size_t w = 0; w < windows; ++w) {
+        file.samples[w].t0_s = static_cast<double>(w) * dt;
+        file.samples[w].t1_s =
+            std::min(static_cast<double>(w + 1) * dt, file.duration_s);
+    }
+    if (!file.samples.empty()) {
+        // The last window is clipped to the run end; never shorter
+        // than the run when duration rounds exactly onto a boundary.
+        file.samples.back().t1_s =
+            std::max(file.samples.back().t1_s, file.duration_s);
+    }
+
+    for (size_t i = 0; i < schedule.size(); ++i) {
+        const ScheduleEntry& entry = schedule[i];
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        const auto e = static_cast<size_t>(instr.engine);
+        const double dur = entry.finish_s - entry.start_s;
+
+        file.busy_cycles[e] += dur * chip.clock_hz;
+        file.dep_stall_cycles[e] +=
+            stalls.value().dep_s[static_cast<size_t>(entry.instr_id)] *
+            chip.clock_hz;
+        file.queue_stall_cycles[e] +=
+            stalls.value().queue_s[static_cast<size_t>(entry.instr_id)] *
+            chip.clock_hz;
+        file.issue_count[e] += 1;
+        file.bytes[e] += instr.bytes;
+        file.kind_count[static_cast<size_t>(instr.kind)] += 1;
+        file.ici_flits += IciFlits(instr);
+
+        // Pro-rata attribution of the instruction's activity to every
+        // window it overlaps, so the series integrates exactly to the
+        // aggregate registers.
+        const auto first = static_cast<size_t>(std::clamp<double>(
+            std::floor(entry.start_s / dt), 0.0,
+            static_cast<double>(windows - 1)));
+        for (size_t w = first; w < windows; ++w) {
+            PerfCounterSample& s = file.samples[w];
+            const double lo = std::max(entry.start_s, s.t0_s);
+            const double hi = std::min(entry.finish_s, s.t1_s);
+            if (hi <= lo) {
+                if (s.t0_s > entry.finish_s) break;
+                continue;
+            }
+            const double frac = dur > 0.0 ? (hi - lo) / dur : 1.0;
+            s.busy_cycles[e] += (hi - lo) * chip.clock_hz;
+            s.bytes[e] += static_cast<double>(instr.bytes) * frac;
+            s.ici_flits += static_cast<double>(IciFlits(instr)) * frac;
+            if (entry.start_s >= s.t0_s && entry.start_s < s.t1_s) {
+                s.issues[e] += 1;
+            }
+        }
+        // Zero-duration corner: count the issue in its start window.
+        if (dur <= 0.0) {
+            file.samples[first].issues[e] += 1;
+        }
+    }
+    return file;
+}
+
+void
+RecordCounterMetrics(const PerfCounterFile& file,
+                     obs::MetricsRegistry* registry,
+                     size_t max_sample_rows)
+{
+    obs::MetricsRegistry& reg =
+        registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        if (file.issue_count[e] == 0) continue;
+        const obs::Labels labels = {
+            {"engine", EngineName(static_cast<Engine>(e))}};
+        reg.GetCounter("sim.counter.busy_cycles", labels)
+            ->Increment(std::llround(file.busy_cycles[e]));
+        reg.GetCounter("sim.counter.dep_stall_cycles", labels)
+            ->Increment(std::llround(file.dep_stall_cycles[e]));
+        reg.GetCounter("sim.counter.queue_stall_cycles", labels)
+            ->Increment(std::llround(file.queue_stall_cycles[e]));
+        reg.GetCounter("sim.counter.issue", labels)
+            ->Increment(file.issue_count[e]);
+        reg.GetCounter("sim.counter.bytes", labels)
+            ->Increment(file.bytes[e]);
+    }
+    for (size_t k = 0; k < kNumInstrKinds; ++k) {
+        if (file.kind_count[k] == 0) continue;
+        reg.GetCounter("sim.counter.instr_kind",
+                       {{"kind",
+                         InstrKindName(static_cast<InstrKind>(k))}})
+            ->Increment(file.kind_count[k]);
+    }
+    // Always present (zero without multi-chip programs) so the export
+    // shape does not depend on the topology.
+    reg.GetCounter("sim.counter.ici_flits")->Increment(file.ici_flits);
+
+    // Sampled series: re-bucket down to at most max_sample_rows rows
+    // (merging preserves the integral), one gauge per (engine, row).
+    if (file.samples.empty() || max_sample_rows == 0) return;
+    const size_t group =
+        (file.samples.size() + max_sample_rows - 1) / max_sample_rows;
+    const size_t rows =
+        (file.samples.size() + group - 1) / group;
+    reg.GetGauge("sim.counter.sample_interval_us")
+        ->Set(file.sample_interval_s * static_cast<double>(group) *
+              kUsPerSecond);
+    reg.GetGauge("sim.counter.samples")
+        ->Set(static_cast<double>(rows));
+    for (size_t r = 0; r < rows; ++r) {
+        const size_t begin = r * group;
+        const size_t end =
+            std::min(begin + group, file.samples.size());
+        const std::string row = StrFormat("%04zu", r);
+        double t1 = 0.0;
+        std::array<double, kNumEngines> busy{};
+        std::array<double, kNumEngines> bytes{};
+        for (size_t w = begin; w < end; ++w) {
+            const PerfCounterSample& s = file.samples[w];
+            t1 = s.t1_s;
+            for (size_t e = 0; e < kNumEngines; ++e) {
+                busy[e] += s.busy_cycles[e];
+                bytes[e] += s.bytes[e];
+            }
+        }
+        reg.GetGauge("sim.counter.sample.end_us", {{"sample", row}})
+            ->Set(t1 * kUsPerSecond);
+        for (size_t e = 0; e < kNumEngines; ++e) {
+            if (file.issue_count[e] == 0) continue;
+            const obs::Labels labels = {
+                {"engine", EngineName(static_cast<Engine>(e))},
+                {"sample", row}};
+            reg.GetGauge("sim.counter.sample.busy_cycles", labels)
+                ->Set(busy[e]);
+            if (file.bytes[e] > 0) {
+                reg.GetGauge("sim.counter.sample.bytes", labels)
+                    ->Set(bytes[e]);
+            }
+        }
+    }
+}
+
+Status
+AppendCounterTracks(const PerfCounterFile& file,
+                    obs::TraceBuilder* builder, int pid)
+{
+    if (builder == nullptr) {
+        return Status::InvalidArgument("null trace builder");
+    }
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        if (file.issue_count[e] == 0) continue;
+        const std::string track = StrFormat(
+            "perfctr: %s busy %%",
+            EngineName(static_cast<Engine>(e)));
+        for (const auto& s : file.samples) {
+            const double window_cycles =
+                (s.t1_s - s.t0_s) * file.clock_hz;
+            const double pct = window_cycles > 0.0
+                ? 100.0 * s.busy_cycles[e] / window_cycles
+                : 0.0;
+            builder->AddCounter(pid, track, s.t0_s * kUsPerSecond, pct);
+        }
+        builder->AddCounter(pid, track,
+                            file.duration_s * kUsPerSecond, 0.0);
+    }
+    if (file.ici_flits > 0) {
+        const std::string track = "perfctr: ICI flits/s";
+        for (const auto& s : file.samples) {
+            const double window_s = s.t1_s - s.t0_s;
+            builder->AddCounter(
+                pid, track, s.t0_s * kUsPerSecond,
+                window_s > 0.0 ? s.ici_flits / window_s : 0.0);
+        }
+        builder->AddCounter(pid, track,
+                            file.duration_s * kUsPerSecond, 0.0);
+    }
+    return Status::Ok();
+}
+
+StatusOr<std::vector<OpProfile>>
+ProfileByOp(const Program& program, const ChipConfig& chip,
+            const std::vector<ScheduleEntry>& schedule)
+{
+    auto stalls = ReplayStalls(program, schedule);
+    T4I_RETURN_IF_ERROR(stalls.status());
+
+    struct Span {
+        double first = 1e300;
+        double last = 0.0;
+    };
+    std::map<int, OpProfile> by_op;
+    std::map<int, Span> spans;
+
+    for (const auto& entry : schedule) {
+        const Instr& instr =
+            program.instrs[static_cast<size_t>(entry.instr_id)];
+        OpProfile& op = by_op[instr.hlo_op_id];
+        op.hlo_op_id = instr.hlo_op_id;
+        if (op.name.empty()) {
+            if (instr.hlo_op_id >= 0) {
+                const HloOp& hlo = program.hlo_ops[
+                    static_cast<size_t>(instr.hlo_op_id)];
+                op.name = hlo.name;
+                op.layer_id = hlo.layer_id;
+            } else {
+                op.name = "(unattributed)";
+                op.layer_id = instr.layer_id;
+            }
+        }
+        const double cycles =
+            (entry.finish_s - entry.start_s) * chip.clock_hz;
+        switch (instr.engine) {
+          case Engine::kMxu: op.mxu_cycles += cycles; break;
+          case Engine::kVpu: op.vpu_cycles += cycles; break;
+          case Engine::kHbm:
+            op.hbm_bytes += instr.bytes;
+            op.mem_cycles += cycles;
+            break;
+          case Engine::kCmem:
+            op.cmem_bytes += instr.bytes;
+            op.mem_cycles += cycles;
+            break;
+          case Engine::kIci:
+          case Engine::kPcie:
+          case Engine::kPcieIn: op.link_cycles += cycles; break;
+          case Engine::kEngineCount: break;
+        }
+        op.busy_cycles += cycles;
+        op.dep_stall_cycles +=
+            stalls.value().dep_s[static_cast<size_t>(entry.instr_id)] *
+            chip.clock_hz;
+        op.queue_stall_cycles +=
+            stalls.value().queue_s[static_cast<size_t>(entry.instr_id)] *
+            chip.clock_hz;
+        op.macs += instr.macs;
+        op.instructions += 1;
+        Span& span = spans[instr.hlo_op_id];
+        span.first = std::min(span.first, entry.start_s);
+        span.last = std::max(span.last, entry.finish_s);
+    }
+
+    const double peak = chip.PeakFlops(program.dtype);
+    std::vector<OpProfile> out;
+    out.reserve(by_op.size());
+    for (auto& [id, op] : by_op) {
+        op.span_s = spans[id].last - spans[id].first;
+        const double flops = 2.0 * op.macs;
+        op.achieved_flops =
+            op.span_s > 0.0 ? flops / op.span_s : 0.0;
+        if (op.hbm_bytes > 0) {
+            op.operational_intensity =
+                flops / static_cast<double>(op.hbm_bytes);
+            op.ceiling_flops = std::min(
+                peak, op.operational_intensity * chip.dram_bw_Bps);
+        } else {
+            op.operational_intensity = 0.0;
+            op.ceiling_flops = peak;
+        }
+        out.push_back(std::move(op));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const OpProfile& a, const OpProfile& b) {
+                  return a.busy_cycles > b.busy_cycles;
+              });
+    return out;
+}
+
+std::string
+RenderOpRoofline(const std::vector<OpProfile>& ops,
+                 const PerfCounterFile& counters, size_t top_n)
+{
+    double total_busy = 0.0;
+    for (const auto& c : counters.busy_cycles) total_busy += c;
+    double op_busy = 0.0;
+    for (const auto& op : ops) op_busy += op.busy_cycles;
+
+    TablePrinter table({"Op", "Cycles", "Busy%", "MXU", "VPU", "Mem",
+                        "Link", "Stall d/q", "OI F/B", "GFLOP/s",
+                        "Ceil", "%ceil"});
+    for (size_t i = 0; i < ops.size() && i < top_n; ++i) {
+        const auto& op = ops[i];
+        table.AddRow({
+            op.name,
+            HumanCount(op.busy_cycles),
+            StrFormat("%.1f", total_busy > 0.0
+                                  ? 100.0 * op.busy_cycles / total_busy
+                                  : 0.0),
+            HumanCount(op.mxu_cycles),
+            HumanCount(op.vpu_cycles),
+            HumanCount(op.mem_cycles),
+            HumanCount(op.link_cycles),
+            HumanCount(op.dep_stall_cycles) + "/" +
+                HumanCount(op.queue_stall_cycles),
+            op.operational_intensity > 0.0
+                ? StrFormat("%.1f", op.operational_intensity)
+                : "-",
+            StrFormat("%.1f", op.achieved_flops / 1e9),
+            StrFormat("%.1f", op.ceiling_flops / 1e9),
+            StrFormat("%.1f", op.ceiling_flops > 0.0
+                                  ? 100.0 * op.achieved_flops /
+                                        op.ceiling_flops
+                                  : 0.0),
+        });
+    }
+    std::string out = table.Render();
+    if (ops.size() > top_n) {
+        out += StrFormat("... and %zu more ops\n", ops.size() - top_n);
+    }
+    out += StrFormat(
+        "conservation: per-op cycles %.0f vs engine busy cycles %.0f "
+        "(delta %.3g)\n",
+        op_busy, total_busy, op_busy - total_busy);
+    return out;
+}
+
+}  // namespace t4i

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Modeled hardware performance counters.
+ *
+ * TPUv4i dedicates die area to performance counters and tracing because
+ * a DSA without visibility cannot be tuned (the "ship visibility"
+ * lesson; the TPUv1 paper hit the same wall attributing stalls). This
+ * file models that counter hardware on top of the cycle simulator:
+ *
+ *  - a per-device *counter file*: per-engine busy/stall/issue cycles,
+ *    per-instruction-class counts, bytes moved per memory level, and
+ *    ICI link flits — the aggregate registers a driver would read once
+ *    per run;
+ *  - a *programmable sampling interval*: the same counters latched
+ *    every N microseconds into time-series rows, so utilization is a
+ *    curve rather than one number. Sampled rows integrate exactly
+ *    (modulo float rounding) to the aggregate registers — a
+ *    conservation invariant the tests enforce;
+ *  - *per-op attribution*: instructions carry the compiler's HLO op
+ *    stamp (Instr::hlo_op_id), and the profiler joins counter deltas
+ *    back to ops to produce a roofline report per op — achieved vs
+ *    ceiling FLOP/s, operational intensity, stall breakdown. Per-op
+ *    cycles sum to engine busy cycles by construction (every
+ *    instruction belongs to exactly one op).
+ *
+ * Exports: RecordCounterMetrics turns the counter file into
+ * `sim.counter.*` registry instruments (including the sampled series),
+ * and AppendCounterTracks renders the sampled series as Chrome-trace
+ * counter tracks.
+ */
+#ifndef T4I_SIM_PERFCOUNTERS_H
+#define T4I_SIM_PERFCOUNTERS_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/compiler/program.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+
+inline constexpr size_t kNumEngines =
+    static_cast<size_t>(Engine::kEngineCount);
+inline constexpr size_t kNumInstrKinds =
+    static_cast<size_t>(InstrKind::kHostTransfer) + 1;
+
+/** ICI transfers quantize into flits of this many bytes. */
+inline constexpr int64_t kIciFlitBytes = 32;
+
+/** One latched row of the sampled counter time series. */
+struct PerfCounterSample {
+    /** Window [t0_s, t1_s); the last window is clipped to the run. */
+    double t0_s = 0.0;
+    double t1_s = 0.0;
+    /** Engine-busy cycles inside the window (pro-rata attribution). */
+    std::array<double, kNumEngines> busy_cycles{};
+    /** Instructions that *started* inside the window. */
+    std::array<int64_t, kNumEngines> issues{};
+    /** Bytes moved inside the window (pro-rata, hence fractional). */
+    std::array<double, kNumEngines> bytes{};
+    /** ICI flits inside the window (pro-rata). */
+    double ici_flits = 0.0;
+};
+
+/** The per-device counter file for one simulated run. */
+struct PerfCounterFile {
+    double clock_hz = 0.0;
+    double sample_interval_s = 0.0;
+    /** End-to-end run time the samples cover. */
+    double duration_s = 0.0;
+
+    // Aggregate registers --------------------------------------------
+    std::array<double, kNumEngines> busy_cycles{};
+    std::array<double, kNumEngines> dep_stall_cycles{};
+    std::array<double, kNumEngines> queue_stall_cycles{};
+    std::array<int64_t, kNumEngines> issue_count{};
+    std::array<int64_t, kNumEngines> bytes{};
+    std::array<int64_t, kNumInstrKinds> kind_count{};
+    int64_t ici_flits = 0;
+
+    // Sampled time series --------------------------------------------
+    std::vector<PerfCounterSample> samples;
+
+    /** Busy cycles of one engine summed over all samples. */
+    double SampledBusyCycles(Engine engine) const;
+    /** Bytes of one engine summed over all samples. */
+    double SampledBytes(Engine engine) const;
+
+    /** Human-readable register dump (one line per nonzero counter). */
+    std::string Summary() const;
+};
+
+/**
+ * Builds the counter file for a simulated run. @p schedule must come
+ * from SimulateWithSchedule on @p program. A non-positive
+ * @p sample_interval_s picks one automatically (~64 windows across the
+ * run); intervals producing more than 16384 windows are rejected.
+ */
+StatusOr<PerfCounterFile> CollectPerfCounters(
+    const Program& program, const ChipConfig& chip,
+    const std::vector<ScheduleEntry>& schedule,
+    double sample_interval_s = 0.0);
+
+/**
+ * Records the counter file into @p registry (Global() by default):
+ * aggregate `sim.counter.*` counters labeled by engine / instruction
+ * class, plus the sampled series as
+ * `sim.counter.sample.busy_cycles{engine=...,sample=NNNN}` gauge rows
+ * (re-bucketed down to at most @p max_sample_rows windows so huge runs
+ * stay exportable; re-bucketing preserves the integral).
+ */
+void RecordCounterMetrics(const PerfCounterFile& file,
+                          obs::MetricsRegistry* registry = nullptr,
+                          size_t max_sample_rows = 64);
+
+/**
+ * Appends the sampled series to @p builder as Chrome-trace counter
+ * tracks under @p pid: per-engine busy% curves and an ICI flit-rate
+ * curve, one point per sample window.
+ */
+Status AppendCounterTracks(const PerfCounterFile& file,
+                           obs::TraceBuilder* builder, int pid = 1);
+
+/** Per-op attribution joined from the counter deltas. */
+struct OpProfile {
+    int hlo_op_id = -1;
+    int layer_id = -1;
+    /** Canonical op name ("(unattributed)" for unstamped instrs). */
+    std::string name;
+    int64_t instructions = 0;
+
+    // Busy-cycle attribution per engine group.
+    double mxu_cycles = 0.0;
+    double vpu_cycles = 0.0;
+    double mem_cycles = 0.0;   ///< HBM + CMEM
+    double link_cycles = 0.0;  ///< ICI + PCIe both directions
+    /** All of the above summed. */
+    double busy_cycles = 0.0;
+
+    // Stall breakdown (cycles the op's instructions waited).
+    double dep_stall_cycles = 0.0;
+    double queue_stall_cycles = 0.0;
+
+    double macs = 0.0;
+    int64_t hbm_bytes = 0;
+    int64_t cmem_bytes = 0;
+    /** First start to last finish of the op's instructions. */
+    double span_s = 0.0;
+
+    // Roofline ------------------------------------------------------
+    /** 2*macs / span. */
+    double achieved_flops = 0.0;
+    /** FLOPs per HBM byte; 0 when the op moves no HBM bytes. */
+    double operational_intensity = 0.0;
+    /** min(peak at the program dtype, intensity * DRAM bandwidth);
+     *  peak alone when the op moves no HBM bytes. */
+    double ceiling_flops = 0.0;
+};
+
+/**
+ * Aggregates the schedule per HLO op, sorted by descending busy
+ * cycles. Every instruction lands in exactly one op (unstamped ones in
+ * a synthetic "(unattributed)" op), so per-op cycles sum to the engine
+ * busy cycles of the run — the conservation invariant
+ * tests/test_perfcounters.cpp enforces.
+ */
+StatusOr<std::vector<OpProfile>> ProfileByOp(
+    const Program& program, const ChipConfig& chip,
+    const std::vector<ScheduleEntry>& schedule);
+
+/**
+ * Renders the top-N ops as a roofline table (achieved vs ceiling
+ * FLOP/s, operational intensity, stall split) with a conservation
+ * footer comparing the per-op cycle sum to the engine busy cycles.
+ */
+std::string RenderOpRoofline(const std::vector<OpProfile>& ops,
+                             const PerfCounterFile& counters,
+                             size_t top_n = 24);
+
+}  // namespace t4i
+
+#endif  // T4I_SIM_PERFCOUNTERS_H

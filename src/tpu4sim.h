@@ -43,6 +43,7 @@
 #include "src/serving/latency_table.h"
 #include "src/serving/server.h"
 #include "src/sim/machine.h"
+#include "src/sim/perfcounters.h"
 #include "src/sim/profile.h"
 #include "src/sim/timing.h"
 #include "src/sim/trace.h"

@@ -100,6 +100,72 @@ TEST(Registry, PercentilesMatchStatsOracle)
     }
 }
 
+TEST(Registry, EmptyHistogramPercentilesAreZero)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h = reg.GetHistogram("never_observed");
+    EXPECT_EQ(h->count(), 0);
+    // Documented contract: percentiles of an empty distribution are 0
+    // (not NaN, not a crash) so exporters can render them blindly.
+    for (double q : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+        EXPECT_EQ(h->Percentile(q), 0.0) << "q=" << q;
+    }
+    EXPECT_EQ(h->sum(), 0.0);
+    EXPECT_EQ(h->mean(), 0.0);
+}
+
+TEST(Registry, SingleSampleHistogramPercentilesCollapse)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h = reg.GetHistogram("one_shot");
+    h->Observe(0.042);
+    EXPECT_EQ(h->count(), 1);
+    // With one sample every percentile — p50 through p99 — is that
+    // sample; interpolation must not extrapolate past it.
+    for (double q : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+        EXPECT_DOUBLE_EQ(h->Percentile(q), 0.042) << "q=" << q;
+    }
+    EXPECT_DOUBLE_EQ(h->min(), 0.042);
+    EXPECT_DOUBLE_EQ(h->max(), 0.042);
+    EXPECT_DOUBLE_EQ(h->mean(), 0.042);
+}
+
+TEST(Registry, SnapshotOrderOfLabeledInstancesIsDeterministic)
+{
+    // Creation order is deliberately shuffled; Snapshot must come back
+    // sorted by (name, labels) regardless, and identically on a second
+    // registry built in a different order.
+    const std::vector<obs::Labels> label_sets = {
+        {{"tenant", "c"}, {"dev", "1"}},
+        {{"tenant", "a"}, {"dev", "2"}},
+        {{"tenant", "b"}, {"dev", "0"}},
+    };
+    obs::MetricsRegistry forward;
+    for (const auto& labels : label_sets) {
+        forward.GetGauge("zz", labels);
+        forward.GetGauge("aa", labels);
+    }
+    obs::MetricsRegistry backward;
+    for (auto it = label_sets.rbegin(); it != label_sets.rend(); ++it) {
+        backward.GetGauge("aa", *it);
+        backward.GetGauge("zz", *it);
+    }
+    const auto fwd = forward.Snapshot();
+    const auto bwd = backward.Snapshot();
+    ASSERT_EQ(fwd.size(), bwd.size());
+    for (size_t i = 0; i < fwd.size(); ++i) {
+        EXPECT_EQ(fwd[i].name, bwd[i].name) << i;
+        EXPECT_EQ(fwd[i].labels, bwd[i].labels) << i;
+    }
+    // Names ascend; within one name the label vectors ascend too.
+    for (size_t i = 1; i < fwd.size(); ++i) {
+        EXPECT_LE(fwd[i - 1].name, fwd[i].name);
+        if (fwd[i - 1].name == fwd[i].name) {
+            EXPECT_LT(fwd[i - 1].labels, fwd[i].labels);
+        }
+    }
+}
+
 TEST(Registry, ThreadSafeUnderConcurrentUse)
 {
     obs::MetricsRegistry reg;

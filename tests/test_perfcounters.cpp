@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the modeled performance counters (src/sim/perfcounters.h):
+ * the conservation invariants between the counter file, the sampled
+ * time series, the per-op profile, and the simulator's own
+ * EngineStats; the roofline math; the registry export; and the trace
+ * counter tracks.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/arch/catalog.h"
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
+#include "src/sim/machine.h"
+#include "src/sim/perfcounters.h"
+
+namespace t4i {
+namespace {
+
+struct CompiledRun {
+    Program program;
+    SimResult result;
+    std::vector<ScheduleEntry> schedule;
+};
+
+CompiledRun
+RunApp(const std::string& name, const ChipConfig& chip, int64_t batch,
+       int num_chips = 1)
+{
+    auto app = BuildApp(name).value();
+    CompileOptions opts;
+    opts.batch = batch;
+    opts.num_chips = num_chips;
+    auto p = Compile(app.graph, chip, opts);
+    T4I_CHECK(p.ok(), p.status().ToString().c_str());
+    CompiledRun run;
+    run.program = std::move(p).ConsumeValue();
+    auto r = SimulateWithSchedule(run.program, chip, &run.schedule);
+    T4I_CHECK(r.ok(), r.status().ToString().c_str());
+    run.result = std::move(r).ConsumeValue();
+    return run;
+}
+
+TEST(PerfCounters, AggregatesMatchEngineStats)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        const auto& stats = run.result.engines[e];
+        EXPECT_NEAR(file.busy_cycles[e], stats.busy_s * chip.clock_hz,
+                    1e-3)
+            << "engine " << e;
+        EXPECT_EQ(file.issue_count[e], stats.instructions);
+        EXPECT_EQ(file.bytes[e], stats.bytes);
+        EXPECT_NEAR(file.dep_stall_cycles[e],
+                    stats.dep_stall_s * chip.clock_hz, 1e-3);
+        EXPECT_NEAR(file.queue_stall_cycles[e],
+                    stats.queue_stall_s * chip.clock_hz, 1e-3);
+    }
+
+    // Instruction-class counts cover the whole program exactly once.
+    int64_t classed = 0;
+    for (size_t k = 0; k < kNumInstrKinds; ++k) {
+        classed += file.kind_count[k];
+    }
+    EXPECT_EQ(classed,
+              static_cast<int64_t>(run.program.instrs.size()));
+}
+
+TEST(PerfCounters, SampledSeriesIntegratesToAggregates)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+
+    ASSERT_GT(file.samples.size(), 1u);
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        const Engine engine = static_cast<Engine>(e);
+        // Pro-rata window attribution preserves the integral: the
+        // series must sum back to the aggregate registers to within
+        // float rounding.
+        EXPECT_NEAR(file.SampledBusyCycles(engine),
+                    file.busy_cycles[e],
+                    1e-6 * std::max(1.0, file.busy_cycles[e]));
+        EXPECT_NEAR(
+            file.SampledBytes(engine),
+            static_cast<double>(file.bytes[e]),
+            1e-6 * std::max<double>(1.0,
+                                    static_cast<double>(file.bytes[e])));
+    }
+    int64_t sampled_issues = 0;
+    for (const auto& s : file.samples) {
+        for (size_t e = 0; e < kNumEngines; ++e) {
+            sampled_issues += s.issues[e];
+        }
+    }
+    EXPECT_EQ(sampled_issues,
+              static_cast<int64_t>(run.program.instrs.size()));
+
+    // Windows tile the run: contiguous and ending at the duration.
+    for (size_t w = 1; w < file.samples.size(); ++w) {
+        EXPECT_DOUBLE_EQ(file.samples[w].t0_s,
+                         file.samples[w - 1].t1_s);
+    }
+    EXPECT_DOUBLE_EQ(file.samples.back().t1_s, file.duration_s);
+}
+
+TEST(PerfCounters, ExplicitSamplingIntervalIsHonored)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("CNN0", chip, 8);
+    const double dt = 100e-6;
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule, dt)
+            .value();
+    EXPECT_DOUBLE_EQ(file.sample_interval_s, dt);
+    EXPECT_EQ(file.samples.size(),
+              static_cast<size_t>(std::ceil(file.duration_s / dt)));
+    // Conservation holds at any interval, not just the default.
+    EXPECT_NEAR(file.SampledBusyCycles(Engine::kMxu),
+                file.busy_cycles[static_cast<size_t>(Engine::kMxu)],
+                1e-3);
+}
+
+TEST(PerfCounters, RejectsAbsurdSamplingInterval)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("CNN0", chip, 8);
+    // Picoseconds per window on a millisecond run: > 16384 windows.
+    EXPECT_FALSE(
+        CollectPerfCounters(run.program, chip, run.schedule, 1e-12)
+            .ok());
+}
+
+TEST(PerfCounters, PerOpCyclesSumToEngineBusyCycles)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+    auto ops =
+        ProfileByOp(run.program, chip, run.schedule).value();
+    ASSERT_FALSE(ops.empty());
+
+    // The conservation invariant the roofline footer prints: every
+    // instruction lands in exactly one op, so per-op cycles sum to
+    // the run's engine busy cycles.
+    double op_busy = 0.0;
+    int64_t op_instrs = 0;
+    for (const auto& op : ops) {
+        op_busy += op.busy_cycles;
+        op_instrs += op.instructions;
+        EXPECT_NEAR(op.busy_cycles,
+                    op.mxu_cycles + op.vpu_cycles + op.mem_cycles +
+                        op.link_cycles,
+                    1e-6 * std::max(1.0, op.busy_cycles));
+    }
+    double engine_busy = 0.0;
+    for (size_t e = 0; e < kNumEngines; ++e) {
+        engine_busy += file.busy_cycles[e];
+    }
+    EXPECT_NEAR(op_busy, engine_busy,
+                1e-6 * std::max(1.0, engine_busy));
+    EXPECT_EQ(op_instrs,
+              static_cast<int64_t>(run.program.instrs.size()));
+
+    // Sorted by descending busy cycles, and every compiled op is
+    // attributed (the compiler stamps every instruction).
+    for (size_t i = 1; i < ops.size(); ++i) {
+        EXPECT_GE(ops[i - 1].busy_cycles, ops[i].busy_cycles);
+    }
+    for (const auto& op : ops) {
+        EXPECT_GE(op.hlo_op_id, 0) << op.name;
+        EXPECT_NE(op.name, "(unattributed)");
+    }
+}
+
+TEST(PerfCounters, RooflineCeilingsAreSane)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto ops =
+        ProfileByOp(run.program, chip, run.schedule).value();
+    const double peak = chip.PeakFlops(run.program.dtype);
+    for (const auto& op : ops) {
+        EXPECT_LE(op.ceiling_flops, peak + 1.0) << op.name;
+        if (op.hbm_bytes > 0 && op.macs > 0) {
+            const double expected = std::min(
+                peak, op.operational_intensity * chip.dram_bw_Bps);
+            EXPECT_NEAR(op.ceiling_flops, expected,
+                        1e-6 * expected)
+                << op.name;
+        }
+    }
+}
+
+TEST(PerfCounters, UnstampedInstructionsLandInUnattributedOp)
+{
+    const ChipConfig chip = Tpu_v4i();
+    // Hand-built program: no compiler, so no HLO op stamps.
+    Program p;
+    p.model_name = "hand";
+    p.chip_name = chip.name;
+    p.dtype = DType::kBf16;
+    Instr instr;
+    instr.id = 0;
+    instr.kind = InstrKind::kMatmulTile;
+    instr.engine = Engine::kMxu;
+    instr.label = "m0";
+    instr.rows = 128;
+    instr.k_tiles = 4;
+    instr.n_tiles = 4;
+    instr.macs = 1 << 20;
+    p.instrs.push_back(instr);
+    ASSERT_TRUE(p.Validate().ok());
+
+    std::vector<ScheduleEntry> schedule;
+    auto result = SimulateWithSchedule(p, chip, &schedule);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto ops = ProfileByOp(p, chip, schedule).value();
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].name, "(unattributed)");
+    EXPECT_EQ(ops[0].hlo_op_id, -1);
+    EXPECT_EQ(ops[0].instructions, 1);
+}
+
+TEST(PerfCounters, CompilerStampsChunksOntoOneOp)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    ASSERT_FALSE(run.program.hlo_ops.empty());
+    // Canonical names have their chunk suffix digits stripped, so
+    // "x.w0".."x.w7" collapse into one op with several instructions.
+    bool some_op_has_many_instrs = false;
+    std::vector<int64_t> per_op(run.program.hlo_ops.size(), 0);
+    for (const auto& instr : run.program.instrs) {
+        ASSERT_GE(instr.hlo_op_id, 0);
+        ASSERT_LT(instr.hlo_op_id,
+                  static_cast<int>(run.program.hlo_ops.size()));
+        if (++per_op[static_cast<size_t>(instr.hlo_op_id)] > 1) {
+            some_op_has_many_instrs = true;
+        }
+    }
+    EXPECT_TRUE(some_op_has_many_instrs);
+    // Ops are distinct by name.
+    for (size_t a = 0; a < run.program.hlo_ops.size(); ++a) {
+        for (size_t b = a + 1; b < run.program.hlo_ops.size(); ++b) {
+            EXPECT_NE(run.program.hlo_ops[a].name,
+                      run.program.hlo_ops[b].name);
+        }
+    }
+}
+
+TEST(PerfCounters, RegistryExportCarriesSeriesAndAggregates)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+
+    obs::MetricsRegistry reg;
+    RecordCounterMetrics(file, &reg, 16);
+
+    const auto mxu = static_cast<size_t>(Engine::kMxu);
+    auto* busy = reg.GetCounter(
+        "sim.counter.busy_cycles", {{"engine", "MXU"}});
+    EXPECT_EQ(busy->value(),
+              static_cast<int64_t>(std::llround(file.busy_cycles[mxu])));
+
+    // The sampled rows must themselves integrate to the aggregate:
+    // re-bucketing down to max_sample_rows preserves the series'
+    // integral.
+    double series_total = 0.0;
+    int series_rows = 0;
+    for (const auto& entry : reg.Snapshot()) {
+        if (entry.name != "sim.counter.sample.busy_cycles") continue;
+        for (const auto& [k, v] : entry.labels) {
+            if (k == "engine" && v == "MXU") {
+                series_total += entry.gauge->value();
+                ++series_rows;
+            }
+        }
+    }
+    EXPECT_GT(series_rows, 0);
+    EXPECT_LE(series_rows, 16);
+    EXPECT_NEAR(series_total, file.busy_cycles[mxu],
+                1e-6 * std::max(1.0, file.busy_cycles[mxu]));
+
+    // ici_flits is always exported so the schema is topology-stable.
+    EXPECT_EQ(reg.GetCounter("sim.counter.ici_flits")->value(),
+              file.ici_flits);
+}
+
+TEST(PerfCounters, TraceTracksRenderCounterEvents)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+
+    obs::TraceBuilder builder;
+    ASSERT_TRUE(AppendCounterTracks(file, &builder, 1).ok());
+    const std::string json = builder.Render();
+    EXPECT_NE(json.find("perfctr: MXU busy %"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+    EXPECT_FALSE(AppendCounterTracks(file, nullptr).ok());
+}
+
+TEST(PerfCounters, MultiChipRunCountsIciFlits)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("BERT0", chip, 16, /*num_chips=*/4);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+    EXPECT_GT(file.ici_flits, 0);
+
+    // Flits quantize at 32 bytes: total flits >= total bytes / 32.
+    const auto ici = static_cast<size_t>(Engine::kIci);
+    EXPECT_GE(file.ici_flits, file.bytes[ici] / kIciFlitBytes);
+
+    // Pro-rata flit attribution also integrates.
+    double sampled = 0.0;
+    for (const auto& s : file.samples) sampled += s.ici_flits;
+    EXPECT_NEAR(sampled, static_cast<double>(file.ici_flits),
+                1e-6 * std::max<double>(1.0,
+                    static_cast<double>(file.ici_flits)));
+}
+
+TEST(PerfCounters, RenderedRooflineHasConservationFooter)
+{
+    const ChipConfig chip = Tpu_v4i();
+    CompiledRun run = RunApp("MLP0", chip, 16);
+    auto file =
+        CollectPerfCounters(run.program, chip, run.schedule).value();
+    auto ops =
+        ProfileByOp(run.program, chip, run.schedule).value();
+    const std::string table = RenderOpRoofline(ops, file, 8);
+    EXPECT_NE(table.find("conservation:"), std::string::npos);
+    EXPECT_NE(table.find("GFLOP/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -2,7 +2,11 @@
 # CI entry point: tier-1 verification (configure, build, ctest) plus
 # an observability smoke check — run one CLI invocation with
 # --metrics-json and make sure every metric name the repo promises
-# (tools/metrics_schema.txt) actually appears in the emitted JSON.
+# (tools/metrics_schema.txt) actually appears in the emitted JSON —
+# and a perf-regression gate: re-run the fast benches and compare
+# their BENCH_JSON lines against bench/baselines.json with
+# tools/perf_gate.py (refresh bands with `perf_gate.py --update`
+# after an intentional performance change).
 set -u -o pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,9 +28,15 @@ trace="$workdir/trace.json"
 [ -s "$metrics" ] || { echo "CI: $metrics missing or empty"; exit 1; }
 [ -s "$trace" ] || { echo "CI: $trace missing or empty"; exit 1; }
 
-# Names present in the emitted snapshot, one per line.
-grep -o '"name":"[^"]*"' "$metrics" | sed 's/"name":"//;s/"$//' \
-    | sort -u > "$workdir/emitted.txt"
+# Names present in the emitted snapshot, one per line. The pipeline's
+# status must be checked explicitly: the script runs without `set -e`,
+# so a failed grep (no names at all — an empty or malformed snapshot)
+# would otherwise sail on and "pass" the schema check with zero names.
+if ! grep -o '"name":"[^"]*"' "$metrics" | sed 's/"name":"//;s/"$//' \
+    | sort -u > "$workdir/emitted.txt"; then
+    echo "CI: failed to extract metric names from $metrics"
+    exit 1
+fi
 
 missing=0
 while IFS= read -r key; do
@@ -74,5 +84,28 @@ fi
 
 grep -q '"fault: down"' "$ftrace" || { echo "CI: no fault instant in trace"; exit 1; }
 
+# --- perf-regression gate --------------------------------------------
+# Re-run the fast benches (sub-second each; the full set lives in
+# tools/run_all.sh) and gate their metrics against the checked-in
+# baselines. The sim is deterministic, so any drift is a real change:
+# either a regression or an intentional one that should come with a
+# `perf_gate.py --update` refresh of bench/baselines.json.
+fast_benches="bench_a1_mxu_geometry bench_a3_bandwidth bench_e05_roofline
+              bench_e07_latency_batch bench_e11_multitenancy"
+bench_out="$workdir/bench_fast.txt"
+for b in $fast_benches; do
+    ./build/bench/"$b" >> "$bench_out" \
+        || { echo "CI: bench $b failed"; exit 1; }
+done
+python3 tools/perf_gate.py --baselines bench/baselines.json \
+    --current "$bench_out" || exit 1
+
+# Negative test: the gate must actually trip. perf_gate's self-test
+# perturbs a baselined metric beyond its band (and tightens a band to
+# zero around a nudged value) and asserts both are flagged.
+python3 tools/perf_gate.py --baselines bench/baselines.json \
+    --current "$bench_out" --self-test || exit 1
+
 echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
-     "fault smoke: availability $avail, $retries retries)"
+     "fault smoke: availability $avail, $retries retries," \
+     "perf gate green + self-test)"

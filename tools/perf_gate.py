@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for the experiment benches.
+
+Every bench binary emits one machine-readable ``BENCH_JSON {...}``
+summary line (see bench/bench_util.h).  This tool compares those lines
+against the checked-in baselines in ``bench/baselines.json`` and exits
+non-zero when any metric drifts outside its tolerance band — the CI
+hook that keeps the simulator's modeled performance from regressing
+silently (the repo-level analogue of the paper's lesson that DSAs need
+built-in performance visibility).
+
+Usage:
+  perf_gate.py --current bench_output.json            # gate
+  perf_gate.py --current bench_output.txt --update    # refresh bands
+  perf_gate.py --self-test                            # negative test
+
+``--current`` accepts either the JSON array ``tools/run_all.sh``
+writes (bench_output.json) or raw bench stdout containing
+``BENCH_JSON`` lines.  Only benches present in the current input are
+gated, so CI can run a fast subset; pass --require-all to also fail
+when a baselined bench is missing from the input.
+
+Baselines format (bench/baselines.json)::
+
+  {
+    "version": 1,
+    "default_tolerance": {"rel": 0.02, "abs": 1e-9},
+    "tolerances": {"serving.latency_seconds": {"rel": 0.25}},
+    "ignore": ["compiler.pass."],
+    "ignore_benches": ["E16"],
+    "benches": {"A1": {"metric{label=v}": 123.0, ...}, ...}
+  }
+
+Tolerance lookup is by longest matching *name prefix* (the part of
+the flat key before ``{``), falling back to default_tolerance.  A
+metric passes when |current - baseline| <= abs + rel * |baseline|.
+Metrics whose name starts with an ``ignore`` prefix are never gated
+nor baselined — host wall-clock timings (compiler pass seconds) vary
+machine to machine and are not modeled performance.  Benches listed in
+``ignore_benches`` are skipped entirely (E16 runs google-benchmark,
+whose adaptive iteration counts make every cumulative counter
+wall-clock dependent).
+"""
+
+import argparse
+import json
+import sys
+
+HIST_FIELDS = ("count", "mean", "min", "max", "sum", "p50", "p95", "p99")
+
+
+def load_bench_lines(path):
+    """Returns {bench_id: {flat_metric_key: float}} from either a
+    bench_output.json array or raw text with BENCH_JSON lines."""
+    with open(path, "r", encoding="utf-8") as f:
+        text = f.read()
+    stripped = text.lstrip()
+    records = []
+    if stripped.startswith("["):
+        records = json.loads(stripped)
+    else:
+        for line in text.splitlines():
+            if line.startswith("BENCH_JSON "):
+                records.append(json.loads(line[len("BENCH_JSON "):]))
+    benches = {}
+    for rec in records:
+        flat = {}
+        for key, value in rec.get("counters", {}).items():
+            flat[key] = float(value)
+        for key, value in rec.get("gauges", {}).items():
+            flat[key] = float(value)
+        for key, body in rec.get("histograms", {}).items():
+            for field in HIST_FIELDS:
+                if field in body:
+                    flat["%s.%s" % (key, field)] = float(body[field])
+        benches[rec["bench"]] = flat
+    return benches
+
+
+def metric_name(flat_key):
+    """Name part of a flat key: 'a.b{x=1}.p95' -> 'a.b'."""
+    brace = flat_key.find("{")
+    return flat_key if brace < 0 else flat_key[:brace]
+
+
+def ignored(flat_key, baselines):
+    name = metric_name(flat_key)
+    return any(name.startswith(p) for p in baselines.get("ignore", []))
+
+
+def tolerance_for(flat_key, baselines):
+    """Longest-prefix tolerance lookup, falling back to the default."""
+    name = metric_name(flat_key)
+    best, best_len = None, -1
+    for prefix, tol in baselines.get("tolerances", {}).items():
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best, best_len = tol, len(prefix)
+    default = baselines.get("default_tolerance", {})
+    tol = dict(default)
+    if best:
+        tol.update(best)
+    return float(tol.get("rel", 0.02)), float(tol.get("abs", 1e-9))
+
+
+def compare(baselines, current, require_all=False):
+    """Returns a list of human-readable violation strings."""
+    violations = []
+    base_benches = baselines.get("benches", {})
+    skip = set(baselines.get("ignore_benches", []))
+    for bench_id, base_metrics in sorted(base_benches.items()):
+        if bench_id in skip:
+            continue
+        if bench_id not in current:
+            if require_all:
+                violations.append(
+                    "%s: baselined bench missing from current run"
+                    % bench_id)
+            continue
+        cur_metrics = current[bench_id]
+        for key, base_value in sorted(base_metrics.items()):
+            if ignored(key, baselines):
+                continue
+            rel, abs_tol = tolerance_for(key, baselines)
+            if key not in cur_metrics:
+                violations.append(
+                    "%s: metric '%s' disappeared (baseline %g)"
+                    % (bench_id, key, base_value))
+                continue
+            cur_value = cur_metrics[key]
+            band = abs_tol + rel * abs(base_value)
+            drift = cur_value - base_value
+            if abs(drift) > band:
+                violations.append(
+                    "%s: %s drifted %+g (%.4g -> %.4g, band +/-%.4g, "
+                    "rel %.3g)" % (bench_id, key, drift, base_value,
+                                   cur_value, band, rel))
+    return violations
+
+
+def update(baselines, current):
+    """Refreshes baseline values for every bench in the current run,
+    keeping tolerances and benches not re-run."""
+    benches = baselines.setdefault("benches", {})
+    skip = set(baselines.get("ignore_benches", []))
+    for bench_id, metrics in current.items():
+        if bench_id in skip:
+            continue
+        benches[bench_id] = {k: metrics[k] for k in sorted(metrics)
+                             if not ignored(k, baselines)}
+    return baselines
+
+
+def self_test(baselines_path, current_path):
+    """Negative test for CI: the simulator is deterministic, so real
+    runs drift by exactly zero and a green gate alone proves little.
+    Perturb one baselined metric beyond its band and assert the gate
+    flags it; tighten a band to zero around a perturbed value and
+    assert that fails too; and assert the unperturbed input passes."""
+    with open(baselines_path, "r", encoding="utf-8") as f:
+        baselines = json.load(f)
+    current = load_bench_lines(current_path)
+
+    clean = compare(baselines, current)
+    if clean:
+        print("perf_gate self-test: baseline input did not pass:")
+        for v in clean[:10]:
+            print("  " + v)
+        return 1
+
+    # Pick a baselined metric with a nonzero value present in the
+    # current run and push the current value far outside its band.
+    for bench_id, metrics in sorted(baselines["benches"].items()):
+        if bench_id not in current:
+            continue
+        for key in sorted(metrics):
+            base_value = metrics[key]
+            if key in current[bench_id] and base_value != 0.0:
+                rel, abs_tol = tolerance_for(key, baselines)
+                perturbed = {
+                    bench_id: dict(
+                        current[bench_id],
+                        **{key: base_value * (1.0 + 10.0 * rel) +
+                           10.0 * abs_tol + 1.0})}
+                if not compare(baselines, perturbed):
+                    print("perf_gate self-test: perturbed %s/%s "
+                          "escaped the gate" % (bench_id, key))
+                    return 1
+                # Deliberately tightened band: zero tolerance around
+                # a value nudged by less than the normal band.
+                tight = json.loads(json.dumps(baselines))
+                tight["default_tolerance"] = {"rel": 0.0, "abs": 0.0}
+                tight["tolerances"] = {}
+                nudged = {
+                    bench_id: dict(current[bench_id],
+                                   **{key: base_value + 1e-6 *
+                                      max(1.0, abs(base_value))})}
+                if not compare(tight, nudged):
+                    print("perf_gate self-test: tightened band did "
+                          "not flag %s/%s" % (bench_id, key))
+                    return 1
+                print("perf_gate self-test: ok (clean pass, perturbed "
+                      "%s/%s caught, tightened band caught)"
+                      % (bench_id, key))
+                return 0
+    print("perf_gate self-test: no usable baselined metric found")
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench metrics against bench/baselines.json")
+    parser.add_argument("--baselines", default="bench/baselines.json")
+    parser.add_argument("--current", default="bench_output.json",
+                        help="bench_output.json array or raw bench "
+                             "stdout with BENCH_JSON lines")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baselines from the current run")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a baselined bench is absent")
+    parser.add_argument("--self-test", action="store_true",
+                        help="assert the gate trips on a perturbed "
+                             "metric (negative CI test)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baselines, args.current)
+
+    current = load_bench_lines(args.current)
+    if not current:
+        print("perf_gate: no BENCH_JSON records in %s" % args.current)
+        return 1
+
+    if args.update:
+        try:
+            with open(args.baselines, "r", encoding="utf-8") as f:
+                baselines = json.load(f)
+        except FileNotFoundError:
+            baselines = {
+                "version": 1,
+                "default_tolerance": {"rel": 0.02, "abs": 1e-9},
+                "tolerances": {
+                    # Serving latencies come from a seeded but
+                    # scheduling-sensitive discrete-event sim; give
+                    # them (and anything downstream of them) slack.
+                    "serving.": {"rel": 0.25},
+                },
+                # Host wall-clock timings are not modeled performance.
+                "ignore": ["compiler.pass."],
+                # E16 is google-benchmark: adaptive iteration counts
+                # make its cumulative counters wall-clock dependent.
+                "ignore_benches": ["E16"],
+                "benches": {},
+            }
+        update(baselines, current)
+        with open(args.baselines, "w", encoding="utf-8") as f:
+            json.dump(baselines, f, indent=1, sort_keys=True)
+            f.write("\n")
+        total = sum(len(m) for m in baselines["benches"].values())
+        print("perf_gate: wrote %s (%d benches, %d metrics)"
+              % (args.baselines, len(baselines["benches"]), total))
+        return 0
+
+    with open(args.baselines, "r", encoding="utf-8") as f:
+        baselines = json.load(f)
+    violations = compare(baselines, current, args.require_all)
+    skip = set(baselines.get("ignore_benches", []))
+    gated = [b for b in baselines.get("benches", {})
+             if b in current and b not in skip]
+    if violations:
+        print("perf_gate: FAIL — %d metric(s) outside tolerance:"
+              % len(violations))
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("perf_gate: ok (%d benches gated: %s)"
+          % (len(gated), ", ".join(sorted(gated)) or "none"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,18 @@ sed -n 's/^BENCH_JSON //p' bench_output.txt \
            END { print "]" }' > bench_output.json
 echo "wrote bench_output.json ($(grep -c '^BENCH_JSON ' bench_output.txt || true) benches)"
 
+# Keep a timestamped copy so bench metrics can be compared across
+# runs (bench/history/ is tracked; prune old entries by hand).
+mkdir -p bench/history
+history_file="bench/history/bench_$(date -u +%Y%m%dT%H%M%SZ).json"
+cp bench_output.json "$history_file"
+echo "wrote $history_file"
+
+# Gate the full set against the checked-in baselines (refresh with
+# `tools/perf_gate.py --update` after intentional perf changes).
+python3 tools/perf_gate.py --baselines bench/baselines.json \
+    --current bench_output.json --require-all || fail=1
+
 echo
 echo "Examples (smoke):"
 ./build/examples/quickstart BERT0 16 | tail -3 || fail=1
