@@ -15,6 +15,10 @@
  *       achieved vs ceiling FLOP/s, operational intensity, stall
  *       breakdown per HLO op, plus the counter-file register dump
  *       (accepts run options below plus --sample-us / --top N)
+ *   t4sim_cli check --app BERT0 --alerts RULES [run options]
+ *       same as run, but --alerts is required and the exit code is
+ *       nonzero when any alert rule is firing at the end of the run
+ *       (SLO gate for CI; see docs/OBSERVABILITY.md)
  *
  * Run options:
  *   --app NAME | --model resnet50|mobilenet|bert-large|ssd|dlrm|decoder
@@ -40,6 +44,20 @@
  *   --sample-us=N          (perf-counter sampling interval in us;
  *                           default auto, ~64 windows per run)
  *
+ * Observability options (serving phase; see docs/OBSERVABILITY.md):
+ *   --spans-out=FILE       (request span tree as JSONL, one span per
+ *                           line; spans also land on --trace-out as
+ *                           per-trace slice tracks)
+ *   --blackbox-out=FILE    (flight-recorder post-mortem JSON, written
+ *                           on the first trigger)
+ *   --blackbox-capacity=N  (ring-buffer capacity in events; def 4096)
+ *   --blackbox-trigger=LST (csv of fault|deadline|alert; def fault)
+ *   --alerts=FILE          (declarative alert rules, evaluated against
+ *                           the registry during and after the run)
+ *   --alert-interval=S     (sim-time evaluation period; default 0.05)
+ *   --load=F               (offered load as a fraction of the SLO
+ *                           batch's capacity; default 0.7)
+ *
  * Reliability options (shape the serving phase of --metrics-json /
  * --trace-out runs; see docs/RELIABILITY.md):
  *   --devices N            (serving-cell size, default 1)
@@ -60,7 +78,10 @@
 #include <map>
 #include <string>
 
+#include "src/obs/alerts.h"
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/spans.h"
 #include "src/sim/profile.h"
 #include "src/sim/trace.h"
 #include "src/tpu4sim.h"
@@ -362,8 +383,38 @@ CmdProfile(const Args& args)
     return 0;
 }
 
+/**
+ * Splits a --blackbox-trigger csv into a recorder config. Unknown
+ * trigger names are an error (a misspelled trigger silently never
+ * dumping would defeat the point of a black box).
+ */
+bool
+ParseBlackboxTriggers(const std::string& csv,
+                      obs::FlightRecorderConfig* config)
+{
+    config->dump_on_fault = false;
+    config->dump_on_deadline_drop = false;
+    config->dump_on_alert = false;
+    for (const std::string& name : SplitString(csv, ',')) {
+        if (name == "fault") {
+            config->dump_on_fault = true;
+        } else if (name == "deadline") {
+            config->dump_on_deadline_drop = true;
+        } else if (name == "alert") {
+            config->dump_on_alert = true;
+        } else {
+            std::fprintf(stderr,
+                         "unknown --blackbox-trigger '%s' (want csv "
+                         "of fault|deadline|alert)\n",
+                         name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
 int
-CmdRun(const Args& args)
+CmdRun(const Args& args, bool check_mode)
 {
     auto graph = ResolveModel(args);
     if (!graph.ok()) {
@@ -442,7 +493,9 @@ CmdRun(const Args& args)
         args.Has("max-queue") || args.Has("fault-mtbf") ||
         args.Has("fault-mttr") || args.Has("fault-p") ||
         args.Has("fault-seed") || args.Has("fail-at") ||
-        args.Has("repair-at") || args.Has("hedge");
+        args.Has("repair-at") || args.Has("hedge") ||
+        args.Has("spans-out") || args.Has("blackbox-out") ||
+        args.Has("alerts") || args.Has("load") || check_mode;
     if (args.Has("metrics-json") || args.Has("trace-out") ||
         serving_requested) {
         obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -478,10 +531,50 @@ CmdRun(const Args& args)
                          counters.status().ToString().c_str());
         }
 
+        // Observability sinks: request spans, the always-on flight
+        // recorder (with the log bridge installed for the serving
+        // phase), and the alert engine. All three bind the registry
+        // eagerly so `obs.span.*` / `obs.alert.*` appear in every
+        // --metrics-json snapshot.
+        obs::SpanCollector span_collector;
+        span_collector.BindRegistry(&reg);
+        obs::FlightRecorderConfig recorder_config;
+        recorder_config.capacity = static_cast<size_t>(std::max(
+            int64_t{16}, args.GetInt("blackbox-capacity", 4096)));
+        recorder_config.dump_path = args.Get("blackbox-out", "");
+        if (args.Has("blackbox-trigger") &&
+            !ParseBlackboxTriggers(args.Get("blackbox-trigger", ""),
+                                   &recorder_config)) {
+            return 1;
+        }
+        obs::FlightRecorder recorder(recorder_config);
+        recorder.InstallLogSink();
+        obs::AlertEngine alerts;
+        alerts.BindRegistry(&reg);
+        alerts.BindTrace(&builder, 2);
+        alerts.BindRecorder(&recorder);
+        if (check_mode && !args.Has("alerts")) {
+            std::fprintf(stderr,
+                         "check: --alerts RULES_FILE is required\n");
+            return 1;
+        }
+        if (args.Has("alerts")) {
+            auto text = obs::ReadTextFile(args.Get("alerts", ""));
+            auto loaded = text.ok()
+                              ? alerts.AddRulesFromText(text.value())
+                              : text.status();
+            if (!loaded.ok()) {
+                std::fprintf(stderr, "alerts: %s\n",
+                             loaded.ToString().c_str());
+                return 1;
+            }
+        }
+
         // Short serving run so the snapshot carries per-tenant
         // latency percentiles and SLO misses, not just device
         // utilization: profile a batch ladder, pick the largest batch
-        // under the SLO, and offer 70% of that capacity.
+        // under the SLO, and offer --load (default 70%) of that
+        // capacity.
         LatencyTable table;
         for (int64_t batch = 1; batch <= 64; batch *= 2) {
             CompileOptions ladder = opts;
@@ -507,8 +600,10 @@ CmdRun(const Args& args)
             tenant.slo_s = slo_s;
             const int num_devices =
                 static_cast<int>(args.GetInt("devices", 1));
+            const double load =
+                std::max(0.01, args.GetDouble("load", 0.7));
             tenant.arrival_rate =
-                std::max(1.0, 0.7 * table.ThroughputAt(slo_batch) *
+                std::max(1.0, load * table.ThroughputAt(slo_batch) *
                                   std::max(num_devices, 1));
             tenant.deadline_s =
                 args.GetDouble("deadline-ms", 0.0) * 1e-3;
@@ -540,6 +635,11 @@ CmdRun(const Args& args)
             telemetry.trace = &builder;
             telemetry.trace_pid = 2;
             telemetry.batch_attribution = attribution;
+            telemetry.spans = &span_collector;
+            telemetry.recorder = &recorder;
+            telemetry.alerts = &alerts;
+            telemetry.alert_eval_interval_s =
+                std::max(1e-4, args.GetDouble("alert-interval", 0.05));
             auto serving = RunServingCell({tenant}, num_devices, 2.0,
                                           42, telemetry, reliability);
             if (serving.ok() && !serving.value().tenants.empty()) {
@@ -575,6 +675,52 @@ CmdRun(const Args& args)
             }
         }
 
+        // Span exports: JSONL for offline analysis, per-trace slice
+        // tracks on the enriched Chrome trace. Integrity is checked
+        // here so a structural bug surfaces in every telemetry run,
+        // not only under the unit tests.
+        if (!span_collector.spans().empty()) {
+            auto integrity = span_collector.CheckIntegrity();
+            if (!integrity.ok()) {
+                std::fprintf(stderr, "span integrity: %s\n",
+                             integrity.ToString().c_str());
+                return 1;
+            }
+            std::printf("spans: %zu recorded (%zu traces), "
+                        "%zu still open\n",
+                        span_collector.spans().size(),
+                        span_collector.Roots().size(),
+                        span_collector.open_count());
+            if (args.Has("trace-out")) {
+                auto status =
+                    span_collector.AppendToTrace(&builder, 3);
+                if (!status.ok()) {
+                    std::fprintf(stderr, "span tracks: %s\n",
+                                 status.ToString().c_str());
+                }
+            }
+        }
+        if (args.Has("spans-out")) {
+            const std::string path =
+                args.Get("spans-out", "spans.jsonl");
+            auto status =
+                obs::WriteTextFile(span_collector.ToJsonl(), path);
+            std::printf("spans-out: %s\n",
+                        status.ok() ? path.c_str()
+                                    : status.ToString().c_str());
+            if (!status.ok()) return 1;
+        }
+        if (recorder.dumped()) {
+            std::printf("blackbox: dumped to %s (%s)\n",
+                        recorder.config().dump_path.c_str(),
+                        recorder.dump_reason().c_str());
+        }
+        if (alerts.rule_count() > 0) {
+            std::printf("\nalerts (%lld evaluations):\n%s",
+                        static_cast<long long>(alerts.evaluations()),
+                        alerts.Summary().c_str());
+        }
+
         if (args.Has("metrics-json")) {
             const std::string path =
                 args.Get("metrics-json", "metrics.json");
@@ -594,6 +740,12 @@ CmdRun(const Args& args)
                         static_cast<long long>(builder.event_count()));
             if (!status.ok()) return 1;
         }
+        if (check_mode && alerts.AnyFiring()) {
+            std::fprintf(stderr,
+                         "check: %zu alert rule(s) firing\n",
+                         alerts.firing_count());
+            return 2;
+        }
     }
     return 0;
 }
@@ -606,7 +758,8 @@ main(int argc, char** argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: %s list | run --app NAME [options] | "
-                     "profile --app NAME [options]\n"
+                     "profile --app NAME [options] | "
+                     "check --app NAME --alerts RULES [options]\n"
                      "see the file header for all options\n",
                      argv[0]);
         return 1;
@@ -614,7 +767,8 @@ main(int argc, char** argv)
     const std::string cmd = argv[1];
     Args args(argc - 2, argv + 2);
     if (cmd == "list") return CmdList();
-    if (cmd == "run") return CmdRun(args);
+    if (cmd == "run") return CmdRun(args, /*check_mode=*/false);
+    if (cmd == "check") return CmdRun(args, /*check_mode=*/true);
     if (cmd == "exec") return CmdExec(args);
     if (cmd == "profile") return CmdProfile(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

@@ -2,6 +2,8 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "src/common/status.h"
 
@@ -9,9 +11,12 @@ namespace t4i {
 namespace {
 
 LogLevel g_level = LogLevel::kInfo;
+LogSink g_sink;
+
+}  // namespace
 
 const char*
-LevelTag(LogLevel level)
+LogLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::kDebug: return "DEBUG";
@@ -23,22 +28,42 @@ LevelTag(LogLevel level)
     return "?";
 }
 
-}  // namespace
-
 void SetLogLevel(LogLevel level) { g_level = level; }
 
 LogLevel GetLogLevel() { return g_level; }
+
+void SetLogSink(LogSink sink) { g_sink = std::move(sink); }
 
 void
 LogMessage(LogLevel level, const char* fmt, ...)
 {
     if (level < g_level) return;
-    std::fprintf(stderr, "[%s] ", LevelTag(level));
+    if (!g_sink) {
+        // No sink installed: the historical stderr path, bit for bit.
+        std::fprintf(stderr, "[%s] ", LogLevelName(level));
+        va_list args;
+        va_start(args, fmt);
+        std::vfprintf(stderr, fmt, args);
+        va_end(args);
+        std::fputc('\n', stderr);
+        return;
+    }
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string message;
+    if (n > 0) {
+        std::vector<char> buf(static_cast<size_t>(n) + 1);
+        std::vsnprintf(buf.data(), buf.size(), fmt, args);
+        message.assign(buf.data(), static_cast<size_t>(n));
+    }
     va_end(args);
-    std::fputc('\n', stderr);
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level),
+                 message.c_str());
+    g_sink(level, message);
 }
 
 const char*

@@ -6,17 +6,33 @@
 #ifndef T4I_COMMON_LOG_H
 #define T4I_COMMON_LOG_H
 
+#include <functional>
 #include <string>
 
 namespace t4i {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kSilent };
 
+/** "DEBUG"/"INFO"/"WARN"/"ERROR". */
+const char* LogLevelName(LogLevel level);
+
 /** Sets the global threshold; messages below it are dropped. */
 void SetLogLevel(LogLevel level);
 
 /** Current global threshold. */
 LogLevel GetLogLevel();
+
+/**
+ * Receives every emitted message (those at or above the threshold) as
+ * a formatted string, after it is written to stderr. Used to route
+ * warnings/errors into structured sinks (the flight recorder ring,
+ * src/obs/flight_recorder.h).
+ */
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/** Installs @p sink (null restores stderr-only logging). With no sink
+ *  installed the stderr path is exactly the historical one. */
+void SetLogSink(LogSink sink);
 
 /** Emits a message at @p level (printf-style). */
 void LogMessage(LogLevel level, const char* fmt, ...)

@@ -1,5 +1,6 @@
 #include "src/common/strings.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
@@ -31,6 +32,30 @@ StrJoin(const std::vector<std::string>& parts, const std::string& sep)
     for (size_t i = 0; i < parts.size(); ++i) {
         if (i > 0) out += sep;
         out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+SplitString(const std::string& text, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t end = text.find(sep, start);
+        if (end == std::string::npos) end = text.size();
+        size_t lo = start;
+        size_t hi = end;
+        while (lo < hi && std::isspace(static_cast<unsigned char>(
+                              text[lo]))) {
+            ++lo;
+        }
+        while (hi > lo && std::isspace(static_cast<unsigned char>(
+                              text[hi - 1]))) {
+            --hi;
+        }
+        if (hi > lo) out.push_back(text.substr(lo, hi - lo));
+        start = end + 1;
     }
     return out;
 }

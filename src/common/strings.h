@@ -20,6 +20,12 @@ std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& sep);
 
 /**
+ * Splits @p text on @p sep, trimming surrounding whitespace from each
+ * piece and dropping empty pieces ("a, b,," -> {"a", "b"}).
+ */
+std::vector<std::string> SplitString(const std::string& text, char sep);
+
+/**
  * Formats a value with engineering suffixes (1.25 G, 640 M, ...).
  * Used by tables so large numbers stay readable.
  */

@@ -1,0 +1,429 @@
+#include "src/obs/alerts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/strings.h"
+#include "src/obs/flight_recorder.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+bool
+Compare(AlertComparator cmp, double value, double threshold)
+{
+    switch (cmp) {
+      case AlertComparator::kGt: return value > threshold;
+      case AlertComparator::kGe: return value >= threshold;
+      case AlertComparator::kLt: return value < threshold;
+      case AlertComparator::kLe: return value <= threshold;
+    }
+    return false;
+}
+
+/** True when every filter pair appears in @p labels. */
+bool
+LabelsMatch(const Labels& filter, const Labels& labels)
+{
+    for (const auto& [k, v] : filter) {
+        bool found = false;
+        for (const auto& [lk, lv] : labels) {
+            if (lk == k && lv == v) {
+                found = true;
+                break;
+            }
+        }
+        if (!found) return false;
+    }
+    return true;
+}
+
+/** Extracts @p field from one instrument; false when inapplicable. */
+bool
+ExtractField(const MetricsRegistry::Entry& entry,
+             const std::string& field, double* out)
+{
+    if (entry.type == MetricType::kCounter) {
+        if (field != "value") return false;
+        *out = static_cast<double>(entry.counter->value());
+        return true;
+    }
+    if (entry.type == MetricType::kGauge) {
+        if (field != "value") return false;
+        *out = entry.gauge->value();
+        return true;
+    }
+    const HistogramMetric& h = *entry.histogram;
+    if (field == "count") {
+        *out = static_cast<double>(h.count());
+    } else if (field == "sum") {
+        *out = h.sum();
+    } else if (field == "mean") {
+        *out = h.mean();
+    } else if (field == "min") {
+        *out = h.min();
+    } else if (field == "max") {
+        *out = h.max();
+    } else if (field.size() > 1 && field[0] == 'p') {
+        char* end = nullptr;
+        const double q = std::strtod(field.c_str() + 1, &end);
+        if (end == nullptr || *end != '\0' || q < 0.0 || q > 100.0) {
+            return false;
+        }
+        *out = h.Percentile(q);
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Splits "metric{k=v,...}:field" into rule fields. */
+Status
+ParseSelector(const std::string& selector, AlertRule* rule)
+{
+    std::string rest = selector;
+    // Optional ':field' suffix (after the closing brace, if any).
+    const size_t brace_close = rest.rfind('}');
+    const size_t colon =
+        rest.find(':', brace_close == std::string::npos
+                            ? 0
+                            : brace_close);
+    if (colon != std::string::npos) {
+        rule->field = rest.substr(colon + 1);
+        rest = rest.substr(0, colon);
+        if (rule->field.empty()) {
+            return Status::InvalidArgument("empty field after ':'");
+        }
+    }
+    const size_t brace = rest.find('{');
+    if (brace == std::string::npos) {
+        rule->metric = rest;
+        return rule->metric.empty()
+                   ? Status::InvalidArgument("empty metric name")
+                   : Status::Ok();
+    }
+    if (rest.back() != '}') {
+        return Status::InvalidArgument("unterminated label filter");
+    }
+    rule->metric = rest.substr(0, brace);
+    if (rule->metric.empty()) {
+        return Status::InvalidArgument("empty metric name");
+    }
+    std::string body = rest.substr(brace + 1,
+                                   rest.size() - brace - 2);
+    if (body.empty()) return Status::Ok();
+    std::stringstream ss(body);
+    std::string pair;
+    while (std::getline(ss, pair, ',')) {
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            return Status::InvalidArgument(
+                "label filter needs k=v pairs, got '" + pair + "'");
+        }
+        rule->label_filter.emplace_back(pair.substr(0, eq),
+                                        pair.substr(eq + 1));
+    }
+    return Status::Ok();
+}
+
+}  // namespace
+
+const char*
+AlertComparatorName(AlertComparator cmp)
+{
+    switch (cmp) {
+      case AlertComparator::kGt: return ">";
+      case AlertComparator::kGe: return ">=";
+      case AlertComparator::kLt: return "<";
+      case AlertComparator::kLe: return "<=";
+    }
+    return "?";
+}
+
+const char*
+AlertStateName(AlertState state)
+{
+    switch (state) {
+      case AlertState::kInactive: return "inactive";
+      case AlertState::kPending: return "pending";
+      case AlertState::kFiring: return "firing";
+    }
+    return "?";
+}
+
+StatusOr<std::vector<AlertRule>>
+ParseAlertRules(const std::string& text)
+{
+    std::vector<AlertRule> rules;
+    std::stringstream lines(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        std::stringstream ss(line);
+        std::string word;
+        std::vector<std::string> tokens;
+        while (ss >> word) tokens.push_back(word);
+        if (tokens.empty() || tokens[0][0] == '#') continue;
+        auto fail = [&](const std::string& why) {
+            return Status::InvalidArgument(StrFormat(
+                "alert rules line %d: %s", lineno, why.c_str()));
+        };
+        if (tokens[0] != "alert") {
+            return fail("expected 'alert NAME SELECTOR CMP THRESHOLD "
+                        "[for SECONDS]', got '" + tokens[0] + "'");
+        }
+        if (tokens.size() != 5 && tokens.size() != 7) {
+            return fail(StrFormat("expected 5 or 7 tokens, got %d",
+                                  static_cast<int>(tokens.size())));
+        }
+        AlertRule rule;
+        rule.name = tokens[1];
+        Status sel = ParseSelector(tokens[2], &rule);
+        if (!sel.ok()) return fail(sel.message());
+        if (tokens[3] == ">") {
+            rule.cmp = AlertComparator::kGt;
+        } else if (tokens[3] == ">=") {
+            rule.cmp = AlertComparator::kGe;
+        } else if (tokens[3] == "<") {
+            rule.cmp = AlertComparator::kLt;
+        } else if (tokens[3] == "<=") {
+            rule.cmp = AlertComparator::kLe;
+        } else {
+            return fail("unknown comparator '" + tokens[3] + "'");
+        }
+        char* end = nullptr;
+        rule.threshold = std::strtod(tokens[4].c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            return fail("bad threshold '" + tokens[4] + "'");
+        }
+        if (tokens.size() == 7) {
+            if (tokens[5] != "for") {
+                return fail("expected 'for', got '" + tokens[5] + "'");
+            }
+            rule.for_s = std::strtod(tokens[6].c_str(), &end);
+            if (end == nullptr || *end != '\0' || rule.for_s < 0.0) {
+                return fail("bad for-duration '" + tokens[6] + "'");
+            }
+        }
+        rules.push_back(std::move(rule));
+    }
+    return rules;
+}
+
+void
+AlertEngine::BindRegistry(MetricsRegistry* registry)
+{
+    registry_ = registry;
+    if (registry == nullptr) {
+        eval_counter_ = firing_counter_ = nullptr;
+        rules_gauge_ = nullptr;
+        return;
+    }
+    rules_gauge_ = registry->GetGauge("obs.alert.rules");
+    eval_counter_ = registry->GetCounter("obs.alert.evaluations");
+    firing_counter_ = registry->GetCounter("obs.alert.firing");
+    if (rules_gauge_ != nullptr) {
+        rules_gauge_->Set(static_cast<double>(statuses_.size()));
+    }
+}
+
+void
+AlertEngine::BindTrace(TraceBuilder* trace, int pid)
+{
+    trace_ = trace;
+    trace_pid_ = pid;
+}
+
+void
+AlertEngine::BindRecorder(FlightRecorder* recorder)
+{
+    recorder_ = recorder;
+}
+
+Status
+AlertEngine::AddRule(const AlertRule& rule)
+{
+    if (rule.name.empty() || rule.metric.empty()) {
+        return Status::InvalidArgument(
+            "alert rule needs a name and a metric");
+    }
+    if (rule.for_s < 0.0) {
+        return Status::InvalidArgument(
+            "alert rule '" + rule.name + "': for-duration must be >= 0");
+    }
+    for (const AlertStatus& existing : statuses_) {
+        if (existing.rule.name == rule.name) {
+            return Status::InvalidArgument(
+                "duplicate alert rule '" + rule.name + "'");
+        }
+    }
+    AlertStatus status;
+    status.rule = rule;
+    statuses_.push_back(std::move(status));
+    if (rules_gauge_ != nullptr) {
+        rules_gauge_->Set(static_cast<double>(statuses_.size()));
+    }
+    SetActiveGauge(statuses_.back());
+    return Status::Ok();
+}
+
+Status
+AlertEngine::AddRulesFromText(const std::string& text)
+{
+    auto rules = ParseAlertRules(text);
+    T4I_RETURN_IF_ERROR(rules.status());
+    for (const AlertRule& rule : rules.value()) {
+        T4I_RETURN_IF_ERROR(AddRule(rule));
+    }
+    return Status::Ok();
+}
+
+void
+AlertEngine::SetActiveGauge(const AlertStatus& status)
+{
+    if (registry_ == nullptr) return;
+    Gauge* g = registry_->GetGauge("obs.alert.active",
+                                   {{"rule", status.rule.name}});
+    if (g != nullptr) {
+        g->Set(status.state == AlertState::kFiring ? 1.0 : 0.0);
+    }
+}
+
+void
+AlertEngine::Evaluate(const MetricsRegistry& registry, double t_s)
+{
+    ++evaluations_;
+    if (eval_counter_ != nullptr) eval_counter_->Increment();
+    if (statuses_.empty()) return;
+    const auto snapshot = registry.Snapshot();
+    for (AlertStatus& status : statuses_) {
+        const AlertRule& rule = status.rule;
+        // Worst-case value over matching instruments: the maximum for
+        // upper-bound rules, the minimum for lower-bound rules.
+        bool have = false;
+        double value = 0.0;
+        const bool want_max = rule.cmp == AlertComparator::kGt ||
+                              rule.cmp == AlertComparator::kGe;
+        for (const auto& entry : snapshot) {
+            if (entry.name != rule.metric) continue;
+            if (!LabelsMatch(rule.label_filter, entry.labels)) {
+                continue;
+            }
+            double v = 0.0;
+            if (!ExtractField(entry, rule.field, &v)) continue;
+            if (!have) {
+                value = v;
+                have = true;
+            } else {
+                value = want_max ? std::max(value, v)
+                                 : std::min(value, v);
+            }
+        }
+        status.have_value = have;
+        if (have) status.last_value = value;
+        const bool cond =
+            have && Compare(rule.cmp, value, rule.threshold);
+        if (!cond) {
+            // Hysteresis: one false evaluation resets pending AND
+            // resolves a firing alert.
+            if (status.state == AlertState::kFiring) {
+                if (recorder_ != nullptr) {
+                    recorder_->Record(
+                        FlightEventKind::kAlert, t_s,
+                        "resolved: " + rule.name, value);
+                }
+                if (trace_ != nullptr) {
+                    trace_->AddInstant(trace_pid_, 0,
+                                       "alert resolved: " + rule.name,
+                                       t_s * kUsPerSecond);
+                }
+            }
+            status.state = AlertState::kInactive;
+            SetActiveGauge(status);
+            continue;
+        }
+        if (status.state == AlertState::kFiring) continue;
+        if (status.state == AlertState::kInactive) {
+            status.state = AlertState::kPending;
+            status.pending_since_s = t_s;
+        }
+        if (t_s - status.pending_since_s >= rule.for_s) {
+            status.state = AlertState::kFiring;
+            status.fired_at_s = t_s;
+            ++status.fire_count;
+            if (firing_counter_ != nullptr) {
+                firing_counter_->Increment();
+            }
+            SetActiveGauge(status);
+            if (trace_ != nullptr) {
+                trace_->AddInstant(trace_pid_, 0,
+                                   "alert firing: " + rule.name,
+                                   t_s * kUsPerSecond);
+            }
+            if (recorder_ != nullptr) {
+                recorder_->OnAlert(t_s, rule.name, value);
+            }
+        }
+    }
+}
+
+bool
+AlertEngine::AnyFiring() const
+{
+    return firing_count() > 0;
+}
+
+size_t
+AlertEngine::firing_count() const
+{
+    size_t n = 0;
+    for (const AlertStatus& status : statuses_) {
+        if (status.state == AlertState::kFiring) ++n;
+    }
+    return n;
+}
+
+std::string
+AlertEngine::Summary() const
+{
+    std::string out;
+    for (const AlertStatus& status : statuses_) {
+        const AlertRule& rule = status.rule;
+        std::string selector = rule.metric;
+        if (!rule.label_filter.empty()) {
+            selector += "{";
+            for (size_t i = 0; i < rule.label_filter.size(); ++i) {
+                if (i > 0) selector += ",";
+                selector += rule.label_filter[i].first + "=" +
+                            rule.label_filter[i].second;
+            }
+            selector += "}";
+        }
+        if (rule.field != "value") selector += ":" + rule.field;
+        out += StrFormat(
+            "%-10s %s: %s %s %g", AlertStateName(status.state),
+            rule.name.c_str(), selector.c_str(),
+            AlertComparatorName(rule.cmp), rule.threshold);
+        if (status.have_value) {
+            out += StrFormat(" (last %g)", status.last_value);
+        } else {
+            out += " (no matching instrument)";
+        }
+        if (status.fire_count > 0) {
+            out += StrFormat(", fired %lld time%s",
+                             static_cast<long long>(status.fire_count),
+                             status.fire_count == 1 ? "" : "s");
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

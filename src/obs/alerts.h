@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Declarative SLO alert rules evaluated against the metrics registry.
+ *
+ * A rule is `metric selector + comparator + threshold + for-duration`:
+ * the condition must hold continuously for the for-duration (in sim
+ * time) before the rule fires, and a single false evaluation resets it
+ * (hysteresis, Prometheus-style `for:`). Rules are evaluated
+ * periodically *during* a serving run (histograms and counters update
+ * live) and once more at run end (run-summary gauges such as
+ * `serving.slo_burn_rate` land then — use `for 0` for those).
+ *
+ * Firing alerts are recorded as trace instants, mirrored into the
+ * flight recorder (optionally triggering its black-box dump), counted
+ * in `obs.alert.*` instruments so they surface in `--metrics-json`,
+ * and drive the nonzero exit of `t4sim_cli check`.
+ *
+ * Rule file grammar (one rule per line, '#' comments):
+ *   alert NAME SELECTOR CMP THRESHOLD [for SECONDS]
+ * where SELECTOR is `metric`, `metric{k=v,...}`, with an optional
+ * `:field` suffix (`value` for counters/gauges — the default — or
+ * `count|sum|mean|min|max|pNN` for histograms), and CMP is one of
+ * > >= < <=. Example:
+ *   alert burn serving.slo_burn_rate{tenant=BERT0} > 1.0 for 0
+ *   alert p99 serving.latency_seconds:p99 > 0.050 for 0.5
+ */
+#ifndef T4I_OBS_ALERTS_H
+#define T4I_OBS_ALERTS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
+
+namespace t4i {
+namespace obs {
+
+class FlightRecorder;  // src/obs/flight_recorder.h
+
+enum class AlertComparator { kGt, kGe, kLt, kLe };
+
+const char* AlertComparatorName(AlertComparator cmp);
+
+/** One declarative rule. */
+struct AlertRule {
+    std::string name;
+    /** Instrument name to match. */
+    std::string metric;
+    /** Label subset to match; empty matches every label set. */
+    Labels label_filter;
+    /** value | count | sum | mean | min | max | pNN. */
+    std::string field = "value";
+    AlertComparator cmp = AlertComparator::kGt;
+    double threshold = 0.0;
+    /** Condition must hold this long (sim s) before firing; 0 fires
+     *  on the first true evaluation. */
+    double for_s = 0.0;
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+
+const char* AlertStateName(AlertState state);
+
+/** Evaluation status of one rule. */
+struct AlertStatus {
+    AlertRule rule;
+    AlertState state = AlertState::kInactive;
+    /** When the condition first became (and stayed) true. */
+    double pending_since_s = 0.0;
+    /** Last transition to firing. */
+    double fired_at_s = 0.0;
+    /** Most recent observed value (worst-case over matches). */
+    double last_value = 0.0;
+    /** False when no instrument matched on the last evaluation. */
+    bool have_value = false;
+    /** Count of inactive/pending -> firing transitions. */
+    int64_t fire_count = 0;
+};
+
+/**
+ * Parses the rule-file grammar above. Returns InvalidArgument with a
+ * line number on the first malformed rule.
+ */
+StatusOr<std::vector<AlertRule>> ParseAlertRules(
+    const std::string& text);
+
+class AlertEngine {
+  public:
+    /**
+     * Eagerly creates the `obs.alert.*` instruments (rules gauge,
+     * evaluations counter, firing counter) so exports have a stable
+     * shape even with no rules loaded. Null detaches.
+     */
+    void BindRegistry(MetricsRegistry* registry);
+    /** Firing/resolve transitions become instants on @p trace. */
+    void BindTrace(TraceBuilder* trace, int pid);
+    /** Transitions mirror into @p recorder (which may dump). */
+    void BindRecorder(FlightRecorder* recorder);
+
+    Status AddRule(const AlertRule& rule);
+    /** ParseAlertRules + AddRule for each. */
+    Status AddRulesFromText(const std::string& text);
+
+    /**
+     * Evaluates every rule against @p registry at sim time @p t_s.
+     * Transitions: false -> inactive (resets pending); true ->
+     * pending until it has held for for_s, then firing.
+     */
+    void Evaluate(const MetricsRegistry& registry, double t_s);
+
+    size_t rule_count() const { return statuses_.size(); }
+    const std::vector<AlertStatus>& statuses() const
+    {
+        return statuses_;
+    }
+    bool AnyFiring() const;
+    size_t firing_count() const;
+    int64_t evaluations() const { return evaluations_; }
+
+    /** One line per rule: state, value vs threshold, fire count. */
+    std::string Summary() const;
+
+  private:
+    void SetActiveGauge(const AlertStatus& status);
+
+    std::vector<AlertStatus> statuses_;
+    int64_t evaluations_ = 0;
+
+    MetricsRegistry* registry_ = nullptr;
+    Counter* eval_counter_ = nullptr;
+    Counter* firing_counter_ = nullptr;
+    Gauge* rules_gauge_ = nullptr;
+    TraceBuilder* trace_ = nullptr;
+    int trace_pid_ = 0;
+    FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_ALERTS_H

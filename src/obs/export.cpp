@@ -186,6 +186,23 @@ WriteTextFile(const std::string& content, const std::string& path)
     return Status::Ok();
 }
 
+StatusOr<std::string>
+ReadTextFile(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+        return Status::InvalidArgument("cannot open " + path);
+    }
+    std::string content;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        content.append(buf, n);
+    }
+    std::fclose(f);
+    return content;
+}
+
 Status
 WriteMetricsJson(const MetricsRegistry& registry, const std::string& path)
 {

@@ -47,6 +47,9 @@ Status WriteMetricsCsv(const MetricsRegistry& registry,
 /** Writes @p content to @p path (shared by all file exporters). */
 Status WriteTextFile(const std::string& content, const std::string& path);
 
+/** Reads @p path whole (e.g. an alert-rule file for AlertEngine). */
+StatusOr<std::string> ReadTextFile(const std::string& path);
+
 }  // namespace obs
 }  // namespace t4i
 

@@ -1,0 +1,227 @@
+#include "src/obs/flight_recorder.h"
+
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/common/strings.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+#include "src/obs/spans.h"
+
+namespace t4i {
+namespace obs {
+
+const char*
+FlightEventKindName(FlightEventKind kind)
+{
+    switch (kind) {
+      case FlightEventKind::kSpanOpen: return "span_open";
+      case FlightEventKind::kSpanClose: return "span_close";
+      case FlightEventKind::kFault: return "fault";
+      case FlightEventKind::kQueueDepth: return "queue_depth";
+      case FlightEventKind::kLog: return "log";
+      case FlightEventKind::kAlert: return "alert";
+      case FlightEventKind::kDrop: return "drop";
+      case FlightEventKind::kTrigger: return "trigger";
+      case FlightEventKind::kNote: return "note";
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config))
+{
+    if (config_.capacity == 0) config_.capacity = 1;
+    ring_.reserve(config_.capacity);
+}
+
+FlightRecorder::~FlightRecorder() { UninstallLogSink(); }
+
+void
+FlightRecorder::Record(FlightEventKind kind, double t_s,
+                       std::string message, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    FlightEvent event{t_s, kind, std::move(message), value};
+    if (ring_.size() < config_.capacity) {
+        ring_.push_back(std::move(event));
+    } else {
+        ring_[next_] = std::move(event);
+    }
+    next_ = (next_ + 1) % config_.capacity;
+    ++total_;
+    last_t_s_ = t_s;
+}
+
+void
+FlightRecorder::BindRegistry(const MetricsRegistry* registry)
+{
+    registry_ = registry;
+}
+
+void
+FlightRecorder::BindSpans(const SpanCollector* spans)
+{
+    spans_ = spans;
+}
+
+void
+FlightRecorder::SetDeviceStateProvider(
+    std::function<std::string(double)> provider)
+{
+    device_state_ = std::move(provider);
+}
+
+void
+FlightRecorder::OnFault(double t_s, const std::string& detail)
+{
+    Record(FlightEventKind::kFault, t_s, detail);
+    if (config_.dump_on_fault) DumpOnce("fault: " + detail, t_s);
+}
+
+void
+FlightRecorder::OnDeadlineDrop(double t_s, const std::string& detail)
+{
+    Record(FlightEventKind::kDrop, t_s, detail);
+    if (config_.dump_on_deadline_drop) {
+        DumpOnce("deadline drop: " + detail, t_s);
+    }
+}
+
+void
+FlightRecorder::OnAlert(double t_s, const std::string& detail,
+                        double value)
+{
+    Record(FlightEventKind::kAlert, t_s, detail, value);
+    if (config_.dump_on_alert) DumpOnce("alert: " + detail, t_s);
+}
+
+Status
+FlightRecorder::Trigger(const std::string& reason, double t_s)
+{
+    Record(FlightEventKind::kTrigger, t_s, reason);
+    return DumpOnce(reason, t_s);
+}
+
+Status
+FlightRecorder::DumpOnce(const std::string& reason, double t_s)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dumped_ || config_.dump_path.empty()) {
+            return Status::Ok();
+        }
+        dumped_ = true;
+        dump_reason_ = reason;
+    }
+    return WriteTextFile(DumpJson(reason, t_s), config_.dump_path);
+}
+
+std::string
+FlightRecorder::DumpJson(const std::string& reason, double t_s) const
+{
+    std::string events;
+    int64_t total;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        total = total_;
+        // Oldest-first: when the ring has wrapped, the oldest entry
+        // sits at the next write position.
+        const size_t n = ring_.size();
+        const size_t start = n < config_.capacity ? 0 : next_;
+        for (size_t i = 0; i < n; ++i) {
+            const FlightEvent& e = ring_[(start + i) % n];
+            if (!events.empty()) events += ",\n    ";
+            events += StrFormat(
+                          "{\"t_s\":%.12g,\"kind\":", e.t_s) +
+                      JsonQuote(FlightEventKindName(e.kind)) +
+                      ",\"message\":" + JsonQuote(e.message) +
+                      StrFormat(",\"value\":%.12g}", e.value);
+        }
+    }
+    std::string out = "{\n  \"version\": 1,\n";
+    out += "  \"reason\": " + JsonQuote(reason) + ",\n";
+    out += StrFormat("  \"t_s\": %.12g,\n", t_s);
+    out += StrFormat("  \"total_events\": %lld,\n",
+                     static_cast<long long>(total));
+    out += "  \"events\": [\n    " + events + "\n  ],\n";
+    out += "  \"open_spans\": " +
+           (spans_ != nullptr ? spans_->OpenSpansJson() : "[]") + ",\n";
+    out += "  \"devices\": " +
+           (device_state_ ? device_state_(t_s) : "[]") + ",\n";
+    if (registry_ != nullptr) {
+        std::string metrics = MetricsToJson(*registry_);
+        while (!metrics.empty() &&
+               (metrics.back() == '\n' || metrics.back() == ' ')) {
+            metrics.pop_back();
+        }
+        out += "  \"metrics\": " + metrics + "\n";
+    } else {
+        out += "  \"metrics\": null\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+void
+FlightRecorder::InstallLogSink()
+{
+    if (sink_installed_) return;
+    sink_installed_ = true;
+    SetLogSink([this](LogLevel level, const std::string& message) {
+        double t;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            t = last_t_s_;
+        }
+        Record(FlightEventKind::kLog, t,
+               std::string(LogLevelName(level)) + ": " + message,
+               static_cast<double>(level));
+    });
+}
+
+void
+FlightRecorder::UninstallLogSink()
+{
+    if (!sink_installed_) return;
+    sink_installed_ = false;
+    SetLogSink(nullptr);
+}
+
+size_t
+FlightRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+int64_t
+FlightRecorder::total_recorded() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::Events() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<FlightEvent> out;
+    const size_t n = ring_.size();
+    out.reserve(n);
+    const size_t start = n < config_.capacity ? 0 : next_;
+    for (size_t i = 0; i < n; ++i) {
+        out.push_back(ring_[(start + i) % n]);
+    }
+    return out;
+}
+
+bool
+FlightRecorder::dumped() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dumped_;
+}
+
+}  // namespace obs
+}  // namespace t4i

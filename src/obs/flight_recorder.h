@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Black-box flight recorder: a fixed-capacity ring buffer of
+ * structured events that is always on at negligible cost, plus a
+ * one-shot post-mortem dump.
+ *
+ * Production cells rarely fail while someone is watching. The recorder
+ * keeps the last N structured events — span opens/closes, fault
+ * transitions, queue-depth samples, log messages routed from
+ * src/common/log.h, alert transitions — in a ring buffer, and on a
+ * configurable trigger (device failure, deadline drop, a firing alert)
+ * writes a "black box" JSON snapshot: the buffered events, the metrics
+ * registry, per-device fault state, and the spans still in flight at
+ * dump time. The dump happens once per run (the first trigger wins);
+ * later triggers are recorded as ordinary events so the post-mortem
+ * file reflects the state at the *start* of the incident.
+ */
+#ifndef T4I_OBS_FLIGHT_RECORDER_H
+#define T4I_OBS_FLIGHT_RECORDER_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+
+namespace t4i {
+namespace obs {
+
+class SpanCollector;  // src/obs/spans.h
+
+enum class FlightEventKind {
+    kSpanOpen,
+    kSpanClose,
+    kFault,
+    kQueueDepth,
+    kLog,
+    kAlert,
+    kDrop,
+    kTrigger,
+    kNote,
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+/** One ring-buffer entry. */
+struct FlightEvent {
+    double t_s = 0.0;
+    FlightEventKind kind = FlightEventKind::kNote;
+    std::string message;
+    /** Kind-specific scalar (queue depth, alert value, ...). */
+    double value = 0.0;
+};
+
+struct FlightRecorderConfig {
+    /** Ring capacity in events; older events are overwritten. */
+    size_t capacity = 4096;
+    /** Post-mortem file; empty means triggers record but never dump. */
+    std::string dump_path;
+    /** Dump when a device fails mid-batch / goes down. */
+    bool dump_on_fault = true;
+    /** Dump on the first per-request deadline drop. */
+    bool dump_on_deadline_drop = false;
+    /** Dump when an alert rule transitions to firing. */
+    bool dump_on_alert = false;
+};
+
+class FlightRecorder {
+  public:
+    explicit FlightRecorder(FlightRecorderConfig config = {});
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /** Appends one event (thread-safe; overwrites the oldest). */
+    void Record(FlightEventKind kind, double t_s, std::string message,
+                double value = 0.0);
+
+    // Dump context (all optional; missing parts render as null/[]). --
+    void BindRegistry(const MetricsRegistry* registry);
+    void BindSpans(const SpanCollector* spans);
+    /**
+     * Per-device fault state at time t as a JSON array (the serving
+     * loop installs this for the run's duration and clears it before
+     * returning — the provider captures loop-local state).
+     */
+    void SetDeviceStateProvider(std::function<std::string(double)>
+                                    provider);
+
+    // Trigger entry points. ------------------------------------------
+    /** Records a fault event; dumps when config.dump_on_fault. */
+    void OnFault(double t_s, const std::string& detail);
+    /** Records a drop event; dumps when config.dump_on_deadline_drop. */
+    void OnDeadlineDrop(double t_s, const std::string& detail);
+    /** Records an alert event; dumps when config.dump_on_alert. */
+    void OnAlert(double t_s, const std::string& detail, double value);
+    /** Unconditional trigger: records and dumps (once per run). */
+    Status Trigger(const std::string& reason, double t_s);
+
+    /**
+     * Routes t4i::LogMessage output (at or above the global log
+     * threshold) into the ring as kLog events, stamped with the time
+     * of the most recently recorded event (logs carry no sim time).
+     * Uninstalled automatically on destruction.
+     */
+    void InstallLogSink();
+    void UninstallLogSink();
+
+    /** The full snapshot JSON a trigger would write. */
+    std::string DumpJson(const std::string& reason, double t_s) const;
+
+    // Introspection (tests, CLI summaries). --------------------------
+    size_t capacity() const { return config_.capacity; }
+    size_t size() const;
+    int64_t total_recorded() const;
+    /** Buffered events, oldest first. */
+    std::vector<FlightEvent> Events() const;
+    bool dumped() const;
+    const std::string& dump_reason() const { return dump_reason_; }
+    const FlightRecorderConfig& config() const { return config_; }
+
+  private:
+    Status DumpOnce(const std::string& reason, double t_s);
+
+    FlightRecorderConfig config_;
+    mutable std::mutex mu_;
+    std::vector<FlightEvent> ring_;
+    size_t next_ = 0;          ///< next write position
+    int64_t total_ = 0;        ///< events ever recorded
+    double last_t_s_ = 0.0;    ///< timestamp hint for log events
+    bool dumped_ = false;
+    std::string dump_reason_;
+    bool sink_installed_ = false;
+
+    const MetricsRegistry* registry_ = nullptr;
+    const SpanCollector* spans_ = nullptr;
+    std::function<std::string(double)> device_state_;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_FLIGHT_RECORDER_H

@@ -1,0 +1,343 @@
+#include "src/obs/spans.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+std::string
+LabelsJson(const Labels& labels)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += JsonQuote(labels[i].first) + ":" +
+               JsonQuote(labels[i].second);
+    }
+    return out + "}";
+}
+
+std::string
+SpanJson(const Span& span)
+{
+    std::string out = StrFormat(
+        "{\"trace_id\":%llu,\"span_id\":%llu,\"parent_id\":%llu,",
+        static_cast<unsigned long long>(span.trace_id),
+        static_cast<unsigned long long>(span.span_id),
+        static_cast<unsigned long long>(span.parent_id));
+    if (span.link_id != 0) {
+        out += StrFormat("\"link_id\":%llu,",
+                         static_cast<unsigned long long>(span.link_id));
+    }
+    out += "\"name\":" + JsonQuote(span.name) +
+           StrFormat(",\"start_s\":%.12g,\"end_s\":%.12g,"
+                     "\"open\":%s,\"attributes\":",
+                     span.start_s, span.end_s,
+                     span.open ? "true" : "false") +
+           LabelsJson(span.attributes);
+    if (!span.events.empty()) {
+        out += ",\"events\":[";
+        for (size_t i = 0; i < span.events.size(); ++i) {
+            if (i > 0) out += ",";
+            out += StrFormat("{\"t_s\":%.12g,\"name\":",
+                             span.events[i].t_s) +
+                   JsonQuote(span.events[i].name) + "}";
+        }
+        out += "]";
+    }
+    return out + "}";
+}
+
+}  // namespace
+
+std::string
+Span::Attribute(const std::string& key) const
+{
+    for (const auto& [k, v] : attributes) {
+        if (k == key) return v;
+    }
+    return "";
+}
+
+void
+SpanCollector::BindRegistry(MetricsRegistry* registry)
+{
+    registry_ = registry;
+    if (registry == nullptr) {
+        started_ = closed_ = event_counter_ = link_counter_ = nullptr;
+        return;
+    }
+    started_ = registry->GetCounter("obs.span.started");
+    closed_ = registry->GetCounter("obs.span.closed");
+    event_counter_ = registry->GetCounter("obs.span.events");
+    link_counter_ = registry->GetCounter("obs.span.links");
+}
+
+void
+SpanCollector::BindRecorder(FlightRecorder* recorder)
+{
+    recorder_ = recorder;
+}
+
+uint64_t
+SpanCollector::NewTrace()
+{
+    return next_trace_++;
+}
+
+SpanId
+SpanCollector::StartSpan(uint64_t trace_id, SpanId parent,
+                         const std::string& name, double start_s)
+{
+    Span span;
+    span.trace_id = trace_id;
+    span.span_id = static_cast<SpanId>(spans_.size() + 1);
+    span.parent_id = parent;
+    span.name = name;
+    span.start_s = start_s;
+    span.end_s = start_s;
+    spans_.push_back(std::move(span));
+    ++open_count_;
+    if (started_ != nullptr) started_->Increment();
+    if (recorder_ != nullptr) {
+        recorder_->Record(FlightEventKind::kSpanOpen, start_s, name,
+                          static_cast<double>(spans_.size()));
+    }
+    return spans_.back().span_id;
+}
+
+Span*
+SpanCollector::Mutable(SpanId id)
+{
+    if (id == 0 || id > spans_.size()) {
+        ++errors_;
+        return nullptr;
+    }
+    return &spans_[static_cast<size_t>(id - 1)];
+}
+
+void
+SpanCollector::EndSpan(SpanId id, double end_s)
+{
+    Span* span = Mutable(id);
+    if (span == nullptr) return;
+    if (!span->open) {
+        ++errors_;
+        return;
+    }
+    span->end_s = end_s;
+    span->open = false;
+    --open_count_;
+    if (closed_ != nullptr) closed_->Increment();
+    if (recorder_ != nullptr) {
+        recorder_->Record(FlightEventKind::kSpanClose, end_s,
+                          span->name, span->duration_s());
+    }
+}
+
+void
+SpanCollector::SetAttribute(SpanId id, const std::string& key,
+                            const std::string& value)
+{
+    Span* span = Mutable(id);
+    if (span == nullptr) return;
+    for (auto& [k, v] : span->attributes) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    span->attributes.emplace_back(key, value);
+}
+
+void
+SpanCollector::AddEvent(SpanId id, const std::string& name, double t_s)
+{
+    Span* span = Mutable(id);
+    if (span == nullptr) return;
+    span->events.push_back({t_s, name});
+    if (event_counter_ != nullptr) event_counter_->Increment();
+}
+
+void
+SpanCollector::Link(SpanId id, SpanId winner)
+{
+    Span* span = Mutable(id);
+    if (span == nullptr) return;
+    span->link_id = winner;
+    if (link_counter_ != nullptr) link_counter_->Increment();
+}
+
+const Span*
+SpanCollector::Find(SpanId id) const
+{
+    if (id == 0 || id > spans_.size()) return nullptr;
+    return &spans_[static_cast<size_t>(id - 1)];
+}
+
+std::vector<const Span*>
+SpanCollector::Roots() const
+{
+    std::vector<const Span*> out;
+    for (const Span& span : spans_) {
+        if (span.parent_id == 0) out.push_back(&span);
+    }
+    return out;
+}
+
+std::vector<const Span*>
+SpanCollector::ChildrenOf(SpanId parent) const
+{
+    std::vector<const Span*> out;
+    for (const Span& span : spans_) {
+        if (span.parent_id == parent) out.push_back(&span);
+    }
+    return out;
+}
+
+std::vector<const Span*>
+SpanCollector::OpenSpans() const
+{
+    std::vector<const Span*> out;
+    for (const Span& span : spans_) {
+        if (span.open) out.push_back(&span);
+    }
+    return out;
+}
+
+Status
+SpanCollector::CheckIntegrity() const
+{
+    if (errors_ > 0) {
+        return Status::Internal(StrFormat(
+            "%lld invalid span operations",
+            static_cast<long long>(errors_)));
+    }
+    for (const Span& span : spans_) {
+        if (!span.open && span.end_s < span.start_s) {
+            return Status::Internal(StrFormat(
+                "span %llu ends before it starts",
+                static_cast<unsigned long long>(span.span_id)));
+        }
+        if (span.parent_id == 0) continue;
+        const Span* parent = Find(span.parent_id);
+        if (parent == nullptr) {
+            return Status::Internal(StrFormat(
+                "span %llu has unknown parent %llu",
+                static_cast<unsigned long long>(span.span_id),
+                static_cast<unsigned long long>(span.parent_id)));
+        }
+        if (parent->trace_id != span.trace_id) {
+            return Status::Internal(StrFormat(
+                "span %llu crosses traces",
+                static_cast<unsigned long long>(span.span_id)));
+        }
+        if (span.start_s < parent->start_s - 1e-12) {
+            return Status::Internal(StrFormat(
+                "span %llu starts before its parent",
+                static_cast<unsigned long long>(span.span_id)));
+        }
+    }
+    return Status::Ok();
+}
+
+std::string
+SpanCollector::ToJsonl() const
+{
+    std::string out;
+    for (const Span& span : spans_) {
+        out += SpanJson(span);
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+SpanCollector::OpenSpansJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const Span& span : spans_) {
+        if (!span.open) continue;
+        if (!first) out += ",";
+        first = false;
+        out += SpanJson(span);
+    }
+    return out + "]";
+}
+
+Status
+SpanCollector::AppendToTrace(TraceBuilder* builder, int pid,
+                             size_t max_traces) const
+{
+    if (builder == nullptr) {
+        return Status::InvalidArgument("null trace builder");
+    }
+    builder->SetProcessName(pid, "request spans");
+    // Traces get dense tids in first-seen order; spans of later
+    // traces are skipped (the cap keeps huge runs loadable).
+    std::vector<uint64_t> trace_tids;  // index = tid, value = trace_id
+    auto tid_for = [&](uint64_t trace_id) -> int {
+        for (size_t i = 0; i < trace_tids.size(); ++i) {
+            if (trace_tids[i] == trace_id) {
+                return static_cast<int>(i);
+            }
+        }
+        if (trace_tids.size() >= max_traces) return -1;
+        trace_tids.push_back(trace_id);
+        const int tid = static_cast<int>(trace_tids.size() - 1);
+        builder->SetThreadName(
+            pid, tid,
+            StrFormat("trace %llu",
+                      static_cast<unsigned long long>(trace_id)));
+        return tid;
+    };
+    for (const Span& span : spans_) {
+        const int tid = tid_for(span.trace_id);
+        if (tid < 0) continue;
+        if (span.open) {
+            builder->AddInstant(pid, tid, span.name + " (open)",
+                                span.start_s * kUsPerSecond);
+            continue;
+        }
+        std::string args = StrFormat(
+            "{\"trace_id\":%llu,\"span_id\":%llu,\"parent_id\":%llu",
+            static_cast<unsigned long long>(span.trace_id),
+            static_cast<unsigned long long>(span.span_id),
+            static_cast<unsigned long long>(span.parent_id));
+        for (const auto& [k, v] : span.attributes) {
+            args += "," + JsonQuote(k) + ":" + JsonQuote(v);
+        }
+        args += "}";
+        builder->AddComplete(pid, tid, span.name, "span",
+                             span.start_s * kUsPerSecond,
+                             span.duration_s() * kUsPerSecond, args);
+        if (span.link_id != 0) {
+            const Span* winner = Find(span.link_id);
+            if (winner != nullptr) {
+                // Arrow from the losing attempt to the copy that won
+                // the batch; flow ids reuse the loser's span id.
+                builder->AddFlowStart(pid, tid, "attempt-link",
+                                      span.span_id,
+                                      span.end_s * kUsPerSecond);
+                const int win_tid = tid_for(winner->trace_id);
+                if (win_tid >= 0) {
+                    builder->AddFlowEnd(pid, win_tid, "attempt-link",
+                                        span.span_id,
+                                        winner->end_s * kUsPerSecond);
+                }
+            }
+        }
+    }
+    return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace t4i

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Request-scoped tracing: a trace_id/span_id/parent_id span tree.
+ *
+ * The metrics registry answers "how is the cell doing on average"; a
+ * span tree answers "where did *this* request spend its time". Each
+ * request gets a trace: a root span covering arrival -> completion,
+ * child spans for queue wait, batch formation, and every dispatch
+ * attempt (retries and hedges become sibling children linked to the
+ * winning copy), and engine-group sub-spans under the winning
+ * execution derived from the modeled performance counters
+ * (src/sim/perfcounters.h). The serving simulator records spans in
+ * simulated time, so for a no-fault run a root span's duration equals
+ * the request latency the simulator reports, bit for bit, and child
+ * spans partition it — an invariant tests/test_spans.cpp enforces.
+ *
+ * Exports: JSONL (one span object per line) for offline analysis, and
+ * Chrome-trace slices (one track per trace, flow arrows between linked
+ * sibling attempts) via the existing TraceBuilder.
+ */
+#ifndef T4I_OBS_SPANS_H
+#define T4I_OBS_SPANS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace_builder.h"
+
+namespace t4i {
+namespace obs {
+
+class FlightRecorder;  // src/obs/flight_recorder.h
+
+/** Span identifier; 0 means "no span". Assigned sequentially from 1. */
+using SpanId = uint64_t;
+
+/** Point-in-time annotation attached to a span. */
+struct SpanEvent {
+    double t_s = 0.0;
+    std::string name;
+};
+
+/** One node of a trace's span tree. Times are seconds (sim time). */
+struct Span {
+    uint64_t trace_id = 0;
+    SpanId span_id = 0;
+    /** 0 for a trace's root span. */
+    SpanId parent_id = 0;
+    /**
+     * Cross-sibling link, e.g. a losing dispatch attempt (retry copy
+     * or hedge) pointing at the winning attempt. 0 = no link.
+     */
+    SpanId link_id = 0;
+    std::string name;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    bool open = true;
+    /** Key/value annotations (tenant, device, outcome, ...). */
+    Labels attributes;
+    std::vector<SpanEvent> events;
+
+    double duration_s() const { return end_s - start_s; }
+    /** First attribute named @p key, or "" when absent. */
+    std::string Attribute(const std::string& key) const;
+};
+
+/**
+ * Collects spans for one run. Not thread-safe (the simulators are
+ * single-threaded); all mutation goes through the collector so that
+ * every close matches an open by construction.
+ */
+class SpanCollector {
+  public:
+    /**
+     * Eagerly creates the `obs.span.*` instruments (started / closed /
+     * events / links) so exports have a stable shape even before the
+     * first span. Null detaches.
+     */
+    void BindRegistry(MetricsRegistry* registry);
+
+    /** Mirrors span open/close events into the flight recorder ring. */
+    void BindRecorder(FlightRecorder* recorder);
+
+    /** Allocates the next trace id (sequential from 1). */
+    uint64_t NewTrace();
+
+    /**
+     * Opens a span. @p parent 0 makes it the trace's root. Returns the
+     * new span's id.
+     */
+    SpanId StartSpan(uint64_t trace_id, SpanId parent,
+                     const std::string& name, double start_s);
+
+    /** Closes @p id at @p end_s. Unknown/already-closed ids are
+     *  counted in errors() and otherwise ignored. */
+    void EndSpan(SpanId id, double end_s);
+
+    void SetAttribute(SpanId id, const std::string& key,
+                      const std::string& value);
+    void AddEvent(SpanId id, const std::string& name, double t_s);
+    /** Links @p id to a sibling @p winner (losing attempt -> winner). */
+    void Link(SpanId id, SpanId winner);
+
+    /** All spans in StartSpan order. */
+    const std::vector<Span>& spans() const { return spans_; }
+    const Span* Find(SpanId id) const;
+    std::vector<const Span*> Roots() const;
+    std::vector<const Span*> ChildrenOf(SpanId parent) const;
+    std::vector<const Span*> OpenSpans() const;
+    size_t open_count() const { return open_count_; }
+    /** Invalid EndSpan/attribute calls observed (0 in a correct run). */
+    int64_t errors() const { return errors_; }
+
+    /**
+     * Structural integrity: every closed span has end >= start, every
+     * non-root parent exists in the same trace, and closed children
+     * start no earlier than their parent. (Children may *end* after
+     * their parent: a losing hedge copy keeps a device busy past the
+     * request's completion.)
+     */
+    Status CheckIntegrity() const;
+
+    /** One JSON object per line, StartSpan order. */
+    std::string ToJsonl() const;
+    /** JSON array of the currently-open spans (flight-recorder dump). */
+    std::string OpenSpansJson() const;
+
+    /**
+     * Renders spans as Chrome-trace slices under @p pid: one thread
+     * track per trace (first @p max_traces traces), one 'X' slice per
+     * closed span, and a flow arrow from every linked span to its
+     * winner.
+     */
+    Status AppendToTrace(TraceBuilder* builder, int pid = 3,
+                         size_t max_traces = 256) const;
+
+  private:
+    Span* Mutable(SpanId id);
+
+    std::vector<Span> spans_;  ///< index == span_id - 1
+    uint64_t next_trace_ = 1;
+    size_t open_count_ = 0;
+    int64_t errors_ = 0;
+
+    MetricsRegistry* registry_ = nullptr;
+    Counter* started_ = nullptr;
+    Counter* closed_ = nullptr;
+    Counter* event_counter_ = nullptr;
+    Counter* link_counter_ = nullptr;
+    FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_SPANS_H

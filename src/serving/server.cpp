@@ -23,6 +23,11 @@ struct Request {
     double not_before_s = 0.0;
     /** Failed executions so far (bounded by max_retries). */
     int attempts = 0;
+    /** Span context (0 = untraced request). */
+    uint64_t trace_id = 0;
+    obs::SpanId root_span = 0;
+    /** The currently-open queue-wait child span. */
+    obs::SpanId queue_span = 0;
 };
 
 struct TenantState {
@@ -51,10 +56,14 @@ struct TenantState {
     obs::Counter* shed_counter = nullptr;
     obs::Counter* drop_counter = nullptr;
     obs::Counter* hedge_win_counter = nullptr;
+    /** Live SLO burn-rate gauge (updated per completed batch). */
+    obs::Gauge* burn_gauge = nullptr;
     /** Aligned with ServingTelemetry::batch_attribution. */
     std::vector<obs::HistogramMetric*> attribution_hists;
     int64_t flows_started = 0;
     int64_t last_emitted_depth = -1;
+    int64_t traces_started = 0;
+    int64_t last_recorder_depth = -1;
 };
 
 struct DeviceState {
@@ -233,6 +242,10 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 reg.GetCounter("serving.deadline_drops", labels);
             ts.hedge_win_counter =
                 reg.GetCounter("serving.hedge_wins", labels);
+            if (telemetry.slo_error_budget > 0.0) {
+                ts.burn_gauge =
+                    reg.GetGauge("serving.slo_burn_rate", labels);
+            }
             for (const AttributionShare& share :
                  telemetry.batch_attribution) {
                 ts.attribution_hists.push_back(reg.GetHistogram(
@@ -242,6 +255,72 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             }
         }
     }
+    // Request-scoped observability (all optional; null sinks leave
+    // the run bit-identical): span collector, black-box recorder, and
+    // the alert engine (which needs the registry to read from).
+    obs::SpanCollector* spans = telemetry.spans;
+    obs::FlightRecorder* recorder = telemetry.recorder;
+    obs::AlertEngine* alerts =
+        (telemetry.alerts != nullptr && telemetry.registry != nullptr)
+            ? telemetry.alerts
+            : nullptr;
+    double next_alert_eval = 0.0;
+    if (recorder != nullptr) {
+        if (telemetry.registry != nullptr) {
+            recorder->BindRegistry(telemetry.registry);
+        }
+        if (spans != nullptr) {
+            recorder->BindSpans(spans);
+            spans->BindRecorder(recorder);
+        }
+        // Per-device fault state for black-box dumps; cleared before
+        // return because the provider captures loop-local state.
+        recorder->SetDeviceStateProvider([&timeline, num_devices,
+                                          faults_active](double t) {
+            std::string out = "[";
+            for (int d = 0; d < num_devices; ++d) {
+                if (d > 0) out += ",";
+                const bool down =
+                    faults_active && timeline.IsDown(d, t);
+                const double speed =
+                    faults_active ? timeline.SpeedFactor(d, t) : 1.0;
+                out += StrFormat(
+                    "{\"device\":%d,\"down\":%s,"
+                    "\"speed_factor\":%.6g}",
+                    d, down ? "true" : "false", speed);
+            }
+            return out + "]";
+        });
+        if (faults_active) {
+            // Scheduled fault transitions land in the ring up front
+            // (capped per device) so a dump shows what was coming.
+            for (int d = 0; d < num_devices; ++d) {
+                int emitted = 0;
+                for (const auto& iv : timeline.down(d)) {
+                    if (emitted >= 64) break;
+                    recorder->Record(
+                        obs::FlightEventKind::kFault, iv.start_s,
+                        StrFormat("device %d down (scheduled)", d));
+                    if (iv.end_s < kInf) {
+                        recorder->Record(
+                            obs::FlightEventKind::kFault, iv.end_s,
+                            StrFormat("device %d up (scheduled)", d));
+                    }
+                    ++emitted;
+                }
+            }
+        }
+    }
+    struct ProviderReset {
+        obs::FlightRecorder* recorder;
+        ~ProviderReset()
+        {
+            if (recorder != nullptr) {
+                recorder->SetDeviceStateProvider(nullptr);
+            }
+        }
+    } provider_reset{recorder};
+
     auto emit_queue_depth = [&](size_t i, double t) {
         TenantState& ts = state[i];
         const auto depth = static_cast<int64_t>(ts.queue.size());
@@ -252,6 +331,12 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                               t * kUsPerSecond,
                               static_cast<double>(depth));
             ts.last_emitted_depth = depth;
+        }
+        if (recorder != nullptr && depth != ts.last_recorder_depth) {
+            recorder->Record(obs::FlightEventKind::kQueueDepth, t,
+                             "queue: " + tenants[i].name,
+                             static_cast<double>(depth));
+            ts.last_recorder_depth = depth;
         }
     };
     auto total_queued = [&]() {
@@ -306,6 +391,20 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     }
                     if (have_victim &&
                         tenants[victim].priority < cfg.priority) {
+                        const Request& evicted =
+                            state[victim].queue.back();
+                        if (spans != nullptr &&
+                            evicted.root_span != 0) {
+                            spans->SetAttribute(evicted.root_span,
+                                                "outcome", "shed");
+                            spans->EndSpan(evicted.queue_span, now);
+                            spans->EndSpan(evicted.root_span, now);
+                        }
+                        if (recorder != nullptr) {
+                            recorder->Record(
+                                obs::FlightEventKind::kDrop, now,
+                                "evicted: " + tenants[victim].name);
+                        }
                         state[victim].queue.pop_back();
                         ++state[victim].shed;
                         if (state[victim].shed_counter != nullptr) {
@@ -330,6 +429,20 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                             static_cast<uint64_t>(req.flow_id),
                             req.arrival_s * kUsPerSecond);
                     }
+                    if (spans != nullptr &&
+                        ts.traces_started <
+                            telemetry.max_traced_requests_per_tenant) {
+                        ++ts.traces_started;
+                        req.trace_id = spans->NewTrace();
+                        req.root_span = spans->StartSpan(
+                            req.trace_id, 0, "request",
+                            req.arrival_s);
+                        spans->SetAttribute(req.root_span, "tenant",
+                                            cfg.name);
+                        req.queue_span = spans->StartSpan(
+                            req.trace_id, req.root_span, "queue",
+                            req.arrival_s);
+                    }
                     ts.queue.push_back(req);
                 } else {
                     ++ts.shed;
@@ -339,6 +452,11 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     if (trace != nullptr) {
                         trace->AddInstant(pid, queue_tid(i), "shed",
                                           req.arrival_s * kUsPerSecond);
+                    }
+                    if (recorder != nullptr) {
+                        recorder->Record(
+                            obs::FlightEventKind::kDrop,
+                            req.arrival_s, "shed: " + cfg.name);
                     }
                 }
                 ts.next_arrival_s =
@@ -350,6 +468,18 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 while (!ts.queue.empty() &&
                        ts.queue.front().arrival_s + cfg.deadline_s <=
                            now) {
+                    const Request& doomed = ts.queue.front();
+                    if (spans != nullptr && doomed.root_span != 0) {
+                        spans->SetAttribute(doomed.root_span,
+                                            "outcome",
+                                            "deadline_drop");
+                        spans->EndSpan(doomed.queue_span, now);
+                        spans->EndSpan(doomed.root_span, now);
+                    }
+                    if (recorder != nullptr) {
+                        recorder->OnDeadlineDrop(
+                            now, "deadline drop: " + cfg.name);
+                    }
                     ts.queue.pop_front();
                     ++ts.dropped;
                     if (ts.drop_counter != nullptr) {
@@ -366,6 +496,15 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             if (ts.next_arrival_s < duration_s) {
                 any_pending_arrivals = true;
             }
+        }
+
+        // Periodic alert evaluation in sim time: histograms and
+        // counters update live, so for-duration rules can arm, fire,
+        // and (via the recorder) trigger a black-box dump mid-run.
+        if (alerts != nullptr && now >= next_alert_eval) {
+            alerts->Evaluate(*telemetry.registry, now);
+            next_alert_eval =
+                now + std::max(telemetry.alert_eval_interval_s, 1e-6);
         }
 
         // A tenant is dispatchable when its batch is full, its oldest
@@ -460,9 +599,22 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                                              .device_free_s)));
             }
             if (earliest_up == kInf) {
+                if (recorder != nullptr) {
+                    recorder->OnFault(now, "cell dead: every device "
+                                           "down permanently");
+                }
                 for (size_t i = 0; i < tenants.size(); ++i) {
                     TenantState& dead = state[i];
                     while (!dead.queue.empty()) {
+                        const Request& doomed = dead.queue.front();
+                        if (spans != nullptr &&
+                            doomed.root_span != 0) {
+                            spans->SetAttribute(doomed.root_span,
+                                                "outcome",
+                                                "dropped_dead_cell");
+                            spans->EndSpan(doomed.queue_span, now);
+                            spans->EndSpan(doomed.root_span, now);
+                        }
                         dead.queue.pop_front();
                         ++dead.dropped;
                         if (dead.drop_counter != nullptr) {
@@ -541,6 +693,14 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                 // failure instant.
                 primary_aborted = true;
                 finish = next_fail;
+                if (recorder != nullptr) {
+                    recorder->OnFault(
+                        finish,
+                        StrFormat("device %d failed mid-batch "
+                                  "(tenant %s, batch %lld)",
+                                  dev_index, cfg.name.c_str(),
+                                  static_cast<long long>(batch)));
+                }
             }
         }
         device->busy_s += finish - std::max(now, device->device_free_s);
@@ -595,6 +755,15 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     if (hedge_fail < hedge_finish) {
                         hedge_aborted = true;
                         hedge_finish = hedge_fail;
+                        if (recorder != nullptr) {
+                            recorder->OnFault(
+                                hedge_finish,
+                                StrFormat("device %d failed "
+                                          "mid-batch (hedge copy, "
+                                          "tenant %s)",
+                                          hedge_dev,
+                                          cfg.name.c_str()));
+                        }
                     }
                     hd.busy_s += hedge_finish - hedge_start;
                     hd.device_free_s = hedge_finish;
@@ -656,6 +825,96 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             }
         }
 
+        // Span recording: the queue wait ends at batch formation, a
+        // "batch" child covers host staging + device wait, and every
+        // dispatch copy becomes an "execute" child. The winning copy
+        // gains engine-group sub-spans (split per batch_attribution);
+        // the losing copy links to the winner. On success the root
+        // closes at the completion instant, so root duration is
+        // exactly the latency the simulator reports; with no retries
+        // or hedges the three children tile the root exactly.
+        if (spans != nullptr) {
+            double frac_total = 0.0;
+            for (const auto& share : telemetry.batch_attribution) {
+                frac_total += share.fraction;
+            }
+            for (Request& req : in_flight) {
+                if (req.root_span == 0) continue;
+                spans->EndSpan(req.queue_span, now);
+                req.queue_span = 0;
+                const obs::SpanId form = spans->StartSpan(
+                    req.trace_id, req.root_span, "batch", now);
+                spans->SetAttribute(
+                    form, "batch",
+                    StrFormat("%lld", static_cast<long long>(batch)));
+                spans->EndSpan(form, device_start);
+                const obs::SpanId primary = spans->StartSpan(
+                    req.trace_id, req.root_span, "execute",
+                    device_start);
+                spans->SetAttribute(primary, "device",
+                                    StrFormat("%d", dev_index));
+                spans->SetAttribute(primary, "attempt",
+                                    StrFormat("%d", req.attempts));
+                spans->SetAttribute(primary, "outcome",
+                                    primary_aborted ? "aborted"
+                                    : primary_ok    ? "ok"
+                                              : "transient_error");
+                spans->EndSpan(primary, finish);
+                obs::SpanId hedge_span = 0;
+                if (hedged) {
+                    hedge_span = spans->StartSpan(
+                        req.trace_id, req.root_span, "execute",
+                        hedge_start);
+                    spans->SetAttribute(hedge_span, "device",
+                                        StrFormat("%d", hedge_dev));
+                    spans->SetAttribute(hedge_span, "hedge", "1");
+                    spans->SetAttribute(hedge_span, "outcome",
+                                        hedge_aborted ? "aborted"
+                                        : hedge_ok    ? "ok"
+                                                 : "transient_error");
+                    spans->EndSpan(hedge_span, hedge_finish);
+                }
+                if (!success) continue;
+                const obs::SpanId winner =
+                    hedge_won ? hedge_span : primary;
+                if (hedged) {
+                    spans->Link(hedge_won ? primary : hedge_span,
+                                winner);
+                    spans->SetAttribute(winner, "won", "1");
+                }
+                // Engine-group sub-spans partition the winning
+                // execution; when the shares sum to 1 the last
+                // segment snaps to the exact completion instant.
+                const double dur = completion - win_start;
+                double cursor = win_start;
+                double cum = 0.0;
+                for (size_t a = 0;
+                     a < telemetry.batch_attribution.size(); ++a) {
+                    const AttributionShare& share =
+                        telemetry.batch_attribution[a];
+                    cum += share.fraction;
+                    double seg_end = win_start + dur * cum;
+                    if (a + 1 == telemetry.batch_attribution.size() &&
+                        std::abs(frac_total - 1.0) < 1e-9) {
+                        seg_end = completion;
+                    }
+                    const obs::SpanId seg = spans->StartSpan(
+                        req.trace_id, winner,
+                        "execute/" + share.component, cursor);
+                    spans->EndSpan(seg, seg_end);
+                    cursor = seg_end;
+                }
+                const double latency = completion - req.arrival_s;
+                spans->SetAttribute(req.root_span, "outcome",
+                                    "completed");
+                if (latency > cfg.slo_s) {
+                    spans->SetAttribute(req.root_span, "slo_miss",
+                                        "1");
+                }
+                spans->EndSpan(req.root_span, completion);
+            }
+        }
+
         if (success) {
             if (reliability.hedge && nominal_exec > 0.0) {
                 ts.device_times.Add((completion - win_start) /
@@ -694,6 +953,12 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                         completion * kUsPerSecond);
                 }
             }
+            if (ts.burn_gauge != nullptr && ts.completed > 0) {
+                ts.burn_gauge->Set(
+                    static_cast<double>(ts.slo_misses) /
+                    static_cast<double>(ts.completed) /
+                    telemetry.slo_error_budget);
+            }
         } else {
             // Batch failed on every copy: bounded retry with
             // exponential backoff, preserving arrival order at the
@@ -716,6 +981,16 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     if (ts.drop_counter != nullptr) {
                         ts.drop_counter->Increment();
                     }
+                    if (spans != nullptr && req.root_span != 0) {
+                        spans->SetAttribute(req.root_span, "outcome",
+                                            "retries_exhausted");
+                        spans->EndSpan(req.root_span, fail_known);
+                    }
+                    if (recorder != nullptr && req.root_span != 0) {
+                        recorder->Record(
+                            obs::FlightEventKind::kDrop, fail_known,
+                            "retries exhausted: " + cfg.name, 0.0);
+                    }
                     continue;
                 }
                 const int shift = std::min(req.attempts, 20);
@@ -724,6 +999,21 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                     cfg.retry_backoff_s *
                         static_cast<double>(int64_t{1} << shift);
                 ++req.attempts;
+                if (spans != nullptr && req.root_span != 0) {
+                    // The request re-enters the queue: annotate the
+                    // root and open a fresh queue-wait child covering
+                    // the backoff plus the renewed wait.
+                    spans->AddEvent(
+                        req.root_span,
+                        StrFormat("retry %d scheduled", req.attempts),
+                        fail_known);
+                    req.queue_span = spans->StartSpan(
+                        req.trace_id, req.root_span, "queue",
+                        fail_known);
+                    spans->SetAttribute(
+                        req.queue_span, "retry",
+                        StrFormat("%d", req.attempts));
+                }
                 ts.queue.push_front(req);
             }
         }
@@ -836,6 +1126,12 @@ RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
             reg.GetGauge("serving.max_queue_depth", labels)
                 ->Set(static_cast<double>(tenant.max_queue_depth));
         }
+    }
+    // One final alert pass over the end-of-run gauges so rules on
+    // run-level metrics (availability, final burn rate) get a verdict
+    // even when the run ends between evaluation intervals.
+    if (alerts != nullptr) {
+        alerts->Evaluate(*telemetry.registry, result.duration_s);
     }
     return result;
 }

@@ -38,7 +38,10 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/alerts.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/spans.h"
 #include "src/obs/trace_builder.h"
 #include "src/serving/faults.h"
 
@@ -201,9 +204,40 @@ struct ServingTelemetry {
      * SLO error budget: the run-end burn-rate gauge
      * `serving.slo_burn_rate{tenant=}` is slo_miss_fraction divided by
      * this budget (SRE convention: >1 means the budget is burning
-     * faster than it accrues).
+     * faster than it accrues). With a registry attached the gauge is
+     * also maintained *during* the run (updated per completed batch)
+     * so burn-rate alert rules can fire mid-run.
      */
     double slo_error_budget = 0.01;
+    /**
+     * Request-scoped tracing: when set, the first
+     * max_traced_requests_per_tenant admitted requests of each tenant
+     * get a trace — a root "request" span (arrival -> completion, its
+     * duration exactly the request latency) with child spans for queue
+     * wait, batch formation, and every dispatch attempt; retries and
+     * hedges become sibling children linked to the winning copy, and
+     * the winner gains engine-group sub-spans split by
+     * batch_attribution. Pure observation: results are bit-identical
+     * with or without a collector.
+     */
+    obs::SpanCollector* spans = nullptr;
+    int64_t max_traced_requests_per_tenant = 256;
+    /**
+     * Black-box ring buffer: span opens/closes (via spans), fault
+     * transitions, queue-depth samples, and deadline drops are
+     * recorded as structured events; mid-batch device failures and
+     * deadline drops invoke the recorder's dump triggers. The serving
+     * loop installs a per-device fault-state provider for the run.
+     */
+    obs::FlightRecorder* recorder = nullptr;
+    /**
+     * Declarative alert rules, evaluated against `registry` every
+     * alert_eval_interval_s of sim time while the run progresses
+     * (requires registry != nullptr) — this is what arms for-duration
+     * hysteresis and mid-run black-box dumps on SLO burn.
+     */
+    obs::AlertEngine* alerts = nullptr;
+    double alert_eval_interval_s = 0.05;
 };
 
 /**

@@ -1,0 +1,740 @@
+/**
+ * @file
+ * Tests for request-scoped tracing (src/obs/spans.h), the flight
+ * recorder (src/obs/flight_recorder.h), and declarative alerts
+ * (src/obs/alerts.h) — including the end-to-end invariants the
+ * serving simulator guarantees: a root span's duration equals the
+ * request latency exactly, child spans partition it, and enabling
+ * spans leaves the serving results bit-identical.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/obs/alerts.h"
+#include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/obs/registry.h"
+#include "src/obs/spans.h"
+#include "src/obs/trace_builder.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+namespace {
+
+std::function<double(int64_t)>
+AffineLatency(double fixed_s, double per_sample_s)
+{
+    return [=](int64_t batch) {
+        return fixed_s + per_sample_s * static_cast<double>(batch);
+    };
+}
+
+TenantConfig
+Tenant(const std::string& name, double rate, double slo_s = 0.010)
+{
+    TenantConfig t;
+    t.name = name;
+    t.latency_s = AffineLatency(1e-3, 1e-4);
+    t.max_batch = 32;
+    t.slo_s = slo_s;
+    t.arrival_rate = rate;
+    return t;
+}
+
+std::string
+TempPath(const std::string& name)
+{
+    return testing::TempDir() + name;
+}
+
+// --- SpanCollector basics -------------------------------------------------
+
+TEST(SpanCollector, BuildsATree)
+{
+    obs::SpanCollector spans;
+    const uint64_t trace = spans.NewTrace();
+    const obs::SpanId root = spans.StartSpan(trace, 0, "request", 1.0);
+    const obs::SpanId child = spans.StartSpan(trace, root, "queue", 1.0);
+    spans.SetAttribute(root, "tenant", "A");
+    spans.AddEvent(child, "woke", 1.5);
+    spans.EndSpan(child, 2.0);
+    spans.EndSpan(root, 3.0);
+
+    ASSERT_EQ(spans.spans().size(), 2u);
+    EXPECT_EQ(spans.open_count(), 0u);
+    EXPECT_EQ(spans.errors(), 0);
+    EXPECT_TRUE(spans.CheckIntegrity().ok());
+
+    const obs::Span* r = spans.Find(root);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->parent_id, 0u);
+    EXPECT_DOUBLE_EQ(r->duration_s(), 2.0);
+    EXPECT_EQ(r->Attribute("tenant"), "A");
+
+    const auto children = spans.ChildrenOf(root);
+    ASSERT_EQ(children.size(), 1u);
+    EXPECT_EQ(children[0]->name, "queue");
+    ASSERT_EQ(children[0]->events.size(), 1u);
+    EXPECT_EQ(children[0]->events[0].name, "woke");
+}
+
+TEST(SpanCollector, CountsInvalidOperations)
+{
+    obs::SpanCollector spans;
+    spans.EndSpan(42, 1.0);  // never opened
+    const obs::SpanId s = spans.StartSpan(spans.NewTrace(), 0, "x", 0.0);
+    spans.EndSpan(s, 1.0);
+    spans.EndSpan(s, 2.0);  // double close
+    EXPECT_EQ(spans.errors(), 2);
+}
+
+TEST(SpanCollector, IntegrityCatchesBadParent)
+{
+    obs::SpanCollector spans;
+    const uint64_t a = spans.NewTrace();
+    const uint64_t b = spans.NewTrace();
+    const obs::SpanId root_a = spans.StartSpan(a, 0, "request", 0.0);
+    // Parent from a different trace: structurally invalid.
+    spans.StartSpan(b, root_a, "child", 0.0);
+    EXPECT_FALSE(spans.CheckIntegrity().ok());
+}
+
+TEST(SpanCollector, RegistryInstrumentsAreEager)
+{
+    obs::MetricsRegistry reg;
+    obs::SpanCollector spans;
+    spans.BindRegistry(&reg);
+    // Instruments exist before the first span (stable export shape).
+    bool found = false;
+    for (const auto& entry : reg.Snapshot()) {
+        if (entry.name == "obs.span.started") found = true;
+    }
+    EXPECT_TRUE(found);
+
+    const uint64_t t = spans.NewTrace();
+    const obs::SpanId s = spans.StartSpan(t, 0, "x", 0.0);
+    spans.EndSpan(s, 1.0);
+    EXPECT_EQ(reg.GetCounter("obs.span.started")->value(), 1);
+    EXPECT_EQ(reg.GetCounter("obs.span.closed")->value(), 1);
+}
+
+TEST(SpanCollector, JsonlParsesLineByLine)
+{
+    obs::SpanCollector spans;
+    const uint64_t t = spans.NewTrace();
+    const obs::SpanId root = spans.StartSpan(t, 0, "request", 0.5);
+    spans.SetAttribute(root, "tenant", "quo\"ted");
+    const obs::SpanId child = spans.StartSpan(t, root, "queue", 0.5);
+    spans.AddEvent(child, "evt", 0.75);
+    spans.EndSpan(child, 1.0);
+    // Root left open on purpose: open spans must export too.
+
+    const std::string jsonl = spans.ToJsonl();
+    size_t lines = 0;
+    size_t start = 0;
+    while (start < jsonl.size()) {
+        size_t end = jsonl.find('\n', start);
+        if (end == std::string::npos) end = jsonl.size();
+        auto doc = obs::ParseJson(jsonl.substr(start, end - start));
+        ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+        EXPECT_TRUE(doc.value().Find("trace_id") != nullptr);
+        ++lines;
+        start = end + 1;
+    }
+    EXPECT_EQ(lines, 2u);
+
+    auto open_doc = obs::ParseJson(spans.OpenSpansJson());
+    ASSERT_TRUE(open_doc.ok());
+    ASSERT_EQ(open_doc.value().array.size(), 1u);
+}
+
+TEST(SpanCollector, AppendToTraceRendersSlicesAndFlows)
+{
+    obs::SpanCollector spans;
+    const uint64_t t = spans.NewTrace();
+    const obs::SpanId root = spans.StartSpan(t, 0, "request", 0.0);
+    const obs::SpanId lose = spans.StartSpan(t, root, "execute", 0.1);
+    const obs::SpanId win = spans.StartSpan(t, root, "execute", 0.2);
+    spans.EndSpan(lose, 0.4);
+    spans.EndSpan(win, 0.3);
+    spans.Link(lose, win);
+    spans.EndSpan(root, 0.3);
+
+    obs::TraceBuilder builder;
+    ASSERT_TRUE(spans.AppendToTrace(&builder, 3).ok());
+    auto doc = obs::ParseJson(builder.Render());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_TRUE(doc.value().is_array());
+    int slices = 0;
+    int flows = 0;
+    for (const auto& e : doc.value().array) {
+        const obs::JsonValue* ph = e.Find("ph");
+        if (ph == nullptr) continue;
+        if (ph->string_value == "X") ++slices;
+        if (ph->string_value == "s" || ph->string_value == "f") ++flows;
+    }
+    EXPECT_EQ(slices, 3);
+    EXPECT_EQ(flows, 2);  // one arrow: start + finish
+}
+
+// --- FlightRecorder -------------------------------------------------------
+
+TEST(FlightRecorder, RingWrapsKeepingNewestOldestFirst)
+{
+    obs::FlightRecorderConfig config;
+    config.capacity = 4;
+    obs::FlightRecorder recorder(config);
+    for (int i = 0; i < 10; ++i) {
+        recorder.Record(obs::FlightEventKind::kNote,
+                        static_cast<double>(i), "e", i);
+    }
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.total_recorded(), 10);
+    const auto events = recorder.Events();
+    ASSERT_EQ(events.size(), 4u);
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_DOUBLE_EQ(events[i].value, 6.0 + static_cast<double>(i));
+    }
+}
+
+TEST(FlightRecorder, PartialRingReadsInOrder)
+{
+    obs::FlightRecorderConfig config;
+    config.capacity = 8;
+    obs::FlightRecorder recorder(config);
+    recorder.Record(obs::FlightEventKind::kNote, 0.0, "a", 1);
+    recorder.Record(obs::FlightEventKind::kNote, 0.1, "b", 2);
+    const auto events = recorder.Events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].message, "a");
+    EXPECT_EQ(events[1].message, "b");
+}
+
+TEST(FlightRecorder, DumpsOncePerRun)
+{
+    const std::string path = TempPath("bb_once.json");
+    obs::FlightRecorderConfig config;
+    config.dump_path = path;
+    obs::FlightRecorder recorder(config);
+    recorder.Record(obs::FlightEventKind::kNote, 0.5, "before", 0);
+    recorder.OnFault(1.0, "device 0 down");
+    ASSERT_TRUE(recorder.dumped());
+    const std::string first_reason = recorder.dump_reason();
+    recorder.OnFault(2.0, "device 1 down");  // later trigger: no re-dump
+    EXPECT_EQ(recorder.dump_reason(), first_reason);
+
+    auto text = obs::ReadTextFile(path);
+    ASSERT_TRUE(text.ok());
+    auto doc = obs::ParseJson(text.value());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const obs::JsonValue* events = doc.value().Find("events");
+    ASSERT_NE(events, nullptr);
+    // The dump reflects the state at the first trigger.
+    EXPECT_EQ(events->array.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, TriggerRespectsConfig)
+{
+    obs::FlightRecorderConfig config;
+    config.dump_path = TempPath("bb_never.json");
+    config.dump_on_fault = false;
+    config.dump_on_deadline_drop = false;
+    obs::FlightRecorder recorder(config);
+    recorder.OnFault(1.0, "down");
+    recorder.OnDeadlineDrop(1.0, "late");
+    EXPECT_FALSE(recorder.dumped());
+    // Events still recorded even when the trigger does not dump.
+    EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST(FlightRecorder, DumpIncludesOpenSpansAndDeviceState)
+{
+    obs::SpanCollector spans;
+    const uint64_t t = spans.NewTrace();
+    spans.StartSpan(t, 0, "request", 0.25);  // left open
+
+    obs::FlightRecorder recorder;
+    recorder.BindSpans(&spans);
+    recorder.SetDeviceStateProvider([](double) {
+        return std::string("[{\"device\":0,\"down\":true}]");
+    });
+    auto doc = obs::ParseJson(recorder.DumpJson("test", 1.0));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const obs::JsonValue* open = doc.value().Find("open_spans");
+    ASSERT_NE(open, nullptr);
+    ASSERT_EQ(open->array.size(), 1u);
+    const obs::JsonValue* devices = doc.value().Find("devices");
+    ASSERT_NE(devices, nullptr);
+    ASSERT_EQ(devices->array.size(), 1u);
+    EXPECT_TRUE(devices->array[0].Find("down")->bool_value);
+}
+
+TEST(FlightRecorder, LogSinkRoutesMessages)
+{
+    obs::FlightRecorder recorder;
+    recorder.InstallLogSink();
+    const LogLevel saved = GetLogLevel();
+    SetLogLevel(LogLevel::kWarn);
+    LogMessage(LogLevel::kInfo, "below threshold %d", 1);
+    LogMessage(LogLevel::kWarn, "at threshold %d", 2);
+    SetLogLevel(saved);
+    recorder.UninstallLogSink();
+    LogMessage(LogLevel::kError, "after uninstall");
+
+    const auto events = recorder.Events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, obs::FlightEventKind::kLog);
+    EXPECT_EQ(events[0].message, "WARN: at threshold 2");
+}
+
+// --- Alert rules ----------------------------------------------------------
+
+TEST(AlertRules, ParsesGrammar)
+{
+    auto rules = obs::ParseAlertRules(
+        "# comment\n"
+        "alert burn serving.slo_burn_rate{tenant=A} > 1.0 for 0.5\n"
+        "alert p99 serving.latency_seconds:p99 > 0.05\n"
+        "alert floor serving.goodput_rps <= 100 for 1\n");
+    ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+    ASSERT_EQ(rules.value().size(), 3u);
+    EXPECT_EQ(rules.value()[0].name, "burn");
+    EXPECT_EQ(rules.value()[0].metric, "serving.slo_burn_rate");
+    ASSERT_EQ(rules.value()[0].label_filter.size(), 1u);
+    EXPECT_EQ(rules.value()[0].label_filter[0].second, "A");
+    EXPECT_DOUBLE_EQ(rules.value()[0].for_s, 0.5);
+    EXPECT_EQ(rules.value()[1].field, "p99");
+    EXPECT_DOUBLE_EQ(rules.value()[1].for_s, 0.0);
+    EXPECT_EQ(rules.value()[2].cmp, obs::AlertComparator::kLe);
+}
+
+TEST(AlertRules, RejectsMalformedLinesWithLineNumber)
+{
+    auto missing = obs::ParseAlertRules("alert broken metric >\n");
+    ASSERT_FALSE(missing.ok());
+    EXPECT_NE(missing.status().ToString().find("line 1"),
+              std::string::npos);
+
+    EXPECT_FALSE(obs::ParseAlertRules("alarm x m > 1\n").ok());
+    EXPECT_FALSE(obs::ParseAlertRules("alert x m >> 1\n").ok());
+    EXPECT_FALSE(obs::ParseAlertRules("alert x m > NaNish\n").ok());
+    EXPECT_FALSE(
+        obs::ParseAlertRules("alert x m > 1 for -2\n").ok());
+}
+
+TEST(AlertEngine, HysteresisRequiresHoldDuration)
+{
+    obs::MetricsRegistry reg;
+    obs::Gauge* g = reg.GetGauge("x");
+    obs::AlertEngine engine;
+    obs::AlertRule rule;
+    rule.name = "hot";
+    rule.metric = "x";
+    rule.cmp = obs::AlertComparator::kGt;
+    rule.threshold = 10.0;
+    rule.for_s = 1.0;
+    ASSERT_TRUE(engine.AddRule(rule).ok());
+
+    g->Set(20.0);
+    engine.Evaluate(reg, 0.0);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kPending);
+    engine.Evaluate(reg, 0.5);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kPending);
+    engine.Evaluate(reg, 1.0);  // held for 1.0 s: fires
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kFiring);
+    EXPECT_TRUE(engine.AnyFiring());
+    EXPECT_EQ(engine.statuses()[0].fire_count, 1);
+
+    // One false evaluation resets the hold (hysteresis).
+    g->Set(5.0);
+    engine.Evaluate(reg, 1.5);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kInactive);
+    g->Set(20.0);
+    engine.Evaluate(reg, 2.0);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kPending);
+    engine.Evaluate(reg, 2.9);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kPending);
+    engine.Evaluate(reg, 3.1);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kFiring);
+    EXPECT_EQ(engine.statuses()[0].fire_count, 2);
+}
+
+TEST(AlertEngine, MatchesHistogramFieldsAndLabels)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h =
+        reg.GetHistogram("lat", {{"tenant", "A"}});
+    for (int i = 1; i <= 100; ++i) h->Observe(i * 1e-3);
+    reg.GetHistogram("lat", {{"tenant", "B"}})->Observe(1e-6);
+
+    obs::AlertEngine engine;
+    obs::AlertRule rule;
+    rule.name = "p99";
+    rule.metric = "lat";
+    rule.label_filter = {{"tenant", "A"}};
+    rule.field = "p99";
+    rule.cmp = obs::AlertComparator::kGt;
+    rule.threshold = 0.05;
+    ASSERT_TRUE(engine.AddRule(rule).ok());
+    engine.Evaluate(reg, 0.0);
+    EXPECT_EQ(engine.statuses()[0].state, obs::AlertState::kFiring);
+    // Worst-case over matches: tenant B's tiny sample is filtered out.
+    EXPECT_GT(engine.statuses()[0].last_value, 0.05);
+}
+
+TEST(AlertEngine, FiringMirrorsIntoRecorderAndRegistry)
+{
+    obs::MetricsRegistry reg;
+    reg.GetGauge("x")->Set(99.0);
+    obs::FlightRecorderConfig config;
+    config.dump_path = TempPath("bb_alert.json");
+    config.dump_on_fault = false;
+    config.dump_on_alert = true;
+    obs::FlightRecorder recorder(config);
+
+    obs::AlertEngine engine;
+    engine.BindRegistry(&reg);
+    engine.BindRecorder(&recorder);
+    obs::AlertRule rule;
+    rule.name = "hot";
+    rule.metric = "x";
+    rule.threshold = 10.0;
+    ASSERT_TRUE(engine.AddRule(rule).ok());
+    engine.Evaluate(reg, 1.0);
+    EXPECT_TRUE(engine.AnyFiring());
+    EXPECT_EQ(reg.GetCounter("obs.alert.firing")->value(), 1);
+    EXPECT_DOUBLE_EQ(
+        reg.GetGauge("obs.alert.active", {{"rule", "hot"}})->value(),
+        1.0);
+    EXPECT_TRUE(recorder.dumped());  // dump_on_alert
+    std::remove(config.dump_path.c_str());
+
+    // Resolve clears the active gauge.
+    reg.GetGauge("x")->Set(0.0);
+    engine.Evaluate(reg, 2.0);
+    EXPECT_FALSE(engine.AnyFiring());
+    EXPECT_DOUBLE_EQ(
+        reg.GetGauge("obs.alert.active", {{"rule", "hot"}})->value(),
+        0.0);
+}
+
+TEST(AlertEngine, RejectsDuplicateAndEmptyRules)
+{
+    obs::AlertEngine engine;
+    obs::AlertRule rule;
+    rule.name = "a";
+    rule.metric = "m";
+    ASSERT_TRUE(engine.AddRule(rule).ok());
+    EXPECT_FALSE(engine.AddRule(rule).ok());
+    obs::AlertRule empty;
+    EXPECT_FALSE(engine.AddRule(empty).ok());
+}
+
+// --- Serving integration --------------------------------------------------
+
+TEST(ServingSpans, RootDurationIsExactlyTheReportedLatency)
+{
+    obs::MetricsRegistry reg;
+    obs::SpanCollector spans;
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.spans = &spans;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;  // trace all
+
+    TenantConfig t = Tenant("A", 400.0);
+    auto result = RunServingCell({t}, 1, 2.0, 7, telemetry);
+    ASSERT_TRUE(result.ok());
+    const TenantStats& stats = result.value().tenants[0];
+    ASSERT_GT(stats.completed, 0);
+    ASSERT_TRUE(spans.CheckIntegrity().ok());
+    EXPECT_EQ(spans.open_count(), 0u);
+
+    // Every arrived request got a root span; completed ones closed
+    // with outcome=completed and a duration equal to the latency the
+    // registry histogram observed — the same doubles, bit for bit.
+    const auto roots = spans.Roots();
+    EXPECT_EQ(static_cast<int64_t>(roots.size()), stats.arrived);
+    PercentileTracker durations;
+    for (const obs::Span* root : roots) {
+        ASSERT_FALSE(root->open);
+        EXPECT_EQ(root->Attribute("outcome"), "completed");
+        durations.Add(root->duration_s());
+    }
+    const obs::HistogramMetric* hist =
+        reg.GetHistogram("serving.latency_seconds", {{"tenant", "A"}});
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count(), stats.completed);
+    EXPECT_EQ(durations.Mean(), stats.mean_latency_s);
+    EXPECT_EQ(durations.Percentile(50.0), stats.p50_latency_s);
+    EXPECT_EQ(durations.Percentile(95.0), stats.p95_latency_s);
+    EXPECT_EQ(durations.Percentile(99.0), stats.p99_latency_s);
+}
+
+TEST(ServingSpans, ChildrenPartitionTheRootExactly)
+{
+    obs::SpanCollector spans;
+    ServingTelemetry telemetry;
+    telemetry.spans = &spans;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;
+    telemetry.batch_attribution = {
+        {"mxu", 0.5}, {"vpu", 0.25}, {"memory", 0.25}};
+
+    TenantConfig t = Tenant("A", 300.0);
+    auto result = RunServingCell({t}, 1, 1.0, 11, telemetry);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(spans.CheckIntegrity().ok());
+
+    size_t checked = 0;
+    for (const obs::Span* root : spans.Roots()) {
+        const auto children = spans.ChildrenOf(root->span_id);
+        // No faults: exactly queue + batch + execute.
+        ASSERT_EQ(children.size(), 3u);
+        const obs::Span* queue = children[0];
+        const obs::Span* form = children[1];
+        const obs::Span* exec = children[2];
+        EXPECT_EQ(queue->name, "queue");
+        EXPECT_EQ(form->name, "batch");
+        EXPECT_EQ(exec->name, "execute");
+        // Exact tiling: arrival -> ... -> completion with no gaps.
+        EXPECT_EQ(queue->start_s, root->start_s);
+        EXPECT_EQ(queue->end_s, form->start_s);
+        EXPECT_EQ(form->end_s, exec->start_s);
+        EXPECT_EQ(exec->end_s, root->end_s);
+
+        // Engine-group sub-spans tile the winning execution.
+        const auto engines = spans.ChildrenOf(exec->span_id);
+        ASSERT_EQ(engines.size(), 3u);
+        EXPECT_EQ(engines[0]->name, "execute/mxu");
+        EXPECT_EQ(engines[0]->start_s, exec->start_s);
+        EXPECT_EQ(engines[0]->end_s, engines[1]->start_s);
+        EXPECT_EQ(engines[1]->end_s, engines[2]->start_s);
+        // Fractions sum to 1: the last segment snaps to the exact end.
+        EXPECT_EQ(engines[2]->end_s, exec->end_s);
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
+}
+
+TEST(ServingSpans, ResultsAreBitIdenticalWithSpansEnabled)
+{
+    TenantConfig t = Tenant("A", 500.0);
+    t.max_queue = 64;
+    t.deadline_s = 0.05;
+    ReliabilityConfig reliability;
+    reliability.faults.scripted.push_back(ScriptedFault{0, 0.3, 0.6});
+    reliability.faults.transient_failure_prob = 0.05;
+
+    auto plain = RunServingCell({t}, 2, 1.5, 3, ServingTelemetry{},
+                                reliability);
+    ASSERT_TRUE(plain.ok());
+
+    obs::SpanCollector spans;
+    obs::FlightRecorder recorder;
+    ServingTelemetry telemetry;
+    telemetry.spans = &spans;
+    telemetry.recorder = &recorder;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;
+    auto traced = RunServingCell({t}, 2, 1.5, 3, telemetry,
+                                 reliability);
+    ASSERT_TRUE(traced.ok());
+    EXPECT_GT(spans.spans().size(), 0u);
+
+    const TenantStats& a = plain.value().tenants[0];
+    const TenantStats& b = traced.value().tenants[0];
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.retried, b.retried);
+    EXPECT_EQ(a.mean_latency_s, b.mean_latency_s);
+    EXPECT_EQ(a.p99_latency_s, b.p99_latency_s);
+    EXPECT_EQ(plain.value().device_busy_fraction,
+              traced.value().device_busy_fraction);
+    EXPECT_EQ(plain.value().availability,
+              traced.value().availability);
+}
+
+TEST(ServingSpans, ConservationHoldsWithFaultsAndMidBatchAborts)
+{
+    // Satellite: arrived == completed + dropped + shed must survive
+    // span recording through mid-batch aborts, retries, deadline
+    // drops, and admission sheds.
+    obs::MetricsRegistry reg;
+    obs::SpanCollector spans;
+    // Ring big enough that the mid-run fault is still buffered after
+    // another second of span/queue-depth events.
+    obs::FlightRecorderConfig recorder_config;
+    recorder_config.capacity = 1 << 16;
+    obs::FlightRecorder recorder(recorder_config);
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.spans = &spans;
+    telemetry.recorder = &recorder;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;
+
+    TenantConfig t = Tenant("A", 800.0);
+    t.max_queue = 48;
+    t.deadline_s = 0.03;
+    t.max_retries = 1;
+    ReliabilityConfig reliability;
+    // Device 0 dies mid-run (aborting whatever it was executing) and
+    // never repairs; transient errors force retries throughout.
+    reliability.faults.scripted.push_back(ScriptedFault{0, 0.4, -1.0});
+    reliability.faults.transient_failure_prob = 0.1;
+
+    auto result = RunServingCell({t}, 2, 1.5, 13, telemetry,
+                                 reliability);
+    ASSERT_TRUE(result.ok());
+    const TenantStats& stats = result.value().tenants[0];
+    EXPECT_EQ(stats.arrived,
+              stats.completed + stats.dropped + stats.shed);
+    EXPECT_GT(stats.retried, 0);
+    ASSERT_TRUE(spans.CheckIntegrity().ok());
+    // Every traced request's story ended: no span left open.
+    EXPECT_EQ(spans.open_count(), 0u);
+
+    // The mid-batch abort reached the recorder as a fault event.
+    bool saw_fault = false;
+    for (const auto& event : recorder.Events()) {
+        if (event.kind == obs::FlightEventKind::kFault) {
+            saw_fault = true;
+        }
+    }
+    EXPECT_TRUE(saw_fault);
+}
+
+TEST(ServingSpans, FaultTriggeredDumpIsCompleteAndParses)
+{
+    const std::string path = TempPath("bb_serving.json");
+    obs::MetricsRegistry reg;
+    obs::SpanCollector spans;
+    spans.BindRegistry(&reg);
+    obs::FlightRecorderConfig config;
+    config.dump_path = path;
+    obs::FlightRecorder recorder(config);
+
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.spans = &spans;
+    telemetry.recorder = &recorder;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;
+
+    TenantConfig t = Tenant("A", 300.0);
+    ReliabilityConfig reliability;
+    reliability.faults.scripted.push_back(ScriptedFault{0, 0.5, 0.9});
+
+    auto result = RunServingCell({t}, 2, 1.5, 21, telemetry,
+                                 reliability);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(recorder.dumped());
+
+    auto text = obs::ReadTextFile(path);
+    ASSERT_TRUE(text.ok());
+    auto doc = obs::ParseJson(text.value());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    const obs::JsonValue& dump = doc.value();
+    EXPECT_NE(dump.Find("reason")->string_value.find("fault"),
+              std::string::npos);
+    // Events include the fault transition itself.
+    bool saw_fault_event = false;
+    for (const auto& event : dump.Find("events")->array) {
+        if (event.Find("kind")->string_value == "fault") {
+            saw_fault_event = true;
+        }
+    }
+    EXPECT_TRUE(saw_fault_event);
+    // Per-device fault state at dump time: device 0 is down.
+    const obs::JsonValue* devices = dump.Find("devices");
+    ASSERT_NE(devices, nullptr);
+    ASSERT_EQ(devices->array.size(), 2u);
+    EXPECT_TRUE(devices->array[0].Find("down")->bool_value);
+    EXPECT_FALSE(devices->array[1].Find("down")->bool_value);
+    // Registry snapshot spliced in as a JSON object.
+    ASSERT_NE(dump.Find("metrics"), nullptr);
+    EXPECT_TRUE(dump.Find("metrics")->is_object());
+    // In-flight spans at dump time render as an array.
+    ASSERT_NE(dump.Find("open_spans"), nullptr);
+    EXPECT_TRUE(dump.Find("open_spans")->is_array());
+    std::remove(path.c_str());
+}
+
+TEST(ServingSpans, RetriesBecomeSiblingAttemptsLinkedToWinner)
+{
+    obs::SpanCollector spans;
+    ServingTelemetry telemetry;
+    telemetry.spans = &spans;
+    telemetry.max_traced_requests_per_tenant = 1 << 20;
+
+    TenantConfig t = Tenant("A", 200.0);
+    t.retry_backoff_s = 1e-4;
+    ReliabilityConfig reliability;
+    reliability.faults.transient_failure_prob = 0.2;
+
+    auto result = RunServingCell({t}, 1, 1.0, 5, telemetry,
+                                 reliability);
+    ASSERT_TRUE(result.ok());
+    ASSERT_GT(result.value().tenants[0].retried, 0);
+    ASSERT_TRUE(spans.CheckIntegrity().ok());
+
+    // Find a trace with a failed execute attempt followed by a
+    // successful one; the retry shows up as a second queue + execute
+    // pair under the same root.
+    bool saw_retry_trace = false;
+    for (const obs::Span* root : spans.Roots()) {
+        int executes = 0;
+        int failed = 0;
+        for (const obs::Span* child :
+             spans.ChildrenOf(root->span_id)) {
+            if (child->name != "execute") continue;
+            ++executes;
+            if (child->Attribute("outcome") == "transient_error") {
+                ++failed;
+            }
+        }
+        if (executes >= 2 && failed >= 1 &&
+            root->Attribute("outcome") == "completed") {
+            saw_retry_trace = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_retry_trace);
+}
+
+TEST(ServingSpans, AlertsEvaluateDuringTheRun)
+{
+    obs::MetricsRegistry reg;
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    // Completed-counter rule with a for-duration: can only fire if
+    // the engine is evaluated repeatedly *during* the run while the
+    // counter grows (a run-end evaluation alone can never satisfy
+    // the hold).
+    ASSERT_TRUE(alerts
+                    .AddRulesFromText("alert work serving.completed > "
+                                      "10 for 0.3\n")
+                    .ok());
+
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.alerts = &alerts;
+    telemetry.alert_eval_interval_s = 0.05;
+
+    TenantConfig t = Tenant("A", 400.0);
+    auto result = RunServingCell({t}, 1, 2.0, 7, telemetry);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(alerts.evaluations(), 10);
+    EXPECT_TRUE(alerts.AnyFiring());
+    EXPECT_EQ(alerts.statuses()[0].fire_count, 1);
+    EXPECT_GT(alerts.statuses()[0].fired_at_s, 0.0);
+    EXPECT_LT(alerts.statuses()[0].fired_at_s, 1.0);
+}
+
+}  // namespace
+}  // namespace t4i

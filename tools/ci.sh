@@ -84,6 +84,49 @@ fi
 
 grep -q '"fault: down"' "$ftrace" || { echo "CI: no fault instant in trace"; exit 1; }
 
+# --- black-box flight-recorder smoke ---------------------------------
+# A scripted device failure must trigger the post-mortem dump: the
+# file exists, parses as JSON, and carries a fault event, the device
+# states, and the spliced registry snapshot.
+blackbox="$workdir/blackbox.json"
+spans="$workdir/spans.jsonl"
+./build/examples/t4sim_cli run --app BERT0 --batch 16 --devices 4 \
+    --fail-at 0.5 --repair-at 1.2 \
+    "--blackbox-out=$blackbox" "--spans-out=$spans" || exit 1
+[ -s "$blackbox" ] || { echo "CI: black-box dump missing after scripted failure"; exit 1; }
+python3 - "$blackbox" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    dump = json.load(f)
+assert dump["reason"].startswith("fault"), dump["reason"]
+kinds = {e["kind"] for e in dump["events"]}
+assert "fault" in kinds, f"no fault event in dump (kinds: {kinds})"
+assert any(d["down"] for d in dump["devices"]), "no device down at dump time"
+assert isinstance(dump["metrics"], dict), "registry snapshot missing"
+assert isinstance(dump["open_spans"], list), "open-span list missing"
+EOF
+[ -s "$spans" ] || { echo "CI: span JSONL missing"; exit 1; }
+python3 -c "
+import json, sys
+spans = [json.loads(l) for l in open(sys.argv[1])]
+assert spans, 'no spans exported'
+roots = [s for s in spans if s['parent_id'] == 0]
+assert roots, 'no root spans'
+" "$spans" || exit 1
+
+# --- alert gate smoke ------------------------------------------------
+# `check` must exit nonzero when a rule fires and zero when none do.
+echo 'alert always serving.duration_seconds > 0.1 for 0' > "$workdir/firing.rules"
+echo 'alert never serving.duration_seconds > 1e9 for 0' > "$workdir/quiet.rules"
+if ./build/examples/t4sim_cli check --app BERT0 --batch 16 \
+    "--alerts=$workdir/firing.rules" > /dev/null 2>&1; then
+    echo "CI: check exited zero despite a firing alert rule"
+    exit 1
+fi
+./build/examples/t4sim_cli check --app BERT0 --batch 16 \
+    "--alerts=$workdir/quiet.rules" > /dev/null \
+    || { echo "CI: check exited nonzero with no firing rule"; exit 1; }
+
 # --- perf-regression gate --------------------------------------------
 # Re-run the fast benches (sub-second each; the full set lives in
 # tools/run_all.sh) and gate their metrics against the checked-in
@@ -108,4 +151,5 @@ python3 tools/perf_gate.py --baselines bench/baselines.json \
 
 echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
      "fault smoke: availability $avail, $retries retries," \
+     "black-box dump + span export valid, alert gate trips correctly," \
      "perf gate green + self-test)"
