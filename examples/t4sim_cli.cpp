@@ -19,6 +19,24 @@
  *       same as run, but --alerts is required and the exit code is
  *       nonzero when any alert rule is firing at the end of the run
  *       (SLO gate for CI; see docs/OBSERVABILITY.md)
+ *   t4sim_cli serve-cluster --app BERT0 --cells 3 [options]
+ *       multi-cell cluster serving drill (docs/SERVING.md): the SLO
+ *       batch's capacity offered across N cells behind the router.
+ *       Options (plus --chip/--batch/--dtype/--load/--deadline-ms/
+ *       --max-queue/--alerts/--metrics-json/--trace-out/--spans-out):
+ *         --cells N --devices N     fleet shape (default 3 x 1)
+ *         --duration S --seed N --policy round-robin|least-loaded|
+ *                                          p2c|affinity
+ *         --route-attempts N        failover attempts (default 2)
+ *         --health-interval S       stale router health belief
+ *         --fail-cell I --fail-at S --repair-at S   outage drill;
+ *             with --require-floor, exit nonzero when availability
+ *             falls to the N+k-predicted floor
+ *         --standby N --target-availability F       N+k seeding
+ *         --canary-scale F --canary-start S --canary-soak S
+ *         --autoscale --scale-interval S --burn-up F --burn-down F
+ *             --min-cells N
+ *         --check-alerts            nonzero exit if any rule fires
  *
  * Run options:
  *   --app NAME | --model resnet50|mobilenet|bert-large|ssd|dlrm|decoder
@@ -413,6 +431,307 @@ ParseBlackboxTriggers(const std::string& csv,
     return true;
 }
 
+/** Device latency vs batch size from a compile+simulate ladder. */
+LatencyTable
+BuildLatencyTable(const Graph& graph, const ChipConfig& chip,
+                  const CompileOptions& opts)
+{
+    LatencyTable table;
+    for (int64_t batch = 1; batch <= 64; batch *= 2) {
+        CompileOptions ladder = opts;
+        ladder.batch = batch;
+        auto ladder_prog = Compile(graph, chip, ladder);
+        if (!ladder_prog.ok()) break;
+        auto ladder_result = Simulate(ladder_prog.value(), chip);
+        if (!ladder_result.ok()) break;
+        table.AddPoint(batch, ladder_result.value().latency_s);
+    }
+    return table;
+}
+
+/**
+ * serve-cluster: the model's serving contract (the SLO batch from the
+ * latency ladder) offered to a multi-cell cluster behind the router —
+ * routing policies, cell outage + failover, canary rollout, and the
+ * burn-rate autoscaler on one shared clock.
+ */
+int
+CmdServeCluster(const Args& args)
+{
+    auto graph = ResolveModel(args);
+    if (!graph.ok()) {
+        std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+        return 1;
+    }
+    StatusOr<ChipConfig> chip =
+        args.Has("chip-file")
+            ? LoadChipFile(args.Get("chip-file", ""))
+            : ChipByName(args.Get("chip", "TPUv4i"));
+    if (!chip.ok()) {
+        std::fprintf(stderr, "%s\n", chip.status().ToString().c_str());
+        return 1;
+    }
+    CompileOptions opts;
+    if (!ParseCompileOptions(args, &opts)) return 1;
+    LatencyTable table =
+        BuildLatencyTable(graph.value().graph, chip.value(), opts);
+    if (table.empty()) {
+        std::fprintf(stderr, "serve-cluster: batch ladder failed\n");
+        return 1;
+    }
+
+    const double slo_s = graph.value().slo_ms * 1e-3;
+    int64_t slo_batch = table.MaxBatchUnderSlo(slo_s);
+    if (slo_batch <= 0) slo_batch = 1;
+    const int cells = static_cast<int>(args.GetInt("cells", 3));
+    const int devices = static_cast<int>(args.GetInt("devices", 1));
+    const double load = std::max(0.01, args.GetDouble("load", 0.7));
+
+    TenantConfig tenant;
+    tenant.name = graph.value().name;
+    tenant.latency_s = [table](int64_t batch) {
+        return table.Eval(batch);
+    };
+    tenant.max_batch = slo_batch;
+    tenant.slo_s = slo_s;
+    // Cluster-wide offered load against the whole fleet's capacity.
+    tenant.arrival_rate = std::max(
+        1.0, load * table.ThroughputAt(slo_batch) *
+                 std::max(devices, 1) * std::max(cells, 1));
+    tenant.deadline_s = args.GetDouble("deadline-ms", 0.0) * 1e-3;
+    tenant.max_queue = args.GetInt("max-queue", 0);
+
+    ClusterConfig config;
+    config.tenants = {tenant};
+    config.num_cells = cells;
+    config.devices_per_cell = devices;
+    config.duration_s = args.GetDouble("duration", 2.0);
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    auto policy =
+        ParseRoutingPolicy(args.Get("policy", "least-loaded"));
+    if (!policy.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     policy.status().ToString().c_str());
+        return 1;
+    }
+    config.policy = policy.value();
+    config.max_route_attempts =
+        static_cast<int>(args.GetInt("route-attempts", 2));
+    config.health_check_interval_s =
+        args.GetDouble("health-interval", 0.0);
+    config.standby_cells =
+        static_cast<int>(args.GetInt("standby", 0));
+    config.target_availability =
+        args.GetDouble("target-availability", 0.0);
+    if (args.Has("canary-scale")) {
+        config.canary.enabled = true;
+        config.canary.latency_scale =
+            args.GetDouble("canary-scale", 1.0);
+        config.canary.start_s = args.GetDouble("canary-start", 0.5);
+        config.canary.soak_s = args.GetDouble("canary-soak", 0.5);
+    }
+    if (args.Has("autoscale")) {
+        config.autoscaler.enabled = true;
+        config.autoscaler.interval_s =
+            args.GetDouble("scale-interval", 0.25);
+        config.autoscaler.upscale_burn =
+            args.GetDouble("burn-up", 1.0);
+        config.autoscaler.downscale_burn =
+            args.GetDouble("burn-down", 0.25);
+        config.autoscaler.min_cells =
+            static_cast<int>(args.GetInt("min-cells", 1));
+    }
+    // Scripted whole-cell outage for failover drills.
+    double down_fraction = 0.0;
+    if (args.Has("fail-cell")) {
+        const int victim =
+            static_cast<int>(args.GetInt("fail-cell", 0));
+        if (victim < 0 || victim >= cells + config.standby_cells) {
+            std::fprintf(stderr, "--fail-cell out of range\n");
+            return 1;
+        }
+        const double fail_at = args.GetDouble("fail-at", 0.5);
+        const double repair_at = args.GetDouble("repair-at", -1.0);
+        config.cell_faults.resize(
+            static_cast<size_t>(cells + config.standby_cells));
+        config.cell_faults[static_cast<size_t>(victim)] =
+            CellOutagePlan(devices, fail_at, repair_at);
+        const double down_until =
+            repair_at < 0.0
+                ? config.duration_s
+                : std::min(repair_at, config.duration_s);
+        if (config.duration_s > 0.0) {
+            down_fraction =
+                std::max(0.0, down_until - fail_at) /
+                config.duration_s;
+        }
+    }
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    obs::TraceBuilder builder;
+    obs::SpanCollector span_collector;
+    span_collector.BindRegistry(&reg);
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    alerts.BindTrace(&builder, 2);
+    if (args.Has("alerts")) {
+        auto text = obs::ReadTextFile(args.Get("alerts", ""));
+        auto loaded = text.ok()
+                          ? alerts.AddRulesFromText(text.value())
+                          : text.status();
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "alerts: %s\n",
+                         loaded.ToString().c_str());
+            return 1;
+        }
+    }
+    config.registry = &reg;
+    config.trace = &builder;
+    config.spans = &span_collector;
+    if (alerts.rule_count() > 0) config.alerts = &alerts;
+
+    auto result_or = RunCluster(config);
+    if (!result_or.ok()) {
+        std::fprintf(stderr, "serve-cluster: %s\n",
+                     result_or.status().ToString().c_str());
+        return 1;
+    }
+    const ClusterResult& r = result_or.value();
+    std::printf("cluster: %d cell%s x %d device%s | policy %s | "
+                "%.1f s | SLO batch %lld | %.0f rps offered\n",
+                cells, cells == 1 ? "" : "s", devices,
+                devices == 1 ? "" : "s",
+                RoutingPolicyName(config.policy), config.duration_s,
+                static_cast<long long>(slo_batch),
+                tenant.arrival_rate);
+    const ClusterTenantStats& ts = r.tenants[0];
+    std::printf("requests: %lld arrived, %lld completed, %lld "
+                "dropped, %lld shed (%lld at the router) | %lld "
+                "failovers\n",
+                static_cast<long long>(r.arrived),
+                static_cast<long long>(r.completed),
+                static_cast<long long>(r.dropped),
+                static_cast<long long>(r.shed),
+                static_cast<long long>(r.router_shed),
+                static_cast<long long>(r.failovers));
+    std::printf("latency: p50 %.2f ms p95 %.2f ms p99 %.2f ms | "
+                "goodput %.0f rps | slo-miss %.4f\n",
+                ts.p50_latency_s * 1e3, ts.p95_latency_s * 1e3,
+                ts.p99_latency_s * 1e3, ts.goodput_rps,
+                ts.slo_miss_fraction);
+    std::printf("availability: %.4f | active cells %d -> peak %d "
+                "(%d planned spare%s)\n",
+                r.availability, r.initial_active_cells,
+                r.peak_active_cells, r.planned_spares,
+                r.planned_spares == 1 ? "" : "s");
+    if (config.canary.enabled) {
+        std::printf("rollout: %zu step%s | %s\n", r.rollout.size(),
+                    r.rollout.size() == 1 ? "" : "s",
+                    r.rollout_aborted
+                        ? "ABORTED"
+                        : (r.rollout_complete ? "complete"
+                                              : "incomplete"));
+        for (const RolloutStep& step : r.rollout) {
+            std::printf(
+                "  cell %d: drain %.2fs swap %.2fs verdict %.2fs "
+                "p95 %.2f/%.2f ms -> %s\n",
+                step.cell, step.drain_start_s, step.swap_s,
+                step.verdict_s, step.canary_p95_s * 1e3,
+                step.baseline_p95_s * 1e3,
+                step.aborted ? "abort" : "promote");
+        }
+    }
+    if (config.autoscaler.enabled) {
+        std::printf("autoscaler: %lld up, %lld down\n",
+                    static_cast<long long>(r.upscales),
+                    static_cast<long long>(r.downscales));
+    }
+    // Conservation is the cluster's bedrock invariant; refuse to
+    // report numbers that do not add up.
+    if (r.arrived != r.completed + r.dropped + r.shed) {
+        std::fprintf(stderr,
+                     "serve-cluster: conservation violated "
+                     "(%lld != %lld + %lld + %lld)\n",
+                     static_cast<long long>(r.arrived),
+                     static_cast<long long>(r.completed),
+                     static_cast<long long>(r.dropped),
+                     static_cast<long long>(r.shed));
+        return 2;
+    }
+    if (args.Has("fail-cell") && down_fraction > 0.0) {
+        const double floor = PredictedAvailabilityFloor(
+            cells - 1, cells, 1.0 - down_fraction);
+        std::printf("outage drill: cell down %.0f%% of run | "
+                    "predicted floor %.4f | measured %.4f\n",
+                    100.0 * down_fraction, floor, r.availability);
+        if (args.Has("require-floor") && r.availability <= floor) {
+            std::fprintf(stderr,
+                         "serve-cluster: availability %.4f fell to "
+                         "the N+k floor %.4f\n",
+                         r.availability, floor);
+            return 2;
+        }
+    }
+
+    if (!span_collector.spans().empty()) {
+        auto integrity = span_collector.CheckIntegrity();
+        if (!integrity.ok()) {
+            std::fprintf(stderr, "span integrity: %s\n",
+                         integrity.ToString().c_str());
+            return 1;
+        }
+        std::printf("spans: %zu recorded (%zu traces), %zu open\n",
+                    span_collector.spans().size(),
+                    span_collector.Roots().size(),
+                    span_collector.open_count());
+    }
+    if (args.Has("spans-out")) {
+        const std::string path = args.Get("spans-out", "spans.jsonl");
+        auto status =
+            obs::WriteTextFile(span_collector.ToJsonl(), path);
+        std::printf("spans-out: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 1;
+    }
+    if (alerts.rule_count() > 0) {
+        std::printf("alerts (%lld evaluations):\n%s",
+                    static_cast<long long>(alerts.evaluations()),
+                    alerts.Summary().c_str());
+        if (args.Has("check-alerts") && alerts.AnyFiring()) {
+            std::fprintf(stderr,
+                         "serve-cluster: %zu alert rule(s) firing\n",
+                         alerts.firing_count());
+            return 2;
+        }
+    }
+    if (args.Has("metrics-json")) {
+        const std::string path =
+            args.Get("metrics-json", "metrics.json");
+        auto status = obs::WriteMetricsJson(reg, path);
+        std::printf("metrics-json: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 1;
+    }
+    if (args.Has("trace-out")) {
+        auto appended = span_collector.AppendToTrace(&builder, 3);
+        if (!appended.ok()) {
+            std::fprintf(stderr, "span tracks: %s\n",
+                         appended.ToString().c_str());
+        }
+        const std::string path =
+            args.Get("trace-out", "cluster_trace.json");
+        auto status = obs::WriteTextFile(builder.Render(), path);
+        std::printf("trace-out: %s (%lld events)\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str(),
+                    static_cast<long long>(builder.event_count()));
+        if (!status.ok()) return 1;
+    }
+    return 0;
+}
+
 int
 CmdRun(const Args& args, bool check_mode)
 {
@@ -575,18 +894,8 @@ CmdRun(const Args& args, bool check_mode)
         // utilization: profile a batch ladder, pick the largest batch
         // under the SLO, and offer --load (default 70%) of that
         // capacity.
-        LatencyTable table;
-        for (int64_t batch = 1; batch <= 64; batch *= 2) {
-            CompileOptions ladder = opts;
-            ladder.batch = batch;
-            auto ladder_prog =
-                Compile(graph.value().graph, chip.value(), ladder);
-            if (!ladder_prog.ok()) break;
-            auto ladder_result =
-                Simulate(ladder_prog.value(), chip.value());
-            if (!ladder_result.ok()) break;
-            table.AddPoint(batch, ladder_result.value().latency_s);
-        }
+        LatencyTable table = BuildLatencyTable(
+            graph.value().graph, chip.value(), opts);
         if (!table.empty()) {
             const double slo_s = graph.value().slo_ms * 1e-3;
             int64_t slo_batch = table.MaxBatchUnderSlo(slo_s);
@@ -759,7 +1068,8 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "usage: %s list | run --app NAME [options] | "
                      "profile --app NAME [options] | "
-                     "check --app NAME --alerts RULES [options]\n"
+                     "check --app NAME --alerts RULES [options] | "
+                     "serve-cluster --app NAME [options]\n"
                      "see the file header for all options\n",
                      argv[0]);
         return 1;
@@ -771,6 +1081,7 @@ main(int argc, char** argv)
     if (cmd == "check") return CmdRun(args, /*check_mode=*/true);
     if (cmd == "exec") return CmdExec(args);
     if (cmd == "profile") return CmdProfile(args);
+    if (cmd == "serve-cluster") return CmdServeCluster(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;
 }

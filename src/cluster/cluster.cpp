@@ -1,0 +1,913 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+#include "src/fleet/planner.h"
+
+namespace t4i {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Distinct deterministic per-cell seed stream. */
+uint64_t
+CellSeed(uint64_t seed, int cell)
+{
+    return seed ^ (0x9e3779b97f4a7c15ULL *
+                   static_cast<uint64_t>(cell + 1));
+}
+
+/** Per-tenant cluster-wide accounting at the router. */
+struct TenantBooks {
+    PercentileTracker latencies;
+    int64_t arrived = 0;
+    int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;
+    int64_t router_shed = 0;
+    int64_t failovers = 0;
+    int64_t slo_misses = 0;
+
+    obs::Counter* arrived_counter = nullptr;
+    obs::Counter* completed_counter = nullptr;
+    obs::Counter* dropped_counter = nullptr;
+    obs::Counter* shed_counter = nullptr;
+    obs::Counter* failover_counter = nullptr;
+    obs::Counter* router_shed_counter = nullptr;
+    obs::HistogramMetric* latency_hist = nullptr;
+};
+
+/** One cell of the pool plus the router's control-plane state. */
+struct CellRuntime {
+    std::unique_ptr<ServeCell> cell;
+    /** Accepting new traffic (autoscaler / canary drain gate). */
+    bool active = false;
+    bool draining = false;
+    /** Router's health belief (may lag ground truth). */
+    bool believed_healthy = true;
+    /** 1 after the canary swap promoted this cell's version. */
+    int version = 0;
+};
+
+/** Router-side span context of a traced in-flight request. */
+struct TracedRequest {
+    uint64_t trace_id = 0;
+    obs::SpanId root = 0;
+    obs::SpanId route = 0;
+};
+
+const char*
+OutcomeName(RequestOutcome outcome)
+{
+    switch (outcome) {
+        case RequestOutcome::kCompleted: return "completed";
+        case RequestOutcome::kDeadlineDrop: return "deadline_drop";
+        case RequestOutcome::kEvicted: return "evicted";
+        case RequestOutcome::kRetriesExhausted:
+            return "retries_exhausted";
+        case RequestOutcome::kDeadCell: return "dead_cell";
+    }
+    return "unknown";
+}
+
+Status
+ValidateClusterConfig(const ClusterConfig& config)
+{
+    if (config.tenants.empty()) {
+        return Status::InvalidArgument("no tenants");
+    }
+    if (config.num_cells < 1) {
+        return Status::InvalidArgument("num_cells must be >= 1");
+    }
+    if (config.devices_per_cell < 1) {
+        return Status::InvalidArgument(
+            "devices_per_cell must be >= 1");
+    }
+    if (config.duration_s < 0.0) {
+        return Status::InvalidArgument("duration must be >= 0");
+    }
+    if (config.max_route_attempts < 1) {
+        return Status::InvalidArgument(
+            "max_route_attempts must be >= 1");
+    }
+    if (config.standby_cells < 0) {
+        return Status::InvalidArgument("standby_cells must be >= 0");
+    }
+    if (config.control_interval_s <= 0.0) {
+        return Status::InvalidArgument(
+            "control_interval_s must be positive");
+    }
+    if (config.health_check_interval_s < 0.0) {
+        return Status::InvalidArgument(
+            "health_check_interval_s must be >= 0");
+    }
+    if (config.passthrough) {
+        if (config.num_cells != 1 || config.standby_cells != 0 ||
+            config.canary.enabled || config.autoscaler.enabled ||
+            config.target_availability > 0.0) {
+            return Status::InvalidArgument(
+                "passthrough requires a single cell and no cluster "
+                "features (routing is disabled)");
+        }
+    }
+    if (config.canary.enabled) {
+        if (config.canary.latency_scale <= 0.0) {
+            return Status::InvalidArgument(
+                "canary latency_scale must be positive");
+        }
+        if (config.canary.soak_s <= 0.0 ||
+            config.canary.abort_p95_ratio <= 0.0) {
+            return Status::InvalidArgument(
+                "canary soak and abort ratio must be positive");
+        }
+    }
+    if (config.autoscaler.enabled) {
+        if (config.autoscaler.interval_s <= 0.0) {
+            return Status::InvalidArgument(
+                "autoscaler interval must be positive");
+        }
+        if (config.autoscaler.min_cells < 1) {
+            return Status::InvalidArgument(
+                "autoscaler min_cells must be >= 1");
+        }
+    }
+    return Status::Ok();
+}
+
+/** Builds the per-cell telemetry wiring for cell @p index. */
+ServingTelemetry
+CellTelemetry(const ClusterConfig& config, int index)
+{
+    ServingTelemetry telemetry;
+    telemetry.registry = config.registry;
+    telemetry.trace = config.trace;
+    telemetry.trace_pid = config.trace_pid_base + 1 + index;
+    telemetry.spans = config.spans;
+    // Cells never open their own traces: request spans always descend
+    // from the router's root (InjectArrival's trace context).
+    telemetry.max_traced_requests_per_tenant = 0;
+    telemetry.max_flows_per_tenant = 0;
+    telemetry.slo_error_budget = config.slo_error_budget;
+    telemetry.extra_labels = {{"cell", StrFormat("%d", index)}};
+    return telemetry;
+}
+
+/** Routing-disabled single-cell mode: the cell draws its own arrival
+ *  process, reproducing RunServingCell bit for bit. */
+StatusOr<ClusterResult>
+RunPassthrough(const ClusterConfig& config)
+{
+    ServeCell::Options options;
+    options.tenants = config.tenants;
+    options.num_devices = config.devices_per_cell;
+    options.duration_s = config.duration_s;
+    options.seed = config.seed;
+    options.reliability = config.cell_reliability;
+    if (!config.cell_faults.empty()) {
+        options.reliability.faults = config.cell_faults[0];
+    }
+    options.telemetry.registry = config.registry;
+    options.telemetry.trace = config.trace;
+    options.telemetry.trace_pid = config.trace_pid_base + 1;
+    options.telemetry.spans = config.spans;
+    options.telemetry.max_traced_requests_per_tenant =
+        config.max_traced_requests;
+    options.telemetry.slo_error_budget = config.slo_error_budget;
+    auto cell_or = ServeCell::Create(std::move(options));
+    T4I_RETURN_IF_ERROR(cell_or.status());
+    std::unique_ptr<ServeCell> cell = std::move(cell_or).ConsumeValue();
+    cell->AdvanceTo(kInf);
+    ServingResult cell_result = cell->Finish();
+
+    ClusterResult result;
+    result.duration_s = cell_result.duration_s;
+    result.initial_active_cells = 1;
+    result.peak_active_cells = 1;
+    for (const TenantStats& s : cell_result.tenants) {
+        ClusterTenantStats t;
+        t.name = s.name;
+        t.arrived = s.arrived;
+        t.completed = s.completed;
+        t.dropped = s.dropped;
+        t.shed = s.shed;
+        t.slo_misses = s.slo_misses;
+        t.mean_latency_s = s.mean_latency_s;
+        t.p50_latency_s = s.p50_latency_s;
+        t.p95_latency_s = s.p95_latency_s;
+        t.p99_latency_s = s.p99_latency_s;
+        t.slo_miss_fraction = s.slo_miss_fraction;
+        t.throughput_rps = s.throughput_rps;
+        t.goodput_rps = s.goodput_rps;
+        result.tenants.push_back(std::move(t));
+        result.arrived += s.arrived;
+        result.completed += s.completed;
+        result.dropped += s.dropped;
+        result.shed += s.shed;
+    }
+    result.availability =
+        result.arrived > 0 ? static_cast<double>(result.completed) /
+                                 static_cast<double>(result.arrived)
+                           : 1.0;
+    result.cells.push_back(std::move(cell_result));
+    return result;
+}
+
+}  // namespace
+
+FaultPlan
+CellOutagePlan(int num_devices, double fail_at_s, double repair_at_s)
+{
+    FaultPlan plan;
+    plan.scripted.reserve(static_cast<size_t>(num_devices));
+    for (int d = 0; d < num_devices; ++d) {
+        plan.scripted.push_back(
+            ScriptedFault{d, fail_at_s, repair_at_s});
+    }
+    return plan;
+}
+
+double
+PredictedAvailabilityFloor(int needed, int total,
+                           double cell_availability)
+{
+    return CellAvailability(needed, total, cell_availability);
+}
+
+StatusOr<ClusterResult>
+RunCluster(const ClusterConfig& config)
+{
+    T4I_RETURN_IF_ERROR(ValidateClusterConfig(config));
+    if (config.passthrough) return RunPassthrough(config);
+
+    const size_t num_tenants = config.tenants.size();
+    const double duration = config.duration_s;
+
+    // --- N+k seeding of the initial active set -----------------------
+    // The pool is every cell ever built; parked cells cost nothing
+    // while idle. Steady-state per-cell availability (the worst plan
+    // in the pool) feeds the spare planner.
+    const int pool_size = config.num_cells + config.standby_cells;
+    double cell_availability = 1.0;
+    for (const FaultPlan& plan : config.cell_faults) {
+        cell_availability =
+            std::min(cell_availability, SteadyStateAvailability(plan));
+    }
+    int planned_spares = 0;
+    if (config.target_availability > 0.0 &&
+        config.standby_cells > 0) {
+        const int64_t k = NPlusKSpares(
+            config.num_cells, cell_availability,
+            config.target_availability, config.standby_cells);
+        planned_spares = static_cast<int>(
+            std::min<int64_t>(k, config.standby_cells));
+    }
+    const int initial_active = config.num_cells + planned_spares;
+
+    // --- build the pool ---------------------------------------------
+    std::vector<CellRuntime> pool(static_cast<size_t>(pool_size));
+    for (int i = 0; i < pool_size; ++i) {
+        ServeCell::Options options;
+        options.tenants = config.tenants;
+        options.num_devices = config.devices_per_cell;
+        options.duration_s = duration;
+        options.seed = CellSeed(config.seed, i);
+        options.telemetry = CellTelemetry(config, i);
+        options.reliability = config.cell_reliability;
+        options.reliability.faults =
+            static_cast<size_t>(i) < config.cell_faults.size()
+                ? config.cell_faults[static_cast<size_t>(i)]
+                : FaultPlan{};
+        options.external_arrivals = true;
+        options.request_span_name = "cell";
+        auto cell_or = ServeCell::Create(std::move(options));
+        T4I_RETURN_IF_ERROR(cell_or.status());
+        pool[static_cast<size_t>(i)].cell =
+            std::move(cell_or).ConsumeValue();
+        pool[static_cast<size_t>(i)].active = i < initial_active;
+        if (config.trace != nullptr) {
+            config.trace->SetProcessName(
+                config.trace_pid_base + 1 + i,
+                StrFormat("cell %d", i));
+        }
+    }
+
+    obs::TraceBuilder* trace = config.trace;
+    const int router_pid = config.trace_pid_base;
+    if (trace != nullptr) {
+        trace->SetProcessName(router_pid, "cluster router");
+        trace->SetThreadName(router_pid, 0, "router");
+    }
+    obs::SpanCollector* spans = config.spans;
+    obs::AlertEngine* alerts =
+        (config.alerts != nullptr && config.registry != nullptr)
+            ? config.alerts
+            : nullptr;
+
+    // --- cluster instruments (all exist even when idle, so exports
+    // and the CI schema stay stable) ----------------------------------
+    std::vector<TenantBooks> books(num_tenants);
+    obs::Gauge* availability_gauge = nullptr;
+    obs::Gauge* active_cells_gauge = nullptr;
+    if (config.registry != nullptr) {
+        obs::MetricsRegistry& reg = *config.registry;
+        for (size_t t = 0; t < num_tenants; ++t) {
+            const obs::Labels labels = {
+                {"tenant", config.tenants[t].name}};
+            books[t].arrived_counter =
+                reg.GetCounter("cluster.arrived", labels);
+            books[t].completed_counter =
+                reg.GetCounter("cluster.completed", labels);
+            books[t].dropped_counter =
+                reg.GetCounter("cluster.dropped", labels);
+            books[t].shed_counter =
+                reg.GetCounter("cluster.shed", labels);
+            books[t].failover_counter =
+                reg.GetCounter("cluster.failovers", labels);
+            books[t].router_shed_counter =
+                reg.GetCounter("cluster.router_shed", labels);
+            books[t].latency_hist =
+                reg.GetHistogram("cluster.latency_seconds", labels);
+        }
+        availability_gauge = reg.GetGauge("cluster.availability");
+        active_cells_gauge = reg.GetGauge("cluster.active_cells");
+        reg.GetGauge("cluster.cells_total")
+            ->Set(static_cast<double>(pool_size));
+        // Touched so the instruments exist at zero from the start.
+        reg.GetCounter("cluster.upscales");
+        reg.GetCounter("cluster.downscales");
+        reg.GetGauge("cluster.rollout_promoted")->Set(0.0);
+        reg.GetGauge("cluster.rollout_aborted")->Set(0.0);
+    }
+
+    ClusterResult result;
+    result.initial_active_cells = initial_active;
+    result.peak_active_cells = initial_active;
+    result.planned_spares = planned_spares;
+
+    int active_count = initial_active;
+    auto emit_active_cells = [&](double t) {
+        if (active_cells_gauge != nullptr) {
+            active_cells_gauge->Set(
+                static_cast<double>(active_count));
+        }
+        if (trace != nullptr) {
+            trace->AddCounter(router_pid, "active cells",
+                              t * kUsPerSecond,
+                              static_cast<double>(active_count));
+        }
+    };
+    emit_active_cells(0.0);
+
+    // --- request-end plumbing ---------------------------------------
+    // Hooks fire inside AdvanceTo as cells reach each admitted
+    // request's terminal event; the router keeps cluster-wide books,
+    // canary soak windows, the autoscaler burn window, and closes its
+    // spans from here.
+    std::unordered_map<uint64_t, TracedRequest> traced;
+    uint64_t next_request_id = 1;
+    int64_t window_completed = 0;
+    int64_t window_misses = 0;
+    // Canary soak state (valid while soaking_cell >= 0).
+    int soaking_cell = -1;
+    double soak_start = 0.0;
+    PercentileTracker canary_lat;
+    PercentileTracker baseline_lat;
+
+    auto on_request_end = [&](int cell_index, const RequestEnd& e) {
+        TenantBooks& b = books[e.tenant];
+        switch (e.outcome) {
+            case RequestOutcome::kCompleted: {
+                const double latency = e.end_s - e.arrival_s;
+                ++b.completed;
+                b.latencies.Add(latency);
+                if (e.slo_miss) ++b.slo_misses;
+                if (b.completed_counter != nullptr) {
+                    b.completed_counter->Increment();
+                    b.latency_hist->Observe(latency);
+                }
+                ++window_completed;
+                if (e.slo_miss) ++window_misses;
+                if (soaking_cell >= 0 && e.end_s >= soak_start) {
+                    const CellRuntime& rt =
+                        pool[static_cast<size_t>(cell_index)];
+                    if (cell_index == soaking_cell) {
+                        canary_lat.Add(latency);
+                    } else if (rt.active && !rt.draining) {
+                        baseline_lat.Add(latency);
+                    }
+                }
+                break;
+            }
+            case RequestOutcome::kEvicted:
+                ++b.shed;
+                if (b.shed_counter != nullptr) {
+                    b.shed_counter->Increment();
+                }
+                break;
+            case RequestOutcome::kDeadlineDrop:
+            case RequestOutcome::kRetriesExhausted:
+            case RequestOutcome::kDeadCell:
+                ++b.dropped;
+                if (b.dropped_counter != nullptr) {
+                    b.dropped_counter->Increment();
+                }
+                break;
+        }
+        if (e.tag != 0 && spans != nullptr) {
+            auto it = traced.find(e.tag);
+            if (it != traced.end()) {
+                spans->SetAttribute(it->second.root, "outcome",
+                                    OutcomeName(e.outcome));
+                if (e.slo_miss) {
+                    spans->SetAttribute(it->second.root, "slo_miss",
+                                        "1");
+                }
+                spans->EndSpan(it->second.route, e.end_s);
+                spans->EndSpan(it->second.root, e.end_s);
+                traced.erase(it);
+            }
+        }
+    };
+    for (int i = 0; i < pool_size; ++i) {
+        pool[static_cast<size_t>(i)].cell->set_request_end_hook(
+            [&, i](const RequestEnd& e) { on_request_end(i, e); });
+    }
+
+    auto advance_all = [&](double t) {
+        for (auto& rt : pool) rt.cell->AdvanceTo(t);
+    };
+
+    // --- health belief -----------------------------------------------
+    // With a check interval the router acts on a stale snapshot and
+    // keeps routing to a dead cell until the next probe notices.
+    auto refresh_health = [&](double t) {
+        for (int i = 0; i < pool_size; ++i) {
+            CellRuntime& rt = pool[static_cast<size_t>(i)];
+            const bool healthy = rt.cell->Healthy(t);
+            if (healthy != rt.believed_healthy && trace != nullptr) {
+                trace->AddInstant(
+                    router_pid, 0,
+                    StrFormat("cell %d %s", i,
+                              healthy ? "healthy" : "unhealthy"),
+                    t * kUsPerSecond);
+            }
+            rt.believed_healthy = healthy;
+        }
+    };
+    double next_health_check = config.health_check_interval_s;
+
+    auto build_views = [&](size_t tenant, double t) {
+        std::vector<CellView> views(static_cast<size_t>(pool_size));
+        for (int i = 0; i < pool_size; ++i) {
+            const CellRuntime& rt = pool[static_cast<size_t>(i)];
+            CellView& v = views[static_cast<size_t>(i)];
+            v.healthy = config.health_check_interval_s > 0.0
+                            ? rt.believed_healthy
+                            : rt.cell->Healthy(t);
+            v.accepting = rt.active && !rt.draining;
+            v.queue_depth = rt.cell->QueueDepth();
+            v.tenant_resident = rt.cell->TenantResident(tenant);
+        }
+        return views;
+    };
+
+    // --- the router --------------------------------------------------
+    Rng router_rng(config.seed);
+    uint64_t rr_cursor = 0;
+    std::vector<double> next_arrival(num_tenants);
+    for (size_t t = 0; t < num_tenants; ++t) {
+        next_arrival[t] =
+            DrawNextArrival(router_rng, config.tenants[t], 0.0);
+    }
+    int router_shed_instants = 0;
+
+    auto route_arrival = [&](size_t tenant, double t) {
+        TenantBooks& b = books[tenant];
+        ++b.arrived;
+        if (b.arrived_counter != nullptr) {
+            b.arrived_counter->Increment();
+        }
+        uint64_t tag = 0;
+        TracedRequest tr;
+        if (spans != nullptr &&
+            next_request_id <=
+                static_cast<uint64_t>(config.max_traced_requests)) {
+            tag = next_request_id;
+            tr.trace_id = spans->NewTrace();
+            tr.root = spans->StartSpan(tr.trace_id, 0, "request", t);
+            spans->SetAttribute(tr.root, "tenant",
+                                config.tenants[tenant].name);
+            spans->SetAttribute(tr.root, "policy",
+                                RoutingPolicyName(config.policy));
+        }
+        ++next_request_id;
+
+        std::vector<CellView> views = build_views(tenant, t);
+        std::vector<obs::SpanId> failed_routes;
+        bool admitted = false;
+        for (int attempt = 0; attempt < config.max_route_attempts;
+             ++attempt) {
+            const int pick = PickCell(config.policy, views,
+                                      &rr_cursor, router_rng);
+            if (pick < 0) break;
+            obs::SpanId route = 0;
+            if (tag != 0) {
+                route = spans->StartSpan(tr.trace_id, tr.root,
+                                         "route", t);
+                spans->SetAttribute(route, "cell",
+                                    StrFormat("%d", pick));
+                spans->SetAttribute(route, "attempt",
+                                    StrFormat("%d", attempt));
+            }
+            const ServeCell::Injected injected =
+                pool[static_cast<size_t>(pick)].cell->InjectArrival(
+                    tenant, t, tr.trace_id, route, tag);
+            if (injected.admitted) {
+                admitted = true;
+                if (attempt > 0) {
+                    ++b.failovers;
+                    if (b.failover_counter != nullptr) {
+                        b.failover_counter->Increment();
+                    }
+                }
+                if (tag != 0) {
+                    tr.route = route;
+                    // Shed attempts link to the attempt that won,
+                    // like hedge losers to the winning copy.
+                    for (obs::SpanId loser : failed_routes) {
+                        spans->Link(loser, route);
+                    }
+                    traced[tag] = tr;
+                }
+                break;
+            }
+            // Door shed: the cell booked arrived+shed; the router
+            // retries the remaining cells.
+            if (tag != 0) {
+                spans->SetAttribute(route, "outcome", "shed");
+                spans->EndSpan(route, t);
+                failed_routes.push_back(route);
+            }
+            views[static_cast<size_t>(pick)].accepting = false;
+        }
+        if (!admitted) {
+            ++b.shed;
+            ++b.router_shed;
+            if (b.shed_counter != nullptr) {
+                b.shed_counter->Increment();
+                b.router_shed_counter->Increment();
+            }
+            if (tag != 0) {
+                spans->SetAttribute(tr.root, "outcome",
+                                    "router_shed");
+                spans->EndSpan(tr.root, t);
+            }
+            if (trace != nullptr && router_shed_instants < 256) {
+                ++router_shed_instants;
+                trace->AddInstant(router_pid, 0, "router shed",
+                                  t * kUsPerSecond);
+            }
+        }
+    };
+
+    auto live_availability = [&]() {
+        int64_t arrived = 0;
+        int64_t completed = 0;
+        for (const TenantBooks& b : books) {
+            arrived += b.arrived;
+            completed += b.completed;
+        }
+        return arrived > 0 ? static_cast<double>(completed) /
+                                 static_cast<double>(arrived)
+                           : 1.0;
+    };
+
+    // --- canary rollout state machine --------------------------------
+    const CanaryConfig& canary = config.canary;
+    enum class RolloutPhase { kIdle, kDraining, kSoaking, kDone };
+    RolloutPhase rollout_phase =
+        canary.enabled ? RolloutPhase::kIdle : RolloutPhase::kDone;
+    int rollout_cursor = 0;  // next pool index to consider
+    int rollout_cell = -1;
+    RolloutStep current_step;
+
+    auto rollout_tick = [&](double t) {
+        if (rollout_phase == RolloutPhase::kIdle &&
+            t >= canary.start_s) {
+            // Next active cell in pool order; pool exhausted = done.
+            while (rollout_cursor < pool_size &&
+                   !pool[static_cast<size_t>(rollout_cursor)].active) {
+                ++rollout_cursor;
+            }
+            if (rollout_cursor >= pool_size) {
+                rollout_phase = RolloutPhase::kDone;
+                result.rollout_complete = true;
+                return;
+            }
+            rollout_cell = rollout_cursor;
+            current_step = RolloutStep{};
+            current_step.cell = rollout_cell;
+            current_step.drain_start_s = t;
+            pool[static_cast<size_t>(rollout_cell)].draining = true;
+            rollout_phase = RolloutPhase::kDraining;
+            if (trace != nullptr) {
+                trace->AddInstant(
+                    router_pid, 0,
+                    StrFormat("canary drain: cell %d", rollout_cell),
+                    t * kUsPerSecond);
+            }
+        }
+        if (rollout_phase == RolloutPhase::kDraining &&
+            pool[static_cast<size_t>(rollout_cell)].cell->Drained()) {
+            CellRuntime& rt = pool[static_cast<size_t>(rollout_cell)];
+            rt.cell->SetLatencyScale(canary.latency_scale);
+            rt.version = 1;
+            rt.draining = false;
+            current_step.swap_s = t;
+            soaking_cell = rollout_cell;
+            soak_start = t;
+            canary_lat = PercentileTracker{};
+            baseline_lat = PercentileTracker{};
+            rollout_phase = RolloutPhase::kSoaking;
+            if (trace != nullptr) {
+                trace->AddInstant(
+                    router_pid, 0,
+                    StrFormat("canary swap: cell %d", rollout_cell),
+                    t * kUsPerSecond);
+            }
+        }
+        if (rollout_phase == RolloutPhase::kSoaking &&
+            t >= soak_start + canary.soak_s &&
+            canary_lat.count() >= canary.min_samples &&
+            baseline_lat.count() >= canary.min_samples) {
+            current_step.verdict_s = t;
+            current_step.canary_p95_s = canary_lat.Percentile(95.0);
+            current_step.baseline_p95_s =
+                baseline_lat.Percentile(95.0);
+            const bool abort =
+                current_step.canary_p95_s >
+                canary.abort_p95_ratio * current_step.baseline_p95_s;
+            CellRuntime& rt = pool[static_cast<size_t>(rollout_cell)];
+            if (abort) {
+                // Roll the cell back to the old version and stop the
+                // rollout fleet-wide.
+                rt.cell->SetLatencyScale(1.0);
+                rt.version = 0;
+                current_step.aborted = true;
+                result.rollout_aborted = true;
+                rollout_phase = RolloutPhase::kDone;
+            } else {
+                current_step.promoted = true;
+                ++rollout_cursor;
+                rollout_phase = RolloutPhase::kIdle;
+            }
+            if (trace != nullptr) {
+                trace->AddInstant(
+                    router_pid, 0,
+                    StrFormat("canary %s: cell %d",
+                              abort ? "abort" : "promote",
+                              rollout_cell),
+                    t * kUsPerSecond);
+            }
+            result.rollout.push_back(current_step);
+            soaking_cell = -1;
+            // An abort ends the run's rollout; a promote may find the
+            // pool exhausted on the next idle tick.
+        }
+    };
+
+    // --- burn-rate autoscaler ----------------------------------------
+    const AutoscalerConfig& scaler = config.autoscaler;
+    double next_autoscale =
+        scaler.enabled ? scaler.interval_s : kInf;
+
+    auto autoscale_tick = [&](double t) {
+        const double burn =
+            window_completed > 0
+                ? (static_cast<double>(window_misses) /
+                   static_cast<double>(window_completed)) /
+                      std::max(config.slo_error_budget, 1e-12)
+                : 0.0;
+        if (burn > scaler.upscale_burn) {
+            // Activate the lowest-index parked cell.
+            for (int i = 0; i < pool_size; ++i) {
+                CellRuntime& rt = pool[static_cast<size_t>(i)];
+                if (rt.active) continue;
+                rt.active = true;
+                ++active_count;
+                ++result.upscales;
+                result.peak_active_cells =
+                    std::max(result.peak_active_cells, active_count);
+                result.scale_events.push_back(
+                    ScaleEvent{t, i, true, burn});
+                if (config.registry != nullptr) {
+                    config.registry->GetCounter("cluster.upscales")
+                        ->Increment();
+                }
+                if (trace != nullptr) {
+                    trace->AddInstant(
+                        router_pid, 0,
+                        StrFormat("scale up: cell %d", i),
+                        t * kUsPerSecond);
+                }
+                emit_active_cells(t);
+                break;
+            }
+        } else if (burn < scaler.downscale_burn &&
+                   active_count > scaler.min_cells) {
+            // Park the highest-index active cell not involved in the
+            // rollout; it finishes its queue and goes idle.
+            for (int i = pool_size - 1; i >= 0; --i) {
+                CellRuntime& rt = pool[static_cast<size_t>(i)];
+                if (!rt.active || rt.draining || i == soaking_cell) {
+                    continue;
+                }
+                rt.active = false;
+                --active_count;
+                ++result.downscales;
+                result.scale_events.push_back(
+                    ScaleEvent{t, i, false, burn});
+                if (config.registry != nullptr) {
+                    config.registry->GetCounter("cluster.downscales")
+                        ->Increment();
+                }
+                if (trace != nullptr) {
+                    trace->AddInstant(router_pid, 0,
+                                      StrFormat("park: cell %d", i),
+                                      t * kUsPerSecond);
+                }
+                emit_active_cells(t);
+                break;
+            }
+        }
+        window_completed = 0;
+        window_misses = 0;
+    };
+
+    auto control_tick = [&](double t) {
+        if (config.health_check_interval_s > 0.0) {
+            while (next_health_check <= t) {
+                refresh_health(next_health_check);
+                next_health_check += config.health_check_interval_s;
+            }
+        }
+        rollout_tick(t);
+        while (next_autoscale <= t) {
+            autoscale_tick(next_autoscale);
+            next_autoscale += scaler.interval_s;
+        }
+        if (availability_gauge != nullptr) {
+            availability_gauge->Set(live_availability());
+        }
+        if (alerts != nullptr) {
+            alerts->Evaluate(*config.registry, t);
+        }
+    };
+
+    // --- main event loop: arrivals + control cadence -----------------
+    // Close the cells' arrival streams the moment every tenant's next
+    // draw lands past the horizon: cells then waive batch patience for
+    // the tail exactly like an internally-drawing cell whose next
+    // arrival is past duration_s, which is what makes the single-
+    // tenant router path reproduce RunServingCell bit for bit.
+    bool arrivals_open = true;
+    auto maybe_close_arrivals = [&]() {
+        if (!arrivals_open) return;
+        for (size_t t = 0; t < num_tenants; ++t) {
+            if (next_arrival[t] < duration) return;
+        }
+        arrivals_open = false;
+        for (auto& rt : pool) rt.cell->CloseArrivals();
+    };
+    maybe_close_arrivals();
+    double next_control = config.control_interval_s;
+    while (true) {
+        size_t arrival_tenant = 0;
+        double arrival_t = kInf;
+        for (size_t t = 0; t < num_tenants; ++t) {
+            if (next_arrival[t] < duration &&
+                next_arrival[t] < arrival_t) {
+                arrival_t = next_arrival[t];
+                arrival_tenant = t;
+            }
+        }
+        const bool have_arrival = arrival_t < kInf;
+        const bool have_control = next_control <= duration;
+        if (!have_arrival && !have_control) break;
+        if (have_control &&
+            (!have_arrival || next_control <= arrival_t)) {
+            advance_all(next_control);
+            control_tick(next_control);
+            next_control += config.control_interval_s;
+            continue;
+        }
+        advance_all(arrival_t);
+        route_arrival(arrival_tenant, arrival_t);
+        next_arrival[arrival_tenant] = DrawNextArrival(
+            router_rng, config.tenants[arrival_tenant], arrival_t);
+        maybe_close_arrivals();
+    }
+
+    // --- drain -------------------------------------------------------
+    if (arrivals_open) {
+        for (auto& rt : pool) rt.cell->CloseArrivals();
+    }
+    for (auto& rt : pool) rt.cell->AdvanceTo(kInf);
+
+    // --- aggregate ---------------------------------------------------
+    result.duration_s = duration;
+    result.cells.reserve(pool.size());
+    for (auto& rt : pool) {
+        ServingResult cell_result = rt.cell->Finish();
+        result.duration_s =
+            std::max(result.duration_s, cell_result.duration_s);
+        result.cells.push_back(std::move(cell_result));
+    }
+    for (size_t t = 0; t < num_tenants; ++t) {
+        TenantBooks& b = books[t];
+        ClusterTenantStats s;
+        s.name = config.tenants[t].name;
+        s.arrived = b.arrived;
+        s.completed = b.completed;
+        s.dropped = b.dropped;
+        s.shed = b.shed;
+        s.router_shed = b.router_shed;
+        s.failovers = b.failovers;
+        s.slo_misses = b.slo_misses;
+        s.mean_latency_s = b.latencies.Mean();
+        s.p50_latency_s = b.latencies.Percentile(50.0);
+        s.p95_latency_s = b.latencies.Percentile(95.0);
+        s.p99_latency_s = b.latencies.Percentile(99.0);
+        s.slo_miss_fraction =
+            b.completed > 0 ? static_cast<double>(b.slo_misses) /
+                                  static_cast<double>(b.completed)
+                            : 0.0;
+        s.throughput_rps =
+            result.duration_s > 0.0
+                ? static_cast<double>(b.completed) / result.duration_s
+                : 0.0;
+        s.goodput_rps =
+            result.duration_s > 0.0
+                ? static_cast<double>(b.completed - b.slo_misses) /
+                      result.duration_s
+                : 0.0;
+        result.arrived += s.arrived;
+        result.completed += s.completed;
+        result.dropped += s.dropped;
+        result.shed += s.shed;
+        result.router_shed += s.router_shed;
+        result.failovers += s.failovers;
+        result.tenants.push_back(std::move(s));
+    }
+    result.availability =
+        result.arrived > 0 ? static_cast<double>(result.completed) /
+                                 static_cast<double>(result.arrived)
+                           : 1.0;
+    if (rollout_phase == RolloutPhase::kDone &&
+        !result.rollout_aborted && canary.enabled &&
+        rollout_cursor >= pool_size) {
+        result.rollout_complete = true;
+    }
+
+    if (config.registry != nullptr) {
+        obs::MetricsRegistry& reg = *config.registry;
+        if (availability_gauge != nullptr) {
+            availability_gauge->Set(result.availability);
+        }
+        reg.GetGauge("cluster.duration_seconds")
+            ->Set(result.duration_s);
+        reg.GetGauge("cluster.rollout_promoted")
+            ->Set(static_cast<double>(std::count_if(
+                result.rollout.begin(), result.rollout.end(),
+                [](const RolloutStep& r) { return r.promoted; })));
+        reg.GetGauge("cluster.rollout_aborted")
+            ->Set(result.rollout_aborted ? 1.0 : 0.0);
+        for (const ClusterTenantStats& s : result.tenants) {
+            const obs::Labels labels = {{"tenant", s.name}};
+            reg.GetGauge("cluster.p95_latency_seconds", labels)
+                ->Set(s.p95_latency_s);
+            reg.GetGauge("cluster.throughput_rps", labels)
+                ->Set(s.throughput_rps);
+            reg.GetGauge("cluster.goodput_rps", labels)
+                ->Set(s.goodput_rps);
+            reg.GetGauge("cluster.slo_miss_fraction", labels)
+                ->Set(s.slo_miss_fraction);
+        }
+    }
+    // Final alert verdict over the end-of-run cluster gauges.
+    if (alerts != nullptr) {
+        alerts->Evaluate(*config.registry, result.duration_s);
+    }
+    return result;
+}
+
+}  // namespace t4i

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Cluster serving layer: N serving cells behind a front-end router on
+ * one shared simulated clock.
+ *
+ * The paper's Lesson 3 is that DSAs live or die at fleet scale — a
+ * deployed accelerator serves global traffic routed across many cells,
+ * keeps serving while whole cells fail, and rolls new model versions
+ * without an outage. This layer composes the existing single-cell
+ * machinery (src/serving/cell.h) into that fleet story:
+ *
+ *  - the router draws cluster-wide Poisson arrivals per tenant and
+ *    places each on a cell via a pluggable policy (src/cluster/
+ *    routing.h), failing over to another cell when admission control
+ *    sheds the request at the door;
+ *  - cell-scoped FaultPlans can take whole cells down; the router
+ *    detects it through health signals (optionally on a lagged
+ *    health-check interval) and routes around the outage;
+ *  - a scripted canary rollout drains cells one at a time, swaps the
+ *    model version (a device-latency scale), and promotes or aborts on
+ *    the soak-window p95 versus the rest of the fleet;
+ *  - a burn-rate autoscaler activates/parks cells from a pre-built
+ *    standby pool against the windowed `serving.slo_burn_rate`; the
+ *    N+k planner (src/fleet/planner.h) seeds the initial active count.
+ *
+ * Request accounting is conservative at the router's books:
+ * `arrived == completed + dropped + shed` across the cluster, where a
+ * failed-over injection counts as arrived+shed inside the cell that
+ * refused it but only once at the router.
+ */
+#ifndef T4I_CLUSTER_CLUSTER_H
+#define T4I_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/routing.h"
+#include "src/common/status.h"
+#include "src/serving/cell.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+
+/** Scripted cell-by-cell rollout of a new model version. */
+struct CanaryConfig {
+    bool enabled = false;
+    /**
+     * The new version's device latency relative to the old (1.0 =
+     * identical; > 1 = a regressed candidate the rollout must catch).
+     */
+    double latency_scale = 1.0;
+    /** When the rollout begins (sim seconds). */
+    double start_s = 0.0;
+    /** Soak time per cell after the swap before the promote/abort
+     *  verdict. */
+    double soak_s = 0.5;
+    /**
+     * Abort when the canary cell's soak-window p95 exceeds this ratio
+     * times the p95 of the not-yet-rolled cells over the same window.
+     */
+    double abort_p95_ratio = 1.5;
+    /** Minimum completions on both sides before a verdict counts. */
+    int64_t min_samples = 20;
+};
+
+/** Burn-rate driven cell autoscaling. */
+struct AutoscalerConfig {
+    bool enabled = false;
+    /** Evaluation cadence (sim seconds). */
+    double interval_s = 0.25;
+    /**
+     * Activate a standby cell when the windowed cluster burn rate
+     * (SLO-miss fraction of the last window's completions divided by
+     * the error budget) exceeds this; park the most recently activated
+     * cell when it falls below `downscale_burn`.
+     */
+    double upscale_burn = 1.0;
+    double downscale_burn = 0.25;
+    /** Never park below this many active cells. */
+    int min_cells = 1;
+};
+
+/** One per-cell rollout step in the canary timeline. */
+struct RolloutStep {
+    int cell = -1;
+    double drain_start_s = 0.0;
+    double swap_s = 0.0;     ///< drain complete, version swapped
+    double verdict_s = 0.0;  ///< soak complete
+    bool promoted = false;
+    bool aborted = false;
+    double canary_p95_s = 0.0;
+    double baseline_p95_s = 0.0;
+};
+
+/** One autoscaler action in the timeline. */
+struct ScaleEvent {
+    double t_s = 0.0;
+    int cell = -1;
+    bool activated = false;  ///< false = parked
+    double burn_rate = 0.0;  ///< windowed burn that triggered it
+};
+
+/** Cluster run configuration. */
+struct ClusterConfig {
+    /** Tenant contracts; arrival rates are *cluster-wide* (the router
+     *  owns the Poisson processes, cells receive injections). */
+    std::vector<TenantConfig> tenants;
+    /** Cells active at t=0 before N+k seeding (the load-sized N). */
+    int num_cells = 1;
+    int devices_per_cell = 1;
+    double duration_s = 1.0;
+    uint64_t seed = 42;
+    RoutingPolicy policy = RoutingPolicy::kLeastLoaded;
+    /**
+     * Per-cell fault plans, index-aligned with the cell pool; cells
+     * beyond the vector get no faults. A plan whose scripted faults
+     * cover every device takes the whole cell out (CellOutagePlan).
+     */
+    std::vector<FaultPlan> cell_faults;
+    /** Per-cell reliability policy (hedging, cell-wide queue cap),
+     *  shared by every cell. Per-cell faults come from cell_faults. */
+    ReliabilityConfig cell_reliability;
+    /**
+     * Router health-model staleness: 0 polls ground truth at every
+     * routing decision; > 0 refreshes the health belief only every
+     * interval, so requests keep landing on a dead cell until the next
+     * check notices (they drop there — the realistic cost of lag).
+     */
+    double health_check_interval_s = 0.0;
+    /**
+     * Door-shed failover: how many distinct cells one request may try
+     * before the router sheds it. 1 disables cross-cell retries.
+     */
+    int max_route_attempts = 2;
+    /**
+     * N+k seeding: when > 0, activate NPlusKSpares(num_cells,
+     * steady-state cell availability, this target) extra cells at t=0
+     * (bounded by the standby pool).
+     */
+    double target_availability = 0.0;
+    /** Extra cells built but parked at t=0; the autoscaler's (and N+k
+     *  seeding's) headroom. Parked cells cost nothing while idle. */
+    int standby_cells = 0;
+    CanaryConfig canary;
+    AutoscalerConfig autoscaler;
+    /** Control-plane cadence: health refresh, canary steps, autoscaler
+     *  windows, live availability gauge, and alert evaluation. */
+    double control_interval_s = 0.05;
+
+    // --- observability (all optional) --------------------------------
+    /** Shared registry; cells label their instruments {cell="i"} and
+     *  the router writes `cluster.*`. */
+    obs::MetricsRegistry* registry = nullptr;
+    /** Shared timeline: router arrivals/sheds on its own pid, each
+     *  cell's device/queue tracks on pid trace_pid_base + 1 + i. */
+    obs::TraceBuilder* trace = nullptr;
+    int trace_pid_base = 10;
+    /**
+     * Request tracing: the first max_traced_requests arrivals get a
+     * router "request" root span with one "route" child per attempt
+     * (failed-over attempts linked to the winning one) parenting the
+     * cell-side span tree.
+     */
+    obs::SpanCollector* spans = nullptr;
+    int64_t max_traced_requests = 256;
+    /** Evaluated against `registry` every control tick and at the end
+     *  — alert on `cluster.availability` and friends. */
+    obs::AlertEngine* alerts = nullptr;
+    double slo_error_budget = 0.01;
+    /**
+     * Routing disabled: run the single cell with its *internal*
+     * arrival process (the router never touches a request), which
+     * reproduces RunServingCell for the same seed bit for bit.
+     * Requires num_cells == 1 and no cluster features (failover,
+     * canary, autoscaler, standby pool).
+     */
+    bool passthrough = false;
+};
+
+/** Per-tenant cluster-wide stats (router's books). */
+struct ClusterTenantStats {
+    std::string name;
+    int64_t arrived = 0;
+    int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;        ///< in-cell evictions + router sheds
+    int64_t router_shed = 0; ///< no routable cell / every attempt shed
+    int64_t failovers = 0;   ///< door-sheds retried on another cell
+    int64_t slo_misses = 0;
+    double mean_latency_s = 0.0;
+    double p50_latency_s = 0.0;
+    double p95_latency_s = 0.0;
+    double p99_latency_s = 0.0;
+    double slo_miss_fraction = 0.0;  ///< of completed
+    double throughput_rps = 0.0;
+    double goodput_rps = 0.0;
+};
+
+/** Whole-cluster results. */
+struct ClusterResult {
+    /** Router-side per-tenant accounting (conservation holds here). */
+    std::vector<ClusterTenantStats> tenants;
+    /** Per-cell drained results, index-aligned with the pool. */
+    std::vector<ServingResult> cells;
+    int64_t arrived = 0;
+    int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;
+    int64_t router_shed = 0;
+    int64_t failovers = 0;
+    /** Request availability: completed / arrived (1.0 on no traffic). */
+    double availability = 1.0;
+    double duration_s = 0.0;
+    int initial_active_cells = 0;
+    int peak_active_cells = 0;
+    /** Spares the N+k planner added at t=0 (target_availability). */
+    int planned_spares = 0;
+    std::vector<RolloutStep> rollout;
+    bool rollout_complete = false;
+    bool rollout_aborted = false;
+    std::vector<ScaleEvent> scale_events;
+    int64_t upscales = 0;
+    int64_t downscales = 0;
+};
+
+/**
+ * A fault plan that takes a whole @p num_devices cell out at
+ * @p fail_at_s (repaired at @p repair_at_s; negative = never).
+ */
+FaultPlan CellOutagePlan(int num_devices, double fail_at_s,
+                         double repair_at_s = -1.0);
+
+/**
+ * The availability floor the N+k model predicts for a cluster that
+ * needs @p needed of @p total cells, each independently up with
+ * probability @p cell_availability — the bar the outage drills hold
+ * the measured request availability against.
+ */
+double PredictedAvailabilityFloor(int needed, int total,
+                                  double cell_availability);
+
+/** Runs the cluster to full drain. Deterministic in config.seed. */
+StatusOr<ClusterResult> RunCluster(const ClusterConfig& config);
+
+}  // namespace t4i
+
+#endif  // T4I_CLUSTER_CLUSTER_H

@@ -1,0 +1,113 @@
+#include "src/cluster/routing.h"
+
+namespace t4i {
+namespace {
+
+/** Routable cell with the shallowest queue; lowest index on ties so
+ *  decisions are reproducible. Returns -1 when none is routable. */
+int
+LeastLoaded(const std::vector<CellView>& cells)
+{
+    int best = -1;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (!Routable(cells[i])) continue;
+        if (best < 0 ||
+            cells[i].queue_depth <
+                cells[static_cast<size_t>(best)].queue_depth) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+const char*
+RoutingPolicyName(RoutingPolicy policy)
+{
+    switch (policy) {
+        case RoutingPolicy::kRoundRobin: return "round-robin";
+        case RoutingPolicy::kLeastLoaded: return "least-loaded";
+        case RoutingPolicy::kPowerOfTwo: return "p2c";
+        case RoutingPolicy::kTenantAffinity: return "affinity";
+    }
+    return "unknown";
+}
+
+StatusOr<RoutingPolicy>
+ParseRoutingPolicy(const std::string& name)
+{
+    if (name == "round-robin") return RoutingPolicy::kRoundRobin;
+    if (name == "least-loaded") return RoutingPolicy::kLeastLoaded;
+    if (name == "p2c") return RoutingPolicy::kPowerOfTwo;
+    if (name == "affinity") return RoutingPolicy::kTenantAffinity;
+    return Status::InvalidArgument(
+        "unknown routing policy '" + name +
+        "' (want round-robin, least-loaded, p2c, or affinity)");
+}
+
+int
+PickCell(RoutingPolicy policy, const std::vector<CellView>& cells,
+         uint64_t* rr_cursor, Rng& rng)
+{
+    switch (policy) {
+        case RoutingPolicy::kRoundRobin: {
+            // Next routable cell after the cursor; the cursor advances
+            // past the pick so failed cells are simply skipped.
+            for (size_t k = 0; k < cells.size(); ++k) {
+                const size_t i = (*rr_cursor + k) % cells.size();
+                if (Routable(cells[i])) {
+                    *rr_cursor = i + 1;
+                    return static_cast<int>(i);
+                }
+            }
+            return -1;
+        }
+        case RoutingPolicy::kLeastLoaded:
+            return LeastLoaded(cells);
+        case RoutingPolicy::kPowerOfTwo: {
+            // Sample two distinct routable cells; take the shorter
+            // queue (first sample on ties).
+            std::vector<int> routable;
+            routable.reserve(cells.size());
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (Routable(cells[i])) {
+                    routable.push_back(static_cast<int>(i));
+                }
+            }
+            if (routable.empty()) return -1;
+            if (routable.size() == 1) return routable[0];
+            const size_t n = routable.size();
+            const size_t a = rng.NextBounded(n);
+            size_t b = rng.NextBounded(n - 1);
+            if (b >= a) ++b;
+            const int ca = routable[a];
+            const int cb = routable[b];
+            return cells[static_cast<size_t>(cb)].queue_depth <
+                           cells[static_cast<size_t>(ca)].queue_depth
+                       ? cb
+                       : ca;
+        }
+        case RoutingPolicy::kTenantAffinity: {
+            // Least-loaded among cells with the tenant's weights
+            // resident; least-loaded overall when none (the one
+            // switch penalty paid there buys residency for the next
+            // request).
+            int best = -1;
+            for (size_t i = 0; i < cells.size(); ++i) {
+                if (!Routable(cells[i]) || !cells[i].tenant_resident) {
+                    continue;
+                }
+                if (best < 0 ||
+                    cells[i].queue_depth <
+                        cells[static_cast<size_t>(best)].queue_depth) {
+                    best = static_cast<int>(i);
+                }
+            }
+            return best >= 0 ? best : LeastLoaded(cells);
+        }
+    }
+    return -1;
+}
+
+}  // namespace t4i

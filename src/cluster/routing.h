@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Front-end routing policies for the cluster serving layer.
+ *
+ * The router sits above N serving cells (src/serving/cell.h) and picks
+ * one per request. Policies are pure functions over per-cell snapshots
+ * so they can be unit-tested in isolation (tests/test_cluster.cpp) and
+ * compared head-to-head in bench_e19_cluster:
+ *
+ *  - round-robin: spread blindly; baseline everyone beats;
+ *  - least-loaded: global-minimum queue depth — the best possible
+ *    snapshot decision, but needs fresh depth from every cell;
+ *  - power-of-two-choices: sample two random cells, take the shorter
+ *    queue. Classic result: ~all of least-loaded's tail benefit at two
+ *    probes instead of N, and far better than round-robin under skew;
+ *  - tenant-affinity: prefer cells where the tenant's weights are
+ *    already resident (a device there ran it last), so the request
+ *    avoids the CMEM re-staging penalty (`switch_penalty_s`); falls
+ *    back to least-loaded when no resident cell is eligible.
+ */
+#ifndef T4I_CLUSTER_ROUTING_H
+#define T4I_CLUSTER_ROUTING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace t4i {
+
+enum class RoutingPolicy {
+    kRoundRobin,
+    kLeastLoaded,
+    kPowerOfTwo,
+    kTenantAffinity,
+};
+
+/** Canonical CLI/bench name ("round-robin", "least-loaded", "p2c",
+ *  "affinity"). */
+const char* RoutingPolicyName(RoutingPolicy policy);
+
+/** Inverse of RoutingPolicyName; rejects unknown names. */
+StatusOr<RoutingPolicy> ParseRoutingPolicy(const std::string& name);
+
+/**
+ * The router's snapshot of one cell at a routing decision. `healthy`
+ * is the router's *belief* (possibly stale under a health-check
+ * interval), not ground truth; `accepting` is the control-plane state
+ * (false while draining for a canary swap or parked by the
+ * autoscaler).
+ */
+struct CellView {
+    bool healthy = true;
+    bool accepting = true;
+    int64_t queue_depth = 0;
+    /** Some device in the cell ran this request's tenant last. */
+    bool tenant_resident = false;
+};
+
+/** A cell is routable when believed healthy and accepting traffic. */
+inline bool
+Routable(const CellView& view)
+{
+    return view.healthy && view.accepting;
+}
+
+/**
+ * Picks a cell for one request, or -1 when no cell is routable.
+ * @p rr_cursor is the router's round-robin state (advanced by the
+ * round-robin policy, read-only for the rest); @p rng drives the
+ * power-of-two sampling. Deterministic given (cells, cursor, rng
+ * state).
+ */
+int PickCell(RoutingPolicy policy, const std::vector<CellView>& cells,
+             uint64_t* rr_cursor, Rng& rng);
+
+}  // namespace t4i
+
+#endif  // T4I_CLUSTER_ROUTING_H

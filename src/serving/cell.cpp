@@ -1,0 +1,1258 @@
+#include "src/serving/cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Status
+ValidateServingInputs(const std::vector<TenantConfig>& tenants,
+                      int num_devices, double duration_s,
+                      const ReliabilityConfig& reliability)
+{
+    if (tenants.empty()) {
+        return Status::InvalidArgument("no tenants");
+    }
+    if (num_devices < 1) {
+        return Status::InvalidArgument(StrFormat(
+            "num_devices must be >= 1, got %d", num_devices));
+    }
+    // Zero is a legal (degenerate) arrival window: the run sees no
+    // arrivals and reports all-zero statistics.
+    if (duration_s < 0.0) {
+        return Status::InvalidArgument("duration must be >= 0");
+    }
+    for (const auto& t : tenants) {
+        if (!t.latency_s) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "' has no latency model");
+        }
+        if (t.max_batch < 1) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': max_batch must be >= 1");
+        }
+        if (t.arrival_rate <= 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': arrival_rate must be positive");
+        }
+        if (t.slo_s < 0.0 || t.deadline_s < 0.0 || t.batch_wait_s < 0.0 ||
+            t.host_overhead_s < 0.0 || t.switch_penalty_s < 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': durations must be >= 0");
+        }
+        if (t.max_queue < 0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': max_queue must be >= 0");
+        }
+        if (t.max_retries < 0 || t.retry_backoff_s < 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + t.name + "': retry policy must be >= 0");
+        }
+    }
+    if (reliability.hedge_quantile <= 0.0 ||
+        reliability.hedge_quantile >= 1.0) {
+        return Status::InvalidArgument(
+            "hedge_quantile must be in (0, 1)");
+    }
+    if (reliability.max_cell_queue < 0) {
+        return Status::InvalidArgument("max_cell_queue must be >= 0");
+    }
+    return Status::Ok();
+}
+
+}  // namespace
+
+double
+DrawNextArrival(Rng& rng, const TenantConfig& cfg, double t)
+{
+    if (!cfg.rate_multiplier) {
+        return t + rng.NextExponential(cfg.arrival_rate);
+    }
+    const double peak =
+        cfg.arrival_rate * std::max(cfg.peak_rate_multiplier, 1e-9);
+    for (int guard = 0; guard < 100000; ++guard) {
+        t += rng.NextExponential(peak);
+        const double accept =
+            cfg.arrival_rate * cfg.rate_multiplier(t) / peak;
+        if (rng.NextBool(std::clamp(accept, 0.0, 1.0))) return t;
+    }
+    return t;  // pathological multiplier; degrade gracefully
+}
+
+StatusOr<std::unique_ptr<ServeCell>>
+ServeCell::Create(Options options)
+{
+    std::unique_ptr<ServeCell> cell(new ServeCell());
+    Status status = cell->Init(std::move(options));
+    if (!status.ok()) return status;
+    return std::move(cell);
+}
+
+ServeCell::~ServeCell()
+{
+    // The black-box device-state provider captures `this`; it must not
+    // outlive the cell.
+    if (recorder_ != nullptr) {
+        recorder_->SetDeviceStateProvider(nullptr);
+    }
+}
+
+obs::Labels
+ServeCell::WithExtra(obs::Labels labels) const
+{
+    for (const auto& kv : telemetry_.extra_labels) {
+        labels.push_back(kv);
+    }
+    return labels;
+}
+
+Status
+ServeCell::Init(Options options)
+{
+    T4I_RETURN_IF_ERROR(ValidateServingInputs(
+        options.tenants, options.num_devices, options.duration_s,
+        options.reliability));
+
+    tenants_ = std::move(options.tenants);
+    num_devices_ = options.num_devices;
+    duration_s_ = options.duration_s;
+    telemetry_ = std::move(options.telemetry);
+    reliability_ = std::move(options.reliability);
+    external_ = options.external_arrivals;
+    span_name_ = std::move(options.request_span_name);
+
+    // Expand the fault plan out past any plausible drain time; random
+    // failures beyond the horizon simply stop occurring.
+    const FaultPlan& plan = reliability_.faults;
+    double horizon_s =
+        duration_s_ * 4.0 + 10.0 * (plan.mtbf_s + plan.mttr_s) + 1.0;
+    for (const auto& f : plan.scripted) {
+        if (f.repair_at_s > 0.0) {
+            horizon_s = std::max(horizon_s, f.repair_at_s + duration_s_);
+        }
+    }
+    auto timeline_or = BuildFaultTimeline(plan, num_devices_, horizon_s);
+    T4I_RETURN_IF_ERROR(timeline_or.status());
+    timeline_ = std::move(timeline_or).ConsumeValue();
+    faults_active_ = plan.enabled();
+    // Transient batch errors draw from their own stream so injecting
+    // faults never perturbs the arrival process.
+    fault_rng_ = Rng(plan.seed ^ 0x7472616e73ULL);
+
+    rng_ = Rng(options.seed);
+    state_.assign(tenants_.size(), TenantState{});
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        state_[i].next_arrival_s =
+            external_ ? kInf : DrawNextArrival(rng_, tenants_[i], 0.0);
+    }
+    devices_.assign(static_cast<size_t>(num_devices_), DeviceState{});
+
+    // Telemetry setup: per-tenant instruments and named trace tracks.
+    // Device batches render on tids [0, num_devices); each tenant's
+    // arrival/queue activity on tid num_devices + tenant index.
+    trace_ = telemetry_.trace;
+    pid_ = telemetry_.trace_pid;
+    if (trace_ != nullptr) {
+        trace_->SetProcessName(pid_, "serving cell");
+        for (int d = 0; d < num_devices_; ++d) {
+            trace_->SetThreadName(pid_, d, StrFormat("device %d", d));
+        }
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+            trace_->SetThreadName(pid_, QueueTid(i),
+                                  "queue: " + tenants_[i].name);
+        }
+        if (faults_active_) {
+            // Fault instants on the device tracks (capped per device
+            // so high failure rates cannot bloat the trace).
+            for (int d = 0; d < num_devices_; ++d) {
+                int emitted = 0;
+                for (const auto& iv : timeline_.down(d)) {
+                    if (emitted >= 256) break;
+                    trace_->AddInstant(pid_, d, "fault: down",
+                                       iv.start_s * kUsPerSecond);
+                    if (iv.end_s < kInf) {
+                        trace_->AddInstant(pid_, d, "fault: up",
+                                           iv.end_s * kUsPerSecond);
+                    }
+                    ++emitted;
+                }
+                for (const auto& s : timeline_.slowdowns(d)) {
+                    trace_->AddInstant(pid_, d, "fault: slow",
+                                       s.start_s * kUsPerSecond);
+                    trace_->AddInstant(pid_, d, "fault: normal",
+                                       s.end_s * kUsPerSecond);
+                }
+            }
+        }
+    }
+    if (telemetry_.registry != nullptr) {
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+            const obs::Labels labels =
+                WithExtra({{"tenant", tenants_[i].name}});
+            TenantState& ts = state_[i];
+            obs::MetricsRegistry& reg = *telemetry_.registry;
+            ts.latency_hist =
+                reg.GetHistogram("serving.latency_seconds", labels);
+            ts.batch_hist =
+                reg.GetHistogram("serving.batch_size", labels);
+            ts.completed_counter =
+                reg.GetCounter("serving.completed", labels);
+            ts.slo_miss_counter =
+                reg.GetCounter("serving.slo_miss", labels);
+            // Reliability counters exist (at zero) even in fault-free
+            // runs so exports and the CI schema stay stable.
+            ts.retry_counter = reg.GetCounter("serving.retries", labels);
+            ts.shed_counter = reg.GetCounter("serving.shed", labels);
+            ts.drop_counter =
+                reg.GetCounter("serving.deadline_drops", labels);
+            ts.hedge_win_counter =
+                reg.GetCounter("serving.hedge_wins", labels);
+            if (telemetry_.slo_error_budget > 0.0) {
+                ts.burn_gauge =
+                    reg.GetGauge("serving.slo_burn_rate", labels);
+            }
+            for (const AttributionShare& share :
+                 telemetry_.batch_attribution) {
+                ts.attribution_hists.push_back(reg.GetHistogram(
+                    "serving.attribution.seconds",
+                    WithExtra({{"tenant", tenants_[i].name},
+                               {"component", share.component}})));
+            }
+        }
+    }
+    // Request-scoped observability (all optional; null sinks leave
+    // the run bit-identical): span collector, black-box recorder, and
+    // the alert engine (which needs the registry to read from).
+    spans_ = telemetry_.spans;
+    recorder_ = telemetry_.recorder;
+    alerts_ =
+        (telemetry_.alerts != nullptr && telemetry_.registry != nullptr)
+            ? telemetry_.alerts
+            : nullptr;
+    if (recorder_ != nullptr) {
+        if (telemetry_.registry != nullptr) {
+            recorder_->BindRegistry(telemetry_.registry);
+        }
+        if (spans_ != nullptr) {
+            recorder_->BindSpans(spans_);
+            spans_->BindRecorder(recorder_);
+        }
+        // Per-device fault state for black-box dumps; cleared in the
+        // destructor because the provider captures this cell.
+        recorder_->SetDeviceStateProvider([this](double t) {
+            std::string out = "[";
+            for (int d = 0; d < num_devices_; ++d) {
+                if (d > 0) out += ",";
+                const bool down =
+                    faults_active_ && timeline_.IsDown(d, t);
+                const double speed =
+                    faults_active_ ? timeline_.SpeedFactor(d, t) : 1.0;
+                out += StrFormat(
+                    "{\"device\":%d,\"down\":%s,"
+                    "\"speed_factor\":%.6g}",
+                    d, down ? "true" : "false", speed);
+            }
+            return out + "]";
+        });
+        if (faults_active_) {
+            // Scheduled fault transitions land in the ring up front
+            // (capped per device) so a dump shows what was coming.
+            for (int d = 0; d < num_devices_; ++d) {
+                int emitted = 0;
+                for (const auto& iv : timeline_.down(d)) {
+                    if (emitted >= 64) break;
+                    recorder_->Record(
+                        obs::FlightEventKind::kFault, iv.start_s,
+                        StrFormat("device %d down (scheduled)", d));
+                    if (iv.end_s < kInf) {
+                        recorder_->Record(
+                            obs::FlightEventKind::kFault, iv.end_s,
+                            StrFormat("device %d up (scheduled)", d));
+                    }
+                    ++emitted;
+                }
+            }
+        }
+    }
+    return Status::Ok();
+}
+
+bool
+ServeCell::MoreArrivals(size_t i) const
+{
+    if (external_) return !arrivals_closed_;
+    return state_[i].next_arrival_s < duration_s_;
+}
+
+int64_t
+ServeCell::TotalQueued() const
+{
+    int64_t total = 0;
+    for (const auto& ts : state_) {
+        total += static_cast<int64_t>(ts.queue.size());
+    }
+    return total;
+}
+
+int64_t
+ServeCell::QueueDepth() const
+{
+    return TotalQueued();
+}
+
+int64_t
+ServeCell::QueueDepth(size_t tenant) const
+{
+    T4I_CHECK(tenant < state_.size(), "tenant index out of range");
+    return static_cast<int64_t>(state_[tenant].queue.size());
+}
+
+bool
+ServeCell::Healthy(double t_s) const
+{
+    if (!faults_active_) return true;
+    for (int d = 0; d < num_devices_; ++d) {
+        if (!timeline_.IsDown(d, t_s)) return true;
+    }
+    return false;
+}
+
+bool
+ServeCell::TenantResident(size_t tenant) const
+{
+    for (const auto& d : devices_) {
+        if (d.last_tenant == static_cast<int>(tenant)) return true;
+    }
+    return false;
+}
+
+bool
+ServeCell::Drained() const
+{
+    return TotalQueued() == 0;
+}
+
+void
+ServeCell::SetLatencyScale(double scale)
+{
+    T4I_CHECK(scale > 0.0, "latency scale must be positive");
+    latency_scale_ = scale;
+}
+
+void
+ServeCell::EmitQueueDepth(size_t i, double t)
+{
+    TenantState& ts = state_[i];
+    const auto depth = static_cast<int64_t>(ts.queue.size());
+    ts.max_queue_depth = std::max(ts.max_queue_depth, depth);
+    if (trace_ != nullptr && depth != ts.last_emitted_depth) {
+        trace_->AddCounter(pid_,
+                           "queue depth: " + tenants_[i].name,
+                           t * kUsPerSecond,
+                           static_cast<double>(depth));
+        ts.last_emitted_depth = depth;
+    }
+    if (recorder_ != nullptr && depth != ts.last_recorder_depth) {
+        recorder_->Record(obs::FlightEventKind::kQueueDepth, t,
+                          "queue: " + tenants_[i].name,
+                          static_cast<double>(depth));
+        ts.last_recorder_depth = depth;
+    }
+}
+
+void
+ServeCell::EndRequest(size_t tenant, const Request& req, double end_s,
+                      RequestOutcome outcome, bool slo_miss)
+{
+    if (!request_end_hook_) return;
+    RequestEnd end;
+    end.tenant = tenant;
+    end.arrival_s = req.arrival_s;
+    end.end_s = end_s;
+    end.outcome = outcome;
+    end.slo_miss = slo_miss;
+    end.tag = req.tag;
+    request_end_hook_(end);
+}
+
+bool
+ServeCell::AdmitOrShed(size_t i, Request req)
+{
+    const TenantConfig& cfg = tenants_[i];
+    TenantState& ts = state_[i];
+    ++ts.arrived;
+    // Admission control: per-tenant bound first, then the cell-wide
+    // cap (evict lowest-priority backlog first).
+    bool accepted = true;
+    if (cfg.max_queue > 0 &&
+        static_cast<int64_t>(ts.queue.size()) >= cfg.max_queue) {
+        accepted = false;
+    } else if (reliability_.max_cell_queue > 0 &&
+               TotalQueued() >= reliability_.max_cell_queue) {
+        // Find the lowest-priority tenant with a backlog (largest
+        // queue breaks ties).
+        size_t victim = i;
+        bool have_victim = false;
+        for (size_t j = 0; j < tenants_.size(); ++j) {
+            if (state_[j].queue.empty()) continue;
+            if (!have_victim ||
+                tenants_[j].priority < tenants_[victim].priority ||
+                (tenants_[j].priority == tenants_[victim].priority &&
+                 state_[j].queue.size() > state_[victim].queue.size())) {
+                victim = j;
+                have_victim = true;
+            }
+        }
+        if (have_victim && tenants_[victim].priority < cfg.priority) {
+            const Request& evicted = state_[victim].queue.back();
+            if (spans_ != nullptr && evicted.root_span != 0) {
+                spans_->SetAttribute(evicted.root_span,
+                                     "outcome", "shed");
+                spans_->EndSpan(evicted.queue_span, now_);
+                spans_->EndSpan(evicted.root_span, now_);
+            }
+            if (recorder_ != nullptr) {
+                recorder_->Record(
+                    obs::FlightEventKind::kDrop, now_,
+                    "evicted: " + tenants_[victim].name);
+            }
+            EndRequest(victim, evicted, now_, RequestOutcome::kEvicted,
+                       false);
+            state_[victim].queue.pop_back();
+            ++state_[victim].shed;
+            if (state_[victim].shed_counter != nullptr) {
+                state_[victim].shed_counter->Increment();
+            }
+            EmitQueueDepth(victim, now_);
+        } else {
+            accepted = false;
+        }
+    }
+    if (accepted) {
+        if (trace_ != nullptr &&
+            ts.flows_started < telemetry_.max_flows_per_tenant) {
+            req.flow_id = static_cast<int64_t>(next_flow_id_++);
+            ++ts.flows_started;
+            trace_->AddInstant(pid_, QueueTid(i), "arrive",
+                               req.arrival_s * kUsPerSecond);
+            trace_->AddFlowStart(pid_, QueueTid(i), "request",
+                                 static_cast<uint64_t>(req.flow_id),
+                                 req.arrival_s * kUsPerSecond);
+        }
+        if (spans_ != nullptr) {
+            if (req.trace_id != 0) {
+                // Externally-routed request with trace context: the
+                // cell span joins the caller's trace under its span
+                // (budget is the router's concern, not the cell's).
+                req.root_span =
+                    spans_->StartSpan(req.trace_id, req.parent_span,
+                                      span_name_, req.arrival_s);
+                spans_->SetAttribute(req.root_span, "tenant", cfg.name);
+                req.queue_span = spans_->StartSpan(
+                    req.trace_id, req.root_span, "queue",
+                    req.arrival_s);
+            } else if (ts.traces_started <
+                       telemetry_.max_traced_requests_per_tenant) {
+                ++ts.traces_started;
+                req.trace_id = spans_->NewTrace();
+                req.root_span = spans_->StartSpan(
+                    req.trace_id, 0, span_name_, req.arrival_s);
+                spans_->SetAttribute(req.root_span, "tenant", cfg.name);
+                req.queue_span = spans_->StartSpan(
+                    req.trace_id, req.root_span, "queue",
+                    req.arrival_s);
+            }
+        }
+        ts.queue.push_back(req);
+    } else {
+        ++ts.shed;
+        if (ts.shed_counter != nullptr) {
+            ts.shed_counter->Increment();
+        }
+        if (trace_ != nullptr) {
+            trace_->AddInstant(pid_, QueueTid(i), "shed",
+                               req.arrival_s * kUsPerSecond);
+        }
+        if (recorder_ != nullptr) {
+            recorder_->Record(obs::FlightEventKind::kDrop,
+                              req.arrival_s, "shed: " + cfg.name);
+        }
+    }
+    return accepted;
+}
+
+void
+ServeCell::DeliverArrivals()
+{
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        const TenantConfig& cfg = tenants_[i];
+        TenantState& ts = state_[i];
+        if (!external_) {
+            while (ts.next_arrival_s <= now_ &&
+                   ts.next_arrival_s < duration_s_) {
+                Request req;
+                req.arrival_s = ts.next_arrival_s;
+                AdmitOrShed(i, req);
+                ts.next_arrival_s =
+                    DrawNextArrival(rng_, cfg, ts.next_arrival_s);
+            }
+        }
+        // Deadline sweep: queued requests older than the deadline are
+        // dropped (distinct from SLO misses, which complete).
+        if (cfg.deadline_s > 0.0) {
+            while (!ts.queue.empty() &&
+                   ts.queue.front().arrival_s + cfg.deadline_s <=
+                       now_) {
+                const Request& doomed = ts.queue.front();
+                if (spans_ != nullptr && doomed.root_span != 0) {
+                    spans_->SetAttribute(doomed.root_span, "outcome",
+                                         "deadline_drop");
+                    spans_->EndSpan(doomed.queue_span, now_);
+                    spans_->EndSpan(doomed.root_span, now_);
+                }
+                if (recorder_ != nullptr) {
+                    recorder_->OnDeadlineDrop(
+                        now_, "deadline drop: " + cfg.name);
+                }
+                EndRequest(i, doomed, now_,
+                           RequestOutcome::kDeadlineDrop, false);
+                ts.queue.pop_front();
+                ++ts.dropped;
+                if (ts.drop_counter != nullptr) {
+                    ts.drop_counter->Increment();
+                }
+                if (trace_ != nullptr) {
+                    trace_->AddInstant(pid_, QueueTid(i),
+                                       "deadline drop",
+                                       now_ * kUsPerSecond);
+                }
+            }
+        }
+        EmitQueueDepth(i, now_);
+    }
+}
+
+ServeCell::Injected
+ServeCell::InjectArrival(size_t tenant, double arrival_s,
+                         uint64_t trace_id, obs::SpanId parent_span,
+                         uint64_t tag)
+{
+    T4I_CHECK(external_,
+              "InjectArrival requires external_arrivals mode");
+    T4I_CHECK(tenant < tenants_.size(), "tenant index out of range");
+    T4I_CHECK(!arrivals_closed_, "arrivals already closed");
+    Injected out;
+    // Lazy clock: injected arrivals deliver exactly like internal ones
+    // (at the dispatch loop's current instant, never earlier).
+    now_ = std::max(now_, arrival_s);
+    Request req;
+    req.arrival_s = arrival_s;
+    req.trace_id = trace_id;
+    req.parent_span = parent_span;
+    req.tag = tag;
+    out.admitted = AdmitOrShed(tenant, req);
+    if (out.admitted) {
+        out.span = state_[tenant].queue.back().root_span;
+    }
+    EmitQueueDepth(tenant, now_);
+    return out;
+}
+
+void
+ServeCell::CloseArrivals()
+{
+    arrivals_closed_ = true;
+}
+
+void
+ServeCell::AdvanceTo(double limit_s)
+{
+    while (!done_) {
+        // Deliver all arrivals up to `now_` and sweep deadlines.
+        DeliverArrivals();
+
+        // Periodic alert evaluation in sim time: histograms and
+        // counters update live, so for-duration rules can arm, fire,
+        // and (via the recorder) trigger a black-box dump mid-run.
+        if (alerts_ != nullptr && now_ >= next_alert_eval_) {
+            alerts_->Evaluate(*telemetry_.registry, now_);
+            next_alert_eval_ =
+                now_ + std::max(telemetry_.alert_eval_interval_s, 1e-6);
+        }
+
+        // A tenant is dispatchable when its batch is full, its oldest
+        // request has waited out the batching patience, or no more
+        // arrivals are coming. Retry backoff gates the queue head.
+        auto dispatchable = [&](size_t i) {
+            if (state_[i].queue.empty()) return false;
+            if (state_[i].queue.front().not_before_s > now_) {
+                return false;
+            }
+            if (tenants_[i].batch_wait_s <= 0.0) return true;
+            if (static_cast<int64_t>(state_[i].queue.size()) >=
+                tenants_[i].max_batch) {
+                return true;
+            }
+            if (!MoreArrivals(i)) return true;
+            return now_ - state_[i].queue.front().arrival_s >=
+                   tenants_[i].batch_wait_s;
+        };
+
+        // Pick the highest-priority dispatchable tenant; round-robin
+        // within the winning priority level.
+        int best_priority = 0;
+        bool found = false;
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+            if (!dispatchable(i)) continue;
+            if (!found || tenants_[i].priority > best_priority) {
+                best_priority = tenants_[i].priority;
+                found = true;
+            }
+        }
+        int chosen = -1;
+        if (found) {
+            for (size_t k = 0; k < tenants_.size(); ++k) {
+                const size_t idx = (rr_cursor_ + k) % tenants_.size();
+                if (dispatchable(idx) &&
+                    tenants_[idx].priority == best_priority) {
+                    chosen = static_cast<int>(idx);
+                    break;
+                }
+            }
+        }
+
+        if (chosen < 0) {
+            // Advance to the next event: an arrival, a batching
+            // deadline expiring, a retry backoff elapsing, or a
+            // request deadline expiring.
+            double next = 1e300;
+            bool have_event = false;
+            for (size_t i = 0; i < tenants_.size(); ++i) {
+                if (!external_ &&
+                    state_[i].next_arrival_s < duration_s_) {
+                    next = std::min(next, state_[i].next_arrival_s);
+                    have_event = true;
+                }
+                if (!state_[i].queue.empty()) {
+                    const Request& front = state_[i].queue.front();
+                    // A retry backoff gates dispatch, so the patience
+                    // event cannot fire before it (clamping keeps the
+                    // loop advancing instead of re-visiting a stale
+                    // patience instant forever).
+                    next = std::min(
+                        next,
+                        std::max(front.arrival_s +
+                                     tenants_[i].batch_wait_s,
+                                 front.not_before_s));
+                    if (tenants_[i].deadline_s > 0.0) {
+                        next = std::min(next,
+                                        front.arrival_s +
+                                            tenants_[i].deadline_s);
+                    }
+                    have_event = true;
+                }
+            }
+            if (!have_event) {
+                // External cells with the arrival stream still open
+                // are idle, not done — more injections may come.
+                if (!external_ || arrivals_closed_) done_ = true;
+                return;
+            }
+            if (next > limit_s) return;
+            now_ = std::max(now_ + 1e-12, next);
+            continue;
+        }
+        // Defer dispatches at or beyond the limit so a caller stepping
+        // many cells on a shared clock can inject arrivals timestamped
+        // `limit_s` before work at that instant executes — the same
+        // arrivals-before-dispatch order the internal loop guarantees.
+        if (now_ >= limit_s) return;
+        rr_cursor_ = static_cast<size_t>(chosen) + 1;
+        DispatchChosen(chosen);
+    }
+}
+
+bool
+ServeCell::DispatchChosen(int chosen)
+{
+    TenantState& ts = state_[static_cast<size_t>(chosen)];
+    const TenantConfig& cfg = tenants_[static_cast<size_t>(chosen)];
+    const FaultPlan& plan = reliability_.faults;
+
+    // Dead cell: every device is permanently down from here on — drop
+    // the backlog (and, next iterations, future arrivals) so the loop
+    // terminates instead of queueing forever.
+    if (faults_active_) {
+        double earliest_up = kInf;
+        for (int d = 0; d < num_devices_; ++d) {
+            earliest_up = std::min(
+                earliest_up,
+                timeline_.NextUp(
+                    d, std::max(now_, devices_[static_cast<size_t>(d)]
+                                          .device_free_s)));
+        }
+        if (earliest_up == kInf) {
+            if (recorder_ != nullptr) {
+                recorder_->OnFault(now_, "cell dead: every device "
+                                         "down permanently");
+            }
+            for (size_t i = 0; i < tenants_.size(); ++i) {
+                TenantState& dead = state_[i];
+                while (!dead.queue.empty()) {
+                    const Request& doomed = dead.queue.front();
+                    if (spans_ != nullptr && doomed.root_span != 0) {
+                        spans_->SetAttribute(doomed.root_span,
+                                             "outcome",
+                                             "dropped_dead_cell");
+                        spans_->EndSpan(doomed.queue_span, now_);
+                        spans_->EndSpan(doomed.root_span, now_);
+                    }
+                    EndRequest(i, doomed, now_,
+                               RequestOutcome::kDeadCell, false);
+                    dead.queue.pop_front();
+                    ++dead.dropped;
+                    if (dead.drop_counter != nullptr) {
+                        dead.drop_counter->Increment();
+                    }
+                }
+                EmitQueueDepth(i, now_);
+            }
+            return false;
+        }
+    }
+
+    // Dispatch to the earliest-usable device (earliest-free when no
+    // faults are configured — bit-identical to the fault-free
+    // simulator).
+    int dev_index = 0;
+    {
+        double best_key = kInf;
+        for (int d = 0; d < num_devices_; ++d) {
+            double key = devices_[static_cast<size_t>(d)].device_free_s;
+            if (faults_active_) {
+                key = timeline_.NextUp(d, std::max(key, now_));
+            }
+            if (key < best_key) {
+                best_key = key;
+                dev_index = d;
+            }
+        }
+    }
+    DeviceState* device = &devices_[static_cast<size_t>(dev_index)];
+
+    const auto batch = static_cast<int64_t>(std::min<size_t>(
+        ts.queue.size(), static_cast<size_t>(cfg.max_batch)));
+    // Pull the batch's requests out now; they either complete or are
+    // re-enqueued / dropped on failure.
+    std::vector<Request> in_flight;
+    in_flight.reserve(static_cast<size_t>(batch));
+    for (int64_t j = 0; j < batch; ++j) {
+        in_flight.push_back(ts.queue.front());
+        ts.queue.pop_front();
+    }
+
+    // Two-stage pipeline: the host prepares this batch (possibly while
+    // the device still runs the previous one), then the device
+    // executes.
+    const double host_start = std::max(now_, device->host_free_s);
+    const double host_done = host_start + cfg.host_overhead_s;
+    device->host_free_s = host_done;
+    device->host_busy_s += cfg.host_overhead_s;
+
+    double device_start = std::max(host_done, device->device_free_s);
+    if (faults_active_) {
+        device_start = timeline_.NextUp(dev_index, device_start);
+    }
+    if (device->last_tenant != chosen && cfg.switch_penalty_s > 0.0) {
+        switch_overhead_ += cfg.switch_penalty_s;
+        device_start += cfg.switch_penalty_s;
+    }
+    device->last_tenant = chosen;
+
+    // The latency scale is the canary-rollout model-version knob; at
+    // the default 1.0 the nominal time is untouched (bit-identical).
+    double nominal_exec = cfg.latency_s(batch);
+    if (latency_scale_ != 1.0) nominal_exec *= latency_scale_;
+    double exec = nominal_exec;
+    if (faults_active_) {
+        exec /= timeline_.SpeedFactor(dev_index, device_start);
+    }
+    double finish = device_start + exec;
+    bool primary_aborted = false;
+    if (faults_active_) {
+        const double next_fail =
+            timeline_.NextFailure(dev_index, device_start);
+        if (next_fail < finish) {
+            // Device died mid-batch: the work is lost at the failure
+            // instant.
+            primary_aborted = true;
+            finish = next_fail;
+            if (recorder_ != nullptr) {
+                recorder_->OnFault(
+                    finish,
+                    StrFormat("device %d failed mid-batch "
+                              "(tenant %s, batch %lld)",
+                              dev_index, cfg.name.c_str(),
+                              static_cast<long long>(batch)));
+            }
+        }
+    }
+    device->busy_s += finish - std::max(now_, device->device_free_s);
+    device->device_free_s = finish;
+
+    // Hedged dispatch: if this copy is projected to run longer than
+    // the hedge quantile of observed batch times (straggler) or its
+    // device died mid-batch, re-issue on a second device after the
+    // quantile-sized delay. The losing copy's work is wasted but
+    // counted as busy — the real cost of hedging.
+    bool hedged = false;
+    bool hedge_aborted = false;
+    int hedge_dev = -1;
+    double hedge_start = kInf;
+    double hedge_finish = kInf;
+    if (reliability_.hedge && num_devices_ > 1 &&
+        ts.device_times.count() >= 16) {
+        // Straggler = slow *relative to this batch's nominal time* (an
+        // absolute-time quantile would flag every full-size batch and
+        // hedge the cell into overload). The hedge launches once the
+        // primary has overstayed the quantile slowdown for its batch.
+        const double threshold =
+            nominal_exec * ts.device_times.Percentile(
+                               100.0 * reliability_.hedge_quantile);
+        if (primary_aborted || exec > threshold) {
+            const double hedge_issue = device_start + threshold;
+            double best_key = kInf;
+            for (int d = 0; d < num_devices_; ++d) {
+                if (d == dev_index) continue;
+                const double key = timeline_.NextUp(
+                    d, std::max(devices_[static_cast<size_t>(d)]
+                                    .device_free_s,
+                                hedge_issue));
+                if (key < best_key) {
+                    best_key = key;
+                    hedge_dev = d;
+                }
+            }
+            if (hedge_dev >= 0 && best_key < kInf) {
+                hedged = true;
+                ++ts.hedges;
+                DeviceState& hd =
+                    devices_[static_cast<size_t>(hedge_dev)];
+                hedge_start = best_key;
+                const double hedge_exec =
+                    nominal_exec /
+                    timeline_.SpeedFactor(hedge_dev, hedge_start);
+                hedge_finish = hedge_start + hedge_exec;
+                const double hedge_fail =
+                    timeline_.NextFailure(hedge_dev, hedge_start);
+                if (hedge_fail < hedge_finish) {
+                    hedge_aborted = true;
+                    hedge_finish = hedge_fail;
+                    if (recorder_ != nullptr) {
+                        recorder_->OnFault(
+                            hedge_finish,
+                            StrFormat("device %d failed "
+                                      "mid-batch (hedge copy, "
+                                      "tenant %s)",
+                                      hedge_dev, cfg.name.c_str()));
+                    }
+                }
+                hd.busy_s += hedge_finish - hedge_start;
+                hd.device_free_s = hedge_finish;
+                hd.last_tenant = chosen;
+            }
+        }
+    }
+
+    // Outcome: each copy that ran to completion may still fail
+    // transiently; the earliest surviving copy wins the batch.
+    auto copy_survives = [&](bool aborted) {
+        if (aborted) return false;
+        if (plan.transient_failure_prob > 0.0) {
+            return !fault_rng_.NextBool(plan.transient_failure_prob);
+        }
+        return true;
+    };
+    const bool primary_ok = copy_survives(primary_aborted);
+    const bool hedge_ok = hedged && copy_survives(hedge_aborted);
+    double completion = kInf;
+    bool success = false;
+    bool hedge_won = false;
+    int win_dev = dev_index;
+    double win_start = device_start;
+    if (primary_ok) {
+        completion = finish;
+        success = true;
+    }
+    if (hedge_ok && hedge_finish < completion) {
+        completion = hedge_finish;
+        success = true;
+        hedge_won = true;
+        win_dev = hedge_dev;
+        win_start = hedge_start;
+    }
+    if (hedge_won) {
+        ++ts.hedge_wins;
+        if (ts.hedge_win_counter != nullptr) {
+            ts.hedge_win_counter->Increment();
+        }
+    }
+
+    if (trace_ != nullptr) {
+        trace_->AddComplete(
+            pid_, dev_index, cfg.name, "batch",
+            device_start * kUsPerSecond,
+            (finish - device_start) * kUsPerSecond,
+            StrFormat("{\"batch\":%lld,\"outcome\":\"%s\"}",
+                      static_cast<long long>(batch),
+                      primary_ok ? "ok" : "failed"));
+        if (hedged) {
+            trace_->AddComplete(
+                pid_, hedge_dev, cfg.name + " (hedge)", "batch",
+                hedge_start * kUsPerSecond,
+                (hedge_finish - hedge_start) * kUsPerSecond,
+                StrFormat("{\"batch\":%lld,\"win\":%d}",
+                          static_cast<long long>(batch),
+                          hedge_won ? 1 : 0));
+        }
+    }
+
+    // Span recording: the queue wait ends at batch formation, a
+    // "batch" child covers host staging + device wait, and every
+    // dispatch copy becomes an "execute" child. The winning copy
+    // gains engine-group sub-spans (split per batch_attribution); the
+    // losing copy links to the winner. On success the root closes at
+    // the completion instant, so root duration is exactly the latency
+    // the simulator reports; with no retries or hedges the three
+    // children tile the root exactly.
+    if (spans_ != nullptr) {
+        double frac_total = 0.0;
+        for (const auto& share : telemetry_.batch_attribution) {
+            frac_total += share.fraction;
+        }
+        for (Request& req : in_flight) {
+            if (req.root_span == 0) continue;
+            spans_->EndSpan(req.queue_span, now_);
+            req.queue_span = 0;
+            const obs::SpanId form = spans_->StartSpan(
+                req.trace_id, req.root_span, "batch", now_);
+            spans_->SetAttribute(
+                form, "batch",
+                StrFormat("%lld", static_cast<long long>(batch)));
+            spans_->EndSpan(form, device_start);
+            const obs::SpanId primary = spans_->StartSpan(
+                req.trace_id, req.root_span, "execute", device_start);
+            spans_->SetAttribute(primary, "device",
+                                 StrFormat("%d", dev_index));
+            spans_->SetAttribute(primary, "attempt",
+                                 StrFormat("%d", req.attempts));
+            spans_->SetAttribute(primary, "outcome",
+                                 primary_aborted ? "aborted"
+                                 : primary_ok    ? "ok"
+                                                 : "transient_error");
+            spans_->EndSpan(primary, finish);
+            obs::SpanId hedge_span = 0;
+            if (hedged) {
+                hedge_span = spans_->StartSpan(
+                    req.trace_id, req.root_span, "execute",
+                    hedge_start);
+                spans_->SetAttribute(hedge_span, "device",
+                                     StrFormat("%d", hedge_dev));
+                spans_->SetAttribute(hedge_span, "hedge", "1");
+                spans_->SetAttribute(hedge_span, "outcome",
+                                     hedge_aborted ? "aborted"
+                                     : hedge_ok    ? "ok"
+                                                   : "transient_error");
+                spans_->EndSpan(hedge_span, hedge_finish);
+            }
+            if (!success) continue;
+            const obs::SpanId winner = hedge_won ? hedge_span : primary;
+            if (hedged) {
+                spans_->Link(hedge_won ? primary : hedge_span, winner);
+                spans_->SetAttribute(winner, "won", "1");
+            }
+            // Engine-group sub-spans partition the winning execution;
+            // when the shares sum to 1 the last segment snaps to the
+            // exact completion instant.
+            const double dur = completion - win_start;
+            double cursor = win_start;
+            double cum = 0.0;
+            for (size_t a = 0; a < telemetry_.batch_attribution.size();
+                 ++a) {
+                const AttributionShare& share =
+                    telemetry_.batch_attribution[a];
+                cum += share.fraction;
+                double seg_end = win_start + dur * cum;
+                if (a + 1 == telemetry_.batch_attribution.size() &&
+                    std::abs(frac_total - 1.0) < 1e-9) {
+                    seg_end = completion;
+                }
+                const obs::SpanId seg = spans_->StartSpan(
+                    req.trace_id, winner,
+                    "execute/" + share.component, cursor);
+                spans_->EndSpan(seg, seg_end);
+                cursor = seg_end;
+            }
+            const double latency = completion - req.arrival_s;
+            spans_->SetAttribute(req.root_span, "outcome",
+                                 "completed");
+            if (latency > cfg.slo_s) {
+                spans_->SetAttribute(req.root_span, "slo_miss", "1");
+            }
+            spans_->EndSpan(req.root_span, completion);
+        }
+    }
+
+    if (success) {
+        if (reliability_.hedge && nominal_exec > 0.0) {
+            ts.device_times.Add((completion - win_start) /
+                                nominal_exec);
+        }
+        // Split the winning copy's device time across the attribution
+        // components so tenants can read a p95 of "time spent in MXU"
+        // rather than just a p95 latency.
+        for (size_t a = 0; a < ts.attribution_hists.size(); ++a) {
+            ts.attribution_hists[a]->Observe(
+                (completion - win_start) *
+                telemetry_.batch_attribution[a].fraction);
+        }
+        for (const Request& req : in_flight) {
+            const double latency = completion - req.arrival_s;
+            ts.latencies.Add(latency);
+            ++ts.completed;
+            if (latency > cfg.slo_s) ++ts.slo_misses;
+            if (ts.latency_hist != nullptr) {
+                ts.latency_hist->Observe(latency);
+                ts.completed_counter->Increment();
+                if (latency > cfg.slo_s) {
+                    ts.slo_miss_counter->Increment();
+                }
+            }
+            if (trace_ != nullptr && req.flow_id >= 0) {
+                // arrival (queue track) -> batch start (device track)
+                // -> completion, all one arrow.
+                trace_->AddFlowStep(
+                    pid_, win_dev, "request",
+                    static_cast<uint64_t>(req.flow_id),
+                    win_start * kUsPerSecond);
+                trace_->AddFlowEnd(
+                    pid_, win_dev, "request",
+                    static_cast<uint64_t>(req.flow_id),
+                    completion * kUsPerSecond);
+            }
+            EndRequest(static_cast<size_t>(chosen), req, completion,
+                       RequestOutcome::kCompleted,
+                       latency > cfg.slo_s);
+        }
+        if (ts.burn_gauge != nullptr && ts.completed > 0) {
+            ts.burn_gauge->Set(static_cast<double>(ts.slo_misses) /
+                               static_cast<double>(ts.completed) /
+                               telemetry_.slo_error_budget);
+        }
+    } else {
+        // Batch failed on every copy: bounded retry with exponential
+        // backoff, preserving arrival order at the queue head;
+        // requests out of retries are dropped.
+        ++ts.retried;
+        if (ts.retry_counter != nullptr) {
+            ts.retry_counter->Increment();
+        }
+        const double fail_known =
+            hedged ? std::max(finish, hedge_finish) : finish;
+        if (trace_ != nullptr) {
+            trace_->AddInstant(pid_, dev_index, "batch failed",
+                               fail_known * kUsPerSecond);
+        }
+        for (auto it = in_flight.rbegin(); it != in_flight.rend();
+             ++it) {
+            Request req = *it;
+            if (req.attempts >= cfg.max_retries) {
+                ++ts.dropped;
+                if (ts.drop_counter != nullptr) {
+                    ts.drop_counter->Increment();
+                }
+                if (spans_ != nullptr && req.root_span != 0) {
+                    spans_->SetAttribute(req.root_span, "outcome",
+                                         "retries_exhausted");
+                    spans_->EndSpan(req.root_span, fail_known);
+                }
+                if (recorder_ != nullptr && req.root_span != 0) {
+                    recorder_->Record(
+                        obs::FlightEventKind::kDrop, fail_known,
+                        "retries exhausted: " + cfg.name, 0.0);
+                }
+                EndRequest(static_cast<size_t>(chosen), req,
+                           fail_known,
+                           RequestOutcome::kRetriesExhausted, false);
+                continue;
+            }
+            const int shift = std::min(req.attempts, 20);
+            req.not_before_s =
+                fail_known +
+                cfg.retry_backoff_s *
+                    static_cast<double>(int64_t{1} << shift);
+            ++req.attempts;
+            if (spans_ != nullptr && req.root_span != 0) {
+                // The request re-enters the queue: annotate the root
+                // and open a fresh queue-wait child covering the
+                // backoff plus the renewed wait.
+                spans_->AddEvent(
+                    req.root_span,
+                    StrFormat("retry %d scheduled", req.attempts),
+                    fail_known);
+                req.queue_span = spans_->StartSpan(
+                    req.trace_id, req.root_span, "queue", fail_known);
+                spans_->SetAttribute(req.queue_span, "retry",
+                                     StrFormat("%d", req.attempts));
+            }
+            ts.queue.push_front(req);
+        }
+    }
+    ts.batches.Add(static_cast<double>(batch));
+    if (ts.batch_hist != nullptr) {
+        ts.batch_hist->Observe(static_cast<double>(batch));
+    }
+    EmitQueueDepth(static_cast<size_t>(chosen), now_);
+
+    // Advance to the next batch-formation point: the host stage leads
+    // the device by the host overhead so the two-stage pipeline stays
+    // full (with zero host overhead this reduces to "wait until a
+    // device frees").
+    double max_host = 0.0;
+    for (const auto& t : tenants_) {
+        max_host = std::max(max_host, t.host_overhead_s);
+    }
+    double candidate = 1e300;
+    for (size_t d = 0; d < devices_.size(); ++d) {
+        double usable = std::max(devices_[d].host_free_s,
+                                 devices_[d].device_free_s - max_host);
+        if (faults_active_) {
+            // A down device's stale free-time must not defeat the
+            // backpressure throttle (it would dispatch degenerate
+            // batches the instant they arrive); wait for the next
+            // instant the device can actually take work.
+            usable = timeline_.NextUp(static_cast<int>(d), usable);
+        }
+        candidate = std::min(candidate, usable);
+    }
+    if (candidate < 1e300) now_ = std::max(now_, candidate);
+    return true;
+}
+
+ServingResult
+ServeCell::Finish()
+{
+    T4I_CHECK(!finished_, "ServeCell::Finish called twice");
+    finished_ = true;
+
+    ServingResult result;
+    double last_finish = duration_s_;
+    double busy_sum = 0.0;
+    double host_sum = 0.0;
+    for (const auto& d : devices_) {
+        last_finish = std::max(last_finish, d.device_free_s);
+        busy_sum += d.busy_s;
+        host_sum += d.host_busy_s;
+    }
+    result.duration_s = last_finish;
+    // A zero-length arrival window has no device-seconds to normalise
+    // by; the honest utilisation of a run that never ran is zero, not
+    // NaN.
+    const double device_seconds = result.duration_s * num_devices_;
+    result.device_busy_fraction =
+        device_seconds > 0.0 ? busy_sum / device_seconds : 0.0;
+    result.host_busy_fraction =
+        device_seconds > 0.0 ? host_sum / device_seconds : 0.0;
+    result.switch_overhead_fraction =
+        device_seconds > 0.0 ? switch_overhead_ / device_seconds : 0.0;
+    result.availability =
+        (faults_active_ && result.duration_s > 0.0)
+            ? timeline_.Availability(result.duration_s)
+            : 1.0;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        TenantStats s;
+        s.name = tenants_[i].name;
+        s.arrived = state_[i].arrived;
+        s.completed = state_[i].completed;
+        s.dropped = state_[i].dropped;
+        s.shed = state_[i].shed;
+        s.retried = state_[i].retried;
+        s.hedges = state_[i].hedges;
+        s.hedge_wins = state_[i].hedge_wins;
+        s.mean_latency_s = state_[i].latencies.Mean();
+        s.p50_latency_s = state_[i].latencies.Percentile(50.0);
+        s.p95_latency_s = state_[i].latencies.Percentile(95.0);
+        s.p99_latency_s = state_[i].latencies.Percentile(99.0);
+        s.slo_misses = state_[i].slo_misses;
+        s.slo_miss_fraction =
+            state_[i].completed > 0
+                ? static_cast<double>(state_[i].slo_misses) /
+                      static_cast<double>(state_[i].completed)
+                : 0.0;
+        s.throughput_rps =
+            result.duration_s > 0.0
+                ? static_cast<double>(state_[i].completed) /
+                      result.duration_s
+                : 0.0;
+        s.goodput_rps =
+            result.duration_s > 0.0
+                ? static_cast<double>(state_[i].completed -
+                                      state_[i].slo_misses) /
+                      result.duration_s
+                : 0.0;
+        s.mean_batch = state_[i].batches.mean();
+        s.max_queue_depth = state_[i].max_queue_depth;
+        result.tenants.push_back(std::move(s));
+    }
+
+    if (telemetry_.registry != nullptr) {
+        obs::MetricsRegistry& reg = *telemetry_.registry;
+        const obs::Labels cell_labels = WithExtra({});
+        reg.GetGauge("serving.device_busy_fraction", cell_labels)
+            ->Set(result.device_busy_fraction);
+        reg.GetGauge("serving.host_busy_fraction", cell_labels)
+            ->Set(result.host_busy_fraction);
+        reg.GetGauge("serving.switch_overhead_fraction", cell_labels)
+            ->Set(result.switch_overhead_fraction);
+        reg.GetGauge("serving.duration_seconds", cell_labels)
+            ->Set(result.duration_s);
+        reg.GetGauge("serving.availability", cell_labels)
+            ->Set(result.availability);
+        for (const auto& tenant : result.tenants) {
+            const obs::Labels labels =
+                WithExtra({{"tenant", tenant.name}});
+            reg.GetGauge("serving.slo_miss_fraction", labels)
+                ->Set(tenant.slo_miss_fraction);
+            if (telemetry_.slo_error_budget > 0.0) {
+                // Burn rate > 1 means the tenant is spending its error
+                // budget faster than it accrues (SRE convention).
+                reg.GetGauge("serving.slo_burn_rate", labels)
+                    ->Set(tenant.slo_miss_fraction /
+                          telemetry_.slo_error_budget);
+            }
+            reg.GetGauge("serving.throughput_rps", labels)
+                ->Set(tenant.throughput_rps);
+            reg.GetGauge("serving.goodput_rps", labels)
+                ->Set(tenant.goodput_rps);
+            reg.GetGauge("serving.max_queue_depth", labels)
+                ->Set(static_cast<double>(tenant.max_queue_depth));
+        }
+    }
+    // One final alert pass over the end-of-run gauges so rules on
+    // run-level metrics (availability, final burn rate) get a verdict
+    // even when the run ends between evaluation intervals.
+    if (alerts_ != nullptr) {
+        alerts_->Evaluate(*telemetry_.registry, result.duration_s);
+    }
+    return result;
+}
+
+}  // namespace t4i

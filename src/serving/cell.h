@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Steppable serving cell — the unit the cluster layer schedules.
+ *
+ * RunServingCell (src/serving/server.h) runs one cell's discrete-event
+ * loop to completion. The cluster layer (src/cluster/) needs finer
+ * control: N cells must advance in lockstep on one shared sim clock
+ * while a front-end router injects arrivals between their events. A
+ * ServeCell holds the loop's entire state as an object and exposes it
+ * incrementally:
+ *
+ *  - AdvanceTo(limit) processes every internal event with an action
+ *    time <= limit and then returns, leaving the cell ready to resume;
+ *  - InjectArrival() delivers one externally-routed request (external-
+ *    arrival mode disables the cell's own Poisson streams);
+ *  - introspection (QueueDepth, Healthy, TenantResident, Drained)
+ *    gives routing policies the health/load signals they key on;
+ *  - SetLatencyScale() is the model-version knob canary rollouts turn;
+ *  - a request-end hook reports every admitted request's terminal fate
+ *    so the layer above can keep cluster-wide latency percentiles and
+ *    close its router spans.
+ *
+ * RunServingCell is now a thin wrapper: Create + AdvanceTo(inf) +
+ * Finish. With internal arrivals the refactor is pure code motion, so
+ * the wrapper reproduces the pre-refactor simulator bit for bit (the
+ * regression guard in tests/test_serving.cpp and the 1-cell cluster
+ * guard in tests/test_cluster.cpp both enforce this).
+ */
+#ifndef T4I_SERVING_CELL_H
+#define T4I_SERVING_CELL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+
+/** Terminal fate of one admitted request. */
+enum class RequestOutcome {
+    kCompleted,         ///< served (possibly past the SLO)
+    kDeadlineDrop,      ///< expired in the queue
+    kEvicted,           ///< evicted by the cell-wide queue cap
+    kRetriesExhausted,  ///< every re-execution failed
+    kDeadCell,          ///< dropped when the whole cell died
+};
+
+/** One admitted request's terminal event (cluster accounting). */
+struct RequestEnd {
+    size_t tenant = 0;
+    double arrival_s = 0.0;
+    double end_s = 0.0;
+    RequestOutcome outcome = RequestOutcome::kCompleted;
+    /** Only meaningful for kCompleted. */
+    bool slo_miss = false;
+    /** Opaque tag passed at injection (0 = none). The cluster router
+     *  stores its root span id here to close it on completion. */
+    uint64_t tag = 0;
+};
+
+/**
+ * Draws the next Poisson arrival after @p t for @p cfg using @p rng —
+ * homogeneous, or thinned non-homogeneous when a rate_multiplier is
+ * set. Shared by the cell (internal arrivals) and the cluster router
+ * (cluster-wide streams) so the two processes cannot drift apart.
+ */
+double DrawNextArrival(Rng& rng, const TenantConfig& cfg, double t);
+
+/** One serving cell as a steppable object. */
+class ServeCell {
+  public:
+    struct Options {
+        std::vector<TenantConfig> tenants;
+        int num_devices = 1;
+        /** End of the arrival window (queues drain afterwards). */
+        double duration_s = 1.0;
+        uint64_t seed = 42;
+        ServingTelemetry telemetry;
+        ReliabilityConfig reliability;
+        /**
+         * Cluster mode: arrivals come from InjectArrival instead of
+         * the tenants' own Poisson processes, and "no more arrivals"
+         * is signalled by CloseArrivals rather than duration_s.
+         */
+        bool external_arrivals = false;
+        /** Root-span name for per-request traces; the cluster passes
+         *  "cell" and parents these under its router "request" spans. */
+        std::string request_span_name = "request";
+    };
+
+    static StatusOr<std::unique_ptr<ServeCell>> Create(Options options);
+    ~ServeCell();
+    ServeCell(const ServeCell&) = delete;
+    ServeCell& operator=(const ServeCell&) = delete;
+
+    /**
+     * Processes every internal event with action time <= @p limit_s:
+     * arrival delivery, deadline sweeps, batch dispatches, and idle
+     * clock advances. Events beyond the limit stay pending, so a
+     * scheduler can interleave many cells on one shared clock. Pass
+     * +infinity to run to completion.
+     */
+    void AdvanceTo(double limit_s);
+
+    /** Injection result: door verdict plus the request's root span. */
+    struct Injected {
+        bool admitted = false;
+        /** The cell-side request span (0 when untraced). */
+        obs::SpanId span = 0;
+    };
+
+    /**
+     * Delivers one externally-routed request (external-arrival mode
+     * only) through the same admission control as internal arrivals;
+     * a false verdict means the door shed it (counted in this cell's
+     * arrived/shed books). @p trace_id / @p parent_span, when nonzero,
+     * parent the request's cell span under the caller's span; @p tag
+     * rides along into the request-end hook.
+     */
+    Injected InjectArrival(size_t tenant, double arrival_s,
+                           uint64_t trace_id = 0,
+                           obs::SpanId parent_span = 0,
+                           uint64_t tag = 0);
+
+    /** External-arrival mode: no further injections will come; queued
+     *  work may now dispatch without batching patience. */
+    void CloseArrivals();
+
+    /** True when no internal event can ever fire again. */
+    bool Done() const { return done_; }
+
+    /**
+     * Final statistics; call once, after AdvanceTo(+inf) has drained
+     * the cell (and CloseArrivals in external mode). Also writes the
+     * run-level registry gauges and runs the final alert evaluation.
+     */
+    ServingResult Finish();
+
+    // --- routing/introspection signals -------------------------------
+    /** Total queued requests across tenants. */
+    int64_t QueueDepth() const;
+    /** Queued requests for one tenant. */
+    int64_t QueueDepth(size_t tenant) const;
+    /** True when at least one device is up at @p t_s (health signal
+     *  the router polls; always true without injected faults). */
+    bool Healthy(double t_s) const;
+    /** True when some device ran @p tenant last — its weights are
+     *  staged, so routing here avoids the switch penalty. */
+    bool TenantResident(size_t tenant) const;
+    /** True when every tenant queue is empty (rollout drain point). */
+    bool Drained() const;
+    /** Current local sim time. */
+    double now_s() const { return now_; }
+    int num_devices() const { return num_devices_; }
+    double duration_s() const { return duration_s_; }
+
+    /**
+     * Model-version knob: scales every tenant's device latency from
+     * now on (1.0 = baseline). Canary rollouts drain a cell, swap the
+     * scale, and compare per-version latency. Takes effect at the
+     * next dispatch; already-running batches are unaffected.
+     */
+    void SetLatencyScale(double scale);
+    double latency_scale() const { return latency_scale_; }
+
+    /** Called once per admitted request at its terminal event. Pure
+     *  observation: the simulation is bit-identical with or without. */
+    void set_request_end_hook(std::function<void(const RequestEnd&)> h)
+    {
+        request_end_hook_ = std::move(h);
+    }
+
+  private:
+    struct Request {
+        double arrival_s = 0.0;
+        /** Telemetry flow id (arrival -> batch -> completion). */
+        int64_t flow_id = -1;
+        /** Retry backoff gate: not dispatchable before this time. */
+        double not_before_s = 0.0;
+        /** Failed executions so far (bounded by max_retries). */
+        int attempts = 0;
+        /** Span context (0 = untraced request). */
+        uint64_t trace_id = 0;
+        obs::SpanId root_span = 0;
+        /** The currently-open queue-wait child span. */
+        obs::SpanId queue_span = 0;
+        /** External parent span for the root (cluster router). */
+        obs::SpanId parent_span = 0;
+        /** Opaque router tag surfaced in the request-end hook. */
+        uint64_t tag = 0;
+    };
+
+    struct TenantState {
+        std::deque<Request> queue;
+        double next_arrival_s = 0.0;
+        PercentileTracker latencies;
+        /** Observed device times of winning batches (hedge baseline). */
+        PercentileTracker device_times;
+        RunningStat batches;
+        int64_t arrived = 0;
+        int64_t completed = 0;
+        int64_t dropped = 0;
+        int64_t shed = 0;
+        int64_t retried = 0;
+        int64_t hedges = 0;
+        int64_t hedge_wins = 0;
+        int64_t slo_misses = 0;
+        int64_t max_queue_depth = 0;
+
+        // Telemetry plumbing (null when no sink is configured).
+        obs::HistogramMetric* latency_hist = nullptr;
+        obs::HistogramMetric* batch_hist = nullptr;
+        obs::Counter* completed_counter = nullptr;
+        obs::Counter* slo_miss_counter = nullptr;
+        obs::Counter* retry_counter = nullptr;
+        obs::Counter* shed_counter = nullptr;
+        obs::Counter* drop_counter = nullptr;
+        obs::Counter* hedge_win_counter = nullptr;
+        /** Live SLO burn-rate gauge (updated per completed batch). */
+        obs::Gauge* burn_gauge = nullptr;
+        /** Aligned with ServingTelemetry::batch_attribution. */
+        std::vector<obs::HistogramMetric*> attribution_hists;
+        int64_t flows_started = 0;
+        int64_t last_emitted_depth = -1;
+        int64_t traces_started = 0;
+        int64_t last_recorder_depth = -1;
+    };
+
+    struct DeviceState {
+        double device_free_s = 0.0;
+        double host_free_s = 0.0;
+        double busy_s = 0.0;
+        double host_busy_s = 0.0;
+        int last_tenant = -1;
+    };
+
+    ServeCell() = default;
+    Status Init(Options options);
+
+    /** True when tenant @p i may still receive arrivals. */
+    bool MoreArrivals(size_t i) const;
+    /** Trace track for tenant @p i's queue activity. */
+    int QueueTid(size_t i) const
+    {
+        return num_devices_ + static_cast<int>(i);
+    }
+    /** @p labels plus the telemetry's extra_labels (cell identity). */
+    obs::Labels WithExtra(obs::Labels labels) const;
+    /** Admission control shared by internal and injected arrivals;
+     *  returns true when @p req joined the queue. */
+    bool AdmitOrShed(size_t i, Request req);
+    void EmitQueueDepth(size_t i, double t);
+    int64_t TotalQueued() const;
+    void EndRequest(size_t tenant, const Request& req, double end_s,
+                    RequestOutcome outcome, bool slo_miss);
+    /** Delivers due arrivals and runs the deadline sweep up to now_. */
+    void DeliverArrivals();
+    /** Executes one batch for tenant @p chosen at now_; returns false
+     *  when the cell turned out to be permanently dead instead. */
+    bool DispatchChosen(int chosen);
+
+    // --- immutable run configuration ---------------------------------
+    std::vector<TenantConfig> tenants_;
+    int num_devices_ = 1;
+    double duration_s_ = 0.0;
+    ServingTelemetry telemetry_;
+    ReliabilityConfig reliability_;
+    bool external_ = false;
+    std::string span_name_ = "request";
+    FaultTimeline timeline_;
+    bool faults_active_ = false;
+
+    // --- mutable simulation state ------------------------------------
+    Rng rng_{0};
+    Rng fault_rng_{0};
+    std::vector<TenantState> state_;
+    std::vector<DeviceState> devices_;
+    double now_ = 0.0;
+    double switch_overhead_ = 0.0;
+    uint64_t next_flow_id_ = 1;
+    size_t rr_cursor_ = 0;  ///< round-robin fairness within a priority
+    double next_alert_eval_ = 0.0;
+    double latency_scale_ = 1.0;
+    bool arrivals_closed_ = false;
+    bool done_ = false;
+    bool finished_ = false;
+
+    std::function<void(const RequestEnd&)> request_end_hook_;
+
+    // Telemetry shorthands bound at Init.
+    obs::TraceBuilder* trace_ = nullptr;
+    int pid_ = 2;
+    obs::SpanCollector* spans_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
+    obs::AlertEngine* alerts_ = nullptr;
+};
+
+}  // namespace t4i
+
+#endif  // T4I_SERVING_CELL_H

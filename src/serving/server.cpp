@@ -1,1139 +1,36 @@
 #include "src/serving/server.h"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
 #include <limits>
+#include <memory>
+#include <utility>
 
-#include "src/common/rng.h"
-#include "src/common/stats.h"
-#include "src/common/strings.h"
+#include "src/serving/cell.h"
 
 namespace t4i {
-namespace {
 
-constexpr double kUsPerSecond = 1e6;
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
-struct Request {
-    double arrival_s;
-    /** Telemetry flow id (arrival -> batch -> completion); -1 = none. */
-    int64_t flow_id = -1;
-    /** Retry backoff gate: not dispatchable before this time. */
-    double not_before_s = 0.0;
-    /** Failed executions so far (bounded by max_retries). */
-    int attempts = 0;
-    /** Span context (0 = untraced request). */
-    uint64_t trace_id = 0;
-    obs::SpanId root_span = 0;
-    /** The currently-open queue-wait child span. */
-    obs::SpanId queue_span = 0;
-};
-
-struct TenantState {
-    std::deque<Request> queue;
-    double next_arrival_s = 0.0;
-    PercentileTracker latencies;
-    /** Observed device times of winning batches; the hedge baseline. */
-    PercentileTracker device_times;
-    RunningStat batches;
-    int64_t arrived = 0;
-    int64_t completed = 0;
-    int64_t dropped = 0;
-    int64_t shed = 0;
-    int64_t retried = 0;
-    int64_t hedges = 0;
-    int64_t hedge_wins = 0;
-    int64_t slo_misses = 0;
-    int64_t max_queue_depth = 0;
-
-    // Telemetry plumbing (null when no sink is configured).
-    obs::HistogramMetric* latency_hist = nullptr;
-    obs::HistogramMetric* batch_hist = nullptr;
-    obs::Counter* completed_counter = nullptr;
-    obs::Counter* slo_miss_counter = nullptr;
-    obs::Counter* retry_counter = nullptr;
-    obs::Counter* shed_counter = nullptr;
-    obs::Counter* drop_counter = nullptr;
-    obs::Counter* hedge_win_counter = nullptr;
-    /** Live SLO burn-rate gauge (updated per completed batch). */
-    obs::Gauge* burn_gauge = nullptr;
-    /** Aligned with ServingTelemetry::batch_attribution. */
-    std::vector<obs::HistogramMetric*> attribution_hists;
-    int64_t flows_started = 0;
-    int64_t last_emitted_depth = -1;
-    int64_t traces_started = 0;
-    int64_t last_recorder_depth = -1;
-};
-
-struct DeviceState {
-    double device_free_s = 0.0;
-    double host_free_s = 0.0;
-    double busy_s = 0.0;
-    double host_busy_s = 0.0;
-    int last_tenant = -1;
-};
-
-Status
-ValidateServingInputs(const std::vector<TenantConfig>& tenants,
-                      int num_devices, double duration_s,
-                      const ReliabilityConfig& reliability)
-{
-    if (tenants.empty()) {
-        return Status::InvalidArgument("no tenants");
-    }
-    if (num_devices < 1) {
-        return Status::InvalidArgument(StrFormat(
-            "num_devices must be >= 1, got %d", num_devices));
-    }
-    if (duration_s <= 0.0) {
-        return Status::InvalidArgument("duration must be positive");
-    }
-    for (const auto& t : tenants) {
-        if (!t.latency_s) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "' has no latency model");
-        }
-        if (t.max_batch < 1) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "': max_batch must be >= 1");
-        }
-        if (t.arrival_rate <= 0.0) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "': arrival_rate must be positive");
-        }
-        if (t.slo_s < 0.0 || t.deadline_s < 0.0 || t.batch_wait_s < 0.0 ||
-            t.host_overhead_s < 0.0 || t.switch_penalty_s < 0.0) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "': durations must be >= 0");
-        }
-        if (t.max_queue < 0) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "': max_queue must be >= 0");
-        }
-        if (t.max_retries < 0 || t.retry_backoff_s < 0.0) {
-            return Status::InvalidArgument(
-                "tenant '" + t.name + "': retry policy must be >= 0");
-        }
-    }
-    if (reliability.hedge_quantile <= 0.0 ||
-        reliability.hedge_quantile >= 1.0) {
-        return Status::InvalidArgument(
-            "hedge_quantile must be in (0, 1)");
-    }
-    if (reliability.max_cell_queue < 0) {
-        return Status::InvalidArgument("max_cell_queue must be >= 0");
-    }
-    return Status::Ok();
-}
-
-}  // namespace
-
+// The discrete-event loop itself lives in src/serving/cell.cpp as the
+// steppable ServeCell (the unit the cluster layer schedules); running
+// one cell to completion is just create -> advance past every event ->
+// collect. With internal arrivals this is the exact pre-ServeCell
+// simulator, bit for bit (regression-guarded in tests/test_serving.cpp).
 StatusOr<ServingResult>
 RunServingCell(const std::vector<TenantConfig>& tenants, int num_devices,
                double duration_s, uint64_t seed,
                const ServingTelemetry& telemetry,
                const ReliabilityConfig& reliability)
 {
-    T4I_RETURN_IF_ERROR(ValidateServingInputs(tenants, num_devices,
-                                              duration_s, reliability));
-
-    // Expand the fault plan out past any plausible drain time; random
-    // failures beyond the horizon simply stop occurring.
-    const FaultPlan& plan = reliability.faults;
-    double horizon_s =
-        duration_s * 4.0 + 10.0 * (plan.mtbf_s + plan.mttr_s) + 1.0;
-    for (const auto& f : plan.scripted) {
-        if (f.repair_at_s > 0.0) {
-            horizon_s = std::max(horizon_s, f.repair_at_s + duration_s);
-        }
-    }
-    auto timeline_or = BuildFaultTimeline(plan, num_devices, horizon_s);
-    T4I_RETURN_IF_ERROR(timeline_or.status());
-    const FaultTimeline& timeline = timeline_or.value();
-    const bool faults_active = plan.enabled();
-    // Transient batch errors draw from their own stream so injecting
-    // faults never perturbs the arrival process.
-    Rng fault_rng(plan.seed ^ 0x7472616e73ULL);
-
-    Rng rng(seed);
-    // Draws the next arrival after `t` — homogeneous Poisson, or
-    // thinned non-homogeneous Poisson when a rate_multiplier is set.
-    auto next_arrival = [&rng](const TenantConfig& cfg, double t) {
-        if (!cfg.rate_multiplier) {
-            return t + rng.NextExponential(cfg.arrival_rate);
-        }
-        const double peak =
-            cfg.arrival_rate * std::max(cfg.peak_rate_multiplier, 1e-9);
-        for (int guard = 0; guard < 100000; ++guard) {
-            t += rng.NextExponential(peak);
-            const double accept =
-                cfg.arrival_rate * cfg.rate_multiplier(t) / peak;
-            if (rng.NextBool(std::clamp(accept, 0.0, 1.0))) return t;
-        }
-        return t;  // pathological multiplier; degrade gracefully
-    };
-
-    std::vector<TenantState> state(tenants.size());
-    for (size_t i = 0; i < tenants.size(); ++i) {
-        state[i].next_arrival_s = next_arrival(tenants[i], 0.0);
-    }
-    std::vector<DeviceState> devices(static_cast<size_t>(num_devices));
-
-    // Telemetry setup: per-tenant instruments and named trace tracks.
-    // Device batches render on tids [0, num_devices); each tenant's
-    // arrival/queue activity on tid num_devices + tenant index.
-    obs::TraceBuilder* trace = telemetry.trace;
-    const int pid = telemetry.trace_pid;
-    auto queue_tid = [&](size_t i) {
-        return num_devices + static_cast<int>(i);
-    };
-    if (trace != nullptr) {
-        trace->SetProcessName(pid, "serving cell");
-        for (int d = 0; d < num_devices; ++d) {
-            trace->SetThreadName(pid, d, StrFormat("device %d", d));
-        }
-        for (size_t i = 0; i < tenants.size(); ++i) {
-            trace->SetThreadName(pid, queue_tid(i),
-                                 "queue: " + tenants[i].name);
-        }
-        if (faults_active) {
-            // Fault instants on the device tracks (capped per device
-            // so high failure rates cannot bloat the trace).
-            for (int d = 0; d < num_devices; ++d) {
-                int emitted = 0;
-                for (const auto& iv : timeline.down(d)) {
-                    if (emitted >= 256) break;
-                    trace->AddInstant(pid, d, "fault: down",
-                                      iv.start_s * kUsPerSecond);
-                    if (iv.end_s < kInf) {
-                        trace->AddInstant(pid, d, "fault: up",
-                                          iv.end_s * kUsPerSecond);
-                    }
-                    ++emitted;
-                }
-                for (const auto& s : timeline.slowdowns(d)) {
-                    trace->AddInstant(pid, d, "fault: slow",
-                                      s.start_s * kUsPerSecond);
-                    trace->AddInstant(pid, d, "fault: normal",
-                                      s.end_s * kUsPerSecond);
-                }
-            }
-        }
-    }
-    if (telemetry.registry != nullptr) {
-        for (size_t i = 0; i < tenants.size(); ++i) {
-            const obs::Labels labels = {{"tenant", tenants[i].name}};
-            TenantState& ts = state[i];
-            obs::MetricsRegistry& reg = *telemetry.registry;
-            ts.latency_hist =
-                reg.GetHistogram("serving.latency_seconds", labels);
-            ts.batch_hist =
-                reg.GetHistogram("serving.batch_size", labels);
-            ts.completed_counter =
-                reg.GetCounter("serving.completed", labels);
-            ts.slo_miss_counter =
-                reg.GetCounter("serving.slo_miss", labels);
-            // Reliability counters exist (at zero) even in fault-free
-            // runs so exports and the CI schema stay stable.
-            ts.retry_counter = reg.GetCounter("serving.retries", labels);
-            ts.shed_counter = reg.GetCounter("serving.shed", labels);
-            ts.drop_counter =
-                reg.GetCounter("serving.deadline_drops", labels);
-            ts.hedge_win_counter =
-                reg.GetCounter("serving.hedge_wins", labels);
-            if (telemetry.slo_error_budget > 0.0) {
-                ts.burn_gauge =
-                    reg.GetGauge("serving.slo_burn_rate", labels);
-            }
-            for (const AttributionShare& share :
-                 telemetry.batch_attribution) {
-                ts.attribution_hists.push_back(reg.GetHistogram(
-                    "serving.attribution.seconds",
-                    {{"tenant", tenants[i].name},
-                     {"component", share.component}}));
-            }
-        }
-    }
-    // Request-scoped observability (all optional; null sinks leave
-    // the run bit-identical): span collector, black-box recorder, and
-    // the alert engine (which needs the registry to read from).
-    obs::SpanCollector* spans = telemetry.spans;
-    obs::FlightRecorder* recorder = telemetry.recorder;
-    obs::AlertEngine* alerts =
-        (telemetry.alerts != nullptr && telemetry.registry != nullptr)
-            ? telemetry.alerts
-            : nullptr;
-    double next_alert_eval = 0.0;
-    if (recorder != nullptr) {
-        if (telemetry.registry != nullptr) {
-            recorder->BindRegistry(telemetry.registry);
-        }
-        if (spans != nullptr) {
-            recorder->BindSpans(spans);
-            spans->BindRecorder(recorder);
-        }
-        // Per-device fault state for black-box dumps; cleared before
-        // return because the provider captures loop-local state.
-        recorder->SetDeviceStateProvider([&timeline, num_devices,
-                                          faults_active](double t) {
-            std::string out = "[";
-            for (int d = 0; d < num_devices; ++d) {
-                if (d > 0) out += ",";
-                const bool down =
-                    faults_active && timeline.IsDown(d, t);
-                const double speed =
-                    faults_active ? timeline.SpeedFactor(d, t) : 1.0;
-                out += StrFormat(
-                    "{\"device\":%d,\"down\":%s,"
-                    "\"speed_factor\":%.6g}",
-                    d, down ? "true" : "false", speed);
-            }
-            return out + "]";
-        });
-        if (faults_active) {
-            // Scheduled fault transitions land in the ring up front
-            // (capped per device) so a dump shows what was coming.
-            for (int d = 0; d < num_devices; ++d) {
-                int emitted = 0;
-                for (const auto& iv : timeline.down(d)) {
-                    if (emitted >= 64) break;
-                    recorder->Record(
-                        obs::FlightEventKind::kFault, iv.start_s,
-                        StrFormat("device %d down (scheduled)", d));
-                    if (iv.end_s < kInf) {
-                        recorder->Record(
-                            obs::FlightEventKind::kFault, iv.end_s,
-                            StrFormat("device %d up (scheduled)", d));
-                    }
-                    ++emitted;
-                }
-            }
-        }
-    }
-    struct ProviderReset {
-        obs::FlightRecorder* recorder;
-        ~ProviderReset()
-        {
-            if (recorder != nullptr) {
-                recorder->SetDeviceStateProvider(nullptr);
-            }
-        }
-    } provider_reset{recorder};
-
-    auto emit_queue_depth = [&](size_t i, double t) {
-        TenantState& ts = state[i];
-        const auto depth = static_cast<int64_t>(ts.queue.size());
-        ts.max_queue_depth = std::max(ts.max_queue_depth, depth);
-        if (trace != nullptr && depth != ts.last_emitted_depth) {
-            trace->AddCounter(pid,
-                              "queue depth: " + tenants[i].name,
-                              t * kUsPerSecond,
-                              static_cast<double>(depth));
-            ts.last_emitted_depth = depth;
-        }
-        if (recorder != nullptr && depth != ts.last_recorder_depth) {
-            recorder->Record(obs::FlightEventKind::kQueueDepth, t,
-                             "queue: " + tenants[i].name,
-                             static_cast<double>(depth));
-            ts.last_recorder_depth = depth;
-        }
-    };
-    auto total_queued = [&]() {
-        int64_t total = 0;
-        for (const auto& ts : state) {
-            total += static_cast<int64_t>(ts.queue.size());
-        }
-        return total;
-    };
-
-    double now = 0.0;
-    double switch_overhead = 0.0;
-    uint64_t next_flow_id = 1;
-    size_t rr_cursor = 0;  // round-robin fairness within a priority
-
-    while (true) {
-        // Deliver all arrivals up to `now`.
-        bool any_pending_arrivals = false;
-        for (size_t i = 0; i < tenants.size(); ++i) {
-            const TenantConfig& cfg = tenants[i];
-            TenantState& ts = state[i];
-            while (ts.next_arrival_s <= now &&
-                   ts.next_arrival_s < duration_s) {
-                Request req{ts.next_arrival_s, -1};
-                ++ts.arrived;
-                // Admission control: per-tenant bound first, then the
-                // cell-wide cap (evict lowest-priority backlog first).
-                bool accepted = true;
-                if (cfg.max_queue > 0 &&
-                    static_cast<int64_t>(ts.queue.size()) >=
-                        cfg.max_queue) {
-                    accepted = false;
-                } else if (reliability.max_cell_queue > 0 &&
-                           total_queued() >=
-                               reliability.max_cell_queue) {
-                    // Find the lowest-priority tenant with a backlog
-                    // (largest queue breaks ties).
-                    size_t victim = i;
-                    bool have_victim = false;
-                    for (size_t j = 0; j < tenants.size(); ++j) {
-                        if (state[j].queue.empty()) continue;
-                        if (!have_victim ||
-                            tenants[j].priority <
-                                tenants[victim].priority ||
-                            (tenants[j].priority ==
-                                 tenants[victim].priority &&
-                             state[j].queue.size() >
-                                 state[victim].queue.size())) {
-                            victim = j;
-                            have_victim = true;
-                        }
-                    }
-                    if (have_victim &&
-                        tenants[victim].priority < cfg.priority) {
-                        const Request& evicted =
-                            state[victim].queue.back();
-                        if (spans != nullptr &&
-                            evicted.root_span != 0) {
-                            spans->SetAttribute(evicted.root_span,
-                                                "outcome", "shed");
-                            spans->EndSpan(evicted.queue_span, now);
-                            spans->EndSpan(evicted.root_span, now);
-                        }
-                        if (recorder != nullptr) {
-                            recorder->Record(
-                                obs::FlightEventKind::kDrop, now,
-                                "evicted: " + tenants[victim].name);
-                        }
-                        state[victim].queue.pop_back();
-                        ++state[victim].shed;
-                        if (state[victim].shed_counter != nullptr) {
-                            state[victim].shed_counter->Increment();
-                        }
-                        emit_queue_depth(victim, now);
-                    } else {
-                        accepted = false;
-                    }
-                }
-                if (accepted) {
-                    if (trace != nullptr &&
-                        ts.flows_started <
-                            telemetry.max_flows_per_tenant) {
-                        req.flow_id =
-                            static_cast<int64_t>(next_flow_id++);
-                        ++ts.flows_started;
-                        trace->AddInstant(pid, queue_tid(i), "arrive",
-                                          req.arrival_s * kUsPerSecond);
-                        trace->AddFlowStart(
-                            pid, queue_tid(i), "request",
-                            static_cast<uint64_t>(req.flow_id),
-                            req.arrival_s * kUsPerSecond);
-                    }
-                    if (spans != nullptr &&
-                        ts.traces_started <
-                            telemetry.max_traced_requests_per_tenant) {
-                        ++ts.traces_started;
-                        req.trace_id = spans->NewTrace();
-                        req.root_span = spans->StartSpan(
-                            req.trace_id, 0, "request",
-                            req.arrival_s);
-                        spans->SetAttribute(req.root_span, "tenant",
-                                            cfg.name);
-                        req.queue_span = spans->StartSpan(
-                            req.trace_id, req.root_span, "queue",
-                            req.arrival_s);
-                    }
-                    ts.queue.push_back(req);
-                } else {
-                    ++ts.shed;
-                    if (ts.shed_counter != nullptr) {
-                        ts.shed_counter->Increment();
-                    }
-                    if (trace != nullptr) {
-                        trace->AddInstant(pid, queue_tid(i), "shed",
-                                          req.arrival_s * kUsPerSecond);
-                    }
-                    if (recorder != nullptr) {
-                        recorder->Record(
-                            obs::FlightEventKind::kDrop,
-                            req.arrival_s, "shed: " + cfg.name);
-                    }
-                }
-                ts.next_arrival_s =
-                    next_arrival(cfg, ts.next_arrival_s);
-            }
-            // Deadline sweep: queued requests older than the deadline
-            // are dropped (distinct from SLO misses, which complete).
-            if (cfg.deadline_s > 0.0) {
-                while (!ts.queue.empty() &&
-                       ts.queue.front().arrival_s + cfg.deadline_s <=
-                           now) {
-                    const Request& doomed = ts.queue.front();
-                    if (spans != nullptr && doomed.root_span != 0) {
-                        spans->SetAttribute(doomed.root_span,
-                                            "outcome",
-                                            "deadline_drop");
-                        spans->EndSpan(doomed.queue_span, now);
-                        spans->EndSpan(doomed.root_span, now);
-                    }
-                    if (recorder != nullptr) {
-                        recorder->OnDeadlineDrop(
-                            now, "deadline drop: " + cfg.name);
-                    }
-                    ts.queue.pop_front();
-                    ++ts.dropped;
-                    if (ts.drop_counter != nullptr) {
-                        ts.drop_counter->Increment();
-                    }
-                    if (trace != nullptr) {
-                        trace->AddInstant(pid, queue_tid(i),
-                                          "deadline drop",
-                                          now * kUsPerSecond);
-                    }
-                }
-            }
-            emit_queue_depth(i, now);
-            if (ts.next_arrival_s < duration_s) {
-                any_pending_arrivals = true;
-            }
-        }
-
-        // Periodic alert evaluation in sim time: histograms and
-        // counters update live, so for-duration rules can arm, fire,
-        // and (via the recorder) trigger a black-box dump mid-run.
-        if (alerts != nullptr && now >= next_alert_eval) {
-            alerts->Evaluate(*telemetry.registry, now);
-            next_alert_eval =
-                now + std::max(telemetry.alert_eval_interval_s, 1e-6);
-        }
-
-        // A tenant is dispatchable when its batch is full, its oldest
-        // request has waited out the batching patience, or no more
-        // arrivals are coming. Retry backoff gates the queue head.
-        auto dispatchable = [&](size_t i) {
-            if (state[i].queue.empty()) return false;
-            if (state[i].queue.front().not_before_s > now) return false;
-            if (tenants[i].batch_wait_s <= 0.0) return true;
-            if (static_cast<int64_t>(state[i].queue.size()) >=
-                tenants[i].max_batch) {
-                return true;
-            }
-            if (state[i].next_arrival_s >= duration_s) return true;
-            return now - state[i].queue.front().arrival_s >=
-                   tenants[i].batch_wait_s;
-        };
-
-        // Pick the highest-priority dispatchable tenant; round-robin
-        // within the winning priority level.
-        int best_priority = 0;
-        bool found = false;
-        for (size_t i = 0; i < tenants.size(); ++i) {
-            if (!dispatchable(i)) continue;
-            if (!found || tenants[i].priority > best_priority) {
-                best_priority = tenants[i].priority;
-                found = true;
-            }
-        }
-        int chosen = -1;
-        if (found) {
-            for (size_t k = 0; k < tenants.size(); ++k) {
-                const size_t idx = (rr_cursor + k) % tenants.size();
-                if (dispatchable(idx) &&
-                    tenants[idx].priority == best_priority) {
-                    chosen = static_cast<int>(idx);
-                    break;
-                }
-            }
-        }
-
-        if (chosen < 0) {
-            // Advance to the next event: an arrival, a batching
-            // deadline expiring, a retry backoff elapsing, or a
-            // request deadline expiring.
-            double next = 1e300;
-            bool have_event = false;
-            for (size_t i = 0; i < tenants.size(); ++i) {
-                if (state[i].next_arrival_s < duration_s) {
-                    next = std::min(next, state[i].next_arrival_s);
-                    have_event = true;
-                }
-                if (!state[i].queue.empty()) {
-                    const Request& front = state[i].queue.front();
-                    // A retry backoff gates dispatch, so the patience
-                    // event cannot fire before it (clamping keeps the
-                    // loop advancing instead of re-visiting a stale
-                    // patience instant forever).
-                    next = std::min(
-                        next,
-                        std::max(front.arrival_s +
-                                     tenants[i].batch_wait_s,
-                                 front.not_before_s));
-                    if (tenants[i].deadline_s > 0.0) {
-                        next = std::min(next,
-                                        front.arrival_s +
-                                            tenants[i].deadline_s);
-                    }
-                    have_event = true;
-                }
-            }
-            if (!have_event && !any_pending_arrivals) break;
-            if (!have_event) break;
-            now = std::max(now + 1e-12, next);
-            continue;
-        }
-        rr_cursor = static_cast<size_t>(chosen) + 1;
-
-        TenantState& ts = state[static_cast<size_t>(chosen)];
-        const TenantConfig& cfg = tenants[static_cast<size_t>(chosen)];
-
-        // Dead cell: every device is permanently down from here on —
-        // drop the backlog (and, next iterations, future arrivals) so
-        // the loop terminates instead of queueing forever.
-        if (faults_active) {
-            double earliest_up = kInf;
-            for (int d = 0; d < num_devices; ++d) {
-                earliest_up = std::min(
-                    earliest_up,
-                    timeline.NextUp(
-                        d, std::max(now, devices[static_cast<size_t>(d)]
-                                             .device_free_s)));
-            }
-            if (earliest_up == kInf) {
-                if (recorder != nullptr) {
-                    recorder->OnFault(now, "cell dead: every device "
-                                           "down permanently");
-                }
-                for (size_t i = 0; i < tenants.size(); ++i) {
-                    TenantState& dead = state[i];
-                    while (!dead.queue.empty()) {
-                        const Request& doomed = dead.queue.front();
-                        if (spans != nullptr &&
-                            doomed.root_span != 0) {
-                            spans->SetAttribute(doomed.root_span,
-                                                "outcome",
-                                                "dropped_dead_cell");
-                            spans->EndSpan(doomed.queue_span, now);
-                            spans->EndSpan(doomed.root_span, now);
-                        }
-                        dead.queue.pop_front();
-                        ++dead.dropped;
-                        if (dead.drop_counter != nullptr) {
-                            dead.drop_counter->Increment();
-                        }
-                    }
-                    emit_queue_depth(i, now);
-                }
-                continue;
-            }
-        }
-
-        // Dispatch to the earliest-usable device (earliest-free when
-        // no faults are configured — bit-identical to the fault-free
-        // simulator).
-        int dev_index = 0;
-        {
-            double best_key = kInf;
-            for (int d = 0; d < num_devices; ++d) {
-                double key =
-                    devices[static_cast<size_t>(d)].device_free_s;
-                if (faults_active) {
-                    key = timeline.NextUp(d, std::max(key, now));
-                }
-                if (key < best_key) {
-                    best_key = key;
-                    dev_index = d;
-                }
-            }
-        }
-        DeviceState* device = &devices[static_cast<size_t>(dev_index)];
-
-        const auto batch = static_cast<int64_t>(std::min<size_t>(
-            ts.queue.size(), static_cast<size_t>(cfg.max_batch)));
-        // Pull the batch's requests out now; they either complete or
-        // are re-enqueued / dropped on failure.
-        std::vector<Request> in_flight;
-        in_flight.reserve(static_cast<size_t>(batch));
-        for (int64_t j = 0; j < batch; ++j) {
-            in_flight.push_back(ts.queue.front());
-            ts.queue.pop_front();
-        }
-
-        // Two-stage pipeline: the host prepares this batch (possibly
-        // while the device still runs the previous one), then the
-        // device executes.
-        const double host_start = std::max(now, device->host_free_s);
-        const double host_done = host_start + cfg.host_overhead_s;
-        device->host_free_s = host_done;
-        device->host_busy_s += cfg.host_overhead_s;
-
-        double device_start =
-            std::max(host_done, device->device_free_s);
-        if (faults_active) {
-            device_start = timeline.NextUp(dev_index, device_start);
-        }
-        if (device->last_tenant != chosen &&
-            cfg.switch_penalty_s > 0.0) {
-            switch_overhead += cfg.switch_penalty_s;
-            device_start += cfg.switch_penalty_s;
-        }
-        device->last_tenant = chosen;
-
-        const double nominal_exec = cfg.latency_s(batch);
-        double exec = nominal_exec;
-        if (faults_active) {
-            exec /= timeline.SpeedFactor(dev_index, device_start);
-        }
-        double finish = device_start + exec;
-        bool primary_aborted = false;
-        if (faults_active) {
-            const double next_fail =
-                timeline.NextFailure(dev_index, device_start);
-            if (next_fail < finish) {
-                // Device died mid-batch: the work is lost at the
-                // failure instant.
-                primary_aborted = true;
-                finish = next_fail;
-                if (recorder != nullptr) {
-                    recorder->OnFault(
-                        finish,
-                        StrFormat("device %d failed mid-batch "
-                                  "(tenant %s, batch %lld)",
-                                  dev_index, cfg.name.c_str(),
-                                  static_cast<long long>(batch)));
-                }
-            }
-        }
-        device->busy_s += finish - std::max(now, device->device_free_s);
-        device->device_free_s = finish;
-
-        // Hedged dispatch: if this copy is projected to run longer
-        // than the hedge quantile of observed batch times (straggler)
-        // or its device died mid-batch, re-issue on a second device
-        // after the quantile-sized delay. The losing copy's work is
-        // wasted but counted as busy — the real cost of hedging.
-        bool hedged = false;
-        bool hedge_aborted = false;
-        int hedge_dev = -1;
-        double hedge_start = kInf;
-        double hedge_finish = kInf;
-        if (reliability.hedge && num_devices > 1 &&
-            ts.device_times.count() >= 16) {
-            // Straggler = slow *relative to this batch's nominal time*
-            // (an absolute-time quantile would flag every full-size
-            // batch and hedge the cell into overload). The hedge
-            // launches once the primary has overstayed the quantile
-            // slowdown for its batch.
-            const double threshold =
-                nominal_exec * ts.device_times.Percentile(
-                                   100.0 * reliability.hedge_quantile);
-            if (primary_aborted || exec > threshold) {
-                const double hedge_issue = device_start + threshold;
-                double best_key = kInf;
-                for (int d = 0; d < num_devices; ++d) {
-                    if (d == dev_index) continue;
-                    const double key = timeline.NextUp(
-                        d, std::max(devices[static_cast<size_t>(d)]
-                                        .device_free_s,
-                                    hedge_issue));
-                    if (key < best_key) {
-                        best_key = key;
-                        hedge_dev = d;
-                    }
-                }
-                if (hedge_dev >= 0 && best_key < kInf) {
-                    hedged = true;
-                    ++ts.hedges;
-                    DeviceState& hd =
-                        devices[static_cast<size_t>(hedge_dev)];
-                    hedge_start = best_key;
-                    const double hedge_exec =
-                        nominal_exec /
-                        timeline.SpeedFactor(hedge_dev, hedge_start);
-                    hedge_finish = hedge_start + hedge_exec;
-                    const double hedge_fail =
-                        timeline.NextFailure(hedge_dev, hedge_start);
-                    if (hedge_fail < hedge_finish) {
-                        hedge_aborted = true;
-                        hedge_finish = hedge_fail;
-                        if (recorder != nullptr) {
-                            recorder->OnFault(
-                                hedge_finish,
-                                StrFormat("device %d failed "
-                                          "mid-batch (hedge copy, "
-                                          "tenant %s)",
-                                          hedge_dev,
-                                          cfg.name.c_str()));
-                        }
-                    }
-                    hd.busy_s += hedge_finish - hedge_start;
-                    hd.device_free_s = hedge_finish;
-                    hd.last_tenant = chosen;
-                }
-            }
-        }
-
-        // Outcome: each copy that ran to completion may still fail
-        // transiently; the earliest surviving copy wins the batch.
-        auto copy_survives = [&](bool aborted) {
-            if (aborted) return false;
-            if (plan.transient_failure_prob > 0.0) {
-                return !fault_rng.NextBool(plan.transient_failure_prob);
-            }
-            return true;
-        };
-        const bool primary_ok = copy_survives(primary_aborted);
-        const bool hedge_ok = hedged && copy_survives(hedge_aborted);
-        double completion = kInf;
-        bool success = false;
-        bool hedge_won = false;
-        int win_dev = dev_index;
-        double win_start = device_start;
-        if (primary_ok) {
-            completion = finish;
-            success = true;
-        }
-        if (hedge_ok && hedge_finish < completion) {
-            completion = hedge_finish;
-            success = true;
-            hedge_won = true;
-            win_dev = hedge_dev;
-            win_start = hedge_start;
-        }
-        if (hedge_won) {
-            ++ts.hedge_wins;
-            if (ts.hedge_win_counter != nullptr) {
-                ts.hedge_win_counter->Increment();
-            }
-        }
-
-        if (trace != nullptr) {
-            trace->AddComplete(
-                pid, dev_index, cfg.name, "batch",
-                device_start * kUsPerSecond,
-                (finish - device_start) * kUsPerSecond,
-                StrFormat("{\"batch\":%lld,\"outcome\":\"%s\"}",
-                          static_cast<long long>(batch),
-                          primary_ok ? "ok" : "failed"));
-            if (hedged) {
-                trace->AddComplete(
-                    pid, hedge_dev, cfg.name + " (hedge)", "batch",
-                    hedge_start * kUsPerSecond,
-                    (hedge_finish - hedge_start) * kUsPerSecond,
-                    StrFormat("{\"batch\":%lld,\"win\":%d}",
-                              static_cast<long long>(batch),
-                              hedge_won ? 1 : 0));
-            }
-        }
-
-        // Span recording: the queue wait ends at batch formation, a
-        // "batch" child covers host staging + device wait, and every
-        // dispatch copy becomes an "execute" child. The winning copy
-        // gains engine-group sub-spans (split per batch_attribution);
-        // the losing copy links to the winner. On success the root
-        // closes at the completion instant, so root duration is
-        // exactly the latency the simulator reports; with no retries
-        // or hedges the three children tile the root exactly.
-        if (spans != nullptr) {
-            double frac_total = 0.0;
-            for (const auto& share : telemetry.batch_attribution) {
-                frac_total += share.fraction;
-            }
-            for (Request& req : in_flight) {
-                if (req.root_span == 0) continue;
-                spans->EndSpan(req.queue_span, now);
-                req.queue_span = 0;
-                const obs::SpanId form = spans->StartSpan(
-                    req.trace_id, req.root_span, "batch", now);
-                spans->SetAttribute(
-                    form, "batch",
-                    StrFormat("%lld", static_cast<long long>(batch)));
-                spans->EndSpan(form, device_start);
-                const obs::SpanId primary = spans->StartSpan(
-                    req.trace_id, req.root_span, "execute",
-                    device_start);
-                spans->SetAttribute(primary, "device",
-                                    StrFormat("%d", dev_index));
-                spans->SetAttribute(primary, "attempt",
-                                    StrFormat("%d", req.attempts));
-                spans->SetAttribute(primary, "outcome",
-                                    primary_aborted ? "aborted"
-                                    : primary_ok    ? "ok"
-                                              : "transient_error");
-                spans->EndSpan(primary, finish);
-                obs::SpanId hedge_span = 0;
-                if (hedged) {
-                    hedge_span = spans->StartSpan(
-                        req.trace_id, req.root_span, "execute",
-                        hedge_start);
-                    spans->SetAttribute(hedge_span, "device",
-                                        StrFormat("%d", hedge_dev));
-                    spans->SetAttribute(hedge_span, "hedge", "1");
-                    spans->SetAttribute(hedge_span, "outcome",
-                                        hedge_aborted ? "aborted"
-                                        : hedge_ok    ? "ok"
-                                                 : "transient_error");
-                    spans->EndSpan(hedge_span, hedge_finish);
-                }
-                if (!success) continue;
-                const obs::SpanId winner =
-                    hedge_won ? hedge_span : primary;
-                if (hedged) {
-                    spans->Link(hedge_won ? primary : hedge_span,
-                                winner);
-                    spans->SetAttribute(winner, "won", "1");
-                }
-                // Engine-group sub-spans partition the winning
-                // execution; when the shares sum to 1 the last
-                // segment snaps to the exact completion instant.
-                const double dur = completion - win_start;
-                double cursor = win_start;
-                double cum = 0.0;
-                for (size_t a = 0;
-                     a < telemetry.batch_attribution.size(); ++a) {
-                    const AttributionShare& share =
-                        telemetry.batch_attribution[a];
-                    cum += share.fraction;
-                    double seg_end = win_start + dur * cum;
-                    if (a + 1 == telemetry.batch_attribution.size() &&
-                        std::abs(frac_total - 1.0) < 1e-9) {
-                        seg_end = completion;
-                    }
-                    const obs::SpanId seg = spans->StartSpan(
-                        req.trace_id, winner,
-                        "execute/" + share.component, cursor);
-                    spans->EndSpan(seg, seg_end);
-                    cursor = seg_end;
-                }
-                const double latency = completion - req.arrival_s;
-                spans->SetAttribute(req.root_span, "outcome",
-                                    "completed");
-                if (latency > cfg.slo_s) {
-                    spans->SetAttribute(req.root_span, "slo_miss",
-                                        "1");
-                }
-                spans->EndSpan(req.root_span, completion);
-            }
-        }
-
-        if (success) {
-            if (reliability.hedge && nominal_exec > 0.0) {
-                ts.device_times.Add((completion - win_start) /
-                                    nominal_exec);
-            }
-            // Split the winning copy's device time across the
-            // attribution components so tenants can read a p95 of
-            // "time spent in MXU" rather than just a p95 latency.
-            for (size_t a = 0; a < ts.attribution_hists.size(); ++a) {
-                ts.attribution_hists[a]->Observe(
-                    (completion - win_start) *
-                    telemetry.batch_attribution[a].fraction);
-            }
-            for (const Request& req : in_flight) {
-                const double latency = completion - req.arrival_s;
-                ts.latencies.Add(latency);
-                ++ts.completed;
-                if (latency > cfg.slo_s) ++ts.slo_misses;
-                if (ts.latency_hist != nullptr) {
-                    ts.latency_hist->Observe(latency);
-                    ts.completed_counter->Increment();
-                    if (latency > cfg.slo_s) {
-                        ts.slo_miss_counter->Increment();
-                    }
-                }
-                if (trace != nullptr && req.flow_id >= 0) {
-                    // arrival (queue track) -> batch start (device
-                    // track) -> completion, all one arrow.
-                    trace->AddFlowStep(
-                        pid, win_dev, "request",
-                        static_cast<uint64_t>(req.flow_id),
-                        win_start * kUsPerSecond);
-                    trace->AddFlowEnd(
-                        pid, win_dev, "request",
-                        static_cast<uint64_t>(req.flow_id),
-                        completion * kUsPerSecond);
-                }
-            }
-            if (ts.burn_gauge != nullptr && ts.completed > 0) {
-                ts.burn_gauge->Set(
-                    static_cast<double>(ts.slo_misses) /
-                    static_cast<double>(ts.completed) /
-                    telemetry.slo_error_budget);
-            }
-        } else {
-            // Batch failed on every copy: bounded retry with
-            // exponential backoff, preserving arrival order at the
-            // queue head; requests out of retries are dropped.
-            ++ts.retried;
-            if (ts.retry_counter != nullptr) {
-                ts.retry_counter->Increment();
-            }
-            const double fail_known =
-                hedged ? std::max(finish, hedge_finish) : finish;
-            if (trace != nullptr) {
-                trace->AddInstant(pid, dev_index, "batch failed",
-                                  fail_known * kUsPerSecond);
-            }
-            for (auto it = in_flight.rbegin(); it != in_flight.rend();
-                 ++it) {
-                Request req = *it;
-                if (req.attempts >= cfg.max_retries) {
-                    ++ts.dropped;
-                    if (ts.drop_counter != nullptr) {
-                        ts.drop_counter->Increment();
-                    }
-                    if (spans != nullptr && req.root_span != 0) {
-                        spans->SetAttribute(req.root_span, "outcome",
-                                            "retries_exhausted");
-                        spans->EndSpan(req.root_span, fail_known);
-                    }
-                    if (recorder != nullptr && req.root_span != 0) {
-                        recorder->Record(
-                            obs::FlightEventKind::kDrop, fail_known,
-                            "retries exhausted: " + cfg.name, 0.0);
-                    }
-                    continue;
-                }
-                const int shift = std::min(req.attempts, 20);
-                req.not_before_s =
-                    fail_known +
-                    cfg.retry_backoff_s *
-                        static_cast<double>(int64_t{1} << shift);
-                ++req.attempts;
-                if (spans != nullptr && req.root_span != 0) {
-                    // The request re-enters the queue: annotate the
-                    // root and open a fresh queue-wait child covering
-                    // the backoff plus the renewed wait.
-                    spans->AddEvent(
-                        req.root_span,
-                        StrFormat("retry %d scheduled", req.attempts),
-                        fail_known);
-                    req.queue_span = spans->StartSpan(
-                        req.trace_id, req.root_span, "queue",
-                        fail_known);
-                    spans->SetAttribute(
-                        req.queue_span, "retry",
-                        StrFormat("%d", req.attempts));
-                }
-                ts.queue.push_front(req);
-            }
-        }
-        ts.batches.Add(static_cast<double>(batch));
-        if (ts.batch_hist != nullptr) {
-            ts.batch_hist->Observe(static_cast<double>(batch));
-        }
-        emit_queue_depth(static_cast<size_t>(chosen), now);
-
-        // Advance to the next batch-formation point: the host stage
-        // leads the device by the host overhead so the two-stage
-        // pipeline stays full (with zero host overhead this reduces to
-        // "wait until a device frees").
-        double max_host = 0.0;
-        for (const auto& t : tenants) {
-            max_host = std::max(max_host, t.host_overhead_s);
-        }
-        double candidate = 1e300;
-        for (size_t d = 0; d < devices.size(); ++d) {
-            double usable = std::max(devices[d].host_free_s,
-                                     devices[d].device_free_s - max_host);
-            if (faults_active) {
-                // A down device's stale free-time must not defeat the
-                // backpressure throttle (it would dispatch degenerate
-                // batches the instant they arrive); wait for the next
-                // instant the device can actually take work.
-                usable =
-                    timeline.NextUp(static_cast<int>(d), usable);
-            }
-            candidate = std::min(candidate, usable);
-        }
-        if (candidate < 1e300) now = std::max(now, candidate);
-    }
-
-    ServingResult result;
-    double last_finish = duration_s;
-    double busy_sum = 0.0;
-    double host_sum = 0.0;
-    for (const auto& d : devices) {
-        last_finish = std::max(last_finish, d.device_free_s);
-        busy_sum += d.busy_s;
-        host_sum += d.host_busy_s;
-    }
-    result.duration_s = last_finish;
-    result.device_busy_fraction =
-        busy_sum / (result.duration_s * num_devices);
-    result.host_busy_fraction =
-        host_sum / (result.duration_s * num_devices);
-    result.switch_overhead_fraction =
-        switch_overhead / (result.duration_s * num_devices);
-    result.availability =
-        faults_active ? timeline.Availability(result.duration_s) : 1.0;
-    for (size_t i = 0; i < tenants.size(); ++i) {
-        TenantStats s;
-        s.name = tenants[i].name;
-        s.arrived = state[i].arrived;
-        s.completed = state[i].completed;
-        s.dropped = state[i].dropped;
-        s.shed = state[i].shed;
-        s.retried = state[i].retried;
-        s.hedges = state[i].hedges;
-        s.hedge_wins = state[i].hedge_wins;
-        s.mean_latency_s = state[i].latencies.Mean();
-        s.p50_latency_s = state[i].latencies.Percentile(50.0);
-        s.p95_latency_s = state[i].latencies.Percentile(95.0);
-        s.p99_latency_s = state[i].latencies.Percentile(99.0);
-        s.slo_misses = state[i].slo_misses;
-        s.slo_miss_fraction =
-            state[i].completed > 0
-                ? static_cast<double>(state[i].slo_misses) /
-                      static_cast<double>(state[i].completed)
-                : 0.0;
-        s.throughput_rps =
-            static_cast<double>(state[i].completed) / result.duration_s;
-        s.goodput_rps =
-            static_cast<double>(state[i].completed -
-                                state[i].slo_misses) /
-            result.duration_s;
-        s.mean_batch = state[i].batches.mean();
-        s.max_queue_depth = state[i].max_queue_depth;
-        result.tenants.push_back(std::move(s));
-    }
-
-    if (telemetry.registry != nullptr) {
-        obs::MetricsRegistry& reg = *telemetry.registry;
-        reg.GetGauge("serving.device_busy_fraction")
-            ->Set(result.device_busy_fraction);
-        reg.GetGauge("serving.host_busy_fraction")
-            ->Set(result.host_busy_fraction);
-        reg.GetGauge("serving.switch_overhead_fraction")
-            ->Set(result.switch_overhead_fraction);
-        reg.GetGauge("serving.duration_seconds")
-            ->Set(result.duration_s);
-        reg.GetGauge("serving.availability")->Set(result.availability);
-        for (const auto& tenant : result.tenants) {
-            const obs::Labels labels = {{"tenant", tenant.name}};
-            reg.GetGauge("serving.slo_miss_fraction", labels)
-                ->Set(tenant.slo_miss_fraction);
-            if (telemetry.slo_error_budget > 0.0) {
-                // Burn rate > 1 means the tenant is spending its error
-                // budget faster than it accrues (SRE convention).
-                reg.GetGauge("serving.slo_burn_rate", labels)
-                    ->Set(tenant.slo_miss_fraction /
-                          telemetry.slo_error_budget);
-            }
-            reg.GetGauge("serving.throughput_rps", labels)
-                ->Set(tenant.throughput_rps);
-            reg.GetGauge("serving.goodput_rps", labels)
-                ->Set(tenant.goodput_rps);
-            reg.GetGauge("serving.max_queue_depth", labels)
-                ->Set(static_cast<double>(tenant.max_queue_depth));
-        }
-    }
-    // One final alert pass over the end-of-run gauges so rules on
-    // run-level metrics (availability, final burn rate) get a verdict
-    // even when the run ends between evaluation intervals.
-    if (alerts != nullptr) {
-        alerts->Evaluate(*telemetry.registry, result.duration_s);
-    }
-    return result;
+    ServeCell::Options options;
+    options.tenants = tenants;
+    options.num_devices = num_devices;
+    options.duration_s = duration_s;
+    options.seed = seed;
+    options.telemetry = telemetry;
+    options.reliability = reliability;
+    auto cell_or = ServeCell::Create(std::move(options));
+    T4I_RETURN_IF_ERROR(cell_or.status());
+    std::unique_ptr<ServeCell> cell = std::move(cell_or).ConsumeValue();
+    cell->AdvanceTo(std::numeric_limits<double>::infinity());
+    return cell->Finish();
 }
 
 StatusOr<ServingResult>

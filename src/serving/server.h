@@ -238,6 +238,14 @@ struct ServingTelemetry {
      */
     obs::AlertEngine* alerts = nullptr;
     double alert_eval_interval_s = 0.05;
+    /**
+     * Appended to every label set this run writes into `registry`
+     * (per-tenant instruments and run-level gauges alike). The cluster
+     * layer uses this to keep N cells apart in one shared registry
+     * (`{cell="0"}`, ...); empty leaves every label set exactly as
+     * before.
+     */
+    obs::Labels extra_labels;
 };
 
 /**

@@ -17,6 +17,8 @@
 #include "src/arch/chip.h"
 #include "src/arch/chip_io.h"
 #include "src/arch/tech.h"
+#include "src/cluster/cluster.h"
+#include "src/cluster/routing.h"
 #include "src/common/log.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"

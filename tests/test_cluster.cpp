@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Tests for the cluster serving layer: routing policies in isolation,
+ * the router's bit-identity guards against the single-cell simulator,
+ * the single-cell-outage drill, N+k seeding, the burn-rate autoscaler,
+ * and the canary rollout state machine.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/routing.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+namespace {
+
+std::function<double(int64_t)>
+AffineLatency(double fixed_s, double per_sample_s)
+{
+    return [=](int64_t batch) {
+        return fixed_s + per_sample_s * static_cast<double>(batch);
+    };
+}
+
+TenantConfig
+Tenant(const std::string& name, double rate, double slo_s = 0.010)
+{
+    TenantConfig t;
+    t.name = name;
+    t.latency_s = AffineLatency(1e-3, 1e-4);
+    t.max_batch = 32;
+    t.slo_s = slo_s;
+    t.arrival_rate = rate;
+    return t;
+}
+
+/** Router-side conservation: every arrival ends exactly once. */
+void
+ExpectConservation(const ClusterResult& r)
+{
+    EXPECT_EQ(r.arrived, r.completed + r.dropped + r.shed);
+    for (const ClusterTenantStats& t : r.tenants) {
+        EXPECT_EQ(t.arrived, t.completed + t.dropped + t.shed);
+    }
+    // Each cell's own books balance too (a failed-over injection is
+    // arrived+shed inside the refusing cell).
+    for (const ServingResult& cell : r.cells) {
+        for (const TenantStats& t : cell.tenants) {
+            EXPECT_EQ(t.arrived, t.completed + t.dropped + t.shed);
+        }
+    }
+}
+
+// --- routing policies in isolation -----------------------------------
+
+TEST(Routing, RoundRobinSkipsUnroutableCells)
+{
+    Rng rng(1);
+    uint64_t cursor = 0;
+    std::vector<CellView> cells(3);
+    cells[1].healthy = false;
+    EXPECT_EQ(PickCell(RoutingPolicy::kRoundRobin, cells, &cursor, rng),
+              0);
+    EXPECT_EQ(PickCell(RoutingPolicy::kRoundRobin, cells, &cursor, rng),
+              2);
+    EXPECT_EQ(PickCell(RoutingPolicy::kRoundRobin, cells, &cursor, rng),
+              0);
+}
+
+TEST(Routing, LeastLoadedPicksShallowestRoutableQueue)
+{
+    Rng rng(1);
+    uint64_t cursor = 0;
+    std::vector<CellView> cells(3);
+    cells[0].queue_depth = 5;
+    cells[1].queue_depth = 1;
+    cells[2].queue_depth = 9;
+    EXPECT_EQ(
+        PickCell(RoutingPolicy::kLeastLoaded, cells, &cursor, rng), 1);
+    cells[1].accepting = false;
+    EXPECT_EQ(
+        PickCell(RoutingPolicy::kLeastLoaded, cells, &cursor, rng), 0);
+}
+
+TEST(Routing, PowerOfTwoPicksShorterOfTheSampledPair)
+{
+    Rng rng(7);
+    uint64_t cursor = 0;
+    // With exactly two routable cells both are always sampled, so the
+    // shallower one must win every draw.
+    std::vector<CellView> cells(2);
+    cells[0].queue_depth = 10;
+    cells[1].queue_depth = 2;
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(
+            PickCell(RoutingPolicy::kPowerOfTwo, cells, &cursor, rng),
+            1);
+    }
+}
+
+TEST(Routing, NoRoutableCellReturnsMinusOne)
+{
+    Rng rng(1);
+    uint64_t cursor = 0;
+    std::vector<CellView> cells(2);
+    cells[0].healthy = false;
+    cells[1].accepting = false;
+    for (RoutingPolicy p :
+         {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded,
+          RoutingPolicy::kPowerOfTwo, RoutingPolicy::kTenantAffinity}) {
+        EXPECT_EQ(PickCell(p, cells, &cursor, rng), -1);
+    }
+}
+
+TEST(Routing, AffinityPrefersResidentCellAndFallsBack)
+{
+    Rng rng(1);
+    uint64_t cursor = 0;
+    std::vector<CellView> cells(3);
+    cells[0].queue_depth = 0;
+    cells[2].queue_depth = 4;
+    cells[2].tenant_resident = true;
+    // Resident wins even with the deeper queue (staying avoids the
+    // CMEM re-staging penalty).
+    EXPECT_EQ(
+        PickCell(RoutingPolicy::kTenantAffinity, cells, &cursor, rng),
+        2);
+    // A dead resident cell falls back to least-loaded.
+    cells[2].healthy = false;
+    EXPECT_EQ(
+        PickCell(RoutingPolicy::kTenantAffinity, cells, &cursor, rng),
+        0);
+}
+
+TEST(Routing, ParseRoundTripsEveryPolicy)
+{
+    for (RoutingPolicy p :
+         {RoutingPolicy::kRoundRobin, RoutingPolicy::kLeastLoaded,
+          RoutingPolicy::kPowerOfTwo, RoutingPolicy::kTenantAffinity}) {
+        auto parsed = ParseRoutingPolicy(RoutingPolicyName(p));
+        ASSERT_TRUE(parsed.ok());
+        EXPECT_EQ(parsed.value(), p);
+    }
+    EXPECT_FALSE(ParseRoutingPolicy("bogus").ok());
+}
+
+TEST(Routing, PowerOfTwoBeatsRoundRobinBacklogUnderSkew)
+{
+    // Synthetic queue model, no simulator: one crippled cell among
+    // four (drains 1 request/tick vs 4). Round-robin keeps feeding it
+    // blindly so its backlog grows without bound; two random probes
+    // per request are enough to steer around it.
+    auto max_backlog = [](RoutingPolicy policy) {
+        Rng rng(123);
+        uint64_t cursor = 0;
+        std::vector<int64_t> depth(4, 0);
+        const std::vector<int64_t> drain = {1, 4, 4, 4};
+        int64_t worst = 0;
+        for (int tick = 0; tick < 400; ++tick) {
+            for (int r = 0; r < 8; ++r) {
+                std::vector<CellView> views(4);
+                for (size_t i = 0; i < views.size(); ++i) {
+                    views[i].queue_depth = depth[i];
+                }
+                const int pick = PickCell(policy, views, &cursor, rng);
+                EXPECT_GE(pick, 0);
+                ++depth[static_cast<size_t>(pick)];
+            }
+            for (size_t i = 0; i < depth.size(); ++i) {
+                depth[i] = std::max<int64_t>(0, depth[i] - drain[i]);
+                worst = std::max(worst, depth[i]);
+            }
+        }
+        return worst;
+    };
+    const int64_t rr = max_backlog(RoutingPolicy::kRoundRobin);
+    const int64_t p2c = max_backlog(RoutingPolicy::kPowerOfTwo);
+    EXPECT_GT(rr, 100);       // the slow cell's queue blew up
+    EXPECT_LT(p2c * 5, rr);   // p2c kept the tail bounded
+}
+
+// --- bit-identity guards ---------------------------------------------
+
+TEST(Cluster, PassthroughReproducesSingleCellBitForBit)
+{
+    const std::vector<TenantConfig> tenants = {Tenant("a", 300.0),
+                                               Tenant("b", 120.0)};
+    auto base_or = RunServingCell(tenants, 2, 1.5, 7);
+    ASSERT_TRUE(base_or.ok());
+    const ServingResult& base = base_or.value();
+
+    ClusterConfig config;
+    config.tenants = tenants;
+    config.num_cells = 1;
+    config.devices_per_cell = 2;
+    config.duration_s = 1.5;
+    config.seed = 7;
+    config.passthrough = true;
+    auto cluster_or = RunCluster(config);
+    ASSERT_TRUE(cluster_or.ok());
+    const ClusterResult& cluster = cluster_or.value();
+
+    ASSERT_EQ(cluster.cells.size(), 1u);
+    const ServingResult& cell = cluster.cells[0];
+    EXPECT_EQ(cell.device_busy_fraction, base.device_busy_fraction);
+    EXPECT_EQ(cell.switch_overhead_fraction,
+              base.switch_overhead_fraction);
+    EXPECT_EQ(cell.host_busy_fraction, base.host_busy_fraction);
+    EXPECT_EQ(cell.availability, base.availability);
+    ASSERT_EQ(cell.tenants.size(), base.tenants.size());
+    for (size_t i = 0; i < base.tenants.size(); ++i) {
+        const TenantStats& got = cell.tenants[i];
+        const TenantStats& want = base.tenants[i];
+        EXPECT_EQ(got.arrived, want.arrived);
+        EXPECT_EQ(got.completed, want.completed);
+        EXPECT_EQ(got.dropped, want.dropped);
+        EXPECT_EQ(got.shed, want.shed);
+        EXPECT_EQ(got.slo_misses, want.slo_misses);
+        EXPECT_EQ(got.mean_latency_s, want.mean_latency_s);
+        EXPECT_EQ(got.p50_latency_s, want.p50_latency_s);
+        EXPECT_EQ(got.p95_latency_s, want.p95_latency_s);
+        EXPECT_EQ(got.p99_latency_s, want.p99_latency_s);
+        EXPECT_EQ(got.throughput_rps, want.throughput_rps);
+        EXPECT_EQ(got.goodput_rps, want.goodput_rps);
+        EXPECT_EQ(got.mean_batch, want.mean_batch);
+        EXPECT_EQ(got.max_queue_depth, want.max_queue_depth);
+    }
+    ExpectConservation(cluster);
+}
+
+TEST(Cluster, SingleTenantRouterPathReproducesSingleCell)
+{
+    // With one tenant and one cell the router's arrival draws chain
+    // exactly like the cell's internal process, so even the full
+    // inject/advance path must reproduce the single-cell run bit for
+    // bit (the least-loaded policy never consumes randomness).
+    const std::vector<TenantConfig> tenants = {Tenant("solo", 400.0)};
+    auto base_or = RunServingCell(tenants, 2, 1.0, 11);
+    ASSERT_TRUE(base_or.ok());
+    const TenantStats& want = base_or.value().tenants[0];
+
+    ClusterConfig config;
+    config.tenants = tenants;
+    config.num_cells = 1;
+    config.devices_per_cell = 2;
+    config.duration_s = 1.0;
+    config.seed = 11;
+    config.policy = RoutingPolicy::kLeastLoaded;
+    config.max_route_attempts = 1;
+    auto cluster_or = RunCluster(config);
+    ASSERT_TRUE(cluster_or.ok());
+    const ClusterResult& cluster = cluster_or.value();
+
+    ASSERT_EQ(cluster.cells.size(), 1u);
+    const TenantStats& got = cluster.cells[0].tenants[0];
+    EXPECT_EQ(got.arrived, want.arrived);
+    EXPECT_EQ(got.completed, want.completed);
+    EXPECT_EQ(got.dropped, want.dropped);
+    EXPECT_EQ(got.shed, want.shed);
+    EXPECT_EQ(got.mean_latency_s, want.mean_latency_s);
+    EXPECT_EQ(got.p95_latency_s, want.p95_latency_s);
+    EXPECT_EQ(got.p99_latency_s, want.p99_latency_s);
+    EXPECT_EQ(got.mean_batch, want.mean_batch);
+    EXPECT_EQ(got.max_queue_depth, want.max_queue_depth);
+    EXPECT_EQ(cluster.cells[0].device_busy_fraction,
+              base_or.value().device_busy_fraction);
+    // Router books agree with the cell's books.
+    EXPECT_EQ(cluster.arrived, want.arrived);
+    EXPECT_EQ(cluster.completed, want.completed);
+    ExpectConservation(cluster);
+}
+
+// --- outage drill ----------------------------------------------------
+
+TEST(Cluster, SingleCellOutageFailsOverAndHoldsAvailabilityFloor)
+{
+    // Cell 1 of 3 dies at t=1.4 of 2.0 and never repairs: down for
+    // 30% of the run, i.e. a per-cell availability of 0.7. The N+k
+    // model then predicts the floor for needing 2 of 3 cells.
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 600.0)};
+    config.num_cells = 3;
+    config.devices_per_cell = 2;
+    config.duration_s = 2.0;
+    config.seed = 21;
+    config.policy = RoutingPolicy::kLeastLoaded;
+    config.cell_faults.resize(3);
+    config.cell_faults[1] = CellOutagePlan(2, 1.4);
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+
+    ExpectConservation(r);
+    EXPECT_GT(r.arrived, 1000);
+    // The dead cell's availability reflects the outage; the others
+    // stayed up.
+    EXPECT_LT(r.cells[1].availability, 0.75);
+    EXPECT_EQ(r.cells[0].availability, 1.0);
+    const double floor = PredictedAvailabilityFloor(2, 3, 0.7);
+    EXPECT_GT(floor, 0.7);
+    EXPECT_LT(floor, 1.0);
+    EXPECT_GT(r.availability, floor);
+}
+
+TEST(Cluster, HealthCheckLagLandsRequestsOnTheDeadCell)
+{
+    // With a stale health belief the router keeps routing to the dead
+    // cell until the next probe notices; those requests drop there.
+    ClusterConfig base;
+    base.tenants = {Tenant("web", 500.0)};
+    base.num_cells = 2;
+    base.devices_per_cell = 1;
+    base.duration_s = 1.5;
+    base.seed = 5;
+    base.cell_faults.resize(2);
+    base.cell_faults[1] = CellOutagePlan(1, 0.5);
+
+    ClusterConfig lagged = base;
+    lagged.health_check_interval_s = 0.3;
+    auto fresh_or = RunCluster(base);
+    auto lag_or = RunCluster(lagged);
+    ASSERT_TRUE(fresh_or.ok());
+    ASSERT_TRUE(lag_or.ok());
+    ExpectConservation(fresh_or.value());
+    ExpectConservation(lag_or.value());
+    // The lagged router lost at least as many requests into cell 1.
+    EXPECT_GE(lag_or.value().cells[1].tenants[0].dropped,
+              fresh_or.value().cells[1].tenants[0].dropped);
+    EXPECT_GT(lag_or.value().dropped, 0);
+}
+
+TEST(Cluster, AllCellsDownShedsEverythingAtTheRouter)
+{
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 200.0)};
+    config.num_cells = 2;
+    config.devices_per_cell = 1;
+    config.duration_s = 0.5;
+    config.seed = 3;
+    config.cell_faults.resize(2);
+    config.cell_faults[0] = CellOutagePlan(1, 0.0);
+    config.cell_faults[1] = CellOutagePlan(1, 0.0);
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+    EXPECT_GT(r.arrived, 0);
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.router_shed, r.arrived);
+    EXPECT_EQ(r.availability, 0.0);
+    ExpectConservation(r);
+}
+
+// --- N+k seeding -----------------------------------------------------
+
+TEST(Cluster, NPlusKSeedingActivatesSpares)
+{
+    // Per-cell steady-state availability 0.9 (mtbf 9, mttr 1). For
+    // N=2 and a 0.97 target the planner needs exactly one spare:
+    // CellAvailability(2, 2, 0.9) = 0.81, (2, 3, 0.9) = 0.972.
+    FaultPlan flaky;
+    flaky.mtbf_s = 9.0;
+    flaky.mttr_s = 1.0;
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 100.0)};
+    config.num_cells = 2;
+    config.devices_per_cell = 1;
+    config.duration_s = 0.5;
+    config.standby_cells = 2;
+    config.target_availability = 0.97;
+    config.cell_faults = {flaky, flaky, flaky, flaky};
+    for (size_t i = 0; i < config.cell_faults.size(); ++i) {
+        config.cell_faults[i].seed = 0x1000 + i;
+    }
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok());
+    EXPECT_EQ(result_or.value().planned_spares, 1);
+    EXPECT_EQ(result_or.value().initial_active_cells, 3);
+    ExpectConservation(result_or.value());
+}
+
+// --- autoscaler ------------------------------------------------------
+
+TEST(Cluster, AutoscalerUpscalesUnderBurn)
+{
+    // One active cell with a tight SLO under heavy load burns the
+    // error budget immediately; the standby cell must come online.
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 700.0, 0.002)};
+    config.num_cells = 1;
+    config.devices_per_cell = 1;
+    config.duration_s = 1.5;
+    config.seed = 9;
+    config.standby_cells = 1;
+    config.autoscaler.enabled = true;
+    config.autoscaler.interval_s = 0.1;
+    config.autoscaler.upscale_burn = 1.0;
+    config.autoscaler.downscale_burn = 0.0;  // never park
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+    EXPECT_GE(r.upscales, 1);
+    EXPECT_EQ(r.peak_active_cells, 2);
+    ASSERT_FALSE(r.scale_events.empty());
+    EXPECT_TRUE(r.scale_events[0].activated);
+    EXPECT_GT(r.scale_events[0].burn_rate, 1.0);
+    ExpectConservation(r);
+}
+
+TEST(Cluster, AutoscalerParksIdleCells)
+{
+    // Two active cells with almost no traffic: the burn rate sits at
+    // zero, so the autoscaler parks down to min_cells.
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 30.0, 0.050)};
+    config.num_cells = 2;
+    config.devices_per_cell = 1;
+    config.duration_s = 1.0;
+    config.seed = 13;
+    config.autoscaler.enabled = true;
+    config.autoscaler.interval_s = 0.1;
+    config.autoscaler.upscale_burn = 1e9;
+    config.autoscaler.downscale_burn = 0.25;
+    config.autoscaler.min_cells = 1;
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+    EXPECT_GE(r.downscales, 1);
+    ASSERT_FALSE(r.scale_events.empty());
+    EXPECT_FALSE(r.scale_events[0].activated);
+    ExpectConservation(r);
+}
+
+// --- canary rollout --------------------------------------------------
+
+ClusterConfig
+CanaryBase(double latency_scale)
+{
+    ClusterConfig config;
+    config.tenants = {Tenant("web", 300.0, 0.050)};
+    config.num_cells = 2;
+    config.devices_per_cell = 1;
+    config.duration_s = 4.0;
+    config.seed = 17;
+    // Round-robin keeps feeding the slow canary cell, so both sides
+    // of the soak comparison always collect samples.
+    config.policy = RoutingPolicy::kRoundRobin;
+    config.canary.enabled = true;
+    config.canary.latency_scale = latency_scale;
+    config.canary.start_s = 0.5;
+    config.canary.soak_s = 0.5;
+    config.canary.abort_p95_ratio = 1.5;
+    config.canary.min_samples = 10;
+    return config;
+}
+
+TEST(Cluster, CanaryRolloutPromotesAnIdenticalVersion)
+{
+    auto result_or = RunCluster(CanaryBase(1.0));
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+    EXPECT_TRUE(r.rollout_complete);
+    EXPECT_FALSE(r.rollout_aborted);
+    ASSERT_EQ(r.rollout.size(), 2u);
+    for (const RolloutStep& step : r.rollout) {
+        EXPECT_TRUE(step.promoted);
+        EXPECT_FALSE(step.aborted);
+        EXPECT_GE(step.swap_s, step.drain_start_s);
+        EXPECT_GT(step.verdict_s, step.swap_s);
+        EXPECT_GT(step.canary_p95_s, 0.0);
+        EXPECT_GT(step.baseline_p95_s, 0.0);
+    }
+    ExpectConservation(r);
+}
+
+TEST(Cluster, CanaryRolloutAbortsARegressedVersion)
+{
+    auto result_or = RunCluster(CanaryBase(10.0));
+    ASSERT_TRUE(result_or.ok());
+    const ClusterResult& r = result_or.value();
+    EXPECT_TRUE(r.rollout_aborted);
+    EXPECT_FALSE(r.rollout_complete);
+    ASSERT_EQ(r.rollout.size(), 1u);
+    EXPECT_TRUE(r.rollout[0].aborted);
+    EXPECT_FALSE(r.rollout[0].promoted);
+    EXPECT_GT(r.rollout[0].canary_p95_s,
+              1.5 * r.rollout[0].baseline_p95_s);
+    ExpectConservation(r);
+}
+
+// --- affinity vs switch overhead -------------------------------------
+
+TEST(Cluster, AffinityRoutingCutsSwitchOverhead)
+{
+    // Two tenants with a heavy CMEM re-staging penalty on two
+    // single-device cells. Round-robin interleaves the tenants on
+    // both devices (a switch nearly every dispatch); affinity lets
+    // each tenant settle on its own cell.
+    auto run = [](RoutingPolicy policy) {
+        ClusterConfig config;
+        TenantConfig a = Tenant("a", 100.0, 0.100);
+        TenantConfig b = Tenant("b", 100.0, 0.100);
+        a.switch_penalty_s = 5e-3;
+        b.switch_penalty_s = 5e-3;
+        config.tenants = {a, b};
+        config.num_cells = 2;
+        config.devices_per_cell = 1;
+        config.duration_s = 2.0;
+        config.seed = 29;
+        config.policy = policy;
+        auto result_or = RunCluster(config);
+        EXPECT_TRUE(result_or.ok());
+        return result_or.value();
+    };
+    const ClusterResult rr = run(RoutingPolicy::kRoundRobin);
+    const ClusterResult aff = run(RoutingPolicy::kTenantAffinity);
+    const double rr_switch =
+        (rr.cells[0].switch_overhead_fraction +
+         rr.cells[1].switch_overhead_fraction) / 2.0;
+    const double aff_switch =
+        (aff.cells[0].switch_overhead_fraction +
+         aff.cells[1].switch_overhead_fraction) / 2.0;
+    EXPECT_GT(rr_switch, 0.0);
+    EXPECT_LT(aff_switch, 0.5 * rr_switch);
+    ExpectConservation(rr);
+    ExpectConservation(aff);
+}
+
+// --- determinism and validation --------------------------------------
+
+TEST(Cluster, DeterministicForSeed)
+{
+    ClusterConfig config;
+    config.tenants = {Tenant("a", 300.0), Tenant("b", 100.0)};
+    config.num_cells = 3;
+    config.devices_per_cell = 2;
+    config.duration_s = 1.0;
+    config.seed = 99;
+    config.policy = RoutingPolicy::kPowerOfTwo;
+    config.cell_faults.resize(3);
+    config.cell_faults[2] = CellOutagePlan(2, 0.6, 0.8);
+    auto a_or = RunCluster(config);
+    auto b_or = RunCluster(config);
+    ASSERT_TRUE(a_or.ok());
+    ASSERT_TRUE(b_or.ok());
+    const ClusterResult& a = a_or.value();
+    const ClusterResult& b = b_or.value();
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.dropped, b.dropped);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.availability, b.availability);
+    ASSERT_EQ(a.tenants.size(), b.tenants.size());
+    for (size_t i = 0; i < a.tenants.size(); ++i) {
+        EXPECT_EQ(a.tenants[i].p95_latency_s, b.tenants[i].p95_latency_s);
+        EXPECT_EQ(a.tenants[i].mean_latency_s,
+                  b.tenants[i].mean_latency_s);
+    }
+}
+
+TEST(Cluster, RejectsBadConfig)
+{
+    ClusterConfig config;
+    config.tenants = {Tenant("a", 10.0)};
+    config.num_cells = 0;
+    EXPECT_FALSE(RunCluster(config).ok());
+    config.num_cells = 2;
+    config.passthrough = true;
+    EXPECT_FALSE(RunCluster(config).ok());
+    config.passthrough = false;
+    config.max_route_attempts = 0;
+    EXPECT_FALSE(RunCluster(config).ok());
+    config.max_route_attempts = 2;
+    config.tenants.clear();
+    EXPECT_FALSE(RunCluster(config).ok());
+}
+
+}  // namespace
+}  // namespace t4i

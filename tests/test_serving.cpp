@@ -109,6 +109,29 @@ TEST(Serving, RejectsBadConfig)
     EXPECT_FALSE(RunServing({t}, 1.0, 1).ok());
 }
 
+TEST(Serving, ZeroDurationRunReportsZerosNotNaNs)
+{
+    // A zero-length arrival window is legal and sees zero arrivals;
+    // every normalised statistic must come back as a finite zero, not
+    // a 0/0 NaN from the duration division.
+    auto result_or = RunServingCell({Tenant("x", 100.0)}, 2, 0.0, 42);
+    ASSERT_TRUE(result_or.ok()) << result_or.status().ToString();
+    const ServingResult& r = result_or.value();
+    EXPECT_EQ(r.duration_s, 0.0);
+    EXPECT_EQ(r.device_busy_fraction, 0.0);
+    EXPECT_EQ(r.host_busy_fraction, 0.0);
+    EXPECT_EQ(r.switch_overhead_fraction, 0.0);
+    EXPECT_EQ(r.availability, 1.0);
+    ASSERT_EQ(r.tenants.size(), 1u);
+    const TenantStats& s = r.tenants[0];
+    EXPECT_EQ(s.arrived, 0);
+    EXPECT_EQ(s.completed, 0);
+    EXPECT_EQ(s.throughput_rps, 0.0);
+    EXPECT_EQ(s.goodput_rps, 0.0);
+    EXPECT_TRUE(std::isfinite(s.mean_latency_s));
+    EXPECT_TRUE(std::isfinite(s.slo_miss_fraction));
+}
+
 TEST(Serving, DeterministicForSeed)
 {
     auto a = RunServing({Tenant("x", 200.0)}, 5.0, 42).value();

@@ -28,13 +28,34 @@ trace="$workdir/trace.json"
 [ -s "$metrics" ] || { echo "CI: $metrics missing or empty"; exit 1; }
 [ -s "$trace" ] || { echo "CI: $trace missing or empty"; exit 1; }
 
-# Names present in the emitted snapshot, one per line. The pipeline's
-# status must be checked explicitly: the script runs without `set -e`,
-# so a failed grep (no names at all — an empty or malformed snapshot)
-# would otherwise sail on and "pass" the schema check with zero names.
-if ! grep -o '"name":"[^"]*"' "$metrics" | sed 's/"name":"//;s/"$//' \
+# --- cluster-outage smoke --------------------------------------------
+# One of three cells dies at t=1.4 of 2.0 under a lagged health check:
+# the router must fail over, request conservation must hold (the CLI
+# exits nonzero when the books don't balance), and availability must
+# stay above the N+k-predicted floor (--require-floor). The snapshot
+# also supplies the cluster.* names for the schema diff below.
+cmetrics="$workdir/cluster_metrics.json"
+ctrace="$workdir/cluster_trace.json"
+./build/examples/t4sim_cli serve-cluster --app BERT0 --batch 16 \
+    --cells 3 --fail-cell 1 --fail-at 1.4 --health-interval 0.1 \
+    --require-floor \
+    "--metrics-json=$cmetrics" "--trace-out=$ctrace" || exit 1
+[ -s "$cmetrics" ] || { echo "CI: $cmetrics missing or empty"; exit 1; }
+cavail="$(grep -o '"name":"cluster.availability","labels":{},"value":[0-9.eE+-]*' \
+    "$cmetrics" | sed 's/.*"value"://')"
+[ -n "$cavail" ] || { echo "CI: cluster.availability gauge missing"; exit 1; }
+grep -q '"cell 1 unhealthy"' "$ctrace" \
+    || { echo "CI: router never noticed the dead cell on the trace"; exit 1; }
+
+# Names present in the emitted snapshots (run + serve-cluster), one
+# per line. The pipeline's status must be checked explicitly: the
+# script runs without `set -e`, so a failed grep (no names at all — an
+# empty or malformed snapshot) would otherwise sail on and "pass" the
+# schema check with zero names.
+if ! cat "$metrics" "$cmetrics" \
+    | grep -o '"name":"[^"]*"' | sed 's/"name":"//;s/"$//' \
     | sort -u > "$workdir/emitted.txt"; then
-    echo "CI: failed to extract metric names from $metrics"
+    echo "CI: failed to extract metric names from $metrics + $cmetrics"
     exit 1
 fi
 
@@ -151,5 +172,6 @@ python3 tools/perf_gate.py --baselines bench/baselines.json \
 
 echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
      "fault smoke: availability $avail, $retries retries," \
+     "cluster outage smoke: availability $cavail above the N+k floor," \
      "black-box dump + span export valid, alert gate trips correctly," \
      "perf gate green + self-test)"
