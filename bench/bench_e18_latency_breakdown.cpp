@@ -1,0 +1,116 @@
+/**
+ * @file
+ * E18 — Span-based latency breakdown vs load (Lesson 10). The E07
+ * latency knee says *when* latency explodes with load; the per-request
+ * span trees say *where* the time goes: the queue / batch / execute
+ * children tile each request's root span exactly, so aggregating the
+ * first 256 traces at several load points turns "p95 is 2x p50" into
+ * "the extra time is queue wait, not device time".
+ */
+#include "bench/bench_util.h"
+
+#include <map>
+
+#include "src/obs/spans.h"
+
+int
+main()
+{
+    using namespace t4i;
+    bench::Banner("E18",
+                  "Span-tree latency breakdown vs load (Lesson 10)");
+
+    const ChipConfig chip = Tpu_v4i();
+    const std::vector<App> apps = ProductionApps();
+    const App* bert = nullptr;
+    for (const auto& app : apps) {
+        if (app.name == "BERT0") bert = &app;
+    }
+    T4I_CHECK(bert != nullptr, "BERT0 missing from the zoo");
+
+    // Capacity profile: largest batch under the SLO on one device.
+    LatencyTable table;
+    for (int64_t b = 1; b <= 64; b *= 2) {
+        table.AddPoint(
+            b, bench::Run(bert->graph, chip, b).result.latency_s);
+    }
+    const double slo_s = bert->slo_ms * 1e-3;
+    int64_t slo_batch = table.MaxBatchUnderSlo(slo_s);
+    if (slo_batch <= 0) slo_batch = 1;
+    const double capacity_rps = table.ThroughputAt(slo_batch);
+
+    TablePrinter out({"Load", "Traced", "Mean ms", "Queue %",
+                      "Batch %", "Execute %"});
+
+    for (double load : {0.3, 0.9, 1.2}) {
+        TenantConfig tenant;
+        tenant.name = bert->name;
+        tenant.latency_s = [table](int64_t batch) {
+            return table.Eval(batch);
+        };
+        tenant.max_batch = slo_batch;
+        tenant.slo_s = slo_s;
+        tenant.arrival_rate = std::max(1.0, load * capacity_rps);
+
+        obs::SpanCollector spans;
+        ServingTelemetry telemetry;
+        telemetry.spans = &spans;
+        telemetry.max_traced_requests_per_tenant = 256;
+        auto r = RunServingCell({tenant}, 1, 2.0, 42, telemetry);
+        T4I_CHECK(r.ok(), r.status().ToString().c_str());
+        T4I_CHECK(spans.CheckIntegrity().ok(),
+                  spans.CheckIntegrity().message().c_str());
+
+        // Aggregate the direct children of every closed root span:
+        // they tile the root, so per-name sums over the root total
+        // are the "where did the time go" shares.
+        double root_total_s = 0.0;
+        int64_t traced = 0;
+        std::map<std::string, double> child_s;
+        for (const obs::Span* root : spans.Roots()) {
+            if (root->open) continue;
+            ++traced;
+            root_total_s += root->duration_s();
+            for (const obs::Span* child :
+                 spans.ChildrenOf(root->span_id)) {
+                if (child->open) continue;
+                child_s[child->name] += child->duration_s();
+            }
+        }
+        T4I_CHECK(traced > 0, "no closed request traces");
+
+        const double mean_ms =
+            root_total_s / static_cast<double>(traced) * 1e3;
+        auto share = [&](const char* name) {
+            return root_total_s > 0.0 ? child_s[name] / root_total_s
+                                      : 0.0;
+        };
+        const std::string label = StrFormat("%.1f", load);
+        bench::Metric("e18.traced", static_cast<double>(traced),
+                      {{"load", label}});
+        bench::Metric("e18.mean_latency_ms", mean_ms,
+                      {{"load", label}});
+        bench::Metric("e18.queue_share", share("queue"),
+                      {{"load", label}});
+        bench::Metric("e18.batch_share", share("batch"),
+                      {{"load", label}});
+        bench::Metric("e18.execute_share", share("execute"),
+                      {{"load", label}});
+        out.AddRow({label,
+                    StrFormat("%lld", static_cast<long long>(traced)),
+                    StrFormat("%.2f", mean_ms),
+                    StrFormat("%.1f", share("queue") * 100.0),
+                    StrFormat("%.1f", share("batch") * 100.0),
+                    StrFormat("%.1f", share("execute") * 100.0)});
+    }
+    out.Print(StrFormat(
+        "E18: first-256-trace latency breakdown on a 1-device BERT0 "
+        "cell (SLO batch %lld, capacity %.0f inf/s)",
+        static_cast<long long>(slo_batch), capacity_rps));
+
+    std::printf("\nShape to check: mean latency grows ~10x from 0.3 "
+                "to 1.2 load while the\nexecute share barely moves — "
+                "the E07 knee is queueing, not device time,\nand the "
+                "span attribution shows it per request.\n");
+    return 0;
+}

@@ -19,6 +19,16 @@
  *       same as run, but --alerts is required and the exit code is
  *       nonzero when any alert rule is firing at the end of the run
  *       (SLO gate for CI; see docs/OBSERVABILITY.md)
+ *   t4sim_cli report FILE [--format markdown|csv] [--out FILE]
+ *       render a --report-out run artifact (report.json) for humans
+ *       (markdown) or spreadsheets/pandas (CSV)
+ *   t4sim_cli diff BASE CURRENT [--rel R] [--abs A]
+ *              [--tol "prefix=rel[:abs],..."] [--ignore "prefix,..."]
+ *       compare two run artifacts with per-metric-prefix tolerances
+ *       (longest prefix wins, default exact since the sim is
+ *       deterministic; compiler.pass.* ignored). Exit 0 when within
+ *       band, 1 on any out-of-band value or missing key, 2 on usage/
+ *       IO errors — the cross-run regression gate for CI.
  *   t4sim_cli serve-cluster --app BERT0 --cells 3 [options]
  *       multi-cell cluster serving drill (docs/SERVING.md): the SLO
  *       batch's capacity offered across N cells behind the router.
@@ -75,6 +85,21 @@
  *   --alert-interval=S     (sim-time evaluation period; default 0.05)
  *   --load=F               (offered load as a fraction of the SLO
  *                           batch's capacity; default 0.7)
+ *   --window=S             (time-series window width on the sim
+ *                           clock; default 0.05 — counters become
+ *                           per-window deltas/rates, gauges
+ *                           last/min/max, histograms exact per-window
+ *                           quantiles; with --alerts, rules are
+ *                           evaluated once per closed window so
+ *                           `for X` means X seconds of consecutive
+ *                           windows)
+ *   --slo-file=FILE        (declarative SLO objectives, see
+ *                           src/obs/slo.h; default: one availability +
+ *                           latency-p95 objective per tenant)
+ *   --report-out=FILE      (versioned report.json run artifact:
+ *                           windowed series, SLO budget timelines,
+ *                           alert outcomes, final metrics — consumed
+ *                           by `t4sim_cli report` / `t4sim_cli diff`)
  *
  * Reliability options (shape the serving phase of --metrics-json /
  * --trace-out runs; see docs/RELIABILITY.md):
@@ -99,6 +124,7 @@
 #include "src/obs/alerts.h"
 #include "src/obs/export.h"
 #include "src/obs/flight_recorder.h"
+#include "src/obs/report.h"
 #include "src/obs/spans.h"
 #include "src/sim/profile.h"
 #include "src/sim/trace.h"
@@ -312,6 +338,237 @@ AttributionFromCounters(const PerfCounterFile& file)
             {"vpu", vpu / total},
             {"memory", mem / total},
             {"link", link / total}};
+}
+
+/**
+ * Joins the modeled power report with the TCO amortization to price
+ * attributed device time. Per-component watts split the device's
+ * sustained power by the power model's energy fractions, re-normalized
+ * by the attribution shares, so integrating share x watts over busy
+ * time recovers the device's average power (static power rides along
+ * proportionally).
+ */
+obs::SloCostModel
+BuildSloCostModel(const PowerReport& power, const TcoReport& tco,
+                  const TcoParams& params,
+                  const std::vector<AttributionShare>& attribution)
+{
+    obs::SloCostModel model;
+    model.usd_per_joule =
+        params.electricity_usd_per_kwh * params.pue_air / 3.6e6;
+    const double service_s =
+        params.service_years * 365.0 * 24.0 * 3600.0;
+    model.usd_per_device_second =
+        service_s > 0.0 ? tco.tco_usd / service_s : 0.0;
+    if (power.total_energy_j <= 0.0) return model;
+    const double watts = power.throttled_power_w > 0.0
+                             ? power.throttled_power_w
+                             : power.avg_power_w;
+    const double static_frac =
+        power.static_energy_j / power.total_energy_j;
+    auto dynamic_fraction = [&](const std::string& component) {
+        if (component == "mxu") {
+            return power.mxu_energy_j / power.total_energy_j;
+        }
+        if (component == "vpu") {
+            return power.vpu_energy_j / power.total_energy_j;
+        }
+        if (component == "memory") {
+            return (power.sram_energy_j + power.dram_energy_j) /
+                   power.total_energy_j;
+        }
+        if (component == "link") {
+            return power.link_energy_j / power.total_energy_j;
+        }
+        return 0.0;
+    };
+    for (const AttributionShare& share : attribution) {
+        if (share.fraction <= 0.0) continue;
+        model.component_watts.emplace_back(
+            share.component,
+            watts * (dynamic_fraction(share.component) /
+                         share.fraction +
+                     static_frac));
+    }
+    return model;
+}
+
+/**
+ * Default per-tenant SLO: the availability budget is the serving
+ * layer's slo_error_budget (so `slo.*` and `serving.slo_burn_rate`
+ * agree on what a "budget" is), plus the tenant's latency SLO at p95.
+ */
+obs::SloObjective
+MakeDefaultObjective(const TenantConfig& tenant, double error_budget,
+                     double duration_s, double window_s)
+{
+    obs::SloObjective objective;
+    objective.name = tenant.name;
+    objective.tenant = tenant.name;
+    objective.availability_target =
+        1.0 - std::min(std::max(error_budget, 1e-6), 0.5);
+    objective.latency_target_s = tenant.slo_s;
+    objective.latency_quantile = 95.0;
+    objective.horizon_s = std::max(duration_s, window_s);
+    objective.fast_window_s = std::max(2.0 * window_s, 0.1);
+    objective.slow_window_s = std::max(10.0 * window_s, 0.5);
+    return objective;
+}
+
+/** Loads --slo-file objectives, or the per-tenant defaults. */
+bool
+LoadSloObjectives(const Args& args,
+                  const std::vector<TenantConfig>& tenants,
+                  double error_budget, double duration_s,
+                  double window_s, obs::SloTracker* tracker)
+{
+    if (args.Has("slo-file")) {
+        auto text = obs::ReadTextFile(args.Get("slo-file", ""));
+        auto loaded =
+            text.ok() ? tracker->AddObjectivesFromText(text.value())
+                      : text.status();
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "slo-file: %s\n",
+                         loaded.ToString().c_str());
+            return false;
+        }
+        return true;
+    }
+    for (const TenantConfig& tenant : tenants) {
+        auto added = tracker->AddObjective(MakeDefaultObjective(
+            tenant, error_budget, duration_s, window_s));
+        if (!added.ok()) {
+            std::fprintf(stderr, "slo: %s\n",
+                         added.ToString().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Writes the run artifact and reports the outcome; false on error. */
+bool
+WriteReportArtifact(const Args& args, const std::string& command,
+                    const std::string& app, const std::string& chip,
+                    double duration_s, int64_t seed,
+                    const obs::MetricsRegistry& registry,
+                    const obs::TimeSeriesCollector* timeseries,
+                    const obs::SloTracker* slo,
+                    const obs::AlertEngine* alerts)
+{
+    if (!args.Has("report-out")) return true;
+    obs::ReportMeta meta;
+    meta.command = command;
+    meta.app = app;
+    meta.chip = chip;
+    meta.duration_s = duration_s;
+    meta.seed = seed;
+    obs::RunReport report =
+        obs::BuildRunReport(meta, &registry, timeseries, slo, alerts);
+    const std::string path = args.Get("report-out", "report.json");
+    auto status = obs::WriteRunReport(report, path);
+    std::printf("report-out: %s\n",
+                status.ok() ? path.c_str()
+                            : status.ToString().c_str());
+    return status.ok();
+}
+
+/** Parses `prefix=rel[:abs],...` into diff tolerances. */
+bool
+ParseDiffTolerances(const std::string& spec,
+                    obs::ReportDiffOptions* options)
+{
+    for (const std::string& item : SplitString(spec, ',')) {
+        if (item.empty()) continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr,
+                         "diff: bad --tol entry '%s' (want "
+                         "prefix=rel[:abs])\n",
+                         item.c_str());
+            return false;
+        }
+        obs::ReportTolerance tol;
+        const std::string value = item.substr(eq + 1);
+        const size_t colon = value.find(':');
+        tol.rel = std::atof(value.substr(0, colon).c_str());
+        if (colon != std::string::npos) {
+            tol.abs = std::atof(value.substr(colon + 1).c_str());
+        }
+        options->tolerances.emplace_back(item.substr(0, eq), tol);
+    }
+    return true;
+}
+
+int
+CmdReport(const std::string& path, const Args& args)
+{
+    auto report = obs::ReadRunReport(path);
+    if (!report.ok()) {
+        std::fprintf(stderr, "report: %s\n",
+                     report.status().ToString().c_str());
+        return 2;
+    }
+    const std::string format = args.Get("format", "markdown");
+    std::string rendered;
+    if (format == "markdown" || format == "md") {
+        rendered = obs::RenderRunReportMarkdown(report.value());
+    } else if (format == "csv") {
+        rendered = obs::RenderRunReportCsv(report.value());
+    } else {
+        std::fprintf(stderr,
+                     "report: unknown --format '%s' (markdown|csv)\n",
+                     format.c_str());
+        return 2;
+    }
+    if (args.Has("out")) {
+        const std::string out = args.Get("out", "");
+        auto status = obs::WriteTextFile(rendered, out);
+        if (!status.ok()) {
+            std::fprintf(stderr, "report: %s\n",
+                         status.ToString().c_str());
+            return 2;
+        }
+        std::printf("report: %s\n", out.c_str());
+    } else {
+        std::fputs(rendered.c_str(), stdout);
+    }
+    return 0;
+}
+
+int
+CmdDiff(const std::string& base_path, const std::string& current_path,
+        const Args& args)
+{
+    auto base = obs::ReadRunReport(base_path);
+    if (!base.ok()) {
+        std::fprintf(stderr, "diff: %s\n",
+                     base.status().ToString().c_str());
+        return 2;
+    }
+    auto current = obs::ReadRunReport(current_path);
+    if (!current.ok()) {
+        std::fprintf(stderr, "diff: %s\n",
+                     current.status().ToString().c_str());
+        return 2;
+    }
+    obs::ReportDiffOptions options;
+    options.default_tolerance.rel = args.GetDouble("rel", 0.0);
+    options.default_tolerance.abs = args.GetDouble("abs", 1e-12);
+    if (args.Has("tol") &&
+        !ParseDiffTolerances(args.Get("tol", ""), &options)) {
+        return 2;
+    }
+    for (const std::string& prefix :
+         SplitString(args.Get("ignore", ""), ',')) {
+        if (!prefix.empty()) {
+            options.ignore_prefixes.push_back(prefix);
+        }
+    }
+    auto result =
+        obs::DiffRunReports(base.value(), current.value(), options);
+    std::fputs(obs::RenderReportDiff(result).c_str(), stdout);
+    return result.ok() ? 0 : 1;
 }
 
 int
@@ -590,6 +847,53 @@ CmdServeCluster(const Args& args)
     config.spans = &span_collector;
     if (alerts.rule_count() > 0) config.alerts = &alerts;
 
+    // Windowed series + SLO budgets are always on for serving paths
+    // (stable obs.ts.* / slo.* export shape); with rules loaded the
+    // collector routes alert evaluation through window closes, so
+    // `for X` hysteresis means X seconds of consecutive windows.
+    obs::TimeSeriesOptions ts_options;
+    ts_options.window_s =
+        std::max(1e-4, args.GetDouble("window", 0.05));
+    obs::TimeSeriesCollector collector(ts_options);
+    collector.BindRegistry(&reg);
+    if (alerts.rule_count() > 0) collector.BindAlerts(&alerts);
+    obs::SloTracker slo_tracker;
+    slo_tracker.BindRegistry(&reg);
+    if (!LoadSloObjectives(args, config.tenants,
+                           config.slo_error_budget, config.duration_s,
+                           ts_options.window_s, &slo_tracker)) {
+        return 1;
+    }
+    // Cost model: compile the SLO batch once for the modeled power
+    // and per-component attribution, and amortize the chip's TCO over
+    // its service life — this is what prices slo.energy_per_request_j
+    // and slo.cost_per_request_usd.
+    opts.batch = slo_batch;
+    auto prog = Compile(graph.value().graph, chip.value(), opts);
+    if (prog.ok()) {
+        std::vector<ScheduleEntry> schedule;
+        auto sim = SimulateWithSchedule(prog.value(), chip.value(),
+                                        &schedule);
+        if (sim.ok()) {
+            auto counters = CollectPerfCounters(
+                prog.value(), chip.value(), schedule, 0.0);
+            if (counters.ok()) {
+                config.batch_attribution =
+                    AttributionFromCounters(counters.value());
+            }
+            auto power = EstimatePower(prog.value(), sim.value(),
+                                       chip.value());
+            auto tco = ComputeTco(chip.value(), TcoParams{});
+            if (power.ok() && tco.ok()) {
+                slo_tracker.SetCostModel(BuildSloCostModel(
+                    power.value(), tco.value(), TcoParams{},
+                    config.batch_attribution));
+            }
+        }
+    }
+    config.timeseries = &collector;
+    config.slo = &slo_tracker;
+
     auto result_or = RunCluster(config);
     if (!result_or.ok()) {
         std::fprintf(stderr, "serve-cluster: %s\n",
@@ -597,6 +901,17 @@ CmdServeCluster(const Args& args)
         return 1;
     }
     const ClusterResult& r = result_or.value();
+    // Freeze budgets, close the trailing window (which also runs the
+    // final routed alert evaluation), and enforce conservation before
+    // reporting anything.
+    slo_tracker.Finish(r.duration_s);
+    collector.Finish(r.duration_s);
+    auto conserved = collector.CheckConservation();
+    if (!conserved.ok()) {
+        std::fprintf(stderr, "serve-cluster: %s\n",
+                     conserved.ToString().c_str());
+        return 2;
+    }
     std::printf("cluster: %d cell%s x %d device%s | policy %s | "
                 "%.1f s | SLO batch %lld | %.0f rps offered\n",
                 cells, cells == 1 ? "" : "s", devices,
@@ -624,6 +939,10 @@ CmdServeCluster(const Args& args)
                 r.availability, r.initial_active_cells,
                 r.peak_active_cells, r.planned_spares,
                 r.planned_spares == 1 ? "" : "s");
+    std::printf("windows: %lld x %.3g s (%zu series)\n%s",
+                static_cast<long long>(collector.windows_closed()),
+                collector.window_s(), collector.series().size(),
+                slo_tracker.Summary().c_str());
     if (config.canary.enabled) {
         std::printf("rollout: %zu step%s | %s\n", r.rollout.size(),
                     r.rollout.size() == 1 ? "" : "s",
@@ -729,6 +1048,14 @@ CmdServeCluster(const Args& args)
                     static_cast<long long>(builder.event_count()));
         if (!status.ok()) return 1;
     }
+    if (!WriteReportArtifact(
+            args, "serve-cluster", graph.value().name,
+            chip.value().name, r.duration_s,
+            static_cast<int64_t>(config.seed), reg, &collector,
+            &slo_tracker,
+            alerts.rule_count() > 0 ? &alerts : nullptr)) {
+        return 1;
+    }
     return 0;
 }
 
@@ -814,7 +1141,9 @@ CmdRun(const Args& args, bool check_mode)
         args.Has("fault-seed") || args.Has("fail-at") ||
         args.Has("repair-at") || args.Has("hedge") ||
         args.Has("spans-out") || args.Has("blackbox-out") ||
-        args.Has("alerts") || args.Has("load") || check_mode;
+        args.Has("alerts") || args.Has("load") ||
+        args.Has("report-out") || args.Has("window") ||
+        args.Has("slo-file") || check_mode;
     if (args.Has("metrics-json") || args.Has("trace-out") ||
         serving_requested) {
         obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
@@ -889,6 +1218,20 @@ CmdRun(const Args& args, bool check_mode)
             }
         }
 
+        // Windowed series + SLO budgets are always on for serving
+        // paths (stable obs.ts.* / slo.* export shape); with rules
+        // loaded the collector routes alert evaluation through window
+        // closes, so `for X` means X seconds of consecutive windows.
+        obs::TimeSeriesOptions ts_options;
+        ts_options.window_s =
+            std::max(1e-4, args.GetDouble("window", 0.05));
+        obs::TimeSeriesCollector collector(ts_options);
+        collector.BindRegistry(&reg);
+        if (alerts.rule_count() > 0) collector.BindAlerts(&alerts);
+        obs::SloTracker slo_tracker;
+        slo_tracker.BindRegistry(&reg);
+        double serving_end_s = 0.0;
+
         // Short serving run so the snapshot carries per-tenant
         // latency percentiles and SLO misses, not just device
         // utilization: profile a batch ladder, pick the largest batch
@@ -949,8 +1292,32 @@ CmdRun(const Args& args, bool check_mode)
             telemetry.alerts = &alerts;
             telemetry.alert_eval_interval_s =
                 std::max(1e-4, args.GetDouble("alert-interval", 0.05));
+            telemetry.timeseries = &collector;
+            telemetry.slo = &slo_tracker;
+            if (!LoadSloObjectives(args, {tenant},
+                                   telemetry.slo_error_budget, 2.0,
+                                   ts_options.window_s,
+                                   &slo_tracker)) {
+                return 1;
+            }
+            // Price attributed device time: modeled power x TCO
+            // amortization -> slo.energy_per_request_j / _cost gauges.
+            {
+                auto power = EstimatePower(prog.value(),
+                                           result.value(),
+                                           chip.value());
+                auto tco = ComputeTco(chip.value(), TcoParams{});
+                if (power.ok() && tco.ok()) {
+                    slo_tracker.SetCostModel(BuildSloCostModel(
+                        power.value(), tco.value(), TcoParams{},
+                        attribution));
+                }
+            }
             auto serving = RunServingCell({tenant}, num_devices, 2.0,
                                           42, telemetry, reliability);
+            if (serving.ok()) {
+                serving_end_s = serving.value().duration_s;
+            }
             if (serving.ok() && !serving.value().tenants.empty()) {
                 const auto& sr = serving.value();
                 const auto& tstats = sr.tenants[0];
@@ -983,6 +1350,23 @@ CmdRun(const Args& args, bool check_mode)
                 return 1;
             }
         }
+
+        // Freeze budgets, close the trailing window (running the
+        // final routed alert evaluation), and enforce conservation —
+        // a violation is a collector bug, never noise.
+        slo_tracker.Finish(serving_end_s);
+        collector.Finish(serving_end_s);
+        auto conserved = collector.CheckConservation();
+        if (!conserved.ok()) {
+            std::fprintf(stderr, "%s: %s\n",
+                         check_mode ? "check" : "run",
+                         conserved.ToString().c_str());
+            return 2;
+        }
+        std::printf("windows: %lld x %.3g s (%zu series)\n%s",
+                    static_cast<long long>(collector.windows_closed()),
+                    collector.window_s(), collector.series().size(),
+                    slo_tracker.Summary().c_str());
 
         // Span exports: JSONL for offline analysis, per-trace slice
         // tracks on the enriched Chrome trace. Integrity is checked
@@ -1049,6 +1433,13 @@ CmdRun(const Args& args, bool check_mode)
                         static_cast<long long>(builder.event_count()));
             if (!status.ok()) return 1;
         }
+        if (!WriteReportArtifact(
+                args, check_mode ? "check" : "run",
+                graph.value().name, chip.value().name, serving_end_s,
+                42, reg, &collector, &slo_tracker,
+                alerts.rule_count() > 0 ? &alerts : nullptr)) {
+            return 1;
+        }
         if (check_mode && alerts.AnyFiring()) {
             std::fprintf(stderr,
                          "check: %zu alert rule(s) firing\n",
@@ -1069,13 +1460,46 @@ main(int argc, char** argv)
                      "usage: %s list | run --app NAME [options] | "
                      "profile --app NAME [options] | "
                      "check --app NAME --alerts RULES [options] | "
-                     "serve-cluster --app NAME [options]\n"
+                     "serve-cluster --app NAME [options] | "
+                     "report FILE [--format markdown|csv] | "
+                     "diff BASE CURRENT [--rel R] [--abs A]\n"
                      "see the file header for all options\n",
                      argv[0]);
         return 1;
     }
     const std::string cmd = argv[1];
-    Args args(argc - 2, argv + 2);
+    // report/diff take leading positional file arguments before flags.
+    std::vector<std::string> positional;
+    int flag_start = 2;
+    if (cmd == "report" || cmd == "diff") {
+        while (flag_start < argc &&
+               std::strncmp(argv[flag_start], "--", 2) != 0) {
+            positional.emplace_back(argv[flag_start]);
+            ++flag_start;
+        }
+    }
+    Args args(argc - flag_start, argv + flag_start);
+    if (cmd == "report") {
+        if (positional.size() != 1) {
+            std::fprintf(stderr,
+                         "usage: %s report FILE [--format "
+                         "markdown|csv] [--out FILE]\n",
+                         argv[0]);
+            return 2;
+        }
+        return CmdReport(positional[0], args);
+    }
+    if (cmd == "diff") {
+        if (positional.size() != 2) {
+            std::fprintf(stderr,
+                         "usage: %s diff BASE CURRENT [--rel R] "
+                         "[--abs A] [--tol \"prefix=rel[:abs],...\"] "
+                         "[--ignore \"prefix,...\"]\n",
+                         argv[0]);
+            return 2;
+        }
+        return CmdDiff(positional[0], positional[1], args);
+    }
     if (cmd == "list") return CmdList();
     if (cmd == "run") return CmdRun(args, /*check_mode=*/false);
     if (cmd == "check") return CmdRun(args, /*check_mode=*/true);

@@ -157,6 +157,7 @@ CellTelemetry(const ClusterConfig& config, int index)
     telemetry.max_traced_requests_per_tenant = 0;
     telemetry.max_flows_per_tenant = 0;
     telemetry.slo_error_budget = config.slo_error_budget;
+    telemetry.batch_attribution = config.batch_attribution;
     telemetry.extra_labels = {{"cell", StrFormat("%d", index)}};
     return telemetry;
 }
@@ -182,6 +183,9 @@ RunPassthrough(const ClusterConfig& config)
     options.telemetry.max_traced_requests_per_tenant =
         config.max_traced_requests;
     options.telemetry.slo_error_budget = config.slo_error_budget;
+    options.telemetry.batch_attribution = config.batch_attribution;
+    options.telemetry.timeseries = config.timeseries;
+    options.telemetry.slo = config.slo;
     auto cell_or = ServeCell::Create(std::move(options));
     T4I_RETURN_IF_ERROR(cell_or.status());
     std::unique_ptr<ServeCell> cell = std::move(cell_or).ConsumeValue();
@@ -310,6 +314,14 @@ RunCluster(const ClusterConfig& config)
     obs::AlertEngine* alerts =
         (config.alerts != nullptr && config.registry != nullptr)
             ? config.alerts
+            : nullptr;
+    obs::TimeSeriesCollector* timeseries =
+        (config.timeseries != nullptr && config.registry != nullptr)
+            ? config.timeseries
+            : nullptr;
+    obs::SloTracker* slo_tracker =
+        (config.slo != nullptr && config.registry != nullptr)
+            ? config.slo
             : nullptr;
 
     // --- cluster instruments (all exist even when idle, so exports
@@ -768,7 +780,13 @@ RunCluster(const ClusterConfig& config)
         if (availability_gauge != nullptr) {
             availability_gauge->Set(live_availability());
         }
-        if (alerts != nullptr) {
+        // SLO budgets accrue before windows close so slo.* gauges land
+        // in the window that describes them; a collector that routes
+        // alerts evaluates them at each window close instead of here.
+        if (slo_tracker != nullptr) slo_tracker->Tick(t);
+        if (timeseries != nullptr) timeseries->Tick(t);
+        if (alerts != nullptr &&
+            (timeseries == nullptr || !timeseries->routes_alerts())) {
             alerts->Evaluate(*config.registry, t);
         }
     };

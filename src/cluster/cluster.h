@@ -169,6 +169,25 @@ struct ClusterConfig {
     obs::AlertEngine* alerts = nullptr;
     double slo_error_budget = 0.01;
     /**
+     * Windowed time-series collection (requires registry), ticked on
+     * the control cadence by the router loop — cells advance
+     * interleaved, so only the control plane sees monotonic time. When
+     * the collector routes alerts, window closes replace the per-tick
+     * evaluation (the run-end evaluation stays). The caller
+     * Finish()es the collector after RunCluster returns.
+     */
+    obs::TimeSeriesCollector* timeseries = nullptr;
+    /** Rolling SLO error budgets (requires registry), ticked on the
+     *  control cadence before the collector. */
+    obs::SloTracker* slo = nullptr;
+    /**
+     * Per-batch attribution shares handed to every cell (see
+     * ServingTelemetry::batch_attribution): enables per-tenant
+     * `serving.attribution.seconds{...,cell=}` histograms, which the
+     * SLO tracker's cost model joins into energy/cost per request.
+     */
+    std::vector<AttributionShare> batch_attribution;
+    /**
      * Routing disabled: run the single cell with its *internal*
      * arrival process (the router never touches a request), which
      * reproduces RunServingCell for the same seed bit for bit.

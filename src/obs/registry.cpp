@@ -30,6 +30,18 @@ HistogramMetric::Observe(double x)
     std::lock_guard<std::mutex> lock(mu_);
     percentiles_.Add(x);
     stat_.Add(x);
+    ordered_.push_back(x);
+}
+
+std::vector<double>
+HistogramMetric::SamplesSince(int64_t from) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from < 0) from = 0;
+    if (from >= static_cast<int64_t>(ordered_.size())) return {};
+    return std::vector<double>(
+        ordered_.begin() + static_cast<ptrdiff_t>(from),
+        ordered_.end());
 }
 
 int64_t

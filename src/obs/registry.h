@@ -83,10 +83,19 @@ class HistogramMetric {
     /** Exact q-th percentile (q in [0,100]); 0 when empty. */
     double Percentile(double q) const;
 
+    /**
+     * Copies retained samples [@p from, count()) in *insertion* order —
+     * the slice an observer (src/obs/timeseries.h) has not consumed
+     * yet. PercentileTracker sorts its retained vector in place, so the
+     * insertion-ordered log is kept separately here.
+     */
+    std::vector<double> SamplesSince(int64_t from) const;
+
   private:
     mutable std::mutex mu_;
     PercentileTracker percentiles_;
     RunningStat stat_;
+    std::vector<double> ordered_;  ///< samples in arrival order
 };
 
 enum class MetricType { kCounter, kGauge, kHistogram };

@@ -1,0 +1,813 @@
+#include "src/obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/strings.h"
+#include "src/obs/export.h"
+#include "src/obs/json.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** Stable numeric formatting shared with the exporters: %.9g, with
+ *  non-finite values clamped so the JSON stays parseable. */
+std::string
+Num(double v)
+{
+    if (!std::isfinite(v)) return "0";
+    return StrFormat("%.9g", v);
+}
+
+std::string
+Int(int64_t v)
+{
+    return StrFormat("%lld", static_cast<long long>(v));
+}
+
+/** `{k=v,...}` suffix; empty labels render as no suffix (the
+ *  BENCH_JSON / perf_gate flat-key convention). */
+std::string
+FlatLabels(const Labels& labels)
+{
+    if (labels.empty()) return "";
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += labels[i].first + "=" + labels[i].second;
+    }
+    return out + "}";
+}
+
+std::string
+LabelsJson(const Labels& labels)
+{
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += JsonQuote(labels[i].first) + ":" +
+               JsonQuote(labels[i].second);
+    }
+    return out + "}";
+}
+
+const char* kHistFields[] = {"count", "sum",  "mean", "min",
+                             "max",   "p50", "p95",  "p99"};
+
+double
+HistField(const HistogramMetric& h, const std::string& field)
+{
+    if (field == "count") return static_cast<double>(h.count());
+    if (field == "sum") return h.sum();
+    if (field == "mean") return h.mean();
+    if (field == "min") return h.min();
+    if (field == "max") return h.max();
+    if (field == "p50") return h.Percentile(50.0);
+    if (field == "p95") return h.Percentile(95.0);
+    return h.Percentile(99.0);
+}
+
+// --- JSON parsing helpers ---------------------------------------------
+
+double
+NumField(const JsonValue& obj, const std::string& key,
+         double fallback = 0.0)
+{
+    const JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_number() ? v->number_value
+                                          : fallback;
+}
+
+int64_t
+IntField(const JsonValue& obj, const std::string& key,
+         int64_t fallback = 0)
+{
+    const JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_number()
+               ? static_cast<int64_t>(v->number_value)
+               : fallback;
+}
+
+std::string
+StrField(const JsonValue& obj, const std::string& key)
+{
+    const JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_string() ? v->string_value : "";
+}
+
+bool
+BoolField(const JsonValue& obj, const std::string& key)
+{
+    const JsonValue* v = obj.Find(key);
+    return v != nullptr && v->is_bool() && v->bool_value;
+}
+
+Labels
+LabelsField(const JsonValue& obj)
+{
+    Labels labels;
+    const JsonValue* v = obj.Find("labels");
+    if (v != nullptr && v->is_object()) {
+        for (const auto& [k, val] : v->object) {
+            labels.emplace_back(
+                k, val.is_string() ? val.string_value : "");
+        }
+    }
+    return labels;
+}
+
+/** Alert state as a comparable rank for the diff. */
+double
+StateRank(const std::string& state)
+{
+    if (state == "firing") return 2.0;
+    if (state == "pending") return 1.0;
+    return 0.0;
+}
+
+// --- diff flattening --------------------------------------------------
+
+/** Key -> value, insertion-ordered for stable reporting. */
+struct FlatView {
+    std::vector<std::pair<std::string, double>> entries;
+    std::map<std::string, double> index;
+
+    void Add(const std::string& key, double value)
+    {
+        if (index.emplace(key, value).second) {
+            entries.emplace_back(key, value);
+        }
+    }
+};
+
+void
+FlattenReport(const RunReport& report, FlatView* out)
+{
+    for (const auto& [key, value] : report.metrics) {
+        out->Add("metric:" + key, value);
+    }
+    for (const TimeSeries& s : report.series) {
+        const std::string base = s.name + FlatLabels(s.labels);
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            const WindowPoint& p = s.points[i];
+            const std::string at =
+                StrFormat("series:%s[%zu].", base.c_str(), i);
+            out->Add(at + "t1", p.t1_s);
+            switch (s.kind) {
+              case SeriesKind::kCounter:
+                out->Add(at + "delta",
+                         static_cast<double>(p.delta));
+                break;
+              case SeriesKind::kGauge:
+                out->Add(at + "last", p.last);
+                out->Add(at + "min", p.min);
+                out->Add(at + "max", p.max);
+                break;
+              case SeriesKind::kHistogram:
+                out->Add(at + "count",
+                         static_cast<double>(p.count));
+                out->Add(at + "sum", p.sum);
+                out->Add(at + "p50", p.p50);
+                out->Add(at + "p95", p.p95);
+                out->Add(at + "p99", p.p99);
+                break;
+            }
+        }
+    }
+    for (const SloStatus& s : report.slos) {
+        const std::string base = "slo:" + s.objective.name;
+        out->Add(base + ".good", static_cast<double>(s.good));
+        out->Add(base + ".bad", static_cast<double>(s.bad));
+        out->Add(base + ".pages", static_cast<double>(s.pages));
+        out->Add(base + ".min_budget_remaining",
+                 s.min_budget_remaining);
+        out->Add(base + ".peak_burn_fast", s.peak_burn_fast);
+        out->Add(base + ".peak_burn_slow", s.peak_burn_slow);
+        out->Add(base + ".total_energy_j", s.total_energy_j);
+        out->Add(base + ".total_cost_usd", s.total_cost_usd);
+        for (size_t i = 0; i < s.timeline.size(); ++i) {
+            const SloBudgetPoint& p = s.timeline[i];
+            const std::string at =
+                StrFormat("%s[%zu].", base.c_str(), i);
+            out->Add(at + "burn_fast", p.burn_fast);
+            out->Add(at + "burn_slow", p.burn_slow);
+            out->Add(at + "budget_remaining", p.budget_remaining);
+            out->Add(at + "latency_q_s", p.latency_q_s);
+            out->Add(at + "energy_per_request_j",
+                     p.energy_per_request_j);
+            out->Add(at + "cost_per_request_usd",
+                     p.cost_per_request_usd);
+        }
+    }
+    for (const ReportAlert& a : report.alerts) {
+        out->Add("alert:" + a.name + ".fire_count",
+                 static_cast<double>(a.fire_count));
+        out->Add("alert:" + a.name + ".state",
+                 StateRank(a.state));
+        out->Add("alert:" + a.name + ".last_value", a.last_value);
+    }
+}
+
+/** The metric-name part used for tolerance/ignore prefix matching:
+ *  the section marker is stripped and labels/field suffixes kept, the
+ *  same contract perf_gate applies to its flat keys. */
+std::string
+DiffKeyName(const std::string& key)
+{
+    const size_t colon = key.find(':');
+    std::string name =
+        colon == std::string::npos ? key : key.substr(colon + 1);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) name = name.substr(0, brace);
+    return name;
+}
+
+bool
+PrefixMatch(const std::string& key, const std::string& name,
+            const std::string& prefix)
+{
+    return name.rfind(prefix, 0) == 0 || key.rfind(prefix, 0) == 0;
+}
+
+ReportTolerance
+ToleranceFor(const std::string& key,
+             const ReportDiffOptions& options)
+{
+    const std::string name = DiffKeyName(key);
+    ReportTolerance best = options.default_tolerance;
+    size_t best_len = 0;
+    bool found = false;
+    for (const auto& [prefix, tol] : options.tolerances) {
+        if (PrefixMatch(key, name, prefix) &&
+            (!found || prefix.size() > best_len)) {
+            best = tol;
+            best_len = prefix.size();
+            found = true;
+        }
+    }
+    return best;
+}
+
+bool
+Ignored(const std::string& key, const ReportDiffOptions& options)
+{
+    const std::string name = DiffKeyName(key);
+    for (const std::string& prefix : options.ignore_prefixes) {
+        if (PrefixMatch(key, name, prefix)) return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+RunReport
+BuildRunReport(const ReportMeta& meta,
+               const MetricsRegistry* registry,
+               const TimeSeriesCollector* timeseries,
+               const SloTracker* slo, const AlertEngine* alerts)
+{
+    RunReport report;
+    report.meta = meta;
+    if (timeseries != nullptr) {
+        report.series = timeseries->series();
+        if (report.meta.window_s == 0.0) {
+            report.meta.window_s = timeseries->window_s();
+        }
+    }
+    if (slo != nullptr) report.slos = slo->statuses();
+    if (alerts != nullptr) {
+        for (const AlertStatus& s : alerts->statuses()) {
+            ReportAlert a;
+            a.name = s.rule.name;
+            a.state = AlertStateName(s.state);
+            a.fire_count = s.fire_count;
+            a.last_value = s.last_value;
+            a.fired_at_s = s.fired_at_s;
+            report.alerts.push_back(std::move(a));
+        }
+    }
+    if (registry != nullptr) {
+        for (const auto& entry : registry->Snapshot()) {
+            const std::string key =
+                entry.name + FlatLabels(entry.labels);
+            switch (entry.type) {
+              case MetricType::kCounter:
+                report.metrics.emplace_back(
+                    key,
+                    static_cast<double>(entry.counter->value()));
+                break;
+              case MetricType::kGauge:
+                report.metrics.emplace_back(
+                    key, entry.gauge->value());
+                break;
+              case MetricType::kHistogram:
+                for (const char* field : kHistFields) {
+                    report.metrics.emplace_back(
+                        key + "." + field,
+                        HistField(*entry.histogram, field));
+                }
+                break;
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+RunReportToJson(const RunReport& report)
+{
+    std::string out = "{\n";
+    out += StrFormat(" \"schema_version\":%d,\n",
+                     report.schema_version);
+    const ReportMeta& m = report.meta;
+    out += " \"meta\":{";
+    out += "\"tool\":" + JsonQuote(m.tool);
+    out += ",\"command\":" + JsonQuote(m.command);
+    out += ",\"app\":" + JsonQuote(m.app);
+    out += ",\"chip\":" + JsonQuote(m.chip);
+    out += ",\"duration_s\":" + Num(m.duration_s);
+    out += ",\"seed\":" + Int(m.seed);
+    out += ",\"window_s\":" + Num(m.window_s);
+    out += "},\n";
+
+    out += " \"series\":[";
+    for (size_t i = 0; i < report.series.size(); ++i) {
+        const TimeSeries& s = report.series[i];
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += "{\"name\":" + JsonQuote(s.name);
+        out += ",\"labels\":" + LabelsJson(s.labels);
+        out += ",\"kind\":";
+        out += JsonQuote(SeriesKindName(s.kind));
+        out += ",\"points\":[";
+        for (size_t j = 0; j < s.points.size(); ++j) {
+            const WindowPoint& p = s.points[j];
+            out += j > 0 ? "," : "";
+            out += "{\"t0\":" + Num(p.t0_s);
+            out += ",\"t1\":" + Num(p.t1_s);
+            switch (s.kind) {
+              case SeriesKind::kCounter:
+                out += ",\"delta\":" + Int(p.delta);
+                out += ",\"rate\":" + Num(p.rate_per_s);
+                break;
+              case SeriesKind::kGauge:
+                out += ",\"last\":" + Num(p.last);
+                out += ",\"min\":" + Num(p.min);
+                out += ",\"max\":" + Num(p.max);
+                break;
+              case SeriesKind::kHistogram:
+                out += ",\"count\":" + Int(p.count);
+                out += ",\"sum\":" + Num(p.sum);
+                out += ",\"min\":" + Num(p.min);
+                out += ",\"max\":" + Num(p.max);
+                out += ",\"p50\":" + Num(p.p50);
+                out += ",\"p95\":" + Num(p.p95);
+                out += ",\"p99\":" + Num(p.p99);
+                break;
+            }
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "],\n";
+
+    out += " \"slos\":[";
+    for (size_t i = 0; i < report.slos.size(); ++i) {
+        const SloStatus& s = report.slos[i];
+        const SloObjective& o = s.objective;
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += "{\"objective\":{";
+        out += "\"name\":" + JsonQuote(o.name);
+        out += ",\"tenant\":" + JsonQuote(o.tenant);
+        out += ",\"availability_target\":" +
+               Num(o.availability_target);
+        out += ",\"latency_target_s\":" + Num(o.latency_target_s);
+        out += ",\"latency_quantile\":" + Num(o.latency_quantile);
+        out += ",\"horizon_s\":" + Num(o.horizon_s);
+        out += ",\"fast_window_s\":" + Num(o.fast_window_s);
+        out += ",\"slow_window_s\":" + Num(o.slow_window_s);
+        out += ",\"page_burn\":" + Num(o.page_burn);
+        out += "},\"final\":{";
+        out += "\"good\":" + Int(s.good);
+        out += ",\"bad\":" + Int(s.bad);
+        out += ",\"total\":" + Int(s.total);
+        out += ",\"peak_burn_fast\":" + Num(s.peak_burn_fast);
+        out += ",\"peak_burn_slow\":" + Num(s.peak_burn_slow);
+        out += ",\"min_budget_remaining\":" +
+               Num(s.min_budget_remaining);
+        out += ",\"pages\":" + Int(s.pages);
+        out += ",\"page_seconds\":" + Num(s.page_seconds);
+        out += ",\"total_energy_j\":" + Num(s.total_energy_j);
+        out += ",\"total_cost_usd\":" + Num(s.total_cost_usd);
+        out += "},\"timeline\":[";
+        for (size_t j = 0; j < s.timeline.size(); ++j) {
+            const SloBudgetPoint& p = s.timeline[j];
+            out += j > 0 ? "," : "";
+            out += "{\"t\":" + Num(p.t_s);
+            out += ",\"good\":" + Int(p.good);
+            out += ",\"bad\":" + Int(p.bad);
+            out += ",\"total\":" + Int(p.total);
+            out += ",\"burn_fast\":" + Num(p.burn_fast);
+            out += ",\"burn_slow\":" + Num(p.burn_slow);
+            out += ",\"budget_remaining\":" +
+                   Num(p.budget_remaining);
+            out += ",\"latency_q_s\":" + Num(p.latency_q_s);
+            out += ",\"energy_per_request_j\":" +
+                   Num(p.energy_per_request_j);
+            out += ",\"cost_per_request_usd\":" +
+                   Num(p.cost_per_request_usd);
+            out += ",\"paging\":";
+            out += p.paging ? "true" : "false";
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "],\n";
+
+    out += " \"alerts\":[";
+    for (size_t i = 0; i < report.alerts.size(); ++i) {
+        const ReportAlert& a = report.alerts[i];
+        out += i > 0 ? "," : "";
+        out += "{\"name\":" + JsonQuote(a.name);
+        out += ",\"state\":" + JsonQuote(a.state);
+        out += ",\"fire_count\":" + Int(a.fire_count);
+        out += ",\"last_value\":" + Num(a.last_value);
+        out += ",\"fired_at_s\":" + Num(a.fired_at_s);
+        out += "}";
+    }
+    out += "],\n";
+
+    out += " \"metrics\":{";
+    for (size_t i = 0; i < report.metrics.size(); ++i) {
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += JsonQuote(report.metrics[i].first) + ":" +
+               Num(report.metrics[i].second);
+    }
+    out += "}\n}\n";
+    return out;
+}
+
+Status
+WriteRunReport(const RunReport& report, const std::string& path)
+{
+    return WriteTextFile(RunReportToJson(report), path);
+}
+
+StatusOr<RunReport>
+ReadRunReport(const std::string& path)
+{
+    auto text = ReadTextFile(path);
+    T4I_RETURN_IF_ERROR(text.status());
+    auto doc = ParseJson(text.value());
+    if (!doc.ok()) {
+        return Status::InvalidArgument(
+            path + ": " + doc.status().ToString());
+    }
+    const JsonValue& root = doc.value();
+    if (!root.is_object()) {
+        return Status::InvalidArgument(path +
+                                       ": report is not an object");
+    }
+    RunReport report;
+    report.schema_version =
+        static_cast<int>(IntField(root, "schema_version", -1));
+    if (report.schema_version != kRunReportSchemaVersion) {
+        return Status::InvalidArgument(StrFormat(
+            "%s: schema_version %d (this build reads %d)",
+            path.c_str(), report.schema_version,
+            kRunReportSchemaVersion));
+    }
+    if (const JsonValue* meta = root.Find("meta")) {
+        report.meta.tool = StrField(*meta, "tool");
+        report.meta.command = StrField(*meta, "command");
+        report.meta.app = StrField(*meta, "app");
+        report.meta.chip = StrField(*meta, "chip");
+        report.meta.duration_s = NumField(*meta, "duration_s");
+        report.meta.seed = IntField(*meta, "seed");
+        report.meta.window_s = NumField(*meta, "window_s");
+    }
+    if (const JsonValue* series = root.Find("series")) {
+        for (const JsonValue& sv : series->array) {
+            TimeSeries s;
+            s.name = StrField(sv, "name");
+            s.labels = LabelsField(sv);
+            const std::string kind = StrField(sv, "kind");
+            s.kind = kind == "gauge"
+                         ? SeriesKind::kGauge
+                         : (kind == "histogram"
+                                ? SeriesKind::kHistogram
+                                : SeriesKind::kCounter);
+            if (const JsonValue* points = sv.Find("points")) {
+                for (const JsonValue& pv : points->array) {
+                    WindowPoint p;
+                    p.t0_s = NumField(pv, "t0");
+                    p.t1_s = NumField(pv, "t1");
+                    p.delta = IntField(pv, "delta");
+                    p.rate_per_s = NumField(pv, "rate");
+                    p.last = NumField(pv, "last");
+                    p.min = NumField(pv, "min");
+                    p.max = NumField(pv, "max");
+                    p.count = IntField(pv, "count");
+                    p.sum = NumField(pv, "sum");
+                    p.p50 = NumField(pv, "p50");
+                    p.p95 = NumField(pv, "p95");
+                    p.p99 = NumField(pv, "p99");
+                    s.points.push_back(p);
+                }
+            }
+            report.series.push_back(std::move(s));
+        }
+    }
+    if (const JsonValue* slos = root.Find("slos")) {
+        for (const JsonValue& sv : slos->array) {
+            SloStatus s;
+            if (const JsonValue* obj = sv.Find("objective")) {
+                s.objective.name = StrField(*obj, "name");
+                s.objective.tenant = StrField(*obj, "tenant");
+                s.objective.availability_target =
+                    NumField(*obj, "availability_target");
+                s.objective.latency_target_s =
+                    NumField(*obj, "latency_target_s");
+                s.objective.latency_quantile =
+                    NumField(*obj, "latency_quantile", 95.0);
+                s.objective.horizon_s = NumField(*obj, "horizon_s");
+                s.objective.fast_window_s =
+                    NumField(*obj, "fast_window_s");
+                s.objective.slow_window_s =
+                    NumField(*obj, "slow_window_s");
+                s.objective.page_burn =
+                    NumField(*obj, "page_burn", 1.0);
+            }
+            if (const JsonValue* fin = sv.Find("final")) {
+                s.good = IntField(*fin, "good");
+                s.bad = IntField(*fin, "bad");
+                s.total = IntField(*fin, "total");
+                s.peak_burn_fast =
+                    NumField(*fin, "peak_burn_fast");
+                s.peak_burn_slow =
+                    NumField(*fin, "peak_burn_slow");
+                s.min_budget_remaining =
+                    NumField(*fin, "min_budget_remaining", 1.0);
+                s.pages = IntField(*fin, "pages");
+                s.page_seconds = NumField(*fin, "page_seconds");
+                s.total_energy_j =
+                    NumField(*fin, "total_energy_j");
+                s.total_cost_usd =
+                    NumField(*fin, "total_cost_usd");
+            }
+            if (const JsonValue* timeline = sv.Find("timeline")) {
+                for (const JsonValue& pv : timeline->array) {
+                    SloBudgetPoint p;
+                    p.t_s = NumField(pv, "t");
+                    p.good = IntField(pv, "good");
+                    p.bad = IntField(pv, "bad");
+                    p.total = IntField(pv, "total");
+                    p.burn_fast = NumField(pv, "burn_fast");
+                    p.burn_slow = NumField(pv, "burn_slow");
+                    p.budget_remaining =
+                        NumField(pv, "budget_remaining", 1.0);
+                    p.latency_q_s = NumField(pv, "latency_q_s");
+                    p.energy_per_request_j =
+                        NumField(pv, "energy_per_request_j");
+                    p.cost_per_request_usd =
+                        NumField(pv, "cost_per_request_usd");
+                    p.paging = BoolField(pv, "paging");
+                    s.timeline.push_back(p);
+                }
+            }
+            report.slos.push_back(std::move(s));
+        }
+    }
+    if (const JsonValue* alerts = root.Find("alerts")) {
+        for (const JsonValue& av : alerts->array) {
+            ReportAlert a;
+            a.name = StrField(av, "name");
+            a.state = StrField(av, "state");
+            a.fire_count = IntField(av, "fire_count");
+            a.last_value = NumField(av, "last_value");
+            a.fired_at_s = NumField(av, "fired_at_s");
+            report.alerts.push_back(std::move(a));
+        }
+    }
+    if (const JsonValue* metrics = root.Find("metrics")) {
+        for (const auto& [key, value] : metrics->object) {
+            if (value.is_number()) {
+                report.metrics.emplace_back(key,
+                                            value.number_value);
+            }
+        }
+    }
+    return report;
+}
+
+std::string
+RenderRunReportMarkdown(const RunReport& report)
+{
+    const ReportMeta& m = report.meta;
+    std::string out = StrFormat(
+        "# Run report: %s %s\n\n"
+        "| field | value |\n|---|---|\n"
+        "| tool | %s |\n| command | %s |\n| app | %s |\n"
+        "| chip | %s |\n| duration_s | %s |\n| seed | %lld |\n"
+        "| window_s | %s |\n| schema_version | %d |\n",
+        m.command.c_str(), m.app.c_str(), m.tool.c_str(),
+        m.command.c_str(), m.app.c_str(), m.chip.c_str(),
+        Num(m.duration_s).c_str(), static_cast<long long>(m.seed),
+        Num(m.window_s).c_str(), report.schema_version);
+
+    if (!report.slos.empty()) {
+        out += "\n## SLO error budgets\n\n"
+               "| objective | tenant | target | budget left | "
+               "min left | peak fast | peak slow | pages | "
+               "good/bad | J/req (last) | $/req (last) |\n"
+               "|---|---|---|---|---|---|---|---|---|---|---|\n";
+        for (const SloStatus& s : report.slos) {
+            const SloBudgetPoint* last =
+                s.timeline.empty() ? nullptr : &s.timeline.back();
+            out += StrFormat(
+                "| %s | %s | %.4g | %.1f%% | %.1f%% | %.2f | "
+                "%.2f | %lld | %lld/%lld | %.4g | %.6g |\n",
+                s.objective.name.c_str(),
+                s.objective.tenant.c_str(),
+                s.objective.availability_target,
+                100.0 * (last != nullptr ? last->budget_remaining
+                                         : 1.0),
+                100.0 * s.min_budget_remaining, s.peak_burn_fast,
+                s.peak_burn_slow, static_cast<long long>(s.pages),
+                static_cast<long long>(s.good),
+                static_cast<long long>(s.bad),
+                last != nullptr ? last->energy_per_request_j : 0.0,
+                last != nullptr ? last->cost_per_request_usd
+                                : 0.0);
+        }
+    }
+    if (!report.alerts.empty()) {
+        out += "\n## Alerts\n\n"
+               "| rule | state | fires | last value |\n"
+               "|---|---|---|---|\n";
+        for (const ReportAlert& a : report.alerts) {
+            out += StrFormat(
+                "| %s | %s | %lld | %.6g |\n", a.name.c_str(),
+                a.state.c_str(),
+                static_cast<long long>(a.fire_count),
+                a.last_value);
+        }
+    }
+    if (!report.series.empty()) {
+        out += "\n## Windowed series\n\n"
+               "| series | kind | points | total |\n"
+               "|---|---|---|---|\n";
+        for (const TimeSeries& s : report.series) {
+            double total = 0.0;
+            for (const WindowPoint& p : s.points) {
+                total +=
+                    s.kind == SeriesKind::kCounter
+                        ? static_cast<double>(p.delta)
+                        : (s.kind == SeriesKind::kHistogram
+                               ? static_cast<double>(p.count)
+                               : 0.0);
+            }
+            out += StrFormat(
+                "| %s%s | %s | %zu | %.6g |\n", s.name.c_str(),
+                FlatLabels(s.labels).c_str(),
+                SeriesKindName(s.kind), s.points.size(), total);
+        }
+    }
+    out += StrFormat("\n%zu final metrics in the snapshot.\n",
+                     report.metrics.size());
+    return out;
+}
+
+std::string
+RenderRunReportCsv(const RunReport& report)
+{
+    std::string out = "record,key,t0,t1,value\n";
+    auto row = [&out](const std::string& record,
+                      const std::string& key, const std::string& t0,
+                      const std::string& t1, double value) {
+        out += record + "," + key + "," + t0 + "," + t1 + "," +
+               Num(value) + "\n";
+    };
+    row("meta", "duration_s", "", "", report.meta.duration_s);
+    row("meta", "window_s", "", "", report.meta.window_s);
+    row("meta", "seed", "", "",
+        static_cast<double>(report.meta.seed));
+    for (const auto& [key, value] : report.metrics) {
+        row("metric", key, "", "", value);
+    }
+    for (const TimeSeries& s : report.series) {
+        const std::string base = s.name + FlatLabels(s.labels);
+        for (const WindowPoint& p : s.points) {
+            const std::string t0 = Num(p.t0_s);
+            const std::string t1 = Num(p.t1_s);
+            switch (s.kind) {
+              case SeriesKind::kCounter:
+                row("series", base + ".delta", t0, t1,
+                    static_cast<double>(p.delta));
+                row("series", base + ".rate", t0, t1,
+                    p.rate_per_s);
+                break;
+              case SeriesKind::kGauge:
+                row("series", base + ".last", t0, t1, p.last);
+                row("series", base + ".min", t0, t1, p.min);
+                row("series", base + ".max", t0, t1, p.max);
+                break;
+              case SeriesKind::kHistogram:
+                row("series", base + ".count", t0, t1,
+                    static_cast<double>(p.count));
+                row("series", base + ".sum", t0, t1, p.sum);
+                row("series", base + ".p50", t0, t1, p.p50);
+                row("series", base + ".p95", t0, t1, p.p95);
+                row("series", base + ".p99", t0, t1, p.p99);
+                break;
+            }
+        }
+    }
+    for (const SloStatus& s : report.slos) {
+        for (const SloBudgetPoint& p : s.timeline) {
+            const std::string t = Num(p.t_s);
+            row("slo", s.objective.name + ".burn_fast", t, t,
+                p.burn_fast);
+            row("slo", s.objective.name + ".burn_slow", t, t,
+                p.burn_slow);
+            row("slo", s.objective.name + ".budget_remaining", t,
+                t, p.budget_remaining);
+            row("slo", s.objective.name + ".latency_q_s", t, t,
+                p.latency_q_s);
+            row("slo", s.objective.name + ".energy_per_request_j",
+                t, t, p.energy_per_request_j);
+            row("slo", s.objective.name + ".cost_per_request_usd",
+                t, t, p.cost_per_request_usd);
+        }
+    }
+    for (const ReportAlert& a : report.alerts) {
+        row("alert", a.name + ".fire_count", "", "",
+            static_cast<double>(a.fire_count));
+        row("alert", a.name + ".last_value", "", "", a.last_value);
+    }
+    return out;
+}
+
+ReportDiffResult
+DiffRunReports(const RunReport& base, const RunReport& current,
+               const ReportDiffOptions& options)
+{
+    FlatView a, b;
+    FlattenReport(base, &a);
+    FlattenReport(current, &b);
+    ReportDiffResult result;
+    for (const auto& [key, base_value] : a.entries) {
+        if (Ignored(key, options)) continue;
+        auto it = b.index.find(key);
+        if (it == b.index.end()) {
+            result.missing.push_back(key);
+            continue;
+        }
+        ++result.compared;
+        const ReportTolerance tol = ToleranceFor(key, options);
+        const double band =
+            tol.abs + tol.rel * std::fabs(base_value);
+        if (std::fabs(it->second - base_value) > band) {
+            result.regressions.push_back(ReportDiffEntry{
+                key, base_value, it->second, band});
+        }
+    }
+    for (const auto& [key, value] : b.entries) {
+        (void)value;
+        if (Ignored(key, options)) continue;
+        if (a.index.find(key) == a.index.end()) {
+            result.added.push_back(key);
+        }
+    }
+    return result;
+}
+
+std::string
+RenderReportDiff(const ReportDiffResult& result)
+{
+    std::string out;
+    if (result.ok()) {
+        out = StrFormat(
+            "diff: ok (%lld values compared, %zu new keys)\n",
+            static_cast<long long>(result.compared),
+            result.added.size());
+        return out;
+    }
+    out = StrFormat(
+        "diff: FAIL — %zu value(s) out of band, %zu key(s) "
+        "missing (%lld compared)\n",
+        result.regressions.size(), result.missing.size(),
+        static_cast<long long>(result.compared));
+    for (const ReportDiffEntry& e : result.regressions) {
+        out += StrFormat("  %s: %.6g -> %.6g (band +/-%.4g)\n",
+                         e.key.c_str(), e.base, e.current, e.band);
+    }
+    for (const std::string& key : result.missing) {
+        out += "  " + key + ": missing from current report\n";
+    }
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

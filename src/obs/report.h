@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Versioned run artifact (`report.json`): one self-contained JSON file
+ * per run carrying the windowed time series, SLO budget timelines,
+ * alert outcomes, and the flat final metrics snapshot — the unit of
+ * cross-run comparison. ROADMAP items 4/5 (adversarial load scenarios,
+ * design-space search) consume these artifacts instead of re-running
+ * sims, and `t4sim_cli diff` turns two of them into a CI verdict.
+ *
+ * Top-level schema (schema_version kRunReportSchemaVersion):
+ *   {
+ *     "schema_version": 1,
+ *     "meta":    {tool, command, app, chip, duration_s, seed,
+ *                 window_s},
+ *     "series":  [{name, labels, kind, points:[...]}, ...],
+ *     "slos":    [{objective:{...}, final:{...}, timeline:[...]}, ...],
+ *     "alerts":  [{name, state, fire_count, last_value, fired_at_s}],
+ *     "metrics": {"name{k=v,...}": value, ... }   // perf_gate keys
+ *   }
+ *
+ * DiffRunReports flattens both artifacts (metrics, every series
+ * point, every SLO timeline point, alert outcomes) and compares with
+ * per-name-prefix tolerances, longest prefix wins — the same lookup
+ * contract as tools/perf_gate.py. The default tolerance is (rel 0,
+ * abs 1e-12): the sim is deterministic, so two runs of the same
+ * binary+flags must agree exactly; `compiler.pass.` (host wall clock)
+ * is ignored by default for the same reason it is in perf_gate.
+ */
+#ifndef T4I_OBS_REPORT_H
+#define T4I_OBS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/alerts.h"
+#include "src/obs/registry.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
+
+namespace t4i {
+namespace obs {
+
+/** Bump when the artifact layout changes incompatibly. */
+inline constexpr int kRunReportSchemaVersion = 1;
+
+/** Run identity stamped into the artifact. */
+struct ReportMeta {
+    std::string tool = "t4sim_cli";
+    std::string command;  ///< run | check | serve-cluster | ...
+    std::string app;
+    std::string chip;
+    double duration_s = 0.0;
+    int64_t seed = 0;
+    double window_s = 0.0;
+};
+
+/** One alert rule's final outcome. */
+struct ReportAlert {
+    std::string name;
+    std::string state;  ///< inactive | pending | firing
+    int64_t fire_count = 0;
+    double last_value = 0.0;
+    double fired_at_s = 0.0;
+};
+
+/** The full artifact. */
+struct RunReport {
+    int schema_version = kRunReportSchemaVersion;
+    ReportMeta meta;
+    std::vector<TimeSeries> series;
+    std::vector<SloStatus> slos;
+    std::vector<ReportAlert> alerts;
+    /** Flat final snapshot, `name{k=v,...}[.field]` -> value, in
+     *  registry order (histograms expand to count/sum/mean/min/max/
+     *  p50/p95/p99 fields — perf_gate's key shape). */
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+/**
+ * Assembles an artifact from whichever sinks the run had; any pointer
+ * may be null (the matching section is empty).
+ */
+RunReport BuildRunReport(const ReportMeta& meta,
+                         const MetricsRegistry* registry,
+                         const TimeSeriesCollector* timeseries,
+                         const SloTracker* slo,
+                         const AlertEngine* alerts);
+
+std::string RunReportToJson(const RunReport& report);
+Status WriteRunReport(const RunReport& report,
+                      const std::string& path);
+/** Parses an artifact; fails on an unknown schema_version. */
+StatusOr<RunReport> ReadRunReport(const std::string& path);
+
+/** Renders the artifact as a human-readable markdown document. */
+std::string RenderRunReportMarkdown(const RunReport& report);
+/** Renders every section as one CSV (a `record` discriminator
+ *  column: meta | metric | series | slo | alert). */
+std::string RenderRunReportCsv(const RunReport& report);
+
+struct ReportTolerance {
+    double rel = 0.0;
+    double abs = 0.0;
+};
+
+struct ReportDiffOptions {
+    /** Deterministic sim: exact by default (tiny abs for round-trip
+     *  formatting headroom). */
+    ReportTolerance default_tolerance{0.0, 1e-12};
+    /** (name prefix -> tolerance), longest matching prefix wins. */
+    std::vector<std::pair<std::string, ReportTolerance>> tolerances;
+    /** Name prefixes never compared (host wall clock by default). */
+    std::vector<std::string> ignore_prefixes = {"compiler.pass."};
+};
+
+/** One out-of-band value. */
+struct ReportDiffEntry {
+    std::string key;
+    double base = 0.0;
+    double current = 0.0;
+    double band = 0.0;  ///< abs + rel * |base|
+};
+
+struct ReportDiffResult {
+    std::vector<ReportDiffEntry> regressions;
+    /** Keys present in the base artifact but gone from current. */
+    std::vector<std::string> missing;
+    /** Keys new in current (informational, not a failure). */
+    std::vector<std::string> added;
+    int64_t compared = 0;
+    bool ok() const
+    {
+        return regressions.empty() && missing.empty();
+    }
+};
+
+/** Compares @p current against @p base. */
+ReportDiffResult DiffRunReports(const RunReport& base,
+                                const RunReport& current,
+                                const ReportDiffOptions& options = {});
+
+/** Human-readable verdict (one line per violation). */
+std::string RenderReportDiff(const ReportDiffResult& result);
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_REPORT_H

@@ -1,0 +1,501 @@
+#include "src/obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** Error budget as a fraction; clamped so burn math never divides by
+ *  zero on a 100% target. */
+double
+BudgetFraction(double target)
+{
+    return std::max(1e-9, 1.0 - target);
+}
+
+/** Exact percentile of a sorted vector (PercentileTracker's linear
+ *  interpolation between order statistics). */
+double
+SortedPercentile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty()) return 0.0;
+    const double rank =
+        q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+bool
+HasLabel(const Labels& labels, const std::string& key,
+         const std::string& value)
+{
+    for (const auto& [k, v] : labels) {
+        if (k == key) return v == value;
+    }
+    return false;
+}
+
+const std::string*
+LabelValue(const Labels& labels, const std::string& key)
+{
+    for (const auto& [k, v] : labels) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+/** Unique per-instrument key for the consumed-samples bookkeeping. */
+std::string
+InstrumentKey(const std::string& name, const Labels& labels)
+{
+    std::string key = name;
+    for (const auto& [k, v] : labels) {
+        key += '\x1f';
+        key += k;
+        key += '=';
+        key += v;
+    }
+    return key;
+}
+
+}  // namespace
+
+StatusOr<std::vector<SloObjective>>
+ParseSloObjectives(const std::string& text)
+{
+    std::vector<SloObjective> objectives;
+    int line_no = 0;
+    for (const std::string& raw : SplitString(text, '\n')) {
+        ++line_no;
+        std::string line = raw;
+        const size_t hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        std::vector<std::string> tokens;
+        for (const std::string& tok : SplitString(line, ' ')) {
+            if (!tok.empty()) tokens.push_back(tok);
+        }
+        if (tokens.empty()) continue;
+        auto fail = [&](const std::string& why) {
+            return Status::InvalidArgument(StrFormat(
+                "slo line %d: %s", line_no, why.c_str()));
+        };
+        if (tokens[0] != "slo" || tokens.size() < 2) {
+            return fail("want: slo NAME tenant=T [avail=F] "
+                        "[latency_pNN=S] [horizon=S] [fast=S] "
+                        "[slow=S] [page=BURN]");
+        }
+        SloObjective obj;
+        obj.name = tokens[1];
+        for (size_t i = 2; i < tokens.size(); ++i) {
+            const size_t eq = tokens[i].find('=');
+            if (eq == std::string::npos) {
+                return fail("token '" + tokens[i] +
+                            "' is not key=value");
+            }
+            const std::string key = tokens[i].substr(0, eq);
+            const std::string value = tokens[i].substr(eq + 1);
+            if (key == "tenant") {
+                obj.tenant = value;
+            } else if (key == "avail") {
+                obj.availability_target = std::atof(value.c_str());
+            } else if (key == "horizon") {
+                obj.horizon_s = std::atof(value.c_str());
+            } else if (key == "fast") {
+                obj.fast_window_s = std::atof(value.c_str());
+            } else if (key == "slow") {
+                obj.slow_window_s = std::atof(value.c_str());
+            } else if (key == "page") {
+                obj.page_burn = std::atof(value.c_str());
+            } else if (key.rfind("latency_p", 0) == 0) {
+                obj.latency_quantile =
+                    std::atof(key.c_str() + strlen("latency_p"));
+                obj.latency_target_s = std::atof(value.c_str());
+                if (obj.latency_quantile <= 0.0 ||
+                    obj.latency_quantile >= 100.0) {
+                    return fail("latency quantile must be in (0,100)");
+                }
+                if (obj.latency_target_s <= 0.0) {
+                    return fail("latency target must be > 0");
+                }
+            } else {
+                return fail("unknown key '" + key + "'");
+            }
+        }
+        if (obj.tenant.empty()) return fail("tenant= is required");
+        if (obj.availability_target <= 0.0 ||
+            obj.availability_target >= 1.0) {
+            return fail("avail must be in (0,1)");
+        }
+        if (obj.fast_window_s <= 0.0 || obj.slow_window_s <= 0.0 ||
+            obj.horizon_s <= 0.0 || obj.page_burn <= 0.0) {
+            return fail("windows, horizon and page must be > 0");
+        }
+        objectives.push_back(std::move(obj));
+    }
+    return objectives;
+}
+
+void
+SloTracker::BindRegistry(MetricsRegistry* registry)
+{
+    registry_ = registry;
+    objectives_gauge_ = nullptr;
+    if (registry_ == nullptr) return;
+    objectives_gauge_ = registry_->GetGauge("slo.objectives");
+    objectives_gauge_->Set(static_cast<double>(statuses_.size()));
+    for (size_t i = 0; i < statuses_.size(); ++i) {
+        CreateInstruments(i);
+    }
+}
+
+void
+SloTracker::CreateInstruments(size_t index)
+{
+    if (registry_ == nullptr) return;
+    const SloObjective& obj = statuses_[index].objective;
+    const Labels labels = {{"slo", obj.name}, {"tenant", obj.tenant}};
+    Instruments& in = states_[index].instruments;
+    in.burn_fast = registry_->GetGauge("slo.burn_rate_fast", labels);
+    in.burn_slow = registry_->GetGauge("slo.burn_rate_slow", labels);
+    in.budget = registry_->GetGauge("slo.budget_remaining", labels);
+    in.page = registry_->GetGauge("slo.page", labels);
+    in.latency_q =
+        registry_->GetGauge("slo.latency_quantile_seconds", labels);
+    in.energy =
+        registry_->GetGauge("slo.energy_per_request_j", labels);
+    in.cost =
+        registry_->GetGauge("slo.cost_per_request_usd", labels);
+    in.good = registry_->GetCounter("slo.good_events", labels);
+    in.bad = registry_->GetCounter("slo.bad_events", labels);
+    if (in.budget != nullptr) in.budget->Set(1.0);
+}
+
+Status
+SloTracker::AddObjective(const SloObjective& objective)
+{
+    if (finished_) {
+        return Status::FailedPrecondition(
+            "SloTracker already finished");
+    }
+    if (objective.name.empty() || objective.tenant.empty()) {
+        return Status::InvalidArgument(
+            "slo objective needs a name and a tenant");
+    }
+    for (const SloStatus& s : statuses_) {
+        if (s.objective.name == objective.name) {
+            return Status::InvalidArgument(
+                "duplicate slo objective '" + objective.name + "'");
+        }
+    }
+    SloStatus status;
+    status.objective = objective;
+    statuses_.push_back(std::move(status));
+    states_.emplace_back();
+    if (objectives_gauge_ != nullptr) {
+        objectives_gauge_->Set(static_cast<double>(statuses_.size()));
+    }
+    CreateInstruments(statuses_.size() - 1);
+    return Status::Ok();
+}
+
+Status
+SloTracker::AddObjectivesFromText(const std::string& text)
+{
+    auto parsed = ParseSloObjectives(text);
+    T4I_RETURN_IF_ERROR(parsed.status());
+    for (const SloObjective& obj : parsed.value()) {
+        T4I_RETURN_IF_ERROR(AddObjective(obj));
+    }
+    return Status::Ok();
+}
+
+void
+SloTracker::SetCostModel(const SloCostModel& model)
+{
+    cost_model_ = model;
+}
+
+SloTracker::Cumulative
+SloTracker::ReadCumulative(const SloObjective& objective,
+                           ObjectiveState& state, double t_s)
+{
+    Cumulative cur;
+    cur.t_s = t_s;
+    cur.component_seconds.assign(
+        cost_model_.component_watts.size(), 0.0);
+    if (registry_ == nullptr) return cur;
+    int64_t completed = 0, miss = 0, drops = 0, shed = 0;
+    for (const auto& entry : registry_->Snapshot()) {
+        if (!HasLabel(entry.labels, "tenant", objective.tenant)) {
+            continue;
+        }
+        if (entry.type == MetricType::kCounter) {
+            const int64_t v = entry.counter->value();
+            if (entry.name == "serving.completed") completed += v;
+            else if (entry.name == "serving.slo_miss") miss += v;
+            else if (entry.name == "serving.deadline_drops") drops += v;
+            else if (entry.name == "serving.shed") shed += v;
+        } else if (entry.type == MetricType::kHistogram) {
+            if (entry.name == "serving.latency_seconds") {
+                const std::string key =
+                    InstrumentKey(entry.name, entry.labels);
+                int64_t& seen = state.consumed[key];
+                for (double x :
+                     entry.histogram->SamplesSince(seen)) {
+                    state.latency_samples.emplace_back(t_s, x);
+                    ++seen;
+                }
+            } else if (entry.name == "serving.attribution.seconds") {
+                const std::string* component =
+                    LabelValue(entry.labels, "component");
+                if (component == nullptr) continue;
+                for (size_t c = 0;
+                     c < cost_model_.component_watts.size(); ++c) {
+                    if (cost_model_.component_watts[c].first ==
+                        *component) {
+                        cur.component_seconds[c] +=
+                            entry.histogram->sum();
+                    }
+                }
+            }
+        }
+    }
+    cur.completed = completed;
+    cur.total = completed + drops + shed;
+    cur.bad = miss + drops + shed;
+    cur.good = cur.total - cur.bad;  // == completed - miss
+    return cur;
+}
+
+const SloTracker::Cumulative*
+SloTracker::At(const std::deque<Cumulative>& history,
+               double t_s) const
+{
+    const Cumulative* best = nullptr;
+    for (const Cumulative& c : history) {
+        if (c.t_s <= t_s) best = &c;
+        else break;
+    }
+    return best;
+}
+
+void
+SloTracker::Tick(double t_s)
+{
+    if (finished_ || registry_ == nullptr) return;
+    if (last_tick_s_ >= 0.0 && t_s <= last_tick_s_) return;
+    for (size_t i = 0; i < statuses_.size(); ++i) {
+        SloStatus& status = statuses_[i];
+        ObjectiveState& state = states_[i];
+        const SloObjective& obj = status.objective;
+        const double widest =
+            std::max({obj.fast_window_s, obj.slow_window_s,
+                      obj.horizon_s});
+
+        const Cumulative prev =
+            state.history.empty() ? Cumulative{}
+                                  : state.history.back();
+        Cumulative cur = ReadCumulative(obj, state, t_s);
+        state.history.push_back(cur);
+        // Keep one entry at or before every window baseline.
+        while (state.history.size() >= 2 &&
+               state.history[1].t_s <= t_s - widest) {
+            state.history.pop_front();
+        }
+        while (!state.latency_samples.empty() &&
+               state.latency_samples.front().first < t_s - widest) {
+            state.latency_samples.pop_front();
+        }
+
+        // Burn over a trailing window: bad fraction of the window's
+        // events over the budget, joined with the latency objective's
+        // over-target fraction over its own budget.
+        auto burn_over = [&](double window_s) {
+            const Cumulative* base_ptr =
+                At(state.history, t_s - window_s);
+            const Cumulative zero;
+            const Cumulative& base =
+                base_ptr != nullptr ? *base_ptr : zero;
+            const int64_t bad_delta = cur.bad - base.bad;
+            const int64_t total_delta = cur.total - base.total;
+            double burn = 0.0;
+            if (total_delta > 0) {
+                burn = (static_cast<double>(bad_delta) /
+                        static_cast<double>(total_delta)) /
+                       BudgetFraction(obj.availability_target);
+            }
+            if (obj.latency_target_s > 0.0) {
+                int64_t n = 0, over = 0;
+                for (const auto& [ts, x] : state.latency_samples) {
+                    if (ts <= t_s - window_s) continue;
+                    ++n;
+                    if (x > obj.latency_target_s) ++over;
+                }
+                if (n > 0) {
+                    const double lat_burn =
+                        (static_cast<double>(over) /
+                         static_cast<double>(n)) /
+                        BudgetFraction(obj.latency_quantile / 100.0);
+                    burn = std::max(burn, lat_burn);
+                }
+            }
+            return burn;
+        };
+
+        SloBudgetPoint point;
+        point.t_s = t_s;
+        point.good = cur.good;
+        point.bad = cur.bad;
+        point.total = cur.total;
+        point.burn_fast = burn_over(obj.fast_window_s);
+        point.burn_slow = burn_over(obj.slow_window_s);
+        point.budget_remaining = 1.0 - burn_over(obj.horizon_s);
+        point.paging = point.burn_fast > obj.page_burn &&
+                       point.burn_slow > obj.page_burn;
+
+        // Fast-window exact latency quantile.
+        std::vector<double> window_samples;
+        for (const auto& [ts, x] : state.latency_samples) {
+            if (ts > t_s - obj.fast_window_s) {
+                window_samples.push_back(x);
+            }
+        }
+        std::sort(window_samples.begin(), window_samples.end());
+        point.latency_q_s =
+            SortedPercentile(window_samples, obj.latency_quantile);
+
+        // Attribution x power/TCO join: the fast window's attributed
+        // device-seconds priced per completed request.
+        if (!cost_model_.component_watts.empty()) {
+            const Cumulative* base_ptr =
+                At(state.history, t_s - obj.fast_window_s);
+            const Cumulative zero;
+            const Cumulative& base =
+                base_ptr != nullptr ? *base_ptr : zero;
+            double energy_j = 0.0, device_s = 0.0;
+            double total_energy = 0.0, total_device_s = 0.0;
+            for (size_t c = 0;
+                 c < cost_model_.component_watts.size(); ++c) {
+                const double base_sec =
+                    c < base.component_seconds.size()
+                        ? base.component_seconds[c]
+                        : 0.0;
+                const double delta_sec =
+                    cur.component_seconds[c] - base_sec;
+                const double watts =
+                    cost_model_.component_watts[c].second;
+                energy_j += watts * delta_sec;
+                device_s += delta_sec;
+                total_energy +=
+                    watts * cur.component_seconds[c];
+                total_device_s += cur.component_seconds[c];
+            }
+            const int64_t completed_delta =
+                cur.completed - base.completed;
+            if (completed_delta > 0) {
+                point.energy_per_request_j =
+                    energy_j / static_cast<double>(completed_delta);
+                point.cost_per_request_usd =
+                    (energy_j * cost_model_.usd_per_joule +
+                     device_s *
+                         cost_model_.usd_per_device_second) /
+                    static_cast<double>(completed_delta);
+            }
+            status.total_energy_j = total_energy;
+            status.total_cost_usd =
+                total_energy * cost_model_.usd_per_joule +
+                total_device_s * cost_model_.usd_per_device_second;
+        }
+
+        // Paging bookkeeping over the elapsed interval.
+        if (state.paging && state.last_t_s >= 0.0) {
+            status.page_seconds += t_s - state.last_t_s;
+        }
+        if (point.paging && !state.paging) ++status.pages;
+        state.paging = point.paging;
+        state.last_t_s = t_s;
+
+        status.good = cur.good;
+        status.bad = cur.bad;
+        status.total = cur.total;
+        status.peak_burn_fast =
+            std::max(status.peak_burn_fast, point.burn_fast);
+        status.peak_burn_slow =
+            std::max(status.peak_burn_slow, point.burn_slow);
+        status.min_budget_remaining = std::min(
+            status.min_budget_remaining, point.budget_remaining);
+        status.timeline.push_back(point);
+
+        const Instruments& in = state.instruments;
+        if (in.burn_fast != nullptr) {
+            in.burn_fast->Set(point.burn_fast);
+            in.burn_slow->Set(point.burn_slow);
+            in.budget->Set(point.budget_remaining);
+            in.page->Set(point.paging ? 1.0 : 0.0);
+            in.latency_q->Set(point.latency_q_s);
+            in.energy->Set(point.energy_per_request_j);
+            in.cost->Set(point.cost_per_request_usd);
+            if (cur.good > prev.good) {
+                in.good->Increment(cur.good - prev.good);
+            }
+            if (cur.bad > prev.bad) {
+                in.bad->Increment(cur.bad - prev.bad);
+            }
+        }
+    }
+    last_tick_s_ = t_s;
+}
+
+void
+SloTracker::Finish(double end_s)
+{
+    if (finished_) return;
+    Tick(end_s);
+    finished_ = true;
+}
+
+const SloStatus*
+SloTracker::Find(const std::string& name) const
+{
+    for (const SloStatus& s : statuses_) {
+        if (s.objective.name == name) return &s;
+    }
+    return nullptr;
+}
+
+std::string
+SloTracker::Summary() const
+{
+    std::string out;
+    for (const SloStatus& s : statuses_) {
+        out += StrFormat(
+            "  %-16s tenant=%s budget left %6.1f%% (min %6.1f%%) | "
+            "burn fast peak %.2f slow peak %.2f | pages %lld "
+            "(%.2f s) | %lld good / %lld bad",
+            s.objective.name.c_str(), s.objective.tenant.c_str(),
+            100.0 * (s.timeline.empty()
+                         ? 1.0
+                         : s.timeline.back().budget_remaining),
+            100.0 * s.min_budget_remaining, s.peak_burn_fast,
+            s.peak_burn_slow, static_cast<long long>(s.pages),
+            s.page_seconds, static_cast<long long>(s.good),
+            static_cast<long long>(s.bad));
+        if (s.total_energy_j > 0.0) {
+            out += StrFormat(" | %.1f J, $%.6f total",
+                             s.total_energy_j, s.total_cost_usd);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Declarative per-tenant SLOs with rolling error budgets and
+ * multi-window burn rates (SRE-style), computed on the sim clock.
+ *
+ * The serving layer's `serving.slo_burn_rate` gauge is a single
+ * instantaneous number; fleet operations reason about *budgets* —
+ * "how much of this quarter's allowed unreliability is left" — and
+ * page on burn measured over a fast and a slow window simultaneously
+ * (fast catches a cliff, slow confirms it is not a blip). The paper's
+ * Lesson 3/10 framing: a deployed accelerator is judged by sustained
+ * SLO compliance per dollar, not by one end-of-run percentile.
+ *
+ * An SloObjective declares, per tenant:
+ *   - an availability target (good events / total events), where an
+ *     event is bad when it missed the SLO, expired its deadline, or
+ *     was shed — read from the existing `serving.*` counters (summed
+ *     across `{cell=}` label sets in cluster runs);
+ *   - optionally a latency-quantile target ("q% of requests under X
+ *     seconds"), judged over the fast window's exact samples;
+ *   - a rolling budget horizon and the fast/slow burn windows.
+ *
+ * Each Tick() exports `slo.*` gauges into the registry, so the
+ * existing alert-rule grammar and the `check` CLI gate consume budget
+ * signals unchanged:
+ *   slo.burn_rate_fast{slo=,tenant=}        fast-window burn
+ *   slo.burn_rate_slow{slo=,tenant=}        slow-window burn
+ *   slo.budget_remaining{slo=,tenant=}      fraction left (can go <0)
+ *   slo.page{slo=,tenant=}                  1 when both burns page
+ *   slo.latency_quantile_seconds{slo=,tenant=}
+ *   slo.energy_per_request_j{slo=,tenant=}  attribution x power join
+ *   slo.cost_per_request_usd{slo=,tenant=}  attribution x TCO join
+ * plus `slo.good_events` / `slo.bad_events` counters and the
+ * `slo.objectives` count gauge.
+ *
+ * Objective file grammar (one per line, '#' comments):
+ *   slo NAME tenant=T [avail=0.999] [latency_pNN=SECONDS]
+ *            [horizon=S] [fast=S] [slow=S] [page=BURN]
+ * Example:
+ *   slo bert-avail tenant=BERT0 avail=0.995 horizon=2 fast=0.1 slow=0.5
+ *   slo bert-tail tenant=BERT0 latency_p99=0.012 fast=0.2
+ */
+#ifndef T4I_OBS_SLO_H
+#define T4I_OBS_SLO_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/registry.h"
+
+namespace t4i {
+namespace obs {
+
+/** One declarative SLO. */
+struct SloObjective {
+    std::string name;    ///< unique id; exported as label {slo=name}
+    std::string tenant;  ///< tenant label value the counters carry
+    /** Good-events fraction target (budget = 1 - target). */
+    double availability_target = 0.999;
+    /** Latency objective: quantile% of requests under target seconds
+     *  (0 target disables it; its budget = 1 - quantile/100). */
+    double latency_target_s = 0.0;
+    double latency_quantile = 95.0;
+    /** Rolling error-budget horizon (sim seconds). */
+    double horizon_s = 1.0;
+    /** Multi-window burn-rate pair. */
+    double fast_window_s = 0.1;
+    double slow_window_s = 0.5;
+    /** Page when *both* burns exceed this (classic two-window page). */
+    double page_burn = 1.0;
+};
+
+/** Parses the objective-file grammar above. */
+StatusOr<std::vector<SloObjective>> ParseSloObjectives(
+    const std::string& text);
+
+/** One Tick()'s budget accounting for one objective. */
+struct SloBudgetPoint {
+    double t_s = 0.0;
+    int64_t good = 0;   ///< cumulative good events
+    int64_t bad = 0;    ///< cumulative bad events
+    int64_t total = 0;  ///< good + bad
+    double burn_fast = 0.0;
+    double burn_slow = 0.0;
+    /** Fraction of the horizon's error budget left (can go < 0). */
+    double budget_remaining = 1.0;
+    /** Fast-window exact latency quantile (0 with no samples). */
+    double latency_q_s = 0.0;
+    /** Fast-window energy/cost per completed request (cost model). */
+    double energy_per_request_j = 0.0;
+    double cost_per_request_usd = 0.0;
+    bool paging = false;
+};
+
+/** One objective's full run: config, timeline, and final numbers. */
+struct SloStatus {
+    SloObjective objective;
+    std::vector<SloBudgetPoint> timeline;
+    int64_t good = 0;
+    int64_t bad = 0;
+    int64_t total = 0;
+    double peak_burn_fast = 0.0;
+    double peak_burn_slow = 0.0;
+    double min_budget_remaining = 1.0;
+    int64_t pages = 0;         ///< not-paging -> paging transitions
+    double page_seconds = 0.0; ///< sim time spent paging
+    double total_energy_j = 0.0;
+    double total_cost_usd = 0.0;
+};
+
+/**
+ * Joins per-tenant attribution histograms with the power/TCO models:
+ * component watts turn attributed device-seconds into joules, and the
+ * TCO amortization prices the device time. Built by the CLI from
+ * PowerReport + TcoReport (see BuildSloCostModel in the CLI).
+ */
+struct SloCostModel {
+    /** Average power (W) per attribution component while busy, e.g.
+     *  {"mxu", 92.0}. Components match batch_attribution shares. */
+    std::vector<std::pair<std::string, double>> component_watts;
+    /** Electricity price including PUE ($/J). */
+    double usd_per_joule = 0.0;
+    /** TCO amortized over service life ($/device-second). */
+    double usd_per_device_second = 0.0;
+};
+
+/**
+ * Tracks every objective against the registry as sim time advances.
+ * Tick at the control cadence; Finish once after the run drains.
+ * Single-threaded, like the loops that drive it.
+ */
+class SloTracker {
+  public:
+    /** Eagerly creates `slo.objectives` (and per-objective gauges for
+     *  objectives added so far) so exports have a stable shape. */
+    void BindRegistry(MetricsRegistry* registry);
+
+    Status AddObjective(const SloObjective& objective);
+    /** ParseSloObjectives + AddObjective for each. */
+    Status AddObjectivesFromText(const std::string& text);
+
+    void SetCostModel(const SloCostModel& model);
+
+    /** Reads the counters, appends one SloBudgetPoint per objective,
+     *  and refreshes the `slo.*` gauges. Monotonic in @p t_s. */
+    void Tick(double t_s);
+
+    /** Final Tick at @p end_s + freeze; later Ticks are no-ops. */
+    void Finish(double end_s);
+
+    size_t objective_count() const { return statuses_.size(); }
+    const std::vector<SloStatus>& statuses() const
+    {
+        return statuses_;
+    }
+    /** Status for the named objective, or nullptr. */
+    const SloStatus* Find(const std::string& name) const;
+
+    /** One line per objective: budget left, peak burns, pages. */
+    std::string Summary() const;
+
+  private:
+    struct Instruments {
+        Gauge* burn_fast = nullptr;
+        Gauge* burn_slow = nullptr;
+        Gauge* budget = nullptr;
+        Gauge* page = nullptr;
+        Gauge* latency_q = nullptr;
+        Gauge* energy = nullptr;
+        Gauge* cost = nullptr;
+        Counter* good = nullptr;
+        Counter* bad = nullptr;
+    };
+
+    /** Cumulative event/attribution reading at one tick. */
+    struct Cumulative {
+        double t_s = 0.0;
+        int64_t good = 0;
+        int64_t bad = 0;
+        int64_t total = 0;
+        int64_t completed = 0;
+        /** Attributed device-seconds per cost-model component. */
+        std::vector<double> component_seconds;
+    };
+
+    struct ObjectiveState {
+        Instruments instruments;
+        std::deque<Cumulative> history;  ///< trimmed to max window
+        /** (t, latency) samples, trimmed to the widest window. */
+        std::deque<std::pair<double, double>> latency_samples;
+        /** Consumed insertion-ordered samples per histogram key. */
+        std::map<std::string, int64_t> consumed;
+        bool paging = false;
+        double last_t_s = 0.0;
+    };
+
+    void CreateInstruments(size_t index);
+    Cumulative ReadCumulative(const SloObjective& objective,
+                              ObjectiveState& state, double t_s);
+    /** History entry at or before @p t_s (earliest as baseline). */
+    const Cumulative* At(const std::deque<Cumulative>& history,
+                         double t_s) const;
+
+    MetricsRegistry* registry_ = nullptr;
+    SloCostModel cost_model_;
+    std::vector<SloStatus> statuses_;
+    std::vector<ObjectiveState> states_;
+    Gauge* objectives_gauge_ = nullptr;
+    double last_tick_s_ = -1.0;
+    bool finished_ = false;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_SLO_H

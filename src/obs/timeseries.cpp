@@ -1,0 +1,356 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** Canonical key, mirroring the registry: name + sorted k=v pairs. */
+std::string
+SeriesKey(const std::string& name, const Labels& labels)
+{
+    std::string key = name;
+    Labels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [k, v] : sorted) {
+        key += '\x1f';
+        key += k;
+        key += '=';
+        key += v;
+    }
+    return key;
+}
+
+/** Exact percentile of a sorted slice, PercentileTracker's
+ *  interpolation (linear between order statistics). */
+double
+SlicePercentile(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty()) return 0.0;
+    const double rank =
+        q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+const char*
+SeriesKindName(SeriesKind kind)
+{
+    switch (kind) {
+      case SeriesKind::kCounter: return "counter";
+      case SeriesKind::kGauge: return "gauge";
+      case SeriesKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+TimeSeriesCollector::TimeSeriesCollector(TimeSeriesOptions options)
+    : options_(options)
+{
+    if (!(options_.window_s > 0.0)) options_.window_s = 0.05;
+    if (options_.max_windows < 1) options_.max_windows = 1;
+}
+
+void
+TimeSeriesCollector::BindRegistry(MetricsRegistry* registry)
+{
+    registry_ = registry;
+    if (registry_ == nullptr) {
+        windows_gauge_ = series_gauge_ = width_gauge_ = nullptr;
+        return;
+    }
+    // Eager meta gauges: exports carry the windowing shape even for a
+    // run with no closed windows yet.
+    windows_gauge_ = registry_->GetGauge("obs.ts.windows");
+    series_gauge_ = registry_->GetGauge("obs.ts.series");
+    width_gauge_ = registry_->GetGauge("obs.ts.window_seconds");
+    if (width_gauge_ != nullptr) width_gauge_->Set(options_.window_s);
+    UpdateMetaGauges();
+}
+
+void
+TimeSeriesCollector::BindAlerts(AlertEngine* alerts)
+{
+    alerts_ = alerts;
+}
+
+bool
+TimeSeriesCollector::Skipped(const std::string& name) const
+{
+    // The collector's own meta gauges change on every close and would
+    // feed back into themselves.
+    if (name.rfind("obs.ts.", 0) == 0) return true;
+    for (const std::string& prefix : options_.skip_prefixes) {
+        if (name.rfind(prefix, 0) == 0) return true;
+    }
+    return false;
+}
+
+void
+TimeSeriesCollector::ObserveGauges()
+{
+    if (registry_ == nullptr) return;
+    for (const auto& entry : registry_->Snapshot()) {
+        if (entry.type != MetricType::kGauge || Skipped(entry.name)) {
+            continue;
+        }
+        const std::string key = SeriesKey(entry.name, entry.labels);
+        auto it = state_.find(key);
+        if (it == state_.end()) {
+            SeriesState st;
+            st.series_index = series_.size();
+            series_.push_back(
+                TimeSeries{entry.name, entry.labels,
+                           SeriesKind::kGauge, {}});
+            it = state_.emplace(key, st).first;
+        }
+        SeriesState& st = it->second;
+        const double v = entry.gauge->value();
+        if (!st.gauge_seen) {
+            st.gauge_seen = true;
+            st.gauge_last = st.gauge_min = st.gauge_max = v;
+        } else {
+            st.gauge_last = v;
+            st.gauge_min = std::min(st.gauge_min, v);
+            st.gauge_max = std::max(st.gauge_max, v);
+        }
+    }
+}
+
+void
+TimeSeriesCollector::CloseWindow(double boundary_s)
+{
+    if (registry_ == nullptr) return;
+    // The boundary itself is an observation point for gauges.
+    ObserveGauges();
+    const double t0 = window_start_s_;
+    const double t1 = boundary_s;
+    const double width = t1 - t0;
+    for (const auto& entry : registry_->Snapshot()) {
+        if (Skipped(entry.name)) continue;
+        const std::string key = SeriesKey(entry.name, entry.labels);
+        auto it = state_.find(key);
+        if (it == state_.end()) {
+            // First seen now: its whole history to date lands in this
+            // window (baseline zero keeps counter conservation exact).
+            SeriesState st;
+            st.series_index = series_.size();
+            SeriesKind kind = SeriesKind::kCounter;
+            if (entry.type == MetricType::kGauge) {
+                kind = SeriesKind::kGauge;
+            } else if (entry.type == MetricType::kHistogram) {
+                kind = SeriesKind::kHistogram;
+            }
+            series_.push_back(
+                TimeSeries{entry.name, entry.labels, kind, {}});
+            it = state_.emplace(key, st).first;
+        }
+        SeriesState& st = it->second;
+        WindowPoint point;
+        point.t0_s = t0;
+        point.t1_s = t1;
+        switch (entry.type) {
+          case MetricType::kCounter: {
+            const int64_t value = entry.counter->value();
+            point.delta = value - st.last_counter;
+            point.rate_per_s =
+                width > 0.0
+                    ? static_cast<double>(point.delta) / width
+                    : 0.0;
+            st.last_counter = value;
+            break;
+          }
+          case MetricType::kGauge: {
+            if (!st.gauge_seen) {
+                const double v = entry.gauge->value();
+                st.gauge_last = st.gauge_min = st.gauge_max = v;
+            }
+            point.last = st.gauge_last;
+            point.min = st.gauge_min;
+            point.max = st.gauge_max;
+            // Next window starts from the value at this boundary.
+            st.gauge_seen = true;
+            st.gauge_min = st.gauge_max = st.gauge_last;
+            break;
+          }
+          case MetricType::kHistogram: {
+            std::vector<double> slice =
+                entry.histogram->SamplesSince(st.samples_consumed);
+            st.samples_consumed +=
+                static_cast<int64_t>(slice.size());
+            point.count = static_cast<int64_t>(slice.size());
+            if (!slice.empty()) {
+                std::sort(slice.begin(), slice.end());
+                point.min = slice.front();
+                point.max = slice.back();
+                for (double x : slice) point.sum += x;
+                point.p50 = SlicePercentile(slice, 50.0);
+                point.p95 = SlicePercentile(slice, 95.0);
+                point.p99 = SlicePercentile(slice, 99.0);
+            }
+            break;
+          }
+        }
+        series_[st.series_index].points.push_back(point);
+    }
+    window_start_s_ = boundary_s;
+    ++windows_closed_;
+    UpdateMetaGauges();
+    // Windowed alert evaluation: one evaluation per closed window at
+    // the window's end time, so for-durations count whole windows.
+    if (alerts_ != nullptr) {
+        alerts_->Evaluate(*registry_, boundary_s);
+    }
+}
+
+void
+TimeSeriesCollector::Tick(double t_s)
+{
+    if (finished_ || registry_ == nullptr) return;
+    ObserveGauges();
+    while (window_start_s_ + options_.window_s <= t_s &&
+           windows_closed_ < options_.max_windows) {
+        CloseWindow(window_start_s_ + options_.window_s);
+    }
+}
+
+void
+TimeSeriesCollector::Finish(double end_s)
+{
+    if (finished_) return;
+    finished_ = true;
+    if (registry_ == nullptr) return;
+    if (end_s < window_start_s_) end_s = window_start_s_;
+    // Close every full window first (each close may evaluate alerts).
+    ObserveGauges();
+    while (window_start_s_ + options_.window_s <= end_s &&
+           windows_closed_ < options_.max_windows) {
+        CloseWindow(window_start_s_ + options_.window_s);
+    }
+    // One final evaluation at the very end (mirrors the engines' own
+    // "once more at run end" contract), *before* the trailing window
+    // closes so its own obs.alert.* increments stay conserved.
+    if (alerts_ != nullptr) {
+        alerts_->Evaluate(*registry_, end_s);
+    }
+    // Trailing partial window: anything after the last boundary —
+    // including the evaluation above — must land somewhere for the
+    // conservation invariant to hold.
+    bool residual = end_s > window_start_s_;
+    if (!residual) {
+        for (const auto& entry : registry_->Snapshot()) {
+            if (Skipped(entry.name)) continue;
+            auto it = state_.find(SeriesKey(entry.name, entry.labels));
+            const bool known = it != state_.end();
+            if (entry.type == MetricType::kCounter) {
+                const int64_t last =
+                    known ? it->second.last_counter : 0;
+                if (entry.counter->value() != last) residual = true;
+            } else if (entry.type == MetricType::kHistogram) {
+                const int64_t seen =
+                    known ? it->second.samples_consumed : 0;
+                if (entry.histogram->count() != seen) residual = true;
+            } else if (!known) {
+                residual = true;
+            }
+            if (residual) break;
+        }
+    }
+    if (residual) {
+        AlertEngine* saved = alerts_;
+        alerts_ = nullptr;  // the final evaluation already ran
+        CloseWindow(end_s);
+        alerts_ = saved;
+    }
+    UpdateMetaGauges();
+}
+
+const TimeSeries*
+TimeSeriesCollector::Find(const std::string& name,
+                          const Labels& labels) const
+{
+    auto it = state_.find(SeriesKey(name, labels));
+    if (it == state_.end()) return nullptr;
+    return &series_[it->second.series_index];
+}
+
+Status
+TimeSeriesCollector::CheckConservation() const
+{
+    if (registry_ == nullptr) return Status::Ok();
+    for (const auto& entry : registry_->Snapshot()) {
+        if (entry.type != MetricType::kCounter || Skipped(entry.name)) {
+            continue;
+        }
+        const int64_t value = entry.counter->value();
+        auto it = state_.find(SeriesKey(entry.name, entry.labels));
+        int64_t windowed = 0;
+        if (it != state_.end()) {
+            for (const WindowPoint& p :
+                 series_[it->second.series_index].points) {
+                windowed += p.delta;
+            }
+        }
+        if (windowed != value) {
+            return Status::Internal(StrFormat(
+                "time-series conservation violated for %s: windowed "
+                "deltas sum to %lld but the aggregate register reads "
+                "%lld (post-Finish increment or collector bug)",
+                entry.name.c_str(),
+                static_cast<long long>(windowed),
+                static_cast<long long>(value)));
+        }
+    }
+    return Status::Ok();
+}
+
+std::string
+TimeSeriesCollector::Summary() const
+{
+    std::string out = StrFormat(
+        "time series: %zu series, %lld windows of %.4g s\n",
+        series_.size(), static_cast<long long>(windows_closed_),
+        options_.window_s);
+    for (const TimeSeries& s : series_) {
+        double total = 0.0;
+        for (const WindowPoint& p : s.points) {
+            total += s.kind == SeriesKind::kCounter
+                         ? static_cast<double>(p.delta)
+                         : (s.kind == SeriesKind::kHistogram
+                                ? static_cast<double>(p.count)
+                                : p.last);
+        }
+        std::string labels;
+        for (const auto& [k, v] : s.labels) {
+            labels += labels.empty() ? "" : ",";
+            labels += k + "=" + v;
+        }
+        out += StrFormat("  %s{%s} %s %zu points total %.6g\n",
+                         s.name.c_str(), labels.c_str(),
+                         SeriesKindName(s.kind), s.points.size(),
+                         total);
+    }
+    return out;
+}
+
+void
+TimeSeriesCollector::UpdateMetaGauges()
+{
+    if (windows_gauge_ != nullptr) {
+        windows_gauge_->Set(static_cast<double>(windows_closed_));
+    }
+    if (series_gauge_ != nullptr) {
+        series_gauge_->Set(static_cast<double>(series_.size()));
+    }
+}
+
+}  // namespace obs
+}  // namespace t4i

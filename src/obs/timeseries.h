@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Windowed time-series aggregation over the metrics registry.
+ *
+ * The registry (src/obs/registry.h) aggregates everything into one
+ * end-of-run snapshot; fleet questions — "when did the burn rate
+ * spike", "did p99 degrade before or after the outage" — need values
+ * *over sim time*. The TimeSeriesCollector turns registry instruments
+ * into fixed-width windows on the simulation clock, driven by the
+ * serving/cluster control ticks that already exist:
+ *
+ *   - counters  -> per-window int64 deltas (and rates/s), with a hard
+ *     conservation invariant: the sum of a counter's window deltas
+ *     equals its final aggregate register bit for bit (the same bar
+ *     the sampled perf-counter series meets, src/sim/perfcounters.h);
+ *   - gauges    -> per-window last/min/max over the tick observations;
+ *   - histograms -> per-window *exact* quantiles (p50/p95/p99) plus
+ *     count/sum/min/max over only the samples observed in that window
+ *     (via HistogramMetric's insertion-ordered sample log).
+ *
+ * Windows are aligned to multiples of window_s from t=0. A tick that
+ * jumps several boundaries closes every elapsed window; activity in
+ * the gap lands in the first window closed after it (the honest
+ * semantics of sparse ticking — conservation still holds). Finish()
+ * closes the trailing partial window so nothing is dropped.
+ *
+ * When an AlertEngine is bound, rules are evaluated once per *closed
+ * window* at the window's end time instead of at irregular event
+ * times, so `for X` hysteresis means X simulated seconds of
+ * consecutive windows (see docs/OBSERVABILITY.md).
+ */
+#ifndef T4I_OBS_TIMESERIES_H
+#define T4I_OBS_TIMESERIES_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/obs/alerts.h"
+#include "src/obs/registry.h"
+
+namespace t4i {
+namespace obs {
+
+/** What a windowed series was derived from. */
+enum class SeriesKind { kCounter, kGauge, kHistogram };
+
+const char* SeriesKindName(SeriesKind kind);
+
+/** One closed window of one series. Fields used depend on the kind. */
+struct WindowPoint {
+    double t0_s = 0.0;  ///< window start (inclusive)
+    double t1_s = 0.0;  ///< window end (exclusive; == next t0)
+    // Counter windows.
+    int64_t delta = 0;        ///< increment inside the window
+    double rate_per_s = 0.0;  ///< delta / (t1 - t0)
+    // Gauge windows (over tick observations) and histogram windows
+    // (over samples observed inside the window).
+    double last = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    // Histogram windows: exact stats over the window's sample slice.
+    int64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/** One instrument's windowed history. */
+struct TimeSeries {
+    std::string name;
+    Labels labels;  ///< sorted, as in the registry
+    SeriesKind kind = SeriesKind::kCounter;
+    std::vector<WindowPoint> points;
+};
+
+struct TimeSeriesOptions {
+    /** Window width on the sim clock (seconds). */
+    double window_s = 0.05;
+    /**
+     * Instrument-name prefixes excluded from windowing. The
+     * collector's own `obs.ts.*` meta gauges are always skipped (they
+     * change on every window close and would feed back).
+     */
+    std::vector<std::string> skip_prefixes;
+    /** Hard cap on closed windows (runaway-tick backstop). */
+    int64_t max_windows = 1 << 20;
+};
+
+/**
+ * Collects fixed-window series from a registry as sim time advances.
+ * Single-threaded, like the discrete-event loops that drive it.
+ */
+class TimeSeriesCollector {
+  public:
+    explicit TimeSeriesCollector(TimeSeriesOptions options = {});
+
+    /**
+     * Attaches the registry to window (and eagerly creates the
+     * `obs.ts.*` meta gauges so exports have a stable shape).
+     */
+    void BindRegistry(MetricsRegistry* registry);
+
+    /**
+     * Routes alert evaluation through window closes: every closed
+     * window triggers one Evaluate(registry, window_end). Callers that
+     * bind an engine here should stop evaluating it on their own
+     * cadence (ServeCell and RunCluster do).
+     */
+    void BindAlerts(AlertEngine* alerts);
+
+    /** True when a bound AlertEngine is driven by window closes. */
+    bool routes_alerts() const { return alerts_ != nullptr; }
+
+    /**
+     * Advances the window clock to @p t_s, closing every window that
+     * ends at or before it. Monotonic; earlier times are ignored.
+     * Safe to call at any cadence — ticks are when gauges are read, so
+     * tick at least once per window for faithful gauge min/max.
+     */
+    void Tick(double t_s);
+
+    /**
+     * Closes the trailing partial window at @p end_s (when anything
+     * happened after the last boundary) and freezes the collector;
+     * later Tick()s are no-ops. Call once, after the driving loop
+     * drains, before CheckConservation()/export.
+     */
+    void Finish(double end_s);
+
+    bool finished() const { return finished_; }
+    double window_s() const { return options_.window_s; }
+    int64_t windows_closed() const { return windows_closed_; }
+
+    /** Stable-ordered (registry order) windowed series. */
+    const std::vector<TimeSeries>& series() const { return series_; }
+
+    /** Series for (name, labels), or nullptr. Labels need not be
+     *  sorted. */
+    const TimeSeries* Find(const std::string& name,
+                           const Labels& labels = {}) const;
+
+    /**
+     * The conservation invariant: for every windowed counter, the sum
+     * of its per-window deltas equals the live aggregate register bit
+     * for bit. Returns the first violation as Internal (this is a
+     * collector bug or a post-Finish increment, never noise — deltas
+     * are exact int64 arithmetic).
+     */
+    Status CheckConservation() const;
+
+    /** One line per series: name{labels} kind points total. */
+    std::string Summary() const;
+
+  private:
+    struct SeriesState {
+        size_t series_index = 0;
+        // Counter: register value at the last window close.
+        int64_t last_counter = 0;
+        // Histogram: insertion-ordered samples consumed so far.
+        int64_t samples_consumed = 0;
+        // Gauge: observations since the last close (from ticks).
+        bool gauge_seen = false;
+        double gauge_last = 0.0;
+        double gauge_min = 0.0;
+        double gauge_max = 0.0;
+        bool touched_this_close = false;
+    };
+
+    bool Skipped(const std::string& name) const;
+    /** Reads current instrument values into per-series pending state
+     *  (gauge observations); called on every tick. */
+    void ObserveGauges();
+    /** Closes the window ending at @p boundary_s. */
+    void CloseWindow(double boundary_s);
+    void UpdateMetaGauges();
+
+    TimeSeriesOptions options_;
+    MetricsRegistry* registry_ = nullptr;
+    AlertEngine* alerts_ = nullptr;
+
+    /** Keyed like the registry: name + '\x1f' + sorted labels. */
+    std::map<std::string, SeriesState> state_;
+    std::vector<TimeSeries> series_;
+    double window_start_s_ = 0.0;
+    int64_t windows_closed_ = 0;
+    bool finished_ = false;
+
+    Gauge* windows_gauge_ = nullptr;
+    Gauge* series_gauge_ = nullptr;
+    Gauge* width_gauge_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_TIMESERIES_H

@@ -237,6 +237,13 @@ ServeCell::Init(Options options)
         (telemetry_.alerts != nullptr && telemetry_.registry != nullptr)
             ? telemetry_.alerts
             : nullptr;
+    timeseries_ = (telemetry_.timeseries != nullptr &&
+                   telemetry_.registry != nullptr)
+                      ? telemetry_.timeseries
+                      : nullptr;
+    slo_ = (telemetry_.slo != nullptr && telemetry_.registry != nullptr)
+               ? telemetry_.slo
+               : nullptr;
     if (recorder_ != nullptr) {
         if (telemetry_.registry != nullptr) {
             recorder_->BindRegistry(telemetry_.registry);
@@ -579,11 +586,24 @@ ServeCell::AdvanceTo(double limit_s)
         // Deliver all arrivals up to `now_` and sweep deadlines.
         DeliverArrivals();
 
-        // Periodic alert evaluation in sim time: histograms and
-        // counters update live, so for-duration rules can arm, fire,
-        // and (via the recorder) trigger a black-box dump mid-run.
-        if (alerts_ != nullptr && now_ >= next_alert_eval_) {
-            alerts_->Evaluate(*telemetry_.registry, now_);
+        // Periodic observability tick in sim time: histograms and
+        // counters update live, so SLO budgets accrue, windows close,
+        // and for-duration rules can arm, fire, and (via the recorder)
+        // trigger a black-box dump mid-run. SLO budgets tick before
+        // the window collector so the slo.* gauges land in the window
+        // that describes them; when the collector routes alerts, each
+        // window close is the evaluation point and the direct
+        // evaluation below is skipped.
+        if ((alerts_ != nullptr || slo_ != nullptr ||
+             timeseries_ != nullptr) &&
+            now_ >= next_alert_eval_) {
+            if (slo_ != nullptr) slo_->Tick(now_);
+            if (timeseries_ != nullptr) timeseries_->Tick(now_);
+            if (alerts_ != nullptr &&
+                (timeseries_ == nullptr ||
+                 !timeseries_->routes_alerts())) {
+                alerts_->Evaluate(*telemetry_.registry, now_);
+            }
             next_alert_eval_ =
                 now_ + std::max(telemetry_.alert_eval_interval_s, 1e-6);
         }

@@ -300,6 +300,8 @@ class ServeCell {
     obs::SpanCollector* spans_ = nullptr;
     obs::FlightRecorder* recorder_ = nullptr;
     obs::AlertEngine* alerts_ = nullptr;
+    obs::TimeSeriesCollector* timeseries_ = nullptr;
+    obs::SloTracker* slo_ = nullptr;
 };
 
 }  // namespace t4i

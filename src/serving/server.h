@@ -41,7 +41,9 @@
 #include "src/obs/alerts.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/registry.h"
+#include "src/obs/slo.h"
 #include "src/obs/spans.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace_builder.h"
 #include "src/serving/faults.h"
 
@@ -238,6 +240,24 @@ struct ServingTelemetry {
      */
     obs::AlertEngine* alerts = nullptr;
     double alert_eval_interval_s = 0.05;
+    /**
+     * Windowed time-series collection (requires registry): the serving
+     * loop Ticks the collector at the alert-eval cadence so counters,
+     * gauges, and histograms become fixed-window series on the sim
+     * clock. When the collector also routes alerts (its BindAlerts was
+     * called), the cell stops evaluating `alerts` on its own cadence —
+     * window closes drive evaluation, making `for X` hysteresis mean X
+     * seconds of consecutive windows. The final run-end evaluation
+     * still happens either way. The caller Finish()es the collector
+     * after the run returns.
+     */
+    obs::TimeSeriesCollector* timeseries = nullptr;
+    /**
+     * Rolling SLO error budgets (requires registry): ticked at the
+     * same cadence, *before* the collector, so the `slo.*` gauges land
+     * in the window that describes them.
+     */
+    obs::SloTracker* slo = nullptr;
     /**
      * Appended to every label set this run writes into `registry`
      * (per-tenant instruments and run-level gauges alike). The cluster

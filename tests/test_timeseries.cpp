@@ -1,0 +1,541 @@
+/**
+ * @file
+ * Tests for windowed time-series telemetry, SLO error budgets, and
+ * the run-report artifact + cross-run diff (src/obs/timeseries.h,
+ * src/obs/slo.h, src/obs/report.h).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/alerts.h"
+#include "src/obs/registry.h"
+#include "src/obs/report.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+namespace {
+
+obs::TimeSeriesOptions
+Window(double window_s)
+{
+    obs::TimeSeriesOptions options;
+    options.window_s = window_s;
+    return options;
+}
+
+TenantConfig
+Tenant(const std::string& name, double rate)
+{
+    TenantConfig t;
+    t.name = name;
+    t.latency_s = [](int64_t batch) {
+        return 1e-3 + 1e-4 * static_cast<double>(batch);
+    };
+    t.max_batch = 32;
+    t.slo_s = 0.010;
+    t.arrival_rate = rate;
+    return t;
+}
+
+// --- TimeSeriesCollector ---------------------------------------------------
+
+TEST(Timeseries, CounterWindowsAlignAndConserve)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* c = reg.GetCounter("reqs");
+    obs::TimeSeriesCollector col(Window(1.0));
+    col.BindRegistry(&reg);
+
+    // Activity before the first boundary stays pending.
+    c->Increment(5);
+    col.Tick(0.5);
+    EXPECT_EQ(col.windows_closed(), 0);
+
+    // A tick that jumps two boundaries closes both windows; the gap
+    // activity lands in the first one (sparse-tick semantics).
+    c->Increment(5);
+    col.Tick(2.5);
+    EXPECT_EQ(col.windows_closed(), 2);
+
+    // The trailing partial window picks up the rest.
+    c->Increment(3);
+    col.Finish(2.5);
+
+    const obs::TimeSeries* s = col.Find("reqs");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, obs::SeriesKind::kCounter);
+    ASSERT_EQ(s->points.size(), 3u);
+    EXPECT_DOUBLE_EQ(s->points[0].t0_s, 0.0);
+    EXPECT_DOUBLE_EQ(s->points[0].t1_s, 1.0);
+    EXPECT_EQ(s->points[0].delta, 10);
+    EXPECT_DOUBLE_EQ(s->points[0].rate_per_s, 10.0);
+    EXPECT_DOUBLE_EQ(s->points[1].t0_s, 1.0);
+    EXPECT_DOUBLE_EQ(s->points[1].t1_s, 2.0);
+    EXPECT_EQ(s->points[1].delta, 0);
+    EXPECT_DOUBLE_EQ(s->points[2].t0_s, 2.0);
+    EXPECT_DOUBLE_EQ(s->points[2].t1_s, 2.5);
+    EXPECT_EQ(s->points[2].delta, 3);
+
+    // sum(deltas) == final register, bit for bit.
+    EXPECT_TRUE(col.CheckConservation().ok());
+    int64_t total = 0;
+    for (const obs::WindowPoint& p : s->points) total += p.delta;
+    EXPECT_EQ(total, c->value());
+
+    // Frozen after Finish.
+    c->Increment(1);
+    col.Tick(10.0);
+    EXPECT_EQ(col.windows_closed(), 3);
+}
+
+TEST(Timeseries, GaugeWindowsTrackLastMinMax)
+{
+    obs::MetricsRegistry reg;
+    obs::Gauge* g = reg.GetGauge("util");
+    obs::TimeSeriesCollector col(Window(1.0));
+    col.BindRegistry(&reg);
+
+    g->Set(5.0);
+    col.Tick(0.2);
+    g->Set(1.0);
+    col.Tick(0.4);
+    g->Set(3.0);
+    col.Tick(1.0);  // boundary: the window closes with this reading
+
+    const obs::TimeSeries* s = col.Find("util");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, obs::SeriesKind::kGauge);
+    ASSERT_EQ(s->points.size(), 1u);
+    EXPECT_DOUBLE_EQ(s->points[0].last, 3.0);
+    EXPECT_DOUBLE_EQ(s->points[0].min, 1.0);
+    EXPECT_DOUBLE_EQ(s->points[0].max, 5.0);
+}
+
+TEST(Timeseries, HistogramWindowsSliceSamplesWithExactQuantiles)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric* h = reg.GetHistogram("lat");
+    obs::TimeSeriesCollector col(Window(1.0));
+    col.BindRegistry(&reg);
+
+    for (int i = 1; i <= 100; ++i) {
+        h->Observe(static_cast<double>(i));
+    }
+    col.Tick(1.0);
+    // Second window sees only its own samples, not the first 100.
+    h->Observe(1000.0);
+    col.Tick(2.0);
+    col.Finish(2.0);
+
+    const obs::TimeSeries* s = col.Find("lat");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, obs::SeriesKind::kHistogram);
+    ASSERT_EQ(s->points.size(), 2u);
+
+    const obs::WindowPoint& w0 = s->points[0];
+    EXPECT_EQ(w0.count, 100);
+    EXPECT_DOUBLE_EQ(w0.min, 1.0);
+    EXPECT_DOUBLE_EQ(w0.max, 100.0);
+    EXPECT_LE(w0.p50, w0.p95);
+    EXPECT_LE(w0.p95, w0.p99);
+    EXPECT_NEAR(w0.p50, 50.5, 1.0);
+    EXPECT_NEAR(w0.p95, 95.0, 1.0);
+
+    const obs::WindowPoint& w1 = s->points[1];
+    EXPECT_EQ(w1.count, 1);
+    EXPECT_DOUBLE_EQ(w1.p50, 1000.0);
+    EXPECT_DOUBLE_EQ(w1.p95, 1000.0);
+    EXPECT_DOUBLE_EQ(w1.p99, 1000.0);
+
+    // Histogram count is conserved across the window slices too.
+    EXPECT_EQ(w0.count + w1.count, h->count());
+}
+
+TEST(Timeseries, ServingRunConservesEveryCounter)
+{
+    obs::MetricsRegistry reg;
+    obs::TimeSeriesCollector col(Window(0.05));
+    col.BindRegistry(&reg);
+    obs::SloTracker slo;
+    slo.BindRegistry(&reg);
+    obs::SloObjective obj;
+    obj.name = "x-avail";
+    obj.tenant = "x";
+    obj.availability_target = 0.99;
+    ASSERT_TRUE(slo.AddObjective(obj).ok());
+
+    ServingTelemetry telemetry;
+    telemetry.registry = &reg;
+    telemetry.timeseries = &col;
+    telemetry.slo = &slo;
+    auto result = RunServingCell({Tenant("x", 400.0)}, 2, 1.0, 42,
+                                 telemetry);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+
+    slo.Finish(result.value().duration_s);
+    col.Finish(result.value().duration_s);
+    ASSERT_TRUE(col.CheckConservation().ok())
+        << col.CheckConservation().message();
+    EXPECT_GT(col.windows_closed(), 10);
+
+    const obs::TimeSeries* s =
+        col.Find("serving.completed", {{"tenant", "x"}});
+    ASSERT_NE(s, nullptr);
+    int64_t total = 0;
+    for (const obs::WindowPoint& p : s->points) total += p.delta;
+    EXPECT_EQ(total,
+              reg.GetCounter("serving.completed", {{"tenant", "x"}})
+                  ->value());
+    EXPECT_GT(total, 0);
+}
+
+// --- SloTracker ------------------------------------------------------------
+
+TEST(Slo, FastBurnCatchesCliffSlowBurnConfirms)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* completed =
+        reg.GetCounter("serving.completed", {{"tenant", "A"}});
+    obs::Counter* miss =
+        reg.GetCounter("serving.slo_miss", {{"tenant", "A"}});
+
+    obs::SloTracker slo;
+    slo.BindRegistry(&reg);
+    obs::SloObjective obj;
+    obj.name = "a-avail";
+    obj.tenant = "A";
+    obj.availability_target = 0.9;  // budget = 0.1
+    obj.horizon_s = 1.0;
+    obj.fast_window_s = 0.1;
+    obj.slow_window_s = 0.5;
+    obj.page_burn = 1.0;
+    ASSERT_TRUE(slo.AddObjective(obj).ok());
+
+    // Healthy for 0.5 s, then a 50%-bad cliff until 0.8 s.
+    double cliff_fast = 0.0, cliff_slow = 0.0;
+    for (double t = 0.05; t <= 0.8 + 1e-9; t += 0.05) {
+        completed->Increment(10);
+        if (t > 0.5) miss->Increment(5);
+        slo.Tick(t);
+        if (std::abs(t - 0.6) < 1e-9) {
+            const obs::SloStatus* st = slo.Find("a-avail");
+            ASSERT_NE(st, nullptr);
+            cliff_fast = st->timeline.back().burn_fast;
+            cliff_slow = st->timeline.back().burn_slow;
+        }
+    }
+    slo.Finish(0.8);
+
+    const obs::SloStatus* st = slo.Find("a-avail");
+    ASSERT_NE(st, nullptr);
+    // Event accounting: good == completed - miss.
+    EXPECT_EQ(st->total, completed->value());
+    EXPECT_EQ(st->bad, miss->value());
+    EXPECT_EQ(st->good, completed->value() - miss->value());
+
+    // Right after the cliff the fast window is saturated with bad
+    // events while the slow window still averages in the healthy past.
+    EXPECT_GT(cliff_fast, 1.0);
+    EXPECT_GT(cliff_fast, cliff_slow);
+    EXPECT_GT(cliff_slow, 0.0);
+
+    // Sustained cliff: both windows cross page_burn -> a page.
+    EXPECT_GE(st->pages, 1);
+    EXPECT_GT(st->page_seconds, 0.0);
+    // 30 bad of 160 events against a 0.1 budget exhausts the horizon
+    // budget (burn > 1 -> remaining < 0).
+    EXPECT_LT(st->min_budget_remaining, 0.0);
+
+    // The gauges the alert grammar consumes are live in the registry.
+    obs::Gauge* page = reg.GetGauge(
+        "slo.page", {{"slo", "a-avail"}, {"tenant", "A"}});
+    ASSERT_NE(page, nullptr);
+    EXPECT_DOUBLE_EQ(page->value(), 1.0);
+}
+
+TEST(Slo, LatencyQuantileObjectiveBurnsOnSlowSamples)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* completed =
+        reg.GetCounter("serving.completed", {{"tenant", "A"}});
+    obs::HistogramMetric* lat = reg.GetHistogram(
+        "serving.latency_seconds", {{"tenant", "A"}});
+
+    obs::SloTracker slo;
+    slo.BindRegistry(&reg);
+    obs::SloObjective obj;
+    obj.name = "a-tail";
+    obj.tenant = "A";
+    obj.latency_target_s = 0.010;
+    obj.latency_quantile = 95.0;
+    obj.fast_window_s = 0.2;
+    ASSERT_TRUE(slo.AddObjective(obj).ok());
+
+    // Every request lands at 20 ms against a 10 ms p95 target.
+    for (double t = 0.05; t <= 0.4 + 1e-9; t += 0.05) {
+        completed->Increment(4);
+        for (int i = 0; i < 4; ++i) lat->Observe(0.020);
+        slo.Tick(t);
+    }
+    slo.Finish(0.4);
+
+    const obs::SloStatus* st = slo.Find("a-tail");
+    ASSERT_NE(st, nullptr);
+    ASSERT_FALSE(st->timeline.empty());
+    EXPECT_DOUBLE_EQ(st->timeline.back().latency_q_s, 0.020);
+    // 100% of samples over target against a 5% budget: burn >> 1.
+    EXPECT_GT(st->peak_burn_fast, 1.0);
+}
+
+TEST(Slo, ForDurationHysteresisThroughWindowedAlerts)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* completed =
+        reg.GetCounter("serving.completed", {{"tenant", "A"}});
+    obs::Counter* miss =
+        reg.GetCounter("serving.slo_miss", {{"tenant", "A"}});
+
+    obs::SloTracker slo;
+    slo.BindRegistry(&reg);
+    obs::SloObjective obj;
+    obj.name = "a-avail";
+    obj.tenant = "A";
+    obj.availability_target = 0.9;
+    obj.fast_window_s = 0.1;
+    obj.slow_window_s = 0.5;
+    ASSERT_TRUE(slo.AddObjective(obj).ok());
+
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    ASSERT_TRUE(alerts
+                    .AddRulesFromText(
+                        "alert burn slo.burn_rate_fast > 1 for 0.25\n")
+                    .ok());
+
+    obs::TimeSeriesCollector col(Window(0.1));
+    col.BindRegistry(&reg);
+    col.BindAlerts(&alerts);
+    ASSERT_TRUE(col.routes_alerts());
+
+    // Bad events from 0.3 s to 1.0 s, then recovery until 1.5 s.
+    for (double t = 0.05; t <= 1.5 + 1e-9; t += 0.05) {
+        completed->Increment(10);
+        if (t > 0.3 && t <= 1.0) miss->Increment(5);
+        slo.Tick(t);
+        col.Tick(t);
+    }
+    slo.Finish(1.5);
+    col.Finish(1.5);
+    ASSERT_TRUE(col.CheckConservation().ok())
+        << col.CheckConservation().message();
+
+    ASSERT_EQ(alerts.statuses().size(), 1u);
+    const obs::AlertStatus& status = alerts.statuses()[0];
+    // The burn crosses 1 at the 0.3 s window close (closed by the
+    // 0.35 s tick, so it sees that tick's gauge state), but `for
+    // 0.25` means 0.25 *simulated seconds* of consecutive windows:
+    // the fire lands at the 0.6 s close, not the first crossing.
+    EXPECT_EQ(status.fire_count, 1);
+    EXPECT_GE(status.fired_at_s, 0.55);
+    EXPECT_LE(status.fired_at_s, 0.65);
+    EXPECT_GE(status.fired_at_s - status.pending_since_s, 0.25);
+    // Recovery drained the fast window: the alert resolved by the end.
+    EXPECT_EQ(status.state, obs::AlertState::kInactive);
+}
+
+TEST(Slo, WindowedRoutingMatchesDirectEvaluationForInstantRules)
+{
+    // Regression pin: a `for 0` rule behaves identically whether the
+    // engine is evaluated directly every tick (the old path) or once
+    // per closed window (the routed path) on the same tick grid.
+    const std::string rule = "alert done serving.completed > 50 for 0\n";
+    auto drive = [&](bool routed) {
+        obs::MetricsRegistry reg;
+        obs::Counter* completed =
+            reg.GetCounter("serving.completed", {{"tenant", "A"}});
+        obs::AlertEngine alerts;
+        alerts.BindRegistry(&reg);
+        EXPECT_TRUE(alerts.AddRulesFromText(rule).ok());
+        obs::TimeSeriesCollector col(Window(0.05));
+        col.BindRegistry(&reg);
+        if (routed) col.BindAlerts(&alerts);
+        for (double t = 0.05; t <= 1.0 + 1e-9; t += 0.05) {
+            completed->Increment(10);
+            col.Tick(t);
+            if (!routed) alerts.Evaluate(reg, t);
+        }
+        // The engines' "once more at run end" evaluation happens
+        // before the collector freezes, so its own obs.alert.*
+        // increments land in the trailing window (conservation).
+        if (!routed) alerts.Evaluate(reg, 1.0);
+        col.Finish(1.0);
+        EXPECT_TRUE(col.CheckConservation().ok());
+        return alerts.statuses()[0];
+    };
+
+    const obs::AlertStatus direct = drive(false);
+    const obs::AlertStatus routed = drive(true);
+    EXPECT_EQ(direct.state, obs::AlertState::kFiring);
+    EXPECT_EQ(routed.state, obs::AlertState::kFiring);
+    EXPECT_EQ(direct.fire_count, routed.fire_count);
+    EXPECT_DOUBLE_EQ(direct.fired_at_s, routed.fired_at_s);
+    EXPECT_DOUBLE_EQ(direct.last_value, routed.last_value);
+}
+
+// --- RunReport -------------------------------------------------------------
+
+/** A small but fully-populated artifact: counters, gauges,
+ *  histograms, windowed series, one SLO, one alert rule. */
+obs::RunReport
+BuildSampleReport(double perturb_completed = 0.0)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter* completed =
+        reg.GetCounter("serving.completed", {{"tenant", "A"}});
+    obs::Counter* miss =
+        reg.GetCounter("serving.slo_miss", {{"tenant", "A"}});
+    obs::HistogramMetric* lat = reg.GetHistogram(
+        "serving.latency_seconds", {{"tenant", "A"}});
+    obs::Gauge* util = reg.GetGauge("sim.mxu_utilization");
+
+    obs::SloTracker slo;
+    slo.BindRegistry(&reg);
+    obs::SloObjective obj;
+    obj.name = "a-avail";
+    obj.tenant = "A";
+    obj.availability_target = 0.99;
+    EXPECT_TRUE(slo.AddObjective(obj).ok());
+
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    EXPECT_TRUE(alerts
+                    .AddRulesFromText(
+                        "alert busy sim.mxu_utilization > 0.5 for 0\n")
+                    .ok());
+
+    obs::TimeSeriesCollector col(Window(0.1));
+    col.BindRegistry(&reg);
+    col.BindAlerts(&alerts);
+
+    for (double t = 0.05; t <= 0.5 + 1e-9; t += 0.05) {
+        completed->Increment(8);
+        if (t > 0.4) miss->Increment(1);
+        lat->Observe(0.002 + t / 100.0);
+        util->Set(0.6);
+        slo.Tick(t);
+        col.Tick(t);
+    }
+    completed->Increment(static_cast<int64_t>(perturb_completed));
+    slo.Finish(0.5);
+    col.Finish(0.5);
+    EXPECT_TRUE(col.CheckConservation().ok());
+
+    obs::ReportMeta meta;
+    meta.command = "test";
+    meta.app = "SYNTH";
+    meta.chip = "TPUv4i";
+    meta.duration_s = 0.5;
+    meta.seed = 7;
+    return obs::BuildRunReport(meta, &reg, &col, &slo, &alerts);
+}
+
+TEST(Report, JsonRoundTripPreservesEverySection)
+{
+    const obs::RunReport report = BuildSampleReport();
+    const std::string path =
+        testing::TempDir() + "/t4i_report_roundtrip.json";
+    ASSERT_TRUE(obs::WriteRunReport(report, path).ok());
+
+    auto parsed = obs::ReadRunReport(path);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(parsed.value().schema_version,
+              obs::kRunReportSchemaVersion);
+    EXPECT_EQ(parsed.value().meta.app, "SYNTH");
+    EXPECT_EQ(parsed.value().meta.seed, 7);
+    EXPECT_EQ(parsed.value().series.size(), report.series.size());
+    EXPECT_EQ(parsed.value().slos.size(), report.slos.size());
+    EXPECT_EQ(parsed.value().alerts.size(), report.alerts.size());
+    EXPECT_EQ(parsed.value().metrics.size(), report.metrics.size());
+
+    // Parsed-vs-parsed (both sides went through the same %.9g
+    // formatting) must be identical under the default exact bands.
+    auto again = obs::ReadRunReport(path);
+    ASSERT_TRUE(again.ok());
+    const obs::ReportDiffResult diff =
+        obs::DiffRunReports(parsed.value(), again.value());
+    EXPECT_TRUE(diff.ok()) << obs::RenderReportDiff(diff);
+    EXPECT_GT(diff.compared, 50);
+    EXPECT_TRUE(diff.missing.empty());
+    EXPECT_TRUE(diff.added.empty());
+
+    // Both renders produce non-trivial output.
+    EXPECT_NE(obs::RenderRunReportMarkdown(parsed.value()).find(
+                  "SYNTH"),
+              std::string::npos);
+    EXPECT_NE(obs::RenderRunReportCsv(parsed.value()).find("metric"),
+              std::string::npos);
+}
+
+TEST(Report, ReadRejectsUnknownSchemaVersion)
+{
+    obs::RunReport report = BuildSampleReport();
+    report.schema_version = 99;
+    const std::string path =
+        testing::TempDir() + "/t4i_report_badversion.json";
+    ASSERT_TRUE(obs::WriteRunReport(report, path).ok());
+    EXPECT_FALSE(obs::ReadRunReport(path).ok());
+}
+
+TEST(Report, DiffFlagsPerturbationHonorsTolerancesAndMissing)
+{
+    const obs::RunReport base = BuildSampleReport();
+    const obs::RunReport perturbed = BuildSampleReport(5.0);
+
+    // Exact bands: the nudged counter (and everything downstream of
+    // it) must be flagged.
+    const obs::ReportDiffResult strict =
+        obs::DiffRunReports(base, perturbed);
+    EXPECT_FALSE(strict.ok());
+    ASSERT_FALSE(strict.regressions.empty());
+    bool found = false;
+    for (const obs::ReportDiffEntry& r : strict.regressions) {
+        if (r.key.find("serving.completed") != std::string::npos) {
+            found = true;
+            EXPECT_NEAR(r.current - r.base, 5.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(found) << obs::RenderReportDiff(strict);
+
+    // A prefix tolerance wide enough to cover the nudge (and the slo
+    // ratios derived from it) makes the same diff pass.
+    obs::ReportDiffOptions loose;
+    loose.default_tolerance = {0.5, 10.0};
+    const obs::ReportDiffResult tolerant =
+        obs::DiffRunReports(base, perturbed, loose);
+    EXPECT_TRUE(tolerant.ok()) << obs::RenderReportDiff(tolerant);
+
+    // A metric present in base but gone from current is a failure
+    // even when every surviving value matches.
+    obs::RunReport gutted = base;
+    ASSERT_FALSE(gutted.metrics.empty());
+    gutted.metrics.pop_back();
+    const obs::ReportDiffResult missing =
+        obs::DiffRunReports(base, gutted);
+    EXPECT_FALSE(missing.ok());
+    EXPECT_FALSE(missing.missing.empty());
+
+    // The reverse direction is informational only.
+    const obs::ReportDiffResult added =
+        obs::DiffRunReports(gutted, base);
+    EXPECT_TRUE(added.ok());
+    EXPECT_FALSE(added.added.empty());
+}
+
+}  // namespace
+}  // namespace t4i

@@ -36,10 +36,12 @@ trace="$workdir/trace.json"
 # also supplies the cluster.* names for the schema diff below.
 cmetrics="$workdir/cluster_metrics.json"
 ctrace="$workdir/cluster_trace.json"
+report_a="$workdir/cluster_report_a.json"
 ./build/examples/t4sim_cli serve-cluster --app BERT0 --batch 16 \
     --cells 3 --fail-cell 1 --fail-at 1.4 --health-interval 0.1 \
     --require-floor \
-    "--metrics-json=$cmetrics" "--trace-out=$ctrace" || exit 1
+    "--metrics-json=$cmetrics" "--trace-out=$ctrace" \
+    "--report-out=$report_a" || exit 1
 [ -s "$cmetrics" ] || { echo "CI: $cmetrics missing or empty"; exit 1; }
 cavail="$(grep -o '"name":"cluster.availability","labels":{},"value":[0-9.eE+-]*' \
     "$cmetrics" | sed 's/.*"value"://')"
@@ -73,6 +75,68 @@ if [ "$missing" -ne 0 ]; then
     sed 's/^/  /' "$workdir/emitted.txt"
     exit 1
 fi
+
+# --- run report + cross-run diff smoke -------------------------------
+# The serve-cluster drill above also wrote a versioned report.json
+# artifact. Re-run it with identical flags (the sim is deterministic,
+# so the artifacts must agree bit-for-bit under diff's default bands),
+# then seed a perturbation into a copy and require `diff` to trip.
+report_b="$workdir/cluster_report_b.json"
+./build/examples/t4sim_cli serve-cluster --app BERT0 --batch 16 \
+    --cells 3 --fail-cell 1 --fail-at 1.4 --health-interval 0.1 \
+    --require-floor "--report-out=$report_b" > /dev/null || exit 1
+[ -s "$report_a" ] || { echo "CI: report artifact missing"; exit 1; }
+
+# Versioned-schema check: the artifact must parse as JSON and carry
+# the promised top-level sections (the report-side analogue of the
+# metric-name schema diff above).
+python3 - "$report_a" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema_version"] == 1, report["schema_version"]
+for key in ("meta", "series", "slos", "alerts", "metrics"):
+    assert key in report, f"report.json missing top-level '{key}'"
+assert report["meta"]["tool"] == "t4sim_cli", report["meta"]
+assert report["series"], "no windowed series in report"
+assert report["slos"], "no SLO section in report"
+EOF
+
+./build/examples/t4sim_cli diff "$report_a" "$report_b" \
+    || { echo "CI: diff of identical runs was not clean"; exit 1; }
+
+# Negative test: nudge one counter in a copy; diff must exit nonzero.
+report_bad="$workdir/cluster_report_bad.json"
+python3 - "$report_b" "$report_bad" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for key in report["metrics"]:
+    if key.startswith("serving.completed"):
+        report["metrics"][key] += 5
+        break
+else:
+    raise SystemExit("no serving.completed metric to perturb")
+with open(sys.argv[2], "w") as f:
+    json.dump(report, f)
+EOF
+if ./build/examples/t4sim_cli diff "$report_a" "$report_bad" > /dev/null; then
+    echo "CI: diff exited zero on a perturbed report"
+    exit 1
+fi
+
+# The perf gate's report mode reuses the tolerance machinery on the
+# artifacts' final-metric snapshots (identical runs must pass).
+python3 tools/perf_gate.py --baselines bench/baselines.json \
+    --reports "$report_a" "$report_b" || exit 1
+
+# Both render formats must produce non-empty output.
+./build/examples/t4sim_cli report "$report_a" > "$workdir/report.md" \
+    || { echo "CI: report markdown render failed"; exit 1; }
+[ -s "$workdir/report.md" ] || { echo "CI: markdown render empty"; exit 1; }
+./build/examples/t4sim_cli report "$report_a" --format csv \
+    > "$workdir/report.csv" || { echo "CI: report csv render failed"; exit 1; }
+[ -s "$workdir/report.csv" ] || { echo "CI: csv render empty"; exit 1; }
 
 # The enriched trace must carry at least one counter track and one
 # flow event (acceptance criteria for the observability subsystem).
@@ -155,7 +219,8 @@ fi
 # either a regression or an intentional one that should come with a
 # `perf_gate.py --update` refresh of bench/baselines.json.
 fast_benches="bench_a1_mxu_geometry bench_a3_bandwidth bench_e05_roofline
-              bench_e07_latency_batch bench_e11_multitenancy"
+              bench_e07_latency_batch bench_e11_multitenancy
+              bench_e18_latency_breakdown"
 bench_out="$workdir/bench_fast.txt"
 for b in $fast_benches; do
     ./build/bench/"$b" >> "$bench_out" \
@@ -174,4 +239,4 @@ echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
      "fault smoke: availability $avail, $retries retries," \
      "cluster outage smoke: availability $cavail above the N+k floor," \
      "black-box dump + span export valid, alert gate trips correctly," \
-     "perf gate green + self-test)"
+     "report artifact + diff triage ok, perf gate green + self-test)"

@@ -12,7 +12,14 @@ built-in performance visibility).
 Usage:
   perf_gate.py --current bench_output.json            # gate
   perf_gate.py --current bench_output.txt --update    # refresh bands
+  perf_gate.py --reports base.json current.json       # gate two runs
   perf_gate.py --self-test                            # negative test
+
+``--reports`` gates the final-metric snapshots of two ``report.json``
+run artifacts (``t4sim_cli ... --report-out``) against each other
+using the same tolerance/ignore machinery — the scripted face of
+``t4sim_cli diff`` for CI pipelines that already carry a baselines
+file.
 
 ``--current`` accepts either the JSON array ``tools/run_all.sh``
 writes (bench_output.json) or raw bench stdout containing
@@ -75,6 +82,28 @@ def load_bench_lines(path):
                     flat["%s.%s" % (key, field)] = float(body[field])
         benches[rec["bench"]] = flat
     return benches
+
+
+def load_report_metrics(path):
+    """Returns {flat_metric_key: float} from a versioned report.json
+    run artifact (src/obs/report.h)."""
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    version = report.get("schema_version")
+    if version != 1:
+        raise SystemExit("perf_gate: %s has report schema_version %r "
+                         "(this tool reads 1)" % (path, version))
+    return {key: float(value)
+            for key, value in report.get("metrics", {}).items()}
+
+
+def report_gate(baselines, base_metrics, cur_metrics, label="report"):
+    """Gates one report metric snapshot against another, reusing the
+    bench tolerance/ignore configuration from the baselines file."""
+    shaped = dict(baselines)
+    shaped["benches"] = {label: base_metrics}
+    shaped.pop("ignore_benches", None)
+    return compare(shaped, {label: cur_metrics})
 
 
 def metric_name(flat_key):
@@ -198,9 +227,23 @@ def self_test(baselines_path, current_path):
                     print("perf_gate self-test: tightened band did "
                           "not flag %s/%s" % (bench_id, key))
                     return 1
+                # Report mode: identical snapshots must pass and a
+                # perturbed counter must trip under the same bands.
+                snap = {"serving.completed{tenant=A}": 128.0,
+                        "sim.mxu_utilization": 0.5}
+                if report_gate(baselines, snap, dict(snap)):
+                    print("perf_gate self-test: identical report "
+                          "snapshots did not pass")
+                    return 1
+                bad = dict(snap,
+                           **{"serving.completed{tenant=A}": 256.0})
+                if not report_gate(baselines, snap, bad):
+                    print("perf_gate self-test: perturbed report "
+                          "snapshot escaped the gate")
+                    return 1
                 print("perf_gate self-test: ok (clean pass, perturbed "
-                      "%s/%s caught, tightened band caught)"
-                      % (bench_id, key))
+                      "%s/%s caught, tightened band caught, report "
+                      "mode caught)" % (bench_id, key))
                 return 0
     print("perf_gate self-test: no usable baselined metric found")
     return 1
@@ -220,10 +263,31 @@ def main():
     parser.add_argument("--self-test", action="store_true",
                         help="assert the gate trips on a perturbed "
                              "metric (negative CI test)")
+    parser.add_argument("--reports", nargs=2,
+                        metavar=("BASE", "CURRENT"),
+                        help="gate two report.json run artifacts "
+                             "against each other instead of benches")
     args = parser.parse_args()
 
     if args.self_test:
         return self_test(args.baselines, args.current)
+
+    if args.reports:
+        with open(args.baselines, "r", encoding="utf-8") as f:
+            baselines = json.load(f)
+        base_metrics = load_report_metrics(args.reports[0])
+        cur_metrics = load_report_metrics(args.reports[1])
+        violations = report_gate(baselines, base_metrics, cur_metrics)
+        if violations:
+            print("perf_gate: FAIL — %d report metric(s) outside "
+                  "tolerance:" % len(violations))
+            for v in violations:
+                print("  " + v)
+            return 1
+        gated = sum(1 for k in base_metrics
+                    if not ignored(k, baselines))
+        print("perf_gate: ok (report mode, %d metrics gated)" % gated)
+        return 0
 
     current = load_bench_lines(args.current)
     if not current:
