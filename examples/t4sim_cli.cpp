@@ -19,6 +19,13 @@
  *       same as run, but --alerts is required and the exit code is
  *       nonzero when any alert rule is firing at the end of the run
  *       (SLO gate for CI; see docs/OBSERVABILITY.md)
+ *   t4sim_cli check --scenario FILE [--seed N] [--policy NAME]
+ *              [--report-out FILE]
+ *       adversarial load scenario gate (docs/SCENARIOS.md): replays
+ *       the scenario's arrival program (trace replay, flash crowds,
+ *       retry storms) against a cluster and exits 0 iff exactly the
+ *       scenario's expected alerts fire and request conservation
+ *       holds; --seed/--policy override the file for matrix sweeps
  *   t4sim_cli report FILE [--format markdown|csv] [--out FILE]
  *       render a --report-out run artifact (report.json) for humans
  *       (markdown) or spreadsheets/pandas (CSV)
@@ -121,6 +128,8 @@
 #include <map>
 #include <string>
 
+#include "src/cluster/scenario_run.h"
+#include "src/load/scenario.h"
 #include "src/obs/alerts.h"
 #include "src/obs/export.h"
 #include "src/obs/flight_recorder.h"
@@ -1450,6 +1459,106 @@ CmdRun(const Args& args, bool check_mode)
     return 0;
 }
 
+/**
+ * check --scenario FILE: run one declarative load scenario
+ * (scenarios/*.scn, grammar in src/load/scenario.h) and grade it. Exit
+ * 0 iff the fired alert set equals the scenario's `expect` set exactly
+ * and request conservation holds; 1 on a failed grade, 2 on errors.
+ * --seed and --policy override the scenario file (the chaos-matrix
+ * sweep axes); --report-out writes the run artifact.
+ */
+int
+CmdCheckScenario(const Args& args)
+{
+    auto scenario =
+        load::ParseScenarioFile(args.Get("scenario", ""));
+    if (!scenario.ok()) {
+        std::fprintf(stderr, "scenario: %s\n",
+                     scenario.status().ToString().c_str());
+        return 2;
+    }
+    ScenarioRunOptions options;
+    // A private registry: two runs of the same scenario + seed give
+    // bit-identical report artifacts.
+    obs::MetricsRegistry registry;
+    options.registry = &registry;
+    if (args.Has("seed")) {
+        options.override_seed = true;
+        options.seed =
+            static_cast<uint64_t>(args.GetInt("seed", 42));
+    }
+    if (args.Has("policy")) {
+        options.policy_override = args.Get("policy", "");
+    }
+    auto outcome_or = RunScenario(scenario.value(), options);
+    if (!outcome_or.ok()) {
+        std::fprintf(stderr, "scenario: %s\n",
+                     outcome_or.status().ToString().c_str());
+        return 2;
+    }
+    const ScenarioOutcome& outcome = outcome_or.value();
+    const ClusterResult& r = outcome.cluster;
+
+    std::printf("scenario: %s | policy %s | %.2f s | seed %llu\n",
+                scenario.value().name.c_str(),
+                outcome.policy.c_str(), r.duration_s,
+                static_cast<unsigned long long>(
+                    options.override_seed
+                        ? options.seed
+                        : scenario.value().seed));
+    std::printf("requests: %lld arrived (%lld client retries), %lld "
+                "completed, %lld dropped, %lld shed (%lld at the "
+                "router)\n",
+                static_cast<long long>(r.arrived),
+                static_cast<long long>(outcome.client_retries),
+                static_cast<long long>(r.completed),
+                static_cast<long long>(r.dropped),
+                static_cast<long long>(r.shed),
+                static_cast<long long>(r.router_shed));
+    std::printf("availability: %.4f | goodput trough %.0f rps | "
+                "conservation %s\n",
+                r.availability, outcome.goodput_trough_rps,
+                outcome.conservation_ok ? "ok" : "VIOLATED");
+    if (outcome.fired.empty()) {
+        std::printf("alerts: quiet\n");
+    } else {
+        std::printf("alerts: first '%s' at %.3f s; firing:",
+                    outcome.first_alert.c_str(),
+                    outcome.time_to_first_alert_s);
+        for (const std::string& name : outcome.fired) {
+            std::printf(" %s", name.c_str());
+        }
+        std::printf("\n");
+    }
+    for (const std::string& name : outcome.missing) {
+        std::fprintf(stderr,
+                     "scenario: expected alert '%s' never fired\n",
+                     name.c_str());
+    }
+    for (const std::string& name : outcome.unexpected) {
+        std::fprintf(stderr,
+                     "scenario: unexpected alert '%s' firing\n",
+                     name.c_str());
+    }
+    if (args.Has("report-out")) {
+        const std::string path =
+            args.Get("report-out", "report.json");
+        auto status = obs::WriteRunReport(outcome.report, path);
+        std::printf("report-out: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 2;
+    }
+    if (!ScenarioPassed(outcome)) {
+        std::fprintf(stderr, "scenario: FAILED (%s)\n",
+                     outcome.conservation_ok ? "alert contract"
+                                             : "conservation");
+        return 1;
+    }
+    std::printf("scenario: PASS\n");
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -1502,7 +1611,11 @@ main(int argc, char** argv)
     }
     if (cmd == "list") return CmdList();
     if (cmd == "run") return CmdRun(args, /*check_mode=*/false);
-    if (cmd == "check") return CmdRun(args, /*check_mode=*/true);
+    if (cmd == "check") {
+        return args.Has("scenario")
+                   ? CmdCheckScenario(args)
+                   : CmdRun(args, /*check_mode=*/true);
+    }
     if (cmd == "exec") return CmdExec(args);
     if (cmd == "profile") return CmdProfile(args);
     if (cmd == "serve-cluster") return CmdServeCluster(args);

@@ -22,8 +22,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 uint64_t
 CellSeed(uint64_t seed, int cell)
 {
-    return seed ^ (0x9e3779b97f4a7c15ULL *
-                   static_cast<uint64_t>(cell + 1));
+    return SubstreamSeed(seed, "cluster.cell",
+                         static_cast<uint64_t>(cell));
 }
 
 /** Per-tenant cluster-wide accounting at the router. */
@@ -35,6 +35,7 @@ struct TenantBooks {
     int64_t shed = 0;
     int64_t router_shed = 0;
     int64_t failovers = 0;
+    int64_t client_retries = 0;
     int64_t slo_misses = 0;
 
     obs::Counter* arrived_counter = nullptr;
@@ -43,6 +44,8 @@ struct TenantBooks {
     obs::Counter* shed_counter = nullptr;
     obs::Counter* failover_counter = nullptr;
     obs::Counter* router_shed_counter = nullptr;
+    obs::Counter* load_arrival_counter = nullptr;
+    obs::Counter* client_retry_counter = nullptr;
     obs::HistogramMetric* latency_hist = nullptr;
 };
 
@@ -117,6 +120,10 @@ ValidateClusterConfig(const ClusterConfig& config)
             return Status::InvalidArgument(
                 "passthrough requires a single cell and no cluster "
                 "features (routing is disabled)");
+        }
+        if (config.arrival_source != nullptr) {
+            return Status::InvalidArgument(
+                "arrival_source needs the router (no passthrough)");
         }
     }
     if (config.canary.enabled) {
@@ -346,6 +353,12 @@ RunCluster(const ClusterConfig& config)
                 reg.GetCounter("cluster.failovers", labels);
             books[t].router_shed_counter =
                 reg.GetCounter("cluster.router_shed", labels);
+            // load.* instruments exist even without an arrival source
+            // so the export schema is stable across run modes.
+            books[t].load_arrival_counter =
+                reg.GetCounter("load.arrivals", labels);
+            books[t].client_retry_counter =
+                reg.GetCounter("load.client_retries", labels);
             books[t].latency_hist =
                 reg.GetHistogram("cluster.latency_seconds", labels);
         }
@@ -394,7 +407,18 @@ RunCluster(const ClusterConfig& config)
     PercentileTracker canary_lat;
     PercentileTracker baseline_lat;
 
+    load::ArrivalSource* source = config.arrival_source;
+
     auto on_request_end = [&](int cell_index, const RequestEnd& e) {
+        // Closed-loop / retry-storm feedback: the source learns the
+        // terminal outcome of every arrival it emitted (completion
+        // counts as success even on an SLO miss — the client got an
+        // answer; only losses look like timeouts to it).
+        if (source != nullptr && e.load_id != 0) {
+            source->OnRequestEnd(
+                e.load_id, e.end_s,
+                e.outcome == RequestOutcome::kCompleted);
+        }
         TenantBooks& b = books[e.tenant];
         switch (e.outcome) {
             case RequestOutcome::kCompleted: {
@@ -493,20 +517,39 @@ RunCluster(const ClusterConfig& config)
     };
 
     // --- the router --------------------------------------------------
-    Rng router_rng(config.seed);
+    // The router owns the arrival processes a lone cell would draw
+    // internally, so it uses the *same* named substream the cell's
+    // arrival stream derives from — that is what keeps the
+    // single-tenant single-cell router path bit-identical to
+    // RunServingCell (the cells themselves run on CellSeed streams,
+    // so there is no collision).
+    Rng router_rng = Substream(config.seed, "serving.arrivals");
     uint64_t rr_cursor = 0;
-    std::vector<double> next_arrival(num_tenants);
-    for (size_t t = 0; t < num_tenants; ++t) {
-        next_arrival[t] =
-            DrawNextArrival(router_rng, config.tenants[t], 0.0);
+    std::vector<double> next_arrival(num_tenants, kInf);
+    if (source == nullptr) {
+        for (size_t t = 0; t < num_tenants; ++t) {
+            next_arrival[t] =
+                DrawNextArrival(router_rng, config.tenants[t], 0.0);
+        }
     }
     int router_shed_instants = 0;
 
-    auto route_arrival = [&](size_t tenant, double t) {
+    // @p emit carries the load-program descriptor (size, per-request
+    // deadline, feedback id, retry flag); null for the router's own
+    // Poisson draws.
+    auto route_arrival = [&](size_t tenant, double t,
+                             const load::LoadArrival* emit) {
         TenantBooks& b = books[tenant];
         ++b.arrived;
         if (b.arrived_counter != nullptr) {
             b.arrived_counter->Increment();
+            b.load_arrival_counter->Increment();
+        }
+        if (emit != nullptr && emit->client_retry) {
+            ++b.client_retries;
+            if (b.client_retry_counter != nullptr) {
+                b.client_retry_counter->Increment();
+            }
         }
         uint64_t tag = 0;
         TracedRequest tr;
@@ -540,9 +583,20 @@ RunCluster(const ClusterConfig& config)
                 spans->SetAttribute(route, "attempt",
                                     StrFormat("%d", attempt));
             }
+            ServeCell::ExternalArrival ext;
+            ext.tenant = tenant;
+            ext.arrival_s = t;
+            if (emit != nullptr) {
+                ext.size = emit->size;
+                ext.deadline_s = emit->deadline_s;
+                ext.load_id = emit->id;
+            }
+            ext.trace_id = tr.trace_id;
+            ext.parent_span = route;
+            ext.tag = tag;
             const ServeCell::Injected injected =
                 pool[static_cast<size_t>(pick)].cell->InjectArrival(
-                    tenant, t, tr.trace_id, route, tag);
+                    ext);
             if (injected.admitted) {
                 admitted = true;
                 if (attempt > 0) {
@@ -577,6 +631,13 @@ RunCluster(const ClusterConfig& config)
             if (b.shed_counter != nullptr) {
                 b.shed_counter->Increment();
                 b.router_shed_counter->Increment();
+            }
+            // A router shed is terminal for the client immediately:
+            // closed-loop sources free the slot, retry storms see a
+            // fast failure.
+            if (source != nullptr && emit != nullptr &&
+                emit->id != 0) {
+                source->OnRequestEnd(emit->id, t, false);
             }
             if (tag != 0) {
                 spans->SetAttribute(tr.root, "outcome",
@@ -799,7 +860,7 @@ RunCluster(const ClusterConfig& config)
     // tenant router path reproduce RunServingCell bit for bit.
     bool arrivals_open = true;
     auto maybe_close_arrivals = [&]() {
-        if (!arrivals_open) return;
+        if (!arrivals_open || source != nullptr) return;
         for (size_t t = 0; t < num_tenants; ++t) {
             if (next_arrival[t] < duration) return;
         }
@@ -808,31 +869,78 @@ RunCluster(const ClusterConfig& config)
     };
     maybe_close_arrivals();
     double next_control = config.control_interval_s;
-    while (true) {
-        size_t arrival_tenant = 0;
-        double arrival_t = kInf;
-        for (size_t t = 0; t < num_tenants; ++t) {
-            if (next_arrival[t] < duration &&
-                next_arrival[t] < arrival_t) {
-                arrival_t = next_arrival[t];
-                arrival_tenant = t;
+    if (source == nullptr) {
+        while (true) {
+            size_t arrival_tenant = 0;
+            double arrival_t = kInf;
+            for (size_t t = 0; t < num_tenants; ++t) {
+                if (next_arrival[t] < duration &&
+                    next_arrival[t] < arrival_t) {
+                    arrival_t = next_arrival[t];
+                    arrival_tenant = t;
+                }
             }
+            const bool have_arrival = arrival_t < kInf;
+            const bool have_control = next_control <= duration;
+            if (!have_arrival && !have_control) break;
+            if (have_control &&
+                (!have_arrival || next_control <= arrival_t)) {
+                advance_all(next_control);
+                control_tick(next_control);
+                next_control += config.control_interval_s;
+                continue;
+            }
+            advance_all(arrival_t);
+            route_arrival(arrival_tenant, arrival_t, nullptr);
+            next_arrival[arrival_tenant] = DrawNextArrival(
+                router_rng, config.tenants[arrival_tenant],
+                arrival_t);
+            maybe_close_arrivals();
         }
-        const bool have_arrival = arrival_t < kInf;
-        const bool have_control = next_control <= duration;
-        if (!have_arrival && !have_control) break;
-        if (have_control &&
-            (!have_arrival || next_control <= arrival_t)) {
-            advance_all(next_control);
-            control_tick(next_control);
-            next_control += config.control_interval_s;
-            continue;
+    } else {
+        // Source-driven arrivals. The source never emits at or past
+        // the horizon, but feedback-gated programs (closed-loop
+        // replay, retry storms) only schedule their next emission once
+        // a cell reports a terminal outcome, which happens inside
+        // advance_all — so after the control cadence runs out the loop
+        // keeps stepping time until the source drains. The iteration
+        // guard is a backstop against a source that never exhausts.
+        double now = 0.0;
+        int64_t guard = 0;
+        constexpr int64_t kMaxIterations = 50000000;
+        while (++guard < kMaxIterations) {
+            load::LoadArrival peek;
+            const bool have_arrival = source->Peek(&peek);
+            const bool have_control = next_control <= duration;
+            if (have_control &&
+                (!have_arrival || next_control <= peek.t_s)) {
+                now = next_control;
+                advance_all(now);
+                control_tick(now);
+                next_control += config.control_interval_s;
+                continue;
+            }
+            if (have_arrival) {
+                now = std::max(now, peek.t_s);
+                advance_all(now);
+                // Feedback delivered during that advance may have
+                // scheduled emissions at or before `now` (a retry with
+                // a short backoff); drain everything due, clamped to
+                // the clock — time cannot run backwards.
+                load::LoadArrival due;
+                while (source->Peek(&due) && due.t_s <= now) {
+                    load::LoadArrival a = source->Take();
+                    route_arrival(a.tenant, now, &a);
+                }
+                continue;
+            }
+            if (source->Exhausted()) break;
+            // Nothing scheduled and the program is waiting on
+            // feedback: step a control interval so in-flight requests
+            // reach their terminal events.
+            now += config.control_interval_s;
+            advance_all(now);
         }
-        advance_all(arrival_t);
-        route_arrival(arrival_tenant, arrival_t);
-        next_arrival[arrival_tenant] = DrawNextArrival(
-            router_rng, config.tenants[arrival_tenant], arrival_t);
-        maybe_close_arrivals();
     }
 
     // --- drain -------------------------------------------------------
@@ -860,6 +968,7 @@ RunCluster(const ClusterConfig& config)
         s.shed = b.shed;
         s.router_shed = b.router_shed;
         s.failovers = b.failovers;
+        s.client_retries = b.client_retries;
         s.slo_misses = b.slo_misses;
         s.mean_latency_s = b.latencies.Mean();
         s.p50_latency_s = b.latencies.Percentile(50.0);
@@ -884,6 +993,7 @@ RunCluster(const ClusterConfig& config)
         result.shed += s.shed;
         result.router_shed += s.router_shed;
         result.failovers += s.failovers;
+        result.client_retries += s.client_retries;
         result.tenants.push_back(std::move(s));
     }
     result.availability =

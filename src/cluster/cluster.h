@@ -37,6 +37,7 @@
 
 #include "src/cluster/routing.h"
 #include "src/common/status.h"
+#include "src/load/arrivals.h"
 #include "src/serving/cell.h"
 #include "src/serving/server.h"
 
@@ -106,6 +107,17 @@ struct ClusterConfig {
     /** Tenant contracts; arrival rates are *cluster-wide* (the router
      *  owns the Poisson processes, cells receive injections). */
     std::vector<TenantConfig> tenants;
+    /**
+     * Pluggable arrival program (src/load/arrivals.h). When set, the
+     * router pulls arrivals from this source instead of drawing its
+     * own Poisson processes: trace replay, flash crowds, retry storms.
+     * The source's feedback hooks fire at each request's terminal
+     * event (completion = success; drop/shed/router-shed = failure),
+     * which is what closes closed-loop replay and client-retry loops.
+     * Not owned; must outlive RunCluster. Incompatible with
+     * passthrough.
+     */
+    load::ArrivalSource* arrival_source = nullptr;
     /** Cells active at t=0 before N+k seeding (the load-sized N). */
     int num_cells = 1;
     int devices_per_cell = 1;
@@ -206,6 +218,9 @@ struct ClusterTenantStats {
     int64_t shed = 0;        ///< in-cell evictions + router sheds
     int64_t router_shed = 0; ///< no routable cell / every attempt shed
     int64_t failovers = 0;   ///< door-sheds retried on another cell
+    /** Arrivals that were client-side retries of timed-out requests
+     *  (counted as distinct arrivals; a retry-storm signature). */
+    int64_t client_retries = 0;
     int64_t slo_misses = 0;
     double mean_latency_s = 0.0;
     double p50_latency_s = 0.0;
@@ -228,6 +243,7 @@ struct ClusterResult {
     int64_t shed = 0;
     int64_t router_shed = 0;
     int64_t failovers = 0;
+    int64_t client_retries = 0;
     /** Request availability: completed / arrived (1.0 on no traffic). */
     double availability = 1.0;
     double duration_s = 0.0;

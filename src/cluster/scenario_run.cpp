@@ -1,0 +1,248 @@
+#include "src/cluster/scenario_run.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "src/cluster/routing.h"
+#include "src/obs/alerts.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
+
+namespace t4i {
+namespace {
+
+/** Default device model when the caller brings no compiled ladder:
+ *  affine latency, the same shape the serving tests use. */
+TenantConfig
+DefaultTenant(const load::ScenarioTenant& st)
+{
+    TenantConfig t;
+    t.name = st.name;
+    t.latency_s = [](int64_t batch) {
+        return 1e-3 + 1e-4 * static_cast<double>(batch);
+    };
+    t.max_batch = 32;
+    t.slo_s = 0.010;
+    return t;
+}
+
+/** One cell's SLO-batch throughput for this tenant: the largest batch
+ *  whose device latency fits the SLO, at that batch's rate. */
+double
+CellCapacityRps(const TenantConfig& t, int devices)
+{
+    int64_t best = 1;
+    for (int64_t b = 1; b <= t.max_batch; b *= 2) {
+        if (t.latency_s(b) <= t.slo_s) best = b;
+    }
+    const double latency = t.latency_s(best);
+    if (latency <= 0.0) return 0.0;
+    return static_cast<double>(best) / latency *
+           static_cast<double>(std::max(devices, 1));
+}
+
+}  // namespace
+
+StatusOr<ScenarioOutcome>
+RunScenario(const load::Scenario& scenario,
+            const ScenarioRunOptions& options)
+{
+    if (options.registry == nullptr) {
+        return Status::InvalidArgument(
+            "RunScenario needs a metrics registry");
+    }
+    const std::string policy_name = options.policy_override.empty()
+                                        ? scenario.policy
+                                        : options.policy_override;
+    auto policy = ParseRoutingPolicy(policy_name);
+    T4I_RETURN_IF_ERROR(policy.status());
+    const uint64_t seed =
+        options.override_seed ? options.seed : scenario.seed;
+
+    // --- tenants: scenario contract onto the device model ------------
+    std::vector<TenantConfig> tenants;
+    std::vector<double> rates;
+    std::vector<std::string> names;
+    tenants.reserve(scenario.tenants.size());
+    for (const load::ScenarioTenant& st : scenario.tenants) {
+        TenantConfig t = options.make_tenant ? options.make_tenant(st)
+                                             : DefaultTenant(st);
+        t.name = st.name;
+        const double rate =
+            st.rate > 0.0
+                ? st.rate
+                : st.load *
+                      CellCapacityRps(t, scenario.devices_per_cell);
+        if (rate <= 0.0) {
+            return Status::InvalidArgument(
+                "tenant '" + st.name + "' resolves to a zero rate");
+        }
+        t.arrival_rate = rate;
+        t.deadline_s = st.deadline_s;
+        if (st.max_queue > 0) t.max_queue = st.max_queue;
+        t.priority = st.priority;
+        tenants.push_back(std::move(t));
+        rates.push_back(rate);
+        names.push_back(st.name);
+    }
+
+    // The effective seed must reach the arrival source too, not just
+    // the cluster: a --seed override that only reseeded the servers
+    // would replay identical arrivals and look spuriously stable.
+    load::Scenario seeded = scenario;
+    seeded.seed = seed;
+    auto source_or =
+        load::BuildArrivalSource(seeded, rates, names);
+    T4I_RETURN_IF_ERROR(source_or.status());
+    std::unique_ptr<load::ArrivalSource> source =
+        std::move(source_or).ConsumeValue();
+
+    // --- sinks --------------------------------------------------------
+    obs::MetricsRegistry& reg = *options.registry;
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    if (!scenario.alert_rules_text.empty()) {
+        T4I_RETURN_IF_ERROR(
+            alerts.AddRulesFromText(scenario.alert_rules_text));
+    }
+    obs::TimeSeriesOptions ts_options;
+    ts_options.window_s = scenario.window_s;
+    obs::TimeSeriesCollector collector(ts_options);
+    collector.BindRegistry(&reg);
+    if (alerts.rule_count() > 0) collector.BindAlerts(&alerts);
+    obs::SloTracker slo_tracker;
+    slo_tracker.BindRegistry(&reg);
+    if (!scenario.slo_objectives_text.empty()) {
+        T4I_RETURN_IF_ERROR(slo_tracker.AddObjectivesFromText(
+            scenario.slo_objectives_text));
+    }
+
+    // --- cluster config -----------------------------------------------
+    ClusterConfig config;
+    config.tenants = tenants;
+    config.num_cells = scenario.cells;
+    config.devices_per_cell = scenario.devices_per_cell;
+    config.duration_s = scenario.duration_s;
+    config.seed = seed;
+    config.policy = policy.value();
+    config.control_interval_s = scenario.control_interval_s;
+    config.health_check_interval_s = scenario.health_interval_s;
+    config.slo_error_budget = scenario.error_budget;
+    config.arrival_source = source.get();
+    if (!scenario.outages.empty()) {
+        config.cell_faults.resize(
+            static_cast<size_t>(scenario.cells));
+        for (const load::ScenarioOutage& outage : scenario.outages) {
+            config.cell_faults[static_cast<size_t>(outage.cell)] =
+                CellOutagePlan(scenario.devices_per_cell,
+                               outage.fail_at_s, outage.repair_at_s);
+        }
+    }
+    config.registry = &reg;
+    config.timeseries = &collector;
+    config.slo = &slo_tracker;
+    if (alerts.rule_count() > 0) config.alerts = &alerts;
+    config.trace = options.trace;
+    config.spans = options.spans;
+
+    auto result = RunCluster(config);
+    T4I_RETURN_IF_ERROR(result.status());
+
+    ScenarioOutcome outcome;
+    outcome.cluster = std::move(result).ConsumeValue();
+    outcome.policy = RoutingPolicyName(config.policy);
+
+    slo_tracker.Finish(outcome.cluster.duration_s);
+    collector.Finish(outcome.cluster.duration_s);
+
+    // --- conservation -------------------------------------------------
+    const ClusterResult& r = outcome.cluster;
+    outcome.conservation_ok =
+        r.arrived == r.completed + r.dropped + r.shed &&
+        collector.CheckConservation().ok();
+    outcome.client_retries = r.client_retries;
+
+    // --- alert verdict: exact set equality ----------------------------
+    outcome.time_to_first_alert_s = -1.0;
+    for (const obs::AlertStatus& status : alerts.statuses()) {
+        if (status.state != obs::AlertState::kFiring) continue;
+        outcome.fired.push_back(status.rule.name);
+        if (outcome.time_to_first_alert_s < 0.0 ||
+            status.fired_at_s < outcome.time_to_first_alert_s) {
+            outcome.time_to_first_alert_s = status.fired_at_s;
+            outcome.first_alert = status.rule.name;
+        }
+    }
+    const std::set<std::string> fired(outcome.fired.begin(),
+                                      outcome.fired.end());
+    const std::set<std::string> expected(scenario.expect.begin(),
+                                         scenario.expect.end());
+    for (const std::string& name : expected) {
+        if (fired.find(name) == fired.end()) {
+            outcome.missing.push_back(name);
+        }
+    }
+    for (const std::string& name : outcome.fired) {
+        if (expected.find(name) == expected.end()) {
+            outcome.unexpected.push_back(name);
+        }
+    }
+    outcome.alerts_pass =
+        outcome.missing.empty() && outcome.unexpected.empty();
+
+    // --- goodput trough over the windowed series ----------------------
+    // Per window: cluster.completed rate minus serving.slo_miss rate,
+    // summed across tenants/cells (window boundaries are shared, so
+    // points align by index).
+    std::vector<double> good;
+    std::vector<double> bad;
+    for (const obs::TimeSeries& series : collector.series()) {
+        const bool completed = series.name == "cluster.completed";
+        const bool miss = series.name == "serving.slo_miss";
+        if (!completed && !miss) continue;
+        std::vector<double>& sums = completed ? good : bad;
+        if (sums.size() < series.points.size()) {
+            sums.resize(series.points.size(), 0.0);
+        }
+        for (size_t i = 0; i < series.points.size(); ++i) {
+            sums[i] += series.points[i].rate_per_s;
+        }
+    }
+    // Bound the trough to the traffic span: ramp-in windows before the
+    // first completion and drain windows after the last one are not
+    // troughs, they are the run's edges.
+    size_t first = good.size();
+    size_t last = 0;
+    for (size_t i = 0; i < good.size(); ++i) {
+        if (good[i] <= 0.0) continue;
+        if (first == good.size()) first = i;
+        last = i;
+    }
+    double trough = std::numeric_limits<double>::infinity();
+    for (size_t i = first; i < good.size() && i <= last; ++i) {
+        const double miss_rate = i < bad.size() ? bad[i] : 0.0;
+        trough = std::min(trough, good[i] - miss_rate);
+    }
+    // + 0.0 normalizes the -0.0 that falls out of an all-miss window.
+    outcome.goodput_trough_rps =
+        first < good.size() ? trough + 0.0 : 0.0;
+
+    if (options.build_report) {
+        obs::ReportMeta meta;
+        meta.command = "check-scenario";
+        meta.app = scenario.name;
+        meta.duration_s = outcome.cluster.duration_s;
+        meta.seed = static_cast<int64_t>(seed);
+        meta.window_s = collector.window_s();
+        outcome.report = obs::BuildRunReport(
+            meta, &reg, &collector, &slo_tracker,
+            alerts.rule_count() > 0 ? &alerts : nullptr);
+    }
+    return outcome;
+}
+
+}  // namespace t4i

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Scenario execution: one call that turns a parsed load scenario
+ * (src/load/scenario.h) into a full cluster run with its own alert
+ * engine, windowed time series, and SLO tracker, then grades the run
+ * against the scenario's expected-alert set.
+ *
+ * The grading contract is exact-set equality: the scenario passes iff
+ * every `expect`ed rule is firing at run end AND no other rule fires.
+ * That is what lets a scenarios/ directory act as a chaos matrix in
+ * CI — each file pins which policy breaks first (and which survives)
+ * as a checkable fact.
+ */
+#ifndef T4I_CLUSTER_SCENARIO_RUN_H
+#define T4I_CLUSTER_SCENARIO_RUN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/load/scenario.h"
+#include "src/obs/report.h"
+
+namespace t4i {
+
+struct ScenarioRunOptions {
+    /** Required. The runner registers all instruments here; use a
+     *  fresh registry per run for reproducible artifacts. */
+    obs::MetricsRegistry* registry = nullptr;
+    /** Replaces the scenario's seed when set (chaos-matrix sweeps). */
+    bool override_seed = false;
+    uint64_t seed = 0;
+    /** Replaces the scenario's routing policy when non-empty (the
+     *  "which policy breaks first" axis). */
+    std::string policy_override;
+    /**
+     * Optional tenant builder: maps a scenario tenant onto a full
+     * TenantConfig (latency model, batch, SLO). The runner overwrites
+     * arrival_rate/deadline/max_queue/priority with the scenario's
+     * resolved values afterward. Default: an affine 1 ms + 0.1 ms per
+     * sample device model with max_batch 32 and a 10 ms SLO.
+     */
+    std::function<TenantConfig(const load::ScenarioTenant&)>
+        make_tenant;
+    /** Assemble `report` in the outcome (skip to save the copy). */
+    bool build_report = true;
+    // Optional extra sinks, threaded straight into ClusterConfig.
+    obs::TraceBuilder* trace = nullptr;
+    obs::SpanCollector* spans = nullptr;
+};
+
+/** The graded result of one scenario run. */
+struct ScenarioOutcome {
+    ClusterResult cluster;
+    std::string policy;  ///< routing policy actually used
+
+    /** Rule names firing at run end (engine order). */
+    std::vector<std::string> fired;
+    /** Expected rules that stayed quiet. */
+    std::vector<std::string> missing;
+    /** Firing rules the scenario did not expect. */
+    std::vector<std::string> unexpected;
+    /** missing and unexpected both empty. */
+    bool alerts_pass = false;
+
+    /** Router books close AND the collector's window deltas match the
+     *  live registers bit for bit. */
+    bool conservation_ok = false;
+
+    /** Earliest fired_at_s across firing rules; < 0 when quiet. */
+    double time_to_first_alert_s = -1.0;
+    std::string first_alert;
+
+    /**
+     * Worst windowed goodput (completions minus SLO misses, per
+     * second, summed over tenants) across all windows from the first
+     * completion onward — the depth of the metastable trough.
+     */
+    double goodput_trough_rps = 0.0;
+
+    int64_t client_retries = 0;
+
+    /** Full artifact (empty when build_report is false). Runs with
+     *  identical scenario + seed produce bit-identical JSON. */
+    obs::RunReport report;
+};
+
+/** True iff the run both passed its alert contract and conserved
+ *  requests — the CI gate's single bit. */
+inline bool
+ScenarioPassed(const ScenarioOutcome& outcome)
+{
+    return outcome.alerts_pass && outcome.conservation_ok;
+}
+
+/** Runs @p scenario to full drain and grades it. */
+StatusOr<ScenarioOutcome> RunScenario(
+    const load::Scenario& scenario,
+    const ScenarioRunOptions& options);
+
+}  // namespace t4i
+
+#endif  // T4I_CLUSTER_SCENARIO_RUN_H

@@ -109,6 +109,41 @@ class Rng {
     uint64_t state_[4];
 };
 
+/**
+ * Derives a named substream seed from one run seed. Every stochastic
+ * stream in the simulator (arrivals, fault timelines, transient-error
+ * draws, routing tiebreaks, load generators) seeds its own Rng with
+ * `SubstreamSeed(run_seed, "family.name", index)` so that (a) one run
+ * seed reproduces the whole run bit-for-bit and (b) adding a draw to
+ * one stream never perturbs any other stream.
+ *
+ * The name is hashed with FNV-1a, mixed with the seed and index, and
+ * finalized through the SplitMix64 mixer so nearby (seed, index)
+ * pairs land far apart.
+ */
+inline uint64_t
+SubstreamSeed(uint64_t seed, const char* name, uint64_t index = 0)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+    for (const char* p = name; *p != '\0'; ++p) {
+        h ^= static_cast<uint64_t>(static_cast<unsigned char>(*p));
+        h *= 0x100000001b3ULL;  // FNV prime
+    }
+    uint64_t z = seed;
+    z ^= h + 0x9e3779b97f4a7c15ULL + (z << 6) + (z >> 2);
+    z ^= (index + 1) * 0xff51afd7ed558ccdULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Convenience: an Rng seeded on a named substream of @p seed. */
+inline Rng
+Substream(uint64_t seed, const char* name, uint64_t index = 0)
+{
+    return Rng(SubstreamSeed(seed, name, index));
+}
+
 }  // namespace t4i
 
 #endif  // T4I_COMMON_RNG_H

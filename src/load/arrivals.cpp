@@ -1,0 +1,573 @@
+#include "src/load/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace load {
+
+namespace {
+
+/** Multiplier contributed by one flash crowd at time @p t. */
+double
+CrowdFactor(const FlashCrowd& crowd, double t_s)
+{
+    const double rel = t_s - crowd.start_s;
+    const double total = 2.0 * crowd.ramp_s + crowd.hold_s;
+    if (rel < 0.0 || rel >= total) return 1.0;
+    if (crowd.ramp_s == 0.0) return crowd.mult;  // hard step
+    if (rel < crowd.ramp_s) {
+        return 1.0 + (crowd.mult - 1.0) * (rel / crowd.ramp_s);
+    }
+    if (rel < crowd.ramp_s + crowd.hold_s) return crowd.mult;
+    const double down = (rel - crowd.ramp_s - crowd.hold_s) /
+                        crowd.ramp_s;
+    return 1.0 + (crowd.mult - 1.0) * (1.0 - down);
+}
+
+}  // namespace
+
+double
+DrawSize(const SizeDistribution& dist, Rng& rng)
+{
+    double size = 1.0;
+    switch (dist.kind) {
+        case SizeDistribution::Kind::kConstant:
+            return 1.0;
+        case SizeDistribution::Kind::kPareto: {
+            double u = rng.NextDouble();
+            if (u < 1e-12) u = 1e-12;
+            size = dist.xm *
+                   std::pow(u, -1.0 / std::max(dist.alpha, 1e-6));
+            break;
+        }
+        case SizeDistribution::Kind::kLognormal:
+            size = std::exp(dist.mu + dist.sigma * rng.NextGaussian());
+            break;
+    }
+    return std::min(std::max(size, 1e-6), dist.max);
+}
+
+// ---------------------------------------------------------------------
+// GeneratorSource
+// ---------------------------------------------------------------------
+
+GeneratorSource::GeneratorSource(std::vector<GeneratorTenant> tenants,
+                                 std::vector<FlashCrowd> crowds,
+                                 BurstShock shock,
+                                 SizeDistribution sizes, uint64_t seed,
+                                 double horizon_s)
+    : crowds_(std::move(crowds)),
+      shock_(shock),
+      sizes_(sizes),
+      horizon_s_(horizon_s)
+{
+    if (shock_.shock_rate > 0.0 && shock_.shock_dur_s > 0.0) {
+        Rng shock_rng = Substream(seed, "load.shock");
+        double t = shock_rng.NextExponential(shock_.shock_rate);
+        while (t < horizon_s_) {
+            shocks_.emplace_back(t, t + shock_.shock_dur_s);
+            t += shock_rng.NextExponential(shock_.shock_rate);
+        }
+    }
+    tenants_.reserve(tenants.size());
+    for (size_t i = 0; i < tenants.size(); ++i) {
+        TenantState state;
+        state.cfg = tenants[i];
+        state.rng = Substream(seed, "load.arrivals", i);
+        state.size_rng = Substream(seed, "load.sizes", i);
+        tenants_.push_back(std::move(state));
+        DrawNext(i);
+    }
+}
+
+double
+GeneratorSource::RateFactor(size_t tenant, double t_s) const
+{
+    double factor = 1.0;
+    for (const FlashCrowd& crowd : crowds_) {
+        if (crowd.tenant >= 0 &&
+            static_cast<size_t>(crowd.tenant) != tenant) {
+            continue;
+        }
+        factor *= CrowdFactor(crowd, t_s);
+    }
+    for (const auto& interval : shocks_) {
+        if (interval.first > t_s) break;  // time-sorted
+        if (t_s < interval.second) {
+            factor *= shock_.shock_mult;
+            break;  // overlaps were emitted in start order; one hit
+        }
+    }
+    return factor;
+}
+
+void
+GeneratorSource::DrawNext(size_t tenant)
+{
+    TenantState& state = tenants_[tenant];
+    if (state.cfg.rate <= 0.0) {
+        state.dead = true;
+        return;
+    }
+    // Thinned non-homogeneous Poisson against the peak factor the
+    // crowds and shock process can reach.
+    double peak = 1.0;
+    for (const FlashCrowd& crowd : crowds_) {
+        if (crowd.tenant >= 0 &&
+            static_cast<size_t>(crowd.tenant) != tenant) {
+            continue;
+        }
+        peak *= std::max(1.0, crowd.mult);
+    }
+    if (!shocks_.empty()) peak *= std::max(1.0, shock_.shock_mult);
+    const double peak_rate = state.cfg.rate * peak;
+    double t = state.next_s;
+    for (int guard = 0; guard < 1000000; ++guard) {
+        t += state.rng.NextExponential(peak_rate);
+        if (t >= horizon_s_) {
+            state.dead = true;
+            return;
+        }
+        const double accept =
+            state.cfg.rate * RateFactor(tenant, t) / peak_rate;
+        if (state.rng.NextDouble() < accept) {
+            state.next_s = t;
+            return;
+        }
+    }
+    state.dead = true;  // pathological thinning ratio; stop emitting
+}
+
+bool
+GeneratorSource::Peek(LoadArrival* out)
+{
+    bool have = false;
+    size_t best = 0;
+    for (size_t i = 0; i < tenants_.size(); ++i) {
+        if (tenants_[i].dead) continue;
+        if (!have || tenants_[i].next_s < tenants_[best].next_s) {
+            best = i;
+            have = true;
+        }
+    }
+    if (!have) return false;
+    out->t_s = tenants_[best].next_s;
+    out->tenant = best;
+    out->size = 1.0;
+    out->deadline_s = tenants_[best].cfg.deadline_s;
+    out->client_retry = false;
+    out->id = 0;
+    return true;
+}
+
+LoadArrival
+GeneratorSource::Take()
+{
+    LoadArrival arrival;
+    const bool have = Peek(&arrival);
+    T4I_CHECK(have, "Take() on an empty GeneratorSource");
+    arrival.size =
+        DrawSize(sizes_, tenants_[arrival.tenant].size_rng);
+    DrawNext(arrival.tenant);
+    return arrival;
+}
+
+bool
+GeneratorSource::Exhausted() const
+{
+    for (const TenantState& state : tenants_) {
+        if (!state.dead) return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Trace parsing
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Extracts the raw JSON value after `"key":` in a flat object, or
+ *  empty when absent. Handles string and numeric values only — the
+ *  trace schema is flat by construction. */
+std::string
+JsonField(const std::string& line, const std::string& key)
+{
+    const std::string needle = "\"" + key + "\"";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos) return "";
+    pos = line.find(':', pos + needle.size());
+    if (pos == std::string::npos) return "";
+    ++pos;
+    while (pos < line.size() &&
+           (line[pos] == ' ' || line[pos] == '\t')) {
+        ++pos;
+    }
+    if (pos >= line.size()) return "";
+    if (line[pos] == '"') {
+        const size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos) return "";
+        return line.substr(pos + 1, end - pos - 1);
+    }
+    size_t end = pos;
+    while (end < line.size() && line[end] != ',' &&
+           line[end] != '}') {
+        ++end;
+    }
+    std::string value = line.substr(pos, end - pos);
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\t')) {
+        value.pop_back();
+    }
+    return value;
+}
+
+bool
+ParseNumber(const std::string& text, double* out)
+{
+    if (text.empty()) return false;
+    char* end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+StatusOr<size_t>
+ResolveTenant(const std::string& token,
+              const std::vector<std::string>& tenant_names)
+{
+    for (size_t i = 0; i < tenant_names.size(); ++i) {
+        if (tenant_names[i] == token) return i;
+    }
+    double index = 0.0;
+    if (ParseNumber(token, &index) && index >= 0.0 &&
+        index < static_cast<double>(tenant_names.size())) {
+        return static_cast<size_t>(index);
+    }
+    return Status::InvalidArgument(
+        StrFormat("trace references unknown tenant '%s'",
+                  token.c_str()));
+}
+
+}  // namespace
+
+StatusOr<std::vector<TraceRecord>>
+ParseTrace(const std::string& text,
+           const std::vector<std::string>& tenant_names)
+{
+    std::vector<TraceRecord> records;
+    int line_no = 0;
+    for (const std::string& line : SplitString(text, '\n')) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        TraceRecord record;
+        std::string tenant_token;
+        std::string t_token, size_token, deadline_token;
+        if (line[0] == '{') {
+            t_token = JsonField(line, "t");
+            tenant_token = JsonField(line, "tenant");
+            size_token = JsonField(line, "size");
+            deadline_token = JsonField(line, "deadline");
+        } else {
+            std::vector<std::string> fields = SplitString(line, ',');
+            if (fields.size() < 2) {
+                return Status::InvalidArgument(StrFormat(
+                    "trace line %d: want t,tenant[,size[,deadline]]",
+                    line_no));
+            }
+            double probe = 0.0;
+            if (!ParseNumber(fields[0], &probe)) {
+                continue;  // header line
+            }
+            t_token = fields[0];
+            tenant_token = fields[1];
+            if (fields.size() > 2) size_token = fields[2];
+            if (fields.size() > 3) deadline_token = fields[3];
+        }
+        if (!ParseNumber(t_token, &record.t_s) || record.t_s < 0.0) {
+            return Status::InvalidArgument(StrFormat(
+                "trace line %d: bad timestamp '%s'", line_no,
+                t_token.c_str()));
+        }
+        auto tenant = ResolveTenant(tenant_token, tenant_names);
+        if (!tenant.ok()) {
+            return Status::InvalidArgument(
+                StrFormat("trace line %d: %s", line_no,
+                          tenant.status().message().c_str()));
+        }
+        record.tenant = tenant.value();
+        if (!size_token.empty() &&
+            (!ParseNumber(size_token, &record.size) ||
+             record.size <= 0.0)) {
+            return Status::InvalidArgument(StrFormat(
+                "trace line %d: bad size '%s'", line_no,
+                size_token.c_str()));
+        }
+        if (!deadline_token.empty() &&
+            (!ParseNumber(deadline_token, &record.deadline_s) ||
+             record.deadline_s < 0.0)) {
+            return Status::InvalidArgument(StrFormat(
+                "trace line %d: bad deadline '%s'", line_no,
+                deadline_token.c_str()));
+        }
+        records.push_back(record);
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                         return a.t_s < b.t_s;
+                     });
+    return records;
+}
+
+// ---------------------------------------------------------------------
+// TraceSource
+// ---------------------------------------------------------------------
+
+TraceSource::TraceSource(std::vector<TraceRecord> records,
+                         size_t num_tenants, ReplayOptions options,
+                         double horizon_s)
+    : options_(options), horizon_s_(horizon_s)
+{
+    if (options_.time_scale <= 0.0) options_.time_scale = 1.0;
+    if (options_.repeat < 1) options_.repeat = 1;
+    if (options_.clients < 1) options_.clients = 1;
+    tenants_.resize(num_tenants);
+    double span = 0.0;
+    for (const TraceRecord& r : records) {
+        span = std::max(span, r.t_s * options_.time_scale);
+    }
+    for (int rep = 0; rep < options_.repeat; ++rep) {
+        const double offset = span * static_cast<double>(rep);
+        for (const TraceRecord& r : records) {
+            if (r.tenant >= num_tenants) continue;
+            TraceRecord scaled = r;
+            scaled.t_s = r.t_s * options_.time_scale + offset;
+            tenants_[r.tenant].records.push_back(scaled);
+        }
+    }
+    if (!options_.closed_loop) {
+        // Open loop: timestamps are law; pre-schedule everything.
+        for (TenantQueue& queue : tenants_) {
+            for (const TraceRecord& r : queue.records) {
+                if (r.t_s >= horizon_s_) {
+                    ++dropped_after_horizon_;
+                    continue;
+                }
+                LoadArrival arrival;
+                arrival.t_s = r.t_s;
+                arrival.tenant = r.tenant;
+                arrival.size = r.size;
+                arrival.deadline_s = r.deadline_s;
+                pending_.push(Pending{arrival});
+            }
+            queue.next = queue.records.size();
+        }
+        return;
+    }
+    // Closed loop: each tenant starts `clients` concurrent clients.
+    for (size_t tenant = 0; tenant < tenants_.size(); ++tenant) {
+        tenants_[tenant].alive = options_.clients;
+        for (int c = 0; c < options_.clients; ++c) {
+            ScheduleNext(tenant, 0.0);
+        }
+    }
+}
+
+void
+TraceSource::ScheduleNext(size_t tenant, double free_s)
+{
+    TenantQueue& queue = tenants_[tenant];
+    if (queue.next >= queue.records.size()) return;
+    // A client freed at or past the horizon can never issue again;
+    // leave its record for a still-live client, and when the last
+    // client dies, book the stranded remainder so the trace's
+    // conservation law (taken + dropped == records) still holds.
+    if (free_s >= horizon_s_) {
+        if (--queue.alive <= 0) {
+            dropped_after_horizon_ += static_cast<int64_t>(
+                queue.records.size() - queue.next);
+            queue.next = queue.records.size();
+        }
+        return;
+    }
+    const TraceRecord& record = queue.records[queue.next++];
+    const double release = std::max(free_s, record.t_s);
+    if (release >= horizon_s_) {
+        // Records are time-sorted, so everything behind this one is
+        // past the horizon for every client too.
+        dropped_after_horizon_ += 1 + static_cast<int64_t>(
+            queue.records.size() - queue.next);
+        queue.next = queue.records.size();
+        return;
+    }
+    LoadArrival arrival;
+    arrival.t_s = release;
+    arrival.tenant = tenant;
+    arrival.size = record.size;
+    arrival.deadline_s = record.deadline_s;
+    pending_.push(Pending{arrival});
+}
+
+bool
+TraceSource::Peek(LoadArrival* out)
+{
+    if (pending_.empty()) return false;
+    *out = pending_.top().arrival;
+    return true;
+}
+
+LoadArrival
+TraceSource::Take()
+{
+    T4I_CHECK(!pending_.empty(), "Take() on an empty TraceSource");
+    LoadArrival arrival = pending_.top().arrival;
+    pending_.pop();
+    if (options_.closed_loop) {
+        arrival.id = ++next_id_;
+        outstanding_[arrival.id] = arrival.tenant;
+    }
+    return arrival;
+}
+
+void
+TraceSource::OnRequestEnd(uint64_t id, double end_s, bool success)
+{
+    (void)success;  // closed-loop clients re-issue either way
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) return;
+    const size_t tenant = it->second;
+    outstanding_.erase(it);
+    ScheduleNext(tenant, end_s + options_.think_s);
+}
+
+bool
+TraceSource::Exhausted() const
+{
+    // Pending and outstanding both empty means no client can ever
+    // release another record (any records left are unreachable —
+    // their gated releases fell past the horizon).
+    return pending_.empty() && outstanding_.empty();
+}
+
+// ---------------------------------------------------------------------
+// RetryStormSource
+// ---------------------------------------------------------------------
+
+RetryStormSource::RetryStormSource(
+    std::unique_ptr<ArrivalSource> base, RetryPolicy policy,
+    uint64_t seed, double horizon_s)
+    : base_(std::move(base)),
+      policy_(policy),
+      rng_(Substream(seed, "load.retry_jitter")),
+      horizon_s_(horizon_s)
+{
+}
+
+bool
+RetryStormSource::Peek(LoadArrival* out)
+{
+    LoadArrival from_base;
+    const bool have_base = base_->Peek(&from_base);
+    const bool have_retry = !retries_.empty();
+    if (!have_base && !have_retry) return false;
+    if (have_base &&
+        (!have_retry || from_base.t_s <= retries_.top().arrival.t_s)) {
+        *out = from_base;
+    } else {
+        *out = retries_.top().arrival;
+    }
+    return true;
+}
+
+LoadArrival
+RetryStormSource::Take()
+{
+    LoadArrival from_base;
+    const bool have_base = base_->Peek(&from_base);
+    const bool have_retry = !retries_.empty();
+    T4I_CHECK(have_base || have_retry,
+              "Take() on an empty RetryStormSource");
+    LoadArrival arrival;
+    Outstanding info;
+    if (have_base &&
+        (!have_retry || from_base.t_s <= retries_.top().arrival.t_s)) {
+        arrival = base_->Take();
+        info.base_id = arrival.id;  // forward feedback to the base
+        info.attempt = 0;
+    } else {
+        const PendingRetry retry = retries_.top();
+        retries_.pop();
+        arrival = retry.arrival;
+        info.attempt = retry.attempt;
+        ++retries_emitted_;
+    }
+    info.tenant = arrival.tenant;
+    info.size = arrival.size;
+    info.deadline_s = arrival.deadline_s;
+    info.arrival_s = arrival.t_s;
+    arrival.id = ++next_id_;
+    outstanding_[arrival.id] = info;
+    return arrival;
+}
+
+void
+RetryStormSource::OnRequestEnd(uint64_t id, double end_s,
+                               bool success)
+{
+    auto it = outstanding_.find(id);
+    if (it == outstanding_.end()) return;
+    const Outstanding info = it->second;
+    outstanding_.erase(it);
+    if (info.base_id != 0) {
+        base_->OnRequestEnd(info.base_id, end_s, success);
+    }
+    const bool timed_out =
+        success && policy_.timeout_s > 0.0 &&
+        end_s - info.arrival_s > policy_.timeout_s;
+    if ((success && !timed_out) || info.attempt >= policy_.max_retries) {
+        return;
+    }
+    double backoff = policy_.base_s;
+    const double scale = std::pow(
+        2.0, static_cast<double>(std::min(info.attempt, 20)));
+    switch (policy_.backoff) {
+        case RetryPolicy::Backoff::kFixed:
+            break;
+        case RetryPolicy::Backoff::kExponential:
+            backoff *= scale;
+            break;
+        case RetryPolicy::Backoff::kExpJitter:
+            // Full jitter: uniform in (0, base * 2^attempt]. The
+            // open interval at zero keeps retries strictly after the
+            // response.
+            backoff *= scale * std::max(rng_.NextDouble(), 1e-9);
+            break;
+    }
+    const double retry_s = end_s + std::max(backoff, 0.0);
+    if (retry_s >= horizon_s_) {
+        ++retries_suppressed_;
+        return;
+    }
+    PendingRetry retry;
+    retry.arrival.t_s = retry_s;
+    retry.arrival.tenant = info.tenant;
+    retry.arrival.size = info.size;
+    retry.arrival.deadline_s = info.deadline_s;
+    retry.arrival.client_retry = true;
+    retry.attempt = info.attempt + 1;
+    retries_.push(retry);
+}
+
+bool
+RetryStormSource::Exhausted() const
+{
+    return base_->Exhausted() && retries_.empty() &&
+           outstanding_.empty();
+}
+
+}  // namespace load
+}  // namespace t4i

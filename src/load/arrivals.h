@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Pluggable arrival sources: trace replay and adversarial load
+ * generators for the serving stack (ROADMAP item 4).
+ *
+ * An ArrivalSource is a pull-based stream of timestamped requests
+ * that the single-cell loop (`ServeCell` with
+ * `Options::arrival_source`) or the cluster router
+ * (`ClusterConfig::arrival_source`) drains in simulated-time order.
+ * The driver peeks the next arrival to schedule its event, takes it
+ * when the clock reaches it, and feeds back every request's terminal
+ * event (`OnRequestEnd`) so closed-loop sources (response-gated
+ * clients, retry storms) can schedule their next emission.
+ *
+ * Contract:
+ *  - Emissions are nondecreasing in time and strictly below the
+ *    horizon passed at construction; anything that would land at or
+ *    past the horizon is silently dropped inside the source (so the
+ *    driver never has to discard, and bookkeeping stays honest:
+ *    every taken arrival is injected).
+ *  - `Exhausted()` == true means no arrival will ever be emitted
+ *    again. `Peek()` empty with `Exhausted()` == false means the
+ *    source is waiting on feedback for in-flight requests; the
+ *    driver must keep advancing the simulation and delivering
+ *    `OnRequestEnd` until the source drains.
+ *  - Arrivals carry an `id` (assigned at Take) that the driver
+ *    echoes back in `OnRequestEnd`; id 0 means "no feedback wanted".
+ *
+ * The generators model the load shapes that actually break serving
+ * fleets: flash crowds (ramped rate steps), correlated tenant bursts
+ * (a shared shock process multiplying every tenant's rate at once),
+ * heavy-tailed request sizes (Pareto / lognormal), and client retry
+ * storms — downstream clients re-enqueueing failed or timed-out
+ * requests with configurable backoff, the classic metastable
+ * feedback loop. Every stochastic stream is seeded via
+ * `SubstreamSeed` from one run seed.
+ */
+#ifndef T4I_LOAD_ARRIVALS_H
+#define T4I_LOAD_ARRIVALS_H
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace t4i {
+namespace load {
+
+/** One request emitted by an arrival source. */
+struct LoadArrival {
+    /** Emission time (sim seconds). */
+    double t_s = 0.0;
+    /** Tenant index into the run's tenant list. */
+    size_t tenant = 0;
+    /** Relative request size; execution time scales with the largest
+     *  size in a batch. 1.0 is the profiled nominal request. */
+    double size = 1.0;
+    /** Per-request deadline override; 0 inherits the tenant's. */
+    double deadline_s = 0.0;
+    /** True when this is a client re-enqueue of a failed request. */
+    bool client_retry = false;
+    /** Feedback handle (0 = source does not want feedback). */
+    uint64_t id = 0;
+};
+
+/** Pull-based arrival stream; see file comment for the contract. */
+class ArrivalSource {
+  public:
+    virtual ~ArrivalSource() = default;
+
+    /** Copies the next emission into @p out without consuming it.
+     *  Returns false when nothing is currently pending. */
+    virtual bool Peek(LoadArrival* out) = 0;
+
+    /** Consumes and returns the next emission (must be pending).
+     *  Assigns the definitive feedback id. */
+    virtual LoadArrival Take() = 0;
+
+    /** Terminal-event feedback for a taken arrival: @p success means
+     *  the request completed (SLO miss included); drops and sheds are
+     *  failures. Unknown ids are ignored. */
+    virtual void OnRequestEnd(uint64_t id, double end_s, bool success)
+    {
+        (void)id;
+        (void)end_s;
+        (void)success;
+    }
+
+    /** True when the stream can never emit again. */
+    virtual bool Exhausted() const = 0;
+};
+
+// ---------------------------------------------------------------------
+// Adversarial generators
+// ---------------------------------------------------------------------
+
+/** A ramped rate step: the tenant's rate is multiplied by a factor
+ *  that ramps 1 -> mult over [start, start+ramp], holds at mult for
+ *  hold seconds, then ramps back down over another ramp interval.
+ *  ramp == 0 is a hard step (the "spike" variant). */
+struct FlashCrowd {
+    /** Tenant index, or -1 to hit every tenant at once. */
+    int tenant = -1;
+    double start_s = 0.0;
+    double ramp_s = 0.0;
+    double hold_s = 0.0;
+    double mult = 1.0;
+};
+
+/** Correlated tenant bursts: a shared Poisson shock process whose
+ *  active intervals multiply *every* tenant's rate simultaneously
+ *  (the common-cause burst that independent per-tenant Poisson
+ *  arrivals can never produce). */
+struct BurstShock {
+    /** Shocks per second (Poisson process of shock starts). */
+    double shock_rate = 0.0;
+    /** Rate multiplier while a shock is active. */
+    double shock_mult = 1.0;
+    /** Duration of each shock. */
+    double shock_dur_s = 0.0;
+};
+
+/** Heavy-tailed request-size distribution attached to a generator. */
+struct SizeDistribution {
+    enum class Kind { kConstant, kPareto, kLognormal };
+    Kind kind = Kind::kConstant;
+    /** Pareto shape (tail index); smaller = heavier tail. */
+    double alpha = 1.5;
+    /** Pareto scale (minimum size). */
+    double xm = 1.0;
+    /** Lognormal log-mean / log-stddev. */
+    double mu = 0.0;
+    double sigma = 0.0;
+    /** Hard clamp so one sample cannot stall the sim. */
+    double max = 64.0;
+};
+
+/** Per-tenant generator parameters. */
+struct GeneratorTenant {
+    /** Baseline arrival rate (requests/s). */
+    double rate = 0.0;
+    /** Per-request deadline override carried on emissions; 0 defers
+     *  to the tenant config. */
+    double deadline_s = 0.0;
+};
+
+/**
+ * Modulated-Poisson generator: per-tenant thinned Poisson arrivals
+ * whose instantaneous rate is baseline * flash-crowd factor * shared
+ * shock factor, with optional heavy-tailed sizes. Emits in global
+ * time order across tenants.
+ */
+class GeneratorSource : public ArrivalSource {
+  public:
+    GeneratorSource(std::vector<GeneratorTenant> tenants,
+                    std::vector<FlashCrowd> crowds, BurstShock shock,
+                    SizeDistribution sizes, uint64_t seed,
+                    double horizon_s);
+
+    bool Peek(LoadArrival* out) override;
+    LoadArrival Take() override;
+    bool Exhausted() const override;
+
+    /** Instantaneous rate multiplier for @p tenant at @p t (exposed
+     *  for tests). */
+    double RateFactor(size_t tenant, double t_s) const;
+
+  private:
+    void DrawNext(size_t tenant);
+
+    struct TenantState {
+        GeneratorTenant cfg;
+        Rng rng;
+        Rng size_rng;
+        double next_s = 0.0;
+        bool dead = false;
+    };
+
+    std::vector<TenantState> tenants_;
+    std::vector<FlashCrowd> crowds_;
+    BurstShock shock_;
+    SizeDistribution sizes_;
+    /** Precomputed [start, end) shock intervals, time-sorted. */
+    std::vector<std::pair<double, double>> shocks_;
+    double horizon_s_ = 0.0;
+    uint64_t next_id_ = 0;
+};
+
+/** Draws one size sample from @p dist using @p rng. */
+double DrawSize(const SizeDistribution& dist, Rng& rng);
+
+// ---------------------------------------------------------------------
+// Trace replay
+// ---------------------------------------------------------------------
+
+/** One parsed trace record. */
+struct TraceRecord {
+    double t_s = 0.0;
+    size_t tenant = 0;
+    double size = 1.0;
+    double deadline_s = 0.0;
+};
+
+/**
+ * Parses a request trace. Two formats, auto-detected per line:
+ *  - JSONL: `{"t": 0.01, "tenant": "web", "size": 1.0,
+ *    "deadline": 0.05}` (tenant may also be a numeric index; size
+ *    and deadline optional);
+ *  - CSV: `t,tenant,size,deadline` (header line optional; trailing
+ *    fields optional).
+ * Unknown tenant names fail; records are sorted by time.
+ */
+StatusOr<std::vector<TraceRecord>> ParseTrace(
+    const std::string& text,
+    const std::vector<std::string>& tenant_names);
+
+/** Replay parameters. */
+struct ReplayOptions {
+    /** false = open loop (timestamps are law); true = closed loop
+     *  (each of `clients` concurrent clients per tenant issues its
+     *  next record only after its previous response + think time). */
+    bool closed_loop = false;
+    /** Stretch factor on trace timestamps; 0.5 doubles the request
+     *  rate. (`rate-scale R` in scenario files maps to 1/R.) */
+    double time_scale = 1.0;
+    /** Concatenate the trace this many times end-to-end. */
+    int repeat = 1;
+    /** Closed loop: concurrent clients per tenant. */
+    int clients = 1;
+    /** Closed loop: think time between response and next issue. */
+    double think_s = 0.0;
+};
+
+/**
+ * Replays a trace open- or closed-loop. Closed-loop replay requires
+ * the driver to deliver OnRequestEnd for every taken arrival;
+ * records whose gated release would land past the horizon are
+ * dropped (counted in dropped_after_horizon()).
+ */
+class TraceSource : public ArrivalSource {
+  public:
+    TraceSource(std::vector<TraceRecord> records, size_t num_tenants,
+                ReplayOptions options, double horizon_s);
+
+    bool Peek(LoadArrival* out) override;
+    LoadArrival Take() override;
+    void OnRequestEnd(uint64_t id, double end_s,
+                      bool success) override;
+    bool Exhausted() const override;
+
+    int64_t dropped_after_horizon() const
+    {
+        return dropped_after_horizon_;
+    }
+
+  private:
+    struct Pending {
+        LoadArrival arrival;
+        bool operator>(const Pending& other) const
+        {
+            return arrival.t_s > other.arrival.t_s;
+        }
+    };
+
+    /** Closed loop: release the tenant's next record to a client
+     *  whose previous response ended at @p free_s. */
+    void ScheduleNext(size_t tenant, double free_s);
+
+    struct TenantQueue {
+        std::vector<TraceRecord> records;  // time-scaled, repeated
+        size_t next = 0;
+        int alive = 0;  // closed loop: clients still inside horizon
+    };
+
+    std::vector<TenantQueue> tenants_;
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>>
+        pending_;
+    std::unordered_map<uint64_t, size_t> outstanding_;  // id -> tenant
+    ReplayOptions options_;
+    double horizon_s_ = 0.0;
+    uint64_t next_id_ = 0;
+    int64_t dropped_after_horizon_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Client retry storms
+// ---------------------------------------------------------------------
+
+/** Downstream-client retry behaviour. */
+struct RetryPolicy {
+    enum class Backoff { kFixed, kExponential, kExpJitter };
+    /** A completed request slower than this still counts as a client
+     *  timeout and is retried; 0 disables timeout-based retries. */
+    double timeout_s = 0.0;
+    Backoff backoff = Backoff::kFixed;
+    /** Base backoff delay. Fixed: every retry waits exactly this.
+     *  Exponential: base * 2^attempt. ExpJitter: uniform in
+     *  (0, base * 2^attempt] — "full jitter", the decorrelating
+     *  variant that breaks up retry waves. */
+    double base_s = 0.0;
+    /** Client gives up after this many retries of one request. */
+    int max_retries = 3;
+};
+
+/**
+ * Wraps any source with retrying clients: every failed (or, with
+ * timeout_s set, too-slow) request is re-enqueued after the policy's
+ * backoff as a fresh arrival flagged `client_retry`. With fixed
+ * backoff the re-enqueues synchronize into waves that can hold an
+ * overloaded fleet down long after the original spike — the
+ * metastable failure mode; full-jitter exponential backoff
+ * decorrelates and drains the same storm.
+ */
+class RetryStormSource : public ArrivalSource {
+  public:
+    RetryStormSource(std::unique_ptr<ArrivalSource> base,
+                     RetryPolicy policy, uint64_t seed,
+                     double horizon_s);
+
+    bool Peek(LoadArrival* out) override;
+    LoadArrival Take() override;
+    void OnRequestEnd(uint64_t id, double end_s,
+                      bool success) override;
+    bool Exhausted() const override;
+
+    /** Retries emitted so far (each also flagged on its arrival). */
+    int64_t retries_emitted() const { return retries_emitted_; }
+    /** Retries that would have landed past the horizon (dropped). */
+    int64_t retries_suppressed() const { return retries_suppressed_; }
+
+  private:
+    struct PendingRetry {
+        LoadArrival arrival;
+        int attempt = 0;
+        bool operator>(const PendingRetry& other) const
+        {
+            return arrival.t_s > other.arrival.t_s;
+        }
+    };
+
+    struct Outstanding {
+        uint64_t base_id = 0;  // forward feedback when nonzero
+        size_t tenant = 0;
+        double size = 1.0;
+        double deadline_s = 0.0;
+        double arrival_s = 0.0;
+        int attempt = 0;
+    };
+
+    std::unique_ptr<ArrivalSource> base_;
+    RetryPolicy policy_;
+    Rng rng_;
+    double horizon_s_ = 0.0;
+    std::priority_queue<PendingRetry, std::vector<PendingRetry>,
+                        std::greater<PendingRetry>>
+        retries_;
+    std::unordered_map<uint64_t, Outstanding> outstanding_;
+    uint64_t next_id_ = 0;
+    int64_t retries_emitted_ = 0;
+    int64_t retries_suppressed_ = 0;
+};
+
+}  // namespace load
+}  // namespace t4i
+
+#endif  // T4I_LOAD_ARRIVALS_H

@@ -1,0 +1,477 @@
+#include "src/load/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+#include "src/obs/export.h"
+
+namespace t4i {
+namespace load {
+
+namespace {
+
+Status
+LineError(int line_no, const std::string& what)
+{
+    return Status::InvalidArgument(
+        StrFormat("scenario line %d: %s", line_no, what.c_str()));
+}
+
+bool
+ParseNumber(const std::string& text, double* out)
+{
+    if (text.empty()) return false;
+    char* end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+/** key=value options after a directive word. */
+struct Options {
+    std::vector<std::pair<std::string, std::string>> pairs;
+    /** Tokens without an '='. */
+    std::vector<std::string> bare;
+
+    const std::string*
+    Find(const std::string& key) const
+    {
+        for (const auto& kv : pairs) {
+            if (kv.first == key) return &kv.second;
+        }
+        return nullptr;
+    }
+
+    bool
+    GetDouble(const std::string& key, double* out) const
+    {
+        const std::string* value = Find(key);
+        return value != nullptr && ParseNumber(*value, out);
+    }
+};
+
+Options
+ParseOptions(const std::vector<std::string>& tokens, size_t from)
+{
+    Options options;
+    for (size_t i = from; i < tokens.size(); ++i) {
+        const size_t eq = tokens[i].find('=');
+        if (eq == std::string::npos) {
+            options.bare.push_back(tokens[i]);
+        } else {
+            options.pairs.emplace_back(tokens[i].substr(0, eq),
+                                       tokens[i].substr(eq + 1));
+        }
+    }
+    return options;
+}
+
+/** Requires every key=value on the line to parse as a number into a
+ *  named field; returns an error naming the first unknown key. */
+struct FieldMap {
+    std::vector<std::pair<const char*, double*>> fields;
+
+    Status
+    Apply(const Options& options, int line_no) const
+    {
+        for (const auto& kv : options.pairs) {
+            bool known = false;
+            for (const auto& field : fields) {
+                if (kv.first == field.first) {
+                    if (!ParseNumber(kv.second, field.second)) {
+                        return LineError(
+                            line_no,
+                            StrFormat("bad number for %s",
+                                      kv.first.c_str()));
+                    }
+                    known = true;
+                    break;
+                }
+            }
+            if (!known) {
+                return LineError(
+                    line_no, StrFormat("unknown option '%s'",
+                                       kv.first.c_str()));
+            }
+        }
+        return Status::Ok();
+    }
+};
+
+}  // namespace
+
+StatusOr<Scenario>
+ParseScenario(const std::string& text)
+{
+    Scenario scenario;
+    bool saw_retry = false;
+    int line_no = 0;
+    for (const std::string& line : SplitString(text, '\n')) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        const std::vector<std::string> tokens =
+            SplitString(line, ' ');
+        if (tokens.empty()) continue;
+        const std::string& word = tokens[0];
+
+        if (word == "alert" || word == "slo") {
+            // Verbatim pass-through to the alert / SLO engines.
+            (word == "alert" ? scenario.alert_rules_text
+                             : scenario.slo_objectives_text) +=
+                line + "\n";
+            continue;
+        }
+        if (word == "scenario") {
+            if (tokens.size() < 2) {
+                return LineError(line_no, "scenario needs a name");
+            }
+            scenario.name = tokens[1];
+            continue;
+        }
+        if (word == "duration" || word == "seed" || word == "cells" ||
+            word == "devices" || word == "control-interval" ||
+            word == "health-interval" || word == "window" ||
+            word == "error-budget") {
+            double value = 0.0;
+            if (tokens.size() != 2 ||
+                !ParseNumber(tokens[1], &value)) {
+                return LineError(
+                    line_no, StrFormat("%s needs one numeric value",
+                                       word.c_str()));
+            }
+            if (word == "duration") scenario.duration_s = value;
+            if (word == "seed") {
+                scenario.seed = static_cast<uint64_t>(value);
+            }
+            if (word == "cells") {
+                scenario.cells = static_cast<int>(value);
+            }
+            if (word == "devices") {
+                scenario.devices_per_cell = static_cast<int>(value);
+            }
+            if (word == "control-interval") {
+                scenario.control_interval_s = value;
+            }
+            if (word == "health-interval") {
+                scenario.health_interval_s = value;
+            }
+            if (word == "window") scenario.window_s = value;
+            if (word == "error-budget") scenario.error_budget = value;
+            continue;
+        }
+        if (word == "policy") {
+            if (tokens.size() != 2) {
+                return LineError(line_no, "policy needs a name");
+            }
+            scenario.policy = tokens[1];
+            continue;
+        }
+        if (word == "tenant") {
+            if (tokens.size() < 2 ||
+                tokens[1].find('=') != std::string::npos) {
+                return LineError(line_no, "tenant needs a name");
+            }
+            ScenarioTenant tenant;
+            tenant.name = tokens[1];
+            double max_queue = 0.0, priority = 0.0;
+            FieldMap map{{{"load", &tenant.load},
+                          {"rate", &tenant.rate},
+                          {"deadline", &tenant.deadline_s},
+                          {"max-queue", &max_queue},
+                          {"priority", &priority}}};
+            Status s = map.Apply(ParseOptions(tokens, 2), line_no);
+            if (!s.ok()) return s;
+            tenant.max_queue = static_cast<int64_t>(max_queue);
+            tenant.priority = static_cast<int>(priority);
+            scenario.tenants.push_back(tenant);
+            continue;
+        }
+        if (word == "arrivals") {
+            if (tokens.size() < 2) {
+                return LineError(line_no,
+                                 "arrivals needs poisson|trace");
+            }
+            if (tokens[1] == "poisson") {
+                scenario.program.kind =
+                    ArrivalProgram::Kind::kGenerator;
+                continue;
+            }
+            if (tokens[1] != "trace" || tokens.size() < 3) {
+                return LineError(
+                    line_no,
+                    "arrivals wants `poisson` or `trace PATH ...`");
+            }
+            scenario.program.kind = ArrivalProgram::Kind::kTrace;
+            scenario.program.trace_path = tokens[2];
+            ReplayOptions& replay = scenario.program.replay;
+            const Options options = ParseOptions(tokens, 3);
+            double repeat = 1.0, clients = 1.0, rate_scale = 0.0;
+            FieldMap map{{{"time-scale", &replay.time_scale},
+                          {"rate-scale", &rate_scale},
+                          {"repeat", &repeat},
+                          {"clients", &clients},
+                          {"think", &replay.think_s}}};
+            // `mode=` is a string option; strip it before FieldMap.
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "mode";
+                               }),
+                numeric.pairs.end());
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            if (const std::string* mode = options.Find("mode")) {
+                if (*mode == "closed") {
+                    replay.closed_loop = true;
+                } else if (*mode != "open") {
+                    return LineError(line_no,
+                                     "mode must be open|closed");
+                }
+            }
+            if (rate_scale > 0.0) {
+                replay.time_scale = 1.0 / rate_scale;
+            }
+            replay.repeat = static_cast<int>(repeat);
+            replay.clients = static_cast<int>(clients);
+            continue;
+        }
+        if (word == "flash-crowd") {
+            FlashCrowd crowd;
+            const Options options = ParseOptions(tokens, 1);
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "tenant";
+                               }),
+                numeric.pairs.end());
+            FieldMap map{{{"at", &crowd.start_s},
+                          {"ramp", &crowd.ramp_s},
+                          {"hold", &crowd.hold_s},
+                          {"mult", &crowd.mult}}};
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            if (const std::string* name = options.Find("tenant")) {
+                crowd.tenant = -1;
+                for (size_t i = 0; i < scenario.tenants.size(); ++i) {
+                    if (scenario.tenants[i].name == *name) {
+                        crowd.tenant = static_cast<int>(i);
+                    }
+                }
+                if (crowd.tenant < 0) {
+                    return LineError(
+                        line_no,
+                        StrFormat("flash-crowd names unknown tenant "
+                                  "'%s' (declare tenants first)",
+                                  name->c_str()));
+                }
+            }
+            if (crowd.mult < 1.0) {
+                return LineError(line_no,
+                                 "flash-crowd mult must be >= 1");
+            }
+            scenario.program.crowds.push_back(crowd);
+            continue;
+        }
+        if (word == "burst") {
+            BurstShock& shock = scenario.program.shock;
+            FieldMap map{{{"shock-rate", &shock.shock_rate},
+                          {"shock-mult", &shock.shock_mult},
+                          {"shock-dur", &shock.shock_dur_s}}};
+            Status s = map.Apply(ParseOptions(tokens, 1), line_no);
+            if (!s.ok()) return s;
+            continue;
+        }
+        if (word == "sizes") {
+            if (tokens.size() < 2) {
+                return LineError(line_no,
+                                 "sizes needs pareto|lognormal");
+            }
+            SizeDistribution& sizes = scenario.program.sizes;
+            if (tokens[1] == "pareto") {
+                sizes.kind = SizeDistribution::Kind::kPareto;
+            } else if (tokens[1] == "lognormal") {
+                sizes.kind = SizeDistribution::Kind::kLognormal;
+            } else {
+                return LineError(line_no,
+                                 "sizes needs pareto|lognormal");
+            }
+            FieldMap map{{{"alpha", &sizes.alpha},
+                          {"xm", &sizes.xm},
+                          {"mu", &sizes.mu},
+                          {"sigma", &sizes.sigma},
+                          {"max", &sizes.max}}};
+            Status s = map.Apply(ParseOptions(tokens, 2), line_no);
+            if (!s.ok()) return s;
+            continue;
+        }
+        if (word == "retry-storm") {
+            saw_retry = true;
+            scenario.program.retry_storm = true;
+            RetryPolicy& retry = scenario.program.retry;
+            const Options options = ParseOptions(tokens, 1);
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "backoff";
+                               }),
+                numeric.pairs.end());
+            double max_retries =
+                static_cast<double>(retry.max_retries);
+            FieldMap map{{{"timeout", &retry.timeout_s},
+                          {"base", &retry.base_s},
+                          {"max-retries", &max_retries}}};
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            retry.max_retries = static_cast<int>(max_retries);
+            if (const std::string* backoff =
+                    options.Find("backoff")) {
+                if (*backoff == "fixed") {
+                    retry.backoff = RetryPolicy::Backoff::kFixed;
+                } else if (*backoff == "exponential") {
+                    retry.backoff =
+                        RetryPolicy::Backoff::kExponential;
+                } else if (*backoff == "exp-jitter") {
+                    retry.backoff = RetryPolicy::Backoff::kExpJitter;
+                } else {
+                    return LineError(
+                        line_no,
+                        "backoff must be fixed|exponential|"
+                        "exp-jitter");
+                }
+            }
+            continue;
+        }
+        if (word == "outage") {
+            ScenarioOutage outage;
+            double cell = 0.0;
+            outage.repair_at_s = -1.0;
+            FieldMap map{{{"cell", &cell},
+                          {"at", &outage.fail_at_s},
+                          {"repair", &outage.repair_at_s}}};
+            Status s = map.Apply(ParseOptions(tokens, 1), line_no);
+            if (!s.ok()) return s;
+            outage.cell = static_cast<int>(cell);
+            scenario.outages.push_back(outage);
+            continue;
+        }
+        if (word == "expect" || word == "expect-not") {
+            if (tokens.size() != 2) {
+                return LineError(
+                    line_no,
+                    StrFormat("%s needs one alert name",
+                              word.c_str()));
+            }
+            (word == "expect" ? scenario.expect
+                              : scenario.expect_not)
+                .push_back(tokens[1]);
+            continue;
+        }
+        return LineError(line_no, StrFormat("unknown directive '%s'",
+                                            word.c_str()));
+    }
+
+    if (scenario.tenants.empty()) {
+        return Status::InvalidArgument(
+            "scenario declares no tenants");
+    }
+    if (scenario.duration_s <= 0.0) {
+        return Status::InvalidArgument(
+            "scenario duration must be > 0");
+    }
+    if (scenario.cells < 1 || scenario.devices_per_cell < 1) {
+        return Status::InvalidArgument(
+            "scenario needs >= 1 cell and >= 1 device per cell");
+    }
+    if (saw_retry && scenario.program.retry.base_s <= 0.0) {
+        return Status::InvalidArgument(
+            "retry-storm needs base=S > 0");
+    }
+    for (const std::string& name : scenario.expect) {
+        if (std::find(scenario.expect_not.begin(),
+                      scenario.expect_not.end(),
+                      name) != scenario.expect_not.end()) {
+            return Status::InvalidArgument(StrFormat(
+                "alert '%s' is both expected and expected-not",
+                name.c_str()));
+        }
+    }
+    for (const ScenarioOutage& outage : scenario.outages) {
+        if (outage.cell < 0 || outage.cell >= scenario.cells) {
+            return Status::InvalidArgument(
+                StrFormat("outage cell %d out of range",
+                          outage.cell));
+        }
+    }
+    return scenario;
+}
+
+StatusOr<Scenario>
+ParseScenarioFile(const std::string& path)
+{
+    auto text = obs::ReadTextFile(path);
+    if (!text.ok()) return text.status();
+    auto scenario = ParseScenario(text.value());
+    if (!scenario.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("%s: %s", path.c_str(),
+                      scenario.status().message().c_str()));
+    }
+    Scenario result = std::move(scenario).ConsumeValue();
+    // Relative trace paths resolve against the scenario file's dir.
+    std::string& trace = result.program.trace_path;
+    if (!trace.empty() && trace[0] != '/') {
+        const size_t slash = path.find_last_of('/');
+        if (slash != std::string::npos) {
+            trace = path.substr(0, slash + 1) + trace;
+        }
+    }
+    return result;
+}
+
+StatusOr<std::unique_ptr<ArrivalSource>>
+BuildArrivalSource(const Scenario& scenario,
+                   const std::vector<double>& tenant_rates,
+                   const std::vector<std::string>& tenant_names)
+{
+    if (tenant_rates.size() != scenario.tenants.size()) {
+        return Status::InvalidArgument(
+            "tenant_rates must match the scenario's tenant list");
+    }
+    std::unique_ptr<ArrivalSource> source;
+    if (scenario.program.kind == ArrivalProgram::Kind::kTrace) {
+        auto text = obs::ReadTextFile(scenario.program.trace_path);
+        if (!text.ok()) return text.status();
+        auto records = ParseTrace(text.value(), tenant_names);
+        if (!records.ok()) return records.status();
+        source = std::make_unique<TraceSource>(
+            std::move(records).ConsumeValue(), tenant_names.size(),
+            scenario.program.replay, scenario.duration_s);
+    } else {
+        std::vector<GeneratorTenant> tenants;
+        for (size_t i = 0; i < scenario.tenants.size(); ++i) {
+            GeneratorTenant tenant;
+            tenant.rate = tenant_rates[i];
+            tenant.deadline_s = 0.0;  // tenant config carries it
+            tenants.push_back(tenant);
+        }
+        source = std::make_unique<GeneratorSource>(
+            std::move(tenants), scenario.program.crowds,
+            scenario.program.shock, scenario.program.sizes,
+            scenario.seed, scenario.duration_s);
+    }
+    if (scenario.program.retry_storm) {
+        source = std::make_unique<RetryStormSource>(
+            std::move(source), scenario.program.retry, scenario.seed,
+            scenario.duration_s);
+    }
+    return source;
+}
+
+}  // namespace load
+}  // namespace t4i

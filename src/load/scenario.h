@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Declarative load scenarios: one artifact binding an arrival
+ * program (generators or trace replay), a fault/outage plan, inline
+ * alert rules + SLO objectives, and the *expected* alert set — the
+ * assertion that makes "which policy breaks first" a CI-checkable
+ * fact instead of a bench anecdote.
+ *
+ * File grammar (one directive per line, '#' comments, key=value
+ * options after the directive word):
+ *
+ *   scenario NAME
+ *   duration S            # sim seconds (default 2.0)
+ *   seed N                # run seed; every substream derives from it
+ *   cells N               # cluster width (default 1)
+ *   devices N             # devices per cell (default 1)
+ *   policy NAME           # round-robin | least-loaded | p2c | affinity
+ *   control-interval S    # router control-plane cadence
+ *   health-interval S     # health-check cadence
+ *   window S              # time-series window width
+ *   error-budget F        # default SLO error budget
+ *   tenant NAME [load=F] [rate=R] [deadline=S] [max-queue=N]
+ *               [priority=N]
+ *       # load= is a fraction of one cell's SLO-batch capacity
+ *       # (resolved by the runner); rate= is absolute requests/s.
+ *   arrivals poisson      # generator program (default)
+ *   arrivals trace PATH [mode=open|closed] [time-scale=F]
+ *            [rate-scale=F] [repeat=N] [clients=N] [think=S]
+ *   flash-crowd [tenant=NAME] at=S ramp=S hold=S mult=F
+ *   burst shock-rate=F shock-mult=F shock-dur=S
+ *   sizes pareto alpha=F [xm=F] [max=F]
+ *   sizes lognormal sigma=F [mu=F] [max=F]
+ *   retry-storm timeout=S backoff=fixed|exponential|exp-jitter
+ *               base=S [max-retries=N]
+ *   outage cell=N at=S [repair=S]
+ *   alert NAME SELECTOR CMP THRESHOLD [for S]   # alerts.h grammar
+ *   slo NAME tenant=T ...                       # slo.h grammar
+ *   expect ALERT_NAME     # must be firing at run end
+ *   expect-not ALERT_NAME # documents a rule that must stay quiet
+ *                         # (every un-expected rule must be quiet
+ *                         # anyway; this line is a readable pin)
+ *
+ * `t4sim_cli check --scenario FILE` runs the scenario and exits 0
+ * iff the fired alert set equals the expected set exactly and the
+ * request-conservation books close.
+ */
+#ifndef T4I_LOAD_SCENARIO_H
+#define T4I_LOAD_SCENARIO_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/load/arrivals.h"
+
+namespace t4i {
+namespace load {
+
+/** One tenant declared by a scenario. */
+struct ScenarioTenant {
+    std::string name;
+    /** Fraction of one cell's SLO-batch capacity (resolved to an
+     *  absolute rate by the runner); used when rate == 0. */
+    double load = 0.5;
+    /** Absolute arrival rate (requests/s); wins over load. */
+    double rate = 0.0;
+    /** Per-request deadline; 0 defers to the runner's default. */
+    double deadline_s = 0.0;
+    int64_t max_queue = 0;  // 0 = runner default
+    int priority = 0;
+};
+
+/** The arrival program half of a scenario. */
+struct ArrivalProgram {
+    enum class Kind { kGenerator, kTrace };
+    Kind kind = Kind::kGenerator;
+
+    // Generator program.
+    std::vector<FlashCrowd> crowds;
+    BurstShock shock;
+    SizeDistribution sizes;
+
+    // Trace program.
+    std::string trace_path;
+    ReplayOptions replay;
+
+    // Optional retry-storm wrapper around either program.
+    bool retry_storm = false;
+    RetryPolicy retry;
+};
+
+/** One scripted cell outage. */
+struct ScenarioOutage {
+    int cell = 0;
+    double fail_at_s = 0.0;
+    double repair_at_s = -1.0;  // < 0 = never repairs
+};
+
+/** A parsed scenario file. */
+struct Scenario {
+    std::string name = "scenario";
+    double duration_s = 2.0;
+    uint64_t seed = 42;
+    int cells = 1;
+    int devices_per_cell = 1;
+    std::string policy = "least-loaded";
+    double control_interval_s = 0.05;
+    double health_interval_s = 0.1;
+    double window_s = 0.05;
+    double error_budget = 0.01;
+
+    std::vector<ScenarioTenant> tenants;
+    ArrivalProgram program;
+    std::vector<ScenarioOutage> outages;
+
+    /** Raw rule / objective lines, fed verbatim to the engines. */
+    std::string alert_rules_text;
+    std::string slo_objectives_text;
+
+    /** Rule names that must be firing at run end. */
+    std::vector<std::string> expect;
+    /** Rule names pinned quiet (documentation; checked for overlap
+     *  with `expect` at parse time). */
+    std::vector<std::string> expect_not;
+};
+
+/** Parses the grammar above. Errors carry the offending line. */
+StatusOr<Scenario> ParseScenario(const std::string& text);
+
+/** ReadTextFile + ParseScenario; relative trace paths resolve
+ *  against the scenario file's directory. */
+StatusOr<Scenario> ParseScenarioFile(const std::string& path);
+
+/**
+ * Builds the scenario's arrival source. @p tenant_rates are the
+ * resolved absolute rates (one per scenario tenant, in order);
+ * @p tenant_names resolve trace tenant references. The horizon is
+ * the scenario duration: nothing is emitted at or past it.
+ */
+StatusOr<std::unique_ptr<ArrivalSource>> BuildArrivalSource(
+    const Scenario& scenario,
+    const std::vector<double>& tenant_rates,
+    const std::vector<std::string>& tenant_names);
+
+}  // namespace load
+}  // namespace t4i
+
+#endif  // T4I_LOAD_SCENARIO_H

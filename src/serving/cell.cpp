@@ -127,6 +127,12 @@ ServeCell::Init(Options options)
     telemetry_ = std::move(options.telemetry);
     reliability_ = std::move(options.reliability);
     external_ = options.external_arrivals;
+    source_ = options.arrival_source;
+    if (external_ && source_ != nullptr) {
+        return Status::InvalidArgument(
+            "external_arrivals and arrival_source are mutually "
+            "exclusive");
+    }
     span_name_ = std::move(options.request_span_name);
 
     // Expand the fault plan out past any plausible drain time; random
@@ -145,13 +151,15 @@ ServeCell::Init(Options options)
     faults_active_ = plan.enabled();
     // Transient batch errors draw from their own stream so injecting
     // faults never perturbs the arrival process.
-    fault_rng_ = Rng(plan.seed ^ 0x7472616e73ULL);
+    fault_rng_ = Substream(plan.seed, "faults.transient");
 
-    rng_ = Rng(options.seed);
+    rng_ = Substream(options.seed, "serving.arrivals");
     state_.assign(tenants_.size(), TenantState{});
+    const bool internal_poisson = !external_ && source_ == nullptr;
     for (size_t i = 0; i < tenants_.size(); ++i) {
         state_[i].next_arrival_s =
-            external_ ? kInf : DrawNextArrival(rng_, tenants_[i], 0.0);
+            internal_poisson ? DrawNextArrival(rng_, tenants_[i], 0.0)
+                             : kInf;
     }
     devices_.assign(static_cast<size_t>(num_devices_), DeviceState{});
 
@@ -215,6 +223,12 @@ ServeCell::Init(Options options)
                 reg.GetCounter("serving.deadline_drops", labels);
             ts.hedge_win_counter =
                 reg.GetCounter("serving.hedge_wins", labels);
+            if (source_ != nullptr) {
+                ts.load_arrival_counter =
+                    reg.GetCounter("load.arrivals", labels);
+                ts.client_retry_counter =
+                    reg.GetCounter("load.client_retries", labels);
+            }
             if (telemetry_.slo_error_budget > 0.0) {
                 ts.burn_gauge =
                     reg.GetGauge("serving.slo_burn_rate", labels);
@@ -296,6 +310,7 @@ bool
 ServeCell::MoreArrivals(size_t i) const
 {
     if (external_) return !arrivals_closed_;
+    if (source_ != nullptr) return !source_->Exhausted();
     return state_[i].next_arrival_s < duration_s_;
 }
 
@@ -379,6 +394,14 @@ void
 ServeCell::EndRequest(size_t tenant, const Request& req, double end_s,
                       RequestOutcome outcome, bool slo_miss)
 {
+    // Source-driven cells close the loop themselves: the terminal
+    // event is the release signal for closed-loop clients and the
+    // trigger for client retries. A completed request counts as a
+    // success even past its SLO — the client got an answer.
+    if (source_ != nullptr && req.load_id != 0) {
+        source_->OnRequestEnd(req.load_id, end_s,
+                              outcome == RequestOutcome::kCompleted);
+    }
     if (!request_end_hook_) return;
     RequestEnd end;
     end.tenant = tenant;
@@ -387,6 +410,7 @@ ServeCell::EndRequest(size_t tenant, const Request& req, double end_s,
     end.outcome = outcome;
     end.slo_miss = slo_miss;
     end.tag = req.tag;
+    end.load_id = req.load_id;
     request_end_hook_(end);
 }
 
@@ -499,10 +523,39 @@ ServeCell::AdmitOrShed(size_t i, Request req)
 void
 ServeCell::DeliverArrivals()
 {
+    // Source mode: pull everything due by now_ from the load program.
+    // The source never emits at or past duration_s_, so every taken
+    // arrival is injected (and counted) — the books stay honest.
+    if (source_ != nullptr) {
+        load::LoadArrival peeked;
+        while (source_->Peek(&peeked) && peeked.t_s <= now_) {
+            const load::LoadArrival got = source_->Take();
+            ++source_arrivals_;
+            if (got.client_retry) ++source_client_retries_;
+            TenantState& ts = state_[got.tenant];
+            if (ts.load_arrival_counter != nullptr) {
+                ts.load_arrival_counter->Increment();
+                if (got.client_retry) {
+                    ts.client_retry_counter->Increment();
+                }
+            }
+            Request req;
+            req.arrival_s = got.t_s;
+            req.size = got.size;
+            req.deadline_s = got.deadline_s;
+            req.load_id = got.id;
+            if (req.deadline_s > 0.0) has_request_deadlines_ = true;
+            if (!AdmitOrShed(got.tenant, req)) {
+                // Door-shed: the source hears the refusal immediately
+                // (a retrying client will come back).
+                source_->OnRequestEnd(got.id, now_, false);
+            }
+        }
+    }
     for (size_t i = 0; i < tenants_.size(); ++i) {
         const TenantConfig& cfg = tenants_[i];
         TenantState& ts = state_[i];
-        if (!external_) {
+        if (!external_ && source_ == nullptr) {
             while (ts.next_arrival_s <= now_ &&
                    ts.next_arrival_s < duration_s_) {
                 Request req;
@@ -514,32 +567,54 @@ ServeCell::DeliverArrivals()
         }
         // Deadline sweep: queued requests older than the deadline are
         // dropped (distinct from SLO misses, which complete).
-        if (cfg.deadline_s > 0.0) {
-            while (!ts.queue.empty() &&
-                   ts.queue.front().arrival_s + cfg.deadline_s <=
-                       now_) {
-                const Request& doomed = ts.queue.front();
-                if (spans_ != nullptr && doomed.root_span != 0) {
-                    spans_->SetAttribute(doomed.root_span, "outcome",
-                                         "deadline_drop");
-                    spans_->EndSpan(doomed.queue_span, now_);
-                    spans_->EndSpan(doomed.root_span, now_);
+        auto drop_deadline = [&](const Request& doomed) {
+            if (spans_ != nullptr && doomed.root_span != 0) {
+                spans_->SetAttribute(doomed.root_span, "outcome",
+                                     "deadline_drop");
+                spans_->EndSpan(doomed.queue_span, now_);
+                spans_->EndSpan(doomed.root_span, now_);
+            }
+            if (recorder_ != nullptr) {
+                recorder_->OnDeadlineDrop(
+                    now_, "deadline drop: " + cfg.name);
+            }
+            EndRequest(i, doomed, now_,
+                       RequestOutcome::kDeadlineDrop, false);
+            ++ts.dropped;
+            if (ts.drop_counter != nullptr) {
+                ts.drop_counter->Increment();
+            }
+            if (trace_ != nullptr) {
+                trace_->AddInstant(pid_, QueueTid(i),
+                                   "deadline drop",
+                                   now_ * kUsPerSecond);
+            }
+        };
+        if (!has_request_deadlines_) {
+            // Uniform per-tenant deadlines: arrivals are FIFO, so the
+            // front is always the first to expire (front-only sweep).
+            if (cfg.deadline_s > 0.0) {
+                while (!ts.queue.empty() &&
+                       ts.queue.front().arrival_s + cfg.deadline_s <=
+                           now_) {
+                    drop_deadline(ts.queue.front());
+                    ts.queue.pop_front();
                 }
-                if (recorder_ != nullptr) {
-                    recorder_->OnDeadlineDrop(
-                        now_, "deadline drop: " + cfg.name);
-                }
-                EndRequest(i, doomed, now_,
-                           RequestOutcome::kDeadlineDrop, false);
-                ts.queue.pop_front();
-                ++ts.dropped;
-                if (ts.drop_counter != nullptr) {
-                    ts.drop_counter->Increment();
-                }
-                if (trace_ != nullptr) {
-                    trace_->AddInstant(pid_, QueueTid(i),
-                                       "deadline drop",
-                                       now_ * kUsPerSecond);
+            }
+        } else {
+            // Per-request deadlines (trace replay): a short-deadline
+            // request can expire behind a long-deadline one, so the
+            // sweep scans the whole queue.
+            for (auto it = ts.queue.begin(); it != ts.queue.end();) {
+                const double deadline = it->deadline_s > 0.0
+                                            ? it->deadline_s
+                                            : cfg.deadline_s;
+                if (deadline > 0.0 &&
+                    it->arrival_s + deadline <= now_) {
+                    drop_deadline(*it);
+                    it = ts.queue.erase(it);
+                } else {
+                    ++it;
                 }
             }
         }
@@ -552,24 +627,41 @@ ServeCell::InjectArrival(size_t tenant, double arrival_s,
                          uint64_t trace_id, obs::SpanId parent_span,
                          uint64_t tag)
 {
+    ExternalArrival arrival;
+    arrival.tenant = tenant;
+    arrival.arrival_s = arrival_s;
+    arrival.trace_id = trace_id;
+    arrival.parent_span = parent_span;
+    arrival.tag = tag;
+    return InjectArrival(arrival);
+}
+
+ServeCell::Injected
+ServeCell::InjectArrival(const ExternalArrival& arrival)
+{
     T4I_CHECK(external_,
               "InjectArrival requires external_arrivals mode");
-    T4I_CHECK(tenant < tenants_.size(), "tenant index out of range");
+    T4I_CHECK(arrival.tenant < tenants_.size(),
+              "tenant index out of range");
     T4I_CHECK(!arrivals_closed_, "arrivals already closed");
     Injected out;
     // Lazy clock: injected arrivals deliver exactly like internal ones
     // (at the dispatch loop's current instant, never earlier).
-    now_ = std::max(now_, arrival_s);
+    now_ = std::max(now_, arrival.arrival_s);
     Request req;
-    req.arrival_s = arrival_s;
-    req.trace_id = trace_id;
-    req.parent_span = parent_span;
-    req.tag = tag;
-    out.admitted = AdmitOrShed(tenant, req);
+    req.arrival_s = arrival.arrival_s;
+    req.trace_id = arrival.trace_id;
+    req.parent_span = arrival.parent_span;
+    req.tag = arrival.tag;
+    req.size = arrival.size;
+    req.deadline_s = arrival.deadline_s;
+    req.load_id = arrival.load_id;
+    if (req.deadline_s > 0.0) has_request_deadlines_ = true;
+    out.admitted = AdmitOrShed(arrival.tenant, req);
     if (out.admitted) {
-        out.span = state_[tenant].queue.back().root_span;
+        out.span = state_[arrival.tenant].queue.back().root_span;
     }
-    EmitQueueDepth(tenant, now_);
+    EmitQueueDepth(arrival.tenant, now_);
     return out;
 }
 
@@ -655,8 +747,15 @@ ServeCell::AdvanceTo(double limit_s)
             // request deadline expiring.
             double next = 1e300;
             bool have_event = false;
+            if (source_ != nullptr) {
+                load::LoadArrival peeked;
+                if (source_->Peek(&peeked)) {
+                    next = std::min(next, peeked.t_s);
+                    have_event = true;
+                }
+            }
             for (size_t i = 0; i < tenants_.size(); ++i) {
-                if (!external_ &&
+                if (!external_ && source_ == nullptr &&
                     state_[i].next_arrival_s < duration_s_) {
                     next = std::min(next, state_[i].next_arrival_s);
                     have_event = true;
@@ -672,10 +771,23 @@ ServeCell::AdvanceTo(double limit_s)
                         std::max(front.arrival_s +
                                      tenants_[i].batch_wait_s,
                                  front.not_before_s));
-                    if (tenants_[i].deadline_s > 0.0) {
-                        next = std::min(next,
-                                        front.arrival_s +
-                                            tenants_[i].deadline_s);
+                    if (!has_request_deadlines_) {
+                        if (tenants_[i].deadline_s > 0.0) {
+                            next = std::min(
+                                next, front.arrival_s +
+                                          tenants_[i].deadline_s);
+                        }
+                    } else {
+                        for (const Request& r : state_[i].queue) {
+                            const double deadline =
+                                r.deadline_s > 0.0
+                                    ? r.deadline_s
+                                    : tenants_[i].deadline_s;
+                            if (deadline > 0.0) {
+                                next = std::min(
+                                    next, r.arrival_s + deadline);
+                            }
+                        }
                     }
                     have_event = true;
                 }
@@ -801,6 +913,14 @@ ServeCell::DispatchChosen(int chosen)
     // the default 1.0 the nominal time is untouched (bit-identical).
     double nominal_exec = cfg.latency_s(batch);
     if (latency_scale_ != 1.0) nominal_exec *= latency_scale_;
+    // Heavy-tailed request sizes: the batch pads to its largest
+    // request, so execution scales with the max size in flight (at
+    // the default 1.0 the arithmetic is untouched — bit-identical).
+    double max_size = 1.0;
+    for (const Request& req : in_flight) {
+        max_size = std::max(max_size, req.size);
+    }
+    if (max_size != 1.0) nominal_exec *= max_size;
     double exec = nominal_exec;
     if (faults_active_) {
         exec /= timeline_.SpeedFactor(dev_index, device_start);

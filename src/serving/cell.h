@@ -39,6 +39,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/status.h"
+#include "src/load/arrivals.h"
 #include "src/serving/server.h"
 
 namespace t4i {
@@ -63,6 +64,8 @@ struct RequestEnd {
     /** Opaque tag passed at injection (0 = none). The cluster router
      *  stores its root span id here to close it on completion. */
     uint64_t tag = 0;
+    /** Arrival-source feedback handle (0 = not source-driven). */
+    uint64_t load_id = 0;
 };
 
 /**
@@ -90,6 +93,15 @@ class ServeCell {
          * is signalled by CloseArrivals rather than duration_s.
          */
         bool external_arrivals = false;
+        /**
+         * Load-program mode: arrivals come from this source (trace
+         * replay / adversarial generators, src/load/arrivals.h)
+         * instead of the tenants' own Poisson processes. The cell
+         * drains it on its own clock and feeds back every request's
+         * terminal event, so closed-loop sources work single-cell.
+         * Mutually exclusive with external_arrivals; not owned.
+         */
+        load::ArrivalSource* arrival_source = nullptr;
         /** Root-span name for per-request traces; the cluster passes
          *  "cell" and parents these under its router "request" spans. */
         std::string request_span_name = "request";
@@ -128,6 +140,24 @@ class ServeCell {
                            uint64_t trace_id = 0,
                            obs::SpanId parent_span = 0,
                            uint64_t tag = 0);
+
+    /** Full request descriptor for load-program injections: relative
+     *  size (execution scales with the largest size in a batch), a
+     *  per-request deadline override, and the arrival-source feedback
+     *  handle echoed in the request-end hook. */
+    struct ExternalArrival {
+        size_t tenant = 0;
+        double arrival_s = 0.0;
+        double size = 1.0;
+        double deadline_s = 0.0;  ///< 0 inherits the tenant deadline
+        uint64_t load_id = 0;
+        uint64_t trace_id = 0;
+        obs::SpanId parent_span = 0;
+        uint64_t tag = 0;
+    };
+
+    /** InjectArrival with the full descriptor. */
+    Injected InjectArrival(const ExternalArrival& arrival);
 
     /** External-arrival mode: no further injections will come; queued
      *  work may now dispatch without batching patience. */
@@ -170,6 +200,15 @@ class ServeCell {
     void SetLatencyScale(double scale);
     double latency_scale() const { return latency_scale_; }
 
+    /** Source mode: requests pulled from the arrival source so far
+     *  (== the cell's arrived book) and how many of them were client
+     *  re-enqueues. */
+    int64_t source_arrivals() const { return source_arrivals_; }
+    int64_t source_client_retries() const
+    {
+        return source_client_retries_;
+    }
+
     /** Called once per admitted request at its terminal event. Pure
      *  observation: the simulation is bit-identical with or without. */
     void set_request_end_hook(std::function<void(const RequestEnd&)> h)
@@ -195,6 +234,13 @@ class ServeCell {
         obs::SpanId parent_span = 0;
         /** Opaque router tag surfaced in the request-end hook. */
         uint64_t tag = 0;
+        /** Relative request size (batch execution scales with the
+         *  largest size it contains). */
+        double size = 1.0;
+        /** Per-request deadline override; 0 inherits the tenant's. */
+        double deadline_s = 0.0;
+        /** Arrival-source feedback handle (0 = none). */
+        uint64_t load_id = 0;
     };
 
     struct TenantState {
@@ -223,6 +269,10 @@ class ServeCell {
         obs::Counter* shed_counter = nullptr;
         obs::Counter* drop_counter = nullptr;
         obs::Counter* hedge_win_counter = nullptr;
+        /** Source mode: arrivals pulled from the load program. */
+        obs::Counter* load_arrival_counter = nullptr;
+        /** Source mode: arrivals flagged as client re-enqueues. */
+        obs::Counter* client_retry_counter = nullptr;
         /** Live SLO burn-rate gauge (updated per completed batch). */
         obs::Gauge* burn_gauge = nullptr;
         /** Aligned with ServingTelemetry::batch_attribution. */
@@ -273,6 +323,7 @@ class ServeCell {
     ServingTelemetry telemetry_;
     ReliabilityConfig reliability_;
     bool external_ = false;
+    load::ArrivalSource* source_ = nullptr;
     std::string span_name_ = "request";
     FaultTimeline timeline_;
     bool faults_active_ = false;
@@ -291,6 +342,13 @@ class ServeCell {
     bool arrivals_closed_ = false;
     bool done_ = false;
     bool finished_ = false;
+    /** Set when any admitted request carries its own deadline; the
+     *  sweep then scans whole queues instead of fronts only. */
+    bool has_request_deadlines_ = false;
+    /** Requests pulled from the arrival source (source mode). */
+    int64_t source_arrivals_ = 0;
+    /** Source arrivals flagged as client retries. */
+    int64_t source_client_retries_ = 0;
 
     std::function<void(const RequestEnd&)> request_end_hook_;
 

@@ -161,8 +161,8 @@ BuildFaultTimeline(const FaultPlan& plan, int num_devices,
         // One independent renewal process per device, each on its own
         // substream so adding a device never perturbs the others.
         for (int d = 0; d < num_devices; ++d) {
-            Rng rng(plan.seed + 0x9e3779b97f4a7c15ULL *
-                                    static_cast<uint64_t>(d + 1));
+            Rng rng = Substream(plan.seed, "faults.timeline",
+                                static_cast<uint64_t>(d));
             double t = rng.NextExponential(1.0 / plan.mtbf_s);
             while (t < horizon_s) {
                 const double repair =

@@ -1,0 +1,696 @@
+// Tests for the adversarial load layer (src/load/): arrival-source
+// contract, generators, trace replay, retry storms, the scenario
+// grammar, and the conservation + determinism guarantees of
+// source-driven cell and cluster runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/scenario_run.h"
+#include "src/common/rng.h"
+#include "src/load/arrivals.h"
+#include "src/load/scenario.h"
+#include "src/obs/registry.h"
+#include "src/obs/report.h"
+#include "src/serving/cell.h"
+#include "src/serving/server.h"
+
+namespace t4i {
+namespace {
+
+using load::ArrivalSource;
+using load::LoadArrival;
+
+TenantConfig
+AffineTenant(const std::string& name, double rate)
+{
+    TenantConfig t;
+    t.name = name;
+    t.latency_s = [](int64_t batch) {
+        return 1e-3 + 1e-4 * static_cast<double>(batch);
+    };
+    t.max_batch = 32;
+    t.slo_s = 0.010;
+    t.arrival_rate = rate;
+    return t;
+}
+
+/** Drains @p source assuming every taken request completes
+ *  @p service_s after it is taken (an ideal infinitely-wide server).
+ *  Returns the arrivals in emission order. */
+std::vector<LoadArrival>
+DrainWithIdealServer(ArrivalSource& source, double service_s,
+                     bool succeed = true)
+{
+    std::vector<LoadArrival> taken;
+    LoadArrival peek;
+    int guard = 0;
+    while (guard++ < 2000000) {
+        if (source.Peek(&peek)) {
+            LoadArrival a = source.Take();
+            if (a.id != 0) {
+                source.OnRequestEnd(a.id, a.t_s + service_s, succeed);
+            }
+            taken.push_back(a);
+            continue;
+        }
+        if (source.Exhausted()) break;
+        // Waiting on feedback we already delivered synchronously:
+        // nothing else can unblock it.
+        ADD_FAILURE() << "source stalled (no peek, not exhausted)";
+        break;
+    }
+    return taken;
+}
+
+// --- RNG substreams --------------------------------------------------
+
+TEST(Substreams, NamedStreamsAreDeterministicAndDistinct)
+{
+    const uint64_t a1 = SubstreamSeed(42, "load.arrivals", 0);
+    const uint64_t a2 = SubstreamSeed(42, "load.arrivals", 0);
+    EXPECT_EQ(a1, a2);
+
+    std::set<uint64_t> seeds;
+    seeds.insert(SubstreamSeed(42, "load.arrivals", 0));
+    seeds.insert(SubstreamSeed(42, "load.arrivals", 1));
+    seeds.insert(SubstreamSeed(42, "load.sizes", 0));
+    seeds.insert(SubstreamSeed(42, "load.retry_jitter", 0));
+    seeds.insert(SubstreamSeed(43, "load.arrivals", 0));
+    EXPECT_EQ(seeds.size(), 5u) << "substream seeds collided";
+}
+
+// --- GeneratorSource -------------------------------------------------
+
+TEST(Generator, EmissionsAreOrderedAndBelowHorizon)
+{
+    std::vector<load::GeneratorTenant> tenants(2);
+    tenants[0].rate = 800.0;
+    tenants[1].rate = 300.0;
+    load::GeneratorSource source(tenants, {}, {}, {}, 7,
+                                 /*horizon_s=*/1.0);
+    auto taken = DrainWithIdealServer(source, 0.0);
+    ASSERT_GT(taken.size(), 500u);
+    double prev = 0.0;
+    for (const LoadArrival& a : taken) {
+        EXPECT_GE(a.t_s, prev);
+        EXPECT_LT(a.t_s, 1.0);
+        EXPECT_LT(a.tenant, 2u);
+        prev = a.t_s;
+    }
+}
+
+TEST(Generator, FlashCrowdShapesTheRateFactor)
+{
+    load::FlashCrowd crowd;
+    crowd.tenant = 0;
+    crowd.start_s = 1.0;
+    crowd.ramp_s = 0.5;
+    crowd.hold_s = 1.0;
+    crowd.mult = 5.0;
+    std::vector<load::GeneratorTenant> tenants(2);
+    tenants[0].rate = 100.0;
+    tenants[1].rate = 100.0;
+    load::GeneratorSource source(tenants, {crowd}, {}, {}, 7, 10.0);
+
+    EXPECT_DOUBLE_EQ(source.RateFactor(0, 0.5), 1.0);   // before
+    EXPECT_DOUBLE_EQ(source.RateFactor(0, 1.25), 3.0);  // mid-ramp
+    EXPECT_DOUBLE_EQ(source.RateFactor(0, 2.0), 5.0);   // hold
+    EXPECT_DOUBLE_EQ(source.RateFactor(0, 2.75), 3.0);  // ramp down
+    EXPECT_DOUBLE_EQ(source.RateFactor(0, 4.0), 1.0);   // after
+    // Other tenants are untouched by a targeted crowd.
+    EXPECT_DOUBLE_EQ(source.RateFactor(1, 2.0), 1.0);
+}
+
+TEST(Generator, FlashCrowdMultipliesArrivalVolume)
+{
+    std::vector<load::GeneratorTenant> tenants(1);
+    tenants[0].rate = 1000.0;
+    load::FlashCrowd crowd;
+    crowd.tenant = 0;
+    crowd.start_s = 0.0;
+    crowd.ramp_s = 0.0;
+    crowd.hold_s = 2.0;
+    crowd.mult = 4.0;
+    load::GeneratorSource calm(tenants, {}, {}, {}, 7, 2.0);
+    load::GeneratorSource crowded(tenants, {crowd}, {}, {}, 7, 2.0);
+    const size_t calm_n = DrainWithIdealServer(calm, 0.0).size();
+    const size_t crowd_n = DrainWithIdealServer(crowded, 0.0).size();
+    // ~2000 vs ~8000; allow generous Poisson slack.
+    EXPECT_GT(crowd_n, calm_n * 3);
+    EXPECT_LT(crowd_n, calm_n * 5);
+}
+
+TEST(Generator, SharedShockHitsEveryTenantAtOnce)
+{
+    std::vector<load::GeneratorTenant> tenants(3);
+    for (auto& t : tenants) t.rate = 100.0;
+    load::BurstShock shock;
+    shock.shock_rate = 1.0;
+    shock.shock_mult = 3.0;
+    shock.shock_dur_s = 0.5;
+    load::GeneratorSource source(tenants, {}, shock, {}, 11, 20.0);
+    // Wherever the factor is shocked for one tenant it is shocked
+    // for all of them: the shock process is shared by construction.
+    int shocked = 0;
+    for (double t = 0.05; t < 20.0; t += 0.1) {
+        const double f0 = source.RateFactor(0, t);
+        EXPECT_DOUBLE_EQ(f0, source.RateFactor(1, t));
+        EXPECT_DOUBLE_EQ(f0, source.RateFactor(2, t));
+        if (f0 > 1.0) ++shocked;
+    }
+    EXPECT_GT(shocked, 0) << "no shock interval in 20 s at rate 1/s";
+}
+
+TEST(Generator, SizeDistributionsRespectBounds)
+{
+    Rng rng(SubstreamSeed(42, "load.sizes", 0));
+    load::SizeDistribution pareto;
+    pareto.kind = load::SizeDistribution::Kind::kPareto;
+    pareto.alpha = 1.5;
+    pareto.xm = 2.0;
+    pareto.max = 16.0;
+    bool saw_tail = false;
+    for (int i = 0; i < 10000; ++i) {
+        const double s = load::DrawSize(pareto, rng);
+        ASSERT_GE(s, 2.0);
+        ASSERT_LE(s, 16.0);
+        if (s > 6.0) saw_tail = true;
+    }
+    EXPECT_TRUE(saw_tail) << "Pareto(1.5) never exceeded 3x xm";
+
+    load::SizeDistribution logn;
+    logn.kind = load::SizeDistribution::Kind::kLognormal;
+    logn.sigma = 1.0;
+    logn.max = 8.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double s = load::DrawSize(logn, rng);
+        ASSERT_GT(s, 0.0);
+        ASSERT_LE(s, 8.0);
+    }
+
+    load::SizeDistribution constant;
+    EXPECT_DOUBLE_EQ(load::DrawSize(constant, rng), 1.0);
+}
+
+// --- Trace parsing and replay ---------------------------------------
+
+TEST(Trace, ParsesJsonlAndCsv)
+{
+    const std::string jsonl =
+        "{\"t\": 0.5, \"tenant\": \"web\", \"size\": 2.0, "
+        "\"deadline\": 0.05}\n"
+        "{\"t\": 0.1, \"tenant\": 1}\n";
+    auto recs_or = load::ParseTrace(jsonl, {"web", "batch"});
+    ASSERT_TRUE(recs_or.ok()) << recs_or.status().message();
+    const auto& recs = recs_or.value();
+    ASSERT_EQ(recs.size(), 2u);
+    // Sorted by time.
+    EXPECT_DOUBLE_EQ(recs[0].t_s, 0.1);
+    EXPECT_EQ(recs[0].tenant, 1u);
+    EXPECT_DOUBLE_EQ(recs[1].t_s, 0.5);
+    EXPECT_EQ(recs[1].tenant, 0u);
+    EXPECT_DOUBLE_EQ(recs[1].size, 2.0);
+    EXPECT_DOUBLE_EQ(recs[1].deadline_s, 0.05);
+
+    const std::string csv =
+        "t,tenant,size,deadline\n"
+        "0.2,web,1.5,0.03\n"
+        "0.3,batch\n";
+    auto csv_or = load::ParseTrace(csv, {"web", "batch"});
+    ASSERT_TRUE(csv_or.ok()) << csv_or.status().message();
+    ASSERT_EQ(csv_or.value().size(), 2u);
+    EXPECT_EQ(csv_or.value()[1].tenant, 1u);
+
+    EXPECT_FALSE(load::ParseTrace("0.1,nosuch\n", {"web"}).ok());
+}
+
+TEST(Trace, OpenLoopReplayFollowsTimestamps)
+{
+    std::vector<load::TraceRecord> recs;
+    for (int i = 0; i < 10; ++i) {
+        load::TraceRecord r;
+        r.t_s = 0.1 * (i + 1);
+        r.tenant = 0;
+        recs.push_back(r);
+    }
+    load::ReplayOptions opts;
+    opts.time_scale = 0.5;  // double speed
+    load::TraceSource source(recs, 1, opts, /*horizon_s=*/10.0);
+    auto taken = DrainWithIdealServer(source, 0.001);
+    ASSERT_EQ(taken.size(), 10u);
+    EXPECT_NEAR(taken[0].t_s, 0.05, 1e-12);
+    EXPECT_NEAR(taken[9].t_s, 0.5, 1e-12);
+    EXPECT_TRUE(source.Exhausted());
+}
+
+TEST(Trace, ClosedLoopIsResponseGated)
+{
+    // One client, think 0: with a 0.2 s service time the client can
+    // only issue a request every 0.2 s, regardless of trace spacing.
+    std::vector<load::TraceRecord> recs;
+    for (int i = 0; i < 5; ++i) {
+        load::TraceRecord r;
+        r.t_s = 0.001 * i;
+        r.tenant = 0;
+        recs.push_back(r);
+    }
+    load::ReplayOptions opts;
+    opts.closed_loop = true;
+    opts.clients = 1;
+    opts.think_s = 0.0;
+    load::TraceSource source(recs, 1, opts, /*horizon_s=*/10.0);
+    auto taken = DrainWithIdealServer(source, 0.2);
+    ASSERT_EQ(taken.size(), 5u);
+    for (size_t i = 1; i < taken.size(); ++i) {
+        EXPECT_NEAR(taken[i].t_s - taken[i - 1].t_s, 0.2, 1e-9)
+            << "client issued before its previous response";
+    }
+}
+
+TEST(Trace, ClosedLoopDropsReleasesPastHorizon)
+{
+    std::vector<load::TraceRecord> recs(20);
+    for (size_t i = 0; i < recs.size(); ++i) {
+        recs[i].t_s = 0.0;
+        recs[i].tenant = 0;
+    }
+    load::ReplayOptions opts;
+    opts.closed_loop = true;
+    opts.clients = 1;
+    load::TraceSource source(recs, 1, opts, /*horizon_s=*/1.0);
+    // 0.3 s per response: only ~4 of 20 records fit under the horizon.
+    auto taken = DrainWithIdealServer(source, 0.3);
+    EXPECT_LT(taken.size(), 20u);
+    EXPECT_EQ(static_cast<int64_t>(taken.size()) +
+                  source.dropped_after_horizon(),
+              20);
+    EXPECT_TRUE(source.Exhausted());
+}
+
+// --- Retry storms ----------------------------------------------------
+
+/** A scripted base source emitting one arrival per entry at fixed
+ *  times (no feedback wanted). */
+class ScriptedSource : public ArrivalSource {
+  public:
+    explicit ScriptedSource(std::vector<double> times)
+        : times_(std::move(times))
+    {
+    }
+    bool Peek(LoadArrival* out) override
+    {
+        if (next_ >= times_.size()) return false;
+        out->t_s = times_[next_];
+        out->tenant = 0;
+        out->id = 0;
+        return true;
+    }
+    LoadArrival Take() override
+    {
+        LoadArrival a;
+        Peek(&a);
+        ++next_;
+        return a;
+    }
+    bool Exhausted() const override { return next_ >= times_.size(); }
+
+  private:
+    std::vector<double> times_;
+    size_t next_ = 0;
+};
+
+TEST(RetryStorm, FailureRetriesWithFixedBackoff)
+{
+    load::RetryPolicy policy;
+    policy.backoff = load::RetryPolicy::Backoff::kFixed;
+    policy.base_s = 0.5;
+    policy.max_retries = 2;
+    load::RetryStormSource source(
+        std::make_unique<ScriptedSource>(std::vector<double>{1.0}),
+        policy, 42, /*horizon_s=*/100.0);
+
+    // Fail every attempt: 1 original + 2 retries, then gives up.
+    auto taken = DrainWithIdealServer(source, 0.1, /*succeed=*/false);
+    ASSERT_EQ(taken.size(), 3u);
+    EXPECT_FALSE(taken[0].client_retry);
+    EXPECT_TRUE(taken[1].client_retry);
+    EXPECT_TRUE(taken[2].client_retry);
+    // Fixed backoff: each retry lands (response + base) later; the
+    // ideal server responds 0.1 s after each take.
+    EXPECT_NEAR(taken[1].t_s, 1.0 + 0.1 + 0.5, 1e-9);
+    EXPECT_NEAR(taken[2].t_s, taken[1].t_s + 0.1 + 0.5, 1e-9);
+    EXPECT_EQ(source.retries_emitted(), 2);
+    EXPECT_TRUE(source.Exhausted());
+}
+
+TEST(RetryStorm, ExponentialBackoffDoublesTheDelay)
+{
+    load::RetryPolicy policy;
+    policy.backoff = load::RetryPolicy::Backoff::kExponential;
+    policy.base_s = 0.25;
+    policy.max_retries = 3;
+    load::RetryStormSource source(
+        std::make_unique<ScriptedSource>(std::vector<double>{0.0}),
+        policy, 42, 100.0);
+    auto taken = DrainWithIdealServer(source, 0.0, false);
+    ASSERT_EQ(taken.size(), 4u);
+    // base * 2^prior_attempts: the first retry waits the bare base,
+    // and every further retry doubles it.
+    EXPECT_NEAR(taken[1].t_s - taken[0].t_s, 0.25, 1e-9);
+    EXPECT_NEAR(taken[2].t_s - taken[1].t_s, 0.5, 1e-9);
+    EXPECT_NEAR(taken[3].t_s - taken[2].t_s, 1.0, 1e-9);
+}
+
+TEST(RetryStorm, JitterStaysInsideTheExponentialEnvelope)
+{
+    load::RetryPolicy policy;
+    policy.backoff = load::RetryPolicy::Backoff::kExpJitter;
+    policy.base_s = 0.25;
+    policy.max_retries = 1;
+    std::set<double> delays;
+    for (uint64_t seed = 0; seed < 32; ++seed) {
+        load::RetryStormSource source(
+            std::make_unique<ScriptedSource>(
+                std::vector<double>{0.0}),
+            policy, seed, 100.0);
+        auto taken = DrainWithIdealServer(source, 0.0, false);
+        ASSERT_EQ(taken.size(), 2u);
+        const double delay = taken[1].t_s - taken[0].t_s;
+        // Full jitter: uniform in (0, base * 2^prior_attempts], and
+        // the first retry has no prior retries behind it.
+        EXPECT_GT(delay, 0.0);
+        EXPECT_LE(delay, 0.25);
+        delays.insert(delay);
+    }
+    EXPECT_GT(delays.size(), 16u) << "jitter is not jittering";
+}
+
+TEST(RetryStorm, SlowSuccessCountsAsClientTimeout)
+{
+    load::RetryPolicy policy;
+    policy.timeout_s = 0.05;
+    policy.backoff = load::RetryPolicy::Backoff::kFixed;
+    policy.base_s = 0.1;
+    policy.max_retries = 5;
+    load::RetryStormSource source(
+        std::make_unique<ScriptedSource>(std::vector<double>{0.0}),
+        policy, 42, 100.0);
+
+    // First response succeeds but takes 0.2 s > timeout -> retried;
+    // the retry's response is fast -> stream ends.
+    LoadArrival a;
+    ASSERT_TRUE(source.Peek(&a));
+    a = source.Take();
+    source.OnRequestEnd(a.id, a.t_s + 0.2, /*success=*/true);
+    ASSERT_TRUE(source.Peek(&a));
+    a = source.Take();
+    EXPECT_TRUE(a.client_retry);
+    source.OnRequestEnd(a.id, a.t_s + 0.01, /*success=*/true);
+    EXPECT_FALSE(source.Peek(&a));
+    EXPECT_TRUE(source.Exhausted());
+    EXPECT_EQ(source.retries_emitted(), 1);
+}
+
+TEST(RetryStorm, RetriesPastHorizonAreSuppressed)
+{
+    load::RetryPolicy policy;
+    policy.backoff = load::RetryPolicy::Backoff::kFixed;
+    policy.base_s = 10.0;  // way past the horizon
+    policy.max_retries = 3;
+    load::RetryStormSource source(
+        std::make_unique<ScriptedSource>(std::vector<double>{0.5}),
+        policy, 42, /*horizon_s=*/1.0);
+    auto taken = DrainWithIdealServer(source, 0.0, false);
+    EXPECT_EQ(taken.size(), 1u);
+    EXPECT_EQ(source.retries_emitted(), 0);
+    EXPECT_EQ(source.retries_suppressed(), 1);
+    EXPECT_TRUE(source.Exhausted());
+}
+
+// --- Scenario grammar ------------------------------------------------
+
+TEST(Scenario, ParsesTheFullGrammar)
+{
+    const std::string text = R"(
+# comment
+scenario kitchen-sink
+duration 2.5
+seed 9
+cells 3
+devices 2
+policy p2c
+window 0.1
+tenant web load=0.4 deadline=0.05 max-queue=64 priority=1
+tenant api rate=500 deadline=0.02
+arrivals poisson
+flash-crowd tenant=web at=0.5 ramp=0.1 hold=0.3 mult=4
+burst shock-rate=0.5 shock-mult=2 shock-dur=0.2
+sizes pareto alpha=1.3 xm=1 max=8
+retry-storm timeout=0.02 backoff=exp-jitter base=0.05 max-retries=6
+outage cell=1 at=1.0 repair=1.5
+alert page slo.page > 0.5 for 0
+slo web-avail tenant=web avail=0.99
+expect page
+)";
+    auto s_or = load::ParseScenario(text);
+    ASSERT_TRUE(s_or.ok()) << s_or.status().message();
+    const load::Scenario& s = s_or.value();
+    EXPECT_EQ(s.name, "kitchen-sink");
+    EXPECT_DOUBLE_EQ(s.duration_s, 2.5);
+    EXPECT_EQ(s.cells, 3);
+    EXPECT_EQ(s.devices_per_cell, 2);
+    ASSERT_EQ(s.tenants.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.tenants[0].load, 0.4);
+    EXPECT_DOUBLE_EQ(s.tenants[1].rate, 500.0);
+    ASSERT_EQ(s.program.crowds.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.program.crowds[0].mult, 4.0);
+    EXPECT_TRUE(s.program.retry_storm);
+    EXPECT_EQ(s.program.retry.max_retries, 6);
+    ASSERT_EQ(s.outages.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.outages[0].repair_at_s, 1.5);
+    ASSERT_EQ(s.expect.size(), 1u);
+    EXPECT_EQ(s.expect[0], "page");
+}
+
+TEST(Scenario, RejectsBrokenInput)
+{
+    EXPECT_FALSE(load::ParseScenario("tenant\n").ok());
+    EXPECT_FALSE(load::ParseScenario("outage cell=5 at=1\ncells 2\n")
+                     .ok());
+    EXPECT_FALSE(
+        load::ParseScenario("expect x\nexpect-not x\n").ok());
+    EXPECT_FALSE(load::ParseScenario("bogus-directive 1\n").ok());
+}
+
+// --- Source-driven cell ----------------------------------------------
+
+TEST(CellSourceMode, ConservesRequestsAndFeedsBack)
+{
+    std::vector<load::GeneratorTenant> gts(1);
+    gts[0].rate = 4000.0;
+    auto source = std::make_unique<load::GeneratorSource>(
+        gts, std::vector<load::FlashCrowd>{}, load::BurstShock{},
+        load::SizeDistribution{}, 5, 1.0);
+    load::GeneratorSource* raw = source.get();
+
+    ServeCell::Options options;
+    options.tenants = {AffineTenant("web", 4000.0)};
+    options.num_devices = 1;
+    options.duration_s = 1.0;
+    options.seed = 5;
+    options.arrival_source = raw;
+    auto cell_or = ServeCell::Create(std::move(options));
+    ASSERT_TRUE(cell_or.ok()) << cell_or.status().message();
+    auto cell = std::move(cell_or).ConsumeValue();
+    cell->AdvanceTo(std::numeric_limits<double>::infinity());
+    ServingResult r = cell->Finish();
+    ASSERT_EQ(r.tenants.size(), 1u);
+    const TenantStats& t = r.tenants[0];
+    EXPECT_GT(t.arrived, 3000);
+    EXPECT_EQ(t.arrived, t.completed + t.dropped + t.shed);
+    EXPECT_TRUE(raw->Exhausted());
+}
+
+TEST(CellSourceMode, PerRequestDeadlineOverridesTenantDefault)
+{
+    // Two scripted arrivals into a cell whose device takes ~1.1 ms:
+    // one with a microscopic per-request deadline (must drop), one
+    // with a comfortable deadline (must complete).
+    ServeCell::Options options;
+    TenantConfig cfg = AffineTenant("web", 100.0);
+    cfg.deadline_s = 1.0;   // tenant default: generous
+    cfg.max_batch = 1;      // serialize, so the second request waits
+    options.tenants = {cfg};
+    options.num_devices = 1;
+    options.duration_s = 1.0;
+    options.seed = 5;
+    options.external_arrivals = true;
+    auto cell_or = ServeCell::Create(std::move(options));
+    ASSERT_TRUE(cell_or.ok());
+    auto cell = std::move(cell_or).ConsumeValue();
+
+    ServeCell::ExternalArrival loose;
+    loose.tenant = 0;
+    loose.arrival_s = 0.1;
+    EXPECT_TRUE(cell->InjectArrival(loose).admitted);
+    // Queued behind the loose request (~1.1 ms on device), the tight
+    // per-request deadline expires long before its turn comes.
+    ServeCell::ExternalArrival tight;
+    tight.tenant = 0;
+    tight.arrival_s = 0.1;
+    tight.deadline_s = 1e-7;
+    EXPECT_TRUE(cell->InjectArrival(tight).admitted);
+    cell->CloseArrivals();
+    cell->AdvanceTo(std::numeric_limits<double>::infinity());
+    ServingResult r = cell->Finish();
+    EXPECT_EQ(r.tenants[0].dropped, 1);
+    EXPECT_EQ(r.tenants[0].completed, 1);
+}
+
+// --- Source-driven cluster -------------------------------------------
+
+TEST(ClusterSourceMode, ClosedLoopRetryBooksBalance)
+{
+    // Closed-loop trace replay wrapped in a retry storm against an
+    // undersized cluster: the books must balance with client retries
+    // counted as distinct arrivals, and the cluster's client_retries
+    // must equal the storm's re-enqueued count.
+    std::vector<load::TraceRecord> recs;
+    for (int i = 0; i < 400; ++i) {
+        load::TraceRecord r;
+        r.t_s = 0.001 * i;
+        r.tenant = 0;
+        recs.push_back(r);
+    }
+    load::ReplayOptions opts;
+    opts.closed_loop = true;
+    opts.clients = 16;
+    opts.think_s = 0.0005;
+    auto trace = std::make_unique<load::TraceSource>(
+        recs, 1, opts, /*horizon_s=*/2.0);
+    load::RetryPolicy policy;
+    policy.timeout_s = 0.004;  // tighter than typical latency
+    policy.backoff = load::RetryPolicy::Backoff::kExpJitter;
+    policy.base_s = 0.01;
+    policy.max_retries = 2;
+    auto storm = std::make_unique<load::RetryStormSource>(
+        std::move(trace), policy, 13, 2.0);
+    load::RetryStormSource* raw = storm.get();
+
+    ClusterConfig config;
+    config.tenants = {AffineTenant("web", 1000.0)};
+    config.num_cells = 2;
+    config.devices_per_cell = 1;
+    config.duration_s = 2.0;
+    config.seed = 13;
+    config.policy = RoutingPolicy::kLeastLoaded;
+    config.arrival_source = raw;
+    auto result_or = RunCluster(config);
+    ASSERT_TRUE(result_or.ok()) << result_or.status().message();
+    const ClusterResult& r = result_or.value();
+
+    EXPECT_GT(r.arrived, 0);
+    EXPECT_EQ(r.arrived, r.completed + r.dropped + r.shed);
+    EXPECT_EQ(r.client_retries, raw->retries_emitted());
+    ASSERT_EQ(r.tenants.size(), 1u);
+    EXPECT_EQ(r.tenants[0].client_retries, r.client_retries);
+    EXPECT_TRUE(raw->Exhausted());
+}
+
+TEST(ClusterSourceMode, SourceRejectedWithPassthroughRouter)
+{
+    std::vector<load::GeneratorTenant> gts(1);
+    gts[0].rate = 100.0;
+    load::GeneratorSource source(gts, {}, {}, {}, 1, 1.0);
+    ClusterConfig config;
+    config.tenants = {AffineTenant("web", 100.0)};
+    config.num_cells = 1;
+    config.duration_s = 1.0;
+    config.passthrough = true;
+    config.arrival_source = &source;
+    EXPECT_FALSE(RunCluster(config).ok());
+}
+
+// --- Scenario runner: determinism ------------------------------------
+
+TEST(ScenarioRun, IdenticalRunsProduceBitIdenticalReports)
+{
+    const std::string text = R"(
+scenario determinism-probe
+duration 1.0
+seed 77
+cells 2
+devices 1
+window 0.05
+tenant web load=0.3 deadline=0.05
+arrivals poisson
+flash-crowd tenant=web at=0.3 ramp=0.05 hold=0.2 mult=6
+retry-storm timeout=0.01 backoff=exp-jitter base=0.02 max-retries=4
+alert page slo.page{slo=web-avail} > 0.5 for 0
+slo web-avail tenant=web avail=0.97 horizon=1 fast=0.1 slow=0.5
+)";
+    auto scenario_or = load::ParseScenario(text);
+    ASSERT_TRUE(scenario_or.ok()) << scenario_or.status().message();
+    const load::Scenario& scenario = scenario_or.value();
+
+    std::string first;
+    for (int run = 0; run < 2; ++run) {
+        obs::MetricsRegistry registry;
+        ScenarioRunOptions options;
+        options.registry = &registry;
+        auto outcome_or = RunScenario(scenario, options);
+        ASSERT_TRUE(outcome_or.ok())
+            << outcome_or.status().message();
+        const ScenarioOutcome& outcome = outcome_or.value();
+        EXPECT_TRUE(outcome.conservation_ok);
+        const std::string json =
+            obs::RunReportToJson(outcome.report);
+        ASSERT_FALSE(json.empty());
+        if (run == 0) {
+            first = json;
+        } else {
+            EXPECT_EQ(first, json)
+                << "same scenario, same seed, different artifact";
+        }
+    }
+}
+
+TEST(ScenarioRun, SeedOverrideChangesTheRun)
+{
+    const std::string text = R"(
+scenario seed-probe
+duration 1.0
+seed 77
+cells 1
+devices 1
+tenant web load=0.3 deadline=0.05
+arrivals poisson
+)";
+    auto scenario_or = load::ParseScenario(text);
+    ASSERT_TRUE(scenario_or.ok());
+    obs::MetricsRegistry r1;
+    obs::MetricsRegistry r2;
+    ScenarioRunOptions a;
+    a.registry = &r1;
+    ScenarioRunOptions b;
+    b.registry = &r2;
+    b.override_seed = true;
+    b.seed = 78;
+    auto out_a = RunScenario(scenario_or.value(), a);
+    auto out_b = RunScenario(scenario_or.value(), b);
+    ASSERT_TRUE(out_a.ok());
+    ASSERT_TRUE(out_b.ok());
+    EXPECT_NE(out_a.value().cluster.arrived,
+              out_b.value().cluster.arrived);
+}
+
+}  // namespace
+}  // namespace t4i

@@ -626,7 +626,10 @@ TEST(ServingSpans, FaultTriggeredDumpIsCompleteAndParses)
     telemetry.recorder = &recorder;
     telemetry.max_traced_requests_per_tenant = 1 << 20;
 
-    TenantConfig t = Tenant("A", 300.0);
+    // Saturating load: with both devices continuously busy, a batch is
+    // guaranteed to be mid-flight on device 0 at the fault instant,
+    // regardless of how the arrival stream is seeded.
+    TenantConfig t = Tenant("A", 16000.0);
     ReliabilityConfig reliability;
     reliability.faults.scripted.push_back(ScriptedFault{0, 0.5, 0.9});
 

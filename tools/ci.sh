@@ -212,6 +212,34 @@ fi
     "--alerts=$workdir/quiet.rules" > /dev/null \
     || { echo "CI: check exited nonzero with no firing rule"; exit 1; }
 
+# --- adversarial scenario matrix (chaos gate) ------------------------
+# Every checked-in scenario is a CI assertion: steady state, flash
+# crowds at absorbable and overwhelming multipliers, heavy-tailed
+# sizes, correlated bursts meeting a dead cell, closed-loop trace
+# replay, and the retry-storm pair whose whole point is the split
+# verdict — the same storm must PAGE under fixed backoff and recover
+# (stay quiet) under jittered exponential backoff. `check --scenario`
+# exits nonzero when an expected alert stays quiet, an unexpected one
+# fires, or request conservation is violated.
+scn_count=0
+for scn in scenarios/*.scn; do
+    ./build/examples/t4sim_cli check --scenario "$scn" > /dev/null \
+        || { echo "CI: scenario $scn failed its contract"; exit 1; }
+    scn_count=$((scn_count + 1))
+done
+if [ "$scn_count" -lt 8 ]; then
+    echo "CI: scenario matrix shrank ($scn_count < 8 scenarios)"
+    exit 1
+fi
+# The metastability split must hold under a fresh seed too, not just
+# the checked-in one: override the seed on both storm halves and
+# require the same fixed-pages / jitter-recovers verdict.
+for scn in scenarios/retry_storm_fixed.scn scenarios/retry_storm_jitter.scn; do
+    ./build/examples/t4sim_cli check --scenario "$scn" --seed 2 \
+        > /dev/null \
+        || { echo "CI: $scn verdict flipped under --seed 2"; exit 1; }
+done
+
 # --- perf-regression gate --------------------------------------------
 # Re-run the fast benches (sub-second each; the full set lives in
 # tools/run_all.sh) and gate their metrics against the checked-in
@@ -239,4 +267,5 @@ echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
      "fault smoke: availability $avail, $retries retries," \
      "cluster outage smoke: availability $cavail above the N+k floor," \
      "black-box dump + span export valid, alert gate trips correctly," \
+     "scenario matrix: $scn_count scenarios honored their contracts," \
      "report artifact + diff triage ok, perf gate green + self-test)"

@@ -309,7 +309,7 @@ def main():
                     "serving.": {"rel": 0.25},
                 },
                 # Host wall-clock timings are not modeled performance.
-                "ignore": ["compiler.pass."],
+                "ignore": ["compiler.pass.", "e20.wall_"],
                 # E16 is google-benchmark: adaptive iteration counts
                 # make its cumulative counters wall-clock dependent.
                 "ignore_benches": ["E16"],
