@@ -85,6 +85,9 @@ RunText(const std::string& text, const std::string& policy)
     ScenarioRunOptions options;
     options.registry = &registry;
     options.build_report = false;
+    // Forensics would trace every request and shift E20's pinned
+    // metric set; the sampler's own cost is E21's bench.
+    options.forensics = false;
     options.policy_override = policy;
     auto outcome = RunScenario(scenario.value(), options);
     T4I_CHECK(outcome.ok(), outcome.status().ToString().c_str());

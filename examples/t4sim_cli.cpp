@@ -20,12 +20,29 @@
  *       nonzero when any alert rule is firing at the end of the run
  *       (SLO gate for CI; see docs/OBSERVABILITY.md)
  *   t4sim_cli check --scenario FILE [--seed N] [--policy NAME]
- *              [--report-out FILE]
+ *              [--report-out FILE] [--spans-out FILE]
+ *              [--blackbox-out FILE] [--blackbox-capacity N]
  *       adversarial load scenario gate (docs/SCENARIOS.md): replays
  *       the scenario's arrival program (trace replay, flash crowds,
  *       retry storms) against a cluster and exits 0 iff exactly the
- *       scenario's expected alerts fire and request conservation
- *       holds; --seed/--policy override the file for matrix sweeps
+ *       scenario's expected alerts fire, request conservation holds,
+ *       and any `expect-dominant` tail contract matches;
+ *       --seed/--policy override the file for matrix sweeps;
+ *       --spans-out captures the traced span trees as JSONL and
+ *       --blackbox-out writes a flight-recorder snapshot (with the
+ *       kept-trace forensics summary) at run end
+ *   t4sim_cli explain --scenario FILE [--seed N] [--policy NAME]
+ *              [--top K] [--report-out FILE] [--spans-out FILE]
+ *   t4sim_cli explain --spans FILE [--report FILE] [--seed N]
+ *              [--top K]
+ *       tail-latency forensics (docs/OBSERVABILITY.md): run a
+ *       scenario inline (or reload a --spans-out JSONL and optionally
+ *       its report.json), classify every trace through the tail
+ *       sampler, and print the top-K slowest / violating kept traces
+ *       with critical-path breakdowns and histogram-exemplar joins.
+ *       Exit 0 when the forensic invariants hold, 1 when a kept path
+ *       fails the tiling bar or an exported exemplar does not resolve
+ *       to a kept trace, 2 on usage/IO errors
  *   t4sim_cli report FILE [--format markdown|csv] [--out FILE]
  *       render a --report-out run artifact (report.json) for humans
  *       (markdown) or spreadsheets/pandas (CSV)
@@ -126,14 +143,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "src/cluster/scenario_run.h"
 #include "src/load/scenario.h"
 #include "src/obs/alerts.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/export.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/report.h"
+#include "src/obs/sampling.h"
 #include "src/obs/spans.h"
 #include "src/sim/profile.h"
 #include "src/sim/trace.h"
@@ -463,7 +484,8 @@ WriteReportArtifact(const Args& args, const std::string& command,
                     const obs::MetricsRegistry& registry,
                     const obs::TimeSeriesCollector* timeseries,
                     const obs::SloTracker* slo,
-                    const obs::AlertEngine* alerts)
+                    const obs::AlertEngine* alerts,
+                    const obs::ForensicsResult* forensics = nullptr)
 {
     if (!args.Has("report-out")) return true;
     obs::ReportMeta meta;
@@ -474,12 +496,156 @@ WriteReportArtifact(const Args& args, const std::string& command,
     meta.seed = seed;
     obs::RunReport report =
         obs::BuildRunReport(meta, &registry, timeseries, slo, alerts);
+    if (forensics != nullptr) {
+        obs::AttachForensics(*forensics, &report);
+    }
     const std::string path = args.Get("report-out", "report.json");
     auto status = obs::WriteRunReport(report, path);
     std::printf("report-out: %s\n",
                 status.ok() ? path.c_str()
                             : status.ToString().c_str());
     return status.ok();
+}
+
+/**
+ * Tail-forensics pass shared by run / check / serve-cluster /
+ * explain: classify the collected traces, join exemplars from
+ * @p registry, and print the one-line summary. Alert windows come
+ * from @p alerts (rules that ever fired stay interesting through run
+ * end). Pass export_registry null for a read-only pass.
+ */
+obs::ForensicsResult
+RunForensicsPass(const obs::SpanCollector& spans, uint64_t seed,
+                 double duration_s, const obs::AlertEngine* alerts,
+                 const obs::MetricsRegistry* registry,
+                 obs::MetricsRegistry* export_registry)
+{
+    obs::TailSamplerOptions sampler_options;
+    sampler_options.seed = seed;
+    obs::TailSampler sampler(sampler_options);
+    if (alerts != nullptr) {
+        for (const obs::AlertStatus& status : alerts->statuses()) {
+            if (status.fire_count > 0) {
+                sampler.AddAlertWindow(status.fired_at_s,
+                                       duration_s);
+            }
+        }
+    }
+    return obs::BuildForensics(spans, sampler, registry,
+                               export_registry);
+}
+
+void
+PrintForensicsSummary(const obs::ForensicsResult& forensics)
+{
+    const obs::ReportCriticalPath& cp = forensics.critical_path;
+    std::printf("forensics: kept %lld of %lld traces | paths %lld "
+                "tiled, %lld untiled | %zu exemplars\n",
+                static_cast<long long>(cp.kept),
+                static_cast<long long>(cp.traces),
+                static_cast<long long>(cp.tiled),
+                static_cast<long long>(cp.untiled),
+                forensics.exemplars.size());
+}
+
+/** Renders one path as `queue 61.2% -> execute 30.1% (12.34 ms)`. */
+std::string
+RenderPathBreakdown(const obs::TracePath& path)
+{
+    // Merge per-component seconds in first-appearance order so long
+    // paths stay one readable line.
+    std::vector<std::pair<std::string, double>> shares;
+    double total = 0.0;
+    for (const obs::PathSegment& seg : path.segments) {
+        total += seg.duration_s();
+        bool merged = false;
+        for (auto& [component, seconds] : shares) {
+            if (component == seg.component) {
+                seconds += seg.duration_s();
+                merged = true;
+                break;
+            }
+        }
+        if (!merged) {
+            shares.emplace_back(seg.component, seg.duration_s());
+        }
+    }
+    std::string out;
+    for (const auto& [component, seconds] : shares) {
+        if (!out.empty()) out += " -> ";
+        out += StrFormat("%s %.1f%%", component.c_str(),
+                         total > 0.0 ? 100.0 * seconds / total : 0.0);
+    }
+    if (out.empty()) out = "(empty path)";
+    return out;
+}
+
+/**
+ * Prints the top-K kept traces (SLO violations and non-completions
+ * first, then by latency) with critical-path breakdowns and exemplar
+ * joins. Returns the number of untiled paths among everything kept.
+ */
+int64_t
+PrintTopTraces(const obs::ForensicsResult& forensics, int64_t top)
+{
+    std::map<uint64_t, obs::KeepReason> reasons;
+    for (const obs::TraceVerdict& v : forensics.verdicts) {
+        if (v.kept) reasons[v.trace_id] = v.reason;
+    }
+    std::map<uint64_t, std::vector<const obs::ReportExemplar*>> joins;
+    for (const obs::ReportExemplar& e : forensics.exemplars) {
+        joins[e.trace_id].push_back(&e);
+    }
+    std::vector<const obs::TracePath*> ranked;
+    ranked.reserve(forensics.paths.size());
+    for (const obs::TracePath& path : forensics.paths) {
+        ranked.push_back(&path);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const obs::TracePath* a, const obs::TracePath* b) {
+                  const bool a_bad =
+                      a->slo_miss || a->outcome != "completed";
+                  const bool b_bad =
+                      b->slo_miss || b->outcome != "completed";
+                  if (a_bad != b_bad) return a_bad;
+                  if (a->latency_s != b->latency_s) {
+                      return a->latency_s > b->latency_s;
+                  }
+                  return a->trace_id < b->trace_id;
+              });
+    int64_t untiled = 0;
+    for (const obs::TracePath* path : ranked) {
+        if (!path->tiled) ++untiled;
+    }
+    const size_t n = std::min(ranked.size(),
+                              static_cast<size_t>(
+                                  std::max<int64_t>(top, 0)));
+    for (size_t i = 0; i < n; ++i) {
+        const obs::TracePath& path = *ranked[i];
+        auto reason = reasons.find(path.trace_id);
+        std::printf(
+            "  #%zu trace %llu%s%s | %.3f ms | %s%s | kept: %s%s\n",
+            i + 1,
+            static_cast<unsigned long long>(path.trace_id),
+            path.tenant.empty() ? "" : " tenant=",
+            path.tenant.c_str(), path.latency_s * 1e3,
+            path.outcome.empty() ? "?" : path.outcome.c_str(),
+            path.slo_miss ? " SLO-MISS" : "",
+            reason != reasons.end()
+                ? obs::KeepReasonName(reason->second)
+                : "?",
+            path.tiled ? "" : " | UNTILED");
+        std::printf("      %s\n",
+                    RenderPathBreakdown(path).c_str());
+        auto join = joins.find(path.trace_id);
+        if (join != joins.end()) {
+            for (const obs::ReportExemplar* e : join->second) {
+                std::printf("      exemplar: %s[%d] = %.6g s\n",
+                            e->metric.c_str(), e->bucket, e->value);
+            }
+        }
+    }
+    return untiled;
 }
 
 /** Parses `prefix=rel[:abs],...` into diff tolerances. */
@@ -1022,6 +1188,13 @@ CmdServeCluster(const Args& args)
                                 : status.ToString().c_str());
         if (!status.ok()) return 1;
     }
+    // Tail forensics post-conservation; instruments appear only now.
+    const obs::ForensicsResult forensics = RunForensicsPass(
+        span_collector, config.seed, r.duration_s,
+        alerts.rule_count() > 0 ? &alerts : nullptr, &reg, &reg);
+    if (!span_collector.spans().empty()) {
+        PrintForensicsSummary(forensics);
+    }
     if (alerts.rule_count() > 0) {
         std::printf("alerts (%lld evaluations):\n%s",
                     static_cast<long long>(alerts.evaluations()),
@@ -1062,7 +1235,8 @@ CmdServeCluster(const Args& args)
             chip.value().name, r.duration_s,
             static_cast<int64_t>(config.seed), reg, &collector,
             &slo_tracker,
-            alerts.rule_count() > 0 ? &alerts : nullptr)) {
+            alerts.rule_count() > 0 ? &alerts : nullptr,
+            &forensics)) {
         return 1;
     }
     return 0;
@@ -1206,6 +1380,17 @@ CmdRun(const Args& args, bool check_mode)
         }
         obs::FlightRecorder recorder(recorder_config);
         recorder.InstallLogSink();
+        recorder.BindRegistry(&reg);
+        recorder.BindSpans(&span_collector);
+        // Black-box dumps carry a read-only forensics snapshot: the
+        // kept-trace id set and exemplar refs as of the incident.
+        recorder.SetForensicsProvider([&span_collector, &reg]() {
+            obs::TailSamplerOptions sampler_options;
+            sampler_options.seed = 42;  // the serving phase's seed
+            obs::TailSampler sampler(sampler_options);
+            return obs::ForensicsJson(obs::BuildForensics(
+                span_collector, sampler, &reg, nullptr));
+        });
         obs::AlertEngine alerts;
         alerts.BindRegistry(&reg);
         alerts.BindTrace(&builder, 2);
@@ -1412,6 +1597,15 @@ CmdRun(const Args& args, bool check_mode)
                                     : status.ToString().c_str());
             if (!status.ok()) return 1;
         }
+        // Tail forensics after the conservation check: the sampler's
+        // obs.sample.* / obs.exemplar.* instruments appear post-run,
+        // so windowed collection never sees them mid-flight.
+        const obs::ForensicsResult forensics = RunForensicsPass(
+            span_collector, 42, serving_end_s,
+            alerts.rule_count() > 0 ? &alerts : nullptr, &reg, &reg);
+        if (!span_collector.spans().empty()) {
+            PrintForensicsSummary(forensics);
+        }
         if (recorder.dumped()) {
             std::printf("blackbox: dumped to %s (%s)\n",
                         recorder.config().dump_path.c_str(),
@@ -1446,7 +1640,8 @@ CmdRun(const Args& args, bool check_mode)
                 args, check_mode ? "check" : "run",
                 graph.value().name, chip.value().name, serving_end_s,
                 42, reg, &collector, &slo_tracker,
-                alerts.rule_count() > 0 ? &alerts : nullptr)) {
+                alerts.rule_count() > 0 ? &alerts : nullptr,
+                &forensics)) {
             return 1;
         }
         if (check_mode && alerts.AnyFiring()) {
@@ -1490,6 +1685,11 @@ CmdCheckScenario(const Args& args)
     if (args.Has("policy")) {
         options.policy_override = args.Get("policy", "");
     }
+    // Our own collector (instead of the runner's internal one) so
+    // --spans-out / --blackbox-out can export what the sampler saw.
+    obs::SpanCollector span_collector;
+    span_collector.BindRegistry(&registry);
+    options.spans = &span_collector;
     auto outcome_or = RunScenario(scenario.value(), options);
     if (!outcome_or.ok()) {
         std::fprintf(stderr, "scenario: %s\n",
@@ -1540,6 +1740,49 @@ CmdCheckScenario(const Args& args)
                      "scenario: unexpected alert '%s' firing\n",
                      name.c_str());
     }
+    PrintForensicsSummary(outcome.forensics);
+    if (!scenario.value().expect_dominant.empty()) {
+        const std::string& tenant =
+            scenario.value().expect_dominant_tenant;
+        std::printf("dominant: expected %s%s%s, measured %s -> %s\n",
+                    scenario.value().expect_dominant.c_str(),
+                    tenant.empty() ? "" : " for tenant ",
+                    tenant.c_str(),
+                    outcome.dominant_actual.empty()
+                        ? "(none)"
+                        : outcome.dominant_actual.c_str(),
+                    outcome.dominant_pass ? "ok" : "MISMATCH");
+    }
+    if (args.Has("spans-out")) {
+        const std::string path =
+            args.Get("spans-out", "scenario_spans.jsonl");
+        auto status =
+            obs::WriteTextFile(span_collector.ToJsonl(), path);
+        std::printf("spans-out: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 2;
+    }
+    if (args.Has("blackbox-out")) {
+        obs::FlightRecorderConfig recorder_config;
+        recorder_config.capacity = static_cast<size_t>(std::max(
+            int64_t{16}, args.GetInt("blackbox-capacity", 4096)));
+        recorder_config.dump_path =
+            args.Get("blackbox-out", "scenario_blackbox.json");
+        obs::FlightRecorder recorder(recorder_config);
+        recorder.BindRegistry(&registry);
+        recorder.BindSpans(&span_collector);
+        recorder.SetForensicsProvider([&outcome]() {
+            return obs::ForensicsJson(outcome.forensics);
+        });
+        auto status = recorder.Trigger("scenario end",
+                                       r.duration_s);
+        std::printf("blackbox-out: %s\n",
+                    status.ok()
+                        ? recorder_config.dump_path.c_str()
+                        : status.ToString().c_str());
+        if (!status.ok()) return 2;
+    }
     if (args.Has("report-out")) {
         const std::string path =
             args.Get("report-out", "report.json");
@@ -1551,12 +1794,207 @@ CmdCheckScenario(const Args& args)
     }
     if (!ScenarioPassed(outcome)) {
         std::fprintf(stderr, "scenario: FAILED (%s)\n",
-                     outcome.conservation_ok ? "alert contract"
-                                             : "conservation");
+                     !outcome.conservation_ok
+                         ? "conservation"
+                         : (!outcome.alerts_pass
+                                ? "alert contract"
+                                : "dominant-component contract"));
         return 1;
     }
     std::printf("scenario: PASS\n");
     return 0;
+}
+
+/**
+ * explain: tail-latency forensics over a run. Inline (--scenario)
+ * runs the scenario and explains its kept traces; offline (--spans)
+ * reloads a --spans-out JSONL (optionally joined with its
+ * report.json) and re-derives the same verdicts — the sampler is a
+ * pure function of (spans, seed, alert windows). Exit 0 when the
+ * forensic invariants hold, 1 when a kept path fails the tiling bar
+ * or an exemplar does not resolve to a kept trace, 2 on usage/IO.
+ */
+int
+CmdExplain(const Args& args)
+{
+    const int64_t top = args.GetInt("top", 5);
+
+    if (args.Has("spans")) {
+        auto text = obs::ReadTextFile(args.Get("spans", ""));
+        if (!text.ok()) {
+            std::fprintf(stderr, "explain: %s\n",
+                         text.status().ToString().c_str());
+            return 2;
+        }
+        auto collector_or =
+            obs::SpanCollectorFromJsonl(text.value());
+        if (!collector_or.ok()) {
+            std::fprintf(stderr, "explain: %s\n",
+                         collector_or.status().ToString().c_str());
+            return 2;
+        }
+        const obs::SpanCollector& spans = collector_or.value();
+
+        obs::RunReport report;
+        bool have_report = false;
+        if (args.Has("report")) {
+            auto report_or =
+                obs::ReadRunReport(args.Get("report", ""));
+            if (!report_or.ok()) {
+                std::fprintf(stderr, "explain: %s\n",
+                             report_or.status().ToString().c_str());
+                return 2;
+            }
+            report = std::move(report_or).ConsumeValue();
+            have_report = true;
+        }
+
+        obs::TailSamplerOptions sampler_options;
+        sampler_options.seed =
+            args.Has("seed")
+                ? static_cast<uint64_t>(args.GetInt("seed", 42))
+                : (have_report
+                       ? static_cast<uint64_t>(report.meta.seed)
+                       : 42);
+        obs::TailSampler sampler(sampler_options);
+        if (have_report) {
+            for (const obs::ReportAlert& alert : report.alerts) {
+                if (alert.fire_count > 0) {
+                    sampler.AddAlertWindow(alert.fired_at_s,
+                                           report.meta.duration_s);
+                }
+            }
+        }
+        sampler.Classify(spans);
+        // The artifact's exemplars must resolve against this span
+        // set; each resolvable one is force-kept exactly as the
+        // original run's exemplar join did.
+        int64_t unresolved = 0;
+        if (have_report) {
+            for (const obs::ReportExemplar& e : report.exemplars) {
+                if (!sampler.ForceKeep(e.trace_id,
+                                       obs::KeepReason::kExemplar)) {
+                    std::fprintf(
+                        stderr,
+                        "explain: exemplar %s[%d] references "
+                        "unknown trace %llu\n",
+                        e.metric.c_str(), e.bucket,
+                        static_cast<unsigned long long>(e.trace_id));
+                    ++unresolved;
+                }
+            }
+        }
+        obs::ForensicsResult forensics =
+            obs::BuildForensics(spans, sampler, nullptr, nullptr);
+        if (have_report) forensics.exemplars = report.exemplars;
+        PrintForensicsSummary(forensics);
+        const int64_t untiled = PrintTopTraces(forensics, top);
+        if (unresolved > 0 || untiled > 0) {
+            std::fprintf(
+                stderr,
+                "explain: forensic invariants violated (%lld "
+                "unresolved exemplars, %lld untiled paths)\n",
+                static_cast<long long>(unresolved),
+                static_cast<long long>(untiled));
+            return 1;
+        }
+        return 0;
+    }
+
+    if (args.Has("scenario")) {
+        auto scenario =
+            load::ParseScenarioFile(args.Get("scenario", ""));
+        if (!scenario.ok()) {
+            std::fprintf(stderr, "explain: %s\n",
+                         scenario.status().ToString().c_str());
+            return 2;
+        }
+        obs::MetricsRegistry registry;
+        obs::SpanCollector span_collector;
+        span_collector.BindRegistry(&registry);
+        ScenarioRunOptions options;
+        options.registry = &registry;
+        options.spans = &span_collector;
+        if (args.Has("seed")) {
+            options.override_seed = true;
+            options.seed =
+                static_cast<uint64_t>(args.GetInt("seed", 42));
+        }
+        if (args.Has("policy")) {
+            options.policy_override = args.Get("policy", "");
+        }
+        auto outcome_or = RunScenario(scenario.value(), options);
+        if (!outcome_or.ok()) {
+            std::fprintf(stderr, "explain: %s\n",
+                         outcome_or.status().ToString().c_str());
+            return 2;
+        }
+        const ScenarioOutcome& outcome = outcome_or.value();
+        std::printf("explain: scenario %s | policy %s | seed %llu\n",
+                    scenario.value().name.c_str(),
+                    outcome.policy.c_str(),
+                    static_cast<unsigned long long>(
+                        options.override_seed
+                            ? options.seed
+                            : scenario.value().seed));
+        PrintForensicsSummary(outcome.forensics);
+        const int64_t untiled =
+            PrintTopTraces(outcome.forensics, top);
+        // Exemplar resolution is guaranteed by construction (the
+        // join force-keeps); verified anyway — that is the gate.
+        const std::set<uint64_t> kept(
+            outcome.forensics.critical_path.kept_trace_ids.begin(),
+            outcome.forensics.critical_path.kept_trace_ids.end());
+        int64_t unresolved = 0;
+        for (const obs::ReportExemplar& e :
+             outcome.forensics.exemplars) {
+            if (kept.count(e.trace_id) == 0) {
+                std::fprintf(
+                    stderr,
+                    "explain: exemplar %s[%d] -> trace %llu is "
+                    "not kept\n",
+                    e.metric.c_str(), e.bucket,
+                    static_cast<unsigned long long>(e.trace_id));
+                ++unresolved;
+            }
+        }
+        if (args.Has("spans-out")) {
+            const std::string path =
+                args.Get("spans-out", "scenario_spans.jsonl");
+            auto status =
+                obs::WriteTextFile(span_collector.ToJsonl(), path);
+            std::printf("spans-out: %s\n",
+                        status.ok() ? path.c_str()
+                                    : status.ToString().c_str());
+            if (!status.ok()) return 2;
+        }
+        if (args.Has("report-out")) {
+            const std::string path =
+                args.Get("report-out", "report.json");
+            auto status = obs::WriteRunReport(outcome.report, path);
+            std::printf("report-out: %s\n",
+                        status.ok() ? path.c_str()
+                                    : status.ToString().c_str());
+            if (!status.ok()) return 2;
+        }
+        if (unresolved > 0 || untiled > 0) {
+            std::fprintf(
+                stderr,
+                "explain: forensic invariants violated (%lld "
+                "unresolved exemplars, %lld untiled paths)\n",
+                static_cast<long long>(unresolved),
+                static_cast<long long>(untiled));
+            return 1;
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "usage: explain --scenario FILE [--seed N] "
+                 "[--policy NAME] [--top K] [--report-out FILE] "
+                 "[--spans-out FILE] | explain --spans FILE "
+                 "[--report FILE] [--seed N] [--top K]\n");
+    return 2;
 }
 
 }  // namespace
@@ -1570,6 +2008,8 @@ main(int argc, char** argv)
                      "profile --app NAME [options] | "
                      "check --app NAME --alerts RULES [options] | "
                      "serve-cluster --app NAME [options] | "
+                     "explain --scenario FILE | "
+                     "explain --spans FILE [--report FILE] | "
                      "report FILE [--format markdown|csv] | "
                      "diff BASE CURRENT [--rel R] [--abs A]\n"
                      "see the file header for all options\n",
@@ -1617,6 +2057,7 @@ main(int argc, char** argv)
                    : CmdRun(args, /*check_mode=*/true);
     }
     if (cmd == "exec") return CmdExec(args);
+    if (cmd == "explain") return CmdExplain(args);
     if (cmd == "profile") return CmdProfile(args);
     if (cmd == "serve-cluster") return CmdServeCluster(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

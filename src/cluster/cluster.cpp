@@ -429,6 +429,15 @@ RunCluster(const ClusterConfig& config)
                 if (b.completed_counter != nullptr) {
                     b.completed_counter->Increment();
                     b.latency_hist->Observe(latency);
+                    if (e.tag != 0 && spans != nullptr) {
+                        // The traced entry is erased further down in
+                        // this callback, so the lookup still resolves.
+                        auto it = traced.find(e.tag);
+                        if (it != traced.end()) {
+                            b.latency_hist->AttachExemplar(
+                                latency, it->second.trace_id, e.end_s);
+                        }
+                    }
                 }
                 ++window_completed;
                 if (e.slo_miss) ++window_misses;

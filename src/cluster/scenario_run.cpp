@@ -9,7 +9,9 @@
 
 #include "src/cluster/routing.h"
 #include "src/obs/alerts.h"
+#include "src/obs/sampling.h"
 #include "src/obs/slo.h"
+#include "src/obs/spans.h"
 #include "src/obs/timeseries.h"
 
 namespace t4i {
@@ -148,6 +150,18 @@ RunScenario(const load::Scenario& scenario,
     if (alerts.rule_count() > 0) config.alerts = &alerts;
     config.trace = options.trace;
     config.spans = options.spans;
+    obs::SpanCollector internal_spans;
+    if (options.forensics) {
+        if (config.spans == nullptr) {
+            internal_spans.BindRegistry(&reg);
+            config.spans = &internal_spans;
+        }
+        // The sampler must see every request to guarantee "100% of
+        // SLO-violating traces kept"; the default trace cap would
+        // silently censor the tail.
+        config.max_traced_requests =
+            std::numeric_limits<int64_t>::max();
+    }
 
     auto result = RunCluster(config);
     T4I_RETURN_IF_ERROR(result.status());
@@ -231,6 +245,33 @@ RunScenario(const load::Scenario& scenario,
     outcome.goodput_trough_rps =
         first < good.size() ? trough + 0.0 : 0.0;
 
+    // --- tail forensics (after conservation: the sampler's metrics
+    // --- appear post-run, so windowed collection never sees them) ----
+    if (options.forensics && config.spans != nullptr) {
+        obs::TailSamplerOptions sampler_options;
+        sampler_options.seed = seed;
+        obs::TailSampler sampler(sampler_options);
+        for (const obs::AlertStatus& status : alerts.statuses()) {
+            if (status.fire_count > 0) {
+                sampler.AddAlertWindow(status.fired_at_s,
+                                       outcome.cluster.duration_s);
+            }
+        }
+        outcome.forensics =
+            obs::BuildForensics(*config.spans, sampler, &reg, &reg);
+        for (const auto& [tenant, component] :
+             outcome.forensics.critical_path.dominant) {
+            if (tenant == scenario.expect_dominant_tenant) {
+                outcome.dominant_actual = component;
+                break;
+            }
+        }
+        if (!scenario.expect_dominant.empty()) {
+            outcome.dominant_pass =
+                outcome.dominant_actual == scenario.expect_dominant;
+        }
+    }
+
     if (options.build_report) {
         obs::ReportMeta meta;
         meta.command = "check-scenario";
@@ -241,6 +282,7 @@ RunScenario(const load::Scenario& scenario,
         outcome.report = obs::BuildRunReport(
             meta, &reg, &collector, &slo_tracker,
             alerts.rule_count() > 0 ? &alerts : nullptr);
+        obs::AttachForensics(outcome.forensics, &outcome.report);
     }
     return outcome;
 }

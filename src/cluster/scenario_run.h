@@ -22,6 +22,7 @@
 #include "src/cluster/cluster.h"
 #include "src/common/status.h"
 #include "src/load/scenario.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/report.h"
 
 namespace t4i {
@@ -47,6 +48,14 @@ struct ScenarioRunOptions {
         make_tenant;
     /** Assemble `report` in the outcome (skip to save the copy). */
     bool build_report = true;
+    /**
+     * Tail-forensics pass after the run: trace every request (into
+     * `spans` when provided, else an internal collector), classify
+     * through the tail sampler, extract critical paths, and grade the
+     * scenario's `expect-dominant` contract. Off saves the tracing
+     * cost and leaves the forensic sections empty (benches).
+     */
+    bool forensics = true;
     // Optional extra sinks, threaded straight into ClusterConfig.
     obs::TraceBuilder* trace = nullptr;
     obs::SpanCollector* spans = nullptr;
@@ -83,17 +92,29 @@ struct ScenarioOutcome {
 
     int64_t client_retries = 0;
 
+    /** Tail-forensics result (empty when options.forensics is off):
+     *  kept trace ids, critical paths, exemplar joins. */
+    obs::ForensicsResult forensics;
+    /** Component actually dominating the graded p99 band ("" when the
+     *  band is empty or forensics is off). */
+    std::string dominant_actual;
+    /** `expect-dominant` verdict; vacuously true without the
+     *  directive (or with forensics off). */
+    bool dominant_pass = true;
+
     /** Full artifact (empty when build_report is false). Runs with
      *  identical scenario + seed produce bit-identical JSON. */
     obs::RunReport report;
 };
 
-/** True iff the run both passed its alert contract and conserved
- *  requests — the CI gate's single bit. */
+/** True iff the run passed its alert contract, conserved requests,
+ *  and honored any `expect-dominant` tail contract — the CI gate's
+ *  single bit. */
 inline bool
 ScenarioPassed(const ScenarioOutcome& outcome)
 {
-    return outcome.alerts_pass && outcome.conservation_ok;
+    return outcome.alerts_pass && outcome.conservation_ok &&
+           outcome.dominant_pass;
 }
 
 /** Runs @p scenario to full drain and grades it. */

@@ -372,6 +372,34 @@ ParseScenario(const std::string& text)
                 .push_back(tokens[1]);
             continue;
         }
+        if (word == "expect-dominant") {
+            if (tokens.size() < 2) {
+                return LineError(
+                    line_no, "expect-dominant needs a component");
+            }
+            if (!scenario.expect_dominant.empty()) {
+                return LineError(
+                    line_no, "duplicate expect-dominant directive");
+            }
+            scenario.expect_dominant = tokens[1];
+            const Options options = ParseOptions(tokens, 2);
+            if (!options.bare.empty()) {
+                return LineError(
+                    line_no,
+                    "expect-dominant takes one component and "
+                    "optional tenant=NAME");
+            }
+            for (const auto& [key, value] : options.pairs) {
+                if (key != "tenant") {
+                    return LineError(
+                        line_no,
+                        StrFormat("unknown option '%s'",
+                                  key.c_str()));
+                }
+                scenario.expect_dominant_tenant = value;
+            }
+            continue;
+        }
         return LineError(line_no, StrFormat("unknown directive '%s'",
                                             word.c_str()));
     }
@@ -399,6 +427,20 @@ ParseScenario(const std::string& text)
             return Status::InvalidArgument(StrFormat(
                 "alert '%s' is both expected and expected-not",
                 name.c_str()));
+        }
+    }
+    if (!scenario.expect_dominant_tenant.empty()) {
+        bool known = false;
+        for (const ScenarioTenant& tenant : scenario.tenants) {
+            if (tenant.name == scenario.expect_dominant_tenant) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            return Status::InvalidArgument(StrFormat(
+                "expect-dominant tenant '%s' is not declared",
+                scenario.expect_dominant_tenant.c_str()));
         }
     }
     for (const ScenarioOutage& outage : scenario.outages) {

@@ -39,6 +39,13 @@
  *   expect-not ALERT_NAME # documents a rule that must stay quiet
  *                         # (every un-expected rule must be quiet
  *                         # anyway; this line is a readable pin)
+ *   expect-dominant COMPONENT [tenant=NAME]
+ *                         # tail forensics: the critical-path
+ *                         # component dominating the p99 band
+ *                         # (queue | batch | execute | retry |
+ *                         # route | backoff | an engine group);
+ *                         # tenant defaults to the cross-tenant
+ *                         # aggregate
  *
  * `t4sim_cli check --scenario FILE` runs the scenario and exits 0
  * iff the fired alert set equals the expected set exactly and the
@@ -124,6 +131,12 @@ struct Scenario {
     /** Rule names pinned quiet (documentation; checked for overlap
      *  with `expect` at parse time). */
     std::vector<std::string> expect_not;
+    /** Critical-path component that must dominate the p99 band
+     *  (empty = no tail contract). */
+    std::string expect_dominant;
+    /** Tenant the dominant contract grades against; "" is the
+     *  cross-tenant aggregate. */
+    std::string expect_dominant_tenant;
 };
 
 /** Parses the grammar above. Errors carry the offending line. */

@@ -1,0 +1,423 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/strings.h"
+#include "src/obs/json.h"
+
+namespace t4i {
+namespace obs {
+namespace {
+
+/** One clipped candidate interval competing for path time. */
+struct Candidate {
+    std::string component;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    int priority = 0;
+    bool won = false;
+    SpanId span_id = 0;
+};
+
+/** More specific work beats its containers: route < queue < batch <
+ *  execute < engine sub-span. */
+void
+ClassifySpan(const Span& span, std::string* component, int* priority)
+{
+    if (span.name == "queue") {
+        *component = "queue";
+        *priority = 1;
+    } else if (span.name == "batch") {
+        *component = "batch";
+        *priority = 2;
+    } else if (span.name == "execute") {
+        const std::string outcome = span.Attribute("outcome");
+        *component = (outcome == "aborted" ||
+                      outcome == "transient_error")
+                         ? "retry"
+                         : "execute";
+        *priority = 3;
+    } else if (span.name.rfind("execute/", 0) == 0) {
+        *component = span.name.substr(8);
+        *priority = 4;
+    } else {
+        // Containers (route attempts, cell hand-offs): routing time
+        // until a more specific child claims the interval.
+        *component = "route";
+        *priority = 0;
+    }
+}
+
+bool
+Beats(const Candidate& a, const Candidate& b)
+{
+    if (a.priority != b.priority) return a.priority > b.priority;
+    if (a.won != b.won) return a.won;
+    if (a.start_s != b.start_s) return a.start_s > b.start_s;
+    return a.span_id > b.span_id;
+}
+
+/** `{k=v,...}` flat-key suffix, the report/perf_gate convention. */
+std::string
+FlatLabels(const Labels& labels)
+{
+    if (labels.empty()) return "";
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+        if (i > 0) out += ",";
+        out += labels[i].first + "=" + labels[i].second;
+    }
+    return out + "}";
+}
+
+constexpr const char* kBandNames[] = {"p50", "mid", "p99"};
+
+}  // namespace
+
+TracePath
+ExtractCriticalPath(const std::vector<const Span*>& trace_spans,
+                    const Span& root)
+{
+    TracePath path;
+    path.trace_id = root.trace_id;
+    path.tenant = root.Attribute("tenant");
+    path.outcome = root.Attribute("outcome");
+    path.slo_miss = root.Attribute("slo_miss") == "1";
+    if (root.open) return path;  // no story ending: untiled
+    path.latency_s = root.end_s - root.start_s;
+    if (root.end_s == root.start_s) {
+        // Zero-duration request (e.g. an immediate shed): nothing to
+        // attribute, and nothing violated.
+        path.tiled = true;
+        return path;
+    }
+    if (root.end_s < root.start_s) return path;
+
+    bool escaped = false;
+    std::vector<Candidate> candidates;
+    for (const Span* span : trace_spans) {
+        if (span == nullptr || span->trace_id != root.trace_id ||
+            span->span_id == root.span_id || span->open) {
+            continue;
+        }
+        if (span->start_s < root.start_s) escaped = true;
+        Candidate c;
+        ClassifySpan(*span, &c.component, &c.priority);
+        c.start_s = std::max(span->start_s, root.start_s);
+        c.end_s = std::min(span->end_s, root.end_s);
+        if (c.end_s <= c.start_s) continue;
+        c.won = span->Attribute("won") == "1";
+        c.span_id = span->span_id;
+        candidates.push_back(std::move(c));
+    }
+
+    // Elementary-interval sweep: boundaries are the original span
+    // times, so segment edges are exact doubles — the tiling is bit
+    // for bit by construction, and verified below anyway.
+    std::vector<double> bounds;
+    bounds.push_back(root.start_s);
+    bounds.push_back(root.end_s);
+    for (const Candidate& c : candidates) {
+        bounds.push_back(c.start_s);
+        bounds.push_back(c.end_s);
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()),
+                 bounds.end());
+
+    for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+        const double lo = bounds[i];
+        const double hi = bounds[i + 1];
+        const Candidate* best = nullptr;
+        for (const Candidate& c : candidates) {
+            if (c.start_s > lo || c.end_s < hi) continue;
+            if (best == nullptr || Beats(c, *best)) best = &c;
+        }
+        const std::string& component =
+            best != nullptr ? best->component : "backoff";
+        if (!path.segments.empty() &&
+            path.segments.back().component == component) {
+            path.segments.back().end_s = hi;
+        } else {
+            path.segments.push_back(PathSegment{component, lo, hi});
+        }
+    }
+
+    // The conservation bar, checked rather than assumed.
+    bool tiled = !escaped && !path.segments.empty() &&
+                 path.segments.front().start_s == root.start_s &&
+                 path.segments.back().end_s == root.end_s;
+    for (size_t i = 0; tiled && i + 1 < path.segments.size(); ++i) {
+        if (path.segments[i].end_s !=
+            path.segments[i + 1].start_s) {
+            tiled = false;
+        }
+    }
+    path.tiled = tiled;
+    return path;
+}
+
+TracePath
+ExtractCriticalPath(const SpanCollector& spans, const Span& root)
+{
+    std::vector<const Span*> trace_spans;
+    for (const Span& span : spans.spans()) {
+        if (span.trace_id == root.trace_id) {
+            trace_spans.push_back(&span);
+        }
+    }
+    return ExtractCriticalPath(trace_spans, root);
+}
+
+ReportCriticalPath
+SummarizeCriticalPaths(const std::vector<TracePath>& paths,
+                       const std::vector<TraceVerdict>& verdicts)
+{
+    ReportCriticalPath section;
+
+    // Band thresholds come from *every* classified completion — kept
+    // or not — so the bands describe the true latency distribution,
+    // not the sampler's biased keep set. Tenant "" aggregates.
+    std::map<std::string, PercentileTracker> latencies;
+    std::map<std::string, int64_t> latency_counts;
+    for (const TraceVerdict& v : verdicts) {
+        if (v.outcome != "completed") continue;
+        latencies[std::string()].Add(v.latency_s);
+        ++latency_counts[std::string()];
+        if (!v.tenant.empty()) {
+            latencies[v.tenant].Add(v.latency_s);
+            ++latency_counts[v.tenant];
+        }
+    }
+
+    struct BandAcc {
+        int64_t traces = 0;
+        double total_s = 0.0;
+        std::map<std::string, double> seconds;
+    };
+    std::map<std::string, std::array<BandAcc, 3>> acc;
+
+    auto band_index = [&](const std::string& tenant,
+                          double latency) {
+        auto it = latencies.find(tenant);
+        if (it == latencies.end() ||
+            latency_counts[tenant] == 0) {
+            return 1;  // mid: no distribution to band against
+        }
+        if (latency >= it->second.Percentile(99.0)) return 2;
+        if (latency <= it->second.Percentile(50.0)) return 0;
+        return 1;
+    };
+
+    for (const TracePath& path : paths) {
+        std::vector<std::string> tenants{std::string()};
+        if (!path.tenant.empty()) tenants.push_back(path.tenant);
+        for (const std::string& tenant : tenants) {
+            BandAcc& b =
+                acc[tenant][static_cast<size_t>(
+                    band_index(tenant, path.latency_s))];
+            ++b.traces;
+            for (const PathSegment& seg : path.segments) {
+                b.total_s += seg.duration_s();
+                b.seconds[seg.component] += seg.duration_s();
+            }
+        }
+    }
+
+    for (const auto& [tenant, bands] : acc) {
+        for (size_t i = 0; i < 3; ++i) {
+            const BandAcc& b = bands[i];
+            if (b.traces == 0) continue;
+            ReportPathBand out;
+            out.tenant = tenant;
+            out.band = kBandNames[i];
+            out.traces = b.traces;
+            out.total_s = b.total_s;
+            for (const auto& [component, seconds] : b.seconds) {
+                ReportComponentShare share;
+                share.component = component;
+                share.seconds = seconds;
+                share.fraction =
+                    b.total_s > 0.0 ? seconds / b.total_s : 0.0;
+                out.shares.push_back(std::move(share));
+            }
+            section.bands.push_back(std::move(out));
+        }
+
+        // Tail differential needs both ends of the distribution.
+        const BandAcc& lo = bands[0];
+        const BandAcc& hi = bands[2];
+        if (lo.traces > 0 && hi.traces > 0) {
+            std::map<std::string, ReportPathDifferential> rows;
+            for (const auto& [component, seconds] : lo.seconds) {
+                ReportPathDifferential& d = rows[component];
+                d.tenant = tenant;
+                d.component = component;
+                d.p50_fraction = lo.total_s > 0.0
+                                     ? seconds / lo.total_s
+                                     : 0.0;
+            }
+            for (const auto& [component, seconds] : hi.seconds) {
+                ReportPathDifferential& d = rows[component];
+                d.tenant = tenant;
+                d.component = component;
+                d.p99_fraction = hi.total_s > 0.0
+                                     ? seconds / hi.total_s
+                                     : 0.0;
+            }
+            for (auto& [component, d] : rows) {
+                d.delta = d.p99_fraction - d.p50_fraction;
+                section.differential.push_back(std::move(d));
+            }
+        }
+
+        // Dominant tail component: the deepest non-empty band.
+        for (int i = 2; i >= 0; --i) {
+            const BandAcc& b = bands[static_cast<size_t>(i)];
+            if (b.traces == 0) continue;
+            const std::string* top = nullptr;
+            double top_seconds = 0.0;
+            for (const auto& [component, seconds] : b.seconds) {
+                if (top == nullptr || seconds > top_seconds) {
+                    top = &component;
+                    top_seconds = seconds;
+                }
+            }
+            if (top != nullptr) {
+                section.dominant.emplace_back(tenant, *top);
+            }
+            break;
+        }
+    }
+    return section;
+}
+
+ForensicsResult
+BuildForensics(const SpanCollector& spans, TailSampler& sampler,
+               const MetricsRegistry* exemplar_source,
+               MetricsRegistry* export_registry)
+{
+    ForensicsResult result;
+    sampler.Classify(spans);
+
+    // Exemplar join first: a histogram cell must always resolve to a
+    // kept trace, so referenced traces are force-kept before the
+    // kept set (and its paths) are frozen.
+    int64_t attached = 0;
+    int64_t exported = 0;
+    if (exemplar_source != nullptr) {
+        for (const auto& entry : exemplar_source->Snapshot()) {
+            if (entry.type != MetricType::kHistogram) continue;
+            for (const HistogramExemplar& ex :
+                 entry.histogram->Exemplars()) {
+                ++attached;
+                if (!sampler.ForceKeep(ex.trace_id,
+                                       KeepReason::kExemplar)) {
+                    continue;  // trace unknown to the collector
+                }
+                ++exported;
+                ReportExemplar e;
+                e.metric = entry.name + FlatLabels(entry.labels);
+                e.bucket = ex.bucket;
+                e.value = ex.value;
+                e.trace_id = ex.trace_id;
+                e.t_s = ex.t_s;
+                e.reason = KeepReasonName(
+                    sampler.Verdict(ex.trace_id)->reason);
+                result.exemplars.push_back(std::move(e));
+            }
+        }
+    }
+
+    // One pass groups spans by trace (ChildrenOf would be quadratic).
+    std::unordered_map<uint64_t, std::vector<const Span*>> by_trace;
+    std::unordered_map<uint64_t, const Span*> roots;
+    for (const Span& span : spans.spans()) {
+        by_trace[span.trace_id].push_back(&span);
+        if (span.parent_id == 0) roots[span.trace_id] = &span;
+    }
+
+    ReportCriticalPath& cp = result.critical_path;
+    cp.kept_trace_ids = sampler.KeptTraceIds();
+    for (uint64_t trace_id : cp.kept_trace_ids) {
+        auto root = roots.find(trace_id);
+        if (root == roots.end()) continue;
+        TracePath path = ExtractCriticalPath(by_trace[trace_id],
+                                             *root->second);
+        if (path.tiled) {
+            ++cp.tiled;
+        } else {
+            ++cp.untiled;
+        }
+        result.paths.push_back(std::move(path));
+    }
+    result.verdicts = sampler.verdicts();
+    const ReportCriticalPath bands =
+        SummarizeCriticalPaths(result.paths, result.verdicts);
+    cp.bands = bands.bands;
+    cp.differential = bands.differential;
+    cp.dominant = bands.dominant;
+    cp.traces = sampler.seen();
+    cp.kept = sampler.kept();
+
+    if (export_registry != nullptr) {
+        sampler.BindRegistry(export_registry);
+        sampler.ExportMetrics();
+    }
+    if (export_registry != nullptr) {
+        export_registry->GetCounter("obs.exemplar.attached")
+            ->Increment(attached);
+        export_registry->GetCounter("obs.exemplar.exported")
+            ->Increment(exported);
+    }
+    return result;
+}
+
+void
+AttachForensics(const ForensicsResult& forensics, RunReport* report)
+{
+    report->critical_path = forensics.critical_path;
+    report->exemplars = forensics.exemplars;
+}
+
+std::string
+ForensicsJson(const ForensicsResult& forensics)
+{
+    const ReportCriticalPath& cp = forensics.critical_path;
+    std::string out = "{";
+    out += StrFormat("\"traces\":%lld,\"kept\":%lld,",
+                     static_cast<long long>(cp.traces),
+                     static_cast<long long>(cp.kept));
+    out += StrFormat("\"tiled\":%lld,\"untiled\":%lld,",
+                     static_cast<long long>(cp.tiled),
+                     static_cast<long long>(cp.untiled));
+    out += "\"kept_trace_ids\":[";
+    for (size_t i = 0; i < cp.kept_trace_ids.size(); ++i) {
+        out += i > 0 ? "," : "";
+        out += StrFormat(
+            "%llu",
+            static_cast<unsigned long long>(cp.kept_trace_ids[i]));
+    }
+    out += "],\"exemplars\":[";
+    for (size_t i = 0; i < forensics.exemplars.size(); ++i) {
+        const ReportExemplar& e = forensics.exemplars[i];
+        out += i > 0 ? "," : "";
+        out += "{\"metric\":" + JsonQuote(e.metric);
+        out += StrFormat(",\"bucket\":%d", e.bucket);
+        out += StrFormat(",\"value\":%.12g", e.value);
+        out += StrFormat(
+            ",\"trace_id\":%llu",
+            static_cast<unsigned long long>(e.trace_id));
+        out += StrFormat(",\"t_s\":%.12g", e.t_s);
+        out += ",\"reason\":" + JsonQuote(e.reason);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+}  // namespace obs
+}  // namespace t4i

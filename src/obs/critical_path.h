@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Critical-path attribution over kept span trees.
+ *
+ * A kept trace answers "this request was slow"; the critical path
+ * answers *where*. ExtractCriticalPath walks one request's span tree
+ * and produces a sequence of component segments — queue wait, batch
+ * formation, the winning execute attempt (split into engine groups
+ * when `execute/<component>` sub-spans exist), failed attempts as
+ * "retry", routing/handoff time as "route", and anything no child
+ * accounts for as "backoff" — that tiles the root span's duration bit
+ * for bit (the same conservation bar tests/test_spans.cpp holds the
+ * serving spans to: segment boundaries are the original span-time
+ * doubles, so first.start == root.start, adjacent segments share
+ * their boundary exactly, and last.end == root.end).
+ *
+ * SummarizeCriticalPaths aggregates kept paths into per-tenant,
+ * per-latency-band component-share profiles (bands p50 / mid / p99,
+ * thresholds from every classified trace so bands are unbiased by the
+ * keep decision) and a p50-vs-p99 differential per component: what
+ * grows in the tail. BuildForensics is the one-call glue the CLI and
+ * scenario runner use: classify (if needed), join histogram
+ * exemplars, force-keep exemplar-referenced traces, extract paths,
+ * summarize, and export the `obs.sample.*` / `obs.exemplar.*`
+ * instruments.
+ */
+#ifndef T4I_OBS_CRITICAL_PATH_H
+#define T4I_OBS_CRITICAL_PATH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/obs/report.h"
+#include "src/obs/sampling.h"
+#include "src/obs/spans.h"
+
+namespace t4i {
+namespace obs {
+
+/** One critical-path segment: [start_s, end_s) spent in component. */
+struct PathSegment {
+    std::string component;
+    double start_s = 0.0;
+    double end_s = 0.0;
+
+    double duration_s() const { return end_s - start_s; }
+};
+
+/** One kept trace's critical path. */
+struct TracePath {
+    uint64_t trace_id = 0;
+    std::string tenant;
+    std::string outcome;
+    double latency_s = 0.0;
+    bool slo_miss = false;
+    /**
+     * True iff the segments tile the closed root exactly: first
+     * segment starts at root.start_s, every boundary is shared, the
+     * last ends at root.end_s (all compared as exact doubles), and no
+     * closed descendant escaped the root's bounds.
+     */
+    bool tiled = false;
+    std::vector<PathSegment> segments;
+};
+
+/**
+ * Extracts the critical path of @p root from @p trace_spans (every
+ * span of the trace; non-members are ignored). Deterministic.
+ */
+TracePath ExtractCriticalPath(
+    const std::vector<const Span*>& trace_spans, const Span& root);
+
+/** Convenience: filters @p spans for the root's trace first. */
+TracePath ExtractCriticalPath(const SpanCollector& spans,
+                              const Span& root);
+
+/**
+ * Aggregates kept paths into band profiles + tail differential.
+ * @p verdicts (every classified trace, kept or not) provides the
+ * per-tenant p50/p99 latency thresholds; only fills bands /
+ * differential / dominant of the returned section.
+ */
+ReportCriticalPath SummarizeCriticalPaths(
+    const std::vector<TracePath>& paths,
+    const std::vector<TraceVerdict>& verdicts);
+
+/** Everything the forensics pass produced. */
+struct ForensicsResult {
+    std::vector<TracePath> paths;  ///< kept traces, id order
+    /** Sampler verdicts for every classified trace (kept or not). */
+    std::vector<TraceVerdict> verdicts;
+    ReportCriticalPath critical_path;
+    std::vector<ReportExemplar> exemplars;
+};
+
+/**
+ * The full forensics pass. Classifies @p spans through @p sampler
+ * (no-op when already classified), joins histogram exemplars read
+ * from @p exemplar_source (nullable), force-keeps every resolvable
+ * exemplar trace so exported exemplars always point at kept traces,
+ * extracts + summarizes critical paths, and exports the sampler's
+ * metrics plus `obs.exemplar.attached` / `obs.exemplar.exported`
+ * into @p export_registry (nullable — pass null for a read-only
+ * pass, e.g. a mid-run flight-recorder dump).
+ */
+ForensicsResult BuildForensics(const SpanCollector& spans,
+                               TailSampler& sampler,
+                               const MetricsRegistry* exemplar_source,
+                               MetricsRegistry* export_registry);
+
+/** Copies the forensic sections into @p report. */
+void AttachForensics(const ForensicsResult& forensics,
+                     RunReport* report);
+
+/**
+ * Compact JSON summary (kept ids, path counts, exemplar refs) for
+ * the flight recorder's black-box `forensics` field.
+ */
+std::string ForensicsJson(const ForensicsResult& forensics);
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_CRITICAL_PATH_H

@@ -52,7 +52,7 @@ Num(double v)
 std::string
 HistogramJsonBody(const HistogramMetric& h)
 {
-    return StrFormat(
+    std::string body = StrFormat(
         "\"count\":%lld,\"mean\":%s,\"min\":%s,\"max\":%s,"
         "\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s",
         static_cast<long long>(h.count()), Num(h.mean()).c_str(),
@@ -60,6 +60,24 @@ HistogramJsonBody(const HistogramMetric& h)
         Num(h.sum()).c_str(), Num(h.Percentile(50.0)).c_str(),
         Num(h.Percentile(95.0)).c_str(),
         Num(h.Percentile(99.0)).c_str());
+    // Exemplars link histogram cells to kept traces. Omitted when
+    // empty so non-traced exports (benches) keep their exact shape.
+    const auto exemplars = h.Exemplars();
+    if (!exemplars.empty()) {
+        body += ",\"exemplars\":[";
+        for (size_t i = 0; i < exemplars.size(); ++i) {
+            if (i > 0) body += ",";
+            body += StrFormat(
+                "{\"bucket\":%d,\"value\":%s,\"trace_id\":%llu,"
+                "\"t_s\":%s}",
+                exemplars[i].bucket, Num(exemplars[i].value).c_str(),
+                static_cast<unsigned long long>(
+                    exemplars[i].trace_id),
+                Num(exemplars[i].t_s).c_str());
+        }
+        body += "]";
+    }
+    return body;
 }
 
 }  // namespace

@@ -73,6 +73,13 @@ FlightRecorder::SetDeviceStateProvider(
 }
 
 void
+FlightRecorder::SetForensicsProvider(
+    std::function<std::string()> provider)
+{
+    forensics_ = std::move(provider);
+}
+
+void
 FlightRecorder::OnFault(double t_s, const std::string& detail)
 {
     Record(FlightEventKind::kFault, t_s, detail);
@@ -149,6 +156,8 @@ FlightRecorder::DumpJson(const std::string& reason, double t_s) const
            (spans_ != nullptr ? spans_->OpenSpansJson() : "[]") + ",\n";
     out += "  \"devices\": " +
            (device_state_ ? device_state_(t_s) : "[]") + ",\n";
+    out += "  \"forensics\": " +
+           (forensics_ ? forensics_() : std::string("null")) + ",\n";
     if (registry_ != nullptr) {
         std::string metrics = MetricsToJson(*registry_);
         while (!metrics.empty() &&

@@ -90,6 +90,13 @@ class FlightRecorder {
      */
     void SetDeviceStateProvider(std::function<std::string(double)>
                                     provider);
+    /**
+     * Tail-forensics summary (kept trace ids + exemplar refs) as a
+     * JSON object — typically ForensicsJson over a read-only
+     * BuildForensics pass at dump time. Renders as `forensics: null`
+     * when unset.
+     */
+    void SetForensicsProvider(std::function<std::string()> provider);
 
     // Trigger entry points. ------------------------------------------
     /** Records a fault event; dumps when config.dump_on_fault. */
@@ -139,6 +146,7 @@ class FlightRecorder {
     const MetricsRegistry* registry_ = nullptr;
     const SpanCollector* spans_ = nullptr;
     std::function<std::string(double)> device_state_;
+    std::function<std::string()> forensics_;
 };
 
 }  // namespace obs

@@ -1,6 +1,7 @@
 #include "src/obs/registry.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace t4i {
 namespace obs {
@@ -31,6 +32,41 @@ HistogramMetric::Observe(double x)
     percentiles_.Add(x);
     stat_.Add(x);
     ordered_.push_back(x);
+}
+
+int
+ExemplarBucket(double value)
+{
+    if (!std::isfinite(value) || value <= 0.0) return -64;
+    const int bucket =
+        static_cast<int>(std::floor(std::log2(value)));
+    return std::min(64, std::max(-64, bucket));
+}
+
+void
+HistogramMetric::AttachExemplar(double value, uint64_t trace_id,
+                                double t_s)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const int bucket = ExemplarBucket(value);
+    auto it = std::lower_bound(
+        exemplars_.begin(), exemplars_.end(), bucket,
+        [](const HistogramExemplar& e, int b) { return e.bucket < b; });
+    if (it != exemplars_.end() && it->bucket == bucket) {
+        it->value = value;
+        it->trace_id = trace_id;
+        it->t_s = t_s;
+    } else {
+        exemplars_.insert(it,
+                          HistogramExemplar{bucket, value, trace_id, t_s});
+    }
+}
+
+std::vector<HistogramExemplar>
+HistogramMetric::Exemplars() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return exemplars_;
 }
 
 std::vector<double>

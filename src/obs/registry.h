@@ -68,12 +68,39 @@ class Gauge {
 };
 
 /**
+ * One bucket's exemplar: a concrete trace behind a histogram cell.
+ * `bucket` is the clamped floor(log2(value)) power-of-two bucket the
+ * value falls in; the latest attachment per bucket wins, so each
+ * bucket points at a recent representative trace.
+ */
+struct HistogramExemplar {
+    int bucket = 0;
+    double value = 0.0;
+    uint64_t trace_id = 0;
+    double t_s = 0.0;  ///< sim time the sample was observed
+};
+
+/** Power-of-two exemplar bucket for @p value (clamped to ±64). */
+int ExemplarBucket(double value);
+
+/**
  * Distribution summary: exact percentiles (all samples retained) plus a
  * running mean/min/max. Thread-safe.
  */
 class HistogramMetric {
   public:
     void Observe(double x);
+
+    /**
+     * Records a traced sample as its bucket's exemplar (metrics ->
+     * traces join). Pure annotation: never touches the distribution —
+     * call Observe separately, so stats stay bit-identical whether or
+     * not requests are traced.
+     */
+    void AttachExemplar(double value, uint64_t trace_id, double t_s);
+
+    /** Bucket exemplars, ascending bucket order. */
+    std::vector<HistogramExemplar> Exemplars() const;
 
     int64_t count() const;
     double mean() const;
@@ -96,6 +123,8 @@ class HistogramMetric {
     PercentileTracker percentiles_;
     RunningStat stat_;
     std::vector<double> ordered_;  ///< samples in arrival order
+    /** Keyed by bucket; kept sorted (a handful of buckets). */
+    std::vector<HistogramExemplar> exemplars_;
 };
 
 enum class MetricType { kCounter, kGauge, kHistogram };

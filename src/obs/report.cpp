@@ -208,6 +208,46 @@ FlattenReport(const RunReport& report, FlatView* out)
                  StateRank(a.state));
         out->Add("alert:" + a.name + ".last_value", a.last_value);
     }
+    const ReportCriticalPath& cp = report.critical_path;
+    if (cp.traces > 0 || !cp.kept_trace_ids.empty()) {
+        out->Add("critical_path:traces",
+                 static_cast<double>(cp.traces));
+        out->Add("critical_path:kept",
+                 static_cast<double>(cp.kept));
+        out->Add("critical_path:tiled",
+                 static_cast<double>(cp.tiled));
+        out->Add("critical_path:untiled",
+                 static_cast<double>(cp.untiled));
+        for (size_t i = 0; i < cp.kept_trace_ids.size(); ++i) {
+            out->Add(StrFormat("critical_path:kept[%zu]", i),
+                     static_cast<double>(cp.kept_trace_ids[i]));
+        }
+        for (const ReportPathBand& b : cp.bands) {
+            const std::string at =
+                "critical_path:band." + b.tenant + "." + b.band;
+            out->Add(at + ".traces",
+                     static_cast<double>(b.traces));
+            out->Add(at + ".total_s", b.total_s);
+            for (const ReportComponentShare& s : b.shares) {
+                out->Add(at + "." + s.component, s.fraction);
+            }
+        }
+        for (const ReportPathDifferential& d : cp.differential) {
+            const std::string at = "critical_path:diff." +
+                                   d.tenant + "." + d.component;
+            out->Add(at + ".p50", d.p50_fraction);
+            out->Add(at + ".p99", d.p99_fraction);
+            out->Add(at + ".delta", d.delta);
+        }
+    }
+    for (const ReportExemplar& e : report.exemplars) {
+        const std::string at = StrFormat(
+            "exemplar:%s[%d]", e.metric.c_str(), e.bucket);
+        out->Add(at + ".value", e.value);
+        out->Add(at + ".trace_id",
+                 static_cast<double>(e.trace_id));
+        out->Add(at + ".t", e.t_s);
+    }
 }
 
 /** The metric-name part used for tolerance/ignore prefix matching:
@@ -438,6 +478,72 @@ RunReportToJson(const RunReport& report)
     }
     out += "],\n";
 
+    const ReportCriticalPath& cp = report.critical_path;
+    out += " \"critical_path\":{";
+    out += "\"traces\":" + Int(cp.traces);
+    out += ",\"kept\":" + Int(cp.kept);
+    out += ",\"tiled\":" + Int(cp.tiled);
+    out += ",\"untiled\":" + Int(cp.untiled);
+    out += ",\"kept_trace_ids\":[";
+    for (size_t i = 0; i < cp.kept_trace_ids.size(); ++i) {
+        out += i > 0 ? "," : "";
+        out += Int(static_cast<int64_t>(cp.kept_trace_ids[i]));
+    }
+    out += "],\"bands\":[";
+    for (size_t i = 0; i < cp.bands.size(); ++i) {
+        const ReportPathBand& b = cp.bands[i];
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += "{\"tenant\":" + JsonQuote(b.tenant);
+        out += ",\"band\":" + JsonQuote(b.band);
+        out += ",\"traces\":" + Int(b.traces);
+        out += ",\"total_s\":" + Num(b.total_s);
+        out += ",\"shares\":[";
+        for (size_t j = 0; j < b.shares.size(); ++j) {
+            const ReportComponentShare& s = b.shares[j];
+            out += j > 0 ? "," : "";
+            out += "{\"component\":" + JsonQuote(s.component);
+            out += ",\"seconds\":" + Num(s.seconds);
+            out += ",\"fraction\":" + Num(s.fraction);
+            out += "}";
+        }
+        out += "]}";
+    }
+    out += "],\"differential\":[";
+    for (size_t i = 0; i < cp.differential.size(); ++i) {
+        const ReportPathDifferential& d = cp.differential[i];
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += "{\"tenant\":" + JsonQuote(d.tenant);
+        out += ",\"component\":" + JsonQuote(d.component);
+        out += ",\"p50_fraction\":" + Num(d.p50_fraction);
+        out += ",\"p99_fraction\":" + Num(d.p99_fraction);
+        out += ",\"delta\":" + Num(d.delta);
+        out += "}";
+    }
+    out += "],\"dominant\":[";
+    for (size_t i = 0; i < cp.dominant.size(); ++i) {
+        out += i > 0 ? "," : "";
+        out += "{\"tenant\":" + JsonQuote(cp.dominant[i].first);
+        out += ",\"component\":" +
+               JsonQuote(cp.dominant[i].second);
+        out += "}";
+    }
+    out += "]},\n";
+
+    out += " \"exemplars\":[";
+    for (size_t i = 0; i < report.exemplars.size(); ++i) {
+        const ReportExemplar& e = report.exemplars[i];
+        out += i > 0 ? ",\n  " : "\n  ";
+        out += "{\"metric\":" + JsonQuote(e.metric);
+        out += StrFormat(",\"bucket\":%d", e.bucket);
+        out += ",\"value\":" + Num(e.value);
+        out += ",\"trace_id\":" +
+               Int(static_cast<int64_t>(e.trace_id));
+        out += ",\"t_s\":" + Num(e.t_s);
+        out += ",\"reason\":" + JsonQuote(e.reason);
+        out += "}";
+    }
+    out += "],\n";
+
     out += " \"metrics\":{";
     for (size_t i = 0; i < report.metrics.size(); ++i) {
         out += i > 0 ? ",\n  " : "\n  ";
@@ -472,11 +578,12 @@ ReadRunReport(const std::string& path)
     RunReport report;
     report.schema_version =
         static_cast<int>(IntField(root, "schema_version", -1));
-    if (report.schema_version != kRunReportSchemaVersion) {
+    if (report.schema_version < kMinRunReportSchemaVersion ||
+        report.schema_version > kRunReportSchemaVersion) {
         return Status::InvalidArgument(StrFormat(
-            "%s: schema_version %d (this build reads %d)",
+            "%s: schema_version %d (this build reads %d..%d)",
             path.c_str(), report.schema_version,
-            kRunReportSchemaVersion));
+            kMinRunReportSchemaVersion, kRunReportSchemaVersion));
     }
     if (const JsonValue* meta = root.Find("meta")) {
         report.meta.tool = StrField(*meta, "tool");
@@ -590,6 +697,70 @@ ReadRunReport(const std::string& path)
             report.alerts.push_back(std::move(a));
         }
     }
+    if (const JsonValue* cp = root.Find("critical_path")) {
+        ReportCriticalPath& c = report.critical_path;
+        c.traces = IntField(*cp, "traces");
+        c.kept = IntField(*cp, "kept");
+        c.tiled = IntField(*cp, "tiled");
+        c.untiled = IntField(*cp, "untiled");
+        if (const JsonValue* ids = cp->Find("kept_trace_ids")) {
+            for (const JsonValue& idv : ids->array) {
+                if (idv.is_number()) {
+                    c.kept_trace_ids.push_back(
+                        static_cast<uint64_t>(idv.number_value));
+                }
+            }
+        }
+        if (const JsonValue* bands = cp->Find("bands")) {
+            for (const JsonValue& bv : bands->array) {
+                ReportPathBand b;
+                b.tenant = StrField(bv, "tenant");
+                b.band = StrField(bv, "band");
+                b.traces = IntField(bv, "traces");
+                b.total_s = NumField(bv, "total_s");
+                if (const JsonValue* shares = bv.Find("shares")) {
+                    for (const JsonValue& sv : shares->array) {
+                        ReportComponentShare s;
+                        s.component = StrField(sv, "component");
+                        s.seconds = NumField(sv, "seconds");
+                        s.fraction = NumField(sv, "fraction");
+                        b.shares.push_back(std::move(s));
+                    }
+                }
+                c.bands.push_back(std::move(b));
+            }
+        }
+        if (const JsonValue* diff = cp->Find("differential")) {
+            for (const JsonValue& dv : diff->array) {
+                ReportPathDifferential d;
+                d.tenant = StrField(dv, "tenant");
+                d.component = StrField(dv, "component");
+                d.p50_fraction = NumField(dv, "p50_fraction");
+                d.p99_fraction = NumField(dv, "p99_fraction");
+                d.delta = NumField(dv, "delta");
+                c.differential.push_back(std::move(d));
+            }
+        }
+        if (const JsonValue* dom = cp->Find("dominant")) {
+            for (const JsonValue& dv : dom->array) {
+                c.dominant.emplace_back(StrField(dv, "tenant"),
+                                        StrField(dv, "component"));
+            }
+        }
+    }
+    if (const JsonValue* exemplars = root.Find("exemplars")) {
+        for (const JsonValue& ev : exemplars->array) {
+            ReportExemplar e;
+            e.metric = StrField(ev, "metric");
+            e.bucket = static_cast<int>(IntField(ev, "bucket"));
+            e.value = NumField(ev, "value");
+            e.trace_id =
+                static_cast<uint64_t>(IntField(ev, "trace_id"));
+            e.t_s = NumField(ev, "t_s");
+            e.reason = StrField(ev, "reason");
+            report.exemplars.push_back(std::move(e));
+        }
+    }
     if (const JsonValue* metrics = root.Find("metrics")) {
         for (const auto& [key, value] : metrics->object) {
             if (value.is_number()) {
@@ -674,6 +845,54 @@ RenderRunReportMarkdown(const RunReport& report)
                 SeriesKindName(s.kind), s.points.size(), total);
         }
     }
+    const ReportCriticalPath& cp = report.critical_path;
+    if (cp.traces > 0) {
+        out += StrFormat(
+            "\n## Critical path\n\n%lld traces classified, %lld "
+            "kept (%lld tiled, %lld untiled).\n",
+            static_cast<long long>(cp.traces),
+            static_cast<long long>(cp.kept),
+            static_cast<long long>(cp.tiled),
+            static_cast<long long>(cp.untiled));
+        if (!cp.bands.empty()) {
+            out += "\n| tenant | band | traces | total s | "
+                   "top component |\n|---|---|---|---|---|\n";
+            for (const ReportPathBand& b : cp.bands) {
+                const ReportComponentShare* top = nullptr;
+                for (const ReportComponentShare& s : b.shares) {
+                    if (top == nullptr ||
+                        s.fraction > top->fraction) {
+                        top = &s;
+                    }
+                }
+                out += StrFormat(
+                    "| %s | %s | %lld | %.6g | %s %.1f%% |\n",
+                    b.tenant.empty() ? "(all)" : b.tenant.c_str(),
+                    b.band.c_str(),
+                    static_cast<long long>(b.traces), b.total_s,
+                    top != nullptr ? top->component.c_str() : "-",
+                    top != nullptr ? 100.0 * top->fraction : 0.0);
+            }
+        }
+        if (!cp.differential.empty()) {
+            out += "\n| tenant | component | p50 share | p99 share "
+                   "| delta |\n|---|---|---|---|---|\n";
+            for (const ReportPathDifferential& d :
+                 cp.differential) {
+                out += StrFormat(
+                    "| %s | %s | %.1f%% | %.1f%% | %+.1f%% |\n",
+                    d.tenant.empty() ? "(all)" : d.tenant.c_str(),
+                    d.component.c_str(), 100.0 * d.p50_fraction,
+                    100.0 * d.p99_fraction, 100.0 * d.delta);
+            }
+        }
+    }
+    if (!report.exemplars.empty()) {
+        out += StrFormat(
+            "\n%zu histogram exemplars link metric cells to kept "
+            "traces.\n",
+            report.exemplars.size());
+    }
     out += StrFormat("\n%zu final metrics in the snapshot.\n",
                      report.metrics.size());
     return out;
@@ -745,6 +964,23 @@ RenderRunReportCsv(const RunReport& report)
         row("alert", a.name + ".fire_count", "", "",
             static_cast<double>(a.fire_count));
         row("alert", a.name + ".last_value", "", "", a.last_value);
+    }
+    const ReportCriticalPath& cp = report.critical_path;
+    for (const ReportPathBand& b : cp.bands) {
+        const std::string base =
+            (b.tenant.empty() ? std::string("all") : b.tenant) +
+            "." + b.band;
+        row("critical_path", base + ".traces", "", "",
+            static_cast<double>(b.traces));
+        for (const ReportComponentShare& s : b.shares) {
+            row("critical_path", base + "." + s.component, "", "",
+                s.fraction);
+        }
+    }
+    for (const ReportExemplar& e : report.exemplars) {
+        row("exemplar",
+            StrFormat("%s[%d]", e.metric.c_str(), e.bucket), "", "",
+            e.value);
     }
     return out;
 }

@@ -9,14 +9,20 @@
  *
  * Top-level schema (schema_version kRunReportSchemaVersion):
  *   {
- *     "schema_version": 1,
+ *     "schema_version": 2,
  *     "meta":    {tool, command, app, chip, duration_s, seed,
  *                 window_s},
  *     "series":  [{name, labels, kind, points:[...]}, ...],
  *     "slos":    [{objective:{...}, final:{...}, timeline:[...]}, ...],
  *     "alerts":  [{name, state, fire_count, last_value, fired_at_s}],
+ *     "critical_path": {traces, kept, tiled, untiled,
+ *                       kept_trace_ids:[...], bands:[...],
+ *                       differential:[...], dominant:[...]},
+ *     "exemplars": [{metric, bucket, value, trace_id, t_s, reason}],
  *     "metrics": {"name{k=v,...}": value, ... }   // perf_gate keys
  *   }
+ * Version history: v1 had no critical_path / exemplars sections
+ * (readers accept v1 artifacts; the new sections stay empty).
  *
  * DiffRunReports flattens both artifacts (metrics, every series
  * point, every SLO timeline point, alert outcomes) and compares with
@@ -44,7 +50,9 @@ namespace t4i {
 namespace obs {
 
 /** Bump when the artifact layout changes incompatibly. */
-inline constexpr int kRunReportSchemaVersion = 1;
+inline constexpr int kRunReportSchemaVersion = 2;
+/** Oldest artifact version ReadRunReport still accepts. */
+inline constexpr int kMinRunReportSchemaVersion = 1;
 
 /** Run identity stamped into the artifact. */
 struct ReportMeta {
@@ -66,6 +74,55 @@ struct ReportAlert {
     double fired_at_s = 0.0;
 };
 
+/** One exported histogram exemplar: metric cell -> kept trace. */
+struct ReportExemplar {
+    std::string metric;  ///< `name{k=v,...}` flat instrument key
+    int bucket = 0;      ///< power-of-two bucket (ExemplarBucket)
+    double value = 0.0;
+    uint64_t trace_id = 0;
+    double t_s = 0.0;
+    std::string reason;  ///< sampler keep reason for the trace
+};
+
+/** One component's share of a band's critical-path seconds. */
+struct ReportComponentShare {
+    std::string component;
+    double seconds = 0.0;
+    double fraction = 0.0;
+};
+
+/** Critical-path component profile of one (tenant, latency band). */
+struct ReportPathBand {
+    std::string tenant;  ///< "" aggregates every tenant
+    std::string band;    ///< p50 | mid | p99
+    int64_t traces = 0;
+    double total_s = 0.0;
+    std::vector<ReportComponentShare> shares;
+};
+
+/** What grows in the tail: p50-band vs p99-band share per component. */
+struct ReportPathDifferential {
+    std::string tenant;
+    std::string component;
+    double p50_fraction = 0.0;
+    double p99_fraction = 0.0;
+    double delta = 0.0;  ///< p99 - p50
+};
+
+/** The `critical_path` report section. */
+struct ReportCriticalPath {
+    int64_t traces = 0;   ///< roots classified by the sampler
+    int64_t kept = 0;     ///< traces the sampler kept
+    int64_t tiled = 0;    ///< kept paths tiling their root exactly
+    int64_t untiled = 0;  ///< kept paths violating the tiling bar
+    std::vector<uint64_t> kept_trace_ids;  ///< ascending
+    std::vector<ReportPathBand> bands;
+    std::vector<ReportPathDifferential> differential;
+    /** (tenant, component) dominating the tail band; tenant "" is the
+     *  cross-tenant aggregate `expect-dominant` grades against. */
+    std::vector<std::pair<std::string, std::string>> dominant;
+};
+
 /** The full artifact. */
 struct RunReport {
     int schema_version = kRunReportSchemaVersion;
@@ -73,6 +130,8 @@ struct RunReport {
     std::vector<TimeSeries> series;
     std::vector<SloStatus> slos;
     std::vector<ReportAlert> alerts;
+    ReportCriticalPath critical_path;
+    std::vector<ReportExemplar> exemplars;
     /** Flat final snapshot, `name{k=v,...}[.field]` -> value, in
      *  registry order (histograms expand to count/sum/mean/min/max/
      *  p50/p95/p99 fields — perf_gate's key shape). */
@@ -98,7 +157,8 @@ StatusOr<RunReport> ReadRunReport(const std::string& path);
 /** Renders the artifact as a human-readable markdown document. */
 std::string RenderRunReportMarkdown(const RunReport& report);
 /** Renders every section as one CSV (a `record` discriminator
- *  column: meta | metric | series | slo | alert). */
+ *  column: meta | metric | series | slo | alert | critical_path |
+ *  exemplar). */
 std::string RenderRunReportCsv(const RunReport& report);
 
 struct ReportTolerance {

@@ -1,0 +1,243 @@
+#include "src/obs/sampling.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace t4i {
+namespace obs {
+
+namespace {
+
+/** Per-trace involvement flags gathered in one pass over the spans. */
+struct TraceFlags {
+    bool retry = false;
+    bool hedge = false;
+};
+
+constexpr KeepReason kAllReasons[] = {
+    KeepReason::kOutcome,   KeepReason::kSlo,
+    KeepReason::kRetry,     KeepReason::kHedge,
+    KeepReason::kLatency,   KeepReason::kAlert,
+    KeepReason::kReservoir, KeepReason::kExemplar,
+};
+
+}  // namespace
+
+const char*
+KeepReasonName(KeepReason reason)
+{
+    switch (reason) {
+        case KeepReason::kNone: return "none";
+        case KeepReason::kOutcome: return "outcome";
+        case KeepReason::kSlo: return "slo";
+        case KeepReason::kRetry: return "retry";
+        case KeepReason::kHedge: return "hedge";
+        case KeepReason::kLatency: return "latency";
+        case KeepReason::kAlert: return "alert";
+        case KeepReason::kReservoir: return "reservoir";
+        case KeepReason::kExemplar: return "exemplar";
+    }
+    return "none";
+}
+
+TailSampler::TailSampler(TailSamplerOptions options)
+    : options_(options)
+{
+}
+
+void
+TailSampler::BindRegistry(MetricsRegistry* registry)
+{
+    registry_ = registry;
+}
+
+void
+TailSampler::AddAlertWindow(double start_s, double end_s)
+{
+    alert_windows_.emplace_back(start_s, end_s);
+}
+
+void
+TailSampler::Classify(const SpanCollector& spans)
+{
+    if (classified_) return;
+    classified_ = true;
+
+    // One pass over the spans: retry/hedge involvement per trace.
+    // (ChildrenOf is a linear scan; walking every tree through it
+    // would be quadratic in the span count.)
+    std::unordered_map<uint64_t, TraceFlags> flags;
+    for (const Span& span : spans.spans()) {
+        TraceFlags& f = flags[span.trace_id];
+        if (span.link_id != 0) f.hedge = true;
+        for (const auto& kv : span.attributes) {
+            if (kv.first == "hedge" && kv.second == "1") {
+                f.hedge = true;
+            } else if (kv.first == "retry") {
+                f.retry = true;
+            } else if (kv.first == "outcome" &&
+                       span.parent_id != 0 &&
+                       (kv.second == "aborted" ||
+                        kv.second == "transient_error")) {
+                f.retry = true;
+            }
+        }
+    }
+
+    Rng reservoir_rng =
+        Substream(options_.seed, "obs.sample.reservoir");
+    int64_t baseline_seen = 0;
+    int64_t rolling_count = 0;
+
+    for (const Span* root : spans.Roots()) {
+        TraceVerdict v;
+        v.trace_id = root->trace_id;
+        v.start_s = root->start_s;
+        v.end_s = root->open ? root->start_s : root->end_s;
+        v.latency_s = v.end_s - v.start_s;
+        v.tenant = root->Attribute("tenant");
+        v.outcome = root->Attribute("outcome");
+        v.slo_miss = root->Attribute("slo_miss") == "1";
+        ++seen_;
+
+        const TraceFlags f = flags[root->trace_id];
+        const bool completed = !root->open && v.outcome == "completed";
+        if (!completed) {
+            v.reason = KeepReason::kOutcome;
+        } else if (v.slo_miss) {
+            v.reason = KeepReason::kSlo;
+        } else if (f.retry) {
+            v.reason = KeepReason::kRetry;
+        } else if (f.hedge) {
+            v.reason = KeepReason::kHedge;
+        } else {
+            // Rolling tail threshold over the completions seen so far
+            // (this root excluded, so the first tall one still trips).
+            if (rolling_count >= options_.warmup) {
+                threshold_s_ =
+                    rolling_.Percentile(options_.latency_percentile);
+                if (v.latency_s >= threshold_s_) {
+                    v.reason = KeepReason::kLatency;
+                }
+            }
+            if (v.reason == KeepReason::kNone) {
+                for (const auto& w : alert_windows_) {
+                    if (v.start_s <= w.second && v.end_s >= w.first) {
+                        v.reason = KeepReason::kAlert;
+                        break;
+                    }
+                }
+            }
+        }
+        if (completed) {
+            rolling_.Add(v.latency_s);
+            ++rolling_count;
+        }
+
+        v.kept = v.reason != KeepReason::kNone;
+        const size_t index = verdicts_.size();
+        if (!v.kept && options_.reservoir > 0) {
+            // Algorithm R over the boring traces: every baseline
+            // trace has an equal, seed-reproducible chance.
+            ++baseline_seen;
+            const auto capacity =
+                static_cast<size_t>(options_.reservoir);
+            if (reservoir_slots_.size() < capacity) {
+                v.kept = true;
+                v.reason = KeepReason::kReservoir;
+                reservoir_slots_.push_back(index);
+            } else {
+                const uint64_t j = reservoir_rng.NextBounded(
+                    static_cast<uint64_t>(baseline_seen));
+                if (j < capacity) {
+                    TraceVerdict& evicted =
+                        verdicts_[reservoir_slots_[j]];
+                    evicted.kept = false;
+                    evicted.reason = KeepReason::kNone;
+                    v.kept = true;
+                    v.reason = KeepReason::kReservoir;
+                    reservoir_slots_[static_cast<size_t>(j)] = index;
+                }
+            }
+        }
+        by_trace_[v.trace_id] = index;
+        verdicts_.push_back(std::move(v));
+    }
+    if (rolling_count >= options_.warmup) {
+        threshold_s_ =
+            rolling_.Percentile(options_.latency_percentile);
+    }
+}
+
+bool
+TailSampler::ForceKeep(uint64_t trace_id, KeepReason reason)
+{
+    auto it = by_trace_.find(trace_id);
+    if (it == by_trace_.end()) return false;
+    TraceVerdict& v = verdicts_[it->second];
+    if (!v.kept) {
+        v.kept = true;
+        v.reason = reason;
+    }
+    return true;
+}
+
+bool
+TailSampler::IsKept(uint64_t trace_id) const
+{
+    const TraceVerdict* v = Verdict(trace_id);
+    return v != nullptr && v->kept;
+}
+
+const TraceVerdict*
+TailSampler::Verdict(uint64_t trace_id) const
+{
+    auto it = by_trace_.find(trace_id);
+    if (it == by_trace_.end()) return nullptr;
+    return &verdicts_[it->second];
+}
+
+std::vector<uint64_t>
+TailSampler::KeptTraceIds() const
+{
+    std::vector<uint64_t> ids;
+    for (const TraceVerdict& v : verdicts_) {
+        if (v.kept) ids.push_back(v.trace_id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+int64_t
+TailSampler::kept() const
+{
+    int64_t n = 0;
+    for (const TraceVerdict& v : verdicts_) {
+        if (v.kept) ++n;
+    }
+    return n;
+}
+
+void
+TailSampler::ExportMetrics()
+{
+    if (registry_ == nullptr || exported_) return;
+    exported_ = true;
+    registry_->GetCounter("obs.sample.seen")->Increment(seen_);
+    registry_->GetCounter("obs.sample.kept")->Increment(kept());
+    registry_->GetGauge("obs.sample.threshold_s")->Set(threshold_s_);
+    for (KeepReason reason : kAllReasons) {
+        int64_t n = 0;
+        for (const TraceVerdict& v : verdicts_) {
+            if (v.kept && v.reason == reason) ++n;
+        }
+        registry_
+            ->GetCounter("obs.sample.kept_reason",
+                         {{"reason", KeepReasonName(reason)}})
+            ->Increment(n);
+    }
+}
+
+}  // namespace obs
+}  // namespace t4i

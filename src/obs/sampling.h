@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tail-based trace sampling: keep the traces worth explaining.
+ *
+ * The span pipeline (src/obs/spans.h) records every traced request;
+ * at fleet load that is untenable — either nothing is traced or the
+ * JSONL drowns the analyst. The TailSampler looks at each *completed*
+ * span tree and keeps it iff it is interesting:
+ *
+ *   - terminal outcome other than a clean completion (drops, shed,
+ *     retries exhausted, dead cells),
+ *   - SLO / deadline violation (`slo_miss` on the root),
+ *   - retry or fault involvement (failed dispatch attempts, retry
+ *     re-queues),
+ *   - hedge involvement (hedged attempts / loser->winner links),
+ *   - latency at or above a rolling quantile threshold of the
+ *     latencies seen so far (the tail proper),
+ *   - overlap with a firing alert window, or
+ *   - membership in a small seeded reservoir of baseline traces so
+ *     "normal" always has exemplars too.
+ *
+ * Decisions are classification, not mutation: the sampler never edits
+ * the collector, it produces a verdict per trace. The reservoir draws
+ * from the run seed via the named substream "obs.sample.reservoir"
+ * (src/common/rng.h), so the kept-trace-id set is bit-reproducible
+ * for a given seed.
+ *
+ * Metrics (`obs.sample.*`) are created when Classify runs — after the
+ * serving loop and the time-series conservation check — so windowed
+ * collection never sees instruments appear mid-run.
+ */
+#ifndef T4I_OBS_SAMPLING_H
+#define T4I_OBS_SAMPLING_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/obs/registry.h"
+#include "src/obs/spans.h"
+
+namespace t4i {
+namespace obs {
+
+/** Why a trace was kept (priority order, highest first). */
+enum class KeepReason {
+    kNone = 0,    ///< not kept
+    kOutcome,     ///< terminal outcome was not a clean completion
+    kSlo,         ///< root carries slo_miss
+    kRetry,       ///< failed attempts / retry re-queues in the tree
+    kHedge,       ///< hedged attempts or loser->winner links
+    kLatency,     ///< latency >= rolling quantile threshold
+    kAlert,       ///< overlaps a firing alert window
+    kReservoir,   ///< seeded baseline reservoir
+    kExemplar,    ///< force-kept: a histogram exemplar references it
+};
+
+const char* KeepReasonName(KeepReason reason);
+
+struct TailSamplerOptions {
+    /** Run seed; the reservoir derives from its named substream. */
+    uint64_t seed = 42;
+    /** Rolling latency threshold quantile (percent). */
+    double latency_percentile = 95.0;
+    /** Roots classified before the latency rule arms. */
+    int64_t warmup = 16;
+    /** Baseline reservoir capacity (Algorithm R). */
+    int64_t reservoir = 8;
+};
+
+/** The sampler's decision for one trace. */
+struct TraceVerdict {
+    uint64_t trace_id = 0;
+    bool kept = false;
+    KeepReason reason = KeepReason::kNone;
+    double latency_s = 0.0;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    std::string tenant;
+    std::string outcome;
+    bool slo_miss = false;
+};
+
+class TailSampler {
+  public:
+    explicit TailSampler(TailSamplerOptions options = {});
+
+    /**
+     * Instruments are created lazily in Classify() (not here) so a
+     * windowed TimeSeriesCollector finished before classification
+     * never sees them. Null detaches.
+     */
+    void BindRegistry(MetricsRegistry* registry);
+
+    /**
+     * Declares [start_s, end_s] as a firing-alert window; traces
+     * overlapping any window are kept with reason kAlert. Pass a huge
+     * end for still-firing-at-run-end alerts.
+     */
+    void AddAlertWindow(double start_s, double end_s);
+
+    /**
+     * Classifies every root span in @p spans, in StartSpan order (the
+     * rolling latency threshold sees roots in that order, so the
+     * verdict set is deterministic). Idempotent per sampler: call
+     * once; later ForceKeep() may still upgrade verdicts.
+     */
+    void Classify(const SpanCollector& spans);
+
+    /**
+     * Upgrades @p trace_id to kept (e.g. a histogram exemplar
+     * references it). Returns false for an unknown trace.
+     */
+    bool ForceKeep(uint64_t trace_id, KeepReason reason);
+
+    bool IsKept(uint64_t trace_id) const;
+    /** Verdict for @p trace_id, or nullptr. */
+    const TraceVerdict* Verdict(uint64_t trace_id) const;
+    /** All verdicts, classification order. */
+    const std::vector<TraceVerdict>& verdicts() const
+    {
+        return verdicts_;
+    }
+    /** Kept trace ids, ascending. */
+    std::vector<uint64_t> KeptTraceIds() const;
+
+    int64_t seen() const { return seen_; }
+    int64_t kept() const;
+    /** Final rolling latency threshold (0 before warmup). */
+    double threshold_s() const { return threshold_s_; }
+
+    const TailSamplerOptions& options() const { return options_; }
+
+    /**
+     * Writes the `obs.sample.*` instruments (seen/kept counters, the
+     * per-reason kept_reason family — every reason label eagerly so
+     * the export schema is stable — and the threshold gauge) into the
+     * bound registry. Call once, after Classify and any ForceKeep
+     * upgrades; repeat calls are no-ops.
+     */
+    void ExportMetrics();
+
+  private:
+    TailSamplerOptions options_;
+    MetricsRegistry* registry_ = nullptr;
+
+    std::vector<std::pair<double, double>> alert_windows_;
+    std::vector<TraceVerdict> verdicts_;
+    std::unordered_map<uint64_t, size_t> by_trace_;
+    /** Verdict indexes currently holding reservoir slots. */
+    std::vector<size_t> reservoir_slots_;
+    PercentileTracker rolling_;
+    int64_t seen_ = 0;
+    double threshold_s_ = 0.0;
+    bool classified_ = false;
+    bool exported_ = false;
+};
+
+}  // namespace obs
+}  // namespace t4i
+
+#endif  // T4I_OBS_SAMPLING_H

@@ -273,6 +273,89 @@ SpanCollector::OpenSpansJson() const
     return out + "]";
 }
 
+StatusOr<SpanCollector>
+SpanCollectorFromJsonl(const std::string& jsonl)
+{
+    SpanCollector collector;
+    uint64_t traces_issued = 0;
+    int line_no = 0;
+    size_t start = 0;
+    while (start < jsonl.size()) {
+        size_t end = jsonl.find('\n', start);
+        if (end == std::string::npos) end = jsonl.size();
+        const std::string line = jsonl.substr(start, end - start);
+        start = end + 1;
+        ++line_no;
+        if (line.empty()) continue;
+
+        auto doc = ParseJson(line);
+        if (!doc.ok()) {
+            return Status::InvalidArgument(
+                StrFormat("spans line %d: %s", line_no,
+                          doc.status().ToString().c_str()));
+        }
+        const JsonValue& v = doc.value();
+        auto u64 = [&v](const char* key) -> uint64_t {
+            const JsonValue* f = v.Find(key);
+            return f != nullptr && f->is_number()
+                       ? static_cast<uint64_t>(f->number_value)
+                       : 0;
+        };
+        auto num = [&v](const char* key) -> double {
+            const JsonValue* f = v.Find(key);
+            return f != nullptr && f->is_number() ? f->number_value
+                                                  : 0.0;
+        };
+        const uint64_t trace_id = u64("trace_id");
+        const uint64_t span_id = u64("span_id");
+        if (trace_id == 0 || span_id == 0) {
+            return Status::InvalidArgument(StrFormat(
+                "spans line %d: missing trace_id/span_id", line_no));
+        }
+        // Trace ids are sequential; re-issue any we have not minted
+        // yet so the collector's next-trace counter stays coherent.
+        while (traces_issued < trace_id) {
+            traces_issued = collector.NewTrace();
+        }
+        const JsonValue* name = v.Find("name");
+        const SpanId id = collector.StartSpan(
+            trace_id, u64("parent_id"),
+            name != nullptr ? name->string_value : "", num("start_s"));
+        if (id != span_id) {
+            return Status::InvalidArgument(StrFormat(
+                "spans line %d: span_id %llu out of order "
+                "(expected %llu)",
+                line_no, static_cast<unsigned long long>(span_id),
+                static_cast<unsigned long long>(id)));
+        }
+        if (const JsonValue* attrs = v.Find("attributes")) {
+            for (const auto& [k, av] : attrs->object) {
+                collector.SetAttribute(
+                    id, k, av.is_string() ? av.string_value : "");
+            }
+        }
+        if (const JsonValue* events = v.Find("events")) {
+            for (const JsonValue& ev : events->array) {
+                const JsonValue* n = ev.Find("name");
+                const JsonValue* t = ev.Find("t_s");
+                collector.AddEvent(
+                    id, n != nullptr ? n->string_value : "",
+                    t != nullptr && t->is_number() ? t->number_value
+                                                   : 0.0);
+            }
+        }
+        // Link targets may postdate this line; Link only stamps the
+        // loser's record, so forward references are safe here.
+        const uint64_t link_id = u64("link_id");
+        if (link_id != 0) collector.Link(id, link_id);
+        const JsonValue* open = v.Find("open");
+        if (open == nullptr || !open->bool_value) {
+            collector.EndSpan(id, num("end_s"));
+        }
+    }
+    return collector;
+}
+
 Status
 SpanCollector::AppendToTrace(TraceBuilder* builder, int pid,
                              size_t max_traces) const

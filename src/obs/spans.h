@@ -141,6 +141,8 @@ class SpanCollector {
     Span* Mutable(SpanId id);
 
     std::vector<Span> spans_;  ///< index == span_id - 1
+    friend StatusOr<SpanCollector> SpanCollectorFromJsonl(
+        const std::string& jsonl);
     uint64_t next_trace_ = 1;
     size_t open_count_ = 0;
     int64_t errors_ = 0;
@@ -152,6 +154,15 @@ class SpanCollector {
     Counter* link_counter_ = nullptr;
     FlightRecorder* recorder_ = nullptr;
 };
+
+/**
+ * Rebuilds a collector from its ToJsonl() output (offline forensics:
+ * `t4sim_cli explain --spans FILE`). Spans must appear in span_id
+ * order (the export order); times, attributes, events, links, and
+ * open flags round-trip. Fails with line context on malformed input.
+ */
+StatusOr<SpanCollector> SpanCollectorFromJsonl(
+    const std::string& jsonl);
 
 }  // namespace obs
 }  // namespace t4i

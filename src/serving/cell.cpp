@@ -1171,6 +1171,12 @@ ServeCell::DispatchChosen(int chosen)
             if (latency > cfg.slo_s) ++ts.slo_misses;
             if (ts.latency_hist != nullptr) {
                 ts.latency_hist->Observe(latency);
+                if (spans_ != nullptr && req.trace_id != 0) {
+                    // Annotation only: the distribution above is
+                    // untouched, so untraced runs stay bit-identical.
+                    ts.latency_hist->AttachExemplar(
+                        latency, req.trace_id, completion);
+                }
                 ts.completed_counter->Increment();
                 if (latency > cfg.slo_s) {
                     ts.slo_miss_counter->Increment();

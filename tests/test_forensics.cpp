@@ -1,0 +1,580 @@
+/**
+ * @file
+ * Tests for tail-latency forensics: the tail-based trace sampler
+ * (src/obs/sampling.h), critical-path extraction and aggregation
+ * (src/obs/critical_path.h), histogram exemplars joined to kept
+ * traces, and the offline span-JSONL round trip. The load-bearing
+ * invariants:
+ *
+ *   - same seed => bit-identical kept-trace-id set (the reservoir is
+ *     the only randomized rule, and it draws from a named substream);
+ *   - every SLO-violating / non-completed trace is kept, always;
+ *   - a kept path tiles its root span exactly (segment boundaries are
+ *     the original span-time doubles — the same conservation bar
+ *     tests/test_spans.cpp holds the serving spans to);
+ *   - every exported exemplar resolves to a kept trace by
+ *     construction (BuildForensics force-keeps referenced traces
+ *     before the kept set is frozen).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/critical_path.h"
+#include "src/obs/registry.h"
+#include "src/obs/report.h"
+#include "src/obs/sampling.h"
+#include "src/obs/spans.h"
+
+namespace t4i {
+namespace {
+
+// --- synthetic trace builders --------------------------------------------
+
+/** Clean completion: queue then execute, each half the latency. */
+uint64_t
+BoringTrace(obs::SpanCollector* spans, double start, double latency,
+            const std::string& tenant = "api")
+{
+    const uint64_t trace = spans->NewTrace();
+    const obs::SpanId root =
+        spans->StartSpan(trace, 0, "request", start);
+    spans->SetAttribute(root, "tenant", tenant);
+    spans->SetAttribute(root, "outcome", "completed");
+    const double mid = start + latency * 0.5;
+    const obs::SpanId queue =
+        spans->StartSpan(trace, root, "queue", start);
+    spans->EndSpan(queue, mid);
+    const obs::SpanId exec =
+        spans->StartSpan(trace, root, "execute", mid);
+    spans->SetAttribute(exec, "outcome", "completed");
+    spans->EndSpan(exec, start + latency);
+    spans->EndSpan(root, start + latency);
+    return trace;
+}
+
+const obs::Span*
+RootOf(const obs::SpanCollector& spans, uint64_t trace_id)
+{
+    for (const obs::Span& span : spans.spans()) {
+        if (span.trace_id == trace_id && span.parent_id == 0) {
+            return &span;
+        }
+    }
+    return nullptr;
+}
+
+// --- TailSampler classification ------------------------------------------
+
+TEST(TailSampler, KeepsEveryInterestingTrace)
+{
+    obs::SpanCollector spans;
+
+    // Aborted root: kept via kOutcome.
+    const uint64_t aborted = spans.NewTrace();
+    obs::SpanId root = spans.StartSpan(aborted, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "aborted");
+    spans.EndSpan(root, 0.001);
+
+    // Completed but SLO-missing root: kSlo.
+    const uint64_t slo = spans.NewTrace();
+    root = spans.StartSpan(slo, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "completed");
+    spans.SetAttribute(root, "slo_miss", "1");
+    spans.EndSpan(root, 0.002);
+
+    // Completed after a failed attempt: kRetry.
+    const uint64_t retry = spans.NewTrace();
+    root = spans.StartSpan(retry, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "completed");
+    const obs::SpanId failed =
+        spans.StartSpan(retry, root, "execute", 0.0);
+    spans.SetAttribute(failed, "outcome", "transient_error");
+    spans.EndSpan(failed, 0.001);
+    const obs::SpanId winner =
+        spans.StartSpan(retry, root, "execute", 0.001);
+    spans.SetAttribute(winner, "outcome", "completed");
+    spans.EndSpan(winner, 0.003);
+    spans.EndSpan(root, 0.003);
+
+    // Completed with a loser->winner link: kHedge.
+    const uint64_t hedge = spans.NewTrace();
+    root = spans.StartSpan(hedge, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "completed");
+    const obs::SpanId hedge_winner =
+        spans.StartSpan(hedge, root, "execute", 0.0);
+    spans.SetAttribute(hedge_winner, "outcome", "completed");
+    spans.SetAttribute(hedge_winner, "won", "1");
+    spans.EndSpan(hedge_winner, 0.002);
+    const obs::SpanId loser =
+        spans.StartSpan(hedge, root, "execute", 0.0);
+    spans.Link(loser, hedge_winner);
+    spans.EndSpan(loser, 0.002);
+    spans.EndSpan(root, 0.002);
+
+    obs::TailSampler sampler;
+    sampler.Classify(spans);
+
+    ASSERT_EQ(sampler.seen(), 4);
+    EXPECT_EQ(sampler.Verdict(aborted)->reason,
+              obs::KeepReason::kOutcome);
+    EXPECT_EQ(sampler.Verdict(slo)->reason, obs::KeepReason::kSlo);
+    EXPECT_EQ(sampler.Verdict(retry)->reason,
+              obs::KeepReason::kRetry);
+    EXPECT_EQ(sampler.Verdict(hedge)->reason,
+              obs::KeepReason::kHedge);
+    for (uint64_t id : {aborted, slo, retry, hedge}) {
+        EXPECT_TRUE(sampler.IsKept(id));
+    }
+}
+
+TEST(TailSampler, RollingLatencyRuleArmsAfterWarmup)
+{
+    obs::SpanCollector spans;
+    obs::TailSamplerOptions options;
+    options.warmup = 16;
+    options.reservoir = 0;  // isolate the latency rule
+
+    // Strictly decreasing fast latencies: each completion lands below
+    // the rolling P95 of its predecessors, so only the straggler
+    // trips the latency rule.
+    for (int i = 0; i < 20; ++i) {
+        BoringTrace(&spans, 0.01 * i, 0.002 - 0.00001 * i);
+    }
+    const uint64_t slow = BoringTrace(&spans, 0.5, 0.010);
+
+    obs::TailSampler sampler(options);
+    sampler.Classify(spans);
+
+    EXPECT_EQ(sampler.Verdict(slow)->reason,
+              obs::KeepReason::kLatency);
+    EXPECT_GT(sampler.threshold_s(), 0.0);
+    // The fast completions stay unkept: no reservoir, under threshold.
+    EXPECT_EQ(sampler.kept(), 1);
+}
+
+TEST(TailSampler, AlertWindowOverlapKeeps)
+{
+    obs::SpanCollector spans;
+    obs::TailSamplerOptions options;
+    options.reservoir = 0;
+    const uint64_t inside = BoringTrace(&spans, 0.100, 0.001);
+    const uint64_t outside = BoringTrace(&spans, 0.300, 0.001);
+
+    obs::TailSampler sampler(options);
+    sampler.AddAlertWindow(0.050, 0.200);
+    sampler.Classify(spans);
+
+    EXPECT_EQ(sampler.Verdict(inside)->reason,
+              obs::KeepReason::kAlert);
+    EXPECT_FALSE(sampler.IsKept(outside));
+}
+
+TEST(TailSampler, ReservoirIsSeedReproducible)
+{
+    obs::SpanCollector spans;
+    for (int i = 0; i < 64; ++i) {
+        BoringTrace(&spans, 0.01 * i, 0.001);
+    }
+
+    obs::TailSamplerOptions options;
+    options.warmup = 1000;  // latency rule never arms
+    options.reservoir = 8;
+
+    auto kept_for_seed = [&](uint64_t seed) {
+        obs::TailSamplerOptions o = options;
+        o.seed = seed;
+        obs::TailSampler sampler(o);
+        sampler.Classify(spans);
+        return sampler.KeptTraceIds();
+    };
+
+    const std::vector<uint64_t> a1 = kept_for_seed(7);
+    const std::vector<uint64_t> a2 = kept_for_seed(7);
+    const std::vector<uint64_t> b = kept_for_seed(8);
+
+    EXPECT_EQ(a1, a2) << "same seed must give the same kept set";
+    EXPECT_EQ(a1.size(), 8u);
+    EXPECT_EQ(b.size(), 8u);
+    EXPECT_NE(a1, b) << "reservoir must actually depend on the seed";
+}
+
+TEST(TailSampler, ClassifyIsIdempotentAndForceKeepUpgrades)
+{
+    obs::SpanCollector spans;
+    obs::TailSamplerOptions options;
+    options.reservoir = 0;
+    const uint64_t boring = BoringTrace(&spans, 0.0, 0.001);
+
+    obs::TailSampler sampler(options);
+    sampler.Classify(spans);
+    sampler.Classify(spans);  // no-op
+    EXPECT_EQ(sampler.seen(), 1);
+    EXPECT_FALSE(sampler.IsKept(boring));
+
+    EXPECT_TRUE(
+        sampler.ForceKeep(boring, obs::KeepReason::kExemplar));
+    EXPECT_TRUE(sampler.IsKept(boring));
+    EXPECT_EQ(sampler.Verdict(boring)->reason,
+              obs::KeepReason::kExemplar);
+    EXPECT_FALSE(
+        sampler.ForceKeep(999999, obs::KeepReason::kExemplar));
+}
+
+// --- critical-path extraction --------------------------------------------
+
+TEST(CriticalPath, SimpleTreeTilesExactly)
+{
+    obs::SpanCollector spans;
+    const uint64_t trace = spans.NewTrace();
+    const obs::SpanId root =
+        spans.StartSpan(trace, 0, "request", 0.10);
+    spans.SetAttribute(root, "tenant", "api");
+    spans.SetAttribute(root, "outcome", "completed");
+    const obs::SpanId queue =
+        spans.StartSpan(trace, root, "queue", 0.10);
+    spans.EndSpan(queue, 0.13);
+    const obs::SpanId batch =
+        spans.StartSpan(trace, root, "batch", 0.13);
+    spans.EndSpan(batch, 0.14);
+    const obs::SpanId exec =
+        spans.StartSpan(trace, root, "execute", 0.14);
+    spans.SetAttribute(exec, "outcome", "completed");
+    spans.EndSpan(exec, 0.17);
+    spans.EndSpan(root, 0.17);
+
+    const obs::TracePath path =
+        obs::ExtractCriticalPath(spans, *RootOf(spans, trace));
+
+    EXPECT_TRUE(path.tiled);
+    ASSERT_EQ(path.segments.size(), 3u);
+    EXPECT_EQ(path.segments[0].component, "queue");
+    EXPECT_EQ(path.segments[1].component, "batch");
+    EXPECT_EQ(path.segments[2].component, "execute");
+    // Bit-for-bit boundaries, not approximate ones.
+    EXPECT_EQ(path.segments.front().start_s, 0.10);
+    EXPECT_EQ(path.segments[0].end_s, path.segments[1].start_s);
+    EXPECT_EQ(path.segments[1].end_s, path.segments[2].start_s);
+    EXPECT_EQ(path.segments.back().end_s, 0.17);
+}
+
+TEST(CriticalPath, RetryTreeAttributesFailedAttemptAndGap)
+{
+    obs::SpanCollector spans;
+    const uint64_t trace = spans.NewTrace();
+    const obs::SpanId root =
+        spans.StartSpan(trace, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "completed");
+    // First attempt fails...
+    const obs::SpanId failed =
+        spans.StartSpan(trace, root, "execute", 0.0);
+    spans.SetAttribute(failed, "outcome", "transient_error");
+    spans.EndSpan(failed, 0.010);
+    // ...an unaccounted backoff gap [0.010, 0.015)...
+    const obs::SpanId queue =
+        spans.StartSpan(trace, root, "queue", 0.015);
+    spans.EndSpan(queue, 0.020);
+    // ...then the retry wins.
+    const obs::SpanId exec =
+        spans.StartSpan(trace, root, "execute", 0.020);
+    spans.SetAttribute(exec, "outcome", "completed");
+    spans.EndSpan(exec, 0.030);
+    spans.EndSpan(root, 0.030);
+
+    const obs::TracePath path =
+        obs::ExtractCriticalPath(spans, *RootOf(spans, trace));
+
+    EXPECT_TRUE(path.tiled);
+    ASSERT_EQ(path.segments.size(), 4u);
+    EXPECT_EQ(path.segments[0].component, "retry");
+    EXPECT_EQ(path.segments[1].component, "backoff");
+    EXPECT_EQ(path.segments[2].component, "queue");
+    EXPECT_EQ(path.segments[3].component, "execute");
+}
+
+TEST(CriticalPath, HedgeWinnerEngineSpansSplitExecute)
+{
+    obs::SpanCollector spans;
+    const uint64_t trace = spans.NewTrace();
+    const obs::SpanId root =
+        spans.StartSpan(trace, 0, "request", 0.0);
+    spans.SetAttribute(root, "outcome", "completed");
+    // Loser overlaps the winner; winner's engine sub-spans take
+    // priority over both attempts' plain execute intervals.
+    const obs::SpanId winner =
+        spans.StartSpan(trace, root, "execute", 0.0);
+    spans.SetAttribute(winner, "outcome", "completed");
+    spans.SetAttribute(winner, "won", "1");
+    const obs::SpanId mxu =
+        spans.StartSpan(trace, winner, "execute/mxu", 0.0);
+    spans.EndSpan(mxu, 0.006);
+    const obs::SpanId vpu =
+        spans.StartSpan(trace, winner, "execute/vpu", 0.006);
+    spans.EndSpan(vpu, 0.010);
+    spans.EndSpan(winner, 0.010);
+    const obs::SpanId loser =
+        spans.StartSpan(trace, root, "execute", 0.0);
+    spans.Link(loser, winner);
+    spans.EndSpan(loser, 0.004);
+    spans.EndSpan(root, 0.010);
+
+    const obs::TracePath path =
+        obs::ExtractCriticalPath(spans, *RootOf(spans, trace));
+
+    EXPECT_TRUE(path.tiled);
+    ASSERT_EQ(path.segments.size(), 2u);
+    EXPECT_EQ(path.segments[0].component, "mxu");
+    EXPECT_EQ(path.segments[1].component, "vpu");
+    EXPECT_EQ(path.segments[0].end_s, path.segments[1].start_s);
+}
+
+TEST(CriticalPath, EscapedChildBreaksTiling)
+{
+    obs::SpanCollector spans;
+    const uint64_t trace = spans.NewTrace();
+    const obs::SpanId root =
+        spans.StartSpan(trace, 0, "request", 0.010);
+    spans.SetAttribute(root, "outcome", "completed");
+    // Child starts before its root: structurally broken tree.
+    const obs::SpanId queue =
+        spans.StartSpan(trace, root, "queue", 0.005);
+    spans.EndSpan(queue, 0.020);
+    spans.EndSpan(root, 0.020);
+
+    const obs::TracePath path =
+        obs::ExtractCriticalPath(spans, *RootOf(spans, trace));
+    EXPECT_FALSE(path.tiled);
+}
+
+// --- band aggregation / tail differential --------------------------------
+
+TEST(Summarize, TailDifferentialMath)
+{
+    // 100 completed verdicts, latencies 1..100 ms: the 1 ms path is
+    // <= P50, the 100 ms path is >= P99.
+    std::vector<obs::TraceVerdict> verdicts;
+    for (int i = 1; i <= 100; ++i) {
+        obs::TraceVerdict v;
+        v.trace_id = static_cast<uint64_t>(i);
+        v.outcome = "completed";
+        v.latency_s = 0.001 * i;
+        verdicts.push_back(v);
+    }
+
+    auto make_path = [](uint64_t id, double latency,
+                        double queue_fraction) {
+        obs::TracePath p;
+        p.trace_id = id;
+        p.outcome = "completed";
+        p.latency_s = latency;
+        const double split = latency * queue_fraction;
+        p.segments.push_back(
+            obs::PathSegment{"queue", 0.0, split});
+        p.segments.push_back(
+            obs::PathSegment{"execute", split, latency});
+        p.tiled = true;
+        return p;
+    };
+    const std::vector<obs::TracePath> paths = {
+        make_path(1, 0.001, 0.25),   // p50 band: queue 25%
+        make_path(100, 0.100, 0.90)  // p99 band: queue 90%
+    };
+
+    const obs::ReportCriticalPath section =
+        obs::SummarizeCriticalPaths(paths, verdicts);
+
+    const obs::ReportPathBand* p50 = nullptr;
+    const obs::ReportPathBand* p99 = nullptr;
+    for (const obs::ReportPathBand& band : section.bands) {
+        ASSERT_EQ(band.tenant, "");
+        if (band.band == "p50") p50 = &band;
+        if (band.band == "p99") p99 = &band;
+    }
+    ASSERT_NE(p50, nullptr);
+    ASSERT_NE(p99, nullptr);
+    EXPECT_EQ(p50->traces, 1);
+    EXPECT_EQ(p99->traces, 1);
+
+    const obs::ReportPathDifferential* queue_diff = nullptr;
+    for (const obs::ReportPathDifferential& d :
+         section.differential) {
+        if (d.component == "queue") queue_diff = &d;
+    }
+    ASSERT_NE(queue_diff, nullptr);
+    EXPECT_NEAR(queue_diff->p50_fraction, 0.25, 1e-12);
+    EXPECT_NEAR(queue_diff->p99_fraction, 0.90, 1e-12);
+    EXPECT_NEAR(queue_diff->delta, 0.65, 1e-12);
+
+    // Dominant tail component of the aggregate: queue.
+    ASSERT_EQ(section.dominant.size(), 1u);
+    EXPECT_EQ(section.dominant[0].first, "");
+    EXPECT_EQ(section.dominant[0].second, "queue");
+}
+
+TEST(Summarize, EmptyTenantCountsOnceInAggregate)
+{
+    std::vector<obs::TraceVerdict> verdicts;
+    obs::TraceVerdict v;
+    v.trace_id = 1;
+    v.outcome = "completed";
+    v.latency_s = 0.001;
+    verdicts.push_back(v);
+
+    obs::TracePath p;
+    p.trace_id = 1;
+    p.latency_s = 0.001;
+    p.segments.push_back(obs::PathSegment{"queue", 0.0, 0.001});
+    p.tiled = true;
+
+    const obs::ReportCriticalPath section =
+        obs::SummarizeCriticalPaths({p}, verdicts);
+    int64_t total_traces = 0;
+    for (const obs::ReportPathBand& band : section.bands) {
+        total_traces += band.traces;
+    }
+    EXPECT_EQ(total_traces, 1) << "one tenant-less path must appear "
+                                  "in exactly one aggregate band";
+}
+
+// --- exemplar join / BuildForensics --------------------------------------
+
+TEST(BuildForensics, ExemplarsAlwaysResolveToKeptTraces)
+{
+    obs::SpanCollector spans;
+    obs::TailSamplerOptions options;
+    options.reservoir = 0;  // the boring trace would not be kept
+    const uint64_t boring = BoringTrace(&spans, 0.0, 0.001);
+
+    obs::MetricsRegistry source;
+    obs::HistogramMetric* hist =
+        source.GetHistogram("lat", {{"tenant", "api"}});
+    hist->Observe(0.001);
+    hist->AttachExemplar(0.001, boring, 0.001);
+
+    obs::MetricsRegistry sink;
+    obs::TailSampler sampler(options);
+    const obs::ForensicsResult forensics =
+        obs::BuildForensics(spans, sampler, &source, &sink);
+
+    // The referenced trace was force-kept before the set froze.
+    EXPECT_TRUE(sampler.IsKept(boring));
+    ASSERT_EQ(forensics.exemplars.size(), 1u);
+    EXPECT_EQ(forensics.exemplars[0].trace_id, boring);
+    EXPECT_EQ(forensics.exemplars[0].reason, "exemplar");
+    EXPECT_EQ(forensics.exemplars[0].metric, "lat{tenant=api}");
+    const std::vector<uint64_t>& kept =
+        forensics.critical_path.kept_trace_ids;
+    for (const obs::ReportExemplar& e : forensics.exemplars) {
+        EXPECT_TRUE(std::binary_search(kept.begin(), kept.end(),
+                                       e.trace_id));
+    }
+
+    EXPECT_EQ(sink.GetCounter("obs.exemplar.attached")->value(), 1);
+    EXPECT_EQ(sink.GetCounter("obs.exemplar.exported")->value(), 1);
+    EXPECT_EQ(sink.GetCounter("obs.sample.seen")->value(), 1);
+    EXPECT_EQ(sink.GetCounter("obs.sample.kept")->value(), 1);
+}
+
+TEST(BuildForensics, UnresolvableExemplarIsDroppedNotExported)
+{
+    obs::SpanCollector spans;
+    BoringTrace(&spans, 0.0, 0.001);
+
+    obs::MetricsRegistry source;
+    obs::HistogramMetric* hist = source.GetHistogram("lat");
+    hist->Observe(0.001);
+    hist->AttachExemplar(0.001, /*trace_id=*/424242, 0.001);
+
+    obs::MetricsRegistry sink;
+    obs::TailSampler sampler;
+    const obs::ForensicsResult forensics =
+        obs::BuildForensics(spans, sampler, &source, &sink);
+
+    EXPECT_TRUE(forensics.exemplars.empty());
+    EXPECT_EQ(sink.GetCounter("obs.exemplar.attached")->value(), 1);
+    EXPECT_EQ(sink.GetCounter("obs.exemplar.exported")->value(), 0);
+}
+
+TEST(BuildForensics, NullExportRegistryCreatesNoInstruments)
+{
+    obs::SpanCollector spans;
+    BoringTrace(&spans, 0.0, 0.001);
+    obs::TailSampler sampler;
+    const obs::ForensicsResult forensics =
+        obs::BuildForensics(spans, sampler, nullptr, nullptr);
+    EXPECT_EQ(forensics.critical_path.traces, 1);
+    EXPECT_FALSE(obs::ForensicsJson(forensics).empty());
+}
+
+// --- offline round trip ---------------------------------------------------
+
+TEST(Forensics, JsonlRoundTripGivesIdenticalForensics)
+{
+    obs::SpanCollector spans;
+    for (int i = 0; i < 40; ++i) {
+        BoringTrace(&spans, 0.01 * i, 0.001 + 0.0001 * (i % 7));
+    }
+    // One slow straggler and one aborted request for variety.
+    BoringTrace(&spans, 0.9, 0.050);
+    const uint64_t aborted = spans.NewTrace();
+    const obs::SpanId root =
+        spans.StartSpan(aborted, 0, "request", 0.95);
+    spans.SetAttribute(root, "outcome", "aborted");
+    spans.EndSpan(root, 0.951);
+
+    auto rebuilt = obs::SpanCollectorFromJsonl(spans.ToJsonl());
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().message();
+
+    obs::TailSamplerOptions options;
+    options.seed = 1007;
+    obs::TailSampler direct(options);
+    obs::TailSampler offline(options);
+    const obs::ForensicsResult a =
+        obs::BuildForensics(spans, direct, nullptr, nullptr);
+    const obs::ForensicsResult b =
+        obs::BuildForensics(rebuilt.value(), offline, nullptr,
+                            nullptr);
+
+    EXPECT_EQ(direct.KeptTraceIds(), offline.KeptTraceIds());
+    EXPECT_EQ(obs::ForensicsJson(a), obs::ForensicsJson(b))
+        << "offline forensics must be bit-identical to inline";
+}
+
+TEST(Forensics, ReportSectionsSurviveWriteRead)
+{
+    obs::SpanCollector spans;
+    for (int i = 0; i < 8; ++i) {
+        BoringTrace(&spans, 0.01 * i, 0.001 * (i + 1));
+    }
+    obs::TailSampler sampler;
+    const obs::ForensicsResult forensics =
+        obs::BuildForensics(spans, sampler, nullptr, nullptr);
+
+    obs::RunReport report;
+    report.meta.command = "forensics-roundtrip";
+    obs::AttachForensics(forensics, &report);
+    ASSERT_EQ(report.schema_version, obs::kRunReportSchemaVersion);
+
+    const std::string path =
+        testing::TempDir() + "forensics_report.json";
+    ASSERT_TRUE(obs::WriteRunReport(report, path).ok());
+    auto read = obs::ReadRunReport(path);
+    ASSERT_TRUE(read.ok()) << read.status().message();
+
+    EXPECT_EQ(read.value().critical_path.kept_trace_ids,
+              report.critical_path.kept_trace_ids);
+    EXPECT_EQ(read.value().critical_path.traces,
+              report.critical_path.traces);
+    EXPECT_EQ(read.value().critical_path.bands.size(),
+              report.critical_path.bands.size());
+    EXPECT_EQ(read.value().exemplars.size(), report.exemplars.size());
+    EXPECT_EQ(obs::RunReportToJson(read.value()),
+              obs::RunReportToJson(report))
+        << "forensic sections must re-serialize bit-identically";
+}
+
+}  // namespace
+}  // namespace t4i

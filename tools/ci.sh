@@ -94,8 +94,9 @@ python3 - "$report_a" <<'EOF' || exit 1
 import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_version"] == 1, report["schema_version"]
-for key in ("meta", "series", "slos", "alerts", "metrics"):
+assert report["schema_version"] == 2, report["schema_version"]
+for key in ("meta", "series", "slos", "alerts", "critical_path",
+            "exemplars", "metrics"):
     assert key in report, f"report.json missing top-level '{key}'"
 assert report["meta"]["tool"] == "t4sim_cli", report["meta"]
 assert report["series"], "no windowed series in report"
@@ -212,6 +213,68 @@ fi
     "--alerts=$workdir/quiet.rules" > /dev/null \
     || { echo "CI: check exited nonzero with no firing rule"; exit 1; }
 
+# --- tail-forensics smoke --------------------------------------------
+# The sampler's two contracts, checked on the healthy steady-state
+# scenario where they actually bite: keep at most 10% of traces, yet
+# keep 100% of SLO violators / non-completions, and every exported
+# exemplar must resolve to a kept trace. The same run exercises the
+# scenario-level --spans-out/--blackbox-out plumbing.
+fspans="$workdir/forensics_spans.jsonl"
+fbb="$workdir/forensics_blackbox.json"
+freport="$workdir/forensics_report.json"
+./build/examples/t4sim_cli check --scenario scenarios/steady_state.scn \
+    "--spans-out=$fspans" "--blackbox-out=$fbb" \
+    "--report-out=$freport" > /dev/null || exit 1
+[ -s "$fspans" ] || { echo "CI: scenario span JSONL missing"; exit 1; }
+python3 - "$fspans" "$fbb" "$freport" <<'EOF' || exit 1
+import json, sys
+spans = [json.loads(l) for l in open(sys.argv[1])]
+roots = {s["trace_id"]: s for s in spans if s["parent_id"] == 0}
+report = json.load(open(sys.argv[3]))
+cp = report["critical_path"]
+kept = set(cp["kept_trace_ids"])
+assert cp["traces"] == len(roots), (cp["traces"], len(roots))
+assert cp["untiled"] == 0, f"{cp['untiled']} kept paths failed to tile"
+frac = cp["kept"] / cp["traces"]
+assert frac <= 0.10, f"sampler kept {frac:.1%} of healthy traces (> 10%)"
+violators = {
+    tid for tid, root in roots.items()
+    if root["attributes"].get("slo_miss") == "1"
+    or root["attributes"].get("outcome") != "completed"
+}
+assert violators <= kept, \
+    f"{len(violators - kept)} SLO violators were not kept"
+for ex in report["exemplars"]:
+    assert ex["trace_id"] in kept, \
+        f"exemplar for {ex['metric']} points at unkept trace {ex['trace_id']}"
+# The scenario black box carries the forensics summary (kept ids +
+# exemplar refs), and it must agree with the report.
+bb = json.load(open(sys.argv[2]))
+assert bb["forensics"] is not None, "black box has no forensics field"
+assert set(bb["forensics"]["kept_trace_ids"]) == kept, \
+    "black-box kept set disagrees with the report"
+EOF
+
+# Offline explain over the artifacts must exit zero (every exemplar
+# resolves, every path tiles)...
+./build/examples/t4sim_cli explain "--spans=$fspans" \
+    "--report=$freport" > /dev/null \
+    || { echo "CI: explain rejected a clean run's artifacts"; exit 1; }
+# ...and nonzero once an exemplar is tampered to an unknown trace.
+freport_bad="$workdir/forensics_report_bad.json"
+python3 - "$freport" "$freport_bad" <<'EOF' || exit 1
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["exemplars"], "no exemplars to tamper with"
+report["exemplars"][0]["trace_id"] = 10**9
+json.dump(report, open(sys.argv[2], "w"))
+EOF
+if ./build/examples/t4sim_cli explain "--spans=$fspans" \
+    "--report=$freport_bad" > /dev/null 2>&1; then
+    echo "CI: explain exited zero on an unresolvable exemplar"
+    exit 1
+fi
+
 # --- adversarial scenario matrix (chaos gate) ------------------------
 # Every checked-in scenario is a CI assertion: steady state, flash
 # crowds at absorbable and overwhelming multipliers, heavy-tailed
@@ -220,7 +283,10 @@ fi
 # verdict — the same storm must PAGE under fixed backoff and recover
 # (stay quiet) under jittered exponential backoff. `check --scenario`
 # exits nonzero when an expected alert stays quiet, an unexpected one
-# fires, or request conservation is violated.
+# fires, request conservation is violated, or a scenario's declared
+# dominant tail component (`expect-dominant`, graded from the
+# critical-path forensics; retry_storm_fixed.scn pins `queue`) does
+# not match the measured one.
 scn_count=0
 for scn in scenarios/*.scn; do
     ./build/examples/t4sim_cli check --scenario "$scn" > /dev/null \
@@ -241,14 +307,14 @@ for scn in scenarios/retry_storm_fixed.scn scenarios/retry_storm_jitter.scn; do
 done
 
 # --- perf-regression gate --------------------------------------------
-# Re-run the fast benches (sub-second each; the full set lives in
-# tools/run_all.sh) and gate their metrics against the checked-in
-# baselines. The sim is deterministic, so any drift is a real change:
+# Re-run the fast benches (sub-second each, plus the few-second E21
+# forensics drill; the full set lives in tools/run_all.sh) and gate
+# their metrics against the checked-in baselines. The sim is deterministic, so any drift is a real change:
 # either a regression or an intentional one that should come with a
 # `perf_gate.py --update` refresh of bench/baselines.json.
 fast_benches="bench_a1_mxu_geometry bench_a3_bandwidth bench_e05_roofline
               bench_e07_latency_batch bench_e11_multitenancy
-              bench_e18_latency_breakdown"
+              bench_e18_latency_breakdown bench_e21_forensics"
 bench_out="$workdir/bench_fast.txt"
 for b in $fast_benches; do
     ./build/bench/"$b" >> "$bench_out" \
@@ -268,4 +334,5 @@ echo "CI: ok (tests green, metrics schema satisfied, trace enriched," \
      "cluster outage smoke: availability $cavail above the N+k floor," \
      "black-box dump + span export valid, alert gate trips correctly," \
      "scenario matrix: $scn_count scenarios honored their contracts," \
+     "tail forensics: keep discipline + exemplar joins + explain ok," \
      "report artifact + diff triage ok, perf gate green + self-test)"

@@ -90,9 +90,9 @@ def load_report_metrics(path):
     with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
     version = report.get("schema_version")
-    if version != 1:
+    if version not in (1, 2):
         raise SystemExit("perf_gate: %s has report schema_version %r "
-                         "(this tool reads 1)" % (path, version))
+                         "(this tool reads 1..2)" % (path, version))
     return {key: float(value)
             for key, value in report.get("metrics", {}).items()}
 
