@@ -71,6 +71,19 @@
  *         --autoscale --scale-interval S --burn-up F --burn-down F
  *             --min-cells N
  *         --check-alerts            nonzero exit if any rule fires
+ *   t4sim_cli serve-llm [options]
+ *       autoregressive LLM serving on one TPUv4i cell
+ *       (docs/LLM_SERVING.md): continuous batching, prefill/decode
+ *       split, KV-cache residency. Options:
+ *         --model TINYLM|GPT2L --mode continuous|static|disagg
+ *         --duration S --seed N --rate RPS
+ *         --prompt-mean N --prompt-sigma F --prompt-max N
+ *         --output-mean N --output-sigma F --output-max N
+ *         --max-batch N --max-queue N
+ *         --kv-cmem-mb F --kv-hbm-mb F    (KV tier budget overrides)
+ *         --ttft-slo-ms MS --tpot-slo-ms MS
+ *         --window S --alerts FILE        (nonzero exit on firing)
+ *         --metrics-json FILE --spans-out FILE --report-out FILE
  *
  * Run options:
  *   --app NAME | --model resnet50|mobilenet|bert-large|ssd|dlrm|decoder
@@ -148,6 +161,7 @@
 #include <vector>
 
 #include "src/cluster/scenario_run.h"
+#include "src/llm/llm_scenario.h"
 #include "src/load/scenario.h"
 #include "src/obs/alerts.h"
 #include "src/obs/critical_path.h"
@@ -1690,13 +1704,30 @@ CmdCheckScenario(const Args& args)
     obs::SpanCollector span_collector;
     span_collector.BindRegistry(&registry);
     options.spans = &span_collector;
-    auto outcome_or = RunScenario(scenario.value(), options);
-    if (!outcome_or.ok()) {
-        std::fprintf(stderr, "scenario: %s\n",
-                     outcome_or.status().ToString().c_str());
-        return 2;
+    // `llm` scenarios run the continuous-batching LLM cell; everything
+    // else runs the request-serving cluster. Grading and artifact
+    // shape are shared.
+    const bool is_llm = scenario.value().llm.enabled;
+    ScenarioOutcome outcome;
+    llm::LlmResult llm_result;
+    if (is_llm) {
+        auto out_or = llm::RunLlmScenario(scenario.value(), options);
+        if (!out_or.ok()) {
+            std::fprintf(stderr, "scenario: %s\n",
+                         out_or.status().ToString().c_str());
+            return 2;
+        }
+        llm_result = std::move(out_or.value().llm);
+        outcome = std::move(out_or.value().outcome);
+    } else {
+        auto outcome_or = RunScenario(scenario.value(), options);
+        if (!outcome_or.ok()) {
+            std::fprintf(stderr, "scenario: %s\n",
+                         outcome_or.status().ToString().c_str());
+            return 2;
+        }
+        outcome = std::move(outcome_or).ConsumeValue();
     }
-    const ScenarioOutcome& outcome = outcome_or.value();
     const ClusterResult& r = outcome.cluster;
 
     std::printf("scenario: %s | policy %s | %.2f s | seed %llu\n",
@@ -1719,6 +1750,22 @@ CmdCheckScenario(const Args& args)
                 "conservation %s\n",
                 r.availability, outcome.goodput_trough_rps,
                 outcome.conservation_ok ? "ok" : "VIOLATED");
+    if (is_llm) {
+        std::printf(
+            "llm: %lld tokens out (%.0f tok/s goodput) | ttft p95 "
+            "%.4f s | tpot p99 %.6f s | %lld preemptions (%lld "
+            "recomputed tokens) | kv peak %lld tokens\n",
+            static_cast<long long>(llm_result.tokens_out),
+            llm_result.goodput_tokens_per_s, llm_result.ttft_p95_s,
+            llm_result.tpot_p99_s,
+            static_cast<long long>(llm_result.preemptions),
+            static_cast<long long>(llm_result.recompute_tokens),
+            static_cast<long long>(llm_result.kv_peak_tokens));
+        if (!llm_result.conservation_ok) {
+            std::fprintf(stderr, "llm conservation: %s\n",
+                         llm_result.conservation_error.c_str());
+        }
+    }
     if (outcome.fired.empty()) {
         std::printf("alerts: quiet\n");
     } else {
@@ -1752,6 +1799,20 @@ CmdCheckScenario(const Args& args)
                         ? "(none)"
                         : outcome.dominant_actual.c_str(),
                     outcome.dominant_pass ? "ok" : "MISMATCH");
+        if (!outcome.dominant_pass) {
+            // Show every tenant's measured dominant component, not
+            // just the graded one — the mismatch is usually a wrong
+            // tenant= as often as a wrong component.
+            std::fprintf(stderr, "scenario: measured dominants:");
+            for (const auto& [dom_tenant, component] :
+                 outcome.forensics.critical_path.dominant) {
+                std::fprintf(stderr, " %s=%s",
+                             dom_tenant.empty() ? "(all)"
+                                                : dom_tenant.c_str(),
+                             component.c_str());
+            }
+            std::fprintf(stderr, "\n");
+        }
     }
     if (args.Has("spans-out")) {
         const std::string path =
@@ -1802,6 +1863,179 @@ CmdCheckScenario(const Args& args)
         return 1;
     }
     std::printf("scenario: PASS\n");
+    return 0;
+}
+
+/**
+ * serve-llm: autoregressive LLM serving on one Tpu_v4i cell —
+ * continuous batching, prefill/decode split, KV-cache residency.
+ * Poisson arrivals for one tenant; lengths are lognormal token
+ * counts. Exit 0 on a clean run, 1 on a conservation violation,
+ * 2 on config errors or (with --alerts) firing alert rules.
+ *
+ * Options: --model TINYLM|GPT2L --mode continuous|static|disagg
+ * --duration S --seed N --rate RPS --prompt-mean N --prompt-sigma F
+ * --output-mean N --output-sigma F --max-batch N --max-queue N
+ * --kv-cmem-mb F --kv-hbm-mb F --ttft-slo-ms MS --tpot-slo-ms MS
+ * --window S --alerts RULES_FILE --metrics-json FILE
+ * --spans-out FILE --report-out FILE
+ */
+int
+CmdServeLlm(const Args& args)
+{
+    auto model = llm::LlmModelByName(args.Get("model", "TINYLM"));
+    if (!model.ok()) {
+        std::fprintf(stderr, "serve-llm: %s\n",
+                     model.status().ToString().c_str());
+        return 2;
+    }
+    auto mode = llm::ParseLlmMode(args.Get("mode", "continuous"));
+    if (!mode.ok()) {
+        std::fprintf(stderr, "serve-llm: %s\n",
+                     mode.status().ToString().c_str());
+        return 2;
+    }
+
+    llm::LlmCellConfig config;
+    config.model = model.value();
+    config.chip = Tpu_v4i();
+    config.mode = mode.value();
+    config.max_batch = args.GetInt("max-batch", 8);
+    config.max_queue = args.GetInt("max-queue", 256);
+    config.duration_s = args.GetDouble("duration", 1.0);
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    if (args.Has("kv-cmem-mb")) {
+        config.kv_cmem_budget_bytes = static_cast<int64_t>(
+            args.GetDouble("kv-cmem-mb", 0.0) * 1024.0 * 1024.0);
+    }
+    if (args.Has("kv-hbm-mb")) {
+        config.kv_hbm_budget_bytes = static_cast<int64_t>(
+            args.GetDouble("kv-hbm-mb", 0.0) * 1024.0 * 1024.0);
+    }
+    llm::LlmTenant tenant;
+    tenant.name = args.Get("tenant", "LLM0");
+    tenant.rate = args.GetDouble("rate", 20.0);
+    tenant.prompt.mean = args.GetDouble("prompt-mean", 256.0);
+    tenant.prompt.sigma = args.GetDouble("prompt-sigma", 0.0);
+    tenant.prompt.max = args.GetInt("prompt-max", 4096);
+    tenant.output.mean = args.GetDouble("output-mean", 32.0);
+    tenant.output.sigma = args.GetDouble("output-sigma", 0.0);
+    tenant.output.max = args.GetInt("output-max", 1024);
+    tenant.ttft_slo_s = args.GetDouble("ttft-slo-ms", 50.0) * 1e-3;
+    tenant.tpot_slo_s = args.GetDouble("tpot-slo-ms", 5.0) * 1e-3;
+    config.tenants.push_back(tenant);
+
+    obs::MetricsRegistry registry;
+    config.registry = &registry;
+    obs::SpanCollector span_collector;
+    span_collector.BindRegistry(&registry);
+    config.spans = &span_collector;
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&registry);
+    if (args.Has("alerts")) {
+        auto text = obs::ReadTextFile(args.Get("alerts", ""));
+        auto loaded = text.ok()
+                          ? alerts.AddRulesFromText(text.value())
+                          : text.status();
+        if (!loaded.ok()) {
+            std::fprintf(stderr, "serve-llm: %s\n",
+                         loaded.ToString().c_str());
+            return 2;
+        }
+    }
+    obs::TimeSeriesOptions ts_options;
+    ts_options.window_s = args.GetDouble("window", 0.05);
+    obs::TimeSeriesCollector collector(ts_options);
+    collector.BindRegistry(&registry);
+    if (alerts.rule_count() > 0) collector.BindAlerts(&alerts);
+    config.timeseries = &collector;
+
+    auto result_or = llm::RunLlmCell(config);
+    if (!result_or.ok()) {
+        std::fprintf(stderr, "serve-llm: %s\n",
+                     result_or.status().ToString().c_str());
+        return 2;
+    }
+    const llm::LlmResult& result = result_or.value();
+    collector.Finish(result.duration_s);
+
+    std::printf("serve-llm: %s on TPUv4i | mode %s | %.2f s | "
+                "seed %llu\n",
+                config.model.name.c_str(),
+                llm::LlmModeName(config.mode), result.duration_s,
+                static_cast<unsigned long long>(config.seed));
+    std::printf("requests: %lld arrived, %lld completed, %lld "
+                "dropped, %lld shed | %lld preemptions (%lld "
+                "recomputed tokens)\n",
+                static_cast<long long>(result.arrived),
+                static_cast<long long>(result.completed),
+                static_cast<long long>(result.dropped),
+                static_cast<long long>(result.shed),
+                static_cast<long long>(result.preemptions),
+                static_cast<long long>(result.recompute_tokens));
+    std::printf("tokens: %lld in, %lld out | goodput %.0f tok/s | "
+                "%lld decode iterations\n",
+                static_cast<long long>(result.tokens_in),
+                static_cast<long long>(result.tokens_out),
+                result.goodput_tokens_per_s,
+                static_cast<long long>(result.iterations));
+    std::printf("kv: peak %lld tokens | min cmem-resident fraction "
+                "%.3f\n",
+                static_cast<long long>(result.kv_peak_tokens),
+                result.kv_cmem_fraction_min);
+    for (const llm::LlmTenantStats& t : result.tenants) {
+        std::printf("tenant %s: ttft p50/p95/p99 %.4f/%.4f/%.4f s "
+                    "(%lld slo misses) | tpot p50/p99 %.6f/%.6f s "
+                    "(%lld slo misses)\n",
+                    t.name.c_str(), t.ttft_p50_s, t.ttft_p95_s,
+                    t.ttft_p99_s,
+                    static_cast<long long>(t.ttft_slo_miss),
+                    t.tpot_p50_s, t.tpot_p99_s,
+                    static_cast<long long>(t.tpot_slo_miss));
+    }
+    if (alerts.rule_count() > 0) {
+        std::printf("alerts (%lld evaluations):\n%s",
+                    static_cast<long long>(alerts.evaluations()),
+                    alerts.Summary().c_str());
+    }
+
+    if (args.Has("metrics-json")) {
+        const std::string path =
+            args.Get("metrics-json", "llm_metrics.json");
+        auto status = obs::WriteMetricsJson(registry, path);
+        std::printf("metrics-json: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 2;
+    }
+    if (args.Has("spans-out")) {
+        const std::string path =
+            args.Get("spans-out", "llm_spans.jsonl");
+        auto status =
+            obs::WriteTextFile(span_collector.ToJsonl(), path);
+        std::printf("spans-out: %s\n",
+                    status.ok() ? path.c_str()
+                                : status.ToString().c_str());
+        if (!status.ok()) return 2;
+    }
+    if (!WriteReportArtifact(
+            args, "serve-llm", config.model.name, "TPUv4i",
+            result.duration_s, static_cast<int64_t>(config.seed),
+            registry, &collector, nullptr,
+            alerts.rule_count() > 0 ? &alerts : nullptr)) {
+        return 2;
+    }
+    if (!result.conservation_ok) {
+        std::fprintf(stderr, "serve-llm: conservation VIOLATED: %s\n",
+                     result.conservation_error.c_str());
+        return 1;
+    }
+    if (alerts.AnyFiring()) {
+        std::fprintf(stderr, "serve-llm: %zu alert rule(s) firing\n",
+                     alerts.firing_count());
+        return 2;
+    }
+    std::printf("serve-llm: conservation ok\n");
     return 0;
 }
 
@@ -2008,6 +2242,7 @@ main(int argc, char** argv)
                      "profile --app NAME [options] | "
                      "check --app NAME --alerts RULES [options] | "
                      "serve-cluster --app NAME [options] | "
+                     "serve-llm [options] | "
                      "explain --scenario FILE | "
                      "explain --spans FILE [--report FILE] | "
                      "report FILE [--format markdown|csv] | "
@@ -2060,6 +2295,7 @@ main(int argc, char** argv)
     if (cmd == "explain") return CmdExplain(args);
     if (cmd == "profile") return CmdProfile(args);
     if (cmd == "serve-cluster") return CmdServeCluster(args);
+    if (cmd == "serve-llm") return CmdServeLlm(args);
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return 1;
 }

@@ -332,6 +332,7 @@ class Emitter {
     Status EmitEmbedding(const Layer& layer);
     Status EmitConcat(const Layer& layer);
     Status EmitDecoderBlock(const Layer& layer);
+    Status EmitDecoderPrefill(const Layer& layer);
     Status EmitFlatten(const Layer& layer);
     Status EmitHostOut(const Layer& layer);
 
@@ -778,6 +779,7 @@ Emitter::EmitConcat(const Layer& layer)
 Status
 Emitter::EmitDecoderBlock(const Layer& layer)
 {
+    if (layer.params.prefill) return EmitDecoderPrefill(layer);
     const auto& p = layer.params;
     const int64_t d = p.d_model;
     const int64_t heads = std::max<int64_t>(p.num_heads, 1);
@@ -807,10 +809,40 @@ Emitter::EmitDecoderBlock(const Layer& layer)
          2.0 * static_cast<double>(d) * static_cast<double>(p.d_ff)) /
         static_cast<double>(chips);
 
+    // CMEM-resident share of the KV stream (src/llm/ residency
+    // planning). Clamped here so callers can pass a raw budget ratio.
+    const double kv_frac =
+        std::min(1.0, std::max(0.0, opts_.kv_cmem_fraction));
+
     int last = -1;
     for (int64_t t = 0; t < p.seq_len; ++t) {
         const int64_t ctx = p.kv_len + t + 1;
         // KV cache stream for this step (heads sharded across chips).
+        const int64_t kv_total = std::max<int64_t>(
+            opts_.batch * ctx * 2 * d * DTypeBytes(opts_.dtype) /
+                chips, 1);
+        const int64_t kv_cmem_bytes =
+            static_cast<int64_t>(static_cast<double>(kv_total) *
+                                 kv_frac);
+        // The CMEM-resident slice reads over the wide on-chip port;
+        // emitted first so a fraction of 0 leaves the HBM stream (and
+        // the whole instruction sequence) bit-identical to pre-LLM
+        // compilations.
+        int kv_cmem_id = -1;
+        if (kv_cmem_bytes > 0) {
+            Instr kvc;
+            kvc.engine = Engine::kCmem;
+            kvc.kind = InstrKind::kDmaIn;
+            kvc.dtype = opts_.dtype;
+            kvc.layer_id = layer.id;
+            kvc.label = layer.name +
+                        StrFormat(".kvc%lld",
+                                  static_cast<long long>(t));
+            kvc.bytes = kv_cmem_bytes;
+            kvc.bw_efficiency = 0.9;
+            AddDep(&kvc.deps, last);
+            kv_cmem_id = Add(kvc);
+        }
         Instr kv;
         kv.engine = Engine::kHbm;
         kv.kind = InstrKind::kDmaIn;
@@ -818,9 +850,7 @@ Emitter::EmitDecoderBlock(const Layer& layer)
         kv.layer_id = layer.id;
         kv.label = layer.name +
                    StrFormat(".kv%lld", static_cast<long long>(t));
-        kv.bytes = std::max<int64_t>(
-            opts_.batch * ctx * 2 * d * DTypeBytes(opts_.dtype) /
-                chips, 1);
+        kv.bytes = std::max<int64_t>(kv_total - kv_cmem_bytes, 1);
         kv.bw_efficiency = 0.7;
         AddDep(&kv.deps, last);
         const int kv_id = Add(kv);
@@ -860,6 +890,7 @@ Emitter::EmitDecoderBlock(const Layer& layer)
                     static_cast<double>(chips);
         AddDep(&attn.deps, proj_id);
         AddDep(&attn.deps, kv_id);
+        if (kv_cmem_id >= 0) AddDep(&attn.deps, kv_cmem_id);
         const int attn_id = Add(attn);
 
         // Softmax + residual/norm glue.
@@ -895,6 +926,141 @@ Emitter::EmitDecoderBlock(const Layer& layer)
         }
     }
     // Already reduced per step; no block-level all-gather needed.
+    FinishLayer(layer, last, /*sharded=*/false);
+    return Status::Ok();
+}
+
+Status
+Emitter::EmitDecoderPrefill(const Layer& layer)
+{
+    // The prefill phase of autoregressive serving: all seq_len prompt
+    // tokens flow through the block in one batched pass. The matmuls
+    // see seq_len rows at once (systolic arrays near peak — the
+    // compute-bound half of the workload split), the weights stream
+    // once for the whole prompt, and the KV cache is *written* (not
+    // streamed back), split across CMEM/HBM by kv_cmem_fraction like
+    // the decode-side reads.
+    const auto& p = layer.params;
+    const int64_t d = p.d_model;
+    const int64_t heads = std::max<int64_t>(p.num_heads, 1);
+    const int64_t chips = opts_.num_chips;
+    const int64_t mxu_dim = chip_.mxu.rows;
+    const int64_t seq = std::max<int64_t>(p.seq_len, 1);
+
+    auto wb = ShardedWeightBytes(layer);
+    T4I_RETURN_IF_ERROR(wb.status());
+    std::vector<int> deps = InputDeps(layer);
+    int chunks = 1;
+    std::vector<int> w_deps = EmitWeightLoad(layer, wb.value(), &chunks);
+    for (int w : w_deps) AddDep(&deps, w);
+
+    // QKV + output projections and the FFN over all tokens at once.
+    const int64_t rows = opts_.batch * seq;
+    Instr proj;
+    proj.engine = Engine::kMxu;
+    proj.kind = InstrKind::kMatmulTile;
+    proj.dtype = opts_.dtype;
+    proj.layer_id = layer.id;
+    proj.label = layer.name + ".prefill_proj";
+    proj.rows = rows;
+    proj.k_tiles =
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(3 * d, chips), mxu_dim) +
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(d, chips), mxu_dim) +
+        CeilDiv(d, mxu_dim) * CeilDiv(CeilDiv(p.d_ff, chips), mxu_dim) +
+        CeilDiv(p.d_ff, mxu_dim) * CeilDiv(CeilDiv(d, chips), mxu_dim);
+    proj.n_tiles = 1;
+    proj.macs = static_cast<double>(rows) *
+                (4.0 * static_cast<double>(d) * static_cast<double>(d) +
+                 2.0 * static_cast<double>(d) *
+                     static_cast<double>(p.d_ff)) /
+                static_cast<double>(chips);
+    proj.deps = std::move(deps);
+    const int proj_id = Add(proj);
+
+    // KV cache write for the whole prompt (heads sharded): the
+    // CMEM-resident slice first, remainder to HBM — same residency
+    // split the decode steps read back.
+    const double kv_frac =
+        std::min(1.0, std::max(0.0, opts_.kv_cmem_fraction));
+    const int64_t kv_total = std::max<int64_t>(
+        opts_.batch * seq * 2 * d * DTypeBytes(opts_.dtype) / chips,
+        1);
+    const int64_t kv_cmem_bytes = static_cast<int64_t>(
+        static_cast<double>(kv_total) * kv_frac);
+    int kv_cmem_id = -1;
+    if (kv_cmem_bytes > 0) {
+        Instr kvc;
+        kvc.engine = Engine::kCmem;
+        kvc.kind = InstrKind::kDmaOut;
+        kvc.dtype = opts_.dtype;
+        kvc.layer_id = layer.id;
+        kvc.label = layer.name + ".prefill_kvc";
+        kvc.bytes = kv_cmem_bytes;
+        kvc.bw_efficiency = 0.9;
+        AddDep(&kvc.deps, proj_id);
+        kv_cmem_id = Add(kvc);
+    }
+    Instr kv;
+    kv.engine = Engine::kHbm;
+    kv.kind = InstrKind::kDmaOut;
+    kv.dtype = opts_.dtype;
+    kv.layer_id = layer.id;
+    kv.label = layer.name + ".prefill_kv";
+    kv.bytes = std::max<int64_t>(kv_total - kv_cmem_bytes, 1);
+    kv.bw_efficiency = 0.7;
+    AddDep(&kv.deps, proj_id);
+    const int kv_id = Add(kv);
+
+    // Causal self-attention over the prompt: QK^T + AV, average
+    // context (kv_len + (seq+1)/2) per query under the causal mask.
+    const double avg_ctx = static_cast<double>(p.kv_len) +
+                           (static_cast<double>(seq) + 1.0) / 2.0;
+    Instr attn;
+    attn.engine = Engine::kMxu;
+    attn.kind = InstrKind::kMatmulTile;
+    attn.dtype = opts_.dtype;
+    attn.layer_id = layer.id;
+    attn.label = layer.name + ".prefill_attn";
+    attn.rows = rows * CeilDiv(heads, chips);
+    attn.k_tiles = 2 * CeilDiv(static_cast<int64_t>(avg_ctx), mxu_dim);
+    attn.n_tiles = 1;
+    attn.macs = static_cast<double>(rows) * 2.0 *
+                static_cast<double>(d) * avg_ctx /
+                static_cast<double>(chips);
+    AddDep(&attn.deps, proj_id);
+    AddDep(&attn.deps, kv_id);
+    if (kv_cmem_id >= 0) AddDep(&attn.deps, kv_cmem_id);
+    const int attn_id = Add(attn);
+
+    // Softmax over the causal score matrix + residual/norm glue.
+    int last = EmitVpu(
+        layer, ".prefill_sm",
+        opts_.batch * (CeilDiv(heads, chips) *
+                           static_cast<int64_t>(avg_ctx) * seq / 4 +
+                       seq * d),
+        4.0, {attn_id}, /*complex_vector=*/true);
+
+    // Tensor-parallel prefill all-reduces activations once per block.
+    if (chips > 1) {
+        auto cost = CostCollective(
+            Collective::kAllReduce,
+            2 * rows * d * DTypeBytes(opts_.dtype), domain_);
+        T4I_CHECK(cost.ok(), cost.status().ToString().c_str());
+        const double aggregate_bw =
+            static_cast<double>(chip_.ici_links) *
+            chip_.ici_bw_Bps_per_link;
+        Instr ici;
+        ici.engine = Engine::kIci;
+        ici.kind = InstrKind::kIciTransfer;
+        ici.dtype = opts_.dtype;
+        ici.layer_id = layer.id;
+        ici.label = layer.name + ".prefill_ar";
+        ici.bytes = std::max<int64_t>(
+            static_cast<int64_t>(cost.value().time_s * aggregate_bw),
+            1);
+        AddDep(&ici.deps, last);
+        last = Add(ici);
+    }
     FinishLayer(layer, last, /*sharded=*/false);
     return Status::Ok();
 }

@@ -41,6 +41,15 @@ struct CompileOptions {
     int64_t cmem_override_bytes = -1;
     /** CMEM allocation policy (ablation A8). */
     CmemPolicy cmem_policy = CmemPolicy::kByBandwidthSaved;
+    /**
+     * Fraction of each decoder block's KV-cache stream served from
+     * CMEM instead of HBM (autoregressive decode residency, see
+     * src/llm/). 0 (the default) keeps the cache entirely in HBM and
+     * emits exactly the pre-LLM instruction stream; the planner in
+     * src/llm/kv_cache.h derives the fraction from what fits beside
+     * the pinned weights.
+     */
+    double kv_cmem_fraction = 0.0;
 };
 
 /**

@@ -88,6 +88,13 @@ struct LayerParams {
     int64_t d_ff = 0;
     /** kDecoderBlock: tokens already in the KV cache (prompt length). */
     int64_t kv_len = 0;
+    /**
+     * kDecoderBlock: process all seq_len tokens in one batched pass
+     * (the prefill phase of autoregressive serving — compute-bound
+     * matmuls that *write* the KV cache) instead of seq_len
+     * sequential single-token decode steps that stream it back.
+     */
+    bool prefill = false;
 
     // kEmbedding
     int64_t vocab = 0;

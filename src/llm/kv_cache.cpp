@@ -1,0 +1,120 @@
+#include "src/llm/kv_cache.h"
+
+#include <algorithm>
+
+#include "src/compiler/memory_planner.h"
+#include "src/models/zoo.h"
+
+namespace t4i {
+namespace llm {
+
+int64_t
+KvCmemBudgetBytes(const LlmModelConfig& model, const ChipConfig& chip)
+{
+    if (chip.cmem_bytes <= 0) return 0;
+    Graph graph = BuildDecodeStep(model.name + "_plan", model.layers,
+                                  model.d_model, model.num_heads,
+                                  model.d_ff, /*context_len=*/1,
+                                  model.vocab);
+    auto plan = PlanWeightPinning(graph, /*batch=*/1, model.dtype,
+                                  model.dtype, chip.cmem_bytes);
+    T4I_CHECK(plan.ok(), plan.status().ToString().c_str());
+    return std::max<int64_t>(
+        chip.cmem_bytes - plan.value().pinned_bytes, 0);
+}
+
+double
+PlanKvResidency(const LlmModelConfig& model, const ChipConfig& chip,
+                int64_t batch, int64_t avg_ctx)
+{
+    const int64_t working_set =
+        batch * avg_ctx * KvBytesPerToken(model);
+    if (working_set <= 0) return 1.0;
+    const int64_t budget = KvCmemBudgetBytes(model, chip);
+    return std::min(1.0, static_cast<double>(budget) /
+                             static_cast<double>(working_set));
+}
+
+KvCacheManager::KvCacheManager(const KvCacheConfig& config)
+{
+    const int64_t per_token = std::max<int64_t>(
+        config.bytes_per_token, 1);
+    cmem_capacity_tokens_ =
+        std::max<int64_t>(config.cmem_budget_bytes, 0) / per_token;
+    capacity_tokens_ =
+        cmem_capacity_tokens_ +
+        std::max<int64_t>(config.hbm_budget_bytes, 0) / per_token;
+}
+
+bool
+KvCacheManager::CanReserve(int64_t tokens) const
+{
+    return total_tokens_ + tokens <= capacity_tokens_;
+}
+
+bool
+KvCacheManager::Reserve(uint64_t seq, int64_t tokens)
+{
+    if (!CanReserve(tokens)) {
+        ++failed_allocs_;
+        return false;
+    }
+    seqs_[seq] += tokens;
+    total_tokens_ += tokens;
+    peak_tokens_ = std::max(peak_tokens_, total_tokens_);
+    return true;
+}
+
+bool
+KvCacheManager::Grow(uint64_t seq)
+{
+    if (total_tokens_ + 1 > capacity_tokens_) {
+        ++failed_allocs_;
+        return false;
+    }
+    seqs_[seq] += 1;
+    total_tokens_ += 1;
+    peak_tokens_ = std::max(peak_tokens_, total_tokens_);
+    return true;
+}
+
+int64_t
+KvCacheManager::Release(uint64_t seq)
+{
+    auto it = seqs_.find(seq);
+    if (it == seqs_.end()) return 0;
+    const int64_t tokens = it->second;
+    total_tokens_ -= tokens;
+    seqs_.erase(it);
+    return tokens;
+}
+
+int64_t
+KvCacheManager::SeqTokens(uint64_t seq) const
+{
+    auto it = seqs_.find(seq);
+    return it == seqs_.end() ? 0 : it->second;
+}
+
+int64_t
+KvCacheManager::cmem_tokens() const
+{
+    return std::min(total_tokens_, cmem_capacity_tokens_);
+}
+
+int64_t
+KvCacheManager::hbm_tokens() const
+{
+    return total_tokens_ - cmem_tokens();
+}
+
+double
+KvCacheManager::CmemFraction() const
+{
+    if (total_tokens_ <= 0) return 1.0;
+    return static_cast<double>(cmem_tokens()) /
+           static_cast<double>(total_tokens_);
+}
+
+}  // namespace llm
+}  // namespace t4i

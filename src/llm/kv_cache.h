@@ -1,0 +1,112 @@
+/**
+ * @file
+ * KV-cache residency manager: the memory half of autoregressive
+ * serving.
+ *
+ * Every resident sequence owns prompt+generated tokens of KV cache;
+ * capacity is two tiers sized like the chip — a CMEM tier (what fits
+ * beside the pinned weights behind the wide on-chip port) and an HBM
+ * tier. The manager keeps *global* tier accounting: the CMEM tier
+ * always holds the first `cmem_capacity` tokens of the working set,
+ * so the resident fraction `CmemFraction()` is exactly the
+ * `kv_cmem_fraction` the compiler splits the per-step KV stream by —
+ * raising batch (or context) past the CMEM budget is what flips
+ * decode from CMEM- to HBM-bound in the simulated counters.
+ *
+ * Admission is capacity-checked (a sequence that cannot fit its
+ * prompt plus one output token is refused); per-token growth during
+ * decode can fail when the working set hits both budgets, which the
+ * scheduler resolves by preempting a victim sequence and recomputing
+ * it later (release + re-prefill — the classic recompute flavor of
+ * paged-KV preemption).
+ */
+#ifndef T4I_LLM_KV_CACHE_H
+#define T4I_LLM_KV_CACHE_H
+
+#include <cstdint>
+#include <map>
+
+#include "src/arch/chip.h"
+#include "src/llm/model.h"
+
+namespace t4i {
+namespace llm {
+
+/** Tier budgets, in tokens (derived from bytes by the caller). */
+struct KvCacheConfig {
+    int64_t bytes_per_token = 1;
+    int64_t cmem_budget_bytes = 0;
+    int64_t hbm_budget_bytes = 0;
+};
+
+/**
+ * CMEM bytes left for KV cache after the compiler pins weights:
+ * chip CMEM minus the decode graph's pinned-weight bytes (the same
+ * PlanWeightPinning pass O3 compilation runs). Never negative.
+ */
+int64_t KvCmemBudgetBytes(const LlmModelConfig& model,
+                          const ChipConfig& chip);
+
+/**
+ * The CMEM-resident fraction a decode step at @p batch sequences of
+ * @p avg_ctx tokens would see — the planning-time twin of
+ * KvCacheManager::CmemFraction(), used by benches/tests to pick the
+ * compile-time kv_cmem_fraction for a hypothetical operating point.
+ */
+double PlanKvResidency(const LlmModelConfig& model,
+                       const ChipConfig& chip, int64_t batch,
+                       int64_t avg_ctx);
+
+class KvCacheManager {
+  public:
+    explicit KvCacheManager(const KvCacheConfig& config);
+
+    /** Tokens the two tiers can hold together. */
+    int64_t capacity_tokens() const { return capacity_tokens_; }
+    int64_t cmem_capacity_tokens() const
+    {
+        return cmem_capacity_tokens_;
+    }
+
+    /** True when @p tokens more would fit right now. */
+    bool CanReserve(int64_t tokens) const;
+
+    /** Reserves @p tokens for @p seq (admission: prompt + 1). False
+     *  (and no change) when capacity is short. */
+    bool Reserve(uint64_t seq, int64_t tokens);
+
+    /** Grows @p seq by one decode token. False on capacity miss. */
+    bool Grow(uint64_t seq);
+
+    /** Releases everything @p seq holds (completion or preemption).
+     *  Returns the token count released. */
+    int64_t Release(uint64_t seq);
+
+    int64_t SeqTokens(uint64_t seq) const;
+    int64_t total_tokens() const { return total_tokens_; }
+    int64_t cmem_tokens() const;
+    int64_t hbm_tokens() const;
+    int64_t peak_tokens() const { return peak_tokens_; }
+    int64_t resident_seqs() const
+    {
+        return static_cast<int64_t>(seqs_.size());
+    }
+    int64_t failed_allocs() const { return failed_allocs_; }
+
+    /** CMEM-resident fraction of the current working set (1 when
+     *  empty: an empty cache spills nothing). */
+    double CmemFraction() const;
+
+  private:
+    int64_t capacity_tokens_ = 0;
+    int64_t cmem_capacity_tokens_ = 0;
+    int64_t total_tokens_ = 0;
+    int64_t peak_tokens_ = 0;
+    int64_t failed_allocs_ = 0;
+    std::map<uint64_t, int64_t> seqs_;
+};
+
+}  // namespace llm
+}  // namespace t4i
+
+#endif  // T4I_LLM_KV_CACHE_H

@@ -1,0 +1,273 @@
+#include "src/llm/llm_scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/arch/catalog.h"
+#include "src/obs/alerts.h"
+#include "src/obs/sampling.h"
+#include "src/obs/slo.h"
+#include "src/obs/spans.h"
+#include "src/obs/timeseries.h"
+
+namespace t4i {
+namespace llm {
+
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+LlmTenant
+MakeTenant(const load::ScenarioTenant& st,
+           const load::LlmTenantProgram& prog,
+           const load::LlmProgram& llm)
+{
+    LlmTenant t;
+    t.name = st.name;
+    t.rate = st.rate;
+    t.deadline_s = st.deadline_s;
+    t.prompt.mean = prog.prompt_mean;
+    t.prompt.sigma = prog.prompt_sigma;
+    t.prompt.max = static_cast<int64_t>(prog.prompt_max);
+    t.output.mean = prog.output_mean;
+    t.output.sigma = prog.output_sigma;
+    t.output.max = static_cast<int64_t>(prog.output_max);
+    t.ttft_slo_s = llm.ttft_slo_s;
+    t.tpot_slo_s = llm.tpot_slo_s;
+    t.shared_prefix_frac = prog.shared_prefix_frac;
+    t.shared_prefix_len =
+        static_cast<int64_t>(prog.shared_prefix_len);
+    return t;
+}
+
+}  // namespace
+
+StatusOr<LlmScenarioOutcome>
+RunLlmScenario(const load::Scenario& scenario,
+               const ScenarioRunOptions& options)
+{
+    if (!scenario.llm.enabled) {
+        return Status::InvalidArgument(
+            "RunLlmScenario needs an `llm` directive");
+    }
+    if (options.registry == nullptr) {
+        return Status::InvalidArgument(
+            "RunLlmScenario needs a metrics registry");
+    }
+    auto model = LlmModelByName(scenario.llm.model);
+    T4I_RETURN_IF_ERROR(model.status());
+    auto mode = ParseLlmMode(scenario.llm.mode);
+    T4I_RETURN_IF_ERROR(mode.status());
+    const uint64_t seed =
+        options.override_seed ? options.seed : scenario.seed;
+
+    // --- arrival program (flash crowds, bursts, traces, retry
+    // --- storms all compose with the LLM cell) ----------------------
+    std::vector<double> rates;
+    std::vector<std::string> names;
+    for (const load::ScenarioTenant& st : scenario.tenants) {
+        rates.push_back(st.rate);
+        names.push_back(st.name);
+    }
+    load::Scenario seeded = scenario;
+    seeded.seed = seed;
+    auto source_or = load::BuildArrivalSource(seeded, rates, names);
+    T4I_RETURN_IF_ERROR(source_or.status());
+    std::unique_ptr<load::ArrivalSource> source =
+        std::move(source_or).ConsumeValue();
+
+    // --- sinks -------------------------------------------------------
+    obs::MetricsRegistry& reg = *options.registry;
+    obs::AlertEngine alerts;
+    alerts.BindRegistry(&reg);
+    if (!scenario.alert_rules_text.empty()) {
+        T4I_RETURN_IF_ERROR(
+            alerts.AddRulesFromText(scenario.alert_rules_text));
+    }
+    obs::TimeSeriesOptions ts_options;
+    ts_options.window_s = scenario.window_s;
+    obs::TimeSeriesCollector collector(ts_options);
+    collector.BindRegistry(&reg);
+    if (alerts.rule_count() > 0) collector.BindAlerts(&alerts);
+    obs::SloTracker slo_tracker;
+    slo_tracker.BindRegistry(&reg);
+    if (!scenario.slo_objectives_text.empty()) {
+        T4I_RETURN_IF_ERROR(slo_tracker.AddObjectivesFromText(
+            scenario.slo_objectives_text));
+    }
+
+    // --- cell config -------------------------------------------------
+    LlmCellConfig config;
+    config.model = model.value();
+    config.chip = Tpu_v4i();
+    config.mode = mode.value();
+    config.max_batch = scenario.llm.max_batch;
+    config.max_queue = scenario.llm.max_queue;
+    config.duration_s = scenario.duration_s;
+    config.seed = seed;
+    for (size_t i = 0; i < scenario.tenants.size(); ++i) {
+        config.tenants.push_back(MakeTenant(
+            scenario.tenants[i],
+            i < scenario.llm.tenants.size()
+                ? scenario.llm.tenants[i]
+                : load::LlmTenantProgram{},
+            scenario.llm));
+    }
+    for (const load::LlmContextFlood& f : scenario.llm.floods) {
+        config.floods.push_back(
+            {f.at_s, f.dur_s, f.mult, f.tenant});
+    }
+    if (scenario.llm.kv_cmem_mb >= 0.0) {
+        config.kv_cmem_budget_bytes = static_cast<int64_t>(
+            scenario.llm.kv_cmem_mb * kMiB);
+    }
+    if (scenario.llm.kv_hbm_mb >= 0.0) {
+        config.kv_hbm_budget_bytes = static_cast<int64_t>(
+            scenario.llm.kv_hbm_mb * kMiB);
+    }
+    config.arrival_source = source.get();
+    config.registry = &reg;
+    config.timeseries = &collector;
+    obs::SpanCollector internal_spans;
+    config.spans = options.spans;
+    if (options.forensics && config.spans == nullptr) {
+        internal_spans.BindRegistry(&reg);
+        config.spans = &internal_spans;
+    }
+
+    auto result = RunLlmCell(config);
+    T4I_RETURN_IF_ERROR(result.status());
+
+    LlmScenarioOutcome out;
+    out.llm = std::move(result).ConsumeValue();
+    ScenarioOutcome& outcome = out.outcome;
+    outcome.policy = LlmModeName(config.mode);
+
+    slo_tracker.Finish(out.llm.duration_s);
+    collector.Finish(out.llm.duration_s);
+
+    // Aggregate books, so shared printers/graders read one shape.
+    outcome.cluster.arrived = out.llm.arrived;
+    outcome.cluster.completed = out.llm.completed;
+    outcome.cluster.dropped = out.llm.dropped;
+    outcome.cluster.shed = out.llm.shed;
+    outcome.cluster.duration_s = out.llm.duration_s;
+    outcome.cluster.availability =
+        out.llm.arrived > 0
+            ? static_cast<double>(out.llm.completed) /
+                  static_cast<double>(out.llm.arrived)
+            : 1.0;
+
+    // --- conservation: request books, token tiling, KV drain, and
+    // --- the collector's window deltas -------------------------------
+    outcome.conservation_ok =
+        out.llm.conservation_ok &&
+        collector.CheckConservation().ok();
+
+    // --- alert verdict: exact set equality ---------------------------
+    outcome.time_to_first_alert_s = -1.0;
+    for (const obs::AlertStatus& status : alerts.statuses()) {
+        if (status.state != obs::AlertState::kFiring) continue;
+        outcome.fired.push_back(status.rule.name);
+        if (outcome.time_to_first_alert_s < 0.0 ||
+            status.fired_at_s < outcome.time_to_first_alert_s) {
+            outcome.time_to_first_alert_s = status.fired_at_s;
+            outcome.first_alert = status.rule.name;
+        }
+    }
+    const std::set<std::string> fired(outcome.fired.begin(),
+                                      outcome.fired.end());
+    const std::set<std::string> expected(scenario.expect.begin(),
+                                         scenario.expect.end());
+    for (const std::string& name : expected) {
+        if (fired.find(name) == fired.end()) {
+            outcome.missing.push_back(name);
+        }
+    }
+    for (const std::string& name : outcome.fired) {
+        if (expected.find(name) == expected.end()) {
+            outcome.unexpected.push_back(name);
+        }
+    }
+    outcome.alerts_pass =
+        outcome.missing.empty() && outcome.unexpected.empty();
+
+    // --- goodput trough: completions net of token-SLO misses ---------
+    std::vector<double> good;
+    std::vector<double> bad;
+    for (const obs::TimeSeries& series : collector.series()) {
+        const bool completed = series.name == "llm.completed";
+        const bool miss = series.name == "llm.ttft_slo_miss" ||
+                          series.name == "llm.tpot_slo_miss";
+        if (!completed && !miss) continue;
+        std::vector<double>& sums = completed ? good : bad;
+        if (sums.size() < series.points.size()) {
+            sums.resize(series.points.size(), 0.0);
+        }
+        for (size_t i = 0; i < series.points.size(); ++i) {
+            sums[i] += series.points[i].rate_per_s;
+        }
+    }
+    size_t first = good.size();
+    size_t last = 0;
+    for (size_t i = 0; i < good.size(); ++i) {
+        if (good[i] <= 0.0) continue;
+        if (first == good.size()) first = i;
+        last = i;
+    }
+    double trough = std::numeric_limits<double>::infinity();
+    for (size_t i = first; i < good.size() && i <= last; ++i) {
+        const double miss_rate = i < bad.size() ? bad[i] : 0.0;
+        trough = std::min(trough, good[i] - miss_rate);
+    }
+    outcome.goodput_trough_rps =
+        first < good.size() ? trough + 0.0 : 0.0;
+
+    // --- tail forensics + expect-dominant ----------------------------
+    if (options.forensics && config.spans != nullptr) {
+        obs::TailSamplerOptions sampler_options;
+        sampler_options.seed = seed;
+        obs::TailSampler sampler(sampler_options);
+        for (const obs::AlertStatus& status : alerts.statuses()) {
+            if (status.fire_count > 0) {
+                sampler.AddAlertWindow(status.fired_at_s,
+                                       out.llm.duration_s);
+            }
+        }
+        outcome.forensics =
+            obs::BuildForensics(*config.spans, sampler, &reg, &reg);
+        for (const auto& [tenant, component] :
+             outcome.forensics.critical_path.dominant) {
+            if (tenant == scenario.expect_dominant_tenant) {
+                outcome.dominant_actual = component;
+                break;
+            }
+        }
+        if (!scenario.expect_dominant.empty()) {
+            outcome.dominant_pass =
+                outcome.dominant_actual == scenario.expect_dominant;
+        }
+    }
+
+    if (options.build_report) {
+        obs::ReportMeta meta;
+        meta.command = "check-scenario";
+        meta.app = scenario.name;
+        meta.duration_s = out.llm.duration_s;
+        meta.seed = static_cast<int64_t>(seed);
+        meta.window_s = collector.window_s();
+        outcome.report = obs::BuildRunReport(
+            meta, &reg, &collector, &slo_tracker,
+            alerts.rule_count() > 0 ? &alerts : nullptr);
+        obs::AttachForensics(outcome.forensics, &outcome.report);
+    }
+    return out;
+}
+
+}  // namespace llm
+}  // namespace t4i

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Scenario execution for LLM serving programs: the `llm` directive
+ * (src/load/scenario.h) routes a scenario here instead of the
+ * request-serving cluster. Same artifact contract as RunScenario —
+ * exact-set alert grading, run-failing conservation, tail forensics
+ * with the expect-dominant verdict, and a run report — but the run
+ * underneath is the continuous-batching LLM cell with token SLOs
+ * (TTFT/TPOT) and KV-cache residency.
+ */
+#ifndef T4I_LLM_LLM_SCENARIO_H
+#define T4I_LLM_LLM_SCENARIO_H
+
+#include "src/cluster/scenario_run.h"
+#include "src/common/status.h"
+#include "src/llm/serve_llm.h"
+#include "src/load/scenario.h"
+
+namespace t4i {
+namespace llm {
+
+/** RunLlmScenario's extra output on top of the shared outcome. */
+struct LlmScenarioOutcome {
+    ScenarioOutcome outcome;
+    LlmResult llm;
+};
+
+/**
+ * Runs an LLM scenario (scenario.llm.enabled must be true) on
+ * Tpu_v4i and grades it exactly like RunScenario: fired alert set ==
+ * expected set, conservation books (requests, tokens, KV drain, and
+ * the collector's window deltas) close, expect-dominant honored.
+ */
+StatusOr<LlmScenarioOutcome> RunLlmScenario(
+    const load::Scenario& scenario,
+    const ScenarioRunOptions& options);
+
+}  // namespace llm
+}  // namespace t4i
+
+#endif  // T4I_LLM_LLM_SCENARIO_H

@@ -1,0 +1,135 @@
+#include "src/llm/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/compiler/compiler.h"
+#include "src/models/zoo.h"
+#include "src/sim/machine.h"
+
+namespace t4i {
+namespace llm {
+
+namespace {
+
+/** Rounds @p v up to the next power of two >= @p floor (bucketing
+ *  keeps the compile memo small without flattering the cost: a
+ *  request is charged the cost of the bucket it fits in). */
+int64_t
+PowerOfTwoBucket(int64_t v, int64_t floor_value)
+{
+    int64_t bucket = floor_value;
+    while (bucket < v) bucket *= 2;
+    return bucket;
+}
+
+}  // namespace
+
+StatusOr<LlmModelConfig>
+LlmModelByName(const std::string& name)
+{
+    LlmModelConfig model;
+    if (name == "TINYLM") {
+        model.name = "TINYLM";
+        return model;
+    }
+    if (name == "GPT2L") {
+        // The bench_a4 decoder-serving shape (GPT-2-large class).
+        model.name = "GPT2L";
+        model.layers = 24;
+        model.d_model = 1024;
+        model.num_heads = 16;
+        model.d_ff = 4096;
+        model.vocab = 50257;
+        model.max_ctx = 4096;
+        return model;
+    }
+    return Status::InvalidArgument("unknown LLM model '" + name +
+                                   "' (TINYLM | GPT2L)");
+}
+
+int64_t
+KvBytesPerToken(const LlmModelConfig& model)
+{
+    return 2 * model.d_model * static_cast<int64_t>(model.layers) *
+           DTypeBytes(model.dtype);
+}
+
+int64_t
+LlmWeightBytes(const LlmModelConfig& model)
+{
+    const int64_t per_block =
+        4 * model.d_model * model.d_model +
+        2 * model.d_model * model.d_ff + 4 * model.d_model +
+        model.d_ff;
+    const int64_t head = model.d_model * (model.vocab / 8);
+    return (per_block * model.layers + head) *
+           DTypeBytes(model.dtype);
+}
+
+CompiledLlmCostModel::CompiledLlmCostModel(const LlmModelConfig& model,
+                                           const ChipConfig& chip)
+    : model_(model), chip_(chip)
+{
+}
+
+double
+CompiledLlmCostModel::PrefillSeconds(int64_t prompt_tokens)
+{
+    const int64_t bucket = std::min(
+        model_.max_ctx,
+        PowerOfTwoBucket(std::max<int64_t>(prompt_tokens, 1), 16));
+    auto it = prefill_memo_.find(bucket);
+    if (it != prefill_memo_.end()) return it->second;
+
+    Graph graph = BuildDecoderPrefill(
+        model_.name + "_prefill", model_.layers, model_.d_model,
+        model_.num_heads, model_.d_ff, bucket, model_.vocab);
+    CompileOptions opts;
+    opts.batch = 1;
+    opts.dtype = model_.dtype;
+    opts.include_host_transfers = false;
+    auto program = Compile(graph, chip_, opts);
+    T4I_CHECK(program.ok(), program.status().ToString().c_str());
+    auto sim = Simulate(program.value(), chip_);
+    T4I_CHECK(sim.ok(), sim.status().ToString().c_str());
+    ++simulations_;
+    prefill_memo_[bucket] = sim.value().latency_s;
+    return sim.value().latency_s;
+}
+
+double
+CompiledLlmCostModel::DecodeStepSeconds(int64_t batch, int64_t avg_ctx,
+                                        double kv_cmem_fraction)
+{
+    const int64_t ctx_bucket = std::min(
+        model_.max_ctx,
+        PowerOfTwoBucket(std::max<int64_t>(avg_ctx, 1), 64));
+    // Eighth-steps keep the CMEM->HBM flip visible without an
+    // unbounded memo.
+    const int64_t frac_bucket = static_cast<int64_t>(
+        std::lround(std::clamp(kv_cmem_fraction, 0.0, 1.0) * 8.0));
+    const auto key = std::make_tuple(batch, ctx_bucket, frac_bucket);
+    auto it = decode_memo_.find(key);
+    if (it != decode_memo_.end()) return it->second;
+
+    Graph graph = BuildDecodeStep(
+        model_.name + "_decode", model_.layers, model_.d_model,
+        model_.num_heads, model_.d_ff, ctx_bucket, model_.vocab);
+    CompileOptions opts;
+    opts.batch = std::max<int64_t>(batch, 1);
+    opts.dtype = model_.dtype;
+    opts.include_host_transfers = false;
+    opts.kv_cmem_fraction =
+        static_cast<double>(frac_bucket) / 8.0;
+    auto program = Compile(graph, chip_, opts);
+    T4I_CHECK(program.ok(), program.status().ToString().c_str());
+    auto sim = Simulate(program.value(), chip_);
+    T4I_CHECK(sim.ok(), sim.status().ToString().c_str());
+    ++simulations_;
+    decode_memo_[key] = sim.value().latency_s;
+    return sim.value().latency_s;
+}
+
+}  // namespace llm
+}  // namespace t4i

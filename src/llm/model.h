@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LLM workload description + step-cost model for autoregressive
+ * serving (src/llm/serve_llm.h).
+ *
+ * The paper's Lessons 8-9 (DNNs grow ~1.5x/yr; workloads evolve under
+ * the hardware) point the 2020-era BERT/CNN catalog straight at
+ * decoder-only serving. An LLM request has two phases with opposite
+ * roofline regimes:
+ *
+ *   - prefill: the whole prompt flows through every block in one
+ *     batched pass — big matmuls, compute-bound, KV cache *written*;
+ *   - decode: one token per iteration against the growing KV cache —
+ *     matvecs, memory-bound, the cache (and weights) stream back
+ *     every step.
+ *
+ * CompiledLlmCostModel grounds both phases in the real compiler +
+ * cycle simulator: it compiles BuildDecoderPrefill / BuildDecodeStep
+ * graphs (src/models/zoo.h) at bucketed (batch, context, KV-residency
+ * fraction) points and memoizes the simulated latencies, so the
+ * scheduler's inner loop stays fast while every cost it quotes is one
+ * the roofline/counter model would reproduce. FixedLlmCostModel is
+ * the hand-computable test double.
+ */
+#ifndef T4I_LLM_MODEL_H
+#define T4I_LLM_MODEL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/graph/graph.h"
+
+namespace t4i {
+namespace llm {
+
+/** One decoder-only model's shape. */
+struct LlmModelConfig {
+    std::string name = "TINYLM";
+    int layers = 4;
+    int64_t d_model = 512;
+    int64_t num_heads = 8;
+    int64_t d_ff = 2048;
+    int64_t vocab = 32000;
+    /** Hard context-window cap (prompt + generated tokens). */
+    int64_t max_ctx = 4096;
+    DType dtype = DType::kBf16;
+};
+
+/** Catalog lookup: TINYLM (4x512, the fast default) or GPT2L
+ *  (24x1024, the bench_a4 decoder shape). */
+StatusOr<LlmModelConfig> LlmModelByName(const std::string& name);
+
+/** KV-cache bytes one token occupies across every layer (K and V). */
+int64_t KvBytesPerToken(const LlmModelConfig& model);
+
+/** Parameter bytes at the model dtype (all blocks + LM head). */
+int64_t LlmWeightBytes(const LlmModelConfig& model);
+
+/** Phase costs the scheduler charges against the sim clock. */
+class LlmCostModel {
+  public:
+    virtual ~LlmCostModel() = default;
+
+    /** One prefill pass over @p prompt_tokens (batch of one prompt). */
+    virtual double PrefillSeconds(int64_t prompt_tokens) = 0;
+
+    /**
+     * One decode iteration: @p batch sequences, average context
+     * @p avg_ctx tokens, @p kv_cmem_fraction of the cache resident in
+     * CMEM (the rest streams from HBM).
+     */
+    virtual double DecodeStepSeconds(int64_t batch, int64_t avg_ctx,
+                                     double kv_cmem_fraction) = 0;
+};
+
+/** Compiles + simulates the real graphs, memoized per bucket. */
+class CompiledLlmCostModel : public LlmCostModel {
+  public:
+    CompiledLlmCostModel(const LlmModelConfig& model,
+                         const ChipConfig& chip);
+
+    double PrefillSeconds(int64_t prompt_tokens) override;
+    double DecodeStepSeconds(int64_t batch, int64_t avg_ctx,
+                             double kv_cmem_fraction) override;
+
+    /** Compile+simulate calls actually made (memoization hits skip). */
+    int64_t simulations() const { return simulations_; }
+
+  private:
+    LlmModelConfig model_;
+    ChipConfig chip_;
+    std::map<int64_t, double> prefill_memo_;
+    std::map<std::tuple<int64_t, int64_t, int64_t>, double>
+        decode_memo_;
+    int64_t simulations_ = 0;
+};
+
+/** Hand-computable costs for tests and quantile fixtures. */
+class FixedLlmCostModel : public LlmCostModel {
+  public:
+    FixedLlmCostModel(double prefill_s_per_token, double decode_step_s)
+        : prefill_s_per_token_(prefill_s_per_token),
+          decode_step_s_(decode_step_s)
+    {
+    }
+
+    double
+    PrefillSeconds(int64_t prompt_tokens) override
+    {
+        return prefill_s_per_token_ *
+               static_cast<double>(prompt_tokens);
+    }
+
+    double
+    DecodeStepSeconds(int64_t, int64_t, double) override
+    {
+        return decode_step_s_;
+    }
+
+  private:
+    double prefill_s_per_token_;
+    double decode_step_s_;
+};
+
+}  // namespace llm
+}  // namespace t4i
+
+#endif  // T4I_LLM_MODEL_H

@@ -1,0 +1,881 @@
+#include "src/llm/serve_llm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "src/common/stats.h"
+#include "src/common/strings.h"
+
+namespace t4i {
+namespace llm {
+
+namespace {
+
+constexpr double kNoEvent = std::numeric_limits<double>::infinity();
+
+/** One in-flight request (also the KV sequence). */
+struct LlmRequest {
+    uint64_t id = 0;  ///< KV sequence id + length-substream index
+    int tenant = 0;
+    double arrival_s = 0.0;
+    double deadline_abs_s = 0.0;  ///< 0 = none
+    int64_t prompt_tokens = 0;    ///< full prompt (incl. shared prefix)
+    int64_t prefix_tokens = 0;    ///< prefix-cache hit (not prefilled)
+    int64_t output_tokens = 1;
+    uint64_t source_id = 0;  ///< arrival-source feedback handle
+
+    // Progress. tokens_done survives preemption (generated tokens are
+    // recomputed, not re-emitted); max_tokens_seen is the high-water
+    // mark that keeps TPOT samples from double-counting on recompute.
+    int64_t tokens_done = 0;
+    int64_t max_tokens_seen = 0;
+    bool ttft_recorded = false;
+    double last_token_s = 0.0;
+    double tpot_sum_s = 0.0;
+    int64_t tpot_count = 0;
+    bool ttft_missed = false;
+
+    // Disaggregated prefill pipeline.
+    double prefill_end_s = 0.0;
+
+    // Span tree. Exactly one of queue/kv_wait/batch/prefill/decode is
+    // open at a time; each closes where the next opens, so the
+    // children tile the root bit for bit.
+    uint64_t trace_id = 0;
+    obs::SpanId root_span = 0;
+    obs::SpanId phase_span = 0;
+};
+
+/** Per-tenant mutable books. */
+struct TenantBooks {
+    obs::Counter* arrived = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* prefix_hits = nullptr;
+    obs::Counter* tokens_in = nullptr;
+    obs::Counter* tokens_out = nullptr;
+    obs::Counter* ttft_slo_miss = nullptr;
+    obs::Counter* tpot_slo_miss = nullptr;
+    obs::HistogramMetric* ttft_hist = nullptr;
+    obs::HistogramMetric* tpot_hist = nullptr;
+    obs::HistogramMetric* latency_hist = nullptr;
+    LlmTenantStats stats;
+    PercentileTracker ttft;
+    PercentileTracker tpot;
+};
+
+/** Draws one lognormal token count: mean-preserving (mu = ln(mean) -
+ *  sigma^2/2), sigma 0 pins the mean exactly. */
+int64_t
+DrawTokens(const LlmLengthSpec& spec, Rng& rng)
+{
+    double mean = std::max(spec.mean, 1.0);
+    double sample = mean;
+    if (spec.sigma > 0.0) {
+        const double mu =
+            std::log(mean) - 0.5 * spec.sigma * spec.sigma;
+        sample = std::exp(mu + spec.sigma * rng.NextGaussian());
+    } else {
+        // Burn the draw so sigma toggles never shift later streams.
+        (void)rng.NextGaussian();
+    }
+    const int64_t tokens = static_cast<int64_t>(std::llround(sample));
+    return std::clamp<int64_t>(tokens, 1, std::max<int64_t>(spec.max, 1));
+}
+
+class LlmCell {
+  public:
+    explicit LlmCell(const LlmCellConfig& config) : cfg_(config) {}
+
+    StatusOr<LlmResult> Run();
+
+  private:
+    // --- setup ---
+    Status Validate() const;
+    void BindMetrics();
+    void SeedInternalArrivals();
+
+    // --- event loop ---
+    void DeliverArrivals(double now);
+    void AddRequest(double t_s, size_t tenant, double size,
+                    double deadline_override_s, uint64_t source_id);
+    void SweepDeadlines(double now);
+    void Admit(double now);
+    void CollectPrefills(double now);
+    bool DoWork(double* now);
+    void RunSharedPrefill(double* now);
+    void RunDecodeIteration(double* now);
+    double NextEventTime() const;
+
+    // --- terminal events ---
+    void Complete(LlmRequest& req, double now);
+    void Drop(LlmRequest& req, double now, const char* reason);
+    void RecordFirstToken(LlmRequest& req, double now);
+    void RecordDecodeToken(LlmRequest& req, double now);
+    void Preempt(size_t running_idx, double now);
+
+    // --- spans ---
+    void OpenRoot(LlmRequest& req, double now);
+    void Phase(LlmRequest& req, const char* name, double now);
+    void CloseRoot(LlmRequest& req, double now, const char* outcome);
+
+    void Tick(double now);
+    void UpdateKvGauges();
+    double FloodMult(double t_s, size_t tenant) const;
+    int64_t PrefillTokens(const LlmRequest& req) const;
+
+    LlmCellConfig cfg_;
+    std::unique_ptr<CompiledLlmCostModel> owned_cost_;
+    LlmCostModel* cost_ = nullptr;
+    std::unique_ptr<KvCacheManager> kv_;
+
+    std::deque<LlmRequest> queue_;
+    std::vector<LlmRequest> prefill_q_;  ///< admitted, prefill pending
+    std::vector<LlmRequest> running_;    ///< decoding batch
+    /** Pre-generated internal Poisson arrivals (time-sorted), when no
+     *  external source drives the cell. */
+    struct InternalArrival {
+        double t_s;
+        size_t tenant;
+    };
+    std::vector<InternalArrival> internal_;
+    size_t next_internal_ = 0;
+
+    uint64_t next_request_id_ = 1;
+    bool head_blocked_ = false;
+    double prefill_free_s_ = 0.0;  ///< disagg prefill-pipeline cursor
+
+    std::vector<TenantBooks> books_;
+    PercentileTracker ttft_all_;
+    PercentileTracker tpot_all_;
+    LlmResult result_;
+
+    obs::Counter* iterations_ = nullptr;
+    obs::Counter* recompute_ = nullptr;
+    obs::Counter* load_arrivals_ = nullptr;
+    obs::Counter* load_client_retries_ = nullptr;
+    obs::HistogramMetric* batch_hist_ = nullptr;
+    obs::HistogramMetric* prefill_hist_ = nullptr;
+    obs::HistogramMetric* decode_hist_ = nullptr;
+    obs::Gauge* kv_tokens_g_ = nullptr;
+    obs::Gauge* kv_cmem_g_ = nullptr;
+    obs::Gauge* kv_hbm_g_ = nullptr;
+    obs::Gauge* kv_frac_g_ = nullptr;
+    obs::Gauge* kv_peak_g_ = nullptr;
+    obs::Gauge* goodput_g_ = nullptr;
+};
+
+Status
+LlmCell::Validate() const
+{
+    if (cfg_.tenants.empty())
+        return Status::InvalidArgument("llm cell needs >= 1 tenant");
+    if (cfg_.max_batch < 1)
+        return Status::InvalidArgument("llm max_batch must be >= 1");
+    if (cfg_.max_queue < 1)
+        return Status::InvalidArgument("llm max_queue must be >= 1");
+    if (cfg_.duration_s <= 0.0)
+        return Status::InvalidArgument("llm duration must be > 0");
+    for (const auto& t : cfg_.tenants) {
+        if (t.name.empty())
+            return Status::InvalidArgument("llm tenant needs a name");
+        if (cfg_.arrival_source == nullptr && t.rate <= 0.0)
+            return Status::InvalidArgument(
+                "llm tenant '" + t.name + "' needs rate > 0");
+        if (t.prompt.mean < 1.0 || t.output.mean < 1.0)
+            return Status::InvalidArgument(
+                "llm tenant '" + t.name +
+                "' prompt/output mean must be >= 1 token");
+        if (t.shared_prefix_frac < 0.0 || t.shared_prefix_frac > 1.0)
+            return Status::InvalidArgument(
+                "llm shared_prefix_frac must be in [0, 1]");
+    }
+    for (const auto& f : cfg_.floods) {
+        if (f.dur_s < 0.0 || f.mult <= 0.0)
+            return Status::InvalidArgument(
+                "llm context-flood needs dur >= 0 and mult > 0");
+        if (f.tenant >= static_cast<int>(cfg_.tenants.size()))
+            return Status::InvalidArgument(
+                "llm context-flood tenant out of range");
+    }
+    return Status::Ok();
+}
+
+void
+LlmCell::BindMetrics()
+{
+    auto* reg = cfg_.registry;
+    books_.resize(cfg_.tenants.size());
+    for (size_t i = 0; i < cfg_.tenants.size(); ++i) {
+        auto& b = books_[i];
+        b.stats.name = cfg_.tenants[i].name;
+        if (reg == nullptr) continue;
+        const obs::Labels labels = {{"tenant", cfg_.tenants[i].name}};
+        b.arrived = reg->GetCounter("llm.arrived", labels);
+        b.completed = reg->GetCounter("llm.completed", labels);
+        b.dropped = reg->GetCounter("llm.dropped", labels);
+        b.shed = reg->GetCounter("llm.shed", labels);
+        b.preemptions = reg->GetCounter("llm.preemptions", labels);
+        b.prefix_hits = reg->GetCounter("llm.prefix_hits", labels);
+        b.tokens_in = reg->GetCounter("llm.tokens_in", labels);
+        b.tokens_out = reg->GetCounter("llm.tokens_out", labels);
+        b.ttft_slo_miss = reg->GetCounter("llm.ttft_slo_miss", labels);
+        b.tpot_slo_miss = reg->GetCounter("llm.tpot_slo_miss", labels);
+        b.ttft_hist = reg->GetHistogram("llm.ttft_seconds", labels);
+        b.tpot_hist = reg->GetHistogram("llm.tpot_seconds", labels);
+        b.latency_hist =
+            reg->GetHistogram("llm.latency_seconds", labels);
+    }
+    if (reg == nullptr) return;
+    iterations_ = reg->GetCounter("llm.iterations");
+    recompute_ = reg->GetCounter("llm.recompute_tokens");
+    batch_hist_ = reg->GetHistogram("llm.batch_size");
+    prefill_hist_ = reg->GetHistogram("llm.prefill_seconds");
+    decode_hist_ = reg->GetHistogram("llm.decode_step_seconds");
+    kv_tokens_g_ = reg->GetGauge("llm.kv_tokens");
+    kv_cmem_g_ = reg->GetGauge("llm.kv_cmem_tokens");
+    kv_hbm_g_ = reg->GetGauge("llm.kv_hbm_tokens");
+    kv_frac_g_ = reg->GetGauge("llm.kv_cmem_fraction");
+    kv_peak_g_ = reg->GetGauge("llm.kv_peak_tokens");
+    goodput_g_ = reg->GetGauge("llm.goodput_tokens_per_s");
+    if (cfg_.arrival_source != nullptr) {
+        // Mirror the serving cells: source-driven runs account the
+        // offered load under the shared load.* family.
+        load_arrivals_ = reg->GetCounter("load.arrivals");
+        load_client_retries_ = reg->GetCounter("load.client_retries");
+    }
+}
+
+void
+LlmCell::SeedInternalArrivals()
+{
+    if (cfg_.arrival_source != nullptr) return;
+    for (size_t i = 0; i < cfg_.tenants.size(); ++i) {
+        Rng rng = Substream(cfg_.seed, "llm.arrival", i);
+        double t = 0.0;
+        while (true) {
+            t += rng.NextExponential(cfg_.tenants[i].rate);
+            if (t >= cfg_.duration_s) break;
+            internal_.push_back({t, i});
+        }
+    }
+    std::stable_sort(internal_.begin(), internal_.end(),
+                     [](const InternalArrival& a,
+                        const InternalArrival& b) {
+                         if (a.t_s != b.t_s) return a.t_s < b.t_s;
+                         return a.tenant < b.tenant;
+                     });
+}
+
+double
+LlmCell::FloodMult(double t_s, size_t tenant) const
+{
+    double mult = 1.0;
+    for (const auto& f : cfg_.floods) {
+        if (t_s < f.at_s || t_s >= f.at_s + f.dur_s) continue;
+        if (f.tenant >= 0 &&
+            static_cast<size_t>(f.tenant) != tenant)
+            continue;
+        mult *= f.mult;
+    }
+    return mult;
+}
+
+int64_t
+LlmCell::PrefillTokens(const LlmRequest& req) const
+{
+    // Recompute covers the generated tokens too; the shared prefix
+    // never needs prefilling.
+    return req.prompt_tokens - req.prefix_tokens + req.tokens_done;
+}
+
+void
+LlmCell::AddRequest(double t_s, size_t tenant, double size,
+                    double deadline_override_s, uint64_t source_id)
+{
+    const LlmTenant& tcfg = cfg_.tenants[tenant];
+    auto& b = books_[tenant];
+    ++b.stats.arrived;
+    ++result_.arrived;
+    if (b.arrived != nullptr) b.arrived->Increment();
+
+    LlmRequest req;
+    req.id = next_request_id_++;
+    req.tenant = static_cast<int>(tenant);
+    req.arrival_s = t_s;
+    req.source_id = source_id;
+
+    // Lengths + prefix draw from a per-request substream so every
+    // request is reproducible regardless of scheduling order.
+    Rng rng = Substream(cfg_.seed, "llm.len", req.id);
+    const double prompt_mult = FloodMult(t_s, tenant) * size;
+    int64_t prompt = DrawTokens(tcfg.prompt, rng);
+    prompt = static_cast<int64_t>(std::llround(
+        static_cast<double>(prompt) * std::max(prompt_mult, 0.0)));
+    int64_t output = DrawTokens(tcfg.output, rng);
+    const bool prefix_hit =
+        rng.NextBool(tcfg.shared_prefix_frac) &&
+        tcfg.shared_prefix_len > 0;
+    output = std::clamp<int64_t>(output, 1, cfg_.model.max_ctx - 1);
+    prompt = std::clamp<int64_t>(prompt, 1,
+                                 cfg_.model.max_ctx - output);
+    req.prompt_tokens = prompt;
+    req.output_tokens = output;
+    if (prefix_hit) {
+        // Keep >= 1 token to prefill so every admitted request still
+        // passes through the pipeline.
+        req.prefix_tokens =
+            std::min<int64_t>(tcfg.shared_prefix_len, prompt - 1);
+        if (req.prefix_tokens > 0) {
+            ++b.stats.prefix_hits;
+            if (b.prefix_hits != nullptr) b.prefix_hits->Increment();
+        }
+    }
+    const double deadline = deadline_override_s > 0.0
+                                ? deadline_override_s
+                                : tcfg.deadline_s;
+    if (deadline > 0.0) req.deadline_abs_s = t_s + deadline;
+
+    if (static_cast<int64_t>(queue_.size()) >= cfg_.max_queue) {
+        // Shed at the door: no span, terminal failure.
+        ++b.stats.shed;
+        ++result_.shed;
+        if (b.shed != nullptr) b.shed->Increment();
+        if (cfg_.arrival_source != nullptr && source_id != 0)
+            cfg_.arrival_source->OnRequestEnd(source_id, t_s, false);
+        return;
+    }
+    OpenRoot(req, t_s);
+    Phase(req, "queue", t_s);
+    queue_.push_back(std::move(req));
+}
+
+void
+LlmCell::DeliverArrivals(double now)
+{
+    if (cfg_.arrival_source != nullptr) {
+        load::LoadArrival arr;
+        while (cfg_.arrival_source->Peek(&arr) && arr.t_s <= now) {
+            arr = cfg_.arrival_source->Take();
+            if (arr.tenant >= cfg_.tenants.size()) continue;
+            if (load_arrivals_ != nullptr) load_arrivals_->Increment();
+            if (arr.client_retry && load_client_retries_ != nullptr)
+                load_client_retries_->Increment();
+            AddRequest(arr.t_s, arr.tenant, arr.size, arr.deadline_s,
+                       arr.id);
+        }
+        return;
+    }
+    while (next_internal_ < internal_.size() &&
+           internal_[next_internal_].t_s <= now) {
+        const auto& a = internal_[next_internal_++];
+        AddRequest(a.t_s, a.tenant, 1.0, 0.0, 0);
+    }
+}
+
+void
+LlmCell::SweepDeadlines(double now)
+{
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline_abs_s > 0.0 && now > it->deadline_abs_s) {
+            Drop(*it, it->deadline_abs_s, "deadline");
+            it = queue_.erase(it);
+            head_blocked_ = false;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+LlmCell::Admit(double now)
+{
+    const bool statik = cfg_.mode == LlmMode::kStatic;
+    if (statik && (!running_.empty() || !prefill_q_.empty())) return;
+    while (!queue_.empty()) {
+        const int64_t active = static_cast<int64_t>(running_.size()) +
+                               static_cast<int64_t>(prefill_q_.size());
+        if (active >= cfg_.max_batch) break;
+        LlmRequest& head = queue_.front();
+        const int64_t need = PrefillTokens(head) + 1;
+        if (!kv_->Reserve(head.id, need)) {
+            if (kv_->total_tokens() == 0) {
+                // Empty cache and still no room: this request can
+                // never fit. Terminal, not a wait.
+                Drop(head, now, "kv_overflow");
+                queue_.pop_front();
+                continue;
+            }
+            // Head-of-line blocked on KV capacity: visible as a
+            // kv_wait phase until residency frees up.
+            if (!head_blocked_) {
+                head_blocked_ = true;
+                Phase(head, "kv_wait", now);
+            }
+            break;
+        }
+        head_blocked_ = false;
+        Phase(head, "batch", now);
+        if (cfg_.mode == LlmMode::kDisaggregated) {
+            // Dedicated prefill pipeline, serialized on its own
+            // cursor, concurrent with decode.
+            const double start = std::max(now, prefill_free_s_);
+            const double dur =
+                cost_->PrefillSeconds(PrefillTokens(head));
+            head.prefill_end_s = start + dur;
+            prefill_free_s_ = head.prefill_end_s;
+            if (prefill_hist_ != nullptr) prefill_hist_->Observe(dur);
+            Phase(head, "prefill", start);
+        }
+        prefill_q_.push_back(std::move(head));
+        queue_.pop_front();
+    }
+}
+
+void
+LlmCell::CollectPrefills(double now)
+{
+    if (cfg_.mode != LlmMode::kDisaggregated) return;
+    for (auto it = prefill_q_.begin(); it != prefill_q_.end();) {
+        if (it->prefill_end_s <= now) {
+            LlmRequest req = std::move(*it);
+            it = prefill_q_.erase(it);
+            RecordFirstToken(req, req.prefill_end_s);
+            if (req.tokens_done >= req.output_tokens) {
+                Complete(req, req.prefill_end_s);
+            } else {
+                Phase(req, "decode", req.prefill_end_s);
+                running_.push_back(std::move(req));
+            }
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+LlmCell::RunSharedPrefill(double* now)
+{
+    LlmRequest req = std::move(prefill_q_.front());
+    prefill_q_.erase(prefill_q_.begin());
+    const double dur = cost_->PrefillSeconds(PrefillTokens(req));
+    Phase(req, "prefill", *now);
+    *now += dur;
+    if (prefill_hist_ != nullptr) prefill_hist_->Observe(dur);
+    RecordFirstToken(req, *now);
+    if (req.tokens_done >= req.output_tokens) {
+        Complete(req, *now);
+    } else {
+        Phase(req, "decode", *now);
+        running_.push_back(std::move(req));
+    }
+}
+
+void
+LlmCell::RunDecodeIteration(double* now)
+{
+    // Grow every sequence by its next token; when residency runs out,
+    // preempt the youngest sequence (recompute later) and retry.
+    for (size_t i = 0; i < running_.size();) {
+        if (kv_->Grow(running_[i].id)) {
+            ++i;
+            continue;
+        }
+        if (running_.size() == 1) {
+            // No victim left to evict; the lone sequence cannot fit
+            // its own next token. Terminal.
+            kv_->Release(running_[0].id);
+            Drop(running_[0], *now, "kv_overflow");
+            running_.clear();
+            return;
+        }
+        Preempt(running_.size() - 1, *now);
+        if (i >= running_.size()) break;
+    }
+    if (running_.empty()) return;
+
+    const int64_t batch = static_cast<int64_t>(running_.size());
+    const int64_t avg_ctx =
+        std::max<int64_t>(kv_->total_tokens() / batch, 1);
+    const double frac = kv_->CmemFraction();
+    result_.kv_cmem_fraction_min =
+        std::min(result_.kv_cmem_fraction_min, frac);
+    const double dt =
+        cost_->DecodeStepSeconds(batch, avg_ctx, frac);
+    *now += dt;
+    ++result_.iterations;
+    if (iterations_ != nullptr) iterations_->Increment();
+    if (batch_hist_ != nullptr)
+        batch_hist_->Observe(static_cast<double>(batch));
+    if (decode_hist_ != nullptr) decode_hist_->Observe(dt);
+
+    for (auto it = running_.begin(); it != running_.end();) {
+        RecordDecodeToken(*it, *now);
+        if (it->tokens_done >= it->output_tokens) {
+            Complete(*it, *now);
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    UpdateKvGauges();
+}
+
+bool
+LlmCell::DoWork(double* now)
+{
+    if (cfg_.mode == LlmMode::kDisaggregated) {
+        if (running_.empty()) return false;
+        RunDecodeIteration(now);
+        return true;
+    }
+    // Shared pipeline: pending prefills run between decode
+    // iterations (chunked at token granularity — the continuous-
+    // batching join point).
+    if (!prefill_q_.empty()) {
+        RunSharedPrefill(now);
+        return true;
+    }
+    if (!running_.empty()) {
+        RunDecodeIteration(now);
+        return true;
+    }
+    return false;
+}
+
+double
+LlmCell::NextEventTime() const
+{
+    double next = kNoEvent;
+    if (cfg_.arrival_source != nullptr) {
+        load::LoadArrival arr;
+        if (cfg_.arrival_source->Peek(&arr))
+            next = std::min(next, arr.t_s);
+    } else if (next_internal_ < internal_.size()) {
+        next = std::min(next, internal_[next_internal_].t_s);
+    }
+    if (cfg_.mode == LlmMode::kDisaggregated) {
+        for (const auto& req : prefill_q_)
+            next = std::min(next, req.prefill_end_s);
+    }
+    // A deadline can fire while the pipeline idles.
+    for (const auto& req : queue_)
+        if (req.deadline_abs_s > 0.0)
+            next = std::min(next, req.deadline_abs_s);
+    return next;
+}
+
+void
+LlmCell::RecordFirstToken(LlmRequest& req, double now)
+{
+    if (req.max_tokens_seen > 0) {
+        // Recompute prefill: the pass replays the preempted tokens
+        // and emits one fresh token at its end, whose TPOT gap spans
+        // the whole preemption stall.
+        RecordDecodeToken(req, now);
+        return;
+    }
+    ++req.tokens_done;
+    req.max_tokens_seen = req.tokens_done;
+    req.last_token_s = now;
+    req.ttft_recorded = true;
+    auto& b = books_[static_cast<size_t>(req.tenant)];
+    const double ttft = now - req.arrival_s;
+    b.ttft.Add(ttft);
+    ttft_all_.Add(ttft);
+    if (b.ttft_hist != nullptr) {
+        b.ttft_hist->Observe(ttft);
+        if (req.trace_id != 0)
+            b.ttft_hist->AttachExemplar(ttft, req.trace_id, now);
+    }
+    if (ttft > cfg_.tenants[static_cast<size_t>(req.tenant)].ttft_slo_s) {
+        req.ttft_missed = true;
+        ++b.stats.ttft_slo_miss;
+        if (b.ttft_slo_miss != nullptr) b.ttft_slo_miss->Increment();
+    }
+}
+
+void
+LlmCell::RecordDecodeToken(LlmRequest& req, double now)
+{
+    ++req.tokens_done;
+    if (req.tokens_done <= req.max_tokens_seen) {
+        // Replayed (recomputed) token: already sampled once.
+        req.last_token_s = now;
+        return;
+    }
+    req.max_tokens_seen = req.tokens_done;
+    const double gap = now - req.last_token_s;
+    req.last_token_s = now;
+    req.tpot_sum_s += gap;
+    ++req.tpot_count;
+    auto& b = books_[static_cast<size_t>(req.tenant)];
+    b.tpot.Add(gap);
+    tpot_all_.Add(gap);
+    if (b.tpot_hist != nullptr) {
+        b.tpot_hist->Observe(gap);
+        if (req.trace_id != 0)
+            b.tpot_hist->AttachExemplar(gap, req.trace_id, now);
+    }
+}
+
+void
+LlmCell::Preempt(size_t running_idx, double now)
+{
+    LlmRequest req = std::move(running_[running_idx]);
+    running_.erase(running_.begin() +
+                   static_cast<std::ptrdiff_t>(running_idx));
+    const int64_t released = kv_->Release(req.id);
+    result_.recompute_tokens += released;
+    if (recompute_ != nullptr) recompute_->Increment(released);
+    auto& b = books_[static_cast<size_t>(req.tenant)];
+    ++b.stats.preemptions;
+    ++result_.preemptions;
+    if (b.preemptions != nullptr) b.preemptions->Increment();
+    // Back to the head of the queue: generated tokens are kept in the
+    // books and recomputed on readmission.
+    Phase(req, "queue", now);
+    queue_.push_front(std::move(req));
+    head_blocked_ = false;
+}
+
+void
+LlmCell::Complete(LlmRequest& req, double now)
+{
+    kv_->Release(req.id);
+    auto& b = books_[static_cast<size_t>(req.tenant)];
+    const auto& tcfg = cfg_.tenants[static_cast<size_t>(req.tenant)];
+    ++b.stats.completed;
+    ++result_.completed;
+    b.stats.tokens_in += req.prompt_tokens;
+    b.stats.tokens_out += req.output_tokens;
+    result_.tokens_in += req.prompt_tokens;
+    result_.tokens_out += req.output_tokens;
+    if (b.completed != nullptr) b.completed->Increment();
+    if (b.tokens_in != nullptr)
+        b.tokens_in->Increment(req.prompt_tokens);
+    if (b.tokens_out != nullptr)
+        b.tokens_out->Increment(req.output_tokens);
+    const double latency = now - req.arrival_s;
+    if (b.latency_hist != nullptr) {
+        b.latency_hist->Observe(latency);
+        if (req.trace_id != 0)
+            b.latency_hist->AttachExemplar(latency, req.trace_id, now);
+    }
+    bool tpot_missed = false;
+    if (req.tpot_count > 0 &&
+        req.tpot_sum_s / static_cast<double>(req.tpot_count) >
+            tcfg.tpot_slo_s) {
+        tpot_missed = true;
+        ++b.stats.tpot_slo_miss;
+        if (b.tpot_slo_miss != nullptr) b.tpot_slo_miss->Increment();
+    }
+    if (cfg_.spans != nullptr && req.root_span != 0 &&
+        (req.ttft_missed || tpot_missed))
+        cfg_.spans->SetAttribute(req.root_span, "slo_miss", "1");
+    CloseRoot(req, now, "completed");
+    if (cfg_.arrival_source != nullptr && req.source_id != 0)
+        cfg_.arrival_source->OnRequestEnd(req.source_id, now, true);
+    Tick(now);
+}
+
+void
+LlmCell::Drop(LlmRequest& req, double now, const char* reason)
+{
+    auto& b = books_[static_cast<size_t>(req.tenant)];
+    ++b.stats.dropped;
+    ++result_.dropped;
+    if (b.dropped != nullptr) b.dropped->Increment();
+    if (cfg_.spans != nullptr && req.root_span != 0)
+        cfg_.spans->SetAttribute(req.root_span, "drop_reason", reason);
+    CloseRoot(req, now, "dropped");
+    if (cfg_.arrival_source != nullptr && req.source_id != 0)
+        cfg_.arrival_source->OnRequestEnd(req.source_id, now, false);
+    Tick(now);
+}
+
+void
+LlmCell::OpenRoot(LlmRequest& req, double now)
+{
+    if (cfg_.spans == nullptr) return;
+    req.trace_id = cfg_.spans->NewTrace();
+    req.root_span = cfg_.spans->StartSpan(
+        req.trace_id, 0, cfg_.request_span_name, now);
+    cfg_.spans->SetAttribute(
+        req.root_span, "tenant",
+        cfg_.tenants[static_cast<size_t>(req.tenant)].name);
+}
+
+void
+LlmCell::Phase(LlmRequest& req, const char* name, double now)
+{
+    if (cfg_.spans == nullptr || req.root_span == 0) return;
+    if (req.phase_span != 0) cfg_.spans->EndSpan(req.phase_span, now);
+    req.phase_span = cfg_.spans->StartSpan(req.trace_id,
+                                           req.root_span, name, now);
+}
+
+void
+LlmCell::CloseRoot(LlmRequest& req, double now, const char* outcome)
+{
+    if (cfg_.spans == nullptr || req.root_span == 0) return;
+    if (req.phase_span != 0) {
+        cfg_.spans->EndSpan(req.phase_span, now);
+        req.phase_span = 0;
+    }
+    cfg_.spans->SetAttribute(req.root_span, "outcome", outcome);
+    cfg_.spans->EndSpan(req.root_span, now);
+    req.root_span = 0;
+}
+
+void
+LlmCell::Tick(double now)
+{
+    if (cfg_.timeseries != nullptr) cfg_.timeseries->Tick(now);
+}
+
+void
+LlmCell::UpdateKvGauges()
+{
+    result_.kv_peak_tokens = kv_->peak_tokens();
+    if (kv_tokens_g_ == nullptr) return;
+    kv_tokens_g_->Set(static_cast<double>(kv_->total_tokens()));
+    kv_cmem_g_->Set(static_cast<double>(kv_->cmem_tokens()));
+    kv_hbm_g_->Set(static_cast<double>(kv_->hbm_tokens()));
+    kv_frac_g_->Set(kv_->CmemFraction());
+    kv_peak_g_->Set(static_cast<double>(kv_->peak_tokens()));
+}
+
+StatusOr<LlmResult>
+LlmCell::Run()
+{
+    auto valid = Validate();
+    if (!valid.ok()) return valid;
+    if (cfg_.cost_model != nullptr) {
+        cost_ = cfg_.cost_model;
+    } else {
+        owned_cost_ = std::make_unique<CompiledLlmCostModel>(
+            cfg_.model, cfg_.chip);
+        cost_ = owned_cost_.get();
+    }
+    KvCacheConfig kv_cfg;
+    kv_cfg.bytes_per_token = KvBytesPerToken(cfg_.model);
+    kv_cfg.cmem_budget_bytes =
+        cfg_.kv_cmem_budget_bytes >= 0
+            ? cfg_.kv_cmem_budget_bytes
+            : KvCmemBudgetBytes(cfg_.model, cfg_.chip);
+    kv_cfg.hbm_budget_bytes = cfg_.kv_hbm_budget_bytes >= 0
+                                  ? cfg_.kv_hbm_budget_bytes
+                                  : cfg_.chip.dram_bytes / 4;
+    kv_ = std::make_unique<KvCacheManager>(kv_cfg);
+    BindMetrics();
+    SeedInternalArrivals();
+    UpdateKvGauges();
+
+    double now = 0.0;
+    while (true) {
+        DeliverArrivals(now);
+        SweepDeadlines(now);
+        Admit(now);
+        CollectPrefills(now);
+        if (DoWork(&now)) {
+            Tick(now);
+            continue;
+        }
+        const double next = NextEventTime();
+        if (next == kNoEvent) break;
+        now = std::max(now, next);
+    }
+
+    result_.duration_s = std::max(now, cfg_.duration_s);
+    result_.goodput_tokens_per_s =
+        static_cast<double>(result_.tokens_out) / result_.duration_s;
+    result_.ttft_p95_s = ttft_all_.Percentile(95.0);
+    result_.tpot_p99_s = tpot_all_.Percentile(99.0);
+    if (goodput_g_ != nullptr)
+        goodput_g_->Set(result_.goodput_tokens_per_s);
+    UpdateKvGauges();
+    Tick(result_.duration_s);
+
+    // Close the books: every arrival must be terminal, the KV cache
+    // must be fully drained, and completed tokens must tile.
+    result_.conservation_ok = true;
+    int64_t tokens_out_check = 0;
+    for (size_t i = 0; i < books_.size(); ++i) {
+        auto& s = books_[i].stats;
+        s.ttft_p50_s = books_[i].ttft.Percentile(50.0);
+        s.ttft_p95_s = books_[i].ttft.Percentile(95.0);
+        s.ttft_p99_s = books_[i].ttft.Percentile(99.0);
+        s.tpot_p50_s = books_[i].tpot.Percentile(50.0);
+        s.tpot_p99_s = books_[i].tpot.Percentile(99.0);
+        tokens_out_check += s.tokens_out;
+        if (s.arrived != s.completed + s.dropped + s.shed) {
+            result_.conservation_ok = false;
+            result_.conservation_error = StrFormat(
+                "tenant %s: arrived %lld != completed %lld + dropped "
+                "%lld + shed %lld",
+                s.name.c_str(), (long long)s.arrived,
+                (long long)s.completed, (long long)s.dropped,
+                (long long)s.shed);
+        }
+        result_.tenants.push_back(s);
+    }
+    if (result_.conservation_ok &&
+        result_.arrived !=
+            result_.completed + result_.dropped + result_.shed) {
+        result_.conservation_ok = false;
+        result_.conservation_error = "global request books off";
+    }
+    if (result_.conservation_ok && kv_->total_tokens() != 0) {
+        result_.conservation_ok = false;
+        result_.conservation_error = StrFormat(
+            "kv cache not drained: %lld tokens resident",
+            (long long)kv_->total_tokens());
+    }
+    if (result_.conservation_ok &&
+        tokens_out_check != result_.tokens_out) {
+        result_.conservation_ok = false;
+        result_.conservation_error = "tokens_out does not tile";
+    }
+    return result_;
+}
+
+}  // namespace
+
+const char*
+LlmModeName(LlmMode mode)
+{
+    switch (mode) {
+        case LlmMode::kContinuous: return "continuous";
+        case LlmMode::kStatic: return "static";
+        case LlmMode::kDisaggregated: return "disagg";
+    }
+    return "?";
+}
+
+StatusOr<LlmMode>
+ParseLlmMode(const std::string& name)
+{
+    if (name == "continuous") return LlmMode::kContinuous;
+    if (name == "static") return LlmMode::kStatic;
+    if (name == "disagg" || name == "disaggregated")
+        return LlmMode::kDisaggregated;
+    return Status::InvalidArgument(
+        "unknown llm mode '" + name +
+        "' (continuous | static | disagg)");
+}
+
+StatusOr<LlmResult>
+RunLlmCell(const LlmCellConfig& config)
+{
+    LlmCell cell(config);
+    return cell.Run();
+}
+
+}  // namespace llm
+}  // namespace t4i

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Continuous-batching LLM serving cell on the discrete-event sim
+ * clock.
+ *
+ * The scheduler is iteration-level (Orca-style): the running batch is
+ * re-formed at every token boundary, so requests join as soon as a
+ * slot and KV capacity exist and leave the moment their last token is
+ * emitted — no slot idles behind a long neighbor the way static
+ * batching wastes it. Three modes:
+ *
+ *   - kContinuous: shared pipeline; admitted prompts prefill between
+ *     decode iterations, then join the running batch.
+ *   - kStatic: classic batch serving — the batch forms once, prefills,
+ *     decodes until *every* member finishes, only then re-forms. The
+ *     goodput gap vs kContinuous is the E22 table.
+ *   - kDisaggregated: prefill runs on a dedicated pipeline concurrent
+ *     with decode (the prefill/decode disaggregation knob); prompts
+ *     no longer steal decode iterations, and decode tokens no longer
+ *     delay TTFT behind a flood of long prompts.
+ *
+ * KV-cache residency is the binding constraint (the v2->Ironwood
+ * retrospective's point): every sequence holds prompt+generated
+ * tokens in the two-tier KvCacheManager, the current CMEM-resident
+ * fraction feeds the compiled step-cost model, and when growth fails
+ * the youngest sequence is preempted and later recomputed.
+ *
+ * Accounting extends the serving conservation law to tokens:
+ *   arrived == completed + dropped + shed   (per tenant and total;
+ *       preempted-and-requeued requests stay in flight, they are not
+ *       terminal states), and
+ *   llm.tokens_out == sum over completed requests of output_tokens
+ *       (each completed request's tokens tile exactly; recomputed
+ *       tokens count as llm.recompute_tokens, never double as
+ *       output).
+ * Finish() fails the run when the books do not close.
+ *
+ * Token-level SLOs: TTFT (arrival -> first token, the prefill exit)
+ * and TPOT (inter-token gap during decode) land in `llm.ttft_seconds`
+ * / `llm.tpot_seconds` histograms, flowing through the windowed
+ * time-series, alert, SLO-budget, and report layers unchanged. Every
+ * request gets a root span whose queue / kv_wait / batch / prefill /
+ * decode children tile the reported latency bit for bit, so the
+ * critical-path forensics can name which phase made p99 blow up.
+ */
+#ifndef T4I_LLM_SERVE_LLM_H
+#define T4I_LLM_SERVE_LLM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/chip.h"
+#include "src/common/status.h"
+#include "src/llm/kv_cache.h"
+#include "src/llm/model.h"
+#include "src/load/arrivals.h"
+#include "src/obs/registry.h"
+#include "src/obs/spans.h"
+#include "src/obs/timeseries.h"
+
+namespace t4i {
+namespace llm {
+
+enum class LlmMode { kContinuous, kStatic, kDisaggregated };
+
+const char* LlmModeName(LlmMode mode);
+StatusOr<LlmMode> ParseLlmMode(const std::string& name);
+
+/** Lognormal token-length distribution; sigma 0 pins the mean. */
+struct LlmLengthSpec {
+    double mean = 256.0;
+    double sigma = 0.0;
+    int64_t max = 4096;
+};
+
+/** One tenant's LLM traffic contract. */
+struct LlmTenant {
+    std::string name = "LLM0";
+    /** Poisson arrival rate (requests/s); ignored when an external
+     *  arrival source drives the cell. */
+    double rate = 20.0;
+    LlmLengthSpec prompt{256.0, 0.0, 4096};
+    LlmLengthSpec output{32.0, 0.0, 1024};
+    /** Token-level SLOs (histograms always record; these classify
+     *  slo_miss). */
+    double ttft_slo_s = 0.050;
+    double tpot_slo_s = 0.005;
+    /** Queue deadline (arrival + deadline drops un-admitted work);
+     *  0 = none. */
+    double deadline_s = 0.0;
+    /** Shared-prefix arrival correlation: with probability frac a
+     *  request's first `len` prompt tokens are already resident (a
+     *  prefix-cache hit: no prefill compute, no KV charge). */
+    double shared_prefix_frac = 0.0;
+    int64_t shared_prefix_len = 0;
+};
+
+/** A prompt-length shock: prompts sampled in [at, at+dur) are
+ *  multiplied by mult (the long-context flood). */
+struct ContextFlood {
+    double at_s = 0.0;
+    double dur_s = 0.0;
+    double mult = 1.0;
+    /** Tenant index, or -1 for all. */
+    int tenant = -1;
+};
+
+struct LlmCellConfig {
+    LlmModelConfig model;
+    ChipConfig chip;
+    LlmMode mode = LlmMode::kContinuous;
+    /** Decode-batch slot cap (the residency-vs-batch axis). */
+    int64_t max_batch = 8;
+    /** Admission queue cap; arrivals beyond it are shed. */
+    int64_t max_queue = 256;
+    /** Arrival window; queues drain afterwards. */
+    double duration_s = 1.0;
+    uint64_t seed = 42;
+    std::vector<LlmTenant> tenants;
+    std::vector<ContextFlood> floods;
+    /** KV tier budgets in bytes; -1 derives the CMEM tier from the
+     *  chip minus pinned weights, and the HBM tier from a quarter of
+     *  device DRAM. */
+    int64_t kv_cmem_budget_bytes = -1;
+    int64_t kv_hbm_budget_bytes = -1;
+    /** Cost override (tests / fixtures); default compiles the real
+     *  graphs via CompiledLlmCostModel. Not owned. */
+    LlmCostModel* cost_model = nullptr;
+    /** External arrival stream (scenario programs); tenant rates are
+     *  ignored when set. Not owned. */
+    load::ArrivalSource* arrival_source = nullptr;
+    // Telemetry sinks (all optional, none owned).
+    obs::MetricsRegistry* registry = nullptr;
+    obs::SpanCollector* spans = nullptr;
+    obs::TimeSeriesCollector* timeseries = nullptr;
+    std::string request_span_name = "llm";
+};
+
+struct LlmTenantStats {
+    std::string name;
+    int64_t arrived = 0;
+    int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;
+    int64_t preemptions = 0;
+    int64_t prefix_hits = 0;
+    int64_t tokens_in = 0;
+    int64_t tokens_out = 0;
+    int64_t ttft_slo_miss = 0;
+    int64_t tpot_slo_miss = 0;
+    double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+    double tpot_p50_s = 0.0, tpot_p99_s = 0.0;
+};
+
+struct LlmResult {
+    int64_t arrived = 0;
+    int64_t completed = 0;
+    int64_t dropped = 0;
+    int64_t shed = 0;
+    int64_t preemptions = 0;
+    int64_t recompute_tokens = 0;
+    int64_t tokens_in = 0;
+    int64_t tokens_out = 0;
+    int64_t iterations = 0;
+    int64_t kv_peak_tokens = 0;
+    double kv_cmem_fraction_min = 1.0;
+    /** End of drain (>= duration_s). */
+    double duration_s = 0.0;
+    double goodput_tokens_per_s = 0.0;
+    double ttft_p95_s = 0.0;
+    double tpot_p99_s = 0.0;
+    std::vector<LlmTenantStats> tenants;
+    /** Books closed: arrived == completed + dropped + shed (per
+     *  tenant and total), tokens tiled, KV drained to zero. */
+    bool conservation_ok = false;
+    std::string conservation_error;
+};
+
+/**
+ * Runs one LLM cell to full drain. Returns an error Status only on
+ * configuration mistakes; a conservation violation is reported in
+ * the result (callers treat it as run-failing).
+ */
+StatusOr<LlmResult> RunLlmCell(const LlmCellConfig& config);
+
+}  // namespace llm
+}  // namespace t4i
+
+#endif  // T4I_LLM_SERVE_LLM_H

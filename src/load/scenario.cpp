@@ -347,6 +347,140 @@ ParseScenario(const std::string& text)
             }
             continue;
         }
+        if (word == "llm") {
+            scenario.llm.enabled = true;
+            const Options options = ParseOptions(tokens, 1);
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "model" ||
+                                          kv.first == "mode";
+                               }),
+                numeric.pairs.end());
+            double max_batch =
+                static_cast<double>(scenario.llm.max_batch);
+            double max_queue =
+                static_cast<double>(scenario.llm.max_queue);
+            FieldMap map{{{"max-batch", &max_batch},
+                          {"max-queue", &max_queue},
+                          {"kv-cmem-mb", &scenario.llm.kv_cmem_mb},
+                          {"kv-hbm-mb", &scenario.llm.kv_hbm_mb},
+                          {"ttft-slo", &scenario.llm.ttft_slo_s},
+                          {"tpot-slo", &scenario.llm.tpot_slo_s}}};
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            scenario.llm.max_batch =
+                static_cast<int64_t>(max_batch);
+            scenario.llm.max_queue =
+                static_cast<int64_t>(max_queue);
+            if (const std::string* model = options.Find("model")) {
+                scenario.llm.model = *model;
+            }
+            if (const std::string* mode = options.Find("mode")) {
+                if (*mode != "continuous" && *mode != "static" &&
+                    *mode != "disagg") {
+                    return LineError(
+                        line_no,
+                        "llm mode must be continuous|static|disagg");
+                }
+                scenario.llm.mode = *mode;
+            }
+            continue;
+        }
+        if (word == "prompt" || word == "output" ||
+            word == "shared-prefix") {
+            const Options options = ParseOptions(tokens, 1);
+            const std::string* name = options.Find("tenant");
+            if (name == nullptr) {
+                return LineError(
+                    line_no,
+                    StrFormat("%s needs tenant=NAME", word.c_str()));
+            }
+            int tenant = -1;
+            for (size_t i = 0; i < scenario.tenants.size(); ++i) {
+                if (scenario.tenants[i].name == *name) {
+                    tenant = static_cast<int>(i);
+                }
+            }
+            if (tenant < 0) {
+                return LineError(
+                    line_no,
+                    StrFormat("%s names unknown tenant '%s' "
+                              "(declare tenants first)",
+                              word.c_str(), name->c_str()));
+            }
+            if (scenario.llm.tenants.size() <
+                scenario.tenants.size()) {
+                scenario.llm.tenants.resize(scenario.tenants.size());
+            }
+            LlmTenantProgram& prog =
+                scenario.llm.tenants[static_cast<size_t>(tenant)];
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "tenant";
+                               }),
+                numeric.pairs.end());
+            FieldMap map =
+                word == "prompt"
+                    ? FieldMap{{{"mean", &prog.prompt_mean},
+                                {"sigma", &prog.prompt_sigma},
+                                {"max", &prog.prompt_max}}}
+                : word == "output"
+                    ? FieldMap{{{"mean", &prog.output_mean},
+                                {"sigma", &prog.output_sigma},
+                                {"max", &prog.output_max}}}
+                    : FieldMap{
+                          {{"frac", &prog.shared_prefix_frac},
+                           {"len", &prog.shared_prefix_len}}};
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            continue;
+        }
+        if (word == "context-flood") {
+            LlmContextFlood flood;
+            const Options options = ParseOptions(tokens, 1);
+            Options numeric = options;
+            numeric.pairs.erase(
+                std::remove_if(numeric.pairs.begin(),
+                               numeric.pairs.end(),
+                               [](const auto& kv) {
+                                   return kv.first == "tenant";
+                               }),
+                numeric.pairs.end());
+            FieldMap map{{{"at", &flood.at_s},
+                          {"dur", &flood.dur_s},
+                          {"mult", &flood.mult}}};
+            Status s = map.Apply(numeric, line_no);
+            if (!s.ok()) return s;
+            if (const std::string* name = options.Find("tenant")) {
+                flood.tenant = -1;
+                for (size_t i = 0; i < scenario.tenants.size(); ++i) {
+                    if (scenario.tenants[i].name == *name) {
+                        flood.tenant = static_cast<int>(i);
+                    }
+                }
+                if (flood.tenant < 0) {
+                    return LineError(
+                        line_no,
+                        StrFormat("context-flood names unknown "
+                                  "tenant '%s' (declare tenants "
+                                  "first)",
+                                  name->c_str()));
+                }
+            }
+            if (flood.mult <= 0.0 || flood.dur_s < 0.0) {
+                return LineError(
+                    line_no,
+                    "context-flood needs mult > 0 and dur >= 0");
+            }
+            scenario.llm.floods.push_back(flood);
+            continue;
+        }
         if (word == "outage") {
             ScenarioOutage outage;
             double cell = 0.0;
@@ -449,6 +583,29 @@ ParseScenario(const std::string& text)
                 StrFormat("outage cell %d out of range",
                           outage.cell));
         }
+    }
+    if (!scenario.llm.enabled &&
+        (!scenario.llm.floods.empty() ||
+         !scenario.llm.tenants.empty())) {
+        return Status::InvalidArgument(
+            "prompt/output/context-flood/shared-prefix need an "
+            "`llm` directive");
+    }
+    if (scenario.llm.enabled) {
+        if (scenario.cells != 1) {
+            return Status::InvalidArgument(
+                "llm scenarios run one cell (cells must be 1)");
+        }
+        for (const ScenarioTenant& tenant : scenario.tenants) {
+            if (tenant.rate <= 0.0) {
+                return Status::InvalidArgument(StrFormat(
+                    "llm tenant '%s' needs an absolute rate= "
+                    "(load= has no SLO-batch capacity to resolve "
+                    "against)",
+                    tenant.name.c_str()));
+            }
+        }
+        scenario.llm.tenants.resize(scenario.tenants.size());
     }
     return scenario;
 }

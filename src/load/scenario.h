@@ -47,6 +47,18 @@
  *                         # tenant defaults to the cross-tenant
  *                         # aggregate
  *
+ * LLM serving program (src/llm): the `llm` directive switches the
+ * scenario onto the continuous-batching LLM cell (tenant rate= must
+ * be absolute, cells must be 1):
+ *
+ *   llm model=NAME [mode=continuous|static|disagg] [max-batch=N]
+ *       [max-queue=N] [kv-cmem-mb=F] [kv-hbm-mb=F] [ttft-slo=S]
+ *       [tpot-slo=S]
+ *   prompt tenant=NAME mean=N [sigma=F] [max=N]   # prompt tokens
+ *   output tenant=NAME mean=N [sigma=F] [max=N]   # output tokens
+ *   context-flood at=S dur=S mult=F [tenant=NAME] # prompt shock
+ *   shared-prefix tenant=NAME frac=F len=N        # prefix-cache hits
+ *
  * `t4sim_cli check --scenario FILE` runs the scenario and exits 0
  * iff the fired alert set equals the expected set exactly and the
  * request-conservation books close.
@@ -105,6 +117,51 @@ struct ScenarioOutage {
     double repair_at_s = -1.0;  // < 0 = never repairs
 };
 
+/** Per-tenant LLM traffic shape (parallel to Scenario::tenants). */
+struct LlmTenantProgram {
+    double prompt_mean = 256.0;
+    double prompt_sigma = 0.0;
+    double prompt_max = 4096.0;
+    double output_mean = 32.0;
+    double output_sigma = 0.0;
+    double output_max = 1024.0;
+    double shared_prefix_frac = 0.0;
+    double shared_prefix_len = 0.0;
+};
+
+/** One prompt-length shock (`context-flood` directive). */
+struct LlmContextFlood {
+    double at_s = 0.0;
+    double dur_s = 0.0;
+    double mult = 1.0;
+    int tenant = -1;  ///< -1 = every tenant
+};
+
+/**
+ * LLM autoregressive-serving program (`llm` directive present). The
+ * scenario runs through llm::RunLlmScenario instead of the request-
+ * serving cluster: token-level load (prompt/output length
+ * distributions, long-context floods, shared-prefix correlation) on
+ * a continuous-batching cell with KV-cache residency.
+ */
+struct LlmProgram {
+    bool enabled = false;
+    std::string model = "TINYLM";
+    /** continuous | static | disagg. */
+    std::string mode = "continuous";
+    int64_t max_batch = 8;
+    int64_t max_queue = 256;
+    /** KV tier budgets in MiB; < 0 derives them from the chip. */
+    double kv_cmem_mb = -1.0;
+    double kv_hbm_mb = -1.0;
+    /** Token SLOs applied to every tenant. */
+    double ttft_slo_s = 0.050;
+    double tpot_slo_s = 0.005;
+    /** One entry per scenario tenant (defaults when undeclared). */
+    std::vector<LlmTenantProgram> tenants;
+    std::vector<LlmContextFlood> floods;
+};
+
 /** A parsed scenario file. */
 struct Scenario {
     std::string name = "scenario";
@@ -121,6 +178,7 @@ struct Scenario {
     std::vector<ScenarioTenant> tenants;
     ArrivalProgram program;
     std::vector<ScenarioOutage> outages;
+    LlmProgram llm;
 
     /** Raw rule / objective lines, fed verbatim to the engines. */
     std::string alert_rules_text;

@@ -50,6 +50,71 @@ BuildDecoderLm(const std::string& name, int layers, int64_t d_model,
 }
 
 Graph
+BuildDecoderPrefill(const std::string& name, int layers,
+                    int64_t d_model, int64_t num_heads, int64_t d_ff,
+                    int64_t prompt_len, int64_t vocab)
+{
+    Graph g(name);
+    int ids = g.AddInput("prompt", {prompt_len});
+
+    LayerParams embed;
+    embed.vocab = vocab;
+    embed.embed_dim = d_model;
+    embed.lookups_per_sample = prompt_len;
+    int x = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    for (int i = 0; i < layers; ++i) {
+        LayerParams block;
+        block.seq_len = prompt_len;
+        block.kv_len = 0;
+        block.d_model = d_model;
+        block.num_heads = num_heads;
+        block.d_ff = d_ff;
+        block.prefill = true;
+        x = g.AddLayer(LayerKind::kDecoderBlock,
+                       "pre" + std::to_string(i), {x}, block);
+    }
+
+    T4I_CHECK(g.Finalize().ok(), "prefill graph failed to finalize");
+    return g;
+}
+
+Graph
+BuildDecodeStep(const std::string& name, int layers, int64_t d_model,
+                int64_t num_heads, int64_t d_ff, int64_t context_len,
+                int64_t vocab)
+{
+    Graph g(name);
+    int ids = g.AddInput("token", {1});
+
+    LayerParams embed;
+    embed.vocab = vocab;
+    embed.embed_dim = d_model;
+    embed.lookups_per_sample = 1;
+    int x = g.AddLayer(LayerKind::kEmbedding, "embed", {ids}, embed);
+
+    for (int i = 0; i < layers; ++i) {
+        LayerParams block;
+        block.seq_len = 1;
+        block.kv_len = context_len;
+        block.d_model = d_model;
+        block.num_heads = num_heads;
+        block.d_ff = d_ff;
+        x = g.AddLayer(LayerKind::kDecoderBlock,
+                       "dec" + std::to_string(i), {x}, block);
+    }
+
+    // Per-token LM head onto a sampled vocabulary shard.
+    LayerParams head;
+    head.in_features = d_model;
+    head.out_features = vocab / 8;
+    g.AddLayer(LayerKind::kDense, "lm_head", {x}, head);
+
+    T4I_CHECK(g.Finalize().ok(), "decode-step graph failed to finalize");
+    return g;
+}
+
+Graph
 BuildDlrm(const std::string& name, int num_tables, int64_t rows_per_table,
           int64_t embed_dim, int64_t lookups_per_table,
           int64_t dense_features)

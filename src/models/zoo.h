@@ -93,6 +93,27 @@ Graph BuildDecoderLm(const std::string& name, int layers,
                      int64_t prompt_len, int64_t gen_tokens,
                      int64_t vocab);
 
+/**
+ * The prefill phase of LLM serving as its own graph: @p prompt_len
+ * tokens flow through every decoder block in one batched pass
+ * (compute-bound; the KV cache is written, not streamed). The
+ * scheduler in src/llm/ compiles this per prompt-length bucket.
+ */
+Graph BuildDecoderPrefill(const std::string& name, int layers,
+                          int64_t d_model, int64_t num_heads,
+                          int64_t d_ff, int64_t prompt_len,
+                          int64_t vocab);
+
+/**
+ * One decode iteration: a single token against a @p context_len-token
+ * KV cache, through every block plus the LM head (memory-bound; the
+ * cache streams back each step, split CMEM/HBM by the compile-time
+ * kv_cmem_fraction).
+ */
+Graph BuildDecodeStep(const std::string& name, int layers,
+                      int64_t d_model, int64_t num_heads, int64_t d_ff,
+                      int64_t context_len, int64_t vocab);
+
 /** DLRM-style recommender: multiple embedding tables + interaction +
  *  top MLP (MLPerf recommendation). */
 Graph BuildDlrm(const std::string& name, int num_tables,

@@ -30,9 +30,18 @@ ClassifySpan(const Span& span, std::string* component, int* priority)
     if (span.name == "queue") {
         *component = "queue";
         *priority = 1;
+    } else if (span.name == "kv_wait") {
+        // LLM admission stalled on KV-cache residency.
+        *component = "kv_wait";
+        *priority = 1;
     } else if (span.name == "batch") {
         *component = "batch";
         *priority = 2;
+    } else if (span.name == "prefill" || span.name == "decode") {
+        // The two LLM execution phases: whole-prompt prefill
+        // (compute-bound) and per-token decode (memory-bound).
+        *component = span.name;
+        *priority = 3;
     } else if (span.name == "execute") {
         const std::string outcome = span.Attribute("outcome");
         *component = (outcome == "aborted" ||

@@ -49,15 +49,46 @@ cavail="$(grep -o '"name":"cluster.availability","labels":{},"value":[0-9.eE+-]*
 grep -q '"cell 1 unhealthy"' "$ctrace" \
     || { echo "CI: router never noticed the dead cell on the trace"; exit 1; }
 
+# --- LLM serving smoke -----------------------------------------------
+# One continuous-batching cell: token conservation is run-failing
+# (nonzero exit when the books don't close), the TTFT alert gate must
+# trip on a firing rule and stay quiet otherwise, identical seeds must
+# produce bit-identical report artifacts, and the metrics snapshot
+# supplies the llm.* names for the schema diff below.
+lmetrics="$workdir/llm_metrics.json"
+lreport_a="$workdir/llm_report_a.json"
+lreport_b="$workdir/llm_report_b.json"
+./build/examples/t4sim_cli serve-llm --model TINYLM --mode continuous \
+    --rate 200 --prompt-mean 128 --output-mean 16 --duration 0.5 \
+    "--metrics-json=$lmetrics" "--report-out=$lreport_a" || exit 1
+[ -s "$lmetrics" ] || { echo "CI: $lmetrics missing or empty"; exit 1; }
+./build/examples/t4sim_cli serve-llm --model TINYLM --mode continuous \
+    --rate 200 --prompt-mean 128 --output-mean 16 --duration 0.5 \
+    "--report-out=$lreport_b" > /dev/null || exit 1
+./build/examples/t4sim_cli diff "$lreport_a" "$lreport_b" \
+    || { echo "CI: serve-llm reports differ across identical seeds"; exit 1; }
+printf 'alert ttft-hot llm.ttft_seconds:p95 > 0.000001 for 0\n' \
+    > "$workdir/llm_hot.rules"
+printf 'alert ttft-cold llm.ttft_seconds:p95 > 10 for 0\n' \
+    > "$workdir/llm_cold.rules"
+if ./build/examples/t4sim_cli serve-llm --model TINYLM --rate 200 \
+    --duration 0.5 "--alerts=$workdir/llm_hot.rules" > /dev/null; then
+    echo "CI: serve-llm exited zero despite a firing TTFT rule"
+    exit 1
+fi
+./build/examples/t4sim_cli serve-llm --model TINYLM --rate 200 \
+    --duration 0.5 "--alerts=$workdir/llm_cold.rules" > /dev/null \
+    || { echo "CI: serve-llm exited nonzero with no firing rule"; exit 1; }
+
 # Names present in the emitted snapshots (run + serve-cluster), one
 # per line. The pipeline's status must be checked explicitly: the
 # script runs without `set -e`, so a failed grep (no names at all — an
 # empty or malformed snapshot) would otherwise sail on and "pass" the
 # schema check with zero names.
-if ! cat "$metrics" "$cmetrics" \
+if ! cat "$metrics" "$cmetrics" "$lmetrics" \
     | grep -o '"name":"[^"]*"' | sed 's/"name":"//;s/"$//' \
     | sort -u > "$workdir/emitted.txt"; then
-    echo "CI: failed to extract metric names from $metrics + $cmetrics"
+    echo "CI: failed to extract metric names from $metrics + $cmetrics + $lmetrics"
     exit 1
 fi
 
@@ -279,9 +310,12 @@ fi
 # Every checked-in scenario is a CI assertion: steady state, flash
 # crowds at absorbable and overwhelming multipliers, heavy-tailed
 # sizes, correlated bursts meeting a dead cell, closed-loop trace
-# replay, and the retry-storm pair whose whole point is the split
+# replay, the retry-storm pair whose whole point is the split
 # verdict — the same storm must PAGE under fixed backoff and recover
-# (stay quiet) under jittered exponential backoff. `check --scenario`
+# (stay quiet) under jittered exponential backoff — and the LLM
+# long-context-flood pair, where the same prompt-length shock pages
+# TTFT on a shared prefill/decode pipeline and must stay quiet under
+# prefill disaggregation. `check --scenario`
 # exits nonzero when an expected alert stays quiet, an unexpected one
 # fires, request conservation is violated, or a scenario's declared
 # dominant tail component (`expect-dominant`, graded from the
@@ -293,8 +327,8 @@ for scn in scenarios/*.scn; do
         || { echo "CI: scenario $scn failed its contract"; exit 1; }
     scn_count=$((scn_count + 1))
 done
-if [ "$scn_count" -lt 8 ]; then
-    echo "CI: scenario matrix shrank ($scn_count < 8 scenarios)"
+if [ "$scn_count" -lt 10 ]; then
+    echo "CI: scenario matrix shrank ($scn_count < 10 scenarios)"
     exit 1
 fi
 # The metastability split must hold under a fresh seed too, not just
@@ -314,7 +348,8 @@ done
 # `perf_gate.py --update` refresh of bench/baselines.json.
 fast_benches="bench_a1_mxu_geometry bench_a3_bandwidth bench_e05_roofline
               bench_e07_latency_batch bench_e11_multitenancy
-              bench_e18_latency_breakdown bench_e21_forensics"
+              bench_e18_latency_breakdown bench_e21_forensics
+              bench_e22_llm"
 bench_out="$workdir/bench_fast.txt"
 for b in $fast_benches; do
     ./build/bench/"$b" >> "$bench_out" \
